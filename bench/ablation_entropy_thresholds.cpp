@@ -1,0 +1,226 @@
+// Ablation: sweep the entropy thresholds of the §5.1 classifier over a
+// labeled payload corpus and show why the paper's conservative 0.4/0.8
+// pair is a sensible operating point — it keeps false classifications
+// near zero at the cost of an "unknown" band.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "iotx/util/entropy.hpp"
+#include "iotx/util/prng.hpp"
+#include "iotx/util/strings.hpp"
+#include "iotx/util/table.hpp"
+#include "common.hpp"
+
+namespace {
+
+using iotx::util::byte_entropy;
+using iotx::util::Prng;
+
+struct Sample {
+  double entropy;
+  bool encrypted;  // ground truth
+};
+
+std::vector<Sample> build_corpus() {
+  std::vector<Sample> corpus;
+  Prng prng("ablation-corpus");
+  for (int i = 0; i < 300; ++i) {
+    // Realistic flow-payload sample sizes: many flows are short, which
+    // pulls the measured entropy of even perfect ciphertext down.
+    const std::size_t n = 60 + prng.uniform(1800);
+
+    // Encrypted (a): raw ciphertext.
+    {
+      std::vector<std::uint8_t> data(n);
+      for (auto& b : data) b = static_cast<std::uint8_t>(prng.uniform(256));
+      corpus.push_back({byte_entropy(data), true});
+    }
+    // Encrypted (b): base64-armored ciphertext (fernet-style, H <= 0.75).
+    {
+      static constexpr char kB64[] =
+          "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+      std::vector<std::uint8_t> data(n);
+      for (auto& b : data) {
+        b = static_cast<std::uint8_t>(kB64[prng.uniform(64)]);
+      }
+      corpus.push_back({byte_entropy(data), true});
+    }
+    // Encrypted (c): ciphertext with periodic plaintext framing headers.
+    {
+      std::vector<std::uint8_t> data;
+      data.reserve(n);
+      static constexpr std::string_view kHeader = "RECORD v1 LEN=01380 ";
+      while (data.size() < n) {
+        for (char c : kHeader) {
+          if (data.size() >= n) break;
+          data.push_back(static_cast<std::uint8_t>(c));
+        }
+        for (int k = 0; k < 96 && data.size() < n; ++k) {
+          data.push_back(static_cast<std::uint8_t>(prng.uniform(256)));
+        }
+      }
+      corpus.push_back({byte_entropy(data), true});
+    }
+    // Unencrypted (a): repetitive keep-alive text.
+    {
+      std::string text = "HEARTBEAT " + std::to_string(i) + " ";
+      while (text.size() < n) text += "OK";
+      text.resize(n);
+      corpus.push_back({byte_entropy({reinterpret_cast<const std::uint8_t*>(
+                                          text.data()),
+                                      text.size()}),
+                        false});
+    }
+    // Unencrypted (b): web-page-like markup.
+    {
+      static constexpr const char* kWords[] = {
+          "<div>", "class=", "privacy", "device", "the", "of", "exposure",
+          "</div>", "href=", "network"};
+      std::string text;
+      while (text.size() < n) {
+        text += kWords[prng.uniform(std::size(kWords))];
+        text += ' ';
+      }
+      text.resize(n);
+      corpus.push_back({byte_entropy({reinterpret_cast<const std::uint8_t*>(
+                                          text.data()),
+                                      text.size()}),
+                        false});
+    }
+    // Unencrypted (c): JSON stuffed with hex identifiers — the richest
+    // plaintext the devices emit, closest to the decision boundary.
+    {
+      std::string text = "{";
+      static constexpr char kHex[] = "0123456789abcdef";
+      while (text.size() < n) {
+        text += "\"id\":\"";
+        for (int k = 0; k < 16; ++k) text += kHex[prng.uniform(16)];
+        text += "\",";
+      }
+      text.resize(n);
+      corpus.push_back({byte_entropy({reinterpret_cast<const std::uint8_t*>(
+                                          text.data()),
+                                      text.size()}),
+                        false});
+    }
+  }
+  return corpus;
+}
+
+}  // namespace
+
+int main() {
+  using namespace iotx;
+  bench::print_title(
+      "Ablation — entropy threshold sweep for the encryption classifier");
+  bench::print_paper_note(
+      "§5.1: \"we cannot identify a single threshold that will always "
+      "classify encrypted and unencrypted payloads correctly ... we chose "
+      "conservative thresholds ... relegating remaining cases to an "
+      "'undetermined' class\" — 0.4 / 0.8 in the paper and here.");
+
+  const std::vector<Sample> corpus = build_corpus();
+
+  // Single-threshold sweep: everything above is 'encrypted'.
+  util::TextTable single({"single threshold", "misclassified %"});
+  for (double t : {0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9}) {
+    int wrong = 0;
+    for (const Sample& s : corpus) {
+      const bool classified_encrypted = s.entropy > t;
+      wrong += classified_encrypted != s.encrypted;
+    }
+    single.add_row({util::format_double(t, 2),
+                    util::format_double(100.0 * wrong / corpus.size(), 2)});
+  }
+  std::fputs(single.render().c_str(), stdout);
+
+  // Two-threshold sweep: [lo, hi] band is 'unknown'.
+  std::printf("\nTwo-threshold operating points (errors exclude the unknown "
+              "band; the band is the price paid):\n");
+  util::TextTable dual({"lo", "hi", "false enc %", "false unenc %",
+                        "unknown %"});
+  const double pairs[][2] = {{0.3, 0.9}, {0.4, 0.8}, {0.45, 0.75},
+                             {0.5, 0.7}, {0.55, 0.65}};
+  for (const auto& pair : pairs) {
+    int false_enc = 0, false_unenc = 0, unknown = 0;
+    for (const Sample& s : corpus) {
+      if (s.entropy > pair[1]) {
+        false_enc += !s.encrypted;
+      } else if (s.entropy < pair[0]) {
+        false_unenc += s.encrypted;
+      } else {
+        ++unknown;
+      }
+    }
+    const double n = static_cast<double>(corpus.size());
+    dual.add_row({util::format_double(pair[0], 2),
+                  util::format_double(pair[1], 2),
+                  util::format_double(100.0 * false_enc / n, 2),
+                  util::format_double(100.0 * false_unenc / n, 2),
+                  util::format_double(100.0 * unknown / n, 2)});
+  }
+  std::fputs(dual.render().c_str(), stdout);
+
+  // Held-out content types, NOT used to pick the thresholds: a narrow band
+  // tuned to the calibration corpus misclassifies them; the conservative
+  // 0.4/0.8 band keeps them in 'unknown'.
+  std::vector<Sample> held_out;
+  {
+    Prng prng("ablation-heldout");
+    static constexpr char kHexDigits[] = "0123456789abcdef";
+    static constexpr const char* kProse[] = {
+        "characterize", "information", "exposure", "jurisdiction",
+        "experiment", "doorbell",      "encrypted", "surreptitiously",
+        "measurement", "approximately"};
+    for (int i = 0; i < 300; ++i) {
+      const std::size_t n = 200 + prng.uniform(1600);
+      // Hex-armored ciphertext (H ~ 0.5): encrypted.
+      std::vector<std::uint8_t> hex(n);
+      for (auto& b : hex) {
+        b = static_cast<std::uint8_t>(kHexDigits[prng.uniform(16)]);
+      }
+      held_out.push_back({byte_entropy(hex), true});
+      // Vocabulary-rich prose (H ~ 0.55-0.6): unencrypted.
+      std::string text;
+      while (text.size() < n) {
+        text += kProse[prng.uniform(std::size(kProse))];
+        text += ' ';
+      }
+      text.resize(n);
+      held_out.push_back({byte_entropy({reinterpret_cast<const std::uint8_t*>(
+                                            text.data()),
+                                        text.size()}),
+                          false});
+    }
+  }
+  std::printf("\nHeld-out content (hex-armored ciphertext, rich prose) — "
+              "not in the calibration corpus:\n");
+  util::TextTable held({"lo", "hi", "false enc %", "false unenc %",
+                        "unknown %"});
+  for (const auto& pair : pairs) {
+    int false_enc = 0, false_unenc = 0, unknown = 0;
+    for (const Sample& s : held_out) {
+      if (s.entropy > pair[1]) {
+        false_enc += !s.encrypted;
+      } else if (s.entropy < pair[0]) {
+        false_unenc += s.encrypted;
+      } else {
+        ++unknown;
+      }
+    }
+    const double n = static_cast<double>(held_out.size());
+    held.add_row({util::format_double(pair[0], 2),
+                  util::format_double(pair[1], 2),
+                  util::format_double(100.0 * false_enc / n, 2),
+                  util::format_double(100.0 * false_unenc / n, 2),
+                  util::format_double(100.0 * unknown / n, 2)});
+  }
+  std::fputs(held.render().c_str(), stdout);
+  std::printf(
+      "\nA band tuned tightly to the calibration corpus (0.55/0.65) "
+      "confidently mislabels unseen encodings; the paper's conservative "
+      "0.4/0.8 pair keeps errors at zero on both corpora and pays with an "
+      "'unknown' class — exactly the §5.1 rationale.\n");
+  return 0;
+}

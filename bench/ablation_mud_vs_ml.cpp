@@ -1,0 +1,131 @@
+// Ablation: MUD-style policy enforcement vs traffic-pattern inference
+// for unexpected-behavior detection (the paper's §8 discussion).
+//
+// A MUD profile whitelists (destination, port, protocol) triples. The
+// Zmodo doorbell's surreptitious movement uploads go to its *usual*
+// endpoints — MUD sees nothing — while the paper's ML detector flags the
+// movement storm. Conversely, a new/unexpected destination (the Wansview
+// camera's hvvc.us relay appearing only on direct egress) is exactly what
+// MUD catches with zero training beyond a whitelist.
+#include <cstdio>
+
+#include "iotx/analysis/inference.hpp"
+#include "iotx/analysis/mud.hpp"
+#include "iotx/analysis/unexpected.hpp"
+#include "iotx/testbed/experiment.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace iotx;
+
+std::vector<std::vector<net::Packet>> controlled_captures(
+    const testbed::DeviceSpec& device, const testbed::NetworkConfig& config,
+    std::vector<testbed::LabeledCapture>* keep = nullptr) {
+  const testbed::ExperimentRunner runner(
+      testbed::SchedulePlan{10, 4, 4, 0.0});
+  std::vector<std::vector<net::Packet>> captures;
+  for (const auto& spec : runner.schedule(device, config)) {
+    if (spec.type == testbed::ExperimentType::kIdle) continue;
+    testbed::LabeledCapture capture = runner.run(spec);
+    captures.push_back(capture.packets);
+    if (keep != nullptr) keep->push_back(std::move(capture));
+  }
+  return captures;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "Ablation — MUD policy enforcement vs ML activity inference (§8)");
+  bench::print_paper_note(
+      "MUD (RFC 8520) whitelists a device's communication patterns. It "
+      "cannot see WHAT the device does over allowed channels; the paper's "
+      "ML approach can. The two are complementary.");
+
+  const testbed::NetworkConfig us{testbed::LabSite::kUs, false};
+  const testbed::TrafficSynthesizer synth;
+
+  // ---- Case 1: Zmodo's idle movement storm --------------------------
+  {
+    const testbed::DeviceSpec& zmodo = *testbed::find_device("zmodo_doorbell");
+    std::vector<testbed::LabeledCapture> labeled;
+    const auto captures = controlled_captures(zmodo, us, &labeled);
+    const analysis::MudProfile profile =
+        analysis::learn_mud_profile(zmodo.id, captures);
+    std::printf("Zmodo MUD profile: %zu allowed (dst, port, proto) rules\n",
+                profile.allowed.size());
+
+    // Background class so the ML detector is fair.
+    for (int i = 0; i < 8; ++i) {
+      testbed::LabeledCapture bg;
+      bg.spec.device_id = zmodo.id;
+      bg.spec.config = us;
+      bg.spec.type = testbed::ExperimentType::kInteraction;
+      bg.spec.activity = std::string(analysis::kBackgroundLabel);
+      bg.spec.repetition = i;
+      util::Prng prng("mudbg" + std::to_string(i));
+      bg.packets = synth.background(zmodo, us, 0.0, 60.0, prng);
+      labeled.push_back(std::move(bg));
+    }
+    analysis::InferenceParams params;
+    params.validation.forest.n_trees = 30;
+    const analysis::ActivityModel model =
+        analysis::train_activity_model(zmodo, us, labeled, params);
+
+    util::Prng prng("mud-idle");
+    const auto idle = synth.idle_period(zmodo, us, 0.0, 1.0, prng);
+
+    const auto violations = analysis::check_against_profile(profile, idle);
+    const auto detections =
+        analysis::detect_activity(zmodo, testbed::LabSite::kUs, idle, model);
+    int moves = 0;
+    if (const auto it = detections.instances.find("local_move");
+        it != detections.instances.end()) {
+      moves = it->second;
+    }
+    std::printf(
+        "  1 h idle, surreptitious movement uploads present:\n"
+        "    MUD violations flagged:        %zu   (uploads use ALLOWED "
+        "endpoints)\n"
+        "    ML movement events detected:   %d\n\n",
+        violations.size(), moves);
+  }
+
+  // ---- Case 2: a destination outside the learned envelope -----------
+  {
+    const testbed::DeviceSpec& cam = *testbed::find_device("wansview_cam");
+    // Learn the profile under VPN egress, where the hvvc.us relay and the
+    // extra EC2 hosts are never contacted...
+    const testbed::NetworkConfig vpn{testbed::LabSite::kUs, true};
+    const analysis::MudProfile profile =
+        analysis::learn_mud_profile(cam.id, controlled_captures(cam, vpn));
+    // ...then watch the device on direct egress.
+    util::Prng prng("mud-direct");
+    const auto* sig =
+        testbed::TrafficSynthesizer::find_activity(cam, "android_wan_watch");
+    std::vector<net::Packet> watch;
+    for (int i = 0; i < 5; ++i) {
+      auto burst = synth.activity_event(cam, us, *sig, i * 60.0, prng);
+      watch.insert(watch.end(), burst.begin(), burst.end());
+    }
+    const auto violations = analysis::check_against_profile(profile, watch);
+    std::printf("Wansview, profile learned on VPN, watched on direct "
+                "egress:\n    MUD violations flagged: %zu\n",
+                violations.size());
+    for (const auto& v : violations) {
+      std::printf("      %s:%u proto %u  (%llu pkts, %s)\n",
+                  v.observed.destination.c_str(), v.observed.port,
+                  v.observed.protocol,
+                  static_cast<unsigned long long>(v.packets),
+                  util::format_bytes(v.bytes).c_str());
+    }
+  }
+
+  std::printf(
+      "\nConclusion: MUD catches *new channels*, the paper's inference "
+      "catches *misuse of existing channels* — a device recording without "
+      "consent is invisible to a whitelist.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation: the traffic-unit segmentation gap. The paper uses an
+// "empirically derived" 2-second inter-packet gap (§7.1): too small splits
+// one interaction into fragments too thin to classify; too large glues
+// interactions to background chatter.
+#include <cstdio>
+
+#include "iotx/analysis/inference.hpp"
+#include "iotx/analysis/unexpected.hpp"
+#include "iotx/testbed/experiment.hpp"
+#include "iotx/util/strings.hpp"
+#include "iotx/util/table.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace iotx;
+
+analysis::ActivityModel train_zmodo(const testbed::NetworkConfig& config) {
+  const testbed::DeviceSpec& zmodo = *testbed::find_device("zmodo_doorbell");
+  const testbed::ExperimentRunner runner(
+      testbed::SchedulePlan{12, 4, 4, 0.0});
+  std::vector<testbed::LabeledCapture> captures;
+  for (const auto& spec : runner.schedule(zmodo, config)) {
+    if (spec.type == testbed::ExperimentType::kIdle) continue;
+    captures.push_back(runner.run(spec));
+  }
+  const testbed::TrafficSynthesizer synth;
+  for (int i = 0; i < 8; ++i) {
+    testbed::LabeledCapture bg;
+    bg.spec.device_id = zmodo.id;
+    bg.spec.config = config;
+    bg.spec.type = testbed::ExperimentType::kInteraction;
+    bg.spec.activity = std::string(analysis::kBackgroundLabel);
+    bg.spec.repetition = i;
+    util::Prng prng("gap-bg" + std::to_string(i));
+    bg.packets = synth.background(zmodo, config, 0.0, 60.0, prng);
+    captures.push_back(std::move(bg));
+  }
+  analysis::InferenceParams params;
+  params.validation.forest.n_trees = 30;
+  return analysis::train_activity_model(zmodo, config, captures, params);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Ablation — traffic-unit segmentation gap (§7.1)");
+  bench::print_paper_note(
+      "\"a value that is too small provides too little data for "
+      "classification; a value that is too large may merge traffic together "
+      "from multiple activities\" — the paper settles on 2 s. The Zmodo "
+      "doorbell emits ~66 movement uploads per idle hour, so over 2 h the "
+      "ideal detector reports ~132 instances.");
+
+  const testbed::NetworkConfig config{testbed::LabSite::kUs, false};
+  const testbed::DeviceSpec& zmodo = *testbed::find_device("zmodo_doorbell");
+  const analysis::ActivityModel model = train_zmodo(config);
+  std::printf("model: device F1 = %.2f\n\n", model.device_f1());
+
+  const testbed::TrafficSynthesizer synth;
+  util::Prng prng("gap-idle");
+  const double hours = 2.0;
+  const auto idle = synth.idle_period(zmodo, config, 0.0, hours, prng);
+
+  util::TextTable table({"gap (s)", "units", "classified", "move detections",
+                         "det/hour"});
+  for (double gap : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    analysis::DetectorParams params;
+    params.unit_gap_seconds = gap;
+    const analysis::IdleDetections detections = analysis::detect_activity(
+        zmodo, testbed::LabSite::kUs, idle, model, params);
+    const auto it = detections.instances.find("local_move");
+    const int moves = it == detections.instances.end() ? 0 : it->second;
+    table.add_row({util::format_double(gap, 2),
+                   std::to_string(detections.units_total),
+                   std::to_string(detections.units_classified),
+                   std::to_string(moves),
+                   util::format_double(moves / hours, 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nDetections are stable through the paper's 2 s choice and degrade "
+      "as larger gaps merge independent events into fewer, fatter units "
+      "(and would eventually glue interactions to background chatter). "
+      "Sub-second gaps only work here because synthesized bursts are "
+      "tight; on real traffic with retransmissions and jitter they shred "
+      "events — hence the conservative 2 s.\n");
+  return 0;
+}

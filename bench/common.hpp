@@ -1,0 +1,74 @@
+// Shared bench harness: one full Study per bench binary (bench-scale
+// parameters) plus table-rendering helpers. Each bench prints the paper's
+// reference rows next to the measured reproduction so the shape comparison
+// is visible directly in the output (EXPERIMENTS.md records the analysis).
+#pragma once
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "iotx/core/study.hpp"
+#include "iotx/core/tables.hpp"
+#include "iotx/util/strings.hpp"
+#include "iotx/util/table.hpp"
+
+namespace iotx::bench {
+
+/// Bench-scale study parameters: large enough for stable table shapes,
+/// small enough for tens of seconds per binary. StudyParams::paper_scale()
+/// reproduces the full campaign (minutes of CPU).
+inline core::StudyParams bench_params() {
+  core::StudyParams params;  // library defaults are already bench-scale
+  return params;
+}
+
+/// The one Study instance per bench process.
+inline const core::Study& shared_study() {
+  static core::Study* study = [] {
+    std::fprintf(stderr,
+                 "[iotx-bench] running the measurement campaign "
+                 "(both labs, direct + VPN)...\n");
+    auto* s = new core::Study(bench_params());
+    s->run();
+    std::fprintf(stderr, "[iotx-bench] %zu controlled experiments done\n",
+                 s->experiments_run());
+    return s;
+  }();
+  return *study;
+}
+
+inline void print_title(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_paper_note(const std::string& note) {
+  std::printf("paper reference: %s\n\n", note.c_str());
+}
+
+/// Renders a row of 8 integer columns.
+inline std::vector<std::string> int_cells(const std::array<int, 8>& v) {
+  std::vector<std::string> cells;
+  for (int x : v) cells.push_back(std::to_string(x));
+  return cells;
+}
+
+/// Renders a row of 8 fixed-point percentage columns.
+inline std::vector<std::string> pct_cells(const std::array<double, 8>& v) {
+  std::vector<std::string> cells;
+  for (double x : v) cells.push_back(util::format_double(x, 1));
+  return cells;
+}
+
+/// Standard 8-column header with leading label columns.
+inline std::vector<std::string> header8(
+    const std::vector<std::string>& leading) {
+  std::vector<std::string> h = leading;
+  for (const char* c : core::kColumnHeaders) h.emplace_back(c);
+  return h;
+}
+
+}  // namespace iotx::bench

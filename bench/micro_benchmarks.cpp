@@ -1,0 +1,204 @@
+// Google-benchmark micro suite: throughput of the pipeline's hot paths —
+// packet synthesis, pcap serialization/parsing, protocol parsing, flow
+// assembly, entropy, feature extraction, and random-forest train/predict.
+#include <benchmark/benchmark.h>
+
+#include "iotx/analysis/encryption.hpp"
+#include "iotx/analysis/features.hpp"
+#include "iotx/flow/flow_table.hpp"
+#include "iotx/ml/random_forest.hpp"
+#include "iotx/net/pcap.hpp"
+#include "iotx/proto/dns.hpp"
+#include "iotx/proto/tls.hpp"
+#include "iotx/testbed/experiment.hpp"
+#include "iotx/util/entropy.hpp"
+
+namespace {
+
+using namespace iotx;
+
+std::vector<net::Packet> sample_capture() {
+  static const std::vector<net::Packet> capture = [] {
+    const testbed::ExperimentRunner runner(
+        testbed::SchedulePlan{3, 3, 3, 0.0});
+    testbed::ExperimentSpec spec;
+    spec.device_id = "samsung_tv";
+    spec.config = {testbed::LabSite::kUs, false};
+    spec.type = testbed::ExperimentType::kPower;
+    spec.activity = "power";
+    spec.start_time = testbed::kSimulationEpoch;
+    return runner.run(spec).packets;
+  }();
+  return capture;
+}
+
+void BM_SynthesizePowerEvent(benchmark::State& state) {
+  const testbed::TrafficSynthesizer synth;
+  const testbed::DeviceSpec& device = *testbed::find_device("samsung_tv");
+  std::uint64_t packets = 0;
+  int rep = 0;
+  for (auto _ : state) {
+    util::Prng prng("bench" + std::to_string(rep++));
+    const auto capture = synth.power_event(
+        device, {testbed::LabSite::kUs, false}, 0.0, prng);
+    packets += capture.size();
+    benchmark::DoNotOptimize(capture.data());
+  }
+  state.counters["packets/s"] = benchmark::Counter(
+      static_cast<double>(packets), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SynthesizePowerEvent);
+
+void BM_PcapSerialize(benchmark::State& state) {
+  const auto capture = sample_capture();
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const auto serialized = net::pcap_serialize(capture);
+    bytes += serialized.size();
+    benchmark::DoNotOptimize(serialized.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PcapSerialize);
+
+void BM_PcapParse(benchmark::State& state) {
+  const auto serialized = net::pcap_serialize(sample_capture());
+  for (auto _ : state) {
+    const auto parsed = net::pcap_parse(serialized);
+    benchmark::DoNotOptimize(parsed->size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * serialized.size()));
+}
+BENCHMARK(BM_PcapParse);
+
+void BM_DecodePackets(benchmark::State& state) {
+  const auto capture = sample_capture();
+  for (auto _ : state) {
+    std::size_t decoded = 0;
+    for (const auto& p : capture) {
+      decoded += net::decode_packet(p).has_value();
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * capture.size()));
+}
+BENCHMARK(BM_DecodePackets);
+
+void BM_DnsParse(benchmark::State& state) {
+  const auto query =
+      proto::make_query(7, "lcprd1.samsungcloudsolution.net");
+  const auto response =
+      proto::make_response(query, net::Ipv4Address(54, 148, 222, 7));
+  const auto bytes = response.encode();
+  for (auto _ : state) {
+    const auto parsed = proto::DnsMessage::decode(bytes);
+    benchmark::DoNotOptimize(parsed->answers.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DnsParse);
+
+void BM_SniExtraction(benchmark::State& state) {
+  const std::uint16_t suites[] = {0x1301, 0x1302, 0xc02f, 0xc030};
+  const std::vector<std::uint8_t> rnd(32, 0x5a);
+  const auto hello =
+      proto::build_client_hello("osb.samsungcloudsolution.com", suites, rnd);
+  for (auto _ : state) {
+    const auto sni = proto::extract_sni(hello);
+    benchmark::DoNotOptimize(sni->size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SniExtraction);
+
+void BM_FlowAssembly(benchmark::State& state) {
+  const auto capture = sample_capture();
+  for (auto _ : state) {
+    const auto flows = flow::assemble_flows(capture);
+    benchmark::DoNotOptimize(flows.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * capture.size()));
+}
+BENCHMARK(BM_FlowAssembly);
+
+void BM_EncryptionClassification(benchmark::State& state) {
+  const auto flows = flow::assemble_flows(sample_capture());
+  for (auto _ : state) {
+    const auto bytes = analysis::account_flows(flows);
+    benchmark::DoNotOptimize(bytes.classified_total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * flows.size()));
+}
+BENCHMARK(BM_EncryptionClassification);
+
+void BM_Entropy(benchmark::State& state) {
+  util::Prng prng("entropy-bench");
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : data) b = static_cast<std::uint8_t>(prng.uniform(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::byte_entropy(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * data.size()));
+}
+BENCHMARK(BM_Entropy)->Range(1 << 10, 1 << 18);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const auto capture = sample_capture();
+  const auto& device = *testbed::find_device("samsung_tv");
+  const auto meta =
+      flow::extract_meta(capture, testbed::device_mac(device, true));
+  for (auto _ : state) {
+    const auto features = analysis::extract_features(meta);
+    benchmark::DoNotOptimize(features.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FeatureExtraction);
+
+ml::Dataset bench_dataset() {
+  ml::Dataset data;
+  util::Prng prng("rf-bench");
+  for (int i = 0; i < 150; ++i) {
+    std::vector<double> row(90);
+    const int cls = i % 5;
+    for (auto& v : row) v = prng.normal(cls * 2.0, 1.0);
+    data.add(std::move(row), "class" + std::to_string(cls));
+  }
+  return data;
+}
+
+void BM_RandomForestTrain(benchmark::State& state) {
+  const ml::Dataset data = bench_dataset();
+  ml::ForestParams params;
+  params.n_trees = static_cast<std::size_t>(state.range(0));
+  int rep = 0;
+  for (auto _ : state) {
+    ml::RandomForest forest;
+    util::Prng prng("train" + std::to_string(rep++));
+    forest.fit(data, params, prng);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_RandomForestTrain)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  const ml::Dataset data = bench_dataset();
+  ml::RandomForest forest;
+  util::Prng prng("predict-train");
+  forest.fit(data, ml::ForestParams{30, ml::TreeParams{}}, prng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict(data.row(i++ % data.size())));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RandomForestPredict);
+
+}  // namespace
+
+BENCHMARK_MAIN();

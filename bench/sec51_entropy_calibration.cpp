@@ -1,0 +1,130 @@
+// Reproduces the §5.1 entropy calibration: the measurements that justify
+// the H>0.8 / H<0.4 thresholds — ciphertext entropy ~0.85, plaintext
+// protocol text ~0.25, web-page text ~0.55, weaker symmetric schemes
+// ~0.73, and media content ~0.87 (which is why recognized media must be
+// excluded before thresholding).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "iotx/analysis/encryption.hpp"
+#include "iotx/util/entropy.hpp"
+#include "iotx/util/prng.hpp"
+#include "iotx/util/stats.hpp"
+#include "common.hpp"
+
+namespace {
+
+using iotx::util::byte_entropy;
+using iotx::util::Prng;
+
+std::vector<std::uint8_t> tls_like_ciphertext(Prng& prng, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(prng.uniform(256));
+  return out;
+}
+
+// A weaker scheme à la fernet: base64-encoded ciphertext, whose 64-symbol
+// alphabet caps the byte entropy at 6/8 = 0.75.
+std::vector<std::uint8_t> fernet_like_ciphertext(Prng& prng, std::size_t n) {
+  static constexpr char kB64[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(kB64[prng.uniform(64)]);
+  return out;
+}
+
+std::vector<std::uint8_t> protocol_text(std::size_t n, int seq) {
+  std::string text = "HEARTBEAT " + std::to_string(100000 + seq) + " ";
+  while (text.size() < n) text += "OK";
+  text.resize(n);
+  return {text.begin(), text.end()};
+}
+
+std::vector<std::uint8_t> webpage_text(Prng& prng, std::size_t n) {
+  static constexpr const char* kWords[] = {
+      "<div>",  "<p>",     "measurement", "privacy", "network", "the",
+      "of",     "device",  "exposure",    "</div>",  "href=",   "class=",
+      "style=", "session", "IMC",         "2019",    "&amp;",   "consumer"};
+  std::string text;
+  while (text.size() < n) {
+    text += kWords[prng.uniform(std::size(kWords))];
+    text += ' ';
+  }
+  text.resize(n);
+  return {text.begin(), text.end()};
+}
+
+std::vector<std::uint8_t> media_content(Prng& prng, std::size_t n) {
+  // Compressed video payload: effectively random with sparse start codes.
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(prng.uniform(256));
+  for (std::size_t i = 0; i + 4 < n; i += 1024) {
+    out[i] = 0;
+    out[i + 1] = 0;
+    out[i + 2] = 1;
+  }
+  return out;
+}
+
+struct Row {
+  const char* name;
+  double mean, stddev, min, max;
+};
+
+template <typename Gen>
+Row measure(const char* name, Gen gen, int samples = 40) {
+  Prng prng(name);
+  std::vector<double> values;
+  for (int i = 0; i < samples; ++i) {
+    const std::size_t n = 600 + prng.uniform(1400);
+    values.push_back(byte_entropy(gen(prng, n, i)));
+  }
+  const auto summary = iotx::util::summarize(values);
+  return Row{name, summary.mean, summary.stddev, summary.min, summary.max};
+}
+
+}  // namespace
+
+int main() {
+  using namespace iotx;
+  bench::print_title("§5.1 — entropy calibration behind the 0.4/0.8 thresholds");
+  bench::print_paper_note(
+      "Paper: H_enc = 0.85 (sigma 0.009); H_unenc(traffic) = 0.25 (sigma "
+      "0.09); H_unenc(web pages) = 0.55; fernet-style encryption = 0.73; "
+      "unencrypted media = 0.873 — hence thresholds at 0.4 and 0.8 with an "
+      "'unknown' band between, and media excluded before thresholding.");
+
+  const Row rows[] = {
+      measure("TLS-style ciphertext",
+              [](Prng& p, std::size_t n, int) { return tls_like_ciphertext(p, n); }),
+      measure("fernet-style ciphertext (base64)",
+              [](Prng& p, std::size_t n, int) { return fernet_like_ciphertext(p, n); }),
+      measure("plaintext protocol traffic",
+              [](Prng&, std::size_t n, int i) { return protocol_text(n, i); }),
+      measure("web-page text",
+              [](Prng& p, std::size_t n, int) { return webpage_text(p, n); }),
+      measure("unencrypted media content",
+              [](Prng& p, std::size_t n, int) { return media_content(p, n); }),
+  };
+
+  util::TextTable table({"Content", "mean H", "sigma", "min", "max",
+                         "classified as"});
+  for (const Row& r : rows) {
+    const char* cls = r.mean > analysis::kEncryptedEntropyThreshold
+                          ? "likely encrypted"
+                          : (r.mean < analysis::kUnencryptedEntropyThreshold
+                                 ? "likely unencrypted"
+                                 : "unknown");
+    table.add_row({r.name, util::format_double(r.mean, 3),
+                   util::format_double(r.stddev, 3),
+                   util::format_double(r.min, 3),
+                   util::format_double(r.max, 3), cls});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nNote: media content falls in the 'likely encrypted' band — exactly "
+      "the paper's reason for filtering recognized encodings and "
+      "pattern-identified media before applying the thresholds.\n");
+  return 0;
+}

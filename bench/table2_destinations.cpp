@@ -1,0 +1,32 @@
+// Reproduces paper Table 2: number of non-first parties contacted by
+// devices, grouped by experiment type, across lab and network egress.
+#include "common.hpp"
+
+int main() {
+  using namespace iotx;
+  bench::print_title(
+      "Table 2 — non-first parties by experiment type (counts of unique "
+      "destinations)");
+  bench::print_paper_note(
+      "Totals: Support US 98 / UK 87, Third US 7 / UK 5; Control > Power > "
+      "Idle; VPN reduces counts (branch.io, fastly, edgecast, hvvc.us drop "
+      "out). Absolute counts scale with the endpoint-registry size; the "
+      "ordering and regional deltas are the reproduced shape.");
+
+  util::TextTable table(
+      bench::header8({"Experiment", "Party"}));
+  std::string last_experiment;
+  for (const core::Table2Row& row : core::build_table2(bench::shared_study())) {
+    if (!last_experiment.empty() && row.experiment != last_experiment) {
+      table.add_rule();
+    }
+    last_experiment = row.experiment;
+    std::vector<std::string> cells = {row.experiment, row.party};
+    for (const std::string& c : bench::int_cells(row.counts)) {
+      cells.push_back(c);
+    }
+    table.add_row(std::move(cells));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

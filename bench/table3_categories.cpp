@@ -1,0 +1,26 @@
+// Reproduces paper Table 3: number of non-first parties contacted by
+// devices, grouped by device category.
+#include "common.hpp"
+
+int main() {
+  using namespace iotx;
+  bench::print_title("Table 3 — non-first parties by device category");
+  bench::print_paper_note(
+      "Cameras contact the most support parties (49-50); TVs the most third "
+      "parties (4 US / 2 UK); audio and smart hubs contact zero third "
+      "parties.");
+
+  util::TextTable table(bench::header8({"Category", "Party"}));
+  std::string last;
+  for (const core::Table3Row& row : core::build_table3(bench::shared_study())) {
+    if (!last.empty() && row.category != last) table.add_rule();
+    last = row.category;
+    std::vector<std::string> cells = {row.category, row.party};
+    for (const std::string& c : bench::int_cells(row.counts)) {
+      cells.push_back(c);
+    }
+    table.add_row(std::move(cells));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces paper Table 6: percent of bytes per encryption class,
+// aggregated per device category.
+#include "common.hpp"
+
+int main() {
+  using namespace iotx;
+  bench::print_title("Table 6 — percent bytes per class, by device category");
+  bench::print_paper_note(
+      "Paper shapes: cameras expose the largest unencrypted share (~11%), "
+      "home automation and appliances next; audio devices are the most "
+      "encrypted (>60%, major-vendor stacks); appliances, hubs and cameras "
+      "carry the largest 'unknown' (proprietary-protocol) shares (63-88%).");
+
+  util::TextTable table(bench::header8({"Class", "Category"}));
+  std::string last;
+  for (const core::Table6Row& row : core::build_table6(bench::shared_study())) {
+    if (!last.empty() && row.enc_class != last) table.add_rule();
+    last = row.enc_class;
+    std::vector<std::string> cells = {row.enc_class, row.category};
+    for (const std::string& c : bench::pct_cells(row.pct)) {
+      cells.push_back(c);
+    }
+    table.add_row(std::move(cells));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces paper Table 8: percent of bytes per encryption class,
+// grouped by experiment type (plus the uncontrolled user-study row).
+#include "common.hpp"
+
+int main() {
+  using namespace iotx;
+  bench::print_title("Table 8 — percent bytes per class, by experiment type");
+  bench::print_paper_note(
+      "Paper shapes: video interactions have the lowest encrypted share "
+      "(9-15%) and the highest unknown share (~84%); voice interactions "
+      "the highest encrypted share (59-67%); power experiments show the "
+      "most unencrypted bytes (8-10%).");
+
+  util::TextTable table(bench::header8({"Class", "Experiment", "#D"}));
+  std::string last;
+  for (const core::Table8Row& row : core::build_table8(bench::shared_study())) {
+    if (!last.empty() && row.enc_class != last) table.add_rule();
+    last = row.enc_class;
+    std::vector<std::string> cells = {row.enc_class, row.experiment,
+                                      std::to_string(row.device_count)};
+    if (row.uncontrolled_pct >= 0.0) {
+      // Uncontrolled experiments exist only in the US lab.
+      cells.push_back(util::format_double(row.uncontrolled_pct, 1));
+      while (cells.size() < 11) cells.push_back("-");
+    } else {
+      for (const std::string& c : bench::pct_cells(row.pct)) {
+        cells.push_back(c);
+      }
+    }
+    table.add_row(std::move(cells));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

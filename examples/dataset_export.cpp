@@ -1,0 +1,61 @@
+// Dataset export demo: persist labeled experiments exactly the way the
+// released intl-iot dataset is laid out — one pcap per (lab, device,
+// experiment label) — then re-read a file and re-run an analysis on it,
+// proving the on-disk format round-trips through the standard tooling
+// path.
+//
+// Build & run:  cmake --build build && ./build/examples/dataset_export [out_dir]
+#include <cstdio>
+#include <filesystem>
+
+#include "iotx/analysis/encryption.hpp"
+#include "iotx/testbed/gateway.hpp"
+
+int main(int argc, char** argv) {
+  using namespace iotx;
+
+  const std::string root =
+      argc > 1 ? argv[1]
+               : (std::filesystem::temp_directory_path() / "iotx_dataset")
+                     .string();
+
+  const testbed::ExperimentRunner runner(
+      testbed::SchedulePlan{/*automated=*/3, /*manual=*/2, /*power=*/2,
+                            /*idle_hours=*/0.1});
+  const testbed::Gateway gateway(testbed::LabSite::kUs);
+
+  std::size_t files = 0;
+  std::string sample_path;
+  for (const char* id : {"ring_doorbell", "samsung_tv", "echo_dot"}) {
+    const testbed::DeviceSpec& device = *testbed::find_device(id);
+    const testbed::NetworkConfig config{testbed::LabSite::kUs, false};
+    for (const auto& spec : runner.schedule(device, config)) {
+      const testbed::LabeledCapture capture = runner.run(spec);
+      const std::string path = gateway.write_labeled(root, capture);
+      if (path.empty()) {
+        std::printf("failed to write under %s\n", root.c_str());
+        return 1;
+      }
+      if (sample_path.empty()) sample_path = path;
+      ++files;
+    }
+  }
+  std::printf("wrote %zu labeled pcap files under %s\n", files, root.c_str());
+  std::printf("layout: <root>/<lab>/<device>/<config_device_type_label_rep>.pcap\n\n");
+
+  // Round-trip: read one file back and classify its traffic.
+  const auto packets = testbed::Gateway::read_labeled(sample_path);
+  if (!packets) {
+    std::printf("failed to re-read %s\n", sample_path.c_str());
+    return 1;
+  }
+  const auto flows = flow::assemble_flows(*packets);
+  const auto enc = analysis::account_flows(flows);
+  std::printf("re-read %s:\n  %zu packets, %zu flows\n", sample_path.c_str(),
+              packets->size(), flows.size());
+  std::printf("  %.1f%% encrypted / %.1f%% unencrypted / %.1f%% unknown\n",
+              enc.pct_encrypted(), enc.pct_unencrypted(), enc.pct_unknown());
+  std::puts("\nThe files are standard libpcap: tcpdump/Wireshark/intl-iot "
+            "scripts can open them directly.");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Idle watch demo (§7.2): leave recording devices alone in an empty room
+// overnight and see which ones still transmit activity — the experiment
+// that exposed the Zmodo doorbell's surreptitious uploads.
+//
+// Build & run:  cmake --build build && ./build/examples/idle_watch
+#include <cstdio>
+
+#include "iotx/analysis/inference.hpp"
+#include "iotx/analysis/unexpected.hpp"
+#include "iotx/testbed/experiment.hpp"
+
+namespace {
+
+using namespace iotx;
+
+analysis::ActivityModel train(const testbed::DeviceSpec& device,
+                              const testbed::NetworkConfig& config) {
+  const testbed::ExperimentRunner runner(
+      testbed::SchedulePlan{12, 4, 4, 0.0});
+  std::vector<testbed::LabeledCapture> captures;
+  for (const auto& spec : runner.schedule(device, config)) {
+    if (spec.type == testbed::ExperimentType::kIdle) continue;
+    captures.push_back(runner.run(spec));
+  }
+  // Labeled background windows teach the model what "nothing happening"
+  // looks like, so heartbeats are not force-assigned to interactions.
+  const testbed::TrafficSynthesizer synth;
+  for (int i = 0; i < 8; ++i) {
+    testbed::LabeledCapture bg;
+    bg.spec.device_id = device.id;
+    bg.spec.config = config;
+    bg.spec.type = testbed::ExperimentType::kInteraction;
+    bg.spec.activity = std::string(analysis::kBackgroundLabel);
+    bg.spec.repetition = i;
+    util::Prng prng("idlewatch-bg/" + device.id + std::to_string(i));
+    bg.packets = synth.background(device, config, 0.0, 60.0, prng);
+    captures.push_back(std::move(bg));
+  }
+  analysis::InferenceParams params;
+  params.validation.forest.n_trees = 35;
+  return analysis::train_activity_model(device, config, captures, params);
+}
+
+}  // namespace
+
+int main() {
+  const testbed::NetworkConfig config{testbed::LabSite::kUs, false};
+  const testbed::TrafficSynthesizer synth;
+  const double hours = 8.0;  // one overnight window
+
+  std::printf("Overnight idle watch (%.0f h, empty room, US lab)\n\n", hours);
+  for (const char* id : {"zmodo_doorbell", "wansview_cam", "ring_doorbell",
+                         "yi_cam", "echo_dot"}) {
+    const testbed::DeviceSpec& device = *testbed::find_device(id);
+    const analysis::ActivityModel model = train(device, config);
+
+    util::Prng prng("idlewatch/" + device.id);
+    const auto capture =
+        synth.idle_period(device, config, 0.0, hours, prng);
+
+    const analysis::IdleDetections detections = analysis::detect_activity(
+        device, testbed::LabSite::kUs, capture, model);
+
+    std::printf("%s (device F1 %.2f): %zu traffic units, %zu classified\n",
+                device.name.c_str(), model.device_f1(),
+                detections.units_total, detections.units_classified);
+    if (detections.instances.empty()) {
+      std::printf("  quiet night — background chatter only\n");
+    }
+    for (const auto& [activity, count] : detections.instances) {
+      std::printf("  %-24s x%-4d (%.1f/hour)%s\n", activity.c_str(), count,
+                  count / hours,
+                  activity.find("move") != std::string::npos
+                      ? "  <-- recording with nobody there"
+                      : "");
+    }
+    std::printf("\n");
+  }
+  std::puts(
+      "The Zmodo doorbell's movement storm is the paper's headline "
+      "Table 11 row (1845 instances in 28 h): a camera uploading footage "
+      "with no one in the room.");
+  return 0;
+}

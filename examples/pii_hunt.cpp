@@ -1,0 +1,73 @@
+// PII hunt demo (§6.2): scan every device's plaintext traffic for known
+// personal data in plain, hex, base64 and URL encodings — the paper's
+// search for "any PII known (in various encodings)".
+//
+// Build & run:  cmake --build build && ./build/examples/pii_hunt
+#include <cstdio>
+
+#include "iotx/analysis/pii.hpp"
+#include "iotx/testbed/experiment.hpp"
+
+int main() {
+  using namespace iotx;
+
+  const testbed::ExperimentRunner runner(
+      testbed::SchedulePlan{/*automated=*/6, /*manual=*/3, /*power=*/3,
+                            /*idle_hours=*/0.0});
+
+  int devices_with_leaks = 0;
+  for (const testbed::DeviceSpec& device : testbed::device_catalog()) {
+    for (const testbed::NetworkConfig& config :
+         testbed::all_network_configs()) {
+      if (config.vpn) continue;  // direct egress is enough for this demo
+      const bool present = config.lab == testbed::LabSite::kUs
+                               ? device.in_us()
+                               : device.in_uk();
+      if (!present) continue;
+
+      // The scanner knows the PII this unit was registered with — exactly
+      // what the researchers knew about their own accounts.
+      const testbed::PiiTokens tokens =
+          testbed::pii_tokens(device, config.lab);
+      const analysis::PiiScanner scanner({
+          {"mac", tokens.mac},
+          {"uuid", tokens.uuid},
+          {"device_id", tokens.device_id},
+          {"owner_name", tokens.owner_name},
+          {"email", tokens.email},
+          {"geo_city", tokens.geo_city},
+      });
+
+      std::vector<analysis::PiiFinding> findings;
+      for (const auto& spec : runner.schedule(device, config)) {
+        if (spec.type == testbed::ExperimentType::kIdle) continue;
+        const auto capture = runner.run(spec);
+        const auto flows = flow::assemble_flows(capture.packets);
+        for (auto& f : scanner.scan(flows)) {
+          bool seen = false;
+          for (const auto& existing : findings) {
+            seen |= existing.kind == f.kind &&
+                    existing.destination == f.destination;
+          }
+          if (!seen) findings.push_back(std::move(f));
+        }
+      }
+      if (findings.empty()) continue;
+
+      ++devices_with_leaks;
+      std::printf("%s [%s lab]:\n", device.name.c_str(),
+                  config.lab == testbed::LabSite::kUs ? "US" : "UK");
+      for (const auto& f : findings) {
+        std::printf("  exposes %-12s as %-7s to %s\n", f.kind.c_str(),
+                    f.encoding.c_str(), f.domain.c_str());
+      }
+    }
+  }
+
+  std::printf(
+      "\n%d device deployments expose PII in plaintext — few, matching the "
+      "paper's finding that plaintext PII is rare but notable (MAC "
+      "addresses let any on-path observer track the device).\n",
+      devices_with_leaks);
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "iotx/analysis/destinations.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace iotx::analysis {
+
+std::vector<DestinationRecord> attribute_destinations(
+    const std::vector<flow::Flow>& flows, const flow::DnsCache& dns,
+    const AttributionContext& ctx,
+    const std::vector<std::string>& first_party_names) {
+  std::unordered_map<net::Ipv4Address, DestinationRecord> by_ip;
+
+  for (const flow::Flow& flow : flows) {
+    // The remote endpoint is the non-private side; LAN-internal traffic is
+    // out of scope (paper footnote 1).
+    net::Ipv4Address remote;
+    if (flow.responder.is_global_unicast()) {
+      remote = flow.responder;
+    } else if (flow.initiator.is_global_unicast()) {
+      remote = flow.initiator;
+    } else {
+      continue;  // LAN, multicast or broadcast traffic is out of scope
+    }
+
+    DestinationRecord& rec = by_ip[remote];
+    rec.address = remote;
+    rec.bytes += flow.total_bytes();
+    rec.packets += flow.total_packets();
+
+    // Domain: DNS answer first, then SNI, then HTTP Host (paper §4.1).
+    if (rec.domain.empty() || rec.domain == remote.to_string()) {
+      if (const auto resolved = dns.lookup(remote)) {
+        rec.domain = *resolved;
+      } else if (!flow.sni.empty()) {
+        rec.domain = flow.sni;
+      } else if (!flow.http_host.empty()) {
+        rec.domain = flow.http_host;
+      } else if (rec.domain.empty()) {
+        rec.domain = remote.to_string();
+      }
+    }
+  }
+
+  std::vector<DestinationRecord> records;
+  records.reserve(by_ip.size());
+  for (auto& [addr, rec] : by_ip) {
+    const bool has_domain = rec.domain != addr.to_string();
+    rec.sld = geo::second_level_domain(rec.domain);
+    if (has_domain) {
+      rec.organization = ctx.orgs->organization_for_domain(rec.sld);
+    } else if (const auto owner = ctx.orgs->organization_for_ip(addr)) {
+      // No SLD: fall back to the registry owner of the address.
+      rec.organization = *owner;
+    } else {
+      rec.organization = "Unknown";
+    }
+    rec.party = ctx.orgs->classify(rec.organization, first_party_names);
+
+    const double rtt = ctx.rtt_ms ? ctx.rtt_ms(addr) : 0.0;
+    const auto registry =
+        ctx.registry_country ? ctx.registry_country(addr) : std::nullopt;
+    const geo::PassportResolver passport(*ctx.geo);
+    rec.country = passport.resolve(addr, ctx.vantage, rtt, registry);
+    records.push_back(std::move(rec));
+  }
+
+  std::sort(records.begin(), records.end(),
+            [](const DestinationRecord& a, const DestinationRecord& b) {
+              return a.bytes > b.bytes;
+            });
+  return records;
+}
+
+void PartyCounts::merge(const PartyCounts& other) {
+  support.insert(other.support.begin(), other.support.end());
+  third.insert(other.third.begin(), other.third.end());
+}
+
+PartyCounts count_non_first_parties(
+    const std::vector<DestinationRecord>& records) {
+  PartyCounts counts;
+  for (const DestinationRecord& rec : records) {
+    switch (rec.party) {
+      case geo::PartyType::kSupport: counts.support.insert(rec.domain); break;
+      case geo::PartyType::kThird: counts.third.insert(rec.domain); break;
+      case geo::PartyType::kFirst: break;
+    }
+  }
+  return counts;
+}
+
+void SankeyBuilder::add(const std::string& lab, const std::string& category,
+                        const std::vector<DestinationRecord>& records) {
+  for (const DestinationRecord& rec : records) {
+    const std::string region(
+        geo::region_name(geo::region_for_country(rec.country)));
+    edges_[{lab, category, region}] += rec.bytes;
+  }
+}
+
+std::vector<SankeyEdge> SankeyBuilder::edges() const {
+  std::vector<SankeyEdge> out;
+  out.reserve(edges_.size());
+  for (const auto& [key, bytes] : edges_) {
+    out.push_back(SankeyEdge{std::get<0>(key), std::get<1>(key),
+                             std::get<2>(key), bytes});
+  }
+  std::sort(out.begin(), out.end(), [](const SankeyEdge& a,
+                                       const SankeyEdge& b) {
+    if (a.lab != b.lab) return a.lab < b.lab;
+    return a.bytes > b.bytes;
+  });
+  return out;
+}
+
+std::uint64_t SankeyBuilder::lab_region_bytes(const std::string& lab,
+                                              const std::string& region) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, bytes] : edges_) {
+    if (std::get<0>(key) == lab && std::get<2>(key) == region) total += bytes;
+  }
+  return total;
+}
+
+}  // namespace iotx::analysis

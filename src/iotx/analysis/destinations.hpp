@@ -1,0 +1,93 @@
+// Destination analysis (paper §4): attributes every flow to a domain
+// (DNS answer -> SNI -> HTTP Host), an organization (WHOIS/registry), a
+// party type relative to the device, and a country (Passport), then
+// aggregates the paper's Tables 2-4 and Figure 2 inputs.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "iotx/flow/dns_cache.hpp"
+#include "iotx/flow/flow_table.hpp"
+#include "iotx/geo/org_db.hpp"
+#include "iotx/geo/passport.hpp"
+#include "iotx/geo/sld.hpp"
+
+namespace iotx::analysis {
+
+/// One attributed destination contacted by a device.
+struct DestinationRecord {
+  net::Ipv4Address address;
+  std::string domain;  ///< FQDN when known, else the IP literal
+  std::string sld;     ///< registrable domain (or IP literal)
+  std::string organization;
+  geo::PartyType party = geo::PartyType::kThird;
+  std::string country;  ///< inferred by the Passport substitute
+  std::uint64_t bytes = 0;
+  std::uint64_t packets = 0;
+};
+
+/// Everything attribution needs about the environment.
+struct AttributionContext {
+  const geo::OrgDatabase* orgs = nullptr;
+  const geo::GeoDatabase* geo = nullptr;
+  geo::Vantage vantage = geo::Vantage::kUsLab;
+  /// Measured min RTT (ms) from the lab to an address (traceroute
+  /// substitute).
+  std::function<double(net::Ipv4Address)> rtt_ms;
+  /// RIR-registered country for an address, when known.
+  std::function<std::optional<std::string>(net::Ipv4Address)>
+      registry_country;
+};
+
+/// Attributes every remote (non-LAN) destination in `flows`. The DNS cache
+/// must already have ingested the capture so IPs resolve to the domains
+/// the device queried. Destinations are merged per remote address.
+std::vector<DestinationRecord> attribute_destinations(
+    const std::vector<flow::Flow>& flows, const flow::DnsCache& dns,
+    const AttributionContext& ctx,
+    const std::vector<std::string>& first_party_names);
+
+/// Counts unique non-first-party destinations by party type (the cell
+/// structure of Tables 2 and 3). Uniqueness is by domain.
+struct PartyCounts {
+  std::set<std::string> support;
+  std::set<std::string> third;
+
+  void merge(const PartyCounts& other);
+};
+
+PartyCounts count_non_first_parties(
+    const std::vector<DestinationRecord>& records);
+
+/// Figure 2 input: bytes flowing from (lab, category) to a destination
+/// region.
+struct SankeyEdge {
+  std::string lab;       ///< "US" or "UK"
+  std::string category;  ///< device category name
+  std::string region;    ///< Figure-2 region name
+  std::uint64_t bytes = 0;
+};
+
+class SankeyBuilder {
+ public:
+  void add(const std::string& lab, const std::string& category,
+           const std::vector<DestinationRecord>& records);
+
+  /// Edges sorted by lab, then descending bytes.
+  std::vector<SankeyEdge> edges() const;
+
+  /// Total bytes from a lab into a region.
+  std::uint64_t lab_region_bytes(const std::string& lab,
+                                 const std::string& region) const;
+
+ private:
+  std::map<std::tuple<std::string, std::string, std::string>, std::uint64_t>
+      edges_;
+};
+
+}  // namespace iotx::analysis

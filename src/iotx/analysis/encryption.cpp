@@ -1,0 +1,143 @@
+#include "iotx/analysis/encryption.hpp"
+
+#include "iotx/util/entropy.hpp"
+
+namespace iotx::analysis {
+
+std::string_view encryption_class_name(EncryptionClass c) noexcept {
+  switch (c) {
+    case EncryptionClass::kEncrypted: return "encrypted";
+    case EncryptionClass::kUnencrypted: return "unencrypted";
+    case EncryptionClass::kUnknown: return "unknown";
+    case EncryptionClass::kMedia: return "media";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_plaintext_protocol(proto::ProtocolId id) noexcept {
+  switch (id) {
+    case proto::ProtocolId::kDns:
+    case proto::ProtocolId::kMdns:
+    case proto::ProtocolId::kSsdp:
+    case proto::ProtocolId::kDhcp:
+    case proto::ProtocolId::kNtp:
+    case proto::ProtocolId::kHttp:
+    case proto::ProtocolId::kRtsp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+FlowEncryption classify_flow(const flow::Flow& flow) {
+  FlowEncryption result;
+
+  // Step 1: protocol analysis.
+  if (flow.protocol == proto::ProtocolId::kTls ||
+      flow.protocol == proto::ProtocolId::kQuic) {
+    result.cls = EncryptionClass::kEncrypted;
+    return result;
+  }
+  if (is_plaintext_protocol(flow.protocol)) {
+    result.cls = EncryptionClass::kUnencrypted;
+    return result;
+  }
+
+  // Step 2: encoding magic bytes. The paper marks traffic carrying
+  // recognized encodings (media or compression) as *unencrypted* — this is
+  // what makes unencrypted-streaming cameras the biggest plaintext
+  // exposers (Table 6/7).
+  if (flow.encoding != proto::ContentEncoding::kNone) {
+    result.cls = EncryptionClass::kUnencrypted;
+    return result;
+  }
+
+  // Step 3: entropy of the assembled payload sample.
+  util::EntropyAccumulator acc;
+  acc.add(flow.payload_sample_up);
+  acc.add(flow.payload_sample_down);
+  if (acc.count() == 0) {
+    result.cls = EncryptionClass::kUnknown;
+    return result;
+  }
+  result.entropy = acc.value();
+  result.entropy_based = true;
+
+  // Media that carries no recognizable encoding has ciphertext-level
+  // entropy; the paper identifies it from traffic patterns (sustained
+  // one-sided bulk of near-MTU packets) and excludes it from the
+  // encryption statistics (§5.1, last paragraph).
+  if (result.entropy > 0.78 && flow.total_packets() > 80) {
+    const auto mean_size = [](const flow::DirectionStats& d) {
+      return d.packets == 0 ? 0.0
+                            : static_cast<double>(d.bytes) /
+                                  static_cast<double>(d.packets);
+    };
+    const double up = mean_size(flow.up);
+    const double down = mean_size(flow.down);
+    const bool bulk_one_sided =
+        (up > 900.0 && flow.up.packets > 4 * flow.down.packets) ||
+        (down > 900.0 && flow.down.packets > 4 * flow.up.packets);
+    if (bulk_one_sided) {
+      result.cls = EncryptionClass::kMedia;
+      return result;
+    }
+  }
+
+  if (result.entropy > kEncryptedEntropyThreshold) {
+    result.cls = EncryptionClass::kEncrypted;
+  } else if (result.entropy < kUnencryptedEntropyThreshold) {
+    result.cls = EncryptionClass::kUnencrypted;
+  } else {
+    result.cls = EncryptionClass::kUnknown;
+  }
+  return result;
+}
+
+double EncryptionBytes::pct_encrypted() const noexcept {
+  const auto total = classified_total();
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(encrypted) /
+                                static_cast<double>(total);
+}
+
+double EncryptionBytes::pct_unencrypted() const noexcept {
+  const auto total = classified_total();
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(unencrypted) /
+                                static_cast<double>(total);
+}
+
+double EncryptionBytes::pct_unknown() const noexcept {
+  const auto total = classified_total();
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(unknown) /
+                                static_cast<double>(total);
+}
+
+EncryptionBytes& EncryptionBytes::operator+=(
+    const EncryptionBytes& other) noexcept {
+  encrypted += other.encrypted;
+  unencrypted += other.unencrypted;
+  unknown += other.unknown;
+  media += other.media;
+  return *this;
+}
+
+EncryptionBytes account_flows(const std::vector<flow::Flow>& flows) {
+  EncryptionBytes bytes;
+  for (const flow::Flow& flow : flows) {
+    const std::uint64_t payload = flow.total_payload_bytes();
+    if (payload == 0) continue;
+    switch (classify_flow(flow).cls) {
+      case EncryptionClass::kEncrypted: bytes.encrypted += payload; break;
+      case EncryptionClass::kUnencrypted: bytes.unencrypted += payload; break;
+      case EncryptionClass::kUnknown: bytes.unknown += payload; break;
+      case EncryptionClass::kMedia: bytes.media += payload; break;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace iotx::analysis

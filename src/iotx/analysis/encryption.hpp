@@ -1,0 +1,65 @@
+// Encryption classification (paper §5.1):
+//   1. protocol analysis: TLS application data / QUIC => encrypted; known
+//      plaintext protocols (DNS, HTTP, NTP, SSDP, DHCP, mDNS) and TLS
+//      handshake bytes => unencrypted;
+//   2. known media/compression magic bytes => unencrypted (and, for
+//      audio/video, excluded from the entropy statistics as the paper
+//      does, because media entropy rivals ciphertext);
+//   3. otherwise byte entropy H of the flow payload:
+//      H > 0.8 likely encrypted, H < 0.4 likely unencrypted, else unknown.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "iotx/flow/flow_table.hpp"
+
+namespace iotx::analysis {
+
+enum class EncryptionClass {
+  kEncrypted,
+  kUnencrypted,
+  kUnknown,
+  kMedia,  ///< recognized media encoding; excluded from entropy analysis
+};
+
+std::string_view encryption_class_name(EncryptionClass c) noexcept;
+
+/// The paper's entropy thresholds.
+inline constexpr double kEncryptedEntropyThreshold = 0.8;
+inline constexpr double kUnencryptedEntropyThreshold = 0.4;
+
+struct FlowEncryption {
+  EncryptionClass cls = EncryptionClass::kUnknown;
+  double entropy = 0.0;       ///< payload entropy (0 when not computed)
+  bool entropy_based = false; ///< true when step 3 decided
+};
+
+/// Classifies one assembled flow.
+FlowEncryption classify_flow(const flow::Flow& flow);
+
+/// Byte totals per class for a set of flows. Payload bytes are attributed
+/// to the flow's class; flows without payload are ignored (pure
+/// handshake/ACK traffic carries no content to classify).
+struct EncryptionBytes {
+  std::uint64_t encrypted = 0;
+  std::uint64_t unencrypted = 0;
+  std::uint64_t unknown = 0;
+  std::uint64_t media = 0;
+
+  std::uint64_t classified_total() const noexcept {
+    return encrypted + unencrypted + unknown;
+  }
+  /// Percent helpers over the classified total (media excluded, as the
+  /// paper excludes recognized media from the encryption statistics).
+  double pct_encrypted() const noexcept;
+  double pct_unencrypted() const noexcept;
+  double pct_unknown() const noexcept;
+
+  EncryptionBytes& operator+=(const EncryptionBytes& other) noexcept;
+};
+
+EncryptionBytes account_flows(const std::vector<flow::Flow>& flows);
+
+}  // namespace iotx::analysis

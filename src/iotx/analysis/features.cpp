@@ -1,0 +1,59 @@
+#include "iotx/analysis/features.hpp"
+
+#include "iotx/util/stats.hpp"
+
+namespace iotx::analysis {
+
+namespace {
+
+void append_summary(std::vector<double>& out,
+                    const std::vector<double>& sample) {
+  util::summarize(sample).append_features(out);
+}
+
+std::vector<double> iats(const std::vector<double>& times) {
+  std::vector<double> gaps;
+  if (times.size() < 2) return gaps;
+  gaps.reserve(times.size() - 1);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    gaps.push_back(times[i] - times[i - 1]);
+  }
+  return gaps;
+}
+
+}  // namespace
+
+std::vector<double> extract_features(
+    const std::vector<flow::PacketMeta>& meta) {
+  std::vector<double> sizes_all, sizes_out, sizes_in;
+  std::vector<double> times_all, times_out, times_in;
+  sizes_all.reserve(meta.size());
+  times_all.reserve(meta.size());
+  for (const flow::PacketMeta& p : meta) {
+    sizes_all.push_back(p.size);
+    times_all.push_back(p.timestamp);
+    if (p.outbound) {
+      sizes_out.push_back(p.size);
+      times_out.push_back(p.timestamp);
+    } else {
+      sizes_in.push_back(p.size);
+      times_in.push_back(p.timestamp);
+    }
+  }
+
+  std::vector<double> features;
+  features.reserve(kFeatureDimension);
+  append_summary(features, sizes_all);
+  append_summary(features, sizes_out);
+  append_summary(features, sizes_in);
+  append_summary(features, iats(times_all));
+  append_summary(features, iats(times_out));
+  append_summary(features, iats(times_in));
+  return features;
+}
+
+std::vector<double> extract_features(const flow::TrafficUnit& unit) {
+  return extract_features(unit.packets);
+}
+
+}  // namespace iotx::analysis

@@ -1,0 +1,25 @@
+// Feature extraction for activity inference (paper §6.1): "timing
+// statistics of the traffic with respect to packet sizes and inter-arrival
+// times ... min, max, mean, deciles of the distribution, skewness, and
+// kurtosis", deliberately avoiding text/hostname features that vary across
+// regions.
+#pragma once
+
+#include <vector>
+
+#include "iotx/flow/traffic_unit.hpp"
+
+namespace iotx::analysis {
+
+/// 90-dimensional vector: {sizes, inter-arrival times} x {all, outbound,
+/// inbound} x 15 summary statistics (min, max, mean, stddev, skewness,
+/// kurtosis, deciles 10..90).
+std::vector<double> extract_features(const std::vector<flow::PacketMeta>& meta);
+
+/// Convenience overload for a segmented traffic unit.
+std::vector<double> extract_features(const flow::TrafficUnit& unit);
+
+/// Dimensionality of the feature vector.
+inline constexpr std::size_t kFeatureDimension = 90;
+
+}  // namespace iotx::analysis

@@ -1,0 +1,87 @@
+#include "iotx/analysis/inference.hpp"
+
+#include <algorithm>
+
+#include "iotx/testbed/catalog.hpp"
+
+namespace iotx::analysis {
+
+std::optional<double> ActivityModel::activity_f1(
+    std::string_view activity) const {
+  const auto id = dataset.class_id(activity);
+  if (!id) return std::nullopt;
+  return validation.class_f1[static_cast<std::size_t>(*id)];
+}
+
+double ActivityModel::device_f1() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < dataset.class_count(); ++c) {
+    if (dataset.class_name(static_cast<int>(c)) == kBackgroundLabel) continue;
+    sum += validation.class_f1[c];
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::optional<std::string> ActivityModel::predict(
+    const flow::TrafficUnit& unit, double min_f1, double min_vote) const {
+  if (!forest.fitted() || dataset.empty()) return std::nullopt;
+  const std::vector<double> features = extract_features(unit);
+  const std::vector<double> proba = forest.predict_proba(features);
+  if (proba.empty()) return std::nullopt;
+  const auto best =
+      std::max_element(proba.begin(), proba.end()) - proba.begin();
+  const int cls = static_cast<int>(best);
+  if (static_cast<std::size_t>(cls) >= dataset.class_count()) {
+    return std::nullopt;
+  }
+  if (dataset.class_name(cls) == kBackgroundLabel) return std::nullopt;
+  if (proba[static_cast<std::size_t>(best)] < min_vote) return std::nullopt;
+  if (validation.class_f1[static_cast<std::size_t>(cls)] < min_f1) {
+    return std::nullopt;
+  }
+  return dataset.class_name(cls);
+}
+
+ml::Dataset build_dataset(
+    const testbed::DeviceSpec& device,
+    const std::vector<testbed::LabeledCapture>& captures) {
+  ml::Dataset data;
+  const net::MacAddress mac_us = testbed::device_mac(device, true);
+  const net::MacAddress mac_uk = testbed::device_mac(device, false);
+  for (const testbed::LabeledCapture& capture : captures) {
+    if (capture.spec.type == testbed::ExperimentType::kIdle ||
+        capture.spec.activity.empty()) {
+      continue;
+    }
+    const net::MacAddress mac =
+        capture.spec.config.lab == testbed::LabSite::kUs ? mac_us : mac_uk;
+    const std::vector<flow::PacketMeta> meta =
+        flow::extract_meta(capture.packets, mac);
+    if (meta.size() < 4) continue;
+    data.add(extract_features(meta), capture.spec.activity);
+  }
+  return data;
+}
+
+ActivityModel train_activity_model(
+    const testbed::DeviceSpec& device, const testbed::NetworkConfig& config,
+    const std::vector<testbed::LabeledCapture>& captures,
+    const InferenceParams& params) {
+  ActivityModel model;
+  model.device_id = device.id;
+  model.config = config;
+  model.dataset = build_dataset(device, captures);
+  if (model.dataset.empty()) return model;
+
+  const std::string seed_key = "cv/" + config.key() + "/" + device.id;
+  model.validation =
+      ml::cross_validate(model.dataset, params.validation, seed_key);
+
+  util::Prng prng("fit/" + config.key() + "/" + device.id);
+  model.forest.fit(model.dataset, params.validation.forest, prng);
+  return model;
+}
+
+}  // namespace iotx::analysis

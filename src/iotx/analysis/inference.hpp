@@ -1,0 +1,64 @@
+// Device-activity inference (paper §6.3): one random-forest classifier per
+// (device, network config), trained on labeled experiment captures,
+// validated with 10x stratified 70/30 splits; an activity or device is
+// "inferrable" when its (macro) F1 exceeds 0.75.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "iotx/analysis/features.hpp"
+#include "iotx/ml/validation.hpp"
+#include "iotx/testbed/experiment.hpp"
+
+namespace iotx::analysis {
+
+/// Label used for the explicit idle/keep-alive class. Training on labeled
+/// background windows stops heartbeat traffic from being force-assigned to
+/// a real interaction class when classifying unlabeled captures.
+inline constexpr std::string_view kBackgroundLabel = "background";
+
+/// A trained per-device model plus its validation scores.
+struct ActivityModel {
+  std::string device_id;
+  testbed::NetworkConfig config;
+  ml::Dataset dataset;          ///< training data (kept for re-validation)
+  ml::RandomForest forest;      ///< trained on all labeled data
+  ml::ValidationResult validation;
+
+  /// Mean F1 of one activity (by name); nullopt when untrained for it.
+  std::optional<double> activity_f1(std::string_view activity) const;
+
+  /// The paper's device-level score: macro F1 across the device's
+  /// *activities* (the synthetic background class does not count).
+  double device_f1() const;
+
+  /// Predicts the activity of a traffic unit. Returns nullopt when the
+  /// model is empty, the unit classifies as background, fewer than
+  /// `min_vote` of the forest's probability mass backs the winner, or the
+  /// winning class's CV F1 is below `min_f1` (the §7.1 filter keeps only
+  /// >0.9 models).
+  std::optional<std::string> predict(const flow::TrafficUnit& unit,
+                                     double min_f1 = 0.0,
+                                     double min_vote = 0.0) const;
+};
+
+struct InferenceParams {
+  ml::ValidationParams validation;  ///< forest + split settings
+};
+
+/// Builds the labeled dataset for a device from its experiment captures
+/// (power + interaction only; idle has no labels). Each capture becomes
+/// one example labeled with its activity.
+ml::Dataset build_dataset(const testbed::DeviceSpec& device,
+                          const std::vector<testbed::LabeledCapture>& captures);
+
+/// Trains and validates the model for a device under one config.
+ActivityModel train_activity_model(
+    const testbed::DeviceSpec& device, const testbed::NetworkConfig& config,
+    const std::vector<testbed::LabeledCapture>& captures,
+    const InferenceParams& params);
+
+}  // namespace iotx::analysis

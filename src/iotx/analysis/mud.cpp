@@ -1,0 +1,98 @@
+#include "iotx/analysis/mud.hpp"
+
+#include <map>
+
+#include "iotx/geo/sld.hpp"
+
+namespace iotx::analysis {
+
+namespace {
+
+/// Canonical ACL entry for a flow: SLD (via DNS/SNI/Host) or IP literal.
+std::optional<MudAclEntry> entry_for_flow(const flow::Flow& f,
+                                          const flow::DnsCache& dns) {
+  net::Ipv4Address remote;
+  std::uint16_t port = 0;
+  if (f.responder.is_global_unicast()) {
+    remote = f.responder;
+    port = f.responder_port;
+  } else if (f.initiator.is_global_unicast()) {
+    remote = f.initiator;
+    port = f.initiator_port;
+  } else {
+    return std::nullopt;  // LAN traffic is implicitly allowed
+  }
+
+  MudAclEntry entry;
+  entry.port = port;
+  entry.protocol = f.key.protocol;
+  if (const auto domain = dns.lookup(remote)) {
+    entry.destination = geo::second_level_domain(*domain);
+  } else if (!f.sni.empty()) {
+    entry.destination = geo::second_level_domain(f.sni);
+  } else if (!f.http_host.empty()) {
+    entry.destination = geo::second_level_domain(f.http_host);
+  } else {
+    entry.destination = remote.to_string();
+  }
+  return entry;
+}
+
+}  // namespace
+
+bool MudProfile::permits(const MudAclEntry& entry) const {
+  return allowed.contains(entry);
+}
+
+std::string MudProfile::to_json() const {
+  std::string out = "{\"ietf-mud:mud\":{\"systeminfo\":\"" + device_id +
+                    "\"},\"acl\":[";
+  bool first = true;
+  for (const MudAclEntry& e : allowed) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"dst\":\"" + e.destination +
+           "\",\"port\":" + std::to_string(e.port) +
+           ",\"protocol\":" + std::to_string(e.protocol) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+MudProfile learn_mud_profile(
+    const std::string& device_id,
+    const std::vector<std::vector<net::Packet>>& captures) {
+  MudProfile profile;
+  profile.device_id = device_id;
+  for (const std::vector<net::Packet>& capture : captures) {
+    flow::DnsCache dns;
+    dns.ingest_all(capture);
+    for (const flow::Flow& f : flow::assemble_flows(capture)) {
+      if (const auto entry = entry_for_flow(f, dns)) {
+        profile.allowed.insert(*entry);
+      }
+    }
+  }
+  return profile;
+}
+
+std::vector<MudViolation> check_against_profile(
+    const MudProfile& profile, const std::vector<net::Packet>& capture) {
+  flow::DnsCache dns;
+  dns.ingest_all(capture);
+  std::map<MudAclEntry, MudViolation> violations;
+  for (const flow::Flow& f : flow::assemble_flows(capture)) {
+    const auto entry = entry_for_flow(f, dns);
+    if (!entry || profile.permits(*entry)) continue;
+    MudViolation& v = violations[*entry];
+    v.observed = *entry;
+    v.packets += f.total_packets();
+    v.bytes += f.total_bytes();
+  }
+  std::vector<MudViolation> out;
+  out.reserve(violations.size());
+  for (auto& [entry, v] : violations) out.push_back(std::move(v));
+  return out;
+}
+
+}  // namespace iotx::analysis

@@ -1,0 +1,60 @@
+// MUD-style behavioral profiles (inspired by RFC 8520, discussed in the
+// paper's §8): learn the set of (domain, port, transport) endpoints a
+// device legitimately uses from controlled captures, then flag traffic
+// outside that envelope.
+//
+// This is the policy-enforcement alternative to the paper's ML detector —
+// and the ablation bench shows its blind spot: a camera that uploads
+// footage nobody asked for does so to its *usual* endpoints, which a MUD
+// profile happily allows, while traffic-pattern inference catches it.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "iotx/flow/dns_cache.hpp"
+#include "iotx/flow/flow_table.hpp"
+
+namespace iotx::analysis {
+
+/// One allowed communication pattern.
+struct MudAclEntry {
+  std::string destination;  ///< SLD when known, else the IP literal
+  std::uint16_t port = 0;   ///< server port
+  std::uint8_t protocol = 6;  ///< IP protocol (6 TCP / 17 UDP)
+
+  auto operator<=>(const MudAclEntry&) const = default;
+};
+
+/// A learned device profile (the "MUD file" contents).
+struct MudProfile {
+  std::string device_id;
+  std::set<MudAclEntry> allowed;
+
+  bool permits(const MudAclEntry& entry) const;
+
+  /// Serializes in the spirit of a MUD file: a JSON ACL list.
+  std::string to_json() const;
+};
+
+/// Learns a profile from captures of known-good (controlled) operation.
+/// Flows to LAN/multicast/broadcast destinations are implicitly allowed
+/// and not recorded.
+MudProfile learn_mud_profile(
+    const std::string& device_id,
+    const std::vector<std::vector<net::Packet>>& captures);
+
+/// A flow outside the profile.
+struct MudViolation {
+  MudAclEntry observed;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Checks a capture against a profile; one violation per distinct
+/// disallowed (destination, port, protocol).
+std::vector<MudViolation> check_against_profile(
+    const MudProfile& profile, const std::vector<net::Packet>& capture);
+
+}  // namespace iotx::analysis

@@ -1,0 +1,70 @@
+#include "iotx/analysis/pii.hpp"
+
+#include <set>
+
+#include "iotx/analysis/encryption.hpp"
+#include "iotx/util/codec.hpp"
+#include "iotx/util/strings.hpp"
+
+namespace iotx::analysis {
+
+std::vector<PiiFinding> PiiScanner::scan_payload(
+    const flow::Flow& flow, std::string_view payload) const {
+  std::vector<PiiFinding> findings;
+  const auto domain_of = [&flow]() {
+    if (!flow.sni.empty()) return flow.sni;
+    if (!flow.http_host.empty()) return flow.http_host;
+    return flow.responder.to_string();
+  };
+
+  for (const PiiItem& item : items_) {
+    struct Variant {
+      std::string encoded;
+      const char* name;
+    };
+    const Variant variants[] = {
+        {item.value, "plain"},
+        {util::hex_encode(item.value), "hex"},
+        {util::base64_encode(item.value), "base64"},
+        {util::url_encode(item.value), "url"},
+    };
+    for (const Variant& v : variants) {
+      if (v.encoded.empty()) continue;
+      // URL-encoding that equals the plain value adds no signal.
+      if (std::string_view(v.name) == "url" && v.encoded == item.value) {
+        continue;
+      }
+      if (util::icontains(payload, v.encoded)) {
+        findings.push_back(PiiFinding{item.kind, v.name, domain_of(),
+                                      flow.responder});
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<PiiFinding> PiiScanner::scan(
+    const std::vector<flow::Flow>& flows) const {
+  std::vector<PiiFinding> findings;
+  std::set<std::tuple<std::string, std::string, std::uint32_t>> seen;
+
+  for (const flow::Flow& flow : flows) {
+    // Protocol-level encrypted traffic is opaque to the eavesdropper.
+    const EncryptionClass cls = classify_flow(flow).cls;
+    if (cls == EncryptionClass::kEncrypted) continue;
+
+    for (const auto* sample :
+         {&flow.payload_sample_up, &flow.payload_sample_down}) {
+      const std::string_view payload(
+          reinterpret_cast<const char*>(sample->data()), sample->size());
+      for (PiiFinding& f : scan_payload(flow, payload)) {
+        const auto key = std::tuple(f.kind, f.encoding,
+                                    f.destination.value());
+        if (seen.insert(key).second) findings.push_back(std::move(f));
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace iotx::analysis

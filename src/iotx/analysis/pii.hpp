@@ -1,0 +1,45 @@
+// Plaintext PII scanning (paper §6.1/§6.2): "we simply search for any PII
+// known (in various encodings) in each device's network traffic" — device
+// identifiers and registration-time personal information, in plaintext,
+// hex, base64 and URL encodings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "iotx/flow/flow_table.hpp"
+
+namespace iotx::analysis {
+
+/// A PII item to search for.
+struct PiiItem {
+  std::string kind;   ///< "mac", "email", "owner_name", ...
+  std::string value;  ///< the known plaintext value
+};
+
+/// One discovered exposure.
+struct PiiFinding {
+  std::string kind;
+  std::string encoding;  ///< "plain", "hex", "base64", "url"
+  std::string domain;    ///< flow SNI/Host when known, else responder IP
+  net::Ipv4Address destination;
+};
+
+class PiiScanner {
+ public:
+  explicit PiiScanner(std::vector<PiiItem> items) : items_(std::move(items)) {}
+
+  /// Scans the readable payload of flows that are not protocol-encrypted
+  /// (an eavesdropper can only search what is in the clear). Findings are
+  /// deduplicated by (kind, encoding, destination).
+  std::vector<PiiFinding> scan(const std::vector<flow::Flow>& flows) const;
+
+  const std::vector<PiiItem>& items() const noexcept { return items_; }
+
+ private:
+  std::vector<PiiFinding> scan_payload(const flow::Flow& flow,
+                                       std::string_view payload) const;
+  std::vector<PiiItem> items_;
+};
+
+}  // namespace iotx::analysis

@@ -1,0 +1,92 @@
+#include "iotx/analysis/unexpected.hpp"
+
+#include <cmath>
+
+namespace iotx::analysis {
+
+namespace {
+
+std::vector<flow::TrafficUnit> units_of(const testbed::DeviceSpec& device,
+                                        testbed::LabSite lab,
+                                        const std::vector<net::Packet>& pkts,
+                                        const DetectorParams& params) {
+  const net::MacAddress mac =
+      testbed::device_mac(device, lab == testbed::LabSite::kUs);
+  const std::vector<flow::PacketMeta> meta = flow::extract_meta(pkts, mac);
+  return flow::segment_traffic(meta, params.unit_gap_seconds);
+}
+
+}  // namespace
+
+IdleDetections detect_activity(const testbed::DeviceSpec& device,
+                               testbed::LabSite lab,
+                               const std::vector<net::Packet>& capture,
+                               const ActivityModel& model,
+                               const DetectorParams& params) {
+  IdleDetections result;
+  result.device_id = device.id;
+  // Only high-confidence device models participate at all (§7.1).
+  if (model.device_f1() <= 0.0) return result;
+
+  for (const flow::TrafficUnit& unit :
+       units_of(device, lab, capture, params)) {
+    if (unit.packets.size() < params.min_unit_packets) continue;
+    ++result.units_total;
+    const auto activity =
+        model.predict(unit, params.min_model_f1, params.min_vote);
+    if (!activity) continue;
+    ++result.units_classified;
+    ++result.instances[*activity];
+  }
+  return result;
+}
+
+std::vector<UncontrolledFinding> audit_uncontrolled(
+    const testbed::DeviceSpec& device,
+    const std::vector<net::Packet>& capture, const ActivityModel& model,
+    const std::vector<testbed::GroundTruthEvent>& events,
+    const DetectorParams& params, double window_s) {
+  std::map<std::string, UncontrolledFinding> by_activity;
+
+  for (const flow::TrafficUnit& unit :
+       units_of(device, testbed::LabSite::kUs, capture, params)) {
+    if (unit.packets.size() < params.min_unit_packets) continue;
+    const auto activity =
+        model.predict(unit, params.min_model_f1, params.min_vote);
+    if (!activity) continue;
+
+    UncontrolledFinding& finding = by_activity[*activity];
+    finding.device_id = device.id;
+    finding.activity = *activity;
+    ++finding.detections;
+
+    // Match against the ground truth.
+    const double at = unit.start();
+    bool matched = false;
+    bool intended = false;
+    for (const testbed::GroundTruthEvent& ev : events) {
+      if (ev.device_id != device.id || ev.activity != *activity) continue;
+      if (std::fabs(ev.timestamp - at) <= window_s) {
+        matched = true;
+        intended = ev.user_intended;
+        break;
+      }
+    }
+    if (!matched) {
+      ++finding.unmatched;
+    } else if (intended) {
+      ++finding.confirmed_intended;
+    } else {
+      ++finding.confirmed_unintended;
+    }
+  }
+
+  std::vector<UncontrolledFinding> findings;
+  findings.reserve(by_activity.size());
+  for (auto& [name, finding] : by_activity) {
+    findings.push_back(std::move(finding));
+  }
+  return findings;
+}
+
+}  // namespace iotx::analysis

@@ -1,0 +1,60 @@
+// Unexpected-behavior detection (paper §7): run the high-confidence
+// (CV F1 > 0.9) activity models over idle and uncontrolled captures,
+// segmented into 2-second-gap traffic units, and flag detected activity
+// that no one triggered.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iotx/analysis/inference.hpp"
+#include "iotx/testbed/user_study.hpp"
+
+namespace iotx::analysis {
+
+/// Activity instances detected in an unlabeled capture.
+struct IdleDetections {
+  std::string device_id;
+  /// activity name -> number of detected instances
+  std::map<std::string, int> instances;
+  std::size_t units_total = 0;       ///< traffic units examined
+  std::size_t units_classified = 0;  ///< units the model labeled
+};
+
+struct DetectorParams {
+  double min_model_f1 = ml::kHighConfidenceF1;  ///< §7.1: only >0.9 models
+  double unit_gap_seconds = flow::kDefaultUnitGapSeconds;
+  /// Units smaller than this carry too little signal to classify.
+  std::size_t min_unit_packets = 6;
+  /// Minimum forest probability mass behind the winning class.
+  double min_vote = 0.55;
+};
+
+/// Runs a device's model over an unlabeled capture.
+IdleDetections detect_activity(const testbed::DeviceSpec& device,
+                               testbed::LabSite lab,
+                               const std::vector<net::Packet>& capture,
+                               const ActivityModel& model,
+                               const DetectorParams& params = {});
+
+/// §7.3: cross-references detections against the user-study ground truth.
+/// A detection is "expected" when a matching ground-truth event (same
+/// device, same activity) lies within `window_s` of the unit start and
+/// was user-intended.
+struct UncontrolledFinding {
+  std::string device_id;
+  std::string activity;
+  int detections = 0;
+  int confirmed_intended = 0;    ///< matched an intended interaction
+  int confirmed_unintended = 0;  ///< matched a passive/false trigger
+  int unmatched = 0;             ///< nothing in the ground truth at all
+};
+
+std::vector<UncontrolledFinding> audit_uncontrolled(
+    const testbed::DeviceSpec& device,
+    const std::vector<net::Packet>& capture, const ActivityModel& model,
+    const std::vector<testbed::GroundTruthEvent>& events,
+    const DetectorParams& params = {}, double window_s = 30.0);
+
+}  // namespace iotx::analysis

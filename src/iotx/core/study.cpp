@@ -1,0 +1,248 @@
+#include "iotx/core/study.hpp"
+#include <algorithm>
+
+#include <stdexcept>
+
+#include "iotx/testbed/endpoints.hpp"
+
+namespace iotx::core {
+
+StudyParams StudyParams::paper_scale() {
+  StudyParams p;
+  p.plan = testbed::SchedulePlan::paper_scale();
+  p.inference.validation.forest.n_trees = 100;
+  p.inference.validation.repetitions = 10;
+  p.user_study.days = 180;
+  return p;
+}
+
+std::string experiment_group(const testbed::ExperimentSpec& spec) {
+  switch (spec.type) {
+    case testbed::ExperimentType::kPower: return "Power";
+    case testbed::ExperimentType::kIdle: return "Idle";
+    case testbed::ExperimentType::kUncontrolled: return "Uncontrolled";
+    case testbed::ExperimentType::kInteraction: break;
+  }
+  const std::string_view group = testbed::activity_group(spec.activity);
+  if (group == "Voice") return "Voice";
+  if (group == "Video") return "Video";
+  return "Others";
+}
+
+Study::Study(StudyParams params)
+    : params_(std::move(params)),
+      runner_(params_.plan),
+      orgs_(testbed::EndpointRegistry::builtin().make_org_database()),
+      geo_(testbed::EndpointRegistry::builtin().make_geo_database()) {}
+
+analysis::AttributionContext Study::attribution_context(
+    const testbed::NetworkConfig& config) const {
+  analysis::AttributionContext ctx;
+  ctx.orgs = &orgs_;
+  ctx.geo = &geo_;
+  ctx.vantage = config.vantage();
+  const auto& registry = testbed::EndpointRegistry::builtin();
+  ctx.rtt_ms = [config, &registry](net::Ipv4Address addr) {
+    const testbed::Endpoint* e = registry.find_by_ip(addr);
+    const std::string country =
+        e == nullptr
+            ? std::string("US")
+            : (e->replica_country.empty() || addr == e->address
+                   ? e->country
+                   : e->replica_country);
+    return testbed::simulated_rtt_ms(config, country);
+  };
+  ctx.registry_country = [&registry](net::Ipv4Address addr)
+      -> std::optional<std::string> {
+    const testbed::Endpoint* e = registry.find_by_ip(addr);
+    if (e == nullptr) return std::nullopt;
+    if (!e->replica_country.empty() && addr == e->replica_address) {
+      return e->replica_country;
+    }
+    return e->country;
+  };
+  return ctx;
+}
+
+DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
+                                  const testbed::NetworkConfig& config) {
+  DeviceRunResult result;
+  result.device = &device;
+  result.config = config;
+  result.idle_hours = params_.plan.idle_hours;
+
+  const analysis::AttributionContext ctx = attribution_context(config);
+  const testbed::PiiTokens tokens = testbed::pii_tokens(device, config.lab);
+  const analysis::PiiScanner scanner({
+      {"mac", tokens.mac},
+      {"uuid", tokens.uuid},
+      {"device_id", tokens.device_id},
+      {"owner_name", tokens.owner_name},
+      {"email", tokens.email},
+      {"geo_city", tokens.geo_city},
+  });
+
+  // Merged destination map across experiments (by address).
+  std::map<std::uint32_t, analysis::DestinationRecord> merged;
+  std::vector<testbed::LabeledCapture> training_captures;
+  std::vector<net::Packet> idle_capture;
+
+  const auto analyze_capture = [&](const testbed::LabeledCapture& capture) {
+    flow::DnsCache dns;
+    dns.ingest_all(capture.packets);
+    const std::vector<flow::Flow> flows =
+        flow::assemble_flows(capture.packets);
+
+    const std::vector<analysis::DestinationRecord> records =
+        analysis::attribute_destinations(flows, dns, ctx,
+                                         device.first_party_orgs);
+    const std::string group = experiment_group(capture.spec);
+    analysis::PartyCounts& group_counts = result.parties_by_group[group];
+    group_counts.merge(analysis::count_non_first_parties(records));
+    if (capture.spec.type != testbed::ExperimentType::kIdle) {
+      result.parties_by_group["Control"].merge(
+          analysis::count_non_first_parties(records));
+    }
+    for (const analysis::DestinationRecord& rec : records) {
+      analysis::DestinationRecord& m = merged[rec.address.value()];
+      const std::uint64_t bytes = m.bytes + rec.bytes;
+      const std::uint64_t packets = m.packets + rec.packets;
+      m = rec;
+      m.bytes = bytes;
+      m.packets = packets;
+    }
+
+    const analysis::EncryptionBytes enc = analysis::account_flows(flows);
+    result.enc_by_group[group] += enc;
+    if (capture.spec.type != testbed::ExperimentType::kIdle) {
+      // "Control" aggregates all controlled experiments (Table 8's first
+      // row), exactly like the party counts above.
+      result.enc_by_group["Control"] += enc;
+    }
+    result.enc_total += enc;
+
+    for (analysis::PiiFinding& f : scanner.scan(flows)) {
+      // Deduplicate across experiments by (kind, destination).
+      bool seen = false;
+      for (const analysis::PiiFinding& existing : result.pii_findings) {
+        if (existing.kind == f.kind &&
+            existing.destination == f.destination) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) result.pii_findings.push_back(std::move(f));
+    }
+  };
+
+  for (const testbed::ExperimentSpec& spec :
+       runner_.schedule(device, config)) {
+    testbed::LabeledCapture capture = runner_.run(spec);
+    ++experiments_run_;
+    analyze_capture(capture);
+    if (spec.type == testbed::ExperimentType::kIdle) {
+      idle_capture = std::move(capture.packets);
+    } else {
+      training_captures.push_back(std::move(capture));
+    }
+  }
+
+  result.destinations.reserve(merged.size());
+  for (auto& [addr, rec] : merged) result.destinations.push_back(rec);
+
+  // Augment the training set with labeled background windows so the model
+  // learns what "no interaction" looks like; otherwise idle heartbeats are
+  // force-assigned to a real class when classifying unlabeled traffic.
+  {
+    const int n_background = std::max(4, params_.plan.automated_reps / 2);
+    for (int i = 0; i < n_background; ++i) {
+      testbed::LabeledCapture bg;
+      bg.spec.device_id = device.id;
+      bg.spec.config = config;
+      bg.spec.type = testbed::ExperimentType::kInteraction;
+      bg.spec.activity = std::string(analysis::kBackgroundLabel);
+      bg.spec.repetition = i;
+      bg.spec.start_time = testbed::kSimulationEpoch + 50000.0 + i * 100.0;
+      util::Prng prng("bg/" + bg.spec.key());
+      bg.packets = runner_.synthesizer().background(
+          device, config, bg.spec.start_time, bg.spec.start_time + 60.0,
+          prng);
+      training_captures.push_back(std::move(bg));
+    }
+  }
+
+  result.model = analysis::train_activity_model(device, config,
+                                                training_captures,
+                                                params_.inference);
+  result.idle = analysis::detect_activity(device, config.lab, idle_capture,
+                                          result.model, params_.detector);
+  return result;
+}
+
+void Study::run() {
+  for (const testbed::NetworkConfig& config : testbed::all_network_configs()) {
+    if (config.vpn && !params_.run_vpn) continue;
+    std::vector<DeviceRunResult>& bucket = results_[config.key()];
+    for (const testbed::DeviceSpec& device : testbed::device_catalog()) {
+      const bool present = config.lab == testbed::LabSite::kUs
+                               ? device.in_us()
+                               : device.in_uk();
+      if (!present) continue;
+      if (!params_.device_filter.empty()) {
+        const auto& filter = params_.device_filter;
+        if (std::find(filter.begin(), filter.end(), device.id) ==
+            filter.end()) {
+          continue;
+        }
+      }
+      bucket.push_back(run_device(device, config));
+    }
+  }
+  if (params_.run_uncontrolled) run_uncontrolled();
+}
+
+void Study::run_uncontrolled() {
+  const testbed::UserStudySimulator simulator;
+  user_study_ = simulator.simulate(params_.user_study);
+
+  const std::vector<DeviceRunResult>& us_results = results("us");
+  for (const auto& [device_id, capture] : user_study_.captures) {
+    const testbed::DeviceSpec* device = testbed::find_device(device_id);
+    if (device == nullptr) continue;
+
+    const std::vector<flow::Flow> flows = flow::assemble_flows(capture);
+    uncontrolled_enc_ += analysis::account_flows(flows);
+
+    for (const DeviceRunResult& r : us_results) {
+      if (r.device->id != device_id) continue;
+      uncontrolled_findings_[device_id] = analysis::audit_uncontrolled(
+          *device, capture, r.model, user_study_.events, params_.detector);
+      break;
+    }
+  }
+}
+
+const std::vector<DeviceRunResult>& Study::results(
+    const std::string& config_key) const {
+  static const std::vector<DeviceRunResult> kEmpty;
+  const auto it = results_.find(config_key);
+  return it == results_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> Study::config_keys() const {
+  std::vector<std::string> keys;
+  for (const testbed::NetworkConfig& config : testbed::all_network_configs()) {
+    if (results_.contains(config.key())) keys.push_back(config.key());
+  }
+  return keys;
+}
+
+const DeviceRunResult* Study::result_for(const std::string& config_key,
+                                         std::string_view device_id) const {
+  for (const DeviceRunResult& r : results(config_key)) {
+    if (r.device->id == device_id) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace iotx::core

@@ -1,0 +1,131 @@
+// The top-level Study: runs the full measurement campaign of the paper —
+// both labs, direct and VPN egress, power/interaction/idle experiments,
+// plus the uncontrolled user study — and exposes per-device results that
+// the table builders (tables.hpp) aggregate into every table and figure
+// of the evaluation.
+//
+// Quickstart:
+//   iotx::core::Study study;           // scaled-down default parameters
+//   study.run();
+//   auto t2 = iotx::core::build_table2(study);
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iotx/analysis/destinations.hpp"
+#include "iotx/analysis/encryption.hpp"
+#include "iotx/analysis/inference.hpp"
+#include "iotx/analysis/pii.hpp"
+#include "iotx/analysis/unexpected.hpp"
+#include "iotx/testbed/experiment.hpp"
+#include "iotx/testbed/user_study.hpp"
+
+namespace iotx::core {
+
+struct StudyParams {
+  testbed::SchedulePlan plan{/*automated_reps=*/12, /*manual_reps=*/3,
+                             /*power_reps=*/5, /*idle_hours=*/2.0};
+  analysis::InferenceParams inference{
+      ml::ValidationParams{ml::ForestParams{/*n_trees=*/30, ml::TreeParams{}},
+                           /*train_fraction=*/0.7, /*repetitions=*/5}};
+  analysis::DetectorParams detector;
+  testbed::UserStudyParams user_study;
+  bool run_vpn = true;           ///< include the VPN egress experiments
+  bool run_uncontrolled = true;  ///< include the user-study simulation
+  /// When non-empty, restricts the run to these device ids (useful for
+  /// focused analyses and fast tests).
+  std::vector<std::string> device_filter;
+
+  /// Paper-scale settings (30 automated reps, 10 CV repetitions, 100
+  /// trees, 28 h idle, ~6-month user study). Minutes of CPU.
+  static StudyParams paper_scale();
+};
+
+/// Everything measured for one device unit under one network config.
+struct DeviceRunResult {
+  const testbed::DeviceSpec* device = nullptr;
+  testbed::NetworkConfig config;
+
+  /// Merged destination records over all experiments.
+  std::vector<analysis::DestinationRecord> destinations;
+  /// Unique non-first parties per experiment group ("Power", "Voice",
+  /// "Video", "Others", "Idle") plus "Control" (all controlled).
+  std::map<std::string, analysis::PartyCounts> parties_by_group;
+  /// Encryption byte accounting per experiment group and overall.
+  std::map<std::string, analysis::EncryptionBytes> enc_by_group;
+  analysis::EncryptionBytes enc_total;
+  /// Plaintext PII exposures found across all captures.
+  std::vector<analysis::PiiFinding> pii_findings;
+  /// The trained activity model and its validation scores.
+  analysis::ActivityModel model;
+  /// Idle-period detections (using only >0.9-F1 classes).
+  analysis::IdleDetections idle;
+  double idle_hours = 0.0;
+};
+
+class Study {
+ public:
+  explicit Study(StudyParams params = {});
+
+  /// Runs the full campaign. Deterministic; safe to call once.
+  void run();
+
+  const StudyParams& params() const noexcept { return params_; }
+
+  /// Results per network config key ("us", "uk", "us-vpn", "uk-vpn");
+  /// populated by run().
+  const std::vector<DeviceRunResult>& results(const std::string& config_key)
+      const;
+
+  /// All config keys that were run, in canonical order.
+  std::vector<std::string> config_keys() const;
+
+  /// The result for one device under one config; nullptr when absent.
+  const DeviceRunResult* result_for(const std::string& config_key,
+                                    std::string_view device_id) const;
+
+  /// Uncontrolled (user-study) outputs; empty unless run_uncontrolled.
+  const testbed::UserStudyResult& user_study() const noexcept {
+    return user_study_;
+  }
+  /// Encryption accounting over the uncontrolled captures.
+  const analysis::EncryptionBytes& uncontrolled_encryption() const noexcept {
+    return uncontrolled_enc_;
+  }
+  /// §7.3 audit findings per device.
+  const std::map<std::string, std::vector<analysis::UncontrolledFinding>>&
+  uncontrolled_findings() const noexcept {
+    return uncontrolled_findings_;
+  }
+
+  /// Total number of controlled experiments executed.
+  std::size_t experiments_run() const noexcept { return experiments_run_; }
+
+  /// The attribution context used for a config (exposed for examples).
+  analysis::AttributionContext attribution_context(
+      const testbed::NetworkConfig& config) const;
+
+ private:
+  DeviceRunResult run_device(const testbed::DeviceSpec& device,
+                             const testbed::NetworkConfig& config);
+  void run_uncontrolled();
+
+  StudyParams params_;
+  testbed::ExperimentRunner runner_;
+  geo::OrgDatabase orgs_;
+  geo::GeoDatabase geo_;
+  std::map<std::string, std::vector<DeviceRunResult>> results_;
+  testbed::UserStudyResult user_study_;
+  analysis::EncryptionBytes uncontrolled_enc_;
+  std::map<std::string, std::vector<analysis::UncontrolledFinding>>
+      uncontrolled_findings_;
+  std::size_t experiments_run_ = 0;
+};
+
+/// Experiment group of a spec, matching the tables' row labels:
+/// "Power", "Voice", "Video", "Others" (controlled), or "Idle".
+std::string experiment_group(const testbed::ExperimentSpec& spec);
+
+}  // namespace iotx::core

@@ -1,0 +1,467 @@
+#include "iotx/core/tables.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "iotx/util/stats.hpp"
+
+namespace iotx::core {
+
+namespace {
+
+constexpr std::array<const char*, 5> kExperimentGroups = {
+    "Idle", "Control", "Power", "Voice", "Video"};
+
+constexpr std::array<testbed::Category, 6> kCategories = {
+    testbed::Category::kAppliance,   testbed::Category::kAudio,
+    testbed::Category::kSmartHub,    testbed::Category::kHomeAutomation,
+    testbed::Category::kCamera,      testbed::Category::kTv,
+};
+
+/// Applies a function to every device result selected by a column.
+template <typename Fn>
+void for_column(const Study& study, std::size_t column, Fn&& fn) {
+  const ColumnSelector sel = column_selector(column);
+  for (const DeviceRunResult& r : study.results(sel.config_key)) {
+    if (sel.common_only && !r.device->common()) continue;
+    fn(r);
+  }
+}
+
+}  // namespace
+
+ColumnSelector column_selector(std::size_t column) {
+  switch (column) {
+    case 0: return {"us", false};
+    case 1: return {"uk", false};
+    case 2: return {"us", true};
+    case 3: return {"uk", true};
+    case 4: return {"us-vpn", false};
+    case 5: return {"uk-vpn", false};
+    case 6: return {"us-vpn", true};
+    default: return {"uk-vpn", true};
+  }
+}
+
+// ---- Table 2 -----------------------------------------------------------
+
+std::vector<Table2Row> build_table2(const Study& study) {
+  std::vector<Table2Row> rows;
+  analysis::PartyCounts totals[8];
+
+  for (const char* group : kExperimentGroups) {
+    Table2Row support{group, "Support", {}};
+    Table2Row third{group, "Third", {}};
+    for (std::size_t c = 0; c < 8; ++c) {
+      analysis::PartyCounts merged;
+      for_column(study, c, [&](const DeviceRunResult& r) {
+        const auto it = r.parties_by_group.find(group);
+        if (it != r.parties_by_group.end()) merged.merge(it->second);
+      });
+      support.counts[c] = static_cast<int>(merged.support.size());
+      third.counts[c] = static_cast<int>(merged.third.size());
+      totals[c].merge(merged);
+    }
+    rows.push_back(std::move(support));
+    rows.push_back(std::move(third));
+  }
+
+  Table2Row total_support{"Total", "Support", {}};
+  Table2Row total_third{"Total", "Third", {}};
+  for (std::size_t c = 0; c < 8; ++c) {
+    total_support.counts[c] = static_cast<int>(totals[c].support.size());
+    total_third.counts[c] = static_cast<int>(totals[c].third.size());
+  }
+  rows.push_back(std::move(total_support));
+  rows.push_back(std::move(total_third));
+  return rows;
+}
+
+// ---- Table 3 -----------------------------------------------------------
+
+std::vector<Table3Row> build_table3(const Study& study) {
+  std::vector<Table3Row> rows;
+  for (testbed::Category category : kCategories) {
+    Table3Row support{std::string(testbed::category_name(category)),
+                      "Support", {}};
+    Table3Row third{support.category, "Third", {}};
+    for (std::size_t c = 0; c < 8; ++c) {
+      analysis::PartyCounts merged;
+      for_column(study, c, [&](const DeviceRunResult& r) {
+        if (r.device->category != category) return;
+        for (const auto& [group, counts] : r.parties_by_group) {
+          merged.merge(counts);
+        }
+      });
+      support.counts[c] = static_cast<int>(merged.support.size());
+      third.counts[c] = static_cast<int>(merged.third.size());
+    }
+    rows.push_back(std::move(support));
+    rows.push_back(std::move(third));
+  }
+  return rows;
+}
+
+// ---- Table 4 -----------------------------------------------------------
+
+std::vector<Table4Row> build_table4(const Study& study, std::size_t top_n) {
+  // Count devices contacting each organization as a non-first party.
+  std::map<std::string, std::array<std::set<std::string>, 8>> org_devices;
+  for (std::size_t c = 0; c < 8; ++c) {
+    for_column(study, c, [&](const DeviceRunResult& r) {
+      for (const analysis::DestinationRecord& rec : r.destinations) {
+        if (rec.party == geo::PartyType::kFirst) continue;
+        org_devices[rec.organization][c].insert(r.device->id);
+      }
+    });
+  }
+
+  std::vector<Table4Row> rows;
+  for (const auto& [org, per_column] : org_devices) {
+    Table4Row row;
+    row.organization = org;
+    for (std::size_t c = 0; c < 8; ++c) {
+      row.device_counts[c] = static_cast<int>(per_column[c].size());
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const Table4Row& a,
+                                         const Table4Row& b) {
+    if (a.device_counts[0] != b.device_counts[0]) {
+      return a.device_counts[0] > b.device_counts[0];
+    }
+    return a.organization < b.organization;
+  });
+  if (rows.size() > top_n) rows.resize(top_n);
+  return rows;
+}
+
+// ---- Figure 2 -----------------------------------------------------------
+
+std::vector<analysis::SankeyEdge> build_figure2(const Study& study) {
+  analysis::SankeyBuilder builder;
+  for (const char* key : {"us", "uk"}) {
+    const std::string lab = key[1] == 's' ? "US" : "UK";
+    for (const DeviceRunResult& r : study.results(key)) {
+      builder.add(lab, std::string(testbed::category_name(r.device->category)),
+                  r.destinations);
+    }
+  }
+  return builder.edges();
+}
+
+// ---- Table 5 -----------------------------------------------------------
+
+std::vector<Table5Row> build_table5(const Study& study) {
+  constexpr std::array<const char*, 3> kClasses = {"unencrypted", "encrypted",
+                                                   "unknown"};
+  constexpr std::array<const char*, 4> kRanges = {">75", "50-75", "25-50",
+                                                  "<25"};
+  const auto bucket = [](double pct) {
+    if (pct > 75.0) return 0;
+    if (pct >= 50.0) return 1;
+    if (pct >= 25.0) return 2;
+    return 3;
+  };
+
+  std::vector<Table5Row> rows;
+  for (const char* cls : kClasses) {
+    std::array<Table5Row, 4> quartiles;
+    for (std::size_t q = 0; q < 4; ++q) {
+      quartiles[q].enc_class = cls;
+      quartiles[q].range = kRanges[q];
+    }
+    for (std::size_t c = 0; c < 8; ++c) {
+      for_column(study, c, [&](const DeviceRunResult& r) {
+        double pct = 0.0;
+        if (std::string_view(cls) == "unencrypted") {
+          pct = r.enc_total.pct_unencrypted();
+        } else if (std::string_view(cls) == "encrypted") {
+          pct = r.enc_total.pct_encrypted();
+        } else {
+          pct = r.enc_total.pct_unknown();
+        }
+        quartiles[static_cast<std::size_t>(bucket(pct))].device_counts[c]++;
+      });
+    }
+    for (Table5Row& row : quartiles) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// ---- Table 6 -----------------------------------------------------------
+
+std::vector<Table6Row> build_table6(const Study& study) {
+  constexpr std::array<const char*, 3> kClasses = {"unencrypted", "encrypted",
+                                                   "unknown"};
+  std::vector<Table6Row> rows;
+  for (const char* cls : kClasses) {
+    for (testbed::Category category : kCategories) {
+      Table6Row row;
+      row.enc_class = cls;
+      row.category = std::string(testbed::category_name(category));
+      for (std::size_t c = 0; c < 8; ++c) {
+        analysis::EncryptionBytes total;
+        for_column(study, c, [&](const DeviceRunResult& r) {
+          if (r.device->category == category) total += r.enc_total;
+        });
+        if (std::string_view(cls) == "unencrypted") {
+          row.pct[c] = total.pct_unencrypted();
+        } else if (std::string_view(cls) == "encrypted") {
+          row.pct[c] = total.pct_encrypted();
+        } else {
+          row.pct[c] = total.pct_unknown();
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+// ---- Table 7 -----------------------------------------------------------
+
+std::vector<Table7Row> build_table7(const Study& study,
+                                    std::size_t top_common,
+                                    std::size_t top_us_only) {
+  const auto pct_of = [&study](const char* key, const std::string& id,
+                               const analysis::EncryptionBytes** out_bytes)
+      -> double {
+    const DeviceRunResult* r = study.result_for(key, id);
+    if (r == nullptr) {
+      *out_bytes = nullptr;
+      return 0.0;
+    }
+    *out_bytes = &r->enc_total;
+    return r->enc_total.pct_unencrypted();
+  };
+
+  std::vector<Table7Row> common_rows, us_rows;
+  for (const testbed::DeviceSpec& device : testbed::device_catalog()) {
+    Table7Row row;
+    row.device_name = device.name;
+    row.common = device.common();
+    const analysis::EncryptionBytes* us = nullptr;
+    const analysis::EncryptionBytes* uk = nullptr;
+    const analysis::EncryptionBytes* vus = nullptr;
+    const analysis::EncryptionBytes* vuk = nullptr;
+    row.us = pct_of("us", device.id, &us);
+    row.uk = pct_of("uk", device.id, &uk);
+    row.vpn_us = pct_of("us-vpn", device.id, &vus);
+    row.vpn_uk = pct_of("uk-vpn", device.id, &vuk);
+
+    // Significance of VPN-vs-direct and US-vs-UK byte-share differences.
+    if (us != nullptr && vus != nullptr) {
+      const double z = util::two_proportion_z(
+          static_cast<double>(us->unencrypted),
+          static_cast<double>(us->classified_total()),
+          static_cast<double>(vus->unencrypted),
+          static_cast<double>(vus->classified_total()));
+      row.significant_vpn = util::significant_at_95(z);
+    }
+    if (us != nullptr && uk != nullptr) {
+      const double z = util::two_proportion_z(
+          static_cast<double>(us->unencrypted),
+          static_cast<double>(us->classified_total()),
+          static_cast<double>(uk->unencrypted),
+          static_cast<double>(uk->classified_total()));
+      row.significant_region = util::significant_at_95(z);
+    }
+
+    if (device.common()) {
+      common_rows.push_back(std::move(row));
+    } else if (device.presence == testbed::LabPresence::kUsOnly) {
+      us_rows.push_back(std::move(row));
+    }
+  }
+
+  const auto by_max_pct = [](const Table7Row& a, const Table7Row& b) {
+    return std::max(a.us, a.uk) > std::max(b.us, b.uk);
+  };
+  std::sort(common_rows.begin(), common_rows.end(), by_max_pct);
+  std::sort(us_rows.begin(), us_rows.end(), by_max_pct);
+  if (common_rows.size() > top_common) common_rows.resize(top_common);
+  if (us_rows.size() > top_us_only) us_rows.resize(top_us_only);
+
+  std::vector<Table7Row> rows = std::move(common_rows);
+  rows.insert(rows.end(), us_rows.begin(), us_rows.end());
+  return rows;
+}
+
+// ---- Table 8 -----------------------------------------------------------
+
+std::vector<Table8Row> build_table8(const Study& study) {
+  constexpr std::array<const char*, 3> kClasses = {"unencrypted", "encrypted",
+                                                   "unknown"};
+  constexpr std::array<const char*, 6> kGroups = {"Control", "Power", "Voice",
+                                                  "Video", "Others", "Idle"};
+  const auto pct_for = [](const analysis::EncryptionBytes& b,
+                          std::string_view cls) {
+    if (cls == "unencrypted") return b.pct_unencrypted();
+    if (cls == "encrypted") return b.pct_encrypted();
+    return b.pct_unknown();
+  };
+
+  std::vector<Table8Row> rows;
+  for (const char* cls : kClasses) {
+    for (const char* group : kGroups) {
+      Table8Row row;
+      row.enc_class = cls;
+      row.experiment = group;
+      std::set<std::string> contributing;
+      for (const char* key : {"us", "uk"}) {
+        for (const DeviceRunResult& r : study.results(key)) {
+          if (r.enc_by_group.contains(group)) contributing.insert(
+              r.device->id + std::string("/") + key);
+        }
+      }
+      row.device_count = static_cast<int>(contributing.size());
+      for (std::size_t c = 0; c < 8; ++c) {
+        analysis::EncryptionBytes total;
+        for_column(study, c, [&](const DeviceRunResult& r) {
+          const auto it = r.enc_by_group.find(group);
+          if (it != r.enc_by_group.end()) total += it->second;
+        });
+        row.pct[c] = pct_for(total, cls);
+      }
+      rows.push_back(std::move(row));
+    }
+    // Uncontrolled row (US only).
+    Table8Row unc;
+    unc.enc_class = cls;
+    unc.experiment = "Uncontrol";
+    unc.device_count =
+        static_cast<int>(study.user_study().captures.size());
+    unc.uncontrolled_pct = pct_for(study.uncontrolled_encryption(), cls);
+    rows.push_back(std::move(unc));
+  }
+  return rows;
+}
+
+// ---- Table 9 -----------------------------------------------------------
+
+std::vector<Table9Row> build_table9(const Study& study) {
+  std::vector<Table9Row> rows;
+  for (testbed::Category category : kCategories) {
+    Table9Row row;
+    row.category = std::string(testbed::category_name(category));
+    std::set<std::string> units;
+    for (const char* key : {"us", "uk"}) {
+      for (const DeviceRunResult& r : study.results(key)) {
+        if (r.device->category == category) {
+          units.insert(r.device->id + std::string("/") + key);
+        }
+      }
+    }
+    row.device_count = static_cast<int>(units.size());
+    for (std::size_t c = 0; c < 8; ++c) {
+      for_column(study, c, [&](const DeviceRunResult& r) {
+        if (r.device->category != category) return;
+        if (r.model.device_f1() > ml::kInferrableF1) row.inferrable[c]++;
+      });
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// ---- Table 10 ----------------------------------------------------------
+
+std::vector<Table10Row> build_table10(const Study& study) {
+  constexpr std::array<const char*, 6> kGroups = {"Power",    "Voice",
+                                                  "Video",    "On/Off",
+                                                  "Movement", "Others"};
+  std::vector<Table10Row> rows;
+  for (const char* group : kGroups) {
+    Table10Row row;
+    row.group = group;
+
+    const auto device_has_group = [&](const DeviceRunResult& r) {
+      for (const std::string& activity : r.device->activity_names()) {
+        if (testbed::activity_group(activity) == group) return true;
+      }
+      return false;
+    };
+    std::set<std::string> units;
+    for (const char* key : {"us", "uk"}) {
+      for (const DeviceRunResult& r : study.results(key)) {
+        if (device_has_group(r)) {
+          units.insert(r.device->id + std::string("/") + key);
+        }
+      }
+    }
+    row.device_count = static_cast<int>(units.size());
+
+    for (std::size_t c = 0; c < 8; ++c) {
+      for_column(study, c, [&](const DeviceRunResult& r) {
+        for (const std::string& activity : r.device->activity_names()) {
+          if (testbed::activity_group(activity) != group) continue;
+          const auto f1 = r.model.activity_f1(activity);
+          if (f1 && *f1 > ml::kInferrableF1) {
+            row.inferrable[c]++;
+            return;  // count each device once per group
+          }
+        }
+      });
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// ---- Table 11 ----------------------------------------------------------
+
+Table11 build_table11(const Study& study, int min_instances) {
+  Table11 table;
+  constexpr std::array<const char*, 4> kKeys = {"us", "uk", "us-vpn",
+                                                "uk-vpn"};
+  for (std::size_t c = 0; c < 4; ++c) {
+    const auto& results = study.results(kKeys[c]);
+    table.hours[c] = results.empty() ? 0.0 : results.front().idle_hours;
+  }
+
+  std::map<std::pair<std::string, std::string>, Table11Row> by_key;
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (const DeviceRunResult& r : study.results(kKeys[c])) {
+      for (const auto& [activity, count] : r.idle.instances) {
+        Table11Row& row = by_key[{r.device->name, activity}];
+        row.device_name = r.device->name;
+        row.activity = activity;
+        row.instances[c] += count;
+      }
+    }
+  }
+
+  for (auto& [key, row] : by_key) {
+    const int max_count =
+        *std::max_element(row.instances.begin(), row.instances.end());
+    if (max_count >= min_instances) table.rows.push_back(row);
+  }
+  std::sort(table.rows.begin(), table.rows.end(),
+            [](const Table11Row& a, const Table11Row& b) {
+              const int ta = a.instances[0] + a.instances[1] +
+                             a.instances[2] + a.instances[3];
+              const int tb = b.instances[0] + b.instances[1] +
+                             b.instances[2] + b.instances[3];
+              return ta > tb;
+            });
+  return table;
+}
+
+// ---- PII report ----------------------------------------------------------
+
+std::vector<PiiReportRow> build_pii_report(const Study& study) {
+  std::vector<PiiReportRow> rows;
+  for (const std::string& key : study.config_keys()) {
+    for (const DeviceRunResult& r : study.results(key)) {
+      for (const analysis::PiiFinding& f : r.pii_findings) {
+        rows.push_back(PiiReportRow{r.device->name, key, f.kind, f.encoding,
+                                    f.domain});
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace iotx::core

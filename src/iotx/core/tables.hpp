@@ -1,0 +1,135 @@
+// Table builders: aggregate a completed Study into the exact row/column
+// structure of every table and figure in the paper's evaluation
+// (Tables 2-11, Figure 2, and the §6.2 PII findings).
+//
+// Column convention, matching the paper:
+//   US, UK         all devices of each lab, direct egress
+//   US^, UK^       only the 26 common device models
+//   VPN US->UK     US lab egressing through the UK (and vice versa)
+//   VPN US^, UK^   common devices over VPN
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "iotx/core/study.hpp"
+
+namespace iotx::core {
+
+/// The eight standard columns.
+inline constexpr std::array<const char*, 8> kColumnHeaders = {
+    "US", "UK", "US^", "UK^", "VPN US>UK", "VPN UK>US", "VPN US^",
+    "VPN UK^"};
+
+/// Selects (config key, common-only) for column i.
+struct ColumnSelector {
+  std::string config_key;
+  bool common_only;
+};
+ColumnSelector column_selector(std::size_t column);
+
+// ---- Table 2: non-first parties by experiment type --------------------
+struct Table2Row {
+  std::string experiment;  ///< Idle, Control, Power, Voice, Video, Total
+  std::string party;       ///< Support / Third
+  std::array<int, 8> counts{};
+};
+std::vector<Table2Row> build_table2(const Study& study);
+
+// ---- Table 3: non-first parties by device category --------------------
+struct Table3Row {
+  std::string category;
+  std::string party;
+  std::array<int, 8> counts{};
+};
+std::vector<Table3Row> build_table3(const Study& study);
+
+// ---- Table 4: organizations contacted by multiple devices -------------
+struct Table4Row {
+  std::string organization;
+  std::array<int, 8> device_counts{};
+};
+std::vector<Table4Row> build_table4(const Study& study, std::size_t top_n = 10);
+
+// ---- Figure 2: lab -> category -> region byte flows --------------------
+std::vector<analysis::SankeyEdge> build_figure2(const Study& study);
+
+// ---- Table 5: devices by encryption-percentage quartile ----------------
+struct Table5Row {
+  std::string enc_class;  ///< "unencrypted" / "encrypted" / "unknown"
+  std::string range;      ///< ">75", "50-75", "25-50", "<25"
+  std::array<int, 8> device_counts{};
+};
+std::vector<Table5Row> build_table5(const Study& study);
+
+// ---- Table 6: percent bytes per class per category ---------------------
+struct Table6Row {
+  std::string enc_class;
+  std::string category;
+  std::array<double, 8> pct{};
+};
+std::vector<Table6Row> build_table6(const Study& study);
+
+// ---- Table 7: percent unencrypted bytes per device ---------------------
+struct Table7Row {
+  std::string device_name;
+  bool common = false;       ///< in both testbeds
+  double us = 0.0, uk = 0.0, vpn_us = 0.0, vpn_uk = 0.0;  ///< percents
+  bool significant_vpn = false;     ///< bold in the paper
+  bool significant_region = false;  ///< italic in the paper
+};
+std::vector<Table7Row> build_table7(const Study& study,
+                                    std::size_t top_common = 10,
+                                    std::size_t top_us_only = 3);
+
+// ---- Table 8: percent bytes per class per experiment type --------------
+struct Table8Row {
+  std::string enc_class;
+  std::string experiment;  ///< Control/Power/Voice/Video/Others/Idle/Uncontrol
+  int device_count = 0;    ///< devices contributing (US+UK direct)
+  std::array<double, 8> pct{};
+  double uncontrolled_pct = -1.0;  ///< only on Uncontrol rows, US column
+};
+std::vector<Table8Row> build_table8(const Study& study);
+
+// ---- Table 9: inferrable devices (F1 > 0.75) per category --------------
+struct Table9Row {
+  std::string category;
+  int device_count = 0;  ///< units across both labs (direct)
+  std::array<int, 8> inferrable{};
+};
+std::vector<Table9Row> build_table9(const Study& study);
+
+// ---- Table 10: inferrable activities per activity group ----------------
+struct Table10Row {
+  std::string group;     ///< Power, Voice, Video, On/Off, Movement, Others
+  int device_count = 0;  ///< units having such an activity (direct)
+  std::array<int, 8> inferrable{};
+};
+std::vector<Table10Row> build_table10(const Study& study);
+
+// ---- Table 11: idle-period detected activity instances -----------------
+struct Table11Row {
+  std::string device_name;
+  std::string activity;
+  /// Columns: US, UK, VPN US->UK, VPN UK->US (the paper's four).
+  std::array<int, 4> instances{};
+};
+struct Table11 {
+  std::array<double, 4> hours{};
+  std::vector<Table11Row> rows;  ///< rows with >= min_instances somewhere
+};
+Table11 build_table11(const Study& study, int min_instances = 3);
+
+// ---- §6.2: plaintext PII findings ---------------------------------------
+struct PiiReportRow {
+  std::string device_name;
+  std::string config_key;
+  std::string kind;
+  std::string encoding;
+  std::string destination_domain;
+};
+std::vector<PiiReportRow> build_pii_report(const Study& study);
+
+}  // namespace iotx::core

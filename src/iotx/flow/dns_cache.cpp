@@ -1,0 +1,52 @@
+#include "iotx/flow/dns_cache.hpp"
+
+#include "iotx/proto/dns.hpp"
+#include "iotx/util/strings.hpp"
+
+namespace iotx::flow {
+
+void DnsCache::ingest(const net::DecodedPacket& p) {
+  const bool dns_port = p.src_port() == 53 || p.dst_port() == 53 ||
+                        p.src_port() == 5353 || p.dst_port() == 5353;
+  if (!p.is_udp || !dns_port || p.payload.empty()) return;
+
+  const auto msg = proto::DnsMessage::decode(p.payload);
+  if (!msg || !msg->is_response) return;
+
+  // Map each CNAME target back to the name it aliases so A records at the
+  // end of a chain attribute to the originally queried domain.
+  std::unordered_map<std::string, std::string> alias_of;
+  for (const auto& rec : msg->answers) {
+    if (!rec.rdata_name.empty()) {
+      alias_of[util::to_lower(rec.rdata_name)] = util::to_lower(rec.name);
+    }
+  }
+  const auto resolve_origin = [&](std::string name) {
+    for (int hops = 0; hops < 16; ++hops) {
+      const auto it = alias_of.find(name);
+      if (it == alias_of.end()) break;
+      name = it->second;
+    }
+    return name;
+  };
+
+  for (const auto& rec : msg->answers) {
+    if (const auto addr = rec.address()) {
+      map_[*addr] = resolve_origin(util::to_lower(rec.name));
+    }
+  }
+}
+
+void DnsCache::ingest_all(const std::vector<net::Packet>& packets) {
+  for (const net::Packet& raw : packets) {
+    if (const auto decoded = net::decode_packet(raw)) ingest(*decoded);
+  }
+}
+
+std::optional<std::string> DnsCache::lookup(net::Ipv4Address addr) const {
+  const auto it = map_.find(addr);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace iotx::flow

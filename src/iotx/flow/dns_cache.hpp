@@ -1,0 +1,37 @@
+// IP -> domain attribution from observed DNS responses (paper §4.1).
+//
+// "For each flow from a device, we determine the SLD by first identifying
+// whether the destination IP address corresponds to a DNS response for a
+// request issued by the device."
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "iotx/net/packet.hpp"
+
+namespace iotx::flow {
+
+/// Remembers which domain each IP address was resolved from, following
+/// CNAME chains to the originally queried name.
+class DnsCache {
+ public:
+  /// Folds in one packet; no-op unless it is a decodable DNS response.
+  void ingest(const net::DecodedPacket& packet);
+
+  /// Folds in all decodable packets of a capture.
+  void ingest_all(const std::vector<net::Packet>& packets);
+
+  /// Domain the device queried to obtain `addr`, if any was observed.
+  std::optional<std::string> lookup(net::Ipv4Address addr) const;
+
+  /// Number of distinct mapped addresses.
+  std::size_t size() const noexcept { return map_.size(); }
+
+ private:
+  std::unordered_map<net::Ipv4Address, std::string> map_;
+};
+
+}  // namespace iotx::flow

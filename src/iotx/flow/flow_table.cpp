@@ -1,0 +1,120 @@
+#include "iotx/flow/flow_table.hpp"
+
+#include <algorithm>
+
+#include "iotx/proto/http.hpp"
+#include "iotx/proto/tls.hpp"
+
+namespace iotx::flow {
+
+FlowKey FlowKey::from_packet(const net::DecodedPacket& p) noexcept {
+  FlowKey k;
+  k.protocol = p.ip.protocol;
+  const bool src_first =
+      std::pair(p.ip.src.value(), p.src_port()) <=
+      std::pair(p.ip.dst.value(), p.dst_port());
+  if (src_first) {
+    k.ip_a = p.ip.src;
+    k.port_a = p.src_port();
+    k.ip_b = p.ip.dst;
+    k.port_b = p.dst_port();
+  } else {
+    k.ip_a = p.ip.dst;
+    k.port_a = p.dst_port();
+    k.ip_b = p.ip.src;
+    k.port_b = p.src_port();
+  }
+  return k;
+}
+
+std::size_t FlowTable::Hash::operator()(const FlowKey& k) const noexcept {
+  std::size_t h = std::hash<std::uint32_t>{}(k.ip_a.value());
+  h = h * 1000003 ^ std::hash<std::uint32_t>{}(k.ip_b.value());
+  h = h * 1000003 ^ (std::size_t{k.port_a} << 16 | k.port_b);
+  h = h * 1000003 ^ k.protocol;
+  return h;
+}
+
+namespace {
+
+void append_sample(std::vector<std::uint8_t>& sample,
+                   std::span<const std::uint8_t> payload) {
+  const std::size_t room = Flow::kPayloadSampleCap - sample.size();
+  const std::size_t n = std::min(room, payload.size());
+  sample.insert(sample.end(), payload.begin(), payload.begin() + n);
+}
+
+// Fills protocol/encoding/SNI/host fields from the first packets that
+// reveal them.
+void sniff_content(Flow& flow, const net::DecodedPacket& p) {
+  if (flow.protocol == proto::ProtocolId::kUnknown) {
+    flow.protocol = proto::identify_protocol(p);
+  }
+  if (p.payload.empty()) return;
+  if (flow.encoding == proto::ContentEncoding::kNone) {
+    flow.encoding = proto::detect_encoding(p.payload);
+  }
+  if (flow.sni.empty() && flow.protocol == proto::ProtocolId::kTls) {
+    if (auto sni = proto::extract_sni(p.payload)) flow.sni = *sni;
+  }
+  if (flow.http_host.empty() && (flow.protocol == proto::ProtocolId::kHttp ||
+                                 flow.protocol == proto::ProtocolId::kRtsp)) {
+    if (auto req = proto::HttpRequest::decode(p.payload)) {
+      if (auto host = req->host()) flow.http_host = *host;
+    }
+  }
+}
+
+}  // namespace
+
+void FlowTable::ingest(const net::DecodedPacket& p) {
+  const FlowKey key = FlowKey::from_packet(p);
+  auto [it, inserted] = table_.try_emplace(key);
+  Flow& flow = it->second;
+  if (inserted) {
+    flow.key = key;
+    flow.initiator = p.ip.src;
+    flow.responder = p.ip.dst;
+    flow.initiator_port = p.src_port();
+    flow.responder_port = p.dst_port();
+    flow.first_ts = p.timestamp;
+    order_.push_back(key);
+  }
+  flow.last_ts = std::max(flow.last_ts, p.timestamp);
+
+  const bool outbound = p.ip.src == flow.initiator &&
+                        p.src_port() == flow.initiator_port;
+  DirectionStats& dir = outbound ? flow.up : flow.down;
+  dir.packets += 1;
+  dir.bytes += p.frame_size;
+  dir.payload_bytes += p.payload.size();
+  dir.sizes.push_back(static_cast<double>(p.frame_size));
+  dir.timestamps.push_back(p.timestamp);
+
+  append_sample(outbound ? flow.payload_sample_up : flow.payload_sample_down,
+                p.payload);
+  sniff_content(flow, p);
+}
+
+void FlowTable::ingest_all(const std::vector<net::Packet>& packets) {
+  for (const net::Packet& raw : packets) {
+    if (const auto decoded = net::decode_packet(raw)) ingest(*decoded);
+  }
+}
+
+std::vector<Flow> FlowTable::flows() const {
+  std::vector<Flow> out;
+  out.reserve(order_.size());
+  for (const FlowKey& key : order_) {
+    out.push_back(table_.at(key));
+  }
+  return out;
+}
+
+std::vector<Flow> assemble_flows(const std::vector<net::Packet>& packets) {
+  FlowTable table;
+  table.ingest_all(packets);
+  return table.flows();
+}
+
+}  // namespace iotx::flow

@@ -1,0 +1,101 @@
+// Flow aggregation: groups packets into bidirectional 5-tuple flows and
+// accumulates everything the analyses need — byte/packet counts per
+// direction, payload samples (for entropy/PII/SNI), protocol and encoding
+// identification, and the raw size/timing series used as ML features.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "iotx/net/packet.hpp"
+#include "iotx/proto/identify.hpp"
+
+namespace iotx::flow {
+
+/// Canonical bidirectional 5-tuple: endpoint A is the numerically smaller
+/// (ip, port) pair so both directions map to the same key.
+struct FlowKey {
+  net::Ipv4Address ip_a;
+  net::Ipv4Address ip_b;
+  std::uint16_t port_a = 0;
+  std::uint16_t port_b = 0;
+  std::uint8_t protocol = 0;
+
+  /// Builds the canonical key for a packet.
+  static FlowKey from_packet(const net::DecodedPacket& p) noexcept;
+
+  bool operator==(const FlowKey&) const = default;
+};
+
+/// Per-direction accumulation.
+struct DirectionStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;          ///< frame bytes
+  std::uint64_t payload_bytes = 0;  ///< L4 payload bytes
+  std::vector<double> sizes;        ///< frame size per packet
+  std::vector<double> timestamps;   ///< arrival time per packet
+};
+
+/// A bidirectional flow. "up" is initiator -> responder, where the
+/// initiator is the source of the first packet observed.
+struct Flow {
+  FlowKey key;
+  net::Ipv4Address initiator;
+  net::Ipv4Address responder;
+  std::uint16_t initiator_port = 0;
+  std::uint16_t responder_port = 0;
+  double first_ts = 0.0;
+  double last_ts = 0.0;
+  DirectionStats up;
+  DirectionStats down;
+
+  proto::ProtocolId protocol = proto::ProtocolId::kUnknown;
+  proto::ContentEncoding encoding = proto::ContentEncoding::kNone;
+  std::string sni;        ///< from the first ClientHello, when TLS
+  std::string http_host;  ///< from the first HTTP request, when HTTP
+
+  /// Payload samples, concatenated in arrival order up to kPayloadSampleCap,
+  /// used for entropy classification and PII scanning.
+  std::vector<std::uint8_t> payload_sample_up;
+  std::vector<std::uint8_t> payload_sample_down;
+  static constexpr std::size_t kPayloadSampleCap = 1 << 17;  // 128 KiB
+
+  std::uint64_t total_bytes() const noexcept { return up.bytes + down.bytes; }
+  std::uint64_t total_packets() const noexcept {
+    return up.packets + down.packets;
+  }
+  std::uint64_t total_payload_bytes() const noexcept {
+    return up.payload_bytes + down.payload_bytes;
+  }
+};
+
+/// Accumulates packets into flows.
+class FlowTable {
+ public:
+  /// Folds one decoded packet into its flow.
+  void ingest(const net::DecodedPacket& packet);
+
+  /// Decodes and folds raw packets; silently skips undecodable frames.
+  void ingest_all(const std::vector<net::Packet>& packets);
+
+  /// All flows, in first-seen order.
+  std::vector<Flow> flows() const;
+
+  std::size_t size() const noexcept { return order_.size(); }
+
+ private:
+  struct Hash {
+    std::size_t operator()(const FlowKey& k) const noexcept;
+  };
+  std::unordered_map<FlowKey, Flow, Hash> table_;
+  std::vector<FlowKey> order_;
+};
+
+/// Convenience: one-shot flow assembly from raw packets.
+std::vector<Flow> assemble_flows(const std::vector<net::Packet>& packets);
+
+}  // namespace iotx::flow

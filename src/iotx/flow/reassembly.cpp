@@ -1,0 +1,75 @@
+#include "iotx/flow/reassembly.hpp"
+
+#include <algorithm>
+
+namespace iotx::flow {
+
+namespace {
+/// Offset of `seq` relative to the ISN in 32-bit sequence space
+/// (handles wraparound for streams shorter than 2^31).
+std::uint64_t seq_offset(std::uint32_t isn, std::uint32_t seq) noexcept {
+  return static_cast<std::uint32_t>(seq - isn);
+}
+}  // namespace
+
+void TcpStreamReassembler::add_segment(std::uint32_t seq,
+                                       std::span<const std::uint8_t> payload) {
+  if (payload.empty()) return;
+  if (!anchored_) {
+    anchored_ = true;
+    isn_ = seq;
+  }
+  const std::uint64_t offset = seq_offset(isn_, seq);
+  if (offset + payload.size() > capacity_) return;  // beyond the cap
+
+  if (offset <= assembled_.size()) {
+    // Overlaps or extends the contiguous prefix.
+    const std::uint64_t skip = assembled_.size() - offset;
+    if (skip < payload.size()) {
+      assembled_.insert(assembled_.end(), payload.begin() + skip,
+                        payload.end());
+      drain_pending();
+    }
+    return;  // pure duplicate otherwise
+  }
+  // Out of order: park it (last write wins on exact-offset duplicates).
+  pending_[offset].assign(payload.begin(), payload.end());
+}
+
+void TcpStreamReassembler::drain_pending() {
+  while (!pending_.empty()) {
+    const auto it = pending_.begin();
+    const std::uint64_t offset = it->first;
+    if (offset > assembled_.size()) break;  // still a gap
+    const std::vector<std::uint8_t>& chunk = it->second;
+    const std::uint64_t skip = assembled_.size() - offset;
+    if (skip < chunk.size()) {
+      assembled_.insert(assembled_.end(), chunk.begin() + skip, chunk.end());
+    }
+    pending_.erase(it);
+  }
+}
+
+std::size_t TcpStreamReassembler::pending_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [offset, chunk] : pending_) total += chunk.size();
+  return total;
+}
+
+std::vector<std::uint8_t> reassemble_client_stream(
+    const std::vector<net::Packet>& packets) {
+  // The client is the source of the first TCP packet with a payload or SYN.
+  std::optional<std::pair<net::Ipv4Address, std::uint16_t>> client;
+  TcpStreamReassembler reassembler;
+  for (const net::Packet& raw : packets) {
+    const auto d = net::decode_packet(raw);
+    if (!d || !d->is_tcp) continue;
+    if (!client) client = {d->ip.src, d->tcp.src_port};
+    if (d->ip.src == client->first && d->tcp.src_port == client->second) {
+      reassembler.add_segment(d->tcp.seq, d->payload);
+    }
+  }
+  return reassembler.contiguous();
+}
+
+}  // namespace iotx::flow

@@ -1,0 +1,66 @@
+// TCP stream reassembly: orders segments by sequence number, tolerates
+// duplicates/retransmissions and out-of-order arrival, and exposes the
+// contiguous byte stream per direction.
+//
+// The flow table samples payload bytes in arrival order, which is enough
+// for entropy statistics; protocol fields that span segment boundaries
+// (a ClientHello split across two packets, an HTTP header crossing MSS)
+// need true in-order reassembly. This class provides it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "iotx/net/packet.hpp"
+
+namespace iotx::flow {
+
+/// Reassembles one direction of one TCP connection.
+class TcpStreamReassembler {
+ public:
+  /// Maximum bytes buffered (contiguous + out-of-order); segments beyond
+  /// the cap are dropped, mirroring a bounded capture processor.
+  explicit TcpStreamReassembler(std::size_t capacity = 1 << 20)
+      : capacity_(capacity) {}
+
+  /// Adds a segment with the given sequence number. The first segment
+  /// seen anchors the stream's initial sequence number (its seq is
+  /// byte offset 0); SYN/FIN sequence-space consumption is the caller's
+  /// concern (pass the payload seq).
+  void add_segment(std::uint32_t seq, std::span<const std::uint8_t> payload);
+
+  /// The longest contiguous prefix assembled so far.
+  const std::vector<std::uint8_t>& contiguous() const noexcept {
+    return assembled_;
+  }
+
+  /// Bytes currently parked out of order.
+  std::size_t pending_bytes() const noexcept;
+
+  /// Total payload bytes accepted (including duplicates' novel bytes).
+  std::size_t assembled_bytes() const noexcept { return assembled_.size(); }
+
+  bool anchored() const noexcept { return anchored_; }
+
+ private:
+  void drain_pending();
+
+  std::size_t capacity_;
+  bool anchored_ = false;
+  std::uint32_t isn_ = 0;  ///< seq of stream offset 0
+  std::vector<std::uint8_t> assembled_;
+  /// offset -> payload for segments past the contiguous prefix.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> pending_;
+};
+
+/// Reassembles the client->server byte stream of the TCP flow that the
+/// given packets belong to (caller pre-filters to one connection, e.g. via
+/// FlowKey). Useful one-shot for SNI/HTTP extraction from segmented
+/// handshakes. Sequence numbers come from the TCP headers; non-TCP packets
+/// are ignored.
+std::vector<std::uint8_t> reassemble_client_stream(
+    const std::vector<net::Packet>& packets);
+
+}  // namespace iotx::flow

@@ -1,0 +1,51 @@
+#include "iotx/flow/traffic_unit.hpp"
+
+#include <algorithm>
+
+namespace iotx::flow {
+
+std::uint64_t TrafficUnit::total_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const PacketMeta& p : packets) total += p.size;
+  return total;
+}
+
+std::vector<PacketMeta> extract_meta(const std::vector<net::Packet>& packets,
+                                     net::MacAddress device_mac) {
+  std::vector<PacketMeta> out;
+  out.reserve(packets.size());
+  for (const net::Packet& raw : packets) {
+    const auto decoded = net::decode_packet(raw);
+    if (!decoded) continue;
+    const bool from_device = decoded->eth.src == device_mac;
+    const bool to_device = decoded->eth.dst == device_mac;
+    if (!from_device && !to_device) continue;
+    out.push_back(PacketMeta{decoded->timestamp,
+                             static_cast<std::uint32_t>(decoded->frame_size),
+                             from_device});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PacketMeta& a, const PacketMeta& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+std::vector<TrafficUnit> segment_traffic(const std::vector<PacketMeta>& meta,
+                                         double gap_seconds) {
+  std::vector<TrafficUnit> units;
+  if (meta.empty() || gap_seconds <= 0.0) return units;
+  TrafficUnit current;
+  for (const PacketMeta& p : meta) {
+    if (!current.packets.empty() &&
+        p.timestamp - current.packets.back().timestamp > gap_seconds) {
+      units.push_back(std::move(current));
+      current = TrafficUnit{};
+    }
+    current.packets.push_back(p);
+  }
+  units.push_back(std::move(current));
+  return units;
+}
+
+}  // namespace iotx::flow

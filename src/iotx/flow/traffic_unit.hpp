@@ -1,0 +1,51 @@
+// Traffic-unit segmentation (paper §7.1): "a sequence of packets containing
+// inter-packet interval greater than 2 seconds" delimits the units on which
+// unexpected-behavior inference runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "iotx/net/address.hpp"
+#include "iotx/net/packet.hpp"
+
+namespace iotx::flow {
+
+/// Minimal per-packet record used for segmentation and feature extraction.
+struct PacketMeta {
+  double timestamp = 0.0;
+  std::uint32_t size = 0;   ///< frame bytes
+  bool outbound = false;    ///< true when sent by the device under analysis
+};
+
+/// A maximal run of packets with inter-packet gap <= the threshold.
+struct TrafficUnit {
+  std::vector<PacketMeta> packets;
+
+  double start() const noexcept {
+    return packets.empty() ? 0.0 : packets.front().timestamp;
+  }
+  double duration() const noexcept {
+    return packets.empty() ? 0.0
+                           : packets.back().timestamp -
+                                 packets.front().timestamp;
+  }
+  std::uint64_t total_bytes() const noexcept;
+};
+
+/// Default segmentation gap from the paper.
+inline constexpr double kDefaultUnitGapSeconds = 2.0;
+
+/// Extracts PacketMeta from raw packets attributable to `device_mac`
+/// (direction from the Ethernet source address). Undecodable frames are
+/// skipped. The result is sorted by timestamp.
+std::vector<PacketMeta> extract_meta(const std::vector<net::Packet>& packets,
+                                     net::MacAddress device_mac);
+
+/// Splits a timestamp-sorted meta sequence into traffic units using the
+/// given gap threshold (must be > 0).
+std::vector<TrafficUnit> segment_traffic(const std::vector<PacketMeta>& meta,
+                                         double gap_seconds =
+                                             kDefaultUnitGapSeconds);
+
+}  // namespace iotx::flow

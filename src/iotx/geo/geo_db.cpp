@@ -1,0 +1,53 @@
+#include "iotx/geo/geo_db.hpp"
+
+#include "iotx/util/strings.hpp"
+
+namespace iotx::geo {
+
+std::string_view region_name(Region r) noexcept {
+  switch (r) {
+    case Region::kUs: return "US";
+    case Region::kUk: return "UK";
+    case Region::kEu: return "EU";
+    case Region::kChina: return "China";
+    case Region::kJapan: return "Japan";
+    case Region::kKorea: return "Korea";
+    case Region::kOther: break;
+  }
+  return "Other";
+}
+
+Region region_for_country(std::string_view code) noexcept {
+  if (code == "US") return Region::kUs;
+  if (code == "GB" || code == "UK") return Region::kUk;
+  if (code == "CN" || code == "HK") return Region::kChina;
+  if (code == "JP") return Region::kJapan;
+  if (code == "KR") return Region::kKorea;
+  static constexpr std::string_view kEuCodes[] = {
+      "DE", "FR", "NL", "IE", "IT", "ES", "SE", "PL", "BE", "AT", "DK", "FI"};
+  for (std::string_view eu : kEuCodes) {
+    if (code == eu) return Region::kEu;
+  }
+  return Region::kOther;
+}
+
+void GeoDatabase::add_prefix(net::Ipv4Address prefix, int prefix_len,
+                             std::string country_code, bool reliable) {
+  entries_.push_back(
+      Entry{prefix.value(), prefix_len, std::move(country_code), reliable});
+}
+
+std::optional<GeoDatabase::Result> GeoDatabase::lookup(
+    net::Ipv4Address addr) const {
+  const Entry* best = nullptr;
+  for (const Entry& entry : entries_) {
+    if (addr.in_prefix(net::Ipv4Address(entry.prefix), entry.len) &&
+        (best == nullptr || entry.len > best->len)) {
+      best = &entry;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return Result{best->country, best->reliable};
+}
+
+}  // namespace iotx::geo

@@ -1,0 +1,55 @@
+// Prefix -> country geolocation database, the raw input that the Passport
+// resolver (paper §4.1) refines with traceroute evidence.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "iotx/net/address.hpp"
+
+namespace iotx::geo {
+
+/// Country / region codes used throughout the study.
+/// (Figure 2 groups destinations into US, UK, EU, China and "other".)
+struct Country {
+  std::string code;  ///< ISO-like code: "US", "GB", "CN", "DE", "KR", ...
+};
+
+/// Coarse region grouping used by Figure 2.
+enum class Region { kUs, kUk, kEu, kChina, kJapan, kKorea, kOther };
+
+std::string_view region_name(Region r) noexcept;
+
+/// Maps a country code to its Figure-2 region.
+Region region_for_country(std::string_view country_code) noexcept;
+
+/// Longest-prefix-match geolocation database. Deliberately imperfect
+/// entries can be added (`reliable = false`) to model the public-database
+/// inaccuracy the paper reports; the Passport resolver cross-checks them.
+class GeoDatabase {
+ public:
+  void add_prefix(net::Ipv4Address prefix, int prefix_len,
+                  std::string country_code, bool reliable = true);
+
+  struct Result {
+    std::string country_code;
+    bool reliable;
+  };
+
+  /// Longest-prefix match; nullopt when nothing covers the address.
+  std::optional<Result> lookup(net::Ipv4Address addr) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint32_t prefix;
+    int len;
+    std::string country;
+    bool reliable;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace iotx::geo

@@ -1,0 +1,72 @@
+#include "iotx/geo/org_db.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "iotx/util/strings.hpp"
+
+namespace iotx::geo {
+
+std::string_view party_name(PartyType t) noexcept {
+  switch (t) {
+    case PartyType::kFirst: return "First";
+    case PartyType::kSupport: return "Support";
+    case PartyType::kThird: return "Third";
+  }
+  return "?";
+}
+
+void OrgDatabase::add_domain(std::string sld, std::string organization) {
+  domain_to_org_[util::to_lower(sld)] = std::move(organization);
+}
+
+void OrgDatabase::add_infrastructure(std::string organization) {
+  infrastructure_[util::to_lower(organization)] = true;
+}
+
+void OrgDatabase::add_prefix(net::Ipv4Address prefix, int prefix_len,
+                             std::string organization) {
+  prefixes_.push_back(
+      PrefixEntry{prefix.value(), prefix_len, std::move(organization)});
+}
+
+std::string OrgDatabase::organization_for_domain(std::string_view sld) const {
+  const std::string key = util::to_lower(sld);
+  const auto it = domain_to_org_.find(key);
+  if (it != domain_to_org_.end()) return it->second;
+  // Common-sense rule: the first label, capitalized.
+  const std::size_t dot = key.find('.');
+  std::string label = key.substr(0, dot);
+  if (label.empty()) return key;
+  label[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(label[0])));
+  return label;
+}
+
+std::optional<std::string> OrgDatabase::organization_for_ip(
+    net::Ipv4Address addr) const {
+  const PrefixEntry* best = nullptr;
+  for (const PrefixEntry& entry : prefixes_) {
+    if (addr.in_prefix(net::Ipv4Address(entry.prefix), entry.len) &&
+        (best == nullptr || entry.len > best->len)) {
+      best = &entry;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->organization;
+}
+
+bool OrgDatabase::is_infrastructure(std::string_view organization) const {
+  return infrastructure_.contains(util::to_lower(organization));
+}
+
+PartyType OrgDatabase::classify(
+    std::string_view organization,
+    const std::vector<std::string>& first_party_names) const {
+  for (const std::string& name : first_party_names) {
+    if (util::iequals(organization, name)) return PartyType::kFirst;
+  }
+  if (is_infrastructure(organization)) return PartyType::kSupport;
+  return PartyType::kThird;
+}
+
+}  // namespace iotx::geo

@@ -1,0 +1,73 @@
+// Organization attribution and party classification (paper §4.1).
+//
+// The paper identifies the organization behind an SLD via WHOIS data or
+// common-sense matching rules, falls back to the IP registry owner when no
+// domain is known, then classifies each organization as a first, support,
+// or third party relative to the device's manufacturer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "iotx/net/address.hpp"
+
+namespace iotx::geo {
+
+/// Party taxonomy from paper §2.1.
+enum class PartyType {
+  kFirst,    ///< manufacturer or related company
+  kSupport,  ///< CDN / cloud / outsourced computing
+  kThird,    ///< everything else (ads, analytics, trackers, ...)
+};
+
+std::string_view party_name(PartyType t) noexcept;
+
+/// WHOIS-like registry: SLD -> organization, organization -> kind,
+/// IP prefix -> registry owner (the RIR fallback).
+class OrgDatabase {
+ public:
+  /// Registers the organization owning an SLD ("nest.com" -> "Google").
+  void add_domain(std::string sld, std::string organization);
+
+  /// Marks an organization as an infrastructure provider (CDN/cloud), the
+  /// paper's "support party" category.
+  void add_infrastructure(std::string organization);
+
+  /// Registers an IP prefix's owning organization (regional-registry data).
+  void add_prefix(net::Ipv4Address prefix, int prefix_len,
+                  std::string organization);
+
+  /// Organization for an SLD. Falls back to the paper's "common-sense
+  /// matching rule": capitalize the SLD's first label ("google.com" ->
+  /// "Google").
+  std::string organization_for_domain(std::string_view sld) const;
+
+  /// Registry owner of an address; nullopt when no prefix matches
+  /// (longest-prefix match).
+  std::optional<std::string> organization_for_ip(net::Ipv4Address addr) const;
+
+  /// True when the organization is registered as CDN/cloud infrastructure.
+  bool is_infrastructure(std::string_view organization) const;
+
+  /// Classifies an organization relative to a device: kFirst when it
+  /// case-insensitively matches any of the device's first-party names
+  /// (manufacturer + related companies), kSupport when registered as
+  /// infrastructure, kThird otherwise.
+  PartyType classify(std::string_view organization,
+                     const std::vector<std::string>& first_party_names) const;
+
+ private:
+  std::unordered_map<std::string, std::string> domain_to_org_;
+  std::unordered_map<std::string, bool> infrastructure_;
+  struct PrefixEntry {
+    std::uint32_t prefix;
+    int len;
+    std::string organization;
+  };
+  std::vector<PrefixEntry> prefixes_;
+};
+
+}  // namespace iotx::geo

@@ -1,0 +1,74 @@
+#include "iotx/geo/passport.hpp"
+
+namespace iotx::geo {
+
+namespace {
+
+struct CountryRtt {
+  std::string_view code;
+  double from_us_ms;
+  double from_uk_ms;
+};
+
+// Minimum feasible RTTs (ms) from each lab, approximating great-circle
+// distance at 2/3 c plus ~4 ms of local overhead. Only countries observed
+// in the study need entries; others default to "always feasible".
+constexpr CountryRtt kCountryRtts[] = {
+    {"US", 4.0, 70.0},  {"GB", 70.0, 4.0},  {"UK", 70.0, 4.0},
+    {"DE", 85.0, 12.0}, {"FR", 80.0, 8.0},  {"NL", 80.0, 8.0},
+    {"IE", 65.0, 6.0},  {"CN", 130.0, 90.0}, {"HK", 150.0, 100.0},
+    {"JP", 100.0, 95.0}, {"KR", 120.0, 95.0}, {"SG", 170.0, 105.0},
+    {"AU", 160.0, 150.0}, {"IN", 180.0, 110.0},
+};
+
+}  // namespace
+
+double PassportResolver::min_feasible_rtt_ms(
+    Vantage vantage, std::string_view country_code) noexcept {
+  for (const CountryRtt& entry : kCountryRtts) {
+    if (entry.code == country_code) {
+      return vantage == Vantage::kUsLab ? entry.from_us_ms : entry.from_uk_ms;
+    }
+  }
+  return 0.0;
+}
+
+bool PassportResolver::rtt_consistent(Vantage vantage,
+                                      std::string_view country_code,
+                                      double rtt_ms) noexcept {
+  // A measured RTT below the physical minimum disproves the claim. Allow a
+  // small tolerance for the coarseness of the table.
+  return rtt_ms + 2.0 >= min_feasible_rtt_ms(vantage, country_code);
+}
+
+std::string PassportResolver::resolve(
+    net::Ipv4Address addr, Vantage vantage, double rtt_ms,
+    std::optional<std::string> registry_country) const {
+  const auto claim = db_->lookup(addr);
+  if (claim && rtt_consistent(vantage, claim->country_code, rtt_ms)) {
+    return claim->country_code;
+  }
+
+  // The DB is missing or disproven. If the registry country is feasible,
+  // prefer it (Passport's "other IP geolocation sources").
+  if (registry_country &&
+      rtt_consistent(vantage, *registry_country, rtt_ms)) {
+    return *registry_country;
+  }
+
+  // Last resort: the tightest RTT-feasible candidate — the country whose
+  // physical minimum is closest to (but not above) the measured RTT.
+  std::string best = vantage == Vantage::kUsLab ? "US" : "GB";
+  double best_min = 0.0;
+  for (const CountryRtt& entry : kCountryRtts) {
+    const double min_rtt =
+        vantage == Vantage::kUsLab ? entry.from_us_ms : entry.from_uk_ms;
+    if (min_rtt <= rtt_ms + 2.0 && min_rtt > best_min) {
+      best_min = min_rtt;
+      best = std::string(entry.code);
+    }
+  }
+  return best == "UK" ? "GB" : best;
+}
+
+}  // namespace iotx::geo

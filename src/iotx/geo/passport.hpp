@@ -1,0 +1,48 @@
+// Traceroute-informed country inference — the stand-in for the Passport
+// tool the paper uses (§4.1): "combining traceroute data with other IP
+// geolocation sources. We do not use public geolocation databases alone,
+// which we found to be highly inaccurate."
+//
+// A database claim is accepted only if it is speed-of-light consistent
+// with the measured minimum RTT from the probing vantage. Inconsistent or
+// missing claims fall back to the RTT-feasible candidate set and, lastly,
+// the registry country.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "iotx/geo/geo_db.hpp"
+#include "iotx/net/address.hpp"
+
+namespace iotx::geo {
+
+/// Probing vantage point (the two labs).
+enum class Vantage { kUsLab, kUkLab };
+
+class PassportResolver {
+ public:
+  explicit PassportResolver(const GeoDatabase& db) : db_(&db) {}
+
+  /// Minimum round-trip time (ms) physically possible between a vantage
+  /// and a country, derived from great-circle distance at ~2/3 c plus
+  /// last-mile overhead. Unknown countries return 0 (always feasible).
+  static double min_feasible_rtt_ms(Vantage vantage,
+                                    std::string_view country_code) noexcept;
+
+  /// Infers the country for `addr` given the measured min RTT from the
+  /// vantage. `registry_country` is the RIR-reported country, used as the
+  /// final fallback. Returns "??" when nothing is known at all.
+  std::string resolve(net::Ipv4Address addr, Vantage vantage, double rtt_ms,
+                      std::optional<std::string> registry_country) const;
+
+  /// True when the claim (country) is consistent with the measured RTT.
+  static bool rtt_consistent(Vantage vantage, std::string_view country_code,
+                             double rtt_ms) noexcept;
+
+ private:
+  const GeoDatabase* db_;
+};
+
+}  // namespace iotx::geo

@@ -1,0 +1,68 @@
+#include "iotx/geo/sld.hpp"
+
+#include <array>
+
+#include "iotx/util/strings.hpp"
+
+namespace iotx::geo {
+
+namespace {
+// Subset of the public-suffix list: every suffix observed across the
+// study's destination domains plus the common two-level country suffixes.
+constexpr std::array<std::string_view, 34> kSuffixes = {
+    "com",    "net",    "org",    "io",     "us",     "uk",     "cn",
+    "jp",     "kr",     "de",     "fr",     "nl",     "ie",     "sg",
+    "au",     "tv",     "me",     "cc",     "co",     "ai",     "cloud",
+    "co.uk",  "org.uk", "ac.uk",  "gov.uk", "com.cn", "net.cn", "org.cn",
+    "com.au", "co.jp",  "co.kr",  "com.sg", "com.tw", "co.in",
+};
+
+bool suffix_known(std::string_view s) {
+  for (std::string_view known : kSuffixes) {
+    if (s == known) return true;
+  }
+  return false;
+}
+}  // namespace
+
+bool is_public_suffix(std::string_view name) {
+  return suffix_known(util::to_lower(name));
+}
+
+std::string second_level_domain(std::string_view fqdn) {
+  const std::string lower = util::to_lower(util::trim(fqdn));
+  const auto labels = util::split(lower, '.');
+  if (labels.size() < 2) return lower;
+
+  // IP literals pass through unchanged.
+  bool all_numeric = true;
+  for (const std::string& label : labels) {
+    for (char c : label) {
+      if (c < '0' || c > '9') {
+        all_numeric = false;
+        break;
+      }
+    }
+    if (!all_numeric) break;
+  }
+  if (all_numeric) return lower;
+
+  // Find the longest known public suffix, then keep one more label.
+  // Try two-level suffixes before one-level ones.
+  for (std::size_t take = std::min<std::size_t>(2, labels.size() - 1);
+       take >= 1; --take) {
+    std::string suffix;
+    for (std::size_t i = labels.size() - take; i < labels.size(); ++i) {
+      if (!suffix.empty()) suffix.push_back('.');
+      suffix += labels[i];
+    }
+    if (suffix_known(suffix) && labels.size() > take) {
+      return labels[labels.size() - take - 1] + "." + suffix;
+    }
+    if (take == 1) break;
+  }
+  // Unknown suffix: fall back to the last two labels.
+  return labels[labels.size() - 2] + "." + labels[labels.size() - 1];
+}
+
+}  // namespace iotx::geo

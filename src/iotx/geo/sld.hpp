@@ -1,0 +1,22 @@
+// Second-level-domain extraction (paper §4.1) with an embedded subset of
+// the public-suffix list covering every TLD that appears in the study.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace iotx::geo {
+
+/// Returns the registrable domain ("SLD" in the paper's terminology):
+/// one label beneath the public suffix. Examples:
+///   "device.ring.com"        -> "ring.com"
+///   "cdn.news.bbc.co.uk"     -> "bbc.co.uk"
+///   "a.b.aliyuncs.com.cn"    -> "aliyuncs.com.cn" (com.cn is a suffix)
+/// Inputs that are empty, a bare suffix, or an IP literal are returned
+/// unchanged (lowercased).
+std::string second_level_domain(std::string_view fqdn);
+
+/// True when the name is a known public suffix ("com", "co.uk", ...).
+bool is_public_suffix(std::string_view name);
+
+}  // namespace iotx::geo

@@ -1,0 +1,63 @@
+#include "iotx/ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iotx::ml {
+
+void Dataset::add(std::vector<double> features, std::string_view label) {
+  int id = -1;
+  for (std::size_t i = 0; i < class_names_.size(); ++i) {
+    if (class_names_[i] == label) {
+      id = static_cast<int>(i);
+      break;
+    }
+  }
+  if (id < 0) {
+    id = static_cast<int>(class_names_.size());
+    class_names_.emplace_back(label);
+  }
+  rows_.push_back(std::move(features));
+  labels_.push_back(id);
+}
+
+std::optional<int> Dataset::class_id(std::string_view label) const {
+  for (std::size_t i = 0; i < class_names_.size(); ++i) {
+    if (class_names_[i] == label) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(class_names_.size(), 0);
+  for (int label : labels_) ++hist[static_cast<std::size_t>(label)];
+  return hist;
+}
+
+Dataset::Split Dataset::stratified_split(double train_fraction,
+                                         util::Prng& prng) const {
+  Split split;
+  std::vector<std::vector<std::size_t>> by_class(class_names_.size());
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    by_class[static_cast<std::size_t>(labels_[i])].push_back(i);
+  }
+  for (auto& members : by_class) {
+    prng.shuffle(members);
+    std::size_t n_train = static_cast<std::size_t>(
+        std::llround(train_fraction * static_cast<double>(members.size())));
+    if (members.size() >= 2) {
+      n_train = std::clamp<std::size_t>(n_train, 1, members.size() - 1);
+    } else {
+      n_train = members.size();  // singleton classes go to train
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      (i < n_train ? split.train : split.test).push_back(members[i]);
+    }
+  }
+  // Deterministic order independent of class interleaving.
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+}  // namespace iotx::ml

@@ -1,0 +1,55 @@
+// Labeled feature matrices for supervised learning.
+//
+// Each row is one experiment's feature vector (paper §6.1: timing
+// statistics of packet sizes and inter-arrival times); the label is the
+// experiment's interaction name ("power", "local_move", ...).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iotx/util/prng.hpp"
+
+namespace iotx::ml {
+
+class Dataset {
+ public:
+  /// Appends one example; the label name is interned to a class id.
+  void add(std::vector<double> features, std::string_view label);
+
+  std::size_t size() const noexcept { return labels_.size(); }
+  bool empty() const noexcept { return labels_.empty(); }
+  std::size_t feature_count() const noexcept {
+    return rows_.empty() ? 0 : rows_.front().size();
+  }
+  std::size_t class_count() const noexcept { return class_names_.size(); }
+
+  const std::vector<double>& row(std::size_t i) const { return rows_[i]; }
+  int label(std::size_t i) const { return labels_[i]; }
+  const std::string& class_name(int id) const { return class_names_[id]; }
+  const std::vector<std::string>& class_names() const { return class_names_; }
+
+  /// Class id for a label name, if seen.
+  std::optional<int> class_id(std::string_view label) const;
+
+  /// Number of examples carrying each class id.
+  std::vector<std::size_t> class_histogram() const;
+
+  /// Stratified split: each class contributes ~train_fraction of its
+  /// examples to the train set (at least 1 when it has >= 2 examples).
+  struct Split {
+    std::vector<std::size_t> train;
+    std::vector<std::size_t> test;
+  };
+  Split stratified_split(double train_fraction, util::Prng& prng) const;
+
+ private:
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> labels_;
+  std::vector<std::string> class_names_;
+};
+
+}  // namespace iotx::ml

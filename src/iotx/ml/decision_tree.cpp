@@ -1,0 +1,181 @@
+#include "iotx/ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace iotx::ml {
+
+namespace {
+
+double gini_from_counts(std::span<const std::size_t> counts,
+                        std::size_t total) noexcept {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+struct BestSplit {
+  int feature = -1;
+  double threshold = 0.0;
+  double impurity = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data,
+                       std::span<const std::size_t> indices,
+                       const TreeParams& params, util::Prng& prng) {
+  nodes_.clear();
+  n_classes_ = data.class_count();
+  std::vector<std::size_t> work(indices.begin(), indices.end());
+  build(data, work, 0, params, prng);
+}
+
+int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& indices,
+                        std::size_t depth, const TreeParams& params,
+                        util::Prng& prng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  // Class distribution at this node.
+  std::vector<std::size_t> counts(n_classes_, 0);
+  for (std::size_t i : indices) {
+    ++counts[static_cast<std::size_t>(data.label(i))];
+  }
+  const auto majority =
+      std::max_element(counts.begin(), counts.end()) - counts.begin();
+  nodes_[node_id].label = static_cast<int>(majority);
+
+  const double node_gini = gini_from_counts(counts, indices.size());
+  const bool stop = depth >= params.max_depth ||
+                    indices.size() < params.min_samples_split ||
+                    node_gini == 0.0;
+  if (!stop) {
+    // Candidate features: all, or a random subset of the requested size.
+    const std::size_t d = data.feature_count();
+    std::vector<int> features(d);
+    std::iota(features.begin(), features.end(), 0);
+    std::size_t n_candidates = params.features_per_split == 0
+                                   ? d
+                                   : std::min(params.features_per_split, d);
+    if (n_candidates < d) {
+      // Partial Fisher-Yates: first n_candidates entries become the subset.
+      for (std::size_t i = 0; i < n_candidates; ++i) {
+        const std::size_t j = i + prng.uniform(d - i);
+        std::swap(features[i], features[j]);
+      }
+      features.resize(n_candidates);
+    }
+
+    BestSplit best;
+    std::vector<std::pair<double, int>> column(indices.size());
+    std::vector<std::size_t> left_counts(n_classes_);
+    for (int f : features) {
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        column[i] = {data.row(indices[i])[static_cast<std::size_t>(f)],
+                     data.label(indices[i])};
+      }
+      std::sort(column.begin(), column.end());
+      std::fill(left_counts.begin(), left_counts.end(), 0);
+      std::size_t n_left = 0;
+      const std::size_t n = column.size();
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        ++left_counts[static_cast<std::size_t>(column[i].second)];
+        ++n_left;
+        if (column[i].first == column[i + 1].first) continue;  // no boundary
+        const std::size_t n_right = n - n_left;
+        if (n_left < params.min_samples_leaf ||
+            n_right < params.min_samples_leaf) {
+          continue;
+        }
+        // Right counts = total - left.
+        double right_gini;
+        {
+          double sum_sq = 0.0;
+          for (std::size_t c = 0; c < n_classes_; ++c) {
+            const double rc =
+                static_cast<double>(counts[c] - left_counts[c]) /
+                static_cast<double>(n_right);
+            sum_sq += rc * rc;
+          }
+          right_gini = 1.0 - sum_sq;
+        }
+        const double left_gini = gini_from_counts(left_counts, n_left);
+        const double weighted =
+            (static_cast<double>(n_left) * left_gini +
+             static_cast<double>(n_right) * right_gini) /
+            static_cast<double>(n);
+        if (weighted < best.impurity) {
+          best.impurity = weighted;
+          best.feature = f;
+          best.threshold = 0.5 * (column[i].first + column[i + 1].first);
+        }
+      }
+    }
+
+    if (best.feature >= 0 && best.impurity < node_gini - 1e-12) {
+      std::vector<std::size_t> left_idx, right_idx;
+      left_idx.reserve(indices.size());
+      right_idx.reserve(indices.size());
+      for (std::size_t i : indices) {
+        const double v = data.row(i)[static_cast<std::size_t>(best.feature)];
+        (v <= best.threshold ? left_idx : right_idx).push_back(i);
+      }
+      if (!left_idx.empty() && !right_idx.empty()) {
+        indices.clear();
+        indices.shrink_to_fit();
+        const int left = build(data, left_idx, depth + 1, params, prng);
+        const int right = build(data, right_idx, depth + 1, params, prng);
+        nodes_[node_id].feature = best.feature;
+        nodes_[node_id].threshold = best.threshold;
+        nodes_[node_id].left = left;
+        nodes_[node_id].right = right;
+        return node_id;
+      }
+    }
+  }
+
+  // Leaf: store the class distribution.
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  nodes_[node_id].proba.resize(n_classes_, 0.0);
+  if (total > 0) {
+    for (std::size_t c = 0; c < n_classes_; ++c) {
+      nodes_[node_id].proba[c] =
+          static_cast<double>(counts[c]) / static_cast<double>(total);
+    }
+  }
+  return node_id;
+}
+
+const DecisionTree::Node& DecisionTree::descend(
+    std::span<const double> features) const {
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    const double v = features[static_cast<std::size_t>(n.feature)];
+    node = v <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)];
+}
+
+int DecisionTree::predict(std::span<const double> features) const {
+  return descend(features).label;
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> features) const {
+  const Node& leaf = descend(features);
+  if (!leaf.proba.empty()) return leaf.proba;
+  std::vector<double> proba(n_classes_, 0.0);
+  if (leaf.label >= 0) proba[static_cast<std::size_t>(leaf.label)] = 1.0;
+  return proba;
+}
+
+}  // namespace iotx::ml

@@ -1,0 +1,57 @@
+// CART decision tree (gini impurity, axis-aligned threshold splits) —
+// the base learner of the random forest in paper §6.1.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "iotx/ml/dataset.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace iotx::ml {
+
+struct TreeParams {
+  std::size_t max_depth = 16;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Number of features examined per split; 0 means "all features"
+  /// (single tree) — the forest sets it to ~sqrt(d).
+  std::size_t features_per_split = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Fits on the examples indexed by `indices` (duplicates allowed — the
+  /// forest passes bootstrap samples).
+  void fit(const Dataset& data, std::span<const std::size_t> indices,
+           const TreeParams& params, util::Prng& prng);
+
+  /// Predicted class id. Must be fitted first.
+  int predict(std::span<const double> features) const;
+
+  /// Per-class vote distribution at the reached leaf (sums to 1).
+  std::vector<double> predict_proba(std::span<const double> features) const;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  bool fitted() const noexcept { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;           ///< -1 for leaf
+    double threshold = 0.0;     ///< go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    int label = -1;             ///< majority class at this node
+    std::vector<double> proba;  ///< class distribution (leaves only)
+  };
+
+  int build(const Dataset& data, std::vector<std::size_t>& indices,
+            std::size_t depth, const TreeParams& params, util::Prng& prng);
+  const Node& descend(std::span<const double> features) const;
+
+  std::vector<Node> nodes_;
+  std::size_t n_classes_ = 0;
+};
+
+}  // namespace iotx::ml

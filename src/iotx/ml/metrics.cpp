@@ -1,0 +1,82 @@
+#include "iotx/ml/metrics.hpp"
+
+#include <stdexcept>
+
+namespace iotx::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t n_classes)
+    : n_(n_classes),
+      cells_(n_classes * n_classes, 0),
+      misses_(n_classes, 0) {}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  if (truth < 0 || static_cast<std::size_t>(truth) >= n_) return;
+  if (predicted < 0 || static_cast<std::size_t>(predicted) >= n_) {
+    ++misses_[static_cast<std::size_t>(truth)];
+    ++total_;
+    return;
+  }
+  ++cells_[static_cast<std::size_t>(truth) * n_ +
+           static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int truth, int predicted) const {
+  return cells_.at(static_cast<std::size_t>(truth) * n_ +
+                   static_cast<std::size_t>(predicted));
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < n_; ++c) correct += cells_[c * n_ + c];
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t predicted = 0;
+  for (std::size_t t = 0; t < n_; ++t) predicted += cells_[t * n_ + c];
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(cells_[c * n_ + c]) /
+         static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t actual = misses_[c];
+  for (std::size_t p = 0; p < n_; ++p) actual += cells_[c * n_ + p];
+  if (actual == 0) return 0.0;
+  return static_cast<double>(cells_[c * n_ + c]) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  std::size_t n_present = 0;
+  for (std::size_t c = 0; c < n_; ++c) {
+    std::size_t actual = misses_[c];
+    for (std::size_t p = 0; p < n_; ++p) actual += cells_[c * n_ + p];
+    if (actual == 0) continue;  // class absent from the test set
+    sum += f1(static_cast<int>(c));
+    ++n_present;
+  }
+  return n_present == 0 ? 0.0 : sum / static_cast<double>(n_present);
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  if (other.n_ != n_) {
+    throw std::invalid_argument("ConfusionMatrix::merge: shape mismatch");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  for (std::size_t i = 0; i < misses_.size(); ++i) misses_[i] += other.misses_[i];
+  total_ += other.total_;
+}
+
+}  // namespace iotx::ml

@@ -1,0 +1,41 @@
+// Classification metrics. The paper's quality measure is the F1 score —
+// per activity ("F1 score for the activity") and macro-averaged per device
+// ("the F1 score across all activities for each device"); a score above
+// 0.75 deems the activity/device *inferrable* (§6.3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace iotx::ml {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t n_classes);
+
+  /// Records one prediction. A predicted id outside [0, n_classes) counts
+  /// as a miss for the truth class (hurting recall and accuracy); a truth
+  /// id outside the range is ignored entirely.
+  void add(int truth, int predicted);
+
+  std::size_t n_classes() const noexcept { return n_; }
+  std::size_t count(int truth, int predicted) const;
+  std::size_t total() const noexcept { return total_; }
+
+  double accuracy() const;
+  double precision(int cls) const;  ///< 0 when the class was never predicted
+  double recall(int cls) const;     ///< 0 when the class never occurred
+  double f1(int cls) const;         ///< harmonic mean; 0 when undefined
+  double macro_f1() const;          ///< unweighted mean over classes that occur
+
+  /// Merges another matrix of the same shape.
+  void merge(const ConfusionMatrix& other);
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> cells_;   // row = truth, col = predicted
+  std::vector<std::size_t> misses_;  // per-truth predictions outside range
+  std::size_t total_ = 0;
+};
+
+}  // namespace iotx::ml

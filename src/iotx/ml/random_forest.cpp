@@ -1,0 +1,51 @@
+#include "iotx/ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iotx::ml {
+
+void RandomForest::fit(const Dataset& data, const ForestParams& params,
+                       util::Prng& prng) {
+  trees_.clear();
+  n_classes_ = data.class_count();
+  if (data.empty()) return;
+
+  TreeParams tree_params = params.tree;
+  if (tree_params.features_per_split == 0) {
+    tree_params.features_per_split = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(data.feature_count()))));
+  }
+
+  trees_.resize(params.n_trees);
+  std::vector<std::size_t> bootstrap(data.size());
+  for (std::size_t t = 0; t < params.n_trees; ++t) {
+    util::Prng tree_prng = prng.fork("tree" + std::to_string(t));
+    for (auto& idx : bootstrap) idx = tree_prng.uniform(data.size());
+    trees_[t].fit(data, bootstrap, tree_params, tree_prng);
+  }
+}
+
+std::vector<double> RandomForest::predict_proba(
+    std::span<const double> features) const {
+  std::vector<double> total(n_classes_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const std::vector<double> p = tree.predict_proba(features);
+    for (std::size_t c = 0; c < n_classes_ && c < p.size(); ++c) {
+      total[c] += p[c];
+    }
+  }
+  if (!trees_.empty()) {
+    for (double& v : total) v /= static_cast<double>(trees_.size());
+  }
+  return total;
+}
+
+int RandomForest::predict(std::span<const double> features) const {
+  const std::vector<double> proba = predict_proba(features);
+  if (proba.empty()) return -1;
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+}  // namespace iotx::ml

@@ -1,0 +1,39 @@
+// Random forest (bootstrap aggregation of CART trees with per-split
+// feature subsampling) — the classifier the paper trains per device to
+// infer activities from traffic statistics (§6.1, §6.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "iotx/ml/decision_tree.hpp"
+
+namespace iotx::ml {
+
+struct ForestParams {
+  std::size_t n_trees = 100;
+  TreeParams tree;
+  /// When 0, features_per_split defaults to ceil(sqrt(feature_count)).
+};
+
+class RandomForest {
+ public:
+  /// Fits on the full dataset (bootstrap samples are drawn per tree).
+  void fit(const Dataset& data, const ForestParams& params, util::Prng& prng);
+
+  /// Majority-vote class id (soft voting over leaf distributions).
+  int predict(std::span<const double> features) const;
+
+  /// Mean leaf distribution across trees (sums to 1).
+  std::vector<double> predict_proba(std::span<const double> features) const;
+
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+  bool fitted() const noexcept { return !trees_.empty(); }
+  std::size_t class_count() const noexcept { return n_classes_; }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::size_t n_classes_ = 0;
+};
+
+}  // namespace iotx::ml

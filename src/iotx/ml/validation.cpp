@@ -1,0 +1,78 @@
+#include "iotx/ml/validation.hpp"
+
+#include <string>
+
+#include "iotx/ml/metrics.hpp"
+
+namespace iotx::ml {
+
+ValidationResult cross_validate(const Dataset& data,
+                                const ValidationParams& params,
+                                std::string_view seed_key) {
+  ValidationResult result;
+  result.class_f1.assign(data.class_count(), 0.0);
+  if (data.empty() || data.class_count() == 0) return result;
+
+  util::Prng prng(seed_key);
+  // Per-class mean is taken only over repetitions where the class appears
+  // in the test split, so rare classes are not unfairly zeroed.
+  std::vector<std::size_t> class_rounds(data.class_count(), 0);
+
+  for (std::size_t rep = 0; rep < params.repetitions; ++rep) {
+    util::Prng rep_prng = prng.fork("rep" + std::to_string(rep));
+    const Dataset::Split split =
+        data.stratified_split(params.train_fraction, rep_prng);
+    if (split.test.empty() || split.train.empty()) continue;
+
+    // Rebuild a train view (the forest API takes a whole Dataset, so we
+    // materialize the subset; rows are small and this keeps the API clean).
+    Dataset train;
+    for (std::size_t i : split.train) {
+      train.add(data.row(i), data.class_name(data.label(i)));
+    }
+
+    RandomForest forest;
+    forest.fit(train, params.forest, rep_prng);
+
+    ConfusionMatrix confusion(data.class_count());
+    std::vector<bool> present(data.class_count(), false);
+    for (std::size_t i : split.test) {
+      const int truth = data.label(i);
+      present[static_cast<std::size_t>(truth)] = true;
+      const int predicted_train_id = forest.predict(data.row(i));
+      // Map the train-dataset class id back to the full dataset's id space.
+      int predicted = -1;
+      if (predicted_train_id >= 0 &&
+          static_cast<std::size_t>(predicted_train_id) < train.class_count()) {
+        if (const auto id =
+                data.class_id(train.class_name(predicted_train_id))) {
+          predicted = *id;
+        }
+      }
+      confusion.add(truth, predicted);
+    }
+
+    result.accuracy += confusion.accuracy();
+    result.macro_f1 += confusion.macro_f1();
+    for (std::size_t c = 0; c < data.class_count(); ++c) {
+      if (present[c]) {
+        result.class_f1[c] += confusion.f1(static_cast<int>(c));
+        ++class_rounds[c];
+      }
+    }
+    ++result.repetitions;
+  }
+
+  if (result.repetitions > 0) {
+    result.accuracy /= static_cast<double>(result.repetitions);
+    result.macro_f1 /= static_cast<double>(result.repetitions);
+  }
+  for (std::size_t c = 0; c < data.class_count(); ++c) {
+    if (class_rounds[c] > 0) {
+      result.class_f1[c] /= static_cast<double>(class_rounds[c]);
+    }
+  }
+  return result;
+}
+
+}  // namespace iotx::ml

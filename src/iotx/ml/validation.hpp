@@ -1,0 +1,42 @@
+// Repeated stratified 70/30 validation — the paper's protocol (§6.3):
+// "train on randomly selected 70% of the data and test on the 30%
+// remaining data, and we repeat the process for 10 times to get the
+// average metrics."
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iotx/ml/random_forest.hpp"
+
+namespace iotx::ml {
+
+struct ValidationResult {
+  /// Mean F1 per class over the repetitions, indexed by dataset class id.
+  std::vector<double> class_f1;
+  /// Mean macro F1 over the repetitions — the paper's "device F1 score".
+  double macro_f1 = 0.0;
+  /// Mean accuracy over the repetitions.
+  double accuracy = 0.0;
+  std::size_t repetitions = 0;
+};
+
+struct ValidationParams {
+  ForestParams forest;
+  double train_fraction = 0.7;
+  std::size_t repetitions = 10;
+};
+
+/// Runs the repeated-split protocol. `seed_key` makes results reproducible
+/// per (device, lab, ...) context. Classes with a single example are always
+/// placed in the train split, so their F1 contribution is 0.
+ValidationResult cross_validate(const Dataset& data,
+                                const ValidationParams& params,
+                                std::string_view seed_key);
+
+/// Inferrability thresholds from the paper.
+inline constexpr double kInferrableF1 = 0.75;        ///< §6.3
+inline constexpr double kHighConfidenceF1 = 0.9;     ///< §7.1 idle models
+
+}  // namespace iotx::ml

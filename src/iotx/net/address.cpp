@@ -1,0 +1,98 @@
+#include "iotx/net/address.hpp"
+
+#include <cstdio>
+
+#include "iotx/util/strings.hpp"
+
+namespace iotx::net {
+
+namespace {
+int hex_nibble(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  const auto parts = util::split(text, ':');
+  if (parts.size() != 6) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (parts[i].size() != 2) return std::nullopt;
+    const int hi = hex_nibble(parts[i][0]);
+    const int lo = hex_nibble(parts[i][1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    octets[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return MacAddress(octets);
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+bool MacAddress::is_broadcast() const noexcept {
+  for (std::uint8_t o : octets_) {
+    if (o != 0xff) return false;
+  }
+  return true;
+}
+
+bool MacAddress::is_locally_administered() const noexcept {
+  return (octets_[0] & 0x02) != 0;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const std::string& part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned octet = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') return std::nullopt;
+      octet = octet * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+bool Ipv4Address::is_private() const noexcept {
+  return in_prefix(Ipv4Address(10, 0, 0, 0), 8) ||
+         in_prefix(Ipv4Address(172, 16, 0, 0), 12) ||
+         in_prefix(Ipv4Address(192, 168, 0, 0), 16) ||
+         in_prefix(Ipv4Address(127, 0, 0, 0), 8) ||
+         in_prefix(Ipv4Address(169, 254, 0, 0), 16);
+}
+
+bool Ipv4Address::is_multicast() const noexcept {
+  return in_prefix(Ipv4Address(224, 0, 0, 0), 4);
+}
+
+bool Ipv4Address::is_global_unicast() const noexcept {
+  return !is_private() && !is_multicast() && !is_limited_broadcast() &&
+         !in_prefix(Ipv4Address(0, 0, 0, 0), 8);
+}
+
+bool Ipv4Address::in_prefix(Ipv4Address prefix, int prefix_len) const noexcept {
+  if (prefix_len <= 0) return true;
+  if (prefix_len >= 32) return value_ == prefix.value_;
+  const std::uint32_t mask = ~0u << (32 - prefix_len);
+  return (value_ & mask) == (prefix.value_ & mask);
+}
+
+}  // namespace iotx::net

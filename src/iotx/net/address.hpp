@@ -1,0 +1,104 @@
+// Link-layer and network-layer addresses.
+//
+// The testbed splits captures per MAC address (paper §3.2 "using different
+// files for each MAC address") and analyses key flows on IPv4 endpoints,
+// so both types are regular value types with ordering and hashing.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace iotx::net {
+
+/// 48-bit IEEE 802 MAC address.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive). Nullopt if malformed.
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  /// Canonical lowercase colon-separated form.
+  std::string to_string() const;
+
+  constexpr const std::array<std::uint8_t, 6>& octets() const noexcept {
+    return octets_;
+  }
+
+  /// True for ff:ff:ff:ff:ff:ff.
+  bool is_broadcast() const noexcept;
+
+  /// True when the locally-administered bit is set.
+  bool is_locally_administered() const noexcept;
+
+  auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+/// IPv4 address stored in host byte order for arithmetic convenience.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order)
+      : value_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  /// Parses dotted-quad notation. Nullopt if malformed.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  std::string to_string() const;
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// RFC 1918 private ranges plus loopback and link-local.
+  bool is_private() const noexcept;
+
+  /// 224.0.0.0/4 multicast.
+  bool is_multicast() const noexcept;
+
+  /// The limited broadcast address 255.255.255.255.
+  bool is_limited_broadcast() const noexcept { return value() == 0xffffffffu; }
+
+  /// A publicly routable unicast address: not private, not multicast, not
+  /// broadcast, not 0.0.0.0/8. Only these count as Internet destinations
+  /// in the analyses (the paper ignores LAN-internal traffic).
+  bool is_global_unicast() const noexcept;
+
+  /// True when this address lies inside prefix/len.
+  bool in_prefix(Ipv4Address prefix, int prefix_len) const noexcept;
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace iotx::net
+
+template <>
+struct std::hash<iotx::net::MacAddress> {
+  std::size_t operator()(const iotx::net::MacAddress& m) const noexcept {
+    std::size_t h = 0;
+    for (std::uint8_t o : m.octets()) h = h * 131 + o;
+    return h;
+  }
+};
+
+template <>
+struct std::hash<iotx::net::Ipv4Address> {
+  std::size_t operator()(const iotx::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

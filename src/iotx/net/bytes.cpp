@@ -1,0 +1,117 @@
+#include "iotx/net/bytes.hpp"
+
+namespace iotx::net {
+
+void ByteWriter::u8(std::uint8_t v) { buffer_.push_back(v); }
+
+void ByteWriter::u16be(std::uint16_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32be(std::uint32_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64be(std::uint64_t v) {
+  u32be(static_cast<std::uint32_t>(v >> 32));
+  u32be(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::u16le(std::uint16_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32le(std::uint32_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::text(std::string_view data) { bytes(as_bytes(data)); }
+
+void ByteWriter::patch_u16be(std::size_t offset, std::uint16_t v) {
+  buffer_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+  buffer_.at(offset + 1) = static_cast<std::uint8_t>(v);
+}
+
+std::optional<std::uint8_t> ByteReader::u8() noexcept {
+  if (remaining() < 1) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint16_t> ByteReader::u16be() noexcept {
+  if (remaining() < 2) return std::nullopt;
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      (std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> ByteReader::u32be() noexcept {
+  if (remaining() < 4) return std::nullopt;
+  const std::uint32_t v = (std::uint32_t{data_[pos_]} << 24) |
+                          (std::uint32_t{data_[pos_ + 1]} << 16) |
+                          (std::uint32_t{data_[pos_ + 2]} << 8) |
+                          data_[pos_ + 3];
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::u64be() noexcept {
+  const auto hi = u32be();
+  if (!hi) return std::nullopt;
+  const auto lo = u32be();
+  if (!lo) return std::nullopt;
+  return (std::uint64_t{*hi} << 32) | *lo;
+}
+
+std::optional<std::uint16_t> ByteReader::u16le() noexcept {
+  if (remaining() < 2) return std::nullopt;
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      data_[pos_] | (std::uint16_t{data_[pos_ + 1]} << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> ByteReader::u32le() noexcept {
+  if (remaining() < 4) return std::nullopt;
+  const std::uint32_t v = data_[pos_] | (std::uint32_t{data_[pos_ + 1]} << 8) |
+                          (std::uint32_t{data_[pos_ + 2]} << 16) |
+                          (std::uint32_t{data_[pos_ + 3]} << 24);
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::span<const std::uint8_t>> ByteReader::bytes(
+    std::size_t n) noexcept {
+  if (remaining() < n) return std::nullopt;
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+bool ByteReader::skip(std::size_t n) noexcept {
+  if (remaining() < n) return false;
+  pos_ += n;
+  return true;
+}
+
+std::span<const std::uint8_t> as_bytes(std::string_view text) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()};
+}
+
+std::string to_string(std::span<const std::uint8_t> data) {
+  return {reinterpret_cast<const char*>(data.data()), data.size()};
+}
+
+}  // namespace iotx::net

@@ -1,0 +1,80 @@
+// Bounds-checked binary readers/writers.
+//
+// All wire formats in this project (Ethernet/IP/TCP/UDP/DNS/TLS, pcap) are
+// serialized through these two classes; network byte order (big-endian) is
+// the default, with explicit little-endian calls for the pcap file header.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotx::net {
+
+/// Appends integers and buffers to a growing byte vector.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16be(std::uint16_t v);
+  void u32be(std::uint32_t v);
+  void u64be(std::uint64_t v);
+  void u16le(std::uint16_t v);
+  void u32le(std::uint32_t v);
+  void bytes(std::span<const std::uint8_t> data);
+  void text(std::string_view data);
+
+  /// Overwrites 2 bytes at `offset` (used for length/checksum backpatching).
+  void patch_u16be(std::size_t offset, std::uint16_t v);
+
+  std::size_t size() const noexcept { return buffer_.size(); }
+  const std::vector<std::uint8_t>& data() const noexcept { return buffer_; }
+  std::vector<std::uint8_t> take() && noexcept { return std::move(buffer_); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Reads integers and buffers from a fixed span; all reads are checked and
+/// return nullopt past the end (no exceptions in the parse hot path).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  std::optional<std::uint8_t> u8() noexcept;
+  std::optional<std::uint16_t> u16be() noexcept;
+  std::optional<std::uint32_t> u32be() noexcept;
+  std::optional<std::uint64_t> u64be() noexcept;
+  std::optional<std::uint16_t> u16le() noexcept;
+  std::optional<std::uint32_t> u32le() noexcept;
+
+  /// Reads exactly n bytes; nullopt if fewer remain.
+  std::optional<std::span<const std::uint8_t>> bytes(std::size_t n) noexcept;
+
+  /// Skips n bytes; false if fewer remain.
+  bool skip(std::size_t n) noexcept;
+
+  std::size_t position() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  /// Remaining bytes without consuming them.
+  std::span<const std::uint8_t> peek_rest() const noexcept {
+    return data_.subspan(pos_);
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Reinterprets a string as a byte span (no copy).
+std::span<const std::uint8_t> as_bytes(std::string_view text) noexcept;
+
+/// Copies a byte span into a std::string.
+std::string to_string(std::span<const std::uint8_t> data);
+
+}  // namespace iotx::net

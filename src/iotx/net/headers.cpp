@@ -1,0 +1,195 @@
+#include "iotx/net/headers.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace iotx::net {
+
+namespace {
+
+// Folds a 32-bit accumulated sum into a 16-bit one's-complement checksum.
+std::uint16_t fold_checksum(std::uint32_t sum) noexcept {
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint32_t sum_bytes(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (std::uint32_t{data[i]} << 8) | data[i + 1];
+  }
+  if (i < data.size()) sum += std::uint32_t{data[i]} << 8;
+  return sum;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data,
+                                std::uint32_t initial) noexcept {
+  return fold_checksum(initial + sum_bytes(data));
+}
+
+std::uint32_t pseudo_header_sum(const Ipv4Header& ip, std::uint8_t protocol,
+                                std::uint16_t l4_length) noexcept {
+  std::uint32_t sum = 0;
+  sum += ip.src.value() >> 16;
+  sum += ip.src.value() & 0xffff;
+  sum += ip.dst.value() >> 16;
+  sum += ip.dst.value() & 0xffff;
+  sum += protocol;
+  sum += l4_length;
+  return sum;
+}
+
+void EthernetHeader::encode(ByteWriter& w) const {
+  w.bytes(dst.octets());
+  w.bytes(src.octets());
+  w.u16be(ether_type);
+}
+
+std::optional<EthernetHeader> EthernetHeader::decode(ByteReader& r) {
+  EthernetHeader h;
+  const auto dst = r.bytes(6);
+  const auto src = r.bytes(6);
+  const auto type = r.u16be();
+  if (!dst || !src || !type) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  std::copy(dst->begin(), dst->end(), octets.begin());
+  h.dst = MacAddress(octets);
+  std::copy(src->begin(), src->end(), octets.begin());
+  h.src = MacAddress(octets);
+  h.ether_type = *type;
+  return h;
+}
+
+void Ipv4Header::encode(ByteWriter& w) const {
+  const std::size_t start = w.size();
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(dscp_ecn);
+  w.u16be(total_length);
+  w.u16be(identification);
+  w.u16be(0x4000);  // flags: don't fragment
+  w.u8(ttl);
+  w.u8(protocol);
+  w.u16be(0);  // checksum placeholder
+  w.u32be(src.value());
+  w.u32be(dst.value());
+  const std::span<const std::uint8_t> header{w.data().data() + start, kSize};
+  w.patch_u16be(start + 10, internet_checksum(header));
+}
+
+std::optional<Ipv4Header> Ipv4Header::decode(ByteReader& r) {
+  const auto version_ihl = r.u8();
+  if (!version_ihl || (*version_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = (*version_ihl & 0x0f) * 4u;
+  if (ihl < kSize) return std::nullopt;
+
+  Ipv4Header h;
+  const auto dscp = r.u8();
+  const auto total_len = r.u16be();
+  const auto ident = r.u16be();
+  const auto flags_frag = r.u16be();
+  const auto ttl = r.u8();
+  const auto proto = r.u8();
+  const auto checksum = r.u16be();
+  const auto src = r.u32be();
+  const auto dst = r.u32be();
+  if (!dscp || !total_len || !ident || !flags_frag || !ttl || !proto ||
+      !checksum || !src || !dst) {
+    return std::nullopt;
+  }
+  if (ihl > kSize && !r.skip(ihl - kSize)) return std::nullopt;
+  h.dscp_ecn = *dscp;
+  h.total_length = *total_len;
+  h.identification = *ident;
+  h.ttl = *ttl;
+  h.protocol = *proto;
+  h.src = Ipv4Address(*src);
+  h.dst = Ipv4Address(*dst);
+  return h;
+}
+
+void TcpHeader::encode(ByteWriter& w, const Ipv4Header& ip,
+                       std::span<const std::uint8_t> payload) const {
+  const std::size_t start = w.size();
+  w.u16be(src_port);
+  w.u16be(dst_port);
+  w.u32be(seq);
+  w.u32be(ack);
+  w.u8(0x50);  // data offset 5 words
+  w.u8(flags);
+  w.u16be(window);
+  w.u16be(0);  // checksum placeholder
+  w.u16be(0);  // urgent pointer
+  const auto l4_len = static_cast<std::uint16_t>(kSize + payload.size());
+  std::uint32_t sum = pseudo_header_sum(
+      ip, static_cast<std::uint8_t>(IpProtocol::kTcp), l4_len);
+  const std::span<const std::uint8_t> header{w.data().data() + start, kSize};
+  std::uint32_t acc = sum;
+  // Sum header (checksum field currently zero) then payload.
+  for (std::size_t i = 0; i + 1 < header.size(); i += 2) {
+    acc += (std::uint32_t{header[i]} << 8) | header[i + 1];
+  }
+  w.patch_u16be(start + 16, internet_checksum(payload, acc));
+}
+
+std::optional<TcpHeader> TcpHeader::decode(ByteReader& r) {
+  TcpHeader h;
+  const auto sport = r.u16be();
+  const auto dport = r.u16be();
+  const auto seq = r.u32be();
+  const auto ack = r.u32be();
+  const auto offset_byte = r.u8();
+  const auto flags = r.u8();
+  const auto window = r.u16be();
+  const auto checksum = r.u16be();
+  const auto urgent = r.u16be();
+  if (!sport || !dport || !seq || !ack || !offset_byte || !flags || !window ||
+      !checksum || !urgent) {
+    return std::nullopt;
+  }
+  const std::size_t data_offset = (*offset_byte >> 4) * 4u;
+  if (data_offset < kSize) return std::nullopt;
+  if (data_offset > kSize && !r.skip(data_offset - kSize)) return std::nullopt;
+  h.src_port = *sport;
+  h.dst_port = *dport;
+  h.seq = *seq;
+  h.ack = *ack;
+  h.flags = *flags;
+  h.window = *window;
+  return h;
+}
+
+void UdpHeader::encode(ByteWriter& w, const Ipv4Header& ip,
+                       std::span<const std::uint8_t> payload) const {
+  const std::size_t start = w.size();
+  const auto l4_len = static_cast<std::uint16_t>(kSize + payload.size());
+  w.u16be(src_port);
+  w.u16be(dst_port);
+  w.u16be(l4_len);
+  w.u16be(0);  // checksum placeholder
+  std::uint32_t acc = pseudo_header_sum(
+      ip, static_cast<std::uint8_t>(IpProtocol::kUdp), l4_len);
+  const std::span<const std::uint8_t> header{w.data().data() + start, kSize};
+  for (std::size_t i = 0; i + 1 < header.size(); i += 2) {
+    acc += (std::uint32_t{header[i]} << 8) | header[i + 1];
+  }
+  std::uint16_t checksum = internet_checksum(payload, acc);
+  if (checksum == 0) checksum = 0xffff;  // RFC 768: 0 means "no checksum"
+  w.patch_u16be(start + 6, checksum);
+}
+
+std::optional<UdpHeader> UdpHeader::decode(ByteReader& r) {
+  UdpHeader h;
+  const auto sport = r.u16be();
+  const auto dport = r.u16be();
+  const auto length = r.u16be();
+  const auto checksum = r.u16be();
+  if (!sport || !dport || !length || !checksum) return std::nullopt;
+  h.src_port = *sport;
+  h.dst_port = *dport;
+  return h;
+}
+
+}  // namespace iotx::net

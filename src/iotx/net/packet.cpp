@@ -1,0 +1,122 @@
+#include "iotx/net/packet.hpp"
+
+#include <algorithm>
+
+#include "iotx/net/bytes.hpp"
+
+namespace iotx::net {
+
+std::optional<DecodedPacket> decode_packet(const Packet& packet) {
+  ByteReader r(packet.frame);
+  const auto eth = EthernetHeader::decode(r);
+  if (!eth) return std::nullopt;
+  if (eth->ether_type != static_cast<std::uint16_t>(EtherType::kIpv4)) {
+    return std::nullopt;
+  }
+  const std::size_t ip_start = r.position();
+  const auto ip = Ipv4Header::decode(r);
+  if (!ip) return std::nullopt;
+
+  DecodedPacket d;
+  d.timestamp = packet.timestamp;
+  d.eth = *eth;
+  d.ip = *ip;
+  d.frame_size = packet.frame.size();
+
+  // The IP total_length field bounds the L4 data; tolerate captures where
+  // the frame is padded beyond it (Ethernet minimum frame padding).
+  const std::size_t ip_end =
+      std::min<std::size_t>(ip_start + ip->total_length, packet.frame.size());
+
+  if (ip->protocol == static_cast<std::uint8_t>(IpProtocol::kTcp)) {
+    const auto tcp = TcpHeader::decode(r);
+    if (!tcp) return std::nullopt;
+    d.is_tcp = true;
+    d.tcp = *tcp;
+  } else if (ip->protocol == static_cast<std::uint8_t>(IpProtocol::kUdp)) {
+    const auto udp = UdpHeader::decode(r);
+    if (!udp) return std::nullopt;
+    d.is_udp = true;
+    d.udp = *udp;
+  }
+
+  const std::size_t payload_start = r.position();
+  if (payload_start < ip_end) {
+    d.payload = std::span<const std::uint8_t>(
+        packet.frame.data() + payload_start, ip_end - payload_start);
+  }
+  return d;
+}
+
+namespace {
+
+Packet finish_frame(double timestamp, ByteWriter&& w) {
+  Packet p;
+  p.timestamp = timestamp;
+  p.frame = std::move(w).take();
+  // Pad to the Ethernet minimum frame size (without FCS).
+  if (p.frame.size() < 60) p.frame.resize(60, 0);
+  return p;
+}
+
+Ipv4Header make_ip_header(const FrameEndpoints& ep, IpProtocol proto,
+                          std::size_t l4_size) {
+  Ipv4Header ip;
+  ip.protocol = static_cast<std::uint8_t>(proto);
+  ip.src = ep.src_ip;
+  ip.dst = ep.dst_ip;
+  ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + l4_size);
+  // Deterministic but varying identification derived from addresses/ports.
+  ip.identification = static_cast<std::uint16_t>(
+      (ep.src_ip.value() ^ ep.dst_ip.value() ^ (ep.src_port << 1) ^
+       ep.dst_port ^ l4_size));
+  return ip;
+}
+
+}  // namespace
+
+Packet make_tcp_packet(double timestamp, const FrameEndpoints& ep,
+                       std::span<const std::uint8_t> payload,
+                       std::uint8_t flags, std::uint32_t seq,
+                       std::uint32_t ack) {
+  ByteWriter w;
+  EthernetHeader eth{ep.dst_mac, ep.src_mac,
+                     static_cast<std::uint16_t>(EtherType::kIpv4)};
+  eth.encode(w);
+  const Ipv4Header ip =
+      make_ip_header(ep, IpProtocol::kTcp, TcpHeader::kSize + payload.size());
+  ip.encode(w);
+  TcpHeader tcp;
+  tcp.src_port = ep.src_port;
+  tcp.dst_port = ep.dst_port;
+  tcp.seq = seq;
+  tcp.ack = ack;
+  tcp.flags = flags;
+  tcp.encode(w, ip, payload);
+  w.bytes(payload);
+  return finish_frame(timestamp, std::move(w));
+}
+
+Packet make_udp_packet(double timestamp, const FrameEndpoints& ep,
+                       std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  EthernetHeader eth{ep.dst_mac, ep.src_mac,
+                     static_cast<std::uint16_t>(EtherType::kIpv4)};
+  eth.encode(w);
+  const Ipv4Header ip =
+      make_ip_header(ep, IpProtocol::kUdp, UdpHeader::kSize + payload.size());
+  ip.encode(w);
+  UdpHeader udp;
+  udp.src_port = ep.src_port;
+  udp.dst_port = ep.dst_port;
+  udp.encode(w, ip, payload);
+  w.bytes(payload);
+  return finish_frame(timestamp, std::move(w));
+}
+
+FrameEndpoints reverse(const FrameEndpoints& ep) noexcept {
+  return FrameEndpoints{ep.dst_mac, ep.src_mac, ep.dst_ip,
+                        ep.src_ip,  ep.dst_port, ep.src_port};
+}
+
+}  // namespace iotx::net

@@ -1,0 +1,77 @@
+// Captured packets and frame construction.
+//
+// A Packet is what tcpdump would hand us: a timestamp plus raw frame bytes.
+// DecodedPacket is the parsed view every analysis consumes. The builder
+// functions construct complete, checksum-correct Ethernet/IPv4/{TCP,UDP}
+// frames; the testbed uses them to synthesize device traffic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "iotx/net/address.hpp"
+#include "iotx/net/headers.hpp"
+
+namespace iotx::net {
+
+/// A raw captured frame.
+struct Packet {
+  double timestamp = 0.0;  ///< seconds since epoch (sub-second precision)
+  std::vector<std::uint8_t> frame;
+
+  std::size_t size() const noexcept { return frame.size(); }
+};
+
+/// Parsed view of a packet. Span members alias the Packet's frame buffer,
+/// so a DecodedPacket must not outlive the Packet it was decoded from.
+struct DecodedPacket {
+  double timestamp = 0.0;
+  EthernetHeader eth;
+  Ipv4Header ip;
+  bool is_tcp = false;
+  bool is_udp = false;
+  TcpHeader tcp;  ///< valid when is_tcp
+  UdpHeader udp;  ///< valid when is_udp
+  std::span<const std::uint8_t> payload;  ///< L4 payload (may be empty)
+  std::size_t frame_size = 0;
+
+  std::uint16_t src_port() const noexcept {
+    return is_tcp ? tcp.src_port : (is_udp ? udp.src_port : 0);
+  }
+  std::uint16_t dst_port() const noexcept {
+    return is_tcp ? tcp.dst_port : (is_udp ? udp.dst_port : 0);
+  }
+};
+
+/// Decodes an Ethernet/IPv4/{TCP,UDP} frame; nullopt for anything else
+/// (ARP, IPv6, truncated frames). Non-TCP/UDP IPv4 decodes with both
+/// is_tcp and is_udp false and the payload spanning the L3 payload.
+std::optional<DecodedPacket> decode_packet(const Packet& packet);
+
+/// Endpoint pair used by the builders.
+struct FrameEndpoints {
+  MacAddress src_mac;
+  MacAddress dst_mac;
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+};
+
+/// Builds a TCP segment carrying `payload` (flags default to PSH|ACK).
+Packet make_tcp_packet(double timestamp, const FrameEndpoints& ep,
+                       std::span<const std::uint8_t> payload,
+                       std::uint8_t flags = TcpHeader::kPsh | TcpHeader::kAck,
+                       std::uint32_t seq = 0, std::uint32_t ack = 0);
+
+/// Builds a UDP datagram carrying `payload`.
+Packet make_udp_packet(double timestamp, const FrameEndpoints& ep,
+                       std::span<const std::uint8_t> payload);
+
+/// Reverses the direction of an endpoint pair (for reply packets).
+FrameEndpoints reverse(const FrameEndpoints& ep) noexcept;
+
+}  // namespace iotx::net

@@ -1,0 +1,139 @@
+#include "iotx/net/pcap.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "iotx/net/bytes.hpp"
+
+namespace iotx::net {
+
+namespace {
+constexpr std::uint32_t kMagicMicro = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNano = 0xa1b23c4d;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::uint32_t kSnapLen = 262144;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+std::vector<std::uint8_t> pcap_serialize(const std::vector<Packet>& packets) {
+  ByteWriter w;
+  w.u32le(kMagicMicro);
+  w.u16le(2);  // version major
+  w.u16le(4);  // version minor
+  w.u32le(0);  // thiszone
+  w.u32le(0);  // sigfigs
+  w.u32le(kSnapLen);
+  w.u32le(kLinkTypeEthernet);
+  for (const Packet& p : packets) {
+    const auto seconds = static_cast<std::uint32_t>(p.timestamp);
+    const auto micros = static_cast<std::uint32_t>(
+        std::llround((p.timestamp - std::floor(p.timestamp)) * 1e6) % 1000000);
+    w.u32le(seconds);
+    w.u32le(micros);
+    w.u32le(static_cast<std::uint32_t>(p.frame.size()));  // incl_len
+    w.u32le(static_cast<std::uint32_t>(p.frame.size()));  // orig_len
+    w.bytes(p.frame);
+  }
+  return std::move(w).take();
+}
+
+std::optional<std::vector<Packet>> pcap_parse(
+    std::span<const std::uint8_t> file_bytes) {
+  ByteReader r(file_bytes);
+  const auto magic_le = r.u32le();
+  if (!magic_le) return std::nullopt;
+
+  bool little_endian = true;
+  bool nanosecond = false;
+  switch (*magic_le) {
+    case kMagicMicro:
+      break;
+    case kMagicNano:
+      nanosecond = true;
+      break;
+    case 0xd4c3b2a1:  // byte-swapped micro
+      little_endian = false;
+      break;
+    case 0x4d3cb2a1:  // byte-swapped nano
+      little_endian = false;
+      nanosecond = true;
+      break;
+    default:
+      return std::nullopt;
+  }
+
+  const auto rd16 = [&]() { return little_endian ? r.u16le() : r.u16be(); };
+  const auto rd32 = [&]() { return little_endian ? r.u32le() : r.u32be(); };
+
+  const auto vmajor = rd16();
+  const auto vminor = rd16();
+  const auto thiszone = rd32();
+  const auto sigfigs = rd32();
+  const auto snaplen = rd32();
+  const auto linktype = rd32();
+  if (!vmajor || !vminor || !thiszone || !sigfigs || !snaplen || !linktype) {
+    return std::nullopt;
+  }
+  if (*linktype != kLinkTypeEthernet) return std::nullopt;
+
+  std::vector<Packet> packets;
+  while (!r.at_end()) {
+    const auto seconds = rd32();
+    const auto subsec = rd32();
+    const auto incl_len = rd32();
+    const auto orig_len = rd32();
+    if (!seconds || !subsec || !incl_len || !orig_len) return std::nullopt;
+    const auto data = r.bytes(*incl_len);
+    if (!data) return std::nullopt;
+    Packet p;
+    const double frac = nanosecond ? *subsec * 1e-9 : *subsec * 1e-6;
+    p.timestamp = static_cast<double>(*seconds) + frac;
+    p.frame.assign(data->begin(), data->end());
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+bool pcap_write_file(const std::string& path,
+                     const std::vector<Packet>& packets) {
+  const std::vector<std::uint8_t> bytes = pcap_serialize(packets);
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  return std::fwrite(bytes.data(), 1, bytes.size(), f.get()) == bytes.size();
+}
+
+std::optional<std::vector<Packet>> pcap_read_file(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  return pcap_parse(bytes);
+}
+
+std::map<MacAddress, std::vector<Packet>> split_by_mac(
+    const std::vector<Packet>& packets) {
+  std::map<MacAddress, std::vector<Packet>> out;
+  for (const Packet& p : packets) {
+    ByteReader r(p.frame);
+    const auto eth = EthernetHeader::decode(r);
+    if (!eth) continue;
+    out[eth->src].push_back(p);
+    if (!eth->dst.is_broadcast() && eth->dst != eth->src) {
+      out[eth->dst].push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace iotx::net

@@ -1,0 +1,42 @@
+// Classic libpcap file format (magic 0xa1b2c3d4, microsecond timestamps,
+// LINKTYPE_ETHERNET), implemented from scratch.
+//
+// The testbed gateway captures like tcpdump would (paper §3.2), writing one
+// pcap per device MAC; analyses can re-read those files, so the whole
+// pipeline round-trips through the on-disk format the released intl-iot
+// tooling consumes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "iotx/net/address.hpp"
+#include "iotx/net/packet.hpp"
+
+namespace iotx::net {
+
+/// Serializes a packet list to pcap file bytes (in memory).
+std::vector<std::uint8_t> pcap_serialize(const std::vector<Packet>& packets);
+
+/// Parses pcap file bytes. Returns nullopt on bad magic or truncated
+/// records. Both big- and little-endian files are accepted; nanosecond
+/// magic (0xa1b23c4d) is accepted and converted to seconds as well.
+std::optional<std::vector<Packet>> pcap_parse(
+    std::span<const std::uint8_t> file_bytes);
+
+/// Writes packets to a pcap file on disk. Returns false on I/O error.
+bool pcap_write_file(const std::string& path,
+                     const std::vector<Packet>& packets);
+
+/// Reads a pcap file from disk; nullopt on I/O or parse error.
+std::optional<std::vector<Packet>> pcap_read_file(const std::string& path);
+
+/// Splits a capture by source-or-destination MAC, mirroring the testbed's
+/// per-device capture files. Broadcast MACs attribute to the sender only.
+std::map<MacAddress, std::vector<Packet>> split_by_mac(
+    const std::vector<Packet>& packets);
+
+}  // namespace iotx::net

@@ -1,0 +1,117 @@
+#include "iotx/proto/dhcp.hpp"
+
+#include "iotx/net/bytes.hpp"
+
+namespace iotx::proto {
+
+namespace {
+constexpr std::uint32_t kMagicCookie = 0x63825363;
+constexpr std::uint8_t kOptMessageType = 53;
+constexpr std::uint8_t kOptHostname = 12;
+constexpr std::uint8_t kOptEnd = 255;
+}  // namespace
+
+std::string_view dhcp_type_name(DhcpMessageType t) noexcept {
+  switch (t) {
+    case DhcpMessageType::kDiscover: return "DISCOVER";
+    case DhcpMessageType::kOffer: return "OFFER";
+    case DhcpMessageType::kRequest: return "REQUEST";
+    case DhcpMessageType::kAck: return "ACK";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> DhcpMessage::encode() const {
+  net::ByteWriter w;
+  const bool from_client = type == DhcpMessageType::kDiscover ||
+                           type == DhcpMessageType::kRequest;
+  w.u8(from_client ? 1 : 2);  // op: BOOTREQUEST / BOOTREPLY
+  w.u8(1);                    // htype: Ethernet
+  w.u8(6);                    // hlen
+  w.u8(0);                    // hops
+  w.u32be(transaction_id);
+  w.u16be(0);  // secs
+  w.u16be(from_client ? 0x8000 : 0);  // broadcast flag on requests
+  w.u32be(client_ip.value());
+  w.u32be(your_ip.value());
+  w.u32be(server_ip.value());
+  w.u32be(0);  // giaddr
+  w.bytes(client_mac.octets());
+  for (int i = 0; i < 10; ++i) w.u8(0);   // chaddr padding
+  for (int i = 0; i < 192; ++i) w.u8(0);  // sname + file
+  w.u32be(kMagicCookie);
+  w.u8(kOptMessageType);
+  w.u8(1);
+  w.u8(static_cast<std::uint8_t>(type));
+  if (!hostname.empty()) {
+    w.u8(kOptHostname);
+    w.u8(static_cast<std::uint8_t>(hostname.size()));
+    w.text(hostname);
+  }
+  w.u8(kOptEnd);
+  return std::move(w).take();
+}
+
+std::optional<DhcpMessage> DhcpMessage::decode(
+    std::span<const std::uint8_t> data) {
+  net::ByteReader r(data);
+  DhcpMessage m;
+  const auto op = r.u8();
+  const auto htype = r.u8();
+  const auto hlen = r.u8();
+  if (!op || !htype || !hlen) return std::nullopt;
+  if ((*op != 1 && *op != 2) || *htype != 1 || *hlen != 6) {
+    return std::nullopt;
+  }
+  if (!r.skip(1)) return std::nullopt;  // hops
+  const auto xid = r.u32be();
+  if (!xid || !r.skip(4)) return std::nullopt;  // secs + flags
+  const auto ciaddr = r.u32be();
+  const auto yiaddr = r.u32be();
+  const auto siaddr = r.u32be();
+  const auto giaddr = r.u32be();
+  const auto chaddr = r.bytes(6);
+  if (!ciaddr || !yiaddr || !siaddr || !giaddr || !chaddr) {
+    return std::nullopt;
+  }
+  m.transaction_id = *xid;
+  m.client_ip = net::Ipv4Address(*ciaddr);
+  m.your_ip = net::Ipv4Address(*yiaddr);
+  m.server_ip = net::Ipv4Address(*siaddr);
+  std::array<std::uint8_t, 6> mac{};
+  std::copy(chaddr->begin(), chaddr->end(), mac.begin());
+  m.client_mac = net::MacAddress(mac);
+
+  if (!r.skip(10 + 192)) return std::nullopt;  // chaddr pad + sname + file
+  const auto cookie = r.u32be();
+  if (!cookie || *cookie != kMagicCookie) return std::nullopt;
+
+  while (true) {
+    const auto opt = r.u8();
+    if (!opt) return std::nullopt;  // no End option: malformed
+    if (*opt == kOptEnd) break;
+    if (*opt == 0) continue;  // pad
+    const auto len = r.u8();
+    if (!len) return std::nullopt;
+    const auto value = r.bytes(*len);
+    if (!value) return std::nullopt;
+    if (*opt == kOptMessageType && *len == 1) {
+      m.type = static_cast<DhcpMessageType>((*value)[0]);
+    } else if (*opt == kOptHostname) {
+      m.hostname.assign(reinterpret_cast<const char*>(value->data()),
+                        value->size());
+    }
+  }
+  return m;
+}
+
+bool looks_like_dhcp(std::span<const std::uint8_t> data) noexcept {
+  if (data.size() < 240) return false;
+  const bool op_ok = data[0] == 1 || data[0] == 2;
+  const bool ethernet = data[1] == 1 && data[2] == 6;
+  const bool cookie = data[236] == 0x63 && data[237] == 0x82 &&
+                      data[238] == 0x53 && data[239] == 0x63;
+  return op_ok && ethernet && cookie;
+}
+
+}  // namespace iotx::proto

@@ -1,0 +1,43 @@
+// DHCP (RFC 2131) build/parse: the Discover/Offer/Request/Ack boot
+// exchange IoT devices perform on every (re)connect. The paper verified
+// idle-time "power" detections against DHCP server logs (§7.2); the
+// gateway keeps the same log here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "iotx/net/address.hpp"
+
+namespace iotx::proto {
+
+enum class DhcpMessageType : std::uint8_t {
+  kDiscover = 1,
+  kOffer = 2,
+  kRequest = 3,
+  kAck = 5,
+};
+
+std::string_view dhcp_type_name(DhcpMessageType t) noexcept;
+
+struct DhcpMessage {
+  DhcpMessageType type = DhcpMessageType::kDiscover;
+  std::uint32_t transaction_id = 0;
+  net::MacAddress client_mac;
+  net::Ipv4Address client_ip;    ///< ciaddr (0 during discovery)
+  net::Ipv4Address your_ip;      ///< yiaddr (server-assigned)
+  net::Ipv4Address server_ip;    ///< siaddr
+  std::string hostname;          ///< option 12, what IoT devices announce
+
+  /// Serializes the 236-byte BOOTP header + magic cookie + options.
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<DhcpMessage> decode(std::span<const std::uint8_t> data);
+};
+
+/// True when the payload begins with a plausible BOOTP header.
+bool looks_like_dhcp(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace iotx::proto

@@ -1,0 +1,199 @@
+#include "iotx/proto/dns.hpp"
+
+#include "iotx/net/bytes.hpp"
+#include "iotx/util/strings.hpp"
+
+namespace iotx::proto {
+
+using net::ByteReader;
+using net::ByteWriter;
+
+namespace {
+
+// Encodes a dotted name as length-prefixed labels plus the root label.
+bool encode_name(ByteWriter& w, const std::string& name) {
+  if (!is_valid_dns_name(name)) return false;
+  for (const std::string& label : util::split(name, '.')) {
+    w.u8(static_cast<std::uint8_t>(label.size()));
+    w.text(label);
+  }
+  w.u8(0);
+  return true;
+}
+
+// Decodes a possibly-compressed name starting at the reader's position.
+// `whole` is the full message for pointer chasing.
+std::optional<std::string> decode_name(ByteReader& r,
+                                       std::span<const std::uint8_t> whole) {
+  std::string out;
+  int hops = 0;
+  // Pointer-following happens on a secondary reader so the caller's
+  // position ends just after the first pointer (per RFC 1035 §4.1.4).
+  ByteReader* cur = &r;
+  std::optional<ByteReader> jumped;
+  while (true) {
+    const auto len = cur->u8();
+    if (!len) return std::nullopt;
+    if (*len == 0) break;
+    if ((*len & 0xc0) == 0xc0) {  // compression pointer
+      const auto low = cur->u8();
+      if (!low) return std::nullopt;
+      if (++hops > 32) return std::nullopt;  // loop guard
+      const std::size_t offset = ((*len & 0x3f) << 8) | *low;
+      if (offset >= whole.size()) return std::nullopt;
+      jumped.emplace(whole.subspan(offset));
+      cur = &*jumped;
+      continue;
+    }
+    if (*len > 63) return std::nullopt;
+    const auto label = cur->bytes(*len);
+    if (!label) return std::nullopt;
+    if (!out.empty()) out.push_back('.');
+    out.append(reinterpret_cast<const char*>(label->data()), label->size());
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_valid_dns_name(const std::string& name) {
+  if (name.empty() || name.size() > 253) return false;
+  for (const std::string& label : util::split(name, '.')) {
+    if (label.empty() || label.size() > 63) return false;
+  }
+  return true;
+}
+
+std::optional<net::Ipv4Address> DnsRecord::address() const {
+  if (rtype != static_cast<std::uint16_t>(DnsType::kA) || rdata.size() != 4) {
+    return std::nullopt;
+  }
+  return net::Ipv4Address(rdata[0], rdata[1], rdata[2], rdata[3]);
+}
+
+std::vector<std::uint8_t> DnsMessage::encode() const {
+  ByteWriter w;
+  w.u16be(id);
+  std::uint16_t flags = 0;
+  if (is_response) flags |= 0x8000;
+  if (recursion_desired) flags |= 0x0100;
+  if (is_response) flags |= 0x0080;  // recursion available
+  flags |= rcode & 0x0f;
+  w.u16be(flags);
+  w.u16be(static_cast<std::uint16_t>(questions.size()));
+  w.u16be(static_cast<std::uint16_t>(answers.size()));
+  w.u16be(0);  // authority
+  w.u16be(0);  // additional
+  for (const DnsQuestion& q : questions) {
+    encode_name(w, q.name);
+    w.u16be(q.qtype);
+    w.u16be(q.qclass);
+  }
+  for (const DnsRecord& rec : answers) {
+    encode_name(w, rec.name);
+    w.u16be(rec.rtype);
+    w.u16be(rec.rclass);
+    w.u32be(rec.ttl);
+    if (!rec.rdata_name.empty()) {
+      // Name-valued rdata (CNAME/NS/PTR): encode and backpatch length.
+      const std::size_t len_at = w.size();
+      w.u16be(0);
+      const std::size_t start = w.size();
+      encode_name(w, rec.rdata_name);
+      w.patch_u16be(len_at, static_cast<std::uint16_t>(w.size() - start));
+    } else {
+      w.u16be(static_cast<std::uint16_t>(rec.rdata.size()));
+      w.bytes(rec.rdata);
+    }
+  }
+  return std::move(w).take();
+}
+
+std::optional<DnsMessage> DnsMessage::decode(
+    std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  DnsMessage m;
+  const auto id = r.u16be();
+  const auto flags = r.u16be();
+  const auto qd = r.u16be();
+  const auto an = r.u16be();
+  const auto ns = r.u16be();
+  const auto ar = r.u16be();
+  if (!id || !flags || !qd || !an || !ns || !ar) return std::nullopt;
+  m.id = *id;
+  m.is_response = (*flags & 0x8000) != 0;
+  m.recursion_desired = (*flags & 0x0100) != 0;
+  m.rcode = *flags & 0x0f;
+
+  for (std::uint16_t i = 0; i < *qd; ++i) {
+    DnsQuestion q;
+    const auto name = decode_name(r, data);
+    const auto qtype = r.u16be();
+    const auto qclass = r.u16be();
+    if (!name || !qtype || !qclass) return std::nullopt;
+    q.name = *name;
+    q.qtype = *qtype;
+    q.qclass = *qclass;
+    m.questions.push_back(std::move(q));
+  }
+
+  const std::uint32_t record_count = *an + *ns + *ar;
+  for (std::uint32_t i = 0; i < record_count; ++i) {
+    DnsRecord rec;
+    const auto name = decode_name(r, data);
+    const auto rtype = r.u16be();
+    const auto rclass = r.u16be();
+    const auto ttl = r.u32be();
+    const auto rdlen = r.u16be();
+    if (!name || !rtype || !rclass || !ttl || !rdlen) return std::nullopt;
+    const std::size_t rdata_at = r.position();
+    const auto rdata = r.bytes(*rdlen);
+    if (!rdata) return std::nullopt;
+    rec.name = *name;
+    rec.rtype = *rtype;
+    rec.rclass = *rclass;
+    rec.ttl = *ttl;
+    rec.rdata.assign(rdata->begin(), rdata->end());
+    const bool name_valued =
+        rec.rtype == static_cast<std::uint16_t>(DnsType::kCname) ||
+        rec.rtype == static_cast<std::uint16_t>(DnsType::kNs) ||
+        rec.rtype == static_cast<std::uint16_t>(DnsType::kPtr);
+    if (name_valued) {
+      ByteReader rd(data.subspan(rdata_at));
+      if (auto decoded = decode_name(rd, data)) rec.rdata_name = *decoded;
+    }
+    if (i < *an) m.answers.push_back(std::move(rec));
+    // Authority/additional records are parsed for well-formedness but
+    // dropped; the analyses only need answers.
+  }
+  return m;
+}
+
+DnsMessage make_query(std::uint16_t id, const std::string& name) {
+  DnsMessage m;
+  m.id = id;
+  m.questions.push_back(DnsQuestion{name});
+  return m;
+}
+
+DnsMessage make_response(const DnsMessage& query, net::Ipv4Address addr,
+                         std::uint32_t ttl) {
+  DnsMessage m;
+  m.id = query.id;
+  m.is_response = true;
+  m.questions = query.questions;
+  if (!query.questions.empty()) {
+    DnsRecord rec;
+    rec.name = query.questions.front().name;
+    rec.ttl = ttl;
+    const std::uint32_t v = addr.value();
+    rec.rdata = {static_cast<std::uint8_t>(v >> 24),
+                 static_cast<std::uint8_t>(v >> 16),
+                 static_cast<std::uint8_t>(v >> 8),
+                 static_cast<std::uint8_t>(v)};
+    m.answers.push_back(std::move(rec));
+  }
+  return m;
+}
+
+}  // namespace iotx::proto

@@ -1,0 +1,74 @@
+// DNS wire format (RFC 1035): build and parse queries/responses, including
+// compression-pointer decoding.
+//
+// Destination attribution (paper §4.1) maps each flow's destination IP to
+// the domain the device resolved: "we determine the SLD by first
+// identifying whether the destination IP address corresponds to a DNS
+// response for a request issued by the device".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "iotx/net/address.hpp"
+
+namespace iotx::proto {
+
+/// Record types we emit/consume.
+enum class DnsType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kPtr = 12,
+  kTxt = 16,
+  kAaaa = 28,
+};
+
+struct DnsQuestion {
+  std::string name;  ///< dotted form, no trailing dot
+  std::uint16_t qtype = static_cast<std::uint16_t>(DnsType::kA);
+  std::uint16_t qclass = 1;  // IN
+};
+
+struct DnsRecord {
+  std::string name;
+  std::uint16_t rtype = static_cast<std::uint16_t>(DnsType::kA);
+  std::uint16_t rclass = 1;
+  std::uint32_t ttl = 300;
+  std::vector<std::uint8_t> rdata;  ///< raw; A records carry 4 bytes
+  std::string rdata_name;  ///< decoded name for CNAME/NS/PTR answers
+
+  /// For A records: the address carried in rdata.
+  std::optional<net::Ipv4Address> address() const;
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  bool recursion_desired = true;
+  std::uint8_t rcode = 0;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsRecord> answers;
+
+  /// Serializes to wire format (no name compression on output).
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parses wire format, following compression pointers (with loop guard).
+  static std::optional<DnsMessage> decode(std::span<const std::uint8_t> data);
+};
+
+/// Convenience: A-record query for `name`.
+DnsMessage make_query(std::uint16_t id, const std::string& name);
+
+/// Convenience: response to `query` resolving its first question to `addr`.
+DnsMessage make_response(const DnsMessage& query, net::Ipv4Address addr,
+                         std::uint32_t ttl = 300);
+
+/// Validates an encodable DNS name: non-empty labels of <= 63 bytes,
+/// total <= 253 bytes.
+bool is_valid_dns_name(const std::string& name);
+
+}  // namespace iotx::proto

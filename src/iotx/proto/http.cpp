@@ -1,0 +1,164 @@
+#include "iotx/proto/http.hpp"
+
+#include <array>
+#include <charconv>
+
+#include "iotx/util/strings.hpp"
+
+namespace iotx::proto {
+
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+// Splits "Name: value" lines until the blank line; returns the body offset
+// or npos on malformed framing.
+std::size_t parse_headers(
+    std::string_view data, std::size_t start,
+    std::vector<std::pair<std::string, std::string>>& out) {
+  std::size_t pos = start;
+  while (true) {
+    const std::size_t eol = data.find(kCrlf, pos);
+    if (eol == std::string_view::npos) return std::string_view::npos;
+    if (eol == pos) return pos + 2;  // blank line: body follows
+    const std::string_view line = data.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return std::string_view::npos;
+    out.emplace_back(std::string(util::trim(line.substr(0, colon))),
+                     std::string(util::trim(line.substr(colon + 1))));
+    pos = eol + 2;
+  }
+}
+
+void encode_headers(const HttpMessageBase& m, std::string& out) {
+  for (const auto& [name, value] : m.headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += kCrlf;
+  }
+  out += kCrlf;
+  out += m.body;
+}
+
+}  // namespace
+
+std::optional<std::string> HttpMessageBase::header(
+    std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (util::iequals(key, name)) return value;
+  }
+  return std::nullopt;
+}
+
+void HttpMessageBase::set_header(std::string_view name,
+                                 std::string_view value) {
+  for (auto& [key, existing] : headers) {
+    if (util::iequals(key, name)) {
+      existing = std::string(value);
+      return;
+    }
+  }
+  headers.emplace_back(std::string(name), std::string(value));
+}
+
+std::string HttpRequest::encode() const {
+  HttpRequest copy = *this;
+  if (!copy.body.empty() && !copy.header("Content-Length")) {
+    copy.set_header("Content-Length", std::to_string(copy.body.size()));
+  }
+  std::string out;
+  out += copy.method;
+  out += ' ';
+  out += copy.target;
+  out += ' ';
+  out += copy.version;
+  out += kCrlf;
+  encode_headers(copy, out);
+  return out;
+}
+
+std::optional<HttpRequest> HttpRequest::decode(std::string_view data) {
+  const std::size_t eol = data.find(kCrlf);
+  if (eol == std::string_view::npos) return std::nullopt;
+  const auto parts = util::split(data.substr(0, eol), ' ');
+  if (parts.size() != 3) return std::nullopt;
+  HttpRequest req;
+  req.method = parts[0];
+  req.target = parts[1];
+  req.version = parts[2];
+  if (req.version.rfind("HTTP/", 0) != 0) return std::nullopt;
+  const std::size_t body_at = parse_headers(data, eol + 2, req.headers);
+  if (body_at == std::string_view::npos) return std::nullopt;
+  req.body = std::string(data.substr(body_at));
+  return req;
+}
+
+std::optional<HttpRequest> HttpRequest::decode(
+    std::span<const std::uint8_t> data) {
+  return decode(std::string_view(reinterpret_cast<const char*>(data.data()),
+                                 data.size()));
+}
+
+std::string HttpResponse::encode() const {
+  HttpResponse copy = *this;
+  if (!copy.header("Content-Length")) {
+    copy.set_header("Content-Length", std::to_string(copy.body.size()));
+  }
+  std::string out;
+  out += copy.version;
+  out += ' ';
+  out += std::to_string(copy.status);
+  out += ' ';
+  out += copy.reason;
+  out += kCrlf;
+  encode_headers(copy, out);
+  return out;
+}
+
+std::optional<HttpResponse> HttpResponse::decode(std::string_view data) {
+  const std::size_t eol = data.find(kCrlf);
+  if (eol == std::string_view::npos) return std::nullopt;
+  const std::string_view line = data.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  HttpResponse res;
+  res.version = std::string(line.substr(0, sp1));
+  if (res.version.rfind("HTTP/", 0) != 0) return std::nullopt;
+  const std::string_view status_text =
+      line.substr(sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos
+                                                         : sp2 - sp1 - 1);
+  int status = 0;
+  const auto [ptr, ec] = std::from_chars(
+      status_text.data(), status_text.data() + status_text.size(), status);
+  if (ec != std::errc() || ptr != status_text.data() + status_text.size()) {
+    return std::nullopt;
+  }
+  res.status = status;
+  if (sp2 != std::string_view::npos) {
+    res.reason = std::string(line.substr(sp2 + 1));
+  }
+  const std::size_t body_at = parse_headers(data, eol + 2, res.headers);
+  if (body_at == std::string_view::npos) return std::nullopt;
+  res.body = std::string(data.substr(body_at));
+  return res;
+}
+
+bool looks_like_http(std::span<const std::uint8_t> data) noexcept {
+  static constexpr std::array<std::string_view, 13> kPrefixes = {
+      "GET ",     "POST ",  "PUT ",   "DELETE ",   "HEAD ",
+      "OPTIONS ", "PATCH ", "HTTP/1.", "DESCRIBE ", "SETUP ",
+      "PLAY ",    "TEARDOWN ", "RTSP/1.",
+  };
+  const std::string_view text(reinterpret_cast<const char*>(data.data()),
+                              data.size());
+  for (std::string_view prefix : kPrefixes) {
+    if (text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace iotx::proto

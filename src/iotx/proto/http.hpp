@@ -1,0 +1,53 @@
+// HTTP/1.1 request/response build + parse.
+//
+// Used by the simulator for plaintext device chatter, by destination
+// attribution (Host header, paper §4.1) and by the PII scanner (§6.2),
+// which searches unencrypted payloads for identifiers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace iotx::proto {
+
+struct HttpMessageBase {
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullopt when absent.
+  std::optional<std::string> header(std::string_view name) const;
+  void set_header(std::string_view name, std::string_view value);
+};
+
+struct HttpRequest : HttpMessageBase {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+
+  /// Serializes with a correct Content-Length when a body is present.
+  std::string encode() const;
+  static std::optional<HttpRequest> decode(std::string_view data);
+  static std::optional<HttpRequest> decode(std::span<const std::uint8_t> data);
+
+  /// The Host header, if present.
+  std::optional<std::string> host() const { return header("Host"); }
+};
+
+struct HttpResponse : HttpMessageBase {
+  std::string version = "HTTP/1.1";
+  int status = 200;
+  std::string reason = "OK";
+
+  std::string encode() const;
+  static std::optional<HttpResponse> decode(std::string_view data);
+};
+
+/// True if `data` starts with a plausible HTTP request line or status line.
+bool looks_like_http(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace iotx::proto

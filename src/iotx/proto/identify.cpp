@@ -1,0 +1,137 @@
+#include "iotx/proto/identify.hpp"
+
+#include "iotx/proto/dhcp.hpp"
+#include "iotx/proto/http.hpp"
+#include "iotx/proto/ntp.hpp"
+#include "iotx/proto/tls.hpp"
+
+namespace iotx::proto {
+
+namespace {
+constexpr std::uint16_t kPortDns = 53;
+constexpr std::uint16_t kPortMdns = 5353;
+constexpr std::uint16_t kPortSsdp = 1900;
+constexpr std::uint16_t kPortDhcpServer = 67;
+constexpr std::uint16_t kPortDhcpClient = 68;
+constexpr std::uint16_t kPortNtp = 123;
+constexpr std::uint16_t kPortHttp = 80;
+constexpr std::uint16_t kPortHttpAlt = 8080;
+constexpr std::uint16_t kPortHttps = 443;
+constexpr std::uint16_t kPortRtsp = 554;
+
+bool port_match(const net::DecodedPacket& p, std::uint16_t port) noexcept {
+  return p.src_port() == port || p.dst_port() == port;
+}
+}  // namespace
+
+std::string_view protocol_name(ProtocolId id) noexcept {
+  switch (id) {
+    case ProtocolId::kDns: return "DNS";
+    case ProtocolId::kMdns: return "mDNS";
+    case ProtocolId::kSsdp: return "SSDP";
+    case ProtocolId::kDhcp: return "DHCP";
+    case ProtocolId::kNtp: return "NTP";
+    case ProtocolId::kHttp: return "HTTP";
+    case ProtocolId::kTls: return "TLS";
+    case ProtocolId::kQuic: return "QUIC";
+    case ProtocolId::kRtsp: return "RTSP";
+    case ProtocolId::kUnknown: break;
+  }
+  return "unknown";
+}
+
+ProtocolId identify_protocol(const net::DecodedPacket& p) noexcept {
+  const auto payload = p.payload;
+  if (p.is_udp) {
+    if (port_match(p, kPortMdns)) return ProtocolId::kMdns;
+    if (port_match(p, kPortDns)) return ProtocolId::kDns;
+    if (port_match(p, kPortSsdp)) return ProtocolId::kSsdp;
+    if ((port_match(p, kPortDhcpServer) || port_match(p, kPortDhcpClient)) &&
+        looks_like_dhcp(payload)) {
+      return ProtocolId::kDhcp;
+    }
+    if (port_match(p, kPortNtp) && looks_like_ntp(payload)) {
+      return ProtocolId::kNtp;
+    }
+    // QUIC: long-header bit on 443/UDP.
+    if (port_match(p, kPortHttps) && !payload.empty() &&
+        (payload[0] & 0x80) != 0) {
+      return ProtocolId::kQuic;
+    }
+    return ProtocolId::kUnknown;
+  }
+  if (p.is_tcp) {
+    if (payload.empty()) return ProtocolId::kUnknown;
+    if (looks_like_tls(payload)) return ProtocolId::kTls;
+    if (looks_like_http(payload)) {
+      return port_match(p, kPortRtsp) ? ProtocolId::kRtsp : ProtocolId::kHttp;
+    }
+    if (port_match(p, kPortHttps)) return ProtocolId::kTls;
+    if ((port_match(p, kPortHttp) || port_match(p, kPortHttpAlt)) &&
+        looks_like_http(payload)) {
+      return ProtocolId::kHttp;
+    }
+    return ProtocolId::kUnknown;
+  }
+  return ProtocolId::kUnknown;
+}
+
+std::string_view encoding_name(ContentEncoding e) noexcept {
+  switch (e) {
+    case ContentEncoding::kGzip: return "gzip";
+    case ContentEncoding::kZlib: return "zlib";
+    case ContentEncoding::kJpeg: return "jpeg";
+    case ContentEncoding::kPng: return "png";
+    case ContentEncoding::kMp4: return "mp4";
+    case ContentEncoding::kMpegTs: return "mpeg-ts";
+    case ContentEncoding::kMp3: return "mp3";
+    case ContentEncoding::kWav: return "wav";
+    case ContentEncoding::kH264AnnexB: return "h264";
+    case ContentEncoding::kNone: break;
+  }
+  return "none";
+}
+
+ContentEncoding detect_encoding(
+    std::span<const std::uint8_t> d) noexcept {
+  if (d.size() >= 2 && d[0] == 0x1f && d[1] == 0x8b) {
+    return ContentEncoding::kGzip;
+  }
+  if (d.size() >= 2 && d[0] == 0x78 &&
+      (d[1] == 0x01 || d[1] == 0x9c || d[1] == 0xda)) {
+    return ContentEncoding::kZlib;
+  }
+  if (d.size() >= 3 && d[0] == 0xff && d[1] == 0xd8 && d[2] == 0xff) {
+    return ContentEncoding::kJpeg;
+  }
+  if (d.size() >= 8 && d[0] == 0x89 && d[1] == 'P' && d[2] == 'N' &&
+      d[3] == 'G' && d[4] == 0x0d && d[5] == 0x0a && d[6] == 0x1a &&
+      d[7] == 0x0a) {
+    return ContentEncoding::kPng;
+  }
+  if (d.size() >= 8 && d[4] == 'f' && d[5] == 't' && d[6] == 'y' &&
+      d[7] == 'p') {
+    return ContentEncoding::kMp4;
+  }
+  if (d.size() >= 1 && d[0] == 0x47 && d.size() % 188 == 0 &&
+      d.size() >= 188) {
+    return ContentEncoding::kMpegTs;
+  }
+  if (d.size() >= 3 &&
+      ((d[0] == 'I' && d[1] == 'D' && d[2] == '3') ||
+       (d[0] == 0xff && (d[1] & 0xe0) == 0xe0 && (d[1] & 0x06) != 0))) {
+    return ContentEncoding::kMp3;
+  }
+  if (d.size() >= 12 && d[0] == 'R' && d[1] == 'I' && d[2] == 'F' &&
+      d[3] == 'F' && d[8] == 'W' && d[9] == 'A' && d[10] == 'V' &&
+      d[11] == 'E') {
+    return ContentEncoding::kWav;
+  }
+  if (d.size() >= 4 && d[0] == 0x00 && d[1] == 0x00 && d[2] == 0x00 &&
+      d[3] == 0x01) {
+    return ContentEncoding::kH264AnnexB;
+  }
+  return ContentEncoding::kNone;
+}
+
+}  // namespace iotx::proto

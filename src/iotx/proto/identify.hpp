@@ -1,0 +1,59 @@
+// Protocol and content-encoding identification — the stand-in for
+// "Wireshark's protocol analyzer" in the paper's encryption pipeline
+// (§5.1): identify TLS/QUIC as encrypted, recognize known plaintext
+// protocols, and detect encoded/compressed media by magic bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "iotx/net/packet.hpp"
+
+namespace iotx::proto {
+
+enum class ProtocolId {
+  kUnknown,
+  kDns,
+  kMdns,
+  kSsdp,
+  kDhcp,
+  kNtp,
+  kHttp,
+  kTls,
+  kQuic,
+  kRtsp,
+};
+
+/// Human-readable protocol name ("TLS", "DNS", ...).
+std::string_view protocol_name(ProtocolId id) noexcept;
+
+/// Identifies the application protocol of a decoded packet from ports and
+/// payload heuristics. Like a real analyzer, this fails to classify
+/// proprietary protocols (returns kUnknown), which is exactly the gap the
+/// entropy analysis fills.
+ProtocolId identify_protocol(const net::DecodedPacket& packet) noexcept;
+
+/// Known media / compression encodings detectable by magic bytes.
+enum class ContentEncoding {
+  kNone,
+  kGzip,
+  kZlib,
+  kJpeg,
+  kPng,
+  kMp4,
+  kMpegTs,
+  kMp3,
+  kWav,
+  kH264AnnexB,
+};
+
+std::string_view encoding_name(ContentEncoding e) noexcept;
+
+/// Checks payload magic bytes for known encodings. The paper marks flows
+/// carrying recognized encodings as *unencrypted* even when their entropy
+/// is high ("We search for encoding-specific bytes in headers of such
+/// flows, and mark any traffic that contains them as unencrypted").
+ContentEncoding detect_encoding(std::span<const std::uint8_t> payload) noexcept;
+
+}  // namespace iotx::proto

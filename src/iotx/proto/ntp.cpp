@@ -1,0 +1,67 @@
+#include "iotx/proto/ntp.hpp"
+
+#include <cmath>
+
+#include "iotx/net/bytes.hpp"
+
+namespace iotx::proto {
+
+namespace {
+// Seconds between the NTP epoch (1900) and the Unix epoch (1970).
+constexpr std::uint64_t kNtpUnixOffset = 2208988800ULL;
+}  // namespace
+
+std::uint64_t unix_to_ntp(double unix_seconds) noexcept {
+  const double whole = std::floor(unix_seconds);
+  const auto seconds = static_cast<std::uint64_t>(whole) + kNtpUnixOffset;
+  const auto frac =
+      static_cast<std::uint64_t>((unix_seconds - whole) * 4294967296.0);
+  return (seconds << 32) | (frac & 0xffffffffULL);
+}
+
+std::vector<std::uint8_t> NtpPacket::encode() const {
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>((leap << 6) | ((version & 7) << 3) |
+                                 (mode & 7)));
+  w.u8(stratum);
+  w.u8(6);                    // poll interval
+  w.u8(static_cast<std::uint8_t>(-20));  // precision (~1us)
+  w.u32be(0);                 // root delay
+  w.u32be(0);                 // root dispersion
+  w.u32be(0x4e495354);        // reference id "NIST"
+  w.u64be(0);                 // reference timestamp
+  w.u64be(0);                 // origin timestamp
+  w.u64be(0);                 // receive timestamp
+  w.u64be(transmit_timestamp);
+  return std::move(w).take();
+}
+
+std::optional<NtpPacket> NtpPacket::decode(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < 48) return std::nullopt;
+  net::ByteReader r(data);
+  const auto li_vn_mode = r.u8();
+  const auto stratum = r.u8();
+  if (!li_vn_mode || !stratum) return std::nullopt;
+  NtpPacket p;
+  p.leap = *li_vn_mode >> 6;
+  p.version = (*li_vn_mode >> 3) & 7;
+  p.mode = *li_vn_mode & 7;
+  p.stratum = *stratum;
+  if (p.version < 1 || p.version > 4) return std::nullopt;
+  if (p.mode < 1 || p.mode > 5) return std::nullopt;
+  if (!r.skip(38)) return std::nullopt;
+  const auto tx = r.u64be();
+  if (!tx) return std::nullopt;
+  p.transmit_timestamp = *tx;
+  return p;
+}
+
+bool looks_like_ntp(std::span<const std::uint8_t> data) noexcept {
+  if (data.size() != 48) return false;
+  const std::uint8_t version = (data[0] >> 3) & 7;
+  const std::uint8_t mode = data[0] & 7;
+  return version >= 1 && version <= 4 && mode >= 1 && mode <= 5;
+}
+
+}  // namespace iotx::proto

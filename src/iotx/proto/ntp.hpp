@@ -1,0 +1,33 @@
+// NTPv4 client/server packets (RFC 5905, 48-byte header only).
+//
+// The paper notes that experiment captures contain unrelated traffic such
+// as "time synchronization via NTP" (§6.1); the simulator emits genuine
+// NTP exchanges as that background noise, and the protocol identifier
+// recognizes them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace iotx::proto {
+
+struct NtpPacket {
+  std::uint8_t leap = 0;
+  std::uint8_t version = 4;
+  std::uint8_t mode = 3;  ///< 3 = client, 4 = server
+  std::uint8_t stratum = 0;
+  std::uint64_t transmit_timestamp = 0;  ///< NTP 64-bit fixed-point
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<NtpPacket> decode(std::span<const std::uint8_t> data);
+};
+
+/// Converts a Unix timestamp (seconds) to NTP 64-bit fixed-point.
+std::uint64_t unix_to_ntp(double unix_seconds) noexcept;
+
+/// True if `data` looks like an NTP packet (48 bytes, valid version/mode).
+bool looks_like_ntp(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace iotx::proto

@@ -1,0 +1,178 @@
+#include "iotx/proto/tls.hpp"
+
+#include "iotx/net/bytes.hpp"
+
+namespace iotx::proto {
+
+using net::ByteReader;
+using net::ByteWriter;
+
+namespace {
+constexpr std::uint8_t kHandshakeClientHello = 1;
+constexpr std::uint16_t kExtensionServerName = 0;
+
+bool valid_record_version(std::uint16_t v) noexcept {
+  // 0x0301..0x0304 (TLS 1.0 record version is used by many ClientHellos).
+  return v >= 0x0301 && v <= 0x0304;
+}
+}  // namespace
+
+std::vector<std::uint8_t> TlsRecord::encode() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(content_type));
+  w.u16be(version);
+  w.u16be(static_cast<std::uint16_t>(fragment.size()));
+  w.bytes(fragment);
+  return std::move(w).take();
+}
+
+std::vector<TlsRecord> parse_tls_records(std::span<const std::uint8_t> data) {
+  std::vector<TlsRecord> records;
+  ByteReader r(data);
+  while (r.remaining() >= 5) {
+    const auto type = r.u8();
+    const auto version = r.u16be();
+    const auto length = r.u16be();
+    if (!type || !version || !length) break;
+    if (*type < 20 || *type > 24 || !valid_record_version(*version)) break;
+    const auto fragment = r.bytes(*length);
+    if (!fragment) break;  // truncated by segment boundary
+    TlsRecord rec;
+    rec.content_type = static_cast<TlsContentType>(*type);
+    rec.version = *version;
+    rec.fragment.assign(fragment->begin(), fragment->end());
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<std::uint8_t> build_client_hello(
+    const std::string& sni, std::span<const std::uint16_t> cipher_suites,
+    std::span<const std::uint8_t> random32) {
+  ByteWriter body;
+  body.u16be(0x0303);  // client version
+  if (random32.size() == 32) {
+    body.bytes(random32);
+  } else {
+    for (int i = 0; i < 32; ++i) body.u8(0);
+  }
+  body.u8(0);  // session id length
+  body.u16be(static_cast<std::uint16_t>(cipher_suites.size() * 2));
+  for (std::uint16_t suite : cipher_suites) body.u16be(suite);
+  body.u8(1);  // compression methods length
+  body.u8(0);  // null compression
+
+  // Extensions: just server_name when present.
+  ByteWriter ext;
+  if (!sni.empty()) {
+    ext.u16be(kExtensionServerName);
+    const auto list_len = static_cast<std::uint16_t>(sni.size() + 3);
+    ext.u16be(static_cast<std::uint16_t>(list_len + 2));  // extension length
+    ext.u16be(list_len);                                  // server name list
+    ext.u8(0);                                            // host_name type
+    ext.u16be(static_cast<std::uint16_t>(sni.size()));
+    ext.text(sni);
+  }
+  body.u16be(static_cast<std::uint16_t>(ext.size()));
+  body.bytes(ext.data());
+
+  ByteWriter handshake;
+  handshake.u8(kHandshakeClientHello);
+  const auto body_len = static_cast<std::uint32_t>(body.size());
+  handshake.u8(static_cast<std::uint8_t>(body_len >> 16));
+  handshake.u16be(static_cast<std::uint16_t>(body_len & 0xffff));
+  handshake.bytes(body.data());
+
+  TlsRecord record;
+  record.content_type = TlsContentType::kHandshake;
+  record.version = 0x0301;  // common record-layer version for ClientHello
+  record.fragment = std::move(handshake).take();
+  return record.encode();
+}
+
+std::optional<ClientHello> parse_client_hello(
+    std::span<const std::uint8_t> data) {
+  const auto records = parse_tls_records(data);
+  if (records.empty() ||
+      records.front().content_type != TlsContentType::kHandshake) {
+    return std::nullopt;
+  }
+  ByteReader r(records.front().fragment);
+  const auto msg_type = r.u8();
+  if (!msg_type || *msg_type != kHandshakeClientHello) return std::nullopt;
+  const auto len_hi = r.u8();
+  const auto len_lo = r.u16be();
+  if (!len_hi || !len_lo) return std::nullopt;
+
+  ClientHello hello;
+  const auto version = r.u16be();
+  const auto random = r.bytes(32);
+  if (!version || !random) return std::nullopt;
+  hello.version = *version;
+  hello.random.assign(random->begin(), random->end());
+
+  const auto session_len = r.u8();
+  if (!session_len || !r.skip(*session_len)) return std::nullopt;
+
+  const auto suites_len = r.u16be();
+  if (!suites_len || *suites_len % 2 != 0) return std::nullopt;
+  for (int i = 0; i < *suites_len / 2; ++i) {
+    const auto suite = r.u16be();
+    if (!suite) return std::nullopt;
+    hello.cipher_suites.push_back(*suite);
+  }
+
+  const auto compression_len = r.u8();
+  if (!compression_len || !r.skip(*compression_len)) return std::nullopt;
+
+  if (r.at_end()) return hello;  // extensions are optional
+  const auto ext_total = r.u16be();
+  if (!ext_total) return std::nullopt;
+  std::size_t consumed = 0;
+  while (consumed + 4 <= *ext_total) {
+    const auto ext_type = r.u16be();
+    const auto ext_len = r.u16be();
+    if (!ext_type || !ext_len) return std::nullopt;
+    consumed += 4 + *ext_len;
+    if (*ext_type == kExtensionServerName) {
+      const auto list_len = r.u16be();
+      const auto name_type = r.u8();
+      const auto name_len = r.u16be();
+      if (!list_len || !name_type || !name_len) return std::nullopt;
+      const auto name = r.bytes(*name_len);
+      if (!name) return std::nullopt;
+      hello.sni.assign(reinterpret_cast<const char*>(name->data()),
+                       name->size());
+      // Skip any trailing bytes of this extension.
+      const std::size_t used = 2 + 1 + 2 + *name_len;
+      if (*ext_len > used && !r.skip(*ext_len - used)) return std::nullopt;
+    } else {
+      if (!r.skip(*ext_len)) return std::nullopt;
+    }
+  }
+  return hello;
+}
+
+std::optional<std::string> extract_sni(std::span<const std::uint8_t> data) {
+  const auto hello = parse_client_hello(data);
+  if (!hello || hello->sni.empty()) return std::nullopt;
+  return hello->sni;
+}
+
+std::vector<std::uint8_t> build_application_data(
+    std::span<const std::uint8_t> ciphertext) {
+  TlsRecord record;
+  record.content_type = TlsContentType::kApplicationData;
+  record.fragment.assign(ciphertext.begin(), ciphertext.end());
+  return record.encode();
+}
+
+bool looks_like_tls(std::span<const std::uint8_t> data) noexcept {
+  if (data.size() < 5) return false;
+  if (data[0] < 20 || data[0] > 24) return false;
+  const std::uint16_t version =
+      static_cast<std::uint16_t>((data[1] << 8) | data[2]);
+  return valid_record_version(version);
+}
+
+}  // namespace iotx::proto

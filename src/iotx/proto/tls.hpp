@@ -1,0 +1,69 @@
+// Minimal TLS 1.2 record layer and ClientHello, sufficient to (a) emit
+// realistic handshakes carrying an SNI, and (b) extract the Server Name
+// Indication from captures — the paper's fallback for attributing flows to
+// domains (§4.1: "we search ... TLS handshakes (Server Name Indication
+// field) for the domain").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iotx::proto {
+
+/// TLS record content types.
+enum class TlsContentType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+/// One TLS record (header + opaque fragment).
+struct TlsRecord {
+  TlsContentType content_type = TlsContentType::kHandshake;
+  std::uint16_t version = 0x0303;  // TLS 1.2
+  std::vector<std::uint8_t> fragment;
+
+  std::vector<std::uint8_t> encode() const;
+};
+
+/// Parses all complete TLS records at the start of `data`. Stops at the
+/// first byte sequence that is not a TLS record header. Records truncated
+/// by the segment boundary are skipped.
+std::vector<TlsRecord> parse_tls_records(std::span<const std::uint8_t> data);
+
+/// Parsed view of a ClientHello.
+struct ClientHello {
+  std::uint16_t version = 0x0303;
+  std::vector<std::uint8_t> random;  ///< 32 bytes
+  std::vector<std::uint16_t> cipher_suites;
+  std::string sni;  ///< empty when the extension is absent
+};
+
+/// Builds a handshake record containing a ClientHello with the given SNI
+/// and cipher suites. `random32` must have exactly 32 bytes.
+std::vector<std::uint8_t> build_client_hello(
+    const std::string& sni, std::span<const std::uint16_t> cipher_suites,
+    std::span<const std::uint8_t> random32);
+
+/// Parses a ClientHello handshake from raw TLS record bytes (e.g. the first
+/// TCP segment of a connection). Returns nullopt if the bytes do not start
+/// with a well-formed ClientHello record.
+std::optional<ClientHello> parse_client_hello(
+    std::span<const std::uint8_t> data);
+
+/// Extracts just the SNI (empty optional when not a ClientHello or no SNI).
+std::optional<std::string> extract_sni(std::span<const std::uint8_t> data);
+
+/// Builds an application-data record wrapping `ciphertext`.
+std::vector<std::uint8_t> build_application_data(
+    std::span<const std::uint8_t> ciphertext);
+
+/// True if `data` plausibly begins with a TLS record (used by the protocol
+/// identifier).
+bool looks_like_tls(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace iotx::proto

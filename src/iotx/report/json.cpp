@@ -1,0 +1,144 @@
+#include "iotx/report/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace iotx::report {
+
+std::string JsonWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (expecting_value_) {
+    expecting_value_ = false;
+    return;  // value follows its key, no comma
+  }
+  if (!has_items_.empty() && has_items_.back()) out_ += ',';
+  if (!has_items_.empty()) has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  stack_.push_back('{');
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != '{') {
+    throw std::logic_error("JsonWriter: unbalanced end_object");
+  }
+  stack_.pop_back();
+  has_items_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  stack_.push_back('[');
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != '[') {
+    throw std::logic_error("JsonWriter: unbalanced end_array");
+  }
+  stack_.pop_back();
+  has_items_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != '{') {
+    throw std::logic_error("JsonWriter: key outside object");
+  }
+  comma();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  comma();
+  out_ += '"';
+  out_ += escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string_view(text));
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  comma();
+  if (!std::isfinite(number)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", number);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  comma();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  comma();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  comma();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::document() const {
+  if (!stack_.empty()) {
+    throw std::logic_error("JsonWriter: unbalanced document");
+  }
+  return out_;
+}
+
+}  // namespace iotx::report

@@ -1,0 +1,55 @@
+// Minimal streaming JSON writer (no external dependency): enough to export
+// every table the Study produces in a machine-readable form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotx::report {
+
+/// Builds a JSON document incrementally. The caller is responsible for
+/// balanced begin/end calls; `document()` validates balance.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object key (must be inside an object, before its value).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(std::int64_t{number}); }
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// The finished document. Throws std::logic_error when scopes are
+  /// unbalanced.
+  std::string document() const;
+
+  /// JSON string escaping (exposed for tests).
+  static std::string escape(std::string_view text);
+
+ private:
+  void comma();
+  std::string out_;
+  std::vector<char> stack_;       // '{' or '['
+  std::vector<bool> has_items_;   // per scope
+  bool expecting_value_ = false;  // a key was just written
+};
+
+}  // namespace iotx::report

@@ -1,0 +1,312 @@
+#include "iotx/report/report.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "iotx/report/json.hpp"
+
+namespace iotx::report {
+
+namespace {
+
+void columns_array(JsonWriter& w) {
+  w.key("columns").begin_array();
+  for (const char* c : core::kColumnHeaders) w.value(c);
+  w.end_array();
+}
+
+template <typename T, std::size_t N>
+void number_array(JsonWriter& w, std::string_view name,
+                  const std::array<T, N>& values) {
+  w.key(name).begin_array();
+  for (const T& v : values) w.value(v);
+  w.end_array();
+}
+
+}  // namespace
+
+std::string table2_json(const core::Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("table", "2");
+  w.field("title", "non-first parties by experiment type");
+  columns_array(w);
+  w.key("rows").begin_array();
+  for (const core::Table2Row& row : core::build_table2(study)) {
+    w.begin_object();
+    w.field("experiment", row.experiment);
+    w.field("party", row.party);
+    number_array(w, "counts", row.counts);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+std::string table3_json(const core::Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("table", "3");
+  w.field("title", "non-first parties by device category");
+  columns_array(w);
+  w.key("rows").begin_array();
+  for (const core::Table3Row& row : core::build_table3(study)) {
+    w.begin_object();
+    w.field("category", row.category);
+    w.field("party", row.party);
+    number_array(w, "counts", row.counts);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+std::string table4_json(const core::Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("table", "4");
+  w.field("title", "organizations contacted by multiple devices");
+  columns_array(w);
+  w.key("rows").begin_array();
+  for (const core::Table4Row& row : core::build_table4(study)) {
+    w.begin_object();
+    w.field("organization", row.organization);
+    number_array(w, "device_counts", row.device_counts);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+std::string figure2_json(const core::Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("figure", "2");
+  w.field("title", "traffic volume lab->category->region");
+  w.key("edges").begin_array();
+  for (const auto& e : core::build_figure2(study)) {
+    w.begin_object();
+    w.field("lab", e.lab);
+    w.field("category", e.category);
+    w.field("region", e.region);
+    w.field("bytes", e.bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+std::string table5_json(const core::Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("table", "5");
+  w.field("title", "devices by encryption percentage quartile");
+  columns_array(w);
+  w.key("rows").begin_array();
+  for (const core::Table5Row& row : core::build_table5(study)) {
+    w.begin_object();
+    w.field("class", row.enc_class);
+    w.field("range", row.range);
+    number_array(w, "device_counts", row.device_counts);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+std::string table6_json(const core::Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("table", "6");
+  w.field("title", "percent bytes per class per category");
+  columns_array(w);
+  w.key("rows").begin_array();
+  for (const core::Table6Row& row : core::build_table6(study)) {
+    w.begin_object();
+    w.field("class", row.enc_class);
+    w.field("category", row.category);
+    number_array(w, "pct", row.pct);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+std::string table7_json(const core::Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("table", "7");
+  w.field("title", "percent unencrypted bytes per device");
+  w.key("rows").begin_array();
+  for (const core::Table7Row& row : core::build_table7(study)) {
+    w.begin_object();
+    w.field("device", row.device_name);
+    w.field("common", row.common);
+    w.field("us", row.us);
+    w.field("uk", row.uk);
+    w.field("vpn_us_to_uk", row.vpn_us);
+    w.field("vpn_uk_to_us", row.vpn_uk);
+    w.field("significant_vpn", row.significant_vpn);
+    w.field("significant_region", row.significant_region);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+std::string table8_json(const core::Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("table", "8");
+  w.field("title", "percent bytes per class per experiment type");
+  columns_array(w);
+  w.key("rows").begin_array();
+  for (const core::Table8Row& row : core::build_table8(study)) {
+    w.begin_object();
+    w.field("class", row.enc_class);
+    w.field("experiment", row.experiment);
+    w.field("devices", row.device_count);
+    if (row.uncontrolled_pct >= 0.0) {
+      w.field("uncontrolled_pct", row.uncontrolled_pct);
+    } else {
+      number_array(w, "pct", row.pct);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+std::string table9_json(const core::Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("table", "9");
+  w.field("title", "inferrable devices (F1 > 0.75) per category");
+  columns_array(w);
+  w.key("rows").begin_array();
+  for (const core::Table9Row& row : core::build_table9(study)) {
+    w.begin_object();
+    w.field("category", row.category);
+    w.field("devices", row.device_count);
+    number_array(w, "inferrable", row.inferrable);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+std::string table10_json(const core::Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("table", "10");
+  w.field("title", "inferrable activities (F1 > 0.75) per activity group");
+  columns_array(w);
+  w.key("rows").begin_array();
+  for (const core::Table10Row& row : core::build_table10(study)) {
+    w.begin_object();
+    w.field("group", row.group);
+    w.field("devices", row.device_count);
+    number_array(w, "inferrable", row.inferrable);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+std::string table11_json(const core::Study& study) {
+  const core::Table11 table = core::build_table11(study);
+  JsonWriter w;
+  w.begin_object();
+  w.field("table", "11");
+  w.field("title", "idle-period detected activity instances");
+  number_array(w, "hours", table.hours);
+  w.key("rows").begin_array();
+  for (const core::Table11Row& row : table.rows) {
+    w.begin_object();
+    w.field("device", row.device_name);
+    w.field("activity", row.activity);
+    number_array(w, "instances", row.instances);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+std::string pii_json(const core::Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("section", "6.2");
+  w.field("title", "plaintext PII exposures");
+  w.key("findings").begin_array();
+  for (const core::PiiReportRow& row : core::build_pii_report(study)) {
+    w.begin_object();
+    w.field("device", row.device_name);
+    w.field("config", row.config_key);
+    w.field("kind", row.kind);
+    w.field("encoding", row.encoding);
+    w.field("destination", row.destination_domain);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+std::string full_report_json(const core::Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("paper",
+          "Information Exposure From Consumer IoT Devices (IMC 2019)");
+  w.field("experiments_run",
+          static_cast<std::uint64_t>(study.experiments_run()));
+  w.key("configs").begin_array();
+  for (const std::string& key : study.config_keys()) w.value(key);
+  w.end_array();
+  // Individual documents are embedded as pre-rendered strings to avoid a
+  // generic JSON tree; consumers usually read the per-table files instead.
+  w.field("tables_note",
+          "see table2.json ... table11.json, figure2.json, pii.json");
+  w.end_object();
+  return w.document();
+}
+
+bool write_report_directory(const core::Study& study, const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return false;
+
+  const auto write = [&dir](const std::string& name,
+                            const std::string& content) {
+    std::ofstream out(fs::path(dir) / name, std::ios::binary);
+    out << content << '\n';
+    return out.good();
+  };
+
+  return write("table2.json", table2_json(study)) &&
+         write("table3.json", table3_json(study)) &&
+         write("table4.json", table4_json(study)) &&
+         write("figure2.json", figure2_json(study)) &&
+         write("table5.json", table5_json(study)) &&
+         write("table6.json", table6_json(study)) &&
+         write("table7.json", table7_json(study)) &&
+         write("table8.json", table8_json(study)) &&
+         write("table9.json", table9_json(study)) &&
+         write("table10.json", table10_json(study)) &&
+         write("table11.json", table11_json(study)) &&
+         write("pii.json", pii_json(study)) &&
+         write("report.json", full_report_json(study));
+}
+
+}  // namespace iotx::report

@@ -1,0 +1,35 @@
+// Study report export: every table/figure of the paper's evaluation as
+// JSON (machine-readable) and as rendered text, written to a directory.
+// This is what a downstream user consumes to post-process results without
+// re-running the campaign.
+#pragma once
+
+#include <string>
+
+#include "iotx/core/study.hpp"
+#include "iotx/core/tables.hpp"
+
+namespace iotx::report {
+
+/// JSON documents for the individual tables.
+std::string table2_json(const core::Study& study);
+std::string table3_json(const core::Study& study);
+std::string table4_json(const core::Study& study);
+std::string figure2_json(const core::Study& study);
+std::string table5_json(const core::Study& study);
+std::string table6_json(const core::Study& study);
+std::string table7_json(const core::Study& study);
+std::string table8_json(const core::Study& study);
+std::string table9_json(const core::Study& study);
+std::string table10_json(const core::Study& study);
+std::string table11_json(const core::Study& study);
+std::string pii_json(const core::Study& study);
+
+/// One JSON document bundling everything plus run metadata.
+std::string full_report_json(const core::Study& study);
+
+/// Writes `<dir>/tableN.json`, `<dir>/figure2.json`, `<dir>/pii.json` and
+/// `<dir>/report.json`. Creates the directory. Returns false on I/O error.
+bool write_report_directory(const core::Study& study, const std::string& dir);
+
+}  // namespace iotx::report

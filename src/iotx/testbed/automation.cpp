@@ -1,0 +1,45 @@
+#include "iotx/testbed/automation.hpp"
+
+namespace iotx::testbed {
+
+std::string_view interaction_method_name(InteractionMethod m) noexcept {
+  switch (m) {
+    case InteractionMethod::kLocalPhysical: return "local";
+    case InteractionMethod::kLanApp: return "lan-app";
+    case InteractionMethod::kWanApp: return "wan-app";
+    case InteractionMethod::kVoiceAssistant: return "voice-assistant";
+  }
+  return "?";
+}
+
+std::vector<InteractionScript> scripts_for(const DeviceSpec& device) {
+  std::vector<InteractionScript> scripts;
+  for (const std::string& activity : device.activity_names()) {
+    if (activity == "power") continue;  // power experiments are separate
+    InteractionScript s;
+    s.activity = activity;
+    if (activity.rfind("android_lan_", 0) == 0) {
+      s.method = InteractionMethod::kLanApp;
+      s.automated = true;
+    } else if (activity.rfind("android_", 0) == 0) {
+      s.method = InteractionMethod::kWanApp;
+      s.automated = true;
+    } else if (activity.rfind("voice_", 0) == 0) {
+      s.method = InteractionMethod::kVoiceAssistant;
+      s.automated = true;
+      s.voice_text = "Alexa, turn on the " + device.name;
+    } else if (activity == "local_voice") {
+      // Played from the loudspeaker by the cloud voice synthesizer.
+      s.method = InteractionMethod::kLocalPhysical;
+      s.automated = true;
+      s.voice_text = "What time is it?";
+    } else {
+      s.method = InteractionMethod::kLocalPhysical;
+      s.automated = false;  // manual (heating elements, movement, ...)
+    }
+    scripts.push_back(std::move(s));
+  }
+  return scripts;
+}
+
+}  // namespace iotx::testbed

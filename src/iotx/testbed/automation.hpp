@@ -1,0 +1,39 @@
+// Interaction automation (paper §3.2): which interactions are driven by
+// the Monkey app exerciser or the cloud voice synthesizer (automated, 30+
+// repetitions) versus performed by hand (manual, 3+ repetitions).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iotx/testbed/catalog.hpp"
+
+namespace iotx::testbed {
+
+/// How an interaction is triggered (§3.3 interaction types i-iv).
+enum class InteractionMethod {
+  kLocalPhysical,   ///< physical press / movement / speech at the device
+  kLanApp,          ///< companion app on the same network
+  kWanApp,          ///< companion app via cloud
+  kVoiceAssistant,  ///< Echo Spot relaying a synthesized voice command
+};
+
+std::string_view interaction_method_name(InteractionMethod m) noexcept;
+
+/// A scripted interaction for one device activity.
+struct InteractionScript {
+  std::string activity;
+  InteractionMethod method = InteractionMethod::kLocalPhysical;
+  bool automated = false;   ///< Monkey/voice-synth automated
+  std::string voice_text;   ///< synthesized utterance when voice-driven
+};
+
+/// Derives the scripts for a device from its activity names:
+/// "android_lan_*" -> LAN app (automated), "android_wan_*"/"android_*" ->
+/// WAN app (automated), "voice_*" -> voice assistant (automated, with a
+/// synthesized utterance), "local_voice" -> local speech (automated via
+/// the loudspeaker), everything else local physical (manual).
+std::vector<InteractionScript> scripts_for(const DeviceSpec& device);
+
+}  // namespace iotx::testbed

@@ -1,0 +1,124 @@
+// Device behavior profiles: the per-device parameters that drive traffic
+// synthesis. A profile captures what the paper's analyses key on — which
+// destinations a device contacts (and over which transports), how much of
+// its traffic is plaintext, and the per-activity packet-timing signature
+// that makes activities inferrable (or not) from encrypted traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iotx::testbed {
+
+/// Transport + content shape of one destination's traffic.
+enum class Transport {
+  kTls,        ///< TLS handshake (SNI) + application-data records
+  kHttps443,   ///< TLS on 443 without SNI (session resumption style)
+  kHttp,       ///< plaintext HTTP/1.1
+  kCustomTcp,  ///< proprietary TCP protocol, partially encrypted
+  kCustomUdp,  ///< proprietary UDP protocol, partially encrypted
+  kRtspMedia,  ///< media stream (recognizable media magic bytes)
+};
+
+/// What the payload bytes look like (drives the entropy analysis).
+enum class PayloadStyle {
+  kEncryptedRandom,   ///< uniform random bytes: H ~ 0.85+ on small samples
+  kPlainJson,         ///< textual key/value chatter: H ~ 0.25-0.5
+  kMixedProprietary,  ///< half binary-random, half structured: H in 0.4-0.8
+  kMediaJpeg,         ///< JPEG magic + high-entropy body
+  kMediaH264,         ///< Annex-B start codes + high-entropy body
+  kFirmwareGzip,      ///< gzip magic + compressed body
+};
+
+/// One destination a device talks to.
+struct EndpointUse {
+  std::string domain;        ///< key into the EndpointRegistry
+  Transport transport = Transport::kTls;
+  PayloadStyle style = PayloadStyle::kEncryptedRandom;
+  double weight = 1.0;       ///< relative share of the device's traffic
+  bool power_only = false;   ///< contacted only during power experiments
+  bool not_on_power = false; ///< NOT contacted during power experiments
+  bool vpn_only = false;     ///< contacted only when egressing via VPN
+  bool direct_only = false;  ///< contacted only without VPN
+  bool uk_lab_only = false;  ///< contacted only from the UK lab
+  bool us_lab_only = false;  ///< contacted only from the US lab
+  /// When non-empty, the endpoint is contacted only during the named
+  /// activities (e.g. a TV fetching ads/content during "power" and
+  /// "local_menu" but not while changing the volume).
+  std::vector<std::string> only_activities;
+};
+
+/// Per-activity traffic signature. Packet sizes are lognormal, gaps
+/// exponential; the offsets separate activities in feature space and the
+/// noise term controls how much repetitions smear (higher noise -> lower
+/// cross-validated F1, i.e. a less inferrable activity).
+struct ActivitySignature {
+  std::string name;          ///< label, e.g. "power", "local_move"
+  int packets_up = 40;       ///< mean packets device -> cloud
+  int packets_down = 40;     ///< mean packets cloud -> device
+  double size_up_mu = 6.0;   ///< lognormal mu of upstream payload sizes
+  double size_up_sigma = 0.6;
+  double size_down_mu = 6.0;
+  double size_down_sigma = 0.6;
+  double gap_mean = 0.05;    ///< mean inter-packet gap (s)
+  double duration = 6.0;     ///< approximate activity duration (s)
+  double noise = 0.15;       ///< per-repetition parameter jitter in [0,1]
+  bool media_upload = false; ///< activity streams media (cameras, TVs)
+  /// Extra destinations contacted only during this activity; when empty the
+  /// device's base endpoints are used.
+  std::vector<EndpointUse> extra_endpoints;
+};
+
+/// Spontaneous activity during idle periods (paper §7.2, Table 11):
+/// e.g. the Zmodo doorbell emitting "local_move" bursts every ~minute.
+struct SpuriousActivity {
+  std::string activity;      ///< must name one of the device's activities
+  double per_hour_us = 0.0;  ///< rate in the US lab, direct egress
+  double per_hour_uk = 0.0;
+  double per_hour_vpn_us = 0.0;  ///< US lab egressing via UK VPN
+  double per_hour_vpn_uk = 0.0;
+};
+
+/// Everything the synthesizer needs to emit one device's traffic.
+struct BehaviorProfile {
+  /// Destinations contacted in normal operation.
+  std::vector<EndpointUse> endpoints;
+  /// Fraction of heartbeat/background bytes sent plaintext (drives the
+  /// per-device unencrypted percentages of Table 7).
+  double plaintext_fraction = 0.02;
+  /// Regional overrides (<0 means "same as plaintext_fraction"): some
+  /// devices behave differently in the UK lab or when egressing via VPN
+  /// (the bold/italic significance markers of Table 7).
+  double plaintext_fraction_uk = -1.0;
+  double plaintext_fraction_vpn = -1.0;
+  /// How separable activity signatures are (scales the per-activity
+  /// offsets; ~1 for cameras/TVs, lower for hubs/appliances).
+  double distinctiveness = 0.7;
+  /// Idle keep-alive period in seconds.
+  double heartbeat_period = 30.0;
+  /// Wi-Fi reconnect rate (events/hour) — each reconnect replays the
+  /// power-on handshake, which is why "power" dominates idle detections.
+  double reconnect_per_hour = 0.1;
+  double reconnect_per_hour_uk = -1.0;   ///< override; <0 means same as US
+  double reconnect_per_hour_vpn = -1.0;  ///< override on VPN; <0 = same
+  /// Spontaneous idle activities.
+  std::vector<SpuriousActivity> spurious;
+  /// Activity signatures (must include "power").
+  std::vector<ActivitySignature> activities;
+  /// Device emits periodic NTP (background noise in every experiment).
+  /// Off by default; enabled for the devices that sync time themselves.
+  bool uses_ntp = false;
+  /// Plaintext PII items this device is known to leak, by token name
+  /// ("mac", "uuid", "device_id", "geo_city", "owner_name", "motion_ts").
+  std::vector<std::string> pii_leaks;
+  /// Domain the PII is sent to (must be in `endpoints` or a well-known
+  /// registry domain); empty = first plaintext endpoint.
+  std::string pii_domain;
+  /// PII leak only from the UK lab (the Insteon case, §6.2).
+  bool pii_uk_only = false;
+  /// PII leak rides on motion events rather than heartbeats (Xiaomi Cam).
+  bool pii_on_motion = false;
+};
+
+}  // namespace iotx::testbed

@@ -1,0 +1,66 @@
+// The device catalog: the 81 deployed device units (55 models; 46 US, 35
+// UK, 26 common) of paper Table 1, with categories, manufacturers,
+// supported interactions, and behavior profiles.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iotx/net/address.hpp"
+#include "iotx/testbed/behavior.hpp"
+
+namespace iotx::testbed {
+
+/// Device categories from Table 1.
+enum class Category {
+  kCamera,
+  kSmartHub,
+  kHomeAutomation,
+  kTv,
+  kAudio,
+  kAppliance,
+};
+
+std::string_view category_name(Category c) noexcept;
+inline constexpr int kCategoryCount = 6;
+
+/// Which testbed(s) a device model is deployed in.
+enum class LabPresence { kUsOnly, kUkOnly, kBoth };
+
+struct DeviceSpec {
+  std::string id;    ///< stable snake_case id ("echo_dot")
+  std::string name;  ///< display name ("Echo Dot")
+  Category category = Category::kHomeAutomation;
+  LabPresence presence = LabPresence::kBoth;
+  std::string manufacturer;
+  /// Organizations counted as first parties for this device (manufacturer
+  /// plus related companies, e.g. Ring -> {"Ring", "Amazon"}).
+  std::vector<std::string> first_party_orgs;
+  BehaviorProfile behavior;
+
+  bool in_us() const noexcept { return presence != LabPresence::kUkOnly; }
+  bool in_uk() const noexcept { return presence != LabPresence::kUsOnly; }
+  bool common() const noexcept { return presence == LabPresence::kBoth; }
+
+  /// Names of all activities in the behavior profile.
+  std::vector<std::string> activity_names() const;
+};
+
+/// The full catalog (built once; order is stable).
+const std::vector<DeviceSpec>& device_catalog();
+
+/// Lookup by id; nullptr when unknown.
+const DeviceSpec* find_device(std::string_view id);
+
+/// Activity-group mapping for Table 10: "Power", "Voice", "Video",
+/// "On/Off", "Movement" or "Others".
+std::string_view activity_group(std::string_view activity) noexcept;
+
+/// Deterministic MAC address for a device unit in a lab.
+net::MacAddress device_mac(const DeviceSpec& device, bool us_lab);
+
+/// Deterministic private IP for a device unit in a lab (10.42.x.y).
+net::Ipv4Address device_ip(const DeviceSpec& device, bool us_lab);
+
+}  // namespace iotx::testbed

@@ -1,0 +1,290 @@
+#include "iotx/testbed/endpoints.hpp"
+
+#include "iotx/geo/sld.hpp"
+
+namespace iotx::testbed {
+
+void EndpointRegistry::add(Endpoint endpoint) {
+  by_domain_[endpoint.domain] = endpoints_.size();
+  by_ip_[endpoint.address] = endpoints_.size();
+  if (!endpoint.replica_country.empty()) {
+    by_ip_[endpoint.replica_address] = endpoints_.size();
+  }
+  endpoints_.push_back(std::move(endpoint));
+}
+
+const Endpoint* EndpointRegistry::find(const std::string& domain) const {
+  const auto it = by_domain_.find(domain);
+  return it == by_domain_.end() ? nullptr : &endpoints_[it->second];
+}
+
+const Endpoint* EndpointRegistry::find_by_ip(net::Ipv4Address addr) const {
+  const auto it = by_ip_.find(addr);
+  return it == by_ip_.end() ? nullptr : &endpoints_[it->second];
+}
+
+EndpointRegistry::Replica EndpointRegistry::select_replica(
+    const Endpoint& e, const std::string& egress_country) const {
+  // CDN-style selection: serve from the replica when the client egresses
+  // nearer to it than to the default deployment.
+  if (!e.replica_country.empty() && egress_country == e.replica_country) {
+    return Replica{e.replica_address, e.replica_country};
+  }
+  if (!e.replica_country.empty() && egress_country == "GB" &&
+      e.replica_country != "US" && e.country == "US") {
+    return Replica{e.replica_address, e.replica_country};
+  }
+  return Replica{e.address, e.country};
+}
+
+geo::OrgDatabase EndpointRegistry::make_org_database() const {
+  geo::OrgDatabase db;
+  for (const Endpoint& e : endpoints_) {
+    db.add_domain(geo::second_level_domain(e.domain), e.organization);
+    if (e.infrastructure) db.add_infrastructure(e.organization);
+    db.add_prefix(e.address, 24, e.organization);
+    if (!e.replica_country.empty()) {
+      db.add_prefix(e.replica_address, 24, e.organization);
+    }
+  }
+  return db;
+}
+
+geo::GeoDatabase EndpointRegistry::make_geo_database() const {
+  geo::GeoDatabase db;
+  for (const Endpoint& e : endpoints_) {
+    if (e.geo_db_wrong) {
+      // Model the public-database inaccuracy the paper reports: the DB
+      // claims the default country for a replica actually deployed
+      // elsewhere; Passport's RTT check must catch it.
+      const std::string wrong = e.country == "US" ? "CN" : "US";
+      db.add_prefix(e.address, 24, wrong, /*reliable=*/false);
+    } else {
+      db.add_prefix(e.address, 24, e.country, /*reliable=*/true);
+    }
+    if (!e.replica_country.empty()) {
+      db.add_prefix(e.replica_address, 24, e.replica_country,
+                    /*reliable=*/true);
+    }
+  }
+  return db;
+}
+
+namespace {
+
+net::Ipv4Address ip(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                    std::uint8_t d) {
+  return net::Ipv4Address(a, b, c, d);
+}
+
+EndpointRegistry build_registry() {
+  EndpointRegistry r;
+  const auto add = [&r](std::string domain, std::string org, bool infra,
+                        std::string country, net::Ipv4Address addr,
+                        std::string replica_country = "",
+                        net::Ipv4Address replica = net::Ipv4Address(),
+                        bool geo_wrong = false) {
+    Endpoint e;
+    e.domain = std::move(domain);
+    e.organization = std::move(org);
+    e.infrastructure = infra;
+    e.country = std::move(country);
+    e.address = addr;
+    e.replica_country = std::move(replica_country);
+    e.replica_address = replica;
+    e.geo_db_wrong = geo_wrong;
+    r.add(std::move(e));
+  };
+
+  // ---- Support parties: clouds and CDNs (Table 4 top organizations) ----
+  add("ec2-52-1-17-22.compute-1.amazonaws.com", "Amazon", true, "US",
+      ip(52, 1, 17, 22), "IE", ip(52, 208, 10, 5));
+  add("ec2-52-1-44-80.compute-1.amazonaws.com", "Amazon", true, "US",
+      ip(52, 1, 44, 80), "IE", ip(52, 208, 44, 9));
+  add("s3.amazonaws.com", "Amazon", true, "US", ip(52, 216, 8, 12));
+  add("device-metrics-us.amazon.com", "Amazon", true, "US",
+      ip(54, 239, 22, 185));
+  add("kinesis.us-east-1.amazonaws.com", "Amazon", true, "US",
+      ip(52, 94, 214, 30));
+  add("storage.googleapis.com", "Google", true, "US", ip(142, 250, 31, 128),
+      "NL", ip(172, 217, 168, 16));
+  add("clients3.google.com", "Google", true, "US", ip(142, 250, 31, 113));
+  add("time.google.com", "Google", true, "US", ip(216, 239, 35, 0));
+  add("e1234.dsce9.akamaiedge.net", "Akamai", true, "US", ip(23, 32, 5, 44),
+      "GB", ip(2, 16, 103, 9), /*geo_wrong=*/true);
+  add("a248.e.akamai.net", "Akamai", true, "US", ip(23, 57, 80, 7), "GB",
+      ip(2, 16, 40, 77));
+  add("azure-devices.microsoft.com", "Microsoft", true, "US",
+      ip(40, 76, 22, 9), "GB", ip(51, 105, 66, 40));
+  add("settings-win.data.microsoft.com", "Microsoft", true, "US",
+      ip(40, 77, 226, 250));
+  add("global.fastly.net", "Fastly", true, "US", ip(151, 101, 1, 140), "GB",
+      ip(151, 101, 64, 140));
+  add("cs600.wpc.edgecastcdn.net", "Verizon", true, "US",
+      ip(152, 195, 38, 76));
+  add("node1.hvvc.us", "Hvvc", true, "US", ip(198, 51, 92, 14));
+  add("vip1.att.com", "AT&T", true, "US", ip(144, 160, 36, 42));
+  // Chinese counterparts (bottom half of Table 4).
+  add("cn-north.aliyuncs.com", "Alibaba", true, "CN", ip(47, 88, 14, 6));
+  add("oss-cn-beijing.aliyuncs.com", "Alibaba", true, "CN",
+      ip(47, 88, 77, 200));
+  add("api.ksyun.com", "Kingsoft", true, "CN", ip(120, 92, 14, 22));
+  add("cdn.21vianet.com", "21Vianet", true, "CN", ip(101, 227, 6, 81));
+  add("gw.huaxiay.com", "Beijing Huaxiay", true, "CN", ip(124, 193, 28, 4));
+
+  // ---- Third parties ----
+  add("api-global.netflix.com", "Netflix", false, "US", ip(45, 57, 3, 12),
+      "GB", ip(45, 57, 90, 2));
+  add("ad.doubleclick.net", "Doubleclick", false, "US", ip(216, 58, 220, 34));
+  add("a2.tuyaus.com", "Tuya", false, "CN", ip(121, 51, 130, 9));
+  add("ntp.nuri.net", "Nuri", false, "KR", ip(203, 255, 112, 4));
+  add("graph.facebook.com", "Facebook", false, "US", ip(157, 240, 1, 35),
+      "IE", ip(157, 240, 20, 8));
+  add("samsung.d1.sc.omtrdc.net", "Omniture", false, "US", ip(66, 235, 132, 1));
+  add("dyn-cpe-24-96-81-7.wowinc.com", "WideOpenWest", false, "US",
+      ip(24, 96, 81, 7));
+  add("api2.branch.io", "Branch", false, "US", ip(54, 240, 190, 18));
+
+  // ---- First-party device clouds ----
+  add("alexa.amazon.com", "Amazon", true, "US", ip(54, 239, 27, 9), "IE",
+      ip(52, 95, 120, 14));
+  add("avs-alexa-na.amazon.com", "Amazon", true, "US", ip(54, 239, 29, 50),
+      "IE", ip(52, 95, 124, 30));
+  add("home.nest.com", "Google", true, "US", ip(142, 250, 102, 14));
+  add("assistant.google.com", "Google", true, "US", ip(142, 250, 70, 46),
+      "NL", ip(172, 217, 170, 78));
+  add("api.ring.com", "Ring", false, "US", ip(54, 85, 62, 100));
+  add("updates.ring.com", "Ring", false, "US", ip(54, 85, 63, 4));
+  add("api.immedia-semi.com", "Blink", false, "US", ip(34, 195, 110, 27));
+  add("api.amcrestcloud.com", "Amcrest", false, "US", ip(67, 227, 204, 9));
+  add("mp-us-cloud.dlink.com", "D-Link", false, "US", ip(54, 88, 44, 125));
+  add("signal.dlink.com", "D-Link", false, "TW", ip(210, 64, 120, 8));
+  add("p2p.lefuniot.com", "Lefun", false, "CN", ip(119, 28, 66, 10));
+  add("cloud.luohe-tech.cn", "Luohe", false, "CN", ip(123, 57, 84, 22));
+  add("www.microseven.com", "Microseven", false, "US", ip(104, 152, 168, 26));
+  add("p2p.wansview.com", "Wansview", false, "CN", ip(120, 24, 58, 131));
+  add("relay.wimaker.cn", "WiMaker", false, "CN", ip(115, 29, 44, 72));
+  add("api.io.mi.com", "Xiaomi", false, "CN", ip(120, 92, 96, 35), "DE",
+      ip(161, 117, 70, 4));
+  add("ot.io.mi.com", "Xiaomi", false, "CN", ip(120, 92, 96, 60));
+  add("api.xiaoyi.com", "Yi", false, "CN", ip(106, 11, 32, 17));
+  add("device.zmodo.com", "Zmodo", false, "CN", ip(121, 40, 100, 80));
+  add("cloud.bosiwo.cn", "Bosiwo", false, "CN", ip(47, 95, 12, 30));
+  add("connect.insteon.com", "Insteon", false, "US", ip(63, 251, 88, 16));
+  add("api.lightify.com", "Osram", false, "DE", ip(52, 58, 150, 77));
+  add("ws.meethue.com", "Philips", false, "NL", ip(52, 213, 31, 203));
+  add("us.cloud.sengled.com", "Sengled", false, "CN", ip(54, 175, 222, 44));
+  add("api.smartthings.com", "Samsung", false, "US", ip(52, 44, 128, 90));
+  add("api.wink.com", "Wink", false, "US", ip(54, 164, 23, 77));
+  add("tcp.connman.net", "Honeywell", false, "US", ip(199, 62, 84, 151));
+  add("api.magichue.net", "Magichome", false, "CN", ip(47, 89, 30, 99));
+  add("wifi.fluxsmart.com", "Flux", false, "US", ip(50, 18, 132, 60));
+  add("use1-api.tplinkra.com", "TP-Link", false, "US", ip(52, 45, 62, 87),
+      "IE", ip(52, 213, 100, 20));
+  add("euw1-api.tplinkra.com", "TP-Link", false, "IE", ip(52, 213, 100, 21));
+  add("heartbeat.xwemo.com", "Belkin", false, "US", ip(54, 82, 106, 49));
+  add("nat.xbcs.net", "Belkin", false, "US", ip(35, 171, 42, 13));
+  add("api.honeywell.com", "Honeywell", false, "US", ip(199, 62, 84, 120));
+  // TVs.
+  add("play.itunes.apple.com", "Apple", false, "US", ip(17, 253, 14, 125),
+      "IE", ip(17, 253, 67, 202));
+  add("time-ios.apple.com", "Apple", false, "US", ip(17, 253, 4, 125));
+  add("api.amazonvideo.com", "Amazon", true, "US", ip(54, 239, 31, 80), "IE",
+      ip(52, 95, 126, 38));
+  add("softwareupdates.amazon.com", "Amazon", true, "US",
+      ip(54, 239, 39, 22));
+  add("us.lgtvsdp.com", "LG", false, "KR", ip(211, 115, 110, 30), "DE",
+      ip(165, 244, 110, 14));
+  add("scfs.roku.com", "Roku", false, "US", ip(34, 203, 220, 41));
+  add("logs.roku.com", "Roku", false, "US", ip(34, 203, 221, 9));
+  add("osb.samsungcloudsolution.com", "Samsung", false, "KR",
+      ip(211, 45, 60, 19), "DE", ip(185, 63, 96, 4));
+  add("lcprd1.samsungcloudsolution.net", "Samsung", false, "US",
+      ip(54, 148, 222, 7));
+  // Audio extras.
+  add("cortana.api.microsoft.com", "Microsoft", true, "US",
+      ip(40, 76, 100, 13));
+  add("voice.harman.com", "Harman", false, "US", ip(52, 71, 93, 200));
+  // Appliances.
+  add("api.anovaculinary.com", "Anova", false, "US", ip(34, 200, 110, 9));
+  add("cloud.behmor.com", "Behmor", false, "US", ip(52, 10, 44, 71));
+  add("iot.geappliances.com", "GE", false, "US", ip(23, 96, 110, 33));
+  add("app.netatmo.net", "Netatmo", false, "FR", ip(62, 210, 92, 77));
+  add("dc.samsungelectronics.com", "Samsung", false, "KR",
+      ip(211, 45, 27, 231));
+  add("api.smarter.am", "Smarter", false, "GB", ip(178, 62, 110, 4));
+  add("de.ott.io.mi.com", "Xiaomi", false, "SG", ip(161, 117, 44, 8));
+  // Generic NTP pools (unencrypted background traffic for everyone).
+  add("pool.ntp.org", "NTP Pool", true, "US", ip(129, 6, 15, 28), "GB",
+      ip(178, 79, 160, 57));
+  // Per-device EC2 hosts (one VM hostname per vendor deployment). Most
+  // vendors deploy only in us-east (the paper's "reliance on
+  // infrastructure with limited geodiversity"); every fourth host has an
+  // eu-west replica.
+  for (int i = 0; i < EndpointRegistry::kEc2HostCount; ++i) {
+    if (i % 4 == 0) {
+      add(ec2_domain(i), "Amazon", true, "US",
+          ip(52, 2, static_cast<std::uint8_t>(i + 1), 17), "IE",
+          ip(52, 209, static_cast<std::uint8_t>(i + 1), 17));
+    } else {
+      add(ec2_domain(i), "Amazon", true, "US",
+          ip(52, 2, static_cast<std::uint8_t>(i + 1), 17));
+    }
+  }
+  for (int i = 0; i < EndpointRegistry::kCloudfrontHostCount; ++i) {
+    add(cloudfront_domain(i), "Amazon", true, "US",
+        ip(13, 224, static_cast<std::uint8_t>(i + 1), 9), "DE",
+        ip(18, 184, static_cast<std::uint8_t>(i + 1), 9));
+  }
+  for (int i = 0; i < EndpointRegistry::kAkamaiEdgeHostCount; ++i) {
+    add(akamai_edge_domain(i), "Akamai", true, "US",
+        ip(23, 40, static_cast<std::uint8_t>(i + 1), 7), "GB",
+        ip(2, 18, static_cast<std::uint8_t>(i + 1), 7));
+  }
+  for (int i = 0; i < EndpointRegistry::kGoogleHostCount; ++i) {
+    add(google_host_domain(i), "Google", true, "US",
+        ip(142, 251, static_cast<std::uint8_t>(i + 1), 14), "NL",
+        ip(172, 217, static_cast<std::uint8_t>(i + 100), 14));
+  }
+  for (int i = 0; i < EndpointRegistry::kAzureHostCount; ++i) {
+    add(azure_host_domain(i), "Microsoft", true, "US",
+        ip(40, 79, static_cast<std::uint8_t>(i + 1), 5), "GB",
+        ip(51, 104, static_cast<std::uint8_t>(i + 1), 5));
+  }
+  return r;
+}
+
+}  // namespace
+
+const EndpointRegistry& EndpointRegistry::builtin() {
+  static const EndpointRegistry registry = build_registry();
+  return registry;
+}
+
+std::string ec2_domain(int index) {
+  index = index % EndpointRegistry::kEc2HostCount;
+  return "ec2-52-2-" + std::to_string(index + 1) +
+         "-17.compute-1.amazonaws.com";
+}
+
+std::string cloudfront_domain(int index) {
+  index = index % EndpointRegistry::kCloudfrontHostCount;
+  return "d" + std::to_string(1000 + index) + "abcd.cloudfront.net";
+}
+
+std::string akamai_edge_domain(int index) {
+  index = index % EndpointRegistry::kAkamaiEdgeHostCount;
+  return "e" + std::to_string(8000 + index) + ".dsce9.akamaiedge.net";
+}
+
+std::string google_host_domain(int index) {
+  index = index % EndpointRegistry::kGoogleHostCount;
+  return "lh" + std::to_string(index + 2) + ".googleusercontent.com";
+}
+
+std::string azure_host_domain(int index) {
+  index = index % EndpointRegistry::kAzureHostCount;
+  return "blob" + std::to_string(index + 1) + ".core.windows.net";
+}
+
+}  // namespace iotx::testbed

@@ -1,0 +1,88 @@
+// Registry of Internet endpoints contacted by the devices under test:
+// domain, owning organization, infrastructure (support-party) flag,
+// country, and the concrete IP serving each region.
+//
+// This is the substitute for WHOIS + regional-registry + geolocation data
+// (paper §4.1). The same registry populates the geo::OrgDatabase and
+// geo::GeoDatabase used by the analyses, and gives the synthesizer real
+// addresses to emit — so attribution runs on consistent, realistic data.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "iotx/geo/geo_db.hpp"
+#include "iotx/geo/org_db.hpp"
+#include "iotx/net/address.hpp"
+
+namespace iotx::testbed {
+
+struct Endpoint {
+  std::string domain;        ///< FQDN devices resolve ("api.ring.com")
+  std::string organization;  ///< owning org ("Amazon", "Google", ...)
+  bool infrastructure = false;  ///< CDN/cloud => support party
+  std::string country;       ///< ISO code of the default replica
+  net::Ipv4Address address;  ///< default replica address
+  /// Optional regional replica selected when the client egresses from the
+  /// other region (CDN behavior). Empty country = no regional replica.
+  std::string replica_country;
+  net::Ipv4Address replica_address;
+  /// When true, the public geolocation DB carries a wrong country for this
+  /// address (exercises the Passport RTT cross-check).
+  bool geo_db_wrong = false;
+};
+
+class EndpointRegistry {
+ public:
+  /// Builds the registry with every endpoint used by the device catalog.
+  static const EndpointRegistry& builtin();
+
+  const Endpoint* find(const std::string& domain) const;
+  const Endpoint* find_by_ip(net::Ipv4Address addr) const;
+  const std::vector<Endpoint>& all() const noexcept { return endpoints_; }
+
+  /// Replica address/country actually serving a client whose traffic
+  /// egresses in `egress_country` ("US" or "GB").
+  struct Replica {
+    net::Ipv4Address address;
+    std::string country;
+  };
+  Replica select_replica(const Endpoint& endpoint,
+                         const std::string& egress_country) const;
+
+  /// Populates an organization database (domains, infrastructure orgs,
+  /// registry prefixes) from this registry.
+  geo::OrgDatabase make_org_database() const;
+
+  /// Populates a geolocation database; entries flagged `geo_db_wrong`
+  /// receive a deliberately wrong, unreliable country.
+  geo::GeoDatabase make_geo_database() const;
+
+  void add(Endpoint endpoint);
+
+  /// Numbers of pre-registered per-device cloud hosts (see the *_domain()
+  /// helpers below). Real vendors run fleets of per-service hostnames,
+  /// which is what makes support-party destination counts large (Table 2)
+  /// and AWS the most-contacted organization (Table 4).
+  static constexpr int kEc2HostCount = 96;
+  static constexpr int kCloudfrontHostCount = 20;
+  static constexpr int kAkamaiEdgeHostCount = 12;
+  static constexpr int kGoogleHostCount = 10;
+  static constexpr int kAzureHostCount = 6;
+
+ private:
+  std::vector<Endpoint> endpoints_;
+  std::unordered_map<std::string, std::size_t> by_domain_;
+  std::unordered_map<net::Ipv4Address, std::size_t> by_ip_;
+};
+
+/// Per-device cloud hostnames (index is taken modulo the respective count).
+std::string ec2_domain(int index);
+std::string cloudfront_domain(int index);   ///< org Amazon (CDN)
+std::string akamai_edge_domain(int index);  ///< org Akamai (CDN)
+std::string google_host_domain(int index);  ///< org Google (cloud)
+std::string azure_host_domain(int index);   ///< org Microsoft (cloud)
+
+}  // namespace iotx::testbed

@@ -1,0 +1,135 @@
+#include "iotx/testbed/experiment.hpp"
+
+#include <stdexcept>
+
+namespace iotx::testbed {
+
+std::string_view experiment_type_name(ExperimentType t) noexcept {
+  switch (t) {
+    case ExperimentType::kPower: return "power";
+    case ExperimentType::kInteraction: return "interaction";
+    case ExperimentType::kIdle: return "idle";
+    case ExperimentType::kUncontrolled: return "uncontrolled";
+  }
+  return "?";
+}
+
+std::string ExperimentSpec::key() const {
+  std::string k = config.key();
+  k += '/';
+  k += device_id;
+  k += '/';
+  k += experiment_type_name(type);
+  if (!activity.empty()) {
+    k += '/';
+    k += activity;
+  }
+  k += "/rep";
+  k += std::to_string(repetition);
+  return k;
+}
+
+std::vector<ExperimentSpec> ExperimentRunner::schedule(
+    const DeviceSpec& device, const NetworkConfig& config) const {
+  std::vector<ExperimentSpec> specs;
+  double t = kSimulationEpoch;
+
+  for (int rep = 0; rep < plan_.power_reps; ++rep) {
+    ExperimentSpec s;
+    s.device_id = device.id;
+    s.config = config;
+    s.type = ExperimentType::kPower;
+    s.activity = "power";
+    s.repetition = rep;
+    s.start_time = t;
+    specs.push_back(std::move(s));
+    t += 180.0;  // two-minute captures plus turnaround
+  }
+
+  for (const InteractionScript& script : scripts_for(device)) {
+    const int reps = script.automated ? plan_.automated_reps
+                                      : plan_.manual_reps;
+    for (int rep = 0; rep < reps; ++rep) {
+      ExperimentSpec s;
+      s.device_id = device.id;
+      s.config = config;
+      s.type = ExperimentType::kInteraction;
+      s.activity = script.activity;
+      s.repetition = rep;
+      s.start_time = t;
+      specs.push_back(std::move(s));
+      t += 60.0;
+    }
+  }
+
+  {
+    ExperimentSpec s;
+    s.device_id = device.id;
+    s.config = config;
+    s.type = ExperimentType::kIdle;
+    s.repetition = 0;
+    s.start_time = t + 3600.0;
+    s.idle_hours = plan_.idle_hours;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+LabeledCapture ExperimentRunner::run(const ExperimentSpec& spec) const {
+  const DeviceSpec* device = find_device(spec.device_id);
+  if (device == nullptr) {
+    throw std::invalid_argument("unknown device: " + spec.device_id);
+  }
+  util::Prng prng("exp/" + spec.key());
+
+  LabeledCapture capture;
+  capture.spec = spec;
+  switch (spec.type) {
+    case ExperimentType::kPower:
+      capture.packets =
+          synth_.power_event(*device, spec.config, spec.start_time, prng);
+      break;
+    case ExperimentType::kInteraction: {
+      const ActivitySignature* sig =
+          TrafficSynthesizer::find_activity(*device, spec.activity);
+      if (sig == nullptr) {
+        throw std::invalid_argument("unknown activity: " + spec.activity);
+      }
+      capture.packets = synth_.activity_event(*device, spec.config, *sig,
+                                              spec.start_time, prng);
+      // Unrelated background traffic overlaps the labeled window (§6.1
+      // mentions NTP noise in experiment captures).
+      util::Prng bg = prng.fork("bg");
+      std::vector<net::Packet> noise =
+          synth_.background(*device, spec.config, spec.start_time,
+                            spec.start_time + sig->duration + 10.0, bg);
+      capture.packets.insert(capture.packets.end(), noise.begin(),
+                             noise.end());
+      break;
+    }
+    case ExperimentType::kIdle:
+      capture.packets = synth_.idle_period(*device, spec.config,
+                                           spec.start_time, spec.idle_hours,
+                                           prng);
+      break;
+    case ExperimentType::kUncontrolled:
+      // Uncontrolled captures come from the UserStudySimulator.
+      break;
+  }
+  std::stable_sort(capture.packets.begin(), capture.packets.end(),
+                   [](const net::Packet& a, const net::Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return capture;
+}
+
+std::vector<LabeledCapture> ExperimentRunner::run_all(
+    const DeviceSpec& device, const NetworkConfig& config) const {
+  std::vector<LabeledCapture> captures;
+  for (const ExperimentSpec& spec : schedule(device, config)) {
+    captures.push_back(run(spec));
+  }
+  return captures;
+}
+
+}  // namespace iotx::testbed

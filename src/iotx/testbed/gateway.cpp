@@ -1,0 +1,46 @@
+#include "iotx/testbed/gateway.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "iotx/util/strings.hpp"
+
+namespace iotx::testbed {
+
+void Gateway::tap(const std::vector<net::Packet>& packets) {
+  buffer_.insert(buffer_.end(), packets.begin(), packets.end());
+}
+
+std::map<net::MacAddress, std::vector<net::Packet>> Gateway::per_device()
+    const {
+  auto split = net::split_by_mac(buffer_);
+  for (auto& [mac, packets] : split) {
+    std::stable_sort(packets.begin(), packets.end(),
+                     [](const net::Packet& a, const net::Packet& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+  return split;
+}
+
+std::string Gateway::write_labeled(const std::string& root,
+                                   const LabeledCapture& capture) const {
+  namespace fs = std::filesystem;
+  const std::string lab = lab_ == LabSite::kUs ? "us" : "uk";
+  fs::path dir = fs::path(root) / lab / capture.spec.device_id;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return {};
+  std::string name = capture.spec.key();
+  std::replace(name.begin(), name.end(), '/', '_');
+  const fs::path file = dir / (name + ".pcap");
+  if (!net::pcap_write_file(file.string(), capture.packets)) return {};
+  return file.string();
+}
+
+std::optional<std::vector<net::Packet>> Gateway::read_labeled(
+    const std::string& path) {
+  return net::pcap_read_file(path);
+}
+
+}  // namespace iotx::testbed

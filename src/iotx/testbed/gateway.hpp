@@ -1,0 +1,46 @@
+// Capture gateway: the tcpdump-at-the-NAT role of the testbed server
+// (paper §3.2) — merges device traffic, splits it back per MAC address,
+// and persists labeled pcap files the way the released intl-iot dataset
+// is organized (<lab>/<device>/<label>.pcap).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iotx/net/pcap.hpp"
+#include "iotx/testbed/experiment.hpp"
+
+namespace iotx::testbed {
+
+class Gateway {
+ public:
+  explicit Gateway(LabSite lab) : lab_(lab) {}
+
+  /// Taps a capture (as the bridged IoT interface would see it).
+  void tap(const std::vector<net::Packet>& packets);
+
+  /// Everything captured so far, per device MAC, timestamp-sorted.
+  std::map<net::MacAddress, std::vector<net::Packet>> per_device() const;
+
+  /// Total packets tapped.
+  std::size_t packet_count() const noexcept { return buffer_.size(); }
+
+  /// Writes one labeled experiment to
+  /// `<root>/<lab>/<device>/<experiment key>.pcap`. Returns the file path,
+  /// or an empty string on I/O failure.
+  std::string write_labeled(const std::string& root,
+                            const LabeledCapture& capture) const;
+
+  /// Reads back a labeled capture written by write_labeled().
+  static std::optional<std::vector<net::Packet>> read_labeled(
+      const std::string& path);
+
+  LabSite lab() const noexcept { return lab_; }
+
+ private:
+  LabSite lab_;
+  std::vector<net::Packet> buffer_;
+};
+
+}  // namespace iotx::testbed

@@ -1,0 +1,70 @@
+#include "iotx/testbed/lab.hpp"
+
+#include <array>
+
+namespace iotx::testbed {
+
+std::string_view lab_name(LabSite lab) noexcept {
+  return lab == LabSite::kUs ? "US" : "UK";
+}
+
+std::string NetworkConfig::egress_country() const {
+  const bool us_egress = (lab == LabSite::kUs) != vpn;
+  return us_egress ? "US" : "GB";
+}
+
+std::string NetworkConfig::lab_country() const {
+  return lab == LabSite::kUs ? "US" : "GB";
+}
+
+std::string NetworkConfig::key() const {
+  std::string k = lab == LabSite::kUs ? "us" : "uk";
+  if (vpn) k += "-vpn";
+  return k;
+}
+
+const std::array<NetworkConfig, 4>& all_network_configs() {
+  static const std::array<NetworkConfig, 4> configs = {
+      NetworkConfig{LabSite::kUs, false},
+      NetworkConfig{LabSite::kUk, false},
+      NetworkConfig{LabSite::kUs, true},
+      NetworkConfig{LabSite::kUk, true},
+  };
+  return configs;
+}
+
+LabParams lab_params(LabSite lab) {
+  if (lab == LabSite::kUs) {
+    return LabParams{
+        net::Ipv4Address(129, 10, 9, 1),
+        net::Ipv4Address(10, 42, 0, 1),
+        net::MacAddress({0x02, 0x55, 0x00, 0x00, 0x00, 0x01}),
+        net::Ipv4Address(10, 42, 0, 1),
+    };
+  }
+  return LabParams{
+      net::Ipv4Address(155, 198, 30, 1),
+      net::Ipv4Address(10, 42, 1, 1),
+      net::MacAddress({0x02, 0x4b, 0x00, 0x00, 0x00, 0x01}),
+      net::Ipv4Address(10, 42, 1, 1),
+  };
+}
+
+double simulated_rtt_ms(const NetworkConfig& config,
+                        const std::string& endpoint_country) {
+  // Base physical minimum from the *egress* location, since the VPN
+  // tunnel routes all traffic through the other lab first.
+  const geo::Vantage egress_vantage = config.egress_country() == "US"
+                                          ? geo::Vantage::kUsLab
+                                          : geo::Vantage::kUkLab;
+  double rtt =
+      geo::PassportResolver::min_feasible_rtt_ms(egress_vantage,
+                                                 endpoint_country);
+  if (config.vpn) rtt += 76.0;  // transatlantic tunnel
+  // Deterministic queuing jitter per (config, country).
+  util::Prng prng("rtt/" + config.key() + "/" + endpoint_country);
+  rtt += prng.exponential(4.0);
+  return rtt;
+}
+
+}  // namespace iotx::testbed

@@ -1,0 +1,56 @@
+// Lab/network configuration: the two testbeds (paper §3.2) and the VPN
+// egress swap used for the regional experiments (§3.3).
+#pragma once
+
+#include <string>
+
+#include "iotx/geo/passport.hpp"
+#include "iotx/net/address.hpp"
+#include "iotx/testbed/endpoints.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace iotx::testbed {
+
+enum class LabSite { kUs, kUk };
+
+std::string_view lab_name(LabSite lab) noexcept;
+
+/// A (lab, egress) combination — the four experiment columns of every
+/// table: US, UK, VPN US->UK, VPN UK->US.
+struct NetworkConfig {
+  LabSite lab = LabSite::kUs;
+  bool vpn = false;  ///< true: egress via the *other* lab's public IP
+
+  /// Country of the public egress IP ("US" or "GB").
+  std::string egress_country() const;
+  /// The lab's physical country (jurisdiction of the deployment).
+  std::string lab_country() const;
+  geo::Vantage vantage() const noexcept {
+    return lab == LabSite::kUs ? geo::Vantage::kUsLab : geo::Vantage::kUkLab;
+  }
+  /// Stable key for PRNG seeding and result maps ("us", "uk-vpn", ...).
+  std::string key() const;
+
+  bool operator==(const NetworkConfig&) const = default;
+};
+
+/// All four configurations, in canonical order.
+const std::array<NetworkConfig, 4>& all_network_configs();
+
+/// Static lab parameters (addresses the gateway uses).
+struct LabParams {
+  net::Ipv4Address public_ip;   ///< NAT egress address
+  net::Ipv4Address gateway_ip;  ///< 10.42.x.1 on the IoT network
+  net::MacAddress gateway_mac;
+  net::Ipv4Address dns_server;  ///< the gateway itself resolves
+};
+
+LabParams lab_params(LabSite lab);
+
+/// Simulated minimum RTT (ms) measured from a lab to an endpoint country
+/// (traceroute substitute feeding the Passport resolver). Deterministic
+/// per (config, country); VPN egress adds the transatlantic tunnel.
+double simulated_rtt_ms(const NetworkConfig& config,
+                        const std::string& endpoint_country);
+
+}  // namespace iotx::testbed

@@ -1,0 +1,907 @@
+#include "iotx/testbed/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "iotx/net/bytes.hpp"
+#include "iotx/proto/dhcp.hpp"
+#include "iotx/proto/dns.hpp"
+#include "iotx/proto/http.hpp"
+#include "iotx/proto/ntp.hpp"
+#include "iotx/proto/tls.hpp"
+#include "iotx/util/codec.hpp"
+
+namespace iotx::testbed {
+
+namespace {
+
+constexpr std::size_t kMaxPayload = 1400;
+
+std::uint16_t dst_port_for(Transport t) {
+  switch (t) {
+    case Transport::kTls:
+    case Transport::kHttps443: return 443;
+    case Transport::kHttp: return 80;
+    case Transport::kCustomTcp: return 8899;
+    case Transport::kCustomUdp: return 32100;
+    case Transport::kRtspMedia: return 554;
+  }
+  return 443;
+}
+
+bool is_tcp_transport(Transport t) {
+  return t != Transport::kCustomUdp;
+}
+
+/// Everything fixed for one synthesized capture.
+struct Ctx {
+  const DeviceSpec* device;
+  NetworkConfig config;
+  LabParams lab;
+  net::MacAddress dev_mac;
+  net::Ipv4Address dev_ip;
+  PiiTokens pii;
+};
+
+Ctx make_ctx(const DeviceSpec& device, const NetworkConfig& config) {
+  const bool us = config.lab == LabSite::kUs;
+  return Ctx{&device, config, lab_params(config.lab), device_mac(device, us),
+             device_ip(device, us), pii_tokens(device, config.lab)};
+}
+
+/// One open connection to an endpoint.
+struct Session {
+  const Endpoint* endpoint = nullptr;
+  EndpointRegistry::Replica replica;
+  Transport transport = Transport::kTls;
+  PayloadStyle style = PayloadStyle::kEncryptedRandom;
+  net::FrameEndpoints ep;  ///< device -> server
+  double rtt = 0.02;       ///< seconds
+  std::uint32_t seq_up = 1;
+  std::uint32_t seq_down = 1;
+  bool first_up = true;
+  bool first_down = true;
+  int packet_counter = 0;
+};
+
+// ---- Payload generators ----------------------------------------------
+
+std::vector<std::uint8_t> random_bytes(util::Prng& prng, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(prng.uniform(256));
+  return out;
+}
+
+/// Highly repetitive keep-alive text: normalized entropy ~0.3 so the
+/// entropy classifier lands in the "likely unencrypted" band (§5.1).
+std::vector<std::uint8_t> plain_keepalive(std::size_t n, int seq) {
+  std::string text;
+  text.reserve(n + 32);
+  char counter[24];
+  std::snprintf(counter, sizeof(counter), "HEARTBEAT %06d ",
+                seq % 1000000);
+  text += counter;
+  // Filling with a two-symbol pattern keeps the byte entropy around the
+  // paper's H_unenc ~ 0.25, well under the 0.4 threshold.
+  while (text.size() < n) text += "OK";
+  text.resize(n);
+  return {text.begin(), text.end()};
+}
+
+/// Proprietary framing: ASCII magic + structured header + half random
+/// bytes. Entropy lands in the "unknown" band (0.4..0.8).
+std::vector<std::uint8_t> mixed_payload(util::Prng& prng, std::size_t n,
+                                        int seq) {
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  char header[64];
+  std::snprintf(header, sizeof(header), "IOTPv1 LEN=%05zu SEQ=%08d CH=0 ", n,
+                seq);
+  for (const char* p = header; *p != '\0' && out.size() < n; ++p) {
+    out.push_back(static_cast<std::uint8_t>(*p));
+  }
+  // Alternate structured text and random bytes in 32-byte runs.
+  bool random_run = true;
+  while (out.size() < n) {
+    const std::size_t run = std::min<std::size_t>(32, n - out.size());
+    if (random_run) {
+      for (std::size_t i = 0; i < run; ++i) {
+        out.push_back(static_cast<std::uint8_t>(prng.uniform(256)));
+      }
+    } else {
+      static constexpr std::string_view kFill = "DATA:0000-0000-0000:OK; ";
+      for (std::size_t i = 0; i < run; ++i) {
+        out.push_back(static_cast<std::uint8_t>(kFill[i % kFill.size()]));
+      }
+    }
+    random_run = !random_run;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> media_payload(util::Prng& prng, std::size_t n,
+                                        bool first, PayloadStyle style) {
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  if (first) {
+    if (style == PayloadStyle::kMediaJpeg) {
+      out.insert(out.end(), {0xff, 0xd8, 0xff, 0xe0});
+    } else {
+      out.insert(out.end(), {0x00, 0x00, 0x00, 0x01, 0x67});
+    }
+  }
+  while (out.size() < n) {
+    out.push_back(static_cast<std::uint8_t>(prng.uniform(256)));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> gzip_payload(util::Prng& prng, std::size_t n,
+                                       bool first) {
+  std::vector<std::uint8_t> out;
+  out.reserve(n);
+  if (first) out.insert(out.end(), {0x1f, 0x8b, 0x08, 0x00});
+  while (out.size() < n) {
+    out.push_back(static_cast<std::uint8_t>(prng.uniform(256)));
+  }
+  return out;
+}
+
+// ---- PII ---------------------------------------------------------------
+
+bool pii_applies(const Ctx& ctx, bool motion_context) {
+  const BehaviorProfile& b = ctx.device->behavior;
+  if (b.pii_leaks.empty()) return false;
+  if (b.pii_uk_only && ctx.config.lab != LabSite::kUk) return false;
+  if (b.pii_on_motion && !motion_context) return false;
+  if (!b.pii_on_motion && motion_context) return true;  // leaks everywhere
+  return true;
+}
+
+std::string pii_value(const Ctx& ctx, const std::string& token) {
+  if (token == "mac") return ctx.pii.mac;
+  if (token == "uuid") return ctx.pii.uuid;
+  if (token == "device_id") return ctx.pii.device_id;
+  if (token == "owner_name") return ctx.pii.owner_name;
+  if (token == "device_name") {
+    return ctx.pii.owner_name + "'s " + ctx.device->name;
+  }
+  if (token == "email") return ctx.pii.email;
+  if (token == "geo_city") return ctx.pii.geo_city;
+  if (token == "motion_ts") return "motion detected 2019-04-12 03:00";
+  return token;
+}
+
+/// Builds the plaintext HTTP status POST, embedding any applicable PII in
+/// one of several encodings (the scanner must search "various encodings",
+/// §6.1).
+std::string plain_http_body(const Ctx& ctx, util::Prng& prng,
+                            bool motion_context,
+                            const std::string& target_domain) {
+  std::string body = "status=ok&uptime=" + std::to_string(prng.uniform(90000));
+  if (!pii_applies(ctx, motion_context)) return body;
+  // The leak goes to one specific backend (§6.2 case studies), not to
+  // every plaintext destination the device happens to talk to.
+  const std::string& pii_domain = ctx.device->behavior.pii_domain;
+  if (!pii_domain.empty() && target_domain != pii_domain) return body;
+  for (const std::string& token : ctx.device->behavior.pii_leaks) {
+    const std::string value = pii_value(ctx, token);
+    switch (prng.uniform(4)) {
+      case 0: body += "&" + token + "=" + value; break;
+      case 1: body += "&" + token + "_b64=" + util::base64_encode(value); break;
+      case 2: body += "&" + token + "_hex=" + util::hex_encode(value); break;
+      default: body += "&" + token + "=" + util::url_encode(value); break;
+    }
+  }
+  return body;
+}
+
+// ---- Packet emission ---------------------------------------------------
+
+void emit(std::vector<net::Packet>& out, net::Packet packet) {
+  out.push_back(std::move(packet));
+}
+
+/// DNS lookup for a session's domain; returns the resolved (replica)
+/// address via the response packet.
+void emit_dns(std::vector<net::Packet>& out, const Ctx& ctx,
+              const std::string& domain, net::Ipv4Address answer, double& t,
+              util::Prng& prng) {
+  net::FrameEndpoints ep;
+  ep.src_mac = ctx.dev_mac;
+  ep.dst_mac = ctx.lab.gateway_mac;
+  ep.src_ip = ctx.dev_ip;
+  ep.dst_ip = ctx.lab.dns_server;
+  ep.src_port = static_cast<std::uint16_t>(20000 + prng.uniform(40000));
+  ep.dst_port = 53;
+  const auto id = static_cast<std::uint16_t>(prng.uniform(65536));
+  const proto::DnsMessage query = proto::make_query(id, domain);
+  const std::vector<std::uint8_t> qbytes = query.encode();
+  emit(out, net::make_udp_packet(t, ep, qbytes));
+  t += 0.002 + prng.exponential(0.004);
+  const proto::DnsMessage response = proto::make_response(query, answer);
+  const std::vector<std::uint8_t> rbytes = response.encode();
+  emit(out, net::make_udp_packet(t, net::reverse(ep), rbytes));
+  t += 0.001;
+}
+
+void emit_tcp_handshake(std::vector<net::Packet>& out, Session& s,
+                        double& t) {
+  using net::TcpHeader;
+  emit(out, net::make_tcp_packet(t, s.ep, {}, TcpHeader::kSyn, s.seq_up));
+  t += s.rtt / 2;
+  emit(out, net::make_tcp_packet(t, net::reverse(s.ep), {},
+                                 TcpHeader::kSyn | TcpHeader::kAck,
+                                 s.seq_down, s.seq_up + 1));
+  t += s.rtt / 2;
+  emit(out, net::make_tcp_packet(t, s.ep, {}, TcpHeader::kAck, s.seq_up + 1,
+                                 s.seq_down + 1));
+  s.seq_up += 1;
+  s.seq_down += 1;
+  t += 0.001;
+}
+
+void emit_tcp_data(std::vector<net::Packet>& out, Session& s, bool up,
+                   std::span<const std::uint8_t> payload, double t) {
+  using net::TcpHeader;
+  const net::FrameEndpoints ep = up ? s.ep : net::reverse(s.ep);
+  std::uint32_t& seq = up ? s.seq_up : s.seq_down;
+  const std::uint32_t ack = up ? s.seq_down : s.seq_up;
+  emit(out, net::make_tcp_packet(t, ep, payload,
+                                 TcpHeader::kPsh | TcpHeader::kAck, seq,
+                                 ack));
+  seq += static_cast<std::uint32_t>(payload.size());
+}
+
+void emit_udp_data(std::vector<net::Packet>& out, Session& s, bool up,
+                   std::span<const std::uint8_t> payload, double t) {
+  const net::FrameEndpoints ep = up ? s.ep : net::reverse(s.ep);
+  emit(out, net::make_udp_packet(t, ep, payload));
+}
+
+void emit_tls_handshake(std::vector<net::Packet>& out, Session& s, double& t,
+                        util::Prng& prng, bool with_sni) {
+  static constexpr std::uint16_t kSuites[] = {0x1301, 0x1302, 0xc02f, 0xc030,
+                                              0xc02b, 0xc02c, 0x009e};
+  const std::vector<std::uint8_t> random32 = random_bytes(prng, 32);
+  const std::string sni = with_sni ? s.endpoint->domain : std::string();
+  const std::vector<std::uint8_t> hello =
+      proto::build_client_hello(sni, kSuites, random32);
+  emit_tcp_data(out, s, /*up=*/true, hello, t);
+  t += s.rtt;
+  // ServerHello + certificate chain: one large handshake record split
+  // across segments.
+  proto::TlsRecord server;
+  server.content_type = proto::TlsContentType::kHandshake;
+  server.fragment = random_bytes(prng, 2200);
+  server.fragment[0] = 2;  // ServerHello handshake type
+  const std::vector<std::uint8_t> server_bytes = server.encode();
+  for (std::size_t off = 0; off < server_bytes.size(); off += kMaxPayload) {
+    const std::size_t n = std::min(kMaxPayload, server_bytes.size() - off);
+    emit_tcp_data(out, s, /*up=*/false,
+                  std::span(server_bytes).subspan(off, n), t);
+    t += 0.0005;
+  }
+  t += s.rtt / 2;
+  // Client Finished (ChangeCipherSpec + encrypted handshake).
+  proto::TlsRecord finished;
+  finished.content_type = proto::TlsContentType::kChangeCipherSpec;
+  finished.fragment = {1};
+  emit_tcp_data(out, s, /*up=*/true, finished.encode(), t);
+  t += 0.001;
+}
+
+/// Opens a session: DNS lookup, TCP and TLS handshakes as required.
+Session open_session(std::vector<net::Packet>& out, const Ctx& ctx,
+                     const EndpointRegistry& registry, const EndpointUse& use,
+                     double& t, util::Prng& prng) {
+  Session s;
+  s.endpoint = registry.find(use.domain);
+  s.transport = use.transport;
+  s.style = use.style;
+  if (s.endpoint == nullptr) {
+    // Unknown endpoint: fall back to a fixed sink address so synthesis
+    // never crashes; attribution will leave it unlabeled.
+    static const Endpoint kSink{"unknown.invalid", "Unknown", false, "US",
+                                net::Ipv4Address(203, 0, 113, 1),
+                                "", net::Ipv4Address(), false};
+    s.endpoint = &kSink;
+  }
+  s.replica = registry.select_replica(*s.endpoint,
+                                      ctx.config.egress_country());
+  s.rtt = simulated_rtt_ms(ctx.config, s.replica.country) / 1000.0;
+
+  emit_dns(out, ctx, s.endpoint->domain, s.replica.address, t, prng);
+
+  s.ep.src_mac = ctx.dev_mac;
+  s.ep.dst_mac = ctx.lab.gateway_mac;
+  s.ep.src_ip = ctx.dev_ip;
+  s.ep.dst_ip = s.replica.address;
+  s.ep.src_port = static_cast<std::uint16_t>(10000 + prng.uniform(50000));
+  s.ep.dst_port = dst_port_for(s.transport);
+  s.seq_up = static_cast<std::uint32_t>(prng.uniform(1u << 31));
+  s.seq_down = static_cast<std::uint32_t>(prng.uniform(1u << 31));
+
+  if (is_tcp_transport(s.transport)) emit_tcp_handshake(out, s, t);
+  if (s.transport == Transport::kTls) {
+    emit_tls_handshake(out, s, t, prng, /*with_sni=*/true);
+  } else if (s.transport == Transport::kHttps443) {
+    emit_tls_handshake(out, s, t, prng, /*with_sni=*/false);
+  } else if (s.transport == Transport::kRtspMedia) {
+    // RTSP session setup in the clear, like real unencrypted IP cameras.
+    const std::string describe = "DESCRIBE rtsp://" + s.endpoint->domain +
+                                 "/live.sdp RTSP/1.0\r\nCSeq: 1\r\n"
+                                 "Host: " + s.endpoint->domain + "\r\n\r\n";
+    emit_tcp_data(out, s, /*up=*/true, net::as_bytes(describe), t);
+    t += s.rtt;
+  }
+  return s;
+}
+
+/// Emits one application data packet on a session.
+void emit_app_packet(std::vector<net::Packet>& out, const Ctx& ctx,
+                     Session& s, bool up, std::size_t size, double t,
+                     util::Prng& prng, bool motion_context) {
+  size = std::clamp<std::size_t>(size, 24, kMaxPayload);
+  ++s.packet_counter;
+  switch (s.transport) {
+    case Transport::kTls:
+    case Transport::kHttps443: {
+      // TLS application data wrapping random ciphertext.
+      const std::vector<std::uint8_t> rec = proto::build_application_data(
+          random_bytes(prng, std::max<std::size_t>(size, 32) - 5));
+      emit_tcp_data(out, s, up, rec, t);
+      return;
+    }
+    case Transport::kHttp: {
+      if (up) {
+        proto::HttpRequest req;
+        req.method = "POST";
+        req.target = "/api/v1/status";
+        req.set_header("Host", s.endpoint->domain);
+        req.set_header("User-Agent", ctx.device->id + "/1.0");
+        req.body = plain_http_body(ctx, prng, motion_context,
+                                   s.endpoint->domain);
+        const std::string text = req.encode();
+        emit_tcp_data(out, s, true, net::as_bytes(text), t);
+      } else {
+        proto::HttpResponse res;
+        res.set_header("Content-Type", "application/json");
+        res.body = "{\"result\":\"ok\",\"code\":0}";
+        const std::string text = res.encode();
+        emit_tcp_data(out, s, false, net::as_bytes(text), t);
+      }
+      return;
+    }
+    case Transport::kCustomTcp:
+    case Transport::kCustomUdp: {
+      std::vector<std::uint8_t> payload;
+      if (s.style == PayloadStyle::kPlainJson) {
+        payload = plain_keepalive(size, s.packet_counter);
+      } else if (s.style == PayloadStyle::kEncryptedRandom) {
+        payload = random_bytes(prng, size);
+      } else {
+        payload = mixed_payload(prng, size, s.packet_counter);
+      }
+      if (s.transport == Transport::kCustomUdp) {
+        emit_udp_data(out, s, up, payload, t);
+      } else {
+        emit_tcp_data(out, s, up, payload, t);
+      }
+      return;
+    }
+    case Transport::kRtspMedia: {
+      bool& first = up ? s.first_up : s.first_down;
+      const PayloadStyle style = s.style == PayloadStyle::kMediaJpeg
+                                     ? PayloadStyle::kMediaJpeg
+                                     : PayloadStyle::kMediaH264;
+      const std::vector<std::uint8_t> payload =
+          media_payload(prng, size, first, style);
+      first = false;
+      emit_tcp_data(out, s, up, payload, t);
+      return;
+    }
+  }
+}
+
+/// Endpoints applicable under a config during `activity` ("power" selects
+/// power_only ones too; empty = background/keep-alive traffic).
+std::vector<EndpointUse> applicable_endpoints(const DeviceSpec& device,
+                                              const NetworkConfig& config,
+                                              std::string_view activity) {
+  const bool power = activity == "power";
+  std::vector<EndpointUse> out;
+  for (const EndpointUse& u : device.behavior.endpoints) {
+    if (u.power_only && !power) continue;
+    if (u.not_on_power && power) continue;
+    if (u.vpn_only && !config.vpn) continue;
+    if (u.direct_only && config.vpn) continue;
+    if (u.uk_lab_only && config.lab != LabSite::kUk) continue;
+    if (u.us_lab_only && config.lab != LabSite::kUs) continue;
+    if (!u.only_activities.empty()) {
+      const bool match =
+          std::find(u.only_activities.begin(), u.only_activities.end(),
+                    activity) != u.only_activities.end();
+      if (!match) continue;
+    }
+    out.push_back(u);
+  }
+  return out;
+}
+
+/// The endpoint plaintext traffic is sent to (PII target when configured).
+EndpointUse plain_endpoint_use(const DeviceSpec& device) {
+  const BehaviorProfile& b = device.behavior;
+  if (!b.pii_domain.empty()) {
+    EndpointUse u;
+    u.domain = b.pii_domain;
+    u.transport = Transport::kHttp;
+    u.style = PayloadStyle::kPlainJson;
+    return u;
+  }
+  for (const EndpointUse& u : b.endpoints) {
+    if (u.transport == Transport::kHttp) return u;
+  }
+  EndpointUse u = b.endpoints.front();
+  u.transport = Transport::kHttp;
+  u.style = PayloadStyle::kPlainJson;
+  return u;
+}
+
+/// Per-repetition effective signature: distinctiveness shrinks activity
+/// offsets toward the device mean; noise jitters each repetition.
+struct EffectiveSignature {
+  int up, down;
+  double mu_up, sigma_up, mu_down, sigma_down, gap;
+  bool media;
+};
+
+EffectiveSignature effective_signature(const DeviceSpec& device,
+                                       const ActivitySignature& sig,
+                                       util::Prng& prng) {
+  const auto& acts = device.behavior.activities;
+  double mean_mu_up = 0, mean_mu_down = 0, mean_gap = 0, mean_up = 0,
+         mean_down = 0;
+  for (const ActivitySignature& a : acts) {
+    mean_mu_up += a.size_up_mu;
+    mean_mu_down += a.size_down_mu;
+    mean_gap += a.gap_mean;
+    mean_up += a.packets_up;
+    mean_down += a.packets_down;
+  }
+  const double n = static_cast<double>(acts.size());
+  mean_mu_up /= n;
+  mean_mu_down /= n;
+  mean_gap /= n;
+  mean_up /= n;
+  mean_down /= n;
+
+  const double d = device.behavior.distinctiveness;
+  const double noise = sig.noise;
+  const auto blend = [d](double mean, double value) {
+    return mean + d * (value - mean);
+  };
+
+  EffectiveSignature e;
+  e.mu_up = blend(mean_mu_up, sig.size_up_mu) + noise * prng.normal() * 0.35;
+  e.mu_down =
+      blend(mean_mu_down, sig.size_down_mu) + noise * prng.normal() * 0.35;
+  e.sigma_up = sig.size_up_sigma;
+  e.sigma_down = sig.size_down_sigma;
+  e.gap = blend(mean_gap, sig.gap_mean) * std::exp(noise * prng.normal());
+  e.gap = std::max(e.gap, 0.001);
+  const double count_jitter_up = std::exp(noise * prng.normal() * 0.6);
+  const double count_jitter_down = std::exp(noise * prng.normal() * 0.6);
+  e.up = std::max(3, static_cast<int>(std::lround(
+                         blend(mean_up, sig.packets_up) * count_jitter_up)));
+  e.down = std::max(3, static_cast<int>(std::lround(
+                           blend(mean_down, sig.packets_down) *
+                           count_jitter_down)));
+  e.media = sig.media_upload;
+  return e;
+}
+
+}  // namespace
+
+PiiTokens pii_tokens(const DeviceSpec& device, LabSite lab) {
+  const bool us = lab == LabSite::kUs;
+  PiiTokens p;
+  p.mac = device_mac(device, us).to_string();
+  const std::uint64_t h = util::fnv1a64(device.id + "/pii");
+  char uuid[40];
+  std::snprintf(uuid, sizeof(uuid),
+                "%08x-1234-5678-9abc-%012llx",
+                static_cast<unsigned>(h & 0xffffffff),
+                static_cast<unsigned long long>(h >> 16 & 0xffffffffffffULL));
+  p.uuid = uuid;
+  p.device_id = "DID" + std::to_string(h % 100000000);
+  p.owner_name = "John Doe";
+  p.email = "john.doe@example.com";
+  p.geo_city = us ? "Boston, MA" : "London";
+  return p;
+}
+
+const ActivitySignature* TrafficSynthesizer::find_activity(
+    const DeviceSpec& device, std::string_view name) {
+  for (const ActivitySignature& a : device.behavior.activities) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+double TrafficSynthesizer::effective_plaintext_fraction(
+    const DeviceSpec& device, const NetworkConfig& config) {
+  const BehaviorProfile& b = device.behavior;
+  double p = b.plaintext_fraction;
+  if (config.lab == LabSite::kUk && b.plaintext_fraction_uk >= 0.0) {
+    p = b.plaintext_fraction_uk;
+  }
+  if (config.vpn && b.plaintext_fraction_vpn >= 0.0) {
+    p = b.plaintext_fraction_vpn;
+  }
+  return std::clamp(p, 0.0, 1.0);
+}
+
+std::vector<net::Packet> TrafficSynthesizer::activity_event(
+    const DeviceSpec& device, const NetworkConfig& config,
+    const ActivitySignature& signature, double start_ts,
+    util::Prng& prng) const {
+  std::vector<net::Packet> out;
+  const Ctx ctx = make_ctx(device, config);
+  double t = start_ts;
+
+  // Choose the endpoints involved in this interaction.
+  std::vector<EndpointUse> uses = signature.extra_endpoints;
+  if (uses.empty()) {
+    uses = applicable_endpoints(device, config, signature.name);
+  }
+  if (uses.empty()) return out;
+  std::vector<EndpointUse> chosen;
+  for (const EndpointUse& u : uses) {
+    if (u.weight >= 1.0 || prng.chance(u.weight)) chosen.push_back(u);
+  }
+  if (chosen.empty()) chosen.push_back(uses.front());
+
+  std::vector<Session> sessions;
+  sessions.reserve(chosen.size());
+  for (const EndpointUse& u : chosen) {
+    sessions.push_back(open_session(out, ctx, *registry_, u, t, prng));
+  }
+
+  // Plaintext side channel (drives Table 7 percentages and PII leaks).
+  const double p_plain = effective_plaintext_fraction(device, config);
+  const bool motion = signature.name.find("move") != std::string::npos;
+  std::optional<Session> plain_session;
+  if (p_plain > 0.0 || pii_applies(ctx, motion)) {
+    plain_session = open_session(out, ctx, *registry_,
+                                 plain_endpoint_use(device), t, prng);
+  }
+
+  const EffectiveSignature e = effective_signature(device, signature, prng);
+  int up_left = e.up;
+  int down_left = e.down;
+  // Sessions receive packets proportionally to their endpoint weights.
+  std::vector<double> session_weights;
+  session_weights.reserve(chosen.size());
+  for (const EndpointUse& u : chosen) {
+    session_weights.push_back(std::max(u.weight, 0.05));
+  }
+  while (up_left > 0 || down_left > 0) {
+    const bool up =
+        prng.uniform(static_cast<std::uint64_t>(up_left + down_left)) <
+        static_cast<std::uint64_t>(up_left);
+    (up ? up_left : down_left) -= 1;
+    t += prng.exponential(e.gap);
+
+    const double mu = up ? e.mu_up : e.mu_down;
+    const double sigma = up ? e.sigma_up : e.sigma_down;
+    const auto size = static_cast<std::size_t>(
+        std::clamp(std::exp(prng.normal(mu, sigma)), 24.0, 1400.0));
+
+    if (plain_session && prng.chance(p_plain)) {
+      emit_app_packet(out, ctx, *plain_session, up, size, t, prng, motion);
+      continue;
+    }
+    Session& s = sessions[prng.weighted(session_weights)];
+    emit_app_packet(out, ctx, s, up, size, t, prng, motion);
+  }
+
+  // PII-on-motion devices (Xiaomi Cam) ride the leak on the motion event
+  // itself even when the plaintext fraction is tiny.
+  if (motion && plain_session && pii_applies(ctx, true)) {
+    t += 0.01;
+    emit_app_packet(out, ctx, *plain_session, true, 400, t, prng, true);
+  }
+  return out;
+}
+
+namespace {
+
+/// LAN boot chatter: the DHCP DORA exchange (what the paper's DHCP server
+/// logs record for every reconnect), an mDNS hostname announcement, and --
+/// for media devices -- an SSDP NOTIFY.
+void emit_boot_chatter(std::vector<net::Packet>& out, const Ctx& ctx,
+                       double& t, util::Prng& prng) {
+  const auto xid = static_cast<std::uint32_t>(prng.uniform(1u << 31));
+  const std::string hostname = ctx.device->id;
+
+  net::FrameEndpoints dhcp_ep;
+  dhcp_ep.src_mac = ctx.dev_mac;
+  dhcp_ep.dst_mac = *net::MacAddress::parse("ff:ff:ff:ff:ff:ff");
+  dhcp_ep.src_ip = net::Ipv4Address(0u);
+  dhcp_ep.dst_ip = net::Ipv4Address(255, 255, 255, 255);
+  dhcp_ep.src_port = 68;
+  dhcp_ep.dst_port = 67;
+
+  proto::DhcpMessage msg;
+  msg.client_mac = ctx.dev_mac;
+  msg.transaction_id = xid;
+  msg.hostname = hostname;
+
+  msg.type = proto::DhcpMessageType::kDiscover;
+  emit(out, net::make_udp_packet(t, dhcp_ep, msg.encode()));
+  t += 0.01;
+
+  net::FrameEndpoints offer_ep;
+  offer_ep.src_mac = ctx.lab.gateway_mac;
+  offer_ep.dst_mac = ctx.dev_mac;
+  offer_ep.src_ip = ctx.lab.gateway_ip;
+  offer_ep.dst_ip = ctx.dev_ip;
+  offer_ep.src_port = 67;
+  offer_ep.dst_port = 68;
+  msg.type = proto::DhcpMessageType::kOffer;
+  msg.your_ip = ctx.dev_ip;
+  msg.server_ip = ctx.lab.gateway_ip;
+  msg.hostname.clear();
+  emit(out, net::make_udp_packet(t, offer_ep, msg.encode()));
+  t += 0.005;
+
+  msg.type = proto::DhcpMessageType::kRequest;
+  msg.hostname = hostname;
+  emit(out, net::make_udp_packet(t, dhcp_ep, msg.encode()));
+  t += 0.005;
+
+  msg.type = proto::DhcpMessageType::kAck;
+  msg.hostname.clear();
+  emit(out, net::make_udp_packet(t, offer_ep, msg.encode()));
+  t += 0.02;
+
+  // mDNS announcement of <id>.local (multicast).
+  net::FrameEndpoints mdns_ep;
+  mdns_ep.src_mac = ctx.dev_mac;
+  mdns_ep.dst_mac = *net::MacAddress::parse("01:00:5e:00:00:fb");
+  mdns_ep.src_ip = ctx.dev_ip;
+  mdns_ep.dst_ip = net::Ipv4Address(224, 0, 0, 251);
+  mdns_ep.src_port = 5353;
+  mdns_ep.dst_port = 5353;
+  proto::DnsMessage announce;
+  announce.is_response = true;
+  proto::DnsRecord a;
+  a.name = hostname + ".local";
+  const std::uint32_t ip = ctx.dev_ip.value();
+  a.rdata = {static_cast<std::uint8_t>(ip >> 24),
+             static_cast<std::uint8_t>(ip >> 16),
+             static_cast<std::uint8_t>(ip >> 8),
+             static_cast<std::uint8_t>(ip)};
+  announce.answers.push_back(std::move(a));
+  emit(out, net::make_udp_packet(t, mdns_ep, announce.encode()));
+  t += 0.02;
+
+  // SSDP NOTIFY for media/TV devices.
+  if (ctx.device->category == Category::kTv ||
+      ctx.device->category == Category::kAudio) {
+    net::FrameEndpoints ssdp_ep;
+    ssdp_ep.src_mac = ctx.dev_mac;
+    ssdp_ep.dst_mac = *net::MacAddress::parse("01:00:5e:7f:ff:fa");
+    ssdp_ep.src_ip = ctx.dev_ip;
+    ssdp_ep.dst_ip = net::Ipv4Address(239, 255, 255, 250);
+    ssdp_ep.src_port = static_cast<std::uint16_t>(49000 + prng.uniform(999));
+    ssdp_ep.dst_port = 1900;
+    const std::string notify =
+        "NOTIFY * HTTP/1.1\r\nHOST: 239.255.255.250:1900\r\nNT: "
+        "upnp:rootdevice\r\nUSN: uuid:" + hostname + "\r\n\r\n";
+    emit(out, net::make_udp_packet(t, ssdp_ep, net::as_bytes(notify)));
+    t += 0.01;
+  }
+}
+
+}  // namespace
+
+std::vector<net::Packet> TrafficSynthesizer::power_event(
+    const DeviceSpec& device, const NetworkConfig& config, double start_ts,
+    util::Prng& prng) const {
+  std::vector<net::Packet> out;
+  const Ctx ctx = make_ctx(device, config);
+  double t = start_ts;
+
+  // LAN chatter first: DHCP, mDNS, SSDP.
+  emit_boot_chatter(out, ctx, t, prng);
+
+  // Boot: contact every applicable endpoint including power-only parties.
+  const std::vector<EndpointUse> uses =
+      applicable_endpoints(device, config, "power");
+  std::vector<Session> sessions;
+  for (const EndpointUse& u : uses) {
+    sessions.push_back(open_session(out, ctx, *registry_, u, t, prng));
+    t += prng.exponential(0.05);
+  }
+
+  // Occasional firmware/metadata download over plain HTTP (§6.2: "large
+  // unencrypted file transmissions that contained firmware updates").
+  if (prng.chance(0.12) && !uses.empty()) {
+    EndpointUse fw = uses.front();
+    fw.transport = Transport::kHttp;
+    Session s = open_session(out, ctx, *registry_, fw, t, prng);
+    proto::HttpRequest req;
+    req.method = "GET";
+    req.target = "/firmware/latest.bin";
+    req.set_header("Host", s.endpoint->domain);
+    emit_tcp_data(out, s, true, net::as_bytes(req.encode()), t);
+    t += s.rtt;
+    bool first = true;
+    const int chunks = 6 + static_cast<int>(prng.uniform(12));
+    for (int i = 0; i < chunks; ++i) {
+      const std::vector<std::uint8_t> chunk =
+          gzip_payload(prng, 1380, first);
+      first = false;
+      emit_tcp_data(out, s, false, chunk, t);
+      t += 0.002;
+    }
+  }
+
+  // NTP sync on boot.
+  if (device.behavior.uses_ntp) {
+    proto::NtpPacket ntp;
+    ntp.mode = 3;
+    ntp.transmit_timestamp = proto::unix_to_ntp(t);
+    net::FrameEndpoints ep;
+    ep.src_mac = ctx.dev_mac;
+    ep.dst_mac = ctx.lab.gateway_mac;
+    ep.src_ip = ctx.dev_ip;
+    ep.dst_ip = registry_->find("pool.ntp.org")->address;
+    ep.src_port = static_cast<std::uint16_t>(40000 + prng.uniform(10000));
+    ep.dst_port = 123;
+    emit(out, net::make_udp_packet(t, ep, ntp.encode()));
+    t += 0.05;
+    proto::NtpPacket reply;
+    reply.mode = 4;
+    reply.stratum = 2;
+    reply.transmit_timestamp = proto::unix_to_ntp(t);
+    emit(out, net::make_udp_packet(t, net::reverse(ep), reply.encode()));
+  }
+
+  // The "power" traffic signature itself.
+  if (const ActivitySignature* power = find_activity(device, "power")) {
+    std::vector<net::Packet> sig_traffic =
+        activity_event(device, config, *power, t + 0.2, prng);
+    out.insert(out.end(), sig_traffic.begin(), sig_traffic.end());
+  }
+  return out;
+}
+
+std::vector<net::Packet> TrafficSynthesizer::background(
+    const DeviceSpec& device, const NetworkConfig& config, double t0,
+    double t1, util::Prng& prng) const {
+  std::vector<net::Packet> out;
+  const Ctx ctx = make_ctx(device, config);
+  const BehaviorProfile& b = device.behavior;
+  if (b.endpoints.empty()) return out;
+
+  double t = t0;
+  std::vector<EndpointUse> usable = applicable_endpoints(device, config, "");
+  if (usable.empty()) usable.push_back(b.endpoints.front());
+  Session primary = open_session(out, ctx, *registry_, usable.front(), t,
+                                 prng);
+  std::optional<Session> plain;
+  const double p_plain = effective_plaintext_fraction(device, config);
+  if (p_plain > 0.0) {
+    plain = open_session(out, ctx, *registry_, plain_endpoint_use(device), t,
+                         prng);
+  }
+
+  double next_heartbeat = t + prng.exponential(b.heartbeat_period * 0.3);
+  double next_ntp = t + prng.exponential(64.0);
+  while (true) {
+    const double next =
+        b.uses_ntp ? std::min(next_heartbeat, next_ntp) : next_heartbeat;
+    if (next >= t1) break;
+    t = next;
+    if (b.uses_ntp && next_ntp <= next_heartbeat) {
+      next_ntp = t + 64.0 + prng.exponential(8.0);
+      proto::NtpPacket ntp;
+      ntp.mode = 3;
+      ntp.transmit_timestamp = proto::unix_to_ntp(t);
+      net::FrameEndpoints ep;
+      ep.src_mac = ctx.dev_mac;
+      ep.dst_mac = ctx.lab.gateway_mac;
+      ep.src_ip = ctx.dev_ip;
+      ep.dst_ip = registry_->find("pool.ntp.org")->address;
+      ep.src_port = static_cast<std::uint16_t>(40000 + prng.uniform(10000));
+      ep.dst_port = 123;
+      emit(out, net::make_udp_packet(t, ep, ntp.encode()));
+      proto::NtpPacket reply;
+      reply.mode = 4;
+      reply.stratum = 2;
+      reply.transmit_timestamp = proto::unix_to_ntp(t + 0.04);
+      emit(out, net::make_udp_packet(t + 0.04, net::reverse(ep),
+                                     reply.encode()));
+      continue;
+    }
+    next_heartbeat =
+        t + b.heartbeat_period * std::exp(prng.normal() * 0.1);
+    const bool use_plain = plain && prng.chance(p_plain);
+    Session& s = use_plain ? *plain : primary;
+    for (int i = 0; i < 2; ++i) {
+      emit_app_packet(out, ctx, s, true,
+                      90 + prng.uniform(80), t, prng, false);
+      t += 0.01 + prng.exponential(0.01);
+      emit_app_packet(out, ctx, s, false,
+                      80 + prng.uniform(60), t, prng, false);
+      t += 0.01;
+    }
+  }
+  return out;
+}
+
+std::vector<net::Packet> TrafficSynthesizer::idle_period(
+    const DeviceSpec& device, const NetworkConfig& config, double t0,
+    double hours, util::Prng& prng) const {
+  const double t1 = t0 + hours * 3600.0;
+  util::Prng bg_prng = prng.fork("background");
+  std::vector<net::Packet> out =
+      background(device, config, t0, t1, bg_prng);
+
+  const BehaviorProfile& b = device.behavior;
+
+  // Wi-Fi reconnects replay the power-on handshake (paper: "devices that
+  // frequently disconnect and reconnect to the Wi-Fi network").
+  double reconnect_rate = b.reconnect_per_hour;
+  if (config.lab == LabSite::kUk && b.reconnect_per_hour_uk >= 0.0) {
+    reconnect_rate = b.reconnect_per_hour_uk;
+  }
+  if (config.vpn && b.reconnect_per_hour_vpn >= 0.0) {
+    reconnect_rate = b.reconnect_per_hour_vpn;
+  }
+  util::Prng rc_prng = prng.fork("reconnect");
+  const int reconnects = static_cast<int>(
+      std::lround(reconnect_rate * hours *
+                  std::exp(rc_prng.normal() * 0.2)));
+  for (int i = 0; i < reconnects; ++i) {
+    const double at = t0 + rc_prng.uniform01() * hours * 3600.0;
+    util::Prng ev = rc_prng.fork("ev" + std::to_string(i));
+    std::vector<net::Packet> burst = power_event(device, config, at, ev);
+    out.insert(out.end(), burst.begin(), burst.end());
+  }
+
+  // Spurious activities (Table 11 idle detections).
+  for (const SpuriousActivity& sp : b.spurious) {
+    const ActivitySignature* sig = find_activity(device, sp.activity);
+    if (sig == nullptr) continue;
+    double rate = 0.0;
+    if (config.lab == LabSite::kUs) {
+      rate = config.vpn ? sp.per_hour_vpn_us : sp.per_hour_us;
+    } else {
+      rate = config.vpn ? sp.per_hour_vpn_uk : sp.per_hour_uk;
+    }
+    if (rate <= 0.0) continue;
+    util::Prng sp_prng = prng.fork("spurious/" + sp.activity);
+    const int events = static_cast<int>(std::lround(
+        rate * hours * std::exp(sp_prng.normal() * 0.1)));
+    for (int i = 0; i < events; ++i) {
+      const double at = t0 + sp_prng.uniform01() * hours * 3600.0;
+      util::Prng ev = sp_prng.fork("ev" + std::to_string(i));
+      std::vector<net::Packet> burst =
+          activity_event(device, config, *sig, at, ev);
+      out.insert(out.end(), burst.begin(), burst.end());
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const net::Packet& a, const net::Packet& b2) {
+                     return a.timestamp < b2.timestamp;
+                   });
+  return out;
+}
+
+}  // namespace iotx::testbed

@@ -1,0 +1,80 @@
+// Traffic synthesizer: turns a device's behavior profile into genuine
+// wire-format packet captures — DNS lookups, TCP/TLS handshakes with SNI,
+// plaintext HTTP (including the PII leaks of §6.2), proprietary
+// partially-encrypted protocols, media streams, NTP — with the per-activity
+// packet-size/timing signatures the inference analyses learn from.
+//
+// This is the substitution for the physical devices (see DESIGN.md): every
+// downstream analysis consumes only these captures.
+#pragma once
+
+#include <vector>
+
+#include "iotx/net/packet.hpp"
+#include "iotx/testbed/catalog.hpp"
+#include "iotx/testbed/endpoints.hpp"
+#include "iotx/testbed/lab.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace iotx::testbed {
+
+class TrafficSynthesizer {
+ public:
+  explicit TrafficSynthesizer(
+      const EndpointRegistry& registry = EndpointRegistry::builtin())
+      : registry_(&registry) {}
+
+  /// Power-on: DNS + connections to every applicable endpoint (including
+  /// power_only ones), an occasional firmware download, and the device's
+  /// "power" activity signature.
+  std::vector<net::Packet> power_event(const DeviceSpec& device,
+                                       const NetworkConfig& config,
+                                       double start_ts,
+                                       util::Prng& prng) const;
+
+  /// One labeled interaction following `signature`.
+  std::vector<net::Packet> activity_event(const DeviceSpec& device,
+                                          const NetworkConfig& config,
+                                          const ActivitySignature& signature,
+                                          double start_ts,
+                                          util::Prng& prng) const;
+
+  /// Keep-alive / NTP / DNS-refresh background over [t0, t1).
+  std::vector<net::Packet> background(const DeviceSpec& device,
+                                      const NetworkConfig& config, double t0,
+                                      double t1, util::Prng& prng) const;
+
+  /// A full idle period: background plus Wi-Fi reconnect storms (replayed
+  /// power handshakes) and the device's spurious activities (§7.2).
+  std::vector<net::Packet> idle_period(const DeviceSpec& device,
+                                       const NetworkConfig& config, double t0,
+                                       double hours, util::Prng& prng) const;
+
+  /// The signature for a named activity; nullptr when the device lacks it.
+  static const ActivitySignature* find_activity(const DeviceSpec& device,
+                                                std::string_view name);
+
+  /// Effective plaintext byte fraction for a device under a config
+  /// (applies the UK/VPN overrides of the behavior profile).
+  static double effective_plaintext_fraction(const DeviceSpec& device,
+                                             const NetworkConfig& config);
+
+ private:
+  const EndpointRegistry* registry_;
+};
+
+/// PII tokens for a device unit: the concrete strings a leak emits and the
+/// scanner must find (MAC, UUID, device id, owner name, e-mail, city).
+struct PiiTokens {
+  std::string mac;
+  std::string uuid;
+  std::string device_id;
+  std::string owner_name;
+  std::string email;
+  std::string geo_city;
+};
+
+/// Deterministic PII values for (device, lab).
+PiiTokens pii_tokens(const DeviceSpec& device, LabSite lab);
+
+}  // namespace iotx::testbed

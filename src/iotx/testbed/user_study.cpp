@@ -1,0 +1,155 @@
+#include "iotx/testbed/user_study.hpp"
+
+#include <algorithm>
+
+#include "iotx/testbed/experiment.hpp"
+
+namespace iotx::testbed {
+
+namespace {
+
+// Study ran September 2018 - February 2019; anchor before the controlled
+// campaign.
+constexpr double kStudyEpoch = 1536105600.0;  // 2018-09-05
+
+struct Trigger {
+  const DeviceSpec* device;
+  std::string activity;
+  bool intended;
+  double delay;  ///< seconds after the access begins
+};
+
+const DeviceSpec* us_device(std::string_view id) {
+  const DeviceSpec* d = find_device(id);
+  return (d != nullptr && d->in_us()) ? d : nullptr;
+}
+
+void add_if(std::vector<Trigger>& out, const DeviceSpec* device,
+            std::string activity, bool intended, double delay) {
+  if (device == nullptr) return;
+  if (TrafficSynthesizer::find_activity(*device, activity) == nullptr) return;
+  out.push_back(Trigger{device, std::move(activity), intended, delay});
+}
+
+/// The devices passively triggered by someone walking through the lab.
+void add_presence_triggers(std::vector<Trigger>& out, util::Prng& prng) {
+  add_if(out, us_device("ring_doorbell"), "local_move", false,
+         prng.uniform_real(0.0, 5.0));
+  add_if(out, us_device("zmodo_doorbell"), "local_move", false,
+         prng.uniform_real(0.0, 5.0));
+  if (prng.chance(0.7)) {
+    add_if(out, us_device("wansview_cam"), "local_move", false,
+           prng.uniform_real(0.0, 8.0));
+  }
+  if (prng.chance(0.5)) {
+    add_if(out, us_device("dlink_mov_sensor"), "local_move", false,
+           prng.uniform_real(0.0, 6.0));
+  }
+  if (prng.chance(0.4)) {
+    add_if(out, us_device("xiaomi_cam"), "local_move", false,
+           prng.uniform_real(0.0, 8.0));
+  }
+}
+
+}  // namespace
+
+UserStudyResult UserStudySimulator::simulate(
+    const UserStudyParams& params, std::string_view seed_key) const {
+  UserStudyResult result;
+  result.hours = params.days * 24.0;
+  util::Prng prng(seed_key);
+
+  const NetworkConfig config{LabSite::kUs, false};
+
+  for (int day = 0; day < params.days; ++day) {
+    util::Prng day_prng = prng.fork("day" + std::to_string(day));
+    const double day_start = kStudyEpoch + day * 86400.0;
+    const int accesses = static_cast<int>(day_prng.uniform_int(
+        static_cast<std::int64_t>(params.accesses_per_day_min),
+        static_cast<std::int64_t>(params.accesses_per_day_max)));
+
+    for (int a = 0; a < accesses; ++a) {
+      util::Prng ap = day_prng.fork("access" + std::to_string(a));
+      // Accesses cluster in waking hours (8:00-23:00).
+      const double at =
+          day_start + 8.0 * 3600.0 + ap.uniform01() * 15.0 * 3600.0;
+
+      std::vector<Trigger> triggers;
+      add_presence_triggers(triggers, ap);
+
+      // The intended interaction of this visit (§3.3 common patterns).
+      switch (ap.weighted({0.35, 0.25, 0.15, 0.25})) {
+        case 0:  // food: fridge now, microwave a bit later
+          add_if(triggers, us_device("samsung_fridge"), "local_viewinside",
+                 true, 10.0);
+          add_if(triggers, us_device("ge_microwave"), "local_start", true,
+                 20.0 + ap.uniform_real(0.0, 60.0));
+          add_if(triggers, us_device("ge_microwave"), "local_stop", true,
+                 120.0 + ap.uniform_real(0.0, 60.0));
+          break;
+        case 1:  // laundry
+          add_if(triggers, us_device("samsung_washer"), "local_start", true,
+                 15.0);
+          add_if(triggers, us_device("samsung_dryer"), "local_start", true,
+                 40.0 + ap.uniform_real(0.0, 120.0));
+          break;
+        case 2: {  // voice interaction with an Alexa device
+          static constexpr std::string_view kEchos[] = {
+              "echo_dot", "echo_spot", "echo_plus"};
+          add_if(triggers,
+                 us_device(kEchos[ap.uniform(std::size(kEchos))]),
+                 "local_voice", true, 8.0);
+          break;
+        }
+        default: {  // random other device interaction
+          const auto& catalog = device_catalog();
+          for (int tries = 0; tries < 8; ++tries) {
+            const DeviceSpec& d = catalog[ap.uniform(catalog.size())];
+            if (!d.in_us() || d.behavior.activities.size() < 2) continue;
+            const auto& sig = d.behavior.activities
+                                  [1 + ap.uniform(
+                                           d.behavior.activities.size() - 1)];
+            add_if(triggers, &d, sig.name, true, 10.0);
+            break;
+          }
+          break;
+        }
+      }
+
+      // Alexa false wake during conversation (§7.3): the sentence is
+      // shipped to Amazon before the cloud rejects the activation.
+      if (ap.chance(params.alexa_false_wake_prob)) {
+        add_if(triggers, us_device("echo_dot"), "local_voice", false,
+               ap.uniform_real(0.0, 300.0));
+      }
+
+      for (const Trigger& trigger : triggers) {
+        util::Prng ev = ap.fork(trigger.device->id + "/" + trigger.activity);
+        const ActivitySignature* sig = TrafficSynthesizer::find_activity(
+            *trigger.device, trigger.activity);
+        const double ts = at + trigger.delay;
+        std::vector<net::Packet> burst =
+            synth_.activity_event(*trigger.device, config, *sig, ts, ev);
+        auto& capture = result.captures[trigger.device->id];
+        capture.insert(capture.end(), burst.begin(), burst.end());
+        result.events.push_back(
+            GroundTruthEvent{ts, trigger.device->id, trigger.activity,
+                             trigger.intended});
+      }
+    }
+  }
+
+  for (auto& [id, packets] : result.captures) {
+    std::stable_sort(packets.begin(), packets.end(),
+                     [](const net::Packet& x, const net::Packet& y) {
+                       return x.timestamp < y.timestamp;
+                     });
+  }
+  std::sort(result.events.begin(), result.events.end(),
+            [](const GroundTruthEvent& x, const GroundTruthEvent& y) {
+              return x.timestamp < y.timestamp;
+            });
+  return result;
+}
+
+}  // namespace iotx::testbed

@@ -1,0 +1,155 @@
+#include "iotx/util/codec.hpp"
+
+#include <array>
+
+namespace iotx::util {
+
+namespace {
+
+constexpr std::string_view kHexDigits = "0123456789abcdef";
+constexpr std::string_view kBase64Alphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+int base64_value(char c) noexcept {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+std::span<const std::uint8_t> as_bytes(std::string_view text) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()};
+}
+
+}  // namespace
+
+std::string hex_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+std::string hex_encode(std::string_view text) {
+  return hex_encode(as_bytes(text));
+}
+
+std::optional<std::vector<std::uint8_t>> hex_decode(std::string_view text) {
+  if (text.size() % 2 != 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 2);
+  for (std::size_t i = 0; i < text.size(); i += 2) {
+    const int hi = hex_value(text[i]);
+    const int lo = hex_value(text[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string base64_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                            data[i + 2];
+    out.push_back(kBase64Alphabet[(n >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(n >> 12) & 63]);
+    out.push_back(kBase64Alphabet[(n >> 6) & 63]);
+    out.push_back(kBase64Alphabet[n & 63]);
+  }
+  const std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    const std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kBase64Alphabet[(n >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(n >> 12) & 63]);
+    out.append("==");
+  } else if (rest == 2) {
+    const std::uint32_t n = (static_cast<std::uint32_t>(data[i]) << 16) |
+                            (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kBase64Alphabet[(n >> 18) & 63]);
+    out.push_back(kBase64Alphabet[(n >> 12) & 63]);
+    out.push_back(kBase64Alphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string base64_encode(std::string_view text) {
+  return base64_encode(as_bytes(text));
+}
+
+std::optional<std::vector<std::uint8_t>> base64_decode(std::string_view text) {
+  // Strip trailing padding.
+  while (!text.empty() && text.back() == '=') text.remove_suffix(1);
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() * 3 / 4);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (char c : text) {
+    const int v = base64_value(c);
+    if (v < 0) return std::nullopt;
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xff));
+    }
+  }
+  return out;
+}
+
+std::string url_encode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    const bool unreserved = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                            (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                            c == '.' || c == '~';
+    if (unreserved) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(kHexDigits[c >> 4]);
+      out.push_back(kHexDigits[c & 0x0f]);
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> url_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%') {
+      if (i + 2 >= text.size()) return std::nullopt;
+      const int hi = hex_value(text[i + 1]);
+      const int lo = hex_value(text[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace iotx::util

@@ -1,0 +1,39 @@
+// Binary-to-text codecs used by the PII scanner (paper §6.1 searches for
+// "any PII known (in various encodings)") and by protocol builders.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotx::util {
+
+/// Lowercase hex encoding of a byte span ("deadbeef").
+std::string hex_encode(std::span<const std::uint8_t> data);
+
+/// Decodes a hex string (case-insensitive). Returns nullopt on odd length
+/// or non-hex characters.
+std::optional<std::vector<std::uint8_t>> hex_decode(std::string_view text);
+
+/// Standard base64 (RFC 4648) with padding.
+std::string base64_encode(std::span<const std::uint8_t> data);
+
+/// Decodes base64; tolerates missing padding. Returns nullopt on invalid
+/// characters.
+std::optional<std::vector<std::uint8_t>> base64_decode(std::string_view text);
+
+/// Percent-encodes every byte outside [A-Za-z0-9_.~-].
+std::string url_encode(std::string_view text);
+
+/// Decodes %XX escapes and '+' as space. Returns nullopt on truncated or
+/// malformed escapes.
+std::optional<std::string> url_decode(std::string_view text);
+
+/// Convenience overloads for string payloads.
+std::string hex_encode(std::string_view text);
+std::string base64_encode(std::string_view text);
+
+}  // namespace iotx::util

@@ -1,0 +1,35 @@
+#include "iotx/util/entropy.hpp"
+
+#include <cmath>
+
+namespace iotx::util {
+
+double byte_entropy(std::span<const std::uint8_t> data) noexcept {
+  EntropyAccumulator acc;
+  acc.add(data);
+  return acc.value();
+}
+
+void EntropyAccumulator::add(std::span<const std::uint8_t> data) noexcept {
+  for (std::uint8_t b : data) ++histogram_[b];
+  total_ += data.size();
+}
+
+double EntropyAccumulator::value() const noexcept {
+  if (total_ == 0) return 0.0;
+  const double n = static_cast<double>(total_);
+  double h = 0.0;
+  for (std::uint64_t c : histogram_) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h / 8.0;
+}
+
+void EntropyAccumulator::reset() noexcept {
+  histogram_.fill(0);
+  total_ = 0;
+}
+
+}  // namespace iotx::util

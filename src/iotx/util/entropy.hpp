@@ -1,0 +1,42 @@
+// Byte-entropy computation used by the encryption classifier (paper §5.1).
+//
+// The paper classifies flows whose protocol cannot be identified by
+// normalized Shannon byte entropy H in [0,1]:
+//   H > 0.8          => likely encrypted
+//   H < 0.4          => likely unencrypted
+//   0.4 <= H <= 0.8  => unknown
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace iotx::util {
+
+/// Normalized Shannon byte entropy of `data`: (-sum p_i log2 p_i) / 8.
+/// Returns 0 for empty input. Result is in [0, 1].
+double byte_entropy(std::span<const std::uint8_t> data) noexcept;
+
+/// Incremental entropy accumulator, so multi-packet flow payloads can be
+/// folded in without concatenating buffers.
+class EntropyAccumulator {
+ public:
+  /// Folds a buffer into the byte histogram.
+  void add(std::span<const std::uint8_t> data) noexcept;
+
+  /// Total bytes accumulated so far.
+  std::uint64_t count() const noexcept { return total_; }
+
+  /// Normalized entropy of everything accumulated; 0 if empty.
+  double value() const noexcept;
+
+  /// Resets to the empty state.
+  void reset() noexcept;
+
+ private:
+  std::array<std::uint64_t, 256> histogram_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace iotx::util

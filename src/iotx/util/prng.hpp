@@ -1,0 +1,101 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// Every stochastic component of iotx draws from a Prng seeded by a
+// human-readable key (e.g. "us/echo_dot/power/rep17"), so re-running any
+// experiment yields bit-identical captures and therefore bit-identical
+// tables. The generator is xoshiro256** (Blackman & Vigna), seeded via
+// SplitMix64 from a 64-bit FNV-1a hash of the key.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace iotx::util {
+
+/// 64-bit FNV-1a hash; used to derive seeds from string keys.
+std::uint64_t fnv1a64(std::string_view data) noexcept;
+
+/// SplitMix64 step: advances `state` and returns the next output.
+/// Used to expand a single 64-bit seed into the xoshiro state vector.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** deterministic PRNG with convenience distributions.
+///
+/// Satisfies the std::uniform_random_bit_generator concept so it can be
+/// used with <random> facilities, though the built-in helpers below are
+/// preferred to keep cross-platform determinism (libstdc++ distribution
+/// implementations are not specified by the standard).
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds from a raw 64-bit value.
+  explicit Prng(std::uint64_t seed) noexcept;
+  /// Seeds from a human-readable key (hashed with FNV-1a).
+  explicit Prng(std::string_view key) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  /// bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept;
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Exponential with given mean (= 1/lambda). mean must be > 0.
+  double exponential(double mean) noexcept;
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept;
+
+  /// Uniformly chosen index-weighted element of a non-empty vector.
+  template <typename T>
+  const T& choice(const std::vector<T>& items) noexcept {
+    return items[uniform(items.size())];
+  }
+
+  /// Samples an index from a discrete distribution given non-negative
+  /// weights (need not be normalized). Returns weights.size()-1 on
+  /// accumulated floating error. Requires at least one positive weight.
+  std::size_t weighted(const std::vector<double>& weights) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[uniform(i)]);
+    }
+  }
+
+  /// Derives an independent child generator from this one plus a label.
+  /// The child stream is a pure function of (parent seed key, label).
+  Prng fork(std::string_view label) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_origin_;  // retained so fork() is reproducible
+};
+
+}  // namespace iotx::util

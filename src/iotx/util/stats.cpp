@@ -1,0 +1,90 @@
+#include "iotx/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iotx::util {
+
+void SampleSummary::append_features(std::vector<double>& out) const {
+  out.push_back(min);
+  out.push_back(max);
+  out.push_back(mean);
+  out.push_back(stddev);
+  out.push_back(skewness);
+  out.push_back(kurtosis);
+  out.insert(out.end(), std::begin(deciles), std::end(deciles));
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double pos = q * static_cast<double>(n - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= n) return sorted[n - 1];
+  return sorted[idx] + frac * (sorted[idx + 1] - sorted[idx]);
+}
+
+double mean(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : sample) total += v;
+  return total / static_cast<double>(sample.size());
+}
+
+double stddev(std::span<const double> sample) {
+  if (sample.size() < 2) return 0.0;
+  const double m = mean(sample);
+  double ss = 0.0;
+  for (double v : sample) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(sample.size()));
+}
+
+SampleSummary summarize(std::span<const double> sample) {
+  SampleSummary s;
+  if (sample.empty()) return s;
+
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = mean(sorted);
+
+  const double n = static_cast<double>(sorted.size());
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (double v : sorted) {
+    const double d = v - s.mean;
+    const double d2 = d * d;
+    m2 += d2;
+    m3 += d2 * d;
+    m4 += d2 * d2;
+  }
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  s.stddev = std::sqrt(m2);
+  if (m2 > 1e-12 && sorted.size() >= 2) {
+    s.skewness = m3 / std::pow(m2, 1.5);
+    s.kurtosis = m4 / (m2 * m2) - 3.0;
+  }
+  for (int d = 1; d <= 9; ++d) {
+    s.deciles[d - 1] = quantile_sorted(sorted, d / 10.0);
+  }
+  return s;
+}
+
+double two_proportion_z(double successes1, double n1, double successes2,
+                        double n2) {
+  if (n1 <= 0.0 || n2 <= 0.0) return 0.0;
+  const double p1 = successes1 / n1;
+  const double p2 = successes2 / n2;
+  const double pooled = (successes1 + successes2) / (n1 + n2);
+  const double denom = pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2);
+  if (denom <= 0.0) return 0.0;
+  return std::fabs(p1 - p2) / std::sqrt(denom);
+}
+
+bool significant_at_95(double z) { return z > 1.959963984540054; }
+
+}  // namespace iotx::util

@@ -1,0 +1,51 @@
+// Descriptive statistics used as machine-learning features (paper §6.1:
+// "min, max, mean, deciles of the distribution, skewness, and kurtosis")
+// and significance testing for regional comparisons (Table 7).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace iotx::util {
+
+/// Summary of a sample: the exact feature set the paper extracts from
+/// packet-size and inter-arrival-time distributions.
+struct SampleSummary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double skewness = 0.0;  ///< Fisher-Pearson g1 (0 for n < 2 or zero variance)
+  double kurtosis = 0.0;  ///< excess kurtosis g2 (0 for n < 2 or zero variance)
+  double deciles[9] = {};  ///< 10th..90th percentiles
+
+  /// Flattens into the canonical 15-value feature layout:
+  /// [min, max, mean, stddev, skewness, kurtosis, d10..d90].
+  void append_features(std::vector<double>& out) const;
+  static constexpr std::size_t kFeatureCount = 15;
+};
+
+/// Computes the full summary of a sample. An empty sample yields all zeros.
+SampleSummary summarize(std::span<const double> sample);
+
+/// Linear-interpolated quantile (type-7, the numpy default). q in [0,1].
+/// Requires a non-empty, sorted sample.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> sample);
+
+/// Population standard deviation; 0 for fewer than 2 points.
+double stddev(std::span<const double> sample);
+
+/// Two-proportion z-test: returns the absolute z statistic for observing
+/// successes1/n1 vs successes2/n2 under the pooled null. Returns 0 when
+/// either sample is empty or the pooled proportion is degenerate.
+double two_proportion_z(double successes1, double n1, double successes2,
+                        double n2);
+
+/// True when |z| exceeds the 1.96 two-sided 95% critical value.
+bool significant_at_95(double z);
+
+}  // namespace iotx::util

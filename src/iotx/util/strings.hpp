@@ -1,0 +1,42 @@
+// Small string helpers shared across parsers and analyses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotx::util {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Case-insensitive substring search; npos semantics match std::string.
+std::size_t ifind(std::string_view haystack, std::string_view needle);
+
+/// True if `text` contains `needle` case-insensitively.
+bool icontains(std::string_view haystack, std::string_view needle);
+
+/// Replaces all occurrences of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+/// printf-style byte count formatting ("1.2 MB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Fixed-precision double formatting without locale dependence.
+std::string format_double(double value, int precision);
+
+}  // namespace iotx::util

@@ -1,0 +1,70 @@
+#include "iotx/util/table.hpp"
+
+#include <algorithm>
+
+namespace iotx::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(std::max(row.size(), header_.size()));
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{{}, true}); }
+
+std::size_t TextTable::row_count() const noexcept {
+  std::size_t n = 0;
+  for (const Row& r : rows_) {
+    if (!r.rule) ++n;
+  }
+  return n;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  const auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const Row& r : rows_) {
+    if (!r.rule) widen(r.cells);
+  }
+
+  std::size_t total = widths.empty() ? 0 : 3 * (widths.size() - 1);
+  for (std::size_t w : widths) total += w;
+
+  std::string out;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      if (i == 0) {
+        out += cell;
+        out.append(widths[i] - cell.size(), ' ');
+      } else {
+        out.append(widths[i] - cell.size(), ' ');
+        out += cell;
+      }
+      if (i + 1 != widths.size()) out += " | ";
+    }
+    out += '\n';
+  };
+
+  emit_row(header_);
+  out.append(total, '-');
+  out += '\n';
+  for (const Row& r : rows_) {
+    if (r.rule) {
+      out.append(total, '-');
+      out += '\n';
+    } else {
+      emit_row(r.cells);
+    }
+  }
+  return out;
+}
+
+}  // namespace iotx::util

@@ -1,0 +1,41 @@
+// Plain-text table rendering, used by the bench harnesses to print the
+// paper's tables in a comparable row/column layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace iotx::util {
+
+/// A simple left/right-aligned text table.
+///
+/// Usage:
+///   TextTable t({"Device", "US", "UK"});
+///   t.add_row({"Echo Dot", "0.7", "2.6"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; shorter rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Number of data rows added so far (rules excluded).
+  std::size_t row_count() const noexcept;
+
+  /// Renders with column alignment: first column left, rest right.
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace iotx::util

@@ -1,0 +1,231 @@
+// iotx — command-line interface to the library.
+//
+//   iotx catalog                          list the 81 device units
+//   iotx endpoints                        list the endpoint registry
+//   iotx simulate <device> <activity> <out.pcap> [us|uk] [--vpn]
+//                                         synthesize one interaction capture
+//   iotx classify <capture.pcap>          flows, protocols, encryption,
+//                                         destinations of any pcap
+//   iotx study --out <dir> [--paper-scale] [--devices a,b,c]
+//                                         run the campaign, write JSON tables
+//   iotx export-dataset <dir>             labeled pcaps in the released
+//                                         dataset's layout
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "iotx/analysis/destinations.hpp"
+#include "iotx/analysis/encryption.hpp"
+#include "iotx/core/study.hpp"
+#include "iotx/report/report.hpp"
+#include "iotx/testbed/gateway.hpp"
+#include "iotx/util/strings.hpp"
+#include "iotx/util/table.hpp"
+
+namespace {
+
+using namespace iotx;
+
+int usage() {
+  std::puts(
+      "usage:\n"
+      "  iotx catalog\n"
+      "  iotx endpoints\n"
+      "  iotx simulate <device_id> <activity> <out.pcap> [us|uk] [--vpn]\n"
+      "  iotx classify <capture.pcap>\n"
+      "  iotx study --out <dir> [--paper-scale] [--devices a,b,c] [--no-vpn]\n"
+      "  iotx export-dataset <dir>");
+  return 2;
+}
+
+int cmd_catalog() {
+  util::TextTable table({"id", "name", "category", "labs", "activities"});
+  for (const testbed::DeviceSpec& d : testbed::device_catalog()) {
+    const char* labs = d.common() ? "US+UK" : (d.in_us() ? "US" : "UK");
+    table.add_row({d.id, d.name,
+                   std::string(testbed::category_name(d.category)), labs,
+                   util::join(d.activity_names(), ",")});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_endpoints() {
+  util::TextTable table({"domain", "organization", "kind", "country",
+                         "address", "replica"});
+  for (const testbed::Endpoint& e : testbed::EndpointRegistry::builtin().all()) {
+    table.add_row({e.domain, e.organization,
+                   e.infrastructure ? "support" : "first/third", e.country,
+                   e.address.to_string(),
+                   e.replica_country.empty()
+                       ? "-"
+                       : e.replica_country + "/" +
+                             e.replica_address.to_string()});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const testbed::DeviceSpec* device = testbed::find_device(argv[2]);
+  if (device == nullptr) {
+    std::printf("unknown device '%s' (see `iotx catalog`)\n", argv[2]);
+    return 1;
+  }
+  const std::string activity = argv[3];
+  const std::string out_path = argv[4];
+  testbed::NetworkConfig config{testbed::LabSite::kUs, false};
+  for (int i = 5; i < argc; ++i) {
+    if (std::strcmp(argv[i], "uk") == 0) config.lab = testbed::LabSite::kUk;
+    if (std::strcmp(argv[i], "--vpn") == 0) config.vpn = true;
+  }
+
+  const testbed::TrafficSynthesizer synth;
+  util::Prng prng("cli/" + device->id + "/" + activity + "/" + config.key());
+  std::vector<net::Packet> packets;
+  if (activity == "power") {
+    packets = synth.power_event(*device, config, 0.0, prng);
+  } else if (activity == "idle") {
+    packets = synth.idle_period(*device, config, 0.0, 1.0, prng);
+  } else {
+    const auto* sig = testbed::TrafficSynthesizer::find_activity(*device,
+                                                                 activity);
+    if (sig == nullptr) {
+      std::printf("device %s has no activity '%s'; available: %s\n",
+                  device->id.c_str(), activity.c_str(),
+                  util::join(device->activity_names(), ", ").c_str());
+      return 1;
+    }
+    packets = synth.activity_event(*device, config, *sig, 0.0, prng);
+  }
+  if (!net::pcap_write_file(out_path, packets)) {
+    std::printf("cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu packets to %s\n", packets.size(), out_path.c_str());
+  return 0;
+}
+
+int cmd_classify(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto packets = net::pcap_read_file(argv[2]);
+  if (!packets) {
+    std::printf("cannot read pcap %s\n", argv[2]);
+    return 1;
+  }
+  flow::DnsCache dns;
+  dns.ingest_all(*packets);
+  const auto flows = flow::assemble_flows(*packets);
+  std::printf("%zu packets, %zu flows\n\n", packets->size(), flows.size());
+
+  util::TextTable table({"flow", "proto", "class", "entropy", "pkts",
+                         "payload"});
+  int index = 0;
+  for (const auto& f : flows) {
+    const auto enc = analysis::classify_flow(f);
+    std::string name = f.initiator.to_string() + ":" +
+                       std::to_string(f.initiator_port) + " -> ";
+    if (const auto domain = dns.lookup(f.responder)) {
+      name += *domain;
+    } else if (!f.sni.empty()) {
+      name += f.sni;
+    } else if (!f.http_host.empty()) {
+      name += f.http_host;
+    } else {
+      name += f.responder.to_string();
+    }
+    name += ":" + std::to_string(f.responder_port);
+    table.add_row({name, std::string(proto::protocol_name(f.protocol)),
+                   std::string(analysis::encryption_class_name(enc.cls)),
+                   enc.entropy_based ? util::format_double(enc.entropy, 3)
+                                     : "-",
+                   std::to_string(f.total_packets()),
+                   util::format_bytes(f.total_payload_bytes())});
+    ++index;
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const auto enc = analysis::account_flows(flows);
+  std::printf(
+      "\ntotals: %.1f%% encrypted, %.1f%% unencrypted, %.1f%% unknown "
+      "(+%s media excluded)\n",
+      enc.pct_encrypted(), enc.pct_unencrypted(), enc.pct_unknown(),
+      util::format_bytes(enc.media).c_str());
+  return 0;
+}
+
+int cmd_study(int argc, char** argv) {
+  std::string out_dir;
+  core::StudyParams params;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--paper-scale") == 0) {
+      params = core::StudyParams::paper_scale();
+    } else if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+      params.device_filter = util::split(argv[++i], ',');
+    } else if (std::strcmp(argv[i], "--no-vpn") == 0) {
+      params.run_vpn = false;
+    } else {
+      return usage();
+    }
+  }
+  if (out_dir.empty()) return usage();
+
+  std::printf("running the measurement campaign...\n");
+  core::Study study(params);
+  study.run();
+  std::printf("%zu controlled experiments done\n", study.experiments_run());
+  if (!report::write_report_directory(study, out_dir)) {
+    std::printf("cannot write report to %s\n", out_dir.c_str());
+    return 1;
+  }
+  std::printf("wrote table2..table11/figure2/pii JSON to %s\n",
+              out_dir.c_str());
+  return 0;
+}
+
+int cmd_export_dataset(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string root = argv[2];
+  const testbed::ExperimentRunner runner(
+      testbed::SchedulePlan{/*automated=*/3, /*manual=*/2, /*power=*/2,
+                            /*idle_hours=*/0.1});
+  std::size_t files = 0;
+  for (const testbed::NetworkConfig& config : testbed::all_network_configs()) {
+    if (config.vpn) continue;
+    const testbed::Gateway gateway(config.lab);
+    for (const testbed::DeviceSpec& device : testbed::device_catalog()) {
+      const bool present = config.lab == testbed::LabSite::kUs
+                               ? device.in_us()
+                               : device.in_uk();
+      if (!present) continue;
+      for (const auto& spec : runner.schedule(device, config)) {
+        const auto capture = runner.run(spec);
+        if (gateway.write_labeled(root, capture).empty()) {
+          std::printf("write failure under %s\n", root.c_str());
+          return 1;
+        }
+        ++files;
+      }
+    }
+  }
+  std::printf("wrote %zu labeled pcaps under %s\n", files, root.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string_view command = argv[1];
+  if (command == "catalog") return cmd_catalog();
+  if (command == "endpoints") return cmd_endpoints();
+  if (command == "simulate") return cmd_simulate(argc, argv);
+  if (command == "classify") return cmd_classify(argc, argv);
+  if (command == "study") return cmd_study(argc, argv);
+  if (command == "export-dataset") return cmd_export_dataset(argc, argv);
+  return usage();
+}

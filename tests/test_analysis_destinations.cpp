@@ -1,0 +1,210 @@
+// Tests for destination attribution (§4.1) and the Figure 2 builder.
+#include "iotx/analysis/destinations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iotx/proto/dns.hpp"
+#include "iotx/proto/tls.hpp"
+#include "iotx/testbed/endpoints.hpp"
+#include "iotx/testbed/synth.hpp"
+
+namespace {
+
+using namespace iotx::analysis;
+using namespace iotx::net;
+using iotx::testbed::EndpointRegistry;
+namespace geo = iotx::geo;
+
+AttributionContext make_ctx(const geo::OrgDatabase& orgs,
+                            const geo::GeoDatabase& geodb) {
+  AttributionContext ctx;
+  ctx.orgs = &orgs;
+  ctx.geo = &geodb;
+  ctx.vantage = geo::Vantage::kUsLab;
+  ctx.rtt_ms = [](Ipv4Address) { return 15.0; };
+  ctx.registry_country = [](Ipv4Address) { return std::optional<std::string>("US"); };
+  return ctx;
+}
+
+FrameEndpoints endpoints(Ipv4Address remote, std::uint16_t dst_port,
+                         std::uint16_t src_port = 40000) {
+  FrameEndpoints ep;
+  ep.src_mac = *MacAddress::parse("02:55:00:00:00:10");
+  ep.dst_mac = *MacAddress::parse("02:55:00:00:00:01");
+  ep.src_ip = Ipv4Address(10, 42, 0, 10);
+  ep.dst_ip = remote;
+  ep.src_port = src_port;
+  ep.dst_port = dst_port;
+  return ep;
+}
+
+TEST(Attribution, DnsNamePreferred) {
+  const auto orgs = EndpointRegistry::builtin().make_org_database();
+  const auto geodb = EndpointRegistry::builtin().make_geo_database();
+  const AttributionContext ctx = make_ctx(orgs, geodb);
+
+  const Ipv4Address remote(54, 85, 62, 100);  // api.ring.com
+  std::vector<Packet> packets;
+  // DNS exchange first.
+  const auto query = iotx::proto::make_query(1, "api.ring.com");
+  const auto response = iotx::proto::make_response(query, remote);
+  FrameEndpoints dns_ep = endpoints(Ipv4Address(10, 42, 0, 1), 53);
+  packets.push_back(
+      make_udp_packet(1.0, reverse(dns_ep), response.encode()));
+  // Then traffic to the resolved address.
+  packets.push_back(make_tcp_packet(2.0, endpoints(remote, 443),
+                                    std::vector<std::uint8_t>(100, 1)));
+
+  iotx::flow::DnsCache dns;
+  dns.ingest_all(packets);
+  const auto flows = iotx::flow::assemble_flows(packets);
+  const auto records = attribute_destinations(flows, dns, ctx, {"Ring"});
+
+  // The DNS flow itself goes to the (private) gateway and is skipped, so
+  // only the remote endpoint remains.
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].domain, "api.ring.com");
+  EXPECT_EQ(records[0].sld, "ring.com");
+  EXPECT_EQ(records[0].organization, "Ring");
+  EXPECT_EQ(records[0].party, geo::PartyType::kFirst);
+  EXPECT_EQ(records[0].country, "US");
+}
+
+TEST(Attribution, SniFallbackWhenNoDns) {
+  const auto orgs = EndpointRegistry::builtin().make_org_database();
+  const auto geodb = EndpointRegistry::builtin().make_geo_database();
+  const AttributionContext ctx = make_ctx(orgs, geodb);
+
+  const std::uint16_t suites[] = {0x1301};
+  const std::vector<std::uint8_t> rnd(32, 1);
+  const auto hello =
+      iotx::proto::build_client_hello("storage.googleapis.com", suites, rnd);
+  std::vector<Packet> packets;
+  packets.push_back(
+      make_tcp_packet(1.0, endpoints(Ipv4Address(142, 250, 31, 128), 443),
+                      hello));
+  iotx::flow::DnsCache dns;  // empty
+  const auto records = attribute_destinations(
+      iotx::flow::assemble_flows(packets), dns, ctx, {"Wansview"});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].domain, "storage.googleapis.com");
+  EXPECT_EQ(records[0].organization, "Google");
+  EXPECT_EQ(records[0].party, geo::PartyType::kSupport);
+}
+
+TEST(Attribution, HostHeaderFallback) {
+  const auto orgs = EndpointRegistry::builtin().make_org_database();
+  const auto geodb = EndpointRegistry::builtin().make_geo_database();
+  const AttributionContext ctx = make_ctx(orgs, geodb);
+
+  const std::string req =
+      "POST /log HTTP/1.1\r\nHost: logs.roku.com\r\n\r\nbody";
+  std::vector<Packet> packets;
+  packets.push_back(make_tcp_packet(
+      1.0, endpoints(Ipv4Address(34, 203, 221, 9), 80), as_bytes(req)));
+  iotx::flow::DnsCache dns;
+  const auto records = attribute_destinations(
+      iotx::flow::assemble_flows(packets), dns, ctx, {"Samsung"});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].domain, "logs.roku.com");
+  EXPECT_EQ(records[0].organization, "Roku");
+  EXPECT_EQ(records[0].party, geo::PartyType::kThird);
+}
+
+TEST(Attribution, IpRegistryFallbackWhenNoName) {
+  const auto orgs = EndpointRegistry::builtin().make_org_database();
+  const auto geodb = EndpointRegistry::builtin().make_geo_database();
+  const AttributionContext ctx = make_ctx(orgs, geodb);
+
+  const auto* e = EndpointRegistry::builtin().find("node1.hvvc.us");
+  std::vector<Packet> packets;
+  packets.push_back(make_tcp_packet(1.0, endpoints(e->address, 8899),
+                                    std::vector<std::uint8_t>(64, 7)));
+  iotx::flow::DnsCache dns;
+  const auto records = attribute_destinations(
+      iotx::flow::assemble_flows(packets), dns, ctx, {"Wansview"});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].domain, e->address.to_string());  // IP literal
+  EXPECT_EQ(records[0].organization, "Hvvc");            // registry owner
+  EXPECT_EQ(records[0].party, geo::PartyType::kSupport);
+}
+
+TEST(Attribution, LanTrafficSkipped) {
+  const auto orgs = EndpointRegistry::builtin().make_org_database();
+  const auto geodb = EndpointRegistry::builtin().make_geo_database();
+  const AttributionContext ctx = make_ctx(orgs, geodb);
+
+  std::vector<Packet> packets;
+  packets.push_back(make_tcp_packet(
+      1.0, endpoints(Ipv4Address(10, 42, 0, 99), 80),
+      std::vector<std::uint8_t>(10, 1)));
+  iotx::flow::DnsCache dns;
+  EXPECT_TRUE(attribute_destinations(iotx::flow::assemble_flows(packets), dns,
+                                     ctx, {})
+                  .empty());
+}
+
+TEST(Attribution, MergesBytesPerAddress) {
+  const auto orgs = EndpointRegistry::builtin().make_org_database();
+  const auto geodb = EndpointRegistry::builtin().make_geo_database();
+  const AttributionContext ctx = make_ctx(orgs, geodb);
+
+  const Ipv4Address remote(45, 57, 3, 12);
+  std::vector<Packet> packets;
+  packets.push_back(make_tcp_packet(1.0, endpoints(remote, 443, 40000),
+                                    std::vector<std::uint8_t>(100, 1)));
+  packets.push_back(make_tcp_packet(2.0, endpoints(remote, 443, 40001),
+                                    std::vector<std::uint8_t>(200, 2)));
+  iotx::flow::DnsCache dns;
+  const auto records = attribute_destinations(
+      iotx::flow::assemble_flows(packets), dns, ctx, {});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].packets, 2u);
+}
+
+TEST(PartyCounts, CountsUniqueDomainsByParty) {
+  std::vector<DestinationRecord> records(4);
+  records[0].domain = "a.example.com";
+  records[0].party = geo::PartyType::kSupport;
+  records[1].domain = "a.example.com";  // duplicate
+  records[1].party = geo::PartyType::kSupport;
+  records[2].domain = "ads.example.com";
+  records[2].party = geo::PartyType::kThird;
+  records[3].domain = "vendor.com";
+  records[3].party = geo::PartyType::kFirst;
+  const PartyCounts counts = count_non_first_parties(records);
+  EXPECT_EQ(counts.support.size(), 1u);
+  EXPECT_EQ(counts.third.size(), 1u);
+}
+
+TEST(PartyCounts, MergeUnions) {
+  PartyCounts a, b;
+  a.support = {"x", "y"};
+  b.support = {"y", "z"};
+  b.third = {"t"};
+  a.merge(b);
+  EXPECT_EQ(a.support.size(), 3u);
+  EXPECT_EQ(a.third.size(), 1u);
+}
+
+TEST(Sankey, AggregatesByRegion) {
+  std::vector<DestinationRecord> records(3);
+  records[0].country = "US";
+  records[0].bytes = 100;
+  records[1].country = "CN";
+  records[1].bytes = 50;
+  records[2].country = "US";
+  records[2].bytes = 25;
+
+  SankeyBuilder builder;
+  builder.add("US", "Cameras", records);
+  EXPECT_EQ(builder.lab_region_bytes("US", "US"), 125u);
+  EXPECT_EQ(builder.lab_region_bytes("US", "China"), 50u);
+  EXPECT_EQ(builder.lab_region_bytes("UK", "US"), 0u);
+
+  const auto edges = builder.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_GE(edges[0].bytes, edges[1].bytes);  // sorted descending
+}
+
+}  // namespace

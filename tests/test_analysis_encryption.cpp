@@ -1,0 +1,191 @@
+// Tests for the §5.1 encryption classification pipeline.
+#include "iotx/analysis/encryption.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iotx/net/bytes.hpp"
+#include "iotx/proto/tls.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx::analysis;
+using namespace iotx::net;
+using iotx::flow::Flow;
+using iotx::flow::FlowTable;
+using iotx::util::Prng;
+
+FrameEndpoints endpoints(std::uint16_t dst_port) {
+  FrameEndpoints ep;
+  ep.src_mac = *MacAddress::parse("02:55:00:00:00:10");
+  ep.dst_mac = *MacAddress::parse("02:55:00:00:00:01");
+  ep.src_ip = Ipv4Address(10, 42, 0, 10);
+  ep.dst_ip = Ipv4Address(52, 1, 2, 3);
+  ep.src_port = 40000;
+  ep.dst_port = dst_port;
+  return ep;
+}
+
+Flow flow_with_payload(std::uint16_t dst_port,
+                       const std::vector<std::uint8_t>& payload,
+                       int packets = 1) {
+  FlowTable table;
+  for (int i = 0; i < packets; ++i) {
+    table.ingest(*decode_packet(
+        make_tcp_packet(1.0 + i * 0.01, endpoints(dst_port), payload)));
+  }
+  return table.flows().at(0);
+}
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, const char* key) {
+  Prng prng(key);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(prng.uniform(256));
+  return out;
+}
+
+TEST(Classify, TlsIsEncrypted) {
+  const auto record = iotx::proto::build_application_data(
+      random_bytes(512, "tls"));
+  const auto enc = classify_flow(flow_with_payload(443, record));
+  EXPECT_EQ(enc.cls, EncryptionClass::kEncrypted);
+  EXPECT_FALSE(enc.entropy_based);  // decided by protocol analysis
+}
+
+TEST(Classify, HttpIsUnencrypted) {
+  const std::string req = "GET / HTTP/1.1\r\nHost: example.com\r\n\r\n";
+  const std::vector<std::uint8_t> payload(req.begin(), req.end());
+  EXPECT_EQ(classify_flow(flow_with_payload(80, payload)).cls,
+            EncryptionClass::kUnencrypted);
+}
+
+TEST(Classify, MediaMagicIsUnencrypted) {
+  // Paper: recognized encodings are marked unencrypted even though the
+  // body has ciphertext-level entropy.
+  std::vector<std::uint8_t> jpeg = {0xff, 0xd8, 0xff, 0xe0};
+  const auto body = random_bytes(1200, "jpeg");
+  jpeg.insert(jpeg.end(), body.begin(), body.end());
+  EXPECT_EQ(classify_flow(flow_with_payload(8899, jpeg)).cls,
+            EncryptionClass::kUnencrypted);
+}
+
+TEST(Classify, GzipIsUnencrypted) {
+  std::vector<std::uint8_t> gz = {0x1f, 0x8b, 0x08, 0x00};
+  const auto body = random_bytes(800, "gzip");
+  gz.insert(gz.end(), body.begin(), body.end());
+  EXPECT_EQ(classify_flow(flow_with_payload(8899, gz)).cls,
+            EncryptionClass::kUnencrypted);
+}
+
+TEST(Classify, HighEntropyUnknownProtocolIsEncrypted) {
+  const auto enc =
+      classify_flow(flow_with_payload(8899, random_bytes(1000, "rand")));
+  EXPECT_EQ(enc.cls, EncryptionClass::kEncrypted);
+  EXPECT_TRUE(enc.entropy_based);
+  EXPECT_GT(enc.entropy, kEncryptedEntropyThreshold);
+}
+
+TEST(Classify, LowEntropyUnknownProtocolIsUnencrypted) {
+  std::string text = "HEARTBEAT 000001 ";
+  while (text.size() < 600) text += "OK";
+  const std::vector<std::uint8_t> payload(text.begin(), text.end());
+  const auto enc = classify_flow(flow_with_payload(8899, payload));
+  EXPECT_EQ(enc.cls, EncryptionClass::kUnencrypted);
+  EXPECT_TRUE(enc.entropy_based);
+  EXPECT_LT(enc.entropy, kUnencryptedEntropyThreshold);
+}
+
+TEST(Classify, MidEntropyIsUnknown) {
+  // Half random, half constant: entropy lands between the thresholds.
+  std::vector<std::uint8_t> payload = random_bytes(400, "half");
+  payload.resize(800, 'A');
+  const auto enc = classify_flow(flow_with_payload(8899, payload));
+  EXPECT_EQ(enc.cls, EncryptionClass::kUnknown);
+  EXPECT_GE(enc.entropy, kUnencryptedEntropyThreshold);
+  EXPECT_LE(enc.entropy, kEncryptedEntropyThreshold);
+}
+
+TEST(Classify, EmptyPayloadIsUnknown) {
+  EXPECT_EQ(classify_flow(flow_with_payload(8899, {})).cls,
+            EncryptionClass::kUnknown);
+}
+
+TEST(Classify, PatternBasedMediaExclusion) {
+  // Sustained one-sided near-MTU high-entropy stream with no recognizable
+  // encoding: excluded as media (§5.1 last paragraph).
+  FlowTable table;
+  for (int i = 0; i < 120; ++i) {
+    table.ingest(*decode_packet(make_tcp_packet(
+        1.0 + i * 0.01, endpoints(9000),
+        random_bytes(1300, ("m" + std::to_string(i)).c_str()))));
+  }
+  EXPECT_EQ(classify_flow(table.flows().at(0)).cls, EncryptionClass::kMedia);
+}
+
+TEST(Classify, BidirectionalBulkNotExcluded) {
+  // Same volume but symmetric: not media-like, classified by entropy.
+  FlowTable table;
+  for (int i = 0; i < 60; ++i) {
+    table.ingest(*decode_packet(make_tcp_packet(
+        1.0 + i * 0.02, endpoints(9000),
+        random_bytes(1300, ("u" + std::to_string(i)).c_str()))));
+    table.ingest(*decode_packet(make_tcp_packet(
+        1.01 + i * 0.02, reverse(endpoints(9000)),
+        random_bytes(1300, ("d" + std::to_string(i)).c_str()))));
+  }
+  EXPECT_EQ(classify_flow(table.flows().at(0)).cls,
+            EncryptionClass::kEncrypted);
+}
+
+TEST(Account, BytesPerClass) {
+  std::vector<Packet> packets;
+  // One TLS flow (encrypted), one HTTP flow (unencrypted).
+  const auto tls_payload =
+      iotx::proto::build_application_data(random_bytes(500, "acct"));
+  packets.push_back(make_tcp_packet(1.0, endpoints(443), tls_payload));
+  const std::string req = "GET / HTTP/1.1\r\nHost: h\r\n\r\n";
+  FrameEndpoints http_ep = endpoints(80);
+  http_ep.src_port = 40001;
+  packets.push_back(
+      make_tcp_packet(2.0, http_ep, as_bytes(req)));
+
+  const auto flows = iotx::flow::assemble_flows(packets);
+  const EncryptionBytes bytes = account_flows(flows);
+  EXPECT_EQ(bytes.encrypted, tls_payload.size());
+  EXPECT_EQ(bytes.unencrypted, req.size());
+  EXPECT_EQ(bytes.unknown, 0u);
+  EXPECT_NEAR(bytes.pct_encrypted() + bytes.pct_unencrypted() +
+                  bytes.pct_unknown(),
+              100.0, 1e-9);
+}
+
+TEST(Account, EmptyFlowsIgnored) {
+  std::vector<Packet> packets;
+  packets.push_back(make_tcp_packet(1.0, endpoints(443), {}));  // no payload
+  const EncryptionBytes bytes =
+      account_flows(iotx::flow::assemble_flows(packets));
+  EXPECT_EQ(bytes.classified_total(), 0u);
+  EXPECT_EQ(bytes.pct_encrypted(), 0.0);
+}
+
+TEST(Account, Accumulation) {
+  EncryptionBytes a;
+  a.encrypted = 100;
+  a.unknown = 50;
+  EncryptionBytes b;
+  b.unencrypted = 25;
+  b.media = 10;
+  a += b;
+  EXPECT_EQ(a.encrypted, 100u);
+  EXPECT_EQ(a.unencrypted, 25u);
+  EXPECT_EQ(a.unknown, 50u);
+  EXPECT_EQ(a.media, 10u);
+  EXPECT_EQ(a.classified_total(), 175u);  // media excluded
+}
+
+TEST(ClassNames, Strings) {
+  EXPECT_EQ(encryption_class_name(EncryptionClass::kEncrypted), "encrypted");
+  EXPECT_EQ(encryption_class_name(EncryptionClass::kMedia), "media");
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// Tests for the packet-timing feature extraction (§6.1).
+#include "iotx/analysis/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace iotx::analysis;
+using iotx::flow::PacketMeta;
+using iotx::flow::TrafficUnit;
+
+PacketMeta meta(double ts, std::uint32_t size, bool out) {
+  return PacketMeta{ts, size, out};
+}
+
+TEST(Features, DimensionIsStable) {
+  const std::vector<PacketMeta> packets = {
+      meta(0.0, 100, true), meta(0.1, 200, false), meta(0.3, 150, true)};
+  EXPECT_EQ(extract_features(packets).size(), kFeatureDimension);
+  EXPECT_EQ(extract_features(std::vector<PacketMeta>{}).size(),
+            kFeatureDimension);
+}
+
+TEST(Features, Deterministic) {
+  const std::vector<PacketMeta> packets = {
+      meta(0.0, 100, true), meta(0.5, 900, false), meta(0.6, 60, true)};
+  EXPECT_EQ(extract_features(packets), extract_features(packets));
+}
+
+TEST(Features, SizeBlockReflectsSizes) {
+  const std::vector<PacketMeta> packets = {meta(0.0, 100, true),
+                                           meta(1.0, 300, true)};
+  const auto f = extract_features(packets);
+  // Layout: [all sizes 15][out sizes 15][in sizes 15][all IAT][out][in].
+  EXPECT_DOUBLE_EQ(f[0], 100.0);  // min
+  EXPECT_DOUBLE_EQ(f[1], 300.0);  // max
+  EXPECT_DOUBLE_EQ(f[2], 200.0);  // mean
+}
+
+TEST(Features, DirectionSplit) {
+  const std::vector<PacketMeta> packets = {
+      meta(0.0, 100, true), meta(0.1, 100, true), meta(0.2, 999, false)};
+  const auto f = extract_features(packets);
+  // Outbound block (offset 15): max = 100.
+  EXPECT_DOUBLE_EQ(f[15 + 1], 100.0);
+  // Inbound block (offset 30): max = 999.
+  EXPECT_DOUBLE_EQ(f[30 + 1], 999.0);
+}
+
+TEST(Features, IatBlockReflectsGaps) {
+  const std::vector<PacketMeta> packets = {
+      meta(0.0, 100, true), meta(0.5, 100, true), meta(1.5, 100, true)};
+  const auto f = extract_features(packets);
+  // All-IAT block at offset 45: min 0.5, max 1.0, mean 0.75.
+  EXPECT_NEAR(f[45 + 0], 0.5, 1e-9);
+  EXPECT_NEAR(f[45 + 1], 1.0, 1e-9);
+  EXPECT_NEAR(f[45 + 2], 0.75, 1e-9);
+}
+
+TEST(Features, SinglePacketHasZeroIats) {
+  const std::vector<PacketMeta> packets = {meta(0.0, 100, true)};
+  const auto f = extract_features(packets);
+  for (std::size_t i = 45; i < kFeatureDimension; ++i) {
+    EXPECT_EQ(f[i], 0.0);
+  }
+}
+
+TEST(Features, DistinguishesDifferentTrafficShapes) {
+  // A small chatty exchange vs a bulk media upload must land in clearly
+  // different places in feature space.
+  std::vector<PacketMeta> chatty, bulk;
+  for (int i = 0; i < 20; ++i) {
+    chatty.push_back(meta(i * 0.5, 80 + i % 3, i % 2 == 0));
+    bulk.push_back(meta(i * 0.01, 1300, true));
+  }
+  const auto f1 = extract_features(chatty);
+  const auto f2 = extract_features(bulk);
+  double distance = 0;
+  for (std::size_t i = 0; i < kFeatureDimension; ++i) {
+    distance += std::abs(f1[i] - f2[i]);
+  }
+  EXPECT_GT(distance, 1000.0);
+}
+
+TEST(Features, TrafficUnitOverload) {
+  TrafficUnit unit;
+  unit.packets = {meta(0.0, 100, true), meta(0.2, 140, false)};
+  EXPECT_EQ(extract_features(unit), extract_features(unit.packets));
+}
+
+}  // namespace

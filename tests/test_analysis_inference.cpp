@@ -1,0 +1,174 @@
+// Tests for per-device activity-inference models (§6.3).
+#include "iotx/analysis/inference.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace iotx::analysis;
+using namespace iotx::testbed;
+namespace ml = iotx::ml;
+namespace util = iotx::util;
+
+InferenceParams fast_params() {
+  InferenceParams p;
+  p.validation.forest.n_trees = 20;
+  p.validation.repetitions = 4;
+  return p;
+}
+
+std::vector<LabeledCapture> captures_for(const DeviceSpec& device,
+                                         const NetworkConfig& config,
+                                         int reps) {
+  const ExperimentRunner runner(SchedulePlan{reps, reps, reps, 0.0});
+  std::vector<LabeledCapture> captures;
+  for (const ExperimentSpec& spec : runner.schedule(device, config)) {
+    if (spec.type == ExperimentType::kIdle) continue;
+    captures.push_back(runner.run(spec));
+  }
+  return captures;
+}
+
+TEST(BuildDataset, OneRowPerLabeledCapture) {
+  const DeviceSpec& device = *find_device("ring_doorbell");
+  const NetworkConfig config{LabSite::kUs, false};
+  const auto captures = captures_for(device, config, 4);
+  const ml::Dataset data = build_dataset(device, captures);
+  EXPECT_EQ(data.size(), captures.size());
+  EXPECT_EQ(data.feature_count(), kFeatureDimension);
+  // Classes: power + every scripted activity.
+  EXPECT_EQ(data.class_count(), device.behavior.activities.size());
+}
+
+TEST(BuildDataset, IdleCapturesExcluded) {
+  const DeviceSpec& device = *find_device("echo_dot");
+  const NetworkConfig config{LabSite::kUs, false};
+  const ExperimentRunner runner(SchedulePlan{2, 2, 2, 0.02});
+  const auto captures = runner.run_all(device, config);
+  const ml::Dataset data = build_dataset(device, captures);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NE(data.class_name(data.label(i)), "");
+  }
+  // idle contributed no row: captures include 1 idle.
+  EXPECT_EQ(data.size(), captures.size() - 1);
+}
+
+TEST(TrainModel, DistinctiveDeviceIsInferrable) {
+  const DeviceSpec& device = *find_device("ring_doorbell");  // d = 1.0
+  const NetworkConfig config{LabSite::kUs, false};
+  const ActivityModel model = train_activity_model(
+      device, config, captures_for(device, config, 8), fast_params());
+  EXPECT_TRUE(model.forest.fitted());
+  EXPECT_GT(model.device_f1(), ml::kInferrableF1);
+}
+
+TEST(TrainModel, NoisyDeviceIsNotInferrable) {
+  const DeviceSpec& device = *find_device("lefun_cam");  // d = 0.2, noise .45
+  const NetworkConfig config{LabSite::kUk, false};
+  const ActivityModel model = train_activity_model(
+      device, config, captures_for(device, config, 8), fast_params());
+  EXPECT_LT(model.device_f1(), 0.9);
+}
+
+TEST(TrainModel, ActivityF1Accessors) {
+  const DeviceSpec& device = *find_device("samsung_tv");
+  const NetworkConfig config{LabSite::kUs, false};
+  const ActivityModel model = train_activity_model(
+      device, config, captures_for(device, config, 6), fast_params());
+  EXPECT_TRUE(model.activity_f1("power").has_value());
+  EXPECT_TRUE(model.activity_f1("local_menu").has_value());
+  EXPECT_FALSE(model.activity_f1("nonexistent").has_value());
+}
+
+TEST(TrainModel, EmptyCapturesGiveEmptyModel) {
+  const DeviceSpec& device = *find_device("echo_dot");
+  const ActivityModel model = train_activity_model(
+      device, {LabSite::kUs, false}, {}, fast_params());
+  EXPECT_FALSE(model.forest.fitted());
+  EXPECT_EQ(model.device_f1(), 0.0);
+}
+
+TEST(Predict, RecognizesFreshActivityTraffic) {
+  const DeviceSpec& device = *find_device("ring_doorbell");
+  const NetworkConfig config{LabSite::kUs, false};
+  const ActivityModel model = train_activity_model(
+      device, config, captures_for(device, config, 10), fast_params());
+  ASSERT_GT(model.device_f1(), 0.75);
+
+  // Generate an unseen repetition and classify its traffic unit.
+  const TrafficSynthesizer synth;
+  const auto* sig =
+      TrafficSynthesizer::find_activity(device, "android_wan_recording");
+  util::Prng prng("fresh-rep");
+  const auto packets = synth.activity_event(device, config, *sig, 0.0, prng);
+  const auto metas =
+      iotx::flow::extract_meta(packets, device_mac(device, true));
+  iotx::flow::TrafficUnit unit;
+  unit.packets = metas;
+  const auto predicted = model.predict(unit);
+  ASSERT_TRUE(predicted);
+  EXPECT_EQ(*predicted, "android_wan_recording");
+}
+
+TEST(Predict, MinF1FilterSuppressesWeakClasses) {
+  const DeviceSpec& device = *find_device("ring_doorbell");
+  const NetworkConfig config{LabSite::kUs, false};
+  const ActivityModel model = train_activity_model(
+      device, config, captures_for(device, config, 6), fast_params());
+  iotx::flow::TrafficUnit unit;
+  for (int i = 0; i < 30; ++i) {
+    unit.packets.push_back({i * 0.1, 100u, i % 2 == 0});
+  }
+  // An impossible F1 bar suppresses every prediction.
+  EXPECT_FALSE(model.predict(unit, /*min_f1=*/1.1));
+}
+
+TEST(Predict, VoteThresholdSuppressesUncertain) {
+  const DeviceSpec& device = *find_device("ring_doorbell");
+  const NetworkConfig config{LabSite::kUs, false};
+  const ActivityModel model = train_activity_model(
+      device, config, captures_for(device, config, 6), fast_params());
+  iotx::flow::TrafficUnit junk;
+  for (int i = 0; i < 10; ++i) junk.packets.push_back({i * 1.9, 61u, true});
+  // With a unanimous-vote bar, off-distribution traffic is rejected.
+  EXPECT_FALSE(model.predict(junk, 0.0, /*min_vote=*/1.01));
+}
+
+TEST(Predict, EmptyModelReturnsNullopt) {
+  ActivityModel model;
+  iotx::flow::TrafficUnit unit;
+  unit.packets.push_back({0.0, 100u, true});
+  EXPECT_FALSE(model.predict(unit));
+}
+
+TEST(BackgroundClass, ExcludedFromDeviceF1) {
+  const DeviceSpec& device = *find_device("ring_doorbell");
+  const NetworkConfig config{LabSite::kUs, false};
+  auto captures = captures_for(device, config, 6);
+  // Add perfectly learnable background windows.
+  const TrafficSynthesizer synth;
+  for (int i = 0; i < 6; ++i) {
+    LabeledCapture bg;
+    bg.spec.device_id = device.id;
+    bg.spec.config = config;
+    bg.spec.type = ExperimentType::kInteraction;
+    bg.spec.activity = std::string(kBackgroundLabel);
+    bg.spec.repetition = i;
+    util::Prng prng("bg" + std::to_string(i));
+    bg.packets = synth.background(device, config, 0.0, 60.0, prng);
+    captures.push_back(std::move(bg));
+  }
+  const ActivityModel model =
+      train_activity_model(device, config, captures, fast_params());
+  // The background class exists in the dataset...
+  EXPECT_TRUE(model.dataset.class_id(kBackgroundLabel).has_value());
+  // ...but never comes out of predict() and does not count toward the
+  // device score denominator.
+  util::Prng prng("bg-probe");
+  const auto packets = synth.background(device, config, 0.0, 60.0, prng);
+  iotx::flow::TrafficUnit unit;
+  unit.packets = iotx::flow::extract_meta(packets, device_mac(device, true));
+  EXPECT_FALSE(model.predict(unit));
+}
+
+}  // namespace

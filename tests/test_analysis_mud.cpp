@@ -1,0 +1,133 @@
+// Tests for MUD-style profile learning and violation checking.
+#include "iotx/analysis/mud.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iotx/testbed/experiment.hpp"
+
+namespace {
+
+using namespace iotx::analysis;
+using namespace iotx::testbed;
+
+std::vector<std::vector<iotx::net::Packet>> captures_for(
+    const DeviceSpec& device, const NetworkConfig& config) {
+  const ExperimentRunner runner(SchedulePlan{4, 3, 3, 0.0});
+  std::vector<std::vector<iotx::net::Packet>> out;
+  for (const auto& spec : runner.schedule(device, config)) {
+    if (spec.type == ExperimentType::kIdle) continue;
+    out.push_back(runner.run(spec).packets);
+  }
+  return out;
+}
+
+TEST(Mud, LearnsAllowedEndpoints) {
+  const DeviceSpec& ring = *find_device("ring_doorbell");
+  const NetworkConfig config{LabSite::kUs, false};
+  const MudProfile profile =
+      learn_mud_profile(ring.id, captures_for(ring, config));
+  EXPECT_EQ(profile.device_id, "ring_doorbell");
+  EXPECT_GT(profile.allowed.size(), 2u);
+  bool has_ring_tls = false;
+  for (const MudAclEntry& e : profile.allowed) {
+    if (e.destination == "ring.com" && e.port == 443 && e.protocol == 6) {
+      has_ring_tls = true;
+    }
+    // LAN endpoints never enter the profile.
+    EXPECT_NE(e.destination, "10.42.0.1");
+  }
+  EXPECT_TRUE(has_ring_tls);
+}
+
+TEST(Mud, OwnTrafficIsCompliant) {
+  const DeviceSpec& ring = *find_device("ring_doorbell");
+  const NetworkConfig config{LabSite::kUs, false};
+  const auto captures = captures_for(ring, config);
+  const MudProfile profile = learn_mud_profile(ring.id, captures);
+  // Re-checking the training captures yields no violations.
+  for (const auto& capture : captures) {
+    EXPECT_TRUE(check_against_profile(profile, capture).empty());
+  }
+}
+
+TEST(Mud, FreshRepetitionsCompliant) {
+  // New repetitions of known interactions stay within the envelope.
+  const DeviceSpec& ring = *find_device("ring_doorbell");
+  const NetworkConfig config{LabSite::kUs, false};
+  const MudProfile profile =
+      learn_mud_profile(ring.id, captures_for(ring, config));
+  const TrafficSynthesizer synth;
+  const auto* sig = TrafficSynthesizer::find_activity(ring, "local_ring");
+  iotx::util::Prng prng("mud-fresh");
+  const auto capture = synth.activity_event(ring, config, *sig, 0.0, prng);
+  EXPECT_TRUE(check_against_profile(profile, capture).empty());
+}
+
+TEST(Mud, FlagsUnknownDestination) {
+  const DeviceSpec& ring = *find_device("ring_doorbell");
+  const NetworkConfig config{LabSite::kUs, false};
+  const MudProfile profile =
+      learn_mud_profile(ring.id, captures_for(ring, config));
+
+  // Hand-craft traffic to a destination the profile never saw.
+  using namespace iotx::net;
+  FrameEndpoints ep;
+  ep.src_mac = device_mac(ring, true);
+  ep.dst_mac = lab_params(LabSite::kUs).gateway_mac;
+  ep.src_ip = device_ip(ring, true);
+  ep.dst_ip = Ipv4Address(198, 51, 100, 66);  // TEST-NET-2: never learned
+  ep.src_port = 40000;
+  ep.dst_port = 4444;
+  std::vector<Packet> capture;
+  capture.push_back(make_tcp_packet(1.0, ep,
+                                    std::vector<std::uint8_t>(100, 0x5c)));
+
+  const auto violations = check_against_profile(profile, capture);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].observed.destination, "198.51.100.66");
+  EXPECT_EQ(violations[0].observed.port, 4444);
+  EXPECT_EQ(violations[0].packets, 1u);
+}
+
+TEST(Mud, ViolationsAggregatePerEndpoint) {
+  MudProfile empty;
+  empty.device_id = "x";
+  using namespace iotx::net;
+  FrameEndpoints ep;
+  ep.src_mac = *MacAddress::parse("02:55:00:00:00:10");
+  ep.dst_mac = *MacAddress::parse("02:55:00:00:00:01");
+  ep.src_ip = Ipv4Address(10, 42, 0, 10);
+  ep.dst_ip = Ipv4Address(203, 0, 113, 5);
+  ep.src_port = 40000;
+  ep.dst_port = 9999;
+  std::vector<Packet> capture;
+  for (int i = 0; i < 4; ++i) {
+    ep.src_port = static_cast<std::uint16_t>(40000 + i);  // 4 flows
+    capture.push_back(
+        make_tcp_packet(1.0 + i, ep, std::vector<std::uint8_t>(50, 1)));
+  }
+  const auto violations = check_against_profile(empty, capture);
+  ASSERT_EQ(violations.size(), 1u);  // one per (dst, port, proto)
+  EXPECT_EQ(violations[0].packets, 4u);
+}
+
+TEST(Mud, SameDomainDifferentPortIsViolation) {
+  MudProfile profile;
+  profile.device_id = "x";
+  profile.allowed.insert(MudAclEntry{"ring.com", 443, 6});
+  EXPECT_TRUE(profile.permits(MudAclEntry{"ring.com", 443, 6}));
+  EXPECT_FALSE(profile.permits(MudAclEntry{"ring.com", 80, 6}));
+  EXPECT_FALSE(profile.permits(MudAclEntry{"ring.com", 443, 17}));
+}
+
+TEST(Mud, JsonSerialization) {
+  MudProfile profile;
+  profile.device_id = "echo_dot";
+  profile.allowed.insert(MudAclEntry{"amazon.com", 443, 6});
+  const std::string json = profile.to_json();
+  EXPECT_NE(json.find("\"systeminfo\":\"echo_dot\""), std::string::npos);
+  EXPECT_NE(json.find("\"dst\":\"amazon.com\""), std::string::npos);
+  EXPECT_NE(json.find("\"port\":443"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Tests for the multi-encoding PII scanner (§6.1/§6.2).
+#include "iotx/analysis/pii.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iotx/net/bytes.hpp"
+#include "iotx/proto/tls.hpp"
+#include "iotx/util/codec.hpp"
+
+namespace {
+
+using namespace iotx::analysis;
+using namespace iotx::net;
+
+FrameEndpoints endpoints(std::uint16_t dst_port) {
+  FrameEndpoints ep;
+  ep.src_mac = *MacAddress::parse("02:55:00:00:00:10");
+  ep.dst_mac = *MacAddress::parse("02:55:00:00:00:01");
+  ep.src_ip = Ipv4Address(10, 42, 0, 10);
+  ep.dst_ip = Ipv4Address(52, 1, 2, 3);
+  ep.src_port = 40000;
+  ep.dst_port = dst_port;
+  return ep;
+}
+
+std::vector<iotx::flow::Flow> flows_with_http_body(const std::string& body) {
+  const std::string req = "POST /s HTTP/1.1\r\nHost: sink.example.com\r\n"
+                          "Content-Length: " + std::to_string(body.size()) +
+                          "\r\n\r\n" + body;
+  std::vector<Packet> packets;
+  packets.push_back(make_tcp_packet(1.0, endpoints(80), as_bytes(req)));
+  return iotx::flow::assemble_flows(packets);
+}
+
+const PiiItem kMac{"mac", "02:55:aa:bb:cc:dd"};
+const PiiItem kEmail{"email", "john.doe@example.com"};
+
+TEST(Pii, FindsPlainValue) {
+  const PiiScanner scanner({kMac, kEmail});
+  const auto findings =
+      scanner.scan(flows_with_http_body("mac=02:55:aa:bb:cc:dd&x=1"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, "mac");
+  EXPECT_EQ(findings[0].encoding, "plain");
+  EXPECT_EQ(findings[0].domain, "sink.example.com");
+}
+
+TEST(Pii, FindsHexEncoded) {
+  const PiiScanner scanner({kMac});
+  const auto findings = scanner.scan(
+      flows_with_http_body("blob=" + iotx::util::hex_encode(kMac.value)));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].encoding, "hex");
+}
+
+TEST(Pii, FindsBase64Encoded) {
+  const PiiScanner scanner({kEmail});
+  const auto findings = scanner.scan(
+      flows_with_http_body("b=" + iotx::util::base64_encode(kEmail.value)));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, "email");
+  EXPECT_EQ(findings[0].encoding, "base64");
+}
+
+TEST(Pii, FindsUrlEncoded) {
+  const PiiScanner scanner({kMac});
+  const auto findings = scanner.scan(
+      flows_with_http_body("m=" + iotx::util::url_encode(kMac.value)));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].encoding, "url");
+}
+
+TEST(Pii, CaseInsensitiveMatch) {
+  const PiiScanner scanner({kEmail});
+  const auto findings =
+      scanner.scan(flows_with_http_body("e=JOHN.DOE@EXAMPLE.COM"));
+  ASSERT_EQ(findings.size(), 1u);
+}
+
+TEST(Pii, NothingInCleanTraffic) {
+  const PiiScanner scanner({kMac, kEmail});
+  EXPECT_TRUE(scanner.scan(flows_with_http_body("status=ok")).empty());
+}
+
+TEST(Pii, SkipsProtocolEncryptedFlows) {
+  // The MAC is inside a TLS record: an eavesdropper cannot search it.
+  // (The record wraps the plaintext here only to simulate the situation
+  // where the value would be visible if the flow were not encrypted.)
+  std::string secret = "mac=" + kMac.value;
+  const auto record = iotx::proto::build_application_data(as_bytes(secret));
+  std::vector<Packet> packets;
+  packets.push_back(make_tcp_packet(1.0, endpoints(443), record));
+  const PiiScanner scanner({kMac});
+  EXPECT_TRUE(scanner.scan(iotx::flow::assemble_flows(packets)).empty());
+}
+
+TEST(Pii, ScansUnknownProtocolPayloads) {
+  // Proprietary plaintext on an odd port is still searchable.
+  const std::string payload = "DEVID 02:55:aa:bb:cc:dd END";
+  std::vector<Packet> packets;
+  packets.push_back(make_tcp_packet(1.0, endpoints(8899),
+                                    as_bytes(payload)));
+  const PiiScanner scanner({kMac});
+  const auto findings = scanner.scan(iotx::flow::assemble_flows(packets));
+  ASSERT_EQ(findings.size(), 1u);
+  // No SNI/Host: the destination IP identifies the flow.
+  EXPECT_EQ(findings[0].domain, "52.1.2.3");
+}
+
+TEST(Pii, DeduplicatesAcrossPacketsOfSameFlow) {
+  std::vector<Packet> packets;
+  const std::string payload = "mac=" + kMac.value;
+  for (int i = 0; i < 5; ++i) {
+    packets.push_back(
+        make_tcp_packet(1.0 + i, endpoints(8899), as_bytes(payload)));
+  }
+  const PiiScanner scanner({kMac});
+  EXPECT_EQ(scanner.scan(iotx::flow::assemble_flows(packets)).size(), 1u);
+}
+
+TEST(Pii, MultipleKindsReported) {
+  const PiiScanner scanner({kMac, kEmail});
+  const auto findings = scanner.scan(flows_with_http_body(
+      "mac=" + kMac.value + "&email=" + kEmail.value));
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(Pii, EmptyItemListFindsNothing) {
+  const PiiScanner scanner({});
+  EXPECT_TRUE(scanner.scan(flows_with_http_body("mac=02:55")).empty());
+  EXPECT_TRUE(scanner.items().empty());
+}
+
+}  // namespace

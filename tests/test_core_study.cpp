@@ -1,0 +1,148 @@
+// Integration tests for the Study orchestrator (scoped to a few devices to
+// stay fast; the benches run the full campaign).
+#include "iotx/core/study.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace iotx::core;
+using namespace iotx::testbed;
+
+StudyParams small_params() {
+  StudyParams p;
+  p.plan = SchedulePlan{/*automated=*/6, /*manual=*/3, /*power=*/3,
+                        /*idle_hours=*/0.3};
+  p.inference.validation.forest.n_trees = 15;
+  p.inference.validation.repetitions = 3;
+  p.user_study.days = 1;
+  p.device_filter = {"ring_doorbell", "samsung_fridge", "tplink_plug"};
+  return p;
+}
+
+class StudyFixture : public ::testing::Test {
+ protected:
+  static const Study& study() {
+    static Study* instance = [] {
+      auto* s = new Study(small_params());
+      s->run();
+      return s;
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(StudyFixture, AllFourConfigsRun) {
+  const auto keys = study().config_keys();
+  EXPECT_EQ(keys, (std::vector<std::string>{"us", "uk", "us-vpn", "uk-vpn"}));
+}
+
+TEST_F(StudyFixture, DeviceFilterRespected) {
+  // ring + fridge + plug in the US; only ring + plug exist in the UK.
+  EXPECT_EQ(study().results("us").size(), 3u);
+  EXPECT_EQ(study().results("uk").size(), 2u);
+  EXPECT_NE(study().result_for("us", "samsung_fridge"), nullptr);
+  EXPECT_EQ(study().result_for("uk", "samsung_fridge"), nullptr);
+  EXPECT_EQ(study().result_for("us", "echo_dot"), nullptr);
+}
+
+TEST_F(StudyFixture, ExperimentCountsAccumulate) {
+  // 3 devices x 2 configs (US) + 2 x 2 (UK); each device runs power reps +
+  // interactions + idle. Just bound it sanely.
+  EXPECT_GT(study().experiments_run(), 100u);
+}
+
+TEST_F(StudyFixture, DestinationsAttributed) {
+  const DeviceRunResult* ring = study().result_for("us", "ring_doorbell");
+  ASSERT_NE(ring, nullptr);
+  ASSERT_FALSE(ring->destinations.empty());
+  bool saw_ring_domain = false;
+  for (const auto& d : ring->destinations) {
+    EXPECT_FALSE(d.organization.empty());
+    EXPECT_FALSE(d.country.empty());
+    if (d.sld == "ring.com") saw_ring_domain = true;
+  }
+  EXPECT_TRUE(saw_ring_domain);
+}
+
+TEST_F(StudyFixture, PartyGroupsPopulated) {
+  const DeviceRunResult* plug = study().result_for("us", "tplink_plug");
+  ASSERT_NE(plug, nullptr);
+  EXPECT_TRUE(plug->parties_by_group.contains("Power"));
+  EXPECT_TRUE(plug->parties_by_group.contains("Control"));
+  EXPECT_TRUE(plug->parties_by_group.contains("Idle"));
+  // Control is a superset of power contacts.
+  EXPECT_GE(plug->parties_by_group.at("Control").support.size(),
+            plug->parties_by_group.at("Power").support.size());
+}
+
+TEST_F(StudyFixture, EncryptionAccounted) {
+  const DeviceRunResult* plug = study().result_for("us", "tplink_plug");
+  ASSERT_NE(plug, nullptr);
+  EXPECT_GT(plug->enc_total.classified_total(), 0u);
+  // The plug's configured plaintext share (~18.6%) must be visible.
+  EXPECT_GT(plug->enc_total.pct_unencrypted(), 5.0);
+  EXPECT_LT(plug->enc_total.pct_unencrypted(), 45.0);
+}
+
+TEST_F(StudyFixture, VpnChangesPlugPlaintext) {
+  const DeviceRunResult* direct = study().result_for("us", "tplink_plug");
+  const DeviceRunResult* vpn = study().result_for("us-vpn", "tplink_plug");
+  ASSERT_NE(direct, nullptr);
+  ASSERT_NE(vpn, nullptr);
+  // §5.2 / Table 7: plaintext share increases over VPN for this device.
+  EXPECT_GT(vpn->enc_total.pct_unencrypted(),
+            direct->enc_total.pct_unencrypted());
+}
+
+TEST_F(StudyFixture, FridgeLeaksMac) {
+  const DeviceRunResult* fridge = study().result_for("us", "samsung_fridge");
+  ASSERT_NE(fridge, nullptr);
+  bool mac_leak = false;
+  for (const auto& f : fridge->pii_findings) {
+    if (f.kind == "mac") mac_leak = true;
+  }
+  EXPECT_TRUE(mac_leak);
+}
+
+TEST_F(StudyFixture, ModelsTrained) {
+  const DeviceRunResult* ring = study().result_for("us", "ring_doorbell");
+  ASSERT_NE(ring, nullptr);
+  EXPECT_TRUE(ring->model.forest.fitted());
+  EXPECT_GT(ring->model.device_f1(), 0.5);
+}
+
+TEST_F(StudyFixture, UncontrolledOutputsPresent) {
+  EXPECT_FALSE(study().user_study().captures.empty());
+  EXPECT_GT(study().uncontrolled_encryption().classified_total(), 0u);
+}
+
+TEST(ExperimentGroup, Mapping) {
+  ExperimentSpec spec;
+  spec.type = ExperimentType::kPower;
+  EXPECT_EQ(experiment_group(spec), "Power");
+  spec.type = ExperimentType::kIdle;
+  EXPECT_EQ(experiment_group(spec), "Idle");
+  spec.type = ExperimentType::kInteraction;
+  spec.activity = "local_voice";
+  EXPECT_EQ(experiment_group(spec), "Voice");
+  spec.activity = "android_wan_watch";
+  EXPECT_EQ(experiment_group(spec), "Video");
+  spec.activity = "android_lan_on";
+  EXPECT_EQ(experiment_group(spec), "Others");  // On/Off folds into Others
+}
+
+TEST(StudyParams, PaperScaleValues) {
+  const StudyParams p = StudyParams::paper_scale();
+  EXPECT_EQ(p.plan.automated_reps, 30);
+  EXPECT_EQ(p.inference.validation.repetitions, 10u);
+  EXPECT_EQ(p.inference.validation.forest.n_trees, 100u);
+  EXPECT_EQ(p.user_study.days, 180);
+}
+
+TEST(Study, ResultsForUnknownConfigEmpty) {
+  const Study study{StudyParams{}};
+  EXPECT_TRUE(study.results("nope").empty());
+}
+
+}  // namespace

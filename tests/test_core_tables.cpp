@@ -1,0 +1,196 @@
+// Structural tests for the table builders over a small Study.
+#include "iotx/core/tables.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace iotx::core;
+using namespace iotx::testbed;
+
+StudyParams table_params() {
+  StudyParams p;
+  p.plan = SchedulePlan{6, 3, 3, 0.3};
+  p.inference.validation.forest.n_trees = 15;
+  p.inference.validation.repetitions = 3;
+  p.user_study.days = 1;
+  p.device_filter = {"ring_doorbell", "samsung_tv", "tplink_plug",
+                     "zmodo_doorbell", "echo_dot", "roku_tv",
+                     "magichome_strip"};
+  return p;
+}
+
+const Study& table_study() {
+  static Study* instance = [] {
+    auto* s = new Study(table_params());
+    s->run();
+    return s;
+  }();
+  return *instance;
+}
+
+TEST(ColumnSelector, EightColumns) {
+  EXPECT_EQ(column_selector(0).config_key, "us");
+  EXPECT_FALSE(column_selector(0).common_only);
+  EXPECT_EQ(column_selector(3).config_key, "uk");
+  EXPECT_TRUE(column_selector(3).common_only);
+  EXPECT_EQ(column_selector(4).config_key, "us-vpn");
+  EXPECT_EQ(column_selector(7).config_key, "uk-vpn");
+  EXPECT_TRUE(column_selector(7).common_only);
+  EXPECT_EQ(kColumnHeaders.size(), 8u);
+}
+
+TEST(Table2, StructureAndMonotonicity) {
+  const auto rows = build_table2(table_study());
+  // 5 experiment groups + total, 2 parties each.
+  EXPECT_EQ(rows.size(), 12u);
+  const auto find = [&](const char* exp, const char* party) -> const Table2Row& {
+    for (const auto& r : rows) {
+      if (r.experiment == exp && r.party == party) return r;
+    }
+    throw std::runtime_error("row missing");
+  };
+  const Table2Row& control = find("Control", "Support");
+  const Table2Row& power = find("Power", "Support");
+  const Table2Row& total = find("Total", "Support");
+  for (int c = 0; c < 8; ++c) {
+    EXPECT_GE(control.counts[c], power.counts[c]) << c;
+    EXPECT_GE(total.counts[c], control.counts[c]) << c;
+  }
+  // Common subset never exceeds the full set.
+  EXPECT_LE(total.counts[2], total.counts[0]);
+  EXPECT_LE(total.counts[3], total.counts[1]);
+}
+
+TEST(Table3, CoversSelectedCategories) {
+  const auto rows = build_table3(table_study());
+  EXPECT_EQ(rows.size(), 12u);  // 6 categories x 2 parties
+  int nonzero = 0;
+  for (const auto& r : rows) {
+    for (int v : r.counts) nonzero += v > 0;
+  }
+  EXPECT_GT(nonzero, 0);
+}
+
+TEST(Table4, SortedByUsCount) {
+  const auto rows = build_table4(table_study(), 10);
+  ASSERT_FALSE(rows.empty());
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].device_counts[0], rows[i].device_counts[0]);
+  }
+}
+
+TEST(Figure2, EdgesAggregated) {
+  const auto edges = build_figure2(table_study());
+  ASSERT_FALSE(edges.empty());
+  bool has_us_lab = false, has_uk_lab = false;
+  for (const auto& e : edges) {
+    EXPECT_GT(e.bytes, 0u);
+    has_us_lab |= e.lab == "US";
+    has_uk_lab |= e.lab == "UK";
+  }
+  EXPECT_TRUE(has_us_lab);
+  EXPECT_TRUE(has_uk_lab);
+}
+
+TEST(Table5, DeviceCountsPerColumnSumToDevices) {
+  const auto rows = build_table5(table_study());
+  EXPECT_EQ(rows.size(), 12u);  // 3 classes x 4 quartiles
+  // For each class, every device lands in exactly one quartile.
+  const std::size_t us_devices = table_study().results("us").size();
+  for (const char* cls : {"unencrypted", "encrypted", "unknown"}) {
+    int sum = 0;
+    for (const auto& r : rows) {
+      if (r.enc_class == cls) sum += r.device_counts[0];
+    }
+    EXPECT_EQ(sum, static_cast<int>(us_devices)) << cls;
+  }
+}
+
+TEST(Table6, PercentagesSumTo100PerCategoryColumn) {
+  const auto rows = build_table6(table_study());
+  EXPECT_EQ(rows.size(), 18u);  // 3 classes x 6 categories
+  for (std::size_t cat = 0; cat < 6; ++cat) {
+    const double total = rows[cat].pct[0] + rows[cat + 6].pct[0] +
+                         rows[cat + 12].pct[0];
+    if (total > 0.0) {
+      EXPECT_NEAR(total, 100.0, 1e-6) << cat;
+    }
+  }
+}
+
+TEST(Table7, RowsOrderedByUnencryptedShare) {
+  const auto rows = build_table7(table_study(), 10, 3);
+  ASSERT_FALSE(rows.empty());
+  for (const auto& r : rows) {
+    EXPECT_GE(r.us, 0.0);
+    EXPECT_LE(r.us, 100.0);
+  }
+}
+
+TEST(Table8, ControlRowAggregatesAllControlledBytes) {
+  // Regression: the Control row must carry byte percentages (it aggregates
+  // every controlled experiment, like the paper's first row).
+  const auto rows = build_table8(table_study());
+  for (const auto& r : rows) {
+    if (r.experiment != "Control") continue;
+    EXPECT_GT(r.device_count, 0) << r.enc_class;
+    double sum = 0.0;
+    for (double v : r.pct) sum += v;
+    EXPECT_GT(sum, 0.0) << r.enc_class;
+  }
+}
+
+TEST(Table8, HasUncontrolledRows) {
+  const auto rows = build_table8(table_study());
+  int uncontrolled = 0;
+  for (const auto& r : rows) {
+    if (r.experiment == "Uncontrol") {
+      ++uncontrolled;
+      EXPECT_GE(r.uncontrolled_pct, 0.0);
+    }
+  }
+  EXPECT_EQ(uncontrolled, 3);  // one per encryption class
+}
+
+TEST(Table9, InferrableNeverExceedsDeviceCount) {
+  const auto rows = build_table9(table_study());
+  EXPECT_EQ(rows.size(), 6u);
+  for (const auto& r : rows) {
+    for (int v : r.inferrable) {
+      EXPECT_GE(v, 0);
+      EXPECT_LE(v, r.device_count);
+    }
+  }
+}
+
+TEST(Table10, GroupsPresent) {
+  const auto rows = build_table10(table_study());
+  EXPECT_EQ(rows.size(), 6u);
+  for (const auto& r : rows) {
+    for (int v : r.inferrable) EXPECT_LE(v, r.device_count);
+  }
+}
+
+TEST(Table11, ZmodoDominates) {
+  const Table11 table = build_table11(table_study(), 3);
+  EXPECT_GT(table.hours[0], 0.0);
+  ASSERT_FALSE(table.rows.empty());
+  // Sorted by total instances; the Zmodo movement storm tops the list.
+  EXPECT_EQ(table.rows[0].device_name, "Zmodo Doorbell");
+}
+
+TEST(PiiReport, TargetsKnownLeaks) {
+  const auto rows = build_pii_report(table_study());
+  bool roku_name = false;
+  for (const auto& r : rows) {
+    EXPECT_FALSE(r.destination_domain.empty());
+    if (r.device_name == "Roku TV" && r.kind == "owner_name") {
+      roku_name = true;
+    }
+  }
+  // Roku's device-name leak includes the owner name ("John Doe's Roku TV").
+  EXPECT_TRUE(roku_name);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Tests for DNS-based IP -> domain attribution.
+#include "iotx/flow/dns_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iotx/proto/dns.hpp"
+
+namespace {
+
+using namespace iotx::flow;
+using namespace iotx::net;
+using namespace iotx::proto;
+
+FrameEndpoints dns_endpoints(bool response) {
+  FrameEndpoints ep;
+  ep.src_mac = *MacAddress::parse("02:55:00:00:00:10");
+  ep.dst_mac = *MacAddress::parse("02:55:00:00:00:01");
+  ep.src_ip = Ipv4Address(10, 42, 0, 10);
+  ep.dst_ip = Ipv4Address(10, 42, 0, 1);
+  ep.src_port = 41000;
+  ep.dst_port = 53;
+  return response ? reverse(ep) : ep;
+}
+
+TEST(DnsCache, LearnsFromResponse) {
+  const DnsMessage query = make_query(5, "api.ring.com");
+  const DnsMessage response =
+      make_response(query, Ipv4Address(54, 85, 62, 100));
+  DnsCache cache;
+  cache.ingest(*decode_packet(
+      make_udp_packet(1.0, dns_endpoints(true), response.encode())));
+  const auto domain = cache.lookup(Ipv4Address(54, 85, 62, 100));
+  ASSERT_TRUE(domain);
+  EXPECT_EQ(*domain, "api.ring.com");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DnsCache, IgnoresQueries) {
+  const DnsMessage query = make_query(5, "api.ring.com");
+  DnsCache cache;
+  cache.ingest(*decode_packet(
+      make_udp_packet(1.0, dns_endpoints(false), query.encode())));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DnsCache, IgnoresNonDnsTraffic) {
+  FrameEndpoints ep = dns_endpoints(false);
+  ep.dst_port = 80;
+  DnsCache cache;
+  cache.ingest(*decode_packet(make_udp_packet(1.0, ep, std::vector<std::uint8_t>{1, 2, 3})));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DnsCache, FollowsCnameChainToOrigin) {
+  // query www.vendor.com -> CNAME lb.aws.com -> A 52.1.1.1.
+  DnsMessage msg;
+  msg.id = 9;
+  msg.is_response = true;
+  msg.questions.push_back(DnsQuestion{"www.vendor.com"});
+  DnsRecord cname;
+  cname.name = "www.vendor.com";
+  cname.rtype = static_cast<std::uint16_t>(DnsType::kCname);
+  cname.rdata_name = "lb.aws.com";
+  msg.answers.push_back(cname);
+  DnsRecord a;
+  a.name = "lb.aws.com";
+  a.rdata = {52, 1, 1, 1};
+  msg.answers.push_back(a);
+
+  DnsCache cache;
+  cache.ingest(*decode_packet(
+      make_udp_packet(1.0, dns_endpoints(true), msg.encode())));
+  const auto domain = cache.lookup(Ipv4Address(52, 1, 1, 1));
+  ASSERT_TRUE(domain);
+  // Attribution goes to the name the device actually queried.
+  EXPECT_EQ(*domain, "www.vendor.com");
+}
+
+TEST(DnsCache, LatestResponseWins) {
+  DnsCache cache;
+  for (const char* name : {"old.example.com", "new.example.com"}) {
+    const DnsMessage response =
+        make_response(make_query(1, name), Ipv4Address(9, 9, 9, 9));
+    cache.ingest(*decode_packet(
+        make_udp_packet(1.0, dns_endpoints(true), response.encode())));
+  }
+  EXPECT_EQ(*cache.lookup(Ipv4Address(9, 9, 9, 9)), "new.example.com");
+}
+
+TEST(DnsCache, LookupMissReturnsNullopt) {
+  DnsCache cache;
+  EXPECT_FALSE(cache.lookup(Ipv4Address(1, 2, 3, 4)));
+}
+
+TEST(DnsCache, NamesLowercased) {
+  const DnsMessage response =
+      make_response(make_query(2, "API.Ring.COM"), Ipv4Address(5, 5, 5, 5));
+  DnsCache cache;
+  cache.ingest(*decode_packet(
+      make_udp_packet(1.0, dns_endpoints(true), response.encode())));
+  EXPECT_EQ(*cache.lookup(Ipv4Address(5, 5, 5, 5)), "api.ring.com");
+}
+
+TEST(DnsCache, IngestAllProcessesCapture) {
+  std::vector<Packet> capture;
+  const DnsMessage r1 =
+      make_response(make_query(1, "a.com"), Ipv4Address(1, 1, 1, 1));
+  const DnsMessage r2 =
+      make_response(make_query(2, "b.com"), Ipv4Address(2, 2, 2, 2));
+  capture.push_back(make_udp_packet(1.0, dns_endpoints(true), r1.encode()));
+  capture.push_back(make_udp_packet(2.0, dns_endpoints(true), r2.encode()));
+  DnsCache cache;
+  cache.ingest_all(capture);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.lookup(Ipv4Address(2, 2, 2, 2)), "b.com");
+}
+
+}  // namespace

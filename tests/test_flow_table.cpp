@@ -1,0 +1,147 @@
+// Tests for bidirectional flow assembly.
+#include "iotx/flow/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iotx/net/bytes.hpp"
+#include "iotx/proto/tls.hpp"
+
+namespace {
+
+using namespace iotx::flow;
+using namespace iotx::net;
+
+FrameEndpoints endpoints(std::uint16_t src_port = 40000,
+                         std::uint16_t dst_port = 443) {
+  FrameEndpoints ep;
+  ep.src_mac = *MacAddress::parse("02:55:00:00:00:10");
+  ep.dst_mac = *MacAddress::parse("02:55:00:00:00:01");
+  ep.src_ip = Ipv4Address(10, 42, 0, 10);
+  ep.dst_ip = Ipv4Address(52, 1, 2, 3);
+  ep.src_port = src_port;
+  ep.dst_port = dst_port;
+  return ep;
+}
+
+TEST(FlowKey, CanonicalAcrossDirections) {
+  const Packet fwd = make_tcp_packet(1.0, endpoints(), {});
+  const Packet rev = make_tcp_packet(2.0, reverse(endpoints()), {});
+  const FlowKey k1 = FlowKey::from_packet(*decode_packet(fwd));
+  const FlowKey k2 = FlowKey::from_packet(*decode_packet(rev));
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(FlowTable, MergesBothDirections) {
+  FlowTable table;
+  const std::vector<std::uint8_t> up_payload(100, 1);
+  const std::vector<std::uint8_t> down_payload(200, 2);
+  table.ingest(*decode_packet(make_tcp_packet(1.0, endpoints(), up_payload)));
+  table.ingest(*decode_packet(
+      make_tcp_packet(1.1, reverse(endpoints()), down_payload)));
+  table.ingest(*decode_packet(make_tcp_packet(1.2, endpoints(), up_payload)));
+
+  const auto flows = table.flows();
+  ASSERT_EQ(flows.size(), 1u);
+  const Flow& f = flows[0];
+  EXPECT_EQ(f.initiator.to_string(), "10.42.0.10");
+  EXPECT_EQ(f.responder.to_string(), "52.1.2.3");
+  EXPECT_EQ(f.up.packets, 2u);
+  EXPECT_EQ(f.down.packets, 1u);
+  EXPECT_EQ(f.up.payload_bytes, 200u);
+  EXPECT_EQ(f.down.payload_bytes, 200u);
+  EXPECT_DOUBLE_EQ(f.first_ts, 1.0);
+  EXPECT_DOUBLE_EQ(f.last_ts, 1.2);
+  EXPECT_EQ(f.total_packets(), 3u);
+}
+
+TEST(FlowTable, SeparatesDifferentPorts) {
+  FlowTable table;
+  table.ingest(*decode_packet(make_tcp_packet(1.0, endpoints(40000), {})));
+  table.ingest(*decode_packet(make_tcp_packet(1.0, endpoints(40001), {})));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(FlowTable, SeparatesTcpFromUdp) {
+  FlowTable table;
+  FrameEndpoints ep = endpoints(40000, 32100);
+  table.ingest(*decode_packet(make_tcp_packet(1.0, ep, std::vector<std::uint8_t>{1})));
+  table.ingest(*decode_packet(make_udp_packet(1.0, ep, std::vector<std::uint8_t>{1})));
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(FlowTable, CapturesSni) {
+  const std::uint16_t suites[] = {0x1301};
+  const std::vector<std::uint8_t> rnd(32, 9);
+  const auto hello = iotx::proto::build_client_hello("api.ring.com", suites,
+                                                     rnd);
+  FlowTable table;
+  table.ingest(*decode_packet(make_tcp_packet(1.0, endpoints(), hello)));
+  const auto flows = table.flows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].sni, "api.ring.com");
+  EXPECT_EQ(flows[0].protocol, iotx::proto::ProtocolId::kTls);
+}
+
+TEST(FlowTable, CapturesHttpHost) {
+  const std::string req = "GET /status HTTP/1.1\r\nHost: cam.example.com\r\n\r\n";
+  FrameEndpoints ep = endpoints(40000, 80);
+  FlowTable table;
+  table.ingest(*decode_packet(make_tcp_packet(1.0, ep, as_bytes(req))));
+  const auto flows = table.flows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].http_host, "cam.example.com");
+  EXPECT_EQ(flows[0].protocol, iotx::proto::ProtocolId::kHttp);
+}
+
+TEST(FlowTable, DetectsEncodingFromPayload) {
+  const std::vector<std::uint8_t> jpeg = {0xff, 0xd8, 0xff, 0xe0, 1, 2, 3};
+  FrameEndpoints ep = endpoints(40000, 8899);
+  FlowTable table;
+  table.ingest(*decode_packet(make_tcp_packet(1.0, ep, jpeg)));
+  EXPECT_EQ(table.flows()[0].encoding, iotx::proto::ContentEncoding::kJpeg);
+}
+
+TEST(FlowTable, PayloadSampleCapped) {
+  FlowTable table;
+  const std::vector<std::uint8_t> chunk(1400, 0xab);
+  // 128 KiB cap -> about 94 full packets; send 120.
+  for (int i = 0; i < 120; ++i) {
+    table.ingest(*decode_packet(
+        make_tcp_packet(1.0 + i * 0.001, endpoints(), chunk)));
+  }
+  const Flow& f = table.flows()[0];
+  EXPECT_EQ(f.payload_sample_up.size(), Flow::kPayloadSampleCap);
+  EXPECT_EQ(f.up.payload_bytes, 120u * 1400u);  // accounting keeps counting
+}
+
+TEST(FlowTable, IngestAllSkipsUndecodable) {
+  std::vector<Packet> packets;
+  packets.push_back(make_tcp_packet(1.0, endpoints(), std::vector<std::uint8_t>{1, 2}));
+  Packet garbage;
+  garbage.frame = {1, 2, 3};
+  packets.push_back(garbage);
+  FlowTable table;
+  table.ingest_all(packets);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTable, FlowsInFirstSeenOrder) {
+  FlowTable table;
+  table.ingest(*decode_packet(make_tcp_packet(5.0, endpoints(40002), {})));
+  table.ingest(*decode_packet(make_tcp_packet(1.0, endpoints(40001), {})));
+  const auto flows = table.flows();
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].initiator_port, 40002);
+  EXPECT_EQ(flows[1].initiator_port, 40001);
+}
+
+TEST(AssembleFlows, OneShot) {
+  std::vector<Packet> packets;
+  packets.push_back(make_tcp_packet(1.0, endpoints(), std::vector<std::uint8_t>{1}));
+  packets.push_back(make_tcp_packet(1.5, reverse(endpoints()), std::vector<std::uint8_t>{2, 3}));
+  const auto flows = assemble_flows(packets);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].total_payload_bytes(), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Tests for traffic-unit segmentation (§7.1: units delimited by >2 s
+// inter-packet gaps).
+#include "iotx/flow/traffic_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx::flow;
+using namespace iotx::net;
+
+PacketMeta meta(double ts, std::uint32_t size = 100, bool out = true) {
+  return PacketMeta{ts, size, out};
+}
+
+TEST(Segment, EmptyInput) {
+  EXPECT_TRUE(segment_traffic({}).empty());
+}
+
+TEST(Segment, SingleUnitWhenGapsSmall) {
+  const std::vector<PacketMeta> packets = {meta(0.0), meta(1.0), meta(2.9)};
+  const auto units = segment_traffic(packets);
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_EQ(units[0].packets.size(), 3u);
+}
+
+TEST(Segment, SplitsOnGapGreaterThanThreshold) {
+  const std::vector<PacketMeta> packets = {meta(0.0), meta(1.0), meta(3.5),
+                                           meta(4.0)};
+  const auto units = segment_traffic(packets);
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0].packets.size(), 2u);
+  EXPECT_EQ(units[1].packets.size(), 2u);
+}
+
+TEST(Segment, GapExactlyAtThresholdStaysTogether) {
+  // The rule is "greater than 2 seconds".
+  const std::vector<PacketMeta> packets = {meta(0.0), meta(2.0)};
+  EXPECT_EQ(segment_traffic(packets).size(), 1u);
+  const std::vector<PacketMeta> packets2 = {meta(0.0), meta(2.0001)};
+  EXPECT_EQ(segment_traffic(packets2).size(), 2u);
+}
+
+TEST(Segment, CustomGap) {
+  const std::vector<PacketMeta> packets = {meta(0.0), meta(0.6), meta(1.2)};
+  EXPECT_EQ(segment_traffic(packets, 0.5).size(), 3u);
+  EXPECT_EQ(segment_traffic(packets, 1.0).size(), 1u);
+}
+
+TEST(Segment, NonPositiveGapYieldsNothing) {
+  const std::vector<PacketMeta> packets = {meta(0.0)};
+  EXPECT_TRUE(segment_traffic(packets, 0.0).empty());
+  EXPECT_TRUE(segment_traffic(packets, -1.0).empty());
+}
+
+TEST(Segment, PartitionProperty) {
+  // Units partition the input: sizes sum, order preserved, intra-unit gaps
+  // <= threshold, inter-unit gaps > threshold.
+  iotx::util::Prng prng("segment-prop");
+  std::vector<PacketMeta> packets;
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    t += prng.chance(0.1) ? prng.uniform_real(2.01, 10.0)
+                          : prng.uniform_real(0.0, 1.9);
+    packets.push_back(meta(t));
+  }
+  const auto units = segment_traffic(packets);
+  std::size_t total = 0;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    total += units[u].packets.size();
+    for (std::size_t i = 1; i < units[u].packets.size(); ++i) {
+      EXPECT_LE(units[u].packets[i].timestamp -
+                    units[u].packets[i - 1].timestamp,
+                kDefaultUnitGapSeconds);
+    }
+    if (u > 0) {
+      EXPECT_GT(units[u].packets.front().timestamp -
+                    units[u - 1].packets.back().timestamp,
+                kDefaultUnitGapSeconds);
+    }
+  }
+  EXPECT_EQ(total, packets.size());
+}
+
+TEST(Unit, DurationAndBytes) {
+  TrafficUnit unit;
+  unit.packets = {meta(10.0, 100), meta(11.0, 250)};
+  EXPECT_DOUBLE_EQ(unit.start(), 10.0);
+  EXPECT_DOUBLE_EQ(unit.duration(), 1.0);
+  EXPECT_EQ(unit.total_bytes(), 350u);
+  TrafficUnit empty;
+  EXPECT_EQ(empty.start(), 0.0);
+  EXPECT_EQ(empty.duration(), 0.0);
+  EXPECT_EQ(empty.total_bytes(), 0u);
+}
+
+TEST(ExtractMeta, FiltersByMacAndSetsDirection) {
+  const MacAddress dev({0x02, 0x55, 0, 0, 0, 0x10});
+  const MacAddress gw({0x02, 0x55, 0, 0, 0, 0x01});
+  const MacAddress other({0x02, 0x55, 0, 0, 0, 0x99});
+
+  FrameEndpoints ep;
+  ep.src_mac = dev;
+  ep.dst_mac = gw;
+  ep.src_ip = Ipv4Address(10, 42, 0, 10);
+  ep.dst_ip = Ipv4Address(52, 0, 0, 1);
+  ep.src_port = 40000;
+  ep.dst_port = 443;
+
+  FrameEndpoints other_ep = ep;
+  other_ep.src_mac = other;
+  other_ep.src_ip = Ipv4Address(10, 42, 0, 11);
+
+  std::vector<Packet> capture;
+  capture.push_back(make_tcp_packet(2.0, reverse(ep), {}));   // to device
+  capture.push_back(make_tcp_packet(1.0, ep, {}));            // from device
+  capture.push_back(make_tcp_packet(1.5, other_ep, {}));      // other device
+
+  const auto metas = extract_meta(capture, dev);
+  ASSERT_EQ(metas.size(), 2u);
+  // Sorted by timestamp.
+  EXPECT_DOUBLE_EQ(metas[0].timestamp, 1.0);
+  EXPECT_TRUE(metas[0].outbound);
+  EXPECT_DOUBLE_EQ(metas[1].timestamp, 2.0);
+  EXPECT_FALSE(metas[1].outbound);
+}
+
+TEST(ExtractMeta, SkipsUndecodableFrames) {
+  Packet garbage;
+  garbage.frame = {1, 2, 3, 4};
+  const auto metas =
+      extract_meta({garbage}, MacAddress({0x02, 0, 0, 0, 0, 1}));
+  EXPECT_TRUE(metas.empty());
+}
+
+}  // namespace

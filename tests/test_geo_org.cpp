@@ -1,0 +1,90 @@
+// Tests for organization attribution and party classification (§4.1).
+#include "iotx/geo/org_db.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace iotx::geo;
+using iotx::net::Ipv4Address;
+
+OrgDatabase sample_db() {
+  OrgDatabase db;
+  db.add_domain("amazonaws.com", "Amazon");
+  db.add_domain("nest.com", "Google");
+  db.add_domain("google.com", "Google");
+  db.add_domain("ring.com", "Ring");
+  db.add_infrastructure("Amazon");
+  db.add_infrastructure("Akamai");
+  db.add_prefix(Ipv4Address(52, 0, 0, 0), 8, "Amazon");
+  db.add_prefix(Ipv4Address(52, 2, 0, 0), 16, "Amazon EC2");
+  return db;
+}
+
+TEST(OrgDb, RegisteredDomainLookup) {
+  const OrgDatabase db = sample_db();
+  EXPECT_EQ(db.organization_for_domain("amazonaws.com"), "Amazon");
+  // The paper's example: nest.com and google.com both belong to Google.
+  EXPECT_EQ(db.organization_for_domain("nest.com"), "Google");
+  EXPECT_EQ(db.organization_for_domain("google.com"), "Google");
+}
+
+TEST(OrgDb, LookupCaseInsensitive) {
+  EXPECT_EQ(sample_db().organization_for_domain("AmazonAWS.COM"), "Amazon");
+}
+
+TEST(OrgDb, CommonSenseFallback) {
+  // Unregistered SLD: capitalize the first label ("Google" for google.com).
+  const OrgDatabase db = sample_db();
+  EXPECT_EQ(db.organization_for_domain("netflix.com"), "Netflix");
+  EXPECT_EQ(db.organization_for_domain("tuyaus.com"), "Tuyaus");
+}
+
+TEST(OrgDb, IpFallbackLongestPrefix) {
+  const OrgDatabase db = sample_db();
+  const auto broad = db.organization_for_ip(Ipv4Address(52, 99, 0, 1));
+  ASSERT_TRUE(broad);
+  EXPECT_EQ(*broad, "Amazon");
+  const auto narrow = db.organization_for_ip(Ipv4Address(52, 2, 5, 1));
+  ASSERT_TRUE(narrow);
+  EXPECT_EQ(*narrow, "Amazon EC2");
+  EXPECT_FALSE(db.organization_for_ip(Ipv4Address(8, 8, 8, 8)));
+}
+
+TEST(OrgDb, InfrastructureFlag) {
+  const OrgDatabase db = sample_db();
+  EXPECT_TRUE(db.is_infrastructure("Amazon"));
+  EXPECT_TRUE(db.is_infrastructure("amazon"));
+  EXPECT_FALSE(db.is_infrastructure("Netflix"));
+}
+
+TEST(Classify, FirstPartyByManufacturerMatch) {
+  const OrgDatabase db = sample_db();
+  const std::vector<std::string> first = {"Ring", "Amazon"};
+  EXPECT_EQ(db.classify("Ring", first), PartyType::kFirst);
+  EXPECT_EQ(db.classify("ring", first), PartyType::kFirst);
+  // Amazon would be support, but it is a related company for Ring devices.
+  EXPECT_EQ(db.classify("Amazon", first), PartyType::kFirst);
+}
+
+TEST(Classify, SupportForInfrastructure) {
+  const OrgDatabase db = sample_db();
+  const std::vector<std::string> first = {"Wansview"};
+  EXPECT_EQ(db.classify("Amazon", first), PartyType::kSupport);
+  EXPECT_EQ(db.classify("Akamai", first), PartyType::kSupport);
+}
+
+TEST(Classify, ThirdOtherwise) {
+  const OrgDatabase db = sample_db();
+  const std::vector<std::string> first = {"Samsung"};
+  EXPECT_EQ(db.classify("Netflix", first), PartyType::kThird);
+  EXPECT_EQ(db.classify("Doubleclick", first), PartyType::kThird);
+}
+
+TEST(PartyName, Strings) {
+  EXPECT_EQ(party_name(PartyType::kFirst), "First");
+  EXPECT_EQ(party_name(PartyType::kSupport), "Support");
+  EXPECT_EQ(party_name(PartyType::kThird), "Third");
+}
+
+}  // namespace

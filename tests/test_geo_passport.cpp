@@ -1,0 +1,110 @@
+// Tests for the traceroute-informed geolocation resolver (the Passport
+// substitute of §4.1).
+#include "iotx/geo/passport.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace iotx::geo;
+using iotx::net::Ipv4Address;
+
+TEST(Passport, MinFeasibleRttOrdering) {
+  // From the US lab: domestic < Europe < China.
+  const double us = PassportResolver::min_feasible_rtt_ms(Vantage::kUsLab, "US");
+  const double gb = PassportResolver::min_feasible_rtt_ms(Vantage::kUsLab, "GB");
+  const double cn = PassportResolver::min_feasible_rtt_ms(Vantage::kUsLab, "CN");
+  EXPECT_LT(us, gb);
+  EXPECT_LT(gb, cn);
+}
+
+TEST(Passport, UnknownCountryAlwaysFeasible) {
+  EXPECT_EQ(PassportResolver::min_feasible_rtt_ms(Vantage::kUkLab, "ZZ"), 0.0);
+  EXPECT_TRUE(PassportResolver::rtt_consistent(Vantage::kUkLab, "ZZ", 1.0));
+}
+
+TEST(Passport, RttConsistency) {
+  // 10 ms from the US lab cannot be China.
+  EXPECT_FALSE(PassportResolver::rtt_consistent(Vantage::kUsLab, "CN", 10.0));
+  EXPECT_TRUE(PassportResolver::rtt_consistent(Vantage::kUsLab, "CN", 150.0));
+  EXPECT_TRUE(PassportResolver::rtt_consistent(Vantage::kUsLab, "US", 5.0));
+}
+
+TEST(Passport, AcceptsConsistentDatabaseClaim) {
+  GeoDatabase db;
+  db.add_prefix(Ipv4Address(52, 1, 0, 0), 16, "US", /*reliable=*/true);
+  const PassportResolver resolver(db);
+  EXPECT_EQ(resolver.resolve(Ipv4Address(52, 1, 2, 3), Vantage::kUsLab, 12.0,
+                             std::nullopt),
+            "US");
+}
+
+TEST(Passport, RejectsInfeasibleClaimUsesRegistry) {
+  // DB wrongly claims China for an address 8 ms away from the US lab.
+  GeoDatabase db;
+  db.add_prefix(Ipv4Address(23, 32, 0, 0), 16, "CN", /*reliable=*/false);
+  const PassportResolver resolver(db);
+  EXPECT_EQ(resolver.resolve(Ipv4Address(23, 32, 5, 44), Vantage::kUsLab, 8.0,
+                             std::string("US")),
+            "US");
+}
+
+TEST(Passport, FallsBackToTightestFeasibleCandidate) {
+  GeoDatabase db;  // empty: no claim at all
+  const PassportResolver resolver(db);
+  // ~8 ms from the UK lab with no information: a nearby European country
+  // is the tightest feasible candidate; must NOT be US or CN.
+  const std::string country =
+      resolver.resolve(Ipv4Address(1, 2, 3, 4), Vantage::kUkLab, 8.0,
+                       std::nullopt);
+  EXPECT_NE(country, "US");
+  EXPECT_NE(country, "CN");
+}
+
+TEST(Passport, RegistryCountryMustAlsoBeFeasible) {
+  GeoDatabase db;
+  const PassportResolver resolver(db);
+  // Registry claims China but the RTT from the US lab is 9 ms: reject it.
+  const std::string country = resolver.resolve(
+      Ipv4Address(1, 2, 3, 4), Vantage::kUsLab, 9.0, std::string("CN"));
+  EXPECT_NE(country, "CN");
+}
+
+TEST(Passport, LongRttAllowsFarCountries) {
+  GeoDatabase db;
+  db.add_prefix(Ipv4Address(120, 92, 0, 0), 16, "CN", /*reliable=*/true);
+  const PassportResolver resolver(db);
+  EXPECT_EQ(resolver.resolve(Ipv4Address(120, 92, 14, 22), Vantage::kUsLab,
+                             180.0, std::nullopt),
+            "CN");
+}
+
+TEST(GeoDb, LongestPrefixWins) {
+  GeoDatabase db;
+  db.add_prefix(Ipv4Address(52, 0, 0, 0), 8, "US");
+  db.add_prefix(Ipv4Address(52, 209, 0, 0), 16, "IE");
+  const auto result = db.lookup(Ipv4Address(52, 209, 5, 17));
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->country_code, "IE");
+  const auto broad = db.lookup(Ipv4Address(52, 1, 1, 1));
+  ASSERT_TRUE(broad);
+  EXPECT_EQ(broad->country_code, "US");
+  EXPECT_FALSE(db.lookup(Ipv4Address(9, 9, 9, 9)));
+}
+
+TEST(Region, Mapping) {
+  EXPECT_EQ(region_for_country("US"), Region::kUs);
+  EXPECT_EQ(region_for_country("GB"), Region::kUk);
+  EXPECT_EQ(region_for_country("UK"), Region::kUk);
+  EXPECT_EQ(region_for_country("CN"), Region::kChina);
+  EXPECT_EQ(region_for_country("HK"), Region::kChina);
+  EXPECT_EQ(region_for_country("DE"), Region::kEu);
+  EXPECT_EQ(region_for_country("FR"), Region::kEu);
+  EXPECT_EQ(region_for_country("IE"), Region::kEu);
+  EXPECT_EQ(region_for_country("JP"), Region::kJapan);
+  EXPECT_EQ(region_for_country("KR"), Region::kKorea);
+  EXPECT_EQ(region_for_country("BR"), Region::kOther);
+  EXPECT_EQ(region_name(Region::kChina), "China");
+}
+
+}  // namespace

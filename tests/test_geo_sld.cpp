@@ -1,0 +1,62 @@
+// Tests for second-level-domain extraction.
+#include "iotx/geo/sld.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using iotx::geo::is_public_suffix;
+using iotx::geo::second_level_domain;
+
+struct SldCase {
+  const char* fqdn;
+  const char* expected;
+};
+
+class SldExtraction : public ::testing::TestWithParam<SldCase> {};
+
+TEST_P(SldExtraction, Extracts) {
+  EXPECT_EQ(second_level_domain(GetParam().fqdn), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SldExtraction,
+    ::testing::Values(
+        SldCase{"device.ring.com", "ring.com"},
+        SldCase{"ring.com", "ring.com"},
+        SldCase{"a.b.c.amazonaws.com", "amazonaws.com"},
+        SldCase{"ec2-52-2-1-17.compute-1.amazonaws.com", "amazonaws.com"},
+        SldCase{"cdn.news.bbc.co.uk", "bbc.co.uk"},
+        SldCase{"bbc.co.uk", "bbc.co.uk"},
+        SldCase{"oss-cn-beijing.aliyuncs.com", "aliyuncs.com"},
+        SldCase{"x.y.example.com.cn", "example.com.cn"},
+        SldCase{"blob1.core.windows.net", "windows.net"},
+        SldCase{"api.smarter.am", "smarter.am"},  // unknown TLD: last two
+        SldCase{"UPPER.Case.COM", "case.com"},
+        SldCase{"  padded.example.com \n", "example.com"},
+        SldCase{"node1.hvvc.us", "hvvc.us"},
+        SldCase{"localhost", "localhost"}));
+
+TEST(Sld, IpLiteralsPassThrough) {
+  EXPECT_EQ(second_level_domain("52.1.2.3"), "52.1.2.3");
+  EXPECT_EQ(second_level_domain("10.42.0.1"), "10.42.0.1");
+}
+
+TEST(Sld, BareSuffixUnchanged) {
+  EXPECT_EQ(second_level_domain("com"), "com");
+  EXPECT_EQ(second_level_domain("co.uk"), "co.uk");
+}
+
+TEST(Sld, EmptyInput) {
+  EXPECT_EQ(second_level_domain(""), "");
+}
+
+TEST(PublicSuffix, KnownSuffixes) {
+  EXPECT_TRUE(is_public_suffix("com"));
+  EXPECT_TRUE(is_public_suffix("co.uk"));
+  EXPECT_TRUE(is_public_suffix("COM"));
+  EXPECT_FALSE(is_public_suffix("ring.com"));
+  EXPECT_FALSE(is_public_suffix("notareal_tld"));
+}
+
+}  // namespace

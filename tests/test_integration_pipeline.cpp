@@ -1,0 +1,108 @@
+// End-to-end integration: the full pipeline must give identical analysis
+// results whether captures are processed in memory or round-tripped
+// through on-disk pcap files (the released-dataset path), and repeated
+// runs must be bit-deterministic.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "iotx/analysis/destinations.hpp"
+#include "iotx/analysis/encryption.hpp"
+#include "iotx/core/study.hpp"
+#include "iotx/testbed/gateway.hpp"
+
+namespace {
+
+using namespace iotx;
+using namespace iotx::testbed;
+
+TEST(Pipeline, PcapRoundTripPreservesAnalysis) {
+  const ExperimentRunner runner(SchedulePlan{4, 3, 3, 0.1});
+  const DeviceSpec& device = *find_device("samsung_tv");
+  const NetworkConfig config{LabSite::kUs, false};
+  const Gateway gateway(LabSite::kUs);
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "iotx_pipeline_test")
+          .string();
+
+  for (const auto& spec : runner.schedule(device, config)) {
+    const LabeledCapture capture = runner.run(spec);
+
+    // In-memory analysis.
+    const auto mem_flows = flow::assemble_flows(capture.packets);
+    const auto mem_enc = analysis::account_flows(mem_flows);
+
+    // Disk round trip.
+    const std::string path = gateway.write_labeled(root, capture);
+    ASSERT_FALSE(path.empty());
+    const auto reread = Gateway::read_labeled(path);
+    ASSERT_TRUE(reread);
+    const auto disk_flows = flow::assemble_flows(*reread);
+    const auto disk_enc = analysis::account_flows(disk_flows);
+
+    EXPECT_EQ(mem_flows.size(), disk_flows.size()) << spec.key();
+    EXPECT_EQ(mem_enc.encrypted, disk_enc.encrypted) << spec.key();
+    EXPECT_EQ(mem_enc.unencrypted, disk_enc.unencrypted) << spec.key();
+    EXPECT_EQ(mem_enc.unknown, disk_enc.unknown) << spec.key();
+    EXPECT_EQ(mem_enc.media, disk_enc.media) << spec.key();
+  }
+  std::filesystem::remove_all(root);
+}
+
+TEST(Pipeline, StudyRunsAreBitDeterministic) {
+  core::StudyParams params;
+  params.plan = SchedulePlan{4, 3, 3, 0.1};
+  params.inference.validation.forest.n_trees = 10;
+  params.inference.validation.repetitions = 2;
+  params.run_uncontrolled = false;
+  params.device_filter = {"tplink_plug", "yi_cam"};
+
+  core::Study a(params), b(params);
+  a.run();
+  b.run();
+  ASSERT_EQ(a.experiments_run(), b.experiments_run());
+  for (const std::string& key : a.config_keys()) {
+    const auto& ra = a.results(key);
+    const auto& rb = b.results(key);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].enc_total.encrypted, rb[i].enc_total.encrypted);
+      EXPECT_EQ(ra[i].enc_total.unknown, rb[i].enc_total.unknown);
+      EXPECT_EQ(ra[i].destinations.size(), rb[i].destinations.size());
+      EXPECT_DOUBLE_EQ(ra[i].model.device_f1(), rb[i].model.device_f1());
+      EXPECT_EQ(ra[i].idle.instances, rb[i].idle.instances);
+    }
+  }
+}
+
+TEST(Pipeline, DnsAttributionSurvivesDiskRoundTrip) {
+  const ExperimentRunner runner(SchedulePlan{2, 2, 2, 0.0});
+  const DeviceSpec& device = *find_device("ring_doorbell");
+  const NetworkConfig config{LabSite::kUs, false};
+  ExperimentSpec spec;
+  spec.device_id = device.id;
+  spec.config = config;
+  spec.type = ExperimentType::kPower;
+  spec.activity = "power";
+  spec.start_time = kSimulationEpoch;
+  const LabeledCapture capture = runner.run(spec);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "iotx_dns_rt.pcap").string();
+  ASSERT_TRUE(net::pcap_write_file(path, capture.packets));
+  const auto reread = net::pcap_read_file(path);
+  ASSERT_TRUE(reread);
+
+  flow::DnsCache dns;
+  dns.ingest_all(*reread);
+  bool ring_resolved = false;
+  for (const auto& f : flow::assemble_flows(*reread)) {
+    if (const auto d = dns.lookup(f.responder)) {
+      ring_resolved |= *d == "api.ring.com";
+    }
+  }
+  EXPECT_TRUE(ring_resolved);
+  std::remove(path.c_str());
+}
+
+}  // namespace

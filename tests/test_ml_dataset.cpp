@@ -1,0 +1,120 @@
+// Tests for the ML dataset container and stratified splitting.
+#include "iotx/ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace {
+
+using iotx::ml::Dataset;
+using iotx::util::Prng;
+
+Dataset three_class_dataset(int per_class) {
+  Dataset data;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      data.add({double(c), double(i)}, "class" + std::to_string(c));
+    }
+  }
+  return data;
+}
+
+TEST(Dataset, InternsLabels) {
+  Dataset data;
+  data.add({1.0}, "power");
+  data.add({2.0}, "voice");
+  data.add({3.0}, "power");
+  EXPECT_EQ(data.size(), 3u);
+  EXPECT_EQ(data.class_count(), 2u);
+  EXPECT_EQ(data.label(0), data.label(2));
+  EXPECT_NE(data.label(0), data.label(1));
+  EXPECT_EQ(data.class_name(data.label(1)), "voice");
+}
+
+TEST(Dataset, ClassIdLookup) {
+  const Dataset data = three_class_dataset(2);
+  EXPECT_EQ(*data.class_id("class1"), 1);
+  EXPECT_FALSE(data.class_id("missing"));
+}
+
+TEST(Dataset, FeatureCount) {
+  Dataset data;
+  EXPECT_EQ(data.feature_count(), 0u);
+  data.add({1.0, 2.0, 3.0}, "x");
+  EXPECT_EQ(data.feature_count(), 3u);
+}
+
+TEST(Dataset, Histogram) {
+  Dataset data = three_class_dataset(4);
+  data.add({9, 9}, "class0");
+  const auto hist = data.class_histogram();
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 5u);
+  EXPECT_EQ(hist[1], 4u);
+  EXPECT_EQ(hist[2], 4u);
+}
+
+TEST(StratifiedSplit, ProportionsPerClass) {
+  const Dataset data = three_class_dataset(10);
+  Prng prng("split");
+  const auto split = data.stratified_split(0.7, prng);
+  EXPECT_EQ(split.train.size(), 21u);
+  EXPECT_EQ(split.test.size(), 9u);
+  // Each class contributes exactly 7/3.
+  for (int c = 0; c < 3; ++c) {
+    int train_count = 0, test_count = 0;
+    for (auto i : split.train) train_count += data.label(i) == c;
+    for (auto i : split.test) test_count += data.label(i) == c;
+    EXPECT_EQ(train_count, 7);
+    EXPECT_EQ(test_count, 3);
+  }
+}
+
+TEST(StratifiedSplit, DisjointAndComplete) {
+  const Dataset data = three_class_dataset(7);
+  Prng prng("split2");
+  const auto split = data.stratified_split(0.7, prng);
+  std::set<std::size_t> all(split.train.begin(), split.train.end());
+  for (auto i : split.test) {
+    EXPECT_FALSE(all.contains(i));
+    all.insert(i);
+  }
+  EXPECT_EQ(all.size(), data.size());
+}
+
+TEST(StratifiedSplit, EveryMultiExampleClassTested) {
+  const Dataset data = three_class_dataset(3);
+  Prng prng("split3");
+  const auto split = data.stratified_split(0.7, prng);
+  std::set<int> tested;
+  for (auto i : split.test) tested.insert(data.label(i));
+  EXPECT_EQ(tested.size(), 3u);
+}
+
+TEST(StratifiedSplit, SingletonClassGoesToTrain) {
+  Dataset data = three_class_dataset(4);
+  data.add({5, 5}, "rare");
+  Prng prng("split4");
+  const auto split = data.stratified_split(0.7, prng);
+  const int rare = *data.class_id("rare");
+  for (auto i : split.test) EXPECT_NE(data.label(i), rare);
+}
+
+TEST(StratifiedSplit, DeterministicGivenSeed) {
+  const Dataset data = three_class_dataset(10);
+  Prng a("same"), b("same");
+  const auto split1 = data.stratified_split(0.7, a);
+  const auto split2 = data.stratified_split(0.7, b);
+  EXPECT_EQ(split1.train, split2.train);
+  EXPECT_EQ(split1.test, split2.test);
+}
+
+TEST(StratifiedSplit, DifferentSeedsDiffer) {
+  const Dataset data = three_class_dataset(20);
+  Prng a("seed-a"), b("seed-b");
+  EXPECT_NE(data.stratified_split(0.7, a).train,
+            data.stratified_split(0.7, b).train);
+}
+
+}  // namespace

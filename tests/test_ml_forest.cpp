@@ -1,0 +1,112 @@
+// Tests for the random forest.
+#include "iotx/ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace iotx::ml;
+using iotx::util::Prng;
+
+Dataset gaussian_blobs(int per_class, double separation) {
+  Dataset data;
+  Prng prng("forest-blobs" + std::to_string(separation));
+  for (int i = 0; i < per_class; ++i) {
+    data.add({prng.normal(0, 1), prng.normal(0, 1), prng.normal(0, 1)}, "a");
+    data.add({prng.normal(separation, 1), prng.normal(separation, 1),
+              prng.normal(0, 1)},
+             "b");
+    data.add({prng.normal(0, 1), prng.normal(separation, 1),
+              prng.normal(separation, 1)},
+             "c");
+  }
+  return data;
+}
+
+TEST(RandomForest, LearnsSeparableData) {
+  const Dataset data = gaussian_blobs(40, 8.0);
+  RandomForest forest;
+  ForestParams params;
+  params.n_trees = 25;
+  Prng prng("fit");
+  forest.fit(data, params, prng);
+  ASSERT_TRUE(forest.fitted());
+  EXPECT_EQ(forest.tree_count(), 25u);
+  EXPECT_EQ(forest.class_count(), 3u);
+  int correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += forest.predict(data.row(i)) == data.label(i);
+  }
+  EXPECT_GT(correct, static_cast<int>(data.size() * 95 / 100));
+}
+
+TEST(RandomForest, ProbaSumsToOne) {
+  const Dataset data = gaussian_blobs(20, 6.0);
+  RandomForest forest;
+  Prng prng("proba");
+  forest.fit(data, ForestParams{10, TreeParams{}}, prng);
+  const auto proba = forest.predict_proba(std::vector<double>{3.0, 3.0, 3.0});
+  ASSERT_EQ(proba.size(), 3u);
+  EXPECT_NEAR(proba[0] + proba[1] + proba[2], 1.0, 1e-9);
+}
+
+TEST(RandomForest, ConfidentInBlobCenter) {
+  const Dataset data = gaussian_blobs(40, 10.0);
+  RandomForest forest;
+  Prng prng("conf");
+  forest.fit(data, ForestParams{20, TreeParams{}}, prng);
+  const auto proba = forest.predict_proba(std::vector<double>{0.0, 0.0, 0.0});
+  const int a = *data.class_id("a");
+  EXPECT_GT(proba[static_cast<std::size_t>(a)], 0.8);
+}
+
+TEST(RandomForest, DeterministicBySeed) {
+  const Dataset data = gaussian_blobs(30, 3.0);
+  RandomForest f1, f2;
+  Prng p1("same-seed"), p2("same-seed");
+  f1.fit(data, ForestParams{15, TreeParams{}}, p1);
+  f2.fit(data, ForestParams{15, TreeParams{}}, p2);
+  Prng probe("probe");
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {probe.normal(1.5, 3), probe.normal(1.5, 3),
+                                   probe.normal(1.5, 3)};
+    EXPECT_EQ(f1.predict(x), f2.predict(x));
+  }
+}
+
+TEST(RandomForest, EmptyDatasetSafe) {
+  RandomForest forest;
+  Prng prng("empty");
+  forest.fit(Dataset{}, ForestParams{}, prng);
+  EXPECT_FALSE(forest.fitted());
+  EXPECT_EQ(forest.predict(std::vector<double>{1.0}), -1);
+}
+
+TEST(RandomForest, BetterThanSingleTreeOnNoisyData) {
+  // With heavy class overlap, the ensemble's vote should at least match a
+  // single unconstrained tree on held-out data.
+  Dataset train = gaussian_blobs(60, 2.0);
+  Dataset test = gaussian_blobs(30, 2.0);
+
+  RandomForest forest;
+  Prng prng("noisy");
+  ForestParams params;
+  params.n_trees = 40;
+  forest.fit(train, params, prng);
+
+  DecisionTree tree;
+  std::vector<std::size_t> idx(train.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  Prng tree_prng("noisy-tree");
+  tree.fit(train, idx, TreeParams{}, tree_prng);
+
+  int forest_correct = 0, tree_correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    forest_correct += forest.predict(test.row(i)) == test.label(i);
+    tree_correct += tree.predict(test.row(i)) == test.label(i);
+  }
+  EXPECT_GE(forest_correct + 2, tree_correct);  // allow small slack
+  EXPECT_GT(forest_correct, static_cast<int>(test.size()) / 2);
+}
+
+}  // namespace

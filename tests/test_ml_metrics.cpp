@@ -1,0 +1,100 @@
+// Tests for the confusion matrix and F1 metrics.
+#include "iotx/ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using iotx::ml::ConfusionMatrix;
+
+TEST(Confusion, PerfectPrediction) {
+  ConfusionMatrix m(2);
+  for (int i = 0; i < 10; ++i) {
+    m.add(0, 0);
+    m.add(1, 1);
+  }
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.f1(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.f1(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.macro_f1(), 1.0);
+  EXPECT_EQ(m.total(), 20u);
+}
+
+TEST(Confusion, HandComputedValues) {
+  // truth 0: predicted 0 x8, predicted 1 x2.
+  // truth 1: predicted 0 x3, predicted 1 x7.
+  ConfusionMatrix m(2);
+  for (int i = 0; i < 8; ++i) m.add(0, 0);
+  for (int i = 0; i < 2; ++i) m.add(0, 1);
+  for (int i = 0; i < 3; ++i) m.add(1, 0);
+  for (int i = 0; i < 7; ++i) m.add(1, 1);
+
+  EXPECT_EQ(m.count(0, 0), 8u);
+  EXPECT_EQ(m.count(1, 0), 3u);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 15.0 / 20.0);
+  EXPECT_DOUBLE_EQ(m.precision(0), 8.0 / 11.0);
+  EXPECT_DOUBLE_EQ(m.recall(0), 8.0 / 10.0);
+  EXPECT_DOUBLE_EQ(m.precision(1), 7.0 / 9.0);
+  EXPECT_DOUBLE_EQ(m.recall(1), 7.0 / 10.0);
+  const double f1_0 = 2 * (8.0 / 11.0) * 0.8 / (8.0 / 11.0 + 0.8);
+  EXPECT_NEAR(m.f1(0), f1_0, 1e-12);
+}
+
+TEST(Confusion, MissesCountAgainstRecall) {
+  ConfusionMatrix m(2);
+  m.add(0, 0);
+  m.add(0, -1);  // classifier abstained / predicted out-of-range
+  EXPECT_DOUBLE_EQ(m.recall(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.precision(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.5);
+  EXPECT_EQ(m.total(), 2u);
+}
+
+TEST(Confusion, InvalidTruthIgnored) {
+  ConfusionMatrix m(2);
+  m.add(-1, 0);
+  m.add(5, 1);
+  EXPECT_EQ(m.total(), 0u);
+}
+
+TEST(Confusion, EmptyMatrixZeroMetrics) {
+  ConfusionMatrix m(3);
+  EXPECT_EQ(m.accuracy(), 0.0);
+  EXPECT_EQ(m.f1(0), 0.0);
+  EXPECT_EQ(m.macro_f1(), 0.0);
+}
+
+TEST(Confusion, NeverPredictedClassHasZeroPrecision) {
+  ConfusionMatrix m(2);
+  m.add(0, 0);
+  m.add(1, 0);
+  EXPECT_EQ(m.precision(1), 0.0);
+  EXPECT_EQ(m.recall(1), 0.0);
+  EXPECT_EQ(m.f1(1), 0.0);
+}
+
+TEST(Confusion, MacroF1IgnoresAbsentClasses) {
+  ConfusionMatrix m(3);  // class 2 never appears as truth
+  m.add(0, 0);
+  m.add(1, 1);
+  EXPECT_DOUBLE_EQ(m.macro_f1(), 1.0);
+}
+
+TEST(Confusion, MergeAccumulates) {
+  ConfusionMatrix a(2), b(2);
+  a.add(0, 0);
+  b.add(0, 1);
+  b.add(1, -1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(0, 0), 1u);
+  EXPECT_EQ(a.count(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(a.recall(1), 0.0);  // merged miss
+}
+
+TEST(Confusion, MergeShapeMismatchThrows) {
+  ConfusionMatrix a(2), b(3);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Tests for the CART decision tree.
+#include "iotx/ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace {
+
+using namespace iotx::ml;
+using iotx::util::Prng;
+
+Dataset linearly_separable(int per_class) {
+  // class0 around (0,0), class1 around (10,10).
+  Dataset data;
+  Prng prng("blobs");
+  for (int i = 0; i < per_class; ++i) {
+    data.add({prng.normal(0, 1), prng.normal(0, 1)}, "low");
+    data.add({prng.normal(10, 1), prng.normal(10, 1)}, "high");
+  }
+  return data;
+}
+
+std::vector<std::size_t> all_indices(const Dataset& data) {
+  std::vector<std::size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  return idx;
+}
+
+TEST(DecisionTree, SeparableDataPerfectTrainingAccuracy) {
+  const Dataset data = linearly_separable(50);
+  DecisionTree tree;
+  Prng prng("fit");
+  tree.fit(data, all_indices(data), TreeParams{}, prng);
+  ASSERT_TRUE(tree.fitted());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(tree.predict(data.row(i)), data.label(i));
+  }
+}
+
+TEST(DecisionTree, SingleClassIsLeaf) {
+  Dataset data;
+  data.add({1.0}, "only");
+  data.add({2.0}, "only");
+  DecisionTree tree;
+  Prng prng("single");
+  tree.fit(data, all_indices(data), TreeParams{}, prng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict(std::vector<double>{1.5}), 0);
+}
+
+TEST(DecisionTree, DepthLimitRespected) {
+  // A three-region staircase needs two levels of splits.
+  Dataset data;
+  for (int i = 0; i < 20; ++i) {
+    data.add({0.0 + i * 0.01}, "a");
+    data.add({1.0 + i * 0.01}, "b");
+    data.add({2.0 + i * 0.01}, "c");
+  }
+  DecisionTree tree_deep;
+  Prng prng("stairs");
+  tree_deep.fit(data, all_indices(data), TreeParams{}, prng);
+  int correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += tree_deep.predict(data.row(i)) == data.label(i);
+  }
+  EXPECT_EQ(correct, static_cast<int>(data.size()));
+  EXPECT_GE(tree_deep.node_count(), 5u);  // two splits + three leaves
+
+  TreeParams shallow;
+  shallow.max_depth = 0;  // root only
+  DecisionTree stump;
+  stump.fit(data, all_indices(data), shallow, prng);
+  EXPECT_EQ(stump.node_count(), 1u);
+
+  TreeParams one_level;
+  one_level.max_depth = 1;
+  DecisionTree small;
+  small.fit(data, all_indices(data), one_level, prng);
+  EXPECT_LE(small.node_count(), 3u);  // root + at most two leaves
+}
+
+TEST(DecisionTree, MinSamplesLeafPreventsTinyLeaves) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) data.add({double(i)}, i == 0 ? "odd" : "rest");
+  // Any split of 10 samples into two leaves of >= 6 is impossible, so the
+  // tree must stay a stump.
+  TreeParams params;
+  params.min_samples_leaf = 6;
+  DecisionTree tree;
+  Prng prng("leaf");
+  tree.fit(data, all_indices(data), params, prng);
+  EXPECT_EQ(tree.node_count(), 1u);
+
+  // With the default leaf size the point is split off.
+  DecisionTree free_tree;
+  free_tree.fit(data, all_indices(data), TreeParams{}, prng);
+  EXPECT_GT(free_tree.node_count(), 1u);
+}
+
+TEST(DecisionTree, ProbaSumsToOne) {
+  const Dataset data = linearly_separable(20);
+  DecisionTree tree;
+  Prng prng("proba");
+  tree.fit(data, all_indices(data), TreeParams{}, prng);
+  const auto proba = tree.predict_proba(std::vector<double>{5.0, 5.0});
+  ASSERT_EQ(proba.size(), 2u);
+  EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTree, BootstrapIndicesWithDuplicates) {
+  const Dataset data = linearly_separable(20);
+  std::vector<std::size_t> bootstrap(data.size(), 0);  // all the same row
+  DecisionTree tree;
+  Prng prng("dup");
+  tree.fit(data, bootstrap, TreeParams{}, prng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict(data.row(0)), data.label(0));
+}
+
+TEST(DecisionTree, FeatureSubsamplingStillLearns) {
+  const Dataset data = linearly_separable(50);
+  TreeParams params;
+  params.features_per_split = 1;
+  DecisionTree tree;
+  Prng prng("subsample");
+  tree.fit(data, all_indices(data), params, prng);
+  int correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    correct += tree.predict(data.row(i)) == data.label(i);
+  }
+  // Either feature separates this data fully.
+  EXPECT_EQ(correct, static_cast<int>(data.size()));
+}
+
+TEST(DecisionTree, DeterministicFit) {
+  const Dataset data = linearly_separable(30);
+  DecisionTree t1, t2;
+  Prng p1("det"), p2("det");
+  TreeParams params;
+  params.features_per_split = 1;
+  t1.fit(data, all_indices(data), params, p1);
+  t2.fit(data, all_indices(data), params, p2);
+  EXPECT_EQ(t1.node_count(), t2.node_count());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(t1.predict(data.row(i)), t2.predict(data.row(i)));
+  }
+}
+
+TEST(DecisionTree, ConstantFeaturesYieldLeaf) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) data.add({1.0, 1.0}, i % 2 ? "a" : "b");
+  DecisionTree tree;
+  Prng prng("const");
+  tree.fit(data, all_indices(data), TreeParams{}, prng);
+  EXPECT_EQ(tree.node_count(), 1u);  // no valid split exists
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Tests for the repeated 70/30 validation protocol (§6.3).
+#include "iotx/ml/validation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace iotx::ml;
+using iotx::util::Prng;
+
+Dataset blobs(int per_class, double separation, const char* key) {
+  Dataset data;
+  Prng prng(key);
+  for (int i = 0; i < per_class; ++i) {
+    data.add({prng.normal(0, 1), prng.normal(0, 1)}, "a");
+    data.add({prng.normal(separation, 1), prng.normal(0, 1)}, "b");
+  }
+  return data;
+}
+
+ValidationParams fast_params() {
+  ValidationParams params;
+  params.forest.n_trees = 15;
+  params.repetitions = 5;
+  return params;
+}
+
+TEST(CrossValidate, HighF1OnSeparableData) {
+  const Dataset data = blobs(30, 10.0, "sep");
+  const ValidationResult result = cross_validate(data, fast_params(), "cv1");
+  EXPECT_EQ(result.repetitions, 5u);
+  EXPECT_GT(result.macro_f1, 0.95);
+  EXPECT_GT(result.accuracy, 0.95);
+  ASSERT_EQ(result.class_f1.size(), 2u);
+  EXPECT_GT(result.class_f1[0], 0.9);
+  EXPECT_GT(result.class_f1[1], 0.9);
+}
+
+TEST(CrossValidate, LowF1OnOverlappingData) {
+  const Dataset data = blobs(30, 0.1, "overlap");
+  const ValidationResult result = cross_validate(data, fast_params(), "cv2");
+  EXPECT_LT(result.macro_f1, iotx::ml::kInferrableF1);
+}
+
+TEST(CrossValidate, DeterministicBySeedKey) {
+  const Dataset data = blobs(20, 3.0, "det");
+  const ValidationResult r1 = cross_validate(data, fast_params(), "key");
+  const ValidationResult r2 = cross_validate(data, fast_params(), "key");
+  EXPECT_DOUBLE_EQ(r1.macro_f1, r2.macro_f1);
+  EXPECT_EQ(r1.class_f1, r2.class_f1);
+}
+
+TEST(CrossValidate, DifferentSeedsVary) {
+  const Dataset data = blobs(20, 2.0, "vary");
+  const ValidationResult r1 = cross_validate(data, fast_params(), "key-a");
+  const ValidationResult r2 = cross_validate(data, fast_params(), "key-b");
+  EXPECT_NE(r1.macro_f1, r2.macro_f1);
+}
+
+TEST(CrossValidate, EmptyDatasetSafe) {
+  const ValidationResult result =
+      cross_validate(Dataset{}, fast_params(), "empty");
+  EXPECT_EQ(result.repetitions, 0u);
+  EXPECT_EQ(result.macro_f1, 0.0);
+}
+
+TEST(CrossValidate, ClassF1IndexedByDatasetIds) {
+  Dataset data = blobs(20, 10.0, "idx");
+  // Add a third, overlapping class that should score poorly.
+  Prng prng("idx-extra");
+  for (int i = 0; i < 20; ++i) {
+    data.add({prng.normal(0, 1), prng.normal(0, 1)}, "a_twin");
+  }
+  const ValidationResult result = cross_validate(data, fast_params(), "cv3");
+  const int b = *data.class_id("b");
+  const int twin = *data.class_id("a_twin");
+  EXPECT_GT(result.class_f1[static_cast<std::size_t>(b)], 0.9);
+  EXPECT_LT(result.class_f1[static_cast<std::size_t>(twin)], 0.8);
+}
+
+TEST(Thresholds, PaperValues) {
+  EXPECT_DOUBLE_EQ(kInferrableF1, 0.75);
+  EXPECT_DOUBLE_EQ(kHighConfidenceF1, 0.9);
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Tests for MAC and IPv4 address value types.
+#include "iotx/net/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace {
+
+using iotx::net::Ipv4Address;
+using iotx::net::MacAddress;
+
+TEST(Mac, ParseAndFormatRoundTrip) {
+  const auto mac = MacAddress::parse("02:55:ab:cd:ef:01");
+  ASSERT_TRUE(mac);
+  EXPECT_EQ(mac->to_string(), "02:55:ab:cd:ef:01");
+}
+
+TEST(Mac, ParseUppercase) {
+  const auto mac = MacAddress::parse("AA:BB:CC:DD:EE:FF");
+  ASSERT_TRUE(mac);
+  EXPECT_EQ(mac->to_string(), "aa:bb:cc:dd:ee:ff");
+}
+
+class MacBadParse : public ::testing::TestWithParam<const char*> {};
+TEST_P(MacBadParse, Rejected) {
+  EXPECT_FALSE(MacAddress::parse(GetParam()));
+}
+INSTANTIATE_TEST_SUITE_P(Malformed, MacBadParse,
+                         ::testing::Values("", "aa:bb:cc:dd:ee",
+                                           "aa:bb:cc:dd:ee:ff:00",
+                                           "aabb:cc:dd:ee:ff", "gg:bb:cc:dd:ee:ff",
+                                           "aa-bb-cc-dd-ee-ff", "a:b:c:d:e:f"));
+
+TEST(Mac, Broadcast) {
+  EXPECT_TRUE(MacAddress::parse("ff:ff:ff:ff:ff:ff")->is_broadcast());
+  EXPECT_FALSE(MacAddress::parse("ff:ff:ff:ff:ff:fe")->is_broadcast());
+}
+
+TEST(Mac, LocallyAdministeredBit) {
+  EXPECT_TRUE(MacAddress::parse("02:00:00:00:00:01")->is_locally_administered());
+  EXPECT_FALSE(MacAddress::parse("00:1a:2b:3c:4d:5e")->is_locally_administered());
+}
+
+TEST(Mac, OrderingAndHash) {
+  const auto a = *MacAddress::parse("00:00:00:00:00:01");
+  const auto b = *MacAddress::parse("00:00:00:00:00:02");
+  EXPECT_LT(a, b);
+  std::unordered_set<MacAddress> set{a, b, a};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ipv4, ParseAndFormatRoundTrip) {
+  const auto ip = Ipv4Address::parse("192.168.1.254");
+  ASSERT_TRUE(ip);
+  EXPECT_EQ(ip->to_string(), "192.168.1.254");
+  EXPECT_EQ(ip->value(), 0xc0a801feu);
+}
+
+TEST(Ipv4, ConstructorFromOctets) {
+  EXPECT_EQ(Ipv4Address(10, 0, 0, 1).to_string(), "10.0.0.1");
+  EXPECT_EQ(Ipv4Address(0u).to_string(), "0.0.0.0");
+  EXPECT_EQ(Ipv4Address(255, 255, 255, 255).value(), 0xffffffffu);
+}
+
+class Ipv4BadParse : public ::testing::TestWithParam<const char*> {};
+TEST_P(Ipv4BadParse, Rejected) {
+  EXPECT_FALSE(Ipv4Address::parse(GetParam()));
+}
+INSTANTIATE_TEST_SUITE_P(Malformed, Ipv4BadParse,
+                         ::testing::Values("", "1.2.3", "1.2.3.4.5",
+                                           "256.1.1.1", "1.2.3.abc",
+                                           "1..3.4", "1.2.3.1234", "-1.2.3.4"));
+
+TEST(Ipv4, PrivateRanges) {
+  EXPECT_TRUE(Ipv4Address(10, 42, 0, 5).is_private());
+  EXPECT_TRUE(Ipv4Address(192, 168, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address(172, 16, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address(172, 31, 255, 255).is_private());
+  EXPECT_FALSE(Ipv4Address(172, 32, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address(127, 0, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address(169, 254, 1, 1).is_private());
+  EXPECT_FALSE(Ipv4Address(8, 8, 8, 8).is_private());
+  EXPECT_FALSE(Ipv4Address(52, 1, 2, 3).is_private());
+}
+
+TEST(Ipv4, PrefixMatching) {
+  const Ipv4Address addr(52, 2, 7, 17);
+  EXPECT_TRUE(addr.in_prefix(Ipv4Address(52, 0, 0, 0), 8));
+  EXPECT_TRUE(addr.in_prefix(Ipv4Address(52, 2, 7, 0), 24));
+  EXPECT_TRUE(addr.in_prefix(Ipv4Address(52, 2, 7, 17), 32));
+  EXPECT_FALSE(addr.in_prefix(Ipv4Address(52, 2, 8, 0), 24));
+  EXPECT_TRUE(addr.in_prefix(Ipv4Address(0u), 0));  // default route
+}
+
+TEST(Ipv4, OrderingAndHash) {
+  EXPECT_LT(Ipv4Address(1, 0, 0, 1), Ipv4Address(2, 0, 0, 1));
+  std::unordered_set<Ipv4Address> set{Ipv4Address(1, 2, 3, 4),
+                                      Ipv4Address(1, 2, 3, 4)};
+  EXPECT_EQ(set.size(), 1u);
+}
+
+}  // namespace

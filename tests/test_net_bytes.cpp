@@ -1,0 +1,129 @@
+// Tests for the bounds-checked byte reader/writer.
+#include "iotx/net/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using iotx::net::ByteReader;
+using iotx::net::ByteWriter;
+
+TEST(ByteWriter, BigEndianLayout) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16be(0x0203);
+  w.u32be(0x04050607);
+  const std::vector<std::uint8_t> expected = {1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(ByteWriter, LittleEndianLayout) {
+  ByteWriter w;
+  w.u16le(0x0203);
+  w.u32le(0x04050607);
+  const std::vector<std::uint8_t> expected = {3, 2, 7, 6, 5, 4};
+  EXPECT_EQ(w.data(), expected);
+}
+
+TEST(ByteWriter, U64RoundTrip) {
+  ByteWriter w;
+  w.u64be(0x0102030405060708ULL);
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.u64be(), 0x0102030405060708ULL);
+}
+
+TEST(ByteWriter, TextAndBytes) {
+  ByteWriter w;
+  w.text("ab");
+  const std::vector<std::uint8_t> more = {0x63};
+  w.bytes(more);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.data()[0], 'a');
+  EXPECT_EQ(w.data()[2], 'c');
+}
+
+TEST(ByteWriter, PatchU16) {
+  ByteWriter w;
+  w.u16be(0);
+  w.u8(0xaa);
+  w.patch_u16be(0, 0x1234);
+  EXPECT_EQ(w.data()[0], 0x12);
+  EXPECT_EQ(w.data()[1], 0x34);
+  EXPECT_EQ(w.data()[2], 0xaa);
+}
+
+TEST(ByteWriter, PatchOutOfRangeThrows) {
+  ByteWriter w;
+  w.u8(0);
+  EXPECT_THROW(w.patch_u16be(5, 1), std::out_of_range);
+}
+
+TEST(ByteReader, ReadsAllWidths) {
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  ByteReader r(data);
+  EXPECT_EQ(*r.u8(), 1);
+  EXPECT_EQ(*r.u16be(), 0x0203);
+  EXPECT_EQ(*r.u32be(), 0x04050607);
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_EQ(*r.u16le(), 0x0908);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteReader, ReturnsNulloptPastEnd) {
+  const std::vector<std::uint8_t> data = {1};
+  ByteReader r(data);
+  EXPECT_FALSE(r.u16be());
+  EXPECT_EQ(*r.u8(), 1);  // position unchanged by the failed read
+  EXPECT_FALSE(r.u8());
+}
+
+TEST(ByteReader, BytesExactAndFailing) {
+  const std::vector<std::uint8_t> data = {1, 2, 3};
+  ByteReader r(data);
+  const auto chunk = r.bytes(2);
+  ASSERT_TRUE(chunk);
+  EXPECT_EQ((*chunk)[1], 2);
+  EXPECT_FALSE(r.bytes(2));
+  EXPECT_TRUE(r.bytes(1));
+}
+
+TEST(ByteReader, SkipAndPeek) {
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4};
+  ByteReader r(data);
+  EXPECT_TRUE(r.skip(2));
+  EXPECT_EQ(r.peek_rest().size(), 2u);
+  EXPECT_EQ(r.peek_rest()[0], 3);
+  EXPECT_EQ(r.position(), 2u);  // peek does not consume
+  EXPECT_FALSE(r.skip(3));
+  EXPECT_TRUE(r.skip(2));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteRoundTrip, WriterThenReader) {
+  ByteWriter w;
+  w.u8(0xfe);
+  w.u16be(0xbeef);
+  w.u32be(0xdeadbeef);
+  w.u16le(0x1122);
+  w.u32le(0x33445566);
+  w.u64be(0xaabbccddeeff0011ULL);
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.u8(), 0xfe);
+  EXPECT_EQ(*r.u16be(), 0xbeef);
+  EXPECT_EQ(*r.u32be(), 0xdeadbeefu);
+  EXPECT_EQ(*r.u16le(), 0x1122);
+  EXPECT_EQ(*r.u32le(), 0x33445566u);
+  EXPECT_EQ(*r.u64be(), 0xaabbccddeeff0011ULL);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(AsBytes, ViewsWithoutCopy) {
+  const std::string_view text = "xyz";
+  const auto bytes = iotx::net::as_bytes(text);
+  EXPECT_EQ(bytes.size(), 3u);
+  EXPECT_EQ(static_cast<const void*>(bytes.data()),
+            static_cast<const void*>(text.data()));
+  EXPECT_EQ(iotx::net::to_string(bytes), "xyz");
+}
+
+}  // namespace

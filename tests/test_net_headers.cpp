@@ -1,0 +1,207 @@
+// Tests for Ethernet/IPv4/TCP/UDP header encode/decode and checksums.
+#include "iotx/net/headers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iotx/net/bytes.hpp"
+
+namespace {
+
+using namespace iotx::net;
+
+MacAddress mac(const char* s) { return *MacAddress::parse(s); }
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example: bytes 00 01 f2 03 f4 f5 f6 f7 -> checksum 0x220d.
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                          0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> even = {0x12, 0x34, 0xab, 0x00};
+  const std::vector<std::uint8_t> odd = {0x12, 0x34, 0xab};
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(Checksum, VerifiesToZero) {
+  // A buffer with its own checksum appended sums to 0xffff (~0).
+  std::vector<std::uint8_t> data = {0x45, 0x00, 0x00, 0x28};
+  const std::uint16_t sum = internet_checksum(data);
+  data.push_back(static_cast<std::uint8_t>(sum >> 8));
+  data.push_back(static_cast<std::uint8_t>(sum));
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST(Ethernet, EncodeDecodeRoundTrip) {
+  EthernetHeader h{mac("aa:bb:cc:dd:ee:ff"), mac("02:55:00:00:00:01"),
+                   0x0800};
+  ByteWriter w;
+  h.encode(w);
+  EXPECT_EQ(w.size(), EthernetHeader::kSize);
+  ByteReader r(w.data());
+  const auto decoded = EthernetHeader::decode(r);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->dst, h.dst);
+  EXPECT_EQ(decoded->src, h.src);
+  EXPECT_EQ(decoded->ether_type, 0x0800);
+}
+
+TEST(Ethernet, DecodeTruncatedFails) {
+  const std::vector<std::uint8_t> short_frame(10, 0);
+  ByteReader r(short_frame);
+  EXPECT_FALSE(EthernetHeader::decode(r));
+}
+
+TEST(Ipv4, EncodeDecodeRoundTrip) {
+  Ipv4Header h;
+  h.total_length = 40;
+  h.identification = 0x1234;
+  h.ttl = 63;
+  h.protocol = 6;
+  h.src = Ipv4Address(10, 42, 0, 10);
+  h.dst = Ipv4Address(52, 1, 2, 3);
+  ByteWriter w;
+  h.encode(w);
+  EXPECT_EQ(w.size(), Ipv4Header::kSize);
+  ByteReader r(w.data());
+  const auto decoded = Ipv4Header::decode(r);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->total_length, 40);
+  EXPECT_EQ(decoded->identification, 0x1234);
+  EXPECT_EQ(decoded->ttl, 63);
+  EXPECT_EQ(decoded->protocol, 6);
+  EXPECT_EQ(decoded->src, h.src);
+  EXPECT_EQ(decoded->dst, h.dst);
+}
+
+TEST(Ipv4, EncodedHeaderChecksumVerifies) {
+  Ipv4Header h;
+  h.total_length = 100;
+  h.src = Ipv4Address(1, 2, 3, 4);
+  h.dst = Ipv4Address(5, 6, 7, 8);
+  ByteWriter w;
+  h.encode(w);
+  // Internet checksum over a correct header is zero.
+  EXPECT_EQ(internet_checksum(w.data()), 0);
+}
+
+TEST(Ipv4, RejectsNonV4) {
+  std::vector<std::uint8_t> data(20, 0);
+  data[0] = 0x65;  // version 6
+  ByteReader r(data);
+  EXPECT_FALSE(Ipv4Header::decode(r));
+}
+
+TEST(Ipv4, SkipsOptions) {
+  Ipv4Header h;
+  h.src = Ipv4Address(1, 1, 1, 1);
+  h.dst = Ipv4Address(2, 2, 2, 2);
+  ByteWriter w;
+  h.encode(w);
+  // Convert to IHL=6 (one 4-byte option) by hand.
+  std::vector<std::uint8_t> bytes = w.data();
+  bytes[0] = 0x46;
+  bytes.insert(bytes.end(), {0, 0, 0, 0});  // the option
+  bytes.push_back(0x99);                    // first payload byte
+  ByteReader r(bytes);
+  const auto decoded = Ipv4Header::decode(r);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*r.u8(), 0x99);  // reader is positioned after the options
+}
+
+TEST(Tcp, EncodeDecodeRoundTrip) {
+  Ipv4Header ip;
+  ip.src = Ipv4Address(10, 42, 0, 10);
+  ip.dst = Ipv4Address(52, 1, 2, 3);
+  TcpHeader h;
+  h.src_port = 43210;
+  h.dst_port = 443;
+  h.seq = 1000;
+  h.ack = 2000;
+  h.flags = TcpHeader::kPsh | TcpHeader::kAck;
+  const std::vector<std::uint8_t> payload = {'h', 'i'};
+  ByteWriter w;
+  h.encode(w, ip, payload);
+  EXPECT_EQ(w.size(), TcpHeader::kSize);
+  ByteReader r(w.data());
+  const auto decoded = TcpHeader::decode(r);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->src_port, 43210);
+  EXPECT_EQ(decoded->dst_port, 443);
+  EXPECT_EQ(decoded->seq, 1000u);
+  EXPECT_EQ(decoded->ack, 2000u);
+  EXPECT_EQ(decoded->flags, TcpHeader::kPsh | TcpHeader::kAck);
+}
+
+TEST(Tcp, ChecksumCoversPseudoHeaderAndPayload) {
+  Ipv4Header ip;
+  ip.src = Ipv4Address(10, 0, 0, 1);
+  ip.dst = Ipv4Address(10, 0, 0, 2);
+  TcpHeader h;
+  h.src_port = 1;
+  h.dst_port = 2;
+  const std::vector<std::uint8_t> payload = {0xde, 0xad};
+  ByteWriter w;
+  h.encode(w, ip, payload);
+  // Verify: pseudo-header + segment (header+payload) checksums to 0.
+  std::vector<std::uint8_t> segment = w.data();
+  segment.insert(segment.end(), payload.begin(), payload.end());
+  const std::uint32_t pseudo = pseudo_header_sum(
+      ip, 6, static_cast<std::uint16_t>(segment.size()));
+  EXPECT_EQ(internet_checksum(segment, pseudo), 0);
+}
+
+TEST(Tcp, DecodeSkipsOptions) {
+  // Build a header with data offset 6 (one option word).
+  ByteWriter w;
+  w.u16be(1);      // src port
+  w.u16be(2);      // dst port
+  w.u32be(0);      // seq
+  w.u32be(0);      // ack
+  w.u8(0x60);      // offset 6
+  w.u8(TcpHeader::kSyn);
+  w.u16be(100);    // window
+  w.u16be(0);      // checksum
+  w.u16be(0);      // urgent
+  w.u32be(0x0204ffff);  // MSS option
+  w.u8(0x42);      // payload
+  ByteReader r(w.data());
+  const auto decoded = TcpHeader::decode(r);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->flags, TcpHeader::kSyn);
+  EXPECT_EQ(*r.u8(), 0x42);
+}
+
+TEST(Udp, EncodeDecodeRoundTrip) {
+  Ipv4Header ip;
+  ip.src = Ipv4Address(10, 42, 0, 10);
+  ip.dst = Ipv4Address(8, 8, 8, 8);
+  ip.protocol = 17;
+  UdpHeader h;
+  h.src_port = 5353;
+  h.dst_port = 53;
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  ByteWriter w;
+  h.encode(w, ip, payload);
+  EXPECT_EQ(w.size(), UdpHeader::kSize);
+  ByteReader r(w.data());
+  const auto decoded = UdpHeader::decode(r);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->src_port, 5353);
+  EXPECT_EQ(decoded->dst_port, 53);
+}
+
+TEST(Udp, LengthFieldIncludesHeader) {
+  Ipv4Header ip;
+  ip.protocol = 17;
+  UdpHeader h;
+  const std::vector<std::uint8_t> payload(10, 0);
+  ByteWriter w;
+  h.encode(w, ip, payload);
+  ByteReader r(w.data());
+  r.skip(4);
+  EXPECT_EQ(*r.u16be(), 18);  // 8 header + 10 payload
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Tests for the from-scratch libpcap file reader/writer.
+#include "iotx/net/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "iotx/net/bytes.hpp"
+
+namespace {
+
+using namespace iotx::net;
+
+FrameEndpoints endpoints(std::uint8_t device_octet) {
+  FrameEndpoints ep;
+  ep.src_mac = *MacAddress::parse("02:55:00:00:00:10");
+  ep.src_mac = MacAddress({0x02, 0x55, 0, 0, 0, device_octet});
+  ep.dst_mac = *MacAddress::parse("02:55:00:00:00:01");
+  ep.src_ip = Ipv4Address(10, 42, 0, device_octet);
+  ep.dst_ip = Ipv4Address(52, 1, 2, 3);
+  ep.src_port = 40000;
+  ep.dst_port = 443;
+  return ep;
+}
+
+std::vector<Packet> sample_packets() {
+  std::vector<Packet> packets;
+  for (int i = 0; i < 5; ++i) {
+    packets.push_back(make_tcp_packet(
+        1554076800.0 + i * 0.125, endpoints(0x10),
+        std::vector<std::uint8_t>(static_cast<std::size_t>(i * 10), 0x42)));
+  }
+  return packets;
+}
+
+TEST(Pcap, SerializeParseRoundTrip) {
+  const std::vector<Packet> packets = sample_packets();
+  const auto parsed = pcap_parse(pcap_serialize(packets));
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].frame, packets[i].frame);
+    EXPECT_NEAR((*parsed)[i].timestamp, packets[i].timestamp, 1e-6);
+  }
+}
+
+TEST(Pcap, GlobalHeaderLayout) {
+  const auto bytes = pcap_serialize({});
+  ASSERT_EQ(bytes.size(), 24u);
+  ByteReader r(bytes);
+  EXPECT_EQ(*r.u32le(), 0xa1b2c3d4u);  // micro magic
+  EXPECT_EQ(*r.u16le(), 2);            // major
+  EXPECT_EQ(*r.u16le(), 4);            // minor
+  r.skip(12);
+  EXPECT_EQ(*r.u32le(), 1u);  // LINKTYPE_ETHERNET
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = pcap_serialize({});
+  bytes[0] = 0x00;
+  EXPECT_FALSE(pcap_parse(bytes));
+}
+
+TEST(Pcap, RejectsTruncatedRecord) {
+  std::vector<std::uint8_t> bytes = pcap_serialize(sample_packets());
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(pcap_parse(bytes));
+}
+
+TEST(Pcap, EmptyCaptureParses) {
+  const auto parsed = pcap_parse(pcap_serialize({}));
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(Pcap, ParsesBigEndianFiles) {
+  // Hand-build a big-endian pcap with one 4-byte packet.
+  ByteWriter w;
+  w.u32be(0xa1b2c3d4);
+  w.u16be(2);
+  w.u16be(4);
+  w.u32be(0);
+  w.u32be(0);
+  w.u32be(65535);
+  w.u32be(1);
+  w.u32be(1000);  // seconds
+  w.u32be(500000);  // micros
+  w.u32be(4);
+  w.u32be(4);
+  w.text("abcd");
+  const auto parsed = pcap_parse(w.data());
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_NEAR((*parsed)[0].timestamp, 1000.5, 1e-9);
+  EXPECT_EQ((*parsed)[0].frame.size(), 4u);
+}
+
+TEST(Pcap, ParsesNanosecondMagic) {
+  ByteWriter w;
+  w.u32le(0xa1b23c4d);
+  w.u16le(2);
+  w.u16le(4);
+  w.u32le(0);
+  w.u32le(0);
+  w.u32le(65535);
+  w.u32le(1);
+  w.u32le(10);          // seconds
+  w.u32le(250000000);   // nanoseconds = 0.25s
+  w.u32le(2);
+  w.u32le(2);
+  w.text("xy");
+  const auto parsed = pcap_parse(w.data());
+  ASSERT_TRUE(parsed);
+  EXPECT_NEAR((*parsed)[0].timestamp, 10.25, 1e-9);
+}
+
+TEST(Pcap, RejectsNonEthernetLinkType) {
+  ByteWriter w;
+  w.u32le(0xa1b2c3d4);
+  w.u16le(2);
+  w.u16le(4);
+  w.u32le(0);
+  w.u32le(0);
+  w.u32le(65535);
+  w.u32le(101);  // LINKTYPE_RAW
+  EXPECT_FALSE(pcap_parse(w.data()));
+}
+
+TEST(Pcap, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "iotx_pcap_test.pcap")
+          .string();
+  const std::vector<Packet> packets = sample_packets();
+  ASSERT_TRUE(pcap_write_file(path, packets));
+  const auto read_back = pcap_read_file(path);
+  ASSERT_TRUE(read_back);
+  EXPECT_EQ(read_back->size(), packets.size());
+  EXPECT_EQ((*read_back)[2].frame, packets[2].frame);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ReadMissingFileFails) {
+  EXPECT_FALSE(pcap_read_file("/nonexistent/dir/missing.pcap"));
+}
+
+TEST(SplitByMac, AttributesBothDirections) {
+  std::vector<Packet> packets;
+  packets.push_back(make_tcp_packet(1.0, endpoints(0x10), {}));
+  packets.push_back(make_tcp_packet(2.0, reverse(endpoints(0x10)), {}));
+  packets.push_back(make_tcp_packet(3.0, endpoints(0x20), {}));
+  const auto split = split_by_mac(packets);
+  const MacAddress dev1({0x02, 0x55, 0, 0, 0, 0x10});
+  const MacAddress dev2({0x02, 0x55, 0, 0, 0, 0x20});
+  const MacAddress gw = *MacAddress::parse("02:55:00:00:00:01");
+  ASSERT_TRUE(split.contains(dev1));
+  ASSERT_TRUE(split.contains(dev2));
+  ASSERT_TRUE(split.contains(gw));
+  EXPECT_EQ(split.at(dev1).size(), 2u);  // both directions
+  EXPECT_EQ(split.at(dev2).size(), 1u);
+  EXPECT_EQ(split.at(gw).size(), 3u);
+}
+
+TEST(SplitByMac, BroadcastOnlyAttributesSender) {
+  FrameEndpoints ep = endpoints(0x30);
+  ep.dst_mac = *MacAddress::parse("ff:ff:ff:ff:ff:ff");
+  const auto split = split_by_mac({make_udp_packet(0.0, ep, {})});
+  EXPECT_EQ(split.size(), 1u);
+  EXPECT_TRUE(split.contains(ep.src_mac));
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Tests for the DHCP implementation and the boot-time DORA exchange.
+#include "iotx/proto/dhcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iotx/testbed/synth.hpp"
+
+namespace {
+
+using namespace iotx::proto;
+using iotx::net::Ipv4Address;
+using iotx::net::MacAddress;
+
+DhcpMessage sample(DhcpMessageType type) {
+  DhcpMessage m;
+  m.type = type;
+  m.transaction_id = 0xdeadbeef;
+  m.client_mac = *MacAddress::parse("02:55:00:00:00:10");
+  m.hostname = "ring_doorbell";
+  return m;
+}
+
+TEST(Dhcp, EncodeDecodeRoundTrip) {
+  const DhcpMessage m = sample(DhcpMessageType::kDiscover);
+  const auto decoded = DhcpMessage::decode(m.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->type, DhcpMessageType::kDiscover);
+  EXPECT_EQ(decoded->transaction_id, 0xdeadbeefu);
+  EXPECT_EQ(decoded->client_mac, m.client_mac);
+  EXPECT_EQ(decoded->hostname, "ring_doorbell");
+}
+
+TEST(Dhcp, ServerReplyCarriesAssignedAddress) {
+  DhcpMessage m = sample(DhcpMessageType::kAck);
+  m.hostname.clear();
+  m.your_ip = Ipv4Address(10, 42, 0, 17);
+  m.server_ip = Ipv4Address(10, 42, 0, 1);
+  const auto decoded = DhcpMessage::decode(m.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->type, DhcpMessageType::kAck);
+  EXPECT_EQ(decoded->your_ip.to_string(), "10.42.0.17");
+  EXPECT_EQ(decoded->server_ip.to_string(), "10.42.0.1");
+  EXPECT_TRUE(decoded->hostname.empty());
+}
+
+TEST(Dhcp, DecodeRejectsShortBuffer) {
+  const std::vector<std::uint8_t> data(100, 0);
+  EXPECT_FALSE(DhcpMessage::decode(data));
+}
+
+TEST(Dhcp, DecodeRejectsBadCookie) {
+  auto bytes = sample(DhcpMessageType::kDiscover).encode();
+  bytes[236] = 0x00;
+  EXPECT_FALSE(DhcpMessage::decode(bytes));
+}
+
+TEST(Dhcp, DecodeRejectsMissingEndOption) {
+  auto bytes = sample(DhcpMessageType::kDiscover).encode();
+  bytes.pop_back();  // drop the End option
+  EXPECT_FALSE(DhcpMessage::decode(bytes));
+}
+
+TEST(Dhcp, LooksLikeDhcp) {
+  EXPECT_TRUE(looks_like_dhcp(sample(DhcpMessageType::kRequest).encode()));
+  EXPECT_FALSE(looks_like_dhcp(std::vector<std::uint8_t>(300, 0)));
+  EXPECT_FALSE(looks_like_dhcp(std::vector<std::uint8_t>(10, 1)));
+}
+
+TEST(Dhcp, TypeNames) {
+  EXPECT_EQ(dhcp_type_name(DhcpMessageType::kDiscover), "DISCOVER");
+  EXPECT_EQ(dhcp_type_name(DhcpMessageType::kAck), "ACK");
+}
+
+TEST(Dhcp, PowerEventEmitsDoraExchange) {
+  using namespace iotx::testbed;
+  const TrafficSynthesizer synth;
+  const DeviceSpec& device = *find_device("echo_dot");
+  iotx::util::Prng prng("dora");
+  const auto packets =
+      synth.power_event(device, {LabSite::kUs, false}, 0.0, prng);
+
+  int discover = 0, offer = 0, request = 0, ack = 0;
+  for (const auto& p : packets) {
+    const auto d = iotx::net::decode_packet(p);
+    if (!d || !d->is_udp) continue;
+    if (d->udp.dst_port != 67 && d->udp.dst_port != 68) continue;
+    const auto msg = DhcpMessage::decode(d->payload);
+    if (!msg) continue;
+    switch (msg->type) {
+      case DhcpMessageType::kDiscover: ++discover; break;
+      case DhcpMessageType::kOffer: ++offer; break;
+      case DhcpMessageType::kRequest: ++request; break;
+      case DhcpMessageType::kAck: ++ack; break;
+    }
+    EXPECT_EQ(msg->client_mac, device_mac(device, true));
+  }
+  EXPECT_EQ(discover, 1);
+  EXPECT_EQ(offer, 1);
+  EXPECT_EQ(request, 1);
+  EXPECT_EQ(ack, 1);
+}
+
+TEST(Dhcp, BootChatterExcludedFromDestinations) {
+  // Multicast/broadcast boot chatter must never appear as an Internet
+  // destination.
+  using namespace iotx::testbed;
+  const TrafficSynthesizer synth;
+  const DeviceSpec& device = *find_device("samsung_tv");
+  iotx::util::Prng prng("boot-dest");
+  const auto packets =
+      synth.power_event(device, {LabSite::kUs, false}, 0.0, prng);
+  for (const auto& p : packets) {
+    const auto d = iotx::net::decode_packet(p);
+    if (!d) continue;
+    if (d->ip.dst.is_multicast() || d->ip.dst.is_limited_broadcast()) {
+      EXPECT_FALSE(d->ip.dst.is_global_unicast());
+    }
+  }
+}
+
+}  // namespace

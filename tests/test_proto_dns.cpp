@@ -1,0 +1,177 @@
+// Tests for the DNS wire-format implementation.
+#include "iotx/proto/dns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iotx/net/bytes.hpp"
+
+namespace {
+
+using namespace iotx::proto;
+using iotx::net::ByteWriter;
+using iotx::net::Ipv4Address;
+
+TEST(Dns, QueryEncodeDecodeRoundTrip) {
+  const DnsMessage query = make_query(0x1234, "api.ring.com");
+  const auto decoded = DnsMessage::decode(query.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->id, 0x1234);
+  EXPECT_FALSE(decoded->is_response);
+  EXPECT_TRUE(decoded->recursion_desired);
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_EQ(decoded->questions[0].name, "api.ring.com");
+  EXPECT_EQ(decoded->questions[0].qtype,
+            static_cast<std::uint16_t>(DnsType::kA));
+}
+
+TEST(Dns, ResponseCarriesAnswerAddress) {
+  const DnsMessage query = make_query(7, "example.com");
+  const DnsMessage response =
+      make_response(query, Ipv4Address(52, 1, 2, 3), 600);
+  const auto decoded = DnsMessage::decode(response.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->is_response);
+  EXPECT_EQ(decoded->id, 7);
+  ASSERT_EQ(decoded->answers.size(), 1u);
+  EXPECT_EQ(decoded->answers[0].name, "example.com");
+  EXPECT_EQ(decoded->answers[0].ttl, 600u);
+  const auto addr = decoded->answers[0].address();
+  ASSERT_TRUE(addr);
+  EXPECT_EQ(addr->to_string(), "52.1.2.3");
+}
+
+TEST(Dns, RecordAddressRejectsNonARecords) {
+  DnsRecord rec;
+  rec.rtype = static_cast<std::uint16_t>(DnsType::kTxt);
+  rec.rdata = {1, 2, 3, 4};
+  EXPECT_FALSE(rec.address());
+  rec.rtype = static_cast<std::uint16_t>(DnsType::kA);
+  rec.rdata = {1, 2, 3};  // wrong length
+  EXPECT_FALSE(rec.address());
+}
+
+TEST(Dns, CompressionPointerDecoded) {
+  // Hand-build: header, question "a.example.com", answer name = pointer
+  // to offset 12 (the question name).
+  ByteWriter w;
+  w.u16be(1);       // id
+  w.u16be(0x8180);  // response flags
+  w.u16be(1);       // qdcount
+  w.u16be(1);       // ancount
+  w.u16be(0);
+  w.u16be(0);
+  const std::size_t name_offset = w.size();
+  w.u8(1);
+  w.text("a");
+  w.u8(7);
+  w.text("example");
+  w.u8(3);
+  w.text("com");
+  w.u8(0);
+  w.u16be(1);  // qtype A
+  w.u16be(1);  // qclass IN
+  // Answer: pointer to the question name.
+  w.u8(0xc0);
+  w.u8(static_cast<std::uint8_t>(name_offset));
+  w.u16be(1);  // type A
+  w.u16be(1);  // class
+  w.u32be(300);
+  w.u16be(4);
+  w.u32be(Ipv4Address(9, 9, 9, 9).value());
+
+  const auto decoded = DnsMessage::decode(w.data());
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->answers.size(), 1u);
+  EXPECT_EQ(decoded->answers[0].name, "a.example.com");
+  EXPECT_EQ(decoded->answers[0].address()->to_string(), "9.9.9.9");
+}
+
+TEST(Dns, PointerLoopRejected) {
+  ByteWriter w;
+  w.u16be(1);
+  w.u16be(0x8180);
+  w.u16be(1);
+  w.u16be(0);
+  w.u16be(0);
+  w.u16be(0);
+  // Name at offset 12 is a pointer to itself.
+  w.u8(0xc0);
+  w.u8(12);
+  w.u16be(1);
+  w.u16be(1);
+  EXPECT_FALSE(DnsMessage::decode(w.data()));
+}
+
+TEST(Dns, CnameChainDecoded) {
+  DnsMessage msg;
+  msg.id = 3;
+  msg.is_response = true;
+  DnsRecord cname;
+  cname.name = "www.vendor.com";
+  cname.rtype = static_cast<std::uint16_t>(DnsType::kCname);
+  cname.rdata_name = "lb.cloud.com";
+  msg.answers.push_back(cname);
+  DnsRecord a;
+  a.name = "lb.cloud.com";
+  a.rdata = {10, 0, 0, 1};
+  msg.answers.push_back(a);
+
+  const auto decoded = DnsMessage::decode(msg.encode());
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->answers.size(), 2u);
+  EXPECT_EQ(decoded->answers[0].rdata_name, "lb.cloud.com");
+  EXPECT_TRUE(decoded->answers[1].address());
+}
+
+TEST(Dns, TruncatedMessageRejected) {
+  const DnsMessage query = make_query(1, "host.example.com");
+  std::vector<std::uint8_t> bytes = query.encode();
+  bytes.resize(bytes.size() - 4);
+  EXPECT_FALSE(DnsMessage::decode(bytes));
+}
+
+TEST(Dns, EmptyBufferRejected) {
+  EXPECT_FALSE(DnsMessage::decode({}));
+}
+
+TEST(Dns, RcodePreserved) {
+  DnsMessage msg;
+  msg.is_response = true;
+  msg.rcode = 3;  // NXDOMAIN
+  const auto decoded = DnsMessage::decode(msg.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->rcode, 3);
+}
+
+class DnsNameValidity
+    : public ::testing::TestWithParam<std::pair<const char*, bool>> {};
+
+TEST_P(DnsNameValidity, Checked) {
+  EXPECT_EQ(is_valid_dns_name(GetParam().first), GetParam().second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Names, DnsNameValidity,
+    ::testing::Values(std::pair("example.com", true),
+                      std::pair("a.b.c.d.e.f", true),
+                      std::pair("single", true),
+                      std::pair("", false),
+                      std::pair(".", false),
+                      std::pair("a..b", false),
+                      std::pair("ends.with.dot.", false)));
+
+TEST(Dns, OverlongLabelRejected) {
+  const std::string label(64, 'a');
+  EXPECT_FALSE(is_valid_dns_name(label + ".com"));
+  const std::string ok_label(63, 'a');
+  EXPECT_TRUE(is_valid_dns_name(ok_label + ".com"));
+}
+
+TEST(Dns, OverlongNameRejected) {
+  std::string name;
+  while (name.size() <= 253) name += "abcdefgh.";
+  name += "com";
+  EXPECT_FALSE(is_valid_dns_name(name));
+}
+
+}  // namespace

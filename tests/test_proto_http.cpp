@@ -1,0 +1,128 @@
+// Tests for HTTP/1.1 message handling.
+#include "iotx/proto/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iotx/net/bytes.hpp"
+
+namespace {
+
+using namespace iotx::proto;
+
+TEST(HttpRequest, EncodeDecodeRoundTrip) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/api/v1/status";
+  req.set_header("Host", "api.ring.com");
+  req.set_header("User-Agent", "ring_doorbell/1.0");
+  req.body = "status=ok";
+  const auto decoded = HttpRequest::decode(req.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->method, "POST");
+  EXPECT_EQ(decoded->target, "/api/v1/status");
+  EXPECT_EQ(decoded->version, "HTTP/1.1");
+  EXPECT_EQ(*decoded->host(), "api.ring.com");
+  EXPECT_EQ(decoded->body, "status=ok");
+  EXPECT_EQ(*decoded->header("Content-Length"), "9");
+}
+
+TEST(HttpRequest, HeaderLookupCaseInsensitive) {
+  HttpRequest req;
+  req.set_header("Content-Type", "application/json");
+  EXPECT_EQ(*req.header("content-type"), "application/json");
+  EXPECT_EQ(*req.header("CONTENT-TYPE"), "application/json");
+  EXPECT_FALSE(req.header("content-length"));
+}
+
+TEST(HttpRequest, SetHeaderReplacesExisting) {
+  HttpRequest req;
+  req.set_header("Host", "a.com");
+  req.set_header("host", "b.com");
+  EXPECT_EQ(req.headers.size(), 1u);
+  EXPECT_EQ(*req.host(), "b.com");
+}
+
+TEST(HttpRequest, NoBodyOmitsContentLength) {
+  HttpRequest req;
+  const std::string text = req.encode();
+  EXPECT_EQ(text.find("Content-Length"), std::string::npos);
+}
+
+TEST(HttpRequest, DecodeFromBytes) {
+  const std::string text = "GET /x HTTP/1.1\r\nHost: h\r\n\r\n";
+  const auto decoded =
+      HttpRequest::decode(iotx::net::as_bytes(text));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->target, "/x");
+}
+
+class HttpBadRequest : public ::testing::TestWithParam<const char*> {};
+TEST_P(HttpBadRequest, Rejected) {
+  EXPECT_FALSE(HttpRequest::decode(std::string_view(GetParam())));
+}
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, HttpBadRequest,
+    ::testing::Values("", "GET /\r\n\r\n",              // missing version
+                      "GET / HTTP/1.1",                 // no CRLF
+                      "GET / FTP/1.0\r\n\r\n",          // not HTTP
+                      "GET / HTTP/1.1\r\nNoColon\r\n\r\n",
+                      "GET / HTTP/1.1\r\nHost: x\r\n")); // no blank line
+
+TEST(HttpResponse, EncodeDecodeRoundTrip) {
+  HttpResponse res;
+  res.status = 404;
+  res.reason = "Not Found";
+  res.body = "{}";
+  const auto decoded = HttpResponse::decode(res.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->status, 404);
+  EXPECT_EQ(decoded->reason, "Not Found");
+  EXPECT_EQ(decoded->body, "{}");
+}
+
+TEST(HttpResponse, AlwaysHasContentLength) {
+  HttpResponse res;
+  EXPECT_NE(res.encode().find("Content-Length: 0"), std::string::npos);
+}
+
+TEST(HttpResponse, RejectsNonNumericStatus) {
+  EXPECT_FALSE(HttpResponse::decode("HTTP/1.1 abc OK\r\n\r\n"));
+}
+
+TEST(HttpResponse, StatusWithoutReasonParses) {
+  const auto decoded = HttpResponse::decode("HTTP/1.1 204\r\n\r\n");
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->status, 204);
+}
+
+TEST(LooksLikeHttp, CommonMethods) {
+  const auto check = [](std::string_view text) {
+    return looks_like_http(iotx::net::as_bytes(text));
+  };
+  EXPECT_TRUE(check("GET / HTTP/1.1\r\n"));
+  EXPECT_TRUE(check("POST /api HTTP/1.1\r\n"));
+  EXPECT_TRUE(check("HTTP/1.1 200 OK\r\n"));
+  EXPECT_TRUE(check("DESCRIBE rtsp://cam/live RTSP/1.0\r\n"));
+  EXPECT_TRUE(check("SETUP rtsp://cam/live RTSP/1.0\r\n"));
+  EXPECT_FALSE(check("BINARY\x01\x02"));
+  EXPECT_FALSE(check(""));
+  EXPECT_FALSE(check("GETX"));
+}
+
+TEST(HttpRequest, HeaderWhitespaceTrimmed) {
+  const auto decoded = HttpRequest::decode(
+      "GET / HTTP/1.1\r\nHost:    spaced.example.com   \r\n\r\n");
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded->host(), "spaced.example.com");
+}
+
+TEST(HttpRequest, BodyPreservedVerbatim) {
+  HttpRequest req;
+  req.method = "POST";
+  req.body = "a=1&mac=02%3a55%3a00&b64=Zm9v";
+  const auto decoded = HttpRequest::decode(req.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->body, req.body);
+}
+
+}  // namespace

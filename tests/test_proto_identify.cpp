@@ -1,0 +1,176 @@
+// Tests for protocol identification and content-encoding detection — the
+// "Wireshark analyzer" stage of the §5.1 encryption pipeline.
+#include "iotx/proto/identify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iotx/net/bytes.hpp"
+#include "iotx/proto/dhcp.hpp"
+#include "iotx/proto/dns.hpp"
+#include "iotx/proto/http.hpp"
+#include "iotx/proto/ntp.hpp"
+#include "iotx/proto/tls.hpp"
+
+namespace {
+
+using namespace iotx::proto;
+using namespace iotx::net;
+
+DecodedPacket decoded_udp(std::uint16_t src_port, std::uint16_t dst_port,
+                          const std::vector<std::uint8_t>& payload) {
+  static std::vector<std::uint8_t> storage;
+  storage = payload;
+  DecodedPacket p;
+  p.is_udp = true;
+  p.udp.src_port = src_port;
+  p.udp.dst_port = dst_port;
+  p.payload = storage;
+  return p;
+}
+
+DecodedPacket decoded_tcp(std::uint16_t src_port, std::uint16_t dst_port,
+                          const std::vector<std::uint8_t>& payload) {
+  static std::vector<std::uint8_t> storage;
+  storage = payload;
+  DecodedPacket p;
+  p.is_tcp = true;
+  p.tcp.src_port = src_port;
+  p.tcp.dst_port = dst_port;
+  p.payload = storage;
+  return p;
+}
+
+std::vector<std::uint8_t> text_bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Identify, DnsByPort) {
+  const auto query = make_query(1, "example.com").encode();
+  EXPECT_EQ(identify_protocol(decoded_udp(41000, 53, query)),
+            ProtocolId::kDns);
+  EXPECT_EQ(identify_protocol(decoded_udp(53, 41000, query)),
+            ProtocolId::kDns);
+}
+
+TEST(Identify, MdnsOnPort5353) {
+  const auto query = make_query(0, "device.local").encode();
+  EXPECT_EQ(identify_protocol(decoded_udp(5353, 5353, query)),
+            ProtocolId::kMdns);
+}
+
+TEST(Identify, SsdpOnPort1900) {
+  EXPECT_EQ(identify_protocol(
+                decoded_udp(40000, 1900, text_bytes("M-SEARCH * HTTP/1.1"))),
+            ProtocolId::kSsdp);
+}
+
+TEST(Identify, DhcpByPortsAndPayload) {
+  DhcpMessage discover;
+  discover.client_mac = *MacAddress::parse("02:55:00:00:00:10");
+  EXPECT_EQ(identify_protocol(decoded_udp(68, 67, discover.encode())),
+            ProtocolId::kDhcp);
+  // DHCP ports with a non-BOOTP payload stay unknown.
+  EXPECT_EQ(identify_protocol(
+                decoded_udp(68, 67, std::vector<std::uint8_t>(300, 0))),
+            ProtocolId::kUnknown);
+}
+
+TEST(Identify, NtpRequiresValidPacket) {
+  NtpPacket ntp;
+  EXPECT_EQ(identify_protocol(decoded_udp(40000, 123, ntp.encode())),
+            ProtocolId::kNtp);
+  // Port 123 with a non-NTP payload stays unknown.
+  EXPECT_EQ(identify_protocol(decoded_udp(40000, 123,
+                                          std::vector<std::uint8_t>(10, 1))),
+            ProtocolId::kUnknown);
+}
+
+TEST(Identify, QuicLongHeaderOn443) {
+  std::vector<std::uint8_t> payload(64, 0);
+  payload[0] = 0xc0;  // long header bit
+  EXPECT_EQ(identify_protocol(decoded_udp(40000, 443, payload)),
+            ProtocolId::kQuic);
+}
+
+TEST(Identify, TlsByRecordBytes) {
+  const std::uint16_t suites[] = {0x1301};
+  std::vector<std::uint8_t> rnd(32, 7);
+  const auto hello = build_client_hello("x.com", suites, rnd);
+  EXPECT_EQ(identify_protocol(decoded_tcp(40000, 443, hello)),
+            ProtocolId::kTls);
+  // TLS on a non-standard port is still recognized by record framing.
+  EXPECT_EQ(identify_protocol(decoded_tcp(40000, 8443, hello)),
+            ProtocolId::kTls);
+}
+
+TEST(Identify, HttpByRequestLine) {
+  EXPECT_EQ(identify_protocol(
+                decoded_tcp(40000, 80, text_bytes("GET / HTTP/1.1\r\n\r\n"))),
+            ProtocolId::kHttp);
+}
+
+TEST(Identify, RtspOnPort554) {
+  EXPECT_EQ(identify_protocol(decoded_tcp(
+                40000, 554, text_bytes("DESCRIBE rtsp://c/s RTSP/1.0\r\n"))),
+            ProtocolId::kRtsp);
+}
+
+TEST(Identify, ProprietaryTcpIsUnknown) {
+  EXPECT_EQ(identify_protocol(decoded_tcp(
+                40000, 8899, text_bytes("IOTPv1 LEN=00100 SEQ=1"))),
+            ProtocolId::kUnknown);
+}
+
+TEST(Identify, EmptyTcpPayloadIsUnknown) {
+  EXPECT_EQ(identify_protocol(decoded_tcp(40000, 443, {})),
+            ProtocolId::kUnknown);
+}
+
+TEST(Identify, ProtocolNames) {
+  EXPECT_EQ(protocol_name(ProtocolId::kTls), "TLS");
+  EXPECT_EQ(protocol_name(ProtocolId::kDns), "DNS");
+  EXPECT_EQ(protocol_name(ProtocolId::kUnknown), "unknown");
+}
+
+struct EncodingCase {
+  std::vector<std::uint8_t> payload;
+  ContentEncoding expected;
+};
+
+class EncodingDetect : public ::testing::TestWithParam<EncodingCase> {};
+
+TEST_P(EncodingDetect, MagicBytes) {
+  EXPECT_EQ(detect_encoding(GetParam().payload), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Magics, EncodingDetect,
+    ::testing::Values(
+        EncodingCase{{0x1f, 0x8b, 0x08, 0x00, 1, 2}, ContentEncoding::kGzip},
+        EncodingCase{{0x78, 0x9c, 1, 2}, ContentEncoding::kZlib},
+        EncodingCase{{0xff, 0xd8, 0xff, 0xe0}, ContentEncoding::kJpeg},
+        EncodingCase{{0x89, 'P', 'N', 'G', 0x0d, 0x0a, 0x1a, 0x0a},
+                     ContentEncoding::kPng},
+        EncodingCase{{0, 0, 0, 24, 'f', 't', 'y', 'p'}, ContentEncoding::kMp4},
+        EncodingCase{{'I', 'D', '3', 4}, ContentEncoding::kMp3},
+        EncodingCase{{'R', 'I', 'F', 'F', 0, 0, 0, 0, 'W', 'A', 'V', 'E'},
+                     ContentEncoding::kWav},
+        EncodingCase{{0x00, 0x00, 0x00, 0x01, 0x67, 0xaa},
+                     ContentEncoding::kH264AnnexB},
+        EncodingCase{{'h', 'e', 'l', 'l', 'o'}, ContentEncoding::kNone},
+        EncodingCase{{}, ContentEncoding::kNone}));
+
+TEST(EncodingDetect, MpegTsRequiresSyncAndMultiple) {
+  std::vector<std::uint8_t> ts(188, 0);
+  ts[0] = 0x47;
+  EXPECT_EQ(detect_encoding(ts), ContentEncoding::kMpegTs);
+  ts.resize(100);  // not a multiple of 188
+  EXPECT_EQ(detect_encoding(ts), ContentEncoding::kNone);
+}
+
+TEST(EncodingDetect, Names) {
+  EXPECT_EQ(encoding_name(ContentEncoding::kGzip), "gzip");
+  EXPECT_EQ(encoding_name(ContentEncoding::kNone), "none");
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Tests for the NTP packet implementation.
+#include "iotx/proto/ntp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace iotx::proto;
+
+TEST(Ntp, EncodeIs48Bytes) {
+  NtpPacket p;
+  EXPECT_EQ(p.encode().size(), 48u);
+}
+
+TEST(Ntp, EncodeDecodeRoundTrip) {
+  NtpPacket p;
+  p.leap = 0;
+  p.version = 4;
+  p.mode = 3;
+  p.stratum = 0;
+  p.transmit_timestamp = unix_to_ntp(1554076800.5);
+  const auto decoded = NtpPacket::decode(p.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->version, 4);
+  EXPECT_EQ(decoded->mode, 3);
+  EXPECT_EQ(decoded->transmit_timestamp, p.transmit_timestamp);
+}
+
+TEST(Ntp, ServerModeRoundTrip) {
+  NtpPacket p;
+  p.mode = 4;
+  p.stratum = 2;
+  const auto decoded = NtpPacket::decode(p.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->mode, 4);
+  EXPECT_EQ(decoded->stratum, 2);
+}
+
+TEST(Ntp, UnixToNtpEpochOffset) {
+  // Unix epoch = NTP 2208988800 seconds.
+  EXPECT_EQ(unix_to_ntp(0.0) >> 32, 2208988800ULL);
+  // Half a second = 0x80000000 fraction.
+  EXPECT_NEAR(double(unix_to_ntp(0.5) & 0xffffffffULL), 0x80000000u, 2.0);
+}
+
+TEST(Ntp, UnixToNtpMonotone) {
+  EXPECT_LT(unix_to_ntp(100.0), unix_to_ntp(100.25));
+  EXPECT_LT(unix_to_ntp(100.25), unix_to_ntp(101.0));
+}
+
+TEST(Ntp, DecodeRejectsShortBuffers) {
+  const std::vector<std::uint8_t> data(47, 0);
+  EXPECT_FALSE(NtpPacket::decode(data));
+}
+
+TEST(Ntp, DecodeRejectsBadVersion) {
+  NtpPacket p;
+  auto bytes = p.encode();
+  bytes[0] = (0 << 6) | (7 << 3) | 3;  // version 7
+  EXPECT_FALSE(NtpPacket::decode(bytes));
+}
+
+TEST(Ntp, DecodeRejectsBadMode) {
+  NtpPacket p;
+  auto bytes = p.encode();
+  bytes[0] = (0 << 6) | (4 << 3) | 7;  // mode 7 (private)
+  EXPECT_FALSE(NtpPacket::decode(bytes));
+}
+
+TEST(Ntp, LooksLikeNtpRequiresExact48) {
+  NtpPacket p;
+  const auto bytes = p.encode();
+  EXPECT_TRUE(looks_like_ntp(bytes));
+  auto longer = bytes;
+  longer.push_back(0);
+  EXPECT_FALSE(looks_like_ntp(longer));
+  auto shorter = bytes;
+  shorter.pop_back();
+  EXPECT_FALSE(looks_like_ntp(shorter));
+}
+
+TEST(Ntp, LooksLikeNtpChecksHeaderBits) {
+  std::vector<std::uint8_t> data(48, 0);
+  data[0] = (4 << 3) | 3;
+  EXPECT_TRUE(looks_like_ntp(data));
+  data[0] = 0;  // version 0, mode 0
+  EXPECT_FALSE(looks_like_ntp(data));
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Tests for the TLS record layer and ClientHello/SNI handling.
+#include "iotx/proto/tls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx::proto;
+
+std::vector<std::uint8_t> random32() {
+  iotx::util::Prng prng("tls-random");
+  std::vector<std::uint8_t> out(32);
+  for (auto& b : out) b = static_cast<std::uint8_t>(prng.uniform(256));
+  return out;
+}
+
+TEST(TlsRecord, EncodeLayout) {
+  TlsRecord rec;
+  rec.content_type = TlsContentType::kApplicationData;
+  rec.version = 0x0303;
+  rec.fragment = {1, 2, 3};
+  const auto bytes = rec.encode();
+  ASSERT_EQ(bytes.size(), 8u);
+  EXPECT_EQ(bytes[0], 23);
+  EXPECT_EQ(bytes[1], 0x03);
+  EXPECT_EQ(bytes[2], 0x03);
+  EXPECT_EQ(bytes[3], 0);
+  EXPECT_EQ(bytes[4], 3);
+  EXPECT_EQ(bytes[5], 1);
+}
+
+TEST(TlsRecord, ParseMultipleRecords) {
+  TlsRecord a;
+  a.fragment = {0xaa};
+  TlsRecord b;
+  b.content_type = TlsContentType::kApplicationData;
+  b.fragment = {0xbb, 0xcc};
+  std::vector<std::uint8_t> stream = a.encode();
+  const auto bb = b.encode();
+  stream.insert(stream.end(), bb.begin(), bb.end());
+
+  const auto records = parse_tls_records(stream);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].fragment, (std::vector<std::uint8_t>{0xaa}));
+  EXPECT_EQ(records[1].content_type, TlsContentType::kApplicationData);
+}
+
+TEST(TlsRecord, TruncatedRecordSkipped) {
+  TlsRecord rec;
+  rec.fragment.assign(100, 0x11);
+  auto bytes = rec.encode();
+  bytes.resize(50);
+  EXPECT_TRUE(parse_tls_records(bytes).empty());
+}
+
+TEST(TlsRecord, GarbageNotParsed) {
+  const std::vector<std::uint8_t> garbage = {0x99, 0x88, 0x77, 0x66, 0x55};
+  EXPECT_TRUE(parse_tls_records(garbage).empty());
+}
+
+TEST(ClientHello, BuildParseRoundTripWithSni) {
+  const std::uint16_t suites[] = {0x1301, 0xc02f};
+  const auto bytes = build_client_hello("api.ring.com", suites, random32());
+  const auto hello = parse_client_hello(bytes);
+  ASSERT_TRUE(hello);
+  EXPECT_EQ(hello->sni, "api.ring.com");
+  EXPECT_EQ(hello->version, 0x0303);
+  ASSERT_EQ(hello->cipher_suites.size(), 2u);
+  EXPECT_EQ(hello->cipher_suites[0], 0x1301);
+  EXPECT_EQ(hello->cipher_suites[1], 0xc02f);
+  EXPECT_EQ(hello->random.size(), 32u);
+}
+
+TEST(ClientHello, NoSniParses) {
+  const std::uint16_t suites[] = {0x1301};
+  const auto bytes = build_client_hello("", suites, random32());
+  const auto hello = parse_client_hello(bytes);
+  ASSERT_TRUE(hello);
+  EXPECT_TRUE(hello->sni.empty());
+  EXPECT_FALSE(extract_sni(bytes));
+}
+
+TEST(ClientHello, ExtractSniConvenience) {
+  const std::uint16_t suites[] = {0x1301};
+  const auto bytes =
+      build_client_hello("storage.googleapis.com", suites, random32());
+  const auto sni = extract_sni(bytes);
+  ASSERT_TRUE(sni);
+  EXPECT_EQ(*sni, "storage.googleapis.com");
+}
+
+TEST(ClientHello, ApplicationDataIsNotClientHello) {
+  const std::vector<std::uint8_t> payload(64, 0x42);
+  const auto bytes = build_application_data(payload);
+  EXPECT_FALSE(parse_client_hello(bytes));
+  EXPECT_FALSE(extract_sni(bytes));
+}
+
+TEST(ClientHello, TruncatedRejected) {
+  const std::uint16_t suites[] = {0x1301};
+  auto bytes = build_client_hello("host.example.com", suites, random32());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(parse_client_hello(bytes));
+}
+
+TEST(ApplicationData, WrapsCiphertext) {
+  const std::vector<std::uint8_t> ciphertext(100, 0x5a);
+  const auto bytes = build_application_data(ciphertext);
+  const auto records = parse_tls_records(bytes);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].content_type, TlsContentType::kApplicationData);
+  EXPECT_EQ(records[0].fragment, ciphertext);
+}
+
+TEST(LooksLikeTls, AcceptsRealRecords) {
+  const std::uint16_t suites[] = {0x1301};
+  EXPECT_TRUE(looks_like_tls(build_client_hello("x.com", suites, random32())));
+  EXPECT_TRUE(looks_like_tls(build_application_data(std::vector<std::uint8_t>{1, 2, 3})));
+}
+
+TEST(LooksLikeTls, RejectsOthers) {
+  EXPECT_FALSE(looks_like_tls(std::vector<std::uint8_t>{}));
+  EXPECT_FALSE(looks_like_tls(std::vector<std::uint8_t>{22, 0x03}));            // too short
+  EXPECT_FALSE(looks_like_tls(std::vector<std::uint8_t>{0x47, 0x45, 0x54, 0x20, 0x2f}));  // "GET /"
+  EXPECT_FALSE(looks_like_tls(std::vector<std::uint8_t>{25, 0x03, 0x03, 0, 1}));  // bad type
+  EXPECT_FALSE(looks_like_tls(std::vector<std::uint8_t>{22, 0x07, 0x03, 0, 1}));  // bad version
+}
+
+TEST(ClientHello, LongSniSupported) {
+  const std::string sni = "a-very-long-subdomain-name.some-vendor-cloud"
+                          ".us-east-1.elasticbeanstalk.example.com";
+  const std::uint16_t suites[] = {0x1301, 0x1302, 0x1303, 0xc02b, 0xc02c};
+  const auto hello = parse_client_hello(
+      build_client_hello(sni, suites, random32()));
+  ASSERT_TRUE(hello);
+  EXPECT_EQ(hello->sni, sni);
+  EXPECT_EQ(hello->cipher_suites.size(), 5u);
+}
+
+}  // namespace

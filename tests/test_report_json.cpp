@@ -1,0 +1,135 @@
+// Tests for the JSON writer and the Study report export.
+#include "iotx/report/json.hpp"
+#include "iotx/report/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace {
+
+using iotx::report::JsonWriter;
+
+TEST(Json, EmptyObject) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.document(), "{}");
+}
+
+TEST(Json, FieldsAndCommas) {
+  JsonWriter w;
+  w.begin_object()
+      .field("a", 1)
+      .field("b", "two")
+      .field("c", true)
+      .end_object();
+  EXPECT_EQ(w.document(), "{\"a\":1,\"b\":\"two\",\"c\":true}");
+}
+
+TEST(Json, NestedArrays) {
+  JsonWriter w;
+  w.begin_object().key("rows").begin_array();
+  w.begin_object().field("x", 1).end_object();
+  w.begin_object().field("x", 2).end_object();
+  w.end_array().end_object();
+  EXPECT_EQ(w.document(), "{\"rows\":[{\"x\":1},{\"x\":2}]}");
+}
+
+TEST(Json, ArrayOfScalars) {
+  JsonWriter w;
+  w.begin_array().value(1).value(2.5).value("x").null().value(false)
+      .end_array();
+  EXPECT_EQ(w.document(), "[1,2.5,\"x\",null,false]");
+}
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, UnbalancedThrows) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_THROW(w.document(), std::logic_error);
+  JsonWriter w2;
+  w2.begin_array();
+  EXPECT_THROW(w2.end_object(), std::logic_error);
+}
+
+TEST(Json, KeyOutsideObjectThrows) {
+  JsonWriter w;
+  w.begin_array();
+  EXPECT_THROW(w.key("nope"), std::logic_error);
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_array().value(std::numeric_limits<double>::infinity()).end_array();
+  EXPECT_EQ(w.document(), "[null]");
+}
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  static const iotx::core::Study& study() {
+    static iotx::core::Study* instance = [] {
+      iotx::core::StudyParams params;
+      params.plan = iotx::testbed::SchedulePlan{4, 3, 3, 0.2};
+      params.inference.validation.forest.n_trees = 10;
+      params.inference.validation.repetitions = 2;
+      params.user_study.days = 1;
+      params.device_filter = {"ring_doorbell", "echo_dot"};
+      auto* s = new iotx::core::Study(params);
+      s->run();
+      return s;
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(ReportFixture, TableJsonDocumentsAreWellFormedish) {
+  // Structural smoke: documents start/end correctly and carry the rows key.
+  for (const std::string& doc :
+       {iotx::report::table2_json(study()), iotx::report::table5_json(study()),
+        iotx::report::table9_json(study()), iotx::report::pii_json(study())}) {
+    ASSERT_FALSE(doc.empty());
+    EXPECT_EQ(doc.front(), '{');
+    EXPECT_EQ(doc.back(), '}');
+  }
+  EXPECT_NE(iotx::report::table2_json(study()).find("\"rows\""),
+            std::string::npos);
+  EXPECT_NE(iotx::report::figure2_json(study()).find("\"edges\""),
+            std::string::npos);
+}
+
+TEST_F(ReportFixture, WriteReportDirectory) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "iotx_report_test").string();
+  ASSERT_TRUE(iotx::report::write_report_directory(study(), dir));
+  for (const char* name :
+       {"table2.json", "table5.json", "table11.json", "figure2.json",
+        "pii.json", "report.json"}) {
+    EXPECT_TRUE(fs::exists(fs::path(dir) / name)) << name;
+  }
+  // Spot-check content round-trips through the file.
+  std::ifstream in(fs::path(dir) / "table2.json");
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"experiment\":\"Power\""), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(ReportWrite, FailsOnUnwritableDirectory) {
+  iotx::core::StudyParams params;
+  params.plan = iotx::testbed::SchedulePlan{2, 1, 1, 0.05};
+  params.run_uncontrolled = false;
+  params.run_vpn = false;
+  params.device_filter = {"echo_dot"};
+  iotx::core::Study study(params);
+  study.run();
+  EXPECT_FALSE(iotx::report::write_report_directory(
+      study, "/proc/not/writable/here"));
+}
+
+}  // namespace

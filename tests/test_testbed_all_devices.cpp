@@ -1,0 +1,128 @@
+// Parameterized property sweep over the ENTIRE device catalog: for every
+// one of the 55 device models, synthesis must be deterministic, emit only
+// decodable frames, resolve all endpoints, respect lab presence, and
+// produce learnable labeled data.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "iotx/analysis/encryption.hpp"
+#include "iotx/flow/flow_table.hpp"
+#include "iotx/flow/traffic_unit.hpp"
+#include "iotx/testbed/experiment.hpp"
+
+namespace {
+
+using namespace iotx;
+using namespace iotx::testbed;
+
+std::vector<std::string> all_device_ids() {
+  std::vector<std::string> ids;
+  for (const DeviceSpec& d : device_catalog()) ids.push_back(d.id);
+  return ids;
+}
+
+class EveryDevice : public ::testing::TestWithParam<std::string> {
+ protected:
+  const DeviceSpec& device() const { return *find_device(GetParam()); }
+  NetworkConfig home_config() const {
+    return NetworkConfig{device().in_us() ? LabSite::kUs : LabSite::kUk,
+                         false};
+  }
+};
+
+TEST_P(EveryDevice, PowerEventDecodesCompletely) {
+  const TrafficSynthesizer synth;
+  util::Prng prng("sweep-power/" + device().id);
+  const auto packets =
+      synth.power_event(device(), home_config(), 0.0, prng);
+  ASSERT_GT(packets.size(), 20u);
+  for (const auto& p : packets) {
+    EXPECT_TRUE(net::decode_packet(p).has_value());
+  }
+}
+
+TEST_P(EveryDevice, PowerEventDeterministic) {
+  const TrafficSynthesizer synth;
+  util::Prng p1("sweep-det/" + device().id);
+  util::Prng p2("sweep-det/" + device().id);
+  const auto a = synth.power_event(device(), home_config(), 0.0, p1);
+  const auto b = synth.power_event(device(), home_config(), 0.0, p2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].frame, b[i].frame) << "packet " << i;
+  }
+}
+
+TEST_P(EveryDevice, EveryActivityProducesTraffic) {
+  const TrafficSynthesizer synth;
+  for (const ActivitySignature& sig : device().behavior.activities) {
+    util::Prng prng("sweep-act/" + device().id + "/" + sig.name);
+    const auto packets =
+        synth.activity_event(device(), home_config(), sig, 0.0, prng);
+    EXPECT_GT(packets.size(), 5u) << sig.name;
+    // Timestamps are sane and roughly within the activity window.
+    for (const auto& p : packets) {
+      EXPECT_GE(p.timestamp, 0.0) << sig.name;
+      EXPECT_LT(p.timestamp, sig.duration * 20 + 120.0) << sig.name;
+    }
+  }
+}
+
+TEST_P(EveryDevice, ActivityTrafficAttributableToDevice) {
+  const TrafficSynthesizer synth;
+  const ActivitySignature& sig = device().behavior.activities.front();
+  util::Prng prng("sweep-attr/" + device().id);
+  const auto packets =
+      synth.activity_event(device(), home_config(), sig, 0.0, prng);
+  const net::MacAddress mac = device_mac(device(), device().in_us());
+  const auto meta = flow::extract_meta(packets, mac);
+  // Broadcast/multicast frames may not count toward the device MAC, but
+  // the overwhelming majority of frames must.
+  EXPECT_GT(meta.size(), packets.size() / 2);
+}
+
+TEST_P(EveryDevice, PlaintextShareRoughlyMatchesProfile) {
+  // The configured plaintext fraction drives the measured unencrypted byte
+  // share (within generous tolerance; media devices add on top).
+  const TrafficSynthesizer synth;
+  const NetworkConfig config = home_config();
+  analysis::EncryptionBytes bytes;
+  for (const ActivitySignature& sig : device().behavior.activities) {
+    for (int rep = 0; rep < 3; ++rep) {
+      util::Prng prng("sweep-enc/" + device().id + "/" + sig.name +
+                      std::to_string(rep));
+      const auto packets =
+          synth.activity_event(device(), config, sig, 0.0, prng);
+      bytes += analysis::account_flows(flow::assemble_flows(packets));
+    }
+  }
+  ASSERT_GT(bytes.classified_total(), 0u);
+  const double expected =
+      100.0 * TrafficSynthesizer::effective_plaintext_fraction(device(),
+                                                               config);
+  // Byte share runs below packet share for media-heavy devices (plain
+  // control packets are small, media packets near-MTU), hence the loose
+  // lower bound.
+  if (expected > 0.5) {
+    EXPECT_GT(bytes.pct_unencrypted(), expected * 0.1);
+  }
+  EXPECT_LT(bytes.pct_unencrypted(), expected + 45.0);
+}
+
+TEST_P(EveryDevice, ScheduleCoversAllActivities) {
+  const ExperimentRunner runner(SchedulePlan{2, 2, 2, 0.1});
+  std::set<std::string> scheduled;
+  for (const auto& spec : runner.schedule(device(), home_config())) {
+    if (!spec.activity.empty()) scheduled.insert(spec.activity);
+  }
+  for (const std::string& name : device().activity_names()) {
+    EXPECT_TRUE(scheduled.contains(name)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, EveryDevice,
+                         ::testing::ValuesIn(all_device_ids()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace

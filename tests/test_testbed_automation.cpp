@@ -1,0 +1,101 @@
+// Tests for the interaction automation layer (§3.2).
+#include "iotx/testbed/automation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace iotx::testbed;
+
+const DeviceSpec& dev(const char* id) { return *find_device(id); }
+
+TEST(Automation, PowerIsNotAScriptedInteraction) {
+  for (const auto& s : scripts_for(dev("echo_dot"))) {
+    EXPECT_NE(s.activity, "power");
+  }
+}
+
+TEST(Automation, LanAppScriptsAutomated) {
+  bool found = false;
+  for (const auto& s : scripts_for(dev("smartthings_hub"))) {
+    if (s.activity == "android_lan_onoff") {
+      found = true;
+      EXPECT_EQ(s.method, InteractionMethod::kLanApp);
+      EXPECT_TRUE(s.automated);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Automation, WanAppScriptsAutomated) {
+  bool found = false;
+  for (const auto& s : scripts_for(dev("ring_doorbell"))) {
+    if (s.activity == "android_wan_watch") {
+      found = true;
+      EXPECT_EQ(s.method, InteractionMethod::kWanApp);
+      EXPECT_TRUE(s.automated);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Automation, VoiceAssistantScriptsHaveUtterance) {
+  bool found = false;
+  for (const auto& s : scripts_for(dev("tplink_plug"))) {
+    if (s.activity == "voice_onoff") {
+      found = true;
+      EXPECT_EQ(s.method, InteractionMethod::kVoiceAssistant);
+      EXPECT_TRUE(s.automated);
+      EXPECT_NE(s.voice_text.find("Alexa"), std::string::npos);
+      EXPECT_NE(s.voice_text.find("TP-Link"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Automation, LocalVoiceUsesSynthesizedSpeech) {
+  for (const auto& s : scripts_for(dev("google_home"))) {
+    if (s.activity == "local_voice") {
+      EXPECT_EQ(s.method, InteractionMethod::kLocalPhysical);
+      EXPECT_TRUE(s.automated);  // synthesized via loudspeaker
+      EXPECT_FALSE(s.voice_text.empty());
+    }
+  }
+}
+
+TEST(Automation, PhysicalInteractionsManual) {
+  // Appliance starts (heating elements) are manual per §3.3.
+  for (const auto& s : scripts_for(dev("samsung_washer"))) {
+    if (s.activity == "local_start") {
+      EXPECT_EQ(s.method, InteractionMethod::kLocalPhysical);
+      EXPECT_FALSE(s.automated);
+    }
+  }
+}
+
+TEST(Automation, MovementIsManual) {
+  for (const auto& s : scripts_for(dev("zmodo_doorbell"))) {
+    if (s.activity == "local_move") {
+      EXPECT_FALSE(s.automated);
+    }
+  }
+}
+
+TEST(Automation, EveryNonPowerActivityGetsAScript) {
+  for (const DeviceSpec& d : device_catalog()) {
+    const auto scripts = scripts_for(d);
+    std::size_t non_power = 0;
+    for (const auto& name : d.activity_names()) {
+      if (name != "power") ++non_power;
+    }
+    EXPECT_EQ(scripts.size(), non_power) << d.id;
+  }
+}
+
+TEST(Automation, MethodNames) {
+  EXPECT_EQ(interaction_method_name(InteractionMethod::kLanApp), "lan-app");
+  EXPECT_EQ(interaction_method_name(InteractionMethod::kVoiceAssistant),
+            "voice-assistant");
+}
+
+}  // namespace

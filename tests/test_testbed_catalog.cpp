@@ -1,0 +1,198 @@
+// Invariant tests for the device catalog — the paper's Table 1 counts and
+// internal consistency of every behavior profile.
+#include "iotx/testbed/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "iotx/testbed/endpoints.hpp"
+#include "iotx/testbed/synth.hpp"
+
+namespace {
+
+using namespace iotx::testbed;
+
+TEST(Catalog, PaperDeviceCounts) {
+  // Table 1: 46 US devices, 35 UK devices, 26 common models, 81 units.
+  int us = 0, uk = 0, common = 0;
+  for (const DeviceSpec& d : device_catalog()) {
+    us += d.in_us();
+    uk += d.in_uk();
+    common += d.common();
+  }
+  EXPECT_EQ(us, 46);
+  EXPECT_EQ(uk, 35);
+  EXPECT_EQ(common, 26);
+  EXPECT_EQ(us + uk, 81);
+  EXPECT_EQ(device_catalog().size(), 55u);  // unique models
+}
+
+TEST(Catalog, AllSixCategoriesPresent) {
+  std::set<Category> seen;
+  for (const DeviceSpec& d : device_catalog()) seen.insert(d.category);
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Catalog, UniqueIdsAndNames) {
+  std::set<std::string> ids, names;
+  for (const DeviceSpec& d : device_catalog()) {
+    EXPECT_TRUE(ids.insert(d.id).second) << d.id;
+    EXPECT_TRUE(names.insert(d.name).second) << d.name;
+  }
+}
+
+TEST(Catalog, FindDevice) {
+  const DeviceSpec* ring = find_device("ring_doorbell");
+  ASSERT_NE(ring, nullptr);
+  EXPECT_EQ(ring->name, "Ring Doorbell");
+  EXPECT_EQ(find_device("not_a_device"), nullptr);
+}
+
+TEST(Catalog, ManufacturerIsFirstParty) {
+  for (const DeviceSpec& d : device_catalog()) {
+    ASSERT_FALSE(d.first_party_orgs.empty()) << d.id;
+    EXPECT_EQ(d.first_party_orgs.front(), d.manufacturer) << d.id;
+  }
+}
+
+TEST(Catalog, EveryDeviceHasPowerActivity) {
+  for (const DeviceSpec& d : device_catalog()) {
+    EXPECT_NE(TrafficSynthesizer::find_activity(d, "power"), nullptr) << d.id;
+  }
+}
+
+TEST(Catalog, EveryDeviceHasEndpoints) {
+  for (const DeviceSpec& d : device_catalog()) {
+    EXPECT_FALSE(d.behavior.endpoints.empty()) << d.id;
+  }
+}
+
+TEST(Catalog, AllEndpointDomainsResolvable) {
+  const EndpointRegistry& registry = EndpointRegistry::builtin();
+  for (const DeviceSpec& d : device_catalog()) {
+    for (const EndpointUse& u : d.behavior.endpoints) {
+      EXPECT_NE(registry.find(u.domain), nullptr)
+          << d.id << " -> " << u.domain;
+    }
+    for (const ActivitySignature& a : d.behavior.activities) {
+      for (const EndpointUse& u : a.extra_endpoints) {
+        EXPECT_NE(registry.find(u.domain), nullptr)
+            << d.id << "/" << a.name << " -> " << u.domain;
+      }
+    }
+  }
+}
+
+TEST(Catalog, PiiDomainsResolvable) {
+  const EndpointRegistry& registry = EndpointRegistry::builtin();
+  for (const DeviceSpec& d : device_catalog()) {
+    if (!d.behavior.pii_domain.empty()) {
+      EXPECT_NE(registry.find(d.behavior.pii_domain), nullptr) << d.id;
+    }
+  }
+}
+
+TEST(Catalog, SpuriousActivitiesExist) {
+  for (const DeviceSpec& d : device_catalog()) {
+    for (const SpuriousActivity& sp : d.behavior.spurious) {
+      EXPECT_NE(TrafficSynthesizer::find_activity(d, sp.activity), nullptr)
+          << d.id << " spurious " << sp.activity;
+    }
+  }
+}
+
+TEST(Catalog, PlaintextFractionsSane) {
+  for (const DeviceSpec& d : device_catalog()) {
+    EXPECT_GE(d.behavior.plaintext_fraction, 0.0) << d.id;
+    EXPECT_LE(d.behavior.plaintext_fraction, 1.0) << d.id;
+    EXPECT_GT(d.behavior.distinctiveness, 0.0) << d.id;
+    EXPECT_LE(d.behavior.distinctiveness, 1.0) << d.id;
+  }
+}
+
+TEST(Catalog, PaperCaseStudiesPresent) {
+  // §6.2 / §7 devices the analysis depends on.
+  for (const char* id :
+       {"samsung_fridge", "magichome_strip", "insteon_hub", "xiaomi_cam",
+        "zmodo_doorbell", "ring_doorbell", "wansview_cam",
+        "xiaomi_ricecooker", "samsung_tv", "echo_dot"}) {
+    EXPECT_NE(find_device(id), nullptr) << id;
+  }
+  EXPECT_TRUE(find_device("insteon_hub")->behavior.pii_uk_only);
+  EXPECT_TRUE(find_device("xiaomi_cam")->behavior.pii_on_motion);
+  EXPECT_FALSE(find_device("samsung_fridge")->behavior.pii_leaks.empty());
+}
+
+TEST(Catalog, ActivityGroupMapping) {
+  EXPECT_EQ(activity_group("power"), "Power");
+  EXPECT_EQ(activity_group("local_voice"), "Voice");
+  EXPECT_EQ(activity_group("voice_onoff"), "On/Off");  // on/off wins
+  EXPECT_EQ(activity_group("android_wan_watch"), "Video");
+  EXPECT_EQ(activity_group("android_wan_recording"), "Video");
+  EXPECT_EQ(activity_group("android_wan_photo"), "Video");
+  EXPECT_EQ(activity_group("android_lan_on"), "On/Off");
+  EXPECT_EQ(activity_group("local_start"), "On/Off");
+  EXPECT_EQ(activity_group("local_move"), "Movement");
+  EXPECT_EQ(activity_group("local_menu"), "Others");
+  EXPECT_EQ(activity_group("android_lan_remote"), "Others");
+}
+
+TEST(Catalog, DeviceMacsUniquePerLab) {
+  std::set<iotx::net::MacAddress> macs;
+  for (const DeviceSpec& d : device_catalog()) {
+    if (d.in_us()) {
+      EXPECT_TRUE(macs.insert(device_mac(d, true)).second);
+    }
+    if (d.in_uk()) {
+      EXPECT_TRUE(macs.insert(device_mac(d, false)).second);
+    }
+  }
+}
+
+TEST(Catalog, DeviceMacsLocallyAdministered) {
+  const DeviceSpec* d = find_device("echo_dot");
+  EXPECT_TRUE(device_mac(*d, true).is_locally_administered());
+  EXPECT_NE(device_mac(*d, true), device_mac(*d, false));
+}
+
+TEST(Catalog, DeviceIpsUniqueAndPrivate) {
+  std::set<iotx::net::Ipv4Address> ips;
+  for (const DeviceSpec& d : device_catalog()) {
+    for (bool us : {true, false}) {
+      const auto ip = device_ip(d, us);
+      EXPECT_TRUE(ip.is_private()) << d.id;
+      EXPECT_TRUE(ips.insert(ip).second) << d.id;
+    }
+  }
+}
+
+TEST(Catalog, CategoryNameStrings) {
+  EXPECT_EQ(category_name(Category::kCamera), "Cameras");
+  EXPECT_EQ(category_name(Category::kTv), "TV");
+  EXPECT_EQ(category_name(Category::kAppliance), "Appliances");
+}
+
+TEST(Catalog, CommonDevicesHaveBothLabPresence) {
+  for (const DeviceSpec& d : device_catalog()) {
+    if (d.common()) {
+      EXPECT_TRUE(d.in_us());
+      EXPECT_TRUE(d.in_uk());
+    }
+  }
+}
+
+TEST(Catalog, XiaomiRiceCookerVpnSwitch) {
+  // §4.3: contacts Kingsoft only on VPN, Alibaba only direct.
+  const DeviceSpec* rc = find_device("xiaomi_ricecooker");
+  ASSERT_NE(rc, nullptr);
+  bool has_vpn_only = false, has_direct_only = false;
+  for (const EndpointUse& u : rc->behavior.endpoints) {
+    has_vpn_only |= u.vpn_only;
+    has_direct_only |= u.direct_only;
+  }
+  EXPECT_TRUE(has_vpn_only);
+  EXPECT_TRUE(has_direct_only);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Tests for the endpoint registry and its derived databases.
+#include "iotx/testbed/endpoints.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "iotx/geo/sld.hpp"
+
+namespace {
+
+using namespace iotx::testbed;
+using iotx::net::Ipv4Address;
+
+TEST(Endpoints, FindByDomainAndIp) {
+  const EndpointRegistry& r = EndpointRegistry::builtin();
+  const Endpoint* ring = r.find("api.ring.com");
+  ASSERT_NE(ring, nullptr);
+  EXPECT_EQ(ring->organization, "Ring");
+  EXPECT_EQ(ring->country, "US");
+  EXPECT_EQ(r.find_by_ip(ring->address), ring);
+  EXPECT_EQ(r.find("nonexistent.example"), nullptr);
+  EXPECT_EQ(r.find_by_ip(Ipv4Address(203, 0, 113, 77)), nullptr);
+}
+
+TEST(Endpoints, ReplicaLookupByIp) {
+  const EndpointRegistry& r = EndpointRegistry::builtin();
+  const Endpoint* netflix = r.find("api-global.netflix.com");
+  ASSERT_NE(netflix, nullptr);
+  ASSERT_FALSE(netflix->replica_country.empty());
+  EXPECT_EQ(r.find_by_ip(netflix->replica_address), netflix);
+}
+
+TEST(Endpoints, UniqueAddresses) {
+  std::set<std::uint32_t> addrs;
+  for (const Endpoint& e : EndpointRegistry::builtin().all()) {
+    EXPECT_TRUE(addrs.insert(e.address.value()).second) << e.domain;
+  }
+}
+
+TEST(Endpoints, UniqueDomains) {
+  std::set<std::string> domains;
+  for (const Endpoint& e : EndpointRegistry::builtin().all()) {
+    EXPECT_TRUE(domains.insert(e.domain).second) << e.domain;
+  }
+}
+
+TEST(Endpoints, ReplicaSelectionByEgress) {
+  const EndpointRegistry& r = EndpointRegistry::builtin();
+  const Endpoint* netflix = r.find("api-global.netflix.com");
+  ASSERT_NE(netflix, nullptr);
+  const auto us = r.select_replica(*netflix, "US");
+  const auto gb = r.select_replica(*netflix, "GB");
+  EXPECT_EQ(us.country, "US");
+  EXPECT_EQ(gb.country, "GB");
+  EXPECT_NE(us.address, gb.address);
+}
+
+TEST(Endpoints, NoReplicaServesDefault) {
+  const EndpointRegistry& r = EndpointRegistry::builtin();
+  const Endpoint* hvvc = r.find("node1.hvvc.us");
+  ASSERT_NE(hvvc, nullptr);
+  EXPECT_EQ(r.select_replica(*hvvc, "GB").country, "US");
+}
+
+TEST(Endpoints, PaperThirdPartiesPresent) {
+  const EndpointRegistry& r = EndpointRegistry::builtin();
+  // §4.2's named third parties.
+  for (const char* domain :
+       {"api-global.netflix.com", "a2.tuyaus.com", "ntp.nuri.net",
+        "graph.facebook.com", "ad.doubleclick.net", "samsung.d1.sc.omtrdc.net",
+        "dyn-cpe-24-96-81-7.wowinc.com", "api2.branch.io"}) {
+    const Endpoint* e = r.find(domain);
+    ASSERT_NE(e, nullptr) << domain;
+    EXPECT_FALSE(e->infrastructure) << domain;
+  }
+}
+
+TEST(Endpoints, PaperSupportPartiesAreInfrastructure) {
+  const EndpointRegistry& r = EndpointRegistry::builtin();
+  for (const char* domain :
+       {"s3.amazonaws.com", "storage.googleapis.com", "a248.e.akamai.net",
+        "azure-devices.microsoft.com", "global.fastly.net",
+        "cs600.wpc.edgecastcdn.net", "node1.hvvc.us", "cn-north.aliyuncs.com",
+        "api.ksyun.com", "cdn.21vianet.com", "gw.huaxiay.com"}) {
+    const Endpoint* e = r.find(domain);
+    ASSERT_NE(e, nullptr) << domain;
+    EXPECT_TRUE(e->infrastructure) << domain;
+  }
+}
+
+TEST(Endpoints, Ec2DomainHelper) {
+  EXPECT_EQ(ec2_domain(0), ec2_domain(EndpointRegistry::kEc2HostCount));
+  const EndpointRegistry& r = EndpointRegistry::builtin();
+  for (int i = 0; i < EndpointRegistry::kEc2HostCount; ++i) {
+    const Endpoint* e = r.find(ec2_domain(i));
+    ASSERT_NE(e, nullptr) << i;
+    EXPECT_EQ(e->organization, "Amazon");
+    EXPECT_TRUE(e->infrastructure);
+  }
+}
+
+TEST(Endpoints, CloudHostHelpers) {
+  const EndpointRegistry& r = EndpointRegistry::builtin();
+  EXPECT_NE(r.find(cloudfront_domain(0)), nullptr);
+  EXPECT_NE(r.find(akamai_edge_domain(3)), nullptr);
+  EXPECT_NE(r.find(google_host_domain(1)), nullptr);
+  EXPECT_NE(r.find(azure_host_domain(2)), nullptr);
+  EXPECT_EQ(r.find(akamai_edge_domain(1))->organization, "Akamai");
+  EXPECT_EQ(r.find(google_host_domain(0))->organization, "Google");
+}
+
+TEST(Endpoints, OrgDatabaseDerived) {
+  const auto db = EndpointRegistry::builtin().make_org_database();
+  EXPECT_EQ(db.organization_for_domain("ring.com"), "Ring");
+  EXPECT_EQ(db.organization_for_domain("amazonaws.com"), "Amazon");
+  EXPECT_TRUE(db.is_infrastructure("Amazon"));
+  EXPECT_TRUE(db.is_infrastructure("Akamai"));
+  EXPECT_FALSE(db.is_infrastructure("Netflix"));
+  // IP fallback via registry prefixes.
+  const Endpoint* e = EndpointRegistry::builtin().find("api.ring.com");
+  const auto owner = db.organization_for_ip(e->address);
+  ASSERT_TRUE(owner);
+  EXPECT_EQ(*owner, "Ring");
+}
+
+TEST(Endpoints, GeoDatabaseDerived) {
+  const auto db = EndpointRegistry::builtin().make_geo_database();
+  const Endpoint* ksyun = EndpointRegistry::builtin().find("api.ksyun.com");
+  const auto result = db.lookup(ksyun->address);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->country_code, "CN");
+  EXPECT_TRUE(result->reliable);
+}
+
+TEST(Endpoints, GeoDbWrongEntriesAreUnreliable) {
+  const EndpointRegistry& r = EndpointRegistry::builtin();
+  const auto db = r.make_geo_database();
+  bool found_wrong = false;
+  for (const Endpoint& e : r.all()) {
+    if (!e.geo_db_wrong) continue;
+    found_wrong = true;
+    const auto result = db.lookup(e.address);
+    ASSERT_TRUE(result);
+    EXPECT_FALSE(result->reliable);
+    EXPECT_NE(result->country_code, e.country);  // deliberately wrong
+  }
+  EXPECT_TRUE(found_wrong);  // the Passport path is exercised
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// Tests for experiment scheduling and execution.
+#include "iotx/testbed/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace iotx::testbed;
+
+const DeviceSpec& dev(const char* id) { return *find_device(id); }
+
+TEST(Schedule, PowerInteractionIdleStructure) {
+  const SchedulePlan plan{/*automated=*/10, /*manual=*/3, /*power=*/4,
+                          /*idle_hours=*/1.0};
+  const ExperimentRunner runner(plan);
+  const auto specs = runner.schedule(dev("echo_dot"), {LabSite::kUs, false});
+
+  int power = 0, interaction = 0, idle = 0;
+  for (const auto& s : specs) {
+    switch (s.type) {
+      case ExperimentType::kPower: ++power; break;
+      case ExperimentType::kInteraction: ++interaction; break;
+      case ExperimentType::kIdle: ++idle; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(power, 4);
+  EXPECT_EQ(idle, 1);
+  // echo_dot: local_voice (automated, 10) + local_volume (manual, 3).
+  EXPECT_EQ(interaction, 13);
+}
+
+TEST(Schedule, AutomatedVsManualRepetitions) {
+  const SchedulePlan plan{/*automated=*/30, /*manual=*/3, /*power=*/3, 1.0};
+  const ExperimentRunner runner(plan);
+  // Samsung fridge: local_start/local_stop/local_viewinside are manual,
+  // local_voice is automated (voice synthesizer).
+  const auto specs =
+      runner.schedule(dev("samsung_fridge"), {LabSite::kUs, false});
+  std::map<std::string, int> reps;
+  for (const auto& s : specs) {
+    if (s.type == ExperimentType::kInteraction) ++reps[s.activity];
+  }
+  EXPECT_EQ(reps["local_voice"], 30);
+  EXPECT_EQ(reps["local_start"], 3);
+  EXPECT_EQ(reps["local_viewinside"], 3);
+}
+
+TEST(Schedule, IdleHoursPropagated) {
+  const SchedulePlan plan{5, 3, 3, 2.5};
+  const ExperimentRunner runner(plan);
+  const auto specs = runner.schedule(dev("yi_cam"), {LabSite::kUk, false});
+  const auto idle = std::find_if(specs.begin(), specs.end(), [](const auto& s) {
+    return s.type == ExperimentType::kIdle;
+  });
+  ASSERT_NE(idle, specs.end());
+  EXPECT_DOUBLE_EQ(idle->idle_hours, 2.5);
+}
+
+TEST(Spec, KeyEncodesEverything) {
+  ExperimentSpec s;
+  s.device_id = "echo_dot";
+  s.config = {LabSite::kUk, true};
+  s.type = ExperimentType::kInteraction;
+  s.activity = "local_voice";
+  s.repetition = 7;
+  EXPECT_EQ(s.key(), "uk-vpn/echo_dot/interaction/local_voice/rep7");
+}
+
+TEST(Run, DeterministicForSameSpec) {
+  const ExperimentRunner runner(SchedulePlan{3, 3, 3, 0.1});
+  ExperimentSpec spec;
+  spec.device_id = "ring_doorbell";
+  spec.config = {LabSite::kUs, false};
+  spec.type = ExperimentType::kInteraction;
+  spec.activity = "local_ring";
+  spec.repetition = 2;
+  spec.start_time = kSimulationEpoch;
+  const auto a = runner.run(spec);
+  const auto b = runner.run(spec);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); ++i) {
+    EXPECT_EQ(a.packets[i].frame, b.packets[i].frame);
+  }
+}
+
+TEST(Run, DifferentRepetitionsDiffer) {
+  const ExperimentRunner runner;
+  ExperimentSpec spec;
+  spec.device_id = "ring_doorbell";
+  spec.config = {LabSite::kUs, false};
+  spec.type = ExperimentType::kInteraction;
+  spec.activity = "local_ring";
+  spec.start_time = kSimulationEpoch;
+  spec.repetition = 0;
+  const auto a = runner.run(spec);
+  spec.repetition = 1;
+  const auto b = runner.run(spec);
+  EXPECT_NE(a.packets.size(), b.packets.size());
+}
+
+TEST(Run, PacketsSortedByTime) {
+  const ExperimentRunner runner(SchedulePlan{3, 3, 3, 0.2});
+  ExperimentSpec spec;
+  spec.device_id = "zmodo_doorbell";
+  spec.config = {LabSite::kUs, false};
+  spec.type = ExperimentType::kIdle;
+  spec.idle_hours = 0.2;
+  spec.start_time = kSimulationEpoch;
+  const auto capture = runner.run(spec);
+  for (std::size_t i = 1; i < capture.packets.size(); ++i) {
+    EXPECT_LE(capture.packets[i - 1].timestamp, capture.packets[i].timestamp);
+  }
+}
+
+TEST(Run, UnknownDeviceThrows) {
+  const ExperimentRunner runner;
+  ExperimentSpec spec;
+  spec.device_id = "bogus";
+  EXPECT_THROW(runner.run(spec), std::invalid_argument);
+}
+
+TEST(Run, UnknownActivityThrows) {
+  const ExperimentRunner runner;
+  ExperimentSpec spec;
+  spec.device_id = "echo_dot";
+  spec.type = ExperimentType::kInteraction;
+  spec.activity = "fly_to_the_moon";
+  EXPECT_THROW(runner.run(spec), std::invalid_argument);
+}
+
+TEST(RunAll, ProducesCaptureForEverySpec) {
+  const SchedulePlan plan{2, 1, 1, 0.05};
+  const ExperimentRunner runner(plan);
+  const NetworkConfig config{LabSite::kUs, false};
+  const auto captures = runner.run_all(dev("echo_dot"), config);
+  EXPECT_EQ(captures.size(), runner.schedule(dev("echo_dot"), config).size());
+  for (const auto& c : captures) {
+    EXPECT_FALSE(c.packets.empty()) << c.spec.key();
+  }
+}
+
+TEST(TypeNames, Strings) {
+  EXPECT_EQ(experiment_type_name(ExperimentType::kPower), "power");
+  EXPECT_EQ(experiment_type_name(ExperimentType::kIdle), "idle");
+  EXPECT_EQ(experiment_type_name(ExperimentType::kUncontrolled),
+            "uncontrolled");
+}
+
+}  // namespace

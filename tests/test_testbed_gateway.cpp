@@ -1,0 +1,80 @@
+// Tests for the capture gateway (per-MAC splitting, labeled pcap files).
+#include "iotx/testbed/gateway.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "iotx/testbed/synth.hpp"
+
+namespace {
+
+using namespace iotx::testbed;
+
+TEST(Gateway, TapAccumulatesAndSplits) {
+  const TrafficSynthesizer synth;
+  const DeviceSpec* echo = find_device("echo_dot");
+  const DeviceSpec* ring = find_device("ring_doorbell");
+  const NetworkConfig config{LabSite::kUs, false};
+
+  iotx::util::Prng p1("g1"), p2("g2");
+  Gateway gateway(LabSite::kUs);
+  gateway.tap(synth.power_event(*echo, config, 1000.0, p1));
+  gateway.tap(synth.power_event(*ring, config, 1000.0, p2));
+  ASSERT_GT(gateway.packet_count(), 0u);
+
+  const auto per_device = gateway.per_device();
+  EXPECT_TRUE(per_device.contains(device_mac(*echo, true)));
+  EXPECT_TRUE(per_device.contains(device_mac(*ring, true)));
+  // The gateway MAC sees everything.
+  EXPECT_TRUE(per_device.contains(lab_params(LabSite::kUs).gateway_mac));
+
+  // Per-device captures are timestamp-sorted.
+  for (const auto& [mac, packets] : per_device) {
+    for (std::size_t i = 1; i < packets.size(); ++i) {
+      EXPECT_LE(packets[i - 1].timestamp, packets[i].timestamp);
+    }
+  }
+}
+
+TEST(Gateway, WriteAndReadLabeledPcap) {
+  const ExperimentRunner runner(SchedulePlan{2, 1, 1, 0.05});
+  ExperimentSpec spec;
+  spec.device_id = "echo_dot";
+  spec.config = {LabSite::kUs, false};
+  spec.type = ExperimentType::kPower;
+  spec.activity = "power";
+  spec.start_time = kSimulationEpoch;
+  const LabeledCapture capture = runner.run(spec);
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "iotx_gateway_test").string();
+  const Gateway gateway(LabSite::kUs);
+  const std::string path = gateway.write_labeled(root, capture);
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("us"), std::string::npos);
+  EXPECT_NE(path.find("echo_dot"), std::string::npos);
+  EXPECT_NE(path.find(".pcap"), std::string::npos);
+
+  const auto read_back = Gateway::read_labeled(path);
+  ASSERT_TRUE(read_back);
+  ASSERT_EQ(read_back->size(), capture.packets.size());
+  EXPECT_EQ((*read_back)[0].frame, capture.packets[0].frame);
+
+  std::filesystem::remove_all(root);
+}
+
+TEST(Gateway, WriteFailsGracefullyOnBadRoot) {
+  const Gateway gateway(LabSite::kUk);
+  LabeledCapture capture;
+  capture.spec.device_id = "echo_dot";
+  const std::string path =
+      gateway.write_labeled("/proc/definitely/not/writable", capture);
+  EXPECT_TRUE(path.empty());
+}
+
+TEST(Gateway, LabAccessor) {
+  EXPECT_EQ(Gateway(LabSite::kUk).lab(), LabSite::kUk);
+}
+
+}  // namespace

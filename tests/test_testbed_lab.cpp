@@ -1,0 +1,77 @@
+// Tests for lab/network configuration and the simulated RTTs.
+#include "iotx/testbed/lab.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace iotx::testbed;
+
+TEST(NetworkConfig, EgressCountrySwapsUnderVpn) {
+  EXPECT_EQ((NetworkConfig{LabSite::kUs, false}).egress_country(), "US");
+  EXPECT_EQ((NetworkConfig{LabSite::kUs, true}).egress_country(), "GB");
+  EXPECT_EQ((NetworkConfig{LabSite::kUk, false}).egress_country(), "GB");
+  EXPECT_EQ((NetworkConfig{LabSite::kUk, true}).egress_country(), "US");
+}
+
+TEST(NetworkConfig, LabCountryIndependentOfVpn) {
+  EXPECT_EQ((NetworkConfig{LabSite::kUs, true}).lab_country(), "US");
+  EXPECT_EQ((NetworkConfig{LabSite::kUk, true}).lab_country(), "GB");
+}
+
+TEST(NetworkConfig, Keys) {
+  EXPECT_EQ((NetworkConfig{LabSite::kUs, false}).key(), "us");
+  EXPECT_EQ((NetworkConfig{LabSite::kUk, true}).key(), "uk-vpn");
+}
+
+TEST(NetworkConfig, AllFourConfigsCanonicalOrder) {
+  const auto& configs = all_network_configs();
+  ASSERT_EQ(configs.size(), 4u);
+  EXPECT_EQ(configs[0].key(), "us");
+  EXPECT_EQ(configs[1].key(), "uk");
+  EXPECT_EQ(configs[2].key(), "us-vpn");
+  EXPECT_EQ(configs[3].key(), "uk-vpn");
+}
+
+TEST(LabParams, DistinctAddressesPerLab) {
+  const LabParams us = lab_params(LabSite::kUs);
+  const LabParams uk = lab_params(LabSite::kUk);
+  EXPECT_NE(us.public_ip, uk.public_ip);
+  EXPECT_NE(us.gateway_ip, uk.gateway_ip);
+  EXPECT_NE(us.gateway_mac, uk.gateway_mac);
+  EXPECT_FALSE(us.public_ip.is_private());
+  EXPECT_TRUE(us.gateway_ip.is_private());
+}
+
+TEST(SimulatedRtt, DomesticShorterThanOverseas) {
+  const NetworkConfig us{LabSite::kUs, false};
+  EXPECT_LT(simulated_rtt_ms(us, "US"), simulated_rtt_ms(us, "GB"));
+  EXPECT_LT(simulated_rtt_ms(us, "GB"), simulated_rtt_ms(us, "CN"));
+}
+
+TEST(SimulatedRtt, VpnAddsTunnelLatency) {
+  const NetworkConfig direct{LabSite::kUs, false};
+  const NetworkConfig vpn{LabSite::kUs, true};
+  // The VPN detour adds ~76 ms.
+  EXPECT_GT(simulated_rtt_ms(vpn, "US"), simulated_rtt_ms(direct, "US") + 50);
+}
+
+TEST(SimulatedRtt, Deterministic) {
+  const NetworkConfig config{LabSite::kUk, false};
+  EXPECT_DOUBLE_EQ(simulated_rtt_ms(config, "DE"),
+                   simulated_rtt_ms(config, "DE"));
+}
+
+TEST(SimulatedRtt, VpnEgressMeasuresFromOtherSide) {
+  // A US-lab device on the UK VPN reaches UK hosts with tunnel latency but
+  // short last-mile: total must be far below direct-US-to-CN distances.
+  const NetworkConfig vpn{LabSite::kUs, true};
+  EXPECT_LT(simulated_rtt_ms(vpn, "GB"), simulated_rtt_ms(vpn, "CN"));
+}
+
+TEST(LabName, Strings) {
+  EXPECT_EQ(lab_name(LabSite::kUs), "US");
+  EXPECT_EQ(lab_name(LabSite::kUk), "UK");
+}
+
+}  // namespace

@@ -1,0 +1,263 @@
+// Tests for the traffic synthesizer: determinism, wire-format validity,
+// endpoint filtering, plaintext fractions, and PII emission.
+#include "iotx/testbed/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "iotx/flow/dns_cache.hpp"
+#include "iotx/flow/flow_table.hpp"
+#include "iotx/util/codec.hpp"
+#include "iotx/util/strings.hpp"
+
+namespace {
+
+using namespace iotx::testbed;
+using iotx::util::Prng;
+
+const DeviceSpec& dev(const char* id) {
+  const DeviceSpec* d = find_device(id);
+  EXPECT_NE(d, nullptr) << id;
+  return *d;
+}
+
+NetworkConfig us_direct() { return {LabSite::kUs, false}; }
+NetworkConfig uk_direct() { return {LabSite::kUk, false}; }
+NetworkConfig us_vpn() { return {LabSite::kUs, true}; }
+
+std::set<std::string> dns_names(const std::vector<iotx::net::Packet>& pkts) {
+  iotx::flow::DnsCache cache;
+  cache.ingest_all(pkts);
+  std::set<std::string> names;
+  for (const auto& flow : iotx::flow::assemble_flows(pkts)) {
+    if (const auto n = cache.lookup(flow.responder)) names.insert(*n);
+  }
+  return names;
+}
+
+std::string all_payloads(const std::vector<iotx::net::Packet>& pkts) {
+  std::string out;
+  for (const auto& p : pkts) {
+    const auto d = iotx::net::decode_packet(p);
+    if (!d) continue;
+    out.append(reinterpret_cast<const char*>(d->payload.data()),
+               d->payload.size());
+  }
+  return out;
+}
+
+TEST(Synth, DeterministicBySeed) {
+  const TrafficSynthesizer synth;
+  Prng p1("x"), p2("x");
+  const auto a = synth.power_event(dev("echo_dot"), us_direct(), 1000.0, p1);
+  const auto b = synth.power_event(dev("echo_dot"), us_direct(), 1000.0, p2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].frame, b[i].frame);
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+  }
+}
+
+TEST(Synth, AllFramesDecode) {
+  const TrafficSynthesizer synth;
+  Prng prng("decode");
+  const auto pkts =
+      synth.power_event(dev("samsung_tv"), us_direct(), 1000.0, prng);
+  ASSERT_GT(pkts.size(), 50u);
+  for (const auto& p : pkts) {
+    EXPECT_TRUE(iotx::net::decode_packet(p)) << "undecodable frame";
+  }
+}
+
+TEST(Synth, PowerContactsItsEndpoints) {
+  const TrafficSynthesizer synth;
+  Prng prng("endpoints");
+  const auto pkts =
+      synth.power_event(dev("ring_doorbell"), us_direct(), 1000.0, prng);
+  const auto names = dns_names(pkts);
+  EXPECT_TRUE(names.contains("api.ring.com"));
+  EXPECT_TRUE(names.contains("updates.ring.com"));
+}
+
+TEST(Synth, VpnOnlyEndpointFiltering) {
+  // Xiaomi rice cooker: Alibaba direct, Kingsoft on VPN (§4.3).
+  const TrafficSynthesizer synth;
+  Prng p1("vpn1"), p2("vpn2");
+  const auto direct =
+      dns_names(synth.power_event(dev("xiaomi_ricecooker"), us_direct(),
+                                  1000.0, p1));
+  const auto vpn = dns_names(
+      synth.power_event(dev("xiaomi_ricecooker"), us_vpn(), 1000.0, p2));
+  EXPECT_TRUE(direct.contains("cn-north.aliyuncs.com"));
+  EXPECT_FALSE(direct.contains("api.ksyun.com"));
+  EXPECT_TRUE(vpn.contains("api.ksyun.com"));
+  EXPECT_FALSE(vpn.contains("cn-north.aliyuncs.com"));
+}
+
+TEST(Synth, UkOnlyEndpointFiltering) {
+  // Wansview contacts the wowinc residential host only from the UK lab.
+  const TrafficSynthesizer synth;
+  const DeviceSpec& cam = dev("wansview_cam");
+  Prng p1("uk1"), p2("uk2");
+  std::set<std::string> us_names, uk_names;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto u1 = dns_names(synth.activity_event(
+        cam, us_direct(), cam.behavior.activities[1], 1000.0, p1));
+    us_names.insert(u1.begin(), u1.end());
+    const auto u2 = dns_names(synth.activity_event(
+        cam, uk_direct(), cam.behavior.activities[1], 1000.0, p2));
+    uk_names.insert(u2.begin(), u2.end());
+  }
+  EXPECT_FALSE(us_names.contains("dyn-cpe-24-96-81-7.wowinc.com"));
+  EXPECT_TRUE(uk_names.contains("dyn-cpe-24-96-81-7.wowinc.com"));
+}
+
+TEST(Synth, EffectivePlaintextFractionOverrides) {
+  const DeviceSpec& plug = dev("tplink_plug");
+  EXPECT_DOUBLE_EQ(
+      TrafficSynthesizer::effective_plaintext_fraction(plug, us_direct()),
+      0.186);
+  EXPECT_DOUBLE_EQ(
+      TrafficSynthesizer::effective_plaintext_fraction(plug, uk_direct()),
+      0.087);
+  EXPECT_DOUBLE_EQ(
+      TrafficSynthesizer::effective_plaintext_fraction(plug, us_vpn()),
+      0.234);
+}
+
+TEST(Synth, MagichomeLeaksMacInPlaintext) {
+  const TrafficSynthesizer synth;
+  const DeviceSpec& strip = dev("magichome_strip");
+  const PiiTokens tokens = pii_tokens(strip, LabSite::kUs);
+  std::string seen;
+  Prng prng("pii");
+  for (int rep = 0; rep < 8; ++rep) {
+    for (const auto& sig : strip.behavior.activities) {
+      seen += all_payloads(
+          synth.activity_event(strip, us_direct(), sig, 1000.0, prng));
+    }
+  }
+  const bool plain = seen.find(tokens.mac) != std::string::npos;
+  const bool hex = seen.find(iotx::util::hex_encode(tokens.mac)) !=
+                   std::string::npos;
+  const bool b64 = seen.find(iotx::util::base64_encode(tokens.mac)) !=
+                   std::string::npos;
+  const bool url = seen.find(iotx::util::url_encode(tokens.mac)) !=
+                   std::string::npos;
+  EXPECT_TRUE(plain || hex || b64 || url);
+}
+
+TEST(Synth, InsteonLeaksOnlyInUk) {
+  const TrafficSynthesizer synth;
+  const DeviceSpec& hub = dev("insteon_hub");
+  Prng p1("ins1"), p2("ins2");
+  std::string us_payloads, uk_payloads;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (const auto& sig : hub.behavior.activities) {
+      us_payloads += all_payloads(
+          synth.activity_event(hub, us_direct(), sig, 1000.0, p1));
+      uk_payloads += all_payloads(
+          synth.activity_event(hub, uk_direct(), sig, 1000.0, p2));
+    }
+  }
+  const std::string us_mac = pii_tokens(hub, LabSite::kUs).mac;
+  const std::string uk_mac = pii_tokens(hub, LabSite::kUk).mac;
+  EXPECT_EQ(us_payloads.find(us_mac), std::string::npos);
+  EXPECT_EQ(us_payloads.find(iotx::util::hex_encode(us_mac)),
+            std::string::npos);
+  // In the UK the MAC shows up in some encoding.
+  const bool leaked =
+      uk_payloads.find(uk_mac) != std::string::npos ||
+      uk_payloads.find(iotx::util::hex_encode(uk_mac)) != std::string::npos ||
+      uk_payloads.find(iotx::util::base64_encode(uk_mac)) !=
+          std::string::npos ||
+      uk_payloads.find(iotx::util::url_encode(uk_mac)) != std::string::npos;
+  EXPECT_TRUE(leaked);
+}
+
+TEST(Synth, MediaMagicInCameraStreams) {
+  const TrafficSynthesizer synth;
+  const DeviceSpec& cam = dev("microseven_cam");
+  const ActivitySignature* watch =
+      TrafficSynthesizer::find_activity(cam, "android_wan_watch");
+  ASSERT_NE(watch, nullptr);
+  Prng prng("media");
+  const auto pkts = synth.activity_event(cam, us_direct(), *watch, 0.0, prng);
+  bool media_flow = false;
+  for (const auto& flow : iotx::flow::assemble_flows(pkts)) {
+    if (flow.encoding == iotx::proto::ContentEncoding::kH264AnnexB ||
+        flow.protocol == iotx::proto::ProtocolId::kRtsp) {
+      media_flow = true;
+    }
+  }
+  EXPECT_TRUE(media_flow);
+}
+
+TEST(Synth, BackgroundHeartbeatCadence) {
+  const TrafficSynthesizer synth;
+  const DeviceSpec& d = dev("yi_cam");
+  Prng prng("bg");
+  const auto pkts = synth.background(d, us_direct(), 0.0, 600.0, prng);
+  ASSERT_FALSE(pkts.empty());
+  // Roughly 600 / heartbeat_period heartbeats, each a handful of packets;
+  // plus session setup. Just check the volume is sane and time-bounded.
+  EXPECT_GT(pkts.size(), 20u);
+  EXPECT_LT(pkts.size(), 2000u);
+  for (const auto& p : pkts) {
+    EXPECT_GE(p.timestamp, 0.0);
+    EXPECT_LT(p.timestamp, 620.0);
+  }
+}
+
+TEST(Synth, IdlePeriodSortedAndSpurious) {
+  const TrafficSynthesizer synth;
+  const DeviceSpec& zmodo = dev("zmodo_doorbell");
+  Prng prng("idle");
+  const auto pkts = synth.idle_period(zmodo, us_direct(), 0.0, 0.5, prng);
+  ASSERT_GT(pkts.size(), 100u);  // ~33 movement events in half an hour
+  for (std::size_t i = 1; i < pkts.size(); ++i) {
+    EXPECT_LE(pkts[i - 1].timestamp, pkts[i].timestamp);
+  }
+}
+
+TEST(Synth, ActivitySignatureAffectsVolume) {
+  const TrafficSynthesizer synth;
+  const DeviceSpec& cam = dev("ring_doorbell");
+  const auto* watch =
+      TrafficSynthesizer::find_activity(cam, "android_wan_watch");
+  const auto* volume = TrafficSynthesizer::find_activity(cam, "local_ring");
+  ASSERT_NE(watch, nullptr);
+  ASSERT_NE(volume, nullptr);
+  Prng p1("va"), p2("vb");
+  std::uint64_t watch_bytes = 0, ring_bytes = 0;
+  for (const auto& p :
+       synth.activity_event(cam, us_direct(), *watch, 0.0, p1)) {
+    watch_bytes += p.frame.size();
+  }
+  for (const auto& p :
+       synth.activity_event(cam, us_direct(), *volume, 0.0, p2)) {
+    ring_bytes += p.frame.size();
+  }
+  EXPECT_GT(watch_bytes, ring_bytes);
+}
+
+TEST(Synth, FindActivity) {
+  const DeviceSpec& d = dev("echo_dot");
+  EXPECT_NE(TrafficSynthesizer::find_activity(d, "local_voice"), nullptr);
+  EXPECT_EQ(TrafficSynthesizer::find_activity(d, "nonexistent"), nullptr);
+}
+
+TEST(Synth, PiiTokensDeterministicPerLab) {
+  const DeviceSpec& d = dev("samsung_fridge");
+  const PiiTokens us1 = pii_tokens(d, LabSite::kUs);
+  const PiiTokens us2 = pii_tokens(d, LabSite::kUs);
+  const PiiTokens uk = pii_tokens(d, LabSite::kUk);
+  EXPECT_EQ(us1.mac, us2.mac);
+  EXPECT_EQ(us1.uuid, us2.uuid);
+  EXPECT_NE(us1.mac, uk.mac);       // different unit per lab
+  EXPECT_EQ(us1.geo_city, "Boston, MA");
+  EXPECT_EQ(uk.geo_city, "London");
+}
+
+}  // namespace

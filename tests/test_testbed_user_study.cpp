@@ -1,0 +1,121 @@
+// Tests for the uncontrolled user-study simulator (§3.3, §7.3).
+#include "iotx/testbed/user_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iotx/testbed/synth.hpp"
+
+namespace {
+
+using namespace iotx::testbed;
+
+UserStudyParams small_params() {
+  UserStudyParams p;
+  p.days = 2;
+  return p;
+}
+
+TEST(UserStudy, DeterministicBySeed) {
+  const UserStudySimulator sim;
+  const auto a = sim.simulate(small_params(), "seed");
+  const auto b = sim.simulate(small_params(), "seed");
+  EXPECT_EQ(a.events.size(), b.events.size());
+  ASSERT_FALSE(a.events.empty());
+  EXPECT_EQ(a.events[0].device_id, b.events[0].device_id);
+  EXPECT_EQ(a.captures.size(), b.captures.size());
+}
+
+TEST(UserStudy, DifferentSeedsDiffer) {
+  const UserStudySimulator sim;
+  const auto a = sim.simulate(small_params(), "seed-a");
+  const auto b = sim.simulate(small_params(), "seed-b");
+  EXPECT_NE(a.events.size(), b.events.size());
+}
+
+TEST(UserStudy, EventsReferenceValidDevicesAndActivities) {
+  const UserStudySimulator sim;
+  const auto result = sim.simulate(small_params());
+  ASSERT_GT(result.events.size(), 20u);
+  for (const auto& ev : result.events) {
+    const DeviceSpec* d = find_device(ev.device_id);
+    ASSERT_NE(d, nullptr) << ev.device_id;
+    EXPECT_TRUE(d->in_us()) << ev.device_id;  // US-lab-only study
+    EXPECT_NE(TrafficSynthesizer::find_activity(*d, ev.activity), nullptr)
+        << ev.device_id << "/" << ev.activity;
+  }
+}
+
+TEST(UserStudy, PassiveTriggersAreUnintended) {
+  const UserStudySimulator sim;
+  const auto result = sim.simulate(small_params());
+  int ring_moves = 0, unintended_ring = 0;
+  for (const auto& ev : result.events) {
+    if (ev.device_id == "ring_doorbell" && ev.activity == "local_move") {
+      ++ring_moves;
+      unintended_ring += !ev.user_intended;
+    }
+  }
+  // The Ring doorbell records on every lab access (§7.3).
+  EXPECT_GT(ring_moves, 10);
+  EXPECT_EQ(unintended_ring, ring_moves);
+}
+
+TEST(UserStudy, IntentionalInteractionsExist) {
+  const UserStudySimulator sim;
+  const auto result = sim.simulate(small_params());
+  int intended = 0;
+  for (const auto& ev : result.events) intended += ev.user_intended;
+  EXPECT_GT(intended, 10);
+}
+
+TEST(UserStudy, EventsSortedByTime) {
+  const UserStudySimulator sim;
+  const auto result = sim.simulate(small_params());
+  for (std::size_t i = 1; i < result.events.size(); ++i) {
+    EXPECT_LE(result.events[i - 1].timestamp, result.events[i].timestamp);
+  }
+}
+
+TEST(UserStudy, CapturesSortedByTime) {
+  const UserStudySimulator sim;
+  const auto result = sim.simulate(small_params());
+  ASSERT_FALSE(result.captures.empty());
+  for (const auto& [id, packets] : result.captures) {
+    for (std::size_t i = 1; i < packets.size(); ++i) {
+      EXPECT_LE(packets[i - 1].timestamp, packets[i].timestamp) << id;
+    }
+  }
+}
+
+TEST(UserStudy, EveryEventHasTraffic) {
+  const UserStudySimulator sim;
+  const auto result = sim.simulate(small_params());
+  for (const auto& ev : result.events) {
+    EXPECT_TRUE(result.captures.contains(ev.device_id)) << ev.device_id;
+  }
+}
+
+TEST(UserStudy, HoursReflectDays) {
+  const UserStudySimulator sim;
+  UserStudyParams p;
+  p.days = 3;
+  EXPECT_DOUBLE_EQ(sim.simulate(p).hours, 72.0);
+}
+
+TEST(UserStudy, AlexaFalseWakesOccur) {
+  const UserStudySimulator sim;
+  UserStudyParams p;
+  p.days = 4;
+  p.alexa_false_wake_prob = 0.5;  // force plenty
+  const auto result = sim.simulate(p);
+  int false_wakes = 0;
+  for (const auto& ev : result.events) {
+    if (ev.device_id == "echo_dot" && ev.activity == "local_voice" &&
+        !ev.user_intended) {
+      ++false_wakes;
+    }
+  }
+  EXPECT_GT(false_wakes, 5);
+}
+
+}  // namespace

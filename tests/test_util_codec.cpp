@@ -1,0 +1,123 @@
+// Tests for hex/base64/url codecs (iotx/util/codec), used by the PII
+// scanner's multi-encoding search (§6.1).
+#include "iotx/util/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx::util;
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Hex, EncodeKnown) {
+  EXPECT_EQ(hex_encode(bytes_of("")), "");
+  const std::vector<std::uint8_t> raw = {0x00, 0xff, 0x10};
+  EXPECT_EQ(hex_encode(raw), "00ff10");
+  EXPECT_EQ(hex_encode(std::string_view("AB")), "4142");
+}
+
+TEST(Hex, DecodeKnown) {
+  const auto decoded = hex_decode("00ff10");
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, (std::vector<std::uint8_t>{0x00, 0xff, 0x10}));
+}
+
+TEST(Hex, DecodeCaseInsensitive) {
+  EXPECT_EQ(*hex_decode("DEADbeef"), *hex_decode("deadbeef"));
+}
+
+TEST(Hex, DecodeRejectsOddLength) { EXPECT_FALSE(hex_decode("abc")); }
+TEST(Hex, DecodeRejectsNonHex) { EXPECT_FALSE(hex_decode("zz")); }
+
+// RFC 4648 test vectors.
+struct Base64Vector {
+  const char* plain;
+  const char* encoded;
+};
+class Base64Rfc : public ::testing::TestWithParam<Base64Vector> {};
+
+TEST_P(Base64Rfc, Encode) {
+  EXPECT_EQ(base64_encode(std::string_view(GetParam().plain)),
+            GetParam().encoded);
+}
+
+TEST_P(Base64Rfc, Decode) {
+  const auto decoded = base64_decode(GetParam().encoded);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(std::string(decoded->begin(), decoded->end()), GetParam().plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc4648, Base64Rfc,
+    ::testing::Values(Base64Vector{"", ""}, Base64Vector{"f", "Zg=="},
+                      Base64Vector{"fo", "Zm8="},
+                      Base64Vector{"foo", "Zm9v"},
+                      Base64Vector{"foob", "Zm9vYg=="},
+                      Base64Vector{"fooba", "Zm9vYmE="},
+                      Base64Vector{"foobar", "Zm9vYmFy"}));
+
+TEST(Base64, ToleratesMissingPadding) {
+  const auto decoded = base64_decode("Zm9vYg");
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(std::string(decoded->begin(), decoded->end()), "foob");
+}
+
+TEST(Base64, RejectsInvalidCharacters) {
+  EXPECT_FALSE(base64_decode("Zm9v!"));
+  EXPECT_FALSE(base64_decode("Z m9v"));
+}
+
+TEST(Base64, BinaryRoundTrip) {
+  Prng prng("b64");
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> data(prng.uniform(200));
+    for (auto& b : data) b = static_cast<std::uint8_t>(prng.uniform(256));
+    const auto decoded = base64_decode(base64_encode(data));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+TEST(Url, EncodeUnreservedUnchanged) {
+  EXPECT_EQ(url_encode("AZaz09-_.~"), "AZaz09-_.~");
+}
+
+TEST(Url, EncodeReserved) {
+  EXPECT_EQ(url_encode("a b&c"), "a%20b%26c");
+  EXPECT_EQ(url_encode("02:55:aa"), "02%3a55%3aaa");
+}
+
+TEST(Url, DecodePlusAsSpace) {
+  EXPECT_EQ(*url_decode("a+b"), "a b");
+}
+
+TEST(Url, RoundTrip) {
+  const std::string original = "mac=02:55:aa/path?q=1&r=\xc3\xa9";
+  EXPECT_EQ(*url_decode(url_encode(original)), original);
+}
+
+TEST(Url, DecodeRejectsTruncatedEscape) {
+  EXPECT_FALSE(url_decode("abc%2"));
+  EXPECT_FALSE(url_decode("abc%"));
+  EXPECT_FALSE(url_decode("%zz"));
+}
+
+TEST(Hex, RoundTripRandom) {
+  Prng prng("hexrt");
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> data(prng.uniform(128));
+    for (auto& b : data) b = static_cast<std::uint8_t>(prng.uniform(256));
+    const auto decoded = hex_decode(hex_encode(data));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests for byte-entropy computation (iotx/util/entropy) — the basis of
+// the paper's §5.1 encryption classifier.
+#include "iotx/util/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using iotx::util::byte_entropy;
+using iotx::util::EntropyAccumulator;
+using iotx::util::Prng;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::string_view key) {
+  Prng prng(key);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(prng.uniform(256));
+  return out;
+}
+
+TEST(Entropy, EmptyIsZero) { EXPECT_EQ(byte_entropy({}), 0.0); }
+
+TEST(Entropy, SingleSymbolIsZero) {
+  const std::vector<std::uint8_t> data(1000, 0x41);
+  EXPECT_EQ(byte_entropy(data), 0.0);
+}
+
+TEST(Entropy, TwoEquiprobableSymbolsIsOneBit) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 500; ++i) {
+    data.push_back(0);
+    data.push_back(255);
+  }
+  EXPECT_NEAR(byte_entropy(data), 1.0 / 8.0, 1e-12);
+}
+
+TEST(Entropy, AllByteValuesOnceIsMaximal) {
+  std::vector<std::uint8_t> data(256);
+  for (int i = 0; i < 256; ++i) data[i] = static_cast<std::uint8_t>(i);
+  EXPECT_NEAR(byte_entropy(data), 1.0, 1e-12);
+}
+
+TEST(Entropy, RandomDataApproachesOne) {
+  EXPECT_GT(byte_entropy(random_bytes(1 << 16, "big")), 0.99);
+}
+
+TEST(Entropy, EnglishLikeTextIsMidLow) {
+  std::string text;
+  while (text.size() < 4096) {
+    text += "the quick brown fox jumps over the lazy dog and keeps going ";
+  }
+  const double h = byte_entropy(
+      {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+  EXPECT_GT(h, 0.3);
+  EXPECT_LT(h, 0.6);
+}
+
+TEST(Entropy, TextBelowRandom) {
+  std::string text(2048, 'x');
+  for (std::size_t i = 0; i < text.size(); i += 7) text[i] = 'y';
+  const double h_text = byte_entropy(
+      {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+  const double h_random = byte_entropy(random_bytes(2048, "cmp"));
+  EXPECT_LT(h_text, h_random);
+}
+
+TEST(EntropyAccumulator, MatchesOneShot) {
+  const auto data = random_bytes(5000, "acc");
+  EntropyAccumulator acc;
+  acc.add({data.data(), 1000});
+  acc.add({data.data() + 1000, 4000});
+  EXPECT_DOUBLE_EQ(acc.value(), byte_entropy(data));
+  EXPECT_EQ(acc.count(), 5000u);
+}
+
+TEST(EntropyAccumulator, ResetClears) {
+  EntropyAccumulator acc;
+  acc.add(random_bytes(100, "reset"));
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.value(), 0.0);
+}
+
+TEST(EntropyAccumulator, EmptyIsZero) {
+  EntropyAccumulator acc;
+  EXPECT_EQ(acc.value(), 0.0);
+}
+
+// The paper's classifier depends on random payloads of realistic flow
+// sizes landing above the 0.8 threshold, and repetitive keep-alive text
+// landing below 0.4. Sweep payload sizes to pin that behavior down.
+class EntropyBandSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EntropyBandSweep, RandomPayloadAboveEncryptedThreshold) {
+  const std::size_t n = GetParam();
+  const double h =
+      byte_entropy(random_bytes(n, "band" + std::to_string(n)));
+  EXPECT_GT(h, 0.8) << "payload size " << n;
+  EXPECT_LE(h, 1.0);
+}
+
+TEST_P(EntropyBandSweep, RepetitiveTextBelowUnencryptedThreshold) {
+  const std::size_t n = GetParam();
+  std::string text = "HEARTBEAT 000123 ";
+  while (text.size() < n) text += "OK";
+  text.resize(n);
+  const double h = byte_entropy(
+      {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+  EXPECT_LT(h, 0.4) << "payload size " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, EntropyBandSweep,
+                         ::testing::Values(256, 512, 1024, 4096, 16384));
+
+TEST(Entropy, MonotoneWithAlphabetSize) {
+  // Entropy grows as the effective alphabet grows.
+  double last = -1.0;
+  for (int symbols : {2, 4, 16, 64, 256}) {
+    std::vector<std::uint8_t> data;
+    for (int rep = 0; rep < 64; ++rep) {
+      for (int v = 0; v < symbols; ++v) {
+        data.push_back(static_cast<std::uint8_t>(v));
+      }
+    }
+    const double h = byte_entropy(data);
+    EXPECT_GT(h, last);
+    last = h;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+// Tests for the deterministic PRNG (iotx/util/prng).
+#include "iotx/util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using iotx::util::fnv1a64;
+using iotx::util::Prng;
+using iotx::util::splitmix64;
+
+TEST(Fnv1a64, KnownVectors) {
+  // Reference values for FNV-1a 64-bit.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, DistinctKeysDistinctHashes) {
+  std::set<std::uint64_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(fnv1a64("key" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t state = 42;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(state, 42u);
+}
+
+TEST(Prng, DeterministicBySeed) {
+  Prng a(12345u), b(12345u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Prng, DeterministicByStringKey) {
+  Prng a("us/echo_dot/power/rep3"), b("us/echo_dot/power/rep3");
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1u), b(2u);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Prng, UniformRespectsBound) {
+  Prng prng("bound");
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(prng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Prng, UniformBoundOneAlwaysZero) {
+  Prng prng("one");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(prng.uniform(1), 0u);
+}
+
+TEST(Prng, UniformIntInclusiveRange) {
+  Prng prng("range");
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = prng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, UniformIsRoughlyUniform) {
+  Prng prng("chi");
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 16000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[prng.uniform(kBuckets)];
+  const double expected = double(kSamples) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  // 15 dof; 99.9th percentile ~ 37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Prng, Uniform01InRange) {
+  Prng prng("u01");
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = prng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Prng, NormalMoments) {
+  Prng prng("normal");
+  constexpr int kN = 20000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double v = prng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(Prng, NormalShifted) {
+  Prng prng("normal2");
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) sum += prng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / 5000, 10.0, 0.15);
+}
+
+TEST(Prng, ExponentialMean) {
+  Prng prng("exp");
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = prng.exponential(3.0);
+    ASSERT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 3.0, 0.15);
+}
+
+TEST(Prng, ChanceExtremes) {
+  Prng prng("chance");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(prng.chance(0.0));
+    EXPECT_TRUE(prng.chance(1.0));
+  }
+}
+
+TEST(Prng, WeightedFollowsWeights) {
+  Prng prng("weighted");
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  int counts[4] = {};
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) ++counts[prng.weighted(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / double(kN), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / double(kN), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / double(kN), 0.6, 0.02);
+}
+
+TEST(Prng, ShuffleIsPermutation) {
+  Prng prng("shuffle");
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> orig = v;
+  prng.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Prng, ForkIsDeterministicAndIndependent) {
+  Prng parent1("parent"), parent2("parent");
+  Prng childa = parent1.fork("a");
+  Prng childa2 = parent2.fork("a");
+  Prng childb = parent1.fork("b");
+  EXPECT_EQ(childa(), childa2());
+  EXPECT_NE(childa(), childb());
+}
+
+TEST(Prng, ForkDoesNotDependOnParentPosition) {
+  Prng p1("pos"), p2("pos");
+  (void)p1();  // advance one stream
+  Prng c1 = p1.fork("x");
+  Prng c2 = p2.fork("x");
+  EXPECT_EQ(c1(), c2());
+}
+
+// Property sweep: uniform(bound) hits every residue for small bounds.
+class PrngBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrngBoundSweep, CoversAllValues) {
+  const std::uint64_t bound = GetParam();
+  Prng prng("sweep" + std::to_string(bound));
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(prng.uniform(bound));
+  EXPECT_EQ(seen.size(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallBounds, PrngBoundSweep,
+                         ::testing::Values(2, 3, 5, 8, 13, 21));
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Tests for descriptive statistics (iotx/util/stats) — the ML feature
+// primitives and the Table 7 significance test.
+#include "iotx/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx::util;
+
+TEST(Summarize, EmptyIsAllZero) {
+  const SampleSummary s = summarize({});
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<double> sample = {7.0};
+  const SampleSummary s = summarize(sample);
+  EXPECT_EQ(s.min, 7.0);
+  EXPECT_EQ(s.max, 7.0);
+  EXPECT_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.skewness, 0.0);
+  for (double d : s.deciles) EXPECT_EQ(d, 7.0);
+}
+
+TEST(Summarize, KnownSmallSample) {
+  const std::vector<double> sample = {1, 2, 3, 4, 5};
+  const SampleSummary s = summarize(sample);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(s.skewness, 0.0, 1e-12);        // symmetric
+  EXPECT_NEAR(s.deciles[4], 3.0, 1e-12);      // median
+}
+
+TEST(Summarize, UnsortedInputHandled) {
+  const std::vector<double> sample = {5, 1, 4, 2, 3};
+  const SampleSummary s = summarize(sample);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.deciles[4], 3.0);
+}
+
+TEST(Summarize, SkewnessSign) {
+  // Right-skewed sample -> positive skewness.
+  const std::vector<double> right = {1, 1, 1, 1, 10};
+  EXPECT_GT(summarize(right).skewness, 0.0);
+  const std::vector<double> left = {-10, 1, 1, 1, 1};
+  EXPECT_LT(summarize(left).skewness, 0.0);
+}
+
+TEST(Summarize, KurtosisOfUniformIsNegative) {
+  std::vector<double> sample;
+  for (int i = 0; i < 10000; ++i) sample.push_back(i / 10000.0);
+  // Excess kurtosis of the uniform distribution is -1.2.
+  EXPECT_NEAR(summarize(sample).kurtosis, -1.2, 0.05);
+}
+
+TEST(Summarize, KurtosisOfNormalNearZero) {
+  Prng prng("kurt");
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(prng.normal());
+  EXPECT_NEAR(summarize(sample).kurtosis, 0.0, 0.15);
+}
+
+TEST(Summarize, ConstantSampleHasZeroHigherMoments) {
+  const std::vector<double> sample(50, 3.14);
+  const SampleSummary s = summarize(sample);
+  EXPECT_NEAR(s.stddev, 0.0, 1e-12);
+  EXPECT_EQ(s.skewness, 0.0);
+  EXPECT_EQ(s.kurtosis, 0.0);
+}
+
+TEST(Summarize, AppendFeaturesLayout) {
+  const std::vector<double> sample = {1, 2, 3};
+  const SampleSummary s = summarize(sample);
+  std::vector<double> features;
+  s.append_features(features);
+  ASSERT_EQ(features.size(), SampleSummary::kFeatureCount);
+  EXPECT_EQ(features[0], s.min);
+  EXPECT_EQ(features[1], s.max);
+  EXPECT_EQ(features[2], s.mean);
+  EXPECT_EQ(features[6], s.deciles[0]);
+  EXPECT_EQ(features[14], s.deciles[8]);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  const std::vector<double> sorted = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(sorted, 0.25), 2.5);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> sorted = {4.2};
+  EXPECT_EQ(quantile_sorted(sorted, 0.3), 4.2);
+}
+
+TEST(MeanStddev, Basics) {
+  const std::vector<double> sample = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(sample), 4.0);
+  EXPECT_NEAR(stddev(sample), std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+  const std::vector<double> one = {5.0};
+  EXPECT_EQ(stddev(one), 0.0);
+}
+
+TEST(TwoProportionZ, EqualProportionsIsZero) {
+  EXPECT_NEAR(two_proportion_z(50, 100, 500, 1000), 0.0, 1e-12);
+}
+
+TEST(TwoProportionZ, KnownValue) {
+  // p1 = 0.6 (60/100), p2 = 0.4 (40/100); pooled = 0.5.
+  // z = 0.2 / sqrt(0.25 * 0.02) = 2.8284...
+  EXPECT_NEAR(two_proportion_z(60, 100, 40, 100), 2.8284271, 1e-5);
+}
+
+TEST(TwoProportionZ, DegenerateInputsAreZero) {
+  EXPECT_EQ(two_proportion_z(0, 0, 5, 10), 0.0);
+  EXPECT_EQ(two_proportion_z(0, 10, 0, 10), 0.0);    // pooled 0
+  EXPECT_EQ(two_proportion_z(10, 10, 10, 10), 0.0);  // pooled 1
+}
+
+TEST(Significance, ThresholdAt196) {
+  EXPECT_FALSE(significant_at_95(1.95));
+  EXPECT_TRUE(significant_at_95(1.97));
+  EXPECT_TRUE(significant_at_95(two_proportion_z(60, 100, 40, 100)));
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Tests for string helpers and the text-table renderer.
+#include "iotx/util/strings.hpp"
+#include "iotx/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using namespace iotx::util;
+
+TEST(Split, Basic) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, PreservesEmptyFields) {
+  EXPECT_EQ(split(",a,,b,", ','),
+            (std::vector<std::string>{"", "a", "", "b", ""}));
+}
+
+TEST(Split, NoDelimiter) {
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Split, EmptyInput) {
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Join, RoundTripWithSplit) {
+  const std::vector<std::string> parts = {"x", "", "yz"};
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Trim, RemovesWhitespaceBothSides) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(to_lower("AbC-09"), "abc-09");
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("Host", "hOST"));
+  EXPECT_FALSE(iequals("Host", "Hosts"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(IFind, FindsSubstring) {
+  EXPECT_EQ(ifind("Content-Type: TEXT", "text"), 14u);
+  EXPECT_EQ(ifind("abc", "d"), std::string_view::npos);
+  EXPECT_EQ(ifind("abc", ""), 0u);
+  EXPECT_EQ(ifind("ab", "abc"), std::string_view::npos);
+}
+
+TEST(IContains, Works) {
+  EXPECT_TRUE(icontains("local_VOICE", "voice"));
+  EXPECT_FALSE(icontains("local_menu", "voice"));
+}
+
+TEST(ReplaceAll, Basic) {
+  EXPECT_EQ(replace_all("a.b.c", ".", "::"), "a::b::c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("none", "x", "y"), "none");
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KB");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Device", "US", "UK"});
+  t.add_row({"Echo Dot", "0.7", "2.6"});
+  t.add_row({"Yi Camera", "0.5", "0.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Device"), std::string::npos);
+  EXPECT_NE(out.find("Echo Dot"), std::string::npos);
+  EXPECT_NE(out.find("2.6"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"A", "B", "C"});
+  t.add_row({"only"});
+  const std::string out = t.render();
+  // Three lines: header, rule, row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"Name", "N"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "22"});
+  const std::string out = t.render();
+  // Every line has the same length.
+  const auto lines = split(out, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  const std::size_t width = lines[0].size();
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    EXPECT_EQ(lines[i].size(), width) << "line " << i;
+  }
+}
+
+TEST(TextTable, RuleInsertsSeparator) {
+  TextTable t({"A"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // header + rule-under-header + row + rule + row = 5 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
