@@ -12,6 +12,7 @@
 #include "iotx/proto/tls.hpp"
 #include "iotx/testbed/experiment.hpp"
 #include "iotx/util/entropy.hpp"
+#include "iotx/util/task_pool.hpp"
 
 namespace {
 
@@ -185,6 +186,39 @@ void BM_RandomForestTrain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RandomForestTrain)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_RandomForestTrainParallel(benchmark::State& state) {
+  // Same work as BM_RandomForestTrain/100 spread over N pool threads;
+  // the resulting forest is bit-identical at any thread count.
+  const ml::Dataset data = bench_dataset();
+  ml::ForestParams params;
+  params.n_trees = 100;
+  util::TaskPool pool(static_cast<std::size_t>(state.range(0)));
+  int rep = 0;
+  for (auto _ : state) {
+    ml::RandomForest forest;
+    util::Prng prng("train" + std::to_string(rep++));
+    forest.fit(data, params, prng, &pool);
+    benchmark::DoNotOptimize(forest.tree_count());
+  }
+}
+BENCHMARK(BM_RandomForestTrainParallel)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_TaskPoolParallelForEachOverhead(benchmark::State& state) {
+  // Dispatch cost of an n-way fan-out of trivial tasks.
+  util::TaskPool pool(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> total{0};
+    pool.parallel_for_each(n, [&](std::size_t i) {
+      total.fetch_add(i, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(total.load());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TaskPoolParallelForEachOverhead)->Arg(16)->Arg(256);
 
 void BM_RandomForestPredict(benchmark::State& state) {
   const ml::Dataset data = bench_dataset();

@@ -1,0 +1,98 @@
+// Scaling benchmark for the parallel study executor: runs the same
+// multi-device campaign serially (jobs=1) and with the pool (jobs=N),
+// reports wall time and speedup, and cross-checks that the two runs are
+// bit-identical (the TaskPool determinism contract).
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iotx/core/study.hpp"
+#include "iotx/util/table.hpp"
+#include "iotx/util/task_pool.hpp"
+
+namespace {
+
+using namespace iotx;
+
+core::StudyParams scaling_params(std::size_t jobs) {
+  core::StudyParams params;
+  params.plan = testbed::SchedulePlan{/*automated_reps=*/8, /*manual_reps=*/3,
+                                      /*power_reps=*/3, /*idle_hours=*/0.5};
+  params.inference.validation.forest.n_trees = 30;
+  params.inference.validation.repetitions = 4;
+  params.run_uncontrolled = false;
+  params.device_filter = {"ring_doorbell", "samsung_fridge", "tplink_plug",
+                          "echo_dot", "yi_camera", "samsung_tv"};
+  params.jobs = jobs;
+  return params;
+}
+
+struct TimedRun {
+  std::unique_ptr<core::Study> study;
+  double seconds = 0.0;
+};
+
+TimedRun run_with_jobs(std::size_t jobs) {
+  TimedRun run;
+  run.study = std::make_unique<core::Study>(scaling_params(jobs));
+  const auto t0 = std::chrono::steady_clock::now();
+  run.study->run();
+  const auto t1 = std::chrono::steady_clock::now();
+  run.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return run;
+}
+
+bool identical(const core::Study& a, const core::Study& b) {
+  if (a.config_keys() != b.config_keys()) return false;
+  for (const std::string& key : a.config_keys()) {
+    const auto& ra = a.results(key);
+    const auto& rb = b.results(key);
+    if (ra.size() != rb.size()) return false;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      if (ra[i].device->id != rb[i].device->id) return false;
+      if (ra[i].destinations.size() != rb[i].destinations.size()) return false;
+      if (ra[i].enc_total.encrypted != rb[i].enc_total.encrypted) return false;
+      if (ra[i].model.validation.macro_f1 != rb[i].model.validation.macro_f1) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t hw = iotx::util::TaskPool::default_thread_count();
+  std::printf("study scaling benchmark (hardware threads: %zu)\n", hw);
+  std::printf("6 devices x 2 labs x (direct + VPN), bench-scale reps\n\n");
+
+  std::vector<std::size_t> job_counts = {1};
+  if (hw >= 2) job_counts.push_back(2);
+  if (hw >= 4) job_counts.push_back(4);
+  if (hw > 4) job_counts.push_back(hw);
+
+  util::TextTable table({"jobs", "wall s", "speedup", "experiments",
+                         "identical to jobs=1"});
+  TimedRun baseline;
+  for (std::size_t jobs : job_counts) {
+    TimedRun run = run_with_jobs(jobs);
+    const bool first = baseline.study == nullptr;
+    const double speedup = first ? 1.0 : baseline.seconds / run.seconds;
+    const bool same = first || identical(*baseline.study, *run.study);
+    char wall[32], speed[32];
+    std::snprintf(wall, sizeof wall, "%.2f", run.seconds);
+    std::snprintf(speed, sizeof speed, "%.2fx", speedup);
+    table.add_row({std::to_string(jobs), wall, speed,
+                   std::to_string(run.study->experiments_run()),
+                   first ? "-" : (same ? "yes" : "NO (BUG)")});
+    if (first) baseline = std::move(run);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nresults are required to be bit-identical at any job count; any\n"
+      "'NO (BUG)' above is a determinism regression.\n");
+  return 0;
+}

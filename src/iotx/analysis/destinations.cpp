@@ -72,6 +72,37 @@ std::vector<DestinationRecord> attribute_destinations(
   return records;
 }
 
+void DestinationAccumulator::add(const DestinationRecord& rec) {
+  const auto [it, inserted] = by_address_.try_emplace(rec.address.value(), rec);
+  if (inserted) return;
+  DestinationRecord& m = it->second;
+  m.bytes += rec.bytes;
+  m.packets += rec.packets;
+  // A record whose domain is the bare IP literal was never resolved; an
+  // attributed name from any other capture always wins over it.
+  const bool merged_named = m.domain != m.address.to_string();
+  const bool rec_named = rec.domain != rec.address.to_string();
+  if (!merged_named && rec_named) {
+    m.domain = rec.domain;
+    m.sld = rec.sld;
+    m.organization = rec.organization;
+    m.party = rec.party;
+    m.country = rec.country;
+  }
+}
+
+void DestinationAccumulator::add_all(
+    const std::vector<DestinationRecord>& records) {
+  for (const DestinationRecord& rec : records) add(rec);
+}
+
+std::vector<DestinationRecord> DestinationAccumulator::merged() const {
+  std::vector<DestinationRecord> out;
+  out.reserve(by_address_.size());
+  for (const auto& [addr, rec] : by_address_) out.push_back(rec);
+  return out;
+}
+
 void PartyCounts::merge(const PartyCounts& other) {
   support.insert(other.support.begin(), other.support.end());
   third.insert(other.third.begin(), other.third.end());

@@ -52,6 +52,24 @@ std::vector<DestinationRecord> attribute_destinations(
     const AttributionContext& ctx,
     const std::vector<std::string>& first_party_names);
 
+/// Merges destination records across captures by remote address,
+/// accumulating bytes/packets. Attribution fields keep the *named* record
+/// (DNS answer / SNI / Host) over an IP-literal one regardless of capture
+/// order, so a capture that happened to miss the DNS response cannot
+/// clobber a previously resolved domain/organization/party (which would
+/// skew the Tables 2-4 party counts).
+class DestinationAccumulator {
+ public:
+  void add(const DestinationRecord& rec);
+  void add_all(const std::vector<DestinationRecord>& records);
+
+  /// Merged records, ordered by address.
+  std::vector<DestinationRecord> merged() const;
+
+ private:
+  std::map<std::uint32_t, DestinationRecord> by_address_;
+};
+
 /// Counts unique non-first-party destinations by party type (the cell
 /// structure of Tables 2 and 3). Uniqueness is by domain.
 struct PartyCounts {

@@ -68,7 +68,7 @@ ml::Dataset build_dataset(
 ActivityModel train_activity_model(
     const testbed::DeviceSpec& device, const testbed::NetworkConfig& config,
     const std::vector<testbed::LabeledCapture>& captures,
-    const InferenceParams& params) {
+    const InferenceParams& params, util::TaskPool* pool) {
   ActivityModel model;
   model.device_id = device.id;
   model.config = config;
@@ -77,10 +77,10 @@ ActivityModel train_activity_model(
 
   const std::string seed_key = "cv/" + config.key() + "/" + device.id;
   model.validation =
-      ml::cross_validate(model.dataset, params.validation, seed_key);
+      ml::cross_validate(model.dataset, params.validation, seed_key, pool);
 
   util::Prng prng("fit/" + config.key() + "/" + device.id);
-  model.forest.fit(model.dataset, params.validation.forest, prng);
+  model.forest.fit(model.dataset, params.validation.forest, prng, pool);
   return model;
 }
 

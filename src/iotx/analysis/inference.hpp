@@ -55,10 +55,13 @@ struct InferenceParams {
 ml::Dataset build_dataset(const testbed::DeviceSpec& device,
                           const std::vector<testbed::LabeledCapture>& captures);
 
-/// Trains and validates the model for a device under one config.
+/// Trains and validates the model for a device under one config. A non-null
+/// `pool` parallelizes the validation repetitions and per-tree training;
+/// results are bit-identical at any thread count (seeds are keyed by
+/// repetition/tree index, never by execution order).
 ActivityModel train_activity_model(
     const testbed::DeviceSpec& device, const testbed::NetworkConfig& config,
     const std::vector<testbed::LabeledCapture>& captures,
-    const InferenceParams& params);
+    const InferenceParams& params, util::TaskPool* pool = nullptr);
 
 }  // namespace iotx::analysis

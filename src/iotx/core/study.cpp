@@ -1,7 +1,9 @@
 #include "iotx/core/study.hpp"
 #include <algorithm>
 
+#include <set>
 #include <stdexcept>
+#include <utility>
 
 #include "iotx/testbed/endpoints.hpp"
 
@@ -65,7 +67,8 @@ analysis::AttributionContext Study::attribution_context(
 }
 
 DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
-                                  const testbed::NetworkConfig& config) {
+                                  const testbed::NetworkConfig& config,
+                                  util::TaskPool* pool) {
   DeviceRunResult result;
   result.device = &device;
   result.config = config;
@@ -82,8 +85,11 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
       {"geo_city", tokens.geo_city},
   });
 
-  // Merged destination map across experiments (by address).
-  std::map<std::uint32_t, analysis::DestinationRecord> merged;
+  // Merged destination records across experiments (by address; named
+  // attributions survive captures that missed the DNS response).
+  analysis::DestinationAccumulator merged;
+  // PII findings are deduplicated across experiments by (kind, destination).
+  std::set<std::pair<std::string, std::uint32_t>> seen_pii;
   std::vector<testbed::LabeledCapture> training_captures;
   std::vector<net::Packet> idle_capture;
 
@@ -103,14 +109,7 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
       result.parties_by_group["Control"].merge(
           analysis::count_non_first_parties(records));
     }
-    for (const analysis::DestinationRecord& rec : records) {
-      analysis::DestinationRecord& m = merged[rec.address.value()];
-      const std::uint64_t bytes = m.bytes + rec.bytes;
-      const std::uint64_t packets = m.packets + rec.packets;
-      m = rec;
-      m.bytes = bytes;
-      m.packets = packets;
-    }
+    merged.add_all(records);
 
     const analysis::EncryptionBytes enc = analysis::account_flows(flows);
     result.enc_by_group[group] += enc;
@@ -122,23 +121,16 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
     result.enc_total += enc;
 
     for (analysis::PiiFinding& f : scanner.scan(flows)) {
-      // Deduplicate across experiments by (kind, destination).
-      bool seen = false;
-      for (const analysis::PiiFinding& existing : result.pii_findings) {
-        if (existing.kind == f.kind &&
-            existing.destination == f.destination) {
-          seen = true;
-          break;
-        }
+      if (seen_pii.emplace(f.kind, f.destination.value()).second) {
+        result.pii_findings.push_back(std::move(f));
       }
-      if (!seen) result.pii_findings.push_back(std::move(f));
     }
   };
 
   for (const testbed::ExperimentSpec& spec :
        runner_.schedule(device, config)) {
     testbed::LabeledCapture capture = runner_.run(spec);
-    ++experiments_run_;
+    experiments_run_.fetch_add(1, std::memory_order_relaxed);
     analyze_capture(capture);
     if (spec.type == testbed::ExperimentType::kIdle) {
       idle_capture = std::move(capture.packets);
@@ -147,8 +139,7 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
     }
   }
 
-  result.destinations.reserve(merged.size());
-  for (auto& [addr, rec] : merged) result.destinations.push_back(rec);
+  result.destinations = merged.merged();
 
   // Augment the training set with labeled background windows so the model
   // learns what "no interaction" looks like; otherwise idle heartbeats are
@@ -173,13 +164,25 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
 
   result.model = analysis::train_activity_model(device, config,
                                                 training_captures,
-                                                params_.inference);
+                                                params_.inference, pool);
   result.idle = analysis::detect_activity(device, config.lab, idle_capture,
                                           result.model, params_.detector);
   return result;
 }
 
 void Study::run() {
+  // Every (config, device) run is independent: captures are synthesized
+  // from per-experiment seed keys and analyzed locally. Enumerate the
+  // pairs in the serial loop's order, pre-size each config's bucket, and
+  // let the pool fill the slots by index — the aggregate tables read the
+  // exact ordering the serial loop produced.
+  struct PendingRun {
+    std::vector<DeviceRunResult>* bucket;
+    std::size_t slot;
+    const testbed::DeviceSpec* device;
+    testbed::NetworkConfig config;
+  };
+  std::vector<PendingRun> pending;
   for (const testbed::NetworkConfig& config : testbed::all_network_configs()) {
     if (config.vpn && !params_.run_vpn) continue;
     std::vector<DeviceRunResult>& bucket = results_[config.key()];
@@ -195,9 +198,17 @@ void Study::run() {
           continue;
         }
       }
-      bucket.push_back(run_device(device, config));
+      pending.push_back(PendingRun{&bucket, bucket.size(), &device, config});
+      bucket.emplace_back();
     }
   }
+
+  util::TaskPool pool(params_.jobs);
+  pool.parallel_for_each(pending.size(), [&](std::size_t i) {
+    const PendingRun& p = pending[i];
+    (*p.bucket)[p.slot] = run_device(*p.device, p.config, &pool);
+  });
+
   if (params_.run_uncontrolled) run_uncontrolled();
 }
 

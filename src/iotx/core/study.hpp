@@ -10,6 +10,8 @@
 //   auto t2 = iotx::core::build_table2(study);
 #pragma once
 
+#include <atomic>
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "iotx/analysis/unexpected.hpp"
 #include "iotx/testbed/experiment.hpp"
 #include "iotx/testbed/user_study.hpp"
+#include "iotx/util/task_pool.hpp"
 
 namespace iotx::core {
 
@@ -37,6 +40,11 @@ struct StudyParams {
   /// When non-empty, restricts the run to these device ids (useful for
   /// focused analyses and fast tests).
   std::vector<std::string> device_filter;
+  /// Worker threads for the campaign (device runs, forest training,
+  /// validation repetitions). 0 means hardware_concurrency; 1 runs
+  /// serially. Results are bit-identical at any value (see DESIGN.md
+  /// §"Concurrency model").
+  std::size_t jobs = 0;
 
   /// Paper-scale settings (30 automated reps, 10 CV repetitions, 100
   /// trees, 28 h idle, ~6-month user study). Minutes of CPU.
@@ -69,7 +77,9 @@ class Study {
  public:
   explicit Study(StudyParams params = {});
 
-  /// Runs the full campaign. Deterministic; safe to call once.
+  /// Runs the full campaign, fanning (config, device) pairs across
+  /// params().jobs worker threads. Deterministic at any job count; safe to
+  /// call once.
   void run();
 
   const StudyParams& params() const noexcept { return params_; }
@@ -101,7 +111,9 @@ class Study {
   }
 
   /// Total number of controlled experiments executed.
-  std::size_t experiments_run() const noexcept { return experiments_run_; }
+  std::size_t experiments_run() const noexcept {
+    return experiments_run_.load(std::memory_order_relaxed);
+  }
 
   /// The attribution context used for a config (exposed for examples).
   analysis::AttributionContext attribution_context(
@@ -109,7 +121,8 @@ class Study {
 
  private:
   DeviceRunResult run_device(const testbed::DeviceSpec& device,
-                             const testbed::NetworkConfig& config);
+                             const testbed::NetworkConfig& config,
+                             util::TaskPool* pool);
   void run_uncontrolled();
 
   StudyParams params_;
@@ -121,7 +134,7 @@ class Study {
   analysis::EncryptionBytes uncontrolled_enc_;
   std::map<std::string, std::vector<analysis::UncontrolledFinding>>
       uncontrolled_findings_;
-  std::size_t experiments_run_ = 0;
+  std::atomic<std::size_t> experiments_run_{0};
 };
 
 /// Experiment group of a spec, matching the tables' row labels:

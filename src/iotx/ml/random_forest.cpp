@@ -6,7 +6,7 @@
 namespace iotx::ml {
 
 void RandomForest::fit(const Dataset& data, const ForestParams& params,
-                       util::Prng& prng) {
+                       util::Prng& prng, util::TaskPool* pool) {
   trees_.clear();
   n_classes_ = data.class_count();
   if (data.empty()) return;
@@ -18,11 +18,19 @@ void RandomForest::fit(const Dataset& data, const ForestParams& params,
   }
 
   trees_.resize(params.n_trees);
-  std::vector<std::size_t> bootstrap(data.size());
-  for (std::size_t t = 0; t < params.n_trees; ++t) {
+  // Each tree is a pure function of (caller seed, tree index): it forks its
+  // own generator and writes into its pre-sized slot, so the parallel and
+  // serial fits produce the same forest bit for bit.
+  const auto fit_tree = [&](std::size_t t) {
     util::Prng tree_prng = prng.fork("tree" + std::to_string(t));
+    std::vector<std::size_t> bootstrap(data.size());
     for (auto& idx : bootstrap) idx = tree_prng.uniform(data.size());
     trees_[t].fit(data, bootstrap, tree_params, tree_prng);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for_each(params.n_trees, fit_tree);
+  } else {
+    for (std::size_t t = 0; t < params.n_trees; ++t) fit_tree(t);
   }
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "iotx/ml/decision_tree.hpp"
+#include "iotx/util/task_pool.hpp"
 
 namespace iotx::ml {
 
@@ -19,7 +20,11 @@ struct ForestParams {
 class RandomForest {
  public:
   /// Fits on the full dataset (bootstrap samples are drawn per tree).
-  void fit(const Dataset& data, const ForestParams& params, util::Prng& prng);
+  /// When `pool` is non-null, trees train in parallel; each tree's
+  /// generator is forked from `prng` by tree index, so the forest is
+  /// bit-identical to a serial fit at any thread count.
+  void fit(const Dataset& data, const ForestParams& params, util::Prng& prng,
+           util::TaskPool* pool = nullptr);
 
   /// Majority-vote class id (soft voting over leaf distributions).
   int predict(std::span<const double> features) const;

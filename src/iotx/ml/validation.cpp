@@ -6,23 +6,36 @@
 
 namespace iotx::ml {
 
+namespace {
+
+/// One repetition's scores, computed independently so repetitions can run
+/// in parallel and be reduced in index order afterwards.
+struct RepetitionOutcome {
+  bool valid = false;
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;
+  std::vector<double> class_f1;
+  std::vector<bool> present;
+};
+
+}  // namespace
+
 ValidationResult cross_validate(const Dataset& data,
                                 const ValidationParams& params,
-                                std::string_view seed_key) {
+                                std::string_view seed_key,
+                                util::TaskPool* pool) {
   ValidationResult result;
   result.class_f1.assign(data.class_count(), 0.0);
   if (data.empty() || data.class_count() == 0) return result;
 
-  util::Prng prng(seed_key);
-  // Per-class mean is taken only over repetitions where the class appears
-  // in the test split, so rare classes are not unfairly zeroed.
-  std::vector<std::size_t> class_rounds(data.class_count(), 0);
+  const util::Prng prng(seed_key);
+  std::vector<RepetitionOutcome> outcomes(params.repetitions);
 
-  for (std::size_t rep = 0; rep < params.repetitions; ++rep) {
+  const auto run_repetition = [&](std::size_t rep) {
     util::Prng rep_prng = prng.fork("rep" + std::to_string(rep));
     const Dataset::Split split =
         data.stratified_split(params.train_fraction, rep_prng);
-    if (split.test.empty() || split.train.empty()) continue;
+    if (split.test.empty() || split.train.empty()) return;
 
     // Rebuild a train view (the forest API takes a whole Dataset, so we
     // materialize the subset; rows are small and this keeps the API clean).
@@ -32,13 +45,14 @@ ValidationResult cross_validate(const Dataset& data,
     }
 
     RandomForest forest;
-    forest.fit(train, params.forest, rep_prng);
+    forest.fit(train, params.forest, rep_prng, pool);
 
     ConfusionMatrix confusion(data.class_count());
-    std::vector<bool> present(data.class_count(), false);
+    RepetitionOutcome& outcome = outcomes[rep];
+    outcome.present.assign(data.class_count(), false);
     for (std::size_t i : split.test) {
       const int truth = data.label(i);
-      present[static_cast<std::size_t>(truth)] = true;
+      outcome.present[static_cast<std::size_t>(truth)] = true;
       const int predicted_train_id = forest.predict(data.row(i));
       // Map the train-dataset class id back to the full dataset's id space.
       int predicted = -1;
@@ -52,11 +66,35 @@ ValidationResult cross_validate(const Dataset& data,
       confusion.add(truth, predicted);
     }
 
-    result.accuracy += confusion.accuracy();
-    result.macro_f1 += confusion.macro_f1();
+    outcome.accuracy = confusion.accuracy();
+    outcome.macro_f1 = confusion.macro_f1();
+    outcome.class_f1.resize(data.class_count());
     for (std::size_t c = 0; c < data.class_count(); ++c) {
-      if (present[c]) {
-        result.class_f1[c] += confusion.f1(static_cast<int>(c));
+      outcome.class_f1[c] = confusion.f1(static_cast<int>(c));
+    }
+    outcome.valid = true;
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for_each(params.repetitions, run_repetition);
+  } else {
+    for (std::size_t rep = 0; rep < params.repetitions; ++rep) {
+      run_repetition(rep);
+    }
+  }
+
+  // Reduce in repetition order — the same floating-point addition order as
+  // the serial loop, so parallel runs aggregate bit-identically.
+  // Per-class mean is taken only over repetitions where the class appears
+  // in the test split, so rare classes are not unfairly zeroed.
+  std::vector<std::size_t> class_rounds(data.class_count(), 0);
+  for (const RepetitionOutcome& outcome : outcomes) {
+    if (!outcome.valid) continue;
+    result.accuracy += outcome.accuracy;
+    result.macro_f1 += outcome.macro_f1;
+    for (std::size_t c = 0; c < data.class_count(); ++c) {
+      if (outcome.present[c]) {
+        result.class_f1[c] += outcome.class_f1[c];
         ++class_rounds[c];
       }
     }

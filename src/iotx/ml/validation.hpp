@@ -31,9 +31,16 @@ struct ValidationParams {
 /// Runs the repeated-split protocol. `seed_key` makes results reproducible
 /// per (device, lab, ...) context. Classes with a single example are always
 /// placed in the train split, so their F1 contribution is 0.
+///
+/// When `pool` is non-null the repetitions (and each repetition's forest)
+/// run in parallel. Every repetition seeds from fork("rep" + index) and
+/// stores its outcome in a slot indexed the same way; outcomes are then
+/// reduced in index order, so the result is bit-identical to a serial run
+/// at any thread count.
 ValidationResult cross_validate(const Dataset& data,
                                 const ValidationParams& params,
-                                std::string_view seed_key);
+                                std::string_view seed_key,
+                                util::TaskPool* pool = nullptr);
 
 /// Inferrability thresholds from the paper.
 inline constexpr double kInferrableF1 = 0.75;        ///< §6.3

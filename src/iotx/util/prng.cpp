@@ -113,7 +113,7 @@ std::size_t Prng::weighted(const std::vector<double>& weights) noexcept {
   return weights.empty() ? 0 : weights.size() - 1;
 }
 
-Prng Prng::fork(std::string_view label) noexcept {
+Prng Prng::fork(std::string_view label) const noexcept {
   std::string key = std::to_string(seed_origin_);
   key += '/';
   key += label;

@@ -90,8 +90,11 @@ class Prng {
   }
 
   /// Derives an independent child generator from this one plus a label.
-  /// The child stream is a pure function of (parent seed key, label).
-  Prng fork(std::string_view label) noexcept;
+  /// The child stream is a pure function of (parent seed key, label) —
+  /// not of the parent's stream position — so forking by a stable label
+  /// (e.g. "tree" + index) from concurrent threads is both safe and
+  /// order-independent.
+  Prng fork(std::string_view label) const noexcept;
 
  private:
   std::uint64_t s_[4];

@@ -17,6 +17,7 @@ void SampleSummary::append_features(std::vector<double>& out) const {
 
 double quantile_sorted(std::span<const double> sorted, double q) {
   const std::size_t n = sorted.size();
+  if (n == 0) return 0.0;  // n - 1 below would wrap to SIZE_MAX
   if (n == 1) return sorted[0];
   const double pos = q * static_cast<double>(n - 1);
   const auto idx = static_cast<std::size_t>(pos);

@@ -30,7 +30,7 @@ struct SampleSummary {
 SampleSummary summarize(std::span<const double> sample);
 
 /// Linear-interpolated quantile (type-7, the numpy default). q in [0,1].
-/// Requires a non-empty, sorted sample.
+/// The sample must be sorted; an empty sample yields 0.
 double quantile_sorted(std::span<const double> sorted, double q);
 
 /// Arithmetic mean; 0 for empty input.

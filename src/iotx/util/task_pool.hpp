@@ -1,0 +1,121 @@
+// Fixed-thread work-queue executor — the concurrency substrate for the
+// paper-scale campaign (Study fan-out, per-tree forest training, parallel
+// validation repetitions).
+//
+// Determinism contract: TaskPool schedules work but never owns randomness.
+// Every parallel unit of work derives its own Prng from a stable key
+// (e.g. fork("tree" + index)) and writes its result into a pre-sized slot
+// indexed by that same key, so results are bit-identical at any thread
+// count. See DESIGN.md §"Concurrency model".
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace iotx::util {
+
+class TaskPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit TaskPool(std::size_t threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// The number of worker threads backing this pool.
+  std::size_t thread_count() const noexcept { return threads_.size(); }
+
+  /// hardware_concurrency clamped to at least 1 (it may report 0).
+  static std::size_t default_thread_count() noexcept;
+
+  /// Enqueues a callable; the future carries its result or exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs fn(0) .. fn(n-1) across the pool, the calling thread included,
+  /// and returns when all calls finished. The first exception thrown by
+  /// any call is rethrown here (the remaining indices still run). Safe to
+  /// call from inside a pool task: the waiting thread executes queued work
+  /// instead of blocking, so nested parallel sections cannot deadlock.
+  ///
+  /// fn must be safe to invoke concurrently for distinct indices; index
+  /// assignment order across threads is unspecified, so fn must not depend
+  /// on execution order (write to slot i, seed from key i).
+  template <typename F>
+  void parallel_for_each(std::size_t n, F&& fn) {
+    if (n == 0) return;
+    if (n == 1 || thread_count() <= 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+    auto drain = [&next, &error_mu, &error, &fn, n] {
+      for (std::size_t i;
+           (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::future<void>> helpers;
+    helpers.reserve(std::min(n - 1, thread_count()));
+    for (std::size_t h = 0; h < std::min(n - 1, thread_count()); ++h) {
+      helpers.push_back(submit(drain));
+    }
+    drain();
+    for (std::future<void>& helper : helpers) {
+      // Help with queued work while waiting: a helper may be stuck behind
+      // this very thread's stack frame when parallel sections nest.
+      while (helper.wait_for(std::chrono::seconds(0)) !=
+             std::future_status::ready) {
+        if (!run_one()) {
+          helper.wait_for(std::chrono::milliseconds(1));
+        }
+      }
+      helper.get();
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  /// Pops and runs one queued task on the calling thread; false when the
+  /// queue was empty.
+  bool run_one();
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace iotx::util

@@ -6,11 +6,12 @@
 //                                         synthesize one interaction capture
 //   iotx classify <capture.pcap>          flows, protocols, encryption,
 //                                         destinations of any pcap
-//   iotx study --out <dir> [--paper-scale] [--devices a,b,c]
+//   iotx study --out <dir> [--paper-scale] [--devices a,b,c] [--jobs N]
 //                                         run the campaign, write JSON tables
 //   iotx export-dataset <dir>             labeled pcaps in the released
 //                                         dataset's layout
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "iotx/testbed/gateway.hpp"
 #include "iotx/util/strings.hpp"
 #include "iotx/util/table.hpp"
+#include "iotx/util/task_pool.hpp"
 
 namespace {
 
@@ -35,6 +37,8 @@ int usage() {
       "  iotx simulate <device_id> <activity> <out.pcap> [us|uk] [--vpn]\n"
       "  iotx classify <capture.pcap>\n"
       "  iotx study --out <dir> [--paper-scale] [--devices a,b,c] [--no-vpn]\n"
+      "             [--jobs N]   (worker threads; default: all hardware\n"
+      "                          threads; results identical at any N)\n"
       "  iotx export-dataset <dir>");
   return 2;
 }
@@ -168,13 +172,22 @@ int cmd_study(int argc, char** argv) {
       params.device_filter = util::split(argv[++i], ',');
     } else if (std::strcmp(argv[i], "--no-vpn") == 0) {
       params.run_vpn = false;
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      const int jobs = std::atoi(argv[++i]);
+      if (jobs < 1) {
+        std::printf("--jobs requires a positive integer\n");
+        return 2;
+      }
+      params.jobs = static_cast<std::size_t>(jobs);
     } else {
       return usage();
     }
   }
   if (out_dir.empty()) return usage();
 
-  std::printf("running the measurement campaign...\n");
+  std::printf("running the measurement campaign (%zu jobs)...\n",
+              params.jobs == 0 ? iotx::util::TaskPool::default_thread_count()
+                               : params.jobs);
   core::Study study(params);
   study.run();
   std::printf("%zu controlled experiments done\n", study.experiments_run());

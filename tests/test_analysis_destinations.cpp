@@ -162,6 +162,78 @@ TEST(Attribution, MergesBytesPerAddress) {
   EXPECT_EQ(records[0].packets, 2u);
 }
 
+// Regression for the cross-capture destination merge: a later capture in
+// which the same IP lacked a DNS answer must not clobber the resolved
+// domain/organization/party with the IP-literal attribution.
+TEST(DestinationAccumulator, NamedAttributionSurvivesUnresolvedCapture) {
+  const auto orgs = EndpointRegistry::builtin().make_org_database();
+  const auto geodb = EndpointRegistry::builtin().make_geo_database();
+  const AttributionContext ctx = make_ctx(orgs, geodb);
+  const Ipv4Address remote(54, 85, 62, 100);  // api.ring.com
+
+  // Capture 1: DNS exchange, then traffic to the resolved address.
+  std::vector<Packet> with_dns;
+  const auto query = iotx::proto::make_query(1, "api.ring.com");
+  const auto response = iotx::proto::make_response(query, remote);
+  FrameEndpoints dns_ep = endpoints(Ipv4Address(10, 42, 0, 1), 53);
+  with_dns.push_back(
+      make_udp_packet(1.0, reverse(dns_ep), response.encode()));
+  with_dns.push_back(make_tcp_packet(2.0, endpoints(remote, 443),
+                                     std::vector<std::uint8_t>(100, 1)));
+
+  // Capture 2: the device reuses its cached resolution — same address, no
+  // DNS response on the wire, no SNI.
+  std::vector<Packet> without_dns;
+  without_dns.push_back(make_tcp_packet(1.0, endpoints(remote, 443),
+                                        std::vector<std::uint8_t>(250, 2)));
+
+  const auto attribute = [&](const std::vector<Packet>& packets) {
+    iotx::flow::DnsCache dns;
+    dns.ingest_all(packets);
+    return attribute_destinations(iotx::flow::assemble_flows(packets), dns,
+                                  ctx, {"Ring"});
+  };
+  const auto resolved = attribute(with_dns);
+  const auto unresolved = attribute(without_dns);
+  ASSERT_EQ(resolved.size(), 1u);
+  ASSERT_EQ(unresolved.size(), 1u);
+  ASSERT_EQ(unresolved[0].domain, remote.to_string());  // IP literal
+
+  // Replay in both orders; the named attribution must win either way and
+  // the byte/packet totals must accumulate.
+  for (const bool dns_first : {true, false}) {
+    DestinationAccumulator acc;
+    acc.add_all(dns_first ? resolved : unresolved);
+    acc.add_all(dns_first ? unresolved : resolved);
+    const auto merged = acc.merged();
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].domain, "api.ring.com") << "dns_first=" << dns_first;
+    EXPECT_EQ(merged[0].sld, "ring.com");
+    EXPECT_EQ(merged[0].organization, "Ring");
+    EXPECT_EQ(merged[0].party, geo::PartyType::kFirst);
+    EXPECT_EQ(merged[0].bytes, resolved[0].bytes + unresolved[0].bytes);
+    EXPECT_EQ(merged[0].packets,
+              resolved[0].packets + unresolved[0].packets);
+  }
+}
+
+TEST(DestinationAccumulator, MergedRecordsOrderedByAddress) {
+  DestinationRecord a, b;
+  a.address = Ipv4Address(9, 9, 9, 9);
+  a.domain = a.address.to_string();
+  a.bytes = 10;
+  b.address = Ipv4Address(1, 1, 1, 1);
+  b.domain = b.address.to_string();
+  b.bytes = 20;
+  DestinationAccumulator acc;
+  acc.add(a);
+  acc.add(b);
+  const auto merged = acc.merged();
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].address, b.address);
+  EXPECT_EQ(merged[1].address, a.address);
+}
+
 TEST(PartyCounts, CountsUniqueDomainsByParty) {
   std::vector<DestinationRecord> records(4);
   records[0].domain = "a.example.com";

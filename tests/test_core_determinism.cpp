@@ -1,0 +1,142 @@
+// Determinism regression for the parallel Study executor: a campaign run
+// with jobs=1 must be bit-identical to one with jobs=4 — same result
+// ordering, destination tables, encryption byte counts, PII findings, and
+// model F1 scores. Seeds are keyed by (config, device, experiment,
+// tree/repetition index), never by execution order, so thread count must
+// not be observable in any output.
+#include <gtest/gtest.h>
+
+#include "iotx/core/study.hpp"
+
+namespace {
+
+using namespace iotx::core;
+using namespace iotx::testbed;
+
+StudyParams tiny_params(std::size_t jobs) {
+  StudyParams p;
+  p.plan = SchedulePlan{/*automated_reps=*/4, /*manual_reps=*/2,
+                        /*power_reps=*/2, /*idle_hours=*/0.1};
+  p.inference.validation.forest.n_trees = 8;
+  p.inference.validation.repetitions = 2;
+  p.run_uncontrolled = false;
+  p.run_vpn = false;
+  p.device_filter = {"ring_doorbell", "tplink_plug"};
+  p.jobs = jobs;
+  return p;
+}
+
+class DeterminismFixture : public ::testing::Test {
+ protected:
+  static const Study& serial() {
+    static Study* instance = [] {
+      auto* s = new Study(tiny_params(1));
+      s->run();
+      return s;
+    }();
+    return *instance;
+  }
+  static const Study& parallel() {
+    static Study* instance = [] {
+      auto* s = new Study(tiny_params(4));
+      s->run();
+      return s;
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(DeterminismFixture, ConfigKeysAndExperimentCountsMatch) {
+  EXPECT_EQ(serial().config_keys(), parallel().config_keys());
+  EXPECT_EQ(serial().experiments_run(), parallel().experiments_run());
+}
+
+TEST_F(DeterminismFixture, ResultOrderingMatchesSerial) {
+  for (const std::string& key : serial().config_keys()) {
+    const auto& a = serial().results(key);
+    const auto& b = parallel().results(key);
+    ASSERT_EQ(a.size(), b.size()) << key;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].device->id, b[i].device->id) << key << " slot " << i;
+    }
+  }
+}
+
+TEST_F(DeterminismFixture, DestinationTablesIdentical) {
+  for (const std::string& key : serial().config_keys()) {
+    const auto& a = serial().results(key);
+    const auto& b = parallel().results(key);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].destinations.size(), b[i].destinations.size());
+      for (std::size_t d = 0; d < a[i].destinations.size(); ++d) {
+        const auto& da = a[i].destinations[d];
+        const auto& db = b[i].destinations[d];
+        EXPECT_EQ(da.address, db.address);
+        EXPECT_EQ(da.domain, db.domain);
+        EXPECT_EQ(da.sld, db.sld);
+        EXPECT_EQ(da.organization, db.organization);
+        EXPECT_EQ(da.party, db.party);
+        EXPECT_EQ(da.country, db.country);
+        EXPECT_EQ(da.bytes, db.bytes);
+        EXPECT_EQ(da.packets, db.packets);
+      }
+    }
+  }
+}
+
+TEST_F(DeterminismFixture, EncryptionBytesIdentical) {
+  for (const std::string& key : serial().config_keys()) {
+    const auto& a = serial().results(key);
+    const auto& b = parallel().results(key);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].enc_total.encrypted, b[i].enc_total.encrypted);
+      EXPECT_EQ(a[i].enc_total.unencrypted, b[i].enc_total.unencrypted);
+      EXPECT_EQ(a[i].enc_total.unknown, b[i].enc_total.unknown);
+      EXPECT_EQ(a[i].enc_total.media, b[i].enc_total.media);
+      ASSERT_EQ(a[i].enc_by_group.size(), b[i].enc_by_group.size());
+      for (const auto& [group, enc] : a[i].enc_by_group) {
+        ASSERT_TRUE(b[i].enc_by_group.contains(group));
+        EXPECT_EQ(enc.encrypted, b[i].enc_by_group.at(group).encrypted);
+        EXPECT_EQ(enc.unencrypted, b[i].enc_by_group.at(group).unencrypted);
+      }
+    }
+  }
+}
+
+TEST_F(DeterminismFixture, PiiFindingsIdentical) {
+  for (const std::string& key : serial().config_keys()) {
+    const auto& a = serial().results(key);
+    const auto& b = parallel().results(key);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].pii_findings.size(), b[i].pii_findings.size());
+      for (std::size_t f = 0; f < a[i].pii_findings.size(); ++f) {
+        EXPECT_EQ(a[i].pii_findings[f].kind, b[i].pii_findings[f].kind);
+        EXPECT_EQ(a[i].pii_findings[f].destination,
+                  b[i].pii_findings[f].destination);
+      }
+    }
+  }
+}
+
+TEST_F(DeterminismFixture, ModelScoresBitIdentical) {
+  for (const std::string& key : serial().config_keys()) {
+    const auto& a = serial().results(key);
+    const auto& b = parallel().results(key);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      // Exact equality, not near-equality: the parallel path must preserve
+      // both the per-repetition seeds and the reduction order.
+      EXPECT_EQ(a[i].model.validation.macro_f1, b[i].model.validation.macro_f1);
+      EXPECT_EQ(a[i].model.validation.accuracy, b[i].model.validation.accuracy);
+      EXPECT_EQ(a[i].model.validation.class_f1, b[i].model.validation.class_f1);
+      EXPECT_EQ(a[i].model.device_f1(), b[i].model.device_f1());
+      EXPECT_EQ(a[i].idle.instances, b[i].idle.instances);
+      EXPECT_EQ(a[i].idle.units_classified, b[i].idle.units_classified);
+    }
+  }
+}
+
+}  // namespace

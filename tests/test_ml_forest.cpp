@@ -74,6 +74,22 @@ TEST(RandomForest, DeterministicBySeed) {
   }
 }
 
+TEST(RandomForest, ParallelFitMatchesSerialBitForBit) {
+  const Dataset data = gaussian_blobs(30, 3.0);
+  RandomForest serial, parallel;
+  Prng p1("pool-seed"), p2("pool-seed");
+  serial.fit(data, ForestParams{20, TreeParams{}}, p1);
+  iotx::util::TaskPool pool(4);
+  parallel.fit(data, ForestParams{20, TreeParams{}}, p2, &pool);
+  ASSERT_EQ(parallel.tree_count(), 20u);
+  Prng probe("pool-probe");
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> x = {probe.normal(1.5, 3), probe.normal(1.5, 3),
+                                   probe.normal(1.5, 3)};
+    EXPECT_EQ(serial.predict_proba(x), parallel.predict_proba(x));
+  }
+}
+
 TEST(RandomForest, EmptyDatasetSafe) {
   RandomForest forest;
   Prng prng("empty");

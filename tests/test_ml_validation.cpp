@@ -57,6 +57,20 @@ TEST(CrossValidate, DifferentSeedsVary) {
   EXPECT_NE(r1.macro_f1, r2.macro_f1);
 }
 
+TEST(CrossValidate, ParallelMatchesSerialBitForBit) {
+  const Dataset data = blobs(25, 3.0, "par");
+  const ValidationResult serial = cross_validate(data, fast_params(), "pkey");
+  iotx::util::TaskPool pool(4);
+  const ValidationResult parallel =
+      cross_validate(data, fast_params(), "pkey", &pool);
+  EXPECT_EQ(serial.repetitions, parallel.repetitions);
+  // Exact equality: repetition seeds are keyed by index and outcomes are
+  // reduced in index order, so thread count must not be observable.
+  EXPECT_EQ(serial.macro_f1, parallel.macro_f1);
+  EXPECT_EQ(serial.accuracy, parallel.accuracy);
+  EXPECT_EQ(serial.class_f1, parallel.class_f1);
+}
+
 TEST(CrossValidate, EmptyDatasetSafe) {
   const ValidationResult result =
       cross_validate(Dataset{}, fast_params(), "empty");

@@ -107,6 +107,14 @@ TEST(Quantile, SingleElement) {
   EXPECT_EQ(quantile_sorted(sorted, 0.3), 4.2);
 }
 
+TEST(Quantile, EmptyInputIsZero) {
+  // Regression: n - 1 with n == 0 used to wrap to SIZE_MAX and index out
+  // of bounds.
+  EXPECT_EQ(quantile_sorted({}, 0.0), 0.0);
+  EXPECT_EQ(quantile_sorted({}, 0.5), 0.0);
+  EXPECT_EQ(quantile_sorted({}, 1.0), 0.0);
+}
+
 TEST(MeanStddev, Basics) {
   const std::vector<double> sample = {2.0, 4.0, 6.0};
   EXPECT_DOUBLE_EQ(mean(sample), 4.0);

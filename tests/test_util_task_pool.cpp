@@ -1,0 +1,111 @@
+// Tests for the fixed-thread work-queue executor that backs the parallel
+// Study / forest / validation paths.
+#include "iotx/util/task_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using iotx::util::TaskPool;
+
+TEST(TaskPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(TaskPool::default_thread_count(), 1u);
+  TaskPool pool;
+  EXPECT_EQ(pool.thread_count(), TaskPool::default_thread_count());
+}
+
+TEST(TaskPool, SubmitReturnsValue) {
+  TaskPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(TaskPool, SubmitPropagatesException) {
+  TaskPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(TaskPool, ManySubmissionsAllComplete) {
+  TaskPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([i] { return i; }));
+  }
+  int total = 0;
+  for (auto& f : futures) total += f.get();
+  EXPECT_EQ(total, 199 * 200 / 2);
+}
+
+TEST(TaskPool, ParallelForEachCoversEveryIndexOnce) {
+  TaskPool pool(4);
+  constexpr std::size_t kN = 500;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for_each(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(TaskPool, ParallelForEachZeroAndOne) {
+  TaskPool pool(2);
+  pool.parallel_for_each(0, [](std::size_t) { FAIL(); });
+  int calls = 0;
+  pool.parallel_for_each(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TaskPool, SingleThreadPoolRunsInline) {
+  TaskPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for_each(8, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(8);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(TaskPool, ParallelForEachPropagatesException) {
+  TaskPool pool(3);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for_each(64,
+                             [&](std::size_t i) {
+                               if (i == 13) throw std::runtime_error("bad");
+                               ++completed;
+                             }),
+      std::runtime_error);
+  // The remaining indices still ran.
+  EXPECT_EQ(completed.load(), 63);
+}
+
+// Regression: nested parallel sections must not deadlock even when every
+// worker is occupied by an outer task (the waiting thread executes queued
+// work itself). This is exactly the Study -> forest/validation shape.
+TEST(TaskPool, NestedParallelForEachCompletes) {
+  TaskPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for_each(8, [&](std::size_t) {
+    pool.parallel_for_each(16, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(TaskPool, DeeplyNestedCompletes) {
+  TaskPool pool(2);
+  std::atomic<int> leaf{0};
+  pool.parallel_for_each(3, [&](std::size_t) {
+    pool.parallel_for_each(3, [&](std::size_t) {
+      pool.parallel_for_each(3, [&](std::size_t) { ++leaf; });
+    });
+  });
+  EXPECT_EQ(leaf.load(), 27);
+}
+
+}  // namespace
