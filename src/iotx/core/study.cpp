@@ -18,6 +18,15 @@ StudyParams StudyParams::paper_scale() {
   return p;
 }
 
+std::string_view run_status_name(RunStatus status) noexcept {
+  switch (status) {
+    case RunStatus::kClean: return "clean";
+    case RunStatus::kDegraded: return "degraded";
+    case RunStatus::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
 std::string experiment_group(const testbed::ExperimentSpec& spec) {
   switch (spec.type) {
     case testbed::ExperimentType::kPower: return "Power";
@@ -69,6 +78,7 @@ analysis::AttributionContext Study::attribution_context(
 DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
                                   const testbed::NetworkConfig& config,
                                   util::TaskPool* pool) {
+  if (params_.chaos_hook) params_.chaos_hook(device, config);
   DeviceRunResult result;
   result.device = &device;
   result.config = config;
@@ -96,8 +106,9 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
   const auto analyze_capture = [&](const testbed::LabeledCapture& capture) {
     flow::DnsCache dns;
     dns.ingest_all(capture.packets);
+    result.health.merge(dns.health());
     const std::vector<flow::Flow> flows =
-        flow::assemble_flows(capture.packets);
+        flow::assemble_flows(capture.packets, &result.health);
 
     const std::vector<analysis::DestinationRecord> records =
         analysis::attribute_destinations(flows, dns, ctx,
@@ -131,6 +142,13 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
        runner_.schedule(device, config)) {
     testbed::LabeledCapture capture = runner_.run(spec);
     experiments_run_.fetch_add(1, std::memory_order_relaxed);
+    if (params_.impairment.enabled()) {
+      // Seeded by the experiment key alone, never by execution order, so
+      // an impaired campaign stays bit-identical at any --jobs count.
+      util::Prng prng("impair/" + spec.key());
+      faults::apply_impairment(capture.packets, params_.impairment, prng)
+          .add_to(result.health);
+    }
     analyze_capture(capture);
     if (spec.type == testbed::ExperimentType::kIdle) {
       idle_capture = std::move(capture.packets);
@@ -167,6 +185,8 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
                                                 params_.inference, pool);
   result.idle = analysis::detect_activity(device, config.lab, idle_capture,
                                           result.model, params_.detector);
+  result.status = result.health.total_anomalies() > 0 ? RunStatus::kDegraded
+                                                      : RunStatus::kClean;
   return result;
 }
 
@@ -206,7 +226,26 @@ void Study::run() {
   util::TaskPool pool(params_.jobs);
   pool.parallel_for_each(pending.size(), [&](std::size_t i) {
     const PendingRun& p = pending[i];
-    (*p.bucket)[p.slot] = run_device(*p.device, p.config, &pool);
+    // Pool-boundary fault isolation: one (config, device) run that still
+    // throws after all the graceful-degradation layers is quarantined —
+    // slot recorded with the exception text — and the campaign continues.
+    try {
+      (*p.bucket)[p.slot] = run_device(*p.device, p.config, &pool);
+    } catch (const std::exception& e) {
+      DeviceRunResult failed;
+      failed.device = p.device;
+      failed.config = p.config;
+      failed.status = RunStatus::kQuarantined;
+      failed.error = e.what();
+      (*p.bucket)[p.slot] = std::move(failed);
+    } catch (...) {
+      DeviceRunResult failed;
+      failed.device = p.device;
+      failed.config = p.config;
+      failed.status = RunStatus::kQuarantined;
+      failed.error = "unknown exception";
+      (*p.bucket)[p.slot] = std::move(failed);
+    }
   });
 
   if (params_.run_uncontrolled) run_uncontrolled();
@@ -226,11 +265,33 @@ void Study::run_uncontrolled() {
 
     for (const DeviceRunResult& r : us_results) {
       if (r.device->id != device_id) continue;
+      // A quarantined run has no trained model to audit against.
+      if (r.status == RunStatus::kQuarantined) break;
       uncontrolled_findings_[device_id] = analysis::audit_uncontrolled(
           *device, capture, r.model, user_study_.events, params_.detector);
       break;
     }
   }
+}
+
+std::vector<const DeviceRunResult*> Study::quarantined() const {
+  std::vector<const DeviceRunResult*> out;
+  for (const auto& [key, bucket] : results_) {
+    for (const DeviceRunResult& r : bucket) {
+      if (r.status == RunStatus::kQuarantined) out.push_back(&r);
+    }
+  }
+  return out;
+}
+
+std::vector<const DeviceRunResult*> Study::degraded() const {
+  std::vector<const DeviceRunResult*> out;
+  for (const auto& [key, bucket] : results_) {
+    for (const DeviceRunResult& r : bucket) {
+      if (r.status == RunStatus::kDegraded) out.push_back(&r);
+    }
+  }
+  return out;
 }
 
 const std::vector<DeviceRunResult>& Study::results(

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "iotx/analysis/inference.hpp"
 #include "iotx/analysis/pii.hpp"
 #include "iotx/analysis/unexpected.hpp"
+#include "iotx/faults/impairment.hpp"
 #include "iotx/testbed/experiment.hpp"
 #include "iotx/testbed/user_study.hpp"
 #include "iotx/util/task_pool.hpp"
@@ -45,16 +47,43 @@ struct StudyParams {
   /// serially. Results are bit-identical at any value (see DESIGN.md
   /// §"Concurrency model").
   std::size_t jobs = 0;
+  /// Network impairment injected into every controlled capture at the
+  /// gateway (seeded per experiment key, so bit-reproducible at any job
+  /// count). Default-constructed = disabled: captures are byte-identical
+  /// to a build without fault injection.
+  faults::ImpairmentProfile impairment;
+  /// Chaos/testing hook invoked at the start of every (config, device)
+  /// run; a throw here exercises the quarantine path the same way a
+  /// genuinely corrupt capture would. Null by default.
+  std::function<void(const testbed::DeviceSpec&,
+                     const testbed::NetworkConfig&)>
+      chaos_hook;
 
   /// Paper-scale settings (30 automated reps, 10 CV repetitions, 100
   /// trees, 28 h idle, ~6-month user study). Minutes of CPU.
   static StudyParams paper_scale();
 };
 
+/// Disposition of one (config, device) run after graceful degradation.
+enum class RunStatus {
+  kClean,        ///< no anomalies observed, no impairment injected
+  kDegraded,     ///< completed, but with nonzero health counters
+  kQuarantined,  ///< threw; excluded from analysis, error text retained
+};
+
+std::string_view run_status_name(RunStatus status) noexcept;
+
 /// Everything measured for one device unit under one network config.
 struct DeviceRunResult {
   const testbed::DeviceSpec* device = nullptr;
   testbed::NetworkConfig config;
+
+  /// Typed anomaly counters aggregated over every capture of this run
+  /// (ingest-side observations plus injected-impairment ground truth).
+  faults::CaptureHealth health;
+  RunStatus status = RunStatus::kClean;
+  /// Exception text when quarantined; empty otherwise.
+  std::string error;
 
   /// Merged destination records over all experiments.
   std::vector<analysis::DestinationRecord> destinations;
@@ -114,6 +143,13 @@ class Study {
   std::size_t experiments_run() const noexcept {
     return experiments_run_.load(std::memory_order_relaxed);
   }
+
+  /// All quarantined runs across configs, in result order; empty when
+  /// every run completed.
+  std::vector<const DeviceRunResult*> quarantined() const;
+
+  /// All degraded (completed-with-anomalies) runs across configs.
+  std::vector<const DeviceRunResult*> degraded() const;
 
   /// The attribution context used for a config (exposed for examples).
   analysis::AttributionContext attribution_context(

@@ -1,0 +1,116 @@
+// CaptureHealth: the typed error taxonomy for lossy/partial captures.
+//
+// Real testbed captures suffer truncated pcaps, undecodable frames,
+// mangled protocol messages, and capped reassembly buffers (Mon(IoT)r
+// §3). Instead of throwing or silently discarding, every ingest layer
+// (net::pcap_parse, proto sniffing in flow::FlowTable, flow::DnsCache,
+// flow::TcpStreamReassembler, faults::apply_impairment) increments a
+// counter here; the Study aggregates one CaptureHealth per (config,
+// device) run and the report's robustness section surfaces them.
+//
+// Header-only by design: net/ and flow/ include it without linking
+// against the faults library, so the dependency graph stays acyclic
+// (faults links proto links net).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace iotx::faults {
+
+/// Typed counters for every recoverable ingest anomaly. All zeros on a
+/// clean capture; any nonzero ingest-side counter marks a run "degraded".
+struct CaptureHealth {
+  // --- pcap file layer -----------------------------------------------
+  /// Files whose trailing record was cut mid-write; the parsed prefix
+  /// was salvaged instead of rejecting the whole file.
+  std::uint64_t pcap_truncated_tail = 0;
+  /// Frames stored shorter than their original wire length
+  /// (incl_len < orig_len, i.e. snaplen clipping at capture time).
+  std::uint64_t snaplen_clipped_frames = 0;
+
+  // --- frame decode layer --------------------------------------------
+  /// Frames that failed Ethernet/IPv4/L4 decoding during flow assembly.
+  std::uint64_t undecodable_frames = 0;
+
+  // --- protocol parse layer ------------------------------------------
+  /// Port-53/5353 UDP payloads that failed DNS wire-format decoding.
+  std::uint64_t dns_parse_failures = 0;
+  /// TLS handshake records announcing a ClientHello that failed to parse.
+  std::uint64_t tls_parse_failures = 0;
+  /// HTTP request payloads (method line present) that failed to parse.
+  std::uint64_t http_parse_failures = 0;
+
+  // --- TCP reassembly layer ------------------------------------------
+  /// Segments discarded because they landed past the reassembly cap.
+  std::uint64_t reassembly_dropped_segments = 0;
+  /// Payload bytes discarded with those segments.
+  std::uint64_t reassembly_dropped_bytes = 0;
+  /// Retransmitted segments whose overlap bytes disagreed with the bytes
+  /// already assembled (corruption or mid-stream capture confusion).
+  std::uint64_t reassembly_overlap_conflicts = 0;
+
+  // --- injected impairment (ground truth from faults::apply_impairment)
+  std::uint64_t impaired_dropped_packets = 0;
+  std::uint64_t impaired_dropped_bytes = 0;
+  std::uint64_t impaired_duplicated_packets = 0;
+  std::uint64_t impaired_reordered_packets = 0;
+  std::uint64_t impaired_truncated_frames = 0;
+  std::uint64_t impaired_corrupted_frames = 0;
+  std::uint64_t impaired_dns_responses_dropped = 0;
+  /// Captures cut short mid-experiment (power cut / capture crash).
+  std::uint64_t impaired_capture_cutoffs = 0;
+
+  /// Sum of the ingest-side anomaly counters — the ones observed while
+  /// parsing, not the injection ground truth. Nonzero => degraded run.
+  std::uint64_t observed_anomalies() const noexcept {
+    return pcap_truncated_tail + snaplen_clipped_frames +
+           undecodable_frames + dns_parse_failures + tls_parse_failures +
+           http_parse_failures + reassembly_dropped_segments +
+           reassembly_overlap_conflicts;
+  }
+
+  /// Sum of every counter, injected impairment included.
+  std::uint64_t total_anomalies() const noexcept {
+    return observed_anomalies() + impaired_dropped_packets +
+           impaired_duplicated_packets + impaired_reordered_packets +
+           impaired_truncated_frames + impaired_corrupted_frames +
+           impaired_dns_responses_dropped + impaired_capture_cutoffs;
+  }
+
+  CaptureHealth& merge(const CaptureHealth& o) noexcept {
+    pcap_truncated_tail += o.pcap_truncated_tail;
+    snaplen_clipped_frames += o.snaplen_clipped_frames;
+    undecodable_frames += o.undecodable_frames;
+    dns_parse_failures += o.dns_parse_failures;
+    tls_parse_failures += o.tls_parse_failures;
+    http_parse_failures += o.http_parse_failures;
+    reassembly_dropped_segments += o.reassembly_dropped_segments;
+    reassembly_dropped_bytes += o.reassembly_dropped_bytes;
+    reassembly_overlap_conflicts += o.reassembly_overlap_conflicts;
+    impaired_dropped_packets += o.impaired_dropped_packets;
+    impaired_dropped_bytes += o.impaired_dropped_bytes;
+    impaired_duplicated_packets += o.impaired_duplicated_packets;
+    impaired_reordered_packets += o.impaired_reordered_packets;
+    impaired_truncated_frames += o.impaired_truncated_frames;
+    impaired_corrupted_frames += o.impaired_corrupted_frames;
+    impaired_dns_responses_dropped += o.impaired_dns_responses_dropped;
+    impaired_capture_cutoffs += o.impaired_capture_cutoffs;
+    return *this;
+  }
+
+  bool operator==(const CaptureHealth&) const = default;
+};
+
+/// (counter name, value) pairs in declaration order — one stable walk
+/// used by the JSON robustness report, the text tables, and the CLI.
+std::vector<std::pair<std::string_view, std::uint64_t>> health_counters(
+    const CaptureHealth& health);
+
+/// Like health_counters() but only the nonzero entries.
+std::vector<std::pair<std::string_view, std::uint64_t>> nonzero_counters(
+    const CaptureHealth& health);
+
+}  // namespace iotx::faults

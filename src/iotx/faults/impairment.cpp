@@ -1,0 +1,202 @@
+#include "iotx/faults/impairment.hpp"
+
+#include <algorithm>
+
+namespace iotx::faults {
+
+namespace {
+
+/// Server->client UDP traffic from a DNS port; the resolver heuristic
+/// the drop knob targets (a lost response, not a lost query, is what
+/// breaks IP->domain attribution downstream).
+bool is_dns_response(const net::Packet& pkt) {
+  const auto d = net::decode_packet(pkt);
+  if (!d || !d->is_udp || d->payload.empty()) return false;
+  return d->udp.src_port == 53 || d->udp.src_port == 5353;
+}
+
+}  // namespace
+
+bool ImpairmentProfile::enabled() const noexcept {
+  return loss > 0.0 || duplicate > 0.0 || reorder > 0.0 || truncate > 0.0 ||
+         corrupt > 0.0 || dns_drop > 0.0 || cutoff > 0.0;
+}
+
+void ImpairmentSummary::add_to(CaptureHealth& health) const noexcept {
+  health.impaired_dropped_packets += dropped_packets;
+  health.impaired_dropped_bytes += dropped_bytes;
+  health.impaired_duplicated_packets += duplicated_packets;
+  health.impaired_reordered_packets += reordered_packets;
+  health.impaired_truncated_frames += truncated_frames;
+  health.impaired_corrupted_frames += corrupted_frames;
+  health.impaired_dns_responses_dropped += dns_responses_dropped;
+  health.impaired_capture_cutoffs += cutoff_applied ? 1 : 0;
+}
+
+ImpairmentSummary& ImpairmentSummary::merge(
+    const ImpairmentSummary& o) noexcept {
+  packets_in += o.packets_in;
+  packets_out += o.packets_out;
+  dropped_packets += o.dropped_packets;
+  dropped_bytes += o.dropped_bytes;
+  duplicated_packets += o.duplicated_packets;
+  reordered_packets += o.reordered_packets;
+  truncated_frames += o.truncated_frames;
+  corrupted_frames += o.corrupted_frames;
+  dns_responses_dropped += o.dns_responses_dropped;
+  cutoff_applied = cutoff_applied || o.cutoff_applied;
+  return *this;
+}
+
+ImpairmentSummary apply_impairment(std::vector<net::Packet>& packets,
+                                   const ImpairmentProfile& profile,
+                                   util::Prng& prng) {
+  ImpairmentSummary summary;
+  summary.packets_in = packets.size();
+  summary.packets_out = packets.size();
+  if (!profile.enabled() || packets.empty()) return summary;
+
+  // One draw order, fixed by the input packet sequence alone: capture-level
+  // cutoff first, then one pass over the packets. Every branch below either
+  // always draws or draws behind a condition that depends only on the input
+  // and earlier draws, so the same (packets, profile, seed) triple always
+  // degrades identically.
+  std::size_t limit = packets.size();
+  if (profile.cutoff > 0.0 && prng.chance(profile.cutoff)) {
+    const double keep =
+        prng.uniform_real(profile.cutoff_min_fraction, 1.0);
+    limit = static_cast<std::size_t>(keep *
+                                     static_cast<double>(packets.size()));
+    summary.cutoff_applied = true;
+  }
+
+  std::vector<net::Packet> out;
+  out.reserve(packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    net::Packet& pkt = packets[i];
+    if (i >= limit) {  // capture ended early: everything after is gone
+      ++summary.dropped_packets;
+      summary.dropped_bytes += pkt.frame.size();
+      continue;
+    }
+    if (profile.loss > 0.0 && prng.chance(profile.loss)) {
+      ++summary.dropped_packets;
+      summary.dropped_bytes += pkt.frame.size();
+      continue;
+    }
+    if (profile.dns_drop > 0.0 && is_dns_response(pkt) &&
+        prng.chance(profile.dns_drop)) {
+      ++summary.dropped_packets;
+      summary.dropped_bytes += pkt.frame.size();
+      ++summary.dns_responses_dropped;
+      continue;
+    }
+    if (profile.truncate > 0.0 && pkt.frame.size() > profile.truncate_snaplen &&
+        prng.chance(profile.truncate)) {
+      summary.dropped_bytes += pkt.frame.size() - profile.truncate_snaplen;
+      pkt.frame.resize(profile.truncate_snaplen);
+      ++summary.truncated_frames;
+    }
+    if (profile.corrupt > 0.0 && !pkt.frame.empty() &&
+        prng.chance(profile.corrupt)) {
+      for (std::size_t n = 0; n < profile.corrupt_bytes; ++n) {
+        const std::size_t at = prng.uniform(pkt.frame.size());
+        pkt.frame[at] ^= static_cast<std::uint8_t>(1u << prng.uniform(8));
+      }
+      ++summary.corrupted_frames;
+    }
+    if (profile.reorder > 0.0 && prng.chance(profile.reorder)) {
+      pkt.timestamp +=
+          prng.uniform_real(-profile.reorder_jitter, profile.reorder_jitter);
+      ++summary.reordered_packets;
+    }
+    const bool duplicated =
+        profile.duplicate > 0.0 && prng.chance(profile.duplicate);
+    out.push_back(std::move(pkt));
+    if (duplicated) {
+      net::Packet copy = out.back();
+      copy.timestamp += 1e-6;  // dup arrives just behind the original
+      out.push_back(std::move(copy));
+      ++summary.duplicated_packets;
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const net::Packet& a, const net::Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  packets = std::move(out);
+  summary.packets_out = packets.size();
+  return summary;
+}
+
+const std::vector<ImpairmentProfile>& builtin_profiles() {
+  static const std::vector<ImpairmentProfile> kProfiles = [] {
+    std::vector<ImpairmentProfile> v;
+
+    ImpairmentProfile none;
+    v.push_back(none);
+
+    ImpairmentProfile mild;
+    mild.name = "mild-loss";
+    mild.loss = 0.01;
+    mild.reorder = 0.02;
+    mild.reorder_jitter = 0.005;
+    v.push_back(mild);
+
+    ImpairmentProfile wifi;  // congested 2.4 GHz + overloaded capture box
+    wifi.name = "lossy-wifi";
+    wifi.loss = 0.08;
+    wifi.duplicate = 0.02;
+    wifi.reorder = 0.10;
+    wifi.reorder_jitter = 0.05;
+    wifi.truncate = 0.02;
+    wifi.truncate_snaplen = 96;
+    wifi.corrupt = 0.005;
+    wifi.corrupt_bytes = 4;
+    wifi.dns_drop = 0.05;
+    wifi.cutoff = 0.02;
+    wifi.cutoff_min_fraction = 0.6;
+    v.push_back(wifi);
+
+    ImpairmentProfile vpn;  // tunnel flaps: bursts reorder, sessions die
+    vpn.name = "flaky-vpn";
+    vpn.loss = 0.03;
+    vpn.duplicate = 0.05;
+    vpn.reorder = 0.25;
+    vpn.reorder_jitter = 0.2;
+    vpn.dns_drop = 0.15;
+    vpn.cutoff = 0.10;
+    vpn.cutoff_min_fraction = 0.5;
+    v.push_back(vpn);
+
+    ImpairmentProfile tap;  // tcpdump -s 68 style header-only capture
+    tap.name = "truncating-tap";
+    tap.loss = 0.01;
+    tap.truncate = 0.65;
+    tap.truncate_snaplen = 68;
+    tap.cutoff = 0.05;
+    tap.cutoff_min_fraction = 0.7;
+    v.push_back(tap);
+
+    return v;
+  }();
+  return kProfiles;
+}
+
+const ImpairmentProfile* find_profile(std::string_view name) {
+  for (const ImpairmentProfile& p : builtin_profiles()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::string profile_names() {
+  std::string out;
+  for (const ImpairmentProfile& p : builtin_profiles()) {
+    if (!out.empty()) out += ", ";
+    out += p.name;
+  }
+  return out;
+}
+
+}  // namespace iotx::faults

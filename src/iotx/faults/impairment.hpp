@@ -1,0 +1,82 @@
+// Deterministic network-impairment injection at the testbed gateway.
+//
+// Real deployments see packet loss, duplication, reordering, snaplen
+// clipping, byte corruption, dropped DNS responses, and captures cut
+// short by power failures; in-the-wild IoT measurement must ingest all
+// of it. apply_impairment() degrades a synthesized capture the way a
+// flaky gateway would, driven entirely by a caller-supplied Prng — the
+// Study forks that Prng from the per-experiment seed key
+// ("impair/" + spec.key()), so an impaired campaign is bit-reproducible
+// at any --jobs count, exactly like the clean one.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iotx/faults/health.hpp"
+#include "iotx/net/packet.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace iotx::faults {
+
+/// Knobs of one impairment scenario. All probabilities are per-packet
+/// (per-capture for `cutoff`); a default-constructed profile is a no-op.
+struct ImpairmentProfile {
+  std::string name = "none";
+
+  double loss = 0.0;       ///< P(drop) per packet
+  double duplicate = 0.0;  ///< P(emit a duplicate) per packet
+  double reorder = 0.0;    ///< P(timestamp jitter) per packet
+  double reorder_jitter = 0.0;  ///< max +/- seconds of jitter
+  double truncate = 0.0;   ///< P(clip frame to truncate_snaplen)
+  std::size_t truncate_snaplen = 68;  ///< bytes kept on a clipped frame
+  double corrupt = 0.0;    ///< P(flip bytes) per packet
+  std::size_t corrupt_bytes = 4;  ///< bytes flipped per corrupted frame
+  double dns_drop = 0.0;   ///< extra P(drop) for DNS responses
+  double cutoff = 0.0;     ///< P(capture ends early) per capture
+  double cutoff_min_fraction = 0.5;  ///< earliest cut point (fraction kept)
+
+  /// True when any knob is nonzero (the profile actually does something).
+  bool enabled() const noexcept;
+};
+
+/// What one apply_impairment() call did; `add_to` folds the counts into
+/// the capture's CaptureHealth as injection ground truth.
+struct ImpairmentSummary {
+  std::uint64_t packets_in = 0;
+  std::uint64_t packets_out = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t duplicated_packets = 0;
+  std::uint64_t reordered_packets = 0;
+  std::uint64_t truncated_frames = 0;
+  std::uint64_t corrupted_frames = 0;
+  std::uint64_t dns_responses_dropped = 0;
+  bool cutoff_applied = false;
+
+  void add_to(CaptureHealth& health) const noexcept;
+  ImpairmentSummary& merge(const ImpairmentSummary& o) noexcept;
+};
+
+/// Degrades `packets` in place per `profile`, consuming randomness only
+/// from `prng` (fork it from a stable per-capture key for determinism).
+/// Packets stay timestamp-sorted on return. A disabled profile returns
+/// immediately without touching the Prng, so clean runs stay bit-for-bit
+/// identical to pre-fault-injection builds.
+ImpairmentSummary apply_impairment(std::vector<net::Packet>& packets,
+                                   const ImpairmentProfile& profile,
+                                   util::Prng& prng);
+
+/// The built-in named scenarios: "none", "mild-loss", "lossy-wifi",
+/// "flaky-vpn", "truncating-tap".
+const std::vector<ImpairmentProfile>& builtin_profiles();
+
+/// Looks up a built-in profile by name; nullptr when unknown.
+const ImpairmentProfile* find_profile(std::string_view name);
+
+/// Comma-separated list of the built-in profile names (for CLI help).
+std::string profile_names();
+
+}  // namespace iotx::faults

@@ -11,7 +11,13 @@ void DnsCache::ingest(const net::DecodedPacket& p) {
   if (!p.is_udp || !dns_port || p.payload.empty()) return;
 
   const auto msg = proto::DnsMessage::decode(p.payload);
-  if (!msg || !msg->is_response) return;
+  if (!msg) {
+    // A DNS-port payload that does not decode is a mangled message
+    // (truncation, corruption): count it instead of vanishing.
+    ++health_.dns_parse_failures;
+    return;
+  }
+  if (!msg->is_response) return;
 
   // Map each CNAME target back to the name it aliases so A records at the
   // end of a chain attribute to the originally queried domain.

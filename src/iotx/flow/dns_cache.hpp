@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "iotx/faults/health.hpp"
 #include "iotx/net/packet.hpp"
 
 namespace iotx::flow {
@@ -30,8 +31,13 @@ class DnsCache {
   /// Number of distinct mapped addresses.
   std::size_t size() const noexcept { return map_.size(); }
 
+  /// Ingest anomalies seen so far (DNS payloads that failed to decode —
+  /// mangled responses a lossy capture hands us).
+  const faults::CaptureHealth& health() const noexcept { return health_; }
+
  private:
   std::unordered_map<net::Ipv4Address, std::string> map_;
+  faults::CaptureHealth health_;
 };
 
 }  // namespace iotx::flow

@@ -44,9 +44,30 @@ void append_sample(std::vector<std::uint8_t>& sample,
   sample.insert(sample.end(), payload.begin(), payload.begin() + n);
 }
 
+/// True when the payload opens a TLS handshake record announcing a
+/// ClientHello — the only TLS message we mine fields from, so a parse
+/// failure on it is an anomaly (anything else failing is routine).
+bool announces_client_hello(std::span<const std::uint8_t> payload) noexcept {
+  return payload.size() >= 6 && payload[0] == 0x16 && payload[5] == 0x01;
+}
+
+/// True when the payload opens with an HTTP request line we emit; a
+/// response or mid-stream segment failing to parse is expected, a
+/// mangled request line is not.
+bool announces_http_request(std::span<const std::uint8_t> payload) noexcept {
+  const std::string_view text(reinterpret_cast<const char*>(payload.data()),
+                              std::min<std::size_t>(payload.size(), 8));
+  for (const std::string_view method :
+       {"GET ", "POST ", "PUT ", "HEAD ", "DELETE ", "OPTIONS "}) {
+    if (text.starts_with(method)) return true;
+  }
+  return false;
+}
+
 // Fills protocol/encoding/SNI/host fields from the first packets that
-// reveal them.
-void sniff_content(Flow& flow, const net::DecodedPacket& p) {
+// reveal them; parse failures on self-announcing payloads are counted.
+void sniff_content(Flow& flow, const net::DecodedPacket& p,
+                   faults::CaptureHealth& health) {
   if (flow.protocol == proto::ProtocolId::kUnknown) {
     flow.protocol = proto::identify_protocol(p);
   }
@@ -55,12 +76,19 @@ void sniff_content(Flow& flow, const net::DecodedPacket& p) {
     flow.encoding = proto::detect_encoding(p.payload);
   }
   if (flow.sni.empty() && flow.protocol == proto::ProtocolId::kTls) {
-    if (auto sni = proto::extract_sni(p.payload)) flow.sni = *sni;
+    if (auto sni = proto::extract_sni(p.payload)) {
+      flow.sni = *sni;
+    } else if (announces_client_hello(p.payload) &&
+               !proto::parse_client_hello(p.payload)) {
+      ++health.tls_parse_failures;  // truncated/corrupted ClientHello
+    }
   }
   if (flow.http_host.empty() && (flow.protocol == proto::ProtocolId::kHttp ||
                                  flow.protocol == proto::ProtocolId::kRtsp)) {
     if (auto req = proto::HttpRequest::decode(p.payload)) {
       if (auto host = req->host()) flow.http_host = *host;
+    } else if (announces_http_request(p.payload)) {
+      ++health.http_parse_failures;  // request line present, framing gone
     }
   }
 }
@@ -93,12 +121,16 @@ void FlowTable::ingest(const net::DecodedPacket& p) {
 
   append_sample(outbound ? flow.payload_sample_up : flow.payload_sample_down,
                 p.payload);
-  sniff_content(flow, p);
+  sniff_content(flow, p, health_);
 }
 
 void FlowTable::ingest_all(const std::vector<net::Packet>& packets) {
   for (const net::Packet& raw : packets) {
-    if (const auto decoded = net::decode_packet(raw)) ingest(*decoded);
+    if (const auto decoded = net::decode_packet(raw)) {
+      ingest(*decoded);
+    } else {
+      ++health_.undecodable_frames;
+    }
   }
 }
 
@@ -111,9 +143,11 @@ std::vector<Flow> FlowTable::flows() const {
   return out;
 }
 
-std::vector<Flow> assemble_flows(const std::vector<net::Packet>& packets) {
+std::vector<Flow> assemble_flows(const std::vector<net::Packet>& packets,
+                                 faults::CaptureHealth* health) {
   FlowTable table;
   table.ingest_all(packets);
+  if (health != nullptr) health->merge(table.health());
   return table.flows();
 }
 

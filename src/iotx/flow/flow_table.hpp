@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "iotx/faults/health.hpp"
 #include "iotx/net/packet.hpp"
 #include "iotx/proto/identify.hpp"
 
@@ -79,7 +80,8 @@ class FlowTable {
   /// Folds one decoded packet into its flow.
   void ingest(const net::DecodedPacket& packet);
 
-  /// Decodes and folds raw packets; silently skips undecodable frames.
+  /// Decodes and folds raw packets; undecodable frames are skipped and
+  /// counted into health().undecodable_frames.
   void ingest_all(const std::vector<net::Packet>& packets);
 
   /// All flows, in first-seen order.
@@ -87,15 +89,23 @@ class FlowTable {
 
   std::size_t size() const noexcept { return order_.size(); }
 
+  /// Ingest anomalies seen so far: undecodable frames plus protocol
+  /// payloads that announced themselves (TLS ClientHello record, HTTP
+  /// request line) but failed to parse.
+  const faults::CaptureHealth& health() const noexcept { return health_; }
+
  private:
   struct Hash {
     std::size_t operator()(const FlowKey& k) const noexcept;
   };
   std::unordered_map<FlowKey, Flow, Hash> table_;
   std::vector<FlowKey> order_;
+  faults::CaptureHealth health_;
 };
 
-/// Convenience: one-shot flow assembly from raw packets.
-std::vector<Flow> assemble_flows(const std::vector<net::Packet>& packets);
+/// Convenience: one-shot flow assembly from raw packets. When `health`
+/// is given, ingest anomalies are merged into it.
+std::vector<Flow> assemble_flows(const std::vector<net::Packet>& packets,
+                                 faults::CaptureHealth* health = nullptr);
 
 }  // namespace iotx::flow

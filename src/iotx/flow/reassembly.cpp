@@ -20,11 +20,24 @@ void TcpStreamReassembler::add_segment(std::uint32_t seq,
     isn_ = seq;
   }
   const std::uint64_t offset = seq_offset(isn_, seq);
-  if (offset + payload.size() > capacity_) return;  // beyond the cap
+  if (offset + payload.size() > capacity_) {  // beyond the cap: account it
+    ++dropped_segments_;
+    dropped_bytes_ += payload.size();
+    return;
+  }
 
   if (offset <= assembled_.size()) {
-    // Overlaps or extends the contiguous prefix.
+    // Overlaps or extends the contiguous prefix. A retransmission whose
+    // overlap bytes disagree with what we already assembled signals
+    // corruption; first write wins, but the conflict is counted.
     const std::uint64_t skip = assembled_.size() - offset;
+    const std::size_t overlap =
+        std::min<std::size_t>(skip, payload.size());
+    if (overlap > 0 &&
+        !std::equal(payload.begin(), payload.begin() + overlap,
+                    assembled_.begin() + offset)) {
+      ++overlap_conflicts_;
+    }
     if (skip < payload.size()) {
       assembled_.insert(assembled_.end(), payload.begin() + skip,
                         payload.end());
@@ -43,6 +56,12 @@ void TcpStreamReassembler::drain_pending() {
     if (offset > assembled_.size()) break;  // still a gap
     const std::vector<std::uint8_t>& chunk = it->second;
     const std::uint64_t skip = assembled_.size() - offset;
+    const std::size_t overlap = std::min<std::size_t>(skip, chunk.size());
+    if (overlap > 0 &&
+        !std::equal(chunk.begin(), chunk.begin() + overlap,
+                    assembled_.begin() + offset)) {
+      ++overlap_conflicts_;
+    }
     if (skip < chunk.size()) {
       assembled_.insert(assembled_.end(), chunk.begin() + skip, chunk.end());
     }
@@ -57,7 +76,8 @@ std::size_t TcpStreamReassembler::pending_bytes() const noexcept {
 }
 
 std::vector<std::uint8_t> reassemble_client_stream(
-    const std::vector<net::Packet>& packets) {
+    const std::vector<net::Packet>& packets,
+    faults::CaptureHealth* health) {
   // The client is the source of the first TCP packet with a payload or SYN.
   std::optional<std::pair<net::Ipv4Address, std::uint16_t>> client;
   TcpStreamReassembler reassembler;
@@ -69,6 +89,7 @@ std::vector<std::uint8_t> reassemble_client_stream(
       reassembler.add_segment(d->tcp.seq, d->payload);
     }
   }
+  if (health != nullptr) reassembler.export_health(*health);
   return reassembler.contiguous();
 }
 

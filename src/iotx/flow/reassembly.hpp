@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "iotx/faults/health.hpp"
 #include "iotx/net/packet.hpp"
 
 namespace iotx::flow {
@@ -44,12 +45,31 @@ class TcpStreamReassembler {
 
   bool anchored() const noexcept { return anchored_; }
 
+  /// Segments discarded because they landed past the capacity cap —
+  /// previously a silent loss, now accounted.
+  std::size_t dropped_segments() const noexcept { return dropped_segments_; }
+  /// Payload bytes discarded with those segments.
+  std::size_t dropped_bytes() const noexcept { return dropped_bytes_; }
+  /// Overlapping retransmissions whose bytes disagreed with the stream
+  /// already assembled (corruption; first write wins).
+  std::size_t overlap_conflicts() const noexcept { return overlap_conflicts_; }
+
+  /// Folds this stream's counters into a capture-level health record.
+  void export_health(faults::CaptureHealth& health) const noexcept {
+    health.reassembly_dropped_segments += dropped_segments_;
+    health.reassembly_dropped_bytes += dropped_bytes_;
+    health.reassembly_overlap_conflicts += overlap_conflicts_;
+  }
+
  private:
   void drain_pending();
 
   std::size_t capacity_;
   bool anchored_ = false;
   std::uint32_t isn_ = 0;  ///< seq of stream offset 0
+  std::size_t dropped_segments_ = 0;
+  std::size_t dropped_bytes_ = 0;
+  std::size_t overlap_conflicts_ = 0;
   std::vector<std::uint8_t> assembled_;
   /// offset -> payload for segments past the contiguous prefix.
   std::map<std::uint64_t, std::vector<std::uint8_t>> pending_;
@@ -61,6 +81,7 @@ class TcpStreamReassembler {
 /// handshakes. Sequence numbers come from the TCP headers; non-TCP packets
 /// are ignored.
 std::vector<std::uint8_t> reassemble_client_stream(
-    const std::vector<net::Packet>& packets);
+    const std::vector<net::Packet>& packets,
+    faults::CaptureHealth* health = nullptr);
 
 }  // namespace iotx::flow

@@ -12,7 +12,6 @@ namespace {
 constexpr std::uint32_t kMagicMicro = 0xa1b2c3d4;
 constexpr std::uint32_t kMagicNano = 0xa1b23c4d;
 constexpr std::uint32_t kLinkTypeEthernet = 1;
-constexpr std::uint32_t kSnapLen = 262144;
 
 struct FileCloser {
   void operator()(std::FILE* f) const noexcept {
@@ -29,23 +28,32 @@ std::vector<std::uint8_t> pcap_serialize(const std::vector<Packet>& packets) {
   w.u16le(4);  // version minor
   w.u32le(0);  // thiszone
   w.u32le(0);  // sigfigs
-  w.u32le(kSnapLen);
+  w.u32le(kPcapSnapLen);
   w.u32le(kLinkTypeEthernet);
   for (const Packet& p : packets) {
-    const auto seconds = static_cast<std::uint32_t>(p.timestamp);
-    const auto micros = static_cast<std::uint32_t>(
-        std::llround((p.timestamp - std::floor(p.timestamp)) * 1e6) % 1000000);
+    auto seconds = static_cast<std::uint32_t>(p.timestamp);
+    // A fraction that rounds up to a full second must carry into the
+    // seconds field, not wrap to micros == 0 under the same second.
+    auto micros = static_cast<std::uint32_t>(
+        std::llround((p.timestamp - std::floor(p.timestamp)) * 1e6));
+    if (micros >= 1000000) {
+      seconds += micros / 1000000;
+      micros %= 1000000;
+    }
+    const auto incl_len = static_cast<std::uint32_t>(
+        std::min<std::size_t>(p.frame.size(), kPcapSnapLen));
     w.u32le(seconds);
     w.u32le(micros);
-    w.u32le(static_cast<std::uint32_t>(p.frame.size()));  // incl_len
-    w.u32le(static_cast<std::uint32_t>(p.frame.size()));  // orig_len
-    w.bytes(p.frame);
+    w.u32le(incl_len);
+    w.u32le(static_cast<std::uint32_t>(p.frame.size()));  // orig_len, truthful
+    w.bytes(std::span(p.frame).first(incl_len));
   }
   return std::move(w).take();
 }
 
 std::optional<std::vector<Packet>> pcap_parse(
-    std::span<const std::uint8_t> file_bytes) {
+    std::span<const std::uint8_t> file_bytes,
+    faults::CaptureHealth* health) {
   ByteReader r(file_bytes);
   const auto magic_le = r.u32le();
   if (!magic_le) return std::nullopt;
@@ -89,9 +97,17 @@ std::optional<std::vector<Packet>> pcap_parse(
     const auto subsec = rd32();
     const auto incl_len = rd32();
     const auto orig_len = rd32();
-    if (!seconds || !subsec || !incl_len || !orig_len) return std::nullopt;
-    const auto data = r.bytes(*incl_len);
-    if (!data) return std::nullopt;
+    std::optional<std::span<const std::uint8_t>> data;
+    if (seconds && subsec && incl_len && orig_len) data = r.bytes(*incl_len);
+    if (!data) {
+      // Record cut mid-write (capture-box power loss): salvage the
+      // packets parsed so far instead of rejecting the whole file.
+      if (health != nullptr) ++health->pcap_truncated_tail;
+      break;
+    }
+    if (*incl_len < *orig_len && health != nullptr) {
+      ++health->snaplen_clipped_frames;  // writer clipped past its snaplen
+    }
     Packet p;
     const double frac = nanosecond ? *subsec * 1e-9 : *subsec * 1e-6;
     p.timestamp = static_cast<double>(*seconds) + frac;
@@ -109,7 +125,8 @@ bool pcap_write_file(const std::string& path,
   return std::fwrite(bytes.data(), 1, bytes.size(), f.get()) == bytes.size();
 }
 
-std::optional<std::vector<Packet>> pcap_read_file(const std::string& path) {
+std::optional<std::vector<Packet>> pcap_read_file(
+    const std::string& path, faults::CaptureHealth* health) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return std::nullopt;
   std::vector<std::uint8_t> bytes;
@@ -118,7 +135,7 @@ std::optional<std::vector<Packet>> pcap_read_file(const std::string& path) {
   while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
     bytes.insert(bytes.end(), buf, buf + n);
   }
-  return pcap_parse(bytes);
+  return pcap_parse(bytes, health);
 }
 
 std::map<MacAddress, std::vector<Packet>> split_by_mac(

@@ -5,6 +5,12 @@
 // pcap per device MAC; analyses can re-read those files, so the whole
 // pipeline round-trips through the on-disk format the released intl-iot
 // tooling consumes.
+//
+// Graceful degradation: a file whose trailing record was cut mid-write
+// (capture box power loss) parses to the salvageable prefix instead of
+// being rejected outright, and frames clipped by the writer's snaplen
+// keep a truthful orig_len. Both anomalies are counted into the optional
+// faults::CaptureHealth sink.
 #pragma once
 
 #include <cstdint>
@@ -13,26 +19,40 @@
 #include <string>
 #include <vector>
 
+#include "iotx/faults/health.hpp"
 #include "iotx/net/address.hpp"
 #include "iotx/net/packet.hpp"
 
 namespace iotx::net {
 
-/// Serializes a packet list to pcap file bytes (in memory).
+/// The snaplen the serializer declares and enforces: frames longer than
+/// this are stored clipped (incl_len == kPcapSnapLen < orig_len).
+inline constexpr std::uint32_t kPcapSnapLen = 262144;
+
+/// Serializes a packet list to pcap file bytes (in memory). Oversized
+/// frames are stored clipped to kPcapSnapLen with orig_len kept truthful.
 std::vector<std::uint8_t> pcap_serialize(const std::vector<Packet>& packets);
 
-/// Parses pcap file bytes. Returns nullopt on bad magic or truncated
-/// records. Both big- and little-endian files are accepted; nanosecond
-/// magic (0xa1b23c4d) is accepted and converted to seconds as well.
+/// Parses pcap file bytes. Returns nullopt on bad magic, a truncated
+/// global header, or a non-Ethernet link type. A record truncated by a
+/// mid-write cutoff does NOT reject the file: the packets parsed before
+/// it are salvaged and `health->pcap_truncated_tail` is incremented.
+/// Frames with incl_len < orig_len (snaplen clipping) parse to their
+/// stored bytes and count into `health->snaplen_clipped_frames`. Both
+/// big- and little-endian files are accepted; nanosecond magic
+/// (0xa1b23c4d) is accepted and converted to seconds as well.
 std::optional<std::vector<Packet>> pcap_parse(
-    std::span<const std::uint8_t> file_bytes);
+    std::span<const std::uint8_t> file_bytes,
+    faults::CaptureHealth* health = nullptr);
 
 /// Writes packets to a pcap file on disk. Returns false on I/O error.
 bool pcap_write_file(const std::string& path,
                      const std::vector<Packet>& packets);
 
-/// Reads a pcap file from disk; nullopt on I/O or parse error.
-std::optional<std::vector<Packet>> pcap_read_file(const std::string& path);
+/// Reads a pcap file from disk; nullopt on I/O or unrecoverable parse
+/// error. Salvage/health semantics match pcap_parse.
+std::optional<std::vector<Packet>> pcap_read_file(
+    const std::string& path, faults::CaptureHealth* health = nullptr);
 
 /// Splits a capture by source-or-destination MAC, mirroring the testbed's
 /// per-device capture files. Broadcast MACs attribute to the sender only.

@@ -3,7 +3,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "iotx/faults/health.hpp"
 #include "iotx/report/json.hpp"
+#include "iotx/util/table.hpp"
 
 namespace iotx::report {
 
@@ -263,6 +265,123 @@ std::string pii_json(const core::Study& study) {
   return w.document();
 }
 
+namespace {
+
+/// Bytes the run actually classified (media included) — the observable
+/// side of the loss-adjusted accounting.
+std::uint64_t observed_bytes(const core::DeviceRunResult& r) {
+  return r.enc_total.encrypted + r.enc_total.unencrypted +
+         r.enc_total.unknown + r.enc_total.media;
+}
+
+/// Bytes known to be missing from the observation: injected drops plus
+/// reassembly-capped payload.
+std::uint64_t lost_bytes(const core::DeviceRunResult& r) {
+  return r.health.impaired_dropped_bytes + r.health.reassembly_dropped_bytes;
+}
+
+}  // namespace
+
+std::string robustness_json(const core::Study& study) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("section", "robustness");
+  w.field("impairment_profile", study.params().impairment.name);
+  w.field("impairment_enabled", study.params().impairment.enabled());
+
+  w.key("runs").begin_array();
+  for (const std::string& key : study.config_keys()) {
+    for (const core::DeviceRunResult& r : study.results(key)) {
+      w.begin_object();
+      w.field("config", key);
+      w.field("device", r.device->id);
+      w.field("status", core::run_status_name(r.status));
+      if (!r.error.empty()) w.field("error", r.error);
+      w.field("anomalies", r.health.total_anomalies());
+      w.key("health").begin_object();
+      for (const auto& [name, value] : faults::nonzero_counters(r.health)) {
+        w.field(name, value);
+      }
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  w.key("quarantined").begin_array();
+  for (const core::DeviceRunResult* r : study.quarantined()) {
+    w.begin_object();
+    w.field("config", r->config.key());
+    w.field("device", r->device->id);
+    w.field("error", r->error);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("loss_adjusted_totals").begin_array();
+  for (const std::string& key : study.config_keys()) {
+    std::uint64_t observed = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t quarantined_runs = 0;
+    for (const core::DeviceRunResult& r : study.results(key)) {
+      observed += observed_bytes(r);
+      lost += lost_bytes(r);
+      if (r.status == core::RunStatus::kQuarantined) ++quarantined_runs;
+    }
+    w.begin_object();
+    w.field("config", key);
+    w.field("observed_bytes", observed);
+    w.field("known_lost_bytes", lost);
+    w.field("loss_adjusted_bytes", observed + lost);
+    w.field("quarantined_runs", quarantined_runs);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+std::string robustness_text(const core::Study& study) {
+  std::string out = "Robustness report — impairment profile: " +
+                    study.params().impairment.name + "\n\n";
+
+  util::TextTable runs({"config", "device", "status", "anomalies", "error"});
+  std::size_t clean = 0;
+  for (const std::string& key : study.config_keys()) {
+    for (const core::DeviceRunResult& r : study.results(key)) {
+      if (r.status == core::RunStatus::kClean) {
+        ++clean;
+        continue;  // thousands of all-zero rows help nobody
+      }
+      runs.add_row({key, r.device->id,
+                    std::string(core::run_status_name(r.status)),
+                    std::to_string(r.health.total_anomalies()), r.error});
+    }
+  }
+  if (runs.row_count() > 0) {
+    out += runs.render();
+    out += "\n";
+  }
+  out += std::to_string(clean) + " clean runs, " +
+         std::to_string(study.degraded().size()) + " degraded, " +
+         std::to_string(study.quarantined().size()) + " quarantined\n\n";
+
+  util::TextTable totals({"config", "observed bytes", "known lost",
+                          "loss-adjusted"});
+  for (const std::string& key : study.config_keys()) {
+    std::uint64_t observed = 0;
+    std::uint64_t lost = 0;
+    for (const core::DeviceRunResult& r : study.results(key)) {
+      observed += observed_bytes(r);
+      lost += lost_bytes(r);
+    }
+    totals.add_row({key, std::to_string(observed), std::to_string(lost),
+                    std::to_string(observed + lost)});
+  }
+  out += totals.render();
+  return out;
+}
+
 std::string full_report_json(const core::Study& study) {
   JsonWriter w;
   w.begin_object();
@@ -270,6 +389,11 @@ std::string full_report_json(const core::Study& study) {
           "Information Exposure From Consumer IoT Devices (IMC 2019)");
   w.field("experiments_run",
           static_cast<std::uint64_t>(study.experiments_run()));
+  w.field("impairment_profile", study.params().impairment.name);
+  w.field("quarantined_runs",
+          static_cast<std::uint64_t>(study.quarantined().size()));
+  w.field("degraded_runs",
+          static_cast<std::uint64_t>(study.degraded().size()));
   w.key("configs").begin_array();
   for (const std::string& key : study.config_keys()) w.value(key);
   w.end_array();
@@ -306,6 +430,8 @@ bool write_report_directory(const core::Study& study, const std::string& dir) {
          write("table10.json", table10_json(study)) &&
          write("table11.json", table11_json(study)) &&
          write("pii.json", pii_json(study)) &&
+         write("robustness.json", robustness_json(study)) &&
+         write("robustness.txt", robustness_text(study)) &&
          write("report.json", full_report_json(study));
 }
 

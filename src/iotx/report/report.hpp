@@ -25,11 +25,20 @@ std::string table10_json(const core::Study& study);
 std::string table11_json(const core::Study& study);
 std::string pii_json(const core::Study& study);
 
+/// Robustness section: per-(config, device) run status and typed health
+/// counters, the quarantine list with exception texts, and per-config
+/// loss-adjusted byte totals (observed + known-lost bytes).
+std::string robustness_json(const core::Study& study);
+
+/// The same robustness data rendered as text tables (for terminals/logs).
+std::string robustness_text(const core::Study& study);
+
 /// One JSON document bundling everything plus run metadata.
 std::string full_report_json(const core::Study& study);
 
-/// Writes `<dir>/tableN.json`, `<dir>/figure2.json`, `<dir>/pii.json` and
-/// `<dir>/report.json`. Creates the directory. Returns false on I/O error.
+/// Writes `<dir>/tableN.json`, `<dir>/figure2.json`, `<dir>/pii.json`,
+/// `<dir>/robustness.json`, `<dir>/robustness.txt` and `<dir>/report.json`.
+/// Creates the directory. Returns false on I/O error.
 bool write_report_directory(const core::Study& study, const std::string& dir);
 
 }  // namespace iotx::report

@@ -11,6 +11,15 @@ void Gateway::tap(const std::vector<net::Packet>& packets) {
   buffer_.insert(buffer_.end(), packets.begin(), packets.end());
 }
 
+void Gateway::tap_impaired(std::vector<net::Packet> packets,
+                           const faults::ImpairmentProfile& profile,
+                           std::string_view seed_key) {
+  util::Prng prng("impair/" + std::string(seed_key));
+  faults::apply_impairment(packets, profile, prng).add_to(health_);
+  buffer_.insert(buffer_.end(), std::make_move_iterator(packets.begin()),
+                 std::make_move_iterator(packets.end()));
+}
+
 std::map<net::MacAddress, std::vector<net::Packet>> Gateway::per_device()
     const {
   auto split = net::split_by_mac(buffer_);

@@ -6,8 +6,10 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "iotx/faults/impairment.hpp"
 #include "iotx/net/pcap.hpp"
 #include "iotx/testbed/experiment.hpp"
 
@@ -19,6 +21,16 @@ class Gateway {
 
   /// Taps a capture (as the bridged IoT interface would see it).
   void tap(const std::vector<net::Packet>& packets);
+
+  /// Taps a capture through a lossy link: the profile degrades the
+  /// packets (seeded by `seed_key`, so reproducible) before they are
+  /// buffered, and the injection counts accumulate into health().
+  void tap_impaired(std::vector<net::Packet> packets,
+                    const faults::ImpairmentProfile& profile,
+                    std::string_view seed_key);
+
+  /// Injection ground truth accumulated by tap_impaired() calls.
+  const faults::CaptureHealth& health() const noexcept { return health_; }
 
   /// Everything captured so far, per device MAC, timestamp-sorted.
   std::map<net::MacAddress, std::vector<net::Packet>> per_device() const;
@@ -41,6 +53,7 @@ class Gateway {
  private:
   LabSite lab_;
   std::vector<net::Packet> buffer_;
+  faults::CaptureHealth health_;
 };
 
 }  // namespace iotx::testbed

@@ -7,7 +7,11 @@
 //   iotx classify <capture.pcap>          flows, protocols, encryption,
 //                                         destinations of any pcap
 //   iotx study --out <dir> [--paper-scale] [--devices a,b,c] [--jobs N]
+//              [--impair <profile>]
 //                                         run the campaign, write JSON tables
+//   iotx impair <in.pcap> <out.pcap> <profile> [seed]
+//                                         degrade a capture through a named
+//                                         impairment profile
 //   iotx export-dataset <dir>             labeled pcaps in the released
 //                                         dataset's layout
 #include <cstdio>
@@ -19,6 +23,7 @@
 #include "iotx/analysis/destinations.hpp"
 #include "iotx/analysis/encryption.hpp"
 #include "iotx/core/study.hpp"
+#include "iotx/faults/impairment.hpp"
 #include "iotx/report/report.hpp"
 #include "iotx/testbed/gateway.hpp"
 #include "iotx/util/strings.hpp"
@@ -39,7 +44,12 @@ int usage() {
       "  iotx study --out <dir> [--paper-scale] [--devices a,b,c] [--no-vpn]\n"
       "             [--jobs N]   (worker threads; default: all hardware\n"
       "                          threads; results identical at any N)\n"
+      "             [--impair <profile>]  (inject network impairment;\n"
+      "                          see `iotx impair` for the profile names)\n"
+      "  iotx impair <in.pcap> <out.pcap> <profile> [seed]\n"
       "  iotx export-dataset <dir>");
+  std::printf("impairment profiles: %s\n",
+              iotx::faults::profile_names().c_str());
   return 2;
 }
 
@@ -114,14 +124,16 @@ int cmd_simulate(int argc, char** argv) {
 
 int cmd_classify(int argc, char** argv) {
   if (argc < 3) return usage();
-  const auto packets = net::pcap_read_file(argv[2]);
+  faults::CaptureHealth health;
+  const auto packets = net::pcap_read_file(argv[2], &health);
   if (!packets) {
     std::printf("cannot read pcap %s\n", argv[2]);
     return 1;
   }
   flow::DnsCache dns;
   dns.ingest_all(*packets);
-  const auto flows = flow::assemble_flows(*packets);
+  health.merge(dns.health());
+  const auto flows = flow::assemble_flows(*packets, &health);
   std::printf("%zu packets, %zu flows\n\n", packets->size(), flows.size());
 
   util::TextTable table({"flow", "proto", "class", "entropy", "pkts",
@@ -157,6 +169,54 @@ int cmd_classify(int argc, char** argv) {
       "(+%s media excluded)\n",
       enc.pct_encrypted(), enc.pct_unencrypted(), enc.pct_unknown(),
       util::format_bytes(enc.media).c_str());
+
+  const auto anomalies = faults::nonzero_counters(health);
+  if (!anomalies.empty()) {
+    std::printf("\ncapture health (degraded ingest):\n");
+    for (const auto& [name, value] : anomalies) {
+      std::printf("  %-30s %llu\n", std::string(name).c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  return 0;
+}
+
+int cmd_impair(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const auto packets = net::pcap_read_file(argv[2]);
+  if (!packets) {
+    std::printf("cannot read pcap %s\n", argv[2]);
+    return 1;
+  }
+  const faults::ImpairmentProfile* profile = faults::find_profile(argv[4]);
+  if (profile == nullptr) {
+    std::printf("unknown impairment profile '%s'; available: %s\n", argv[4],
+                faults::profile_names().c_str());
+    return 1;
+  }
+  const std::string seed = argc > 5 ? argv[5] : "cli";
+  std::vector<net::Packet> degraded = *packets;
+  util::Prng prng("impair/" + seed);
+  const faults::ImpairmentSummary summary =
+      faults::apply_impairment(degraded, *profile, prng);
+  if (!net::pcap_write_file(argv[3], degraded)) {
+    std::printf("cannot write %s\n", argv[3]);
+    return 1;
+  }
+  std::printf(
+      "%llu -> %llu packets (%llu dropped / %llu bytes, %llu duplicated, "
+      "%llu reordered, %llu truncated, %llu corrupted, %llu DNS responses "
+      "dropped%s)\n",
+      static_cast<unsigned long long>(summary.packets_in),
+      static_cast<unsigned long long>(summary.packets_out),
+      static_cast<unsigned long long>(summary.dropped_packets),
+      static_cast<unsigned long long>(summary.dropped_bytes),
+      static_cast<unsigned long long>(summary.duplicated_packets),
+      static_cast<unsigned long long>(summary.reordered_packets),
+      static_cast<unsigned long long>(summary.truncated_frames),
+      static_cast<unsigned long long>(summary.corrupted_frames),
+      static_cast<unsigned long long>(summary.dns_responses_dropped),
+      summary.cutoff_applied ? ", capture cut short" : "");
   return 0;
 }
 
@@ -179,6 +239,15 @@ int cmd_study(int argc, char** argv) {
         return 2;
       }
       params.jobs = static_cast<std::size_t>(jobs);
+    } else if (std::strcmp(argv[i], "--impair") == 0 && i + 1 < argc) {
+      const faults::ImpairmentProfile* profile =
+          faults::find_profile(argv[++i]);
+      if (profile == nullptr) {
+        std::printf("unknown impairment profile '%s'; available: %s\n",
+                    argv[i], faults::profile_names().c_str());
+        return 2;
+      }
+      params.impairment = *profile;
     } else {
       return usage();
     }
@@ -191,11 +260,16 @@ int cmd_study(int argc, char** argv) {
   core::Study study(params);
   study.run();
   std::printf("%zu controlled experiments done\n", study.experiments_run());
+  if (params.impairment.enabled()) {
+    std::printf("impairment '%s': %zu degraded, %zu quarantined runs\n",
+                params.impairment.name.c_str(), study.degraded().size(),
+                study.quarantined().size());
+  }
   if (!report::write_report_directory(study, out_dir)) {
     std::printf("cannot write report to %s\n", out_dir.c_str());
     return 1;
   }
-  std::printf("wrote table2..table11/figure2/pii JSON to %s\n",
+  std::printf("wrote table2..table11/figure2/pii/robustness JSON to %s\n",
               out_dir.c_str());
   return 0;
 }
@@ -238,6 +312,7 @@ int main(int argc, char** argv) {
   if (command == "endpoints") return cmd_endpoints();
   if (command == "simulate") return cmd_simulate(argc, argv);
   if (command == "classify") return cmd_classify(argc, argv);
+  if (command == "impair") return cmd_impair(argc, argv);
   if (command == "study") return cmd_study(argc, argv);
   if (command == "export-dataset") return cmd_export_dataset(argc, argv);
   return usage();

@@ -121,6 +121,91 @@ TEST_F(DeterminismFixture, PiiFindingsIdentical) {
   }
 }
 
+// The same invariant must hold with fault injection enabled: impairment
+// draws are keyed per experiment ("impair/" + spec key), never by worker
+// interleaving, so a lossy-wifi campaign is as reproducible as a clean one.
+class ImpairedDeterminismFixture : public ::testing::Test {
+ protected:
+  static StudyParams impaired_params(std::size_t jobs) {
+    StudyParams p = tiny_params(jobs);
+    p.impairment = *iotx::faults::find_profile("lossy-wifi");
+    return p;
+  }
+  static const Study& serial() {
+    static Study* instance = [] {
+      auto* s = new Study(impaired_params(1));
+      s->run();
+      return s;
+    }();
+    return *instance;
+  }
+  static const Study& parallel() {
+    static Study* instance = [] {
+      auto* s = new Study(impaired_params(4));
+      s->run();
+      return s;
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(ImpairedDeterminismFixture, HealthCountersAndStatusIdentical) {
+  ASSERT_EQ(serial().config_keys(), parallel().config_keys());
+  for (const std::string& key : serial().config_keys()) {
+    const auto& a = serial().results(key);
+    const auto& b = parallel().results(key);
+    ASSERT_EQ(a.size(), b.size()) << key;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].device->id, b[i].device->id);
+      EXPECT_EQ(a[i].status, b[i].status) << key << "/" << a[i].device->id;
+      EXPECT_TRUE(a[i].health == b[i].health)
+          << key << "/" << a[i].device->id;
+    }
+  }
+}
+
+TEST_F(ImpairedDeterminismFixture, ImpairmentActuallyInjectedFaults) {
+  std::uint64_t injected = 0;
+  std::size_t degraded = 0;
+  for (const std::string& key : serial().config_keys()) {
+    for (const auto& r : serial().results(key)) {
+      injected += r.health.impaired_dropped_packets +
+                  r.health.impaired_duplicated_packets +
+                  r.health.impaired_reordered_packets;
+      if (r.status == RunStatus::kDegraded) ++degraded;
+    }
+  }
+  EXPECT_GT(injected, 0u);
+  EXPECT_GT(degraded, 0u);
+}
+
+TEST_F(ImpairedDeterminismFixture, DegradedAnalysisOutputsIdentical) {
+  for (const std::string& key : serial().config_keys()) {
+    const auto& a = serial().results(key);
+    const auto& b = parallel().results(key);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].enc_total.encrypted, b[i].enc_total.encrypted);
+      EXPECT_EQ(a[i].enc_total.unencrypted, b[i].enc_total.unencrypted);
+      EXPECT_EQ(a[i].enc_total.unknown, b[i].enc_total.unknown);
+      ASSERT_EQ(a[i].destinations.size(), b[i].destinations.size());
+      for (std::size_t d = 0; d < a[i].destinations.size(); ++d) {
+        EXPECT_EQ(a[i].destinations[d].address, b[i].destinations[d].address);
+        EXPECT_EQ(a[i].destinations[d].bytes, b[i].destinations[d].bytes);
+      }
+      EXPECT_EQ(a[i].pii_findings.size(), b[i].pii_findings.size());
+      EXPECT_EQ(a[i].model.validation.macro_f1,
+                b[i].model.validation.macro_f1);
+    }
+  }
+}
+
+TEST_F(ImpairedDeterminismFixture, NoQuarantinesFromImpairmentAlone) {
+  // Degradation is graceful: lossy input changes numbers, never crashes.
+  EXPECT_TRUE(serial().quarantined().empty());
+  EXPECT_TRUE(parallel().quarantined().empty());
+}
+
 TEST_F(DeterminismFixture, ModelScoresBitIdentical) {
   for (const std::string& key : serial().config_keys()) {
     const auto& a = serial().results(key);

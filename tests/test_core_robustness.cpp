@@ -1,0 +1,148 @@
+// Fault isolation and graceful degradation at the Study level: a run
+// that throws is quarantined (not fatal to the campaign), a clean run
+// stays bit-clean, and the robustness report surfaces both.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "iotx/core/study.hpp"
+#include "iotx/report/report.hpp"
+
+namespace {
+
+using namespace iotx::core;
+using namespace iotx::testbed;
+
+StudyParams tiny_params() {
+  StudyParams p;
+  p.plan = SchedulePlan{/*automated_reps=*/4, /*manual_reps=*/2,
+                        /*power_reps=*/2, /*idle_hours=*/0.1};
+  p.inference.validation.forest.n_trees = 8;
+  p.inference.validation.repetitions = 2;
+  p.run_uncontrolled = false;
+  p.run_vpn = false;
+  p.device_filter = {"ring_doorbell", "tplink_plug"};
+  p.jobs = 2;
+  return p;
+}
+
+TEST(Robustness, CleanRunHasNoAnomaliesAndAllRunsClean) {
+  Study study(tiny_params());
+  study.run();
+  EXPECT_TRUE(study.quarantined().empty());
+  EXPECT_TRUE(study.degraded().empty());
+  for (const std::string& key : study.config_keys()) {
+    for (const auto& r : study.results(key)) {
+      EXPECT_EQ(r.status, RunStatus::kClean) << key << "/" << r.device->id;
+      EXPECT_EQ(r.health.total_anomalies(), 0u);
+      EXPECT_TRUE(r.error.empty());
+    }
+  }
+}
+
+TEST(Robustness, ThrowingDeviceIsQuarantinedOthersComplete) {
+  StudyParams p = tiny_params();
+  p.chaos_hook = [](const DeviceSpec& device, const NetworkConfig&) {
+    if (device.id == "ring_doorbell") {
+      throw std::runtime_error("capture disk failed");
+    }
+  };
+  Study study(p);
+  ASSERT_NO_THROW(study.run());
+
+  const auto quarantined = study.quarantined();
+  ASSERT_EQ(quarantined.size(), study.config_keys().size());
+  for (const DeviceRunResult* r : quarantined) {
+    EXPECT_EQ(r->device->id, "ring_doorbell");
+    EXPECT_EQ(r->status, RunStatus::kQuarantined);
+    EXPECT_NE(r->error.find("capture disk failed"), std::string::npos);
+    // A quarantined run contributes no analysis output.
+    EXPECT_TRUE(r->destinations.empty());
+  }
+  // The healthy device still produced full results in every config.
+  for (const std::string& key : study.config_keys()) {
+    const DeviceRunResult* ok = study.result_for(key, "tplink_plug");
+    ASSERT_NE(ok, nullptr);
+    EXPECT_EQ(ok->status, RunStatus::kClean);
+    EXPECT_FALSE(ok->destinations.empty());
+  }
+}
+
+TEST(Robustness, QuarantineKeepsResultOrderingStable) {
+  StudyParams p = tiny_params();
+  p.chaos_hook = [](const DeviceSpec& device, const NetworkConfig&) {
+    if (device.id == "tplink_plug") throw std::runtime_error("boom");
+  };
+  Study study(p);
+  study.run();
+  Study clean(tiny_params());
+  clean.run();
+  ASSERT_EQ(study.config_keys(), clean.config_keys());
+  for (const std::string& key : study.config_keys()) {
+    const auto& a = study.results(key);
+    const auto& b = clean.results(key);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].device->id, b[i].device->id) << key << " slot " << i;
+    }
+  }
+}
+
+TEST(Robustness, ImpairedRunsAreDegradedNotQuarantined) {
+  StudyParams p = tiny_params();
+  p.impairment = *iotx::faults::find_profile("truncating-tap");
+  Study study(p);
+  study.run();
+  EXPECT_TRUE(study.quarantined().empty());
+  EXPECT_FALSE(study.degraded().empty());
+  for (const DeviceRunResult* r : study.degraded()) {
+    EXPECT_EQ(r->status, RunStatus::kDegraded);
+    EXPECT_GT(r->health.total_anomalies(), 0u);
+    // truncating-tap clips 65% of frames down to 68 bytes.
+    EXPECT_GT(r->health.impaired_truncated_frames, 0u);
+  }
+}
+
+TEST(Robustness, RunStatusNames) {
+  EXPECT_EQ(run_status_name(RunStatus::kClean), "clean");
+  EXPECT_EQ(run_status_name(RunStatus::kDegraded), "degraded");
+  EXPECT_EQ(run_status_name(RunStatus::kQuarantined), "quarantined");
+}
+
+TEST(Robustness, RobustnessReportSurfacesQuarantineAndHealth) {
+  StudyParams p = tiny_params();
+  p.impairment = *iotx::faults::find_profile("lossy-wifi");
+  p.chaos_hook = [](const DeviceSpec& device, const NetworkConfig&) {
+    if (device.id == "ring_doorbell") {
+      throw std::runtime_error("gateway wedged");
+    }
+  };
+  Study study(p);
+  study.run();
+
+  const std::string json = iotx::report::robustness_json(study);
+  EXPECT_NE(json.find("\"impairment_profile\":\"lossy-wifi\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"quarantined\""), std::string::npos);
+  EXPECT_NE(json.find("ring_doorbell"), std::string::npos);
+  EXPECT_NE(json.find("gateway wedged"), std::string::npos);
+  EXPECT_NE(json.find("loss_adjusted_totals"), std::string::npos);
+
+  const std::string text = iotx::report::robustness_text(study);
+  EXPECT_NE(text.find("quarantined"), std::string::npos);
+  EXPECT_NE(text.find("ring_doorbell"), std::string::npos);
+}
+
+TEST(Robustness, CleanStudyRobustnessReportShowsAllClean) {
+  Study study(tiny_params());
+  study.run();
+  const std::string json = iotx::report::robustness_json(study);
+  EXPECT_NE(json.find("\"impairment_profile\":\"none\""), std::string::npos);
+  EXPECT_NE(json.find("\"impairment_enabled\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"quarantined\":[]"), std::string::npos);
+  const std::string text = iotx::report::robustness_text(study);
+  EXPECT_NE(text.find("clean"), std::string::npos);
+}
+
+}  // namespace

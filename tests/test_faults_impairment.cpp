@@ -1,0 +1,272 @@
+// Tests for deterministic network-impairment injection.
+#include "iotx/faults/impairment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx::faults;
+using iotx::net::FrameEndpoints;
+using iotx::net::Ipv4Address;
+using iotx::net::MacAddress;
+using iotx::net::Packet;
+using iotx::util::Prng;
+
+FrameEndpoints device_endpoints() {
+  FrameEndpoints ep;
+  ep.src_mac = MacAddress({0x02, 0x55, 0, 0, 0, 0x10});
+  ep.dst_mac = *MacAddress::parse("02:55:00:00:00:01");
+  ep.src_ip = Ipv4Address(10, 42, 0, 0x10);
+  ep.dst_ip = Ipv4Address(52, 1, 2, 3);
+  ep.src_port = 40000;
+  ep.dst_port = 443;
+  return ep;
+}
+
+/// 60 TCP data packets plus 10 DNS responses interleaved.
+std::vector<Packet> sample_capture() {
+  std::vector<Packet> packets;
+  const FrameEndpoints ep = device_endpoints();
+  FrameEndpoints dns = reverse(ep);
+  dns.src_port = 53;
+  dns.dst_port = 40001;
+  for (int i = 0; i < 60; ++i) {
+    packets.push_back(iotx::net::make_tcp_packet(
+        100.0 + i * 0.25, ep,
+        std::vector<std::uint8_t>(200, static_cast<std::uint8_t>(i))));
+    if (i % 6 == 0) {
+      packets.push_back(iotx::net::make_udp_packet(
+          100.0 + i * 0.25 + 0.01, dns,
+          std::vector<std::uint8_t>(40, 0x5a)));
+    }
+  }
+  std::stable_sort(packets.begin(), packets.end(),
+                   [](const Packet& a, const Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return packets;
+}
+
+TEST(Impairment, DisabledProfileIsANoOpAndLeavesPrngUntouched) {
+  std::vector<Packet> packets = sample_capture();
+  const std::vector<Packet> original = packets;
+  Prng prng("impair/test");
+  Prng untouched("impair/test");
+  const ImpairmentProfile none;
+  EXPECT_FALSE(none.enabled());
+  const ImpairmentSummary s = apply_impairment(packets, none, prng);
+  EXPECT_EQ(s.packets_in, original.size());
+  EXPECT_EQ(s.packets_out, original.size());
+  EXPECT_EQ(s.dropped_packets, 0u);
+  ASSERT_EQ(packets.size(), original.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].frame, original[i].frame);
+    EXPECT_EQ(packets[i].timestamp, original[i].timestamp);
+  }
+  // Clean runs must stay bit-identical: the Prng was never advanced.
+  EXPECT_EQ(prng(), untouched());
+}
+
+TEST(Impairment, SameSeedDegradesIdentically) {
+  const ImpairmentProfile& wifi = *find_profile("lossy-wifi");
+  std::vector<Packet> a = sample_capture();
+  std::vector<Packet> b = sample_capture();
+  Prng prng_a("impair/us/echo_dot/power/rep3");
+  Prng prng_b("impair/us/echo_dot/power/rep3");
+  const ImpairmentSummary sa = apply_impairment(a, wifi, prng_a);
+  const ImpairmentSummary sb = apply_impairment(b, wifi, prng_b);
+  EXPECT_EQ(sa.packets_out, sb.packets_out);
+  EXPECT_EQ(sa.dropped_packets, sb.dropped_packets);
+  EXPECT_EQ(sa.dropped_bytes, sb.dropped_bytes);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].frame, b[i].frame);
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+  }
+}
+
+TEST(Impairment, DifferentSeedsDegradeDifferently) {
+  const ImpairmentProfile& wifi = *find_profile("lossy-wifi");
+  std::vector<Packet> a = sample_capture();
+  std::vector<Packet> b = sample_capture();
+  Prng prng_a("impair/rep1");
+  Prng prng_b("impair/rep2");
+  apply_impairment(a, wifi, prng_a);
+  apply_impairment(b, wifi, prng_b);
+  const bool identical =
+      a.size() == b.size() &&
+      std::equal(a.begin(), a.end(), b.begin(),
+                 [](const Packet& x, const Packet& y) {
+                   return x.frame == y.frame && x.timestamp == y.timestamp;
+                 });
+  EXPECT_FALSE(identical);
+}
+
+TEST(Impairment, TotalLossDropsEverything) {
+  std::vector<Packet> packets = sample_capture();
+  const std::size_t in = packets.size();
+  std::size_t in_bytes = 0;
+  for (const Packet& p : packets) in_bytes += p.frame.size();
+  ImpairmentProfile p;
+  p.loss = 1.0;
+  Prng prng("impair/loss");
+  const ImpairmentSummary s = apply_impairment(packets, p, prng);
+  EXPECT_TRUE(packets.empty());
+  EXPECT_EQ(s.dropped_packets, in);
+  EXPECT_EQ(s.dropped_bytes, in_bytes);
+  EXPECT_EQ(s.packets_out, 0u);
+}
+
+TEST(Impairment, AlwaysDuplicateDoublesTheCapture) {
+  std::vector<Packet> packets = sample_capture();
+  const std::size_t in = packets.size();
+  ImpairmentProfile p;
+  p.duplicate = 1.0;
+  Prng prng("impair/dup");
+  const ImpairmentSummary s = apply_impairment(packets, p, prng);
+  EXPECT_EQ(packets.size(), 2 * in);
+  EXPECT_EQ(s.duplicated_packets, in);
+  // Output stays timestamp-sorted with the dup right behind the original.
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_LE(packets[i - 1].timestamp, packets[i].timestamp);
+  }
+}
+
+TEST(Impairment, TruncateClipsToSnaplen) {
+  std::vector<Packet> packets = sample_capture();
+  ImpairmentProfile p;
+  p.truncate = 1.0;
+  p.truncate_snaplen = 68;
+  Prng prng("impair/trunc");
+  const ImpairmentSummary s = apply_impairment(packets, p, prng);
+  EXPECT_GT(s.truncated_frames, 0u);
+  EXPECT_GT(s.dropped_bytes, 0u);
+  for (const Packet& pkt : packets) {
+    EXPECT_LE(pkt.frame.size(), 68u);
+  }
+}
+
+TEST(Impairment, DnsDropOnlyRemovesDnsResponses) {
+  std::vector<Packet> packets = sample_capture();
+  std::size_t dns_in = 0;
+  for (const Packet& pkt : packets) {
+    const auto d = iotx::net::decode_packet(pkt);
+    if (d && d->is_udp && d->udp.src_port == 53) ++dns_in;
+  }
+  ASSERT_GT(dns_in, 0u);
+  const std::size_t other_in = packets.size() - dns_in;
+  ImpairmentProfile p;
+  p.dns_drop = 1.0;
+  Prng prng("impair/dns");
+  const ImpairmentSummary s = apply_impairment(packets, p, prng);
+  EXPECT_EQ(s.dns_responses_dropped, dns_in);
+  EXPECT_EQ(packets.size(), other_in);
+  for (const Packet& pkt : packets) {
+    const auto d = iotx::net::decode_packet(pkt);
+    ASSERT_TRUE(d);
+    EXPECT_FALSE(d->is_udp && d->udp.src_port == 53);
+  }
+}
+
+TEST(Impairment, CutoffKeepsAtLeastMinFraction) {
+  std::vector<Packet> packets = sample_capture();
+  const std::size_t in = packets.size();
+  ImpairmentProfile p;
+  p.cutoff = 1.0;
+  p.cutoff_min_fraction = 0.5;
+  Prng prng("impair/cutoff");
+  const ImpairmentSummary s = apply_impairment(packets, p, prng);
+  EXPECT_TRUE(s.cutoff_applied);
+  EXPECT_GE(packets.size(), in / 2);
+  EXPECT_LE(packets.size(), in);
+  EXPECT_EQ(s.packets_out + s.dropped_packets, in);
+}
+
+TEST(Impairment, CorruptionFlipsBitsInPlace) {
+  std::vector<Packet> packets = sample_capture();
+  const std::vector<Packet> original = packets;
+  ImpairmentProfile p;
+  p.corrupt = 1.0;
+  p.corrupt_bytes = 4;
+  Prng prng("impair/corrupt");
+  const ImpairmentSummary s = apply_impairment(packets, p, prng);
+  EXPECT_EQ(s.corrupted_frames, original.size());
+  ASSERT_EQ(packets.size(), original.size());
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].frame.size(), original[i].frame.size());
+    if (packets[i].frame != original[i].frame) ++changed;
+  }
+  EXPECT_GT(changed, 0u);
+}
+
+TEST(Impairment, ReorderedOutputStaysTimestampSorted) {
+  std::vector<Packet> packets = sample_capture();
+  ImpairmentProfile p;
+  p.reorder = 1.0;
+  p.reorder_jitter = 5.0;  // >> inter-packet gap, forces real reshuffling
+  Prng prng("impair/reorder");
+  const ImpairmentSummary s = apply_impairment(packets, p, prng);
+  EXPECT_EQ(s.reordered_packets, s.packets_out);
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_LE(packets[i - 1].timestamp, packets[i].timestamp);
+  }
+}
+
+TEST(Impairment, SummaryFoldsIntoCaptureHealth) {
+  ImpairmentSummary s;
+  s.dropped_packets = 3;
+  s.dropped_bytes = 450;
+  s.duplicated_packets = 2;
+  s.reordered_packets = 5;
+  s.truncated_frames = 1;
+  s.corrupted_frames = 4;
+  s.dns_responses_dropped = 1;
+  s.cutoff_applied = true;
+  CaptureHealth h;
+  s.add_to(h);
+  EXPECT_EQ(h.impaired_dropped_packets, 3u);
+  EXPECT_EQ(h.impaired_dropped_bytes, 450u);
+  EXPECT_EQ(h.impaired_duplicated_packets, 2u);
+  EXPECT_EQ(h.impaired_reordered_packets, 5u);
+  EXPECT_EQ(h.impaired_truncated_frames, 1u);
+  EXPECT_EQ(h.impaired_corrupted_frames, 4u);
+  EXPECT_EQ(h.impaired_dns_responses_dropped, 1u);
+  EXPECT_EQ(h.impaired_capture_cutoffs, 1u);
+  EXPECT_EQ(h.observed_anomalies(), 0u);  // injection is not an ingest error
+  EXPECT_GT(h.total_anomalies(), 0u);
+}
+
+TEST(Impairment, BuiltinProfileRegistry) {
+  const auto& profiles = builtin_profiles();
+  ASSERT_FALSE(profiles.empty());
+  EXPECT_EQ(profiles.front().name, "none");
+  ASSERT_NE(find_profile("lossy-wifi"), nullptr);
+  EXPECT_TRUE(find_profile("lossy-wifi")->enabled());
+  ASSERT_NE(find_profile("truncating-tap"), nullptr);
+  EXPECT_EQ(find_profile("no-such-profile"), nullptr);
+  const std::string names = profile_names();
+  EXPECT_NE(names.find("lossy-wifi"), std::string::npos);
+  EXPECT_NE(names.find("flaky-vpn"), std::string::npos);
+}
+
+TEST(Impairment, HealthCounterWalkMatchesDeclaration) {
+  CaptureHealth h;
+  h.dns_parse_failures = 7;
+  h.impaired_dropped_packets = 2;
+  const auto all = health_counters(h);
+  EXPECT_EQ(all.size(), 17u);
+  const auto nz = nonzero_counters(h);
+  ASSERT_EQ(nz.size(), 2u);
+  EXPECT_EQ(nz[0].first, "dns_parse_failures");
+  EXPECT_EQ(nz[0].second, 7u);
+  EXPECT_EQ(nz[1].first, "impaired_dropped_packets");
+  EXPECT_EQ(nz[1].second, 2u);
+}
+
+}  // namespace

@@ -63,6 +63,40 @@ TEST(Reassembly, CapacityBound) {
   EXPECT_EQ(r.assembled_bytes(), 8u);
 }
 
+TEST(Reassembly, CountsCapacityDrops) {
+  TcpStreamReassembler r(4);
+  r.add_segment(0, bytes_of("1234"));
+  r.add_segment(4, bytes_of("567"));   // past the cap
+  r.add_segment(10, bytes_of("89"));   // also past the cap (out of order)
+  EXPECT_EQ(r.dropped_segments(), 2u);
+  EXPECT_EQ(r.dropped_bytes(), 5u);
+  iotx::faults::CaptureHealth health;
+  r.export_health(health);
+  EXPECT_EQ(health.reassembly_dropped_segments, 2u);
+  EXPECT_EQ(health.reassembly_dropped_bytes, 5u);
+}
+
+TEST(Reassembly, CountsOverlapConflicts) {
+  TcpStreamReassembler r;
+  r.add_segment(0, bytes_of("abcd"));
+  r.add_segment(2, bytes_of("cd"));  // agreeing retransmit: no conflict
+  EXPECT_EQ(r.overlap_conflicts(), 0u);
+  r.add_segment(2, bytes_of("XY"));  // disagreeing retransmit: conflict
+  EXPECT_EQ(r.overlap_conflicts(), 1u);
+  // First write wins — the assembled stream is unchanged.
+  EXPECT_EQ(r.contiguous(), bytes_of("abcd"));
+}
+
+TEST(Reassembly, CleanStreamExportsNoAnomalies) {
+  TcpStreamReassembler r;
+  r.add_segment(0, bytes_of("abc"));
+  r.add_segment(3, bytes_of("def"));
+  iotx::faults::CaptureHealth health;
+  r.export_health(health);
+  EXPECT_EQ(health.total_anomalies(), 0u);
+  EXPECT_EQ(health.reassembly_dropped_bytes, 0u);
+}
+
 TEST(Reassembly, EmptyPayloadIgnored) {
   TcpStreamReassembler r;
   r.add_segment(0, {});

@@ -62,10 +62,85 @@ TEST(Pcap, RejectsBadMagic) {
   EXPECT_FALSE(pcap_parse(bytes));
 }
 
-TEST(Pcap, RejectsTruncatedRecord) {
-  std::vector<std::uint8_t> bytes = pcap_serialize(sample_packets());
+TEST(Pcap, SalvagesTruncatedTrailingRecord) {
+  // A capture cut mid-write (power loss) keeps every complete record; the
+  // partial trailing one is dropped and counted, not fatal.
+  const std::vector<Packet> packets = sample_packets();
+  std::vector<std::uint8_t> bytes = pcap_serialize(packets);
   bytes.resize(bytes.size() - 3);
-  EXPECT_FALSE(pcap_parse(bytes));
+  iotx::faults::CaptureHealth health;
+  const auto parsed = pcap_parse(bytes, &health);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->size(), packets.size() - 1);
+  EXPECT_EQ(health.pcap_truncated_tail, 1u);
+  for (std::size_t i = 0; i + 1 < packets.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].frame, packets[i].frame);
+  }
+}
+
+TEST(Pcap, SalvagesRecordCutInsideHeader) {
+  // Even a cut inside the 16-byte record header salvages the prefix.
+  std::vector<std::uint8_t> bytes = pcap_serialize(sample_packets());
+  const std::vector<Packet> packets = sample_packets();
+  const std::size_t last_record =
+      24 + 16 * (packets.size() - 1) +
+      [&] {
+        std::size_t total = 0;
+        for (std::size_t i = 0; i + 1 < packets.size(); ++i) {
+          total += packets[i].frame.size();
+        }
+        return total;
+      }();
+  bytes.resize(last_record + 7);  // 7 bytes into the final record header
+  iotx::faults::CaptureHealth health;
+  const auto parsed = pcap_parse(bytes, &health);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->size(), packets.size() - 1);
+  EXPECT_EQ(health.pcap_truncated_tail, 1u);
+}
+
+TEST(Pcap, ClampsInclLenToSnapLenKeepingOrigLenTrue) {
+  Packet oversized;
+  oversized.timestamp = 1.0;
+  oversized.frame.assign(kPcapSnapLen + 100, 0xAB);
+  const auto bytes = pcap_serialize({oversized});
+  // Record header sits right after the 24-byte global header.
+  ByteReader r(bytes);
+  r.skip(24 + 8);  // global header + ts fields
+  EXPECT_EQ(*r.u32le(), kPcapSnapLen);        // incl_len clamped
+  EXPECT_EQ(*r.u32le(), kPcapSnapLen + 100);  // orig_len truthful
+  EXPECT_EQ(bytes.size(), 24u + 16u + kPcapSnapLen);
+
+  iotx::faults::CaptureHealth health;
+  const auto parsed = pcap_parse(bytes, &health);
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].frame.size(), kPcapSnapLen);
+  EXPECT_EQ(health.snaplen_clipped_frames, 1u);
+  EXPECT_EQ(health.pcap_truncated_tail, 0u);
+}
+
+TEST(Pcap, MicrosecondRoundUpCarriesIntoSeconds) {
+  // 41.9999995 rounds to 42.000000: micros must not wrap to 0 while
+  // seconds stays 41.
+  Packet p;
+  p.timestamp = 41.9999995;
+  p.frame = {0x01, 0x02};
+  const auto bytes = pcap_serialize({p});
+  ByteReader r(bytes);
+  r.skip(24);
+  EXPECT_EQ(*r.u32le(), 42u);  // seconds carried
+  EXPECT_EQ(*r.u32le(), 0u);   // micros wrapped
+  const auto parsed = pcap_parse(bytes);
+  ASSERT_TRUE(parsed);
+  EXPECT_NEAR((*parsed)[0].timestamp, 42.0, 1e-9);
+}
+
+TEST(Pcap, CleanFileReportsHealthyCapture) {
+  iotx::faults::CaptureHealth health;
+  const auto parsed = pcap_parse(pcap_serialize(sample_packets()), &health);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(health.total_anomalies(), 0u);
 }
 
 TEST(Pcap, EmptyCaptureParses) {

@@ -64,6 +64,56 @@ TEST(Gateway, WriteAndReadLabeledPcap) {
   std::filesystem::remove_all(root);
 }
 
+TEST(Gateway, TapImpairedDegradesAndAccountsDeterministically) {
+  const TrafficSynthesizer synth;
+  const DeviceSpec* echo = find_device("echo_dot");
+  const NetworkConfig config{LabSite::kUs, false};
+  const auto& profile = *iotx::faults::find_profile("lossy-wifi");
+
+  const auto run_once = [&] {
+    iotx::util::Prng p("g-impair");
+    Gateway gateway(LabSite::kUs);
+    gateway.tap_impaired(synth.power_event(*echo, config, 1000.0, p),
+                         profile, "us/echo_dot/power/rep0");
+    return gateway;
+  };
+  const Gateway a = run_once();
+  const Gateway b = run_once();
+
+  // Same seed key => identical degraded buffer and identical accounting.
+  EXPECT_EQ(a.packet_count(), b.packet_count());
+  EXPECT_TRUE(a.health() == b.health());
+  EXPECT_GT(a.health().total_anomalies(), 0u);
+
+  // An unimpaired tap of the same traffic sees more (or equal) packets.
+  iotx::util::Prng p("g-impair");
+  Gateway clean(LabSite::kUs);
+  clean.tap(synth.power_event(*echo, config, 1000.0, p));
+  EXPECT_LE(a.packet_count(), clean.packet_count());
+  EXPECT_EQ(clean.health().total_anomalies(), 0u);
+
+  // Degraded captures still split per device with sorted timestamps.
+  for (const auto& [mac, packets] : a.per_device()) {
+    for (std::size_t i = 1; i < packets.size(); ++i) {
+      EXPECT_LE(packets[i - 1].timestamp, packets[i].timestamp);
+    }
+  }
+}
+
+TEST(Gateway, TapImpairedWithDisabledProfileIsPlainTap) {
+  const TrafficSynthesizer synth;
+  const DeviceSpec* echo = find_device("echo_dot");
+  const NetworkConfig config{LabSite::kUs, false};
+  iotx::util::Prng p1("g3"), p2("g3");
+  Gateway impaired(LabSite::kUs);
+  impaired.tap_impaired(synth.power_event(*echo, config, 1000.0, p1),
+                        iotx::faults::ImpairmentProfile{}, "any-key");
+  Gateway plain(LabSite::kUs);
+  plain.tap(synth.power_event(*echo, config, 1000.0, p2));
+  EXPECT_EQ(impaired.packet_count(), plain.packet_count());
+  EXPECT_EQ(impaired.health().total_anomalies(), 0u);
+}
+
 TEST(Gateway, WriteFailsGracefullyOnBadRoot) {
   const Gateway gateway(LabSite::kUk);
   LabeledCapture capture;
