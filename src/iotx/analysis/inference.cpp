@@ -1,6 +1,7 @@
 #include "iotx/analysis/inference.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "iotx/testbed/catalog.hpp"
 
@@ -44,10 +45,19 @@ std::optional<std::string> ActivityModel::predict(
   return dataset.class_name(cls);
 }
 
+ml::Dataset build_dataset(const std::vector<LabeledMeta>& examples) {
+  ml::Dataset data;
+  for (const LabeledMeta& example : examples) {
+    if (example.activity.empty() || example.meta.size() < 4) continue;
+    data.add(extract_features(example.meta), example.activity);
+  }
+  return data;
+}
+
 ml::Dataset build_dataset(
     const testbed::DeviceSpec& device,
     const std::vector<testbed::LabeledCapture>& captures) {
-  ml::Dataset data;
+  std::vector<LabeledMeta> examples;
   const net::MacAddress mac_us = testbed::device_mac(device, true);
   const net::MacAddress mac_uk = testbed::device_mac(device, false);
   for (const testbed::LabeledCapture& capture : captures) {
@@ -57,22 +67,23 @@ ml::Dataset build_dataset(
     }
     const net::MacAddress mac =
         capture.spec.config.lab == testbed::LabSite::kUs ? mac_us : mac_uk;
-    const std::vector<flow::PacketMeta> meta =
-        flow::extract_meta(capture.packets, mac);
-    if (meta.size() < 4) continue;
-    data.add(extract_features(meta), capture.spec.activity);
+    examples.push_back(LabeledMeta{capture.spec.activity,
+                                   flow::extract_meta(capture.packets, mac)});
   }
-  return data;
+  return build_dataset(examples);
 }
 
-ActivityModel train_activity_model(
-    const testbed::DeviceSpec& device, const testbed::NetworkConfig& config,
-    const std::vector<testbed::LabeledCapture>& captures,
-    const InferenceParams& params, util::TaskPool* pool) {
+namespace {
+
+/// Shared tail of both train_activity_model overloads: CV + final fit.
+ActivityModel finish_model(const testbed::DeviceSpec& device,
+                           const testbed::NetworkConfig& config,
+                           ml::Dataset dataset, const InferenceParams& params,
+                           util::TaskPool* pool) {
   ActivityModel model;
   model.device_id = device.id;
   model.config = config;
-  model.dataset = build_dataset(device, captures);
+  model.dataset = std::move(dataset);
   if (model.dataset.empty()) return model;
 
   const std::string seed_key = "cv/" + config.key() + "/" + device.id;
@@ -82,6 +93,23 @@ ActivityModel train_activity_model(
   util::Prng prng("fit/" + config.key() + "/" + device.id);
   model.forest.fit(model.dataset, params.validation.forest, prng, pool);
   return model;
+}
+
+}  // namespace
+
+ActivityModel train_activity_model(
+    const testbed::DeviceSpec& device, const testbed::NetworkConfig& config,
+    const std::vector<LabeledMeta>& examples, const InferenceParams& params,
+    util::TaskPool* pool) {
+  return finish_model(device, config, build_dataset(examples), params, pool);
+}
+
+ActivityModel train_activity_model(
+    const testbed::DeviceSpec& device, const testbed::NetworkConfig& config,
+    const std::vector<testbed::LabeledCapture>& captures,
+    const InferenceParams& params, util::TaskPool* pool) {
+  return finish_model(device, config, build_dataset(device, captures), params,
+                      pool);
 }
 
 }  // namespace iotx::analysis

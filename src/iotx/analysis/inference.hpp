@@ -49,16 +49,37 @@ struct InferenceParams {
   ml::ValidationParams validation;  ///< forest + split settings
 };
 
+/// A labeled, pre-extracted packet-meta sequence: what survives of a
+/// training capture once the ingest pipeline's MetaCollector has run and
+/// the raw packet buffers are dropped. Only these per-packet records (and
+/// the features derived from them) are needed for model training.
+struct LabeledMeta {
+  std::string activity;                ///< ground-truth label; may be empty
+  std::vector<flow::PacketMeta> meta;  ///< timestamp-sorted device traffic
+};
+
+/// Builds the labeled dataset from pre-extracted meta. Examples with an
+/// empty label or fewer than 4 packets are skipped; order is preserved.
+ml::Dataset build_dataset(const std::vector<LabeledMeta>& examples);
+
 /// Builds the labeled dataset for a device from its experiment captures
 /// (power + interaction only; idle has no labels). Each capture becomes
-/// one example labeled with its activity.
+/// one example labeled with its activity. Wrapper over the meta-based
+/// overload (one decode pass per capture via flow::extract_meta).
 ml::Dataset build_dataset(const testbed::DeviceSpec& device,
                           const std::vector<testbed::LabeledCapture>& captures);
 
-/// Trains and validates the model for a device under one config. A non-null
-/// `pool` parallelizes the validation repetitions and per-tree training;
-/// results are bit-identical at any thread count (seeds are keyed by
-/// repetition/tree index, never by execution order).
+/// Trains and validates the model for a device under one config, from
+/// pre-extracted meta (the streaming-ingest path: no raw packets). A
+/// non-null `pool` parallelizes the validation repetitions and per-tree
+/// training; results are bit-identical at any thread count (seeds are
+/// keyed by repetition/tree index, never by execution order).
+ActivityModel train_activity_model(
+    const testbed::DeviceSpec& device, const testbed::NetworkConfig& config,
+    const std::vector<LabeledMeta>& examples, const InferenceParams& params,
+    util::TaskPool* pool = nullptr);
+
+/// Capture-based overload: extracts meta per capture, then trains.
 ActivityModel train_activity_model(
     const testbed::DeviceSpec& device, const testbed::NetworkConfig& config,
     const std::vector<testbed::LabeledCapture>& captures,

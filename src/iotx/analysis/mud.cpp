@@ -65,9 +65,15 @@ MudProfile learn_mud_profile(
   MudProfile profile;
   profile.device_id = device_id;
   for (const std::vector<net::Packet>& capture : captures) {
+    // DNS cache and flow table share one decode pass per capture.
     flow::DnsCache dns;
-    dns.ingest_all(capture);
-    for (const flow::Flow& f : flow::assemble_flows(capture)) {
+    flow::FlowTable table;
+    flow::IngestPipeline pipeline;
+    pipeline.add_sink(dns);
+    pipeline.add_sink(table);
+    pipeline.ingest_all(capture);
+    pipeline.finish();
+    for (const flow::Flow& f : table.flows()) {
       if (const auto entry = entry_for_flow(f, dns)) {
         profile.allowed.insert(*entry);
       }
@@ -79,9 +85,14 @@ MudProfile learn_mud_profile(
 std::vector<MudViolation> check_against_profile(
     const MudProfile& profile, const std::vector<net::Packet>& capture) {
   flow::DnsCache dns;
-  dns.ingest_all(capture);
+  flow::FlowTable table;
+  flow::IngestPipeline pipeline;
+  pipeline.add_sink(dns);
+  pipeline.add_sink(table);
+  pipeline.ingest_all(capture);
+  pipeline.finish();
   std::map<MudAclEntry, MudViolation> violations;
-  for (const flow::Flow& f : flow::assemble_flows(capture)) {
+  for (const flow::Flow& f : table.flows()) {
     const auto entry = entry_for_flow(f, dns);
     if (!entry || profile.permits(*entry)) continue;
     MudViolation& v = violations[*entry];

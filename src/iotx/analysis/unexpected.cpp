@@ -6,21 +6,18 @@ namespace iotx::analysis {
 
 namespace {
 
-std::vector<flow::TrafficUnit> units_of(const testbed::DeviceSpec& device,
-                                        testbed::LabSite lab,
-                                        const std::vector<net::Packet>& pkts,
-                                        const DetectorParams& params) {
+std::vector<flow::PacketMeta> meta_of(const testbed::DeviceSpec& device,
+                                      testbed::LabSite lab,
+                                      const std::vector<net::Packet>& pkts) {
   const net::MacAddress mac =
       testbed::device_mac(device, lab == testbed::LabSite::kUs);
-  const std::vector<flow::PacketMeta> meta = flow::extract_meta(pkts, mac);
-  return flow::segment_traffic(meta, params.unit_gap_seconds);
+  return flow::extract_meta(pkts, mac);
 }
 
 }  // namespace
 
 IdleDetections detect_activity(const testbed::DeviceSpec& device,
-                               testbed::LabSite lab,
-                               const std::vector<net::Packet>& capture,
+                               const std::vector<flow::PacketMeta>& meta,
                                const ActivityModel& model,
                                const DetectorParams& params) {
   IdleDetections result;
@@ -29,7 +26,7 @@ IdleDetections detect_activity(const testbed::DeviceSpec& device,
   if (model.device_f1() <= 0.0) return result;
 
   for (const flow::TrafficUnit& unit :
-       units_of(device, lab, capture, params)) {
+       flow::segment_traffic(meta, params.unit_gap_seconds)) {
     if (unit.packets.size() < params.min_unit_packets) continue;
     ++result.units_total;
     const auto activity =
@@ -41,15 +38,24 @@ IdleDetections detect_activity(const testbed::DeviceSpec& device,
   return result;
 }
 
+IdleDetections detect_activity(const testbed::DeviceSpec& device,
+                               testbed::LabSite lab,
+                               const std::vector<net::Packet>& capture,
+                               const ActivityModel& model,
+                               const DetectorParams& params) {
+  return detect_activity(device, meta_of(device, lab, capture), model,
+                         params);
+}
+
 std::vector<UncontrolledFinding> audit_uncontrolled(
     const testbed::DeviceSpec& device,
-    const std::vector<net::Packet>& capture, const ActivityModel& model,
+    const std::vector<flow::PacketMeta>& meta, const ActivityModel& model,
     const std::vector<testbed::GroundTruthEvent>& events,
     const DetectorParams& params, double window_s) {
   std::map<std::string, UncontrolledFinding> by_activity;
 
   for (const flow::TrafficUnit& unit :
-       units_of(device, testbed::LabSite::kUs, capture, params)) {
+       flow::segment_traffic(meta, params.unit_gap_seconds)) {
     if (unit.packets.size() < params.min_unit_packets) continue;
     const auto activity =
         model.predict(unit, params.min_model_f1, params.min_vote);
@@ -87,6 +93,16 @@ std::vector<UncontrolledFinding> audit_uncontrolled(
     findings.push_back(std::move(finding));
   }
   return findings;
+}
+
+std::vector<UncontrolledFinding> audit_uncontrolled(
+    const testbed::DeviceSpec& device,
+    const std::vector<net::Packet>& capture, const ActivityModel& model,
+    const std::vector<testbed::GroundTruthEvent>& events,
+    const DetectorParams& params, double window_s) {
+  return audit_uncontrolled(device,
+                            meta_of(device, testbed::LabSite::kUs, capture),
+                            model, events, params, window_s);
 }
 
 }  // namespace iotx::analysis

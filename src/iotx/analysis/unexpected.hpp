@@ -31,7 +31,15 @@ struct DetectorParams {
   double min_vote = 0.55;
 };
 
-/// Runs a device's model over an unlabeled capture.
+/// Runs a device's model over pre-extracted, timestamp-sorted device
+/// traffic meta — the streaming-ingest path, where the raw capture was
+/// dropped after its pipeline pass and only the meta survives.
+IdleDetections detect_activity(const testbed::DeviceSpec& device,
+                               const std::vector<flow::PacketMeta>& meta,
+                               const ActivityModel& model,
+                               const DetectorParams& params = {});
+
+/// Capture-based overload: extracts the device's meta, then detects.
 IdleDetections detect_activity(const testbed::DeviceSpec& device,
                                testbed::LabSite lab,
                                const std::vector<net::Packet>& capture,
@@ -51,6 +59,14 @@ struct UncontrolledFinding {
   int unmatched = 0;             ///< nothing in the ground truth at all
 };
 
+std::vector<UncontrolledFinding> audit_uncontrolled(
+    const testbed::DeviceSpec& device,
+    const std::vector<flow::PacketMeta>& meta, const ActivityModel& model,
+    const std::vector<testbed::GroundTruthEvent>& events,
+    const DetectorParams& params = {}, double window_s = 30.0);
+
+/// Capture-based overload: extracts the device's meta (US-lab MAC, like
+/// the user study), then audits.
 std::vector<UncontrolledFinding> audit_uncontrolled(
     const testbed::DeviceSpec& device,
     const std::vector<net::Packet>& capture, const ActivityModel& model,

@@ -75,6 +75,16 @@ analysis::AttributionContext Study::attribution_context(
   return ctx;
 }
 
+void Study::note_ingest(const flow::IngestPipeline& pipeline) {
+  packets_ingested_.fetch_add(pipeline.packets_seen(),
+                              std::memory_order_relaxed);
+  std::uint64_t peak = peak_capture_bytes_.load(std::memory_order_relaxed);
+  while (peak < pipeline.bytes_seen() &&
+         !peak_capture_bytes_.compare_exchange_weak(
+             peak, pipeline.bytes_seen(), std::memory_order_relaxed)) {
+  }
+}
+
 DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
                                   const testbed::NetworkConfig& config,
                                   util::TaskPool* pool) {
@@ -94,22 +104,39 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
       {"email", tokens.email},
       {"geo_city", tokens.geo_city},
   });
+  const net::MacAddress device_mac =
+      testbed::device_mac(device, config.lab == testbed::LabSite::kUs);
 
   // Merged destination records across experiments (by address; named
   // attributions survive captures that missed the DNS response).
   analysis::DestinationAccumulator merged;
   // PII findings are deduplicated across experiments by (kind, destination).
   std::set<std::pair<std::string, std::uint32_t>> seen_pii;
-  std::vector<testbed::LabeledCapture> training_captures;
-  std::vector<net::Packet> idle_capture;
+  std::vector<analysis::LabeledMeta> training;
+  std::vector<flow::PacketMeta> idle_meta;
 
-  const auto analyze_capture = [&](const testbed::LabeledCapture& capture) {
+  // Streams one capture through a single-decode pipeline — every consumer
+  // (DNS cache, flow table, feature front-end) rides the same pass — and
+  // runs the per-capture analyses on the sinks' outputs. Returns the
+  // device-traffic meta: the only thing that must survive the capture,
+  // whose raw packet buffers die with the caller's scope.
+  const auto ingest_capture =
+      [&](const testbed::LabeledCapture& capture) -> std::vector<flow::PacketMeta> {
     flow::DnsCache dns;
-    dns.ingest_all(capture.packets);
+    flow::FlowTable table;
+    flow::MetaCollector collector(device_mac);
+    flow::IngestPipeline pipeline;
+    pipeline.add_sink(dns);
+    pipeline.add_sink(table);
+    pipeline.add_sink(collector);
+    pipeline.ingest_all(capture.packets);
+    pipeline.finish();
+    note_ingest(pipeline);
+    result.health.merge(pipeline.health());
     result.health.merge(dns.health());
-    const std::vector<flow::Flow> flows =
-        flow::assemble_flows(capture.packets, &result.health);
+    result.health.merge(table.health());
 
+    const std::vector<flow::Flow> flows = table.flows();
     const std::vector<analysis::DestinationRecord> records =
         analysis::attribute_destinations(flows, dns, ctx,
                                          device.first_party_orgs);
@@ -136,6 +163,7 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
         result.pii_findings.push_back(std::move(f));
       }
     }
+    return collector.take();
   };
 
   for (const testbed::ExperimentSpec& spec :
@@ -145,16 +173,21 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
     if (params_.impairment.enabled()) {
       // Seeded by the experiment key alone, never by execution order, so
       // an impaired campaign stays bit-identical at any --jobs count.
+      // Impairment runs at the stream head: the pipeline ingests what a
+      // degraded gateway would actually have captured.
       util::Prng prng("impair/" + spec.key());
       faults::apply_impairment(capture.packets, params_.impairment, prng)
           .add_to(result.health);
     }
-    analyze_capture(capture);
+    std::vector<flow::PacketMeta> meta = ingest_capture(capture);
     if (spec.type == testbed::ExperimentType::kIdle) {
-      idle_capture = std::move(capture.packets);
+      idle_meta = std::move(meta);
     } else {
-      training_captures.push_back(std::move(capture));
+      training.push_back(
+          analysis::LabeledMeta{capture.spec.activity, std::move(meta)});
     }
+    // `capture` — and with it the raw packet buffers — dies here; only
+    // the per-packet meta survives until model training.
   }
 
   result.destinations = merged.merged();
@@ -165,26 +198,31 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
   {
     const int n_background = std::max(4, params_.plan.automated_reps / 2);
     for (int i = 0; i < n_background; ++i) {
-      testbed::LabeledCapture bg;
-      bg.spec.device_id = device.id;
-      bg.spec.config = config;
-      bg.spec.type = testbed::ExperimentType::kInteraction;
-      bg.spec.activity = std::string(analysis::kBackgroundLabel);
-      bg.spec.repetition = i;
-      bg.spec.start_time = testbed::kSimulationEpoch + 50000.0 + i * 100.0;
-      util::Prng prng("bg/" + bg.spec.key());
-      bg.packets = runner_.synthesizer().background(
-          device, config, bg.spec.start_time, bg.spec.start_time + 60.0,
-          prng);
-      training_captures.push_back(std::move(bg));
+      testbed::ExperimentSpec spec;
+      spec.device_id = device.id;
+      spec.config = config;
+      spec.type = testbed::ExperimentType::kInteraction;
+      spec.activity = std::string(analysis::kBackgroundLabel);
+      spec.repetition = i;
+      spec.start_time = testbed::kSimulationEpoch + 50000.0 + i * 100.0;
+      util::Prng prng("bg/" + spec.key());
+      const std::vector<net::Packet> packets = runner_.synthesizer().background(
+          device, config, spec.start_time, spec.start_time + 60.0, prng);
+      flow::MetaCollector collector(device_mac);
+      flow::IngestPipeline pipeline;
+      pipeline.add_sink(collector);
+      pipeline.ingest_all(packets);
+      pipeline.finish();
+      note_ingest(pipeline);
+      training.push_back(
+          analysis::LabeledMeta{spec.activity, collector.take()});
     }
   }
 
-  result.model = analysis::train_activity_model(device, config,
-                                                training_captures,
+  result.model = analysis::train_activity_model(device, config, training,
                                                 params_.inference, pool);
-  result.idle = analysis::detect_activity(device, config.lab, idle_capture,
-                                          result.model, params_.detector);
+  result.idle = analysis::detect_activity(device, idle_meta, result.model,
+                                          params_.detector);
   result.status = result.health.total_anomalies() > 0 ? RunStatus::kDegraded
                                                       : RunStatus::kClean;
   return result;
@@ -260,15 +298,25 @@ void Study::run_uncontrolled() {
     const testbed::DeviceSpec* device = testbed::find_device(device_id);
     if (device == nullptr) continue;
 
-    const std::vector<flow::Flow> flows = flow::assemble_flows(capture);
-    uncontrolled_enc_ += analysis::account_flows(flows);
+    // One streaming pass per user-study capture: encryption accounting and
+    // the §7.3 audit's feature front-end share the same decode.
+    flow::FlowTable table;
+    flow::MetaCollector collector(testbed::device_mac(*device, true));
+    flow::IngestPipeline pipeline;
+    pipeline.add_sink(table);
+    pipeline.add_sink(collector);
+    pipeline.ingest_all(capture);
+    pipeline.finish();
+    note_ingest(pipeline);
+    uncontrolled_enc_ += analysis::account_flows(table.flows());
 
     for (const DeviceRunResult& r : us_results) {
       if (r.device->id != device_id) continue;
       // A quarantined run has no trained model to audit against.
       if (r.status == RunStatus::kQuarantined) break;
       uncontrolled_findings_[device_id] = analysis::audit_uncontrolled(
-          *device, capture, r.model, user_study_.events, params_.detector);
+          *device, collector.take(), r.model, user_study_.events,
+          params_.detector);
       break;
     }
   }

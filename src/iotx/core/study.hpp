@@ -23,6 +23,7 @@
 #include "iotx/analysis/pii.hpp"
 #include "iotx/analysis/unexpected.hpp"
 #include "iotx/faults/impairment.hpp"
+#include "iotx/flow/ingest.hpp"
 #include "iotx/testbed/experiment.hpp"
 #include "iotx/testbed/user_study.hpp"
 #include "iotx/util/task_pool.hpp"
@@ -144,6 +145,21 @@ class Study {
     return experiments_run_.load(std::memory_order_relaxed);
   }
 
+  /// Frames streamed through ingest pipelines during run() — the
+  /// denominator of the single-decode invariant: with impairment disabled,
+  /// net::decode_packet_calls() grows by exactly this much across run().
+  std::uint64_t packets_ingested() const noexcept {
+    return packets_ingested_.load(std::memory_order_relaxed);
+  }
+
+  /// Largest raw-capture byte footprint any single ingest pass held. The
+  /// streaming pipeline drops each capture's packet buffers as soon as its
+  /// sinks finish, so this is one capture's bytes — not a whole training
+  /// set's, as the pre-pipeline run_device retained.
+  std::uint64_t peak_capture_bytes() const noexcept {
+    return peak_capture_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// All quarantined runs across configs, in result order; empty when
   /// every run completed.
   std::vector<const DeviceRunResult*> quarantined() const;
@@ -160,6 +176,8 @@ class Study {
                              const testbed::NetworkConfig& config,
                              util::TaskPool* pool);
   void run_uncontrolled();
+  /// Folds one finished pipeline pass into the run-wide ingest stats.
+  void note_ingest(const flow::IngestPipeline& pipeline);
 
   StudyParams params_;
   testbed::ExperimentRunner runner_;
@@ -171,6 +189,8 @@ class Study {
   std::map<std::string, std::vector<analysis::UncontrolledFinding>>
       uncontrolled_findings_;
   std::atomic<std::size_t> experiments_run_{0};
+  std::atomic<std::uint64_t> packets_ingested_{0};
+  std::atomic<std::uint64_t> peak_capture_bytes_{0};
 };
 
 /// Experiment group of a spec, matching the tables' row labels:

@@ -44,9 +44,10 @@ void DnsCache::ingest(const net::DecodedPacket& p) {
 }
 
 void DnsCache::ingest_all(const std::vector<net::Packet>& packets) {
-  for (const net::Packet& raw : packets) {
-    if (const auto decoded = net::decode_packet(raw)) ingest(*decoded);
-  }
+  IngestPipeline pipeline;
+  pipeline.add_sink(*this);
+  pipeline.ingest_all(packets);
+  pipeline.finish();
 }
 
 std::optional<std::string> DnsCache::lookup(net::Ipv4Address addr) const {

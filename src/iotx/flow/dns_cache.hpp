@@ -11,18 +11,28 @@
 #include <vector>
 
 #include "iotx/faults/health.hpp"
+#include "iotx/flow/ingest.hpp"
 #include "iotx/net/packet.hpp"
 
 namespace iotx::flow {
 
 /// Remembers which domain each IP address was resolved from, following
-/// CNAME chains to the originally queried name.
-class DnsCache {
+/// CNAME chains to the originally queried name. Also a PacketSink, so it
+/// can ride an IngestPipeline and share one decode pass with the other
+/// consumers.
+class DnsCache : public PacketSink {
  public:
   /// Folds in one packet; no-op unless it is a decodable DNS response.
   void ingest(const net::DecodedPacket& packet);
 
-  /// Folds in all decodable packets of a capture.
+  void on_packet(const net::DecodedPacket& packet) override {
+    ingest(packet);
+  }
+
+  /// Legacy one-shot entry point, now a thin wrapper over a private
+  /// IngestPipeline. Undecodable frames are skipped without counting —
+  /// the flow table ingesting the same capture accounts them, and the
+  /// capture-level count must stay single-source.
   void ingest_all(const std::vector<net::Packet>& packets);
 
   /// Domain the device queried to obtain `addr`, if any was observed.
@@ -30,6 +40,12 @@ class DnsCache {
 
   /// Number of distinct mapped addresses.
   std::size_t size() const noexcept { return map_.size(); }
+
+  /// The full address -> domain map (read-only; equivalence testing).
+  const std::unordered_map<net::Ipv4Address, std::string>& entries()
+      const noexcept {
+    return map_;
+  }
 
   /// Ingest anomalies seen so far (DNS payloads that failed to decode —
   /// mangled responses a lossy capture hands us).

@@ -125,13 +125,11 @@ void FlowTable::ingest(const net::DecodedPacket& p) {
 }
 
 void FlowTable::ingest_all(const std::vector<net::Packet>& packets) {
-  for (const net::Packet& raw : packets) {
-    if (const auto decoded = net::decode_packet(raw)) {
-      ingest(*decoded);
-    } else {
-      ++health_.undecodable_frames;
-    }
-  }
+  IngestPipeline pipeline;
+  pipeline.add_sink(*this);
+  pipeline.ingest_all(packets);
+  pipeline.finish();
+  health_.merge(pipeline.health());
 }
 
 std::vector<Flow> FlowTable::flows() const {

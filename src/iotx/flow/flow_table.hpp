@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "iotx/faults/health.hpp"
+#include "iotx/flow/ingest.hpp"
 #include "iotx/net/packet.hpp"
 #include "iotx/proto/identify.hpp"
 
@@ -39,6 +40,8 @@ struct DirectionStats {
   std::uint64_t payload_bytes = 0;  ///< L4 payload bytes
   std::vector<double> sizes;        ///< frame size per packet
   std::vector<double> timestamps;   ///< arrival time per packet
+
+  bool operator==(const DirectionStats&) const = default;
 };
 
 /// A bidirectional flow. "up" is initiator -> responder, where the
@@ -72,15 +75,23 @@ struct Flow {
   std::uint64_t total_payload_bytes() const noexcept {
     return up.payload_bytes + down.payload_bytes;
   }
+
+  bool operator==(const Flow&) const = default;
 };
 
-/// Accumulates packets into flows.
-class FlowTable {
+/// Accumulates packets into flows. Also a PacketSink, so it can ride an
+/// IngestPipeline and share one decode pass with the other consumers.
+class FlowTable : public PacketSink {
  public:
   /// Folds one decoded packet into its flow.
   void ingest(const net::DecodedPacket& packet);
 
-  /// Decodes and folds raw packets; undecodable frames are skipped and
+  void on_packet(const net::DecodedPacket& packet) override {
+    ingest(packet);
+  }
+
+  /// Legacy one-shot entry point, now a thin wrapper that streams the
+  /// vector through a private IngestPipeline; undecodable frames are
   /// counted into health().undecodable_frames.
   void ingest_all(const std::vector<net::Packet>& packets);
 

@@ -1,0 +1,29 @@
+#include "iotx/flow/ingest.hpp"
+
+namespace iotx::flow {
+
+void IngestPipeline::add_sink(PacketSink& sink) { sinks_.push_back(&sink); }
+
+void IngestPipeline::ingest(const net::Packet& packet) {
+  ++seen_;
+  bytes_ += packet.frame.size();
+  const auto decoded = net::decode_packet(packet);
+  if (!decoded) {
+    ++health_.undecodable_frames;
+    return;
+  }
+  ++decoded_;
+  for (PacketSink* sink : sinks_) sink->on_packet(*decoded);
+}
+
+void IngestPipeline::ingest_all(const std::vector<net::Packet>& packets) {
+  for (const net::Packet& packet : packets) ingest(packet);
+}
+
+void IngestPipeline::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (PacketSink* sink : sinks_) sink->on_finish();
+}
+
+}  // namespace iotx::flow

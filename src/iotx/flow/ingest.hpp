@@ -1,0 +1,78 @@
+// Single-decode streaming ingest (DESIGN.md §"Ingest pipeline").
+//
+// Every analysis dimension of the paper — destinations (§4), encryption
+// (§5), content (§6), unexpected behavior (§7) — consumes the same
+// captures. The pipeline decodes each frame exactly once and fans the
+// DecodedPacket out to registered PacketSinks (DNS cache, flow table,
+// traffic-unit meta collector, TCP reassembly), so a capture pays one
+// header-decode pass total instead of one per consumer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "iotx/faults/health.hpp"
+#include "iotx/net/packet.hpp"
+
+namespace iotx::flow {
+
+/// Consumer interface for the streaming ingest pipeline.
+///
+/// Memory ownership: the DecodedPacket handed to on_packet() aliases the
+/// frame buffer of a net::Packet owned by the pipeline's caller; it is
+/// valid only for the duration of the call. A sink that needs payload
+/// bytes past that point must copy them (the flow table's payload samples
+/// and the TCP reassembler's assembled stream both do).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+
+  /// Called exactly once per decodable frame, in capture order.
+  virtual void on_packet(const net::DecodedPacket& packet) = 0;
+
+  /// Called once after the capture's last frame, before results are read.
+  virtual void on_finish() {}
+};
+
+/// Decodes each frame once and dispatches it to every registered sink.
+///
+/// One pipeline instance serves one capture: construct, register sinks,
+/// ingest, finish(), read the sinks. Undecodable frames are counted here
+/// (never per sink, so the capture-level count stays single-source);
+/// protocol-level anomalies stay in each sink's own health record.
+class IngestPipeline {
+ public:
+  /// Registers a sink (non-owning; must outlive the pipeline). Sinks see
+  /// every packet in registration order.
+  void add_sink(PacketSink& sink);
+
+  /// Decodes one frame and fans it out; an undecodable frame is counted
+  /// into health().undecodable_frames and never reaches the sinks.
+  void ingest(const net::Packet& packet);
+
+  /// Streams a whole capture through ingest().
+  void ingest_all(const std::vector<net::Packet>& packets);
+
+  /// Flushes every sink (on_finish, registration order). Idempotent.
+  void finish();
+
+  /// Frames offered to the pipeline so far.
+  std::uint64_t packets_seen() const noexcept { return seen_; }
+  /// Frames successfully decoded and dispatched.
+  std::uint64_t packets_decoded() const noexcept { return decoded_; }
+  /// Frame bytes offered so far (the capture's raw footprint).
+  std::uint64_t bytes_seen() const noexcept { return bytes_; }
+
+  /// Decode-layer anomalies (undecodable frames).
+  const faults::CaptureHealth& health() const noexcept { return health_; }
+
+ private:
+  std::vector<PacketSink*> sinks_;
+  faults::CaptureHealth health_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t decoded_ = 0;
+  std::uint64_t bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace iotx::flow

@@ -75,22 +75,25 @@ std::size_t TcpStreamReassembler::pending_bytes() const noexcept {
   return total;
 }
 
+void ClientStreamSink::on_packet(const net::DecodedPacket& packet) {
+  if (!packet.is_tcp) return;
+  if (!client_) client_ = {packet.ip.src, packet.tcp.src_port};
+  if (packet.ip.src == client_->first &&
+      packet.tcp.src_port == client_->second) {
+    reassembler_.add_segment(packet.tcp.seq, packet.payload);
+  }
+}
+
 std::vector<std::uint8_t> reassemble_client_stream(
     const std::vector<net::Packet>& packets,
     faults::CaptureHealth* health) {
-  // The client is the source of the first TCP packet with a payload or SYN.
-  std::optional<std::pair<net::Ipv4Address, std::uint16_t>> client;
-  TcpStreamReassembler reassembler;
-  for (const net::Packet& raw : packets) {
-    const auto d = net::decode_packet(raw);
-    if (!d || !d->is_tcp) continue;
-    if (!client) client = {d->ip.src, d->tcp.src_port};
-    if (d->ip.src == client->first && d->tcp.src_port == client->second) {
-      reassembler.add_segment(d->tcp.seq, d->payload);
-    }
-  }
-  if (health != nullptr) reassembler.export_health(*health);
-  return reassembler.contiguous();
+  ClientStreamSink sink;
+  IngestPipeline pipeline;
+  pipeline.add_sink(sink);
+  pipeline.ingest_all(packets);
+  pipeline.finish();
+  if (health != nullptr) sink.reassembler().export_health(*health);
+  return sink.stream();
 }
 
 }  // namespace iotx::flow

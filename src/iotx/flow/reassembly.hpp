@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "iotx/faults/health.hpp"
+#include "iotx/flow/ingest.hpp"
 #include "iotx/net/packet.hpp"
 
 namespace iotx::flow {
@@ -75,11 +77,34 @@ class TcpStreamReassembler {
   std::map<std::uint64_t, std::vector<std::uint8_t>> pending_;
 };
 
+/// PacketSink that reassembles the client->server byte stream of the one
+/// TCP connection the capture carries (caller pre-filters to a single
+/// connection, e.g. via FlowKey). The client is the source of the first
+/// TCP packet observed; non-TCP packets are ignored.
+class ClientStreamSink final : public PacketSink {
+ public:
+  explicit ClientStreamSink(std::size_t capacity = 1 << 20)
+      : reassembler_(capacity) {}
+
+  void on_packet(const net::DecodedPacket& packet) override;
+
+  const TcpStreamReassembler& reassembler() const noexcept {
+    return reassembler_;
+  }
+  /// The contiguous client stream assembled so far.
+  const std::vector<std::uint8_t>& stream() const noexcept {
+    return reassembler_.contiguous();
+  }
+
+ private:
+  std::optional<std::pair<net::Ipv4Address, std::uint16_t>> client_;
+  TcpStreamReassembler reassembler_;
+};
+
 /// Reassembles the client->server byte stream of the TCP flow that the
-/// given packets belong to (caller pre-filters to one connection, e.g. via
-/// FlowKey). Useful one-shot for SNI/HTTP extraction from segmented
-/// handshakes. Sequence numbers come from the TCP headers; non-TCP packets
-/// are ignored.
+/// given packets belong to; a wrapper over an IngestPipeline +
+/// ClientStreamSink. Useful one-shot for SNI/HTTP extraction from
+/// segmented handshakes.
 std::vector<std::uint8_t> reassemble_client_stream(
     const std::vector<net::Packet>& packets,
     faults::CaptureHealth* health = nullptr);

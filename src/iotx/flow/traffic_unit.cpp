@@ -10,25 +10,32 @@ std::uint64_t TrafficUnit::total_bytes() const noexcept {
   return total;
 }
 
-std::vector<PacketMeta> extract_meta(const std::vector<net::Packet>& packets,
-                                     net::MacAddress device_mac) {
-  std::vector<PacketMeta> out;
-  out.reserve(packets.size());
-  for (const net::Packet& raw : packets) {
-    const auto decoded = net::decode_packet(raw);
-    if (!decoded) continue;
-    const bool from_device = decoded->eth.src == device_mac;
-    const bool to_device = decoded->eth.dst == device_mac;
-    if (!from_device && !to_device) continue;
-    out.push_back(PacketMeta{decoded->timestamp,
-                             static_cast<std::uint32_t>(decoded->frame_size),
+void MetaCollector::on_packet(const net::DecodedPacket& packet) {
+  const bool from_device = packet.eth.src == mac_;
+  const bool to_device = packet.eth.dst == mac_;
+  if (!from_device && !to_device) return;
+  meta_.push_back(PacketMeta{packet.timestamp,
+                             static_cast<std::uint32_t>(packet.frame_size),
                              from_device});
-  }
-  std::stable_sort(out.begin(), out.end(),
+}
+
+void MetaCollector::on_finish() {
+  std::stable_sort(meta_.begin(), meta_.end(),
                    [](const PacketMeta& a, const PacketMeta& b) {
                      return a.timestamp < b.timestamp;
                    });
-  return out;
+}
+
+std::vector<PacketMeta> extract_meta(const std::vector<net::Packet>& packets,
+                                     net::MacAddress device_mac,
+                                     faults::CaptureHealth* health) {
+  MetaCollector collector(device_mac);
+  IngestPipeline pipeline;
+  pipeline.add_sink(collector);
+  pipeline.ingest_all(packets);
+  pipeline.finish();
+  if (health != nullptr) health->merge(pipeline.health());
+  return collector.take();
 }
 
 std::vector<TrafficUnit> segment_traffic(const std::vector<PacketMeta>& meta,

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "iotx/faults/health.hpp"
+#include "iotx/flow/ingest.hpp"
 #include "iotx/net/address.hpp"
 #include "iotx/net/packet.hpp"
 
@@ -16,6 +18,8 @@ struct PacketMeta {
   double timestamp = 0.0;
   std::uint32_t size = 0;   ///< frame bytes
   bool outbound = false;    ///< true when sent by the device under analysis
+
+  bool operator==(const PacketMeta&) const = default;
 };
 
 /// A maximal run of packets with inter-packet gap <= the threshold.
@@ -36,11 +40,34 @@ struct TrafficUnit {
 /// Default segmentation gap from the paper.
 inline constexpr double kDefaultUnitGapSeconds = 2.0;
 
+/// PacketSink that collects PacketMeta for frames attributable to one
+/// device MAC (direction from the Ethernet source address); the feature
+/// front-end of the ingest pipeline. on_finish() sorts by timestamp, so
+/// the collected meta segments exactly like extract_meta()'s result.
+class MetaCollector final : public PacketSink {
+ public:
+  explicit MetaCollector(net::MacAddress device_mac) : mac_(device_mac) {}
+
+  void on_packet(const net::DecodedPacket& packet) override;
+  void on_finish() override;  ///< stable-sorts by timestamp
+
+  const std::vector<PacketMeta>& meta() const noexcept { return meta_; }
+  /// Moves the collected meta out (call after the pipeline's finish()).
+  std::vector<PacketMeta> take() noexcept { return std::move(meta_); }
+
+ private:
+  net::MacAddress mac_;
+  std::vector<PacketMeta> meta_;
+};
+
 /// Extracts PacketMeta from raw packets attributable to `device_mac`
-/// (direction from the Ethernet source address). Undecodable frames are
-/// skipped. The result is sorted by timestamp.
+/// (direction from the Ethernet source address); a wrapper over an
+/// IngestPipeline + MetaCollector. Undecodable frames are counted into
+/// `health` when given (skipped silently otherwise, as before). The
+/// result is sorted by timestamp.
 std::vector<PacketMeta> extract_meta(const std::vector<net::Packet>& packets,
-                                     net::MacAddress device_mac);
+                                     net::MacAddress device_mac,
+                                     faults::CaptureHealth* health = nullptr);
 
 /// Splits a timestamp-sorted meta sequence into traffic units using the
 /// given gap threshold (must be > 0).

@@ -1,12 +1,22 @@
 #include "iotx/net/packet.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "iotx/net/bytes.hpp"
 
 namespace iotx::net {
 
+namespace {
+std::atomic<std::uint64_t> g_decode_calls{0};
+}  // namespace
+
+std::uint64_t decode_packet_calls() noexcept {
+  return g_decode_calls.load(std::memory_order_relaxed);
+}
+
 std::optional<DecodedPacket> decode_packet(const Packet& packet) {
+  g_decode_calls.fetch_add(1, std::memory_order_relaxed);
   ByteReader r(packet.frame);
   const auto eth = EthernetHeader::decode(r);
   if (!eth) return std::nullopt;

@@ -51,6 +51,12 @@ struct DecodedPacket {
 /// is_tcp and is_udp false and the payload spanning the L3 payload.
 std::optional<DecodedPacket> decode_packet(const Packet& packet);
 
+/// Process-wide decode_packet() invocation count (relaxed atomic). The
+/// single-decode invariant of flow::IngestPipeline is asserted against
+/// deltas of this counter (tests/test_flow_pipeline.cpp) and reported by
+/// bench/ingest_throughput.
+std::uint64_t decode_packet_calls() noexcept;
+
 /// Endpoint pair used by the builders.
 struct FrameEndpoints {
   MacAddress src_mac;

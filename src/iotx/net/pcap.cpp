@@ -142,12 +142,13 @@ std::map<MacAddress, std::vector<Packet>> split_by_mac(
     const std::vector<Packet>& packets) {
   std::map<MacAddress, std::vector<Packet>> out;
   for (const Packet& p : packets) {
-    ByteReader r(p.frame);
-    const auto eth = EthernetHeader::decode(r);
-    if (!eth) continue;
-    out[eth->src].push_back(p);
-    if (!eth->dst.is_broadcast() && eth->dst != eth->src) {
-      out[eth->dst].push_back(p);
+    // Same decoder as every other consumer: a frame that the ingest
+    // pipeline would reject as undecodable is not attributed to any unit.
+    const auto d = decode_packet(p);
+    if (!d) continue;
+    out[d->eth.src].push_back(p);
+    if (!d->eth.dst.is_broadcast() && d->eth.dst != d->eth.src) {
+      out[d->eth.dst].push_back(p);
     }
   }
   return out;

@@ -130,10 +130,18 @@ int cmd_classify(int argc, char** argv) {
     std::printf("cannot read pcap %s\n", argv[2]);
     return 1;
   }
+  // Single-decode pass: the DNS cache and flow table ride one pipeline.
   flow::DnsCache dns;
-  dns.ingest_all(*packets);
+  flow::FlowTable ftable;
+  flow::IngestPipeline pipeline;
+  pipeline.add_sink(dns);
+  pipeline.add_sink(ftable);
+  pipeline.ingest_all(*packets);
+  pipeline.finish();
+  health.merge(pipeline.health());
   health.merge(dns.health());
-  const auto flows = flow::assemble_flows(*packets, &health);
+  health.merge(ftable.health());
+  const auto flows = ftable.flows();
   std::printf("%zu packets, %zu flows\n\n", packets->size(), flows.size());
 
   util::TextTable table({"flow", "proto", "class", "entropy", "pkts",

@@ -83,7 +83,8 @@ TEST(TrainModel, ActivityF1Accessors) {
 TEST(TrainModel, EmptyCapturesGiveEmptyModel) {
   const DeviceSpec& device = *find_device("echo_dot");
   const ActivityModel model = train_activity_model(
-      device, {LabSite::kUs, false}, {}, fast_params());
+      device, {LabSite::kUs, false}, std::vector<LabeledCapture>{},
+      fast_params());
   EXPECT_FALSE(model.forest.fitted());
   EXPECT_EQ(model.device_f1(), 0.0);
 }

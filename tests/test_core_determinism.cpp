@@ -6,6 +6,9 @@
 // not be observable in any output.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
 #include "iotx/core/study.hpp"
 
 namespace {
@@ -204,6 +207,95 @@ TEST_F(ImpairedDeterminismFixture, NoQuarantinesFromImpairmentAlone) {
   // Degradation is graceful: lossy input changes numbers, never crashes.
   EXPECT_TRUE(serial().quarantined().empty());
   EXPECT_TRUE(parallel().quarantined().empty());
+}
+
+// Golden regression: the exact outputs of the tiny campaign, captured
+// from the multi-pass implementation that predates the streaming ingest
+// pipeline. Every refactor of the ingest path must keep these
+// byte-identical — at any jobs count, clean and impaired. Doubles are
+// exact (17 significant digits round-trip IEEE binary64).
+struct GoldenRow {
+  const char* config;
+  const char* device;
+  std::size_t destinations;
+  std::size_t pii_findings;
+  std::uint64_t enc_encrypted;
+  std::uint64_t enc_unencrypted;
+  std::uint64_t enc_unknown;
+  std::uint64_t enc_media;
+  double macro_f1;
+  double device_f1;
+  std::size_t idle_units_total;
+  std::size_t idle_units_classified;
+  std::uint64_t total_anomalies;
+  std::uint64_t dest_bytes;
+  std::uint64_t dest_packets;
+};
+
+constexpr GoldenRow kCleanGolden[] = {
+    {"us", "ring_doorbell", 5, 0, 2111849, 20698, 1202940, 412525,
+     0.73809523809523814, 0.69444444444444431, 1, 0, 0, 3987742, 5188},
+    {"us", "tplink_plug", 4, 0, 154747, 49905, 159052, 0,
+     0.3619047619047619, 0.25555555555555554, 1, 0, 0, 455777, 2019},
+    {"uk", "ring_doorbell", 5, 0, 2069723, 21894, 1079452, 565522,
+     0.80952380952380942, 0.77777777777777768, 1, 0, 0, 3975022, 5172},
+    {"uk", "tplink_plug", 4, 0, 172023, 47644, 159907, 0,
+     0.14285714285714285, 0.0, 0, 0, 0, 470362, 2002},
+};
+
+constexpr GoldenRow kLossyWifiGolden[] = {
+    {"us", "ring_doorbell", 6, 0, 1938595, 18631, 1087322, 393244,
+     0.90476190476190466, 0.88888888888888884, 1, 0, 1194, 3662462, 4851},
+    {"us", "tplink_plug", 5, 0, 147731, 46529, 149469, 0,
+     0.2857142857142857, 0.16666666666666666, 1, 0, 510, 432448, 1920},
+    {"uk", "ring_doorbell", 6, 0, 1916398, 19806, 822492, 686356,
+     0.71428571428571419, 0.66666666666666663, 1, 0, 1185, 3669389, 4856},
+    {"uk", "tplink_plug", 4, 0, 150808, 43587, 146436, 0,
+     0.21904761904761902, 0.088888888888888892, 1, 0, 512, 426417, 1864},
+};
+
+template <std::size_t N>
+void expect_matches_golden(const Study& study, const GoldenRow (&golden)[N]) {
+  EXPECT_EQ(study.experiments_run(), 84u);
+  for (const GoldenRow& row : golden) {
+    SCOPED_TRACE(std::string(row.config) + "/" + row.device);
+    const DeviceRunResult* r = study.result_for(row.config, row.device);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->destinations.size(), row.destinations);
+    EXPECT_EQ(r->pii_findings.size(), row.pii_findings);
+    EXPECT_EQ(r->enc_total.encrypted, row.enc_encrypted);
+    EXPECT_EQ(r->enc_total.unencrypted, row.enc_unencrypted);
+    EXPECT_EQ(r->enc_total.unknown, row.enc_unknown);
+    EXPECT_EQ(r->enc_total.media, row.enc_media);
+    EXPECT_EQ(r->model.validation.macro_f1, row.macro_f1);
+    EXPECT_EQ(r->model.device_f1(), row.device_f1);
+    EXPECT_EQ(r->idle.units_total, row.idle_units_total);
+    EXPECT_EQ(r->idle.units_classified, row.idle_units_classified);
+    EXPECT_EQ(r->health.total_anomalies(), row.total_anomalies);
+    std::uint64_t bytes = 0, packets = 0;
+    for (const auto& d : r->destinations) {
+      bytes += d.bytes;
+      packets += d.packets;
+    }
+    EXPECT_EQ(bytes, row.dest_bytes);
+    EXPECT_EQ(packets, row.dest_packets);
+  }
+}
+
+TEST_F(DeterminismFixture, SerialMatchesPreRefactorGolden) {
+  expect_matches_golden(serial(), kCleanGolden);
+}
+
+TEST_F(DeterminismFixture, ParallelMatchesPreRefactorGolden) {
+  expect_matches_golden(parallel(), kCleanGolden);
+}
+
+TEST_F(ImpairedDeterminismFixture, SerialMatchesPreRefactorGolden) {
+  expect_matches_golden(serial(), kLossyWifiGolden);
+}
+
+TEST_F(ImpairedDeterminismFixture, ParallelMatchesPreRefactorGolden) {
+  expect_matches_golden(parallel(), kLossyWifiGolden);
 }
 
 TEST_F(DeterminismFixture, ModelScoresBitIdentical) {

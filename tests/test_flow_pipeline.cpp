@@ -1,0 +1,264 @@
+// Regression tests for the single-decode ingest pipeline: a capture
+// streamed once through shared sinks must produce byte-identical DNS
+// caches, flow tables, traffic units, and health counters to the legacy
+// one-pass-per-consumer entry points — clean and under injected
+// impairment — and each frame must be decoded exactly once regardless of
+// how many sinks ride the pass.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "iotx/core/study.hpp"
+#include "iotx/faults/impairment.hpp"
+#include "iotx/flow/dns_cache.hpp"
+#include "iotx/flow/flow_table.hpp"
+#include "iotx/flow/ingest.hpp"
+#include "iotx/flow/reassembly.hpp"
+#include "iotx/flow/traffic_unit.hpp"
+#include "iotx/net/packet.hpp"
+#include "iotx/testbed/catalog.hpp"
+#include "iotx/testbed/synth.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx;
+using namespace iotx::flow;
+
+/// A realistic seeded capture: power-on plus one interaction of a device
+/// that speaks DNS, TLS, HTTP, and a proprietary protocol.
+std::vector<net::Packet> seeded_capture(const std::string& seed) {
+  const testbed::DeviceSpec& device = *testbed::find_device("ring_doorbell");
+  const testbed::NetworkConfig config{testbed::LabSite::kUs, false};
+  const testbed::TrafficSynthesizer synth;
+  util::Prng prng("pipeline-test/" + seed);
+  std::vector<net::Packet> capture =
+      synth.power_event(device, config, 0.0, prng);
+  const auto* sig =
+      testbed::TrafficSynthesizer::find_activity(device, "android_wan_watch");
+  if (sig == nullptr) sig = &device.behavior.activities.front();
+  for (net::Packet& p :
+       synth.activity_event(device, config, *sig, 120.0, prng)) {
+    capture.push_back(std::move(p));
+  }
+  return capture;
+}
+
+std::vector<net::Packet> impaired_capture(const std::string& seed) {
+  std::vector<net::Packet> capture = seeded_capture(seed);
+  util::Prng prng("pipeline-test/impair/" + seed);
+  faults::apply_impairment(capture,
+                           *faults::find_profile("lossy-wifi"), prng);
+  return capture;
+}
+
+net::MacAddress device_mac() {
+  return testbed::device_mac(*testbed::find_device("ring_doorbell"), true);
+}
+
+/// Runs legacy per-consumer entry points and the shared pipeline over the
+/// same capture and asserts every observable output is identical.
+void expect_shared_pass_matches_legacy(
+    const std::vector<net::Packet>& capture) {
+  // Legacy multi-pass: each consumer walks (and decodes) the capture alone.
+  DnsCache legacy_dns;
+  legacy_dns.ingest_all(capture);
+  faults::CaptureHealth legacy_flow_health;
+  const std::vector<Flow> legacy_flows =
+      assemble_flows(capture, &legacy_flow_health);
+  faults::CaptureHealth legacy_meta_health;
+  const std::vector<PacketMeta> legacy_meta =
+      extract_meta(capture, device_mac(), &legacy_meta_health);
+
+  // Shared pass: all consumers ride one pipeline.
+  DnsCache dns;
+  FlowTable table;
+  MetaCollector collector(device_mac());
+  IngestPipeline pipeline;
+  pipeline.add_sink(dns);
+  pipeline.add_sink(table);
+  pipeline.add_sink(collector);
+  pipeline.ingest_all(capture);
+  pipeline.finish();
+
+  EXPECT_EQ(legacy_dns.entries(), dns.entries());
+  EXPECT_TRUE(legacy_dns.health() == dns.health());
+  EXPECT_EQ(legacy_flows, table.flows());
+  // The legacy flow pass counted undecodable frames itself; in the shared
+  // pass that count lives in the pipeline, the table keeps protocol-level
+  // anomalies only. Their union must match exactly.
+  faults::CaptureHealth shared_flow_health = pipeline.health();
+  shared_flow_health.merge(table.health());
+  EXPECT_TRUE(legacy_flow_health == shared_flow_health);
+
+  EXPECT_EQ(legacy_meta, collector.meta());
+  faults::CaptureHealth shared_meta_health = pipeline.health();
+  EXPECT_TRUE(legacy_meta_health == shared_meta_health);
+
+  // And the downstream segmentation sees identical traffic units.
+  const auto legacy_units = segment_traffic(legacy_meta);
+  const auto shared_units = segment_traffic(collector.meta());
+  ASSERT_EQ(legacy_units.size(), shared_units.size());
+  for (std::size_t i = 0; i < legacy_units.size(); ++i) {
+    EXPECT_EQ(legacy_units[i].packets, shared_units[i].packets);
+  }
+}
+
+TEST(PipelineEquivalence, CleanCaptureMatchesLegacyPasses) {
+  expect_shared_pass_matches_legacy(seeded_capture("clean"));
+}
+
+TEST(PipelineEquivalence, ImpairedCaptureMatchesLegacyPasses) {
+  expect_shared_pass_matches_legacy(impaired_capture("lossy"));
+}
+
+TEST(PipelineEquivalence, ClientStreamSinkMatchesWrapper) {
+  // Pre-filter the capture to one TCP connection, as the reassembly
+  // wrapper expects, then compare sink-in-pipeline vs one-shot wrapper.
+  const std::vector<net::Packet> capture = seeded_capture("stream");
+  std::optional<FlowKey> first_key;
+  std::vector<net::Packet> connection;
+  for (const net::Packet& p : capture) {
+    const auto d = net::decode_packet(p);
+    if (!d || !d->is_tcp) continue;
+    const FlowKey key = FlowKey::from_packet(*d);
+    if (!first_key) first_key = key;
+    if (key == *first_key) connection.push_back(p);
+  }
+  ASSERT_FALSE(connection.empty());
+
+  const std::vector<std::uint8_t> legacy =
+      reassemble_client_stream(connection);
+
+  ClientStreamSink sink;
+  IngestPipeline pipeline;
+  pipeline.add_sink(sink);
+  pipeline.ingest_all(connection);
+  pipeline.finish();
+  EXPECT_EQ(legacy, sink.stream());
+}
+
+TEST(SingleDecode, SharedPipelineDecodesEachFrameOnce) {
+  const std::vector<net::Packet> capture = seeded_capture("count");
+  DnsCache dns;
+  FlowTable table;
+  MetaCollector collector(device_mac());
+  IngestPipeline pipeline;
+  pipeline.add_sink(dns);
+  pipeline.add_sink(table);
+  pipeline.add_sink(collector);
+
+  const std::uint64_t before = net::decode_packet_calls();
+  pipeline.ingest_all(capture);
+  pipeline.finish();
+  const std::uint64_t after = net::decode_packet_calls();
+
+  // Three sinks, one decode per frame — not one per sink.
+  EXPECT_EQ(after - before, capture.size());
+  EXPECT_EQ(pipeline.packets_seen(), capture.size());
+  EXPECT_EQ(pipeline.packets_decoded() + pipeline.health().undecodable_frames,
+            capture.size());
+}
+
+TEST(SingleDecode, LegacyMultiPassDecodesOncePerConsumer) {
+  // The baseline the pipeline removes: every separate entry point pays its
+  // own full decode pass.
+  const std::vector<net::Packet> capture = seeded_capture("count");
+  const std::uint64_t before = net::decode_packet_calls();
+  DnsCache dns;
+  dns.ingest_all(capture);
+  assemble_flows(capture);
+  extract_meta(capture, device_mac());
+  const std::uint64_t after = net::decode_packet_calls();
+  EXPECT_EQ(after - before, 3 * capture.size());
+}
+
+// The DecodedPacket handed to a sink aliases the Packet's frame buffer and
+// must not outlive it; a sink that wants bytes later must copy.
+class LifetimeProbeSink final : public PacketSink {
+ public:
+  explicit LifetimeProbeSink(const net::Packet& packet) : packet_(&packet) {}
+
+  void on_packet(const net::DecodedPacket& d) override {
+    ++calls_;
+    const std::uint8_t* frame_begin = packet_->frame.data();
+    const std::uint8_t* frame_end = frame_begin + packet_->frame.size();
+    // The payload span points into the live frame, not into a copy owned
+    // by the pipeline: zero-copy dispatch is what makes one decode cheap.
+    aliases_frame_ = d.payload.empty() ||
+                     (d.payload.data() >= frame_begin &&
+                      d.payload.data() + d.payload.size() <= frame_end);
+    copied_payload_.assign(d.payload.begin(), d.payload.end());
+  }
+
+  int calls() const noexcept { return calls_; }
+  bool aliases_frame() const noexcept { return aliases_frame_; }
+  const std::vector<std::uint8_t>& copied_payload() const noexcept {
+    return copied_payload_;
+  }
+
+ private:
+  const net::Packet* packet_;
+  int calls_ = 0;
+  bool aliases_frame_ = false;
+  std::vector<std::uint8_t> copied_payload_;
+};
+
+TEST(SinkLifetime, DecodedPacketAliasesFrameAndDiesWithIt) {
+  std::vector<net::Packet> capture = seeded_capture("lifetime");
+  ASSERT_FALSE(capture.empty());
+  // Pick a packet with TCP payload so the probe sees a nonempty span.
+  const net::Packet* chosen = nullptr;
+  for (const net::Packet& p : capture) {
+    const auto d = net::decode_packet(p);
+    if (d && !d->payload.empty()) {
+      chosen = &p;
+      break;
+    }
+  }
+  ASSERT_NE(chosen, nullptr);
+
+  LifetimeProbeSink probe(*chosen);
+  IngestPipeline pipeline;
+  pipeline.add_sink(probe);
+  pipeline.ingest(*chosen);
+  pipeline.finish();
+
+  ASSERT_EQ(probe.calls(), 1);
+  EXPECT_TRUE(probe.aliases_frame());
+
+  // The copy the sink took survives the packet; the span would not have.
+  const std::vector<std::uint8_t> expected(
+      chosen->frame.end() - probe.copied_payload().size(),
+      chosen->frame.end());
+  std::vector<net::Packet> graveyard = std::move(capture);
+  graveyard.clear();  // frame buffers freed here
+  EXPECT_EQ(probe.copied_payload(), expected);
+}
+
+TEST(StudySingleDecode, RunDecodesEachIngestedPacketOnce) {
+  // End-to-end invariant over the whole campaign: with impairment disabled
+  // (impairment peeks at DNS replies with its own decode), decode calls
+  // grow by exactly the number of frames the study's pipelines ingested.
+  core::StudyParams p;
+  p.plan = testbed::SchedulePlan{/*automated_reps=*/2, /*manual_reps=*/1,
+                                 /*power_reps=*/1, /*idle_hours=*/0.05};
+  p.inference.validation.forest.n_trees = 4;
+  p.inference.validation.repetitions = 1;
+  p.run_uncontrolled = false;
+  p.run_vpn = false;
+  p.device_filter = {"tplink_plug"};
+  p.jobs = 1;
+
+  core::Study study(p);
+  const std::uint64_t before = net::decode_packet_calls();
+  study.run();
+  const std::uint64_t after = net::decode_packet_calls();
+
+  EXPECT_GT(study.packets_ingested(), 0u);
+  EXPECT_EQ(after - before, study.packets_ingested());
+  EXPECT_GT(study.peak_capture_bytes(), 0u);
+}
+
+}  // namespace
