@@ -5,16 +5,133 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "iotx/core/study.hpp"
 #include "iotx/core/tables.hpp"
+#include "iotx/obs/profile.hpp"
+#include "iotx/obs/registry.hpp"
 #include "iotx/util/strings.hpp"
 #include "iotx/util/table.hpp"
 
 namespace iotx::bench {
+
+/// Minimal JSON emitter shared by the bench binaries — replaces the
+/// per-bench printf JSON that drifted out of sync. String escaping rides
+/// obs::json_escape (the same rules the trace/profile writers use), so a
+/// bench document and a profile.json never disagree on encoding.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { open('{'); return *this; }
+  JsonWriter& end_object() { close('}'); return *this; }
+  JsonWriter& begin_array() { open('['); return *this; }
+  JsonWriter& end_array() { close(']'); return *this; }
+
+  JsonWriter& key(std::string_view name) {
+    comma();
+    out_ += '"';
+    out_ += obs::json_escape(name);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view text) {
+    comma();
+    out_ += '"';
+    out_ += obs::json_escape(text);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* text) {
+    return value(std::string_view(text));
+  }
+  JsonWriter& value(std::uint64_t number) {
+    comma();
+    out_ += std::to_string(number);
+    return *this;
+  }
+  JsonWriter& value(int number) {
+    comma();
+    out_ += std::to_string(number);
+    return *this;
+  }
+  JsonWriter& value(bool flag) {
+    comma();
+    out_ += flag ? "true" : "false";
+    return *this;
+  }
+  /// Fixed-precision double (JSON floats from printf "%.*f", locale-free
+  /// digits because snprintf with C locale is what the toolchain gives).
+  JsonWriter& value(double number, int precision = 6) {
+    comma();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, number);
+    out_ += buf;
+    return *this;
+  }
+
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+  JsonWriter& field(std::string_view name, double v, int precision) {
+    key(name);
+    return value(v, precision);
+  }
+
+  const std::string& document() const { return out_; }
+
+ private:
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!has_items_.empty() && has_items_.back()) out_ += ',';
+    if (!has_items_.empty()) has_items_.back() = true;
+  }
+  void open(char c) {
+    comma();
+    out_ += c;
+    has_items_.push_back(false);
+  }
+  void close(char c) {
+    out_ += c;
+    has_items_.pop_back();
+  }
+
+  std::string out_;
+  std::vector<bool> has_items_;
+  bool pending_value_ = false;
+};
+
+/// Appends the global metrics registry's snapshot as one JSON array value
+/// (call after key("metrics")). Only the reproducible fields plus the
+/// timing sums the bench itself produced — the same rows profile.json
+/// renders, so artifacts from benches and studies diff uniformly.
+inline void registry_snapshot_array(JsonWriter& w,
+                                    const obs::Registry::Snapshot& snap) {
+  w.begin_array();
+  for (const obs::Registry::MetricSnapshot& m : snap.metrics) {
+    w.begin_object();
+    w.field("name", m.name);
+    w.field("kind", obs::metric_kind_name(m.kind));
+    if (m.kind == obs::MetricKind::kHistogram) {
+      w.field("count", m.count);
+      w.field("sum", m.sum);
+      w.field("max", m.max);
+    } else {
+      w.field("value", m.value);
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
 
 /// Bench-scale study parameters: large enough for stable table shapes,
 /// small enough for tens of seconds per binary. StudyParams::paper_scale()

@@ -5,12 +5,13 @@
 // peak-capture-bytes for both modes plus the speedup, so CI can publish
 // the numbers as an artifact and regressions are diffable.
 #include <chrono>
-#include <cinttypes>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "iotx/flow/dns_cache.hpp"
+#include "iotx/obs/trace.hpp"
 #include "iotx/flow/flow_table.hpp"
 #include "iotx/flow/ingest.hpp"
 #include "iotx/flow/reassembly.hpp"
@@ -128,13 +129,43 @@ ModeStats run_streaming(const std::vector<std::vector<net::Packet>>& captures,
   return stats;
 }
 
-void print_mode(const char* name, const ModeStats& s, bool trailing_comma) {
-  std::printf(
-      "  \"%s\": {\"seconds\": %.6f, \"packets\": %" PRIu64
-      ", \"packets_per_sec\": %.0f, \"decode_calls\": %" PRIu64
-      ", \"peak_capture_bytes\": %" PRIu64 "}%s\n",
-      name, s.seconds, s.packets, s.packets_per_sec(), s.decode_calls,
-      s.peak_capture_bytes, trailing_comma ? "," : "");
+void mode_object(bench::JsonWriter& w, const char* name, const ModeStats& s) {
+  w.key(name).begin_object();
+  w.field("seconds", s.seconds, 6);
+  w.field("packets", s.packets);
+  w.field("packets_per_sec", s.packets_per_sec(), 0);
+  w.field("decode_calls", s.decode_calls);
+  w.field("peak_capture_bytes", s.peak_capture_bytes);
+  w.end_object();
+}
+
+/// One extra streaming pass with the metrics registry on and every sink
+/// wrapped in flow::InstrumentedSink — NOT timed (the throughput numbers
+/// above measure the default uninstrumented path), just enough to publish
+/// a registry snapshot next to the throughput figures.
+obs::Registry::Snapshot instrumented_pass(
+    const std::vector<std::vector<net::Packet>>& captures,
+    const net::MacAddress& mac) {
+  obs::Registry::global().reset();
+  obs::set_metrics_enabled(true);
+  for (const std::vector<net::Packet>& capture : captures) {
+    flow::DnsCache dns;
+    flow::FlowTable table;
+    flow::MetaCollector collector(mac);
+    flow::InstrumentedSink dns_shim(dns, "dns_cache");
+    flow::InstrumentedSink table_shim(table, "flow_table");
+    flow::InstrumentedSink collector_shim(collector, "meta_collector");
+    flow::IngestPipeline pipeline;
+    pipeline.add_sink(dns_shim);
+    pipeline.add_sink(table_shim);
+    pipeline.add_sink(collector_shim);
+    obs::Span span("bench/ingest_capture");
+    pipeline.ingest_all(capture);
+    pipeline.finish();
+    span.add_bytes_in(pipeline.bytes_seen());
+  }
+  obs::set_metrics_enabled(false);
+  return obs::Registry::global().snapshot();
 }
 
 }  // namespace
@@ -158,17 +189,22 @@ int main() {
 
   const double speedup =
       streaming.seconds > 0.0 ? legacy.seconds / streaming.seconds : 0.0;
-  std::printf("{\n");
-  std::printf("  \"bench\": \"ingest_throughput\",\n");
-  std::printf("  \"captures\": %zu,\n", captures.size());
-  print_mode("legacy_multipass", legacy, true);
-  print_mode("streaming_pipeline", streaming, true);
-  std::printf("  \"decode_calls_ratio\": %.2f,\n",
-              streaming.decode_calls > 0
-                  ? static_cast<double>(legacy.decode_calls) /
-                        static_cast<double>(streaming.decode_calls)
-                  : 0.0);
-  std::printf("  \"speedup\": %.2f\n", speedup);
-  std::printf("}\n");
+  bench::JsonWriter w;
+  w.begin_object();
+  w.field("bench", "ingest_throughput");
+  w.field("captures", captures.size());
+  mode_object(w, "legacy_multipass", legacy);
+  mode_object(w, "streaming_pipeline", streaming);
+  w.field("decode_calls_ratio",
+          streaming.decode_calls > 0
+              ? static_cast<double>(legacy.decode_calls) /
+                    static_cast<double>(streaming.decode_calls)
+              : 0.0,
+          2);
+  w.field("speedup", speedup, 2);
+  w.key("metrics");
+  bench::registry_snapshot_array(w, instrumented_pass(captures, mac));
+  w.end_object();
+  std::printf("%s\n", w.document().c_str());
   return 0;
 }

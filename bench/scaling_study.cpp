@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "iotx/core/study.hpp"
 #include "iotx/util/table.hpp"
 #include "iotx/util/task_pool.hpp"
@@ -76,6 +77,11 @@ int main() {
 
   util::TextTable table({"jobs", "wall s", "speedup", "experiments",
                          "identical to jobs=1"});
+  bench::JsonWriter w;
+  w.begin_object();
+  w.field("bench", "scaling_study");
+  w.field("hardware_threads", hw);
+  w.key("runs").begin_array();
   TimedRun baseline;
   for (std::size_t jobs : job_counts) {
     TimedRun run = run_with_jobs(jobs);
@@ -88,11 +94,21 @@ int main() {
     table.add_row({std::to_string(jobs), wall, speed,
                    std::to_string(run.study->experiments_run()),
                    first ? "-" : (same ? "yes" : "NO (BUG)")});
+    w.begin_object();
+    w.field("jobs", static_cast<std::uint64_t>(jobs));
+    w.field("seconds", run.seconds, 3);
+    w.field("speedup", speedup, 2);
+    w.field("experiments",
+            static_cast<std::uint64_t>(run.study->experiments_run()));
+    w.field("identical_to_serial", same);
+    w.end_object();
     if (first) baseline = std::move(run);
   }
+  w.end_array().end_object();
   std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nresults are required to be bit-identical at any job count; any\n"
-      "'NO (BUG)' above is a determinism regression.\n");
+      "'NO (BUG)' above is a determinism regression.\n\n%s\n",
+      w.document().c_str());
   return 0;
 }

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Gate ingest throughput against the committed baseline.
+
+Usage: check_ingest_baseline.py <baseline.json> <current.json> [tolerance]
+
+Both files are ingest_throughput bench documents. The check reads one
+number — streaming_pipeline.packets_per_sec — and fails (exit 1) when the
+current run is more than `tolerance` (default 0.10) below the baseline.
+Faster runs always pass; refresh the committed baseline when a real
+improvement lands so the gate tracks the new floor.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)
+    with open(sys.argv[2]) as f:
+        current = json.load(f)
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.10
+
+    base = float(baseline["streaming_pipeline"]["packets_per_sec"])
+    cur = float(current["streaming_pipeline"]["packets_per_sec"])
+    drop = (base - cur) / base if base > 0 else 0.0
+    print(
+        f"streaming ingest: baseline {base:,.0f} pkt/s, "
+        f"current {cur:,.0f} pkt/s, drop {drop:+.1%} "
+        f"(tolerance {tolerance:.0%})"
+    )
+    if drop > tolerance:
+        print("FAIL: ingest throughput regressed beyond tolerance",
+              file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

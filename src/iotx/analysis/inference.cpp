@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "iotx/obs/trace.hpp"
 #include "iotx/testbed/catalog.hpp"
 
 namespace iotx::analysis {
@@ -46,6 +47,7 @@ std::optional<std::string> ActivityModel::predict(
 }
 
 ml::Dataset build_dataset(const std::vector<LabeledMeta>& examples) {
+  obs::Span span("ml/build_dataset");
   ml::Dataset data;
   for (const LabeledMeta& example : examples) {
     if (example.activity.empty() || example.meta.size() < 4) continue;
@@ -87,9 +89,13 @@ ActivityModel finish_model(const testbed::DeviceSpec& device,
   if (model.dataset.empty()) return model;
 
   const std::string seed_key = "cv/" + config.key() + "/" + device.id;
-  model.validation =
-      ml::cross_validate(model.dataset, params.validation, seed_key, pool);
+  {
+    obs::Span span("ml/cv");
+    model.validation =
+        ml::cross_validate(model.dataset, params.validation, seed_key, pool);
+  }
 
+  obs::Span span("ml/forest_fit");
   util::Prng prng("fit/" + config.key() + "/" + device.id);
   model.forest.fit(model.dataset, params.validation.forest, prng, pool);
   return model;

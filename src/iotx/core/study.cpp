@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "iotx/net/packet.hpp"
+#include "iotx/obs/registry.hpp"
+#include "iotx/obs/trace.hpp"
 #include "iotx/testbed/endpoints.hpp"
 
 namespace iotx::core {
@@ -85,87 +88,67 @@ void Study::note_ingest(const flow::IngestPipeline& pipeline) {
   }
 }
 
+// The per-run working set every stage helper reads and writes. One
+// instance lives on run_device's stack; helpers mutate it in stage order,
+// so the data flow between stages is visible in the member list instead
+// of being captured implicitly by a lambda.
+struct Study::RunScratch {
+  analysis::AttributionContext ctx;
+  analysis::PiiScanner scanner;
+  net::MacAddress device_mac;
+  /// Merged destination records across experiments (by address; named
+  /// attributions survive captures that missed the DNS response).
+  analysis::DestinationAccumulator merged;
+  /// PII findings deduplicated across experiments by (kind, destination).
+  std::set<std::pair<std::string, std::uint32_t>> seen_pii;
+  std::vector<analysis::LabeledMeta> training;
+  std::vector<flow::PacketMeta> idle_meta;
+};
+
 DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
                                   const testbed::NetworkConfig& config,
                                   util::TaskPool* pool) {
   if (params_.chaos_hook) params_.chaos_hook(device, config);
+  obs::Span span("study/device_run",
+                 obs::observability_active()
+                     ? "\"device\":\"" + device.id + "\",\"config\":\"" +
+                           config.key() + "\""
+                     : std::string());
   DeviceRunResult result;
   result.device = &device;
   result.config = config;
   result.idle_hours = params_.plan.idle_hours;
 
-  const analysis::AttributionContext ctx = attribution_context(config);
   const testbed::PiiTokens tokens = testbed::pii_tokens(device, config.lab);
-  const analysis::PiiScanner scanner({
-      {"mac", tokens.mac},
-      {"uuid", tokens.uuid},
-      {"device_id", tokens.device_id},
-      {"owner_name", tokens.owner_name},
-      {"email", tokens.email},
-      {"geo_city", tokens.geo_city},
-  });
-  const net::MacAddress device_mac =
-      testbed::device_mac(device, config.lab == testbed::LabSite::kUs);
-
-  // Merged destination records across experiments (by address; named
-  // attributions survive captures that missed the DNS response).
-  analysis::DestinationAccumulator merged;
-  // PII findings are deduplicated across experiments by (kind, destination).
-  std::set<std::pair<std::string, std::uint32_t>> seen_pii;
-  std::vector<analysis::LabeledMeta> training;
-  std::vector<flow::PacketMeta> idle_meta;
-
-  // Streams one capture through a single-decode pipeline — every consumer
-  // (DNS cache, flow table, feature front-end) rides the same pass — and
-  // runs the per-capture analyses on the sinks' outputs. Returns the
-  // device-traffic meta: the only thing that must survive the capture,
-  // whose raw packet buffers die with the caller's scope.
-  const auto ingest_capture =
-      [&](const testbed::LabeledCapture& capture) -> std::vector<flow::PacketMeta> {
-    flow::DnsCache dns;
-    flow::FlowTable table;
-    flow::MetaCollector collector(device_mac);
-    flow::IngestPipeline pipeline;
-    pipeline.add_sink(dns);
-    pipeline.add_sink(table);
-    pipeline.add_sink(collector);
-    pipeline.ingest_all(capture.packets);
-    pipeline.finish();
-    note_ingest(pipeline);
-    result.health.merge(pipeline.health());
-    result.health.merge(dns.health());
-    result.health.merge(table.health());
-
-    const std::vector<flow::Flow> flows = table.flows();
-    const std::vector<analysis::DestinationRecord> records =
-        analysis::attribute_destinations(flows, dns, ctx,
-                                         device.first_party_orgs);
-    const std::string group = experiment_group(capture.spec);
-    analysis::PartyCounts& group_counts = result.parties_by_group[group];
-    group_counts.merge(analysis::count_non_first_parties(records));
-    if (capture.spec.type != testbed::ExperimentType::kIdle) {
-      result.parties_by_group["Control"].merge(
-          analysis::count_non_first_parties(records));
-    }
-    merged.add_all(records);
-
-    const analysis::EncryptionBytes enc = analysis::account_flows(flows);
-    result.enc_by_group[group] += enc;
-    if (capture.spec.type != testbed::ExperimentType::kIdle) {
-      // "Control" aggregates all controlled experiments (Table 8's first
-      // row), exactly like the party counts above.
-      result.enc_by_group["Control"] += enc;
-    }
-    result.enc_total += enc;
-
-    for (analysis::PiiFinding& f : scanner.scan(flows)) {
-      if (seen_pii.emplace(f.kind, f.destination.value()).second) {
-        result.pii_findings.push_back(std::move(f));
-      }
-    }
-    return collector.take();
+  RunScratch scratch{
+      attribution_context(config),
+      analysis::PiiScanner({
+          {"mac", tokens.mac},
+          {"uuid", tokens.uuid},
+          {"device_id", tokens.device_id},
+          {"owner_name", tokens.owner_name},
+          {"email", tokens.email},
+          {"geo_city", tokens.geo_city},
+      }),
+      testbed::device_mac(device, config.lab == testbed::LabSite::kUs),
   };
 
+  run_experiment_schedule(device, config, scratch, result);
+  result.destinations = scratch.merged.merged();
+  add_background_training(device, config, scratch);
+  train_and_detect(device, config, scratch, result, pool);
+
+  result.status = result.health.total_anomalies() > 0 ? RunStatus::kDegraded
+                                                      : RunStatus::kClean;
+  faults::record_health_metrics(result.health);
+  return result;
+}
+
+void Study::run_experiment_schedule(const testbed::DeviceSpec& device,
+                                    const testbed::NetworkConfig& config,
+                                    RunScratch& scratch,
+                                    DeviceRunResult& result) {
+  obs::Span span("study/experiments");
   for (const testbed::ExperimentSpec& spec :
        runner_.schedule(device, config)) {
     testbed::LabeledCapture capture = runner_.run(spec);
@@ -175,60 +158,143 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
       // an impaired campaign stays bit-identical at any --jobs count.
       // Impairment runs at the stream head: the pipeline ingests what a
       // degraded gateway would actually have captured.
+      obs::Span impair_span("study/impair");
       util::Prng prng("impair/" + spec.key());
       faults::apply_impairment(capture.packets, params_.impairment, prng)
           .add_to(result.health);
     }
-    std::vector<flow::PacketMeta> meta = ingest_capture(capture);
+    std::vector<flow::PacketMeta> meta =
+        ingest_labeled_capture(capture, scratch, result);
     if (spec.type == testbed::ExperimentType::kIdle) {
-      idle_meta = std::move(meta);
+      scratch.idle_meta = std::move(meta);
     } else {
-      training.push_back(
+      scratch.training.push_back(
           analysis::LabeledMeta{capture.spec.activity, std::move(meta)});
     }
     // `capture` — and with it the raw packet buffers — dies here; only
     // the per-packet meta survives until model training.
   }
+}
 
-  result.destinations = merged.merged();
-
-  // Augment the training set with labeled background windows so the model
-  // learns what "no interaction" looks like; otherwise idle heartbeats are
-  // force-assigned to a real class when classifying unlabeled traffic.
+// Streams one capture through a single-decode pipeline — every consumer
+// (DNS cache, flow table, feature front-end) rides the same pass — and
+// runs the per-capture analyses on the sinks' outputs. Returns the
+// device-traffic meta: the only thing that must survive the capture,
+// whose raw packet buffers die with the caller's scope.
+std::vector<flow::PacketMeta> Study::ingest_labeled_capture(
+    const testbed::LabeledCapture& capture, RunScratch& scratch,
+    DeviceRunResult& result) {
+  flow::DnsCache dns;
+  flow::FlowTable table;
+  flow::MetaCollector collector(scratch.device_mac);
+  // Per-sink accounting is opt-in: the wrappers join the pipeline only
+  // when the metrics registry is on, so the default path stays free of
+  // clock reads.
+  const bool instrument = obs::metrics_enabled();
+  flow::InstrumentedSink dns_shim(dns, "dns_cache");
+  flow::InstrumentedSink table_shim(table, "flow_table");
+  flow::InstrumentedSink collector_shim(collector, "meta_collector");
+  flow::IngestPipeline pipeline;
+  pipeline.add_sink(instrument ? static_cast<flow::PacketSink&>(dns_shim)
+                               : dns);
+  pipeline.add_sink(instrument ? static_cast<flow::PacketSink&>(table_shim)
+                               : table);
+  pipeline.add_sink(instrument
+                        ? static_cast<flow::PacketSink&>(collector_shim)
+                        : collector);
   {
-    const int n_background = std::max(4, params_.plan.automated_reps / 2);
-    for (int i = 0; i < n_background; ++i) {
-      testbed::ExperimentSpec spec;
-      spec.device_id = device.id;
-      spec.config = config;
-      spec.type = testbed::ExperimentType::kInteraction;
-      spec.activity = std::string(analysis::kBackgroundLabel);
-      spec.repetition = i;
-      spec.start_time = testbed::kSimulationEpoch + 50000.0 + i * 100.0;
-      util::Prng prng("bg/" + spec.key());
-      const std::vector<net::Packet> packets = runner_.synthesizer().background(
-          device, config, spec.start_time, spec.start_time + 60.0, prng);
-      flow::MetaCollector collector(device_mac);
-      flow::IngestPipeline pipeline;
-      pipeline.add_sink(collector);
-      pipeline.ingest_all(packets);
-      pipeline.finish();
-      note_ingest(pipeline);
-      training.push_back(
-          analysis::LabeledMeta{spec.activity, collector.take()});
+    obs::Span span("study/ingest");
+    pipeline.ingest_all(capture.packets);
+    pipeline.finish();
+    span.add_bytes_in(pipeline.bytes_seen());
+    span.note_peak_bytes(pipeline.bytes_seen());
+  }
+  note_ingest(pipeline);
+  result.health.merge(pipeline.health());
+  result.health.merge(dns.health());
+  result.health.merge(table.health());
+
+  obs::Span span("study/attribute");
+  const std::vector<flow::Flow> flows = table.flows();
+  const std::vector<analysis::DestinationRecord> records =
+      analysis::attribute_destinations(flows, dns, scratch.ctx,
+                                       result.device->first_party_orgs);
+  const std::string group = experiment_group(capture.spec);
+  analysis::PartyCounts& group_counts = result.parties_by_group[group];
+  group_counts.merge(analysis::count_non_first_parties(records));
+  if (capture.spec.type != testbed::ExperimentType::kIdle) {
+    result.parties_by_group["Control"].merge(
+        analysis::count_non_first_parties(records));
+  }
+  scratch.merged.add_all(records);
+
+  const analysis::EncryptionBytes enc = analysis::account_flows(flows);
+  result.enc_by_group[group] += enc;
+  if (capture.spec.type != testbed::ExperimentType::kIdle) {
+    // "Control" aggregates all controlled experiments (Table 8's first
+    // row), exactly like the party counts above.
+    result.enc_by_group["Control"] += enc;
+  }
+  result.enc_total += enc;
+
+  for (analysis::PiiFinding& f : scratch.scanner.scan(flows)) {
+    if (scratch.seen_pii.emplace(f.kind, f.destination.value()).second) {
+      result.pii_findings.push_back(std::move(f));
     }
   }
+  return collector.take();
+}
 
-  result.model = analysis::train_activity_model(device, config, training,
-                                                params_.inference, pool);
-  result.idle = analysis::detect_activity(device, idle_meta, result.model,
-                                          params_.detector);
-  result.status = result.health.total_anomalies() > 0 ? RunStatus::kDegraded
-                                                      : RunStatus::kClean;
-  return result;
+// Augments the training set with labeled background windows so the model
+// learns what "no interaction" looks like; otherwise idle heartbeats are
+// force-assigned to a real class when classifying unlabeled traffic.
+void Study::add_background_training(const testbed::DeviceSpec& device,
+                                    const testbed::NetworkConfig& config,
+                                    RunScratch& scratch) {
+  obs::Span span("study/background");
+  const int n_background = std::max(4, params_.plan.automated_reps / 2);
+  for (int i = 0; i < n_background; ++i) {
+    testbed::ExperimentSpec spec;
+    spec.device_id = device.id;
+    spec.config = config;
+    spec.type = testbed::ExperimentType::kInteraction;
+    spec.activity = std::string(analysis::kBackgroundLabel);
+    spec.repetition = i;
+    spec.start_time = testbed::kSimulationEpoch + 50000.0 + i * 100.0;
+    util::Prng prng("bg/" + spec.key());
+    const std::vector<net::Packet> packets = runner_.synthesizer().background(
+        device, config, spec.start_time, spec.start_time + 60.0, prng);
+    flow::MetaCollector collector(scratch.device_mac);
+    flow::IngestPipeline pipeline;
+    pipeline.add_sink(collector);
+    pipeline.ingest_all(packets);
+    pipeline.finish();
+    note_ingest(pipeline);
+    scratch.training.push_back(
+        analysis::LabeledMeta{spec.activity, collector.take()});
+  }
+}
+
+void Study::train_and_detect(const testbed::DeviceSpec& device,
+                             const testbed::NetworkConfig& config,
+                             RunScratch& scratch, DeviceRunResult& result,
+                             util::TaskPool* pool) {
+  {
+    obs::Span span("study/train");
+    result.model = analysis::train_activity_model(
+        device, config, scratch.training, params_.inference, pool);
+  }
+  obs::Span span("study/idle_detect");
+  result.idle = analysis::detect_activity(device, scratch.idle_meta,
+                                          result.model, params_.detector);
 }
 
 void Study::run() {
+  obs::Span run_span("study/run");
+  // Sampled once per campaign, not per packet: instrumenting the decode
+  // hot path would cost the single-decode pipeline its throughput, so the
+  // registry gets the whole run's delta instead.
+  const std::uint64_t decode_before = net::decode_packet_calls();
   // Every (config, device) run is independent: captures are synthesized
   // from per-experiment seed keys and analyzed locally. Enumerate the
   // pairs in the serial loop's order, pre-size each config's bucket, and
@@ -287,9 +353,21 @@ void Study::run() {
   });
 
   if (params_.run_uncontrolled) run_uncontrolled();
+
+  if (obs::metrics_enabled()) {
+    obs::Registry& registry = obs::Registry::global();
+    registry.add(registry.counter("study/experiments"), experiments_run());
+    registry.add(registry.counter("study/packets_ingested"),
+                 packets_ingested());
+    registry.add(registry.maximum("study/peak_capture_bytes"),
+                 peak_capture_bytes());
+    registry.add(registry.counter("net/decode_packet_calls"),
+                 net::decode_packet_calls() - decode_before);
+  }
 }
 
 void Study::run_uncontrolled() {
+  obs::Span span("study/uncontrolled");
   const testbed::UserStudySimulator simulator;
   user_study_ = simulator.simulate(params_.user_study);
 

@@ -172,9 +172,42 @@ class Study {
       const testbed::NetworkConfig& config) const;
 
  private:
+  /// Per-run working set shared by the stage helpers below (study.cpp).
+  struct RunScratch;
+
   DeviceRunResult run_device(const testbed::DeviceSpec& device,
                              const testbed::NetworkConfig& config,
                              util::TaskPool* pool);
+
+  // Stage boundaries of one (config, device) run, hoisted into named
+  // helpers so observability spans (and future optimizations) have clean
+  // seams. Each helper is one row of the span taxonomy in DESIGN.md
+  // §"Observability".
+
+  /// Runs the experiment schedule: synthesize, impair (optional), and
+  /// stream every capture through one ingest pipeline, accumulating
+  /// destinations / encryption / PII / training meta into the scratch.
+  void run_experiment_schedule(const testbed::DeviceSpec& device,
+                               const testbed::NetworkConfig& config,
+                               RunScratch& scratch, DeviceRunResult& result);
+
+  /// Streams one labeled capture (single-decode pipeline) and runs the
+  /// per-capture analyses; returns the surviving device-traffic meta.
+  std::vector<flow::PacketMeta> ingest_labeled_capture(
+      const testbed::LabeledCapture& capture, RunScratch& scratch,
+      DeviceRunResult& result);
+
+  /// Synthesizes labeled background windows into the training set.
+  void add_background_training(const testbed::DeviceSpec& device,
+                               const testbed::NetworkConfig& config,
+                               RunScratch& scratch);
+
+  /// Trains/validates the activity model and runs idle detection.
+  void train_and_detect(const testbed::DeviceSpec& device,
+                        const testbed::NetworkConfig& config,
+                        RunScratch& scratch, DeviceRunResult& result,
+                        util::TaskPool* pool);
+
   void run_uncontrolled();
   /// Folds one finished pipeline pass into the run-wide ingest stats.
   void note_ingest(const flow::IngestPipeline& pipeline);

@@ -1,5 +1,9 @@
 #include "iotx/faults/health.hpp"
 
+#include <string>
+
+#include "iotx/obs/registry.hpp"
+
 namespace iotx::faults {
 
 std::vector<std::pair<std::string_view, std::uint64_t>> health_counters(
@@ -32,6 +36,14 @@ std::vector<std::pair<std::string_view, std::uint64_t>> nonzero_counters(
     if (value != 0) out.emplace_back(name, value);
   }
   return out;
+}
+
+void record_health_metrics(const CaptureHealth& health) {
+  if (!obs::metrics_enabled()) return;
+  obs::Registry& registry = obs::Registry::global();
+  for (const auto& [name, value] : nonzero_counters(health)) {
+    registry.add(registry.counter("health/" + std::string(name)), value);
+  }
 }
 
 }  // namespace iotx::faults

@@ -113,4 +113,10 @@ std::vector<std::pair<std::string_view, std::uint64_t>> health_counters(
 std::vector<std::pair<std::string_view, std::uint64_t>> nonzero_counters(
     const CaptureHealth& health);
 
+/// Adds the nonzero counters into the global metrics registry as
+/// "health/<counter>" sums. No-op unless obs::metrics_enabled(); callers
+/// (Study, CLI) invoke it once per finished run, so the registry carries
+/// the campaign-wide health aggregate without a second walk.
+void record_health_metrics(const CaptureHealth& health);
+
 }  // namespace iotx::faults

@@ -1,5 +1,10 @@
 #include "iotx/flow/ingest.hpp"
 
+#include <chrono>
+#include <string>
+
+#include "iotx/obs/registry.hpp"
+
 namespace iotx::flow {
 
 void IngestPipeline::add_sink(PacketSink& sink) { sinks_.push_back(&sink); }
@@ -24,6 +29,40 @@ void IngestPipeline::finish() {
   if (finished_) return;
   finished_ = true;
   for (PacketSink* sink : sinks_) sink->on_finish();
+}
+
+namespace {
+
+std::uint64_t sink_clock_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void InstrumentedSink::on_packet(const net::DecodedPacket& packet) {
+  ++packets_;
+  bytes_ += packet.payload.size();
+  const std::uint64_t t0 = sink_clock_ns();
+  inner_.on_packet(packet);
+  wall_ns_ += sink_clock_ns() - t0;
+}
+
+void InstrumentedSink::on_finish() {
+  const std::uint64_t t0 = sink_clock_ns();
+  inner_.on_finish();
+  wall_ns_ += sink_clock_ns() - t0;
+
+  obs::Registry& registry = obs::Registry::global();
+  const std::string base = "stage/sink:" + std::string(label_);
+  // One histogram sample per capture: count = captures, sum = wall.
+  registry.add(registry.histogram(base + "/wall_ns", /*deterministic=*/false),
+               wall_ns_);
+  registry.add(registry.counter(base + "/bytes_in"), bytes_);
+  registry.add(registry.counter("sink/" + std::string(label_) + "/packets"),
+               packets_);
 }
 
 }  // namespace iotx::flow

@@ -75,4 +75,32 @@ class IngestPipeline {
   bool finished_ = false;
 };
 
+/// Per-sink observability shim: wraps a sink and accounts packets,
+/// payload bytes, and cumulative on_packet/on_finish wall time, then
+/// records the capture's totals into the global metrics registry on
+/// finish (stage family "sink:<label>": one wall_ns histogram sample per
+/// capture, bytes_in counter, packet counter). Register the wrapper
+/// instead of the sink when obs::metrics_enabled(); the undecorated path
+/// stays free of clock reads.
+class InstrumentedSink : public PacketSink {
+ public:
+  /// `label` must outlive the sink (string literals in practice).
+  InstrumentedSink(PacketSink& inner, const char* label) noexcept
+      : inner_(inner), label_(label) {}
+
+  void on_packet(const net::DecodedPacket& packet) override;
+  void on_finish() override;
+
+  std::uint64_t packets() const noexcept { return packets_; }
+  std::uint64_t payload_bytes() const noexcept { return bytes_; }
+  std::uint64_t wall_ns() const noexcept { return wall_ns_; }
+
+ private:
+  PacketSink& inner_;
+  const char* label_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t wall_ns_ = 0;
+};
+
 }  // namespace iotx::flow

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "iotx/ml/metrics.hpp"
+#include "iotx/obs/trace.hpp"
 
 namespace iotx::ml {
 
@@ -32,6 +33,9 @@ ValidationResult cross_validate(const Dataset& data,
   std::vector<RepetitionOutcome> outcomes(params.repetitions);
 
   const auto run_repetition = [&](std::size_t rep) {
+    obs::Span span("ml/cv_rep", obs::observability_active()
+                                    ? "\"rep\":" + std::to_string(rep)
+                                    : std::string());
     util::Prng rep_prng = prng.fork("rep" + std::to_string(rep));
     const Dataset::Split split =
         data.stratified_split(params.train_fraction, rep_prng);

@@ -1,0 +1,183 @@
+#include "iotx/obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace iotx::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Splits "stage/<name>/<field>" into (<name>, <field>); empty stage when
+/// the metric is not part of a stage family.
+std::pair<std::string_view, std::string_view> stage_parts(
+    std::string_view name) {
+  constexpr std::string_view kPrefix = "stage/";
+  if (name.substr(0, kPrefix.size()) != kPrefix) return {};
+  const std::size_t last = name.rfind('/');
+  if (last == std::string_view::npos || last < kPrefix.size()) return {};
+  return {name.substr(kPrefix.size(), last - kPrefix.size()),
+          name.substr(last + 1)};
+}
+
+std::string format_ns(std::uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fs", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1000000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::vector<StageProfile> build_stage_profiles(
+    const Registry::Snapshot& snap) {
+  std::map<std::string, StageProfile, std::less<>> stages;
+  for (const Registry::MetricSnapshot& m : snap.metrics) {
+    const auto [stage, field] = stage_parts(m.name);
+    if (stage.empty()) continue;
+    auto it = stages.find(stage);
+    if (it == stages.end()) {
+      it = stages.emplace(std::string(stage), StageProfile{}).first;
+      it->second.stage = stage;
+    }
+    StageProfile& row = it->second;
+    if (field == "wall_ns") {
+      row.calls = m.count;
+      row.wall_ns = m.sum;
+      row.max_call_ns = m.max;
+    } else if (field == "bytes_in") {
+      row.bytes_in = m.value;
+    } else if (field == "bytes_out") {
+      row.bytes_out = m.value;
+    } else if (field == "peak_bytes") {
+      row.peak_bytes = m.value;
+    }
+  }
+  std::vector<StageProfile> out;
+  out.reserve(stages.size());
+  for (auto& [name, row] : stages) out.push_back(std::move(row));
+  std::sort(out.begin(), out.end(),
+            [](const StageProfile& a, const StageProfile& b) {
+              return a.wall_ns != b.wall_ns ? a.wall_ns > b.wall_ns
+                                            : a.stage < b.stage;
+            });
+  return out;
+}
+
+std::string profile_json(const Registry::Snapshot& snap) {
+  std::string out = "{\"section\":\"profile\",\"stages\":[";
+  char buf[64];
+  bool first = true;
+  for (const StageProfile& s : build_stage_profiles(snap)) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"stage\":\"" + json_escape(s.stage) + "\"";
+    const auto field = [&](const char* name, std::uint64_t v) {
+      std::snprintf(buf, sizeof buf, ",\"%s\":%llu", name,
+                    static_cast<unsigned long long>(v));
+      out += buf;
+    };
+    field("calls", s.calls);
+    field("wall_ns", s.wall_ns);
+    field("max_call_ns", s.max_call_ns);
+    field("bytes_in", s.bytes_in);
+    field("bytes_out", s.bytes_out);
+    field("peak_bytes", s.peak_bytes);
+    out += '}';
+  }
+  out += "],\"counters\":[";
+  first = true;
+  for (const Registry::MetricSnapshot& m : snap.metrics) {
+    if (!stage_parts(m.name).first.empty()) continue;  // already reported
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(m.name) + "\",\"kind\":\"";
+    out += metric_kind_name(m.kind);
+    out += '"';
+    if (m.kind == MetricKind::kHistogram) {
+      std::snprintf(buf, sizeof buf,
+                    ",\"count\":%llu,\"sum\":%llu,\"max\":%llu",
+                    static_cast<unsigned long long>(m.count),
+                    static_cast<unsigned long long>(m.sum),
+                    static_cast<unsigned long long>(m.max));
+    } else {
+      std::snprintf(buf, sizeof buf, ",\"value\":%llu",
+                    static_cast<unsigned long long>(m.value));
+    }
+    out += buf;
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string profile_text(const Registry::Snapshot& snap) {
+  std::string out = "Per-stage profile (sorted by total wall time)\n\n";
+  char line[256];
+  std::snprintf(line, sizeof line, "%-28s %10s %12s %12s %14s %14s %12s\n",
+                "stage", "calls", "wall", "max call", "bytes in",
+                "bytes out", "peak bytes");
+  out += line;
+  for (const StageProfile& s : build_stage_profiles(snap)) {
+    std::snprintf(line, sizeof line,
+                  "%-28s %10llu %12s %12s %14llu %14llu %12llu\n",
+                  s.stage.c_str(), static_cast<unsigned long long>(s.calls),
+                  format_ns(s.wall_ns).c_str(),
+                  format_ns(s.max_call_ns).c_str(),
+                  static_cast<unsigned long long>(s.bytes_in),
+                  static_cast<unsigned long long>(s.bytes_out),
+                  static_cast<unsigned long long>(s.peak_bytes));
+    out += line;
+  }
+
+  out += "\nCounters\n\n";
+  for (const Registry::MetricSnapshot& m : snap.metrics) {
+    if (!stage_parts(m.name).first.empty()) continue;
+    if (m.kind == MetricKind::kHistogram) {
+      std::snprintf(line, sizeof line,
+                    "  %-40s count=%llu sum=%llu max=%llu\n", m.name.c_str(),
+                    static_cast<unsigned long long>(m.count),
+                    static_cast<unsigned long long>(m.sum),
+                    static_cast<unsigned long long>(m.max));
+    } else {
+      std::snprintf(line, sizeof line, "  %-40s %llu%s\n", m.name.c_str(),
+                    static_cast<unsigned long long>(m.value),
+                    m.kind == MetricKind::kMax ? "  (max)" : "");
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace iotx::obs

@@ -1,0 +1,45 @@
+// Per-stage profile report (DESIGN.md §"Observability"): folds a
+// Registry snapshot into one row per instrumented stage — wall ns,
+// calls, bytes in/out, peak bytes — rendered as profile.json (machine
+// readable) and profile.txt (terminal friendly). The report directory a
+// `iotx study --metrics` run writes contains both next to the tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iotx/obs/registry.hpp"
+
+namespace iotx::obs {
+
+/// One instrumented stage, aggregated over every invocation. Sourced
+/// from the metric family stage/<name>/{wall_ns,bytes_in,bytes_out,
+/// peak_bytes} that obs::Span maintains.
+struct StageProfile {
+  std::string stage;
+  std::uint64_t calls = 0;
+  std::uint64_t wall_ns = 0;      ///< summed across calls (and threads)
+  std::uint64_t max_call_ns = 0;  ///< slowest single call
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t peak_bytes = 0;   ///< high-water mark, 0 when unset
+};
+
+/// Extracts the per-stage rows, sorted by total wall time (descending) so
+/// the hottest stage leads the report.
+std::vector<StageProfile> build_stage_profiles(const Registry::Snapshot& snap);
+
+/// {"section":"profile","stages":[...],"counters":[...]} — stages as
+/// above; every non-stage metric (study totals, health counters, absorbed
+/// ad-hoc counters) under "counters" with its kind.
+std::string profile_json(const Registry::Snapshot& snap);
+
+/// The same data as aligned text tables.
+std::string profile_text(const Registry::Snapshot& snap);
+
+/// JSON string escaping shared with the trace writer (exposed so the
+/// bench JSON writer needs no second copy).
+std::string json_escape(std::string_view text);
+
+}  // namespace iotx::obs

@@ -1,0 +1,237 @@
+#include "iotx/obs/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace iotx::obs {
+
+namespace {
+
+struct Flags {
+  std::atomic<bool> metrics{false};
+
+  Flags() {
+    // IOTX_OBS=metrics[,trace] force-enables observability for a whole
+    // process tree — how CI runs the tier-1 suite with instrumentation
+    // on to prove tables stay byte-identical. Trace env handling lives
+    // in trace.cpp (it needs a collector to be meaningful).
+    if (const char* env = std::getenv("IOTX_OBS")) {
+      if (std::strstr(env, "metrics") != nullptr) {
+        metrics.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+Flags& flags() {
+  static Flags f;
+  return f;
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return flags().metrics.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  flags().metrics.store(enabled, std::memory_order_relaxed);
+}
+
+std::string_view metric_kind_name(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kMax: return "max";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+namespace {
+
+Registry::MetricId pack_id(std::size_t slot, MetricKind kind) {
+  return static_cast<Registry::MetricId>((slot << 2) |
+                                         static_cast<std::size_t>(kind));
+}
+
+}  // namespace
+
+Registry::MetricId Registry::intern(std::string_view name, MetricKind kind,
+                                    bool deterministic) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const MetricInfo& info : metrics_) {
+    if (info.name == name) {
+      if (info.kind != kind) {
+        throw std::logic_error("obs::Registry: metric '" + std::string(name) +
+                               "' re-registered with a different kind");
+      }
+      return pack_id(info.slot, info.kind);
+    }
+  }
+  const std::size_t width =
+      kind == MetricKind::kHistogram ? kHistogramSlots : 1;
+  if (next_slot_ + width > kShardSlots) {
+    throw std::length_error("obs::Registry: shard slot capacity exhausted");
+  }
+  metrics_.push_back(
+      MetricInfo{std::string(name), kind, deterministic, next_slot_});
+  next_slot_ += width;
+  return pack_id(metrics_.back().slot, kind);
+}
+
+Registry::MetricId Registry::counter(std::string_view name,
+                                     bool deterministic) {
+  return intern(name, MetricKind::kCounter, deterministic);
+}
+
+Registry::MetricId Registry::maximum(std::string_view name,
+                                     bool deterministic) {
+  return intern(name, MetricKind::kMax, deterministic);
+}
+
+Registry::MetricId Registry::histogram(std::string_view name,
+                                       bool deterministic) {
+  return intern(name, MetricKind::kHistogram, deterministic);
+}
+
+Registry::Shard& Registry::local_shard() {
+  // One cached (registry, epoch, shard) triple per thread: the fast path
+  // is two loads and a compare. reset() bumps the epoch, invalidating
+  // every thread's cache without touching their storage.
+  struct TlsRef {
+    const Registry* registry = nullptr;
+    std::uint64_t epoch = 0;
+    Shard* shard = nullptr;
+  };
+  thread_local TlsRef tls;
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (tls.registry == this && tls.epoch == epoch) return *tls.shard;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  tls = TlsRef{this, epoch, shards_.back().get()};
+  return *tls.shard;
+}
+
+void Registry::add(MetricId id, std::uint64_t value) {
+  const std::size_t slot = id >> 2;
+  const MetricKind kind = static_cast<MetricKind>(id & 0x3);
+  if (slot >= kShardSlots) return;
+  Shard& shard = local_shard();
+  switch (kind) {
+    case MetricKind::kCounter:
+      shard.cells[slot].fetch_add(value, std::memory_order_relaxed);
+      break;
+    case MetricKind::kMax: {
+      std::atomic<std::uint64_t>& cell = shard.cells[slot];
+      std::uint64_t seen = cell.load(std::memory_order_relaxed);
+      while (seen < value && !cell.compare_exchange_weak(
+                                 seen, value, std::memory_order_relaxed)) {
+      }
+      break;
+    }
+    case MetricKind::kHistogram: {
+      shard.cells[slot].fetch_add(1, std::memory_order_relaxed);
+      shard.cells[slot + 1].fetch_add(value, std::memory_order_relaxed);
+      std::atomic<std::uint64_t>& maxc = shard.cells[slot + 2];
+      std::uint64_t seen = maxc.load(std::memory_order_relaxed);
+      while (seen < value && !maxc.compare_exchange_weak(
+                                 seen, value, std::memory_order_relaxed)) {
+      }
+      shard.cells[slot + 3 + std::bit_width(value)].fetch_add(
+          1, std::memory_order_relaxed);
+      break;
+    }
+  }
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.metrics.reserve(metrics_.size());
+  for (const MetricInfo& info : metrics_) {
+    MetricSnapshot m;
+    m.name = info.name;
+    m.kind = info.kind;
+    m.deterministic = info.deterministic;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      const auto cell = [&shard](std::size_t i) {
+        return shard->cells[i].load(std::memory_order_relaxed);
+      };
+      switch (info.kind) {
+        case MetricKind::kCounter:
+          m.value += cell(info.slot);
+          break;
+        case MetricKind::kMax:
+          m.value = std::max(m.value, cell(info.slot));
+          break;
+        case MetricKind::kHistogram:
+          m.count += cell(info.slot);
+          m.sum += cell(info.slot + 1);
+          m.max = std::max(m.max, cell(info.slot + 2));
+          for (std::size_t b = 0; b < m.buckets.size(); ++b) {
+            m.buckets[b] += cell(info.slot + 3 + b);
+          }
+          break;
+      }
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  std::sort(out.metrics.begin(), out.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.clear();
+  shards_.clear();
+  next_slot_ = 0;
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry;  // never destroyed: threads may
+  return *registry;                          // record until process exit
+}
+
+const Registry::MetricSnapshot* Registry::Snapshot::find(
+    std::string_view name) const noexcept {
+  for (const MetricSnapshot& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::string Registry::Snapshot::fingerprint() const {
+  std::string out;
+  for (const MetricSnapshot& m : metrics) {
+    out += m.name;
+    out += ' ';
+    out += metric_kind_name(m.kind);
+    out += ' ';
+    if (m.kind == MetricKind::kHistogram) {
+      // Sample counts are exact at any thread count; sums/maxima of
+      // timing histograms are not, so they only count when the metric
+      // was registered deterministic.
+      out += "count=" + std::to_string(m.count);
+      if (m.deterministic) {
+        out += " sum=" + std::to_string(m.sum);
+        out += " max=" + std::to_string(m.max);
+      }
+    } else if (m.deterministic) {
+      out += std::to_string(m.value);
+    } else {
+      out += "-";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace iotx::obs

@@ -1,0 +1,152 @@
+// obs::Registry — the lock-cheap metrics registry (DESIGN.md
+// §"Observability").
+//
+// Named monotonic counters, high-water marks, and log2-bucketed
+// histograms, recorded into per-thread shards so the hot path is one
+// thread-local lookup plus a relaxed atomic add (no contended lock, no
+// false sharing between worker threads). snapshot() merges the shards:
+// every cell is an unsigned integer and every merge operator (sum for
+// counters/histograms, max for high-water marks) is commutative and
+// associative, so — the same trick that makes the Prng forks
+// order-independent — the merged totals are bit-identical at any thread
+// count as long as the recorded work itself is deterministic.
+//
+// Wall-clock metrics are inherently nondeterministic in their *values*
+// (durations vary run to run) but not in their *counts*; metrics whose
+// values are timing-derived are registered with `deterministic = false`
+// and Snapshot::fingerprint() folds in only the reproducible fields
+// (counter/max values, histogram counts), which is what the
+// jobs=1-vs-jobs=4 determinism tests compare.
+//
+// The registry sits below util/ in the dependency order (everything may
+// link it), and the global() instance is what the Study, the ingest
+// sinks, and the benches feed. Recording is disabled by default:
+// obs::metrics_enabled() is one relaxed atomic load, and every
+// instrumentation site is gated on it, so a build that never turns
+// metrics on pays a branch, not a shard write.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotx::obs {
+
+/// Process-wide metrics switch (default off). Instrumentation sites gate
+/// on this; the registry itself always works when called directly.
+bool metrics_enabled() noexcept;
+void set_metrics_enabled(bool enabled) noexcept;
+
+enum class MetricKind {
+  kCounter,    ///< monotonic sum (merge: +)
+  kMax,        ///< high-water mark (merge: max)
+  kHistogram,  ///< log2-bucketed distribution (merge: per-bucket +)
+};
+
+std::string_view metric_kind_name(MetricKind kind) noexcept;
+
+class Registry {
+ public:
+  /// Packs (first shard slot << 2 | kind), so add() decodes its target
+  /// cell without touching the registry lock — registration pays the
+  /// mutex once, every record after that is lock-free.
+  using MetricId = std::uint32_t;
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers (or finds) a metric by name. Idempotent: the same name
+  /// always yields the same id; re-registering with a different kind
+  /// throws std::logic_error. `deterministic = false` marks metrics whose
+  /// values are timing-derived (excluded from fingerprint()).
+  MetricId counter(std::string_view name, bool deterministic = true);
+  MetricId maximum(std::string_view name, bool deterministic = true);
+  MetricId histogram(std::string_view name, bool deterministic = true);
+
+  /// Records into the calling thread's shard: counter += value,
+  /// maximum = max(maximum, value), histogram gains one sample `value`.
+  void add(MetricId id, std::uint64_t value);
+
+  /// One merged metric in a snapshot. Counter/max use `value`; histograms
+  /// use count/sum/max/buckets (bucket b holds samples with
+  /// bit_width(sample) == b, i.e. sample in [2^(b-1), 2^b)).
+  struct MetricSnapshot {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    bool deterministic = true;
+    std::uint64_t value = 0;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, 65> buckets{};
+
+    /// Mean sample for histograms (0 when empty).
+    double mean() const noexcept {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  struct Snapshot {
+    /// Name-sorted, so two snapshots with the same recorded work render
+    /// identically regardless of registration or thread order.
+    std::vector<MetricSnapshot> metrics;
+
+    const MetricSnapshot* find(std::string_view name) const noexcept;
+
+    /// The reproducible projection: "name kind value|count" per line for
+    /// deterministic metrics, plus histogram sample counts for
+    /// nondeterministic (timing) histograms — their invocation counts are
+    /// still exact. Equal fingerprints at jobs=1 and jobs=N is the
+    /// registry-level determinism contract.
+    std::string fingerprint() const;
+  };
+
+  /// Merges all shards. Safe to call while other threads record (cells
+  /// are relaxed atomics); typically called after a parallel section.
+  Snapshot snapshot() const;
+
+  /// Drops all metrics and shards. NOT safe concurrently with add();
+  /// call between parallel sections (tests, bench iterations).
+  void reset();
+
+  /// The process-wide registry every instrumentation site feeds.
+  static Registry& global();
+
+ private:
+  // A histogram occupies kHistogramSlots consecutive cells
+  // (count, sum, max, 65 log2 buckets); counters/maxima occupy one.
+  static constexpr std::size_t kHistogramSlots = 3 + 65;
+  // Fixed shard capacity: slots are pre-allocated so recording never
+  // resizes (a resize would race with concurrent recorders).
+  static constexpr std::size_t kShardSlots = 8192;
+
+  struct MetricInfo {
+    std::string name;
+    MetricKind kind;
+    bool deterministic;
+    std::size_t slot;  ///< first cell index in every shard
+  };
+
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kShardSlots> cells{};
+  };
+
+  MetricId intern(std::string_view name, MetricKind kind, bool deterministic);
+  Shard& local_shard();
+
+  mutable std::mutex mu_;  // guards metrics_ and shards_ (not cell writes)
+  std::vector<MetricInfo> metrics_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t next_slot_ = 0;
+  // Bumped by reset() so cached thread-local shard pointers re-acquire.
+  std::atomic<std::uint64_t> epoch_{1};
+};
+
+}  // namespace iotx::obs

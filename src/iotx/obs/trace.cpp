@@ -1,0 +1,253 @@
+#include "iotx/obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "iotx/obs/profile.hpp"
+#include "iotx/obs/registry.hpp"
+
+namespace iotx::obs {
+
+namespace {
+
+std::atomic<TraceCollector*> g_collector{nullptr};
+
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Per-thread span-name stack (only maintained while tracing) plus the
+// context inherited from a TaskPool submitter.
+thread_local std::vector<const char*> t_span_stack;
+thread_local std::string t_inherited_context;
+
+// IOTX_OBS=trace installs a process-lifetime collector; when
+// IOTX_TRACE_FILE names a path, the trace is written there at exit.
+// This is how CI traces a whole test binary without touching its argv.
+struct EnvTrace {
+  EnvTrace() {
+    const char* env = std::getenv("IOTX_OBS");
+    if (env == nullptr || std::strstr(env, "trace") == nullptr) return;
+    static TraceCollector* collector = new TraceCollector;
+    collector->install();
+    if (std::getenv("IOTX_TRACE_FILE") != nullptr) {
+      std::atexit([] {
+        static TraceCollector* c = g_collector.load(std::memory_order_acquire);
+        if (c != nullptr) c->write(std::getenv("IOTX_TRACE_FILE"));
+      });
+    }
+  }
+};
+
+void ensure_env_trace() {
+  static EnvTrace init;
+  (void)init;
+}
+
+}  // namespace
+
+bool tracing_active() noexcept {
+  ensure_env_trace();
+  return g_collector.load(std::memory_order_acquire) != nullptr;
+}
+
+bool observability_active() noexcept {
+  return tracing_active() || metrics_enabled();
+}
+
+TraceCollector* trace_collector() noexcept {
+  return g_collector.load(std::memory_order_acquire);
+}
+
+// NOTE: must not call ensure_env_trace() here — EnvTrace's constructor
+// builds a TraceCollector while the ensure_env_trace() static guard is
+// held, so re-entering from this constructor deadlocks at startup when
+// IOTX_OBS=trace is set. tracing_active() runs the env hook instead.
+TraceCollector::TraceCollector() = default;
+
+TraceCollector::~TraceCollector() { uninstall(); }
+
+void TraceCollector::install() {
+  TraceCollector* expected = nullptr;
+  origin_ns_ = steady_ns();
+  if (!g_collector.compare_exchange_strong(expected, this,
+                                           std::memory_order_acq_rel)) {
+    if (expected == this) return;
+    throw std::logic_error("obs::TraceCollector: another collector is installed");
+  }
+  installed_ = true;
+}
+
+void TraceCollector::uninstall() noexcept {
+  TraceCollector* expected = this;
+  g_collector.compare_exchange_strong(expected, nullptr,
+                                      std::memory_order_acq_rel);
+  installed_ = false;
+}
+
+TraceCollector::ThreadBuffer& TraceCollector::local_buffer() {
+  struct TlsRef {
+    const TraceCollector* collector = nullptr;
+    ThreadBuffer* buffer = nullptr;
+  };
+  thread_local TlsRef tls;
+  if (tls.collector == this) return *tls.buffer;
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  buffers_.back()->tid = static_cast<std::uint32_t>(buffers_.size());
+  tls = TlsRef{this, buffers_.back().get()};
+  return *tls.buffer;
+}
+
+void TraceCollector::record(Event event) {
+  event.start_ns -= std::min(event.start_ns, origin_ns_);
+  ThreadBuffer& buffer = local_buffer();
+  event.tid = buffer.tid;
+  buffer.events.push_back(std::move(event));
+}
+
+std::size_t TraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->events.size();
+  return n;
+}
+
+std::string TraceCollector::trace_json() const {
+  std::vector<const Event*> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      for (const Event& e : buffer->events) events.push_back(&e);
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event* a, const Event* b) {
+    return a->start_ns != b->start_ns ? a->start_ns < b->start_ns
+                                      : a->duration_ns > b->duration_ns;
+  });
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[160];
+  for (const Event* e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(e->name) + "\",\"cat\":\"iotx\"";
+    std::snprintf(buf, sizeof buf,
+                  ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%u",
+                  static_cast<double>(e->start_ns) / 1000.0,
+                  static_cast<double>(e->duration_ns) / 1000.0, e->tid);
+    out += buf;
+    if (!e->args.empty()) out += ",\"args\":{" + e->args + "}";
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool TraceCollector::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  out << trace_json() << '\n';
+  return out.good();
+}
+
+std::string current_context() {
+  if (!t_span_stack.empty()) return t_span_stack.back();
+  return t_inherited_context;
+}
+
+ContextGuard::ContextGuard(std::string context)
+    : previous_(std::move(t_inherited_context)) {
+  t_inherited_context = std::move(context);
+}
+
+ContextGuard::~ContextGuard() { t_inherited_context = std::move(previous_); }
+
+Span::Span(const char* stage) noexcept : stage_(stage) {
+  // noexcept: open() only touches atomics/TLS unless observability is on,
+  // and the collector path allocates only when recording.
+  open();
+}
+
+Span::Span(const char* stage, std::string args)
+    : stage_(stage), args_(std::move(args)) {
+  open();
+}
+
+void Span::open() {
+  tracing_ = tracing_active();
+  metrics_ = metrics_enabled();
+  if (!tracing_ && !metrics_) return;
+  if (tracing_) t_span_stack.push_back(stage_);
+  start_ns_ = steady_ns();
+}
+
+void Span::note_peak_bytes(std::uint64_t bytes) {
+  if (!metrics_) return;
+  Registry& registry = Registry::global();
+  registry.add(
+      registry.maximum("stage/" + std::string(stage_) + "/peak_bytes"),
+      bytes);
+}
+
+Span::~Span() {
+  if (!tracing_ && !metrics_) return;
+  const std::uint64_t now = steady_ns();
+  const std::uint64_t duration = now - std::min(start_ns_, now);
+
+  if (metrics_) {
+    Registry& registry = Registry::global();
+    const std::string base = "stage/" + std::string(stage_);
+    registry.add(registry.histogram(base + "/wall_ns",
+                                    /*deterministic=*/false),
+                 duration);
+    if (bytes_in_ > 0) {
+      registry.add(registry.counter(base + "/bytes_in"), bytes_in_);
+    }
+    if (bytes_out_ > 0) {
+      registry.add(registry.counter(base + "/bytes_out"), bytes_out_);
+    }
+  }
+
+  if (tracing_) {
+    // This span is the top of its thread's stack (RAII nesting).
+    if (!t_span_stack.empty() && t_span_stack.back() == stage_) {
+      t_span_stack.pop_back();
+    }
+    if (TraceCollector* collector = trace_collector()) {
+      TraceCollector::Event event;
+      event.name = stage_;
+      event.args = std::move(args_);
+      // A span at the root of a pool worker's stack records the
+      // submitting thread's context so cross-thread lineage survives in
+      // the trace (TaskPool span propagation).
+      if (t_span_stack.empty() && !t_inherited_context.empty()) {
+        if (!event.args.empty()) event.args += ',';
+        event.args += "\"parent\":\"" + json_escape(t_inherited_context) + '"';
+      }
+      if (bytes_in_ > 0) {
+        if (!event.args.empty()) event.args += ',';
+        event.args += "\"bytes_in\":" + std::to_string(bytes_in_);
+      }
+      if (bytes_out_ > 0) {
+        if (!event.args.empty()) event.args += ',';
+        event.args += "\"bytes_out\":" + std::to_string(bytes_out_);
+      }
+      event.start_ns = start_ns_;
+      event.duration_ns = duration;
+      collector->record(std::move(event));
+    }
+  }
+}
+
+}  // namespace iotx::obs

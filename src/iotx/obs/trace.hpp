@@ -1,0 +1,156 @@
+// obs::Span / obs::TraceCollector — RAII trace spans around every
+// pipeline stage, written as Chrome trace_event JSON (loadable in
+// Perfetto / chrome://tracing). DESIGN.md §"Observability" names every
+// instrumented stage.
+//
+// A Span measures one stage on one thread with steady_clock and, on
+// destruction, (a) appends a complete ("ph":"X") trace event to the
+// installed collector's per-thread buffer — no lock after the buffer
+// exists — and (b) feeds the stage's wall-clock histogram and byte
+// counters in the global metrics registry. Both halves are independently
+// gated: with no collector installed and metrics off, constructing a
+// Span is two relaxed atomic loads and zero allocations (asserted by
+// tests/test_obs.cpp), which is how the default build keeps headline
+// tables byte-identical and the ingest bench within noise.
+//
+// Span nesting is implicit per thread (Chrome traces stack same-tid
+// events by time containment). Work that hops threads through
+// util::TaskPool keeps its lineage explicitly: TaskPool::submit captures
+// current_context() — the innermost open span on the submitting thread —
+// and re-establishes it on the worker via ContextGuard, so spans opened
+// inside pool tasks carry a "parent" arg naming the stage that spawned
+// them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotx::obs {
+
+/// True while a TraceCollector is installed (one relaxed atomic load).
+bool tracing_active() noexcept;
+
+/// True when either tracing or metrics are on — the gate callers use
+/// before building span metadata strings.
+bool observability_active() noexcept;
+
+/// Collects trace events into per-thread buffers and renders them as one
+/// Chrome trace_event JSON document. Install at most one at a time; the
+/// destructor uninstalls automatically.
+class TraceCollector {
+ public:
+  TraceCollector();
+  ~TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Makes this the process-wide collector; spans start recording.
+  /// Throws std::logic_error if another collector is installed.
+  void install();
+
+  /// Stops recording (spans still open keep their buffers valid: the
+  /// collector outlives the uninstall, events landing after it are kept).
+  void uninstall() noexcept;
+
+  /// The finished document:
+  /// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,
+  ///   "pid":1,"tid":...,"cat":"iotx","args":{...}}, ...],
+  ///  "displayTimeUnit":"ms"} — ts/dur in microseconds, as the Chrome
+  /// trace_event spec requires. Events are sorted by start time.
+  std::string trace_json() const;
+
+  /// Writes trace_json() to a file. Returns false on I/O error.
+  bool write(const std::string& path) const;
+
+  /// Events recorded so far (across all threads).
+  std::size_t event_count() const;
+
+  struct Event {
+    std::string name;
+    std::string args;  ///< pre-rendered JSON object body, may be empty
+    std::uint64_t start_ns = 0;
+    std::uint64_t duration_ns = 0;
+    std::uint32_t tid = 0;
+  };
+
+  /// Appends one event to the calling thread's buffer (used by Span).
+  void record(Event event);
+
+ private:
+  struct ThreadBuffer {
+    std::uint32_t tid = 0;
+    std::vector<Event> events;
+  };
+
+  ThreadBuffer& local_buffer();
+
+  mutable std::mutex mu_;  // guards buffers_ (creation + snapshot)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::uint64_t origin_ns_ = 0;  ///< steady-clock epoch of install()
+  bool installed_ = false;
+};
+
+/// The installed collector, or nullptr.
+TraceCollector* trace_collector() noexcept;
+
+/// The innermost open span name on this thread, falling back to the
+/// context inherited from a TaskPool submitter; empty when none.
+std::string current_context();
+
+/// Re-establishes a submitting thread's span context on a worker thread
+/// for the guard's lifetime (used by util::TaskPool).
+class ContextGuard {
+ public:
+  explicit ContextGuard(std::string context);
+  ~ContextGuard();
+  ContextGuard(const ContextGuard&) = delete;
+  ContextGuard& operator=(const ContextGuard&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+/// RAII stage timer: one trace event and one wall-clock histogram sample
+/// per constructed span. `stage` must outlive the span (string literals
+/// in practice; they name rows of profile.json).
+class Span {
+ public:
+  /// The cheap form — no metadata. Safe to construct unconditionally.
+  explicit Span(const char* stage) noexcept;
+
+  /// With pre-rendered JSON-object-body metadata for the trace event,
+  /// e.g. R"("device":"ring_doorbell","config":"us")". Callers gate the
+  /// string construction on observability_active().
+  Span(const char* stage, std::string args);
+
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Byte accounting folded into stage/<name>/bytes_{in,out} counters
+  /// (and the trace event args) at destruction. No-ops when inactive.
+  void add_bytes_in(std::uint64_t bytes) noexcept { bytes_in_ += bytes; }
+  void add_bytes_out(std::uint64_t bytes) noexcept { bytes_out_ += bytes; }
+
+  /// Records a stage high-water mark (stage/<name>/peak_bytes).
+  void note_peak_bytes(std::uint64_t bytes);
+
+  bool active() const noexcept { return tracing_ || metrics_; }
+
+ private:
+  void open();
+
+  const char* stage_;
+  std::string args_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t bytes_in_ = 0;
+  std::uint64_t bytes_out_ = 0;
+  bool tracing_ = false;
+  bool metrics_ = false;
+};
+
+}  // namespace iotx::obs

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "iotx/faults/health.hpp"
+#include "iotx/obs/trace.hpp"
 #include "iotx/report/json.hpp"
 #include "iotx/util/table.hpp"
 
@@ -406,33 +407,43 @@ std::string full_report_json(const core::Study& study) {
 }
 
 bool write_report_directory(const core::Study& study, const std::string& dir) {
+  obs::Span report_span("report/write_directory");
   namespace fs = std::filesystem;
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) return false;
 
-  const auto write = [&dir](const std::string& name,
-                            const std::string& content) {
+  // One span per document, covering the table build and the write, so
+  // the profile attributes report time to the expensive builders rather
+  // than to this function's argument list.
+  const auto emit = [&study, &dir](const char* name,
+                                   std::string (*build)(const core::Study&)) {
+    obs::Span span("report/table", obs::observability_active()
+                                       ? "\"file\":\"" + std::string(name) +
+                                             "\""
+                                       : std::string());
+    const std::string content = build(study);
     std::ofstream out(fs::path(dir) / name, std::ios::binary);
     out << content << '\n';
+    span.add_bytes_out(content.size());
     return out.good();
   };
 
-  return write("table2.json", table2_json(study)) &&
-         write("table3.json", table3_json(study)) &&
-         write("table4.json", table4_json(study)) &&
-         write("figure2.json", figure2_json(study)) &&
-         write("table5.json", table5_json(study)) &&
-         write("table6.json", table6_json(study)) &&
-         write("table7.json", table7_json(study)) &&
-         write("table8.json", table8_json(study)) &&
-         write("table9.json", table9_json(study)) &&
-         write("table10.json", table10_json(study)) &&
-         write("table11.json", table11_json(study)) &&
-         write("pii.json", pii_json(study)) &&
-         write("robustness.json", robustness_json(study)) &&
-         write("robustness.txt", robustness_text(study)) &&
-         write("report.json", full_report_json(study));
+  return emit("table2.json", table2_json) &&
+         emit("table3.json", table3_json) &&
+         emit("table4.json", table4_json) &&
+         emit("figure2.json", figure2_json) &&
+         emit("table5.json", table5_json) &&
+         emit("table6.json", table6_json) &&
+         emit("table7.json", table7_json) &&
+         emit("table8.json", table8_json) &&
+         emit("table9.json", table9_json) &&
+         emit("table10.json", table10_json) &&
+         emit("table11.json", table11_json) &&
+         emit("pii.json", pii_json) &&
+         emit("robustness.json", robustness_json) &&
+         emit("robustness.txt", robustness_text) &&
+         emit("report.json", full_report_json);
 }
 
 }  // namespace iotx::report

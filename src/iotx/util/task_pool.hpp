@@ -19,9 +19,12 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "iotx/obs/trace.hpp"
 
 namespace iotx::util {
 
@@ -41,15 +44,28 @@ class TaskPool {
   static std::size_t default_thread_count() noexcept;
 
   /// Enqueues a callable; the future carries its result or exception.
+  /// While a trace collector is installed, the submitting thread's span
+  /// context rides along and is re-established on the executing thread
+  /// (obs::ContextGuard), so spans opened inside the task keep their
+  /// cross-thread lineage in the trace.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
+    std::function<void()> run;
+    if (obs::tracing_active()) {
+      run = [task, context = obs::current_context()] {
+        obs::ContextGuard guard(context);
+        (*task)();
+      };
+    } else {
+      run = [task] { (*task)(); };
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.push_back(std::move(run));
     }
     cv_.notify_one();
     return future;
@@ -67,6 +83,13 @@ class TaskPool {
   template <typename F>
   void parallel_for_each(std::size_t n, F&& fn) {
     if (n == 0) return;
+    // One span per parallel section (not per index — a per-index span
+    // would swamp the trace with tree-training events). Workers inherit
+    // the section's context through submit().
+    obs::Span span("pool/parallel_for_each",
+                   obs::observability_active()
+                       ? "\"n\":" + std::to_string(n)
+                       : std::string());
     if (n == 1 || thread_count() <= 1) {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;

@@ -17,6 +17,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,9 @@
 #include "iotx/analysis/encryption.hpp"
 #include "iotx/core/study.hpp"
 #include "iotx/faults/impairment.hpp"
+#include "iotx/obs/profile.hpp"
+#include "iotx/obs/registry.hpp"
+#include "iotx/obs/trace.hpp"
 #include "iotx/report/report.hpp"
 #include "iotx/testbed/gateway.hpp"
 #include "iotx/util/strings.hpp"
@@ -40,12 +45,16 @@ int usage() {
       "  iotx catalog\n"
       "  iotx endpoints\n"
       "  iotx simulate <device_id> <activity> <out.pcap> [us|uk] [--vpn]\n"
-      "  iotx classify <capture.pcap>\n"
+      "  iotx classify <capture.pcap> [--metrics] [--trace <out.json>]\n"
       "  iotx study --out <dir> [--paper-scale] [--devices a,b,c] [--no-vpn]\n"
       "             [--jobs N]   (worker threads; default: all hardware\n"
       "                          threads; results identical at any N)\n"
       "             [--impair <profile>]  (inject network impairment;\n"
       "                          see `iotx impair` for the profile names)\n"
+      "             [--metrics]  (per-stage profile.json/profile.txt in\n"
+      "                          the report directory)\n"
+      "             [--trace]    (Chrome trace.json in the report\n"
+      "                          directory; open in Perfetto)\n"
       "  iotx impair <in.pcap> <out.pcap> <profile> [seed]\n"
       "  iotx export-dataset <dir>");
   std::printf("impairment profiles: %s\n",
@@ -124,6 +133,27 @@ int cmd_simulate(int argc, char** argv) {
 
 int cmd_classify(int argc, char** argv) {
   if (argc < 3) return usage();
+  bool metrics = false;
+  std::string trace_path;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  std::unique_ptr<obs::TraceCollector> collector;
+  if (!trace_path.empty()) {
+    collector = std::make_unique<obs::TraceCollector>();
+    collector->install();
+  }
+  if (metrics) {
+    obs::Registry::global().reset();
+    obs::set_metrics_enabled(true);
+  }
+
   faults::CaptureHealth health;
   const auto packets = net::pcap_read_file(argv[2], &health);
   if (!packets) {
@@ -133,11 +163,18 @@ int cmd_classify(int argc, char** argv) {
   // Single-decode pass: the DNS cache and flow table ride one pipeline.
   flow::DnsCache dns;
   flow::FlowTable ftable;
+  flow::InstrumentedSink dns_shim(dns, "dns_cache");
+  flow::InstrumentedSink ftable_shim(ftable, "flow_table");
   flow::IngestPipeline pipeline;
-  pipeline.add_sink(dns);
-  pipeline.add_sink(ftable);
-  pipeline.ingest_all(*packets);
-  pipeline.finish();
+  pipeline.add_sink(metrics ? static_cast<flow::PacketSink&>(dns_shim) : dns);
+  pipeline.add_sink(metrics ? static_cast<flow::PacketSink&>(ftable_shim)
+                            : ftable);
+  {
+    obs::Span span("classify/ingest");
+    pipeline.ingest_all(*packets);
+    pipeline.finish();
+    span.add_bytes_in(pipeline.bytes_seen());
+  }
   health.merge(pipeline.health());
   health.merge(dns.health());
   health.merge(ftable.health());
@@ -186,6 +223,22 @@ int cmd_classify(int argc, char** argv) {
                   static_cast<unsigned long long>(value));
     }
   }
+
+  if (metrics) {
+    faults::record_health_metrics(health);
+    const obs::Registry::Snapshot snap = obs::Registry::global().snapshot();
+    std::printf("\n%s", obs::profile_text(snap).c_str());
+    obs::set_metrics_enabled(false);
+  }
+  if (collector) {
+    collector->uninstall();
+    if (!collector->write(trace_path)) {
+      std::printf("cannot write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s\n", collector->event_count(),
+                trace_path.c_str());
+  }
   return 0;
 }
 
@@ -230,10 +283,16 @@ int cmd_impair(int argc, char** argv) {
 
 int cmd_study(int argc, char** argv) {
   std::string out_dir;
+  bool trace = false;
+  bool metrics = false;
   core::StudyParams params;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     } else if (std::strcmp(argv[i], "--paper-scale") == 0) {
       params = core::StudyParams::paper_scale();
     } else if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
@@ -262,6 +321,18 @@ int cmd_study(int argc, char** argv) {
   }
   if (out_dir.empty()) return usage();
 
+  // Observability setup precedes run() so the campaign's own spans land
+  // in the trace; the report writer's spans ride the same collector.
+  std::unique_ptr<obs::TraceCollector> collector;
+  if (trace) {
+    collector = std::make_unique<obs::TraceCollector>();
+    collector->install();
+  }
+  if (metrics) {
+    obs::Registry::global().reset();
+    obs::set_metrics_enabled(true);
+  }
+
   std::printf("running the measurement campaign (%zu jobs)...\n",
               params.jobs == 0 ? iotx::util::TaskPool::default_thread_count()
                                : params.jobs);
@@ -279,6 +350,34 @@ int cmd_study(int argc, char** argv) {
   }
   std::printf("wrote table2..table11/figure2/pii/robustness JSON to %s\n",
               out_dir.c_str());
+
+  if (metrics) {
+    const obs::Registry::Snapshot snap = obs::Registry::global().snapshot();
+    const auto write_file = [&out_dir](const char* name,
+                                       const std::string& content) {
+      std::ofstream out(out_dir + "/" + name, std::ios::binary);
+      out << content << '\n';
+      return out.good();
+    };
+    if (!write_file("profile.json", obs::profile_json(snap)) ||
+        !write_file("profile.txt", obs::profile_text(snap))) {
+      std::printf("cannot write profile to %s\n", out_dir.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu metrics to %s/profile.{json,txt}\n",
+                snap.metrics.size(), out_dir.c_str());
+    obs::set_metrics_enabled(false);
+  }
+  if (collector) {
+    collector->uninstall();
+    const std::string trace_file = out_dir + "/trace.json";
+    if (!collector->write(trace_file)) {
+      std::printf("cannot write %s\n", trace_file.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace events to %s (open in ui.perfetto.dev)\n",
+                collector->event_count(), trace_file.c_str());
+  }
   return 0;
 }
 

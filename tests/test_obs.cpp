@@ -1,0 +1,330 @@
+// Observability-layer tests (ISSUE: obs registry + trace spans):
+//  - registry basics and shard-merge determinism,
+//  - Study-level fingerprint identity at jobs=1 vs jobs=4,
+//  - span nesting/ordering in the Chrome trace JSON,
+//  - TaskPool cross-thread context propagation ("parent" arg),
+//  - zero allocations when observability is off,
+//  - headline tables byte-identical with observability on vs off.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "iotx/core/study.hpp"
+#include "iotx/obs/profile.hpp"
+#include "iotx/obs/registry.hpp"
+#include "iotx/obs/trace.hpp"
+#include "iotx/report/report.hpp"
+#include "iotx/util/task_pool.hpp"
+
+// Global allocation counter for the zero-allocation test. Counting is
+// switched on only inside that test so the rest of the binary pays one
+// relaxed load per new.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<bool> g_count_allocations{false};
+
+void note_allocation() noexcept {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  note_allocation();
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  note_allocation();
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace iotx;
+
+// This binary owns its collectors and registry state: when CI forces
+// observability on for the whole suite (IOTX_OBS=trace,metrics), detach
+// the env-installed collector and switch metrics off up front so the
+// install/enable choreography under test starts from the default state.
+class DetachEnvObservability : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    if (obs::tracing_active()) obs::trace_collector()->uninstall();
+    obs::set_metrics_enabled(false);
+    obs::Registry::global().reset();
+  }
+};
+const auto* const g_detach_env =
+    ::testing::AddGlobalTestEnvironment(new DetachEnvObservability);
+
+core::StudyParams tiny_params(std::size_t jobs) {
+  core::StudyParams params;
+  params.device_filter = {"tplink_plug", "echo_dot"};
+  params.run_vpn = false;
+  params.run_uncontrolled = false;
+  params.jobs = jobs;
+  return params;
+}
+
+TEST(ObsRegistry, CounterMaxHistogramBasics) {
+  obs::Registry registry;
+  const auto c = registry.counter("t/count");
+  const auto m = registry.maximum("t/max");
+  const auto h = registry.histogram("t/hist");
+  registry.add(c, 3);
+  registry.add(c, 4);
+  registry.add(m, 10);
+  registry.add(m, 7);
+  registry.add(h, 1);
+  registry.add(h, 1024);
+
+  const obs::Registry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 3u);
+  const auto* count = snap.find("t/count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->value, 7u);
+  const auto* max = snap.find("t/max");
+  ASSERT_NE(max, nullptr);
+  EXPECT_EQ(max->value, 10u);
+  const auto* hist = snap.find("t/hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2u);
+  EXPECT_EQ(hist->sum, 1025u);
+  EXPECT_EQ(hist->max, 1024u);
+  // bit_width(1) == 1, bit_width(1024) == 11.
+  EXPECT_EQ(hist->buckets[1], 1u);
+  EXPECT_EQ(hist->buckets[11], 1u);
+  EXPECT_EQ(snap.find("t/absent"), nullptr);
+}
+
+TEST(ObsRegistry, InternIsIdempotentAndKindChecked) {
+  obs::Registry registry;
+  const auto a = registry.counter("same/name");
+  const auto b = registry.counter("same/name");
+  EXPECT_EQ(a, b);
+  EXPECT_THROW(registry.histogram("same/name"), std::logic_error);
+}
+
+TEST(ObsRegistry, ShardMergeIsDeterministicAcrossThreads) {
+  const auto fill = [](obs::Registry& registry, int worker) {
+    const auto c = registry.counter("t/count");
+    const auto m = registry.maximum("t/max");
+    const auto h = registry.histogram("t/hist");
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      registry.add(c, i);
+      registry.add(m, static_cast<std::uint64_t>(worker) * 1000 + i);
+      registry.add(h, i + 1);
+    }
+  };
+
+  obs::Registry serial;
+  for (int worker = 0; worker < 4; ++worker) fill(serial, worker);
+
+  obs::Registry sharded;
+  std::vector<std::thread> threads;
+  for (int worker = 0; worker < 4; ++worker) {
+    threads.emplace_back([&sharded, worker, &fill] { fill(sharded, worker); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(serial.snapshot().fingerprint(), sharded.snapshot().fingerprint());
+}
+
+TEST(ObsRegistry, StudyFingerprintIdenticalAtAnyJobCount) {
+  obs::Registry& registry = obs::Registry::global();
+
+  registry.reset();
+  obs::set_metrics_enabled(true);
+  core::Study serial(tiny_params(1));
+  serial.run();
+  const std::string fp_serial = registry.snapshot().fingerprint();
+
+  registry.reset();
+  core::Study pooled(tiny_params(4));
+  pooled.run();
+  const std::string fp_pooled = registry.snapshot().fingerprint();
+  obs::set_metrics_enabled(false);
+  registry.reset();
+
+  EXPECT_FALSE(fp_serial.empty());
+  EXPECT_EQ(fp_serial, fp_pooled);
+}
+
+TEST(ObsRegistry, ProfileReportNamesEveryStage) {
+  obs::Registry& registry = obs::Registry::global();
+  registry.reset();
+  obs::set_metrics_enabled(true);
+  core::Study study(tiny_params(2));
+  study.run();
+  obs::set_metrics_enabled(false);
+
+  const obs::Registry::Snapshot snap = registry.snapshot();
+  const std::vector<obs::StageProfile> stages = obs::build_stage_profiles(snap);
+  registry.reset();
+
+  const auto stage_calls = [&stages](std::string_view name) -> std::uint64_t {
+    for (const obs::StageProfile& s : stages) {
+      if (s.stage == name) return s.calls;
+    }
+    return 0;
+  };
+  // 2 devices x 2 labs = 4 runs.
+  EXPECT_EQ(stage_calls("study/device_run"), 4u);
+  EXPECT_EQ(stage_calls("study/experiments"), 4u);
+  EXPECT_EQ(stage_calls("study/train"), 4u);
+  EXPECT_EQ(stage_calls("study/run"), 1u);
+  EXPECT_GT(stage_calls("study/ingest"), 4u);
+  EXPECT_GT(stage_calls("sink:flow_table"), 0u);
+
+  const auto* packets = snap.find("study/packets_ingested");
+  ASSERT_NE(packets, nullptr);
+  EXPECT_EQ(packets->value, study.packets_ingested());
+  const auto* decodes = snap.find("net/decode_packet_calls");
+  ASSERT_NE(decodes, nullptr);
+  // Single-decode invariant, now visible in the registry.
+  EXPECT_EQ(decodes->value, study.packets_ingested());
+
+  const std::string json = obs::profile_json(snap);
+  EXPECT_NE(json.find("\"section\":\"profile\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\":\"study/ingest\""), std::string::npos);
+  const std::string text = obs::profile_text(snap);
+  EXPECT_NE(text.find("study/device_run"), std::string::npos);
+}
+
+// Crude field extraction from the trace JSON: the writer emits
+// {"name":"...","cat":...,"ph":"X","ts":T,"dur":D,...} in fixed order.
+double event_field(const std::string& json, const std::string& name,
+                   const std::string& field) {
+  const std::size_t at = json.find("\"name\":\"" + name + "\"");
+  if (at == std::string::npos) return -1.0;
+  const std::size_t f = json.find("\"" + field + "\":", at);
+  if (f == std::string::npos) return -1.0;
+  return std::atof(json.c_str() + f + field.size() + 3);
+}
+
+TEST(ObsTrace, SpanNestingAndOrdering) {
+  obs::TraceCollector collector;
+  collector.install();
+  {
+    obs::Span outer("test/outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      obs::Span inner("test/inner", "\"k\":1");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  collector.uninstall();
+
+  EXPECT_EQ(collector.event_count(), 2u);
+  const std::string json = collector.trace_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"k\":1}"), std::string::npos);
+
+  // Events are sorted by start time: outer first.
+  EXPECT_LT(json.find("\"name\":\"test/outer\""),
+            json.find("\"name\":\"test/inner\""));
+
+  // Time containment (ts in microseconds): the inner span nests within
+  // the outer one, which is how Perfetto stacks same-tid events.
+  const double outer_ts = event_field(json, "test/outer", "ts");
+  const double outer_dur = event_field(json, "test/outer", "dur");
+  const double inner_ts = event_field(json, "test/inner", "ts");
+  const double inner_dur = event_field(json, "test/inner", "dur");
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_ts + inner_dur, outer_ts + outer_dur);
+  EXPECT_GE(inner_dur, 1000.0);   // slept >= 2 ms
+  EXPECT_GT(outer_dur, inner_dur);
+}
+
+TEST(ObsTrace, TaskPoolPropagatesSubmitterContext) {
+  obs::TraceCollector collector;
+  collector.install();
+  util::TaskPool pool(2);
+  {
+    obs::Span outer("test/submitter");
+    pool.submit([] {
+       obs::Span worker_span("test/worker");
+       std::this_thread::sleep_for(std::chrono::milliseconds(1));
+     }).get();
+  }
+  collector.uninstall();
+
+  const std::string json = collector.trace_json();
+  // The worker-root span records its submitter's innermost span name.
+  const std::size_t at = json.find("\"name\":\"test/worker\"");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_NE(json.find("\"parent\":\"test/submitter\"", at),
+            std::string::npos);
+}
+
+TEST(ObsTrace, SecondCollectorInstallThrows) {
+  obs::TraceCollector first;
+  first.install();
+  obs::TraceCollector second;
+  EXPECT_THROW(second.install(), std::logic_error);
+  first.uninstall();
+}
+
+TEST(ObsDisabled, SpanIsZeroAllocation) {
+  obs::set_metrics_enabled(false);
+  ASSERT_FALSE(obs::metrics_enabled());
+  ASSERT_FALSE(obs::tracing_active());
+
+  g_count_allocations.store(true, std::memory_order_relaxed);
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    obs::Span span("test/disabled");
+    span.add_bytes_in(17);
+    span.add_bytes_out(5);
+    span.note_peak_bytes(1);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  g_count_allocations.store(false, std::memory_order_relaxed);
+
+  EXPECT_EQ(before, after);
+}
+
+TEST(ObsGolden, TablesByteIdenticalWithObservabilityOn) {
+  core::Study plain(tiny_params(2));
+  plain.run();
+  const std::string table2_plain = report::table2_json(plain);
+  const std::string table8_plain = report::table8_json(plain);
+
+  obs::TraceCollector collector;
+  collector.install();
+  obs::Registry::global().reset();
+  obs::set_metrics_enabled(true);
+  core::Study observed(tiny_params(2));
+  observed.run();
+  obs::set_metrics_enabled(false);
+  collector.uninstall();
+  obs::Registry::global().reset();
+
+  // Full observability must not perturb a single headline value.
+  EXPECT_EQ(table2_plain, report::table2_json(observed));
+  EXPECT_EQ(table8_plain, report::table8_json(observed));
+  EXPECT_GT(collector.event_count(), 0u);
+
+  const auto* p = plain.result_for("us", "tplink_plug");
+  const auto* o = observed.result_for("us", "tplink_plug");
+  ASSERT_NE(p, nullptr);
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(p->enc_total.encrypted, o->enc_total.encrypted);
+  EXPECT_EQ(p->model.validation.macro_f1, o->model.validation.macro_f1);
+}
+
+}  // namespace
