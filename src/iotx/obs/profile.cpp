@@ -97,7 +97,10 @@ std::vector<StageProfile> build_stage_profiles(
 
 std::string profile_json(const Registry::Snapshot& snap) {
   std::string out = "{\"section\":\"profile\",\"stages\":[";
-  char buf[64];
+  // Worst case: ",\"count\":...,\"sum\":...,\"max\":..." with three
+  // 20-digit uint64 values is ~84 bytes — 64 would truncate into
+  // malformed JSON.
+  char buf[128];
   bool first = true;
   for (const StageProfile& s : build_stage_profiles(snap)) {
     if (!first) out += ',';

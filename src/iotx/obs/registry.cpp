@@ -57,7 +57,15 @@ Registry::MetricId pack_id(std::size_t slot, MetricKind kind) {
                                          static_cast<std::size_t>(kind));
 }
 
+// Epochs start at 1 so a zero-initialized TLS cache never matches.
+std::uint64_t next_epoch() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 }  // namespace
+
+Registry::Registry() : epoch_(next_epoch()) {}
 
 Registry::MetricId Registry::intern(std::string_view name, MetricKind kind,
                                     bool deterministic) {
@@ -98,21 +106,23 @@ Registry::MetricId Registry::histogram(std::string_view name,
 }
 
 Registry::Shard& Registry::local_shard() {
-  // One cached (registry, epoch, shard) triple per thread: the fast path
-  // is two loads and a compare. reset() bumps the epoch, invalidating
-  // every thread's cache without touching their storage.
+  // One cached (epoch, shard) pair per thread: the fast path is one load
+  // and a compare. reset() moves the registry to a fresh epoch,
+  // invalidating every thread's cache without touching their storage.
+  // Epochs are process-globally unique, never per-instance — a cached
+  // epoch from a destroyed registry can never match a new registry that
+  // recycled its address.
   struct TlsRef {
-    const Registry* registry = nullptr;
     std::uint64_t epoch = 0;
     Shard* shard = nullptr;
   };
   thread_local TlsRef tls;
   const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
-  if (tls.registry == this && tls.epoch == epoch) return *tls.shard;
+  if (tls.epoch == epoch) return *tls.shard;
 
   std::lock_guard<std::mutex> lock(mu_);
   shards_.push_back(std::make_unique<Shard>());
-  tls = TlsRef{this, epoch, shards_.back().get()};
+  tls = TlsRef{epoch, shards_.back().get()};
   return *tls.shard;
 }
 
@@ -192,7 +202,7 @@ void Registry::reset() {
   metrics_.clear();
   shards_.clear();
   next_slot_ = 0;
-  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.store(next_epoch(), std::memory_order_release);
 }
 
 Registry& Registry::global() {

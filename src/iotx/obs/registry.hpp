@@ -57,7 +57,7 @@ class Registry {
   /// mutex once, every record after that is lock-free.
   using MetricId = std::uint32_t;
 
-  Registry() = default;
+  Registry();
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
@@ -145,8 +145,11 @@ class Registry {
   std::vector<MetricInfo> metrics_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t next_slot_ = 0;
-  // Bumped by reset() so cached thread-local shard pointers re-acquire.
-  std::atomic<std::uint64_t> epoch_{1};
+  // Drawn from a process-global monotonic counter at construction and on
+  // every reset(), so cached thread-local shard pointers re-acquire —
+  // and so no two registry instances (e.g. sequential stack registries
+  // recycling an address) can ever share an epoch value.
+  std::atomic<std::uint64_t> epoch_;
 };
 
 }  // namespace iotx::obs

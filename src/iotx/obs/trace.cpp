@@ -18,6 +18,13 @@ namespace {
 
 std::atomic<TraceCollector*> g_collector{nullptr};
 
+// Monotonic collector ids start at 1 so a zero-initialized TLS cache
+// never matches a live collector.
+std::uint64_t next_collector_id() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 std::uint64_t steady_ns() noexcept {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -38,7 +45,11 @@ struct EnvTrace {
     const char* env = std::getenv("IOTX_OBS");
     if (env == nullptr || std::strstr(env, "trace") == nullptr) return;
     static TraceCollector* collector = new TraceCollector;
-    collector->install();
+    // try_install, not install: this hook runs lazily from
+    // tracing_active(), which noexcept Span paths reach — if a CLI
+    // collector already holds the slot, defer to it instead of
+    // throwing into std::terminate.
+    if (!collector->try_install()) return;
     if (std::getenv("IOTX_TRACE_FILE") != nullptr) {
       std::atexit([] {
         static TraceCollector* c = g_collector.load(std::memory_order_acquire);
@@ -72,19 +83,25 @@ TraceCollector* trace_collector() noexcept {
 // builds a TraceCollector while the ensure_env_trace() static guard is
 // held, so re-entering from this constructor deadlocks at startup when
 // IOTX_OBS=trace is set. tracing_active() runs the env hook instead.
-TraceCollector::TraceCollector() = default;
+TraceCollector::TraceCollector() : instance_id_(next_collector_id()) {}
 
 TraceCollector::~TraceCollector() { uninstall(); }
 
 void TraceCollector::install() {
+  if (!try_install()) {
+    throw std::logic_error("obs::TraceCollector: another collector is installed");
+  }
+}
+
+bool TraceCollector::try_install() noexcept {
   TraceCollector* expected = nullptr;
   origin_ns_ = steady_ns();
   if (!g_collector.compare_exchange_strong(expected, this,
                                            std::memory_order_acq_rel)) {
-    if (expected == this) return;
-    throw std::logic_error("obs::TraceCollector: another collector is installed");
+    return expected == this;
   }
   installed_ = true;
+  return true;
 }
 
 void TraceCollector::uninstall() noexcept {
@@ -95,16 +112,20 @@ void TraceCollector::uninstall() noexcept {
 }
 
 TraceCollector::ThreadBuffer& TraceCollector::local_buffer() {
+  // Keyed on the collector's globally unique instance id, not its
+  // address: sequential collectors often reuse the same stack slot, and
+  // an address-keyed cache would hand back a ThreadBuffer owned by the
+  // destroyed predecessor (use-after-free).
   struct TlsRef {
-    const TraceCollector* collector = nullptr;
+    std::uint64_t collector_id = 0;
     ThreadBuffer* buffer = nullptr;
   };
   thread_local TlsRef tls;
-  if (tls.collector == this) return *tls.buffer;
+  if (tls.collector_id == instance_id_) return *tls.buffer;
   std::lock_guard<std::mutex> lock(mu_);
   buffers_.push_back(std::make_unique<ThreadBuffer>());
   buffers_.back()->tid = static_cast<std::uint32_t>(buffers_.size());
-  tls = TlsRef{this, buffers_.back().get()};
+  tls = TlsRef{instance_id_, buffers_.back().get()};
   return *tls.buffer;
 }
 

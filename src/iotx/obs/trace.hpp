@@ -52,6 +52,12 @@ class TraceCollector {
   /// Throws std::logic_error if another collector is installed.
   void install();
 
+  /// install() that tolerates an occupied slot: returns true when this
+  /// collector is now (or already was) the installed one, false when a
+  /// different collector holds the slot. Never throws — safe from the
+  /// lazy IOTX_OBS env hook, which runs inside noexcept span paths.
+  bool try_install() noexcept;
+
   /// Stops recording (spans still open keep their buffers valid: the
   /// collector outlives the uninstall, events landing after it are kept).
   void uninstall() noexcept;
@@ -91,6 +97,10 @@ class TraceCollector {
   mutable std::mutex mu_;  // guards buffers_ (creation + snapshot)
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::uint64_t origin_ns_ = 0;  ///< steady-clock epoch of install()
+  // Process-globally unique (assigned in the constructor, never reused),
+  // so a thread-local buffer cache keyed on it can never match a new
+  // collector allocated at a destroyed collector's address.
+  std::uint64_t instance_id_ = 0;
   bool installed_ = false;
 };
 

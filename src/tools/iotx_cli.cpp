@@ -144,10 +144,19 @@ int cmd_classify(int argc, char** argv) {
       return usage();
     }
   }
-  std::unique_ptr<obs::TraceCollector> collector;
+  // IOTX_OBS=trace installs a process-lifetime collector before argv
+  // parsing matters; reuse it rather than installing a second one
+  // (install() would throw, or the env hook would lose the slot race).
+  std::unique_ptr<obs::TraceCollector> owned_collector;
+  obs::TraceCollector* collector = nullptr;
   if (!trace_path.empty()) {
-    collector = std::make_unique<obs::TraceCollector>();
-    collector->install();
+    if (obs::tracing_active()) {
+      collector = obs::trace_collector();
+    } else {
+      owned_collector = std::make_unique<obs::TraceCollector>();
+      owned_collector->install();
+      collector = owned_collector.get();
+    }
   }
   if (metrics) {
     obs::Registry::global().reset();
@@ -231,7 +240,9 @@ int cmd_classify(int argc, char** argv) {
     obs::set_metrics_enabled(false);
   }
   if (collector) {
-    collector->uninstall();
+    // Only uninstall a collector this command owns; an env-installed one
+    // stays live for the rest of the process.
+    if (owned_collector) owned_collector->uninstall();
     if (!collector->write(trace_path)) {
       std::printf("cannot write trace to %s\n", trace_path.c_str());
       return 1;
@@ -323,10 +334,18 @@ int cmd_study(int argc, char** argv) {
 
   // Observability setup precedes run() so the campaign's own spans land
   // in the trace; the report writer's spans ride the same collector.
-  std::unique_ptr<obs::TraceCollector> collector;
+  // With IOTX_OBS=trace in the environment a collector is already
+  // installed — reuse it instead of double-installing.
+  std::unique_ptr<obs::TraceCollector> owned_collector;
+  obs::TraceCollector* collector = nullptr;
   if (trace) {
-    collector = std::make_unique<obs::TraceCollector>();
-    collector->install();
+    if (obs::tracing_active()) {
+      collector = obs::trace_collector();
+    } else {
+      owned_collector = std::make_unique<obs::TraceCollector>();
+      owned_collector->install();
+      collector = owned_collector.get();
+    }
   }
   if (metrics) {
     obs::Registry::global().reset();
@@ -369,7 +388,7 @@ int cmd_study(int argc, char** argv) {
     obs::set_metrics_enabled(false);
   }
   if (collector) {
-    collector->uninstall();
+    if (owned_collector) owned_collector->uninstall();
     const std::string trace_file = out_dir + "/trace.json";
     if (!collector->write(trace_file)) {
       std::printf("cannot write %s\n", trace_file.c_str());

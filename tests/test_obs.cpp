@@ -46,10 +46,27 @@ void* operator new[](std::size_t size) {
   if (void* p = std::malloc(size > 0 ? size : 1)) return p;
   throw std::bad_alloc();
 }
+// The nothrow forms must be replaced too (std::stable_sort's temporary
+// buffer uses them): mixing the default nothrow new with the malloc-based
+// delete below is an alloc-dealloc mismatch under ASan.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  note_allocation();
+  return std::malloc(size > 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  note_allocation();
+  return std::malloc(size > 0 ? size : 1);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -141,6 +158,21 @@ TEST(ObsRegistry, ShardMergeIsDeterministicAcrossThreads) {
   for (std::thread& t : threads) t.join();
 
   EXPECT_EQ(serial.snapshot().fingerprint(), sharded.snapshot().fingerprint());
+}
+
+TEST(ObsRegistry, SequentialRegistriesDoNotShareShards) {
+  // Each iteration's registry reuses the previous one's stack address.
+  // The thread-local shard cache must miss anyway (epochs are globally
+  // unique), or round 2's add() lands in round 1's freed shard.
+  for (int round = 0; round < 3; ++round) {
+    obs::Registry registry;
+    const auto c = registry.counter("t/seq");
+    registry.add(c, 1);
+    const obs::Registry::Snapshot snap = registry.snapshot();
+    const auto* m = snap.find("t/seq");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->value, 1u) << "round " << round;
+  }
 }
 
 TEST(ObsRegistry, StudyFingerprintIdenticalAtAnyJobCount) {
@@ -277,6 +309,30 @@ TEST(ObsTrace, SecondCollectorInstallThrows) {
   obs::TraceCollector second;
   EXPECT_THROW(second.install(), std::logic_error);
   first.uninstall();
+}
+
+TEST(ObsTrace, TryInstallToleratesOccupiedSlot) {
+  obs::TraceCollector first;
+  EXPECT_TRUE(first.try_install());
+  EXPECT_TRUE(first.try_install());  // idempotent for the holder
+  obs::TraceCollector second;
+  EXPECT_FALSE(second.try_install());
+  first.uninstall();
+  EXPECT_TRUE(second.try_install());
+  second.uninstall();
+}
+
+TEST(ObsTrace, SequentialCollectorsDoNotShareThreadBuffers) {
+  // Each iteration's collector reuses the previous one's stack address.
+  // The thread-local buffer cache is keyed on a globally unique instance
+  // id, so later rounds must not record into a freed predecessor buffer.
+  for (int round = 0; round < 3; ++round) {
+    obs::TraceCollector collector;
+    collector.install();
+    { obs::Span span("test/sequential"); }
+    collector.uninstall();
+    EXPECT_EQ(collector.event_count(), 1u) << "round " << round;
+  }
 }
 
 TEST(ObsDisabled, SpanIsZeroAllocation) {
