@@ -1,0 +1,122 @@
+// Artifact-cache bench: the same small campaign run cold (empty cache
+// directory, every stage computed and stored) and then warm (every
+// stage loaded). Emits a JSON document with both wall times, the
+// speedup, the warm run's hit/miss counters, and whether the rendered
+// tables are byte-identical across the two runs — the property the
+// cache must preserve. CI gates on hit_rate >= 0.95 and speedup >= 3
+// (scripts/check_cache_bench.py).
+//
+// Usage: cache_warm_vs_cold [cache_dir]   (default: cache_bench.artifacts;
+// the directory is removed first so the cold run really is cold)
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common.hpp"
+#include "iotx/report/report.hpp"
+
+namespace {
+
+using namespace iotx;
+using Clock = std::chrono::steady_clock;
+
+core::StudyParams campaign_params(const std::string& cache_dir) {
+  core::StudyParams params;
+  params.plan = testbed::SchedulePlan{/*automated_reps=*/4, /*manual_reps=*/2,
+                                      /*power_reps=*/2, /*idle_hours=*/0.1};
+  params.inference.validation.forest.n_trees = 8;
+  params.inference.validation.repetitions = 2;
+  params.device_filter = {"ring_doorbell", "tplink_plug", "echo_dot",
+                          "samsung_tv"};
+  // The uncontrolled user study is outside the cached stages; excluding
+  // it keeps the bench a pure cold-vs-warm comparison.
+  params.run_uncontrolled = false;
+  params.cache_dir = cache_dir;
+  return params;
+}
+
+/// Every table/figure document concatenated — the byte-identity oracle.
+std::string all_tables(const core::Study& study) {
+  std::string out;
+  out += report::table2_json(study);
+  out += report::table3_json(study);
+  out += report::table4_json(study);
+  out += report::figure2_json(study);
+  out += report::table5_json(study);
+  out += report::table6_json(study);
+  out += report::table7_json(study);
+  out += report::table8_json(study);
+  out += report::table9_json(study);
+  out += report::table10_json(study);
+  out += report::table11_json(study);
+  out += report::pii_json(study);
+  return out;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  std::string tables;
+  cache::ArtifactStoreStats stats;
+  std::size_t experiments = 0;
+};
+
+RunResult run_once(const core::StudyParams& params) {
+  RunResult r;
+  core::Study study(params);
+  const auto t0 = Clock::now();
+  study.run();
+  r.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.tables = all_tables(study);
+  r.stats = study.cache_stats();
+  r.experiments = study.experiments_run();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string cache_dir =
+      argc > 1 ? argv[1] : std::string("cache_bench.artifacts");
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);  // guarantee a cold start
+
+  const core::StudyParams params = campaign_params(cache_dir);
+  std::fprintf(stderr, "[iotx-bench] cold run (cache at %s)...\n",
+               cache_dir.c_str());
+  const RunResult cold = run_once(params);
+  std::fprintf(stderr, "[iotx-bench] warm run...\n");
+  const RunResult warm = run_once(params);
+
+  const double speedup =
+      warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0;
+  const bool identical = cold.tables == warm.tables;
+  const bool experiments_match = cold.experiments == warm.experiments;
+
+  bench::JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", bench::kBenchSchemaVersion);
+  w.field("bench", "cache_warm_vs_cold");
+  w.field("cold_seconds", cold.seconds, 6);
+  w.field("warm_seconds", warm.seconds, 6);
+  w.field("speedup", speedup, 2);
+  w.field("experiments", static_cast<std::uint64_t>(cold.experiments));
+  w.field("experiments_match", experiments_match);
+  w.field("tables_identical", identical);
+  w.key("cold").begin_object();
+  w.field("hits", cold.stats.hits);
+  w.field("misses", cold.stats.misses);
+  w.field("stores", cold.stats.stores);
+  w.field("bytes_written", cold.stats.bytes_written);
+  w.end_object();
+  w.key("warm").begin_object();
+  w.field("hits", warm.stats.hits);
+  w.field("misses", warm.stats.misses);
+  w.field("hit_rate", warm.stats.hit_rate(), 4);
+  w.field("corrupt", warm.stats.corrupt);
+  w.field("bytes_read", warm.stats.bytes_read);
+  w.end_object();
+  w.end_object();
+  std::printf("%s\n", w.document().c_str());
+  return identical && experiments_match ? 0 : 1;
+}

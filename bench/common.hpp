@@ -19,6 +19,12 @@
 
 namespace iotx::bench {
 
+/// Stamped as the leading `schema_version` field of every bench JSON
+/// document. scripts/check_ingest_baseline.py (and the cache-bench gate)
+/// refuse to compare documents whose versions differ, so a shape change
+/// here must bump the constant and refresh the checked-in baselines.
+inline constexpr std::uint64_t kBenchSchemaVersion = 1;
+
 /// Minimal JSON emitter shared by the bench binaries — replaces the
 /// per-bench printf JSON that drifted out of sync. String escaping rides
 /// obs::json_escape (the same rules the trace/profile writers use), so a

@@ -1,9 +1,11 @@
-// Ingest-throughput bench: legacy one-decode-pass-per-consumer vs the
-// shared single-decode IngestPipeline, over the same seeded captures and
-// the same four consumers (DNS cache, flow table, traffic-unit meta,
-// client-stream reassembly). Emits a JSON document with packets/sec and
-// peak-capture-bytes for both modes plus the speedup, so CI can publish
-// the numbers as an artifact and regressions are diffable.
+// Ingest-throughput bench: one-decode-pass-per-consumer (four
+// single-sink pipelines, the shape the removed vector entry points
+// imposed) vs the shared single-decode IngestPipeline, over the same
+// seeded captures and the same four consumers (DNS cache, flow table,
+// traffic-unit meta, client-stream reassembly). Emits a JSON document
+// with packets/sec and peak-capture-bytes for both modes plus the
+// speedup, so CI can publish the numbers as an artifact and regressions
+// are diffable.
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -67,9 +69,21 @@ std::vector<std::vector<net::Packet>> make_captures() {
   return captures;
 }
 
-/// Legacy baseline: each consumer walks and decodes every capture alone,
-/// and — as the pre-pipeline Study::run_device did — every capture's raw
-/// packet buffers stay resident until the last pass is done.
+/// Runs one sink through its own single-sink pipeline — one full decode
+/// pass over the capture, the cost shape the removed vector entry points
+/// (ingest_all / assemble_flows / extract_meta / reassemble_client_stream)
+/// used to impose.
+void single_sink_pass(const std::vector<net::Packet>& capture,
+                      flow::PacketSink& sink) {
+  flow::IngestPipeline pipeline;
+  pipeline.add_sink(sink);
+  pipeline.ingest_all(capture);
+  pipeline.finish();
+}
+
+/// Multipass baseline: each consumer walks and decodes every capture
+/// alone, and — as the pre-pipeline Study::run_device did — every
+/// capture's raw packet buffers stay resident until the last pass is done.
 ModeStats run_legacy(const std::vector<std::vector<net::Packet>>& captures,
                      const net::MacAddress& mac) {
   ModeStats stats;
@@ -77,16 +91,17 @@ ModeStats run_legacy(const std::vector<std::vector<net::Packet>>& captures,
   const auto t0 = Clock::now();
   for (const std::vector<net::Packet>& capture : captures) {
     flow::DnsCache dns;
-    dns.ingest_all(capture);
-    const std::vector<flow::Flow> flows = flow::assemble_flows(capture);
-    const std::vector<flow::PacketMeta> meta =
-        flow::extract_meta(capture, mac);
-    const std::vector<std::uint8_t> stream =
-        flow::reassemble_client_stream(capture);
+    flow::FlowTable table;
+    flow::MetaCollector collector(mac);
+    flow::ClientStreamSink stream;
+    single_sink_pass(capture, dns);
+    single_sink_pass(capture, table);
+    single_sink_pass(capture, collector);
+    single_sink_pass(capture, stream);
     stats.packets += capture.size();
     // Keep the outputs observable so the work is not optimized away.
-    if (flows.empty() && meta.empty() && stream.empty() &&
-        dns.entries().empty()) {
+    if (table.flows().empty() && collector.meta().empty() &&
+        stream.stream().empty() && dns.entries().empty()) {
       std::fprintf(stderr, "empty capture\n");
     }
     stats.peak_capture_bytes += capture_bytes(capture);  // all resident
@@ -191,6 +206,7 @@ int main() {
       streaming.seconds > 0.0 ? legacy.seconds / streaming.seconds : 0.0;
   bench::JsonWriter w;
   w.begin_object();
+  w.field("schema_version", bench::kBenchSchemaVersion);
   w.field("bench", "ingest_throughput");
   w.field("captures", captures.size());
   mode_object(w, "legacy_multipass", legacy);

@@ -6,6 +6,8 @@
 #include "iotx/analysis/encryption.hpp"
 #include "iotx/analysis/features.hpp"
 #include "iotx/flow/flow_table.hpp"
+#include "iotx/flow/ingest.hpp"
+#include "iotx/flow/traffic_unit.hpp"
 #include "iotx/ml/random_forest.hpp"
 #include "iotx/net/pcap.hpp"
 #include "iotx/proto/dns.hpp"
@@ -17,6 +19,15 @@
 namespace {
 
 using namespace iotx;
+
+std::vector<flow::Flow> flows_of(const std::vector<net::Packet>& capture) {
+  flow::FlowTable table;
+  flow::IngestPipeline pipeline;
+  pipeline.add_sink(table);
+  pipeline.ingest_all(capture);
+  pipeline.finish();
+  return table.flows();
+}
 
 std::vector<net::Packet> sample_capture() {
   static const std::vector<net::Packet> capture = [] {
@@ -117,7 +128,7 @@ BENCHMARK(BM_SniExtraction);
 void BM_FlowAssembly(benchmark::State& state) {
   const auto capture = sample_capture();
   for (auto _ : state) {
-    const auto flows = flow::assemble_flows(capture);
+    const auto flows = flows_of(capture);
     benchmark::DoNotOptimize(flows.size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(
@@ -126,7 +137,7 @@ void BM_FlowAssembly(benchmark::State& state) {
 BENCHMARK(BM_FlowAssembly);
 
 void BM_EncryptionClassification(benchmark::State& state) {
-  const auto flows = flow::assemble_flows(sample_capture());
+  const auto flows = flows_of(sample_capture());
   for (auto _ : state) {
     const auto bytes = analysis::account_flows(flows);
     benchmark::DoNotOptimize(bytes.classified_total());
@@ -151,8 +162,12 @@ BENCHMARK(BM_Entropy)->Range(1 << 10, 1 << 18);
 void BM_FeatureExtraction(benchmark::State& state) {
   const auto capture = sample_capture();
   const auto& device = *testbed::find_device("samsung_tv");
-  const auto meta =
-      flow::extract_meta(capture, testbed::device_mac(device, true));
+  flow::MetaCollector collector(testbed::device_mac(device, true));
+  flow::IngestPipeline meta_pipeline;
+  meta_pipeline.add_sink(collector);
+  meta_pipeline.ingest_all(capture);
+  meta_pipeline.finish();
+  const auto meta = collector.take();
   for (auto _ : state) {
     const auto features = analysis::extract_features(meta);
     benchmark::DoNotOptimize(features.data());

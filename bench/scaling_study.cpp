@@ -79,6 +79,7 @@ int main() {
                          "identical to jobs=1"});
   bench::JsonWriter w;
   w.begin_object();
+  w.field("schema_version", bench::kBenchSchemaVersion);
   w.field("bench", "scaling_study");
   w.field("hardware_threads", hw);
   w.key("runs").begin_array();

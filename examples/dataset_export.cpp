@@ -9,7 +9,22 @@
 #include <filesystem>
 
 #include "iotx/analysis/encryption.hpp"
+#include "iotx/flow/flow_table.hpp"
+#include "iotx/flow/ingest.hpp"
 #include "iotx/testbed/gateway.hpp"
+
+
+// Single-decode idiom: one pipeline per capture, sinks registered up
+// front (flow::IngestPipeline replaced the old per-consumer passes).
+static std::vector<iotx::flow::Flow> flows_of(
+    const std::vector<iotx::net::Packet>& packets) {
+  iotx::flow::FlowTable table;
+  iotx::flow::IngestPipeline pipeline;
+  pipeline.add_sink(table);
+  pipeline.ingest_all(packets);
+  pipeline.finish();
+  return table.flows();
+}
 
 int main(int argc, char** argv) {
   using namespace iotx;
@@ -49,7 +64,7 @@ int main(int argc, char** argv) {
     std::printf("failed to re-read %s\n", sample_path.c_str());
     return 1;
   }
-  const auto flows = flow::assemble_flows(*packets);
+  const auto flows = flows_of(*packets);
   const auto enc = analysis::account_flows(flows);
   std::printf("re-read %s:\n  %zu packets, %zu flows\n", sample_path.c_str(),
               packets->size(), flows.size());

@@ -7,6 +7,8 @@
 
 #include "iotx/analysis/inference.hpp"
 #include "iotx/analysis/unexpected.hpp"
+#include "iotx/flow/ingest.hpp"
+#include "iotx/flow/traffic_unit.hpp"
 #include "iotx/testbed/experiment.hpp"
 
 int main() {
@@ -65,8 +67,12 @@ int main() {
   }
 
   // --- 3. The eavesdropper segments and classifies ----------------------
-  const auto meta =
-      flow::extract_meta(wire, testbed::device_mac(camera, true));
+  flow::MetaCollector observer(testbed::device_mac(camera, true));
+  flow::IngestPipeline tap;  // the eavesdropper's one decode pass
+  tap.add_sink(observer);
+  tap.ingest_all(wire);
+  tap.finish();
+  const auto meta = observer.take();
   std::printf("Captured %zu encrypted packets; reading the household:\n",
               meta.size());
   int correct = 0, total = 0;

@@ -6,7 +6,22 @@
 #include <cstdio>
 
 #include "iotx/analysis/pii.hpp"
+#include "iotx/flow/flow_table.hpp"
+#include "iotx/flow/ingest.hpp"
 #include "iotx/testbed/experiment.hpp"
+
+
+// Single-decode idiom: one pipeline per capture, sinks registered up
+// front (flow::IngestPipeline replaced the old per-consumer passes).
+static std::vector<iotx::flow::Flow> flows_of(
+    const std::vector<iotx::net::Packet>& packets) {
+  iotx::flow::FlowTable table;
+  iotx::flow::IngestPipeline pipeline;
+  pipeline.add_sink(table);
+  pipeline.ingest_all(packets);
+  pipeline.finish();
+  return table.flows();
+}
 
 int main() {
   using namespace iotx;
@@ -42,7 +57,7 @@ int main() {
       for (const auto& spec : runner.schedule(device, config)) {
         if (spec.type == testbed::ExperimentType::kIdle) continue;
         const auto capture = runner.run(spec);
-        const auto flows = flow::assemble_flows(capture.packets);
+        const auto flows = flows_of(capture.packets);
         for (auto& f : scanner.scan(flows)) {
           bool seen = false;
           for (const auto& existing : findings) {

@@ -10,7 +10,22 @@
 #include "iotx/analysis/inference.hpp"
 #include "iotx/core/study.hpp"
 #include "iotx/flow/dns_cache.hpp"
+#include "iotx/flow/flow_table.hpp"
+#include "iotx/flow/ingest.hpp"
 #include "iotx/testbed/experiment.hpp"
+
+
+// Single-decode idiom: one pipeline per capture, sinks registered up
+// front (flow::IngestPipeline replaced the old per-consumer passes).
+static std::vector<iotx::flow::Flow> flows_of(
+    const std::vector<iotx::net::Packet>& packets) {
+  iotx::flow::FlowTable table;
+  iotx::flow::IngestPipeline pipeline;
+  pipeline.add_sink(table);
+  pipeline.ingest_all(packets);
+  pipeline.finish();
+  return table.flows();
+}
 
 int main() {
   using namespace iotx;
@@ -41,9 +56,15 @@ int main() {
   const analysis::AttributionContext ctx =
       helper.attribution_context(config);
 
+  // One streaming pass feeds both consumers (single-decode pipeline).
   flow::DnsCache dns;
-  dns.ingest_all(captures.front().packets);
-  const auto flows = flow::assemble_flows(captures.front().packets);
+  flow::FlowTable table;
+  flow::IngestPipeline pipeline;
+  pipeline.add_sink(dns);
+  pipeline.add_sink(table);
+  pipeline.ingest_all(captures.front().packets);
+  pipeline.finish();
+  const auto flows = table.flows();
   const auto destinations = analysis::attribute_destinations(
       flows, dns, ctx, device->first_party_orgs);
   std::puts("Destinations in the first power experiment:");
@@ -58,7 +79,7 @@ int main() {
   // --- 3. Encryption accounting -----------------------------------------
   analysis::EncryptionBytes enc;
   for (const auto& capture : captures) {
-    enc += analysis::account_flows(flow::assemble_flows(capture.packets));
+    enc += analysis::account_flows(flows_of(capture.packets));
   }
   std::printf(
       "\nEncryption: %.1f%% encrypted, %.1f%% unencrypted, %.1f%% unknown\n",

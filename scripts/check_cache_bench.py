@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Gate the artifact-cache bench (cache_warm_vs_cold JSON).
+
+Usage: check_cache_bench.py <cache_bench.json> [min_hit_rate] [min_speedup]
+
+Checks, in order:
+
+  1. schema_version is present and supported (rejects a document whose
+     shape this gate was not written for).
+  2. tables_identical and experiments_match — the cache's correctness
+     contract: a warm run must reproduce the cold run's tables and
+     counters byte-for-byte.
+  3. warm hit_rate >= min_hit_rate (default 0.95) with zero corrupt
+     artifacts — a warm rerun should load nearly every stage.
+  4. speedup >= min_speedup (default 3.0) — loading artifacts must be
+     substantially cheaper than recomputing; measured cold-vs-warm on
+     the same machine back-to-back, so no cross-machine tolerance is
+     needed.
+"""
+import json
+import sys
+
+SUPPORTED_SCHEMA = 1
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    min_hit_rate = float(sys.argv[2]) if len(sys.argv) > 2 else 0.95
+    min_speedup = float(sys.argv[3]) if len(sys.argv) > 3 else 3.0
+
+    schema = doc.get("schema_version")
+    if schema != SUPPORTED_SCHEMA:
+        print(
+            f"FAIL: unsupported schema_version {schema!r} "
+            f"(this gate understands {SUPPORTED_SCHEMA})",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = []
+
+    print(f"tables_identical: {doc['tables_identical']}")
+    if not doc["tables_identical"]:
+        failures.append("warm run's tables differ from the cold run's")
+    print(f"experiments_match: {doc['experiments_match']}")
+    if not doc["experiments_match"]:
+        failures.append("warm run's experiment count differs")
+
+    warm = doc["warm"]
+    hit_rate = float(warm["hit_rate"])
+    corrupt = int(warm["corrupt"])
+    print(
+        f"warm hit_rate: {hit_rate:.2%} ({warm['hits']} hits / "
+        f"{warm['misses']} misses, {corrupt} corrupt; "
+        f"floor {min_hit_rate:.0%})"
+    )
+    if hit_rate < min_hit_rate:
+        failures.append("warm hit rate below floor")
+    if corrupt != 0:
+        failures.append("warm run saw corrupt artifacts")
+
+    speedup = float(doc["speedup"])
+    print(
+        f"cold-vs-warm speedup: {speedup:.2f}x "
+        f"({float(doc['cold_seconds']):.3f}s -> "
+        f"{float(doc['warm_seconds']):.3f}s; floor {min_speedup:g}x)"
+    )
+    if speedup < min_speedup:
+        failures.append("warm speedup below floor")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

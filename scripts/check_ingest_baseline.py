@@ -3,7 +3,10 @@
 
 Usage: check_ingest_baseline.py <baseline.json> <current.json> [tolerance]
 
-Both files are ingest_throughput bench documents. Absolute packets/sec
+Both files are ingest_throughput bench documents and must agree on
+`schema_version` — a mismatch means the document shape changed without
+refreshing the committed baseline, so the comparison is rejected
+outright rather than risked. Absolute packets/sec
 is machine-dependent (shared CI runners vary well beyond any sane
 tolerance run-to-run), so the gate only checks quantities that are
 relative to the *same run*:
@@ -34,6 +37,16 @@ def main() -> int:
     with open(sys.argv[2]) as f:
         current = json.load(f)
     tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+
+    base_schema = baseline.get("schema_version")
+    cur_schema = current.get("schema_version")
+    if base_schema != cur_schema:
+        print(
+            f"FAIL: schema_version mismatch (baseline {base_schema!r}, "
+            f"current {cur_schema!r}); refresh the committed baseline",
+            file=sys.stderr,
+        )
+        return 1
 
     failures = []
 

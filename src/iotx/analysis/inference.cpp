@@ -69,8 +69,12 @@ ml::Dataset build_dataset(
     }
     const net::MacAddress mac =
         capture.spec.config.lab == testbed::LabSite::kUs ? mac_us : mac_uk;
-    examples.push_back(LabeledMeta{capture.spec.activity,
-                                   flow::extract_meta(capture.packets, mac)});
+    flow::MetaCollector collector(mac);
+    flow::IngestPipeline pipeline;
+    pipeline.add_sink(collector);
+    pipeline.ingest_all(capture.packets);
+    pipeline.finish();
+    examples.push_back(LabeledMeta{capture.spec.activity, collector.take()});
   }
   return build_dataset(examples);
 }

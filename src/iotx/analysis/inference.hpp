@@ -65,7 +65,8 @@ ml::Dataset build_dataset(const std::vector<LabeledMeta>& examples);
 /// Builds the labeled dataset for a device from its experiment captures
 /// (power + interaction only; idle has no labels). Each capture becomes
 /// one example labeled with its activity. Wrapper over the meta-based
-/// overload (one decode pass per capture via flow::extract_meta).
+/// overload (one decode pass per capture via IngestPipeline +
+/// flow::MetaCollector).
 ml::Dataset build_dataset(const testbed::DeviceSpec& device,
                           const std::vector<testbed::LabeledCapture>& captures);
 

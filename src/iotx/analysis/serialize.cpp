@@ -1,0 +1,277 @@
+#include "iotx/analysis/serialize.hpp"
+
+#include "iotx/flow/traffic_unit.hpp"
+
+namespace iotx::analysis {
+
+void write_health(cache::BinWriter& w, const faults::CaptureHealth& h) {
+  w.u64(h.pcap_truncated_tail);
+  w.u64(h.snaplen_clipped_frames);
+  w.u64(h.undecodable_frames);
+  w.u64(h.dns_parse_failures);
+  w.u64(h.tls_parse_failures);
+  w.u64(h.http_parse_failures);
+  w.u64(h.reassembly_dropped_segments);
+  w.u64(h.reassembly_dropped_bytes);
+  w.u64(h.reassembly_overlap_conflicts);
+  w.u64(h.impaired_dropped_packets);
+  w.u64(h.impaired_dropped_bytes);
+  w.u64(h.impaired_duplicated_packets);
+  w.u64(h.impaired_reordered_packets);
+  w.u64(h.impaired_truncated_frames);
+  w.u64(h.impaired_corrupted_frames);
+  w.u64(h.impaired_dns_responses_dropped);
+  w.u64(h.impaired_capture_cutoffs);
+  w.u64(h.cache_corrupt_artifacts);
+}
+
+faults::CaptureHealth read_health(cache::BinReader& r) {
+  faults::CaptureHealth h;
+  h.pcap_truncated_tail = r.u64();
+  h.snaplen_clipped_frames = r.u64();
+  h.undecodable_frames = r.u64();
+  h.dns_parse_failures = r.u64();
+  h.tls_parse_failures = r.u64();
+  h.http_parse_failures = r.u64();
+  h.reassembly_dropped_segments = r.u64();
+  h.reassembly_dropped_bytes = r.u64();
+  h.reassembly_overlap_conflicts = r.u64();
+  h.impaired_dropped_packets = r.u64();
+  h.impaired_dropped_bytes = r.u64();
+  h.impaired_duplicated_packets = r.u64();
+  h.impaired_reordered_packets = r.u64();
+  h.impaired_truncated_frames = r.u64();
+  h.impaired_corrupted_frames = r.u64();
+  h.impaired_dns_responses_dropped = r.u64();
+  h.impaired_capture_cutoffs = r.u64();
+  h.cache_corrupt_artifacts = r.u64();
+  return h;
+}
+
+void write_destinations(cache::BinWriter& w,
+                        const std::vector<DestinationRecord>& records) {
+  w.u64(records.size());
+  for (const DestinationRecord& rec : records) {
+    w.u32(rec.address.value());
+    w.str(rec.domain);
+    w.str(rec.sld);
+    w.str(rec.organization);
+    w.u8(static_cast<std::uint8_t>(rec.party));
+    w.str(rec.country);
+    w.u64(rec.bytes);
+    w.u64(rec.packets);
+  }
+}
+
+std::vector<DestinationRecord> read_destinations(cache::BinReader& r) {
+  std::size_t n = r.length(1);
+  std::vector<DestinationRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DestinationRecord rec;
+    rec.address = net::Ipv4Address(r.u32());
+    rec.domain = r.str();
+    rec.sld = r.str();
+    rec.organization = r.str();
+    std::uint8_t party = r.u8();
+    if (party > static_cast<std::uint8_t>(geo::PartyType::kThird))
+      throw cache::CorruptArtifact("party type out of range");
+    rec.party = static_cast<geo::PartyType>(party);
+    rec.country = r.str();
+    rec.bytes = r.u64();
+    rec.packets = r.u64();
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+namespace {
+
+void write_string_set(cache::BinWriter& w, const std::set<std::string>& set) {
+  w.u64(set.size());
+  for (const std::string& s : set) w.str(s);
+}
+
+std::set<std::string> read_string_set(cache::BinReader& r) {
+  std::size_t n = r.length(1);
+  std::set<std::string> set;
+  for (std::size_t i = 0; i < n; ++i) set.insert(r.str());
+  return set;
+}
+
+}  // namespace
+
+void write_parties_by_group(cache::BinWriter& w,
+                            const std::map<std::string, PartyCounts>& groups) {
+  w.u64(groups.size());
+  for (const auto& [group, counts] : groups) {
+    w.str(group);
+    write_string_set(w, counts.support);
+    write_string_set(w, counts.third);
+  }
+}
+
+std::map<std::string, PartyCounts> read_parties_by_group(cache::BinReader& r) {
+  std::size_t n = r.length(1);
+  std::map<std::string, PartyCounts> groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string group = r.str();
+    PartyCounts counts;
+    counts.support = read_string_set(r);
+    counts.third = read_string_set(r);
+    groups.emplace(std::move(group), std::move(counts));
+  }
+  return groups;
+}
+
+void write_encryption(cache::BinWriter& w, const EncryptionBytes& enc) {
+  w.u64(enc.encrypted);
+  w.u64(enc.unencrypted);
+  w.u64(enc.unknown);
+  w.u64(enc.media);
+}
+
+EncryptionBytes read_encryption(cache::BinReader& r) {
+  EncryptionBytes enc;
+  enc.encrypted = r.u64();
+  enc.unencrypted = r.u64();
+  enc.unknown = r.u64();
+  enc.media = r.u64();
+  return enc;
+}
+
+void write_enc_by_group(cache::BinWriter& w,
+                        const std::map<std::string, EncryptionBytes>& groups) {
+  w.u64(groups.size());
+  for (const auto& [group, enc] : groups) {
+    w.str(group);
+    write_encryption(w, enc);
+  }
+}
+
+std::map<std::string, EncryptionBytes> read_enc_by_group(cache::BinReader& r) {
+  std::size_t n = r.length(1);
+  std::map<std::string, EncryptionBytes> groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string group = r.str();
+    groups.emplace(std::move(group), read_encryption(r));
+  }
+  return groups;
+}
+
+void write_pii_findings(cache::BinWriter& w,
+                        const std::vector<PiiFinding>& findings) {
+  w.u64(findings.size());
+  for (const PiiFinding& f : findings) {
+    w.str(f.kind);
+    w.str(f.encoding);
+    w.str(f.domain);
+    w.u32(f.destination.value());
+  }
+}
+
+std::vector<PiiFinding> read_pii_findings(cache::BinReader& r) {
+  std::size_t n = r.length(1);
+  std::vector<PiiFinding> findings;
+  findings.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PiiFinding f;
+    f.kind = r.str();
+    f.encoding = r.str();
+    f.domain = r.str();
+    f.destination = net::Ipv4Address(r.u32());
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+void write_labeled_meta(cache::BinWriter& w,
+                        const std::vector<LabeledMeta>& examples) {
+  w.u64(examples.size());
+  for (const LabeledMeta& example : examples) {
+    w.str(example.activity);
+    flow::write_meta(w, example.meta);
+  }
+}
+
+std::vector<LabeledMeta> read_labeled_meta(cache::BinReader& r) {
+  std::size_t n = r.length(1);
+  std::vector<LabeledMeta> examples;
+  examples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    LabeledMeta example;
+    example.activity = r.str();
+    example.meta = flow::read_meta(r);
+    examples.push_back(std::move(example));
+  }
+  return examples;
+}
+
+void write_network_config(cache::BinWriter& w,
+                          const testbed::NetworkConfig& config) {
+  w.u8(static_cast<std::uint8_t>(config.lab));
+  w.boolean(config.vpn);
+}
+
+testbed::NetworkConfig read_network_config(cache::BinReader& r) {
+  std::uint8_t lab = r.u8();
+  if (lab > static_cast<std::uint8_t>(testbed::LabSite::kUk))
+    throw cache::CorruptArtifact("lab site out of range");
+  testbed::NetworkConfig config;
+  config.lab = static_cast<testbed::LabSite>(lab);
+  config.vpn = r.boolean();
+  return config;
+}
+
+void write_activity_model(cache::BinWriter& w, const ActivityModel& model) {
+  w.str(model.device_id);
+  write_network_config(w, model.config);
+  model.dataset.save(w);
+  model.forest.save(w);
+  w.u64(model.validation.class_f1.size());
+  for (double f1 : model.validation.class_f1) w.f64(f1);
+  w.f64(model.validation.macro_f1);
+  w.f64(model.validation.accuracy);
+  w.u64(model.validation.repetitions);
+}
+
+ActivityModel read_activity_model(cache::BinReader& r) {
+  ActivityModel model;
+  model.device_id = r.str();
+  model.config = read_network_config(r);
+  model.dataset = ml::Dataset::load(r);
+  model.forest = ml::RandomForest::load(r);
+  std::size_t n_f1 = r.length(8);
+  model.validation.class_f1.reserve(n_f1);
+  for (std::size_t i = 0; i < n_f1; ++i) model.validation.class_f1.push_back(r.f64());
+  model.validation.macro_f1 = r.f64();
+  model.validation.accuracy = r.f64();
+  model.validation.repetitions = static_cast<std::size_t>(r.u64());
+  return model;
+}
+
+void write_idle_detections(cache::BinWriter& w, const IdleDetections& idle) {
+  w.str(idle.device_id);
+  w.u64(idle.instances.size());
+  for (const auto& [activity, count] : idle.instances) {
+    w.str(activity);
+    w.i64(count);
+  }
+  w.u64(idle.units_total);
+  w.u64(idle.units_classified);
+}
+
+IdleDetections read_idle_detections(cache::BinReader& r) {
+  IdleDetections idle;
+  idle.device_id = r.str();
+  std::size_t n = r.length(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string activity = r.str();
+    idle.instances.emplace(std::move(activity), static_cast<int>(r.i64()));
+  }
+  idle.units_total = static_cast<std::size_t>(r.u64());
+  idle.units_classified = static_cast<std::size_t>(r.u64());
+  return idle;
+}
+
+}  // namespace iotx::analysis

@@ -1,0 +1,64 @@
+// Binary (de)serialization of the analysis-layer artifacts that the
+// Study caches per (config, device) stage: mergeable table partials
+// (destinations, party counts, encryption accounting, PII findings),
+// the training meta, the trained activity model, and idle detections.
+//
+// Every double round-trips through its IEEE-754 bits and every map/set
+// is written in its sorted iteration order, so encode() is a canonical
+// byte representation: re-encoding a decoded artifact is byte-identical
+// — the property the warm-vs-cold golden tests and content-addressed
+// stage chaining rely on. All read_* functions throw
+// cache::CorruptArtifact on malformed payloads.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iotx/analysis/destinations.hpp"
+#include "iotx/analysis/encryption.hpp"
+#include "iotx/analysis/inference.hpp"
+#include "iotx/analysis/pii.hpp"
+#include "iotx/analysis/unexpected.hpp"
+#include "iotx/cache/binio.hpp"
+#include "iotx/faults/health.hpp"
+
+namespace iotx::analysis {
+
+void write_health(cache::BinWriter& w, const faults::CaptureHealth& health);
+faults::CaptureHealth read_health(cache::BinReader& r);
+
+void write_destinations(cache::BinWriter& w,
+                        const std::vector<DestinationRecord>& records);
+std::vector<DestinationRecord> read_destinations(cache::BinReader& r);
+
+void write_parties_by_group(cache::BinWriter& w,
+                            const std::map<std::string, PartyCounts>& groups);
+std::map<std::string, PartyCounts> read_parties_by_group(cache::BinReader& r);
+
+void write_encryption(cache::BinWriter& w, const EncryptionBytes& enc);
+EncryptionBytes read_encryption(cache::BinReader& r);
+
+void write_enc_by_group(cache::BinWriter& w,
+                        const std::map<std::string, EncryptionBytes>& groups);
+std::map<std::string, EncryptionBytes> read_enc_by_group(cache::BinReader& r);
+
+void write_pii_findings(cache::BinWriter& w,
+                        const std::vector<PiiFinding>& findings);
+std::vector<PiiFinding> read_pii_findings(cache::BinReader& r);
+
+void write_labeled_meta(cache::BinWriter& w,
+                        const std::vector<LabeledMeta>& examples);
+std::vector<LabeledMeta> read_labeled_meta(cache::BinReader& r);
+
+void write_network_config(cache::BinWriter& w,
+                          const testbed::NetworkConfig& config);
+testbed::NetworkConfig read_network_config(cache::BinReader& r);
+
+void write_activity_model(cache::BinWriter& w, const ActivityModel& model);
+ActivityModel read_activity_model(cache::BinReader& r);
+
+void write_idle_detections(cache::BinWriter& w, const IdleDetections& idle);
+IdleDetections read_idle_detections(cache::BinReader& r);
+
+}  // namespace iotx::analysis

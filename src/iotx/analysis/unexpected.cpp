@@ -11,7 +11,12 @@ std::vector<flow::PacketMeta> meta_of(const testbed::DeviceSpec& device,
                                       const std::vector<net::Packet>& pkts) {
   const net::MacAddress mac =
       testbed::device_mac(device, lab == testbed::LabSite::kUs);
-  return flow::extract_meta(pkts, mac);
+  flow::MetaCollector collector(mac);
+  flow::IngestPipeline pipeline;
+  pipeline.add_sink(collector);
+  pipeline.ingest_all(pkts);
+  pipeline.finish();
+  return collector.take();
 }
 
 }  // namespace

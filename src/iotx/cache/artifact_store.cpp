@@ -1,0 +1,177 @@
+#include "iotx/cache/artifact_store.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "iotx/cache/binio.hpp"
+#include "iotx/obs/registry.hpp"
+
+namespace iotx::cache {
+
+namespace {
+
+constexpr char kMagic[8] = {'I', 'O', 'T', 'X', 'A', 'R', 'T', '1'};
+constexpr std::uint32_t kStoreFormatVersion = 1;
+// magic + format version + payload size + payload SHA-256.
+constexpr std::size_t kHeaderSize = sizeof(kMagic) + 4 + 8 + 32;
+
+}  // namespace
+
+StageKey::StageKey(std::string_view stage, std::string_view code_salt) {
+  append("salt", "", code_salt.data(), code_salt.size());
+  append("stage", "", stage.data(), stage.size());
+}
+
+void StageKey::append(std::string_view tag, std::string_view name, const void* data,
+                      std::size_t len) {
+  // Every component is length-prefixed so field boundaries cannot
+  // alias regardless of content.
+  BinWriter w;
+  w.str(tag);
+  w.str(name);
+  w.u64(len);
+  hasher_.update(w.buffer().data(), w.buffer().size());
+  hasher_.update(data, len);
+}
+
+StageKey& StageKey::field(std::string_view name, std::string_view value) {
+  append("s", name, value.data(), value.size());
+  return *this;
+}
+
+StageKey& StageKey::field(std::string_view name, std::uint64_t value) {
+  BinWriter w;
+  w.u64(value);
+  append("u", name, w.buffer().data(), w.buffer().size());
+  return *this;
+}
+
+StageKey& StageKey::field(std::string_view name, std::int64_t value) {
+  BinWriter w;
+  w.i64(value);
+  append("i", name, w.buffer().data(), w.buffer().size());
+  return *this;
+}
+
+StageKey& StageKey::field(std::string_view name, double value) {
+  BinWriter w;
+  w.f64(value);
+  append("d", name, w.buffer().data(), w.buffer().size());
+  return *this;
+}
+
+StageKey& StageKey::field(std::string_view name, bool value) {
+  BinWriter w;
+  w.boolean(value);
+  append("b", name, w.buffer().data(), w.buffer().size());
+  return *this;
+}
+
+std::string StageKey::hex() const {
+  Sha256 copy = hasher_;
+  return Sha256::hex(copy.finish());
+}
+
+ArtifactStore::ArtifactStore(std::string root) : root_(std::move(root)) {}
+
+std::string ArtifactStore::object_path(const std::string& key_hex) const {
+  return root_ + "/" + key_hex.substr(0, 2) + "/" + key_hex + ".art";
+}
+
+std::optional<ArtifactStore::Loaded> ArtifactStore::load(const std::string& key_hex,
+                                                         faults::CaptureHealth* health) {
+  std::ifstream in(object_path(key_hex), std::ios::binary);
+  if (!in) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> file((std::istreambuf_iterator<char>(in)),
+                                 std::istreambuf_iterator<char>());
+
+  auto corrupt = [&]() -> std::optional<Loaded> {
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (health != nullptr) ++health->cache_corrupt_artifacts;
+    return std::nullopt;
+  };
+
+  if (file.size() < kHeaderSize) return corrupt();
+  if (std::memcmp(file.data(), kMagic, sizeof(kMagic)) != 0) return corrupt();
+  const std::span<const std::uint8_t> whole(file.data(), file.size());
+  BinReader header(whole.subspan(sizeof(kMagic), kHeaderSize - sizeof(kMagic)));
+  std::uint32_t version = header.u32();
+  std::uint64_t payload_size = header.u64();
+  if (version != kStoreFormatVersion) return corrupt();
+  if (payload_size != file.size() - kHeaderSize) return corrupt();
+
+  const std::span<const std::uint8_t> payload = whole.subspan(kHeaderSize);
+  auto digest = Sha256::hash(payload);
+  if (std::memcmp(digest.data(), file.data() + kHeaderSize - 32, 32) != 0) return corrupt();
+
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(file.size(), std::memory_order_relaxed);
+  Loaded loaded;
+  loaded.payload.assign(payload.begin(), payload.end());
+  loaded.content_hex = Sha256::hex(digest);
+  return loaded;
+}
+
+std::string ArtifactStore::store(const std::string& key_hex,
+                                 std::span<const std::uint8_t> payload) {
+  namespace fs = std::filesystem;
+  auto digest = Sha256::hash(payload);
+
+  std::string final_path = object_path(key_hex);
+  fs::create_directories(fs::path(final_path).parent_path());
+
+  // Unique temp name per store call so concurrent workers writing the
+  // same key never interleave; the final rename is atomic on POSIX.
+  static std::atomic<std::uint64_t> temp_serial{0};
+  std::string temp_path = final_path + ".tmp" +
+                          std::to_string(temp_serial.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    BinWriter header;
+    header.raw(kMagic, sizeof(kMagic));
+    header.u32(kStoreFormatVersion);
+    header.u64(payload.size());
+    header.raw(digest.data(), digest.size());
+    out.write(reinterpret_cast<const char*>(header.buffer().data()),
+              static_cast<std::streamsize>(header.buffer().size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+  }
+  std::error_code ec;
+  fs::rename(temp_path, final_path, ec);
+  if (ec) fs::remove(temp_path, ec);
+
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(kHeaderSize + payload.size(), std::memory_order_relaxed);
+  return Sha256::hex(digest);
+}
+
+ArtifactStoreStats ArtifactStore::stats() const {
+  ArtifactStoreStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  s.corrupt = corrupt_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ArtifactStore::publish_metrics() const {
+  if (!obs::metrics_enabled()) return;
+  auto& registry = obs::Registry::global();
+  ArtifactStoreStats s = stats();
+  registry.add(registry.counter("cache/hits"), s.hits);
+  registry.add(registry.counter("cache/misses"), s.misses);
+  registry.add(registry.counter("cache/stores"), s.stores);
+  registry.add(registry.counter("cache/corrupt_artifacts"), s.corrupt);
+  registry.add(registry.counter("cache/bytes_read"), s.bytes_read);
+  registry.add(registry.counter("cache/bytes_written"), s.bytes_written);
+}
+
+}  // namespace iotx::cache

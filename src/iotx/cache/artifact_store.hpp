@@ -1,0 +1,110 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iotx/cache/hash.hpp"
+#include "iotx/faults/health.hpp"
+
+namespace iotx::cache {
+
+// Code-version salt folded into every stage key. Bump whenever the
+// serialized artifact layout or the semantics of a cached stage
+// change, so stale artifacts become misses instead of poisoning runs.
+inline constexpr std::string_view kCodeVersionSalt = "iotx-cache-v1";
+
+// Deterministic cache-key builder: a SHA-256 over labeled,
+// length-prefixed input fields. Labels keep adjacent fields from
+// aliasing ("ab"+"c" vs "a"+"bc"), and every numeric field is hashed
+// as fixed-width little-endian bytes (doubles as IEEE-754 bits), so a
+// key is a pure function of the stage's canonical inputs on any host.
+class StageKey {
+ public:
+  explicit StageKey(std::string_view stage, std::string_view code_salt = kCodeVersionSalt);
+
+  StageKey& field(std::string_view name, std::string_view value);
+  /// Without this overload a string literal would convert to bool.
+  StageKey& field(std::string_view name, const char* value) {
+    return field(name, std::string_view(value));
+  }
+  StageKey& field(std::string_view name, std::uint64_t value);
+  StageKey& field(std::string_view name, std::int64_t value);
+  StageKey& field(std::string_view name, double value);
+  StageKey& field(std::string_view name, bool value);
+
+  // Digest of everything appended so far; does not consume the
+  // builder (more fields may follow, producing a different key).
+  std::string hex() const;
+
+ private:
+  void append(std::string_view tag, std::string_view name, const void* data, std::size_t len);
+
+  Sha256 hasher_;
+};
+
+struct ArtifactStoreStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t corrupt = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  std::uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    return lookups() == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups());
+  }
+};
+
+// Content-addressed on-disk artifact store. Artifacts live at
+// `<root>/<key[0:2]>/<key>.art` where `key` is the 64-hex-digit stage
+// key; each file carries a magic + format version + payload size +
+// payload SHA-256 header so truncation and bit-rot are detected on
+// load and degrade to a recompute (counted in CaptureHealth) rather
+// than crashing or silently corrupting tables. Thread-safe: stores
+// write to a unique temp file and rename into place; counters are
+// atomics.
+class ArtifactStore {
+ public:
+  explicit ArtifactStore(std::string root);
+
+  struct Loaded {
+    std::vector<std::uint8_t> payload;
+    // Hex SHA-256 of the payload — used to chain downstream stage
+    // keys on the *content* of upstream artifacts.
+    std::string content_hex;
+  };
+
+  // nullopt on miss or on a corrupt/truncated artifact (the latter
+  // also bumps `health->cache_corrupt_artifacts` when health is given).
+  std::optional<Loaded> load(const std::string& key_hex,
+                             faults::CaptureHealth* health = nullptr);
+
+  // Persists the payload under the key; returns its content digest.
+  std::string store(const std::string& key_hex, std::span<const std::uint8_t> payload);
+
+  ArtifactStoreStats stats() const;
+  const std::string& root() const { return root_; }
+
+  // Mirrors the current counters into the global obs registry (no-op
+  // when metrics are disabled).
+  void publish_metrics() const;
+
+ private:
+  std::string object_path(const std::string& key_hex) const;
+
+  std::string root_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> corrupt_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+};
+
+}  // namespace iotx::cache

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotx::cache {
+
+// Thrown by BinReader (and by artifact decoders built on it) when a
+// serialized payload is malformed: truncated, over-long length prefix,
+// out-of-range enum, etc. Callers treat it as "cache miss + corrupt
+// artifact", never as a fatal error.
+class CorruptArtifact : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Append-only little-endian binary writer. Doubles are serialized as
+// their IEEE-754 bit pattern so a round-trip is exact — required for
+// the warm-vs-cold byte-identical-tables invariant.
+class BinWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void str(std::string_view s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+
+  void raw(const void* data, std::size_t len) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), bytes, bytes + len);
+  }
+
+  const std::vector<std::uint8_t>& buffer() const { return out_; }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+// Bounds-checked reader over a byte span. Every read that would run
+// past the end throws CorruptArtifact; length prefixes are validated
+// against the remaining byte count *before* any allocation so a
+// corrupted prefix cannot trigger a huge reserve.
+class BinReader {
+ public:
+  explicit BinReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  bool boolean() {
+    std::uint8_t v = u8();
+    if (v > 1) throw CorruptArtifact("boolean byte out of range");
+    return v != 0;
+  }
+
+  std::string str() {
+    std::uint64_t len = u64();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  // Reads an element-count prefix and checks that `count *
+  // min_bytes_per_element` still fits in the remaining payload.
+  std::size_t length(std::size_t min_bytes_per_element) {
+    std::uint64_t n = u64();
+    std::size_t left = remaining();
+    if (min_bytes_per_element == 0) min_bytes_per_element = 1;
+    if (n > left / min_bytes_per_element)
+      throw CorruptArtifact("length prefix exceeds remaining payload");
+    return static_cast<std::size_t>(n);
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > remaining()) throw CorruptArtifact("payload truncated");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace iotx::cache

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace iotx::cache {
+
+// Streaming SHA-256 (FIPS 180-4). Used both for content digests of
+// stored artifact payloads and for deriving stage cache keys from
+// canonical serialized inputs. Copyable: StageKey snapshots the
+// running state to produce a digest without consuming the builder.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const void* data, std::size_t len);
+  void update(std::span<const std::uint8_t> data) { update(data.data(), data.size()); }
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  // Finalizes and returns the digest. Consumes the instance's state;
+  // copy first if more input will follow.
+  std::array<std::uint8_t, 32> finish();
+
+  static std::array<std::uint8_t, 32> hash(std::span<const std::uint8_t> data);
+  static std::string hex(const std::array<std::uint8_t, 32>& digest);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace iotx::cache

@@ -1,0 +1,121 @@
+#include "iotx/core/options.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "iotx/faults/impairment.hpp"
+
+namespace iotx::core {
+
+StudyOptions::ParseResult StudyOptions::parse_shared_flag(int argc,
+                                                          char** argv,
+                                                          int& i) {
+  const char* flag = argv[i];
+  if (std::strcmp(flag, "--jobs") == 0) {
+    if (i + 1 >= argc) {
+      error_ = "--jobs requires a positive integer";
+      return ParseResult::kError;
+    }
+    const int jobs = std::atoi(argv[++i]);
+    if (jobs < 1) {
+      error_ = "--jobs requires a positive integer";
+      return ParseResult::kError;
+    }
+    params_.jobs = static_cast<std::size_t>(jobs);
+    return ParseResult::kConsumed;
+  }
+  if (std::strcmp(flag, "--impair") == 0) {
+    if (i + 1 >= argc) {
+      error_ = "--impair requires a profile name; available: " +
+               faults::profile_names();
+      return ParseResult::kError;
+    }
+    const faults::ImpairmentProfile* profile = faults::find_profile(argv[++i]);
+    if (profile == nullptr) {
+      error_ = "unknown impairment profile '" + std::string(argv[i]) +
+               "'; available: " + faults::profile_names();
+      return ParseResult::kError;
+    }
+    params_.impairment = *profile;
+    return ParseResult::kConsumed;
+  }
+  if (std::strcmp(flag, "--trace") == 0) {
+    trace_ = true;
+    // An optional path follows (classify's `--trace out.json`); a flag
+    // token is the next option instead.
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      trace_path_ = argv[++i];
+    }
+    return ParseResult::kConsumed;
+  }
+  if (std::strcmp(flag, "--metrics") == 0) {
+    metrics_ = true;
+    return ParseResult::kConsumed;
+  }
+  if (std::strcmp(flag, "--cache") == 0) {
+    if (i + 1 >= argc) {
+      error_ = "--cache requires a directory path";
+      return ParseResult::kError;
+    }
+    params_.cache_dir = argv[++i];
+    return ParseResult::kConsumed;
+  }
+  return ParseResult::kNotMine;
+}
+
+StudyOptions& StudyOptions::paper_scale() {
+  const StudyParams scaled = StudyParams::paper_scale();
+  params_.plan = scaled.plan;
+  params_.inference = scaled.inference;
+  params_.user_study = scaled.user_study;
+  return *this;
+}
+
+StudyOptions& StudyOptions::devices(std::vector<std::string> ids) {
+  params_.device_filter = std::move(ids);
+  return *this;
+}
+
+StudyOptions& StudyOptions::vpn(bool enabled) {
+  params_.run_vpn = enabled;
+  return *this;
+}
+
+StudyOptions& StudyOptions::out_dir(std::string dir) {
+  out_ = std::move(dir);
+  return *this;
+}
+
+TraceSession::TraceSession(bool enabled) {
+  if (!enabled) return;
+  if (obs::tracing_active()) {
+    collector_ = obs::trace_collector();
+  } else {
+    owned_ = std::make_unique<obs::TraceCollector>();
+    owned_->install();
+    collector_ = owned_.get();
+  }
+}
+
+TraceSession::~TraceSession() { uninstall_owned(); }
+
+std::size_t TraceSession::event_count() const {
+  return collector_ == nullptr ? 0 : collector_->event_count();
+}
+
+bool TraceSession::write(const std::string& path) {
+  if (collector_ == nullptr) return false;
+  // Only an owned collector stops recording; an env-installed one stays
+  // live for the rest of the process.
+  uninstall_owned();
+  return collector_->write(path);
+}
+
+void TraceSession::uninstall_owned() {
+  if (owned_ != nullptr && !uninstalled_) {
+    owned_->uninstall();
+    uninstalled_ = true;
+  }
+}
+
+}  // namespace iotx::core

@@ -1,0 +1,89 @@
+// StudyOptions: one builder for everything the CLI used to assemble by
+// mutating StudyParams ad hoc inside each subcommand. The shared flags
+// (--jobs / --impair / --trace / --metrics / --cache) are parsed in one
+// place — parse_shared_flag() — so `study` and `classify` accept the
+// same spellings with the same validation, and a new shared flag is
+// added once instead of per subcommand.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iotx/core/study.hpp"
+#include "iotx/obs/trace.hpp"
+
+namespace iotx::core {
+
+class StudyOptions {
+ public:
+  enum class ParseResult {
+    kConsumed,  ///< a shared flag, recognized and applied
+    kNotMine,   ///< not a shared flag; the subcommand handles it
+    kError,     ///< a shared flag with an invalid value; see error()
+  };
+
+  /// Examines argv[i]; on a shared flag, applies it and advances `i`
+  /// past any consumed value token. `--trace` consumes a following
+  /// token as its output path when one is present and is not a flag
+  /// (so `classify --trace out.json` and the bare `study --trace` both
+  /// parse).
+  ParseResult parse_shared_flag(int argc, char** argv, int& i);
+
+  /// Diagnostic for the last kError result.
+  const std::string& error() const noexcept { return error_; }
+
+  // Fluent setters for the subcommand-specific knobs.
+  /// Applies paper-scale schedule/inference/user-study settings while
+  /// preserving any already-parsed shared flags (jobs, impairment,
+  /// cache directory).
+  StudyOptions& paper_scale();
+  StudyOptions& devices(std::vector<std::string> ids);
+  StudyOptions& vpn(bool enabled);
+  StudyOptions& out_dir(std::string dir);
+
+  /// The assembled study parameters (cache_dir included).
+  const StudyParams& params() const noexcept { return params_; }
+
+  const std::string& out() const noexcept { return out_; }
+  bool metrics() const noexcept { return metrics_; }
+  bool trace() const noexcept { return trace_; }
+  /// Explicit trace output path; empty means "derive from out()".
+  const std::string& trace_path() const noexcept { return trace_path_; }
+  const std::string& cache_dir() const noexcept { return params_.cache_dir; }
+
+ private:
+  StudyParams params_;
+  std::string out_;
+  bool trace_ = false;
+  std::string trace_path_;
+  bool metrics_ = false;
+  std::string error_;
+};
+
+/// RAII wrapper for the CLI's trace-collector lifecycle. With
+/// IOTX_OBS=trace in the environment a process-lifetime collector is
+/// already installed — reuse it rather than double-installing (the env
+/// hook would lose the slot race); otherwise install an owned collector
+/// and uninstall it before writing.
+class TraceSession {
+ public:
+  explicit TraceSession(bool enabled);
+  ~TraceSession();
+
+  bool active() const noexcept { return collector_ != nullptr; }
+  std::size_t event_count() const;
+
+  /// Stops an owned collector and writes the trace JSON; false on I/O
+  /// failure. An env-installed collector keeps recording afterwards.
+  bool write(const std::string& path);
+
+ private:
+  void uninstall_owned();
+
+  std::unique_ptr<obs::TraceCollector> owned_;
+  obs::TraceCollector* collector_ = nullptr;
+  bool uninstalled_ = false;
+};
+
+}  // namespace iotx::core

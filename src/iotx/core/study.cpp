@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "iotx/cache/binio.hpp"
+#include "iotx/core/study_cache.hpp"
 #include "iotx/net/packet.hpp"
 #include "iotx/obs/registry.hpp"
 #include "iotx/obs/trace.hpp"
@@ -45,6 +47,9 @@ std::string experiment_group(const testbed::ExperimentSpec& spec) {
 
 Study::Study(StudyParams params)
     : params_(std::move(params)),
+      store_(params_.cache_dir.empty()
+                 ? nullptr
+                 : std::make_unique<cache::ArtifactStore>(params_.cache_dir)),
       runner_(params_.plan),
       orgs_(testbed::EndpointRegistry::builtin().make_org_database()),
       geo_(testbed::EndpointRegistry::builtin().make_geo_database()) {}
@@ -81,10 +86,13 @@ analysis::AttributionContext Study::attribution_context(
 void Study::note_ingest(const flow::IngestPipeline& pipeline) {
   packets_ingested_.fetch_add(pipeline.packets_seen(),
                               std::memory_order_relaxed);
+  note_peak(pipeline.bytes_seen());
+}
+
+void Study::note_peak(std::uint64_t bytes) {
   std::uint64_t peak = peak_capture_bytes_.load(std::memory_order_relaxed);
-  while (peak < pipeline.bytes_seen() &&
-         !peak_capture_bytes_.compare_exchange_weak(
-             peak, pipeline.bytes_seen(), std::memory_order_relaxed)) {
+  while (peak < bytes && !peak_capture_bytes_.compare_exchange_weak(
+                             peak, bytes, std::memory_order_relaxed)) {
   }
 }
 
@@ -103,6 +111,19 @@ struct Study::RunScratch {
   std::set<std::pair<std::string, std::uint32_t>> seen_pii;
   std::vector<analysis::LabeledMeta> training;
   std::vector<flow::PacketMeta> idle_meta;
+
+  // Per-run ingest counters, accumulated locally (not straight into the
+  // Study atomics) so a cache hit can replay a prior run's counts and
+  // keep the campaign-wide totals byte-identical warm vs cold. run_device
+  // folds them into the atomics exactly once.
+  std::size_t experiments = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t peak_bytes = 0;
+
+  void note_ingest(const flow::IngestPipeline& pipeline) {
+    packets += pipeline.packets_seen();
+    peak_bytes = std::max(peak_bytes, pipeline.bytes_seen());
+  }
 };
 
 DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
@@ -133,10 +154,100 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
       testbed::device_mac(device, config.lab == testbed::LabSite::kUs),
   };
 
-  run_experiment_schedule(device, config, scratch, result);
-  result.destinations = scratch.merged.merged();
-  add_background_training(device, config, scratch);
-  train_and_detect(device, config, scratch, result, pool);
+  // --- ingest stage: cached when a store is configured ---------------
+  // The artifact covers everything through background training: table
+  // partials, health, training/idle meta, and this run's ingest
+  // counters (replayed on a hit so campaign totals match a cold run).
+  std::string ingest_key;
+  std::string ingest_digest;  // content digest; chains the model key
+  bool ingest_cached = false;
+  if (store_ != nullptr) {
+    ingest_key = ingest_stage_key(params_, device, config);
+    obs::Span load_span("study/cache_load");
+    if (auto loaded = store_->load(ingest_key, &result.health)) {
+      try {
+        IngestArtifact artifact = IngestArtifact::decode(loaded->payload);
+        load_span.add_bytes_in(loaded->payload.size());
+        result.health.merge(artifact.health);
+        result.destinations = std::move(artifact.destinations);
+        result.parties_by_group = std::move(artifact.parties_by_group);
+        result.enc_by_group = std::move(artifact.enc_by_group);
+        result.enc_total = artifact.enc_total;
+        result.pii_findings = std::move(artifact.pii_findings);
+        scratch.training = std::move(artifact.training);
+        scratch.idle_meta = std::move(artifact.idle_meta);
+        scratch.experiments = artifact.experiments;
+        scratch.packets = artifact.packets_ingested;
+        scratch.peak_bytes = artifact.peak_capture_bytes;
+        ingest_digest = loaded->content_hex;
+        ingest_cached = true;
+      } catch (const cache::CorruptArtifact&) {
+        // The payload digest matched but the content didn't decode
+        // (e.g. a layout change without a salt bump): recompute.
+        ++result.health.cache_corrupt_artifacts;
+      }
+    }
+  }
+  if (!ingest_cached) {
+    run_experiment_schedule(device, config, scratch, result);
+    result.destinations = scratch.merged.merged();
+    add_background_training(device, config, scratch);
+    if (store_ != nullptr) {
+      IngestArtifact artifact;
+      artifact.health = result.health;
+      // This run's cache mishaps are not part of the measurement; a
+      // future warm run must not inherit them.
+      artifact.health.cache_corrupt_artifacts = 0;
+      artifact.destinations = result.destinations;
+      artifact.parties_by_group = result.parties_by_group;
+      artifact.enc_by_group = result.enc_by_group;
+      artifact.enc_total = result.enc_total;
+      artifact.pii_findings = result.pii_findings;
+      artifact.training = scratch.training;
+      artifact.idle_meta = scratch.idle_meta;
+      artifact.experiments = scratch.experiments;
+      artifact.packets_ingested = scratch.packets;
+      artifact.peak_capture_bytes = scratch.peak_bytes;
+      obs::Span store_span("study/cache_store");
+      const std::vector<std::uint8_t> payload = artifact.encode();
+      store_span.add_bytes_out(payload.size());
+      ingest_digest = store_->store(ingest_key, payload);
+    }
+  }
+  experiments_run_.fetch_add(scratch.experiments, std::memory_order_relaxed);
+  packets_ingested_.fetch_add(scratch.packets, std::memory_order_relaxed);
+  note_peak(scratch.peak_bytes);
+
+  // --- model stage: keyed on the ingest artifact's content digest ----
+  std::string model_key;
+  bool model_cached = false;
+  if (store_ != nullptr && !ingest_digest.empty()) {
+    model_key = model_stage_key(params_, device, config, ingest_digest);
+    obs::Span load_span("study/cache_load");
+    if (auto loaded = store_->load(model_key, &result.health)) {
+      try {
+        ModelArtifact artifact = ModelArtifact::decode(loaded->payload);
+        load_span.add_bytes_in(loaded->payload.size());
+        result.model = std::move(artifact.model);
+        result.idle = std::move(artifact.idle);
+        model_cached = true;
+      } catch (const cache::CorruptArtifact&) {
+        ++result.health.cache_corrupt_artifacts;
+      }
+    }
+  }
+  if (!model_cached) {
+    train_and_detect(device, config, scratch, result, pool);
+    if (store_ != nullptr && !model_key.empty()) {
+      ModelArtifact artifact;
+      artifact.model = result.model;
+      artifact.idle = result.idle;
+      obs::Span store_span("study/cache_store");
+      const std::vector<std::uint8_t> payload = artifact.encode();
+      store_span.add_bytes_out(payload.size());
+      store_->store(model_key, payload);
+    }
+  }
 
   result.status = result.health.total_anomalies() > 0 ? RunStatus::kDegraded
                                                       : RunStatus::kClean;
@@ -152,7 +263,7 @@ void Study::run_experiment_schedule(const testbed::DeviceSpec& device,
   for (const testbed::ExperimentSpec& spec :
        runner_.schedule(device, config)) {
     testbed::LabeledCapture capture = runner_.run(spec);
-    experiments_run_.fetch_add(1, std::memory_order_relaxed);
+    ++scratch.experiments;
     if (params_.impairment.enabled()) {
       // Seeded by the experiment key alone, never by execution order, so
       // an impaired campaign stays bit-identical at any --jobs count.
@@ -209,7 +320,7 @@ std::vector<flow::PacketMeta> Study::ingest_labeled_capture(
     span.add_bytes_in(pipeline.bytes_seen());
     span.note_peak_bytes(pipeline.bytes_seen());
   }
-  note_ingest(pipeline);
+  scratch.note_ingest(pipeline);
   result.health.merge(pipeline.health());
   result.health.merge(dns.health());
   result.health.merge(table.health());
@@ -269,7 +380,7 @@ void Study::add_background_training(const testbed::DeviceSpec& device,
     pipeline.add_sink(collector);
     pipeline.ingest_all(packets);
     pipeline.finish();
-    note_ingest(pipeline);
+    scratch.note_ingest(pipeline);
     scratch.training.push_back(
         analysis::LabeledMeta{spec.activity, collector.take()});
   }
@@ -364,6 +475,7 @@ void Study::run() {
     registry.add(registry.counter("net/decode_packet_calls"),
                  net::decode_packet_calls() - decode_before);
   }
+  if (store_ != nullptr) store_->publish_metrics();
 }
 
 void Study::run_uncontrolled() {

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "iotx/analysis/inference.hpp"
 #include "iotx/analysis/pii.hpp"
 #include "iotx/analysis/unexpected.hpp"
+#include "iotx/cache/artifact_store.hpp"
 #include "iotx/faults/impairment.hpp"
 #include "iotx/flow/ingest.hpp"
 #include "iotx/testbed/experiment.hpp"
@@ -59,6 +61,14 @@ struct StudyParams {
   std::function<void(const testbed::DeviceSpec&,
                      const testbed::NetworkConfig&)>
       chaos_hook;
+  /// When non-empty, run() keeps a content-addressed artifact cache in
+  /// this directory: each (config, device) stage (ingest partials,
+  /// trained model) is stored under a key derived from its canonical
+  /// inputs, and a warm rerun loads hits instead of recomputing. Warm
+  /// and cold runs produce byte-identical tables at any `jobs` count; a
+  /// corrupt/truncated artifact falls back to recompute and is counted
+  /// in the run's CaptureHealth (see DESIGN.md §"Artifact cache").
+  std::string cache_dir;
 
   /// Paper-scale settings (30 automated reps, 10 CV repetitions, 100
   /// trees, 28 h idle, ~6-month user study). Minutes of CPU.
@@ -160,6 +170,14 @@ class Study {
     return peak_capture_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Artifact-cache counters for this study (all zero when
+  /// params().cache_dir is empty): hits/misses/stores, corrupt
+  /// artifacts, and bytes moved. Two lookups happen per (config,
+  /// device) run — the ingest stage and the model stage.
+  cache::ArtifactStoreStats cache_stats() const {
+    return store_ == nullptr ? cache::ArtifactStoreStats{} : store_->stats();
+  }
+
   /// All quarantined runs across configs, in result order; empty when
   /// every run completed.
   std::vector<const DeviceRunResult*> quarantined() const;
@@ -211,8 +229,12 @@ class Study {
   void run_uncontrolled();
   /// Folds one finished pipeline pass into the run-wide ingest stats.
   void note_ingest(const flow::IngestPipeline& pipeline);
+  /// Raises the peak-capture-bytes high-water mark.
+  void note_peak(std::uint64_t bytes);
 
   StudyParams params_;
+  /// Non-null when params_.cache_dir is set.
+  std::unique_ptr<cache::ArtifactStore> store_;
   testbed::ExperimentRunner runner_;
   geo::OrgDatabase orgs_;
   geo::GeoDatabase geo_;

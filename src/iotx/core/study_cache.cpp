@@ -1,0 +1,147 @@
+#include "iotx/core/study_cache.hpp"
+
+#include "iotx/analysis/serialize.hpp"
+#include "iotx/cache/artifact_store.hpp"
+#include "iotx/cache/binio.hpp"
+#include "iotx/flow/traffic_unit.hpp"
+
+namespace iotx::core {
+
+std::vector<std::uint8_t> IngestArtifact::encode() const {
+  cache::BinWriter w;
+  w.u32(kVersion);
+  analysis::write_health(w, health);
+  analysis::write_destinations(w, destinations);
+  analysis::write_parties_by_group(w, parties_by_group);
+  analysis::write_enc_by_group(w, enc_by_group);
+  analysis::write_encryption(w, enc_total);
+  analysis::write_pii_findings(w, pii_findings);
+  analysis::write_labeled_meta(w, training);
+  flow::write_meta(w, idle_meta);
+  w.u64(experiments);
+  w.u64(packets_ingested);
+  w.u64(peak_capture_bytes);
+  return w.take();
+}
+
+IngestArtifact IngestArtifact::decode(std::span<const std::uint8_t> payload) {
+  cache::BinReader r(payload);
+  if (r.u32() != kVersion)
+    throw cache::CorruptArtifact("ingest artifact version mismatch");
+  IngestArtifact artifact;
+  artifact.health = analysis::read_health(r);
+  artifact.destinations = analysis::read_destinations(r);
+  artifact.parties_by_group = analysis::read_parties_by_group(r);
+  artifact.enc_by_group = analysis::read_enc_by_group(r);
+  artifact.enc_total = analysis::read_encryption(r);
+  artifact.pii_findings = analysis::read_pii_findings(r);
+  artifact.training = analysis::read_labeled_meta(r);
+  artifact.idle_meta = flow::read_meta(r);
+  artifact.experiments = r.u64();
+  artifact.packets_ingested = r.u64();
+  artifact.peak_capture_bytes = r.u64();
+  if (!r.done())
+    throw cache::CorruptArtifact("ingest artifact has trailing bytes");
+  return artifact;
+}
+
+std::vector<std::uint8_t> ModelArtifact::encode() const {
+  cache::BinWriter w;
+  w.u32(kVersion);
+  analysis::write_activity_model(w, model);
+  analysis::write_idle_detections(w, idle);
+  return w.take();
+}
+
+ModelArtifact ModelArtifact::decode(std::span<const std::uint8_t> payload) {
+  cache::BinReader r(payload);
+  if (r.u32() != kVersion)
+    throw cache::CorruptArtifact("model artifact version mismatch");
+  ModelArtifact artifact;
+  artifact.model = analysis::read_activity_model(r);
+  artifact.idle = analysis::read_idle_detections(r);
+  if (!r.done())
+    throw cache::CorruptArtifact("model artifact has trailing bytes");
+  return artifact;
+}
+
+namespace {
+
+// Inputs shared by both stages: who is measured, where, under which
+// schedule and which injected network conditions.
+void common_key_fields(cache::StageKey& key, const StudyParams& params,
+                       const testbed::DeviceSpec& device,
+                       const testbed::NetworkConfig& config) {
+  key.field("device_id", device.id)
+      .field("device_name", device.name)
+      .field("manufacturer", device.manufacturer);
+  std::string orgs;
+  for (const std::string& org : device.first_party_orgs) {
+    orgs += org;
+    orgs += '\n';
+  }
+  key.field("first_party_orgs", orgs);
+  key.field("config", config.key());
+  key.field("automated_reps", std::int64_t{params.plan.automated_reps})
+      .field("manual_reps", std::int64_t{params.plan.manual_reps})
+      .field("power_reps", std::int64_t{params.plan.power_reps})
+      .field("idle_hours", params.plan.idle_hours);
+  const faults::ImpairmentProfile& imp = params.impairment;
+  key.field("impair_name", imp.name)
+      .field("impair_enabled", imp.enabled())
+      .field("impair_loss", imp.loss)
+      .field("impair_duplicate", imp.duplicate)
+      .field("impair_reorder", imp.reorder)
+      .field("impair_reorder_jitter", imp.reorder_jitter)
+      .field("impair_truncate", imp.truncate)
+      .field("impair_truncate_snaplen", std::uint64_t{imp.truncate_snaplen})
+      .field("impair_corrupt", imp.corrupt)
+      .field("impair_corrupt_bytes", std::uint64_t{imp.corrupt_bytes})
+      .field("impair_dns_drop", imp.dns_drop)
+      .field("impair_cutoff", imp.cutoff)
+      .field("impair_cutoff_min_fraction", imp.cutoff_min_fraction);
+  // The Prng fork roots: every per-experiment generator is derived from
+  // one of these labels plus the experiment key, so renaming a stream
+  // re-randomizes the synthetic captures and must re-key the stage.
+  key.field("prng_impair_label", "impair/").field("prng_bg_label", "bg/");
+}
+
+}  // namespace
+
+std::string ingest_stage_key(const StudyParams& params,
+                             const testbed::DeviceSpec& device,
+                             const testbed::NetworkConfig& config) {
+  cache::StageKey key("study/ingest");
+  key.field("artifact_version", std::uint64_t{IngestArtifact::kVersion});
+  common_key_fields(key, params, device, config);
+  key.field("entropy_encrypted_threshold",
+            analysis::kEncryptedEntropyThreshold)
+      .field("entropy_unencrypted_threshold",
+             analysis::kUnencryptedEntropyThreshold);
+  return key.hex();
+}
+
+std::string model_stage_key(const StudyParams& params,
+                            const testbed::DeviceSpec& device,
+                            const testbed::NetworkConfig& config,
+                            std::string_view ingest_digest) {
+  cache::StageKey key("study/model");
+  key.field("artifact_version", std::uint64_t{ModelArtifact::kVersion});
+  common_key_fields(key, params, device, config);
+  key.field("ingest_digest", ingest_digest);
+  const ml::ValidationParams& v = params.inference.validation;
+  key.field("n_trees", std::uint64_t{v.forest.n_trees})
+      .field("max_depth", std::uint64_t{v.forest.tree.max_depth})
+      .field("min_samples_split", std::uint64_t{v.forest.tree.min_samples_split})
+      .field("min_samples_leaf", std::uint64_t{v.forest.tree.min_samples_leaf})
+      .field("features_per_split", std::uint64_t{v.forest.tree.features_per_split})
+      .field("train_fraction", v.train_fraction)
+      .field("repetitions", std::uint64_t{v.repetitions});
+  key.field("min_model_f1", params.detector.min_model_f1)
+      .field("unit_gap_seconds", params.detector.unit_gap_seconds)
+      .field("min_unit_packets", std::uint64_t{params.detector.min_unit_packets})
+      .field("min_vote", params.detector.min_vote);
+  return key.hex();
+}
+
+}  // namespace iotx::core

@@ -1,0 +1,72 @@
+// Cacheable stage artifacts of one (config, device) Study run and their
+// deterministic stage keys (DESIGN.md §"Artifact cache").
+//
+// Two stages per run:
+//   "ingest" — everything up to and including background-training
+//     synthesis: the mergeable table partials (destinations, party
+//     counts, encryption bytes, PII findings), the run's CaptureHealth,
+//     the labeled training meta and idle meta, and the run's ingest
+//     counters (experiments / packets / peak bytes, replayed on a hit
+//     so campaign-wide totals stay byte-identical warm vs cold).
+//   "model" — the trained ActivityModel plus idle detections. Its key
+//     chains on the *content digest* of the ingest artifact, so any
+//     change that alters the ingest output automatically invalidates
+//     the model without enumerating the dependency.
+//
+// A stage key hashes the stage's canonical inputs: the code-version
+// salt, device identity, network config, schedule plan, impairment
+// profile knobs, Prng root labels, entropy thresholds, and (for the
+// model stage) inference + detector parameters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iotx/core/study.hpp"
+
+namespace iotx::core {
+
+struct IngestArtifact {
+  static constexpr std::uint32_t kVersion = 1;
+
+  faults::CaptureHealth health;
+  std::vector<analysis::DestinationRecord> destinations;
+  std::map<std::string, analysis::PartyCounts> parties_by_group;
+  std::map<std::string, analysis::EncryptionBytes> enc_by_group;
+  analysis::EncryptionBytes enc_total;
+  std::vector<analysis::PiiFinding> pii_findings;
+  std::vector<analysis::LabeledMeta> training;
+  std::vector<flow::PacketMeta> idle_meta;
+  std::uint64_t experiments = 0;
+  std::uint64_t packets_ingested = 0;
+  std::uint64_t peak_capture_bytes = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  /// Throws cache::CorruptArtifact on malformed payloads (including a
+  /// version mismatch or trailing bytes).
+  static IngestArtifact decode(std::span<const std::uint8_t> payload);
+};
+
+struct ModelArtifact {
+  static constexpr std::uint32_t kVersion = 1;
+
+  analysis::ActivityModel model;
+  analysis::IdleDetections idle;
+
+  std::vector<std::uint8_t> encode() const;
+  static ModelArtifact decode(std::span<const std::uint8_t> payload);
+};
+
+std::string ingest_stage_key(const StudyParams& params,
+                             const testbed::DeviceSpec& device,
+                             const testbed::NetworkConfig& config);
+
+std::string model_stage_key(const StudyParams& params,
+                            const testbed::DeviceSpec& device,
+                            const testbed::NetworkConfig& config,
+                            std::string_view ingest_digest);
+
+}  // namespace iotx::core

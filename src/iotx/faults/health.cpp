@@ -26,6 +26,7 @@ std::vector<std::pair<std::string_view, std::uint64_t>> health_counters(
       {"impaired_corrupted_frames", h.impaired_corrupted_frames},
       {"impaired_dns_responses_dropped", h.impaired_dns_responses_dropped},
       {"impaired_capture_cutoffs", h.impaired_capture_cutoffs},
+      {"cache_corrupt_artifacts", h.cache_corrupt_artifacts},
   };
 }
 

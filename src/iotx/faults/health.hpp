@@ -63,13 +63,20 @@ struct CaptureHealth {
   /// Captures cut short mid-experiment (power cut / capture crash).
   std::uint64_t impaired_capture_cutoffs = 0;
 
+  // --- artifact cache layer ------------------------------------------
+  /// Cached stage artifacts that failed validation on load (truncated
+  /// file, bad magic/version, payload digest mismatch). Each one falls
+  /// back to a full recompute, so results are unaffected but the run
+  /// is marked degraded.
+  std::uint64_t cache_corrupt_artifacts = 0;
+
   /// Sum of the ingest-side anomaly counters — the ones observed while
   /// parsing, not the injection ground truth. Nonzero => degraded run.
   std::uint64_t observed_anomalies() const noexcept {
     return pcap_truncated_tail + snaplen_clipped_frames +
            undecodable_frames + dns_parse_failures + tls_parse_failures +
            http_parse_failures + reassembly_dropped_segments +
-           reassembly_overlap_conflicts;
+           reassembly_overlap_conflicts + cache_corrupt_artifacts;
   }
 
   /// Sum of every counter, injected impairment included.
@@ -98,6 +105,7 @@ struct CaptureHealth {
     impaired_corrupted_frames += o.impaired_corrupted_frames;
     impaired_dns_responses_dropped += o.impaired_dns_responses_dropped;
     impaired_capture_cutoffs += o.impaired_capture_cutoffs;
+    cache_corrupt_artifacts += o.cache_corrupt_artifacts;
     return *this;
   }
 

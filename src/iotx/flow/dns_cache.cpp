@@ -43,13 +43,6 @@ void DnsCache::ingest(const net::DecodedPacket& p) {
   }
 }
 
-void DnsCache::ingest_all(const std::vector<net::Packet>& packets) {
-  IngestPipeline pipeline;
-  pipeline.add_sink(*this);
-  pipeline.ingest_all(packets);
-  pipeline.finish();
-}
-
 std::optional<std::string> DnsCache::lookup(net::Ipv4Address addr) const {
   const auto it = map_.find(addr);
   if (it == map_.end()) return std::nullopt;

@@ -29,12 +29,6 @@ class DnsCache : public PacketSink {
     ingest(packet);
   }
 
-  /// Legacy one-shot entry point, now a thin wrapper over a private
-  /// IngestPipeline. Undecodable frames are skipped without counting —
-  /// the flow table ingesting the same capture accounts them, and the
-  /// capture-level count must stay single-source.
-  void ingest_all(const std::vector<net::Packet>& packets);
-
   /// Domain the device queried to obtain `addr`, if any was observed.
   std::optional<std::string> lookup(net::Ipv4Address addr) const;
 

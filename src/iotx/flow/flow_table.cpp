@@ -124,14 +124,6 @@ void FlowTable::ingest(const net::DecodedPacket& p) {
   sniff_content(flow, p, health_);
 }
 
-void FlowTable::ingest_all(const std::vector<net::Packet>& packets) {
-  IngestPipeline pipeline;
-  pipeline.add_sink(*this);
-  pipeline.ingest_all(packets);
-  pipeline.finish();
-  health_.merge(pipeline.health());
-}
-
 std::vector<Flow> FlowTable::flows() const {
   std::vector<Flow> out;
   out.reserve(order_.size());
@@ -139,14 +131,6 @@ std::vector<Flow> FlowTable::flows() const {
     out.push_back(table_.at(key));
   }
   return out;
-}
-
-std::vector<Flow> assemble_flows(const std::vector<net::Packet>& packets,
-                                 faults::CaptureHealth* health) {
-  FlowTable table;
-  table.ingest_all(packets);
-  if (health != nullptr) health->merge(table.health());
-  return table.flows();
 }
 
 }  // namespace iotx::flow

@@ -90,11 +90,6 @@ class FlowTable : public PacketSink {
     ingest(packet);
   }
 
-  /// Legacy one-shot entry point, now a thin wrapper that streams the
-  /// vector through a private IngestPipeline; undecodable frames are
-  /// counted into health().undecodable_frames.
-  void ingest_all(const std::vector<net::Packet>& packets);
-
   /// All flows, in first-seen order.
   std::vector<Flow> flows() const;
 
@@ -113,10 +108,5 @@ class FlowTable : public PacketSink {
   std::vector<FlowKey> order_;
   faults::CaptureHealth health_;
 };
-
-/// Convenience: one-shot flow assembly from raw packets. When `health`
-/// is given, ingest anomalies are merged into it.
-std::vector<Flow> assemble_flows(const std::vector<net::Packet>& packets,
-                                 faults::CaptureHealth* health = nullptr);
 
 }  // namespace iotx::flow

@@ -84,16 +84,4 @@ void ClientStreamSink::on_packet(const net::DecodedPacket& packet) {
   }
 }
 
-std::vector<std::uint8_t> reassemble_client_stream(
-    const std::vector<net::Packet>& packets,
-    faults::CaptureHealth* health) {
-  ClientStreamSink sink;
-  IngestPipeline pipeline;
-  pipeline.add_sink(sink);
-  pipeline.ingest_all(packets);
-  pipeline.finish();
-  if (health != nullptr) sink.reassembler().export_health(*health);
-  return sink.stream();
-}
-
 }  // namespace iotx::flow

@@ -101,12 +101,4 @@ class ClientStreamSink final : public PacketSink {
   TcpStreamReassembler reassembler_;
 };
 
-/// Reassembles the client->server byte stream of the TCP flow that the
-/// given packets belong to; a wrapper over an IngestPipeline +
-/// ClientStreamSink. Useful one-shot for SNI/HTTP extraction from
-/// segmented handshakes.
-std::vector<std::uint8_t> reassemble_client_stream(
-    const std::vector<net::Packet>& packets,
-    faults::CaptureHealth* health = nullptr);
-
 }  // namespace iotx::flow

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "iotx/cache/binio.hpp"
+
 namespace iotx::flow {
 
 std::uint64_t TrafficUnit::total_bytes() const noexcept {
@@ -26,16 +28,27 @@ void MetaCollector::on_finish() {
                    });
 }
 
-std::vector<PacketMeta> extract_meta(const std::vector<net::Packet>& packets,
-                                     net::MacAddress device_mac,
-                                     faults::CaptureHealth* health) {
-  MetaCollector collector(device_mac);
-  IngestPipeline pipeline;
-  pipeline.add_sink(collector);
-  pipeline.ingest_all(packets);
-  pipeline.finish();
-  if (health != nullptr) health->merge(pipeline.health());
-  return collector.take();
+void write_meta(cache::BinWriter& w, const std::vector<PacketMeta>& meta) {
+  w.u64(meta.size());
+  for (const PacketMeta& p : meta) {
+    w.f64(p.timestamp);
+    w.u32(p.size);
+    w.boolean(p.outbound);
+  }
+}
+
+std::vector<PacketMeta> read_meta(cache::BinReader& r) {
+  std::size_t n = r.length(13);  // f64 + u32 + bool per record
+  std::vector<PacketMeta> meta;
+  meta.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PacketMeta p;
+    p.timestamp = r.f64();
+    p.size = r.u32();
+    p.outbound = r.boolean();
+    meta.push_back(p);
+  }
+  return meta;
 }
 
 std::vector<TrafficUnit> segment_traffic(const std::vector<PacketMeta>& meta,

@@ -11,6 +11,11 @@
 #include "iotx/net/address.hpp"
 #include "iotx/net/packet.hpp"
 
+namespace iotx::cache {
+class BinWriter;
+class BinReader;
+}  // namespace iotx::cache
+
 namespace iotx::flow {
 
 /// Minimal per-packet record used for segmentation and feature extraction.
@@ -43,7 +48,8 @@ inline constexpr double kDefaultUnitGapSeconds = 2.0;
 /// PacketSink that collects PacketMeta for frames attributable to one
 /// device MAC (direction from the Ethernet source address); the feature
 /// front-end of the ingest pipeline. on_finish() sorts by timestamp, so
-/// the collected meta segments exactly like extract_meta()'s result.
+/// the collected meta is ready for segment_traffic() regardless of the
+/// capture's frame order.
 class MetaCollector final : public PacketSink {
  public:
   explicit MetaCollector(net::MacAddress device_mac) : mac_(device_mac) {}
@@ -60,14 +66,11 @@ class MetaCollector final : public PacketSink {
   std::vector<PacketMeta> meta_;
 };
 
-/// Extracts PacketMeta from raw packets attributable to `device_mac`
-/// (direction from the Ethernet source address); a wrapper over an
-/// IngestPipeline + MetaCollector. Undecodable frames are counted into
-/// `health` when given (skipped silently otherwise, as before). The
-/// result is sorted by timestamp.
-std::vector<PacketMeta> extract_meta(const std::vector<net::Packet>& packets,
-                                     net::MacAddress device_mac,
-                                     faults::CaptureHealth* health = nullptr);
+/// Binary round-trip for the artifact cache: timestamps as IEEE-754
+/// bits, so a reloaded sequence segments identically.
+void write_meta(cache::BinWriter& w, const std::vector<PacketMeta>& meta);
+/// Throws cache::CorruptArtifact on malformed payloads.
+std::vector<PacketMeta> read_meta(cache::BinReader& r);
 
 /// Splits a timestamp-sorted meta sequence into traffic units using the
 /// given gap threshold (must be > 0).

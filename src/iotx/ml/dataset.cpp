@@ -1,4 +1,5 @@
 #include "iotx/ml/dataset.hpp"
+#include "iotx/cache/binio.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -58,6 +59,40 @@ Dataset::Split Dataset::stratified_split(double train_fraction,
   std::sort(split.train.begin(), split.train.end());
   std::sort(split.test.begin(), split.test.end());
   return split;
+}
+
+
+void Dataset::save(cache::BinWriter& w) const {
+  w.u64(class_names_.size());
+  for (const std::string& name : class_names_) w.str(name);
+  w.u64(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    w.i64(labels_[i]);
+    w.u64(rows_[i].size());
+    for (double v : rows_[i]) w.f64(v);
+  }
+}
+
+Dataset Dataset::load(cache::BinReader& r) {
+  Dataset data;
+  std::size_t n_classes = r.length(1);
+  data.class_names_.reserve(n_classes);
+  for (std::size_t i = 0; i < n_classes; ++i) data.class_names_.push_back(r.str());
+  std::size_t n_rows = r.length(8);
+  data.rows_.reserve(n_rows);
+  data.labels_.reserve(n_rows);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    std::int64_t label = r.i64();
+    if (label < 0 || static_cast<std::size_t>(label) >= n_classes)
+      throw cache::CorruptArtifact("dataset label out of class range");
+    data.labels_.push_back(static_cast<int>(label));
+    std::size_t width = r.length(8);
+    std::vector<double> row;
+    row.reserve(width);
+    for (std::size_t j = 0; j < width; ++j) row.push_back(r.f64());
+    data.rows_.push_back(std::move(row));
+  }
+  return data;
 }
 
 }  // namespace iotx::ml

@@ -13,6 +13,11 @@
 
 #include "iotx/util/prng.hpp"
 
+namespace iotx::cache {
+class BinWriter;
+class BinReader;
+}  // namespace iotx::cache
+
 namespace iotx::ml {
 
 class Dataset {
@@ -45,6 +50,12 @@ class Dataset {
     std::vector<std::size_t> test;
   };
   Split stratified_split(double train_fraction, util::Prng& prng) const;
+
+  /// Versioned binary round-trip for the artifact cache. Doubles are
+  /// stored as IEEE-754 bits, so load() reproduces the dataset exactly.
+  void save(cache::BinWriter& w) const;
+  /// Throws cache::CorruptArtifact on malformed payloads.
+  static Dataset load(cache::BinReader& r);
 
  private:
   std::vector<std::vector<double>> rows_;

@@ -1,4 +1,5 @@
 #include "iotx/ml/decision_tree.hpp"
+#include "iotx/cache/binio.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -176,6 +177,50 @@ std::vector<double> DecisionTree::predict_proba(
   std::vector<double> proba(n_classes_, 0.0);
   if (leaf.label >= 0) proba[static_cast<std::size_t>(leaf.label)] = 1.0;
   return proba;
+}
+
+
+void DecisionTree::save(cache::BinWriter& w) const {
+  w.u64(n_classes_);
+  w.u64(nodes_.size());
+  for (const Node& node : nodes_) {
+    w.i64(node.feature);
+    w.f64(node.threshold);
+    w.i64(node.left);
+    w.i64(node.right);
+    w.i64(node.label);
+    w.u64(node.proba.size());
+    for (double p : node.proba) w.f64(p);
+  }
+}
+
+DecisionTree DecisionTree::load(cache::BinReader& r) {
+  DecisionTree tree;
+  tree.n_classes_ = static_cast<std::size_t>(r.u64());
+  if (tree.n_classes_ > (1u << 20))
+    throw cache::CorruptArtifact("tree class count implausibly large");
+  std::size_t n_nodes = r.length(8);
+  tree.nodes_.reserve(n_nodes);
+  auto child_in_range = [n_nodes](std::int64_t child) {
+    return child >= -1 && child < static_cast<std::int64_t>(n_nodes);
+  };
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    Node node;
+    node.feature = static_cast<int>(r.i64());
+    node.threshold = r.f64();
+    std::int64_t left = r.i64();
+    std::int64_t right = r.i64();
+    if (!child_in_range(left) || !child_in_range(right))
+      throw cache::CorruptArtifact("tree child index out of range");
+    node.left = static_cast<int>(left);
+    node.right = static_cast<int>(right);
+    node.label = static_cast<int>(r.i64());
+    std::size_t n_proba = r.length(8);
+    node.proba.reserve(n_proba);
+    for (std::size_t j = 0; j < n_proba; ++j) node.proba.push_back(r.f64());
+    tree.nodes_.push_back(std::move(node));
+  }
+  return tree;
 }
 
 }  // namespace iotx::ml

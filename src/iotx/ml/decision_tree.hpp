@@ -9,6 +9,11 @@
 #include "iotx/ml/dataset.hpp"
 #include "iotx/util/prng.hpp"
 
+namespace iotx::cache {
+class BinWriter;
+class BinReader;
+}  // namespace iotx::cache
+
 namespace iotx::ml {
 
 struct TreeParams {
@@ -35,6 +40,12 @@ class DecisionTree {
 
   std::size_t node_count() const noexcept { return nodes_.size(); }
   bool fitted() const noexcept { return !nodes_.empty(); }
+
+  /// Exact binary round-trip for the artifact cache (node structure and
+  /// IEEE-754 threshold/proba bits preserved).
+  void save(cache::BinWriter& w) const;
+  /// Throws cache::CorruptArtifact on malformed payloads.
+  static DecisionTree load(cache::BinReader& r);
 
  private:
   struct Node {

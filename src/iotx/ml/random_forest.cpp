@@ -1,4 +1,5 @@
 #include "iotx/ml/random_forest.hpp"
+#include "iotx/cache/binio.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -54,6 +55,25 @@ int RandomForest::predict(std::span<const double> features) const {
   if (proba.empty()) return -1;
   return static_cast<int>(
       std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+
+void RandomForest::save(cache::BinWriter& w) const {
+  w.u64(n_classes_);
+  w.u64(trees_.size());
+  for (const DecisionTree& tree : trees_) tree.save(w);
+}
+
+RandomForest RandomForest::load(cache::BinReader& r) {
+  RandomForest forest;
+  forest.n_classes_ = static_cast<std::size_t>(r.u64());
+  if (forest.n_classes_ > (1u << 20))
+    throw cache::CorruptArtifact("forest class count implausibly large");
+  std::size_t n_trees = r.length(1);
+  forest.trees_.reserve(n_trees);
+  for (std::size_t i = 0; i < n_trees; ++i)
+    forest.trees_.push_back(DecisionTree::load(r));
+  return forest;
 }
 
 }  // namespace iotx::ml

@@ -36,6 +36,12 @@ class RandomForest {
   bool fitted() const noexcept { return !trees_.empty(); }
   std::size_t class_count() const noexcept { return n_classes_; }
 
+  /// Exact binary round-trip for the artifact cache: a loaded forest
+  /// votes identically to the one that was saved.
+  void save(cache::BinWriter& w) const;
+  /// Throws cache::CorruptArtifact on malformed payloads.
+  static RandomForest load(cache::BinReader& r);
+
  private:
   std::vector<DecisionTree> trees_;
   std::size_t n_classes_ = 0;

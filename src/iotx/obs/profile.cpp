@@ -96,7 +96,9 @@ std::vector<StageProfile> build_stage_profiles(
 }
 
 std::string profile_json(const Registry::Snapshot& snap) {
-  std::string out = "{\"section\":\"profile\",\"stages\":[";
+  std::string out = "{\"schema_version\":" +
+                    std::to_string(kProfileSchemaVersion) +
+                    ",\"section\":\"profile\",\"stages\":[";
   // Worst case: ",\"count\":...,\"sum\":...,\"max\":..." with three
   // 20-digit uint64 values is ~84 bytes — 64 would truncate into
   // malformed JSON.

@@ -30,9 +30,15 @@ struct StageProfile {
 /// the hottest stage leads the report.
 std::vector<StageProfile> build_stage_profiles(const Registry::Snapshot& snap);
 
-/// {"section":"profile","stages":[...],"counters":[...]} — stages as
-/// above; every non-stage metric (study totals, health counters, absorbed
-/// ad-hoc counters) under "counters" with its kind.
+/// Stamped as the leading `schema_version` field of profile.json; bump
+/// when the document shape changes so version-gated consumers can refuse
+/// a mixed comparison.
+inline constexpr std::uint64_t kProfileSchemaVersion = 1;
+
+/// {"schema_version":N,"section":"profile","stages":[...],
+/// "counters":[...]} — stages as above; every non-stage metric (study
+/// totals, health counters, absorbed ad-hoc counters) under "counters"
+/// with its kind.
 std::string profile_json(const Registry::Snapshot& snap);
 
 /// The same data as aligned text tables.

@@ -12,6 +12,12 @@ namespace iotx::report {
 
 namespace {
 
+/// Every document leads with its schema version so consumers can reject
+/// a mixed-version comparison before reading anything else.
+void doc_header(JsonWriter& w) {
+  w.field("schema_version", kReportSchemaVersion);
+}
+
 void columns_array(JsonWriter& w) {
   w.key("columns").begin_array();
   for (const char* c : core::kColumnHeaders) w.value(c);
@@ -31,6 +37,7 @@ void number_array(JsonWriter& w, std::string_view name,
 std::string table2_json(const core::Study& study) {
   JsonWriter w;
   w.begin_object();
+  doc_header(w);
   w.field("table", "2");
   w.field("title", "non-first parties by experiment type");
   columns_array(w);
@@ -50,6 +57,7 @@ std::string table2_json(const core::Study& study) {
 std::string table3_json(const core::Study& study) {
   JsonWriter w;
   w.begin_object();
+  doc_header(w);
   w.field("table", "3");
   w.field("title", "non-first parties by device category");
   columns_array(w);
@@ -69,6 +77,7 @@ std::string table3_json(const core::Study& study) {
 std::string table4_json(const core::Study& study) {
   JsonWriter w;
   w.begin_object();
+  doc_header(w);
   w.field("table", "4");
   w.field("title", "organizations contacted by multiple devices");
   columns_array(w);
@@ -87,6 +96,7 @@ std::string table4_json(const core::Study& study) {
 std::string figure2_json(const core::Study& study) {
   JsonWriter w;
   w.begin_object();
+  doc_header(w);
   w.field("figure", "2");
   w.field("title", "traffic volume lab->category->region");
   w.key("edges").begin_array();
@@ -106,6 +116,7 @@ std::string figure2_json(const core::Study& study) {
 std::string table5_json(const core::Study& study) {
   JsonWriter w;
   w.begin_object();
+  doc_header(w);
   w.field("table", "5");
   w.field("title", "devices by encryption percentage quartile");
   columns_array(w);
@@ -125,6 +136,7 @@ std::string table5_json(const core::Study& study) {
 std::string table6_json(const core::Study& study) {
   JsonWriter w;
   w.begin_object();
+  doc_header(w);
   w.field("table", "6");
   w.field("title", "percent bytes per class per category");
   columns_array(w);
@@ -144,6 +156,7 @@ std::string table6_json(const core::Study& study) {
 std::string table7_json(const core::Study& study) {
   JsonWriter w;
   w.begin_object();
+  doc_header(w);
   w.field("table", "7");
   w.field("title", "percent unencrypted bytes per device");
   w.key("rows").begin_array();
@@ -167,6 +180,7 @@ std::string table7_json(const core::Study& study) {
 std::string table8_json(const core::Study& study) {
   JsonWriter w;
   w.begin_object();
+  doc_header(w);
   w.field("table", "8");
   w.field("title", "percent bytes per class per experiment type");
   columns_array(w);
@@ -191,6 +205,7 @@ std::string table8_json(const core::Study& study) {
 std::string table9_json(const core::Study& study) {
   JsonWriter w;
   w.begin_object();
+  doc_header(w);
   w.field("table", "9");
   w.field("title", "inferrable devices (F1 > 0.75) per category");
   columns_array(w);
@@ -210,6 +225,7 @@ std::string table9_json(const core::Study& study) {
 std::string table10_json(const core::Study& study) {
   JsonWriter w;
   w.begin_object();
+  doc_header(w);
   w.field("table", "10");
   w.field("title", "inferrable activities (F1 > 0.75) per activity group");
   columns_array(w);
@@ -230,6 +246,7 @@ std::string table11_json(const core::Study& study) {
   const core::Table11 table = core::build_table11(study);
   JsonWriter w;
   w.begin_object();
+  doc_header(w);
   w.field("table", "11");
   w.field("title", "idle-period detected activity instances");
   number_array(w, "hours", table.hours);
@@ -249,6 +266,7 @@ std::string table11_json(const core::Study& study) {
 std::string pii_json(const core::Study& study) {
   JsonWriter w;
   w.begin_object();
+  doc_header(w);
   w.field("section", "6.2");
   w.field("title", "plaintext PII exposures");
   w.key("findings").begin_array();
@@ -286,6 +304,7 @@ std::uint64_t lost_bytes(const core::DeviceRunResult& r) {
 std::string robustness_json(const core::Study& study) {
   JsonWriter w;
   w.begin_object();
+  doc_header(w);
   w.field("section", "robustness");
   w.field("impairment_profile", study.params().impairment.name);
   w.field("impairment_enabled", study.params().impairment.enabled());
@@ -386,6 +405,7 @@ std::string robustness_text(const core::Study& study) {
 std::string full_report_json(const core::Study& study) {
   JsonWriter w;
   w.begin_object();
+  doc_header(w);
   w.field("paper",
           "Information Exposure From Consumer IoT Devices (IMC 2019)");
   w.field("experiments_run",

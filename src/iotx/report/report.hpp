@@ -4,12 +4,21 @@
 // re-running the campaign.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "iotx/core/study.hpp"
 #include "iotx/core/tables.hpp"
 
 namespace iotx::report {
+
+/// Version stamped as the first `schema_version` field of every JSON
+/// document this module emits (tables, figure, pii, robustness, the
+/// bundled report). Bump it when a document's shape changes so
+/// downstream consumers (and scripts/check_ingest_baseline.py-style
+/// gates) can reject mixed-version comparisons instead of silently
+/// mis-parsing.
+inline constexpr std::uint64_t kReportSchemaVersion = 1;
 
 /// JSON documents for the individual tables.
 std::string table2_json(const core::Study& study);

@@ -24,6 +24,7 @@
 
 #include "iotx/analysis/destinations.hpp"
 #include "iotx/analysis/encryption.hpp"
+#include "iotx/core/options.hpp"
 #include "iotx/core/study.hpp"
 #include "iotx/faults/impairment.hpp"
 #include "iotx/obs/profile.hpp"
@@ -55,6 +56,9 @@ int usage() {
       "                          the report directory)\n"
       "             [--trace]    (Chrome trace.json in the report\n"
       "                          directory; open in Perfetto)\n"
+      "             [--cache <dir>]  (content-addressed artifact cache;\n"
+      "                          a warm rerun loads per-stage hits\n"
+      "                          instead of recomputing)\n"
       "  iotx impair <in.pcap> <out.pcap> <profile> [seed]\n"
       "  iotx export-dataset <dir>");
   std::printf("impairment profiles: %s\n",
@@ -133,31 +137,23 @@ int cmd_simulate(int argc, char** argv) {
 
 int cmd_classify(int argc, char** argv) {
   if (argc < 3) return usage();
-  bool metrics = false;
-  std::string trace_path;
+  core::StudyOptions opts;
   for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--metrics") == 0) {
-      metrics = true;
-    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else {
-      return usage();
+    switch (opts.parse_shared_flag(argc, argv, i)) {
+      case core::StudyOptions::ParseResult::kConsumed:
+        break;
+      case core::StudyOptions::ParseResult::kError:
+        std::printf("%s\n", opts.error().c_str());
+        return 2;
+      case core::StudyOptions::ParseResult::kNotMine:
+        return usage();
     }
   }
-  // IOTX_OBS=trace installs a process-lifetime collector before argv
-  // parsing matters; reuse it rather than installing a second one
-  // (install() would throw, or the env hook would lose the slot race).
-  std::unique_ptr<obs::TraceCollector> owned_collector;
-  obs::TraceCollector* collector = nullptr;
-  if (!trace_path.empty()) {
-    if (obs::tracing_active()) {
-      collector = obs::trace_collector();
-    } else {
-      owned_collector = std::make_unique<obs::TraceCollector>();
-      owned_collector->install();
-      collector = owned_collector.get();
-    }
-  }
+  const bool metrics = opts.metrics();
+  // classify has no report directory to derive a default path from, so
+  // --trace needs an explicit one.
+  if (opts.trace() && opts.trace_path().empty()) return usage();
+  core::TraceSession trace(opts.trace());
   if (metrics) {
     obs::Registry::global().reset();
     obs::set_metrics_enabled(true);
@@ -239,16 +235,13 @@ int cmd_classify(int argc, char** argv) {
     std::printf("\n%s", obs::profile_text(snap).c_str());
     obs::set_metrics_enabled(false);
   }
-  if (collector) {
-    // Only uninstall a collector this command owns; an env-installed one
-    // stays live for the rest of the process.
-    if (owned_collector) owned_collector->uninstall();
-    if (!collector->write(trace_path)) {
-      std::printf("cannot write trace to %s\n", trace_path.c_str());
+  if (trace.active()) {
+    if (!trace.write(opts.trace_path())) {
+      std::printf("cannot write trace to %s\n", opts.trace_path().c_str());
       return 1;
     }
-    std::printf("wrote %zu trace events to %s\n", collector->event_count(),
-                trace_path.c_str());
+    std::printf("wrote %zu trace events to %s\n", trace.event_count(),
+                opts.trace_path().c_str());
   }
   return 0;
 }
@@ -293,60 +286,37 @@ int cmd_impair(int argc, char** argv) {
 }
 
 int cmd_study(int argc, char** argv) {
-  std::string out_dir;
-  bool trace = false;
-  bool metrics = false;
-  core::StudyParams params;
+  core::StudyOptions opts;
   for (int i = 2; i < argc; ++i) {
+    switch (opts.parse_shared_flag(argc, argv, i)) {
+      case core::StudyOptions::ParseResult::kConsumed:
+        continue;
+      case core::StudyOptions::ParseResult::kError:
+        std::printf("%s\n", opts.error().c_str());
+        return 2;
+      case core::StudyOptions::ParseResult::kNotMine:
+        break;
+    }
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--trace") == 0) {
-      trace = true;
-    } else if (std::strcmp(argv[i], "--metrics") == 0) {
-      metrics = true;
+      opts.out_dir(argv[++i]);
     } else if (std::strcmp(argv[i], "--paper-scale") == 0) {
-      params = core::StudyParams::paper_scale();
+      opts.paper_scale();
     } else if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
-      params.device_filter = util::split(argv[++i], ',');
+      opts.devices(util::split(argv[++i], ','));
     } else if (std::strcmp(argv[i], "--no-vpn") == 0) {
-      params.run_vpn = false;
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      const int jobs = std::atoi(argv[++i]);
-      if (jobs < 1) {
-        std::printf("--jobs requires a positive integer\n");
-        return 2;
-      }
-      params.jobs = static_cast<std::size_t>(jobs);
-    } else if (std::strcmp(argv[i], "--impair") == 0 && i + 1 < argc) {
-      const faults::ImpairmentProfile* profile =
-          faults::find_profile(argv[++i]);
-      if (profile == nullptr) {
-        std::printf("unknown impairment profile '%s'; available: %s\n",
-                    argv[i], faults::profile_names().c_str());
-        return 2;
-      }
-      params.impairment = *profile;
+      opts.vpn(false);
     } else {
       return usage();
     }
   }
+  const std::string& out_dir = opts.out();
   if (out_dir.empty()) return usage();
+  const core::StudyParams& params = opts.params();
+  const bool metrics = opts.metrics();
 
   // Observability setup precedes run() so the campaign's own spans land
   // in the trace; the report writer's spans ride the same collector.
-  // With IOTX_OBS=trace in the environment a collector is already
-  // installed — reuse it instead of double-installing.
-  std::unique_ptr<obs::TraceCollector> owned_collector;
-  obs::TraceCollector* collector = nullptr;
-  if (trace) {
-    if (obs::tracing_active()) {
-      collector = obs::trace_collector();
-    } else {
-      owned_collector = std::make_unique<obs::TraceCollector>();
-      owned_collector->install();
-      collector = owned_collector.get();
-    }
-  }
+  core::TraceSession trace(opts.trace());
   if (metrics) {
     obs::Registry::global().reset();
     obs::set_metrics_enabled(true);
@@ -362,6 +332,18 @@ int cmd_study(int argc, char** argv) {
     std::printf("impairment '%s': %zu degraded, %zu quarantined runs\n",
                 params.impairment.name.c_str(), study.degraded().size(),
                 study.quarantined().size());
+  }
+  if (!params.cache_dir.empty()) {
+    const cache::ArtifactStoreStats stats = study.cache_stats();
+    std::printf(
+        "cache %s: %llu hits / %llu misses (%.1f%% hit rate), "
+        "%llu stored, %llu corrupt\n",
+        params.cache_dir.c_str(),
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses),
+        stats.hit_rate() * 100.0,
+        static_cast<unsigned long long>(stats.stores),
+        static_cast<unsigned long long>(stats.corrupt));
   }
   if (!report::write_report_directory(study, out_dir)) {
     std::printf("cannot write report to %s\n", out_dir.c_str());
@@ -387,15 +369,16 @@ int cmd_study(int argc, char** argv) {
                 snap.metrics.size(), out_dir.c_str());
     obs::set_metrics_enabled(false);
   }
-  if (collector) {
-    if (owned_collector) owned_collector->uninstall();
-    const std::string trace_file = out_dir + "/trace.json";
-    if (!collector->write(trace_file)) {
+  if (trace.active()) {
+    const std::string trace_file = opts.trace_path().empty()
+                                       ? out_dir + "/trace.json"
+                                       : opts.trace_path();
+    if (!trace.write(trace_file)) {
       std::printf("cannot write %s\n", trace_file.c_str());
       return 1;
     }
     std::printf("wrote %zu trace events to %s (open in ui.perfetto.dev)\n",
-                collector->event_count(), trace_file.c_str());
+                trace.event_count(), trace_file.c_str());
   }
   return 0;
 }

@@ -1,0 +1,69 @@
+// Shared test helpers that rebuild the removed vector entry points
+// (DnsCache::ingest_all, assemble_flows, extract_meta,
+// reassemble_client_stream) on top of the one ingest API that remains:
+// flow::IngestPipeline + PacketSink. Each helper runs a single-sink
+// pipeline over the capture, which is exactly what the legacy wrappers
+// did internally — tests keep their one-liner call sites without the
+// library keeping a second entry point alive.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "iotx/faults/health.hpp"
+#include "iotx/flow/dns_cache.hpp"
+#include "iotx/flow/flow_table.hpp"
+#include "iotx/flow/ingest.hpp"
+#include "iotx/flow/reassembly.hpp"
+#include "iotx/flow/traffic_unit.hpp"
+#include "iotx/net/packet.hpp"
+
+namespace iotx::testutil {
+
+/// Streams `packets` through a pipeline with `sink` as the only consumer;
+/// merges decode-layer health into *health when given.
+inline void run_single_sink(const std::vector<net::Packet>& packets,
+                            flow::PacketSink& sink,
+                            faults::CaptureHealth* health = nullptr) {
+  flow::IngestPipeline pipeline;
+  pipeline.add_sink(sink);
+  pipeline.ingest_all(packets);
+  pipeline.finish();
+  if (health != nullptr) health->merge(pipeline.health());
+}
+
+/// assemble_flows replacement: the capture's flows via one FlowTable.
+inline std::vector<flow::Flow> flows_of(
+    const std::vector<net::Packet>& packets,
+    faults::CaptureHealth* health = nullptr) {
+  flow::FlowTable table;
+  run_single_sink(packets, table, health);
+  if (health != nullptr) health->merge(table.health());
+  return table.flows();
+}
+
+/// extract_meta replacement: per-packet meta for one device MAC.
+inline std::vector<flow::PacketMeta> meta_of(
+    const std::vector<net::Packet>& packets, const net::MacAddress& mac,
+    faults::CaptureHealth* health = nullptr) {
+  flow::MetaCollector collector(mac);
+  run_single_sink(packets, collector, health);
+  return collector.take();
+}
+
+/// DnsCache::ingest_all replacement: feeds a caller-owned cache.
+inline void ingest_dns(flow::DnsCache& cache,
+                       const std::vector<net::Packet>& packets) {
+  run_single_sink(packets, cache);
+}
+
+/// reassemble_client_stream replacement: the client->server byte stream
+/// of the single TCP connection in `packets`.
+inline std::vector<std::uint8_t> client_stream_of(
+    const std::vector<net::Packet>& packets) {
+  flow::ClientStreamSink sink;
+  run_single_sink(packets, sink);
+  return sink.stream();
+}
+
+}  // namespace iotx::testutil

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "pipeline_helpers.hpp"
+
 #include "iotx/proto/dns.hpp"
 #include "iotx/proto/tls.hpp"
 #include "iotx/testbed/endpoints.hpp"
@@ -56,8 +58,8 @@ TEST(Attribution, DnsNamePreferred) {
                                     std::vector<std::uint8_t>(100, 1)));
 
   iotx::flow::DnsCache dns;
-  dns.ingest_all(packets);
-  const auto flows = iotx::flow::assemble_flows(packets);
+  iotx::testutil::ingest_dns(dns, packets);
+  const auto flows = iotx::testutil::flows_of(packets);
   const auto records = attribute_destinations(flows, dns, ctx, {"Ring"});
 
   // The DNS flow itself goes to the (private) gateway and is skipped, so
@@ -85,7 +87,7 @@ TEST(Attribution, SniFallbackWhenNoDns) {
                       hello));
   iotx::flow::DnsCache dns;  // empty
   const auto records = attribute_destinations(
-      iotx::flow::assemble_flows(packets), dns, ctx, {"Wansview"});
+      iotx::testutil::flows_of(packets), dns, ctx, {"Wansview"});
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].domain, "storage.googleapis.com");
   EXPECT_EQ(records[0].organization, "Google");
@@ -104,7 +106,7 @@ TEST(Attribution, HostHeaderFallback) {
       1.0, endpoints(Ipv4Address(34, 203, 221, 9), 80), as_bytes(req)));
   iotx::flow::DnsCache dns;
   const auto records = attribute_destinations(
-      iotx::flow::assemble_flows(packets), dns, ctx, {"Samsung"});
+      iotx::testutil::flows_of(packets), dns, ctx, {"Samsung"});
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].domain, "logs.roku.com");
   EXPECT_EQ(records[0].organization, "Roku");
@@ -122,7 +124,7 @@ TEST(Attribution, IpRegistryFallbackWhenNoName) {
                                     std::vector<std::uint8_t>(64, 7)));
   iotx::flow::DnsCache dns;
   const auto records = attribute_destinations(
-      iotx::flow::assemble_flows(packets), dns, ctx, {"Wansview"});
+      iotx::testutil::flows_of(packets), dns, ctx, {"Wansview"});
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].domain, e->address.to_string());  // IP literal
   EXPECT_EQ(records[0].organization, "Hvvc");            // registry owner
@@ -139,7 +141,7 @@ TEST(Attribution, LanTrafficSkipped) {
       1.0, endpoints(Ipv4Address(10, 42, 0, 99), 80),
       std::vector<std::uint8_t>(10, 1)));
   iotx::flow::DnsCache dns;
-  EXPECT_TRUE(attribute_destinations(iotx::flow::assemble_flows(packets), dns,
+  EXPECT_TRUE(attribute_destinations(iotx::testutil::flows_of(packets), dns,
                                      ctx, {})
                   .empty());
 }
@@ -157,7 +159,7 @@ TEST(Attribution, MergesBytesPerAddress) {
                                     std::vector<std::uint8_t>(200, 2)));
   iotx::flow::DnsCache dns;
   const auto records = attribute_destinations(
-      iotx::flow::assemble_flows(packets), dns, ctx, {});
+      iotx::testutil::flows_of(packets), dns, ctx, {});
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].packets, 2u);
 }
@@ -189,8 +191,8 @@ TEST(DestinationAccumulator, NamedAttributionSurvivesUnresolvedCapture) {
 
   const auto attribute = [&](const std::vector<Packet>& packets) {
     iotx::flow::DnsCache dns;
-    dns.ingest_all(packets);
-    return attribute_destinations(iotx::flow::assemble_flows(packets), dns,
+    iotx::testutil::ingest_dns(dns, packets);
+    return attribute_destinations(iotx::testutil::flows_of(packets), dns,
                                   ctx, {"Ring"});
   };
   const auto resolved = attribute(with_dns);

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "pipeline_helpers.hpp"
+
 #include "iotx/net/bytes.hpp"
 #include "iotx/proto/tls.hpp"
 #include "iotx/util/prng.hpp"
@@ -149,7 +151,7 @@ TEST(Account, BytesPerClass) {
   packets.push_back(
       make_tcp_packet(2.0, http_ep, as_bytes(req)));
 
-  const auto flows = iotx::flow::assemble_flows(packets);
+  const auto flows = iotx::testutil::flows_of(packets);
   const EncryptionBytes bytes = account_flows(flows);
   EXPECT_EQ(bytes.encrypted, tls_payload.size());
   EXPECT_EQ(bytes.unencrypted, req.size());
@@ -163,7 +165,7 @@ TEST(Account, EmptyFlowsIgnored) {
   std::vector<Packet> packets;
   packets.push_back(make_tcp_packet(1.0, endpoints(443), {}));  // no payload
   const EncryptionBytes bytes =
-      account_flows(iotx::flow::assemble_flows(packets));
+      account_flows(iotx::testutil::flows_of(packets));
   EXPECT_EQ(bytes.classified_total(), 0u);
   EXPECT_EQ(bytes.pct_encrypted(), 0.0);
 }

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "pipeline_helpers.hpp"
+
 namespace {
 
 using namespace iotx::analysis;
@@ -103,7 +105,7 @@ TEST(Predict, RecognizesFreshActivityTraffic) {
   util::Prng prng("fresh-rep");
   const auto packets = synth.activity_event(device, config, *sig, 0.0, prng);
   const auto metas =
-      iotx::flow::extract_meta(packets, device_mac(device, true));
+      iotx::testutil::meta_of(packets, device_mac(device, true));
   iotx::flow::TrafficUnit unit;
   unit.packets = metas;
   const auto predicted = model.predict(unit);
@@ -168,7 +170,7 @@ TEST(BackgroundClass, ExcludedFromDeviceF1) {
   util::Prng prng("bg-probe");
   const auto packets = synth.background(device, config, 0.0, 60.0, prng);
   iotx::flow::TrafficUnit unit;
-  unit.packets = iotx::flow::extract_meta(packets, device_mac(device, true));
+  unit.packets = iotx::testutil::meta_of(packets, device_mac(device, true));
   EXPECT_FALSE(model.predict(unit));
 }
 

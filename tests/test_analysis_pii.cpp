@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "pipeline_helpers.hpp"
+
 #include "iotx/net/bytes.hpp"
 #include "iotx/proto/tls.hpp"
 #include "iotx/util/codec.hpp"
@@ -29,7 +31,7 @@ std::vector<iotx::flow::Flow> flows_with_http_body(const std::string& body) {
                           "\r\n\r\n" + body;
   std::vector<Packet> packets;
   packets.push_back(make_tcp_packet(1.0, endpoints(80), as_bytes(req)));
-  return iotx::flow::assemble_flows(packets);
+  return iotx::testutil::flows_of(packets);
 }
 
 const PiiItem kMac{"mac", "02:55:aa:bb:cc:dd"};
@@ -91,7 +93,7 @@ TEST(Pii, SkipsProtocolEncryptedFlows) {
   std::vector<Packet> packets;
   packets.push_back(make_tcp_packet(1.0, endpoints(443), record));
   const PiiScanner scanner({kMac});
-  EXPECT_TRUE(scanner.scan(iotx::flow::assemble_flows(packets)).empty());
+  EXPECT_TRUE(scanner.scan(iotx::testutil::flows_of(packets)).empty());
 }
 
 TEST(Pii, ScansUnknownProtocolPayloads) {
@@ -101,7 +103,7 @@ TEST(Pii, ScansUnknownProtocolPayloads) {
   packets.push_back(make_tcp_packet(1.0, endpoints(8899),
                                     as_bytes(payload)));
   const PiiScanner scanner({kMac});
-  const auto findings = scanner.scan(iotx::flow::assemble_flows(packets));
+  const auto findings = scanner.scan(iotx::testutil::flows_of(packets));
   ASSERT_EQ(findings.size(), 1u);
   // No SNI/Host: the destination IP identifies the flow.
   EXPECT_EQ(findings[0].domain, "52.1.2.3");
@@ -115,7 +117,7 @@ TEST(Pii, DeduplicatesAcrossPacketsOfSameFlow) {
         make_tcp_packet(1.0 + i, endpoints(8899), as_bytes(payload)));
   }
   const PiiScanner scanner({kMac});
-  EXPECT_EQ(scanner.scan(iotx::flow::assemble_flows(packets)).size(), 1u);
+  EXPECT_EQ(scanner.scan(iotx::testutil::flows_of(packets)).size(), 1u);
 }
 
 TEST(Pii, MultipleKindsReported) {

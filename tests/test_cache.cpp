@@ -1,0 +1,360 @@
+// Tests for the content-addressed artifact cache: binary I/O
+// primitives, the SHA-256 implementation against FIPS 180-4 vectors,
+// store/load round-trips, stage-key sensitivity to every cached input,
+// corruption fallback, and the headline contract — a warm Study rerun
+// produces byte-identical tables at any job count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "iotx/cache/artifact_store.hpp"
+#include "iotx/cache/binio.hpp"
+#include "iotx/cache/hash.hpp"
+#include "iotx/core/study.hpp"
+#include "iotx/core/study_cache.hpp"
+#include "iotx/faults/impairment.hpp"
+#include "iotx/ml/random_forest.hpp"
+#include "iotx/report/report.hpp"
+#include "iotx/testbed/catalog.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx;
+namespace fs = std::filesystem;
+
+std::string temp_dir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+TEST(BinIo, RoundTripsEveryScalarType) {
+  cache::BinWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(-0.0);  // sign bit must survive (IEEE-754 bit round-trip)
+  w.f64(1.0 / 3.0);
+  w.boolean(true);
+  w.str("hello \xc3\xa9 world");
+
+  cache::BinReader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), 1.0 / 3.0);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), "hello \xc3\xa9 world");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BinIo, TruncatedPayloadThrows) {
+  cache::BinWriter w;
+  w.u64(7);
+  std::vector<std::uint8_t> bytes = w.take();
+  bytes.pop_back();
+  cache::BinReader r(bytes);
+  EXPECT_THROW(r.u64(), cache::CorruptArtifact);
+}
+
+TEST(BinIo, OversizedLengthPrefixThrows) {
+  // A length prefix claiming more elements than the remaining payload
+  // could possibly hold must throw instead of driving an allocation.
+  cache::BinWriter w;
+  w.u64(~0ULL);
+  cache::BinReader r(w.buffer());
+  EXPECT_THROW(r.length(8), cache::CorruptArtifact);
+}
+
+TEST(BinIo, InvalidBoolByteThrows) {
+  const std::uint8_t byte = 2;
+  cache::BinReader r(std::span<const std::uint8_t>(&byte, 1));
+  EXPECT_THROW(r.boolean(), cache::CorruptArtifact);
+}
+
+TEST(Sha256, Fips180Vectors) {
+  const auto hex_of = [](std::string_view text) {
+    return cache::Sha256::hex(cache::Sha256::hash(
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(text.data()),
+            text.size())));
+  };
+  EXPECT_EQ(hex_of(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_of("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(hex_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  std::vector<std::uint8_t> data(1000);
+  util::Prng prng("sha-stream");
+  for (auto& b : data) b = static_cast<std::uint8_t>(prng.uniform(256));
+
+  cache::Sha256 streamed;
+  // Uneven chunks straddle the 64-byte block boundary.
+  streamed.update(std::span<const std::uint8_t>(data.data(), 63));
+  streamed.update(std::span<const std::uint8_t>(data.data() + 63, 130));
+  streamed.update(
+      std::span<const std::uint8_t>(data.data() + 193, data.size() - 193));
+  EXPECT_EQ(cache::Sha256::hex(streamed.finish()),
+            cache::Sha256::hex(cache::Sha256::hash(data)));
+}
+
+TEST(StageKey, SensitiveToEveryField) {
+  const auto key = [](auto&&... setup) {
+    cache::StageKey k("test/stage");
+    (setup(k), ...);
+    return k.hex();
+  };
+  const std::string base =
+      key([](cache::StageKey& k) { k.field("a", std::uint64_t{1}); });
+  // Same inputs, same key.
+  EXPECT_EQ(base,
+            key([](cache::StageKey& k) { k.field("a", std::uint64_t{1}); }));
+  // Value, name, label-string, double, and bool changes all move the key.
+  EXPECT_NE(base,
+            key([](cache::StageKey& k) { k.field("a", std::uint64_t{2}); }));
+  EXPECT_NE(base,
+            key([](cache::StageKey& k) { k.field("b", std::uint64_t{1}); }));
+  EXPECT_NE(key([](cache::StageKey& k) { k.field("p", "impair/"); }),
+            key([](cache::StageKey& k) { k.field("p", "bg/"); }));
+  EXPECT_NE(key([](cache::StageKey& k) { k.field("t", 0.8); }),
+            key([](cache::StageKey& k) { k.field("t", 0.4); }));
+  EXPECT_NE(key([](cache::StageKey& k) { k.field("f", true); }),
+            key([](cache::StageKey& k) { k.field("f", false); }));
+  // Adjacent fields must not alias.
+  EXPECT_NE(key([](cache::StageKey& k) { k.field("ab", "c"); }),
+            key([](cache::StageKey& k) { k.field("a", "bc"); }));
+}
+
+TEST(StageKey, CodeSaltAndStageMoveTheKey) {
+  EXPECT_NE(cache::StageKey("stage-a").hex(), cache::StageKey("stage-b").hex());
+  EXPECT_NE(cache::StageKey("stage-a").hex(),
+            cache::StageKey("stage-a", "other-salt").hex());
+}
+
+TEST(StageKey, StudyStageKeysTrackTheirInputs) {
+  const testbed::DeviceSpec& device = *testbed::find_device("tplink_plug");
+  const testbed::DeviceSpec& other = *testbed::find_device("ring_doorbell");
+  const testbed::NetworkConfig us{testbed::LabSite::kUs, false};
+  const testbed::NetworkConfig uk{testbed::LabSite::kUk, false};
+  core::StudyParams params;
+
+  const std::string base = core::ingest_stage_key(params, device, us);
+  EXPECT_EQ(base, core::ingest_stage_key(params, device, us));
+  EXPECT_NE(base, core::ingest_stage_key(params, other, us));
+  EXPECT_NE(base, core::ingest_stage_key(params, device, uk));
+
+  core::StudyParams impaired = params;
+  impaired.impairment = *faults::find_profile("lossy-wifi");
+  EXPECT_NE(base, core::ingest_stage_key(impaired, device, us));
+
+  core::StudyParams replanned = params;
+  replanned.plan.automated_reps += 1;
+  EXPECT_NE(base, core::ingest_stage_key(replanned, device, us));
+
+  // The model key chains on the ingest artifact's content digest.
+  const std::string model_a =
+      core::model_stage_key(params, device, us, "digest-a");
+  EXPECT_NE(model_a, core::model_stage_key(params, device, us, "digest-b"));
+  core::StudyParams more_trees = params;
+  more_trees.inference.validation.forest.n_trees += 1;
+  EXPECT_NE(model_a,
+            core::model_stage_key(more_trees, device, us, "digest-a"));
+}
+
+TEST(ArtifactStore, StoreLoadRoundTrip) {
+  const std::string root = temp_dir("iotx_cache_store_test");
+  cache::ArtifactStore store(root);
+  const std::string key(64, 'a');
+
+  EXPECT_FALSE(store.load(key).has_value());  // cold miss
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const std::string digest = store.store(key, payload);
+  EXPECT_EQ(digest, cache::Sha256::hex(cache::Sha256::hash(payload)));
+
+  const auto loaded = store.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->payload, payload);
+  EXPECT_EQ(loaded->content_hex, digest);
+
+  const cache::ArtifactStoreStats stats = store.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.corrupt, 0u);
+  fs::remove_all(root);
+}
+
+/// Path of the single artifact `key` occupies in `root`.
+std::string artifact_path(const std::string& root, const std::string& key) {
+  return root + "/" + key.substr(0, 2) + "/" + key + ".art";
+}
+
+TEST(ArtifactStore, CorruptedArtifactFallsBackToMiss) {
+  const std::string root = temp_dir("iotx_cache_corrupt_test");
+  cache::ArtifactStore store(root);
+  const std::string key(64, 'b');
+  store.store(key, std::vector<std::uint8_t>(100, 7));
+
+  // Flip one payload byte on disk.
+  const std::string path = artifact_path(root, key);
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(-1, std::ios::end);
+    f.put('\xff');
+  }
+
+  faults::CaptureHealth health;
+  EXPECT_FALSE(store.load(key, &health).has_value());
+  EXPECT_EQ(health.cache_corrupt_artifacts, 1u);
+  EXPECT_EQ(store.stats().corrupt, 1u);
+  EXPECT_EQ(store.stats().hits, 0u);
+  fs::remove_all(root);
+}
+
+TEST(ArtifactStore, TruncatedArtifactFallsBackToMiss) {
+  const std::string root = temp_dir("iotx_cache_trunc_test");
+  cache::ArtifactStore store(root);
+  const std::string key(64, 'c');
+  store.store(key, std::vector<std::uint8_t>(100, 9));
+
+  const std::string path = artifact_path(root, key);
+  fs::resize_file(path, 10);  // shorter than the header
+
+  faults::CaptureHealth health;
+  EXPECT_FALSE(store.load(key, &health).has_value());
+  EXPECT_EQ(health.cache_corrupt_artifacts, 1u);
+  fs::remove_all(root);
+}
+
+TEST(ForestSerialization, LoadedForestVotesIdentically) {
+  ml::Dataset data;
+  util::Prng prng("cache-forest");
+  for (int i = 0; i < 90; ++i) {
+    std::vector<double> row(12);
+    const int cls = i % 3;
+    for (auto& v : row) v = prng.normal(cls * 2.0, 1.0);
+    data.add(std::move(row), "class" + std::to_string(cls));
+  }
+  ml::RandomForest forest;
+  util::Prng fit_prng("cache-forest-fit");
+  forest.fit(data, ml::ForestParams{12, ml::TreeParams{}}, fit_prng);
+
+  cache::BinWriter w;
+  forest.save(w);
+  cache::BinReader r(w.buffer());
+  const ml::RandomForest loaded = ml::RandomForest::load(r);
+  EXPECT_TRUE(r.done());
+  ASSERT_EQ(loaded.tree_count(), forest.tree_count());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(loaded.predict(data.row(i)), forest.predict(data.row(i))) << i;
+    EXPECT_EQ(loaded.predict_proba(data.row(i)),
+              forest.predict_proba(data.row(i)));
+  }
+}
+
+core::StudyParams cached_study_params(const std::string& cache_dir,
+                                      std::size_t jobs) {
+  core::StudyParams params;
+  params.plan = testbed::SchedulePlan{/*automated_reps=*/2, /*manual_reps=*/1,
+                                      /*power_reps=*/1, /*idle_hours=*/0.05};
+  params.inference.validation.forest.n_trees = 4;
+  params.inference.validation.repetitions = 1;
+  params.run_uncontrolled = false;
+  params.run_vpn = false;
+  params.device_filter = {"tplink_plug", "ring_doorbell"};
+  params.jobs = jobs;
+  params.cache_dir = cache_dir;
+  return params;
+}
+
+/// The observable surface a warm run must reproduce byte-for-byte.
+std::string table_fingerprint(const core::Study& study) {
+  return report::table2_json(study) + report::table5_json(study) +
+         report::table7_json(study) + report::table9_json(study) +
+         report::table11_json(study) + report::pii_json(study) +
+         report::robustness_json(study);
+}
+
+TEST(StudyCache, WarmRunIsByteIdenticalAtAnyJobCount) {
+  const std::string root = temp_dir("iotx_cache_study_test");
+
+  core::Study cold(cached_study_params(root, 1));
+  cold.run();
+  const std::string cold_tables = table_fingerprint(cold);
+  const std::size_t cold_experiments = cold.experiments_run();
+  EXPECT_EQ(cold.cache_stats().hits, 0u);
+  EXPECT_GT(cold.cache_stats().stores, 0u);
+
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    core::Study warm(cached_study_params(root, jobs));
+    warm.run();
+    EXPECT_EQ(table_fingerprint(warm), cold_tables) << "jobs=" << jobs;
+    EXPECT_EQ(warm.experiments_run(), cold_experiments) << "jobs=" << jobs;
+    EXPECT_EQ(warm.packets_ingested(), cold.packets_ingested())
+        << "jobs=" << jobs;
+    const cache::ArtifactStoreStats stats = warm.cache_stats();
+    EXPECT_EQ(stats.misses, 0u) << "jobs=" << jobs;
+    EXPECT_EQ(stats.hit_rate(), 1.0) << "jobs=" << jobs;
+  }
+  fs::remove_all(root);
+}
+
+TEST(StudyCache, CorruptArtifactRecomputesAndMarksDegraded) {
+  const std::string root = temp_dir("iotx_cache_degrade_test");
+
+  core::Study cold(cached_study_params(root, 1));
+  cold.run();
+  const std::string cold_tables = table_fingerprint(cold);
+
+  // Corrupt every stored artifact: the warm run must detect each one,
+  // recompute, and still reproduce the cold tables (robustness_json is
+  // excluded from the comparison here because the recomputing run is
+  // rightfully marked degraded).
+  std::size_t corrupted = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::fstream f(entry.path(), std::ios::in | std::ios::out |
+                                     std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    f.put('\xee');
+    ++corrupted;
+  }
+  ASSERT_GT(corrupted, 0u);
+
+  core::Study warm(cached_study_params(root, 1));
+  warm.run();
+  // Tables (minus robustness) are identical; the degradation is visible
+  // in health, not in the measurements.
+  const auto strip_robustness = [](const core::Study& s) {
+    return report::table2_json(s) + report::table5_json(s) +
+           report::table7_json(s) + report::table9_json(s) +
+           report::table11_json(s) + report::pii_json(s);
+  };
+  EXPECT_EQ(strip_robustness(warm), strip_robustness(cold));
+  EXPECT_GT(warm.cache_stats().corrupt, 0u);
+  EXPECT_FALSE(warm.degraded().empty());
+
+  // A third run sees the freshly re-stored artifacts and is clean again.
+  core::Study rewarm(cached_study_params(root, 1));
+  rewarm.run();
+  EXPECT_EQ(table_fingerprint(rewarm), cold_tables);
+  EXPECT_EQ(rewarm.cache_stats().misses, 0u);
+  fs::remove_all(root);
+}
+
+}  // namespace

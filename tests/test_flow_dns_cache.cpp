@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "pipeline_helpers.hpp"
+
 #include "iotx/proto/dns.hpp"
 
 namespace {
@@ -101,7 +103,7 @@ TEST(DnsCache, NamesLowercased) {
   EXPECT_EQ(*cache.lookup(Ipv4Address(5, 5, 5, 5)), "api.ring.com");
 }
 
-TEST(DnsCache, IngestAllProcessesCapture) {
+TEST(DnsCache, PipelinePassProcessesCapture) {
   std::vector<Packet> capture;
   const DnsMessage r1 =
       make_response(make_query(1, "a.com"), Ipv4Address(1, 1, 1, 1));
@@ -110,7 +112,7 @@ TEST(DnsCache, IngestAllProcessesCapture) {
   capture.push_back(make_udp_packet(1.0, dns_endpoints(true), r1.encode()));
   capture.push_back(make_udp_packet(2.0, dns_endpoints(true), r2.encode()));
   DnsCache cache;
-  cache.ingest_all(capture);
+  iotx::testutil::ingest_dns(cache, capture);
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(*cache.lookup(Ipv4Address(2, 2, 2, 2)), "b.com");
 }

@@ -1,9 +1,10 @@
 // Regression tests for the single-decode ingest pipeline: a capture
 // streamed once through shared sinks must produce byte-identical DNS
-// caches, flow tables, traffic units, and health counters to the legacy
-// one-pass-per-consumer entry points — clean and under injected
-// impairment — and each frame must be decoded exactly once regardless of
-// how many sinks ride the pass.
+// caches, flow tables, traffic units, and health counters to running
+// each sink through its own one-sink pipeline (the
+// one-pass-per-consumer shape the removed vector entry points imposed)
+// — clean and under injected impairment — and each frame must be
+// decoded exactly once regardless of how many sinks ride the pass.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -57,19 +58,34 @@ net::MacAddress device_mac() {
   return testbed::device_mac(*testbed::find_device("ring_doorbell"), true);
 }
 
-/// Runs legacy per-consumer entry points and the shared pipeline over the
-/// same capture and asserts every observable output is identical.
-void expect_shared_pass_matches_legacy(
+/// Streams the capture through a fresh one-sink pipeline — the shape the
+/// removed vector entry points imposed: one full decode pass per
+/// consumer. Returns the pipeline's decode-layer health.
+faults::CaptureHealth solo_pass(const std::vector<net::Packet>& capture,
+                                PacketSink& sink) {
+  IngestPipeline pipeline;
+  pipeline.add_sink(sink);
+  pipeline.ingest_all(capture);
+  pipeline.finish();
+  return pipeline.health();
+}
+
+/// Runs every consumer through its own one-sink pipeline and through one
+/// shared pipeline over the same capture, and asserts every observable
+/// output is identical — the property that lets callers batch sinks
+/// freely.
+void expect_shared_pass_matches_solo_passes(
     const std::vector<net::Packet>& capture) {
-  // Legacy multi-pass: each consumer walks (and decodes) the capture alone.
-  DnsCache legacy_dns;
-  legacy_dns.ingest_all(capture);
-  faults::CaptureHealth legacy_flow_health;
-  const std::vector<Flow> legacy_flows =
-      assemble_flows(capture, &legacy_flow_health);
-  faults::CaptureHealth legacy_meta_health;
-  const std::vector<PacketMeta> legacy_meta =
-      extract_meta(capture, device_mac(), &legacy_meta_health);
+  // Multi-pass: each consumer walks (and decodes) the capture alone.
+  DnsCache solo_dns;
+  solo_pass(capture, solo_dns);
+  FlowTable solo_table;
+  faults::CaptureHealth solo_flow_health = solo_pass(capture, solo_table);
+  solo_flow_health.merge(solo_table.health());
+  MetaCollector solo_collector(device_mac());
+  const faults::CaptureHealth solo_meta_health =
+      solo_pass(capture, solo_collector);
+  const std::vector<PacketMeta> solo_meta = solo_collector.take();
 
   // Shared pass: all consumers ride one pipeline.
   DnsCache dns;
@@ -82,40 +98,38 @@ void expect_shared_pass_matches_legacy(
   pipeline.ingest_all(capture);
   pipeline.finish();
 
-  EXPECT_EQ(legacy_dns.entries(), dns.entries());
-  EXPECT_TRUE(legacy_dns.health() == dns.health());
-  EXPECT_EQ(legacy_flows, table.flows());
-  // The legacy flow pass counted undecodable frames itself; in the shared
-  // pass that count lives in the pipeline, the table keeps protocol-level
-  // anomalies only. Their union must match exactly.
+  EXPECT_EQ(solo_dns.entries(), dns.entries());
+  EXPECT_TRUE(solo_dns.health() == dns.health());
+  EXPECT_EQ(solo_table.flows(), table.flows());
+  // Undecodable frames are counted by each pipeline, protocol-level
+  // anomalies by each sink; the unions must match exactly.
   faults::CaptureHealth shared_flow_health = pipeline.health();
   shared_flow_health.merge(table.health());
-  EXPECT_TRUE(legacy_flow_health == shared_flow_health);
+  EXPECT_TRUE(solo_flow_health == shared_flow_health);
 
-  EXPECT_EQ(legacy_meta, collector.meta());
-  faults::CaptureHealth shared_meta_health = pipeline.health();
-  EXPECT_TRUE(legacy_meta_health == shared_meta_health);
+  EXPECT_EQ(solo_meta, collector.meta());
+  EXPECT_TRUE(solo_meta_health == pipeline.health());
 
   // And the downstream segmentation sees identical traffic units.
-  const auto legacy_units = segment_traffic(legacy_meta);
+  const auto solo_units = segment_traffic(solo_meta);
   const auto shared_units = segment_traffic(collector.meta());
-  ASSERT_EQ(legacy_units.size(), shared_units.size());
-  for (std::size_t i = 0; i < legacy_units.size(); ++i) {
-    EXPECT_EQ(legacy_units[i].packets, shared_units[i].packets);
+  ASSERT_EQ(solo_units.size(), shared_units.size());
+  for (std::size_t i = 0; i < solo_units.size(); ++i) {
+    EXPECT_EQ(solo_units[i].packets, shared_units[i].packets);
   }
 }
 
-TEST(PipelineEquivalence, CleanCaptureMatchesLegacyPasses) {
-  expect_shared_pass_matches_legacy(seeded_capture("clean"));
+TEST(PipelineEquivalence, CleanCaptureMatchesSoloPasses) {
+  expect_shared_pass_matches_solo_passes(seeded_capture("clean"));
 }
 
-TEST(PipelineEquivalence, ImpairedCaptureMatchesLegacyPasses) {
-  expect_shared_pass_matches_legacy(impaired_capture("lossy"));
+TEST(PipelineEquivalence, ImpairedCaptureMatchesSoloPasses) {
+  expect_shared_pass_matches_solo_passes(impaired_capture("lossy"));
 }
 
-TEST(PipelineEquivalence, ClientStreamSinkMatchesWrapper) {
-  // Pre-filter the capture to one TCP connection, as the reassembly
-  // wrapper expects, then compare sink-in-pipeline vs one-shot wrapper.
+TEST(PipelineEquivalence, ClientStreamSinkSameAloneOrShared) {
+  // Pre-filter the capture to one TCP connection, as the reassembly sink
+  // expects, then compare the sink riding a shared pipeline vs alone.
   const std::vector<net::Packet> capture = seeded_capture("stream");
   std::optional<FlowKey> first_key;
   std::vector<net::Packet> connection;
@@ -128,15 +142,21 @@ TEST(PipelineEquivalence, ClientStreamSinkMatchesWrapper) {
   }
   ASSERT_FALSE(connection.empty());
 
-  const std::vector<std::uint8_t> legacy =
-      reassemble_client_stream(connection);
+  ClientStreamSink solo;
+  solo_pass(connection, solo);
 
-  ClientStreamSink sink;
+  // The same sink riding a pipeline with other consumers sees the exact
+  // same packets, so the assembled stream is identical.
+  ClientStreamSink shared;
+  DnsCache dns;
+  FlowTable table;
   IngestPipeline pipeline;
-  pipeline.add_sink(sink);
+  pipeline.add_sink(dns);
+  pipeline.add_sink(table);
+  pipeline.add_sink(shared);
   pipeline.ingest_all(connection);
   pipeline.finish();
-  EXPECT_EQ(legacy, sink.stream());
+  EXPECT_EQ(solo.stream(), shared.stream());
 }
 
 TEST(SingleDecode, SharedPipelineDecodesEachFrameOnce) {
@@ -161,15 +181,17 @@ TEST(SingleDecode, SharedPipelineDecodesEachFrameOnce) {
             capture.size());
 }
 
-TEST(SingleDecode, LegacyMultiPassDecodesOncePerConsumer) {
-  // The baseline the pipeline removes: every separate entry point pays its
-  // own full decode pass.
+TEST(SingleDecode, SoloPassesDecodeOncePerConsumer) {
+  // The baseline sharing removes: a consumer running its own pipeline
+  // pays a full decode pass, so three solo consumers pay three.
   const std::vector<net::Packet> capture = seeded_capture("count");
   const std::uint64_t before = net::decode_packet_calls();
   DnsCache dns;
-  dns.ingest_all(capture);
-  assemble_flows(capture);
-  extract_meta(capture, device_mac());
+  solo_pass(capture, dns);
+  FlowTable table;
+  solo_pass(capture, table);
+  MetaCollector collector(device_mac());
+  solo_pass(capture, collector);
   const std::uint64_t after = net::decode_packet_calls();
   EXPECT_EQ(after - before, 3 * capture.size());
 }

@@ -3,12 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include "pipeline_helpers.hpp"
+
 #include "iotx/proto/tls.hpp"
 
 namespace {
 
 using iotx::flow::TcpStreamReassembler;
-using iotx::flow::reassemble_client_stream;
 
 std::vector<std::uint8_t> bytes_of(std::string_view s) {
   return {s.begin(), s.end()};
@@ -143,7 +144,7 @@ TEST(Reassembly, ClientStreamFromPackets) {
   packets.push_back(make_tcp_packet(1.2, reverse(ep), bytes_of("SERVER"),
                                     0x18, 555));
 
-  const auto stream = reassemble_client_stream(packets);
+  const auto stream = iotx::testutil::client_stream_of(packets);
   EXPECT_EQ(stream, hello);
 
   // The per-packet SNI sniffing in FlowTable cannot see the split hello,
@@ -167,7 +168,7 @@ TEST(Reassembly, ClientStreamHandlesOutOfOrderArrival) {
   packets.push_back(make_tcp_packet(1.0, ep, bytes_of("AA"), 0x18, 100));
   packets.push_back(make_tcp_packet(1.2, ep, bytes_of("CC"), 0x18, 104));
   packets.push_back(make_tcp_packet(1.1, ep, bytes_of("BB"), 0x18, 102));
-  EXPECT_EQ(reassemble_client_stream(packets), bytes_of("AABBCC"));
+  EXPECT_EQ(iotx::testutil::client_stream_of(packets), bytes_of("AABBCC"));
 }
 
 }  // namespace

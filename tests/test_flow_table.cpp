@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "pipeline_helpers.hpp"
+
 #include "iotx/net/bytes.hpp"
 #include "iotx/proto/tls.hpp"
 
@@ -114,14 +116,14 @@ TEST(FlowTable, PayloadSampleCapped) {
   EXPECT_EQ(f.up.payload_bytes, 120u * 1400u);  // accounting keeps counting
 }
 
-TEST(FlowTable, IngestAllSkipsUndecodable) {
+TEST(FlowTable, PipelinePassSkipsUndecodable) {
   std::vector<Packet> packets;
   packets.push_back(make_tcp_packet(1.0, endpoints(), std::vector<std::uint8_t>{1, 2}));
   Packet garbage;
   garbage.frame = {1, 2, 3};
   packets.push_back(garbage);
   FlowTable table;
-  table.ingest_all(packets);
+  iotx::testutil::run_single_sink(packets, table);
   EXPECT_EQ(table.size(), 1u);
 }
 
@@ -135,11 +137,11 @@ TEST(FlowTable, FlowsInFirstSeenOrder) {
   EXPECT_EQ(flows[1].initiator_port, 40001);
 }
 
-TEST(AssembleFlows, OneShot) {
+TEST(FlowsOf, OneShot) {
   std::vector<Packet> packets;
   packets.push_back(make_tcp_packet(1.0, endpoints(), std::vector<std::uint8_t>{1}));
   packets.push_back(make_tcp_packet(1.5, reverse(endpoints()), std::vector<std::uint8_t>{2, 3}));
-  const auto flows = assemble_flows(packets);
+  const auto flows = iotx::testutil::flows_of(packets);
   ASSERT_EQ(flows.size(), 1u);
   EXPECT_EQ(flows[0].total_payload_bytes(), 3u);
 }

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "pipeline_helpers.hpp"
+
 #include "iotx/util/prng.hpp"
 
 namespace {
@@ -118,7 +120,7 @@ TEST(ExtractMeta, FiltersByMacAndSetsDirection) {
   capture.push_back(make_tcp_packet(1.0, ep, {}));            // from device
   capture.push_back(make_tcp_packet(1.5, other_ep, {}));      // other device
 
-  const auto metas = extract_meta(capture, dev);
+  const auto metas = iotx::testutil::meta_of(capture, dev);
   ASSERT_EQ(metas.size(), 2u);
   // Sorted by timestamp.
   EXPECT_DOUBLE_EQ(metas[0].timestamp, 1.0);
@@ -127,11 +129,11 @@ TEST(ExtractMeta, FiltersByMacAndSetsDirection) {
   EXPECT_FALSE(metas[1].outbound);
 }
 
-TEST(ExtractMeta, SkipsUndecodableFrames) {
+TEST(MetaCollector, SkipsUndecodableFrames) {
   Packet garbage;
   garbage.frame = {1, 2, 3, 4};
   const auto metas =
-      extract_meta({garbage}, MacAddress({0x02, 0, 0, 0, 0, 1}));
+      iotx::testutil::meta_of({garbage}, MacAddress({0x02, 0, 0, 0, 0, 1}));
   EXPECT_TRUE(metas.empty());
 }
 

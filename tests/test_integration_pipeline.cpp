@@ -4,6 +4,8 @@
 // runs must be bit-deterministic.
 #include <gtest/gtest.h>
 
+#include "pipeline_helpers.hpp"
+
 #include <filesystem>
 
 #include "iotx/analysis/destinations.hpp"
@@ -29,7 +31,7 @@ TEST(Pipeline, PcapRoundTripPreservesAnalysis) {
     const LabeledCapture capture = runner.run(spec);
 
     // In-memory analysis.
-    const auto mem_flows = flow::assemble_flows(capture.packets);
+    const auto mem_flows = testutil::flows_of(capture.packets);
     const auto mem_enc = analysis::account_flows(mem_flows);
 
     // Disk round trip.
@@ -37,7 +39,7 @@ TEST(Pipeline, PcapRoundTripPreservesAnalysis) {
     ASSERT_FALSE(path.empty());
     const auto reread = Gateway::read_labeled(path);
     ASSERT_TRUE(reread);
-    const auto disk_flows = flow::assemble_flows(*reread);
+    const auto disk_flows = testutil::flows_of(*reread);
     const auto disk_enc = analysis::account_flows(disk_flows);
 
     EXPECT_EQ(mem_flows.size(), disk_flows.size()) << spec.key();
@@ -94,9 +96,9 @@ TEST(Pipeline, DnsAttributionSurvivesDiskRoundTrip) {
   ASSERT_TRUE(reread);
 
   flow::DnsCache dns;
-  dns.ingest_all(*reread);
+  testutil::ingest_dns(dns, *reread);
   bool ring_resolved = false;
-  for (const auto& f : flow::assemble_flows(*reread)) {
+  for (const auto& f : testutil::flows_of(*reread)) {
     if (const auto d = dns.lookup(f.responder)) {
       ring_resolved |= *d == "api.ring.com";
     }

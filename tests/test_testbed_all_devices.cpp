@@ -4,6 +4,8 @@
 // produce learnable labeled data.
 #include <gtest/gtest.h>
 
+#include "pipeline_helpers.hpp"
+
 #include <set>
 
 #include "iotx/analysis/encryption.hpp"
@@ -76,7 +78,7 @@ TEST_P(EveryDevice, ActivityTrafficAttributableToDevice) {
   const auto packets =
       synth.activity_event(device(), home_config(), sig, 0.0, prng);
   const net::MacAddress mac = device_mac(device(), device().in_us());
-  const auto meta = flow::extract_meta(packets, mac);
+  const auto meta = testutil::meta_of(packets, mac);
   // Broadcast/multicast frames may not count toward the device MAC, but
   // the overwhelming majority of frames must.
   EXPECT_GT(meta.size(), packets.size() / 2);
@@ -94,7 +96,7 @@ TEST_P(EveryDevice, PlaintextShareRoughlyMatchesProfile) {
                       std::to_string(rep));
       const auto packets =
           synth.activity_event(device(), config, sig, 0.0, prng);
-      bytes += analysis::account_flows(flow::assemble_flows(packets));
+      bytes += analysis::account_flows(testutil::flows_of(packets));
     }
   }
   ASSERT_GT(bytes.classified_total(), 0u);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "pipeline_helpers.hpp"
+
 #include <set>
 
 #include "iotx/flow/dns_cache.hpp"
@@ -28,9 +30,9 @@ NetworkConfig us_vpn() { return {LabSite::kUs, true}; }
 
 std::set<std::string> dns_names(const std::vector<iotx::net::Packet>& pkts) {
   iotx::flow::DnsCache cache;
-  cache.ingest_all(pkts);
+  iotx::testutil::ingest_dns(cache, pkts);
   std::set<std::string> names;
-  for (const auto& flow : iotx::flow::assemble_flows(pkts)) {
+  for (const auto& flow : iotx::testutil::flows_of(pkts)) {
     if (const auto n = cache.lookup(flow.responder)) names.insert(*n);
   }
   return names;
@@ -185,7 +187,7 @@ TEST(Synth, MediaMagicInCameraStreams) {
   Prng prng("media");
   const auto pkts = synth.activity_event(cam, us_direct(), *watch, 0.0, prng);
   bool media_flow = false;
-  for (const auto& flow : iotx::flow::assemble_flows(pkts)) {
+  for (const auto& flow : iotx::testutil::flows_of(pkts)) {
     if (flow.encoding == iotx::proto::ContentEncoding::kH264AnnexB ||
         flow.protocol == iotx::proto::ProtocolId::kRtsp) {
       media_flow = true;
