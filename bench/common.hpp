@@ -23,7 +23,7 @@ namespace iotx::bench {
 /// document. scripts/check_ingest_baseline.py (and the cache-bench gate)
 /// refuse to compare documents whose versions differ, so a shape change
 /// here must bump the constant and refresh the checked-in baselines.
-inline constexpr std::uint64_t kBenchSchemaVersion = 1;
+inline constexpr std::uint64_t kBenchSchemaVersion = 2;
 
 /// Minimal JSON emitter shared by the bench binaries — replaces the
 /// per-bench printf JSON that drifted out of sync. String escaping rides

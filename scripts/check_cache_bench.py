@@ -20,7 +20,10 @@ Checks, in order:
 import json
 import sys
 
-SUPPORTED_SCHEMA = 1
+# v2 added the pcap_scalar/pcap_fastpath modes to the ingest bench; the
+# cache document's own shape is unchanged, but the version constant is
+# shared across all bench binaries.
+SUPPORTED_SCHEMA = 2
 
 
 def main() -> int:

@@ -1,14 +1,28 @@
 #!/usr/bin/env python3
-"""Gate ingest performance against the committed baseline.
+"""Gate ingest performance against committed references.
 
-Usage: check_ingest_baseline.py <baseline.json> <current.json> [tolerance]
+Three modes:
 
-Both files are ingest_throughput bench documents and must agree on
-`schema_version` — a mismatch means the document shape changed without
-refreshing the committed baseline, so the comparison is rejected
-outright rather than risked. Absolute packets/sec
+  check_ingest_baseline.py <baseline.json> <current.json> [tolerance]
+      Pairwise gate against the committed single-run baseline
+      (bench/ingest_throughput_baseline.json).
+
+  check_ingest_baseline.py --trajectory <BENCH_ingest.json> <current.json> [tolerance]
+      Gate against the committed trajectory file: the current run must
+      clear the fast-path floors (see below) and must not regress more
+      than `tolerance` below the most recent trajectory entry's
+      fastpath_speedup.
+
+  check_ingest_baseline.py --append <BENCH_ingest.json> <current.json> [label]
+      Append the current run as a new schema_version-stamped trajectory
+      entry (run the gate first; append records history, it does not
+      validate). Creates the trajectory file if missing.
+
+Documents must agree on `schema_version` — a mismatch means the bench
+shape changed without refreshing the committed references, so the
+comparison is rejected outright rather than risked. Absolute packets/sec
 is machine-dependent (shared CI runners vary well beyond any sane
-tolerance run-to-run), so the gate only checks quantities that are
+tolerance run-to-run), so every gate checks only quantities that are
 relative to the *same run*:
 
   1. decode_calls_ratio — legacy decodes / streaming decodes. Pure
@@ -16,40 +30,88 @@ relative to the *same run*:
      baseline (would mean the single-decode pipeline stopped
      deduplicating work).
   2. streaming decode_calls == packets — the single-decode invariant
-     itself, exact.
+     itself, exact. Also enforced on the pcap_fastpath capture job:
+     the zero-copy view path must decode each frame exactly once too.
   3. speedup — streaming vs legacy wall time measured back-to-back on
      the same hardware: must not drop more than `tolerance` (default
      0.25) below the baseline's speedup.
+  4. fastpath_speedup — the full capture job (pcap parse + four-sink
+     pipeline + entropy classification + meta encode + content digests)
+     with dispatched SIMD/zero-copy fast paths vs the same job pinned
+     scalar, back-to-back on the same hardware. Hard floor
+     FASTPATH_FLOOR (1.5x): the fast paths must keep paying for
+     themselves on whatever machine runs the gate.
+  5. fastpath_outputs_identical — the two job modes digest every
+     headline output byte; the digests must match (the fast paths are
+     required to be unobservable in results).
 
-Faster runs always pass; refresh the committed baseline when a real
-improvement lands so the gate tracks the new floor.
+Faster runs always pass; refresh the committed references when a real
+improvement lands so the gates track the new floor.
 """
 import json
 import sys
 
+SUPPORTED_SCHEMA = 2
+FASTPATH_FLOOR = 1.5
 
-def main() -> int:
-    if len(sys.argv) < 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    with open(sys.argv[1]) as f:
-        baseline = json.load(f)
-    with open(sys.argv[2]) as f:
-        current = json.load(f)
-    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+# Trajectory entries carry only machine-relative and counting fields —
+# never absolute seconds or packets/sec, which would invite cross-machine
+# comparisons the file cannot support.
+ENTRY_FIELDS = (
+    "captures",
+    "packets",
+    "simd_level",
+    "decode_calls_ratio",
+    "speedup",
+    "fastpath_speedup",
+    "fastpath_outputs_identical",
+)
 
-    base_schema = baseline.get("schema_version")
-    cur_schema = current.get("schema_version")
-    if base_schema != cur_schema:
-        print(
-            f"FAIL: schema_version mismatch (baseline {base_schema!r}, "
-            f"current {cur_schema!r}); refresh the committed baseline",
-            file=sys.stderr,
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check_schema(doc, origin, failures):
+    schema = doc.get("schema_version")
+    if schema != SUPPORTED_SCHEMA:
+        failures.append(
+            f"{origin}: unsupported schema_version {schema!r} "
+            f"(this gate understands {SUPPORTED_SCHEMA})"
         )
-        return 1
+        return False
+    return True
 
-    failures = []
 
+def check_fastpath_floors(current, failures):
+    """Machine-relative fast-path gates that need no baseline at all."""
+    job = current["pcap_fastpath"]
+    packets = int(job["packets"])
+    decodes = int(job["decode_calls"])
+    print(f"fastpath single-decode invariant: {decodes} decode calls for "
+          f"{packets} packets")
+    if decodes != packets:
+        failures.append("pcap_fastpath no longer decodes each frame "
+                        "exactly once")
+
+    identical = bool(current["fastpath_outputs_identical"])
+    print(f"fastpath outputs identical to scalar: {identical}")
+    if not identical:
+        failures.append("fast paths changed an output byte "
+                        "(scalar/fastpath digests differ)")
+
+    speedup = float(current["fastpath_speedup"])
+    print(f"fastpath speedup (dispatched vs scalar-pinned, same machine): "
+          f"{speedup:.2f}x (floor {FASTPATH_FLOOR:.1f}x, "
+          f"simd_level {current.get('simd_level')!r})")
+    if speedup < FASTPATH_FLOOR:
+        failures.append(
+            f"fastpath_speedup {speedup:.2f}x below the "
+            f"{FASTPATH_FLOOR:.1f}x floor")
+
+
+def check_pairwise(baseline, current, tolerance, failures):
     base_ratio = float(baseline["decode_calls_ratio"])
     cur_ratio = float(current["decode_calls_ratio"])
     print(f"decode_calls_ratio: baseline {base_ratio:g}, current {cur_ratio:g}")
@@ -74,6 +136,92 @@ def main() -> int:
     )
     if drop > tolerance:
         failures.append("speedup regressed beyond tolerance")
+
+    check_fastpath_floors(current, failures)
+
+
+def check_trajectory(trajectory, current, tolerance, failures):
+    entries = trajectory.get("entries", [])
+    if not entries:
+        failures.append("trajectory has no entries to compare against")
+        return
+    last = entries[-1]
+    if not check_schema(last, "trajectory tail entry", failures):
+        return
+
+    check_fastpath_floors(current, failures)
+
+    last_speedup = float(last["fastpath_speedup"])
+    cur_speedup = float(current["fastpath_speedup"])
+    drop = ((last_speedup - cur_speedup) / last_speedup
+            if last_speedup else 0.0)
+    print(
+        f"fastpath speedup vs trajectory tail: tail {last_speedup:.2f}x "
+        f"(label {last.get('label')!r}), current {cur_speedup:.2f}x, "
+        f"drop {drop:+.1%} (tolerance {tolerance:.0%})"
+    )
+    if drop > tolerance:
+        failures.append("fastpath_speedup regressed beyond tolerance vs "
+                        "the trajectory tail")
+
+    last_ratio = float(last["decode_calls_ratio"])
+    cur_ratio = float(current["decode_calls_ratio"])
+    print(f"decode_calls_ratio: tail {last_ratio:g}, current {cur_ratio:g}")
+    if cur_ratio < last_ratio - 1e-9:
+        failures.append("decode_calls_ratio dropped below the trajectory "
+                        "tail")
+
+
+def append_entry(trajectory_path, current, label):
+    try:
+        trajectory = load(trajectory_path)
+    except FileNotFoundError:
+        trajectory = {"bench": "ingest_throughput", "entries": []}
+    entry = {"schema_version": SUPPORTED_SCHEMA}
+    if label:
+        entry["label"] = label
+    for field in ENTRY_FIELDS:
+        if field == "packets":
+            entry[field] = current["pcap_fastpath"]["packets"]
+        else:
+            entry[field] = current[field] if field in current else None
+    trajectory.setdefault("entries", []).append(entry)
+    with open(trajectory_path, "w") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+    print(f"appended entry {len(trajectory['entries'])} to {trajectory_path}")
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    mode = "pairwise"
+    if argv and argv[0] in ("--trajectory", "--append"):
+        mode = argv[0][2:]
+        argv = argv[1:]
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    reference_path, current_path = argv[0], argv[1]
+    current = load(current_path)
+    failures = []
+    if not check_schema(current, current_path, failures):
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    if mode == "append":
+        label = argv[2] if len(argv) > 2 else ""
+        append_entry(reference_path, current, label)
+        return 0
+
+    tolerance = float(argv[2]) if len(argv) > 2 else 0.25
+    reference = load(reference_path)
+    if mode == "pairwise":
+        if check_schema(reference, reference_path, failures):
+            check_pairwise(reference, current, tolerance, failures)
+    else:
+        check_trajectory(reference, current, tolerance, failures)
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -51,6 +51,26 @@ class BinWriter {
     out_.insert(out_.end(), bytes, bytes + len);
   }
 
+  /// Length-prefixed bulk f64 write. On little-endian hosts the whole
+  /// span is one memcpy of the IEEE-754 bit patterns — byte-identical to
+  /// the per-element f64() loop it replaces — so flat double arrays
+  /// (ml::Dataset rows, feature matrices) serialize without touching
+  /// each element; big-endian hosts fall back to the loop.
+  void f64_span(std::span<const double> values) {
+    u64(values.size());
+    if constexpr (std::endian::native == std::endian::little) {
+      static_assert(sizeof(double) == 8);
+      raw(values.data(), values.size() * sizeof(double));
+    } else {
+      for (double v : values) f64(v);
+    }
+  }
+
+  /// Pre-sizes the buffer for a known payload (e.g. records * stride).
+  void reserve(std::size_t additional_bytes) {
+    out_.reserve(out_.size() + additional_bytes);
+  }
+
   const std::vector<std::uint8_t>& buffer() const { return out_; }
   std::vector<std::uint8_t> take() { return std::move(out_); }
 
@@ -101,6 +121,22 @@ class BinReader {
     std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
     pos_ += len;
     return s;
+  }
+
+  /// Bulk counterpart of BinWriter::f64_span: length-prefixed f64 array,
+  /// one memcpy on little-endian hosts.
+  std::vector<double> f64_span() {
+    const std::size_t n = length(8);
+    std::vector<double> values;
+    if constexpr (std::endian::native == std::endian::little) {
+      values.resize(n);
+      std::memcpy(values.data(), data_.data() + pos_, n * sizeof(double));
+      pos_ += n * sizeof(double);
+    } else {
+      values.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) values.push_back(f64());
+    }
+    return values;
   }
 
   // Reads an element-count prefix and checks that `count *

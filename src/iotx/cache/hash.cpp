@@ -3,6 +3,18 @@
 #include <bit>
 #include <cstring>
 
+#include "iotx/util/simd.hpp"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define IOTX_SHA_X86 1
+#endif
+
+#if defined(__aarch64__) && defined(__ARM_FEATURE_SHA2)
+#include <arm_neon.h>
+#define IOTX_SHA_ARM 1
+#endif
+
 namespace iotx::cache {
 
 namespace {
@@ -21,11 +33,492 @@ constexpr std::array<std::uint32_t, 64> kRoundConstants = {
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 };
 
+inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+// Runs the 64 compression rounds for one block whose message schedule
+// `w` is already expanded, updating `state` in place.
+inline void compress_rounds(std::uint32_t* state,
+                            const std::uint32_t* w) noexcept {
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t s1 = std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
+    std::uint32_t ch = (e & f) ^ (~e & g);
+    std::uint32_t temp1 = h + s1 + ch + kRoundConstants[i] + w[i];
+    std::uint32_t s0 = std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
+    std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    std::uint32_t temp2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+}  // namespace
+
+namespace detail {
+
+// Portable multi-block compression. The chaining value must flow from
+// one block into the next, so the rounds themselves cannot be run in
+// parallel across blocks of one stream — but the message schedules are
+// pure functions of the input bytes. Expanding four schedules with the
+// expansion loop interleaved (inner loop over blocks) gives the
+// compiler four independent dependency chains per w[t], which it can
+// software-pipeline or vectorize; the rounds then run back to back on
+// schedules that are already hot in L1.
+void sha256_blocks_portable(std::uint32_t* state, const std::uint8_t* data,
+                            std::size_t blocks) noexcept {
+  while (blocks >= 4) {
+    std::uint32_t w[4][64];
+    for (int j = 0; j < 4; ++j) {
+      const std::uint8_t* block = data + 64 * j;
+      for (int t = 0; t < 16; ++t) w[j][t] = load_be32(block + 4 * t);
+    }
+    for (int t = 16; t < 64; ++t) {
+      for (int j = 0; j < 4; ++j) {
+        std::uint32_t s0 = std::rotr(w[j][t - 15], 7) ^
+                           std::rotr(w[j][t - 15], 18) ^ (w[j][t - 15] >> 3);
+        std::uint32_t s1 = std::rotr(w[j][t - 2], 17) ^
+                           std::rotr(w[j][t - 2], 19) ^ (w[j][t - 2] >> 10);
+        w[j][t] = w[j][t - 16] + s0 + w[j][t - 7] + s1;
+      }
+    }
+    for (int j = 0; j < 4; ++j) compress_rounds(state, w[j]);
+    data += 256;
+    blocks -= 4;
+  }
+  while (blocks > 0) {
+    std::uint32_t w[64];
+    for (int t = 0; t < 16; ++t) w[t] = load_be32(data + 4 * t);
+    for (int t = 16; t < 64; ++t) {
+      std::uint32_t s0 = std::rotr(w[t - 15], 7) ^ std::rotr(w[t - 15], 18) ^
+                         (w[t - 15] >> 3);
+      std::uint32_t s1 = std::rotr(w[t - 2], 17) ^ std::rotr(w[t - 2], 19) ^
+                         (w[t - 2] >> 10);
+      w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+    }
+    compress_rounds(state, w);
+    data += 64;
+    --blocks;
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+#if defined(IOTX_SHA_X86)
+// SHA-NI two-rounds-per-instruction compression (Gulley et al. layout:
+// state held as ABEF/CDGH vectors). Compiled with a per-function target
+// attribute so the rest of the TU keeps the baseline ISA; only entered
+// after the runtime simd::caps().sha_ni check.
+__attribute__((target("sha,sse4.1,ssse3"))) void sha256_blocks_shani(
+    std::uint32_t* state, const std::uint8_t* data,
+    std::size_t blocks) noexcept {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);    // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);         // CDGH
+
+  while (blocks > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msg, msgtmp;
+
+    // Rounds 0-3
+    msg = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0));
+    __m128i msg0 = _mm_shuffle_epi8(msg, kShuffle);
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7
+    __m128i msg1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16));
+    msg1 = _mm_shuffle_epi8(msg1, kShuffle);
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11
+    __m128i msg2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32));
+    msg2 = _mm_shuffle_epi8(msg2, kShuffle);
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15
+    __m128i msg3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48));
+    msg3 = _mm_shuffle_epi8(msg3, kShuffle);
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, msgtmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-19
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, msgtmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 20-23
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, msgtmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 24-27
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, msgtmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 28-31
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, msgtmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 32-35
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, msgtmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 36-39
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, msgtmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 40-43
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, msgtmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 44-47
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0x106AA070F40E3585ULL, 0xD6990624D192E819ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, msgtmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 48-51
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, msgtmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    // Rounds 52-55
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, msgtmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, msgtmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+
+    data += 64;
+    --blocks;
+  }
+
+  // Invert the ABEF/CDGH working layout back to linear a..h: after the
+  // two shuffles tmp holds (e,f,a,b) and state1 holds (c,d,g,h) in
+  // low-to-high lanes, so alignr picks out (a,b,c,d) and blend (e,f,g,h).
+  tmp = _mm_shuffle_epi32(state0, 0xB1);
+  state1 = _mm_shuffle_epi32(state1, 0x1B);
+  state0 = _mm_alignr_epi8(state1, tmp, 8);
+  state1 = _mm_blend_epi16(tmp, state1, 0xF0);
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+#endif  // IOTX_SHA_X86
+
+#if defined(IOTX_SHA_ARM)
+// ARMv8 crypto-extension compression. Only compiled when the build
+// target enables SHA2 (__ARM_FEATURE_SHA2); simd::probe() zeroes the
+// runtime bit otherwise, so this cannot be reached from a build that
+// lacks the intrinsics.
+void sha256_blocks_armv8(std::uint32_t* state, const std::uint8_t* data,
+                         std::size_t blocks) noexcept {
+  uint32x4_t state0 = vld1q_u32(&state[0]);
+  uint32x4_t state1 = vld1q_u32(&state[4]);
+  const std::uint32_t* k = kRoundConstants.data();
+
+  while (blocks > 0) {
+    const uint32x4_t abcd_save = state0;
+    const uint32x4_t efgh_save = state1;
+
+    uint32x4_t msg0 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(data + 0)));
+    uint32x4_t msg1 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(data + 16)));
+    uint32x4_t msg2 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(data + 32)));
+    uint32x4_t msg3 = vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(data + 48)));
+
+    uint32x4_t tmp0 = vaddq_u32(msg0, vld1q_u32(&k[0]));
+    uint32x4_t tmp1, tmp2;
+
+    // Rounds 0-3
+    msg0 = vsha256su0q_u32(msg0, msg1);
+    tmp2 = state0;
+    tmp1 = vaddq_u32(msg1, vld1q_u32(&k[4]));
+    state0 = vsha256hq_u32(state0, state1, tmp0);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp0);
+    msg0 = vsha256su1q_u32(msg0, msg2, msg3);
+
+    // Rounds 4-7
+    msg1 = vsha256su0q_u32(msg1, msg2);
+    tmp2 = state0;
+    tmp0 = vaddq_u32(msg2, vld1q_u32(&k[8]));
+    state0 = vsha256hq_u32(state0, state1, tmp1);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp1);
+    msg1 = vsha256su1q_u32(msg1, msg3, msg0);
+
+    // Rounds 8-11
+    msg2 = vsha256su0q_u32(msg2, msg3);
+    tmp2 = state0;
+    tmp1 = vaddq_u32(msg3, vld1q_u32(&k[12]));
+    state0 = vsha256hq_u32(state0, state1, tmp0);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp0);
+    msg2 = vsha256su1q_u32(msg2, msg0, msg1);
+
+    // Rounds 12-15
+    msg3 = vsha256su0q_u32(msg3, msg0);
+    tmp2 = state0;
+    tmp0 = vaddq_u32(msg0, vld1q_u32(&k[16]));
+    state0 = vsha256hq_u32(state0, state1, tmp1);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp1);
+    msg3 = vsha256su1q_u32(msg3, msg1, msg2);
+
+    // Rounds 16-19
+    msg0 = vsha256su0q_u32(msg0, msg1);
+    tmp2 = state0;
+    tmp1 = vaddq_u32(msg1, vld1q_u32(&k[20]));
+    state0 = vsha256hq_u32(state0, state1, tmp0);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp0);
+    msg0 = vsha256su1q_u32(msg0, msg2, msg3);
+
+    // Rounds 20-23
+    msg1 = vsha256su0q_u32(msg1, msg2);
+    tmp2 = state0;
+    tmp0 = vaddq_u32(msg2, vld1q_u32(&k[24]));
+    state0 = vsha256hq_u32(state0, state1, tmp1);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp1);
+    msg1 = vsha256su1q_u32(msg1, msg3, msg0);
+
+    // Rounds 24-27
+    msg2 = vsha256su0q_u32(msg2, msg3);
+    tmp2 = state0;
+    tmp1 = vaddq_u32(msg3, vld1q_u32(&k[28]));
+    state0 = vsha256hq_u32(state0, state1, tmp0);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp0);
+    msg2 = vsha256su1q_u32(msg2, msg0, msg1);
+
+    // Rounds 28-31
+    msg3 = vsha256su0q_u32(msg3, msg0);
+    tmp2 = state0;
+    tmp0 = vaddq_u32(msg0, vld1q_u32(&k[32]));
+    state0 = vsha256hq_u32(state0, state1, tmp1);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp1);
+    msg3 = vsha256su1q_u32(msg3, msg1, msg2);
+
+    // Rounds 32-35
+    msg0 = vsha256su0q_u32(msg0, msg1);
+    tmp2 = state0;
+    tmp1 = vaddq_u32(msg1, vld1q_u32(&k[36]));
+    state0 = vsha256hq_u32(state0, state1, tmp0);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp0);
+    msg0 = vsha256su1q_u32(msg0, msg2, msg3);
+
+    // Rounds 36-39
+    msg1 = vsha256su0q_u32(msg1, msg2);
+    tmp2 = state0;
+    tmp0 = vaddq_u32(msg2, vld1q_u32(&k[40]));
+    state0 = vsha256hq_u32(state0, state1, tmp1);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp1);
+    msg1 = vsha256su1q_u32(msg1, msg3, msg0);
+
+    // Rounds 40-43
+    msg2 = vsha256su0q_u32(msg2, msg3);
+    tmp2 = state0;
+    tmp1 = vaddq_u32(msg3, vld1q_u32(&k[44]));
+    state0 = vsha256hq_u32(state0, state1, tmp0);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp0);
+    msg2 = vsha256su1q_u32(msg2, msg0, msg1);
+
+    // Rounds 44-47
+    msg3 = vsha256su0q_u32(msg3, msg0);
+    tmp2 = state0;
+    tmp0 = vaddq_u32(msg0, vld1q_u32(&k[48]));
+    state0 = vsha256hq_u32(state0, state1, tmp1);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp1);
+    msg3 = vsha256su1q_u32(msg3, msg1, msg2);
+
+    // Rounds 48-51
+    tmp2 = state0;
+    tmp1 = vaddq_u32(msg1, vld1q_u32(&k[52]));
+    state0 = vsha256hq_u32(state0, state1, tmp0);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp0);
+
+    // Rounds 52-55
+    tmp2 = state0;
+    tmp0 = vaddq_u32(msg2, vld1q_u32(&k[56]));
+    state0 = vsha256hq_u32(state0, state1, tmp1);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp1);
+
+    // Rounds 56-59
+    tmp2 = state0;
+    tmp1 = vaddq_u32(msg3, vld1q_u32(&k[60]));
+    state0 = vsha256hq_u32(state0, state1, tmp0);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp0);
+
+    // Rounds 60-63
+    tmp2 = state0;
+    state0 = vsha256hq_u32(state0, state1, tmp1);
+    state1 = vsha256h2q_u32(state1, tmp2, tmp1);
+
+    state0 = vaddq_u32(state0, abcd_save);
+    state1 = vaddq_u32(state1, efgh_save);
+
+    data += 64;
+    --blocks;
+  }
+
+  vst1q_u32(&state[0], state0);
+  vst1q_u32(&state[4], state1);
+}
+#endif  // IOTX_SHA_ARM
+
 }  // namespace
 
 Sha256::Sha256()
     : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
+
+void Sha256::process_blocks(const std::uint8_t* data, std::size_t blocks) {
+  if (simd::force_scalar()) {
+    for (std::size_t i = 0; i < blocks; ++i) process_block(data + 64 * i);
+    return;
+  }
+#if defined(IOTX_SHA_X86)
+  if (simd::caps().sha_ni) {
+    sha256_blocks_shani(state_.data(), data, blocks);
+    return;
+  }
+#endif
+#if defined(IOTX_SHA_ARM)
+  if (simd::caps().arm_sha2) {
+    sha256_blocks_armv8(state_.data(), data, blocks);
+    return;
+  }
+#endif
+  detail::sha256_blocks_portable(state_.data(), data, blocks);
+}
 
 void Sha256::update(const void* data, std::size_t len) {
   const auto* bytes = static_cast<const std::uint8_t*>(data);
@@ -37,14 +530,15 @@ void Sha256::update(const void* data, std::size_t len) {
     bytes += take;
     len -= take;
     if (buffered_ == 64) {
-      process_block(buffer_.data());
+      process_blocks(buffer_.data(), 1);
       buffered_ = 0;
     }
   }
-  while (len >= 64) {
-    process_block(bytes);
-    bytes += 64;
-    len -= 64;
+  if (len >= 64) {
+    const std::size_t blocks = len / 64;
+    process_blocks(bytes, blocks);
+    bytes += blocks * 64;
+    len -= blocks * 64;
   }
   if (len > 0) {
     std::memcpy(buffer_.data(), bytes, len);

@@ -8,10 +8,26 @@
 
 namespace iotx::cache {
 
+namespace detail {
+/// Portable schedule-interleaved SHA-256 compression over `blocks`
+/// consecutive 64-byte blocks. Exposed so equivalence tests can pin
+/// this variant even on hosts where hardware dispatch would win.
+void sha256_blocks_portable(std::uint32_t* state, const std::uint8_t* data,
+                            std::size_t blocks) noexcept;
+}  // namespace detail
+
 // Streaming SHA-256 (FIPS 180-4). Used both for content digests of
 // stored artifact payloads and for deriving stage cache keys from
 // canonical serialized inputs. Copyable: StageKey snapshots the
 // running state to produce a digest without consuming the builder.
+//
+// Bulk input is compressed through process_blocks(), which dispatches
+// via the iotx::simd shim: SHA-NI on x86-64 and the ARMv8 crypto
+// extension where available, otherwise a 4-block schedule-interleaved
+// portable loop. The one-block scalar process_block() stays as the
+// oracle (simd::force_scalar() pins it); every variant produces the
+// same digest bit-for-bit — verified against the NIST CAVS vectors at
+// every streaming split point in tests/test_simd_equivalence.cpp.
 class Sha256 {
  public:
   Sha256();
@@ -28,7 +44,9 @@ class Sha256 {
   static std::string hex(const std::array<std::uint8_t, 32>& digest);
 
  private:
-  void process_block(const std::uint8_t* block);
+  void process_block(const std::uint8_t* block);  ///< scalar oracle
+  /// Compresses `blocks` consecutive 64-byte blocks (simd-dispatched).
+  void process_blocks(const std::uint8_t* data, std::size_t blocks);
 
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;

@@ -324,6 +324,7 @@ std::vector<flow::PacketMeta> Study::ingest_labeled_capture(
   result.health.merge(pipeline.health());
   result.health.merge(dns.health());
   result.health.merge(table.health());
+  result.health.merge(collector.health());
 
   obs::Span span("study/attribute");
   const std::vector<flow::Flow> flows = table.flows();

@@ -12,6 +12,7 @@ std::vector<std::pair<std::string_view, std::uint64_t>> health_counters(
       {"pcap_truncated_tail", h.pcap_truncated_tail},
       {"snaplen_clipped_frames", h.snaplen_clipped_frames},
       {"undecodable_frames", h.undecodable_frames},
+      {"oversized_meta_frames", h.oversized_meta_frames},
       {"dns_parse_failures", h.dns_parse_failures},
       {"tls_parse_failures", h.tls_parse_failures},
       {"http_parse_failures", h.http_parse_failures},

@@ -34,6 +34,9 @@ struct CaptureHealth {
   // --- frame decode layer --------------------------------------------
   /// Frames that failed Ethernet/IPv4/L4 decoding during flow assembly.
   std::uint64_t undecodable_frames = 0;
+  /// Frames whose size exceeded the 32-bit PacketMeta field and were
+  /// clamped to UINT32_MAX instead of silently wrapping.
+  std::uint64_t oversized_meta_frames = 0;
 
   // --- protocol parse layer ------------------------------------------
   /// Port-53/5353 UDP payloads that failed DNS wire-format decoding.
@@ -74,9 +77,10 @@ struct CaptureHealth {
   /// parsing, not the injection ground truth. Nonzero => degraded run.
   std::uint64_t observed_anomalies() const noexcept {
     return pcap_truncated_tail + snaplen_clipped_frames +
-           undecodable_frames + dns_parse_failures + tls_parse_failures +
-           http_parse_failures + reassembly_dropped_segments +
-           reassembly_overlap_conflicts + cache_corrupt_artifacts;
+           undecodable_frames + oversized_meta_frames + dns_parse_failures +
+           tls_parse_failures + http_parse_failures +
+           reassembly_dropped_segments + reassembly_overlap_conflicts +
+           cache_corrupt_artifacts;
   }
 
   /// Sum of every counter, injected impairment included.
@@ -91,6 +95,7 @@ struct CaptureHealth {
     pcap_truncated_tail += o.pcap_truncated_tail;
     snaplen_clipped_frames += o.snaplen_clipped_frames;
     undecodable_frames += o.undecodable_frames;
+    oversized_meta_frames += o.oversized_meta_frames;
     dns_parse_failures += o.dns_parse_failures;
     tls_parse_failures += o.tls_parse_failures;
     http_parse_failures += o.http_parse_failures;

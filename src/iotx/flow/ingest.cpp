@@ -10,9 +10,13 @@ namespace iotx::flow {
 void IngestPipeline::add_sink(PacketSink& sink) { sinks_.push_back(&sink); }
 
 void IngestPipeline::ingest(const net::Packet& packet) {
+  ingest(net::view_of(packet));
+}
+
+void IngestPipeline::ingest(const net::PacketView& view) {
   ++seen_;
-  bytes_ += packet.frame.size();
-  const auto decoded = net::decode_packet(packet);
+  bytes_ += view.frame.size();
+  const auto decoded = net::decode_frame(view.timestamp, view.frame);
   if (!decoded) {
     ++health_.undecodable_frames;
     return;
@@ -23,6 +27,10 @@ void IngestPipeline::ingest(const net::Packet& packet) {
 
 void IngestPipeline::ingest_all(const std::vector<net::Packet>& packets) {
   for (const net::Packet& packet : packets) ingest(packet);
+}
+
+void IngestPipeline::ingest_views(std::span<const net::PacketView> views) {
+  for (const net::PacketView& view : views) ingest(view);
 }
 
 void IngestPipeline::finish() {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "iotx/faults/health.hpp"
@@ -50,8 +51,17 @@ class IngestPipeline {
   /// into health().undecodable_frames and never reaches the sinks.
   void ingest(const net::Packet& packet);
 
+  /// Zero-copy variant: same decode/fan-out over a borrowed frame. The
+  /// DecodedPacket the sinks see aliases view.frame (usually a pcap
+  /// arena), so each capture byte is touched exactly once on the way
+  /// from file buffer to sink.
+  void ingest(const net::PacketView& view);
+
   /// Streams a whole capture through ingest().
   void ingest_all(const std::vector<net::Packet>& packets);
+
+  /// Streams a zero-copy capture (e.g. net::PcapCapture::views).
+  void ingest_views(std::span<const net::PacketView> views);
 
   /// Flushes every sink (on_finish, registration order). Idempotent.
   void finish();

@@ -1,6 +1,8 @@
 #include "iotx/flow/traffic_unit.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
 
 #include "iotx/cache/binio.hpp"
 
@@ -13,12 +15,22 @@ std::uint64_t TrafficUnit::total_bytes() const noexcept {
 }
 
 void MetaCollector::on_packet(const net::DecodedPacket& packet) {
+  // Direction rule: the source address wins, so a self-addressed frame
+  // (src == dst == device MAC) is counted as outbound, never twice.
   const bool from_device = packet.eth.src == mac_;
   const bool to_device = packet.eth.dst == mac_;
   if (!from_device && !to_device) return;
-  meta_.push_back(PacketMeta{packet.timestamp,
-                             static_cast<std::uint32_t>(packet.frame_size),
-                             from_device});
+  std::uint32_t size;
+  if (packet.frame_size >
+      std::size_t{std::numeric_limits<std::uint32_t>::max()}) {
+    // An unchecked cast here used to wrap the count silently; clamp and
+    // mark the capture degraded instead.
+    ++health_.oversized_meta_frames;
+    size = std::numeric_limits<std::uint32_t>::max();
+  } else {
+    size = static_cast<std::uint32_t>(packet.frame_size);
+  }
+  meta_.push_back(PacketMeta{packet.timestamp, size, from_device});
 }
 
 void MetaCollector::on_finish() {
@@ -29,6 +41,7 @@ void MetaCollector::on_finish() {
 }
 
 void write_meta(cache::BinWriter& w, const std::vector<PacketMeta>& meta) {
+  w.reserve(8 + meta.size() * 13);  // one growth instead of log2(n)
   w.u64(meta.size());
   for (const PacketMeta& p : meta) {
     w.f64(p.timestamp);
@@ -53,8 +66,15 @@ std::vector<PacketMeta> read_meta(cache::BinReader& r) {
 
 std::vector<TrafficUnit> segment_traffic(const std::vector<PacketMeta>& meta,
                                          double gap_seconds) {
+  // A non-positive (or NaN) gap has no meaningful segmentation; the old
+  // behavior of returning an empty vector made a bad config look like an
+  // empty capture downstream.
+  if (!(gap_seconds > 0.0)) {
+    throw std::invalid_argument(
+        "segment_traffic: gap_seconds must be > 0");
+  }
   std::vector<TrafficUnit> units;
-  if (meta.empty() || gap_seconds <= 0.0) return units;
+  if (meta.empty()) return units;
   TrafficUnit current;
   for (const PacketMeta& p : meta) {
     if (!current.packets.empty() &&

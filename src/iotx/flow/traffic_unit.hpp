@@ -61,9 +61,14 @@ class MetaCollector final : public PacketSink {
   /// Moves the collected meta out (call after the pipeline's finish()).
   std::vector<PacketMeta> take() noexcept { return std::move(meta_); }
 
+  /// Anomalies observed while collecting (oversized frames clamped to
+  /// the 32-bit meta size field). Merge into the run's CaptureHealth.
+  const faults::CaptureHealth& health() const noexcept { return health_; }
+
  private:
   net::MacAddress mac_;
   std::vector<PacketMeta> meta_;
+  faults::CaptureHealth health_;
 };
 
 /// Binary round-trip for the artifact cache: timestamps as IEEE-754

@@ -67,9 +67,11 @@ void Dataset::save(cache::BinWriter& w) const {
   for (const std::string& name : class_names_) w.str(name);
   w.u64(rows_.size());
   for (std::size_t i = 0; i < rows_.size(); ++i) {
+    // Per-record stride: i64 label + row length prefix + the doubles.
+    w.reserve(16 + rows_[i].size() * 8);
     w.i64(labels_[i]);
-    w.u64(rows_[i].size());
-    for (double v : rows_[i]) w.f64(v);
+    // Bulk span write — byte-identical to the old per-element loop.
+    w.f64_span(rows_[i]);
   }
 }
 
@@ -86,11 +88,7 @@ Dataset Dataset::load(cache::BinReader& r) {
     if (label < 0 || static_cast<std::size_t>(label) >= n_classes)
       throw cache::CorruptArtifact("dataset label out of class range");
     data.labels_.push_back(static_cast<int>(label));
-    std::size_t width = r.length(8);
-    std::vector<double> row;
-    row.reserve(width);
-    for (std::size_t j = 0; j < width; ++j) row.push_back(r.f64());
-    data.rows_.push_back(std::move(row));
+    data.rows_.push_back(r.f64_span());
   }
   return data;
 }

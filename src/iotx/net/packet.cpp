@@ -15,9 +15,10 @@ std::uint64_t decode_packet_calls() noexcept {
   return g_decode_calls.load(std::memory_order_relaxed);
 }
 
-std::optional<DecodedPacket> decode_packet(const Packet& packet) {
+std::optional<DecodedPacket> decode_frame(
+    double timestamp, std::span<const std::uint8_t> frame) {
   g_decode_calls.fetch_add(1, std::memory_order_relaxed);
-  ByteReader r(packet.frame);
+  ByteReader r(frame);
   const auto eth = EthernetHeader::decode(r);
   if (!eth) return std::nullopt;
   if (eth->ether_type != static_cast<std::uint16_t>(EtherType::kIpv4)) {
@@ -28,15 +29,15 @@ std::optional<DecodedPacket> decode_packet(const Packet& packet) {
   if (!ip) return std::nullopt;
 
   DecodedPacket d;
-  d.timestamp = packet.timestamp;
+  d.timestamp = timestamp;
   d.eth = *eth;
   d.ip = *ip;
-  d.frame_size = packet.frame.size();
+  d.frame_size = frame.size();
 
   // The IP total_length field bounds the L4 data; tolerate captures where
   // the frame is padded beyond it (Ethernet minimum frame padding).
   const std::size_t ip_end =
-      std::min<std::size_t>(ip_start + ip->total_length, packet.frame.size());
+      std::min<std::size_t>(ip_start + ip->total_length, frame.size());
 
   if (ip->protocol == static_cast<std::uint8_t>(IpProtocol::kTcp)) {
     const auto tcp = TcpHeader::decode(r);
@@ -52,10 +53,13 @@ std::optional<DecodedPacket> decode_packet(const Packet& packet) {
 
   const std::size_t payload_start = r.position();
   if (payload_start < ip_end) {
-    d.payload = std::span<const std::uint8_t>(
-        packet.frame.data() + payload_start, ip_end - payload_start);
+    d.payload = frame.subspan(payload_start, ip_end - payload_start);
   }
   return d;
+}
+
+std::optional<DecodedPacket> decode_packet(const Packet& packet) {
+  return decode_frame(packet.timestamp, packet.frame);
 }
 
 namespace {

@@ -25,8 +25,29 @@ struct Packet {
   std::size_t size() const noexcept { return frame.size(); }
 };
 
-/// Parsed view of a packet. Span members alias the Packet's frame buffer,
-/// so a DecodedPacket must not outlive the Packet it was decoded from.
+/// A non-owning raw frame: a timestamp plus a span aliasing bytes owned
+/// elsewhere — typically the pcap file buffer acting as a per-capture
+/// arena (see PcapCapture). The zero-copy ingest path parses, decodes,
+/// and fans out entire captures without ever materializing per-packet
+/// vectors; a PacketView must not outlive the buffer it aliases.
+struct PacketView {
+  double timestamp = 0.0;
+  std::span<const std::uint8_t> frame;
+
+  std::size_t size() const noexcept { return frame.size(); }
+};
+
+/// Borrowing view of an owning Packet.
+inline PacketView view_of(const Packet& p) noexcept {
+  return PacketView{p.timestamp, std::span<const std::uint8_t>(p.frame)};
+}
+
+/// Parsed view of a packet. Span members alias the frame bytes it was
+/// decoded from — a Packet's own vector, or, on the zero-copy path, the
+/// capture-wide arena a PacketView points into (PcapCapture::bytes). A
+/// DecodedPacket must not outlive whichever buffer that is; sinks that
+/// keep payload bytes past on_packet() must copy them (see
+/// flow::PacketSink).
 struct DecodedPacket {
   double timestamp = 0.0;
   EthernetHeader eth;
@@ -49,7 +70,17 @@ struct DecodedPacket {
 /// Decodes an Ethernet/IPv4/{TCP,UDP} frame; nullopt for anything else
 /// (ARP, IPv6, truncated frames). Non-TCP/UDP IPv4 decodes with both
 /// is_tcp and is_udp false and the payload spanning the L3 payload.
+/// The DecodedPacket's payload span aliases `frame`.
+std::optional<DecodedPacket> decode_frame(double timestamp,
+                                          std::span<const std::uint8_t> frame);
+
+/// decode_frame over an owning Packet (payload aliases packet.frame).
 std::optional<DecodedPacket> decode_packet(const Packet& packet);
+
+/// decode_frame over a borrowed PacketView (payload aliases view.frame).
+inline std::optional<DecodedPacket> decode_packet(const PacketView& view) {
+  return decode_frame(view.timestamp, view.frame);
+}
 
 /// Process-wide decode_packet() invocation count (relaxed atomic). The
 /// single-decode invariant of flow::IngestPipeline is asserted against

@@ -51,7 +51,7 @@ std::vector<std::uint8_t> pcap_serialize(const std::vector<Packet>& packets) {
   return std::move(w).take();
 }
 
-std::optional<std::vector<Packet>> pcap_parse(
+std::optional<std::vector<PacketView>> pcap_parse_views(
     std::span<const std::uint8_t> file_bytes,
     faults::CaptureHealth* health) {
   ByteReader r(file_bytes);
@@ -91,7 +91,7 @@ std::optional<std::vector<Packet>> pcap_parse(
   }
   if (*linktype != kLinkTypeEthernet) return std::nullopt;
 
-  std::vector<Packet> packets;
+  std::vector<PacketView> packets;
   while (!r.at_end()) {
     const auto seconds = rd32();
     const auto subsec = rd32();
@@ -108,10 +108,25 @@ std::optional<std::vector<Packet>> pcap_parse(
     if (*incl_len < *orig_len && health != nullptr) {
       ++health->snaplen_clipped_frames;  // writer clipped past its snaplen
     }
-    Packet p;
+    PacketView p;
     const double frac = nanosecond ? *subsec * 1e-9 : *subsec * 1e-6;
     p.timestamp = static_cast<double>(*seconds) + frac;
-    p.frame.assign(data->begin(), data->end());
+    p.frame = *data;  // aliases file_bytes: the file buffer is the arena
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+std::optional<std::vector<Packet>> pcap_parse(
+    std::span<const std::uint8_t> file_bytes, faults::CaptureHealth* health) {
+  auto views = pcap_parse_views(file_bytes, health);
+  if (!views) return std::nullopt;
+  std::vector<Packet> packets;
+  packets.reserve(views->size());
+  for (const PacketView& v : *views) {
+    Packet p;
+    p.timestamp = v.timestamp;
+    p.frame.assign(v.frame.begin(), v.frame.end());
     packets.push_back(std::move(p));
   }
   return packets;
@@ -125,8 +140,10 @@ bool pcap_write_file(const std::string& path,
   return std::fwrite(bytes.data(), 1, bytes.size(), f.get()) == bytes.size();
 }
 
-std::optional<std::vector<Packet>> pcap_read_file(
-    const std::string& path, faults::CaptureHealth* health) {
+namespace {
+
+std::optional<std::vector<std::uint8_t>> read_file_bytes(
+    const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return std::nullopt;
   std::vector<std::uint8_t> bytes;
@@ -135,7 +152,25 @@ std::optional<std::vector<Packet>> pcap_read_file(
   while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
     bytes.insert(bytes.end(), buf, buf + n);
   }
-  return pcap_parse(bytes, health);
+  return bytes;
+}
+
+}  // namespace
+
+std::optional<std::vector<Packet>> pcap_read_file(
+    const std::string& path, faults::CaptureHealth* health) {
+  const auto bytes = read_file_bytes(path);
+  if (!bytes) return std::nullopt;
+  return pcap_parse(*bytes, health);
+}
+
+std::optional<PcapCapture> pcap_load(const std::string& path,
+                                     faults::CaptureHealth* health) {
+  auto bytes = read_file_bytes(path);
+  if (!bytes) return std::nullopt;
+  auto views = pcap_parse_views(*bytes, health);
+  if (!views) return std::nullopt;
+  return PcapCapture(std::move(*bytes), std::move(*views));
 }
 
 std::map<MacAddress, std::vector<Packet>> split_by_mac(

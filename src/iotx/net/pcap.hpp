@@ -45,6 +45,39 @@ std::optional<std::vector<Packet>> pcap_parse(
     std::span<const std::uint8_t> file_bytes,
     faults::CaptureHealth* health = nullptr);
 
+/// Zero-copy variant of pcap_parse: each PacketView's frame span aliases
+/// `file_bytes`, which thus acts as the capture's arena — one contiguous
+/// buffer for every payload instead of a vector per packet. The views
+/// are valid only while `file_bytes` outlives them. Same magic/endian/
+/// salvage/health semantics as pcap_parse (which is now a copying
+/// wrapper over this).
+std::optional<std::vector<PacketView>> pcap_parse_views(
+    std::span<const std::uint8_t> file_bytes,
+    faults::CaptureHealth* health = nullptr);
+
+/// An owning zero-copy capture: the raw pcap file bytes plus views into
+/// them. Moving a PcapCapture keeps the views valid — vector moves never
+/// reallocate the heap buffer the spans alias.
+struct PcapCapture {
+  std::vector<std::uint8_t> bytes;  ///< the arena every view points into
+  std::vector<PacketView> views;
+
+  PcapCapture() = default;
+  PcapCapture(std::vector<std::uint8_t> b, std::vector<PacketView> v)
+      : bytes(std::move(b)), views(std::move(v)) {}
+  PcapCapture(PcapCapture&&) = default;
+  PcapCapture& operator=(PcapCapture&&) = default;
+  // Copying would leave the new views aliasing the old buffer.
+  PcapCapture(const PcapCapture&) = delete;
+  PcapCapture& operator=(const PcapCapture&) = delete;
+};
+
+/// Reads a pcap file from disk into a self-owning zero-copy capture;
+/// nullopt on I/O or unrecoverable parse error. Salvage/health semantics
+/// match pcap_parse.
+std::optional<PcapCapture> pcap_load(const std::string& path,
+                                     faults::CaptureHealth* health = nullptr);
+
 /// Writes packets to a pcap file on disk. Returns false on I/O error.
 bool pcap_write_file(const std::string& path,
                      const std::vector<Packet>& packets);

@@ -1,6 +1,17 @@
 #include "iotx/util/entropy.hpp"
 
 #include <cmath>
+#include <cstring>
+
+#include "iotx/util/simd.hpp"
+
+#if defined(__x86_64__) && defined(__SSE2__)
+#include <emmintrin.h>
+#define IOTX_ENTROPY_SSE2 1
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define IOTX_ENTROPY_NEON 1
+#endif
 
 namespace iotx::util {
 
@@ -10,9 +21,121 @@ double byte_entropy(std::span<const std::uint8_t> data) noexcept {
   return acc.value();
 }
 
-void EntropyAccumulator::add(std::span<const std::uint8_t> data) noexcept {
+void EntropyAccumulator::add_scalar(
+    std::span<const std::uint8_t> data) noexcept {
   for (std::uint8_t b : data) ++histogram_[b];
   total_ += data.size();
+}
+
+namespace {
+
+// Buffers below this take the plain byte loop: the unrolled path's
+// setup costs more than it saves on tiny packets.
+constexpr std::size_t kUnrollThreshold = 64;
+// Buffers at or above this amortize zeroing + folding four 1 KiB
+// sub-histograms, which breaks the same-bucket store-forwarding chain
+// that serializes low-entropy (repetitive) payloads.
+constexpr std::size_t kSubHistThreshold = 4096;
+// One sub-histogram pass is capped so its uint32 cells cannot wrap.
+constexpr std::size_t kSubHistChunk = std::size_t{1} << 30;
+
+inline void bump8(std::uint64_t* hist, std::uint64_t word) noexcept {
+  ++hist[word & 0xff];
+  ++hist[(word >> 8) & 0xff];
+  ++hist[(word >> 16) & 0xff];
+  ++hist[(word >> 24) & 0xff];
+  ++hist[(word >> 32) & 0xff];
+  ++hist[(word >> 40) & 0xff];
+  ++hist[(word >> 48) & 0xff];
+  ++hist[word >> 56];
+}
+
+inline void bump8x4(std::uint32_t* h0, std::uint32_t* h1, std::uint32_t* h2,
+                    std::uint32_t* h3, std::uint64_t word) noexcept {
+  ++h0[word & 0xff];
+  ++h1[(word >> 8) & 0xff];
+  ++h2[(word >> 16) & 0xff];
+  ++h3[(word >> 24) & 0xff];
+  ++h0[(word >> 32) & 0xff];
+  ++h1[(word >> 40) & 0xff];
+  ++h2[(word >> 48) & 0xff];
+  ++h3[word >> 56];
+}
+
+// Loads 16 bytes as two u64 words. The SIMD variants exist to issue one
+// wide unaligned load instead of two; the histogram update itself is a
+// scatter, which no baseline ISA vectorizes, so extraction goes back
+// through general registers either way.
+inline void load16(const std::uint8_t* p, std::uint64_t& lo,
+                   std::uint64_t& hi) noexcept {
+#if defined(IOTX_ENTROPY_SSE2)
+  const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  lo = static_cast<std::uint64_t>(_mm_cvtsi128_si64(v));
+  hi = static_cast<std::uint64_t>(
+      _mm_cvtsi128_si64(_mm_unpackhi_epi64(v, v)));
+#elif defined(IOTX_ENTROPY_NEON)
+  const uint8x16_t v = vld1q_u8(p);
+  lo = vgetq_lane_u64(vreinterpretq_u64_u8(v), 0);
+  hi = vgetq_lane_u64(vreinterpretq_u64_u8(v), 1);
+#else
+  std::memcpy(&lo, p, 8);
+  std::memcpy(&hi, p + 8, 8);
+#endif
+}
+
+}  // namespace
+
+void EntropyAccumulator::add(std::span<const std::uint8_t> data) noexcept {
+  if (data.size() < kUnrollThreshold || simd::force_scalar()) {
+    add_scalar(data);
+    return;
+  }
+  total_ += data.size();
+  const std::uint8_t* p = data.data();
+  std::size_t len = data.size();
+
+  while (len >= kSubHistThreshold) {
+    const std::size_t chunk = len < kSubHistChunk ? len : kSubHistChunk;
+    // Four interleaved sub-histograms: consecutive bytes of a run hit
+    // different arrays, so a 4 KiB buffer of one repeated byte updates
+    // four independent cells instead of hammering a single one.
+    std::uint32_t sub[4][256] = {};
+    const std::uint8_t* q = p;
+    std::size_t n = chunk;
+    while (n >= 16) {
+      std::uint64_t lo, hi;
+      load16(q, lo, hi);
+      bump8x4(sub[0], sub[1], sub[2], sub[3], lo);
+      bump8x4(sub[0], sub[1], sub[2], sub[3], hi);
+      q += 16;
+      n -= 16;
+    }
+    for (; n > 0; --n) ++sub[0][*q++];
+    for (int i = 0; i < 256; ++i) {
+      histogram_[i] += std::uint64_t{sub[0][i]} + sub[1][i] + sub[2][i] +
+                       std::uint64_t{sub[3][i]};
+    }
+    p += chunk;
+    len -= chunk;
+    if (len < kSubHistThreshold) break;
+  }
+
+  while (len >= 16) {
+    std::uint64_t lo, hi;
+    load16(p, lo, hi);
+    bump8(histogram_.data(), lo);
+    bump8(histogram_.data(), hi);
+    p += 16;
+    len -= 16;
+  }
+  while (len >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    bump8(histogram_.data(), w);
+    p += 8;
+    len -= 8;
+  }
+  for (; len > 0; --len) ++histogram_[*p++];
 }
 
 double EntropyAccumulator::value() const noexcept {

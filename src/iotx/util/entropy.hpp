@@ -20,10 +20,22 @@ double byte_entropy(std::span<const std::uint8_t> data) noexcept;
 
 /// Incremental entropy accumulator, so multi-packet flow payloads can be
 /// folded in without concatenating buffers.
+///
+/// add() dispatches through the iotx::simd capability shim: large
+/// buffers take a 4-way-unrolled word-at-a-time accumulation (with
+/// SSE2/NEON loads where available), small ones and
+/// simd::force_scalar() take add_scalar(). Both paths produce the exact
+/// same histogram — counting is order-free integer arithmetic — which
+/// tests/test_simd_equivalence.cpp property-checks across every length
+/// and alignment.
 class EntropyAccumulator {
  public:
-  /// Folds a buffer into the byte histogram.
+  /// Folds a buffer into the byte histogram (dispatched fast path).
   void add(std::span<const std::uint8_t> data) noexcept;
+
+  /// The scalar oracle: one bucket increment per byte, no dispatch.
+  /// Public so equivalence tests and the ingest bench can pin it.
+  void add_scalar(std::span<const std::uint8_t> data) noexcept;
 
   /// Total bytes accumulated so far.
   std::uint64_t count() const noexcept { return total_; }

@@ -1,0 +1,92 @@
+#include "iotx/util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define IOTX_SIMD_X86 1
+#if defined(__GNUC__)
+#include <cpuid.h>
+#endif
+#endif
+
+#if defined(__aarch64__)
+#define IOTX_SIMD_ARM 1
+#if defined(__linux__)
+#include <sys/auxv.h>
+#endif
+#endif
+
+namespace iotx::simd {
+
+namespace {
+
+Caps probe() noexcept {
+  Caps c;
+#if defined(IOTX_SIMD_X86) && defined(__GNUC__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    c.sse2 = (edx & (1u << 26)) != 0;
+    c.ssse3 = (ecx & (1u << 9)) != 0;
+    c.sse41 = (ecx & (1u << 19)) != 0;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    c.avx2 = (ebx & (1u << 5)) != 0;
+    c.sha_ni = (ebx & (1u << 29)) != 0;
+  }
+#elif defined(IOTX_SIMD_ARM)
+  c.neon = true;  // mandatory in AArch64
+#if defined(__linux__) && defined(HWCAP_SHA2)
+  c.arm_sha2 = (getauxval(AT_HWCAP) & HWCAP_SHA2) != 0;
+#elif defined(__ARM_FEATURE_SHA2)
+  c.arm_sha2 = true;  // baked into the build target
+#endif
+#if !defined(__ARM_FEATURE_SHA2)
+  // The intrinsic path is only compiled when the build target enables
+  // the crypto extension; without it the runtime bit is unusable.
+  c.arm_sha2 = false;
+#endif
+#endif
+  return c;
+}
+
+// One-time env read: IOTX_SIMD=scalar (or =off) starts the process with
+// the oracles pinned, mirroring how IOTX_OBS env-enables observability.
+bool env_forced_scalar() noexcept {
+  const char* v = std::getenv("IOTX_SIMD");
+  return v != nullptr &&
+         (std::strcmp(v, "scalar") == 0 || std::strcmp(v, "off") == 0);
+}
+
+std::atomic<bool>& force_flag() noexcept {
+  static std::atomic<bool> flag{env_forced_scalar()};
+  return flag;
+}
+
+}  // namespace
+
+const Caps& caps() noexcept {
+  static const Caps c = probe();
+  return c;
+}
+
+bool force_scalar() noexcept {
+  return force_flag().load(std::memory_order_relaxed);
+}
+
+void set_force_scalar(bool force) noexcept {
+  force_flag().store(force, std::memory_order_relaxed);
+}
+
+const char* active_level() noexcept {
+  if (force_scalar()) return "scalar";
+  const Caps& c = caps();
+  if (c.sha_ni) return "sha_ni";
+  if (c.arm_sha2) return "armv8_sha2";
+  if (c.sse2) return "sse2";
+  if (c.neon) return "neon";
+  return "portable";
+}
+
+}  // namespace iotx::simd

@@ -1,0 +1,60 @@
+// Runtime CPU-capability shim for the vectorized hot paths (DESIGN.md
+// §"Hot paths & SIMD dispatch").
+//
+// The repo's fast paths (byte-entropy histograms in util::entropy,
+// SHA-256 block compression in cache::hash) each keep their simple
+// scalar implementation as the *oracle*: the dispatched variant must be
+// byte-identical to it on every input (property-tested in
+// tests/test_simd_equivalence.cpp), so SIMD can never change a table.
+// This header is the one place that decides which variant runs:
+//
+//   - caps() probes the CPU once (CPUID on x86-64, compile-time feature
+//     macros + hwcaps on AArch64) and caches the result.
+//   - force_scalar() is the kill switch: IOTX_SIMD=scalar in the
+//     environment, or set_force_scalar(true) from tests/benches, pins
+//     every dispatched hot path to its scalar oracle. The bench uses it
+//     to measure the fast-vs-scalar speedup inside one process; the
+//     equivalence tests use it to diff the two paths.
+//
+// Determinism note: dispatch level is intentionally unobservable in any
+// output — the oracle-equivalence contract means tables, artifacts, and
+// cache keys are bit-identical at every level, so caps() never feeds a
+// fingerprint.
+#pragma once
+
+namespace iotx::simd {
+
+/// CPU features relevant to the repo's hot paths. Fields for the other
+/// architecture are always false.
+struct Caps {
+  // x86-64
+  bool sse2 = false;    ///< baseline on x86-64; checked anyway
+  bool ssse3 = false;   ///< byte shuffles (SHA-NI message loads)
+  bool sse41 = false;   ///< blend (SHA-NI state permutes)
+  bool avx2 = false;    ///< reported for diagnostics; no path requires it
+  bool sha_ni = false;  ///< SHA256RNDS2/MSG1/MSG2 instructions
+  // AArch64
+  bool neon = false;      ///< baseline on AArch64
+  bool arm_sha2 = false;  ///< SHA256H/SHA256H2/SHA256SU0/SHA256SU1
+};
+
+/// Detected capabilities of this CPU; probed once, then cached.
+const Caps& caps() noexcept;
+
+/// True when every dispatched hot path must take its scalar oracle:
+/// either IOTX_SIMD=scalar|off was set in the environment at first use,
+/// or set_force_scalar(true) was called.
+bool force_scalar() noexcept;
+
+/// Pins (true) or releases (false) the scalar oracles at runtime.
+/// Thread-safe; used by the equivalence tests and the ingest bench to
+/// compare both paths in one process.
+void set_force_scalar(bool force) noexcept;
+
+/// Human-readable name of the level the SHA-256/entropy dispatchers
+/// would pick right now ("scalar", "portable", "sse2", "sha_ni",
+/// "neon", "armv8_sha2") — stamped into bench JSON so trajectory
+/// entries record what actually ran.
+const char* active_level() noexcept;
+
+}  // namespace iotx::simd

@@ -65,7 +65,16 @@ SampleSummary summarize(std::span<const double> sample) {
   m3 /= n;
   m4 /= n;
   s.stddev = std::sqrt(m2);
-  if (m2 > 1e-12 && sorted.size() >= 2) {
+  // Degenerate-variance guard, relative to the sample's magnitude. An
+  // absolute epsilon (the old `m2 > 1e-12`) silently zeroed skewness and
+  // kurtosis for small-valued samples — µs-scale inter-arrival gaps have
+  // genuine variance around 1e-14 — while a constant sample only carries
+  // rounding noise, m2 ~ (eps*scale)^2 ~ 5e-32*scale^2, well under the
+  // scale^2*1e-18 floor. The absolute floor keeps all-zero samples (and
+  // denormal-range scales) degenerate.
+  const double scale = std::max(std::abs(s.min), std::abs(s.max));
+  const double degenerate_floor = std::max(scale * scale * 1e-18, 1e-300);
+  if (m2 > degenerate_floor && sorted.size() >= 2) {
     s.skewness = m3 / std::pow(m2, 1.5);
     s.kurtosis = m4 / (m2 * m2) - 3.0;
   }

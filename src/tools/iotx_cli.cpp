@@ -160,8 +160,11 @@ int cmd_classify(int argc, char** argv) {
   }
 
   faults::CaptureHealth health;
-  const auto packets = net::pcap_read_file(argv[2], &health);
-  if (!packets) {
+  // Zero-copy load: the pcap file buffer is the packet arena, so the
+  // capture is decoded straight out of the file bytes with no
+  // per-packet copies.
+  const auto capture = net::pcap_load(argv[2], &health);
+  if (!capture) {
     std::printf("cannot read pcap %s\n", argv[2]);
     return 1;
   }
@@ -176,7 +179,7 @@ int cmd_classify(int argc, char** argv) {
                             : ftable);
   {
     obs::Span span("classify/ingest");
-    pipeline.ingest_all(*packets);
+    pipeline.ingest_views(capture->views);
     pipeline.finish();
     span.add_bytes_in(pipeline.bytes_seen());
   }
@@ -184,7 +187,8 @@ int cmd_classify(int argc, char** argv) {
   health.merge(dns.health());
   health.merge(ftable.health());
   const auto flows = ftable.flows();
-  std::printf("%zu packets, %zu flows\n\n", packets->size(), flows.size());
+  std::printf("%zu packets, %zu flows\n\n", capture->views.size(),
+              flows.size());
 
   util::TextTable table({"flow", "proto", "class", "entropy", "pkts",
                          "payload"});

@@ -260,7 +260,7 @@ TEST(Impairment, HealthCounterWalkMatchesDeclaration) {
   h.dns_parse_failures = 7;
   h.impaired_dropped_packets = 2;
   const auto all = health_counters(h);
-  EXPECT_EQ(all.size(), 18u);  // 17 ingest/impairment + cache_corrupt_artifacts
+  EXPECT_EQ(all.size(), 19u);  // 18 ingest/impairment + cache_corrupt_artifacts
   const auto nz = nonzero_counters(h);
   ASSERT_EQ(nz.size(), 2u);
   EXPECT_EQ(nz[0].first, "dns_parse_failures");

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+
 #include "pipeline_helpers.hpp"
 
 #include "iotx/util/prng.hpp"
@@ -51,10 +54,18 @@ TEST(Segment, CustomGap) {
   EXPECT_EQ(segment_traffic(packets, 1.0).size(), 1u);
 }
 
-TEST(Segment, NonPositiveGapYieldsNothing) {
+TEST(Segment, NonPositiveGapThrows) {
+  // A non-positive gap used to return an empty vector, indistinguishable
+  // from an empty capture; it is a configuration error and must throw.
   const std::vector<PacketMeta> packets = {meta(0.0)};
-  EXPECT_TRUE(segment_traffic(packets, 0.0).empty());
-  EXPECT_TRUE(segment_traffic(packets, -1.0).empty());
+  EXPECT_THROW(segment_traffic(packets, 0.0), std::invalid_argument);
+  EXPECT_THROW(segment_traffic(packets, -1.0), std::invalid_argument);
+  EXPECT_THROW(segment_traffic(packets, std::nan("")), std::invalid_argument);
+  // The boundary is exclusive at zero: any strictly positive gap is valid,
+  // even a denormal one.
+  EXPECT_EQ(segment_traffic(packets, 1e-300).size(), 1u);
+  EXPECT_THROW(segment_traffic({}, 0.0), std::invalid_argument);
+  EXPECT_TRUE(segment_traffic({}, 1.0).empty());
 }
 
 TEST(Segment, PartitionProperty) {
@@ -135,6 +146,50 @@ TEST(MetaCollector, SkipsUndecodableFrames) {
   const auto metas =
       iotx::testutil::meta_of({garbage}, MacAddress({0x02, 0, 0, 0, 0, 1}));
   EXPECT_TRUE(metas.empty());
+}
+
+TEST(MetaCollector, SelfAddressedFrameCountsOnceAsOutbound) {
+  // src == dst == device MAC: the source address wins the direction
+  // tiebreak, and the frame produces exactly one meta record.
+  const MacAddress dev({0x02, 0x55, 0, 0, 0, 0x10});
+  FrameEndpoints ep;
+  ep.src_mac = dev;
+  ep.dst_mac = dev;
+  ep.src_ip = Ipv4Address(10, 42, 0, 10);
+  ep.dst_ip = Ipv4Address(10, 42, 0, 10);
+  ep.src_port = 40000;
+  ep.dst_port = 443;
+  const auto metas =
+      iotx::testutil::meta_of({make_tcp_packet(1.0, ep, {})}, dev);
+  ASSERT_EQ(metas.size(), 1u);
+  EXPECT_TRUE(metas[0].outbound);
+}
+
+TEST(MetaCollector, ClampsOversizedFramesAndMarksHealth) {
+  // frame_size wider than PacketMeta's 32-bit field used to wrap through
+  // an unchecked cast; it must clamp and bump the health counter. Calls
+  // on_packet() directly since a real >4 GiB frame can't be synthesized.
+  const MacAddress dev({0x02, 0x55, 0, 0, 0, 0x10});
+  DecodedPacket big;
+  big.timestamp = 1.0;
+  big.eth.src = dev;
+  big.eth.dst = MacAddress({0x02, 0x55, 0, 0, 0, 0x01});
+  big.frame_size = std::size_t{1} << 33;  // 8 GiB: wraps to 0 if cast
+  MetaCollector collector(dev);
+  collector.on_packet(big);
+  collector.on_finish();
+  ASSERT_EQ(collector.meta().size(), 1u);
+  EXPECT_EQ(collector.meta()[0].size, UINT32_MAX);
+  EXPECT_EQ(collector.health().oversized_meta_frames, 1u);
+  EXPECT_EQ(collector.health().observed_anomalies(), 1u);
+
+  // An in-range frame stays exact and healthy.
+  DecodedPacket ok = big;
+  ok.frame_size = 1500;
+  MetaCollector exact(dev);
+  exact.on_packet(ok);
+  EXPECT_EQ(exact.meta()[0].size, 1500u);
+  EXPECT_EQ(exact.health().oversized_meta_frames, 0u);
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <utility>
 
 #include "iotx/net/bytes.hpp"
 
@@ -217,6 +219,65 @@ TEST(Pcap, FileRoundTrip) {
 
 TEST(Pcap, ReadMissingFileFails) {
   EXPECT_FALSE(pcap_read_file("/nonexistent/dir/missing.pcap"));
+}
+
+TEST(Pcap, ParseViewsAliasesFileBuffer) {
+  const std::vector<Packet> packets = sample_packets();
+  const std::vector<std::uint8_t> file = pcap_serialize(packets);
+  const auto views = pcap_parse_views(file);
+  ASSERT_TRUE(views);
+  ASSERT_EQ(views->size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    // Same bytes as the copying parse...
+    EXPECT_TRUE(std::equal((*views)[i].frame.begin(), (*views)[i].frame.end(),
+                           packets[i].frame.begin(), packets[i].frame.end()));
+    EXPECT_NEAR((*views)[i].timestamp, packets[i].timestamp, 1e-6);
+    // ...and the spans really point into the file buffer (zero-copy).
+    EXPECT_GE((*views)[i].frame.data(), file.data());
+    EXPECT_LE((*views)[i].frame.data() + (*views)[i].frame.size(),
+              file.data() + file.size());
+  }
+}
+
+TEST(Pcap, ParseViewsSalvagesTruncatedTail) {
+  // The zero-copy parser keeps the copying parser's salvage semantics.
+  std::vector<std::uint8_t> file = pcap_serialize(sample_packets());
+  file.resize(file.size() - 7);
+  iotx::faults::CaptureHealth health;
+  const auto views = pcap_parse_views(file, &health);
+  ASSERT_TRUE(views);
+  EXPECT_EQ(views->size(), sample_packets().size() - 1);
+  EXPECT_EQ(health.pcap_truncated_tail, 1u);
+}
+
+TEST(Pcap, LoadedCaptureSurvivesMove) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "iotx_pcap_load_test.pcap")
+          .string();
+  const std::vector<Packet> packets = sample_packets();
+  ASSERT_TRUE(pcap_write_file(path, packets));
+  auto loaded = pcap_load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded);
+  // Moving the owning capture must not invalidate its views: the spans
+  // alias the heap buffer, which a vector move transfers intact.
+  PcapCapture moved = std::move(*loaded);
+  ASSERT_EQ(moved.views.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    ASSERT_EQ(moved.views[i].frame.size(), packets[i].frame.size());
+    EXPECT_TRUE(std::equal(moved.views[i].frame.begin(),
+                           moved.views[i].frame.end(),
+                           packets[i].frame.begin()));
+  }
+  // Decoding straight out of the arena matches decoding the copies.
+  const auto from_view = decode_packet(moved.views[0]);
+  const auto from_copy = decode_packet(packets[0]);
+  ASSERT_TRUE(from_view);
+  ASSERT_TRUE(from_copy);
+  EXPECT_EQ(from_view->eth.src, from_copy->eth.src);
+  EXPECT_EQ(from_view->frame_size, from_copy->frame_size);
+  EXPECT_TRUE(std::equal(from_view->payload.begin(), from_view->payload.end(),
+                         from_copy->payload.begin(), from_copy->payload.end()));
 }
 
 TEST(SplitByMac, AttributesBothDirections) {

@@ -1,0 +1,391 @@
+// SIMD-vs-scalar equivalence properties for the ingest hot paths.
+//
+// The dispatch contract (DESIGN.md §"Hot paths & SIMD dispatch") is that
+// the capability-dispatched fast paths are bit-identical to their scalar
+// oracles — the active SIMD level must be unobservable in any output.
+// These tests enforce it three ways: exhaustive small-buffer sweeps over
+// every length × alignment, NIST SHA-256 vectors replayed at every
+// streaming split point, and an end-to-end pipeline run whose artifacts
+// must be byte-identical with the fast paths forced off.
+//
+// Runs in the robustness suite (`ctest -L robustness`), so CI repeats it
+// under asan-ubsan: the unaligned wide loads and the arena-aliasing
+// decode path get sanitizer coverage on every run.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "iotx/analysis/encryption.hpp"
+#include "iotx/cache/binio.hpp"
+#include "iotx/cache/hash.hpp"
+#include "iotx/flow/flow_table.hpp"
+#include "iotx/flow/ingest.hpp"
+#include "iotx/flow/traffic_unit.hpp"
+#include "iotx/net/pcap.hpp"
+#include "iotx/util/entropy.hpp"
+#include "iotx/util/prng.hpp"
+#include "iotx/util/simd.hpp"
+
+namespace {
+
+using namespace iotx;
+
+/// Restores the process-wide force-scalar flag on scope exit so a failing
+/// assertion cannot leak a pinned oracle into unrelated tests.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force) : prev_(simd::force_scalar()) {
+    simd::set_force_scalar(force);
+  }
+  ~ScopedForceScalar() { simd::set_force_scalar(prev_); }
+
+ private:
+  bool prev_;
+};
+
+std::vector<std::uint8_t> pseudo_random_bytes(std::size_t n,
+                                              std::string_view seed) {
+  util::Prng prng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(prng.uniform(256));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Entropy: histogram accumulation is order-free integer arithmetic, so the
+// dispatched path must match the byte-loop oracle exactly — not "within
+// epsilon".
+
+TEST(EntropyEquivalence, EveryLengthAtEveryAlignment) {
+  // Lengths 0–130 cover the scalar cutoff (64), both sides of the 16- and
+  // 8-byte unrolled tails, and the word-loop steady state; offsets 0–63
+  // cover every alignment class of a cache line.
+  const std::vector<std::uint8_t> arena =
+      pseudo_random_bytes(130 + 64, "simd-entropy-arena");
+  for (std::size_t len = 0; len <= 130; ++len) {
+    for (std::size_t offset = 0; offset < 64; ++offset) {
+      const std::span<const std::uint8_t> buf(arena.data() + offset, len);
+      util::EntropyAccumulator fast;
+      util::EntropyAccumulator oracle;
+      fast.add(buf);
+      oracle.add_scalar(buf);
+      ASSERT_EQ(fast.count(), oracle.count())
+          << "len=" << len << " offset=" << offset;
+      ASSERT_EQ(fast.value(), oracle.value())
+          << "len=" << len << " offset=" << offset;
+    }
+  }
+}
+
+TEST(EntropyEquivalence, SubHistogramTierMatchesOracle) {
+  // Cross the 4-way sub-histogram threshold (4096) with three byte
+  // distributions: uniform random, single repeated byte (the worst-case
+  // store-forwarding pattern the tier exists for), and a skewed mix.
+  for (const std::size_t len : {4095ul, 4096ul, 4097ul, 65536ul, 100003ul}) {
+    const std::vector<std::uint8_t> uniform =
+        pseudo_random_bytes(len, "uniform");
+    std::vector<std::uint8_t> repeated(len, 0x42);
+    std::vector<std::uint8_t> skewed(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      skewed[i] = (i % 5 == 0) ? static_cast<std::uint8_t>(i) : 0xAA;
+    }
+    for (const std::vector<std::uint8_t>* buf :
+         {&uniform, &std::as_const(repeated), &std::as_const(skewed)}) {
+      util::EntropyAccumulator fast;
+      util::EntropyAccumulator oracle;
+      fast.add(*buf);
+      oracle.add_scalar(*buf);
+      ASSERT_EQ(fast.value(), oracle.value()) << "len=" << len;
+    }
+  }
+}
+
+TEST(EntropyEquivalence, IncrementalMixedPathAccumulation) {
+  // Interleave fast and scalar adds across tier boundaries; the histogram
+  // must be identical to one oracle pass over the concatenation.
+  const std::vector<std::uint8_t> data =
+      pseudo_random_bytes(20000, "incremental");
+  util::EntropyAccumulator mixed;
+  util::EntropyAccumulator oracle;
+  std::size_t pos = 0;
+  const std::size_t chunks[] = {0, 1, 15, 63, 64, 65, 500, 4096, 9000};
+  for (std::size_t chunk : chunks) {
+    const std::span<const std::uint8_t> piece(data.data() + pos, chunk);
+    mixed.add(piece);
+    pos += chunk;
+  }
+  oracle.add_scalar(std::span<const std::uint8_t>(data.data(), pos));
+  EXPECT_EQ(mixed.count(), oracle.count());
+  EXPECT_EQ(mixed.value(), oracle.value());
+}
+
+TEST(EntropyEquivalence, ForceScalarPinsOracleOnLargeBuffers) {
+  const std::vector<std::uint8_t> data = pseudo_random_bytes(8192, "pin");
+  ScopedForceScalar guard(true);
+  util::EntropyAccumulator pinned;
+  util::EntropyAccumulator oracle;
+  pinned.add(data);  // dispatch must select add_scalar
+  oracle.add_scalar(data);
+  EXPECT_EQ(pinned.value(), oracle.value());
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256: NIST FIPS 180-4 / CAVS-style known-answer vectors, replayed
+// through every compiled variant and across streaming split points.
+
+struct ShaVector {
+  std::vector<std::uint8_t> message;
+  const char* digest_hex;
+};
+
+std::vector<ShaVector> sha_vectors() {
+  std::vector<ShaVector> v;
+  const auto from_str = [](const char* s) {
+    return std::vector<std::uint8_t>(s, s + std::strlen(s));
+  };
+  // FIPS 180-4 examples.
+  v.push_back({{},
+               "e3b0c44298fc1c149afbf4c8996fb924"
+               "27ae41e4649b934ca495991b7852b855"});
+  v.push_back({from_str("abc"),
+               "ba7816bf8f01cfea414140de5dae2223"
+               "b00361a396177a9cb410ff61f20015ad"});
+  v.push_back({from_str("abcdbcdecdefdefgefghfghighijhijk"
+                        "ijkljklmklmnlmnomnopnopq"),
+               "248d6a61d20638b8e5c026930c3e6039"
+               "a33ce45964ff2167f6ecedd419db06c1"});
+  v.push_back({from_str("abcdefghbcdefghicdefghijdefghijk"
+                        "efghijklfghijklmghijklmnhijklmno"
+                        "ijklmnopjklmnopqklmnopqrlmnopqrs"
+                        "mnopqrstnopqrstu"),
+               "cf5b16a778af8380036ce59e7b049237"
+               "0b249b11e8f07a51afac45037afee9d1"});
+  // CAVS short-message style: 1-, 2-, and 4-byte messages.
+  v.push_back({{0xd3},
+               "28969cdfa74a12c82f3bad960b0b000a"
+               "ca2ac329deea5c2328ebc6f2ba9802c1"});
+  v.push_back({{0x11, 0xaf},
+               "5ca7133fa735326081558ac312c620ee"
+               "ca9970d1e70a4b95533d956f072d1f98"});
+  v.push_back({{0x74, 0xba, 0x25, 0x21},
+               "b16aa56be3880d18cd41e68384cf1ec8"
+               "c17680c45a02b1575dc1518923ae8b0e"});
+  // One exact block and a long multi-block message.
+  std::vector<std::uint8_t> block(64);
+  std::iota(block.begin(), block.end(), std::uint8_t{0});
+  v.push_back({block,
+               "fdeab9acf3710362bd2658cdc9a29e8f"
+               "9c757fcf9811603a8c447cd1d9151108"});
+  std::vector<std::uint8_t> longmsg;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int b = 0; b < 256; ++b) {
+      longmsg.push_back(static_cast<std::uint8_t>(b));
+    }
+  }
+  longmsg.push_back('x');
+  longmsg.push_back('y');
+  longmsg.push_back('z');
+  v.push_back({std::move(longmsg),
+               "c88b6dc887c181168f0090f9b194fa95"
+               "a4941342d49ba8bec914fd7ce64881a7"});
+  return v;
+}
+
+std::string hash_hex(std::span<const std::uint8_t> data) {
+  return cache::Sha256::hex(cache::Sha256::hash(data));
+}
+
+TEST(ShaEquivalence, NistVectorsDispatched) {
+  for (const ShaVector& v : sha_vectors()) {
+    EXPECT_EQ(hash_hex(v.message), v.digest_hex)
+        << "message length " << v.message.size() << " under "
+        << simd::active_level();
+  }
+}
+
+TEST(ShaEquivalence, NistVectorsForcedScalar) {
+  ScopedForceScalar guard(true);
+  for (const ShaVector& v : sha_vectors()) {
+    EXPECT_EQ(hash_hex(v.message), v.digest_hex)
+        << "message length " << v.message.size();
+  }
+}
+
+TEST(ShaEquivalence, NistVectorsPortableVariant) {
+  // Drive the portable block-batched variant directly (it loses the
+  // dispatch race to SHA-NI on x86 hosts): compress all whole blocks of
+  // each padded NIST message through it and finish by hand.
+  for (const ShaVector& v : sha_vectors()) {
+    std::vector<std::uint8_t> padded = v.message;
+    const std::uint64_t bits = std::uint64_t{padded.size()} * 8;
+    padded.push_back(0x80);
+    while (padded.size() % 64 != 56) padded.push_back(0x00);
+    for (int i = 7; i >= 0; --i) {
+      padded.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+    }
+    std::uint32_t state[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+    cache::detail::sha256_blocks_portable(state, padded.data(),
+                                          padded.size() / 64);
+    std::string hex;
+    static const char* kDigits = "0123456789abcdef";
+    for (std::uint32_t word : state) {
+      for (int shift = 28; shift >= 0; shift -= 4) {
+        hex.push_back(kDigits[(word >> shift) & 0xf]);
+      }
+    }
+    EXPECT_EQ(hex, v.digest_hex) << "message length " << v.message.size();
+  }
+}
+
+TEST(ShaEquivalence, StreamingSplitPointsMatchOneShot) {
+  // Every update()-boundary decomposition must give the same digest as
+  // the one-shot hash, with the fast paths on and off. Splits cover the
+  // buffered-block edge cases (0, 1, 63, 64, 65, ...) plus a sweep.
+  const std::vector<std::uint8_t> msg = pseudo_random_bytes(771, "sha-split");
+  const std::string expected = hash_hex(msg);
+  std::vector<std::size_t> splits = {0,   1,   31,  63,  64,  65,
+                                     127, 128, 129, 255, 256, 257, 771};
+  for (std::size_t s = 5; s < msg.size(); s += 37) splits.push_back(s);
+  for (const bool force : {false, true}) {
+    ScopedForceScalar guard(force);
+    for (const std::size_t split : splits) {
+      cache::Sha256 h;
+      h.update(std::span<const std::uint8_t>(msg.data(), split));
+      h.update(
+          std::span<const std::uint8_t>(msg.data() + split, msg.size() - split));
+      EXPECT_EQ(cache::Sha256::hex(h.finish()), expected)
+          << "split=" << split << " force_scalar=" << force;
+    }
+    // Three-way split with a mid-block remainder straddle.
+    cache::Sha256 h3;
+    h3.update(std::span<const std::uint8_t>(msg.data(), 100));
+    h3.update(std::span<const std::uint8_t>(msg.data() + 100, 28));
+    h3.update(std::span<const std::uint8_t>(msg.data() + 128, msg.size() - 128));
+    EXPECT_EQ(cache::Sha256::hex(h3.finish()), expected);
+  }
+}
+
+TEST(ShaEquivalence, DispatchedMatchesScalarOnArbitraryLengths) {
+  // Fast path vs oracle across lengths spanning 0..4 blocks and beyond,
+  // at a few alignments.
+  const std::vector<std::uint8_t> arena =
+      pseudo_random_bytes(5000 + 16, "sha-lengths");
+  for (std::size_t len = 0; len <= 600; ++len) {
+    const std::span<const std::uint8_t> buf(arena.data() + (len % 16), len);
+    const std::string dispatched = hash_hex(buf);
+    ScopedForceScalar guard(true);
+    EXPECT_EQ(hash_hex(buf), dispatched) << "len=" << len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: a full zero-copy ingest + classification +
+// artifact encode run must produce byte-identical outputs with the fast
+// paths forced off. This is the property the golden-fixture determinism
+// suite pins campaign-wide; here it runs tight enough for sanitizers.
+
+struct PipelineArtifacts {
+  std::vector<std::uint8_t> meta_bytes;
+  std::string flow_summary;
+  std::string capture_digest;
+};
+
+PipelineArtifacts run_pipeline_once() {
+  using namespace iotx::net;
+  FrameEndpoints ep;
+  ep.src_mac = MacAddress({0x02, 0x55, 0, 0, 0, 0x10});
+  ep.dst_mac = MacAddress({0x02, 0x55, 0, 0, 0, 0x01});
+  ep.src_ip = Ipv4Address(10, 42, 0, 10);
+  ep.dst_ip = Ipv4Address(52, 1, 2, 3);
+  ep.src_port = 40123;
+  ep.dst_port = 443;
+
+  // Mixed-entropy payloads: pseudo-random (encrypted-looking), repetitive
+  // (plaintext-looking), and empty ACK-like frames.
+  std::vector<Packet> packets;
+  double t = 1554076800.0;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<std::uint8_t> payload;
+    if (i % 3 == 0) {
+      payload = pseudo_random_bytes(900, "e2e-" + std::to_string(i));
+    } else if (i % 3 == 1) {
+      payload.assign(700, static_cast<std::uint8_t>('A' + (i % 20)));
+    }
+    packets.push_back(make_tcp_packet(t, i % 2 ? reverse(ep) : ep, payload));
+    t += 0.05 + (i % 7) * 0.01;
+  }
+  const std::vector<std::uint8_t> file = pcap_serialize(packets);
+
+  const auto views = pcap_parse_views(file);
+  flow::FlowTable table;
+  flow::MetaCollector collector(ep.src_mac);
+  flow::IngestPipeline pipeline;
+  pipeline.add_sink(table);
+  pipeline.add_sink(collector);
+  pipeline.ingest_views(*views);
+  pipeline.finish();
+
+  PipelineArtifacts out;
+  cache::BinWriter w;
+  flow::write_meta(w, collector.meta());
+  out.meta_bytes = std::move(w).take();
+  for (const flow::Flow& f : table.flows()) {
+    const auto enc = analysis::classify_flow(f);
+    out.flow_summary += std::string(analysis::encryption_class_name(enc.cls));
+    out.flow_summary += ':';
+    out.flow_summary += std::to_string(enc.entropy);
+    out.flow_summary += ';';
+  }
+  out.capture_digest = hash_hex(file);
+  return out;
+}
+
+TEST(Determinism, PipelineArtifactsIdenticalWithFastPathsOff) {
+  PipelineArtifacts fast;
+  {
+    ScopedForceScalar guard(false);
+    fast = run_pipeline_once();
+  }
+  PipelineArtifacts scalar;
+  {
+    ScopedForceScalar guard(true);
+    scalar = run_pipeline_once();
+  }
+  EXPECT_EQ(fast.meta_bytes, scalar.meta_bytes);
+  EXPECT_EQ(fast.flow_summary, scalar.flow_summary);
+  EXPECT_EQ(fast.capture_digest, scalar.capture_digest);
+  EXPECT_FALSE(fast.flow_summary.empty());
+}
+
+TEST(SimdShim, CapsAndLevelAreCoherent) {
+  const simd::Caps& c = simd::caps();
+  // The active level must name a capability the probe actually reported
+  // (or the scalar/portable fallbacks).
+  const std::string level = simd::active_level();
+  if (level == "sha_ni") {
+    EXPECT_TRUE(c.sha_ni);
+  }
+  if (level == "sse2") {
+    EXPECT_TRUE(c.sse2);
+  }
+  if (level == "neon") {
+    EXPECT_TRUE(c.neon);
+  }
+#if defined(__x86_64__)
+  // x86-64 baseline: SSE2 is architecturally guaranteed.
+  EXPECT_TRUE(c.sse2);
+#endif
+  {
+    ScopedForceScalar guard(true);
+    EXPECT_STREQ(simd::active_level(), "scalar");
+  }
+}
+
+}  // namespace

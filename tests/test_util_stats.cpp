@@ -81,6 +81,44 @@ TEST(Summarize, ConstantSampleHasZeroHigherMoments) {
   EXPECT_EQ(s.kurtosis, 0.0);
 }
 
+TEST(Summarize, MicrosecondScaleSamplesKeepHigherMoments) {
+  // Regression: the degenerate-variance guard used an absolute epsilon
+  // (m2 > 1e-12), which zeroed skewness/kurtosis for any sample whose
+  // values are small in magnitude — e.g. µs-scale inter-arrival gaps,
+  // where genuine variance is ~1e-14. The guard is now relative to the
+  // sample's scale.
+  std::vector<double> us_gaps;
+  for (int i = 0; i < 200; ++i) {
+    // Skewed distribution of microsecond-scale values: mostly ~2 µs with
+    // a long tail up to ~12 µs.
+    us_gaps.push_back(2e-6 + (i % 10 == 0 ? 1e-6 * (i % 100) : 0.0));
+  }
+  const SampleSummary s = summarize(us_gaps);
+  EXPECT_GT(s.stddev, 0.0);
+  EXPECT_NE(s.skewness, 0.0);
+  EXPECT_NE(s.kurtosis, 0.0);
+  // Scale invariance: the same sample in seconds vs microseconds must
+  // report identical (dimensionless) skewness and kurtosis.
+  std::vector<double> scaled = us_gaps;
+  for (double& v : scaled) v *= 1e6;
+  const SampleSummary big = summarize(scaled);
+  EXPECT_NEAR(s.skewness, big.skewness, 1e-9);
+  EXPECT_NEAR(s.kurtosis, big.kurtosis, 1e-9);
+}
+
+TEST(Summarize, ConstantMicroscaleSampleStaysDegenerate) {
+  // A constant small-valued sample only carries rounding noise; the
+  // relative guard must still classify it as degenerate.
+  const std::vector<double> sample(77, 3.7e-6);
+  const SampleSummary s = summarize(sample);
+  EXPECT_EQ(s.skewness, 0.0);
+  EXPECT_EQ(s.kurtosis, 0.0);
+  const std::vector<double> zeros(10, 0.0);
+  const SampleSummary z = summarize(zeros);
+  EXPECT_EQ(z.skewness, 0.0);
+  EXPECT_EQ(z.kurtosis, 0.0);
+}
+
 TEST(Summarize, AppendFeaturesLayout) {
   const std::vector<double> sample = {1, 2, 3};
   const SampleSummary s = summarize(sample);
