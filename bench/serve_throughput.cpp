@@ -1,0 +1,280 @@
+// Serve-daemon throughput bench: boots two in-process `iotx serve`
+// daemons on ephemeral ports and measures the ingest front door the way
+// a gateway fleet exercises it.
+//
+//   1. clean phase — a daemon with headroom (max_sessions 8, two
+//      uploader threads, so session load stays below the ladder's first
+//      threshold) streams a fixed set of chunked pcap uploads. Reports
+//      sessions/sec and MB/sec, the daemon's own admission-latency
+//      histogram (p50/p99 estimated from the registry's log2 buckets),
+//      and whether a streamed tenant report is still byte-identical to
+//      serve::batch_report_json over the same bytes.
+//   2. flood phase — a fresh daemon clamped to one worker takes the
+//      same uploads from 16 concurrent clients. Overload must walk the
+//      degradation ladder: some sessions shed with 503, none lost
+//      (completed + shed == attempts, counted daemon-side), and the
+//      daemon still answers /health afterwards.
+//
+// Absolute sessions/sec is machine-dependent and deliberately not
+// gated; scripts/check_ingest_baseline.py --serve gates only the
+// same-run invariants above (conservation, byte-identity, shed > 0
+// under flood, histogram sanity).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "iotx/net/pcap.hpp"
+#include "iotx/obs/registry.hpp"
+#include "iotx/obs/trace.hpp"
+#include "iotx/serve/chaos.hpp"
+#include "iotx/serve/daemon.hpp"
+#include "iotx/testbed/catalog.hpp"
+#include "iotx/testbed/synth.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx;
+using Clock = std::chrono::steady_clock;
+
+/// One gateway capture: a power-on handshake plus a background window —
+/// the small-frame-dominated mix ingest actually pays for (same shape
+/// the ingest_throughput bench measures), serialized to pcap file bytes.
+std::vector<std::uint8_t> golden_pcap() {
+  const testbed::DeviceSpec& dev = *testbed::find_device("ring_doorbell");
+  const testbed::NetworkConfig config{testbed::LabSite::kUs, false};
+  const testbed::TrafficSynthesizer synth;
+  util::Prng prng("bench-serve/ring_doorbell");
+  std::vector<net::Packet> capture =
+      synth.power_event(dev, config, 1000.0, prng);
+  std::vector<net::Packet> background =
+      synth.background(dev, config, 1060.0, 1360.0, prng);
+  capture.insert(capture.end(), background.begin(), background.end());
+  return net::pcap_serialize(capture);
+}
+
+/// Estimates the q-quantile of a registry histogram from its log2
+/// buckets (bucket b holds samples in [2^(b-1), 2^b)): the upper bound
+/// of the first bucket whose cumulative count reaches q, clamped to the
+/// recorded max (the top bucket's bound can overshoot it).
+std::uint64_t bucket_quantile(const obs::Registry::MetricSnapshot& h,
+                              double q) {
+  if (h.count == 0) return 0;
+  const double target = q * static_cast<double>(h.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    cumulative += h.buckets[b];
+    if (static_cast<double>(cumulative) >= target) {
+      const std::uint64_t bound = b == 0 ? 0 : (1ull << b) - 1;
+      return bound < h.max ? bound : h.max;
+    }
+  }
+  return h.max;
+}
+
+struct CleanStats {
+  std::uint64_t sessions = 0;
+  std::uint64_t bytes = 0;
+  double seconds = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t quarantined = 0;
+  bool report_matches_batch = false;
+  obs::Registry::MetricSnapshot admission;
+};
+
+/// Clean throughput: `uploads` chunked sessions spread round-robin over
+/// four tenants from two client threads, plus one dedicated tenant
+/// whose single upload anchors the streamed-vs-batch byte-identity
+/// check. Load stays under 2/8 = 0.25, so every session must be
+/// admitted at full fidelity.
+CleanStats run_clean_phase(const std::vector<std::uint8_t>& pcap,
+                           std::uint64_t uploads) {
+  obs::Registry::global().reset();
+  serve::ServeConfig config;
+  config.port = 0;
+  config.max_sessions = 8;
+  serve::Daemon daemon(config);
+  CleanStats stats;
+  if (!daemon.start()) {
+    std::fprintf(stderr, "serve bench: daemon failed to start: %s\n",
+                 daemon.error().c_str());
+    return stats;
+  }
+
+  const auto t0 = Clock::now();
+  const std::uint64_t per_thread = uploads / 2;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 2; ++t) {
+    clients.emplace_back([&, t] {
+      serve::ChaosClient client("127.0.0.1", daemon.port());
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        const std::string tenant =
+            "lab" + std::to_string((t * per_thread + i) % 4);
+        client.upload_chunked(tenant, pcap);
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+
+  // One fresh tenant, one more upload (still inside the timing window —
+  // it is a session like any other): its report must be byte-identical
+  // to the batch path over the same bytes, even after the load above.
+  serve::ChaosClient client("127.0.0.1", daemon.port());
+  client.upload_chunked("identity", pcap);
+  stats.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  const serve::ChaosResult streamed = client.get("/report/identity");
+  stats.report_matches_batch =
+      streamed.status_code == 200 &&
+      streamed.body == serve::batch_report_json("identity", pcap);
+
+  const serve::ServeStats s = daemon.stats();
+  stats.sessions = s.sessions_started;
+  stats.bytes = s.bytes_received;
+  stats.completed = s.sessions_completed;
+  stats.shed = s.sessions_shed;
+  stats.quarantined = s.sessions_quarantined;
+  const obs::Registry::Snapshot snap = obs::Registry::global().snapshot();
+  if (const auto* h = snap.find("serve/admission_latency_ns")) {
+    stats.admission = *h;
+  }
+  daemon.stop();
+  return stats;
+}
+
+struct FloodStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t responses_200 = 0;
+  std::uint64_t responses_503 = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t ladder_transitions = 0;
+  double seconds = 0.0;
+  bool daemon_alive_after = false;
+};
+
+/// Flood: 16 concurrent clients against a single-worker daemon. The
+/// accept loop sees session load 1/1 whenever the worker is busy, so
+/// the ladder must shed part of the flood — and account for every
+/// session either way.
+FloodStats run_flood_phase(const std::vector<std::uint8_t>& pcap) {
+  obs::Registry::global().reset();
+  serve::ServeConfig config;
+  config.port = 0;
+  config.max_sessions = 1;
+  config.accept_backlog = 4;
+  serve::Daemon daemon(config);
+  FloodStats stats;
+  if (!daemon.start()) {
+    std::fprintf(stderr, "serve bench: flood daemon failed to start: %s\n",
+                 daemon.error().c_str());
+    return stats;
+  }
+
+  constexpr int kClients = 16;
+  constexpr int kUploadsPerClient = 3;
+  stats.attempts = kClients * kUploadsPerClient;
+  std::vector<std::uint64_t> ok_counts(kClients, 0);
+  std::vector<std::uint64_t> shed_counts(kClients, 0);
+  const auto t0 = Clock::now();
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      serve::ChaosClient client("127.0.0.1", daemon.port());
+      for (int i = 0; i < kUploadsPerClient; ++i) {
+        const serve::ChaosResult r = client.upload_chunked("flood", pcap);
+        if (r.status_code == 200) ++ok_counts[t];
+        if (r.status_code == 503) ++shed_counts[t];
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  stats.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  for (int t = 0; t < kClients; ++t) {
+    stats.responses_200 += ok_counts[t];
+    stats.responses_503 += shed_counts[t];
+  }
+  const serve::ServeStats s = daemon.stats();
+  stats.completed = s.sessions_completed;
+  stats.shed = s.sessions_shed;
+  stats.ladder_transitions = s.ladder_transitions;
+
+  serve::ChaosClient probe("127.0.0.1", daemon.port());
+  stats.daemon_alive_after = probe.get("/health").status_code == 200;
+  daemon.stop();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  obs::set_metrics_enabled(true);
+  const std::vector<std::uint8_t> pcap = golden_pcap();
+
+  // Warm-up (page in the serve stack), then the measured clean phase.
+  run_clean_phase(pcap, 8);
+  const CleanStats clean = run_clean_phase(pcap, 48);
+  const FloodStats flood = run_flood_phase(pcap);
+  obs::set_metrics_enabled(false);
+
+  const double sessions_per_sec =
+      clean.seconds > 0.0
+          ? static_cast<double>(clean.sessions) / clean.seconds
+          : 0.0;
+  const double mb_per_sec =
+      clean.seconds > 0.0
+          ? static_cast<double>(clean.bytes) / clean.seconds / 1.0e6
+          : 0.0;
+  const double shed_rate =
+      flood.attempts > 0
+          ? static_cast<double>(flood.shed) /
+                static_cast<double>(flood.attempts)
+          : 0.0;
+
+  bench::JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", bench::kBenchSchemaVersion);
+  w.field("bench", "serve_throughput");
+  w.field("pcap_bytes", static_cast<std::uint64_t>(pcap.size()));
+
+  w.key("clean").begin_object();
+  w.field("sessions", clean.sessions);
+  w.field("bytes", clean.bytes);
+  w.field("seconds", clean.seconds, 6);
+  w.field("sessions_per_sec", sessions_per_sec, 1);
+  w.field("mb_per_sec", mb_per_sec, 1);
+  w.field("completed", clean.completed);
+  w.field("shed", clean.shed);
+  w.field("quarantined", clean.quarantined);
+  w.field("report_matches_batch", clean.report_matches_batch);
+  w.key("admission_latency").begin_object();
+  w.field("count", clean.admission.count);
+  w.field("mean_ns", clean.admission.mean(), 0);
+  w.field("max_ns", clean.admission.max);
+  w.field("p50_ns", bucket_quantile(clean.admission, 0.50));
+  w.field("p99_ns", bucket_quantile(clean.admission, 0.99));
+  w.end_object();
+  w.end_object();
+
+  w.key("flood").begin_object();
+  w.field("attempts", flood.attempts);
+  w.field("responses_200", flood.responses_200);
+  w.field("responses_503", flood.responses_503);
+  w.field("completed", flood.completed);
+  w.field("shed", flood.shed);
+  w.field("shed_rate", shed_rate, 3);
+  w.field("ladder_transitions", flood.ladder_transitions);
+  w.field("seconds", flood.seconds, 6);
+  w.field("daemon_alive_after", flood.daemon_alive_after);
+  w.end_object();
+
+  w.end_object();
+  std::printf("%s\n", w.document().c_str());
+  return 0;
+}

@@ -18,6 +18,15 @@ Three modes:
       entry (run the gate first; append records history, it does not
       validate). Creates the trajectory file if missing.
 
+  check_ingest_baseline.py --serve <serve_throughput.json>
+      Gate the serve-daemon bench. Needs no baseline at all: every gate
+      is an invariant of the same run (clean-phase sessions all admitted
+      at full fidelity, streamed report byte-identical to batch,
+      admission-latency histogram covering every session with
+      p99 >= p50 > 0, flood-phase conservation completed + shed ==
+      attempts with shed > 0, daemon alive afterwards). Absolute
+      sessions/sec is reported, never gated.
+
 Documents must agree on `schema_version` — a mismatch means the bench
 shape changed without refreshing the committed references, so the
 comparison is rejected outright rather than risked. Absolute packets/sec
@@ -172,6 +181,68 @@ def check_trajectory(trajectory, current, tolerance, failures):
                         "tail")
 
 
+def check_serve(current, failures):
+    """Same-run invariants of the serve bench; no baseline, no tolerance.
+
+    Everything here is exact counting or a boolean the bench computed
+    back-to-back in one process — nothing depends on machine speed, so a
+    failure always means behaviour regressed, never that the runner was
+    slow.
+    """
+    clean = current["clean"]
+    flood = current["flood"]
+
+    sessions = int(clean["sessions"])
+    completed = int(clean["completed"])
+    print(f"clean phase: {sessions} sessions, {completed} completed, "
+          f"{clean['sessions_per_sec']} sessions/sec "
+          f"({clean['mb_per_sec']} MB/sec)")
+    if sessions == 0:
+        failures.append("clean phase ran no sessions")
+    if completed != sessions or int(clean["shed"]) != 0 \
+            or int(clean["quarantined"]) != 0:
+        failures.append(
+            "clean phase was not all full-fidelity: "
+            f"{completed}/{sessions} completed, {clean['shed']} shed, "
+            f"{clean['quarantined']} quarantined (load stays under the "
+            "first ladder threshold, so every session must complete)")
+
+    if not bool(clean["report_matches_batch"]):
+        failures.append("streamed tenant report no longer byte-identical "
+                        "to serve::batch_report_json over the same bytes")
+
+    lat = clean["admission_latency"]
+    count, p50, p99 = int(lat["count"]), int(lat["p50_ns"]), int(lat["p99_ns"])
+    print(f"admission latency: {count} samples, p50 {p50} ns, "
+          f"p99 {p99} ns, max {lat['max_ns']} ns")
+    if count != sessions:
+        failures.append(
+            f"admission-latency histogram saw {count} samples for "
+            f"{sessions} sessions (every admitted session must be timed)")
+    if not (0 < p50 <= p99 <= int(lat["max_ns"])):
+        failures.append("admission-latency quantiles are incoherent "
+                        f"(p50 {p50}, p99 {p99}, max {lat['max_ns']})")
+
+    attempts = int(flood["attempts"])
+    f_completed = int(flood["completed"])
+    shed = int(flood["shed"])
+    print(f"flood phase: {attempts} attempts -> {f_completed} completed + "
+          f"{shed} shed (shed rate {flood['shed_rate']}, "
+          f"{flood['ladder_transitions']} ladder transitions)")
+    if f_completed + shed != attempts:
+        failures.append(
+            f"flood conservation broken: {f_completed} completed + "
+            f"{shed} shed != {attempts} attempts (a session was lost "
+            "without being completed or shed)")
+    if shed == 0:
+        failures.append("flood never shed a session: 16 clients against "
+                        "one worker must drive the ladder to kShed")
+    if int(flood["ladder_transitions"]) < 1:
+        failures.append("flood produced no ladder transitions")
+    if not bool(flood["daemon_alive_after"]):
+        failures.append("daemon stopped answering /health after the flood")
+
+
 def append_entry(trajectory_path, current, label):
     try:
         trajectory = load(trajectory_path)
@@ -195,9 +266,25 @@ def append_entry(trajectory_path, current, label):
 def main() -> int:
     argv = sys.argv[1:]
     mode = "pairwise"
-    if argv and argv[0] in ("--trajectory", "--append"):
+    if argv and argv[0] in ("--trajectory", "--append", "--serve"):
         mode = argv[0][2:]
         argv = argv[1:]
+
+    if mode == "serve":
+        if len(argv) < 1:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        current = load(argv[0])
+        failures = []
+        if check_schema(current, argv[0], failures):
+            check_serve(current, failures)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("OK")
+        return 0
+
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2

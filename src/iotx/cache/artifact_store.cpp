@@ -162,6 +162,24 @@ ArtifactStoreStats ArtifactStore::stats() const {
   return s;
 }
 
+std::size_t ArtifactStore::remove_stale_temp_files() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::size_t removed = 0;
+  fs::recursive_directory_iterator it(root_, ec);
+  if (ec) return 0;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    // store() names temps "<key>.art.tmp<serial>".
+    if (entry.path().filename().string().find(".art.tmp") ==
+        std::string::npos) {
+      continue;
+    }
+    if (fs::remove(entry.path(), ec)) ++removed;
+  }
+  return removed;
+}
+
 void ArtifactStore::publish_metrics() const {
   if (!obs::metrics_enabled()) return;
   auto& registry = obs::Registry::global();

@@ -95,6 +95,15 @@ class ArtifactStore {
   // when metrics are disabled).
   void publish_metrics() const;
 
+  // Deletes leftover ".tmp<serial>" files under the root — the debris a
+  // killed process leaves between temp-write and rename. Finished
+  // artifacts are never touched (the rename is atomic, so a *.art file
+  // is always whole). Returns the number of files removed. Call from a
+  // single owner (e.g. the CLI after an interrupted study); racing a
+  // concurrent writer could delete its in-flight temp and lose one
+  // store (never corrupt one).
+  std::size_t remove_stale_temp_files();
+
  private:
   std::string object_path(const std::string& key_hex) const;
 

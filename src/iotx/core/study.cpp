@@ -28,6 +28,7 @@ std::string_view run_status_name(RunStatus status) noexcept {
     case RunStatus::kClean: return "clean";
     case RunStatus::kDegraded: return "degraded";
     case RunStatus::kQuarantined: return "quarantined";
+    case RunStatus::kSkipped: return "skipped";
   }
   return "?";
 }
@@ -442,6 +443,20 @@ void Study::run() {
   util::TaskPool pool(params_.jobs);
   pool.parallel_for_each(pending.size(), [&](std::size_t i) {
     const PendingRun& p = pending[i];
+    // Cooperative interruption (SIGINT/SIGTERM via params.cancel): runs
+    // already executing finish normally; runs not yet started are marked
+    // skipped so the partial report says exactly what is missing.
+    if (params_.cancel != nullptr &&
+        params_.cancel->load(std::memory_order_relaxed)) {
+      interrupted_.store(true, std::memory_order_relaxed);
+      DeviceRunResult skipped;
+      skipped.device = p.device;
+      skipped.config = p.config;
+      skipped.status = RunStatus::kSkipped;
+      skipped.error = "campaign interrupted before this run started";
+      (*p.bucket)[p.slot] = std::move(skipped);
+      return;
+    }
     // Pool-boundary fault isolation: one (config, device) run that still
     // throws after all the graceful-degradation layers is quarantined —
     // slot recorded with the exception text — and the campaign continues.
@@ -464,7 +479,10 @@ void Study::run() {
     }
   });
 
-  if (params_.run_uncontrolled) run_uncontrolled();
+  const bool cancelled = params_.cancel != nullptr &&
+                         params_.cancel->load(std::memory_order_relaxed);
+  if (cancelled) interrupted_.store(true, std::memory_order_relaxed);
+  if (params_.run_uncontrolled && !cancelled) run_uncontrolled();
 
   if (obs::metrics_enabled()) {
     obs::Registry& registry = obs::Registry::global();
@@ -503,8 +521,12 @@ void Study::run_uncontrolled() {
 
     for (const DeviceRunResult& r : us_results) {
       if (r.device->id != device_id) continue;
-      // A quarantined run has no trained model to audit against.
-      if (r.status == RunStatus::kQuarantined) break;
+      // A quarantined or skipped run has no trained model to audit
+      // against.
+      if (r.status == RunStatus::kQuarantined ||
+          r.status == RunStatus::kSkipped) {
+        break;
+      }
       uncontrolled_findings_[device_id] = analysis::audit_uncontrolled(
           *device, collector.take(), r.model, user_study_.events,
           params_.detector);

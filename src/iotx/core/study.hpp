@@ -61,6 +61,12 @@ struct StudyParams {
   std::function<void(const testbed::DeviceSpec&,
                      const testbed::NetworkConfig&)>
       chaos_hook;
+  /// Cooperative cancellation: when non-null and set (e.g. by a SIGINT/
+  /// SIGTERM handler), run() finishes the (config, device) runs already
+  /// in flight, marks every run not yet started RunStatus::kSkipped, and
+  /// skips the uncontrolled phase. The partial campaign still writes a
+  /// coherent report — robustness.json carries "status": "interrupted".
+  const std::atomic<bool>* cancel = nullptr;
   /// When non-empty, run() keeps a content-addressed artifact cache in
   /// this directory: each (config, device) stage (ingest partials,
   /// trained model) is stored under a key derived from its canonical
@@ -80,6 +86,7 @@ enum class RunStatus {
   kClean,        ///< no anomalies observed, no impairment injected
   kDegraded,     ///< completed, but with nonzero health counters
   kQuarantined,  ///< threw; excluded from analysis, error text retained
+  kSkipped,      ///< never started: the campaign was cancelled first
 };
 
 std::string_view run_status_name(RunStatus status) noexcept;
@@ -178,6 +185,12 @@ class Study {
     return store_ == nullptr ? cache::ArtifactStoreStats{} : store_->stats();
   }
 
+  /// True once run() observed the params().cancel flag: some runs (or
+  /// the uncontrolled phase) were skipped and the report is partial.
+  bool interrupted() const noexcept {
+    return interrupted_.load(std::memory_order_relaxed);
+  }
+
   /// All quarantined runs across configs, in result order; empty when
   /// every run completed.
   std::vector<const DeviceRunResult*> quarantined() const;
@@ -243,6 +256,7 @@ class Study {
   analysis::EncryptionBytes uncontrolled_enc_;
   std::map<std::string, std::vector<analysis::UncontrolledFinding>>
       uncontrolled_findings_;
+  std::atomic<bool> interrupted_{false};
   std::atomic<std::size_t> experiments_run_{0};
   std::atomic<std::uint64_t> packets_ingested_{0};
   std::atomic<std::uint64_t> peak_capture_bytes_{0};

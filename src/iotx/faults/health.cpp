@@ -8,27 +8,12 @@ namespace iotx::faults {
 
 std::vector<std::pair<std::string_view, std::uint64_t>> health_counters(
     const CaptureHealth& h) {
-  return {
-      {"pcap_truncated_tail", h.pcap_truncated_tail},
-      {"snaplen_clipped_frames", h.snaplen_clipped_frames},
-      {"undecodable_frames", h.undecodable_frames},
-      {"oversized_meta_frames", h.oversized_meta_frames},
-      {"dns_parse_failures", h.dns_parse_failures},
-      {"tls_parse_failures", h.tls_parse_failures},
-      {"http_parse_failures", h.http_parse_failures},
-      {"reassembly_dropped_segments", h.reassembly_dropped_segments},
-      {"reassembly_dropped_bytes", h.reassembly_dropped_bytes},
-      {"reassembly_overlap_conflicts", h.reassembly_overlap_conflicts},
-      {"impaired_dropped_packets", h.impaired_dropped_packets},
-      {"impaired_dropped_bytes", h.impaired_dropped_bytes},
-      {"impaired_duplicated_packets", h.impaired_duplicated_packets},
-      {"impaired_reordered_packets", h.impaired_reordered_packets},
-      {"impaired_truncated_frames", h.impaired_truncated_frames},
-      {"impaired_corrupted_frames", h.impaired_corrupted_frames},
-      {"impaired_dns_responses_dropped", h.impaired_dns_responses_dropped},
-      {"impaired_capture_cutoffs", h.impaired_capture_cutoffs},
-      {"cache_corrupt_artifacts", h.cache_corrupt_artifacts},
-  };
+  std::vector<std::pair<std::string_view, std::uint64_t>> out;
+  out.reserve(kCaptureHealthCounterCount);
+#define IOTX_HEALTH_WALK(name) out.emplace_back(#name, h.name);
+  IOTX_CAPTURE_HEALTH_COUNTERS(IOTX_HEALTH_WALK)
+#undef IOTX_HEALTH_WALK
+  return out;
 }
 
 std::vector<std::pair<std::string_view, std::uint64_t>> nonzero_counters(

@@ -4,9 +4,11 @@
 // mangled protocol messages, and capped reassembly buffers (Mon(IoT)r
 // §3). Instead of throwing or silently discarding, every ingest layer
 // (net::pcap_parse, proto sniffing in flow::FlowTable, flow::DnsCache,
-// flow::TcpStreamReassembler, faults::apply_impairment) increments a
-// counter here; the Study aggregates one CaptureHealth per (config,
-// device) run and the report's robustness section surfaces them.
+// flow::TcpStreamReassembler, faults::apply_impairment, and the
+// iotx::serve ingest daemon's admission/degradation machinery)
+// increments a counter here; the Study aggregates one CaptureHealth per
+// (config, device) run, the serve daemon one per tenant, and the
+// report's robustness section surfaces them.
 //
 // Header-only by design: net/ and flow/ include it without linking
 // against the faults library, so the dependency graph stays acyclic
@@ -19,6 +21,51 @@
 #include <vector>
 
 namespace iotx::faults {
+
+// The single source of truth for the counter set. Every walker —
+// merge(), operator==, health_counters(), the checkpoint serializer —
+// expands this list, so adding a counter means adding one X(...) row
+// and one struct field; forget either half and the static_assert below
+// (field count vs struct size) or the member reference in merge() fails
+// the build. PR 6 grew the hand-written walk to 19 counters; this makes
+// the 20th un-forgettable.
+#define IOTX_CAPTURE_HEALTH_COUNTERS(X) \
+  X(pcap_truncated_tail)                \
+  X(snaplen_clipped_frames)             \
+  X(undecodable_frames)                 \
+  X(oversized_meta_frames)              \
+  X(dns_parse_failures)                 \
+  X(tls_parse_failures)                 \
+  X(http_parse_failures)                \
+  X(reassembly_dropped_segments)        \
+  X(reassembly_dropped_bytes)           \
+  X(reassembly_overlap_conflicts)       \
+  X(impaired_dropped_packets)           \
+  X(impaired_dropped_bytes)             \
+  X(impaired_duplicated_packets)        \
+  X(impaired_reordered_packets)         \
+  X(impaired_truncated_frames)          \
+  X(impaired_corrupted_frames)          \
+  X(impaired_dns_responses_dropped)     \
+  X(impaired_capture_cutoffs)           \
+  X(cache_corrupt_artifacts)            \
+  X(serve_oversized_frames)             \
+  X(serve_malformed_streams)            \
+  X(serve_deadline_expirations)         \
+  X(serve_budget_exhaustions)           \
+  X(serve_truncated_frames)             \
+  X(serve_sampled_out_packets)          \
+  X(serve_sessions_shed)                \
+  X(serve_sessions_quarantined)         \
+  X(serve_sessions_drained)
+
+/// Number of counters in the taxonomy (i.e. rows in the X-macro list).
+inline constexpr std::size_t kCaptureHealthCounterCount =
+    0
+#define IOTX_HEALTH_COUNT(name) +1
+    IOTX_CAPTURE_HEALTH_COUNTERS(IOTX_HEALTH_COUNT)
+#undef IOTX_HEALTH_COUNT
+    ;
 
 /// Typed counters for every recoverable ingest anomaly. All zeros on a
 /// clean capture; any nonzero ingest-side counter marks a run "degraded".
@@ -73,52 +120,78 @@ struct CaptureHealth {
   /// is marked degraded.
   std::uint64_t cache_corrupt_artifacts = 0;
 
+  // --- serve daemon layer (iotx::serve) -------------------------------
+  /// Stream records announcing a frame longer than the daemon's
+  /// max-frame cap; the session is quarantined (the length prefix can
+  /// no longer be trusted to delimit records).
+  std::uint64_t serve_oversized_frames = 0;
+  /// Upload streams that failed HTTP/chunked/pcap framing validation.
+  std::uint64_t serve_malformed_streams = 0;
+  /// Sessions cut by the read/idle deadline (slow-loris defence).
+  std::uint64_t serve_deadline_expirations = 0;
+  /// Sessions stopped at their byte or flow budget.
+  std::uint64_t serve_budget_exhaustions = 0;
+  /// Frames snaplen-truncated by the degradation ladder (kTruncate).
+  std::uint64_t serve_truncated_frames = 0;
+  /// Packets dropped by ladder sampling (kSample keeps 1-in-N).
+  std::uint64_t serve_sampled_out_packets = 0;
+  /// Upload sessions refused outright at admission (kShed).
+  std::uint64_t serve_sessions_shed = 0;
+  /// Sessions whose stream was quarantined mid-flight (malformed input,
+  /// oversized frame, client disconnect); their partial flows are
+  /// excluded from the tenant report, the process keeps serving.
+  std::uint64_t serve_sessions_quarantined = 0;
+  /// In-flight sessions cut by a drain (SIGTERM) before completion.
+  std::uint64_t serve_sessions_drained = 0;
+
   /// Sum of the ingest-side anomaly counters — the ones observed while
-  /// parsing, not the injection ground truth. Nonzero => degraded run.
+  /// parsing, not the injection ground truth or deliberate ladder
+  /// degradations. Nonzero => degraded run.
   std::uint64_t observed_anomalies() const noexcept {
     return pcap_truncated_tail + snaplen_clipped_frames +
            undecodable_frames + oversized_meta_frames + dns_parse_failures +
            tls_parse_failures + http_parse_failures +
            reassembly_dropped_segments + reassembly_overlap_conflicts +
-           cache_corrupt_artifacts;
+           cache_corrupt_artifacts + serve_oversized_frames +
+           serve_malformed_streams + serve_deadline_expirations +
+           serve_budget_exhaustions + serve_sessions_quarantined;
   }
 
-  /// Sum of every counter, injected impairment included.
+  /// Sum of every counter except the pure byte tallies — injected
+  /// impairment and deliberate serve-ladder degradations included.
   std::uint64_t total_anomalies() const noexcept {
     return observed_anomalies() + impaired_dropped_packets +
            impaired_duplicated_packets + impaired_reordered_packets +
            impaired_truncated_frames + impaired_corrupted_frames +
-           impaired_dns_responses_dropped + impaired_capture_cutoffs;
+           impaired_dns_responses_dropped + impaired_capture_cutoffs +
+           serve_truncated_frames + serve_sampled_out_packets +
+           serve_sessions_shed + serve_sessions_drained;
   }
 
   CaptureHealth& merge(const CaptureHealth& o) noexcept {
-    pcap_truncated_tail += o.pcap_truncated_tail;
-    snaplen_clipped_frames += o.snaplen_clipped_frames;
-    undecodable_frames += o.undecodable_frames;
-    oversized_meta_frames += o.oversized_meta_frames;
-    dns_parse_failures += o.dns_parse_failures;
-    tls_parse_failures += o.tls_parse_failures;
-    http_parse_failures += o.http_parse_failures;
-    reassembly_dropped_segments += o.reassembly_dropped_segments;
-    reassembly_dropped_bytes += o.reassembly_dropped_bytes;
-    reassembly_overlap_conflicts += o.reassembly_overlap_conflicts;
-    impaired_dropped_packets += o.impaired_dropped_packets;
-    impaired_dropped_bytes += o.impaired_dropped_bytes;
-    impaired_duplicated_packets += o.impaired_duplicated_packets;
-    impaired_reordered_packets += o.impaired_reordered_packets;
-    impaired_truncated_frames += o.impaired_truncated_frames;
-    impaired_corrupted_frames += o.impaired_corrupted_frames;
-    impaired_dns_responses_dropped += o.impaired_dns_responses_dropped;
-    impaired_capture_cutoffs += o.impaired_capture_cutoffs;
-    cache_corrupt_artifacts += o.cache_corrupt_artifacts;
+#define IOTX_HEALTH_MERGE(name) name += o.name;
+    IOTX_CAPTURE_HEALTH_COUNTERS(IOTX_HEALTH_MERGE)
+#undef IOTX_HEALTH_MERGE
     return *this;
   }
 
   bool operator==(const CaptureHealth&) const = default;
 };
 
+// The walk-count guard: every field is a uint64_t counter, so the struct
+// size is field-count * 8 on every supported ABI. A field added to the
+// struct but not to IOTX_CAPTURE_HEALTH_COUNTERS trips this; a row added
+// to the macro without its field fails to compile inside merge().
+static_assert(sizeof(CaptureHealth) ==
+                  kCaptureHealthCounterCount * sizeof(std::uint64_t),
+              "CaptureHealth fields and IOTX_CAPTURE_HEALTH_COUNTERS are out "
+              "of sync: add the new counter to the X-macro list (merge, "
+              "walk, serialization all derive from it)");
+
 /// (counter name, value) pairs in declaration order — one stable walk
-/// used by the JSON robustness report, the text tables, and the CLI.
+/// used by the JSON robustness report, the text tables, the serve
+/// checkpoint serializer, and the CLI. Always exactly
+/// kCaptureHealthCounterCount entries.
 std::vector<std::pair<std::string_view, std::uint64_t>> health_counters(
     const CaptureHealth& health);
 
@@ -128,8 +201,9 @@ std::vector<std::pair<std::string_view, std::uint64_t>> nonzero_counters(
 
 /// Adds the nonzero counters into the global metrics registry as
 /// "health/<counter>" sums. No-op unless obs::metrics_enabled(); callers
-/// (Study, CLI) invoke it once per finished run, so the registry carries
-/// the campaign-wide health aggregate without a second walk.
+/// (Study, CLI, serve daemon) invoke it once per finished run, so the
+/// registry carries the campaign-wide health aggregate without a second
+/// walk.
 void record_health_metrics(const CaptureHealth& health);
 
 }  // namespace iotx::faults

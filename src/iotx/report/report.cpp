@@ -306,6 +306,9 @@ std::string robustness_json(const core::Study& study) {
   w.begin_object();
   doc_header(w);
   w.field("section", "robustness");
+  // "interrupted" = the campaign was cancelled (SIGINT/SIGTERM) and some
+  // runs carry status "skipped"; every run that did execute is complete.
+  w.field("status", study.interrupted() ? "interrupted" : "complete");
   w.field("impairment_profile", study.params().impairment.name);
   w.field("impairment_enabled", study.params().impairment.enabled());
 
@@ -363,7 +366,11 @@ std::string robustness_json(const core::Study& study) {
 
 std::string robustness_text(const core::Study& study) {
   std::string out = "Robustness report — impairment profile: " +
-                    study.params().impairment.name + "\n\n";
+                    study.params().impairment.name + "\n";
+  out += study.interrupted()
+             ? "status: interrupted (campaign cancelled; skipped runs "
+               "below)\n\n"
+             : "status: complete\n\n";
 
   util::TextTable runs({"config", "device", "status", "anomalies", "error"});
   std::size_t clean = 0;

@@ -1,0 +1,67 @@
+#include "iotx/serve/admission.hpp"
+
+#include <algorithm>
+
+#include "iotx/obs/registry.hpp"
+
+namespace iotx::serve {
+
+std::string_view admission_mode_name(AdmissionMode mode) noexcept {
+  switch (mode) {
+    case AdmissionMode::kAccept: return "accept";
+    case AdmissionMode::kTruncate: return "truncate";
+    case AdmissionMode::kSample: return "sample";
+    case AdmissionMode::kShed: return "shed";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(std::size_t max_sessions,
+                                         std::uint64_t memory_budget_bytes,
+                                         AdmissionThresholds thresholds)
+    : max_sessions_(std::max<std::size_t>(max_sessions, 1)),
+      memory_budget_(std::max<std::uint64_t>(memory_budget_bytes, 1)),
+      thresholds_(thresholds) {}
+
+AdmissionMode AdmissionController::decide(
+    std::size_t active_sessions, std::uint64_t buffered_bytes,
+    std::uint64_t tenant_recent_quarantines) {
+  const double session_load =
+      static_cast<double>(active_sessions) / static_cast<double>(max_sessions_);
+  const double memory_load =
+      static_cast<double>(buffered_bytes) / static_cast<double>(memory_budget_);
+  const double load = std::max(session_load, memory_load);
+
+  int rung = 0;
+  if (load >= thresholds_.shed_at) {
+    rung = 3;
+  } else if (load >= thresholds_.sample_at) {
+    rung = 2;
+  } else if (load >= thresholds_.truncate_at) {
+    rung = 1;
+  }
+  // Fault-taxonomy signal: a tenant that just produced quarantined
+  // streams does not get another full-fidelity slot while anything else
+  // is contending for them.
+  if (tenant_recent_quarantines > 0 && rung < 3) rung += 1;
+
+  const auto mode = static_cast<AdmissionMode>(rung);
+  const std::uint8_t prev =
+      rung_.exchange(static_cast<std::uint8_t>(rung), std::memory_order_relaxed);
+  const bool transitioned = prev != static_cast<std::uint8_t>(rung);
+  if (transitioned) transitions_.fetch_add(1, std::memory_order_relaxed);
+  decided_[rung].fetch_add(1, std::memory_order_relaxed);
+
+  if (obs::metrics_enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.add(reg.counter(std::string("serve/admission_") +
+                        std::string(admission_mode_name(mode))),
+            1);
+    if (transitioned) reg.add(reg.counter("serve/ladder_transitions"), 1);
+    reg.add(reg.maximum("serve/peak_load_permille"),
+            static_cast<std::uint64_t>(load * 1000.0));
+  }
+  return mode;
+}
+
+}  // namespace iotx::serve

@@ -1,0 +1,88 @@
+// Admission control for the ingest daemon: an explicit degradation
+// ladder instead of an implicit OOM.
+//
+// Every upload session is admitted in one of four modes, ordered from
+// full fidelity to refusal:
+//
+//   kAccept    full-fidelity ingest
+//   kTruncate  frames snaplen-truncated before the pipeline (payload
+//              entropy/PII fidelity traded for bounded memory)
+//   kSample    only 1-in-N packets ingested (headline counters survive,
+//              per-flow series thin out)
+//   kShed      refused outright with 503; the client retries later
+//
+// The controller picks the rung from instantaneous load — active
+// sessions against the session cap and buffered bytes against the
+// memory budget, whichever is worse — and from the fault taxonomy: a
+// tenant whose recent sessions were quarantined (malformed streams,
+// oversized frames) is pushed one rung down before it can hog another
+// full-fidelity slot, which is the PR 2 CaptureHealth taxonomy acting
+// as an admission signal. Every rung change is counted in the obs
+// registry ("serve/ladder_transitions", per-mode admission counters)
+// and the shed/degrade outcomes land in CaptureHealth via the session.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace iotx::serve {
+
+enum class AdmissionMode : std::uint8_t {
+  kAccept = 0,
+  kTruncate = 1,
+  kSample = 2,
+  kShed = 3,
+};
+
+std::string_view admission_mode_name(AdmissionMode mode) noexcept;
+
+/// Load thresholds (fraction of capacity) at which the ladder steps
+/// down. Chosen so a burst hits kTruncate well before memory pressure
+/// and kShed only when the next session could not be bounded anyway.
+struct AdmissionThresholds {
+  double truncate_at = 0.50;
+  double sample_at = 0.75;
+  double shed_at = 0.95;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(std::size_t max_sessions,
+                      std::uint64_t memory_budget_bytes,
+                      AdmissionThresholds thresholds = {});
+
+  /// Decides the mode for a new session given the current load and the
+  /// tenant's recent quarantine count (nonzero pushes one rung down).
+  /// Thread-safe; also records the per-mode admission counter, the
+  /// rung-transition counter, and the load gauge into the obs registry.
+  AdmissionMode decide(std::size_t active_sessions,
+                       std::uint64_t buffered_bytes,
+                       std::uint64_t tenant_recent_quarantines);
+
+  /// The rung the last decide() landed on (the daemon's current
+  /// position on the ladder, reported by /health).
+  AdmissionMode current_rung() const noexcept {
+    return static_cast<AdmissionMode>(rung_.load(std::memory_order_relaxed));
+  }
+
+  /// Total rung changes across the daemon's lifetime.
+  std::uint64_t transitions() const noexcept {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t decisions(AdmissionMode mode) const noexcept {
+    return decided_[static_cast<std::size_t>(mode)].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t max_sessions_;
+  std::uint64_t memory_budget_;
+  AdmissionThresholds thresholds_;
+  std::atomic<std::uint8_t> rung_{0};
+  std::atomic<std::uint64_t> transitions_{0};
+  std::atomic<std::uint64_t> decided_[4] = {};
+};
+
+}  // namespace iotx::serve

@@ -1,0 +1,261 @@
+#include "iotx/serve/chaos.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+#include <thread>
+
+namespace iotx::serve {
+
+namespace {
+
+/// Sends everything; false as soon as the peer stops accepting.
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until the daemon closes (it always sends Connection: close),
+/// then parses the status line and strips the head off the body.
+void read_response(int fd, ChaosResult& result) {
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 10000) <= 0) break;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+    if (raw.size() > (1u << 20)) break;
+  }
+  if (raw.rfind("HTTP/", 0) != 0) return;
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) return;
+  int code = 0;
+  for (std::size_t i = sp + 1; i < sp + 4 && i < raw.size(); ++i) {
+    if (raw[i] < '0' || raw[i] > '9') return;
+    code = code * 10 + (raw[i] - '0');
+  }
+  result.status_code = code;
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end != std::string::npos) result.body = raw.substr(head_end + 4);
+}
+
+std::string hex_size(std::size_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zx", n);
+  return buf;
+}
+
+std::string view(std::span<const std::uint8_t> bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+void le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+int ChaosClient::connect_socket() const {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+ChaosResult ChaosClient::upload_chunked(
+    const std::string& tenant, std::span<const std::uint8_t> pcap_bytes,
+    std::size_t chunk_size) {
+  ChaosResult result;
+  const int fd = connect_socket();
+  if (fd < 0) return result;
+  result.connected = true;
+  if (chunk_size == 0) chunk_size = 4096;
+  std::string head = "POST /ingest/" + tenant +
+                     " HTTP/1.1\r\nHost: chaos\r\n"
+                     "Transfer-Encoding: chunked\r\n\r\n";
+  bool ok = send_all(fd, head);
+  for (std::size_t off = 0; ok && off < pcap_bytes.size();
+       off += chunk_size) {
+    const std::size_t take = std::min(chunk_size, pcap_bytes.size() - off);
+    ok = send_all(fd, hex_size(take) + "\r\n" +
+                          view(pcap_bytes.subspan(off, take)) + "\r\n");
+  }
+  if (ok) ok = send_all(fd, "0\r\n\r\n");
+  result.sent_all = ok;
+  read_response(fd, result);
+  ::close(fd);
+  return result;
+}
+
+ChaosResult ChaosClient::upload_identity(
+    const std::string& tenant, std::span<const std::uint8_t> pcap_bytes) {
+  ChaosResult result;
+  const int fd = connect_socket();
+  if (fd < 0) return result;
+  result.connected = true;
+  std::string head = "POST /ingest/" + tenant +
+                     " HTTP/1.1\r\nHost: chaos\r\nContent-Length: " +
+                     std::to_string(pcap_bytes.size()) + "\r\n\r\n";
+  result.sent_all = send_all(fd, head) && send_all(fd, view(pcap_bytes));
+  read_response(fd, result);
+  ::close(fd);
+  return result;
+}
+
+ChaosResult ChaosClient::get(const std::string& path) {
+  ChaosResult result;
+  const int fd = connect_socket();
+  if (fd < 0) return result;
+  result.connected = true;
+  result.sent_all =
+      send_all(fd, "GET " + path + " HTTP/1.1\r\nHost: chaos\r\n\r\n");
+  read_response(fd, result);
+  ::close(fd);
+  return result;
+}
+
+ChaosResult ChaosClient::slow_loris(int trickle_ms, std::size_t max_bytes) {
+  ChaosResult result;
+  const int fd = connect_socket();
+  if (fd < 0) return result;
+  result.connected = true;
+  // An eternal request head: one header byte at a time, never a blank
+  // line. The daemon's idle deadline must cut us off.
+  const std::string drip = "POST /ingest/loris HTTP/1.1\r\nX-Drip: ";
+  std::size_t sent = 0;
+  bool ok = true;
+  while (ok && sent < max_bytes) {
+    const char c = sent < drip.size() ? drip[sent] : 'a';
+    ok = send_all(fd, std::string_view(&c, 1));
+    if (!ok) break;
+    ++sent;
+    std::this_thread::sleep_for(std::chrono::milliseconds(trickle_ms));
+    // A cut shows up as a readable EOF/RST before it shows up in send().
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 0) > 0) {
+      char probe;
+      if (::recv(fd, &probe, 1, MSG_PEEK) <= 0) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  result.sent_all = ok;
+  read_response(fd, result);
+  ::close(fd);
+  return result;
+}
+
+ChaosResult ChaosClient::disconnect_midstream(
+    const std::string& tenant, std::span<const std::uint8_t> pcap_bytes,
+    std::size_t keep) {
+  ChaosResult result;
+  const int fd = connect_socket();
+  if (fd < 0) return result;
+  result.connected = true;
+  keep = std::min(keep, pcap_bytes.size());
+  std::string head = "POST /ingest/" + tenant +
+                     " HTTP/1.1\r\nHost: chaos\r\n"
+                     "Transfer-Encoding: chunked\r\n\r\n";
+  bool ok = send_all(fd, head);
+  if (ok && keep > 0) {
+    // One chunk promising the whole body; the close lands mid-chunk.
+    ok = send_all(fd, hex_size(pcap_bytes.size()) + "\r\n" +
+                          view(pcap_bytes.first(keep)));
+  }
+  result.sent_all = ok;
+  // Hard close: RST-ish abandonment, no terminal chunk, no lingering.
+  ::close(fd);
+  return result;
+}
+
+ChaosResult ChaosClient::malformed_chunked(const std::string& tenant) {
+  ChaosResult result;
+  const int fd = connect_socket();
+  if (fd < 0) return result;
+  result.connected = true;
+  std::string head = "POST /ingest/" + tenant +
+                     " HTTP/1.1\r\nHost: chaos\r\n"
+                     "Transfer-Encoding: chunked\r\n\r\n";
+  // First chunk claims 4 bytes but is followed by garbage where the
+  // CRLF must be — the boundary after it is unrecoverable.
+  result.sent_all =
+      send_all(fd, head) && send_all(fd, "4\r\nABCDXXXX5\r\nhello\r\n");
+  read_response(fd, result);
+  ::close(fd);
+  return result;
+}
+
+ChaosResult ChaosClient::garbage_head() {
+  ChaosResult result;
+  const int fd = connect_socket();
+  if (fd < 0) return result;
+  result.connected = true;
+  // \x7f, not \x00: a NUL would truncate the const char* -> string_view
+  // conversion and turn this into a deadline test instead of a parse one.
+  result.sent_all =
+      send_all(fd, "\x16\x03\x01\x02\x7f not http at all\r\n\r\n");
+  read_response(fd, result);
+  ::close(fd);
+  return result;
+}
+
+ChaosResult ChaosClient::oversized_frame(const std::string& tenant) {
+  const std::vector<std::uint8_t> pcap = oversized_frame_pcap();
+  return upload_identity(tenant, pcap);
+}
+
+std::vector<std::uint8_t> oversized_frame_pcap(std::uint32_t incl_len,
+                                               std::size_t actual) {
+  std::vector<std::uint8_t> out;
+  // Global header: micro magic, version 2.4, zone 0, sigfigs 0,
+  // snaplen 65535, linktype Ethernet.
+  le32(out, 0xa1b2c3d4u);
+  out.push_back(2);
+  out.push_back(0);
+  out.push_back(4);
+  out.push_back(0);
+  le32(out, 0);
+  le32(out, 0);
+  le32(out, 65535);
+  le32(out, 1);
+  // One record whose incl_len promises far more than follows.
+  le32(out, 0);         // ts_sec
+  le32(out, 0);         // ts_frac
+  le32(out, incl_len);  // incl_len: hostile
+  le32(out, incl_len);  // orig_len
+  out.insert(out.end(), actual, 0xEE);
+  return out;
+}
+
+}  // namespace iotx::serve

@@ -1,0 +1,87 @@
+// Chaos client harness for the ingest daemon: a plain-socket HTTP
+// client plus the hostile-client scenarios the robustness suite (and
+// the `chaos_client` CLI used by the CI serve-smoke job) throws at a
+// live daemon — slow-loris heads, mid-stream disconnects, malformed
+// chunked framing, oversized pcap records, tenant floods. Every
+// scenario returns what the daemon answered (or that it answered
+// nothing), never throws: a chaos run's assertion is that the *daemon*
+// stays alive, so the client must be unconditionally well-behaved
+// about its own failures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iotx::serve {
+
+/// Outcome of one chaos interaction.
+struct ChaosResult {
+  bool connected = false;
+  /// Every byte the scenario intended to send was accepted by the
+  /// socket (false when the daemon closed on us first — for several
+  /// scenarios that is the expected defence).
+  bool sent_all = false;
+  /// HTTP status of the daemon's response; 0 when none arrived.
+  int status_code = 0;
+  std::string body;
+};
+
+class ChaosClient {
+ public:
+  ChaosClient(std::string host, std::uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  /// Clean chunked upload of pcap bytes to POST /ingest/<tenant>.
+  ChaosResult upload_chunked(const std::string& tenant,
+                             std::span<const std::uint8_t> pcap_bytes,
+                             std::size_t chunk_size = 4096);
+
+  /// Clean Content-Length upload.
+  ChaosResult upload_identity(const std::string& tenant,
+                              std::span<const std::uint8_t> pcap_bytes);
+
+  /// GET a control-plane path ("/health", "/report/<tenant>", ...).
+  ChaosResult get(const std::string& path);
+
+  // --- hostile scenarios ----------------------------------------------
+
+  /// Opens a connection and trickles an unterminated request head one
+  /// byte per `trickle_ms` until the daemon hangs up or `max_bytes`
+  /// are sent. A healthy daemon cuts us at its idle deadline.
+  ChaosResult slow_loris(int trickle_ms, std::size_t max_bytes);
+
+  /// Starts a chunked upload, sends `keep` bytes of the body, then
+  /// hard-closes mid-stream.
+  ChaosResult disconnect_midstream(const std::string& tenant,
+                                   std::span<const std::uint8_t> pcap_bytes,
+                                   std::size_t keep);
+
+  /// Chunked upload whose second chunk lies about its size (data not
+  /// followed by CRLF): the framing violation that must quarantine the
+  /// session, not the process.
+  ChaosResult malformed_chunked(const std::string& tenant);
+
+  /// Sends bytes that are not HTTP at all.
+  ChaosResult garbage_head();
+
+  /// Uploads a pcap whose record header announces a frame far past the
+  /// daemon's max-frame cap.
+  ChaosResult oversized_frame(const std::string& tenant);
+
+ private:
+  int connect_socket() const;
+
+  std::string host_;
+  std::uint16_t port_;
+};
+
+/// A valid pcap byte stream whose single record announces `incl_len`
+/// (default far past any sane frame cap) with only `actual` bytes of
+/// frame behind it — the oversized-frame scenario's payload, exposed so
+/// decoder unit tests can reuse it.
+std::vector<std::uint8_t> oversized_frame_pcap(
+    std::uint32_t incl_len = 512u << 20, std::size_t actual = 64);
+
+}  // namespace iotx::serve

@@ -1,0 +1,699 @@
+#include "iotx/serve/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "iotx/cache/binio.hpp"
+#include "iotx/obs/profile.hpp"
+#include "iotx/obs/registry.hpp"
+#include "iotx/report/json.hpp"
+#include "iotx/serve/http.hpp"
+#include "iotx/util/task_pool.hpp"
+
+namespace iotx::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Best-effort write of a whole response; tolerates a peer that already
+/// went away (the chaos client does that on purpose).
+void write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// The tenant segment of "/ingest/<tenant>" or "/report/<tenant>";
+/// empty when absent or containing path separators (no traversal).
+std::string tenant_segment(std::string_view target, std::string_view prefix) {
+  if (target.rfind(prefix, 0) != 0) return {};
+  std::string name(target.substr(prefix.size()));
+  const std::size_t query = name.find('?');
+  if (query != std::string::npos) name.resize(query);
+  if (name.empty() || name.size() > 128) return {};
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) return {};
+  }
+  if (name == "." || name == "..") return {};
+  return name;
+}
+
+constexpr std::string_view kShedBody =
+    "{\"error\":\"shed\",\"retry\":true}";
+
+}  // namespace
+
+Daemon::Daemon(ServeConfig config)
+    : config_(std::move(config)),
+      admission_(config_.max_sessions, config_.memory_budget_bytes,
+                 config_.thresholds) {
+  if (!config_.checkpoint_dir.empty()) {
+    store_ = std::make_unique<cache::ArtifactStore>(config_.checkpoint_dir);
+  }
+}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::bump(std::uint64_t ServeStats::*field, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.*field += delta;
+}
+
+bool Daemon::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = "socket() failed";
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_host.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad bind host " + config_.bind_host;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    error_ = "bind() failed: " + std::string(std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, static_cast<int>(config_.accept_backlog) + 8) !=
+      0) {
+    error_ = "listen() failed";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::pipe(wake_pipe_) != 0) {
+    error_ = "pipe() failed";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  set_nonblocking(wake_pipe_[0]);
+  set_nonblocking(wake_pipe_[1]);
+
+  if (store_ != nullptr) resume_tenants();
+
+  stopped_ = false;
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  workers_.reserve(config_.max_sessions);
+  for (std::size_t i = 0; i < std::max<std::size_t>(config_.max_sessions, 1);
+       ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Daemon::request_stop() noexcept {
+  draining_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Daemon::accept_loop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, 500);
+    if (draining_.load(std::memory_order_acquire)) break;
+    if (rc <= 0) continue;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    bump(&ServeStats::connections_accepted);
+
+    // Admission happens here, before a worker is committed: the rung
+    // covers both the session-slot load (active + queued) and the
+    // in-flight byte load.
+    std::size_t queued;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      queued = pending_.size();
+    }
+    const std::size_t load =
+        active_sessions_.load(std::memory_order_relaxed) + queued;
+    const AdmissionMode mode = admission_.decide(
+        load, buffered_bytes_.load(std::memory_order_relaxed),
+        /*tenant_recent_quarantines=*/0);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.ladder_transitions = admission_.transitions();
+    }
+    if (mode == AdmissionMode::kShed || queued >= config_.accept_backlog) {
+      bump(&ServeStats::sessions_shed);
+      {
+        // No tenant to blame yet (the request head was never read), so
+        // the shed lands in the daemon-wide health rollup.
+        std::lock_guard<std::mutex> lock(tenants_mu_);
+        daemon_health_.serve_sessions_shed += 1;
+      }
+      set_nonblocking(fd);
+      write_all(fd, json_response(503, "Service Unavailable", kShedBody));
+      ::close(fd);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      pending_.push_back(PendingConn{fd, mode, {}});
+    }
+    pending_cv_.notify_one();
+  }
+}
+
+void Daemon::worker_loop() {
+  for (;;) {
+    PendingConn conn;
+    {
+      std::unique_lock<std::mutex> lock(pending_mu_);
+      pending_cv_.wait(lock, [this] {
+        return draining_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (pending_.empty()) {
+        if (draining_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      conn = pending_.front();
+      pending_.pop_front();
+    }
+    handle_connection(conn.fd, conn.mode);
+  }
+}
+
+void Daemon::handle_connection(int fd, AdmissionMode admitted) {
+  const auto admission_start = Clock::now();
+  HttpHeadParser head;
+  std::uint8_t buf[16384];
+  bool deadline_hit = false;
+  bool peer_gone = false;
+
+  // --- read the request head under a TOTAL deadline --------------------
+  // Total, not idle: a slow-loris trickles one header byte per interval
+  // and is never "idle", so the whole head gets idle_timeout_ms and not
+  // a millisecond more.
+  const auto head_deadline =
+      admission_start +
+      std::chrono::milliseconds(draining_.load(std::memory_order_acquire)
+                                    ? std::min(config_.drain_grace_ms,
+                                               config_.idle_timeout_ms)
+                                    : config_.idle_timeout_ms);
+  while (head.feed({}) == HttpHeadParser::Status::kNeedMore) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          head_deadline - Clock::now())
+                          .count();
+    if (left <= 0) {
+      deadline_hit = true;
+      break;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc =
+        ::poll(&pfd, 1, static_cast<int>(std::min<long long>(left, 250)));
+    if (rc < 0) continue;
+    if (rc == 0) continue;  // deadline checked at the top
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      peer_gone = true;
+      break;
+    }
+    const auto status =
+        head.feed(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+    if (status != HttpHeadParser::Status::kNeedMore) break;
+  }
+
+  const auto head_status = head.feed({});
+  if (head_status != HttpHeadParser::Status::kComplete) {
+    if (head_status == HttpHeadParser::Status::kMalformed) {
+      std::lock_guard<std::mutex> lock(tenants_mu_);
+      // Malformed before a tenant is even known: daemon-wide health.
+      daemon_health_.serve_malformed_streams += 1;
+    } else if (deadline_hit) {
+      std::lock_guard<std::mutex> lock(tenants_mu_);
+      daemon_health_.serve_deadline_expirations += 1;
+    }
+    if (!peer_gone) {
+      write_all(fd, json_response(400, "Bad Request",
+                                  "{\"error\":\"malformed request\"}"));
+    }
+    ::close(fd);
+    return;
+  }
+
+  const HttpRequest& req = head.request();
+
+  // --- control plane ---------------------------------------------------
+  if (req.method == "GET") {
+    bump(&ServeStats::control_requests);
+    std::string body;
+    if (req.target == "/health") {
+      body = health_json();
+    } else if (req.target == "/metrics") {
+      body = metrics_json();
+    } else if (req.target == "/config") {
+      body = config_json();
+    } else {
+      const std::string tenant_name = tenant_segment(req.target, "/report/");
+      if (!tenant_name.empty()) body = report_json(tenant_name);
+    }
+    if (body.empty()) {
+      write_all(fd, json_response(404, "Not Found",
+                                  "{\"error\":\"unknown endpoint\"}"));
+    } else {
+      write_all(fd, json_response(200, "OK", body));
+    }
+    ::close(fd);
+    return;
+  }
+
+  // --- ingest ----------------------------------------------------------
+  const std::string tenant_name = tenant_segment(req.target, "/ingest/");
+  if (req.method != "POST" || tenant_name.empty()) {
+    write_all(fd, json_response(404, "Not Found",
+                                "{\"error\":\"unknown endpoint\"}"));
+    ::close(fd);
+    return;
+  }
+  const bool chunked = req.chunked();
+  const auto content_length = req.content_length();
+  if (!chunked && !content_length) {
+    write_all(fd, json_response(411, "Length Required",
+                                "{\"error\":\"length required\"}"));
+    ::close(fd);
+    return;
+  }
+
+  // A tenant with a quarantine streak re-runs admission with the fault
+  // signal: the taxonomy decides whether it still deserves the rung the
+  // load alone granted.
+  TenantState& ten = tenant(tenant_name);
+  AdmissionMode mode = admitted;
+  const std::uint64_t streak = ten.quarantine_streak();
+  if (streak > 0) {
+    mode = admission_.decide(active_sessions_.load(std::memory_order_relaxed),
+                             buffered_bytes_.load(std::memory_order_relaxed),
+                             streak);
+    if (mode == AdmissionMode::kShed) {
+      bump(&ServeStats::sessions_shed);
+      faults::CaptureHealth shed_health;
+      shed_health.serve_sessions_shed = 1;
+      ten.note_quarantine(shed_health, 0);
+      write_all(fd, json_response(503, "Service Unavailable", kShedBody));
+      ::close(fd);
+      return;
+    }
+  }
+
+  if (obs::metrics_enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.add(reg.histogram("serve/admission_latency_ns",
+                          /*deterministic=*/false),
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - admission_start)
+                    .count()));
+  }
+
+  bump(&ServeStats::sessions_started);
+  active_sessions_.fetch_add(1, std::memory_order_relaxed);
+  IngestSession session(mode, config_.session);
+  ChunkedDecoder chunk_decoder;
+  std::vector<std::uint8_t> decoded;
+  std::uint64_t body_seen = 0;
+  std::uint64_t session_buffered = 0;
+  bool malformed_chunking = false;
+  bool upload_done = false;
+
+  const auto feed_session = [&](std::span<const std::uint8_t> bytes) {
+    if (bytes.empty()) return;
+    session_buffered += bytes.size();
+    buffered_bytes_.fetch_add(bytes.size(), std::memory_order_relaxed);
+    session.feed(bytes);
+  };
+
+  const auto consume = [&](std::span<const std::uint8_t> bytes) {
+    if (chunked) {
+      decoded.clear();
+      const auto status = chunk_decoder.feed(bytes, decoded);
+      feed_session(decoded);
+      if (status == ChunkedDecoder::Status::kMalformed) {
+        malformed_chunking = true;
+      } else if (status == ChunkedDecoder::Status::kComplete) {
+        upload_done = true;
+      }
+    } else {
+      body_seen += bytes.size();
+      feed_session(bytes);
+      if (body_seen >= *content_length) upload_done = true;
+    }
+  };
+
+  consume(head.leftover());
+  auto last_byte = Clock::now();
+  while (!upload_done && !malformed_chunking &&
+         session.state() == IngestSession::State::kStreaming) {
+    if (draining_.load(std::memory_order_acquire)) {
+      const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              Clock::now() - last_byte)
+                              .count();
+      if (waited > config_.drain_grace_ms) {
+        session.cut(IngestSession::Cut::kDrain);
+        break;
+      }
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, std::min(config_.idle_timeout_ms, 250));
+    if (rc < 0) continue;
+    if (rc == 0) {
+      const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            Clock::now() - last_byte)
+                            .count();
+      if (idle >= config_.idle_timeout_ms) {
+        session.cut(IngestSession::Cut::kDeadline);
+        break;
+      }
+      continue;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      session.cut(IngestSession::Cut::kDisconnect);
+      break;
+    }
+    if (n == 0) {
+      // Peer closed mid-upload. For Content-Length bodies that is a
+      // truncation; for chunked ones the terminal chunk never came.
+      if (!upload_done) session.cut(IngestSession::Cut::kDisconnect);
+      break;
+    }
+    last_byte = Clock::now();
+    consume(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+  }
+
+  if (malformed_chunking) {
+    // Broken chunk framing quarantines the session: nothing after the
+    // bad boundary is trustworthy. fold_into() below records the single
+    // quarantine with this taxonomy already in the session's health.
+    session.cut(IngestSession::Cut::kMalformed);
+  }
+  if (upload_done) session.finish();
+  // A session still streaming here was cut (deadline/drain/disconnect)
+  // — cut() already classified it; finish() would double-count.
+  if (session.state() == IngestSession::State::kStreaming) {
+    session.cut(IngestSession::Cut::kDisconnect);
+  }
+  session.fold_into(ten);
+
+  const bool folded = session.state() == IngestSession::State::kComplete ||
+                      session.state() == IngestSession::State::kBudgetStop;
+  if (folded) {
+    bump(&ServeStats::sessions_completed);
+  } else {
+    bump(&ServeStats::sessions_quarantined);
+  }
+  bump(&ServeStats::bytes_received, session.bytes_fed());
+  if (obs::metrics_enabled()) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.add(reg.counter("serve/sessions_total"), 1);
+    reg.add(reg.counter("serve/bytes_received"), session.bytes_fed());
+    faults::record_health_metrics(session.health());
+  }
+
+  // Release the slot before answering: /health served during the
+  // response write must not show this finished session as active.
+  buffered_bytes_.fetch_sub(session_buffered, std::memory_order_relaxed);
+  active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+
+  // Session summary response (best effort; chaos clients are often gone).
+  {
+    report::JsonWriter w;
+    w.begin_object();
+    w.field("schema_version", kServeSchemaVersion);
+    w.field("tenant", tenant_name);
+    w.field("mode", admission_mode_name(session.mode()));
+    w.field("accepted", folded);
+    w.field("packets", session.packets());
+    w.field("bytes", session.bytes_fed());
+    w.field("degraded", session.degraded());
+    w.end_object();
+    const int code = folded ? 200 : (malformed_chunking ? 400 : 422);
+    const char* reason = folded          ? "OK"
+                         : malformed_chunking ? "Bad Request"
+                                              : "Unprocessable Entity";
+    write_all(fd, json_response(code, reason, w.document()));
+  }
+  ::close(fd);
+}
+
+TenantState& Daemon::tenant(const std::string& name) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto& slot = tenants_[name];
+  if (slot == nullptr) slot = std::make_unique<TenantState>(name);
+  return *slot;
+}
+
+void Daemon::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  if (!running_.load(std::memory_order_acquire)) return;
+  request_stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pending_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // Refuse any connection that raced into the queue after the workers
+  // left: they were never admitted as sessions.
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (const PendingConn& conn : pending_) {
+      write_all(conn.fd, json_response(503, "Service Unavailable", kShedBody));
+      ::close(conn.fd);
+    }
+    pending_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  checkpoint_tenants();
+  running_.store(false, std::memory_order_release);
+}
+
+namespace {
+std::string tenant_checkpoint_key(const std::string& tenant) {
+  return cache::StageKey("serve/tenant-checkpoint")
+      .field("tenant", tenant)
+      .hex();
+}
+std::string manifest_key() {
+  return cache::StageKey("serve/checkpoint-manifest").hex();
+}
+}  // namespace
+
+void Daemon::checkpoint_tenants() {
+  if (store_ == nullptr) return;
+  std::vector<TenantState*> tenants;
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    tenants.reserve(tenants_.size());
+    for (auto& [name, state] : tenants_) tenants.push_back(state.get());
+  }
+  if (tenants.empty()) return;
+  // Fan the serialization across the pool: tenants are independent and
+  // ArtifactStore stores are atomic (temp file + rename).
+  util::TaskPool pool(config_.jobs == 0
+                          ? std::min<std::size_t>(
+                                tenants.size(),
+                                util::TaskPool::default_thread_count())
+                          : config_.jobs);
+  pool.parallel_for_each(tenants.size(), [&](std::size_t i) {
+    store_->store(tenant_checkpoint_key(tenants[i]->name()),
+                  tenants[i]->serialize());
+  });
+  cache::BinWriter manifest;
+  manifest.u64(tenants.size());
+  for (const TenantState* t : tenants) manifest.str(t->name());
+  store_->store(manifest_key(), manifest.take());
+}
+
+void Daemon::resume_tenants() {
+  const auto manifest = store_->load(manifest_key(), &daemon_health_);
+  if (!manifest) return;
+  try {
+    cache::BinReader r(manifest->payload);
+    const std::size_t count = r.length(8);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::string name = r.str();
+      const auto artifact =
+          store_->load(tenant_checkpoint_key(name), &daemon_health_);
+      if (!artifact) continue;
+      auto state = TenantState::restore(artifact->payload);
+      std::lock_guard<std::mutex> lock(tenants_mu_);
+      tenants_[name] = std::move(state);
+      bump(&ServeStats::tenants_resumed);
+    }
+  } catch (const cache::CorruptArtifact&) {
+    // A corrupt manifest/checkpoint degrades to an empty resume; the
+    // load already counted cache_corrupt_artifacts.
+    daemon_health_.cache_corrupt_artifacts += 1;
+  }
+}
+
+ServeStats Daemon::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+std::string Daemon::health_json() const {
+  faults::CaptureHealth rollup;
+  {
+    std::lock_guard<std::mutex> lock(tenants_mu_);
+    rollup = daemon_health_;
+    for (const auto& [name, state] : tenants_) rollup.merge(state->health());
+  }
+  const ServeStats s = stats();
+  report::JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", kServeSchemaVersion);
+  w.field("section", "serve_health");
+  w.field("status",
+          draining_.load(std::memory_order_acquire) ? "draining" : "serving");
+  w.field("ladder_rung",
+          std::string(admission_mode_name(admission_.current_rung())));
+  w.field("ladder_transitions", admission_.transitions());
+  w.field("active_sessions",
+          static_cast<std::uint64_t>(
+              active_sessions_.load(std::memory_order_relaxed)));
+  w.field("buffered_bytes", buffered_bytes_.load(std::memory_order_relaxed));
+  w.field("connections_accepted", s.connections_accepted);
+  w.field("sessions_started", s.sessions_started);
+  w.field("sessions_completed", s.sessions_completed);
+  w.field("sessions_quarantined", s.sessions_quarantined);
+  w.field("sessions_shed", s.sessions_shed);
+  w.field("bytes_received", s.bytes_received);
+  w.field("tenants_resumed", s.tenants_resumed);
+  w.key("admission").begin_object();
+  w.field("accept", admission_.decisions(AdmissionMode::kAccept));
+  w.field("truncate", admission_.decisions(AdmissionMode::kTruncate));
+  w.field("sample", admission_.decisions(AdmissionMode::kSample));
+  w.field("shed", admission_.decisions(AdmissionMode::kShed));
+  w.end_object();
+  w.key("health").begin_object();
+  for (const auto& [name, value] : faults::nonzero_counters(rollup)) {
+    w.field(name, value);
+  }
+  w.end_object();
+  w.end_object();
+  return w.document();
+}
+
+std::string Daemon::config_json() const {
+  report::JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", kServeSchemaVersion);
+  w.field("section", "serve_config");
+  w.field("bind_host", config_.bind_host);
+  w.field("port", static_cast<std::uint64_t>(port_));
+  w.field("max_sessions", static_cast<std::uint64_t>(config_.max_sessions));
+  w.field("accept_backlog",
+          static_cast<std::uint64_t>(config_.accept_backlog));
+  w.field("memory_budget_bytes", config_.memory_budget_bytes);
+  w.field("session_byte_budget", config_.session.byte_budget);
+  w.field("session_flow_budget", config_.session.flow_budget);
+  w.field("max_frame_bytes",
+          static_cast<std::uint64_t>(config_.session.max_frame_bytes));
+  w.field("truncate_snaplen",
+          static_cast<std::uint64_t>(config_.session.truncate_snaplen));
+  w.field("sample_keep_1_in",
+          static_cast<std::uint64_t>(config_.session.sample_keep_1_in));
+  w.field("idle_timeout_ms",
+          static_cast<std::int64_t>(config_.idle_timeout_ms));
+  w.field("drain_grace_ms",
+          static_cast<std::int64_t>(config_.drain_grace_ms));
+  w.field("checkpoint_dir", config_.checkpoint_dir);
+  w.key("ladder").begin_object();
+  w.field("truncate_at", config_.thresholds.truncate_at);
+  w.field("sample_at", config_.thresholds.sample_at);
+  w.field("shed_at", config_.thresholds.shed_at);
+  w.end_object();
+  w.end_object();
+  return w.document();
+}
+
+std::string Daemon::metrics_json() const {
+  return obs::profile_json(obs::Registry::global().snapshot());
+}
+
+std::string Daemon::report_json(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? std::string() : it->second->report_json();
+}
+
+std::vector<std::string> Daemon::tenants() const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, state] : tenants_) names.push_back(name);
+  return names;
+}
+
+std::string batch_report_json(const std::string& tenant,
+                              std::span<const std::uint8_t> pcap_bytes,
+                              const SessionLimits& limits) {
+  TenantState state(tenant);
+  IngestSession session(AdmissionMode::kAccept, limits);
+  session.feed(pcap_bytes);
+  session.finish();
+  session.fold_into(state);
+  return state.report_json();
+}
+
+}  // namespace iotx::serve

@@ -1,0 +1,179 @@
+// The always-on ingest daemon (`iotx serve`): accepts concurrent
+// capture-stream uploads from many gateways over HTTP, feeds each
+// session straight into a per-tenant ingest pipeline, and exposes a
+// small control plane. Robustness is the point: every session is
+// bounded (byte/flow budgets, read/idle deadlines), overload walks the
+// explicit degradation ladder (admission.hpp), malformed input
+// quarantines the session — never the process — and SIGTERM drains
+// in-flight work and checkpoints per-tenant state through the
+// ArtifactStore so a restarted daemon resumes mid-campaign.
+//
+// Endpoint registry:
+//   POST /ingest/<tenant>   chunked or Content-Length pcap upload
+//   GET  /health            ServeHealth + CaptureHealth rollup
+//   GET  /metrics           obs registry snapshot (profile.json shape)
+//   GET  /report/<tenant>   the tenant's accumulated report
+//   GET  /config            the running ServeConfig
+//
+// Threading model: one accept thread plus a fixed pool of connection
+// workers (the session cap doubles as the thread bound); tenant folds
+// are serialized per tenant by TenantState's lock, and the drain-time
+// checkpoint fans tenants across a util::TaskPool. Everything joins in
+// stop(), so the daemon is leak-free under ASan by construction.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "iotx/cache/artifact_store.hpp"
+#include "iotx/serve/admission.hpp"
+#include "iotx/serve/session.hpp"
+#include "iotx/serve/tenant.hpp"
+
+namespace iotx::serve {
+
+struct ServeConfig {
+  std::string bind_host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via Daemon::port())
+  /// Concurrent upload sessions; also the connection-worker thread count
+  /// and the denominator of the ladder's session-load signal.
+  std::size_t max_sessions = 8;
+  /// Accepted-but-unclaimed connections beyond which new ones shed.
+  std::size_t accept_backlog = 16;
+  /// Aggregate in-flight upload bytes driving the ladder's memory load.
+  std::uint64_t memory_budget_bytes = 256ull << 20;
+  SessionLimits session;
+  AdmissionThresholds thresholds;
+  /// One poll() wait on an idle connection; bounds how long a
+  /// slow-loris can hold a worker without sending a byte.
+  int idle_timeout_ms = 5000;
+  /// Grace given to in-flight sessions during drain before they are cut.
+  int drain_grace_ms = 2000;
+  /// Non-empty: checkpoint tenants here on stop() and resume on start().
+  std::string checkpoint_dir;
+  /// TaskPool threads for the drain-time checkpoint fan-out (0 = auto).
+  std::size_t jobs = 0;
+};
+
+/// Aggregate daemon counters served by /health (and mirrored into the
+/// obs registry as they change).
+struct ServeStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_quarantined = 0;
+  std::uint64_t sessions_shed = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t control_requests = 0;
+  std::uint64_t ladder_transitions = 0;
+  std::uint64_t tenants_resumed = 0;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(ServeConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds, listens, resumes checkpointed tenants (when a checkpoint
+  /// dir is configured), and spawns the accept + worker threads.
+  /// Returns false (with error() set) when the socket setup fails.
+  bool start();
+
+  /// The bound port (after start()); useful with port 0.
+  std::uint16_t port() const { return port_; }
+
+  /// Async-signal-safe stop trigger: writes the wake pipe. The actual
+  /// drain happens on whatever thread calls stop()/~Daemon.
+  void request_stop() noexcept;
+
+  /// Drains: stops accepting, gives in-flight sessions drain_grace_ms
+  /// to finish (then cuts them as drained), joins every thread, and
+  /// checkpoints tenants through the ArtifactStore. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& error() const { return error_; }
+
+  ServeStats stats() const;
+  AdmissionMode current_rung() const { return admission_.current_rung(); }
+
+  /// Control-plane documents (also served over HTTP).
+  std::string health_json() const;
+  std::string config_json() const;
+  std::string metrics_json() const;
+  /// Empty when the tenant is unknown.
+  std::string report_json(const std::string& tenant) const;
+
+  /// Tenants with state (alphabetical).
+  std::vector<std::string> tenants() const;
+
+ private:
+  struct PendingConn {
+    int fd = -1;
+    AdmissionMode mode = AdmissionMode::kAccept;
+    std::string tenant_hint;
+  };
+
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(int fd, AdmissionMode admitted);
+  TenantState& tenant(const std::string& name);
+  void checkpoint_tenants();
+  void resume_tenants();
+  void bump(std::uint64_t ServeStats::*field, std::uint64_t delta = 1);
+
+  ServeConfig config_;
+  AdmissionController admission_;
+  std::unique_ptr<cache::ArtifactStore> store_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::string error_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<std::size_t> active_sessions_{0};
+  std::atomic<std::uint64_t> buffered_bytes_{0};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::deque<PendingConn> pending_;
+  mutable std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+
+  mutable std::mutex tenants_mu_;
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
+  /// Faults with no tenant to blame (malformed heads, shed connections,
+  /// corrupt checkpoints); merged into the /health rollup. Guarded by
+  /// tenants_mu_.
+  faults::CaptureHealth daemon_health_;
+
+  mutable std::mutex stats_mu_;
+  ServeStats stats_;
+
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+};
+
+/// Batch reference path: runs pcap file bytes through the identical
+/// session/fold machinery (one clean full-fidelity session) and returns
+/// the tenant report — what the daemon would serve after streaming the
+/// same bytes. The serve-smoke CI job diffs this against a streamed
+/// upload; the two must be byte-identical.
+std::string batch_report_json(const std::string& tenant,
+                              std::span<const std::uint8_t> pcap_bytes,
+                              const SessionLimits& limits = {});
+
+}  // namespace iotx::serve

@@ -1,0 +1,230 @@
+#include "iotx/serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace iotx::serve {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::header(std::string_view name) const {
+  const auto it = headers.find(lower(name));
+  return it == headers.end() ? std::string_view{} : std::string_view(it->second);
+}
+
+bool HttpRequest::chunked() const {
+  return lower(header("transfer-encoding")).find("chunked") !=
+         std::string::npos;
+}
+
+std::optional<std::uint64_t> HttpRequest::content_length() const {
+  const std::string_view v = header("content-length");
+  if (v.empty() || v.size() > 19) return std::nullopt;
+  std::uint64_t n = 0;
+  for (const char c : v) {
+    if (c < '0' || c > '9') return std::nullopt;
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return n;
+}
+
+HttpHeadParser::Status HttpHeadParser::feed(
+    std::span<const std::uint8_t> bytes) {
+  if (status_ != Status::kNeedMore) return status_;
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  // Find the first blank line; accept both CRLF and bare-LF endings (real
+  // gateway scripts emit both).
+  for (std::size_t i = head_end_ == 0 ? 0 : head_end_; i < buffer_.size();
+       ++i) {
+    if (buffer_[i] != '\n') continue;
+    const bool crlf_blank =
+        i >= 3 && buffer_[i - 1] == '\r' && buffer_[i - 2] == '\n';
+    const bool lf_blank = i >= 1 && buffer_[i - 1] == '\n';
+    if (crlf_blank || lf_blank) {
+      head_end_ = i + 1;
+      status_ = parse_head();
+      return status_;
+    }
+  }
+  if (buffer_.size() > kMaxHeaderBytes) status_ = Status::kMalformed;
+  return status_;
+}
+
+HttpHeadParser::Status HttpHeadParser::parse_head() {
+  const std::string_view head(reinterpret_cast<const char*>(buffer_.data()),
+                              head_end_);
+  if (head.size() > kMaxHeaderBytes) return Status::kMalformed;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos < head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) break;
+    std::string_view line = head.substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol + 1;
+    if (line.empty()) break;  // blank line: end of head
+    if (first) {
+      first = false;
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+      if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+        return Status::kMalformed;
+      }
+      request_.method = std::string(line.substr(0, sp1));
+      request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+      request_.version = std::string(line.substr(sp2 + 1));
+      if (request_.method.empty() || request_.target.empty() ||
+          request_.version.rfind("HTTP/", 0) != 0) {
+        return Status::kMalformed;
+      }
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::kMalformed;
+    }
+    request_.headers[lower(trim(line.substr(0, colon)))] =
+        std::string(trim(line.substr(colon + 1)));
+  }
+  if (first) return Status::kMalformed;  // no request line at all
+  return Status::kComplete;
+}
+
+ChunkedDecoder::Status ChunkedDecoder::feed(std::span<const std::uint8_t> bytes,
+                                            std::vector<std::uint8_t>& out) {
+  std::size_t i = 0;
+  while (status_ == Status::kNeedMore && i < bytes.size()) {
+    switch (state_) {
+      case State::kSizeLine: {
+        const char c = static_cast<char>(bytes[i++]);
+        if (c == '\n') {
+          // Strip trailing CR and any chunk extension (";ext=...").
+          std::string line = size_line_;
+          size_line_.clear();
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          const std::size_t semi = line.find(';');
+          if (semi != std::string::npos) line.resize(semi);
+          if (line.empty() || line.size() > 8) {
+            // >8 hex digits means >4 GiB in one chunk: hostile.
+            status_ = Status::kMalformed;
+            break;
+          }
+          std::uint64_t size = 0;
+          for (const char d : line) {
+            int v;
+            if (d >= '0' && d <= '9') {
+              v = d - '0';
+            } else if (d >= 'a' && d <= 'f') {
+              v = d - 'a' + 10;
+            } else if (d >= 'A' && d <= 'F') {
+              v = d - 'A' + 10;
+            } else {
+              status_ = Status::kMalformed;
+              break;
+            }
+            size = (size << 4) | static_cast<std::uint64_t>(v);
+          }
+          if (status_ == Status::kMalformed) break;
+          if (size > kMaxChunkBytes) {
+            status_ = Status::kMalformed;
+            break;
+          }
+          if (size == 0) {
+            state_ = State::kTrailer;
+            trailer_tail_.clear();
+          } else {
+            remaining_ = size;
+            state_ = State::kData;
+          }
+        } else {
+          size_line_.push_back(c);
+          if (size_line_.size() > 16) status_ = Status::kMalformed;
+        }
+        break;
+      }
+      case State::kData: {
+        const std::size_t take = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining_, bytes.size() - i));
+        out.insert(out.end(), bytes.begin() + static_cast<std::ptrdiff_t>(i),
+                   bytes.begin() + static_cast<std::ptrdiff_t>(i + take));
+        decoded_ += take;
+        remaining_ -= take;
+        i += take;
+        if (remaining_ == 0) state_ = State::kDataCrlf;
+        break;
+      }
+      case State::kDataCrlf: {
+        const char c = static_cast<char>(bytes[i++]);
+        if (c == '\r') break;  // wait for the LF
+        if (c == '\n') {
+          state_ = State::kSizeLine;
+        } else {
+          // Data not followed by CRLF: the framing is broken and every
+          // later boundary would be a guess.
+          status_ = Status::kMalformed;
+        }
+        break;
+      }
+      case State::kTrailer: {
+        // After the 0-chunk: either an immediate CRLF (no trailers) or
+        // trailer lines ending with a blank line.
+        const char c = static_cast<char>(bytes[i++]);
+        trailer_tail_.push_back(c);
+        if (trailer_tail_.size() > kMaxHeaderBytes) {
+          status_ = Status::kMalformed;
+          break;
+        }
+        if (c != '\n') break;
+        const std::string& t = trailer_tail_;
+        const bool done =
+            t == "\n" || t == "\r\n" ||
+            (t.size() >= 2 && t[t.size() - 2] == '\n') ||
+            (t.size() >= 3 && t.compare(t.size() - 3, 3, "\n\r\n") == 0);
+        if (done) status_ = Status::kComplete;
+        break;
+      }
+    }
+  }
+  return status_;
+}
+
+std::string http_response(int status_code, std::string_view reason,
+                          std::string_view content_type,
+                          std::string_view body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status_code) + " " +
+                    std::string(reason) + "\r\n";
+  out += "Content-Type: " + std::string(content_type) + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string json_response(int status_code, std::string_view reason,
+                          std::string_view body) {
+  return http_response(status_code, reason, "application/json", body);
+}
+
+}  // namespace iotx::serve

@@ -1,0 +1,115 @@
+// Minimal incremental HTTP/1.1 machinery for the ingest daemon — just
+// enough protocol to accept chunked capture-stream uploads and answer
+// the control-plane endpoints, built to survive hostile input: every
+// parse step is bounded (header bytes, chunk-size digits, chunk size)
+// and every violation is a typed error the caller maps to a quarantine,
+// never an exception escaping to the connection loop.
+//
+// No external dependency by design (the container bakes in only the C++
+// toolchain); the daemon's tests throw malformed byte streams at these
+// parsers directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iotx::serve {
+
+/// Hard cap on the request head (request line + headers). A client that
+/// sends more without a blank line is slow-lorising or confused; the
+/// connection is rejected either way.
+inline constexpr std::size_t kMaxHeaderBytes = 8192;
+
+/// Hard cap on one chunk of a chunked upload. Catches absurd chunk-size
+/// lines ("ffffffffffffffff\r\n") before any buffer is sized from them.
+inline constexpr std::uint64_t kMaxChunkBytes = 16ull << 20;
+
+/// One parsed request head. Header names are lowercased; values keep
+/// their bytes (trimmed of surrounding whitespace).
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;
+  std::map<std::string, std::string> headers;
+
+  /// Header value or empty string_view when absent.
+  std::string_view header(std::string_view name) const;
+  bool chunked() const;
+  /// Content-Length when present and a valid decimal; nullopt otherwise.
+  std::optional<std::uint64_t> content_length() const;
+};
+
+/// Incremental request-head parser: feed() bytes as they arrive; the
+/// parser buffers until the terminating blank line, then exposes the
+/// request plus any body bytes that trailed the head in the same read.
+class HttpHeadParser {
+ public:
+  enum class Status {
+    kNeedMore,   ///< no blank line yet; keep feeding
+    kComplete,   ///< request() is valid, leftover() holds body bytes
+    kMalformed,  ///< bad request line/header or head exceeded the cap
+  };
+
+  Status feed(std::span<const std::uint8_t> bytes);
+
+  const HttpRequest& request() const { return request_; }
+  /// Bytes fed after the blank line (the start of the body).
+  std::span<const std::uint8_t> leftover() const {
+    return {buffer_.data() + head_end_, buffer_.size() - head_end_};
+  }
+
+ private:
+  Status parse_head();
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t head_end_ = 0;
+  HttpRequest request_;
+  Status status_ = Status::kNeedMore;
+};
+
+/// Incremental chunked-transfer-encoding decoder. Decoded body bytes are
+/// appended to the caller's sink via the out parameter so one upload
+/// does not accumulate in the decoder.
+class ChunkedDecoder {
+ public:
+  enum class Status {
+    kNeedMore,   ///< mid-stream, keep feeding
+    kComplete,   ///< terminal 0-chunk (and trailer terminator) consumed
+    kMalformed,  ///< bad size line, missing CRLF, oversized chunk
+  };
+
+  /// Consumes `bytes`, appending decoded payload to `out`. Once
+  /// kComplete or kMalformed is returned the decoder stays in that
+  /// state; further bytes are ignored.
+  Status feed(std::span<const std::uint8_t> bytes,
+              std::vector<std::uint8_t>& out);
+
+  Status status() const { return status_; }
+  std::uint64_t decoded_bytes() const { return decoded_; }
+
+ private:
+  enum class State { kSizeLine, kData, kDataCrlf, kTrailer };
+
+  State state_ = State::kSizeLine;
+  Status status_ = Status::kNeedMore;
+  std::string size_line_;
+  std::uint64_t remaining_ = 0;
+  std::uint64_t decoded_ = 0;
+  std::string trailer_tail_;  // last bytes seen while scanning for CRLFCRLF
+};
+
+/// Serializes a response with Connection: close and a Content-Length.
+std::string http_response(int status_code, std::string_view reason,
+                          std::string_view content_type,
+                          std::string_view body);
+
+/// Convenience wrapper: a JSON body with the matching content type.
+std::string json_response(int status_code, std::string_view reason,
+                          std::string_view body);
+
+}  // namespace iotx::serve

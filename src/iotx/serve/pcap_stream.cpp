@@ -1,0 +1,127 @@
+#include "iotx/serve/pcap_stream.hpp"
+
+#include <cstring>
+
+namespace iotx::serve {
+
+namespace {
+constexpr std::uint32_t kMagicMicro = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNano = 0xa1b23c4d;
+constexpr std::uint32_t kMagicMicroSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNanoSwapped = 0x4d3cb2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::size_t kGlobalHeaderBytes = 24;
+constexpr std::size_t kRecordHeaderBytes = 16;
+}  // namespace
+
+PcapStreamDecoder::PcapStreamDecoder(
+    std::function<void(const net::PacketView&)> on_packet,
+    std::uint32_t max_frame)
+    : on_packet_(std::move(on_packet)), max_frame_(max_frame) {}
+
+std::uint32_t PcapStreamDecoder::read_u32(std::size_t offset) const {
+  std::uint32_t v = 0;
+  std::memcpy(&v, buffer_.data() + offset, sizeof(v));
+  if (!little_endian_) v = __builtin_bswap32(v);
+  return v;
+}
+
+std::uint16_t PcapStreamDecoder::read_u16(std::size_t offset) const {
+  std::uint16_t v = 0;
+  std::memcpy(&v, buffer_.data() + offset, sizeof(v));
+  if (!little_endian_) v = __builtin_bswap16(v);
+  return v;
+}
+
+bool PcapStreamDecoder::at_record_boundary() const {
+  return header_ok_ && !poisoned_ && buffer_.empty() && !in_record_;
+}
+
+PcapStreamDecoder::Status PcapStreamDecoder::feed(
+    std::span<const std::uint8_t> bytes) {
+  if (poisoned_) return Status::kMalformed;
+  std::size_t i = 0;
+  while (i < bytes.size()) {
+    if (!header_ok_) {
+      const std::size_t need = kGlobalHeaderBytes - buffer_.size();
+      const std::size_t take = std::min(need, bytes.size() - i);
+      buffer_.insert(buffer_.end(),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(i),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(i + take));
+      i += take;
+      if (buffer_.size() < kGlobalHeaderBytes) return Status::kNeedMore;
+      std::uint32_t magic = 0;
+      std::memcpy(&magic, buffer_.data(), sizeof(magic));
+      switch (magic) {
+        case kMagicMicro:
+          break;
+        case kMagicNano:
+          nanosecond_ = true;
+          break;
+        case kMagicMicroSwapped:
+          little_endian_ = false;
+          break;
+        case kMagicNanoSwapped:
+          little_endian_ = false;
+          nanosecond_ = true;
+          break;
+        default:
+          poisoned_ = true;
+          ++health_.serve_malformed_streams;
+          return Status::kMalformed;
+      }
+      if (read_u32(20) != kLinkTypeEthernet) {
+        poisoned_ = true;
+        ++health_.serve_malformed_streams;
+        return Status::kMalformed;
+      }
+      header_ok_ = true;
+      buffer_.clear();
+      continue;
+    }
+    if (!in_record_) {
+      const std::size_t need = kRecordHeaderBytes - buffer_.size();
+      const std::size_t take = std::min(need, bytes.size() - i);
+      buffer_.insert(buffer_.end(),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(i),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(i + take));
+      i += take;
+      if (buffer_.size() < kRecordHeaderBytes) return Status::kNeedMore;
+      const std::uint32_t seconds = read_u32(0);
+      const std::uint32_t subsec = read_u32(4);
+      const std::uint32_t incl_len = read_u32(8);
+      const std::uint32_t orig_len = read_u32(12);
+      if (incl_len > max_frame_) {
+        // The length prefix is the only framing; an absurd one means
+        // every later record boundary would be a guess.
+        poisoned_ = true;
+        ++health_.serve_oversized_frames;
+        return Status::kMalformed;
+      }
+      if (incl_len < orig_len) ++health_.snaplen_clipped_frames;
+      record_ts_ = static_cast<double>(seconds) +
+                   (nanosecond_ ? subsec * 1e-9 : subsec * 1e-6);
+      record_incl_ = incl_len;
+      in_record_ = true;
+      buffer_.clear();
+      continue;
+    }
+    const std::size_t need = record_incl_ - buffer_.size();
+    const std::size_t take = std::min(need, bytes.size() - i);
+    buffer_.insert(buffer_.end(),
+                   bytes.begin() + static_cast<std::ptrdiff_t>(i),
+                   bytes.begin() + static_cast<std::ptrdiff_t>(i + take));
+    i += take;
+    if (buffer_.size() < record_incl_) return Status::kNeedMore;
+    net::PacketView view;
+    view.timestamp = record_ts_;
+    view.frame = std::span<const std::uint8_t>(buffer_.data(), buffer_.size());
+    ++packets_;
+    if (on_packet_) on_packet_(view);
+    in_record_ = false;
+    buffer_.clear();
+  }
+  return Status::kNeedMore;
+}
+
+}  // namespace iotx::serve

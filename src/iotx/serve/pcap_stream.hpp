@@ -1,0 +1,74 @@
+// Incremental pcap stream decoder for the ingest daemon.
+//
+// net::pcap_parse wants the whole file in one buffer; an upload session
+// sees the same bytes in arbitrary network-sized slices and must bound
+// its memory to one frame, not one file. PcapStreamDecoder consumes
+// bytes as they arrive, emitting each completed record through a
+// callback, and holds at most the global header plus one in-flight
+// record. Semantics match pcap_parse (both endians, micro- and
+// nanosecond magic, snaplen-clip accounting) with one serve-specific
+// addition: a record header announcing a frame longer than the
+// configured cap poisons the stream — past that point the length
+// prefixes cannot be trusted to delimit records, so the decoder stops
+// rather than resynchronize on garbage.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "iotx/faults/health.hpp"
+#include "iotx/net/packet.hpp"
+
+namespace iotx::serve {
+
+class PcapStreamDecoder {
+ public:
+  enum class Status {
+    kNeedMore,   ///< mid-stream; keep feeding
+    kMalformed,  ///< bad magic / non-Ethernet link / oversized record
+  };
+
+  /// `on_packet` is invoked once per completed record, in stream order.
+  /// The PacketView's frame aliases the decoder's internal record buffer
+  /// and is valid only for the duration of the callback. `max_frame`
+  /// caps incl_len; a record announcing more marks the stream malformed
+  /// and counts health.serve_oversized_frames.
+  PcapStreamDecoder(std::function<void(const net::PacketView&)> on_packet,
+                    std::uint32_t max_frame);
+
+  /// Consumes bytes; returns kMalformed once the stream is poisoned
+  /// (further feeds are ignored).
+  Status feed(std::span<const std::uint8_t> bytes);
+
+  /// True once the global header parsed cleanly.
+  bool header_ok() const { return header_ok_; }
+  /// Records fully decoded so far.
+  std::uint64_t packets() const { return packets_; }
+  /// True when the stream ends exactly on a record boundary (a truthful
+  /// "was this upload complete" signal for the session summary).
+  bool at_record_boundary() const;
+
+  const faults::CaptureHealth& health() const { return health_; }
+
+ private:
+  std::uint32_t read_u32(std::size_t offset) const;
+  std::uint16_t read_u16(std::size_t offset) const;
+
+  std::function<void(const net::PacketView&)> on_packet_;
+  std::uint32_t max_frame_;
+  std::vector<std::uint8_t> buffer_;  ///< global header or one record
+  bool header_ok_ = false;
+  bool little_endian_ = true;
+  bool nanosecond_ = false;
+  bool poisoned_ = false;
+  // Parsed record header while accumulating its frame bytes.
+  bool in_record_ = false;
+  double record_ts_ = 0.0;
+  std::uint32_t record_incl_ = 0;
+  std::uint64_t packets_ = 0;
+  faults::CaptureHealth health_;
+};
+
+}  // namespace iotx::serve

@@ -1,0 +1,163 @@
+#include "iotx/serve/session.hpp"
+
+#include "iotx/analysis/encryption.hpp"
+#include "iotx/proto/identify.hpp"
+
+namespace iotx::serve {
+
+IngestSession::IngestSession(AdmissionMode mode, SessionLimits limits)
+    : mode_(mode),
+      limits_(limits),
+      decoder_([this](const net::PacketView& view) { on_view(view); },
+               limits.max_frame_bytes) {
+  pipeline_.add_sink(dns_);
+  pipeline_.add_sink(table_);
+}
+
+void IngestSession::on_view(const net::PacketView& view) {
+  if (state_ != State::kStreaming) return;  // budget hit mid-buffer
+  const std::uint64_t index = packet_index_++;
+  if (mode_ == AdmissionMode::kSample &&
+      index % std::max<std::uint32_t>(limits_.sample_keep_1_in, 1) != 0) {
+    ++serve_health_.serve_sampled_out_packets;
+    return;
+  }
+  if (mode_ == AdmissionMode::kTruncate &&
+      view.frame.size() > limits_.truncate_snaplen) {
+    net::PacketView clipped;
+    clipped.timestamp = view.timestamp;
+    clipped.frame = view.frame.first(limits_.truncate_snaplen);
+    ++serve_health_.serve_truncated_frames;
+    pipeline_.ingest(clipped);
+  } else {
+    pipeline_.ingest(view);
+  }
+  if (table_.size() > limits_.flow_budget) {
+    ++serve_health_.serve_budget_exhaustions;
+    pipeline_.finish();
+    state_ = State::kBudgetStop;
+  }
+}
+
+bool IngestSession::feed(std::span<const std::uint8_t> bytes) {
+  if (state_ != State::kStreaming) return false;
+  if (bytes_fed_ + bytes.size() > limits_.byte_budget) {
+    // Ingest the prefix that fits, then stop consuming: the valid
+    // prefix is still a truthful (degraded) observation.
+    const std::uint64_t room = limits_.byte_budget - bytes_fed_;
+    bytes_fed_ += room;
+    decoder_.feed(bytes.first(static_cast<std::size_t>(room)));
+    if (state_ == State::kStreaming) {
+      ++serve_health_.serve_budget_exhaustions;
+      pipeline_.finish();
+      state_ = State::kBudgetStop;
+    }
+    return false;
+  }
+  bytes_fed_ += bytes.size();
+  const auto status = decoder_.feed(bytes);
+  if (status == PcapStreamDecoder::Status::kMalformed) {
+    ++serve_health_.serve_sessions_quarantined;
+    state_ = State::kQuarantined;
+    return false;
+  }
+  return state_ == State::kStreaming;
+}
+
+void IngestSession::finish() {
+  if (state_ != State::kStreaming) return;
+  if (decoder_.header_ok() && decoder_.at_record_boundary()) {
+    pipeline_.finish();
+    state_ = State::kComplete;
+    return;
+  }
+  // Ended mid-record (or before the global header): the client died
+  // mid-write; nothing after the last whole frame is attributable.
+  ++serve_health_.serve_malformed_streams;
+  ++serve_health_.serve_sessions_quarantined;
+  state_ = State::kQuarantined;
+}
+
+void IngestSession::cut(Cut reason) {
+  if (state_ != State::kStreaming) return;
+  switch (reason) {
+    case Cut::kDeadline:
+      ++serve_health_.serve_deadline_expirations;
+      ++serve_health_.serve_sessions_quarantined;
+      state_ = State::kQuarantined;
+      break;
+    case Cut::kDisconnect:
+      ++serve_health_.serve_sessions_quarantined;
+      state_ = State::kQuarantined;
+      break;
+    case Cut::kDrain:
+      ++serve_health_.serve_sessions_drained;
+      state_ = State::kQuarantined;
+      break;
+    case Cut::kMalformed:
+      ++serve_health_.serve_malformed_streams;
+      ++serve_health_.serve_sessions_quarantined;
+      state_ = State::kQuarantined;
+      break;
+  }
+}
+
+faults::CaptureHealth IngestSession::health() const {
+  faults::CaptureHealth h = serve_health_;
+  h.merge(decoder_.health());
+  h.merge(pipeline_.health());
+  h.merge(dns_.health());
+  h.merge(table_.health());
+  return h;
+}
+
+bool IngestSession::degraded() const {
+  const faults::CaptureHealth h = health();
+  return h.observed_anomalies() != 0 || h.serve_truncated_frames != 0 ||
+         h.serve_sampled_out_packets != 0 || h.serve_sessions_drained != 0;
+}
+
+std::vector<FlowSummary> IngestSession::flow_summaries() const {
+  std::vector<FlowSummary> out;
+  if (state_ == State::kQuarantined) return out;
+  for (const flow::Flow& f : table_.flows()) {
+    const analysis::FlowEncryption enc = analysis::classify_flow(f);
+    FlowSummary s;
+    s.name = f.initiator.to_string() + ":" +
+             std::to_string(f.initiator_port) + " -> ";
+    if (const auto domain = dns_.lookup(f.responder)) {
+      s.name += *domain;
+    } else if (!f.sni.empty()) {
+      s.name += f.sni;
+    } else if (!f.http_host.empty()) {
+      s.name += f.http_host;
+    } else {
+      s.name += f.responder.to_string();
+    }
+    s.name += ":" + std::to_string(f.responder_port);
+    s.protocol = std::string(proto::protocol_name(f.protocol));
+    s.enc_class = std::string(analysis::encryption_class_name(enc.cls));
+    s.entropy = enc.entropy;
+    s.entropy_based = enc.entropy_based;
+    s.packets = f.total_packets();
+    s.payload_bytes = f.total_payload_bytes();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+analysis::EncryptionBytes IngestSession::encryption() const {
+  if (state_ == State::kQuarantined) return {};
+  return analysis::account_flows(table_.flows());
+}
+
+void IngestSession::fold_into(TenantState& tenant) const {
+  if (state_ == State::kComplete || state_ == State::kBudgetStop) {
+    tenant.fold_session(flow_summaries(), encryption(), health(), packets(),
+                        bytes_fed(), degraded());
+  } else {
+    tenant.note_quarantine(health(), bytes_fed());
+  }
+}
+
+}  // namespace iotx::serve

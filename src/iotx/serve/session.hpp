@@ -1,0 +1,104 @@
+// One upload session: the bounded, degradable unit of ingest.
+//
+// A session owns its own DNS cache, flow table, pipeline, and stream
+// decoder — per-session memory is bounded by the byte/flow budgets and
+// nothing survives the session except the folded FlowSummary rows. The
+// admission mode fixes the fidelity for the session's whole lifetime:
+// kTruncate snaplen-clips frames before the pipeline, kSample ingests
+// 1-in-N packets. Every degradation is counted in the session's
+// CaptureHealth, so the tenant report says truthfully what was traded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "iotx/flow/dns_cache.hpp"
+#include "iotx/flow/flow_table.hpp"
+#include "iotx/flow/ingest.hpp"
+#include "iotx/serve/admission.hpp"
+#include "iotx/serve/pcap_stream.hpp"
+#include "iotx/serve/tenant.hpp"
+
+namespace iotx::serve {
+
+/// Per-session bounds; defaults are the daemon's defaults.
+struct SessionLimits {
+  std::uint64_t byte_budget = 64ull << 20;   ///< raw upload bytes
+  std::uint64_t flow_budget = 4096;          ///< distinct flows
+  std::uint32_t max_frame_bytes = 1u << 20;  ///< pcap record incl_len cap
+  std::uint32_t truncate_snaplen = 256;      ///< kTruncate clip length
+  std::uint32_t sample_keep_1_in = 4;        ///< kSample keep rate
+};
+
+class IngestSession {
+ public:
+  enum class State {
+    kStreaming,    ///< accepting bytes
+    kComplete,     ///< finish() on a record boundary
+    kBudgetStop,   ///< byte/flow budget hit; valid prefix kept
+    kQuarantined,  ///< malformed/oversized/cut stream; flows discarded
+  };
+
+  IngestSession(AdmissionMode mode, SessionLimits limits);
+
+  /// Feeds decoded upload bytes (post chunked-decoding). Returns false
+  /// once the session stopped consuming (budget hit or quarantined) —
+  /// the caller should stop reading the connection.
+  bool feed(std::span<const std::uint8_t> bytes);
+
+  /// Marks the upload finished (client sent its last byte). A stream
+  /// that does not end on a pcap record boundary is quarantined: a
+  /// half-record means the client died mid-write and everything after
+  /// the last whole frame is unattributable.
+  void finish();
+
+  /// Marks the session cut by an external event; quarantines it and
+  /// counts the given taxonomy slot. kMalformed covers transport-layer
+  /// framing violations (broken chunked encoding) the decoder cannot
+  /// see itself.
+  enum class Cut { kDeadline, kDisconnect, kDrain, kMalformed };
+  void cut(Cut reason);
+
+  State state() const { return state_; }
+  AdmissionMode mode() const { return mode_; }
+  std::uint64_t bytes_fed() const { return bytes_fed_; }
+  std::uint64_t packets() const { return decoder_.packets(); }
+
+  /// The session's full health rollup (decoder + pipeline + sinks +
+  /// serve-layer counters).
+  faults::CaptureHealth health() const;
+
+  /// True when any anomaly or deliberate degradation was recorded.
+  bool degraded() const;
+
+  /// Classifies the session's flows into report rows (resolving peer
+  /// names through the session's DNS cache). Empty for quarantined
+  /// sessions.
+  std::vector<FlowSummary> flow_summaries() const;
+
+  /// Encryption byte accounting over the session's flows.
+  analysis::EncryptionBytes encryption() const;
+
+  /// Folds the finished session into its tenant: completed sessions
+  /// contribute flows + encryption + health; quarantined ones health
+  /// only. Call exactly once, after finish()/cut().
+  void fold_into(TenantState& tenant) const;
+
+ private:
+  void on_view(const net::PacketView& view);
+
+  AdmissionMode mode_;
+  SessionLimits limits_;
+  State state_ = State::kStreaming;
+  flow::DnsCache dns_;
+  flow::FlowTable table_;
+  flow::IngestPipeline pipeline_;
+  PcapStreamDecoder decoder_;
+  faults::CaptureHealth serve_health_;  ///< serve-layer counters only
+  std::uint64_t bytes_fed_ = 0;
+  std::uint64_t packet_index_ = 0;
+};
+
+}  // namespace iotx::serve

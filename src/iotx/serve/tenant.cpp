@@ -1,0 +1,181 @@
+#include "iotx/serve/tenant.hpp"
+
+#include <span>
+#include <utility>
+
+#include "iotx/cache/binio.hpp"
+#include "iotx/report/json.hpp"
+
+namespace iotx::serve {
+
+void TenantState::fold_session(std::vector<FlowSummary> flows,
+                               const analysis::EncryptionBytes& enc,
+                               const faults::CaptureHealth& health,
+                               std::uint64_t packets, std::uint64_t bytes,
+                               bool degraded) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FlowSummary& f : flows) flows_.push_back(std::move(f));
+  enc_ += enc;
+  health_.merge(health);
+  counters_.sessions_completed += 1;
+  if (degraded) counters_.sessions_degraded += 1;
+  counters_.packets += packets;
+  counters_.bytes_received += bytes;
+  if (!degraded) quarantine_streak_ = 0;
+}
+
+void TenantState::note_quarantine(const faults::CaptureHealth& health,
+                                  std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  health_.merge(health);
+  counters_.sessions_quarantined += 1;
+  counters_.bytes_received += bytes;
+  quarantine_streak_ += 1;
+}
+
+std::uint64_t TenantState::quarantine_streak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantine_streak_;
+}
+
+TenantCounters TenantState::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+faults::CaptureHealth TenantState::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
+std::string TenantState::report_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  report::JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", kServeSchemaVersion);
+  w.field("section", "tenant_report");
+  w.field("tenant", name_);
+  w.field("sessions_completed", counters_.sessions_completed);
+  w.field("sessions_degraded", counters_.sessions_degraded);
+  w.field("sessions_quarantined", counters_.sessions_quarantined);
+  w.field("packets", counters_.packets);
+  w.field("bytes_received", counters_.bytes_received);
+
+  w.key("flows").begin_array();
+  for (const FlowSummary& f : flows_) {
+    w.begin_object();
+    w.field("flow", f.name);
+    w.field("proto", f.protocol);
+    w.field("class", f.enc_class);
+    if (f.entropy_based) w.field("entropy", f.entropy);
+    w.field("packets", f.packets);
+    w.field("payload_bytes", f.payload_bytes);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("encryption").begin_object();
+  w.field("encrypted_bytes", enc_.encrypted);
+  w.field("unencrypted_bytes", enc_.unencrypted);
+  w.field("unknown_bytes", enc_.unknown);
+  w.field("media_bytes", enc_.media);
+  w.end_object();
+
+  w.key("health").begin_object();
+  for (const auto& [name, value] : faults::nonzero_counters(health_)) {
+    w.field(name, value);
+  }
+  w.end_object();
+  w.end_object();
+  return w.document();
+}
+
+namespace {
+// Bumped when the checkpoint layout changes; a mismatch is a corrupt
+// artifact (recompute-from-scratch), never a misparse.
+constexpr std::uint64_t kCheckpointFormat = 1;
+}  // namespace
+
+std::vector<std::uint8_t> TenantState::serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache::BinWriter w;
+  w.u64(kCheckpointFormat);
+  w.str(name_);
+  w.u64(counters_.sessions_completed);
+  w.u64(counters_.sessions_degraded);
+  w.u64(counters_.sessions_quarantined);
+  w.u64(counters_.packets);
+  w.u64(counters_.bytes_received);
+  w.u64(quarantine_streak_);
+  w.u64(enc_.encrypted);
+  w.u64(enc_.unencrypted);
+  w.u64(enc_.unknown);
+  w.u64(enc_.media);
+  // Health counters in walk order, count-prefixed: the X-macro guard in
+  // health.hpp keeps this loop exhaustive without naming fields here.
+  const auto counters = faults::health_counters(health_);
+  w.u64(counters.size());
+  for (const auto& [name, value] : counters) w.u64(value);
+  w.u64(flows_.size());
+  for (const FlowSummary& f : flows_) {
+    w.str(f.name);
+    w.str(f.protocol);
+    w.str(f.enc_class);
+    w.f64(f.entropy);
+    w.boolean(f.entropy_based);
+    w.u64(f.packets);
+    w.u64(f.payload_bytes);
+  }
+  return std::move(w).take();
+}
+
+std::unique_ptr<TenantState> TenantState::restore(
+    std::span<const std::uint8_t> payload) {
+  cache::BinReader r(payload);
+  if (r.u64() != kCheckpointFormat) {
+    throw cache::CorruptArtifact("tenant checkpoint: unknown format");
+  }
+  auto t = std::make_unique<TenantState>(r.str());
+  t->counters_.sessions_completed = r.u64();
+  t->counters_.sessions_degraded = r.u64();
+  t->counters_.sessions_quarantined = r.u64();
+  t->counters_.packets = r.u64();
+  t->counters_.bytes_received = r.u64();
+  t->quarantine_streak_ = r.u64();
+  t->enc_.encrypted = r.u64();
+  t->enc_.unencrypted = r.u64();
+  t->enc_.unknown = r.u64();
+  t->enc_.media = r.u64();
+  const std::uint64_t health_count = r.u64();
+  if (health_count != faults::kCaptureHealthCounterCount) {
+    throw cache::CorruptArtifact("tenant checkpoint: health walk mismatch");
+  }
+  {
+    // Restore in the same walk order serialize() wrote.
+    std::vector<std::uint64_t> values(health_count);
+    for (std::uint64_t& v : values) v = r.u64();
+    std::size_t i = 0;
+#define IOTX_HEALTH_RESTORE(name) t->health_.name = values[i++];
+    IOTX_CAPTURE_HEALTH_COUNTERS(IOTX_HEALTH_RESTORE)
+#undef IOTX_HEALTH_RESTORE
+  }
+  // 49 = the smallest possible serialized FlowSummary (three empty
+  // length-prefixed strings + f64 + bool + two u64s): bounds the
+  // reserve before trusting the count.
+  const std::size_t flow_count = r.length(49);
+  t->flows_.reserve(flow_count);
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    FlowSummary f;
+    f.name = r.str();
+    f.protocol = r.str();
+    f.enc_class = r.str();
+    f.entropy = r.f64();
+    f.entropy_based = r.boolean();
+    f.packets = r.u64();
+    f.payload_bytes = r.u64();
+    t->flows_.push_back(std::move(f));
+  }
+  return t;
+}
+
+}  // namespace iotx::serve

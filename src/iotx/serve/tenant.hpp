@@ -1,0 +1,102 @@
+// Per-tenant accumulated state for the ingest daemon.
+//
+// Each gateway (tenant) streams many capture sessions; a TenantState
+// folds every *completed* session's flow summaries, encryption
+// accounting, and CaptureHealth into one report — the streamed
+// counterpart of `iotx classify` over a pcap file. Quarantined sessions
+// (malformed streams, oversized frames, deadline kills) contribute only
+// their health counters, never partial flows, so a hostile client can
+// pollute its own tenant's health rollup but not its tables.
+//
+// Checkpoint contract: serialize()/restore() round-trip the entire
+// accumulated state through cache::BinWriter/BinReader, so a SIGTERM'd
+// daemon checkpoints tenants into its ArtifactStore and a restarted one
+// resumes mid-campaign — the resumed tenant's report is byte-identical
+// to an uninterrupted run over the same session sequence.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "iotx/analysis/encryption.hpp"
+#include "iotx/faults/health.hpp"
+
+namespace iotx::serve {
+
+/// One classified flow in the tenant report — the streamed analogue of
+/// a `iotx classify` output row.
+struct FlowSummary {
+  std::string name;       ///< "initiator:port -> resolved-peer:port"
+  std::string protocol;   ///< proto::protocol_name
+  std::string enc_class;  ///< analysis::encryption_class_name
+  double entropy = 0.0;
+  bool entropy_based = false;
+  std::uint64_t packets = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+/// Monotonic per-tenant session tallies, one slot per terminal outcome.
+struct TenantCounters {
+  std::uint64_t sessions_completed = 0;   ///< folded into the tables
+  std::uint64_t sessions_degraded = 0;    ///< completed with anomalies
+  std::uint64_t sessions_quarantined = 0; ///< excluded from the tables
+  std::uint64_t packets = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class TenantState {
+ public:
+  explicit TenantState(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Folds one completed session. `flows` append in session order (the
+  /// fold order is the report order, so a resumed daemon reproduces an
+  /// uninterrupted one as long as the session sequence matches).
+  void fold_session(std::vector<FlowSummary> flows,
+                    const analysis::EncryptionBytes& enc,
+                    const faults::CaptureHealth& health,
+                    std::uint64_t packets, std::uint64_t bytes,
+                    bool degraded);
+
+  /// Records a quarantined session: health only, no flows.
+  void note_quarantine(const faults::CaptureHealth& health,
+                       std::uint64_t bytes);
+
+  /// Quarantines since the last cleanly completed session — the
+  /// recent-fault signal the admission controller consumes.
+  std::uint64_t quarantine_streak() const;
+
+  TenantCounters counters() const;
+  faults::CaptureHealth health() const;
+
+  /// The tenant report document (schema-versioned JSON). Deterministic:
+  /// a pure function of the folded session sequence.
+  std::string report_json() const;
+
+  /// Checkpoint payload (BinWriter format, see tenant.cpp).
+  std::vector<std::uint8_t> serialize() const;
+  /// Rebuilds a TenantState from serialize() output (by pointer — the
+  /// embedded mutex pins the object). Throws cache::CorruptArtifact on
+  /// a malformed payload.
+  static std::unique_ptr<TenantState> restore(
+      std::span<const std::uint8_t> payload);
+
+ private:
+  std::string name_;
+  mutable std::mutex mu_;
+  std::vector<FlowSummary> flows_;
+  analysis::EncryptionBytes enc_;
+  faults::CaptureHealth health_;
+  TenantCounters counters_;
+  std::uint64_t quarantine_streak_ = 0;
+};
+
+/// Version stamped into tenant reports and /health//config documents.
+inline constexpr std::uint64_t kServeSchemaVersion = 1;
+
+}  // namespace iotx::serve

@@ -48,6 +48,12 @@ class TaskPool {
   /// context rides along and is re-established on the executing thread
   /// (obs::ContextGuard), so spans opened inside the task keep their
   /// cross-thread lineage in the trace.
+  ///
+  /// Shutdown semantics: once the destructor has begun (stop flagged),
+  /// submit() runs the callable inline on the submitting thread instead
+  /// of enqueueing it — workers may already have exited, and a task
+  /// parked on a dead queue would leave the future forever unfulfilled.
+  /// Either way the returned future is always eventually ready.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
@@ -63,11 +69,20 @@ class TaskPool {
     } else {
       run = [task] { (*task)(); };
     }
+    bool inline_run = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.push_back(std::move(run));
+      if (stop_) {
+        inline_run = true;  // run outside the lock: fn may submit again
+      } else {
+        queue_.push_back(std::move(run));
+      }
     }
-    cv_.notify_one();
+    if (inline_run) {
+      run();  // packaged_task captures any exception into the future
+    } else {
+      cv_.notify_one();
+    }
     return future;
   }
 

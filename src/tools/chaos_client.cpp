@@ -1,0 +1,161 @@
+// chaos_client — drives a live `iotx serve` daemon from the outside.
+//
+//   chaos_client clean <host> <port> <tenant> <capture.pcap> [chunk|identity]
+//       streams the pcap cleanly and prints the daemon's response body
+//       (the session summary JSON); exit 0 iff the upload was accepted.
+//   chaos_client report <host> <port> <tenant>
+//       prints GET /report/<tenant> (byte-exact; the serve-smoke CI job
+//       diffs it against the batch path).
+//   chaos_client batch <tenant> <capture.pcap>
+//       prints the batch-reference report for the same bytes — no
+//       daemon involved; must byte-match `report` after `clean`.
+//   chaos_client get <host> <port> <path>
+//       prints any control-plane document.
+//   chaos_client chaos <host> <port> <capture.pcap>
+//       runs the hostile suite (slow-loris, mid-stream disconnect,
+//       malformed chunking, oversized frame, garbage head, flood) and
+//       exits 0 iff the daemon answered /health afterwards — i.e. it
+//       survived everything.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "iotx/serve/chaos.hpp"
+#include "iotx/serve/daemon.hpp"
+
+namespace {
+
+using namespace iotx;
+
+int usage() {
+  std::puts(
+      "usage:\n"
+      "  chaos_client clean <host> <port> <tenant> <capture.pcap> "
+      "[chunk|identity]\n"
+      "  chaos_client report <host> <port> <tenant>\n"
+      "  chaos_client batch <tenant> <capture.pcap>\n"
+      "  chaos_client get <host> <port> <path>\n"
+      "  chaos_client chaos <host> <port> <capture.pcap>");
+  return 2;
+}
+
+bool read_file(const char* path, std::vector<std::uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+std::uint16_t parse_port(const char* s) {
+  return static_cast<std::uint16_t>(std::atoi(s));
+}
+
+int cmd_clean(int argc, char** argv) {
+  if (argc < 6) return usage();
+  std::vector<std::uint8_t> pcap;
+  if (!read_file(argv[5], pcap)) {
+    std::printf("cannot read %s\n", argv[5]);
+    return 1;
+  }
+  serve::ChaosClient client(argv[2], parse_port(argv[3]));
+  const bool identity = argc > 6 && std::strcmp(argv[6], "identity") == 0;
+  const serve::ChaosResult r =
+      identity ? client.upload_identity(argv[4], pcap)
+               : client.upload_chunked(argv[4], pcap);
+  std::printf("%s\n", r.body.c_str());
+  return r.connected && r.sent_all && r.status_code == 200 ? 0 : 1;
+}
+
+int cmd_report(int argc, char** argv) {
+  if (argc < 5) return usage();
+  serve::ChaosClient client(argv[2], parse_port(argv[3]));
+  const serve::ChaosResult r = client.get("/report/" + std::string(argv[4]));
+  if (r.status_code != 200) {
+    std::fprintf(stderr, "GET /report/%s -> %d\n", argv[4], r.status_code);
+    return 1;
+  }
+  std::printf("%s\n", r.body.c_str());
+  return 0;
+}
+
+int cmd_batch(int argc, char** argv) {
+  if (argc < 4) return usage();
+  std::vector<std::uint8_t> pcap;
+  if (!read_file(argv[3], pcap)) {
+    std::printf("cannot read %s\n", argv[3]);
+    return 1;
+  }
+  std::printf("%s\n", serve::batch_report_json(argv[2], pcap).c_str());
+  return 0;
+}
+
+int cmd_get(int argc, char** argv) {
+  if (argc < 5) return usage();
+  serve::ChaosClient client(argv[2], parse_port(argv[3]));
+  const serve::ChaosResult r = client.get(argv[4]);
+  if (r.status_code == 0) {
+    std::fprintf(stderr, "no response from %s:%s\n", argv[2], argv[3]);
+    return 1;
+  }
+  std::printf("%s\n", r.body.c_str());
+  return r.status_code == 200 ? 0 : 1;
+}
+
+int cmd_chaos(int argc, char** argv) {
+  if (argc < 5) return usage();
+  std::vector<std::uint8_t> pcap;
+  if (!read_file(argv[4], pcap)) {
+    std::printf("cannot read %s\n", argv[4]);
+    return 1;
+  }
+  serve::ChaosClient client(argv[2], parse_port(argv[3]));
+  int scenarios = 0;
+
+  const auto note = [&scenarios](const char* name,
+                                 const serve::ChaosResult& r) {
+    ++scenarios;
+    std::printf("%-22s connected=%d sent_all=%d status=%d\n", name,
+                r.connected ? 1 : 0, r.sent_all ? 1 : 0, r.status_code);
+  };
+
+  // Worst case ~12 s of trickling; any sane idle timeout cuts far
+  // sooner, and the scenario reports sent_all=0 when it does.
+  note("slow-loris", client.slow_loris(/*trickle_ms=*/20,
+                                       /*max_bytes=*/600));
+  note("disconnect-midstream",
+       client.disconnect_midstream("chaos", pcap, pcap.size() / 2));
+  note("malformed-chunked", client.malformed_chunked("chaos"));
+  note("oversized-frame", client.oversized_frame("chaos"));
+  note("garbage-head", client.garbage_head());
+  for (int i = 0; i < 8; ++i) {
+    note("flood", client.upload_chunked("flood", pcap));
+  }
+
+  // The only assertion that matters: the daemon is still alive and
+  // coherent after all of that.
+  const serve::ChaosResult health = client.get("/health");
+  std::printf("post-chaos /health -> %d\n%s\n", health.status_code,
+              health.body.c_str());
+  if (health.status_code != 200) {
+    std::fprintf(stderr, "daemon did not survive the chaos suite\n");
+    return 1;
+  }
+  std::printf("%d scenarios run; daemon alive\n", scenarios);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string_view command = argv[1];
+  if (command == "clean") return cmd_clean(argc, argv);
+  if (command == "report") return cmd_report(argc, argv);
+  if (command == "batch") return cmd_batch(argc, argv);
+  if (command == "get") return cmd_get(argc, argv);
+  if (command == "chaos") return cmd_chaos(argc, argv);
+  return usage();
+}

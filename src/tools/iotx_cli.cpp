@@ -12,8 +12,17 @@
 //   iotx impair <in.pcap> <out.pcap> <profile> [seed]
 //                                         degrade a capture through a named
 //                                         impairment profile
+//   iotx serve [--port N] ...             always-on ingest daemon: accepts
+//                                         streamed pcap uploads per tenant,
+//                                         degrades under load, drains and
+//                                         checkpoints on SIGTERM
 //   iotx export-dataset <dir>             labeled pcaps in the released
 //                                         dataset's layout
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +40,7 @@
 #include "iotx/obs/registry.hpp"
 #include "iotx/obs/trace.hpp"
 #include "iotx/report/report.hpp"
+#include "iotx/serve/daemon.hpp"
 #include "iotx/testbed/gateway.hpp"
 #include "iotx/util/strings.hpp"
 #include "iotx/util/table.hpp"
@@ -39,6 +49,36 @@
 namespace {
 
 using namespace iotx;
+
+// --- graceful interruption (SIGINT/SIGTERM) ---------------------------
+//
+// One flag for the batch commands (study/classify finish in-flight work,
+// then write partial-but-coherent outputs) and one daemon pointer for
+// `iotx serve` (the handler asks it to drain). Plain sig_atomic-style
+// use only: the handlers write an atomic / call an async-signal-safe
+// method and return.
+
+std::atomic<bool> g_interrupted{false};
+serve::Daemon* g_daemon = nullptr;
+
+void on_interrupt(int) {
+  g_interrupted.store(true, std::memory_order_relaxed);
+  if (g_daemon != nullptr) g_daemon->request_stop();
+}
+
+/// Installs the handler for SIGINT+SIGTERM for the current command;
+/// restores default disposition on scope exit.
+class InterruptGuard {
+ public:
+  InterruptGuard() {
+    std::signal(SIGINT, on_interrupt);
+    std::signal(SIGTERM, on_interrupt);
+  }
+  ~InterruptGuard() {
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+  }
+};
 
 int usage() {
   std::puts(
@@ -60,6 +100,12 @@ int usage() {
       "                          a warm rerun loads per-stage hits\n"
       "                          instead of recomputing)\n"
       "  iotx impair <in.pcap> <out.pcap> <profile> [seed]\n"
+      "  iotx serve [--port N] [--host H] [--max-sessions N]\n"
+      "             [--checkpoint-dir <dir>] [--idle-timeout-ms N]\n"
+      "             [--drain-grace-ms N] [--memory-budget-mb N] [--metrics]\n"
+      "             (always-on ingest daemon; POST pcap streams to\n"
+      "             /ingest/<tenant>, read /health /metrics /config\n"
+      "             /report/<tenant>; SIGTERM drains and checkpoints)\n"
       "  iotx export-dataset <dir>");
   std::printf("impairment profiles: %s\n",
               iotx::faults::profile_names().c_str());
@@ -150,6 +196,9 @@ int cmd_classify(int argc, char** argv) {
     }
   }
   const bool metrics = opts.metrics();
+  // A Ctrl-C mid-classify finishes the single ingest pass and still
+  // prints the tables (and writes the trace) instead of dying half-way.
+  const InterruptGuard interrupt_guard;
   // classify has no report directory to derive a default path from, so
   // --trace needs an explicit one.
   if (opts.trace() && opts.trace_path().empty()) return usage();
@@ -247,6 +296,9 @@ int cmd_classify(int argc, char** argv) {
     std::printf("wrote %zu trace events to %s\n", trace.event_count(),
                 opts.trace_path().c_str());
   }
+  if (g_interrupted.load(std::memory_order_relaxed)) {
+    std::printf("(interrupted: finished the in-flight pass before exiting)\n");
+  }
   return 0;
 }
 
@@ -315,7 +367,12 @@ int cmd_study(int argc, char** argv) {
   }
   const std::string& out_dir = opts.out();
   if (out_dir.empty()) return usage();
-  const core::StudyParams& params = opts.params();
+  core::StudyParams params = opts.params();
+  // Ctrl-C / SIGTERM: in-flight (config, device) runs finish, the rest
+  // are skipped, and the partial report below still gets written —
+  // robustness.json carries "status": "interrupted".
+  const InterruptGuard interrupt_guard;
+  params.cancel = &g_interrupted;
   const bool metrics = opts.metrics();
 
   // Observability setup precedes run() so the campaign's own spans land
@@ -332,6 +389,18 @@ int cmd_study(int argc, char** argv) {
   core::Study study(params);
   study.run();
   std::printf("%zu controlled experiments done\n", study.experiments_run());
+  if (study.interrupted()) {
+    std::size_t skipped = 0;
+    for (const std::string& key : study.config_keys()) {
+      for (const auto& r : study.results(key)) {
+        if (r.status == core::RunStatus::kSkipped) ++skipped;
+      }
+    }
+    std::printf(
+        "interrupted: finished in-flight runs, skipped %zu; writing the "
+        "partial report\n",
+        skipped);
+  }
   if (params.impairment.enabled()) {
     std::printf("impairment '%s': %zu degraded, %zu quarantined runs\n",
                 params.impairment.name.c_str(), study.degraded().size(),
@@ -355,6 +424,17 @@ int cmd_study(int argc, char** argv) {
   }
   std::printf("wrote table2..table11/figure2/pii/robustness JSON to %s\n",
               out_dir.c_str());
+  if (study.interrupted() && !params.cache_dir.empty()) {
+    // A cancelled campaign can leave half-written "<key>.art.tmpN" files
+    // between temp-write and rename; sweep them so the next warm run
+    // starts from a clean cache directory.
+    cache::ArtifactStore sweeper(params.cache_dir);
+    const std::size_t removed = sweeper.remove_stale_temp_files();
+    if (removed > 0) {
+      std::printf("removed %zu stale cache temp file(s) from %s\n", removed,
+                  params.cache_dir.c_str());
+    }
+  }
 
   if (metrics) {
     const obs::Registry::Snapshot snap = obs::Registry::global().snapshot();
@@ -383,6 +463,88 @@ int cmd_study(int argc, char** argv) {
     }
     std::printf("wrote %zu trace events to %s (open in ui.perfetto.dev)\n",
                 trace.event_count(), trace_file.c_str());
+  }
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  serve::ServeConfig config;
+  bool metrics = false;
+  for (int i = 2; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) {
+      if (i + 1 < argc) return true;
+      std::printf("%s needs a value\n", flag);
+      return false;
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      if (!need_value("--port")) return 2;
+      config.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      if (!need_value("--host")) return 2;
+      config.bind_host = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-sessions") == 0) {
+      if (!need_value("--max-sessions")) return 2;
+      config.max_sessions = static_cast<std::size_t>(
+          std::max(1, std::atoi(argv[++i])));
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0) {
+      if (!need_value("--checkpoint-dir")) return 2;
+      config.checkpoint_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
+      if (!need_value("--idle-timeout-ms")) return 2;
+      config.idle_timeout_ms = std::max(100, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--drain-grace-ms") == 0) {
+      if (!need_value("--drain-grace-ms")) return 2;
+      config.drain_grace_ms = std::max(0, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--memory-budget-mb") == 0) {
+      if (!need_value("--memory-budget-mb")) return 2;
+      config.memory_budget_bytes =
+          static_cast<std::uint64_t>(std::max(1, std::atoi(argv[++i]))) << 20;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else {
+      return usage();
+    }
+  }
+  if (metrics) {
+    obs::Registry::global().reset();
+    obs::set_metrics_enabled(true);
+  }
+
+  serve::Daemon daemon(config);
+  if (!daemon.start()) {
+    std::printf("cannot start daemon: %s\n", daemon.error().c_str());
+    return 1;
+  }
+  const InterruptGuard interrupt_guard;
+  g_daemon = &daemon;
+  std::printf(
+      "iotx serve listening on %s:%u (%zu sessions max%s); "
+      "SIGINT/SIGTERM drains\n",
+      config.bind_host.c_str(), daemon.port(), config.max_sessions,
+      config.checkpoint_dir.empty()
+          ? ""
+          : (", checkpoints to " + config.checkpoint_dir).c_str());
+  // Block until a signal asks for the drain; stop() joins everything,
+  // cuts in-flight sessions after the grace, and checkpoints tenants.
+  while (!g_interrupted.load(std::memory_order_relaxed)) {
+    pause();
+  }
+  daemon.stop();
+  g_daemon = nullptr;
+  const serve::ServeStats stats = daemon.stats();
+  std::printf(
+      "drained: %llu sessions (%llu completed, %llu quarantined, "
+      "%llu shed), %llu bytes, %zu tenant(s)%s\n",
+      static_cast<unsigned long long>(stats.sessions_started),
+      static_cast<unsigned long long>(stats.sessions_completed),
+      static_cast<unsigned long long>(stats.sessions_quarantined),
+      static_cast<unsigned long long>(stats.sessions_shed),
+      static_cast<unsigned long long>(stats.bytes_received),
+      daemon.tenants().size(),
+      config.checkpoint_dir.empty() ? "" : ", checkpointed");
+  if (metrics) {
+    std::printf("%s\n", daemon.metrics_json().c_str());
+    obs::set_metrics_enabled(false);
   }
   return 0;
 }
@@ -427,6 +589,7 @@ int main(int argc, char** argv) {
   if (command == "classify") return cmd_classify(argc, argv);
   if (command == "impair") return cmd_impair(argc, argv);
   if (command == "study") return cmd_study(argc, argv);
+  if (command == "serve") return cmd_serve(argc, argv);
   if (command == "export-dataset") return cmd_export_dataset(argc, argv);
   return usage();
 }

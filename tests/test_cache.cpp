@@ -203,6 +203,33 @@ std::string artifact_path(const std::string& root, const std::string& key) {
   return root + "/" + key.substr(0, 2) + "/" + key + ".art";
 }
 
+// The interrupted-CLI cleanup path: temp files abandoned by a killed
+// writer are swept; finished artifacts and unrelated files are not.
+TEST(ArtifactStore, RemoveStaleTempFilesSweepsOnlyTemps) {
+  const std::string root = temp_dir("iotx_cache_sweep_test");
+  cache::ArtifactStore store(root);
+  const std::string key(64, 'b');
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  store.store(key, payload);
+
+  // Plant two orphaned temps (what a SIGKILLed store() leaves behind)
+  // and one unrelated file.
+  const fs::path shard = fs::path(root) / key.substr(0, 2);
+  std::ofstream(shard / (key + ".art.tmp123")).put('x');
+  std::ofstream(shard / (key + ".art.tmp456")).put('x');
+  std::ofstream(fs::path(root) / "notes.txt").put('x');
+
+  EXPECT_EQ(store.remove_stale_temp_files(), 2u);
+  EXPECT_TRUE(fs::exists(artifact_path(root, key)));
+  EXPECT_TRUE(fs::exists(fs::path(root) / "notes.txt"));
+  EXPECT_FALSE(fs::exists(shard / (key + ".art.tmp123")));
+  // Idempotent: nothing left to sweep.
+  EXPECT_EQ(store.remove_stale_temp_files(), 0u);
+  // The finished artifact still loads.
+  EXPECT_TRUE(store.load(key).has_value());
+  fs::remove_all(root);
+}
+
 TEST(ArtifactStore, CorruptedArtifactFallsBackToMiss) {
   const std::string root = temp_dir("iotx_cache_corrupt_test");
   cache::ArtifactStore store(root);

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
+#include "iotx/report/report.hpp"
+
 namespace {
 
 using namespace iotx::core;
@@ -143,6 +147,37 @@ TEST(StudyParams, PaperScaleValues) {
 TEST(Study, ResultsForUnknownConfigEmpty) {
   const Study study{StudyParams{}};
   EXPECT_TRUE(study.results("nope").empty());
+}
+
+// Cooperative cancellation (the CLI's SIGINT/SIGTERM path): a cancel
+// flag set before run() skips every (config, device) run instead of
+// executing it, the study reports interrupted(), and the robustness
+// document says so — the campaign exits coherent, not half-written.
+TEST(Study, PreSetCancelFlagSkipsEveryRun) {
+  StudyParams params = small_params();
+  std::atomic<bool> cancelled{true};
+  params.cancel = &cancelled;
+  Study study(params);
+  study.run();
+
+  EXPECT_TRUE(study.interrupted());
+  std::size_t skipped = 0, total = 0;
+  for (const std::string& config : study.config_keys()) {
+    for (const DeviceRunResult& r : study.results(config)) {
+      ++total;
+      if (r.status == RunStatus::kSkipped) ++skipped;
+    }
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(skipped, total);
+
+  const std::string json = iotx::report::robustness_json(study);
+  EXPECT_NE(json.find("\"status\":\"interrupted\""), std::string::npos);
+  EXPECT_NE(json.find("skipped"), std::string::npos);
+}
+
+TEST(Study, RunStatusNames) {
+  EXPECT_EQ(run_status_name(RunStatus::kSkipped), "skipped");
 }
 
 }  // namespace

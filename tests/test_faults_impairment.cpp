@@ -260,13 +260,52 @@ TEST(Impairment, HealthCounterWalkMatchesDeclaration) {
   h.dns_parse_failures = 7;
   h.impaired_dropped_packets = 2;
   const auto all = health_counters(h);
-  EXPECT_EQ(all.size(), 19u);  // 18 ingest/impairment + cache_corrupt_artifacts
+  EXPECT_EQ(all.size(), kCaptureHealthCounterCount);
   const auto nz = nonzero_counters(h);
   ASSERT_EQ(nz.size(), 2u);
   EXPECT_EQ(nz[0].first, "dns_parse_failures");
   EXPECT_EQ(nz[0].second, 7u);
   EXPECT_EQ(nz[1].first, "impaired_dropped_packets");
   EXPECT_EQ(nz[1].second, 2u);
+}
+
+// The X-macro IS the walk: setting every field through the macro must
+// produce exactly those values, in declaration order, from
+// health_counters(), and merge() must cover every field. A counter
+// reachable from the struct but missed by the walk would silently drop
+// taxonomy data from reports and serve checkpoints.
+TEST(Impairment, HealthWalkCoversEveryFieldInOrder) {
+  CaptureHealth h;
+  std::uint64_t v = 0;
+#define IOTX_TEST_SET(name) h.name = ++v;
+  IOTX_CAPTURE_HEALTH_COUNTERS(IOTX_TEST_SET)
+#undef IOTX_TEST_SET
+  ASSERT_EQ(v, kCaptureHealthCounterCount);
+
+  const auto all = health_counters(h);
+  ASSERT_EQ(all.size(), kCaptureHealthCounterCount);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].second, i + 1) << "counter " << all[i].first
+                                    << " out of declaration order";
+  }
+  // Names are unique (a duplicated X-macro row would alias two fields).
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_NE(all[i].first, all[j].first);
+    }
+  }
+
+  // merge() touches every field: self-merge doubles each value.
+  CaptureHealth doubled = h;
+  doubled.merge(h);
+  const auto merged = health_counters(doubled);
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].second, 2 * (i + 1))
+        << "merge() missed counter " << merged[i].first;
+  }
+
+  // nonzero_counters degenerates to the full walk when all are nonzero.
+  EXPECT_EQ(nonzero_counters(h).size(), kCaptureHealthCounterCount);
 }
 
 }  // namespace

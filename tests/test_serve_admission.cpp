@@ -1,0 +1,93 @@
+// Tests for the admission controller's degradation ladder: rung
+// selection from session/memory load (whichever is worse), the
+// taxonomy-driven push-down for recently-quarantined tenants, and the
+// transition accounting surfaced by /health.
+#include "iotx/serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace iotx::serve;
+
+constexpr std::size_t kMaxSessions = 100;
+constexpr std::uint64_t kBudget = 1000;
+
+TEST(ServeAdmission, ModeNames) {
+  EXPECT_EQ(admission_mode_name(AdmissionMode::kAccept), "accept");
+  EXPECT_EQ(admission_mode_name(AdmissionMode::kTruncate), "truncate");
+  EXPECT_EQ(admission_mode_name(AdmissionMode::kSample), "sample");
+  EXPECT_EQ(admission_mode_name(AdmissionMode::kShed), "shed");
+}
+
+TEST(ServeAdmission, IdleLoadAccepts) {
+  AdmissionController c(kMaxSessions, kBudget);
+  EXPECT_EQ(c.decide(0, 0, 0), AdmissionMode::kAccept);
+  EXPECT_EQ(c.current_rung(), AdmissionMode::kAccept);
+  EXPECT_EQ(c.decisions(AdmissionMode::kAccept), 1u);
+}
+
+TEST(ServeAdmission, SessionLoadWalksTheLadder) {
+  AdmissionController c(kMaxSessions, kBudget);
+  EXPECT_EQ(c.decide(49, 0, 0), AdmissionMode::kAccept);    // 0.49
+  EXPECT_EQ(c.decide(50, 0, 0), AdmissionMode::kTruncate);  // 0.50
+  EXPECT_EQ(c.decide(75, 0, 0), AdmissionMode::kSample);    // 0.75
+  EXPECT_EQ(c.decide(95, 0, 0), AdmissionMode::kShed);      // 0.95
+  EXPECT_EQ(c.decisions(AdmissionMode::kAccept), 1u);
+  EXPECT_EQ(c.decisions(AdmissionMode::kTruncate), 1u);
+  EXPECT_EQ(c.decisions(AdmissionMode::kSample), 1u);
+  EXPECT_EQ(c.decisions(AdmissionMode::kShed), 1u);
+}
+
+TEST(ServeAdmission, MemoryLoadWalksTheLadderToo) {
+  AdmissionController c(kMaxSessions, kBudget);
+  EXPECT_EQ(c.decide(0, 499, 0), AdmissionMode::kAccept);
+  EXPECT_EQ(c.decide(0, 500, 0), AdmissionMode::kTruncate);
+  EXPECT_EQ(c.decide(0, 750, 0), AdmissionMode::kSample);
+  EXPECT_EQ(c.decide(0, 950, 0), AdmissionMode::kShed);
+}
+
+TEST(ServeAdmission, WorseOfTheTwoLoadsWins) {
+  AdmissionController c(kMaxSessions, kBudget);
+  // Sessions idle but memory pressured: memory decides.
+  EXPECT_EQ(c.decide(1, 800, 0), AdmissionMode::kSample);
+  // Memory idle but sessions pressured: sessions decide.
+  EXPECT_EQ(c.decide(60, 10, 0), AdmissionMode::kTruncate);
+}
+
+TEST(ServeAdmission, QuarantineStreakPushesOneRungDown) {
+  AdmissionController c(kMaxSessions, kBudget);
+  // Idle load, but the tenant's recent sessions were quarantined: it
+  // does not get another full-fidelity slot.
+  EXPECT_EQ(c.decide(0, 0, 1), AdmissionMode::kTruncate);
+  // One rung only, regardless of streak length...
+  EXPECT_EQ(c.decide(0, 0, 50), AdmissionMode::kTruncate);
+  // ...and it composes with load (truncate load + streak = sample).
+  EXPECT_EQ(c.decide(50, 0, 1), AdmissionMode::kSample);
+  // Shed stays shed.
+  EXPECT_EQ(c.decide(95, 0, 1), AdmissionMode::kShed);
+}
+
+TEST(ServeAdmission, TransitionsCountRungChangesOnly) {
+  AdmissionController c(kMaxSessions, kBudget);
+  c.decide(0, 0, 0);   // accept (initial rung: no transition)
+  c.decide(10, 0, 0);  // accept again: no transition
+  const std::uint64_t base = c.transitions();
+  c.decide(60, 0, 0);  // -> truncate
+  EXPECT_EQ(c.transitions(), base + 1);
+  c.decide(60, 0, 0);  // stays truncate
+  EXPECT_EQ(c.transitions(), base + 1);
+  c.decide(0, 0, 0);  // recovers -> accept (recovery is a transition too)
+  EXPECT_EQ(c.transitions(), base + 2);
+  EXPECT_EQ(c.current_rung(), AdmissionMode::kAccept);
+}
+
+TEST(ServeAdmission, ZeroCapacityClampsToOneSlot) {
+  // Degenerate configs clamp to one session / one byte instead of
+  // dividing by zero; the single slot still sheds once occupied.
+  AdmissionController c(0, 0);
+  EXPECT_EQ(c.decide(0, 0, 0), AdmissionMode::kAccept);
+  EXPECT_EQ(c.decide(1, 1, 0), AdmissionMode::kShed);
+}
+
+}  // namespace

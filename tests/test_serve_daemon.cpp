@@ -1,0 +1,261 @@
+// In-process chaos suite for the ingest daemon: every hostile client
+// shape from serve::ChaosClient against a live Daemon on an ephemeral
+// port, plus the two identities the design guarantees — streamed report
+// == batch report over the same bytes, and checkpoint/resume == an
+// uninterrupted run. Runs under the robustness label (asan-ubsan/tsan).
+#include "iotx/serve/daemon.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "iotx/cache/binio.hpp"
+#include "iotx/net/pcap.hpp"
+#include "iotx/serve/chaos.hpp"
+#include "iotx/serve/tenant.hpp"
+#include "iotx/testbed/catalog.hpp"
+#include "iotx/testbed/synth.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx;
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> golden_pcap() {
+  const testbed::DeviceSpec* dev = testbed::find_device("blink_cam");
+  EXPECT_NE(dev, nullptr);
+  const testbed::TrafficSynthesizer synth;
+  util::Prng prng("serve-daemon-test");
+  const auto packets = synth.power_event(
+      *dev, {testbed::LabSite::kUs, false}, 1000.0, prng);
+  return net::pcap_serialize(packets);
+}
+
+/// Starts a daemon on an ephemeral port; fails the test if it cannot.
+struct LiveDaemon {
+  explicit LiveDaemon(serve::ServeConfig config = {})
+      : daemon(patch(std::move(config))) {
+    ok = daemon.start();
+    EXPECT_TRUE(ok) << daemon.error();
+  }
+  ~LiveDaemon() { daemon.stop(); }
+
+  static serve::ServeConfig patch(serve::ServeConfig config) {
+    config.port = 0;  // ephemeral: parallel ctest runs must not collide
+    if (config.idle_timeout_ms == serve::ServeConfig{}.idle_timeout_ms) {
+      config.idle_timeout_ms = 1000;  // keep deadline scenarios fast
+    }
+    return config;
+  }
+
+  serve::ChaosClient client() {
+    return serve::ChaosClient("127.0.0.1", daemon.port());
+  }
+
+  serve::Daemon daemon;
+  bool ok = false;
+};
+
+struct TempDir {
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("iotx-serve-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  static int& counter() {
+    static int n = 0;
+    return n;
+  }
+  fs::path path;
+};
+
+TEST(ServeDaemon, StartStopIsClean) {
+  LiveDaemon live;
+  ASSERT_TRUE(live.ok);
+  EXPECT_TRUE(live.daemon.running());
+  EXPECT_NE(live.daemon.port(), 0);
+  live.daemon.stop();
+  EXPECT_FALSE(live.daemon.running());
+  live.daemon.stop();  // idempotent
+}
+
+TEST(ServeDaemon, CleanChunkedUploadIsAccepted) {
+  LiveDaemon live;
+  ASSERT_TRUE(live.ok);
+  const auto pcap = golden_pcap();
+  auto client = live.client();
+  const auto r = client.upload_chunked("lab1", pcap);
+  EXPECT_TRUE(r.connected);
+  EXPECT_TRUE(r.sent_all);
+  EXPECT_EQ(r.status_code, 200);
+  EXPECT_NE(r.body.find("\"accepted\":true"), std::string::npos);
+  EXPECT_NE(r.body.find("\"mode\":\"accept\""), std::string::npos);
+
+  const auto stats = live.daemon.stats();
+  EXPECT_EQ(stats.sessions_completed, 1u);
+  EXPECT_EQ(stats.bytes_received, pcap.size());
+}
+
+TEST(ServeDaemon, StreamedReportMatchesBatchByteForByte) {
+  LiveDaemon live;
+  ASSERT_TRUE(live.ok);
+  const auto pcap = golden_pcap();
+  auto client = live.client();
+  ASSERT_EQ(client.upload_chunked("lab1", pcap).status_code, 200);
+
+  const auto streamed = client.get("/report/lab1");
+  ASSERT_EQ(streamed.status_code, 200);
+  EXPECT_EQ(streamed.body, serve::batch_report_json("lab1", pcap));
+  // Identity holds for Content-Length uploads too.
+  ASSERT_EQ(client.upload_identity("lab2", pcap).status_code, 200);
+  EXPECT_EQ(client.get("/report/lab2").body,
+            serve::batch_report_json("lab2", pcap));
+}
+
+TEST(ServeDaemon, ControlPlaneDocumentsServed) {
+  LiveDaemon live;
+  ASSERT_TRUE(live.ok);
+  auto client = live.client();
+  EXPECT_EQ(client.get("/health").status_code, 200);
+  EXPECT_EQ(client.get("/config").status_code, 200);
+  EXPECT_EQ(client.get("/metrics").status_code, 200);
+  EXPECT_EQ(client.get("/report/nobody").status_code, 404);
+  EXPECT_EQ(client.get("/no-such-endpoint").status_code, 404);
+}
+
+TEST(ServeDaemon, ChaosSuiteLeavesTheDaemonServing) {
+  serve::ServeConfig config;
+  config.idle_timeout_ms = 300;  // cut the loris quickly
+  LiveDaemon live(config);
+  ASSERT_TRUE(live.ok);
+  const auto pcap = golden_pcap();
+  auto client = live.client();
+
+  client.slow_loris(/*trickle_ms=*/20, /*max_bytes=*/200);
+  client.disconnect_midstream("chaos", pcap, pcap.size() / 2);
+  client.malformed_chunked("chaos");
+  client.oversized_frame("chaos");
+  client.garbage_head();
+  for (int i = 0; i < 4; ++i) client.upload_chunked("flood", pcap);
+
+  // The daemon survived: control plane answers, counters are coherent.
+  const auto health = client.get("/health");
+  ASSERT_EQ(health.status_code, 200);
+  const auto stats = live.daemon.stats();
+  EXPECT_EQ(stats.sessions_completed, 4u);  // the flood uploads
+  EXPECT_EQ(stats.sessions_quarantined, 3u);
+  // The hostile tenant's report carries health but no flows.
+  const auto report = client.get("/report/chaos");
+  ASSERT_EQ(report.status_code, 200);
+  EXPECT_NE(report.body.find("\"sessions_quarantined\":3"),
+            std::string::npos);
+  EXPECT_NE(report.body.find("\"flows\":[]"), std::string::npos);
+  // And a clean tenant is unaffected by a hostile neighbour.
+  EXPECT_EQ(client.upload_chunked("clean", pcap).status_code, 200);
+  EXPECT_EQ(client.get("/report/clean").body,
+            serve::batch_report_json("clean", pcap));
+}
+
+TEST(ServeDaemon, CheckpointResumeReportIsByteIdentical) {
+  TempDir dir;
+  const auto pcap = golden_pcap();
+  const std::string batch = serve::batch_report_json("lab1", pcap);
+
+  {
+    serve::ServeConfig config;
+    config.checkpoint_dir = dir.path.string();
+    LiveDaemon live(config);
+    ASSERT_TRUE(live.ok);
+    auto client = live.client();
+    ASSERT_EQ(client.upload_chunked("lab1", pcap).status_code, 200);
+    live.daemon.stop();  // drains and checkpoints
+  }
+  {
+    serve::ServeConfig config;
+    config.checkpoint_dir = dir.path.string();
+    LiveDaemon live(config);
+    ASSERT_TRUE(live.ok);
+    EXPECT_EQ(live.daemon.stats().tenants_resumed, 1u);
+    auto client = live.client();
+    const auto resumed = client.get("/report/lab1");
+    ASSERT_EQ(resumed.status_code, 200);
+    EXPECT_EQ(resumed.body, batch);
+  }
+}
+
+TEST(ServeDaemon, RequestStopDrainsFromSignalContext) {
+  LiveDaemon live;
+  ASSERT_TRUE(live.ok);
+  const auto pcap = golden_pcap();
+  auto client = live.client();
+  ASSERT_EQ(client.upload_chunked("lab1", pcap).status_code, 200);
+  live.daemon.request_stop();  // what the SIGTERM handler calls
+  live.daemon.stop();
+  EXPECT_FALSE(live.daemon.running());
+  EXPECT_EQ(live.daemon.stats().sessions_completed, 1u);
+}
+
+// --- TenantState checkpoint payload ------------------------------------
+
+TEST(ServeTenant, SerializeRestoreRoundTripsEverything) {
+  serve::TenantState tenant("gw-1");
+  serve::FlowSummary flow;
+  flow.name = "10.0.0.2:1000 -> host:443";
+  flow.protocol = "TLS";
+  flow.enc_class = "encrypted";
+  flow.entropy = 0.75;
+  flow.entropy_based = true;
+  flow.packets = 12;
+  flow.payload_bytes = 3456;
+  analysis::EncryptionBytes enc;
+  enc.encrypted = 3456;
+  faults::CaptureHealth health;
+  health.serve_truncated_frames = 2;
+  tenant.fold_session({flow}, enc, health, 12, 5000, /*degraded=*/true);
+  faults::CaptureHealth bad;
+  bad.serve_malformed_streams = 1;
+  bad.serve_sessions_quarantined = 1;
+  tenant.note_quarantine(bad, 100);
+
+  const auto payload = tenant.serialize();
+  const auto restored = serve::TenantState::restore(payload);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->name(), "gw-1");
+  EXPECT_EQ(restored->report_json(), tenant.report_json());
+  EXPECT_EQ(restored->quarantine_streak(), tenant.quarantine_streak());
+  EXPECT_EQ(restored->health(), tenant.health());
+  const auto c = restored->counters();
+  EXPECT_EQ(c.sessions_completed, 1u);
+  EXPECT_EQ(c.sessions_degraded, 1u);
+  EXPECT_EQ(c.sessions_quarantined, 1u);
+  EXPECT_EQ(c.bytes_received, 5100u);
+}
+
+TEST(ServeTenant, RestoreRejectsCorruptPayload) {
+  serve::TenantState tenant("gw-1");
+  const auto payload = tenant.serialize();
+  ASSERT_FALSE(payload.empty());
+  // Truncated payload: a u64 read runs off the end.
+  auto truncated = payload;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_THROW(serve::TenantState::restore(truncated),
+               cache::CorruptArtifact);
+  // Unknown checkpoint format: rejected before anything is trusted.
+  auto bad_format = payload;
+  bad_format[0] ^= 0xFF;
+  EXPECT_THROW(serve::TenantState::restore(bad_format),
+               cache::CorruptArtifact);
+}
+
+}  // namespace

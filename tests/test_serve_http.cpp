@@ -1,0 +1,162 @@
+// Hostile-input tests for the daemon's incremental HTTP machinery: the
+// head parser and chunked decoder must classify every violation as a
+// typed error (never throw, never over-read) because the connection
+// loop maps kMalformed straight to a session quarantine.
+#include "iotx/serve/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+using namespace iotx::serve;
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+HttpHeadParser::Status feed_str(HttpHeadParser& p, std::string_view s) {
+  const auto b = bytes_of(s);
+  return p.feed(b);
+}
+
+TEST(ServeHttp, ParsesHeadAndLeftover) {
+  HttpHeadParser p;
+  EXPECT_EQ(feed_str(p, "POST /ingest/lab1 HTTP/1.1\r\n"
+                        "Host: gw\r\nTransfer-Encoding: chunked\r\n\r\nBODY"),
+            HttpHeadParser::Status::kComplete);
+  EXPECT_EQ(p.request().method, "POST");
+  EXPECT_EQ(p.request().target, "/ingest/lab1");
+  EXPECT_EQ(p.request().version, "HTTP/1.1");
+  EXPECT_TRUE(p.request().chunked());
+  EXPECT_FALSE(p.request().content_length().has_value());
+  ASSERT_EQ(p.leftover().size(), 4u);
+  EXPECT_EQ(p.leftover()[0], 'B');
+}
+
+TEST(ServeHttp, HeaderNamesLowercasedValuesTrimmed) {
+  HttpHeadParser p;
+  EXPECT_EQ(feed_str(p, "GET /health HTTP/1.1\r\n"
+                        "X-Custom-Header:   spaced value  \r\n\r\n"),
+            HttpHeadParser::Status::kComplete);
+  EXPECT_EQ(p.request().header("x-custom-header"), "spaced value");
+  EXPECT_EQ(p.request().header("absent"), "");
+}
+
+TEST(ServeHttp, ByteAtATimeArrivesIdentically) {
+  const std::string head =
+      "POST /ingest/t HTTP/1.1\r\nContent-Length: 12\r\n\r\n";
+  HttpHeadParser p;
+  auto status = HttpHeadParser::Status::kNeedMore;
+  for (const char c : head) {
+    const std::uint8_t b = static_cast<std::uint8_t>(c);
+    status = p.feed({&b, 1});
+  }
+  ASSERT_EQ(status, HttpHeadParser::Status::kComplete);
+  ASSERT_TRUE(p.request().content_length().has_value());
+  EXPECT_EQ(*p.request().content_length(), 12u);
+  EXPECT_TRUE(p.leftover().empty());
+}
+
+TEST(ServeHttp, MalformedRequestLineRejected) {
+  HttpHeadParser p;
+  EXPECT_EQ(feed_str(p, "not http at all\r\n\r\n"),
+            HttpHeadParser::Status::kMalformed);
+}
+
+TEST(ServeHttp, BinaryGarbageRejected) {
+  HttpHeadParser p;
+  const std::vector<std::uint8_t> tls_hello = {0x16, 0x03, 0x01, 0x02,
+                                               0x00, 0x0d, 0x0a, 0x0d, 0x0a};
+  EXPECT_NE(p.feed(tls_hello), HttpHeadParser::Status::kComplete);
+}
+
+TEST(ServeHttp, HeadCapEndsTheLoris) {
+  // A head that never sends its blank line must be cut at kMaxHeaderBytes,
+  // not buffered forever.
+  HttpHeadParser p;
+  ASSERT_EQ(feed_str(p, "POST /ingest/x HTTP/1.1\r\nX-Drip: "),
+            HttpHeadParser::Status::kNeedMore);
+  const std::vector<std::uint8_t> drip(kMaxHeaderBytes, 'a');
+  EXPECT_EQ(p.feed(drip), HttpHeadParser::Status::kMalformed);
+}
+
+TEST(ServeHttp, BadContentLengthIsNullopt) {
+  HttpHeadParser p;
+  ASSERT_EQ(feed_str(p, "POST / HTTP/1.1\r\nContent-Length: 12abc\r\n\r\n"),
+            HttpHeadParser::Status::kComplete);
+  EXPECT_FALSE(p.request().content_length().has_value());
+}
+
+// --- ChunkedDecoder -----------------------------------------------------
+
+TEST(ServeChunked, DecodesAcrossArbitrarySplits) {
+  const std::string wire = "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+  // Every split point must decode to the same payload.
+  for (std::size_t split = 1; split < wire.size(); ++split) {
+    ChunkedDecoder d;
+    std::vector<std::uint8_t> out;
+    auto s = d.feed(bytes_of(wire.substr(0, split)), out);
+    if (split < wire.size()) {
+      s = d.feed(bytes_of(wire.substr(split)), out);
+    }
+    EXPECT_EQ(s, ChunkedDecoder::Status::kComplete) << "split=" << split;
+    EXPECT_EQ(std::string(out.begin(), out.end()), "hello world");
+    EXPECT_EQ(d.decoded_bytes(), 11u);
+  }
+}
+
+TEST(ServeChunked, MalformedSizeLineRejected) {
+  ChunkedDecoder d;
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(d.feed(bytes_of("zz\r\nhello\r\n"), out),
+            ChunkedDecoder::Status::kMalformed);
+}
+
+TEST(ServeChunked, GarbageAtChunkBoundaryRejected) {
+  // The chaos suite's malformed-chunked scenario: data followed by
+  // garbage where the CRLF must be.
+  ChunkedDecoder d;
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(d.feed(bytes_of("4\r\nABCDXXXX5\r\nhello\r\n"), out),
+            ChunkedDecoder::Status::kMalformed);
+  // The decoder stays malformed; later bytes are ignored.
+  EXPECT_EQ(d.feed(bytes_of("0\r\n\r\n"), out),
+            ChunkedDecoder::Status::kMalformed);
+}
+
+TEST(ServeChunked, OversizedChunkRejectedBeforeBuffering) {
+  ChunkedDecoder d;
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(d.feed(bytes_of("ffffffffffffffff\r\n"), out),
+            ChunkedDecoder::Status::kMalformed);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ServeChunked, BytesAfterCompleteIgnored) {
+  ChunkedDecoder d;
+  std::vector<std::uint8_t> out;
+  ASSERT_EQ(d.feed(bytes_of("3\r\nabc\r\n0\r\n\r\n"), out),
+            ChunkedDecoder::Status::kComplete);
+  const std::size_t decoded = out.size();
+  EXPECT_EQ(d.feed(bytes_of("3\r\nxyz\r\n"), out),
+            ChunkedDecoder::Status::kComplete);
+  EXPECT_EQ(out.size(), decoded);
+}
+
+// --- Response serialization --------------------------------------------
+
+TEST(ServeHttp, ResponseCarriesLengthAndClose) {
+  const std::string r = json_response(200, "OK", "{\"a\":1}");
+  EXPECT_EQ(r.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(r.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(r.find("Content-Type: application/json\r\n"), std::string::npos);
+  EXPECT_EQ(r.substr(r.size() - 7), "{\"a\":1}");
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Tests for the incremental pcap stream decoder: byte-for-byte parity
+// with the batch parser over clean captures at every slice size, and
+// typed poisoning (never a crash, never a resync-on-garbage) for the
+// hostile shapes the chaos suite throws at a live daemon.
+#include "iotx/serve/pcap_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iotx/net/pcap.hpp"
+#include "iotx/serve/chaos.hpp"
+#include "iotx/testbed/catalog.hpp"
+#include "iotx/testbed/synth.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx;
+using serve::PcapStreamDecoder;
+
+std::vector<std::uint8_t> golden_pcap() {
+  const testbed::DeviceSpec* dev = testbed::find_device("blink_cam");
+  EXPECT_NE(dev, nullptr);
+  const testbed::TrafficSynthesizer synth;
+  util::Prng prng("serve-stream-test");
+  const auto packets = synth.power_event(
+      *dev, {testbed::LabSite::kUs, false}, 1000.0, prng);
+  EXPECT_FALSE(packets.empty());
+  return net::pcap_serialize(packets);
+}
+
+struct Collected {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+};
+
+PcapStreamDecoder make_decoder(Collected& sink,
+                               std::uint32_t max_frame = 1u << 20) {
+  return PcapStreamDecoder(
+      [&sink](const net::PacketView& view) {
+        ++sink.frames;
+        sink.bytes += view.frame.size();
+      },
+      max_frame);
+}
+
+TEST(ServeStream, WholeBufferMatchesBatchParser) {
+  const auto pcap = golden_pcap();
+  faults::CaptureHealth batch_health;
+  const auto batch = net::pcap_parse(pcap, &batch_health);
+  ASSERT_TRUE(batch.has_value());
+
+  Collected sink;
+  PcapStreamDecoder decoder = make_decoder(sink);
+  EXPECT_EQ(decoder.feed(pcap), PcapStreamDecoder::Status::kNeedMore);
+  EXPECT_TRUE(decoder.header_ok());
+  EXPECT_TRUE(decoder.at_record_boundary());
+  EXPECT_EQ(decoder.packets(), batch->size());
+  EXPECT_EQ(sink.frames, batch->size());
+}
+
+TEST(ServeStream, SliceSizeDoesNotChangeTheDecode) {
+  const auto pcap = golden_pcap();
+  Collected whole_sink;
+  PcapStreamDecoder whole = make_decoder(whole_sink);
+  whole.feed(pcap);
+
+  for (const std::size_t slice : {1u, 7u, 64u, 1500u}) {
+    Collected sink;
+    PcapStreamDecoder decoder = make_decoder(sink);
+    for (std::size_t off = 0; off < pcap.size(); off += slice) {
+      const std::size_t take = std::min(slice, pcap.size() - off);
+      decoder.feed(std::span<const std::uint8_t>(pcap.data() + off, take));
+    }
+    EXPECT_EQ(decoder.packets(), whole.packets()) << "slice=" << slice;
+    EXPECT_EQ(sink.frames, whole_sink.frames) << "slice=" << slice;
+    EXPECT_EQ(sink.bytes, whole_sink.bytes) << "slice=" << slice;
+    EXPECT_TRUE(decoder.at_record_boundary()) << "slice=" << slice;
+  }
+}
+
+TEST(ServeStream, TruncatedTailIsNotARecordBoundary) {
+  auto pcap = golden_pcap();
+  pcap.resize(pcap.size() - 3);  // client died mid-record
+  Collected sink;
+  PcapStreamDecoder decoder = make_decoder(sink);
+  decoder.feed(pcap);
+  EXPECT_TRUE(decoder.header_ok());
+  EXPECT_FALSE(decoder.at_record_boundary());
+  // Every whole record before the cut was still delivered.
+  EXPECT_EQ(decoder.packets(), sink.frames);
+  EXPECT_GT(sink.frames, 0u);
+}
+
+TEST(ServeStream, BadMagicPoisonsTheStream) {
+  auto pcap = golden_pcap();
+  pcap[0] = 0xde;
+  pcap[1] = 0xad;
+  Collected sink;
+  PcapStreamDecoder decoder = make_decoder(sink);
+  EXPECT_EQ(decoder.feed(pcap), PcapStreamDecoder::Status::kMalformed);
+  EXPECT_FALSE(decoder.header_ok());
+  EXPECT_EQ(sink.frames, 0u);
+}
+
+TEST(ServeStream, OversizedRecordPoisonsAndCounts) {
+  // The chaos suite's hostile fixture: a valid header and one record
+  // whose incl_len promises 512 MiB.
+  const auto pcap = serve::oversized_frame_pcap();
+  Collected sink;
+  PcapStreamDecoder decoder = make_decoder(sink, /*max_frame=*/1u << 20);
+  EXPECT_EQ(decoder.feed(pcap), PcapStreamDecoder::Status::kMalformed);
+  EXPECT_EQ(decoder.health().serve_oversized_frames, 1u);
+  EXPECT_EQ(sink.frames, 0u);
+  // The stream stays poisoned: feeding more neither emits nor re-counts.
+  EXPECT_EQ(decoder.feed(pcap), PcapStreamDecoder::Status::kMalformed);
+  EXPECT_EQ(decoder.health().serve_oversized_frames, 1u);
+}
+
+TEST(ServeStream, EmptyFeedsAreHarmless) {
+  Collected sink;
+  PcapStreamDecoder decoder = make_decoder(sink);
+  EXPECT_EQ(decoder.feed({}), PcapStreamDecoder::Status::kNeedMore);
+  const auto pcap = golden_pcap();
+  decoder.feed(pcap);
+  decoder.feed({});
+  EXPECT_TRUE(decoder.at_record_boundary());
+}
+
+}  // namespace
