@@ -1,0 +1,213 @@
+// Online-inference latency bench: the flattened forest + incremental
+// feature pipeline the serve detection path runs per traffic unit.
+//
+//   1. detect phase — run_detector over a real idle capture's device
+//      meta with metrics on: per-unit latency histogram (segmentation +
+//      feature finish + forest vote, p50/p99 from the registry's log2
+//      buckets), units/sec, detections.
+//   2. predict phase — the same unit feature rows pushed through the
+//      pointer forest (ml::RandomForest) and the compiled flat forest
+//      (ml::FlatForest) in alternating timed rounds (best-of to shave
+//      scheduler noise), counting exact prediction/probability
+//      mismatches — which must be zero, the flat forest's contract.
+//
+// Absolute ns/predict is machine-dependent and not gated;
+// scripts/check_ingest_baseline.py --inference gates the same-run
+// invariants: zero mismatches, flat at least as fast as pointer, and a
+// coherent latency histogram (0 < p50 <= p99 <= max).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "iotx/analysis/features.hpp"
+#include "iotx/analysis/inference.hpp"
+#include "iotx/analysis/unexpected.hpp"
+#include "iotx/flow/traffic_unit.hpp"
+#include "iotx/ml/flat_forest.hpp"
+#include "iotx/obs/registry.hpp"
+#include "iotx/serve/detector.hpp"
+#include "iotx/testbed/catalog.hpp"
+#include "iotx/testbed/experiment.hpp"
+#include "iotx/testbed/synth.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx;
+using Clock = std::chrono::steady_clock;
+
+analysis::ActivityModel trained_model(const testbed::DeviceSpec& device,
+                                      const testbed::NetworkConfig& config) {
+  const testbed::ExperimentRunner runner(testbed::SchedulePlan{8, 8, 8, 0.0});
+  std::vector<testbed::LabeledCapture> captures;
+  for (const testbed::ExperimentSpec& spec : runner.schedule(device, config)) {
+    if (spec.type == testbed::ExperimentType::kIdle) continue;
+    captures.push_back(runner.run(spec));
+  }
+  const testbed::TrafficSynthesizer synth;
+  for (int i = 0; i < 6; ++i) {
+    testbed::LabeledCapture bg;
+    bg.spec.device_id = device.id;
+    bg.spec.config = config;
+    bg.spec.type = testbed::ExperimentType::kInteraction;
+    bg.spec.activity = std::string(analysis::kBackgroundLabel);
+    bg.spec.repetition = i;
+    util::Prng prng("bench-inference-bg" + std::to_string(i));
+    bg.packets = synth.background(device, config, 0.0, 60.0, prng);
+    captures.push_back(std::move(bg));
+  }
+  analysis::InferenceParams params;
+  params.validation.forest.n_trees = 30;
+  params.validation.repetitions = 4;
+  return analysis::train_activity_model(device, config, captures, params);
+}
+
+/// Device meta of a synthetic idle capture, as MetaCollector collects it.
+std::vector<flow::PacketMeta> idle_meta(const testbed::DeviceSpec& device,
+                                        const testbed::NetworkConfig& config,
+                                        double hours) {
+  const testbed::TrafficSynthesizer synth;
+  util::Prng prng("bench-inference-idle");
+  const auto packets = synth.idle_period(device, config, 0.0, hours, prng);
+  flow::MetaCollector collector(
+      testbed::device_mac(device, config.lab == testbed::LabSite::kUs));
+  for (const net::Packet& p : packets) {
+    if (const auto decoded = net::decode_packet(p)) {
+      collector.on_packet(*decoded);
+    }
+  }
+  collector.on_finish();
+  return collector.take();
+}
+
+/// Best-of-N timed rounds of `forest.predict` over all rows; fills
+/// `out_labels` from the last round (identical every round).
+template <typename Forest>
+double predict_ns_per_row(const Forest& forest,
+                          const std::vector<std::vector<double>>& rows,
+                          int rounds, std::vector<int>& out_labels) {
+  double best_ns = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    out_labels.clear();
+    const auto t0 = Clock::now();
+    for (const std::vector<double>& row : rows) {
+      out_labels.push_back(forest.predict(row));
+    }
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count() /
+        static_cast<double>(rows.size());
+    if (round == 0 || ns < best_ns) best_ns = ns;
+  }
+  return best_ns;
+}
+
+}  // namespace
+
+int main() {
+  const testbed::DeviceSpec& device =
+      *testbed::find_device("zmodo_doorbell");
+  const testbed::NetworkConfig config{testbed::LabSite::kUs, false};
+  const analysis::ActivityModel model = trained_model(device, config);
+  const serve::DetectorModel detector =
+      serve::DetectorModel::from_activity_model(device, model);
+  const std::vector<flow::PacketMeta> meta = idle_meta(device, config, 2.0);
+
+  // --- detect phase: the serve per-unit path, metrics on ---------------
+  obs::Registry::global().reset();
+  obs::set_metrics_enabled(true);
+  serve::run_detector(detector, meta);  // warm-up (page in model + meta)
+  obs::Registry::global().reset();
+  const auto d0 = Clock::now();
+  const serve::DetectionOutcome outcome = serve::run_detector(detector, meta);
+  const double detect_seconds =
+      std::chrono::duration<double>(Clock::now() - d0).count();
+  obs::set_metrics_enabled(false);
+  obs::Registry::MetricSnapshot latency;
+  const obs::Registry::Snapshot snap = obs::Registry::global().snapshot();
+  if (const auto* h = snap.find("serve/detect_latency_ns")) latency = *h;
+
+  // --- predict phase: flat vs pointer over the same unit features ------
+  const auto units =
+      flow::segment_traffic(meta, detector.params().unit_gap_seconds);
+  std::vector<std::vector<double>> rows;
+  for (const flow::TrafficUnit& unit : units) {
+    if (unit.packets.size() < detector.params().min_unit_packets) continue;
+    rows.push_back(analysis::FeatureAccumulator::extract(unit));
+  }
+  // Pad with repeats so the timed loop is long enough to resolve.
+  const std::size_t base_rows = rows.size();
+  while (!rows.empty() && rows.size() < 4096) {
+    rows.push_back(rows[rows.size() % base_rows]);
+  }
+
+  const ml::FlatForest flat = ml::FlatForest::compile(model.forest);
+  constexpr int kRounds = 5;
+  std::vector<int> pointer_labels;
+  std::vector<int> flat_labels;
+  const double pointer_ns =
+      predict_ns_per_row(model.forest, rows, kRounds, pointer_labels);
+  const double flat_ns =
+      predict_ns_per_row(flat, rows, kRounds, flat_labels);
+
+  std::uint64_t label_mismatches = 0;
+  std::uint64_t proba_mismatches = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (pointer_labels[i] != flat_labels[i]) ++label_mismatches;
+    if (model.forest.predict_proba(rows[i]) != flat.predict_proba(rows[i])) {
+      ++proba_mismatches;
+    }
+  }
+
+  const double units_per_sec =
+      detect_seconds > 0.0
+          ? static_cast<double>(outcome.units_total) / detect_seconds
+          : 0.0;
+  const double speedup = flat_ns > 0.0 ? pointer_ns / flat_ns : 0.0;
+
+  bench::JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", bench::kBenchSchemaVersion);
+  w.field("bench", "inference_latency");
+
+  w.key("model").begin_object();
+  w.field("device", device.id);
+  w.field("trees", static_cast<std::uint64_t>(flat.tree_count()));
+  w.field("nodes", static_cast<std::uint64_t>(flat.node_count()));
+  w.field("classes", static_cast<std::uint64_t>(flat.class_count()));
+  w.field("device_f1", model.device_f1(), 4);
+  w.end_object();
+
+  w.key("detect").begin_object();
+  w.field("meta_packets", static_cast<std::uint64_t>(meta.size()));
+  w.field("units", outcome.units_total);
+  w.field("units_classified", outcome.units_classified);
+  w.field("detections", static_cast<std::uint64_t>(outcome.detections.size()));
+  w.field("seconds", detect_seconds, 6);
+  w.field("units_per_sec", units_per_sec, 1);
+  w.key("unit_latency").begin_object();
+  w.field("count", latency.count);
+  w.field("mean_ns", latency.mean(), 0);
+  w.field("max_ns", latency.max);
+  w.field("p50_ns", latency.p50());
+  w.field("p99_ns", latency.p99());
+  w.end_object();
+  w.end_object();
+
+  w.key("predict").begin_object();
+  w.field("unit_rows", static_cast<std::uint64_t>(base_rows));
+  w.field("timed_rows", static_cast<std::uint64_t>(rows.size()));
+  w.field("rounds", kRounds);
+  w.field("pointer_ns_per_predict", pointer_ns, 1);
+  w.field("flat_ns_per_predict", flat_ns, 1);
+  w.field("flat_speedup", speedup, 3);
+  w.field("label_mismatches", label_mismatches);
+  w.field("proba_mismatches", proba_mismatches);
+  w.end_object();
+
+  w.end_object();
+  std::printf("%s\n", w.document().c_str());
+  return 0;
+}

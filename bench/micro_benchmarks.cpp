@@ -169,7 +169,7 @@ void BM_FeatureExtraction(benchmark::State& state) {
   meta_pipeline.finish();
   const auto meta = collector.take();
   for (auto _ : state) {
-    const auto features = analysis::extract_features(meta);
+    const auto features = analysis::FeatureAccumulator::extract(meta);
     benchmark::DoNotOptimize(features.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));

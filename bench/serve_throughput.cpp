@@ -58,25 +58,6 @@ std::vector<std::uint8_t> golden_pcap() {
   return net::pcap_serialize(capture);
 }
 
-/// Estimates the q-quantile of a registry histogram from its log2
-/// buckets (bucket b holds samples in [2^(b-1), 2^b)): the upper bound
-/// of the first bucket whose cumulative count reaches q, clamped to the
-/// recorded max (the top bucket's bound can overshoot it).
-std::uint64_t bucket_quantile(const obs::Registry::MetricSnapshot& h,
-                              double q) {
-  if (h.count == 0) return 0;
-  const double target = q * static_cast<double>(h.count);
-  std::uint64_t cumulative = 0;
-  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
-    cumulative += h.buckets[b];
-    if (static_cast<double>(cumulative) >= target) {
-      const std::uint64_t bound = b == 0 ? 0 : (1ull << b) - 1;
-      return bound < h.max ? bound : h.max;
-    }
-  }
-  return h.max;
-}
-
 struct CleanStats {
   std::uint64_t sessions = 0;
   std::uint64_t bytes = 0;
@@ -257,8 +238,8 @@ int main() {
   w.field("count", clean.admission.count);
   w.field("mean_ns", clean.admission.mean(), 0);
   w.field("max_ns", clean.admission.max);
-  w.field("p50_ns", bucket_quantile(clean.admission, 0.50));
-  w.field("p99_ns", bucket_quantile(clean.admission, 0.99));
+  w.field("p50_ns", clean.admission.p50());
+  w.field("p99_ns", clean.admission.p99());
   w.end_object();
   w.end_object();
 

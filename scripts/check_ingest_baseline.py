@@ -27,6 +27,22 @@ Three modes:
       attempts with shed > 0, daemon alive afterwards). Absolute
       sessions/sec is reported, never gated.
 
+  check_ingest_baseline.py --inference <inference_latency.json>
+      Gate the online-inference bench, again on same-run invariants
+      only: the flat forest must predict exactly what the pointer
+      forest predicts (zero label/probability mismatches — the compile
+      contract), must be at least as fast as the pointer forest
+      measured back-to-back on the same machine, and the per-unit
+      detect-latency histogram must be coherent (0 < p50 <= p99 <= max,
+      sub-millisecond p99) and cover at least every counted unit.
+      Absolute ns/predict is reported, never gated.
+
+  check_ingest_baseline.py --append-inference <BENCH_ingest.json> <inference_latency.json> [label]
+      Append the inference run to the trajectory file's
+      `inference_entries` list (machine-relative fields only: model
+      shape, flat_speedup, mismatch counts). Run the --inference gate
+      first; append records history, it does not validate.
+
 Documents must agree on `schema_version` — a mismatch means the bench
 shape changed without refreshing the committed references, so the
 comparison is rejected outright rather than risked. Absolute packets/sec
@@ -243,6 +259,64 @@ def check_serve(current, failures):
         failures.append("daemon stopped answering /health after the flood")
 
 
+def check_inference(current, failures):
+    """Same-run invariants of the inference bench; no baseline.
+
+    Exactness is the headline gate: the flattened forest exists to be a
+    faster layout of the *same* model, so a single differing prediction
+    is a correctness bug, not a tuning matter. The speed gate compares
+    two timings taken back-to-back in one process, so it holds on any
+    machine; only the sub-millisecond p99 bound assumes the hardware is
+    not pathological, which CI runners satisfy with orders of magnitude
+    to spare (typical p99 is tens of microseconds).
+    """
+    detect = current["detect"]
+    predict = current["predict"]
+
+    units = int(detect["units"])
+    print(f"detect phase: {detect['meta_packets']} device packets -> "
+          f"{units} units, {detect['units_classified']} classified, "
+          f"{detect['detections']} detections "
+          f"({detect['units_per_sec']} units/sec)")
+    if units == 0:
+        failures.append("detect phase saw no traffic units (the idle "
+                        "capture must segment into units)")
+
+    lat = detect["unit_latency"]
+    count, p50, p99 = int(lat["count"]), int(lat["p50_ns"]), int(lat["p99_ns"])
+    max_ns = int(lat["max_ns"])
+    print(f"unit detect latency: {count} samples, p50 {p50} ns, "
+          f"p99 {p99} ns, max {max_ns} ns")
+    if count < units:
+        failures.append(
+            f"detect-latency histogram saw {count} samples for {units} "
+            "units (every unit close must be timed)")
+    if not (0 < p50 <= p99 <= max_ns):
+        failures.append("detect-latency quantiles are incoherent "
+                        f"(p50 {p50}, p99 {p99}, max {max_ns})")
+    if p99 >= 1_000_000:
+        failures.append(f"per-unit detect p99 {p99} ns is not "
+                        "sub-millisecond")
+
+    mismatches = int(predict["label_mismatches"])
+    proba_mismatches = int(predict["proba_mismatches"])
+    pointer_ns = float(predict["pointer_ns_per_predict"])
+    flat_ns = float(predict["flat_ns_per_predict"])
+    print(f"predict phase: {predict['timed_rows']} rows "
+          f"({predict['unit_rows']} distinct), pointer {pointer_ns:.0f} "
+          f"ns/predict, flat {flat_ns:.0f} ns/predict "
+          f"(speedup {predict['flat_speedup']}x)")
+    if mismatches != 0 or proba_mismatches != 0:
+        failures.append(
+            f"flat forest diverged from the pointer forest: "
+            f"{mismatches} label + {proba_mismatches} probability "
+            "mismatches (must be exactly zero)")
+    if not (0.0 < flat_ns <= pointer_ns):
+        failures.append(
+            f"flat forest ({flat_ns:.0f} ns/predict) is not at least as "
+            f"fast as the pointer forest ({pointer_ns:.0f} ns/predict)")
+
+
 def append_entry(trajectory_path, current, label):
     try:
         trajectory = load(trajectory_path)
@@ -263,21 +337,53 @@ def append_entry(trajectory_path, current, label):
     print(f"appended entry {len(trajectory['entries'])} to {trajectory_path}")
 
 
+def append_inference_entry(trajectory_path, current, label):
+    try:
+        trajectory = load(trajectory_path)
+    except FileNotFoundError:
+        trajectory = {"bench": "ingest_throughput", "entries": []}
+    entry = {"schema_version": SUPPORTED_SCHEMA}
+    if label:
+        entry["label"] = label
+    model = current["model"]
+    predict = current["predict"]
+    # Machine-relative and counting fields only, same rule as the ingest
+    # entries: flat_speedup is flat-vs-pointer on one machine in one
+    # process, mismatches are exact counts.
+    entry["trees"] = model["trees"]
+    entry["nodes"] = model["nodes"]
+    entry["classes"] = model["classes"]
+    entry["unit_rows"] = predict["unit_rows"]
+    entry["flat_speedup"] = predict["flat_speedup"]
+    entry["label_mismatches"] = predict["label_mismatches"]
+    entry["proba_mismatches"] = predict["proba_mismatches"]
+    entries = trajectory.setdefault("inference_entries", [])
+    entries.append(entry)
+    with open(trajectory_path, "w") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+    print(f"appended inference entry {len(entries)} to {trajectory_path}")
+
+
 def main() -> int:
     argv = sys.argv[1:]
     mode = "pairwise"
-    if argv and argv[0] in ("--trajectory", "--append", "--serve"):
+    if argv and argv[0] in ("--trajectory", "--append", "--serve",
+                            "--inference", "--append-inference"):
         mode = argv[0][2:]
         argv = argv[1:]
 
-    if mode == "serve":
+    if mode in ("serve", "inference"):
         if len(argv) < 1:
             print(__doc__.strip(), file=sys.stderr)
             return 2
         current = load(argv[0])
         failures = []
         if check_schema(current, argv[0], failures):
-            check_serve(current, failures)
+            if mode == "serve":
+                check_serve(current, failures)
+            else:
+                check_inference(current, failures)
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:
@@ -296,6 +402,11 @@ def main() -> int:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
+
+    if mode == "append-inference":
+        label = argv[2] if len(argv) > 2 else ""
+        append_inference_entry(reference_path, current, label)
+        return 0
 
     if mode == "append":
         label = argv[2] if len(argv) > 2 else ""

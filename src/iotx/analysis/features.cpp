@@ -1,59 +1,62 @@
 #include "iotx/analysis/features.hpp"
 
-#include "iotx/util/stats.hpp"
-
 namespace iotx::analysis {
 
-namespace {
-
-void append_summary(std::vector<double>& out,
-                    const std::vector<double>& sample) {
-  util::summarize(sample).append_features(out);
+void FeatureAccumulator::Lane::add(const flow::PacketMeta& packet) {
+  sizes.add(packet.size);
+  if (has_last) iats.add(packet.timestamp - last_timestamp);
+  last_timestamp = packet.timestamp;
+  has_last = true;
 }
 
-std::vector<double> iats(const std::vector<double>& times) {
-  std::vector<double> gaps;
-  if (times.size() < 2) return gaps;
-  gaps.reserve(times.size() - 1);
-  for (std::size_t i = 1; i < times.size(); ++i) {
-    gaps.push_back(times[i] - times[i - 1]);
-  }
-  return gaps;
+void FeatureAccumulator::Lane::reset() {
+  sizes.reset();
+  iats.reset();
+  has_last = false;
+  last_timestamp = 0.0;
 }
 
-}  // namespace
+FeatureAccumulator::FeatureAccumulator() = default;
 
-std::vector<double> extract_features(
-    const std::vector<flow::PacketMeta>& meta) {
-  std::vector<double> sizes_all, sizes_out, sizes_in;
-  std::vector<double> times_all, times_out, times_in;
-  sizes_all.reserve(meta.size());
-  times_all.reserve(meta.size());
-  for (const flow::PacketMeta& p : meta) {
-    sizes_all.push_back(p.size);
-    times_all.push_back(p.timestamp);
-    if (p.outbound) {
-      sizes_out.push_back(p.size);
-      times_out.push_back(p.timestamp);
-    } else {
-      sizes_in.push_back(p.size);
-      times_in.push_back(p.timestamp);
-    }
-  }
+void FeatureAccumulator::add(const flow::PacketMeta& packet) {
+  all_.add(packet);
+  (packet.outbound ? outbound_ : inbound_).add(packet);
+  ++packets_;
+}
 
+void FeatureAccumulator::finish_into(std::vector<double>& out) {
+  out.reserve(out.size() + kFeatureDimension);
+  all_.sizes.summary().append_features(out);
+  outbound_.sizes.summary().append_features(out);
+  inbound_.sizes.summary().append_features(out);
+  all_.iats.summary().append_features(out);
+  outbound_.iats.summary().append_features(out);
+  inbound_.iats.summary().append_features(out);
+  reset();
+}
+
+std::vector<double> FeatureAccumulator::finish() {
   std::vector<double> features;
-  features.reserve(kFeatureDimension);
-  append_summary(features, sizes_all);
-  append_summary(features, sizes_out);
-  append_summary(features, sizes_in);
-  append_summary(features, iats(times_all));
-  append_summary(features, iats(times_out));
-  append_summary(features, iats(times_in));
+  finish_into(features);
   return features;
 }
 
-std::vector<double> extract_features(const flow::TrafficUnit& unit) {
-  return extract_features(unit.packets);
+void FeatureAccumulator::reset() {
+  all_.reset();
+  outbound_.reset();
+  inbound_.reset();
+  packets_ = 0;
+}
+
+std::vector<double> FeatureAccumulator::extract(
+    const std::vector<flow::PacketMeta>& meta) {
+  FeatureAccumulator acc;
+  for (const flow::PacketMeta& p : meta) acc.add(p);
+  return acc.finish();
+}
+
+std::vector<double> FeatureAccumulator::extract(const flow::TrafficUnit& unit) {
+  return extract(unit.packets);
 }
 
 }  // namespace iotx::analysis

@@ -8,18 +8,66 @@
 #include <vector>
 
 #include "iotx/flow/traffic_unit.hpp"
+#include "iotx/util/stats.hpp"
 
 namespace iotx::analysis {
 
-/// 90-dimensional vector: {sizes, inter-arrival times} x {all, outbound,
-/// inbound} x 15 summary statistics (min, max, mean, stddev, skewness,
-/// kurtosis, deciles 10..90).
-std::vector<double> extract_features(const std::vector<flow::PacketMeta>& meta);
-
-/// Convenience overload for a segmented traffic unit.
-std::vector<double> extract_features(const flow::TrafficUnit& unit);
-
 /// Dimensionality of the feature vector.
 inline constexpr std::size_t kFeatureDimension = 90;
+
+/// Incremental §6.1 feature extraction: packets stream in one at a time
+/// (e.g. as flow::TrafficUnitSegmenter emits them) and the 90-dimensional
+/// vector — {sizes, inter-arrival times} x {all, outbound, inbound} x 15
+/// summary statistics (min, max, mean, stddev, skewness, kurtosis,
+/// deciles 10..90) — comes out at the end. The single feature
+/// implementation in the tree: the batch Study path and the live serve
+/// detector both drive this accumulator.
+///
+/// Built on util::RunningMoments in its exact-small-sample mode
+/// (RunningMoments::kExactSummaryVersion), so the emitted vector is
+/// bit-identical to the historical two-pass extraction the golden tables
+/// were captured under. Inter-arrival times are consecutive timestamp
+/// differences *within* each direction class.
+class FeatureAccumulator {
+ public:
+  FeatureAccumulator();
+
+  /// Packets must arrive in timestamp order (MetaCollector sorts).
+  void add(const flow::PacketMeta& packet);
+
+  std::size_t packets() const noexcept { return packets_; }
+
+  /// Appends the 90-dim feature vector for the packets seen so far, then
+  /// resets the accumulator for the next traffic unit.
+  void finish_into(std::vector<double>& out);
+  /// Convenience form of finish_into.
+  std::vector<double> finish();
+
+  /// Back to the empty state without emitting.
+  void reset();
+
+  /// Batch drivers (one shot over a complete unit / meta sequence) —
+  /// thin loops over add()/finish(), sharing the streaming implementation.
+  static std::vector<double> extract(const std::vector<flow::PacketMeta>& meta);
+  static std::vector<double> extract(const flow::TrafficUnit& unit);
+
+ private:
+  // Directional lane: size moments + IAT moments + the previous
+  // timestamp in this lane (IATs are per-direction-class gaps).
+  struct Lane {
+    util::RunningMoments sizes;
+    util::RunningMoments iats;
+    bool has_last = false;
+    double last_timestamp = 0.0;
+
+    void add(const flow::PacketMeta& packet);
+    void reset();
+  };
+
+  Lane all_;
+  Lane outbound_;
+  Lane inbound_;
+  std::size_t packets_ = 0;
+};
 
 }  // namespace iotx::analysis

@@ -26,24 +26,34 @@ double ActivityModel::device_f1() const {
   return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
 
+bool ActivityModelView::ready() const {
+  return model_.forest.fitted() && !model_.dataset.empty();
+}
+
+std::size_t ActivityModelView::class_count() const {
+  return model_.dataset.class_count();
+}
+
+std::string_view ActivityModelView::class_name(std::size_t cls) const {
+  return model_.dataset.class_name(static_cast<int>(cls));
+}
+
+double ActivityModelView::class_f1(std::size_t cls) const {
+  return model_.validation.class_f1[cls];
+}
+
+std::vector<double> ActivityModelView::predict_proba(
+    std::span<const double> features) const {
+  return model_.forest.predict_proba(features);
+}
+
 std::optional<std::string> ActivityModel::predict(
     const flow::TrafficUnit& unit, double min_f1, double min_vote) const {
-  if (!forest.fitted() || dataset.empty()) return std::nullopt;
-  const std::vector<double> features = extract_features(unit);
-  const std::vector<double> proba = forest.predict_proba(features);
-  if (proba.empty()) return std::nullopt;
-  const auto best =
-      std::max_element(proba.begin(), proba.end()) - proba.begin();
-  const int cls = static_cast<int>(best);
-  if (static_cast<std::size_t>(cls) >= dataset.class_count()) {
-    return std::nullopt;
-  }
-  if (dataset.class_name(cls) == kBackgroundLabel) return std::nullopt;
-  if (proba[static_cast<std::size_t>(best)] < min_vote) return std::nullopt;
-  if (validation.class_f1[static_cast<std::size_t>(cls)] < min_f1) {
-    return std::nullopt;
-  }
-  return dataset.class_name(cls);
+  const ActivityModelView view(*this);
+  const std::vector<double> features = FeatureAccumulator::extract(unit);
+  const auto cls = classify_unit(view, features, min_f1, min_vote);
+  if (!cls) return std::nullopt;
+  return dataset.class_name(static_cast<int>(*cls));
 }
 
 ml::Dataset build_dataset(const std::vector<LabeledMeta>& examples) {
@@ -51,7 +61,7 @@ ml::Dataset build_dataset(const std::vector<LabeledMeta>& examples) {
   ml::Dataset data;
   for (const LabeledMeta& example : examples) {
     if (example.activity.empty() || example.meta.size() < 4) continue;
-    data.add(extract_features(example.meta), example.activity);
+    data.add(FeatureAccumulator::extract(example.meta), example.activity);
   }
   return data;
 }

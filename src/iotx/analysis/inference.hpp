@@ -10,15 +10,11 @@
 #include <vector>
 
 #include "iotx/analysis/features.hpp"
+#include "iotx/analysis/unit_model.hpp"
 #include "iotx/ml/validation.hpp"
 #include "iotx/testbed/experiment.hpp"
 
 namespace iotx::analysis {
-
-/// Label used for the explicit idle/keep-alive class. Training on labeled
-/// background windows stops heartbeat traffic from being force-assigned to
-/// a real interaction class when classifying unlabeled captures.
-inline constexpr std::string_view kBackgroundLabel = "background";
 
 /// A trained per-device model plus its validation scores.
 struct ActivityModel {
@@ -39,10 +35,28 @@ struct ActivityModel {
   /// model is empty, the unit classifies as background, fewer than
   /// `min_vote` of the forest's probability mass backs the winner, or the
   /// winning class's CV F1 is below `min_f1` (the §7.1 filter keeps only
-  /// >0.9 models).
+  /// >0.9 models). Driver over classify_unit() + FeatureAccumulator.
   std::optional<std::string> predict(const flow::TrafficUnit& unit,
                                      double min_f1 = 0.0,
                                      double min_vote = 0.0) const;
+};
+
+/// UnitModel view over a trained ActivityModel — the batch-path adapter
+/// feeding the shared detection filter (unit_model.hpp). Borrows the
+/// model; keep the model alive while the view is used.
+class ActivityModelView final : public UnitModel {
+ public:
+  explicit ActivityModelView(const ActivityModel& model) : model_(model) {}
+
+  bool ready() const override;
+  std::size_t class_count() const override;
+  std::string_view class_name(std::size_t cls) const override;
+  double class_f1(std::size_t cls) const override;
+  std::vector<double> predict_proba(
+      std::span<const double> features) const override;
+
+ private:
+  const ActivityModel& model_;
 };
 
 struct InferenceParams {

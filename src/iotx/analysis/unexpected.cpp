@@ -21,6 +21,32 @@ std::vector<flow::PacketMeta> meta_of(const testbed::DeviceSpec& device,
 
 }  // namespace
 
+StreamingDetector::StreamingDetector(const UnitModel& model,
+                                     const DetectorParams& params,
+                                     Callback on_detection)
+    : model_(model), params_(params), on_detection_(std::move(on_detection)) {}
+
+void StreamingDetector::on_unit_packet(const flow::PacketMeta& packet) {
+  features_.add(packet);
+}
+
+void StreamingDetector::on_unit_end(double unit_start,
+                                    std::size_t unit_packets) {
+  // finish() always resets the accumulator, so undersized units leave no
+  // state behind for the next one.
+  const std::vector<double> features = features_.finish();
+  if (unit_packets < params_.min_unit_packets) return;
+  ++units_total_;
+  const auto cls = classify_unit(model_, features, params_.min_model_f1,
+                                 params_.min_vote);
+  if (!cls) return;
+  ++units_classified_;
+  if (on_detection_) {
+    on_detection_(Detection{std::string(model_.class_name(*cls)), unit_start,
+                            unit_packets});
+  }
+}
+
 IdleDetections detect_activity(const testbed::DeviceSpec& device,
                                const std::vector<flow::PacketMeta>& meta,
                                const ActivityModel& model,
@@ -30,16 +56,15 @@ IdleDetections detect_activity(const testbed::DeviceSpec& device,
   // Only high-confidence device models participate at all (§7.1).
   if (model.device_f1() <= 0.0) return result;
 
-  for (const flow::TrafficUnit& unit :
-       flow::segment_traffic(meta, params.unit_gap_seconds)) {
-    if (unit.packets.size() < params.min_unit_packets) continue;
-    ++result.units_total;
-    const auto activity =
-        model.predict(unit, params.min_model_f1, params.min_vote);
-    if (!activity) continue;
-    ++result.units_classified;
-    ++result.instances[*activity];
-  }
+  const ActivityModelView view(model);
+  StreamingDetector detector(view, params, [&](const Detection& d) {
+    ++result.instances[d.activity];
+  });
+  flow::TrafficUnitSegmenter segmenter(detector, params.unit_gap_seconds);
+  for (const flow::PacketMeta& p : meta) segmenter.add(p);
+  segmenter.finish();
+  result.units_total = detector.units_total();
+  result.units_classified = detector.units_classified();
   return result;
 }
 
@@ -59,25 +84,19 @@ std::vector<UncontrolledFinding> audit_uncontrolled(
     const DetectorParams& params, double window_s) {
   std::map<std::string, UncontrolledFinding> by_activity;
 
-  for (const flow::TrafficUnit& unit :
-       flow::segment_traffic(meta, params.unit_gap_seconds)) {
-    if (unit.packets.size() < params.min_unit_packets) continue;
-    const auto activity =
-        model.predict(unit, params.min_model_f1, params.min_vote);
-    if (!activity) continue;
-
-    UncontrolledFinding& finding = by_activity[*activity];
+  const ActivityModelView view(model);
+  StreamingDetector detector(view, params, [&](const Detection& d) {
+    UncontrolledFinding& finding = by_activity[d.activity];
     finding.device_id = device.id;
-    finding.activity = *activity;
+    finding.activity = d.activity;
     ++finding.detections;
 
     // Match against the ground truth.
-    const double at = unit.start();
     bool matched = false;
     bool intended = false;
     for (const testbed::GroundTruthEvent& ev : events) {
-      if (ev.device_id != device.id || ev.activity != *activity) continue;
-      if (std::fabs(ev.timestamp - at) <= window_s) {
+      if (ev.device_id != device.id || ev.activity != d.activity) continue;
+      if (std::fabs(ev.timestamp - d.unit_start) <= window_s) {
         matched = true;
         intended = ev.user_intended;
         break;
@@ -90,7 +109,10 @@ std::vector<UncontrolledFinding> audit_uncontrolled(
     } else {
       ++finding.confirmed_unintended;
     }
-  }
+  });
+  flow::TrafficUnitSegmenter segmenter(detector, params.unit_gap_seconds);
+  for (const flow::PacketMeta& p : meta) segmenter.add(p);
+  segmenter.finish();
 
   std::vector<UncontrolledFinding> findings;
   findings.reserve(by_activity.size());

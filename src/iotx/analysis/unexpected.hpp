@@ -4,11 +4,13 @@
 // that no one triggered.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "iotx/analysis/inference.hpp"
+#include "iotx/analysis/unit_model.hpp"
 #include "iotx/testbed/user_study.hpp"
 
 namespace iotx::analysis {
@@ -29,6 +31,45 @@ struct DetectorParams {
   std::size_t min_unit_packets = 6;
   /// Minimum forest probability mass behind the winning class.
   double min_vote = 0.55;
+};
+
+/// One classified traffic unit, as emitted by the streaming detector.
+struct Detection {
+  std::string activity;
+  double unit_start = 0.0;
+  std::size_t unit_packets = 0;
+};
+
+/// The streaming detection core shared by every driver: a flow::UnitSink
+/// that accumulates per-unit features incrementally (FeatureAccumulator)
+/// and, when the segmenter closes a unit of at least
+/// DetectorParams::min_unit_packets packets, runs the shared §7.1 filter
+/// (classify_unit) and reports each detection through the callback.
+/// detect_activity / audit_uncontrolled drive it over batch meta;
+/// serve::Detector drives it packet-by-packet on the live path.
+class StreamingDetector final : public flow::UnitSink {
+ public:
+  using Callback = std::function<void(const Detection&)>;
+
+  /// Borrows the model; keep it alive while packets stream.
+  StreamingDetector(const UnitModel& model, const DetectorParams& params,
+                    Callback on_detection = {});
+
+  void on_unit_packet(const flow::PacketMeta& packet) override;
+  void on_unit_end(double unit_start, std::size_t unit_packets) override;
+
+  /// Units of at least min_unit_packets examined so far.
+  std::size_t units_total() const noexcept { return units_total_; }
+  /// Units the model labeled with a (non-background) activity.
+  std::size_t units_classified() const noexcept { return units_classified_; }
+
+ private:
+  const UnitModel& model_;
+  DetectorParams params_;
+  Callback on_detection_;
+  FeatureAccumulator features_;
+  std::size_t units_total_ = 0;
+  std::size_t units_classified_ = 0;
 };
 
 /// Runs a device's model over pre-extracted, timestamp-sorted device

@@ -1,0 +1,22 @@
+#include "iotx/analysis/unit_model.hpp"
+
+#include <algorithm>
+
+namespace iotx::analysis {
+
+std::optional<std::size_t> classify_unit(const UnitModel& model,
+                                         std::span<const double> features,
+                                         double min_f1, double min_vote) {
+  if (!model.ready()) return std::nullopt;
+  const std::vector<double> proba = model.predict_proba(features);
+  if (proba.empty()) return std::nullopt;
+  const auto best = static_cast<std::size_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  if (best >= model.class_count()) return std::nullopt;
+  if (model.class_name(best) == kBackgroundLabel) return std::nullopt;
+  if (proba[best] < min_vote) return std::nullopt;
+  if (model.class_f1(best) < min_f1) return std::nullopt;
+  return best;
+}
+
+}  // namespace iotx::analysis

@@ -1,0 +1,46 @@
+// The model view consumed by traffic-unit detection: enough to score and
+// name a winning class without knowing the forest representation, so the
+// batch path (analysis::ActivityModel over ml::RandomForest) and the live
+// path (serve::DetectorModel over ml::FlatForest) share one detection
+// filter and one streaming detector.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace iotx::analysis {
+
+/// Label used for the explicit idle/keep-alive class. Training on labeled
+/// background windows stops heartbeat traffic from being force-assigned to
+/// a real interaction class when classifying unlabeled captures.
+inline constexpr std::string_view kBackgroundLabel = "background";
+
+/// Abstract trained classifier over per-unit feature vectors.
+class UnitModel {
+ public:
+  virtual ~UnitModel() = default;
+
+  /// False when there is nothing to predict with (empty or unfitted).
+  virtual bool ready() const = 0;
+  virtual std::size_t class_count() const = 0;
+  virtual std::string_view class_name(std::size_t cls) const = 0;
+  /// Cross-validated F1 of the class (the §7.1 confidence filter input).
+  virtual double class_f1(std::size_t cls) const = 0;
+  /// Class probabilities for a feature vector; empty when not ready.
+  virtual std::vector<double> predict_proba(
+      std::span<const double> features) const = 0;
+};
+
+/// The single winner-selection filter behind every detection path:
+/// winner = first argmax of the class probabilities; returns nullopt when
+/// the model is not ready, the winner index is out of class range, the
+/// winner is the background class, less than `min_vote` of the forest's
+/// probability mass backs it, or its CV F1 is below `min_f1`.
+std::optional<std::size_t> classify_unit(const UnitModel& model,
+                                         std::span<const double> features,
+                                         double min_f1, double min_vote);
+
+}  // namespace iotx::analysis

@@ -64,8 +64,8 @@ std::vector<PacketMeta> read_meta(cache::BinReader& r) {
   return meta;
 }
 
-std::vector<TrafficUnit> segment_traffic(const std::vector<PacketMeta>& meta,
-                                         double gap_seconds) {
+TrafficUnitSegmenter::TrafficUnitSegmenter(UnitSink& sink, double gap_seconds)
+    : sink_(sink), gap_(gap_seconds) {
   // A non-positive (or NaN) gap has no meaningful segmentation; the old
   // behavior of returning an empty vector made a bad config look like an
   // empty capture downstream.
@@ -73,19 +73,53 @@ std::vector<TrafficUnit> segment_traffic(const std::vector<PacketMeta>& meta,
     throw std::invalid_argument(
         "segment_traffic: gap_seconds must be > 0");
   }
-  std::vector<TrafficUnit> units;
-  if (meta.empty()) return units;
-  TrafficUnit current;
-  for (const PacketMeta& p : meta) {
-    if (!current.packets.empty() &&
-        p.timestamp - current.packets.back().timestamp > gap_seconds) {
-      units.push_back(std::move(current));
-      current = TrafficUnit{};
-    }
-    current.packets.push_back(p);
+}
+
+void TrafficUnitSegmenter::add(const PacketMeta& packet) {
+  if (unit_packets_ > 0 && packet.timestamp - last_timestamp_ > gap_) {
+    sink_.on_unit_end(unit_start_, unit_packets_);
+    unit_packets_ = 0;
   }
-  units.push_back(std::move(current));
-  return units;
+  if (unit_packets_ == 0) unit_start_ = packet.timestamp;
+  last_timestamp_ = packet.timestamp;
+  ++unit_packets_;
+  sink_.on_unit_packet(packet);
+}
+
+void TrafficUnitSegmenter::finish() {
+  if (unit_packets_ == 0) return;
+  sink_.on_unit_end(unit_start_, unit_packets_);
+  unit_packets_ = 0;
+}
+
+namespace {
+
+/// segment_traffic()'s collecting sink: materializes each streamed unit.
+class CollectingUnitSink final : public UnitSink {
+ public:
+  void on_unit_packet(const PacketMeta& packet) override {
+    current_.packets.push_back(packet);
+  }
+  void on_unit_end(double, std::size_t) override {
+    units_.push_back(std::move(current_));
+    current_ = TrafficUnit{};
+  }
+  std::vector<TrafficUnit> take() noexcept { return std::move(units_); }
+
+ private:
+  TrafficUnit current_;
+  std::vector<TrafficUnit> units_;
+};
+
+}  // namespace
+
+std::vector<TrafficUnit> segment_traffic(const std::vector<PacketMeta>& meta,
+                                         double gap_seconds) {
+  CollectingUnitSink sink;
+  TrafficUnitSegmenter segmenter(sink, gap_seconds);
+  for (const PacketMeta& p : meta) segmenter.add(p);
+  segmenter.finish();
+  return sink.take();
 }
 
 }  // namespace iotx::flow

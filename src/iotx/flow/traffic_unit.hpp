@@ -77,8 +77,49 @@ void write_meta(cache::BinWriter& w, const std::vector<PacketMeta>& meta);
 /// Throws cache::CorruptArtifact on malformed payloads.
 std::vector<PacketMeta> read_meta(cache::BinReader& r);
 
+/// Consumer of the streaming segmenter: one callback per packet of the
+/// unit being built, one when the unit closes. A sink that accumulates
+/// per-unit state (feature moments, counters) resets it in on_unit_end.
+class UnitSink {
+ public:
+  virtual ~UnitSink() = default;
+  /// The packet has been assigned to the current (possibly new) unit.
+  virtual void on_unit_packet(const PacketMeta& packet) = 0;
+  /// The current unit is complete: a gap > threshold followed, or the
+  /// stream finished. `unit_packets` is the packet count of the closed
+  /// unit; `unit_start` its first timestamp.
+  virtual void on_unit_end(double unit_start, std::size_t unit_packets) = 0;
+};
+
+/// Streaming traffic-unit segmentation: packets arrive one at a time in
+/// timestamp order and units are emitted to a UnitSink as soon as they
+/// close — the incremental core that segment_traffic() drives in batch
+/// mode and serve::Detector drives live. Splits exactly where the batch
+/// path does: strictly greater than the gap threshold.
+class TrafficUnitSegmenter {
+ public:
+  /// Throws std::invalid_argument unless gap_seconds > 0 (NaN-safe).
+  explicit TrafficUnitSegmenter(UnitSink& sink,
+                                double gap_seconds = kDefaultUnitGapSeconds);
+
+  void add(const PacketMeta& packet);
+  /// Closes the trailing unit (if any packets arrived). Idempotent.
+  void finish();
+
+  std::size_t unit_packets() const noexcept { return unit_packets_; }
+  double gap_seconds() const noexcept { return gap_; }
+
+ private:
+  UnitSink& sink_;
+  double gap_;
+  double unit_start_ = 0.0;
+  double last_timestamp_ = 0.0;
+  std::size_t unit_packets_ = 0;
+};
+
 /// Splits a timestamp-sorted meta sequence into traffic units using the
-/// given gap threshold (must be > 0).
+/// given gap threshold (must be > 0). Batch driver over
+/// TrafficUnitSegmenter.
 std::vector<TrafficUnit> segment_traffic(const std::vector<PacketMeta>& meta,
                                          double gap_seconds =
                                              kDefaultUnitGapSeconds);

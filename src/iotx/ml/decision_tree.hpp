@@ -27,6 +27,15 @@ struct TreeParams {
 
 class DecisionTree {
  public:
+  struct Node {
+    int feature = -1;           ///< -1 for leaf
+    double threshold = 0.0;     ///< go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    int label = -1;             ///< majority class at this node
+    std::vector<double> proba;  ///< class distribution (leaves only)
+  };
+
   /// Fits on the examples indexed by `indices` (duplicates allowed — the
   /// forest passes bootstrap samples).
   void fit(const Dataset& data, std::span<const std::size_t> indices,
@@ -41,6 +50,10 @@ class DecisionTree {
   std::size_t node_count() const noexcept { return nodes_.size(); }
   bool fitted() const noexcept { return !nodes_.empty(); }
 
+  /// Read-only node storage (node 0 is the root) — what FlatForest
+  /// compiles from.
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+
   /// Exact binary round-trip for the artifact cache (node structure and
   /// IEEE-754 threshold/proba bits preserved).
   void save(cache::BinWriter& w) const;
@@ -48,15 +61,6 @@ class DecisionTree {
   static DecisionTree load(cache::BinReader& r);
 
  private:
-  struct Node {
-    int feature = -1;           ///< -1 for leaf
-    double threshold = 0.0;     ///< go left when x[feature] <= threshold
-    int left = -1;
-    int right = -1;
-    int label = -1;             ///< majority class at this node
-    std::vector<double> proba;  ///< class distribution (leaves only)
-  };
-
   int build(const Dataset& data, std::vector<std::size_t>& indices,
             std::size_t depth, const TreeParams& params, util::Prng& prng);
   const Node& descend(std::span<const double> features) const;

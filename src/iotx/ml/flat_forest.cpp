@@ -1,0 +1,192 @@
+#include "iotx/ml/flat_forest.hpp"
+#include "iotx/cache/binio.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iotx::ml {
+
+namespace {
+
+/// Widest feature index any internal node splits on, plus one: the
+/// shortest feature vector a descent may safely index.
+std::size_t required_features(const std::vector<FlatForest::Node>& nodes) {
+  std::int32_t max_feature = -1;
+  for (const FlatForest::Node& node : nodes) {
+    max_feature = std::max(max_feature, node.feature);
+  }
+  return static_cast<std::size_t>(max_feature + 1);
+}
+
+}  // namespace
+
+std::int32_t FlatForest::flatten(const std::vector<DecisionTree::Node>& src,
+                                 int src_index) {
+  const auto dst = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  const DecisionTree::Node& node = src[static_cast<std::size_t>(src_index)];
+  if (node.feature < 0) {
+    // Leaf: materialize the class distribution as an n_classes_-wide row.
+    // The pointer forest's vote loop only reads `c < n_classes_ &&
+    // c < proba.size()`, so copying min(n_classes_, proba.size()) entries
+    // and zero-padding the rest reproduces its sums exactly; an empty
+    // stored distribution becomes the same one-hot predict_proba builds.
+    const auto row = static_cast<std::int32_t>(
+        n_classes_ == 0 ? 0 : leaf_proba_.size() / n_classes_);
+    leaf_proba_.resize(leaf_proba_.size() + n_classes_, 0.0);
+    double* out = leaf_proba_.data() + leaf_proba_.size() - n_classes_;
+    if (!node.proba.empty()) {
+      const std::size_t n = std::min(n_classes_, node.proba.size());
+      std::copy_n(node.proba.begin(), n, out);
+    } else if (node.label >= 0 &&
+               static_cast<std::size_t>(node.label) < n_classes_) {
+      out[node.label] = 1.0;
+    }
+    nodes_[static_cast<std::size_t>(dst)].right = row;
+  } else {
+    flatten(src, node.left);  // preorder: left child lands at dst + 1
+    const std::int32_t right = flatten(src, node.right);
+    Node& flat = nodes_[static_cast<std::size_t>(dst)];
+    flat.feature = node.feature;
+    flat.threshold = node.threshold;
+    flat.right = right;
+  }
+  return dst;
+}
+
+FlatForest FlatForest::compile(const RandomForest& forest) {
+  FlatForest flat;
+  flat.n_classes_ = forest.class_count();
+  const std::vector<DecisionTree>& trees = forest.trees();
+  flat.roots_.reserve(trees.size());
+  std::size_t total_nodes = 0;
+  for (const DecisionTree& tree : trees) total_nodes += tree.node_count();
+  flat.nodes_.reserve(total_nodes);
+  for (const DecisionTree& tree : trees) {
+    if (tree.nodes().empty()) {
+      throw std::invalid_argument("FlatForest::compile: unfitted tree");
+    }
+    flat.roots_.push_back(static_cast<std::uint32_t>(flat.nodes_.size()));
+    flat.flatten(tree.nodes(), 0);
+  }
+  flat.min_features_ = required_features(flat.nodes_);
+  return flat;
+}
+
+std::size_t FlatForest::descend(std::size_t root,
+                                std::span<const double> features) const {
+  const Node* nodes = nodes_.data();
+  std::size_t idx = root;
+  std::int32_t feature = nodes[idx].feature;
+  while (feature >= 0) {
+    // The select compiles to a conditional move: no branch to
+    // mispredict on the data-dependent descent.
+    const bool go_left =
+        features[static_cast<std::size_t>(feature)] <= nodes[idx].threshold;
+    idx = go_left ? idx + 1 : static_cast<std::size_t>(nodes[idx].right);
+    feature = nodes[idx].feature;
+  }
+  return static_cast<std::size_t>(nodes[idx].right);
+}
+
+std::vector<double> FlatForest::predict_proba(
+    std::span<const double> features) const {
+  // A probe narrower than the widest split feature cannot be classified
+  // — refusing it here (instead of reading past the span) is what makes
+  // a fuzz-loaded artifact safe to query with any input. Legitimately
+  // compiled forests only split on trained feature indices, so this
+  // branch never fires for them and equivalence with the pointer forest
+  // is untouched.
+  if (features.size() < min_features_) return {};
+  std::vector<double> total(n_classes_, 0.0);
+  for (const std::uint32_t root : roots_) {
+    const std::size_t row = descend(root, features);
+    const double* p = leaf_proba_.data() + row * n_classes_;
+    for (std::size_t c = 0; c < n_classes_; ++c) total[c] += p[c];
+  }
+  if (!roots_.empty()) {
+    for (double& v : total) v /= static_cast<double>(roots_.size());
+  }
+  return total;
+}
+
+int FlatForest::predict(std::span<const double> features) const {
+  const std::vector<double> proba = predict_proba(features);
+  if (proba.empty()) return -1;
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+void FlatForest::save(cache::BinWriter& w) const {
+  w.u64(n_classes_);
+  w.u64(roots_.size());
+  for (const std::uint32_t root : roots_) w.u64(root);
+  w.u64(nodes_.size());
+  for (const Node& node : nodes_) {
+    w.f64(node.threshold);
+    w.i64(node.feature);
+    w.i64(node.right);
+  }
+  w.f64_span(leaf_proba_);
+}
+
+FlatForest FlatForest::load(cache::BinReader& r) {
+  FlatForest flat;
+  flat.n_classes_ = static_cast<std::size_t>(r.u64());
+  if (flat.n_classes_ > (1u << 20))
+    throw cache::CorruptArtifact("flat forest class count implausibly large");
+
+  const std::size_t n_roots = r.length(8);
+  flat.roots_.reserve(n_roots);
+  for (std::size_t i = 0; i < n_roots; ++i) {
+    flat.roots_.push_back(static_cast<std::uint32_t>(r.u64()));
+  }
+
+  const std::size_t n_nodes = r.length(24);
+  flat.nodes_.reserve(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    Node node;
+    node.threshold = r.f64();
+    const std::int64_t feature = r.i64();
+    const std::int64_t right = r.i64();
+    if (feature < -1 || feature > (1 << 20))
+      throw cache::CorruptArtifact("flat node feature out of range");
+    node.feature = static_cast<std::int32_t>(feature);
+    if (node.feature >= 0) {
+      // Internal node: both children must exist, and the preorder layout
+      // guarantees they lie strictly after the parent — enforcing that
+      // makes a descent on any accepted payload terminate.
+      if (i + 1 >= n_nodes || right <= static_cast<std::int64_t>(i + 1) ||
+          right >= static_cast<std::int64_t>(n_nodes)) {
+        throw cache::CorruptArtifact("flat node child out of range");
+      }
+    } else if (right < 0) {
+      throw cache::CorruptArtifact("flat leaf row negative");
+    }
+    node.right = static_cast<std::int32_t>(right);
+    flat.nodes_.push_back(node);
+  }
+
+  for (const std::uint32_t root : flat.roots_) {
+    if (root >= n_nodes)
+      throw cache::CorruptArtifact("flat tree root out of range");
+  }
+
+  flat.leaf_proba_ = r.f64_span();
+  if (flat.n_classes_ == 0) {
+    if (!flat.leaf_proba_.empty())
+      throw cache::CorruptArtifact("flat leaf table without classes");
+  } else if (flat.leaf_proba_.size() % flat.n_classes_ != 0) {
+    throw cache::CorruptArtifact("flat leaf table size not a row multiple");
+  }
+  const std::size_t n_rows = flat.leaf_count();
+  for (const Node& node : flat.nodes_) {
+    if (node.feature < 0 && static_cast<std::size_t>(node.right) >= n_rows) {
+      throw cache::CorruptArtifact("flat leaf row out of range");
+    }
+  }
+  flat.min_features_ = required_features(flat.nodes_);
+  return flat;
+}
+
+}  // namespace iotx::ml

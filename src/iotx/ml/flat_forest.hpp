@@ -1,0 +1,87 @@
+// Flattened random forest for the hot inference path (serve detection,
+// batch classification): the pointer-chasing CART trees are compiled
+// once into one contiguous node array laid out in preorder, so a
+// descent touches a run of nearby cache lines instead of scattered
+// heap nodes, and the child select compiles to a conditional move.
+// Leaf class distributions live in a separate contiguous table; votes
+// are summed in the same tree order (and with the same leaf-width
+// guard) as RandomForest::predict_proba, so the flat forest predicts
+// bit-identically to the pointer forest it was compiled from.
+//
+// Features and thresholds stay double precision: the pointer forest
+// compares doubles, and narrowing to float would move thresholds off
+// the training split midpoints and break the exact-equivalence oracle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iotx/ml/random_forest.hpp"
+
+namespace iotx::ml {
+
+class FlatForest {
+ public:
+  /// One compiled node, 16 bytes so four pack per cache line. The
+  /// preorder layout places every internal node's left child at the
+  /// next index, so only the right child is stored; leaves
+  /// (feature < 0) store the row index of their class distribution in
+  /// the leaf table instead.
+  struct Node {
+    double threshold = 0.0;
+    std::int32_t feature = -1;  ///< -1: leaf, `right` is a leaf row
+    std::int32_t right = 0;
+  };
+  static_assert(sizeof(Node) == 16, "nodes must pack 4 per cache line");
+
+  FlatForest() = default;
+
+  /// One-time compile from a (fitted or empty) pointer forest. Leaf
+  /// distributions are copied — or synthesized one-hot from the
+  /// majority label, exactly as DecisionTree::predict_proba does — into
+  /// class_count()-wide rows.
+  static FlatForest compile(const RandomForest& forest);
+
+  /// Majority-vote class id (first argmax); -1 when unfitted.
+  int predict(std::span<const double> features) const;
+
+  /// Mean leaf distribution across trees, bit-identical to the pointer
+  /// forest's.
+  std::vector<double> predict_proba(std::span<const double> features) const;
+
+  std::size_t tree_count() const noexcept { return roots_.size(); }
+  bool fitted() const noexcept { return !roots_.empty(); }
+  std::size_t class_count() const noexcept { return n_classes_; }
+  /// Smallest feature-vector length a descent may index (max split
+  /// feature + 1). predict()/predict_proba() refuse shorter inputs
+  /// instead of reading out of bounds — the guard that makes a
+  /// fuzz-loaded artifact safe to query with any probe.
+  std::size_t min_feature_count() const noexcept { return min_features_; }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t leaf_count() const noexcept {
+    return n_classes_ == 0 ? 0 : leaf_proba_.size() / n_classes_;
+  }
+
+  /// Exact binary round-trip for model artifacts: a loaded flat forest
+  /// votes identically to the one that was saved.
+  void save(cache::BinWriter& w) const;
+  /// Throws cache::CorruptArtifact on malformed payloads (truncation,
+  /// out-of-range children or leaf rows, non-advancing node links that
+  /// could loop a descent).
+  static FlatForest load(cache::BinReader& r);
+
+ private:
+  std::int32_t flatten(const std::vector<DecisionTree::Node>& src,
+                       int src_index);
+  std::size_t descend(std::size_t root,
+                      std::span<const double> features) const;
+
+  std::vector<Node> nodes_;          ///< all trees, preorder, concatenated
+  std::vector<std::uint32_t> roots_; ///< per-tree root index into nodes_
+  std::vector<double> leaf_proba_;   ///< leaf_count x n_classes, row-major
+  std::size_t n_classes_ = 0;
+  std::size_t min_features_ = 0;     ///< max split feature + 1
+};
+
+}  // namespace iotx::ml

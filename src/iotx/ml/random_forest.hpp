@@ -36,6 +36,9 @@ class RandomForest {
   bool fitted() const noexcept { return !trees_.empty(); }
   std::size_t class_count() const noexcept { return n_classes_; }
 
+  /// Read-only tree storage — what FlatForest compiles from.
+  const std::vector<DecisionTree>& trees() const noexcept { return trees_; }
+
   /// Exact binary round-trip for the artifact cache: a loaded forest
   /// votes identically to the one that was saved.
   void save(cache::BinWriter& w) const;

@@ -210,6 +210,24 @@ Registry& Registry::global() {
   return *registry;                          // record until process exit
 }
 
+std::uint64_t Registry::MetricSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= target) {
+      // Bucket b holds samples in [2^(b-1), 2^b), so its inclusive
+      // upper bound is 2^b - 1 (bucket 0 holds only zeros; the top
+      // bucket's bound saturates at the recorded max).
+      if (b >= 64) return max;
+      const std::uint64_t bound = b == 0 ? 0 : (1ull << b) - 1;
+      return bound < max ? bound : max;
+    }
+  }
+  return max;
+}
+
 const Registry::MetricSnapshot* Registry::Snapshot::find(
     std::string_view name) const noexcept {
   for (const MetricSnapshot& m : metrics) {

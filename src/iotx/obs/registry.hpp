@@ -91,6 +91,15 @@ class Registry {
       return count == 0 ? 0.0
                         : static_cast<double>(sum) / static_cast<double>(count);
     }
+
+    /// Estimated q-quantile from the log2 buckets: the upper bound of
+    /// the first bucket whose cumulative count reaches q, clamped to
+    /// the recorded max (the top bucket's bound can overshoot it).
+    /// The one histogram→percentile implementation; the serve and
+    /// inference benches and /metrics consumers all use it.
+    std::uint64_t quantile(double q) const noexcept;
+    std::uint64_t p50() const noexcept { return quantile(0.5); }
+    std::uint64_t p99() const noexcept { return quantile(0.99); }
   };
 
   struct Snapshot {

@@ -132,6 +132,21 @@ ChaosResult ChaosClient::upload_identity(
   return result;
 }
 
+ChaosResult ChaosClient::post(const std::string& path,
+                              std::span<const std::uint8_t> body) {
+  ChaosResult result;
+  const int fd = connect_socket();
+  if (fd < 0) return result;
+  result.connected = true;
+  std::string head = "POST " + path +
+                     " HTTP/1.1\r\nHost: chaos\r\nContent-Length: " +
+                     std::to_string(body.size()) + "\r\n\r\n";
+  result.sent_all = send_all(fd, head) && send_all(fd, view(body));
+  read_response(fd, result);
+  ::close(fd);
+  return result;
+}
+
 ChaosResult ChaosClient::get(const std::string& path) {
   ChaosResult result;
   const int fd = connect_socket();

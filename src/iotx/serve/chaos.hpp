@@ -42,6 +42,11 @@ class ChaosClient {
   ChaosResult upload_identity(const std::string& tenant,
                               std::span<const std::uint8_t> pcap_bytes);
 
+  /// Content-Length POST of arbitrary bytes to any path — how the
+  /// harness installs DetectorModel artifacts via POST /model/<tenant>.
+  ChaosResult post(const std::string& path,
+                   std::span<const std::uint8_t> body);
+
   /// GET a control-plane path ("/health", "/report/<tenant>", ...).
   ChaosResult get(const std::string& path);
 

@@ -304,6 +304,104 @@ void Daemon::handle_connection(int fd, AdmissionMode admitted) {
     return;
   }
 
+  // --- model install ---------------------------------------------------
+  const std::string model_tenant = tenant_segment(req.target, "/model/");
+  if (req.method == "POST" && !model_tenant.empty()) {
+    bump(&ServeStats::control_requests);
+    const bool model_chunked = req.chunked();
+    const auto model_length = req.content_length();
+    // A model artifact is small (flattened forest + class table); cap
+    // the body so a hostile client cannot buffer unbounded bytes here.
+    constexpr std::uint64_t kModelBytesCap = 64ull << 20;
+    if (!model_chunked && !model_length) {
+      write_all(fd, json_response(411, "Length Required",
+                                  "{\"error\":\"length required\"}"));
+      ::close(fd);
+      return;
+    }
+    if (model_length && *model_length > kModelBytesCap) {
+      write_all(fd, json_response(413, "Payload Too Large",
+                                  "{\"error\":\"model too large\"}"));
+      ::close(fd);
+      return;
+    }
+    std::vector<std::uint8_t> body;
+    ChunkedDecoder model_decoder;
+    std::vector<std::uint8_t> decoded_chunk;
+    bool body_done = false;
+    bool body_bad = false;
+    const auto take = [&](std::span<const std::uint8_t> bytes) {
+      if (bytes.empty() || body_bad) return;
+      if (model_chunked) {
+        decoded_chunk.clear();
+        const auto status = model_decoder.feed(bytes, decoded_chunk);
+        body.insert(body.end(), decoded_chunk.begin(), decoded_chunk.end());
+        if (status == ChunkedDecoder::Status::kMalformed) body_bad = true;
+        if (status == ChunkedDecoder::Status::kComplete) body_done = true;
+      } else {
+        body.insert(body.end(), bytes.begin(), bytes.end());
+        if (body.size() >= *model_length) body_done = true;
+      }
+      if (body.size() > kModelBytesCap) body_bad = true;
+    };
+    take(head.leftover());
+    if (!model_chunked && model_length && *model_length == 0) {
+      body_done = true;
+    }
+    // Whole-body deadline: a model upload is one small artifact, so it
+    // gets the same budget a request head does and not a byte more.
+    const auto body_deadline =
+        Clock::now() + std::chrono::milliseconds(config_.idle_timeout_ms);
+    while (!body_done && !body_bad) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            body_deadline - Clock::now())
+                            .count();
+      if (left <= 0) break;
+      pollfd pfd{fd, POLLIN, 0};
+      const int rc =
+          ::poll(&pfd, 1, static_cast<int>(std::min<long long>(left, 250)));
+      if (rc <= 0) continue;
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+        break;
+      }
+      take(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+    }
+    if (!body_done || body_bad) {
+      write_all(fd, json_response(400, "Bad Request",
+                                  "{\"error\":\"incomplete model upload\"}"));
+      ::close(fd);
+      return;
+    }
+    try {
+      const std::string digest = tenant(model_tenant).detector().install(body);
+      bump(&ServeStats::models_installed);
+      if (obs::metrics_enabled()) {
+        obs::Registry& reg = obs::Registry::global();
+        reg.add(reg.counter("serve/model_installs"), 1);
+      }
+      report::JsonWriter w;
+      w.begin_object();
+      w.field("schema_version", kServeSchemaVersion);
+      w.field("tenant", model_tenant);
+      w.field("model_digest", digest);
+      w.field("bytes", static_cast<std::uint64_t>(body.size()));
+      w.end_object();
+      write_all(fd, json_response(200, "OK", w.document()));
+    } catch (const cache::CorruptArtifact&) {
+      // A corrupt artifact never displaces the installed model.
+      {
+        std::lock_guard<std::mutex> lock(tenants_mu_);
+        daemon_health_.cache_corrupt_artifacts += 1;
+      }
+      write_all(fd, json_response(400, "Bad Request",
+                                  "{\"error\":\"corrupt model artifact\"}"));
+    }
+    ::close(fd);
+    return;
+  }
+
   // --- ingest ----------------------------------------------------------
   const std::string tenant_name = tenant_segment(req.target, "/ingest/");
   if (req.method != "POST" || tenant_name.empty()) {
@@ -354,7 +452,9 @@ void Daemon::handle_connection(int fd, AdmissionMode admitted) {
 
   bump(&ServeStats::sessions_started);
   active_sessions_.fetch_add(1, std::memory_order_relaxed);
-  IngestSession session(mode, config_.session);
+  // Pin the tenant's current detection model for the whole session: a
+  // concurrent hot-swap only affects sessions admitted after it.
+  IngestSession session(mode, config_.session, ten.detector().current());
   ChunkedDecoder chunk_decoder;
   std::vector<std::uint8_t> decoded;
   std::uint64_t body_seen = 0;
@@ -619,6 +719,7 @@ std::string Daemon::health_json() const {
   w.field("sessions_shed", s.sessions_shed);
   w.field("bytes_received", s.bytes_received);
   w.field("tenants_resumed", s.tenants_resumed);
+  w.field("models_installed", s.models_installed);
   w.key("admission").begin_object();
   w.field("accept", admission_.decisions(AdmissionMode::kAccept));
   w.field("truncate", admission_.decisions(AdmissionMode::kTruncate));
@@ -687,9 +788,12 @@ std::vector<std::string> Daemon::tenants() const {
 
 std::string batch_report_json(const std::string& tenant,
                               std::span<const std::uint8_t> pcap_bytes,
-                              const SessionLimits& limits) {
+                              const SessionLimits& limits,
+                              std::span<const std::uint8_t> model_bytes) {
   TenantState state(tenant);
-  IngestSession session(AdmissionMode::kAccept, limits);
+  if (!model_bytes.empty()) state.detector().install(model_bytes);
+  IngestSession session(AdmissionMode::kAccept, limits,
+                        state.detector().current());
   session.feed(pcap_bytes);
   session.finish();
   session.fold_into(state);

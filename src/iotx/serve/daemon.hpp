@@ -10,6 +10,8 @@
 //
 // Endpoint registry:
 //   POST /ingest/<tenant>   chunked or Content-Length pcap upload
+//   POST /model/<tenant>    install/hot-swap the tenant's detection
+//                           model (DetectorModel artifact bytes)
 //   GET  /health            ServeHealth + CaptureHealth rollup
 //   GET  /metrics           obs registry snapshot (profile.json shape)
 //   GET  /report/<tenant>   the tenant's accumulated report
@@ -75,6 +77,7 @@ struct ServeStats {
   std::uint64_t control_requests = 0;
   std::uint64_t ladder_transitions = 0;
   std::uint64_t tenants_resumed = 0;
+  std::uint64_t models_installed = 0;  ///< accepted POST /model/<tenant>
 };
 
 class Daemon {
@@ -171,9 +174,12 @@ class Daemon {
 /// session/fold machinery (one clean full-fidelity session) and returns
 /// the tenant report — what the daemon would serve after streaming the
 /// same bytes. The serve-smoke CI job diffs this against a streamed
-/// upload; the two must be byte-identical.
+/// upload; the two must be byte-identical. A non-empty `model_bytes`
+/// installs a DetectorModel artifact first, so the report carries the
+/// same detections block a live daemon with that model produces.
 std::string batch_report_json(const std::string& tenant,
                               std::span<const std::uint8_t> pcap_bytes,
-                              const SessionLimits& limits = {});
+                              const SessionLimits& limits = {},
+                              std::span<const std::uint8_t> model_bytes = {});
 
 }  // namespace iotx::serve

@@ -1,0 +1,195 @@
+#include "iotx/serve/detector.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "iotx/cache/binio.hpp"
+#include "iotx/cache/hash.hpp"
+#include "iotx/obs/registry.hpp"
+#include "iotx/testbed/catalog.hpp"
+
+namespace iotx::serve {
+
+namespace {
+// Bumped when the artifact layout changes; a mismatch is a corrupt
+// artifact (refuse the install), never a misparse.
+constexpr std::uint64_t kDetectorModelFormat = 1;
+}  // namespace
+
+DetectorModel DetectorModel::from_activity_model(
+    const testbed::DeviceSpec& device, const analysis::ActivityModel& model,
+    const analysis::DetectorParams& params) {
+  DetectorModel out;
+  out.device_id_ = device.id;
+  out.mac_ = testbed::device_mac(device,
+                                 model.config.lab == testbed::LabSite::kUs);
+  out.params_ = params;
+  const std::size_t classes = model.dataset.class_count();
+  out.class_names_.reserve(classes);
+  out.f1_.reserve(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    out.class_names_.emplace_back(
+        model.dataset.class_name(static_cast<int>(c)));
+    out.f1_.push_back(c < model.validation.class_f1.size()
+                          ? model.validation.class_f1[c]
+                          : 0.0);
+  }
+  out.forest_ = ml::FlatForest::compile(model.forest);
+  out.digest_ = cache::Sha256::hex(cache::Sha256::hash(out.serialize()));
+  return out;
+}
+
+bool DetectorModel::ready() const {
+  return forest_.fitted() && !class_names_.empty();
+}
+
+std::size_t DetectorModel::class_count() const { return class_names_.size(); }
+
+std::string_view DetectorModel::class_name(std::size_t cls) const {
+  return class_names_[cls];
+}
+
+double DetectorModel::class_f1(std::size_t cls) const { return f1_[cls]; }
+
+std::vector<double> DetectorModel::predict_proba(
+    std::span<const double> features) const {
+  return forest_.predict_proba(features);
+}
+
+std::vector<std::uint8_t> DetectorModel::serialize() const {
+  cache::BinWriter w;
+  w.u64(kDetectorModelFormat);
+  w.str(device_id_);
+  w.raw(mac_.octets().data(), mac_.octets().size());
+  w.u64(class_names_.size());
+  for (const std::string& name : class_names_) w.str(name);
+  w.f64_span(f1_);
+  w.f64(params_.min_model_f1);
+  w.f64(params_.unit_gap_seconds);
+  w.u64(params_.min_unit_packets);
+  w.f64(params_.min_vote);
+  forest_.save(w);
+  return std::move(w).take();
+}
+
+DetectorModel DetectorModel::parse(std::span<const std::uint8_t> bytes) {
+  cache::BinReader r(bytes);
+  if (r.u64() != kDetectorModelFormat) {
+    throw cache::CorruptArtifact("detector model: unknown format");
+  }
+  DetectorModel m;
+  m.device_id_ = r.str();
+  std::array<std::uint8_t, 6> octets{};
+  for (std::uint8_t& o : octets) o = r.u8();
+  m.mac_ = net::MacAddress(octets);
+  const std::size_t classes = r.length(8);
+  m.class_names_.reserve(classes);
+  for (std::size_t c = 0; c < classes; ++c) m.class_names_.push_back(r.str());
+  m.f1_ = r.f64_span();
+  if (m.f1_.size() != m.class_names_.size()) {
+    throw cache::CorruptArtifact("detector model: class/F1 size mismatch");
+  }
+  m.params_.min_model_f1 = r.f64();
+  m.params_.unit_gap_seconds = r.f64();
+  m.params_.min_unit_packets = static_cast<std::size_t>(r.u64());
+  m.params_.min_vote = r.f64();
+  if (!(m.params_.unit_gap_seconds > 0.0)) {
+    throw cache::CorruptArtifact("detector model: unit gap must be > 0");
+  }
+  m.forest_ = ml::FlatForest::load(r);
+  if (m.forest_.class_count() != m.class_names_.size()) {
+    throw cache::CorruptArtifact("detector model: forest class mismatch");
+  }
+  if (!r.done()) {
+    throw cache::CorruptArtifact("detector model: trailing bytes");
+  }
+  m.digest_ = cache::Sha256::hex(cache::Sha256::hash(bytes));
+  return m;
+}
+
+std::string Detector::install(std::span<const std::uint8_t> bytes) {
+  auto model = std::make_shared<DetectorModel>(DetectorModel::parse(bytes));
+  const std::string digest = model->digest();
+  install(std::move(model));
+  return digest;
+}
+
+void Detector::install(std::shared_ptr<const DetectorModel> model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  model_ = std::move(model);
+}
+
+std::shared_ptr<const DetectorModel> Detector::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return model_;
+}
+
+std::string Detector::digest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return model_ == nullptr ? std::string() : model_->digest();
+}
+
+namespace {
+
+/// UnitSink shim that times each unit close (segmentation + feature
+/// finish + forest vote) into the detect-latency histogram.
+class TimedUnitSink final : public flow::UnitSink {
+ public:
+  explicit TimedUnitSink(flow::UnitSink& inner) : inner_(inner) {
+    obs::Registry& reg = obs::Registry::global();
+    latency_ = reg.histogram("serve/detect_latency_ns",
+                             /*deterministic=*/false);
+  }
+
+  void on_unit_packet(const flow::PacketMeta& packet) override {
+    inner_.on_unit_packet(packet);
+  }
+
+  void on_unit_end(double unit_start, std::size_t unit_packets) override {
+    const auto t0 = std::chrono::steady_clock::now();
+    inner_.on_unit_end(unit_start, unit_packets);
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    obs::Registry::global().add(
+        latency_,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+
+ private:
+  flow::UnitSink& inner_;
+  obs::Registry::MetricId latency_ = 0;
+};
+
+}  // namespace
+
+DetectionOutcome run_detector(const DetectorModel& model,
+                              const std::vector<flow::PacketMeta>& meta) {
+  DetectionOutcome out;
+  analysis::StreamingDetector detector(
+      model, model.params(),
+      [&out](const analysis::Detection& d) { out.detections.push_back(d); });
+  const bool metrics = obs::metrics_enabled();
+  if (metrics) {
+    TimedUnitSink timed(detector);
+    flow::TrafficUnitSegmenter segmenter(timed,
+                                         model.params().unit_gap_seconds);
+    for (const flow::PacketMeta& p : meta) segmenter.add(p);
+    segmenter.finish();
+  } else {
+    flow::TrafficUnitSegmenter segmenter(detector,
+                                         model.params().unit_gap_seconds);
+    for (const flow::PacketMeta& p : meta) segmenter.add(p);
+    segmenter.finish();
+  }
+  out.units_total = detector.units_total();
+  out.units_classified = detector.units_classified();
+  if (metrics) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.add(reg.counter("serve/detect_units"), out.units_total);
+    reg.add(reg.counter("serve/detect_detections"), out.detections.size());
+  }
+  return out;
+}
+
+}  // namespace iotx::serve

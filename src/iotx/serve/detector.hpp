@@ -1,0 +1,114 @@
+// Live activity detection for the ingest daemon — the online driver of
+// the shared feature/model pipeline (paper §7.1 applied to streamed
+// captures).
+//
+// A DetectorModel is the deployable per-device artifact: the flattened
+// forest (ml::FlatForest) plus everything the §7.1 filter needs —
+// class names, per-class CV F1, detector thresholds, and the device
+// MAC that attributes frames on the live path. It implements
+// analysis::UnitModel, so the exact same StreamingDetector +
+// classify_unit code classifies a unit whether the bytes arrived as a
+// pcap file (`iotx classify --detect`) or as a streamed upload; the
+// two outputs are byte-identical over the same capture bytes.
+//
+// A Detector is the per-tenant hot-swap holder: install() parses,
+// validates, and atomically publishes an immutable model
+// (std::shared_ptr swap keyed by the artifact's SHA-256 digest).
+// Sessions pin the current model at admission and keep it for their
+// whole lifetime, so a mid-stream swap changes which model future
+// sessions use without ever tearing a running classification.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iotx/analysis/inference.hpp"
+#include "iotx/analysis/unexpected.hpp"
+#include "iotx/ml/flat_forest.hpp"
+#include "iotx/net/address.hpp"
+
+namespace iotx::serve {
+
+class DetectorModel final : public analysis::UnitModel {
+ public:
+  DetectorModel() = default;
+
+  /// Compiles a deployable model from a trained batch ActivityModel:
+  /// flattens the forest, copies the class table and validation F1s,
+  /// and stamps the device MAC used to attribute live frames.
+  static DetectorModel from_activity_model(
+      const testbed::DeviceSpec& device, const analysis::ActivityModel& model,
+      const analysis::DetectorParams& params = {});
+
+  // analysis::UnitModel — the serve-path adapter of the shared filter.
+  bool ready() const override;
+  std::size_t class_count() const override;
+  std::string_view class_name(std::size_t cls) const override;
+  double class_f1(std::size_t cls) const override;
+  std::vector<double> predict_proba(
+      std::span<const double> features) const override;
+
+  const std::string& device_id() const noexcept { return device_id_; }
+  net::MacAddress device_mac() const noexcept { return mac_; }
+  const analysis::DetectorParams& params() const noexcept { return params_; }
+  const ml::FlatForest& forest() const noexcept { return forest_; }
+  /// SHA-256 hex of serialize()'s bytes; set by parse()/install.
+  const std::string& digest() const noexcept { return digest_; }
+
+  /// Versioned artifact bytes (cache::BinWriter format; exact binary
+  /// round-trip — a parsed model votes identically).
+  std::vector<std::uint8_t> serialize() const;
+  /// Parses and validates artifact bytes and computes their digest.
+  /// Throws cache::CorruptArtifact on truncated/bit-flipped payloads.
+  static DetectorModel parse(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::string device_id_;
+  net::MacAddress mac_{};
+  std::vector<std::string> class_names_;
+  std::vector<double> f1_;
+  analysis::DetectorParams params_;
+  ml::FlatForest forest_;
+  std::string digest_;
+};
+
+/// Per-tenant model slot with atomic hot-swap (see file header).
+class Detector {
+ public:
+  /// Parses + publishes; returns the model digest. Throws
+  /// cache::CorruptArtifact (the previous model stays installed).
+  std::string install(std::span<const std::uint8_t> bytes);
+  void install(std::shared_ptr<const DetectorModel> model);
+
+  /// The currently installed model; nullptr when none. Pin once per
+  /// session — the returned model is immutable.
+  std::shared_ptr<const DetectorModel> current() const;
+  /// Digest of the installed model; empty when none.
+  std::string digest() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const DetectorModel> model_;
+};
+
+/// What one capture's worth of traffic units classified to.
+struct DetectionOutcome {
+  std::vector<analysis::Detection> detections;
+  std::uint64_t units_total = 0;       ///< units of >= min_unit_packets
+  std::uint64_t units_classified = 0;  ///< units the filter labeled
+};
+
+/// Drives the shared StreamingDetector over timestamp-sorted device
+/// meta — the single detection path behind both `iotx classify
+/// --detect` and the daemon's session fold. Records serve/detect_*
+/// metrics (unit/detection counters, per-unit latency histogram) when
+/// metrics are enabled.
+DetectionOutcome run_detector(const DetectorModel& model,
+                              const std::vector<flow::PacketMeta>& meta);
+
+}  // namespace iotx::serve

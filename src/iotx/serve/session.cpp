@@ -5,13 +5,19 @@
 
 namespace iotx::serve {
 
-IngestSession::IngestSession(AdmissionMode mode, SessionLimits limits)
+IngestSession::IngestSession(AdmissionMode mode, SessionLimits limits,
+                             std::shared_ptr<const DetectorModel> model)
     : mode_(mode),
       limits_(limits),
+      model_(std::move(model)),
       decoder_([this](const net::PacketView& view) { on_view(view); },
                limits.max_frame_bytes) {
   pipeline_.add_sink(dns_);
   pipeline_.add_sink(table_);
+  if (model_ != nullptr) {
+    device_meta_.emplace(model_->device_mac());
+    pipeline_.add_sink(*device_meta_);
+  }
 }
 
 void IngestSession::on_view(const net::PacketView& view) {
@@ -108,6 +114,7 @@ faults::CaptureHealth IngestSession::health() const {
   h.merge(pipeline_.health());
   h.merge(dns_.health());
   h.merge(table_.health());
+  if (device_meta_.has_value()) h.merge(device_meta_->health());
   return h;
 }
 
@@ -151,10 +158,20 @@ analysis::EncryptionBytes IngestSession::encryption() const {
   return analysis::account_flows(table_.flows());
 }
 
+DetectionOutcome IngestSession::detections() const {
+  if (model_ == nullptr || state_ == State::kQuarantined) return {};
+  // The collector's meta is timestamp-sorted by the pipeline's finish();
+  // the same sorted sequence a batch run extracts from the same bytes.
+  return run_detector(*model_, device_meta_->meta());
+}
+
 void IngestSession::fold_into(TenantState& tenant) const {
   if (state_ == State::kComplete || state_ == State::kBudgetStop) {
     tenant.fold_session(flow_summaries(), encryption(), health(), packets(),
                         bytes_fed(), degraded());
+    if (model_ != nullptr) {
+      tenant.fold_detections(detections(), model_->digest());
+    }
   } else {
     tenant.note_quarantine(health(), bytes_fed());
   }

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,7 +19,9 @@
 #include "iotx/flow/dns_cache.hpp"
 #include "iotx/flow/flow_table.hpp"
 #include "iotx/flow/ingest.hpp"
+#include "iotx/flow/traffic_unit.hpp"
 #include "iotx/serve/admission.hpp"
+#include "iotx/serve/detector.hpp"
 #include "iotx/serve/pcap_stream.hpp"
 #include "iotx/serve/tenant.hpp"
 
@@ -41,7 +45,12 @@ class IngestSession {
     kQuarantined,  ///< malformed/oversized/cut stream; flows discarded
   };
 
-  IngestSession(AdmissionMode mode, SessionLimits limits);
+  /// `model` (optional) is the detection model pinned for this whole
+  /// session — sessions never observe a mid-stream hot-swap. When set,
+  /// the pipeline also collects the model device's packet meta and
+  /// fold_into() runs the streaming detector over it.
+  IngestSession(AdmissionMode mode, SessionLimits limits,
+                std::shared_ptr<const DetectorModel> model = nullptr);
 
   /// Feeds decoded upload bytes (post chunked-decoding). Returns false
   /// once the session stopped consuming (budget hit or quarantined) —
@@ -81,6 +90,11 @@ class IngestSession {
   /// Encryption byte accounting over the session's flows.
   analysis::EncryptionBytes encryption() const;
 
+  /// Classifies the session's traffic units through the pinned model
+  /// (the shared batch/live detection path). Empty when no model is
+  /// pinned or the session quarantined.
+  DetectionOutcome detections() const;
+
   /// Folds the finished session into its tenant: completed sessions
   /// contribute flows + encryption + health; quarantined ones health
   /// only. Call exactly once, after finish()/cut().
@@ -92,6 +106,8 @@ class IngestSession {
   AdmissionMode mode_;
   SessionLimits limits_;
   State state_ = State::kStreaming;
+  std::shared_ptr<const DetectorModel> model_;
+  std::optional<flow::MetaCollector> device_meta_;  ///< set iff model_
   flow::DnsCache dns_;
   flow::FlowTable table_;
   flow::IngestPipeline pipeline_;

@@ -33,6 +33,17 @@ void TenantState::note_quarantine(const faults::CaptureHealth& health,
   quarantine_streak_ += 1;
 }
 
+void TenantState::fold_detections(const DetectionOutcome& outcome,
+                                  const std::string& digest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const analysis::Detection& d : outcome.detections) {
+    detections_.push_back(d);
+  }
+  counters_.units_total += outcome.units_total;
+  counters_.units_classified += outcome.units_classified;
+  model_digest_ = digest;
+}
+
 std::uint64_t TenantState::quarantine_streak() const {
   std::lock_guard<std::mutex> lock(mu_);
   return quarantine_streak_;
@@ -74,6 +85,25 @@ std::string TenantState::report_json() const {
   }
   w.end_array();
 
+  // Detection block only once a model has classified for this tenant —
+  // model-less tenants keep the schema-1 report shape byte-for-byte.
+  if (!model_digest_.empty()) {
+    w.key("detector").begin_object();
+    w.field("model_digest", model_digest_);
+    w.field("units_total", counters_.units_total);
+    w.field("units_classified", counters_.units_classified);
+    w.key("detections").begin_array();
+    for (const analysis::Detection& d : detections_) {
+      w.begin_object();
+      w.field("activity", d.activity);
+      w.field("unit_start", d.unit_start);
+      w.field("unit_packets", static_cast<std::uint64_t>(d.unit_packets));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
   w.key("encryption").begin_object();
   w.field("encrypted_bytes", enc_.encrypted);
   w.field("unencrypted_bytes", enc_.unencrypted);
@@ -92,8 +122,10 @@ std::string TenantState::report_json() const {
 
 namespace {
 // Bumped when the checkpoint layout changes; a mismatch is a corrupt
-// artifact (recompute-from-scratch), never a misparse.
-constexpr std::uint64_t kCheckpointFormat = 1;
+// artifact (recompute-from-scratch), never a misparse. Format 2 added
+// the detection rows, unit counters, and the embedded detector-model
+// artifact, so a restarted daemon resumes with the model installed.
+constexpr std::uint64_t kCheckpointFormat = 2;
 }  // namespace
 
 std::vector<std::uint8_t> TenantState::serialize() const {
@@ -125,6 +157,25 @@ std::vector<std::uint8_t> TenantState::serialize() const {
     w.boolean(f.entropy_based);
     w.u64(f.packets);
     w.u64(f.payload_bytes);
+  }
+  w.u64(counters_.units_total);
+  w.u64(counters_.units_classified);
+  w.str(model_digest_);
+  w.u64(detections_.size());
+  for (const analysis::Detection& d : detections_) {
+    w.str(d.activity);
+    w.f64(d.unit_start);
+    w.u64(d.unit_packets);
+  }
+  // The installed model rides the checkpoint (exact artifact bytes), so
+  // a resumed daemon detects with the same model a drained one did.
+  const std::shared_ptr<const DetectorModel> model = detector_.current();
+  if (model == nullptr) {
+    w.u64(0);
+  } else {
+    const std::vector<std::uint8_t> artifact = model->serialize();
+    w.u64(artifact.size());
+    w.raw(artifact.data(), artifact.size());
   }
   return std::move(w).take();
 }
@@ -174,6 +225,27 @@ std::unique_ptr<TenantState> TenantState::restore(
     f.packets = r.u64();
     f.payload_bytes = r.u64();
     t->flows_.push_back(std::move(f));
+  }
+  t->counters_.units_total = r.u64();
+  t->counters_.units_classified = r.u64();
+  t->model_digest_ = r.str();
+  // 25 = the smallest serialized Detection (empty length-prefixed
+  // activity + f64 + u64).
+  const std::size_t detection_count = r.length(25);
+  t->detections_.reserve(detection_count);
+  for (std::size_t i = 0; i < detection_count; ++i) {
+    analysis::Detection d;
+    d.activity = r.str();
+    d.unit_start = r.f64();
+    d.unit_packets = static_cast<std::size_t>(r.u64());
+    t->detections_.push_back(std::move(d));
+  }
+  const std::string artifact = r.str();
+  if (!artifact.empty()) {
+    // Throws CorruptArtifact when the embedded model bytes are mangled.
+    t->detector_.install(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(artifact.data()),
+        artifact.size()));
   }
   return t;
 }

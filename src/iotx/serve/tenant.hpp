@@ -24,6 +24,7 @@
 
 #include "iotx/analysis/encryption.hpp"
 #include "iotx/faults/health.hpp"
+#include "iotx/serve/detector.hpp"
 
 namespace iotx::serve {
 
@@ -46,6 +47,8 @@ struct TenantCounters {
   std::uint64_t sessions_quarantined = 0; ///< excluded from the tables
   std::uint64_t packets = 0;
   std::uint64_t bytes_received = 0;
+  std::uint64_t units_total = 0;       ///< detector-eligible traffic units
+  std::uint64_t units_classified = 0;  ///< units labeled with an activity
 };
 
 class TenantState {
@@ -66,6 +69,17 @@ class TenantState {
   /// Records a quarantined session: health only, no flows.
   void note_quarantine(const faults::CaptureHealth& health,
                        std::uint64_t bytes);
+
+  /// Folds one completed session's detections (live path). `digest`
+  /// identifies the model that produced them; it is remembered so the
+  /// report attributes its detections block.
+  void fold_detections(const DetectionOutcome& outcome,
+                       const std::string& digest);
+
+  /// The tenant's hot-swappable detection model slot. Thread-safe on
+  /// its own lock; sessions pin current() at admission.
+  Detector& detector() noexcept { return detector_; }
+  const Detector& detector() const noexcept { return detector_; }
 
   /// Quarantines since the last cleanly completed session — the
   /// recent-fault signal the admission controller consumes.
@@ -90,10 +104,13 @@ class TenantState {
   std::string name_;
   mutable std::mutex mu_;
   std::vector<FlowSummary> flows_;
+  std::vector<analysis::Detection> detections_;
+  std::string model_digest_;  ///< model behind detections_; "" = none yet
   analysis::EncryptionBytes enc_;
   faults::CaptureHealth health_;
   TenantCounters counters_;
   std::uint64_t quarantine_streak_ = 0;
+  Detector detector_;  ///< own lock; not guarded by mu_
 };
 
 /// Version stamped into tenant reports and /health//config documents.

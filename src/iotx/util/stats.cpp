@@ -41,12 +41,15 @@ double stddev(std::span<const double> sample) {
   return std::sqrt(ss / static_cast<double>(sample.size()));
 }
 
-SampleSummary summarize(std::span<const double> sample) {
-  SampleSummary s;
-  if (sample.empty()) return s;
+namespace {
 
-  std::vector<double> sorted(sample.begin(), sample.end());
-  std::sort(sorted.begin(), sorted.end());
+/// The exact summary arithmetic over an already-sorted sample — the single
+/// kernel behind both summarize() and RunningMoments' exact mode. Mean and
+/// central moments are accumulated in sorted order on purpose: that order
+/// is the bit-exactness contract the golden tables were captured under.
+SampleSummary summarize_sorted(std::span<const double> sorted) {
+  SampleSummary s;
+  if (sorted.empty()) return s;
 
   s.min = sorted.front();
   s.max = sorted.back();
@@ -82,6 +85,141 @@ SampleSummary summarize(std::span<const double> sample) {
     s.deciles[d - 1] = quantile_sorted(sorted, d / 10.0);
   }
   return s;
+}
+
+}  // namespace
+
+SampleSummary summarize(std::span<const double> sample) {
+  RunningMoments acc(RunningMoments::Mode::kExactSmallSample);
+  for (double v : sample) acc.add(v);
+  return acc.summary();
+}
+
+void RunningMoments::P2Quantile::add(double value) {
+  if (filled < 5) {
+    heights[filled++] = value;
+    std::sort(heights, heights + filled);
+    if (filled == 5) {
+      for (int i = 0; i < 5; ++i) positions[i] = i + 1;
+    }
+    return;
+  }
+  int cell;  // marker interval the new value falls into
+  if (value < heights[0]) {
+    heights[0] = value;
+    cell = 0;
+  } else if (value >= heights[4]) {
+    heights[4] = value;
+    cell = 3;
+  } else {
+    cell = 0;
+    while (cell < 3 && value >= heights[cell + 1]) ++cell;
+  }
+  for (int i = cell + 1; i < 5; ++i) positions[i] += 1.0;
+
+  const double count = positions[4];
+  const double desired[5] = {1.0, 1.0 + (count - 1.0) * quantile / 2.0,
+                             1.0 + (count - 1.0) * quantile,
+                             1.0 + (count - 1.0) * (1.0 + quantile) / 2.0,
+                             count};
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired[i] - positions[i];
+    const double below = positions[i] - positions[i - 1];
+    const double above = positions[i + 1] - positions[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double sign = d >= 1.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction of the marker's new height.
+      const double span = positions[i + 1] - positions[i - 1];
+      const double parabolic =
+          heights[i] +
+          sign / span *
+              ((below + sign) * (heights[i + 1] - heights[i]) / above +
+               (above - sign) * (heights[i] - heights[i - 1]) / below);
+      if (heights[i - 1] < parabolic && parabolic < heights[i + 1]) {
+        heights[i] = parabolic;
+      } else {  // fall back to linear toward the neighbour
+        const int j = i + static_cast<int>(sign);
+        heights[i] += sign * (heights[j] - heights[i]) /
+                      (positions[j] - positions[i]);
+      }
+      positions[i] += sign;
+    }
+  }
+}
+
+double RunningMoments::P2Quantile::value() const {
+  if (filled == 0) return 0.0;
+  if (filled < 5) {
+    // heights[0..filled) is kept sorted during warm-up: exact quantile.
+    return quantile_sorted({heights, static_cast<std::size_t>(filled)},
+                           quantile);
+  }
+  return heights[2];
+}
+
+RunningMoments::RunningMoments(Mode mode) : mode_(mode) {
+  for (int d = 1; d <= 9; ++d) deciles_[d - 1].quantile = d / 10.0;
+}
+
+void RunningMoments::add(double value) {
+  ++n_;
+  if (mode_ == Mode::kExactSmallSample) {
+    sample_.push_back(value);
+    return;
+  }
+  if (n_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  // Terriberry's one-pass update of the first four central moments.
+  const double n = static_cast<double>(n_);
+  const double delta = value - mean_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * (n - 1.0);
+  m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+         4.0 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+  m2_ += term1;
+  mean_ += delta_n;
+  for (P2Quantile& q : deciles_) q.add(value);
+}
+
+SampleSummary RunningMoments::summary() const {
+  if (mode_ == Mode::kExactSmallSample) {
+    std::vector<double> sorted(sample_);
+    std::sort(sorted.begin(), sorted.end());
+    return summarize_sorted(sorted);
+  }
+  SampleSummary s;
+  if (n_ == 0) return s;
+  const double n = static_cast<double>(n_);
+  s.min = min_;
+  s.max = max_;
+  s.mean = mean_;
+  const double m2 = m2_ / n;
+  s.stddev = std::sqrt(std::max(m2, 0.0));
+  // Same relative degenerate-variance guard as the exact kernel.
+  const double scale = std::max(std::abs(s.min), std::abs(s.max));
+  const double degenerate_floor = std::max(scale * scale * 1e-18, 1e-300);
+  if (m2 > degenerate_floor && n_ >= 2) {
+    s.skewness = (m3_ / n) / std::pow(m2, 1.5);
+    s.kurtosis = (m4_ / n) / (m2 * m2) - 3.0;
+  }
+  for (int d = 0; d < 9; ++d) s.deciles[d] = deciles_[d].value();
+  return s;
+}
+
+void RunningMoments::reset() {
+  n_ = 0;
+  sample_.clear();
+  min_ = max_ = mean_ = m2_ = m3_ = m4_ = 0.0;
+  for (int d = 1; d <= 9; ++d) {
+    deciles_[d - 1] = P2Quantile{};
+    deciles_[d - 1].quantile = d / 10.0;
+  }
 }
 
 double two_proportion_z(double successes1, double n1, double successes2,

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -27,7 +28,78 @@ struct SampleSummary {
 };
 
 /// Computes the full summary of a sample. An empty sample yields all zeros.
+/// Implemented as a batch driver over RunningMoments (exact mode), so there
+/// is exactly one summary implementation in the tree.
 SampleSummary summarize(std::span<const double> sample);
+
+/// Single-pass summary accumulator: packets (or any doubles) stream in one
+/// at a time and the full SampleSummary comes out at the end. Two modes:
+///
+/// - kExactSmallSample (default): retains the sample and, at summary()
+///   time, replays the exact sorted-order arithmetic of util::summarize —
+///   bit-identical to the batch path, including quantiles (type-7) and the
+///   relative degenerate-variance guard. This is the versioned mode the
+///   per-traffic-unit feature pipeline uses (kExactSummaryVersion); traffic
+///   units are small (packets per ≤2 s burst), so retaining the sample is
+///   cheap and bit-equality with the golden tables is preserved.
+/// - kP2: bounded O(1) state for unbounded streams — Welford/Terriberry
+///   online central moments plus nine P² decile estimators. Converges to
+///   the batch summary but is not bit-identical (arrival-order arithmetic,
+///   estimated quantiles); property-tested against summarize with
+///   tolerances.
+class RunningMoments {
+ public:
+  enum class Mode {
+    kExactSmallSample,
+    kP2,
+  };
+
+  /// Version of the exact-small-sample summary semantics. Bump when the
+  /// retained-sample arithmetic changes so cached feature artifacts keyed
+  /// on it invalidate instead of mixing summary generations.
+  static constexpr std::uint32_t kExactSummaryVersion = 1;
+
+  explicit RunningMoments(Mode mode = Mode::kExactSmallSample);
+
+  void add(double value);
+  std::size_t count() const noexcept { return n_; }
+  Mode mode() const noexcept { return mode_; }
+
+  /// The summary of everything added so far (all zeros when empty).
+  SampleSummary summary() const;
+
+  /// Back to the empty state, keeping the mode.
+  void reset();
+
+ private:
+  /// One P² (Jain–Chlamtac) quantile estimator: five markers whose heights
+  /// track [min, q/2-ish, q, (1+q)/2-ish, max]. Exact until five samples
+  /// have arrived, then O(1) parabolic marker updates.
+  struct P2Quantile {
+    double quantile = 0.5;
+    double heights[5] = {};
+    double positions[5] = {};
+    int filled = 0;
+
+    void add(double value);
+    double value() const;
+  };
+
+  Mode mode_;
+  std::size_t n_ = 0;
+
+  // kExactSmallSample state: the retained sample, unsorted.
+  std::vector<double> sample_;
+
+  // kP2 state: Welford/Terriberry running central moments + estimators.
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  P2Quantile deciles_[9];
+};
 
 /// Linear-interpolated quantile (type-7, the numpy default). q in [0,1].
 /// The sample must be sorted; an empty sample yields 0.

@@ -6,9 +6,13 @@
 //   chaos_client report <host> <port> <tenant>
 //       prints GET /report/<tenant> (byte-exact; the serve-smoke CI job
 //       diffs it against the batch path).
-//   chaos_client batch <tenant> <capture.pcap>
+//   chaos_client batch <tenant> <capture.pcap> [model.art]
 //       prints the batch-reference report for the same bytes — no
-//       daemon involved; must byte-match `report` after `clean`.
+//       daemon involved; must byte-match `report` after `clean` (with a
+//       model artifact: after `model` + `clean`).
+//   chaos_client model <host> <port> <tenant> <model.art>
+//       installs a DetectorModel artifact via POST /model/<tenant> and
+//       prints the daemon's response (digest JSON); exit 0 iff accepted.
 //   chaos_client get <host> <port> <path>
 //       prints any control-plane document.
 //   chaos_client chaos <host> <port> <capture.pcap>
@@ -35,7 +39,8 @@ int usage() {
       "  chaos_client clean <host> <port> <tenant> <capture.pcap> "
       "[chunk|identity]\n"
       "  chaos_client report <host> <port> <tenant>\n"
-      "  chaos_client batch <tenant> <capture.pcap>\n"
+      "  chaos_client batch <tenant> <capture.pcap> [model.art]\n"
+      "  chaos_client model <host> <port> <tenant> <model.art>\n"
       "  chaos_client get <host> <port> <path>\n"
       "  chaos_client chaos <host> <port> <capture.pcap>");
   return 2;
@@ -88,8 +93,28 @@ int cmd_batch(int argc, char** argv) {
     std::printf("cannot read %s\n", argv[3]);
     return 1;
   }
-  std::printf("%s\n", serve::batch_report_json(argv[2], pcap).c_str());
+  std::vector<std::uint8_t> model;
+  if (argc > 4 && !read_file(argv[4], model)) {
+    std::printf("cannot read %s\n", argv[4]);
+    return 1;
+  }
+  std::printf("%s\n",
+              serve::batch_report_json(argv[2], pcap, {}, model).c_str());
   return 0;
+}
+
+int cmd_model(int argc, char** argv) {
+  if (argc < 6) return usage();
+  std::vector<std::uint8_t> artifact;
+  if (!read_file(argv[5], artifact)) {
+    std::printf("cannot read %s\n", argv[5]);
+    return 1;
+  }
+  serve::ChaosClient client(argv[2], parse_port(argv[3]));
+  const serve::ChaosResult r =
+      client.post("/model/" + std::string(argv[4]), artifact);
+  std::printf("%s\n", r.body.c_str());
+  return r.connected && r.sent_all && r.status_code == 200 ? 0 : 1;
 }
 
 int cmd_get(int argc, char** argv) {
@@ -155,6 +180,7 @@ int main(int argc, char** argv) {
   if (command == "clean") return cmd_clean(argc, argv);
   if (command == "report") return cmd_report(argc, argv);
   if (command == "batch") return cmd_batch(argc, argv);
+  if (command == "model") return cmd_model(argc, argv);
   if (command == "get") return cmd_get(argc, argv);
   if (command == "chaos") return cmd_chaos(argc, argv);
   return usage();

@@ -5,7 +5,12 @@
 //   iotx simulate <device> <activity> <out.pcap> [us|uk] [--vpn]
 //                                         synthesize one interaction capture
 //   iotx classify <capture.pcap>          flows, protocols, encryption,
-//                                         destinations of any pcap
+//                                         destinations of any pcap; with
+//                                         --detect <model.art>, also the
+//                                         §7.1 activity detections
+//   iotx train-detector <device> <out.art> [us|uk] [--vpn]
+//                                         train + package a deployable
+//                                         DetectorModel artifact
 //   iotx study --out <dir> [--paper-scale] [--devices a,b,c] [--jobs N]
 //              [--impair <profile>]
 //                                         run the campaign, write JSON tables
@@ -28,11 +33,13 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "iotx/analysis/destinations.hpp"
 #include "iotx/analysis/encryption.hpp"
+#include "iotx/cache/binio.hpp"
 #include "iotx/core/options.hpp"
 #include "iotx/core/study.hpp"
 #include "iotx/faults/impairment.hpp"
@@ -41,6 +48,7 @@
 #include "iotx/obs/trace.hpp"
 #include "iotx/report/report.hpp"
 #include "iotx/serve/daemon.hpp"
+#include "iotx/serve/detector.hpp"
 #include "iotx/testbed/gateway.hpp"
 #include "iotx/util/strings.hpp"
 #include "iotx/util/table.hpp"
@@ -86,7 +94,15 @@ int usage() {
       "  iotx catalog\n"
       "  iotx endpoints\n"
       "  iotx simulate <device_id> <activity> <out.pcap> [us|uk] [--vpn]\n"
-      "  iotx classify <capture.pcap> [--metrics] [--trace <out.json>]\n"
+      "  iotx classify <capture.pcap> [--detect <model.art>] [--metrics]\n"
+      "                [--trace <out.json>]\n"
+      "                (--detect runs the model's activity detector over\n"
+      "                the capture — same output a live `iotx serve`\n"
+      "                tenant with that model reports)\n"
+      "  iotx train-detector <device_id> <out.art> [us|uk] [--vpn]\n"
+      "                (train the per-device activity model on synthesized\n"
+      "                labeled captures and write the deployable artifact;\n"
+      "                install into a daemon via POST /model/<tenant>)\n"
       "  iotx study --out <dir> [--paper-scale] [--devices a,b,c] [--no-vpn]\n"
       "             [--jobs N]   (worker threads; default: all hardware\n"
       "                          threads; results identical at any N)\n"
@@ -184,7 +200,16 @@ int cmd_simulate(int argc, char** argv) {
 int cmd_classify(int argc, char** argv) {
   if (argc < 3) return usage();
   core::StudyOptions opts;
+  std::string detect_path;
   for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--detect") == 0) {
+      if (i + 1 >= argc) {
+        std::printf("--detect needs a model artifact path\n");
+        return 2;
+      }
+      detect_path = argv[++i];
+      continue;
+    }
     switch (opts.parse_shared_flag(argc, argv, i)) {
       case core::StudyOptions::ParseResult::kConsumed:
         break;
@@ -217,6 +242,27 @@ int cmd_classify(int argc, char** argv) {
     std::printf("cannot read pcap %s\n", argv[2]);
     return 1;
   }
+  // Optional detection model: parsed before ingest so its device-meta
+  // collector rides the same single decode pass as everything else.
+  std::shared_ptr<const serve::DetectorModel> model;
+  if (!detect_path.empty()) {
+    std::ifstream in(detect_path, std::ios::binary);
+    if (!in) {
+      std::printf("cannot read model artifact %s\n", detect_path.c_str());
+      return 1;
+    }
+    const std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    try {
+      model = std::make_shared<const serve::DetectorModel>(
+          serve::DetectorModel::parse(bytes));
+    } catch (const cache::CorruptArtifact& e) {
+      std::printf("corrupt model artifact %s: %s\n", detect_path.c_str(),
+                  e.what());
+      return 1;
+    }
+  }
+
   // Single-decode pass: the DNS cache and flow table ride one pipeline.
   flow::DnsCache dns;
   flow::FlowTable ftable;
@@ -226,6 +272,11 @@ int cmd_classify(int argc, char** argv) {
   pipeline.add_sink(metrics ? static_cast<flow::PacketSink&>(dns_shim) : dns);
   pipeline.add_sink(metrics ? static_cast<flow::PacketSink&>(ftable_shim)
                             : ftable);
+  std::optional<flow::MetaCollector> device_meta;
+  if (model != nullptr) {
+    device_meta.emplace(model->device_mac());
+    pipeline.add_sink(*device_meta);
+  }
   {
     obs::Span span("classify/ingest");
     pipeline.ingest_views(capture->views);
@@ -273,6 +324,28 @@ int cmd_classify(int argc, char** argv) {
       enc.pct_encrypted(), enc.pct_unencrypted(), enc.pct_unknown(),
       util::format_bytes(enc.media).c_str());
 
+  if (model != nullptr) {
+    // The single detection path: the identical run_detector() call a
+    // live daemon folds per session, so these rows byte-match what a
+    // serve tenant with this model reports over the same capture.
+    const serve::DetectionOutcome outcome =
+        serve::run_detector(*model, device_meta->meta());
+    std::printf(
+        "\ndetections (device %s, model %.12s...): %llu units examined, "
+        "%llu classified\n",
+        model->device_id().c_str(), model->digest().c_str(),
+        static_cast<unsigned long long>(outcome.units_total),
+        static_cast<unsigned long long>(outcome.units_classified));
+    if (!outcome.detections.empty()) {
+      util::TextTable dt({"activity", "unit_start", "packets"});
+      for (const analysis::Detection& d : outcome.detections) {
+        dt.add_row({d.activity, util::format_double(d.unit_start, 3),
+                    std::to_string(d.unit_packets)});
+      }
+      std::fputs(dt.render().c_str(), stdout);
+    }
+  }
+
   const auto anomalies = faults::nonzero_counters(health);
   if (!anomalies.empty()) {
     std::printf("\ncapture health (degraded ingest):\n");
@@ -298,6 +371,75 @@ int cmd_classify(int argc, char** argv) {
   }
   if (g_interrupted.load(std::memory_order_relaxed)) {
     std::printf("(interrupted: finished the in-flight pass before exiting)\n");
+  }
+  return 0;
+}
+
+int cmd_train_detector(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const testbed::DeviceSpec* device = testbed::find_device(argv[2]);
+  if (device == nullptr) {
+    std::printf("unknown device '%s' (see `iotx catalog`)\n", argv[2]);
+    return 1;
+  }
+  const std::string out_path = argv[3];
+  testbed::NetworkConfig config{testbed::LabSite::kUs, false};
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "uk") == 0) config.lab = testbed::LabSite::kUk;
+    if (std::strcmp(argv[i], "--vpn") == 0) config.vpn = true;
+  }
+
+  // Same training recipe as the batch Study: the scheduled labeled
+  // experiments plus synthetic background windows so heartbeats have a
+  // home class (otherwise every idle burst votes for a real activity).
+  const testbed::ExperimentRunner runner(testbed::SchedulePlan{10, 10, 10, 0.0});
+  std::vector<testbed::LabeledCapture> captures;
+  for (const testbed::ExperimentSpec& spec : runner.schedule(*device, config)) {
+    if (spec.type == testbed::ExperimentType::kIdle) continue;
+    captures.push_back(runner.run(spec));
+  }
+  const testbed::TrafficSynthesizer synth;
+  for (int i = 0; i < 6; ++i) {
+    testbed::LabeledCapture bg;
+    bg.spec.device_id = device->id;
+    bg.spec.config = config;
+    bg.spec.type = testbed::ExperimentType::kInteraction;
+    bg.spec.activity = std::string(analysis::kBackgroundLabel);
+    bg.spec.repetition = i;
+    util::Prng prng("detector-bg/" + device->id + "/" + std::to_string(i));
+    bg.packets = synth.background(*device, config, 0.0, 60.0, prng);
+    captures.push_back(std::move(bg));
+  }
+
+  std::printf("training %s (%s) on %zu labeled captures...\n",
+              device->id.c_str(), config.key().c_str(), captures.size());
+  analysis::InferenceParams params;
+  params.validation.forest.n_trees = 30;
+  params.validation.repetitions = 6;
+  const analysis::ActivityModel model =
+      analysis::train_activity_model(*device, config, captures, params);
+  const serve::DetectorModel deployable =
+      serve::DetectorModel::from_activity_model(*device, model);
+  const std::vector<std::uint8_t> artifact = deployable.serialize();
+
+  std::ofstream out(out_path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(artifact.data()),
+            static_cast<std::streamsize>(artifact.size()));
+  if (!out.good()) {
+    std::printf("cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %zu-byte model artifact to %s\n  device F1 %.3f (%zu classes, "
+      "%zu trees flattened to %zu nodes)\n  digest %s\n",
+      artifact.size(), out_path.c_str(), model.device_f1(),
+      deployable.class_count(), deployable.forest().tree_count(),
+      deployable.forest().node_count(), deployable.digest().c_str());
+  if (model.device_f1() < ml::kHighConfidenceF1) {
+    std::printf(
+        "note: device F1 is below the %.1f high-confidence bar; the §7.1 "
+        "filter will suppress low-scoring activities at detection time\n",
+        ml::kHighConfidenceF1);
   }
   return 0;
 }
@@ -587,6 +729,7 @@ int main(int argc, char** argv) {
   if (command == "endpoints") return cmd_endpoints();
   if (command == "simulate") return cmd_simulate(argc, argv);
   if (command == "classify") return cmd_classify(argc, argv);
+  if (command == "train-detector") return cmd_train_detector(argc, argv);
   if (command == "impair") return cmd_impair(argc, argv);
   if (command == "study") return cmd_study(argc, argv);
   if (command == "serve") return cmd_serve(argc, argv);

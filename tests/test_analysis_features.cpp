@@ -1,4 +1,4 @@
-// Tests for the packet-timing feature extraction (§6.1).
+// Tests for the incremental packet-timing feature extraction (§6.1).
 #include "iotx/analysis/features.hpp"
 
 #include <gtest/gtest.h>
@@ -16,21 +16,22 @@ PacketMeta meta(double ts, std::uint32_t size, bool out) {
 TEST(Features, DimensionIsStable) {
   const std::vector<PacketMeta> packets = {
       meta(0.0, 100, true), meta(0.1, 200, false), meta(0.3, 150, true)};
-  EXPECT_EQ(extract_features(packets).size(), kFeatureDimension);
-  EXPECT_EQ(extract_features(std::vector<PacketMeta>{}).size(),
+  EXPECT_EQ(FeatureAccumulator::extract(packets).size(), kFeatureDimension);
+  EXPECT_EQ(FeatureAccumulator::extract(std::vector<PacketMeta>{}).size(),
             kFeatureDimension);
 }
 
 TEST(Features, Deterministic) {
   const std::vector<PacketMeta> packets = {
       meta(0.0, 100, true), meta(0.5, 900, false), meta(0.6, 60, true)};
-  EXPECT_EQ(extract_features(packets), extract_features(packets));
+  EXPECT_EQ(FeatureAccumulator::extract(packets),
+            FeatureAccumulator::extract(packets));
 }
 
 TEST(Features, SizeBlockReflectsSizes) {
   const std::vector<PacketMeta> packets = {meta(0.0, 100, true),
                                            meta(1.0, 300, true)};
-  const auto f = extract_features(packets);
+  const auto f = FeatureAccumulator::extract(packets);
   // Layout: [all sizes 15][out sizes 15][in sizes 15][all IAT][out][in].
   EXPECT_DOUBLE_EQ(f[0], 100.0);  // min
   EXPECT_DOUBLE_EQ(f[1], 300.0);  // max
@@ -40,7 +41,7 @@ TEST(Features, SizeBlockReflectsSizes) {
 TEST(Features, DirectionSplit) {
   const std::vector<PacketMeta> packets = {
       meta(0.0, 100, true), meta(0.1, 100, true), meta(0.2, 999, false)};
-  const auto f = extract_features(packets);
+  const auto f = FeatureAccumulator::extract(packets);
   // Outbound block (offset 15): max = 100.
   EXPECT_DOUBLE_EQ(f[15 + 1], 100.0);
   // Inbound block (offset 30): max = 999.
@@ -50,7 +51,7 @@ TEST(Features, DirectionSplit) {
 TEST(Features, IatBlockReflectsGaps) {
   const std::vector<PacketMeta> packets = {
       meta(0.0, 100, true), meta(0.5, 100, true), meta(1.5, 100, true)};
-  const auto f = extract_features(packets);
+  const auto f = FeatureAccumulator::extract(packets);
   // All-IAT block at offset 45: min 0.5, max 1.0, mean 0.75.
   EXPECT_NEAR(f[45 + 0], 0.5, 1e-9);
   EXPECT_NEAR(f[45 + 1], 1.0, 1e-9);
@@ -59,7 +60,7 @@ TEST(Features, IatBlockReflectsGaps) {
 
 TEST(Features, SinglePacketHasZeroIats) {
   const std::vector<PacketMeta> packets = {meta(0.0, 100, true)};
-  const auto f = extract_features(packets);
+  const auto f = FeatureAccumulator::extract(packets);
   for (std::size_t i = 45; i < kFeatureDimension; ++i) {
     EXPECT_EQ(f[i], 0.0);
   }
@@ -73,8 +74,8 @@ TEST(Features, DistinguishesDifferentTrafficShapes) {
     chatty.push_back(meta(i * 0.5, 80 + i % 3, i % 2 == 0));
     bulk.push_back(meta(i * 0.01, 1300, true));
   }
-  const auto f1 = extract_features(chatty);
-  const auto f2 = extract_features(bulk);
+  const auto f1 = FeatureAccumulator::extract(chatty);
+  const auto f2 = FeatureAccumulator::extract(bulk);
   double distance = 0;
   for (std::size_t i = 0; i < kFeatureDimension; ++i) {
     distance += std::abs(f1[i] - f2[i]);
@@ -85,7 +86,55 @@ TEST(Features, DistinguishesDifferentTrafficShapes) {
 TEST(Features, TrafficUnitOverload) {
   TrafficUnit unit;
   unit.packets = {meta(0.0, 100, true), meta(0.2, 140, false)};
-  EXPECT_EQ(extract_features(unit), extract_features(unit.packets));
+  EXPECT_EQ(FeatureAccumulator::extract(unit),
+            FeatureAccumulator::extract(unit.packets));
+}
+
+TEST(Features, IncrementalMatchesBatchBitForBit) {
+  // The live path adds packets one at a time; the vector it finishes
+  // into must be the exact batch vector (same doubles, same bits).
+  std::vector<PacketMeta> packets;
+  for (int i = 0; i < 64; ++i) {
+    packets.push_back(
+        meta(i * 0.13, 60 + static_cast<std::uint32_t>(i * 37 % 1400),
+             i % 3 != 0));
+  }
+  FeatureAccumulator acc;
+  for (const PacketMeta& p : packets) acc.add(p);
+  EXPECT_EQ(acc.packets(), packets.size());
+  EXPECT_EQ(acc.finish(), FeatureAccumulator::extract(packets));
+}
+
+TEST(Features, FinishResetsForTheNextUnit) {
+  const std::vector<PacketMeta> first = {meta(0.0, 100, true),
+                                         meta(0.5, 2000, false)};
+  const std::vector<PacketMeta> second = {meta(10.0, 700, false),
+                                          meta(10.2, 80, true),
+                                          meta(10.4, 90, true)};
+  FeatureAccumulator acc;
+  for (const PacketMeta& p : first) acc.add(p);
+  EXPECT_EQ(acc.finish(), FeatureAccumulator::extract(first));
+  EXPECT_EQ(acc.packets(), 0u);
+  // No state leaks between units: the same accumulator reused for a
+  // second unit produces the from-scratch vector, including the IAT
+  // lanes (a stale last-timestamp would corrupt the first gap).
+  for (const PacketMeta& p : second) acc.add(p);
+  EXPECT_EQ(acc.finish(), FeatureAccumulator::extract(second));
+}
+
+TEST(Features, FinishIntoAppends) {
+  const std::vector<PacketMeta> packets = {meta(0.0, 100, true),
+                                           meta(0.1, 300, false)};
+  std::vector<double> out = {-1.0};
+  FeatureAccumulator acc;
+  for (const PacketMeta& p : packets) acc.add(p);
+  acc.finish_into(out);
+  ASSERT_EQ(out.size(), 1 + kFeatureDimension);
+  EXPECT_EQ(out[0], -1.0);
+  const auto batch = FeatureAccumulator::extract(packets);
+  for (std::size_t i = 0; i < kFeatureDimension; ++i) {
+    EXPECT_EQ(out[1 + i], batch[i]);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,136 @@
+// Corrupt-payload fuzz for the ML artifact decoders: RandomForest::load
+// and Dataset::load must reject every malformed payload with
+// cache::CorruptArtifact — never crash, never hang, never allocate
+// unbounded memory from a lying length prefix. Runs under the
+// robustness label (asan-ubsan preset in CI).
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "iotx/cache/binio.hpp"
+#include "iotx/ml/random_forest.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx::ml;
+using iotx::cache::BinReader;
+using iotx::cache::BinWriter;
+using iotx::cache::CorruptArtifact;
+using iotx::util::Prng;
+
+Dataset sample_dataset() {
+  Dataset data;
+  Prng prng("artifact-fuzz-data");
+  for (int i = 0; i < 60; ++i) {
+    std::vector<double> row(6);
+    const int cls = i % 3;
+    for (auto& v : row) v = prng.normal(cls * 3.0, 1.0);
+    data.add(std::move(row), "class" + std::to_string(cls));
+  }
+  return data;
+}
+
+std::vector<std::uint8_t> forest_artifact() {
+  const Dataset data = sample_dataset();
+  RandomForest forest;
+  Prng prng("artifact-fuzz-fit");
+  forest.fit(data, ForestParams{10, TreeParams{}}, prng);
+  BinWriter w;
+  forest.save(w);
+  return w.buffer();
+}
+
+std::vector<std::uint8_t> dataset_artifact() {
+  BinWriter w;
+  sample_dataset().save(w);
+  return w.buffer();
+}
+
+template <typename LoadFn>
+void fuzz_decoder(const std::vector<std::uint8_t>& artifact,
+                  const char* seed, LoadFn load) {
+  // Every strict prefix must throw: the decoder reads the same byte
+  // sequence as on the intact artifact until it runs off the end, so a
+  // truncated payload can never "finish early" into a valid object.
+  for (std::size_t len = 0; len < artifact.size(); ++len) {
+    BinReader r(std::span<const std::uint8_t>(artifact.data(), len));
+    EXPECT_THROW(load(r), CorruptArtifact) << "prefix " << len;
+  }
+  // Random bit flips: most payloads become invalid; the ones that still
+  // parse must simply parse — no crash either way.
+  Prng prng(seed);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> mutated = artifact;
+    const int flips = 1 + static_cast<int>(prng.uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos =
+          static_cast<std::size_t>(prng.uniform(mutated.size()));
+      mutated[pos] ^= static_cast<std::uint8_t>(1u << prng.uniform(8));
+    }
+    try {
+      BinReader r(mutated);
+      load(r);
+    } catch (const CorruptArtifact&) {
+    }
+  }
+  // Pure garbage of assorted sizes.
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bytes(prng.uniform(256));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(prng.uniform(256));
+    try {
+      BinReader r(bytes);
+      load(r);
+    } catch (const CorruptArtifact&) {
+    }
+  }
+}
+
+TEST(MlArtifactFuzz, RandomForestLoadNeverCrashes) {
+  fuzz_decoder(forest_artifact(), "forest-flip",
+               [](BinReader& r) { return RandomForest::load(r); });
+}
+
+TEST(MlArtifactFuzz, DatasetLoadNeverCrashes) {
+  fuzz_decoder(dataset_artifact(), "dataset-flip",
+               [](BinReader& r) { return Dataset::load(r); });
+}
+
+TEST(MlArtifactFuzz, HugeLengthPrefixDoesNotAllocate) {
+  // A length prefix claiming 2^60 trees/rows must be rejected by the
+  // remaining-bytes check before any reserve happens.
+  BinWriter w;
+  w.u64(std::uint64_t{1} << 60);
+  const std::vector<std::uint8_t> bytes = w.buffer();
+  {
+    BinReader r(bytes);
+    EXPECT_THROW(RandomForest::load(r), CorruptArtifact);
+  }
+  {
+    BinReader r(bytes);
+    EXPECT_THROW(Dataset::load(r), CorruptArtifact);
+  }
+}
+
+TEST(MlArtifactFuzz, IntactArtifactsStillRoundTrip) {
+  // Sanity anchor for the fuzz corpus: the unmutated artifacts load and
+  // behave identically to their sources.
+  const Dataset data = sample_dataset();
+  const std::vector<std::uint8_t> fa = forest_artifact();
+  BinReader fr(fa);
+  const RandomForest forest = RandomForest::load(fr);
+  EXPECT_TRUE(fr.done());
+  EXPECT_EQ(forest.tree_count(), 10u);
+  const std::vector<std::uint8_t> da = dataset_artifact();
+  BinReader dr(da);
+  const Dataset loaded = Dataset::load(dr);
+  EXPECT_TRUE(dr.done());
+  ASSERT_EQ(loaded.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(loaded.row(i), data.row(i));
+    EXPECT_EQ(loaded.label(i), data.label(i));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,193 @@
+// FlatForest equivalence oracle and artifact robustness: the flattened
+// forest must vote bit-identically to the pointer forest it was
+// compiled from, round-trip exactly through the binary artifact format,
+// and reject (never crash on) corrupted payloads.
+#include "iotx/ml/flat_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "iotx/cache/binio.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx::ml;
+using iotx::cache::BinReader;
+using iotx::cache::BinWriter;
+using iotx::cache::CorruptArtifact;
+using iotx::util::Prng;
+
+Dataset gaussian_blobs(int per_class, double separation,
+                       const std::string& seed = "flat-blobs") {
+  Dataset data;
+  Prng prng(seed + std::to_string(separation));
+  for (int i = 0; i < per_class; ++i) {
+    data.add({prng.normal(0, 1), prng.normal(0, 1), prng.normal(0, 1)}, "a");
+    data.add({prng.normal(separation, 1), prng.normal(separation, 1),
+              prng.normal(0, 1)},
+             "b");
+    data.add({prng.normal(0, 1), prng.normal(separation, 1),
+              prng.normal(separation, 1)},
+             "c");
+  }
+  return data;
+}
+
+RandomForest train(const Dataset& data, std::size_t n_trees,
+                   const std::string& seed) {
+  RandomForest forest;
+  Prng prng(seed);
+  forest.fit(data, ForestParams{n_trees, TreeParams{}}, prng);
+  return forest;
+}
+
+/// The oracle: flat predictions and probabilities must equal the
+/// pointer forest's on every probe — same doubles, same bits.
+void expect_equivalent(const RandomForest& forest, const FlatForest& flat,
+                       const std::string& probe_seed, int probes) {
+  ASSERT_EQ(flat.tree_count(), forest.tree_count());
+  ASSERT_EQ(flat.class_count(), forest.class_count());
+  Prng probe(probe_seed);
+  for (int i = 0; i < probes; ++i) {
+    const std::vector<double> x = {probe.normal(2.0, 4.0),
+                                   probe.normal(2.0, 4.0),
+                                   probe.normal(2.0, 4.0)};
+    EXPECT_EQ(flat.predict(x), forest.predict(x));
+    EXPECT_EQ(flat.predict_proba(x), forest.predict_proba(x));
+  }
+}
+
+TEST(FlatForest, MatchesPointerForestOnSeparableData) {
+  const Dataset data = gaussian_blobs(40, 8.0);
+  const RandomForest forest = train(data, 25, "flat-sep");
+  const FlatForest flat = FlatForest::compile(forest);
+  expect_equivalent(forest, flat, "flat-sep-probe", 200);
+  // Training rows too — the points the forest is most opinionated about.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(flat.predict(data.row(i)), forest.predict(data.row(i)));
+    EXPECT_EQ(flat.predict_proba(data.row(i)),
+              forest.predict_proba(data.row(i)));
+  }
+}
+
+TEST(FlatForest, MatchesPointerForestOnNoisyOverlappingData) {
+  // Heavy class overlap produces deep trees and near-tied votes — the
+  // regime where any arithmetic reordering in the flat vote loop would
+  // flip an argmax.
+  const Dataset data = gaussian_blobs(60, 1.5, "flat-noisy");
+  const RandomForest forest = train(data, 40, "flat-noisy-fit");
+  const FlatForest flat = FlatForest::compile(forest);
+  expect_equivalent(forest, flat, "flat-noisy-probe", 500);
+}
+
+TEST(FlatForest, MatchesAcrossForestSizes) {
+  const Dataset data = gaussian_blobs(30, 3.0, "flat-sizes");
+  for (const std::size_t n_trees : {1u, 2u, 7u, 50u}) {
+    const RandomForest forest =
+        train(data, n_trees, "flat-sizes" + std::to_string(n_trees));
+    const FlatForest flat = FlatForest::compile(forest);
+    expect_equivalent(forest, flat,
+                      "flat-sizes-probe" + std::to_string(n_trees), 100);
+  }
+}
+
+TEST(FlatForest, EmptyForestCompilesToUnfitted) {
+  const FlatForest flat = FlatForest::compile(RandomForest{});
+  EXPECT_FALSE(flat.fitted());
+  EXPECT_EQ(flat.tree_count(), 0u);
+  EXPECT_EQ(flat.predict(std::vector<double>{1.0, 2.0, 3.0}), -1);
+  EXPECT_TRUE(flat.predict_proba(std::vector<double>{1.0}).empty());
+}
+
+TEST(FlatForest, NodesPackFourPerCacheLine) {
+  EXPECT_EQ(sizeof(FlatForest::Node), 16u);
+}
+
+TEST(FlatForest, SaveLoadRoundTripIsExact) {
+  const Dataset data = gaussian_blobs(30, 4.0, "flat-rt");
+  const RandomForest forest = train(data, 20, "flat-rt-fit");
+  const FlatForest flat = FlatForest::compile(forest);
+  BinWriter w;
+  flat.save(w);
+  BinReader r(w.buffer());
+  const FlatForest loaded = FlatForest::load(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(loaded.node_count(), flat.node_count());
+  EXPECT_EQ(loaded.leaf_count(), flat.leaf_count());
+  expect_equivalent(forest, loaded, "flat-rt-probe", 200);
+  // Saving the loaded forest reproduces the artifact byte for byte.
+  BinWriter w2;
+  loaded.save(w2);
+  EXPECT_EQ(w2.buffer(), w.buffer());
+}
+
+TEST(FlatForest, EmptyForestRoundTrips) {
+  BinWriter w;
+  FlatForest{}.save(w);
+  BinReader r(w.buffer());
+  const FlatForest loaded = FlatForest::load(r);
+  EXPECT_FALSE(loaded.fitted());
+  EXPECT_TRUE(r.done());
+}
+
+std::vector<std::uint8_t> golden_artifact() {
+  const Dataset data = gaussian_blobs(20, 5.0, "flat-fuzz");
+  const RandomForest forest = train(data, 8, "flat-fuzz-fit");
+  BinWriter w;
+  FlatForest::compile(forest).save(w);
+  return w.buffer();
+}
+
+TEST(FlatForestFuzz, TruncationsNeverCrash) {
+  const std::vector<std::uint8_t> artifact = golden_artifact();
+  // Every prefix either loads (only the full one should) or throws
+  // CorruptArtifact — never crashes, never loops.
+  for (std::size_t len = 0; len < artifact.size(); ++len) {
+    BinReader r(std::span<const std::uint8_t>(artifact.data(), len));
+    EXPECT_THROW(FlatForest::load(r), CorruptArtifact) << "prefix " << len;
+  }
+}
+
+TEST(FlatForestFuzz, RandomByteFlipsNeverCrashOrLoop) {
+  const std::vector<std::uint8_t> artifact = golden_artifact();
+  Prng prng("flat-flip");
+  const std::vector<double> probe = {0.5, -1.0, 3.0};
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> mutated = artifact;
+    const int flips = 1 + static_cast<int>(prng.uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = static_cast<std::size_t>(
+          prng.uniform(static_cast<std::uint32_t>(mutated.size())));
+      mutated[pos] ^= static_cast<std::uint8_t>(1u << prng.uniform(8));
+    }
+    try {
+      BinReader r(mutated);
+      const FlatForest loaded = FlatForest::load(r);
+      // A payload that passes validation must still be safe to query:
+      // load() guarantees every link advances and every leaf row is in
+      // range, so descent terminates and stays in bounds.
+      loaded.predict(probe);
+      loaded.predict_proba(probe);
+    } catch (const CorruptArtifact&) {
+      // expected for most mutations
+    }
+  }
+}
+
+TEST(FlatForestFuzz, RandomGarbageNeverCrashes) {
+  Prng prng("flat-garbage");
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bytes(prng.uniform(160));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(prng.uniform(256));
+    try {
+      BinReader r(bytes);
+      FlatForest::load(r);
+    } catch (const CorruptArtifact&) {
+    }
+  }
+}
+
+}  // namespace

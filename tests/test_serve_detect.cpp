@@ -1,0 +1,341 @@
+// Live detection path (serve::DetectorModel / Detector / run_detector):
+// artifact round-trips vote identically, a daemon with a model installed
+// reports the exact detections the batch path computes over the same
+// bytes, hot-swap never tears a pinned model, checkpoints carry the
+// model across a restart, and hostile artifact bytes are rejected
+// without crashing. Runs under the robustness label (asan-ubsan/tsan).
+#include "iotx/serve/detector.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "iotx/analysis/inference.hpp"
+#include "iotx/analysis/unexpected.hpp"
+#include "iotx/cache/binio.hpp"
+#include "iotx/net/pcap.hpp"
+#include "iotx/serve/chaos.hpp"
+#include "iotx/serve/daemon.hpp"
+#include "iotx/testbed/catalog.hpp"
+#include "iotx/testbed/synth.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx;
+using namespace iotx::analysis;
+using namespace iotx::testbed;
+namespace fs = std::filesystem;
+
+InferenceParams fast_params() {
+  InferenceParams p;
+  p.validation.forest.n_trees = 20;
+  p.validation.repetitions = 4;
+  return p;
+}
+
+ActivityModel trained_model(const DeviceSpec& device,
+                            const NetworkConfig& config, int reps = 6) {
+  const ExperimentRunner runner(SchedulePlan{reps, reps, reps, 0.0});
+  std::vector<LabeledCapture> captures;
+  for (const ExperimentSpec& spec : runner.schedule(device, config)) {
+    if (spec.type == ExperimentType::kIdle) continue;
+    captures.push_back(runner.run(spec));
+  }
+  const TrafficSynthesizer synth;
+  for (int i = 0; i < 6; ++i) {
+    LabeledCapture bg;
+    bg.spec.device_id = device.id;
+    bg.spec.config = config;
+    bg.spec.type = ExperimentType::kInteraction;
+    bg.spec.activity = std::string(kBackgroundLabel);
+    bg.spec.repetition = i;
+    util::Prng prng("sdbg" + std::to_string(i));
+    bg.packets = synth.background(device, config, 0.0, 60.0, prng);
+    captures.push_back(std::move(bg));
+  }
+  return train_activity_model(device, config, captures, fast_params());
+}
+
+const DeviceSpec& zmodo() { return *find_device("zmodo_doorbell"); }
+const NetworkConfig kUsWired{LabSite::kUs, false};
+
+/// One trained zmodo detector model + artifact, shared across tests
+/// (training dominates this binary's runtime).
+const serve::DetectorModel& shared_model() {
+  static const serve::DetectorModel model = [] {
+    return serve::DetectorModel::from_activity_model(
+        zmodo(), trained_model(zmodo(), kUsWired));
+  }();
+  return model;
+}
+
+const std::vector<std::uint8_t>& shared_artifact() {
+  static const std::vector<std::uint8_t> artifact = shared_model().serialize();
+  return artifact;
+}
+
+/// A capture the model fires on: zmodo's idle chatter carries the
+/// spurious movement events of Table 11.
+std::vector<net::Packet> idle_capture(double hours = 0.3) {
+  const TrafficSynthesizer synth;
+  util::Prng prng("serve-detect-idle");
+  return synth.idle_period(zmodo(), kUsWired, 0.0, hours, prng);
+}
+
+/// Device meta exactly as the ingest pipeline's MetaCollector sees it.
+std::vector<flow::PacketMeta> device_meta(
+    const std::vector<net::Packet>& packets) {
+  flow::MetaCollector collector(device_mac(zmodo(), /*us_lab=*/true));
+  for (const net::Packet& p : packets) {
+    if (const auto decoded = net::decode_packet(p)) {
+      collector.on_packet(*decoded);
+    }
+  }
+  collector.on_finish();
+  return collector.take();
+}
+
+struct LiveDaemon {
+  explicit LiveDaemon(serve::ServeConfig config = {})
+      : daemon(patch(std::move(config))) {
+    ok = daemon.start();
+    EXPECT_TRUE(ok) << daemon.error();
+  }
+  ~LiveDaemon() { daemon.stop(); }
+
+  static serve::ServeConfig patch(serve::ServeConfig config) {
+    config.port = 0;
+    if (config.idle_timeout_ms == serve::ServeConfig{}.idle_timeout_ms) {
+      config.idle_timeout_ms = 1000;
+    }
+    return config;
+  }
+
+  serve::ChaosClient client() {
+    return serve::ChaosClient("127.0.0.1", daemon.port());
+  }
+
+  serve::Daemon daemon;
+  bool ok = false;
+};
+
+struct TempDir {
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("iotx-serve-detect-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  static int& counter() {
+    static int n = 0;
+    return n;
+  }
+  fs::path path;
+};
+
+// --- DetectorModel artifact -------------------------------------------
+
+TEST(DetectorModel, SerializeParseRoundTripVotesIdentically) {
+  const serve::DetectorModel& original = shared_model();
+  const auto& artifact = shared_artifact();
+  ASSERT_FALSE(artifact.empty());
+
+  const serve::DetectorModel parsed = serve::DetectorModel::parse(artifact);
+  EXPECT_EQ(parsed.device_id(), original.device_id());
+  EXPECT_EQ(parsed.device_mac(), original.device_mac());
+  ASSERT_EQ(parsed.class_count(), original.class_count());
+  for (std::size_t c = 0; c < parsed.class_count(); ++c) {
+    EXPECT_EQ(parsed.class_name(c), original.class_name(c));
+    EXPECT_EQ(parsed.class_f1(c), original.class_f1(c));
+  }
+  // Exact binary round-trip: re-serializing reproduces the bytes, so
+  // the digest is stable across install/checkpoint/restore hops.
+  EXPECT_EQ(parsed.serialize(), artifact);
+  EXPECT_FALSE(parsed.digest().empty());
+
+  // The deployable guarantee: the parsed model classifies a real idle
+  // capture identically to the model it was serialized from.
+  const auto meta = device_meta(idle_capture());
+  const serve::DetectionOutcome a = serve::run_detector(original, meta);
+  const serve::DetectionOutcome b = serve::run_detector(parsed, meta);
+  EXPECT_GT(a.units_total, 0u);
+  EXPECT_GT(a.detections.size(), 0u);  // zmodo idle chatter must fire
+  EXPECT_EQ(a.units_total, b.units_total);
+  EXPECT_EQ(a.units_classified, b.units_classified);
+  ASSERT_EQ(a.detections.size(), b.detections.size());
+  for (std::size_t i = 0; i < a.detections.size(); ++i) {
+    EXPECT_EQ(a.detections[i].activity, b.detections[i].activity);
+    EXPECT_EQ(a.detections[i].unit_start, b.detections[i].unit_start);
+    EXPECT_EQ(a.detections[i].unit_packets, b.detections[i].unit_packets);
+  }
+}
+
+TEST(DetectorModel, ParseRejectsHostileBytes) {
+  const auto& artifact = shared_artifact();
+  // Truncations: sampled strict prefixes (the artifact is large) plus
+  // every boundary near the end, where the trailing fields live.
+  const std::size_t stride = std::max<std::size_t>(1, artifact.size() / 256);
+  for (std::size_t cut = 0; cut < artifact.size(); cut += stride) {
+    const std::span<const std::uint8_t> prefix(artifact.data(), cut);
+    EXPECT_THROW(serve::DetectorModel::parse(prefix), cache::CorruptArtifact)
+        << "prefix " << cut;
+  }
+  for (std::size_t back = 1; back <= 64 && back <= artifact.size(); ++back) {
+    const std::span<const std::uint8_t> prefix(artifact.data(),
+                                               artifact.size() - back);
+    EXPECT_THROW(serve::DetectorModel::parse(prefix), cache::CorruptArtifact);
+  }
+
+  // Bit flips: parse must either reject or yield a model that is safe
+  // to query (FlatForest's bounds guards make hostile trees inert).
+  util::Prng prng("detector-artifact-flips");
+  const std::vector<double> probe(analysis::kFeatureDimension, 1.0);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<std::uint8_t> mutated = artifact;
+    const int flips = 1 + static_cast<int>(prng.uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t byte = prng.uniform(mutated.size());
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << prng.uniform(8));
+    }
+    try {
+      const serve::DetectorModel m = serve::DetectorModel::parse(mutated);
+      (void)m.predict_proba(probe);
+    } catch (const cache::CorruptArtifact&) {
+      // rejection is the common, correct outcome
+    }
+  }
+}
+
+// --- Detector hot-swap -------------------------------------------------
+
+TEST(Detector, InstallPinAndHotSwap) {
+  serve::Detector slot;
+  EXPECT_EQ(slot.current(), nullptr);
+  EXPECT_TRUE(slot.digest().empty());
+
+  const std::string digest_a = slot.install(shared_artifact());
+  EXPECT_EQ(digest_a, slot.digest());
+  const std::shared_ptr<const serve::DetectorModel> pinned = slot.current();
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_EQ(pinned->digest(), digest_a);
+
+  // A second artifact with different thresholds has different bytes.
+  DetectorParams strict;
+  strict.min_vote = 0.75;
+  const auto artifact_b =
+      serve::DetectorModel::from_activity_model(
+          zmodo(), trained_model(zmodo(), kUsWired), strict)
+          .serialize();
+  const std::string digest_b = slot.install(artifact_b);
+  EXPECT_NE(digest_b, digest_a);
+  EXPECT_EQ(slot.digest(), digest_b);
+  // The swap is isolated: the pinned model is untouched — this is what
+  // lets an in-flight session finish on the model it was admitted with.
+  EXPECT_EQ(pinned->digest(), digest_a);
+
+  // A corrupt install throws and leaves the slot as it was.
+  auto corrupt = shared_artifact();
+  corrupt.resize(corrupt.size() / 2);
+  EXPECT_THROW(slot.install(corrupt), cache::CorruptArtifact);
+  EXPECT_EQ(slot.digest(), digest_b);
+}
+
+// --- Live daemon --------------------------------------------------------
+
+TEST(ServeDetect, StreamedDetectionsMatchBatchByteForByte) {
+  LiveDaemon live;
+  ASSERT_TRUE(live.ok);
+  const auto& artifact = shared_artifact();
+  const auto pcap = net::pcap_serialize(idle_capture());
+  auto client = live.client();
+
+  const auto install = client.post("/model/lab1", artifact);
+  ASSERT_EQ(install.status_code, 200);
+  EXPECT_NE(install.body.find("\"model_digest\""), std::string::npos);
+  EXPECT_NE(install.body.find(shared_model().digest()), std::string::npos);
+  EXPECT_EQ(live.daemon.stats().models_installed, 1u);
+
+  ASSERT_EQ(client.upload_chunked("lab1", pcap).status_code, 200);
+  const auto streamed = client.get("/report/lab1");
+  ASSERT_EQ(streamed.status_code, 200);
+  // The tentpole identity: streamed == batch including the detector
+  // block, because both drive the same run_detector over the same meta.
+  EXPECT_EQ(streamed.body,
+            serve::batch_report_json("lab1", pcap, {}, artifact));
+  EXPECT_NE(streamed.body.find("\"detector\""), std::string::npos);
+  EXPECT_NE(streamed.body.find("\"detections\""), std::string::npos);
+  EXPECT_NE(streamed.body.find(shared_model().digest()), std::string::npos);
+
+  // A tenant without a model reports no detector block over the same
+  // bytes — detection is strictly per-tenant.
+  ASSERT_EQ(client.upload_chunked("plain", pcap).status_code, 200);
+  EXPECT_EQ(client.get("/report/plain").body.find("\"detector\""),
+            std::string::npos);
+}
+
+TEST(ServeDetect, CorruptModelUploadRejectedAndPreviousModelStays) {
+  LiveDaemon live;
+  ASSERT_TRUE(live.ok);
+  const auto& artifact = shared_artifact();
+  auto client = live.client();
+
+  ASSERT_EQ(client.post("/model/lab1", artifact).status_code, 200);
+  auto corrupt = artifact;
+  corrupt.resize(corrupt.size() - 7);
+  EXPECT_EQ(client.post("/model/lab1", corrupt).status_code, 400);
+  EXPECT_EQ(live.daemon.stats().models_installed, 1u);
+
+  // The good model still serves detections.
+  const auto pcap = net::pcap_serialize(idle_capture());
+  ASSERT_EQ(client.upload_chunked("lab1", pcap).status_code, 200);
+  EXPECT_EQ(client.get("/report/lab1").body,
+            serve::batch_report_json("lab1", pcap, {}, artifact));
+}
+
+TEST(ServeDetect, CheckpointResumeCarriesModelAndDetections) {
+  TempDir dir;
+  const auto& artifact = shared_artifact();
+  const auto pcap = net::pcap_serialize(idle_capture());
+  const std::string batch = serve::batch_report_json("lab1", pcap, {}, artifact);
+  std::string before;
+
+  {
+    serve::ServeConfig config;
+    config.checkpoint_dir = dir.path.string();
+    LiveDaemon live(config);
+    ASSERT_TRUE(live.ok);
+    auto client = live.client();
+    ASSERT_EQ(client.post("/model/lab1", artifact).status_code, 200);
+    ASSERT_EQ(client.upload_chunked("lab1", pcap).status_code, 200);
+    before = client.get("/report/lab1").body;
+    ASSERT_EQ(before, batch);
+    live.daemon.stop();  // drains and checkpoints (format 2: model inside)
+  }
+  {
+    serve::ServeConfig config;
+    config.checkpoint_dir = dir.path.string();
+    LiveDaemon live(config);
+    ASSERT_TRUE(live.ok);
+    EXPECT_EQ(live.daemon.stats().tenants_resumed, 1u);
+    auto client = live.client();
+    // Detections and digest survived the restart byte-for-byte.
+    EXPECT_EQ(client.get("/report/lab1").body, before);
+    // The model itself survived too: a fresh upload detects without a
+    // re-install, and the digest the report carries is unchanged.
+    ASSERT_EQ(client.upload_chunked("lab1", pcap).status_code, 200);
+    const auto after = client.get("/report/lab1").body;
+    EXPECT_NE(after.find("\"detector\""), std::string::npos);
+    EXPECT_NE(after.find(shared_model().digest()), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -163,6 +163,128 @@ TEST(MeanStddev, Basics) {
   EXPECT_EQ(stddev(one), 0.0);
 }
 
+TEST(RunningMoments, ExactModeMatchesSummarizeOnRandomSamples) {
+  // Property: for any sample, streaming it through the exact-mode
+  // accumulator yields the same bits as the batch summarize() — every
+  // field, including the interpolated deciles.
+  Prng prng("moments-prop");
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(prng.uniform(200));
+    std::vector<double> sample;
+    sample.reserve(n);
+    RunningMoments acc;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix of scales and signs, including exact duplicates.
+      double v = prng.normal(0.0, 1.0) *
+                 std::pow(10.0, static_cast<int>(prng.uniform(7)) - 3);
+      if (prng.uniform(8) == 0 && !sample.empty()) v = sample.back();
+      sample.push_back(v);
+      acc.add(v);
+    }
+    const SampleSummary batch = summarize(sample);
+    const SampleSummary streamed = acc.summary();
+    EXPECT_EQ(streamed.min, batch.min);
+    EXPECT_EQ(streamed.max, batch.max);
+    EXPECT_EQ(streamed.mean, batch.mean);
+    EXPECT_EQ(streamed.stddev, batch.stddev);
+    EXPECT_EQ(streamed.skewness, batch.skewness);
+    EXPECT_EQ(streamed.kurtosis, batch.kurtosis);
+    for (int d = 0; d < 9; ++d) {
+      EXPECT_EQ(streamed.deciles[d], batch.deciles[d]);
+    }
+  }
+}
+
+TEST(RunningMoments, SummaryAtArbitrarySplitPointsMatchesPrefix) {
+  // summary() is non-destructive: querying it mid-stream must equal the
+  // batch summary of the prefix seen so far, and must not perturb what
+  // the accumulator reports after the remaining values arrive.
+  Prng prng("moments-split");
+  std::vector<double> sample;
+  for (int i = 0; i < 120; ++i) sample.push_back(prng.normal(5.0, 2.0));
+  for (const std::size_t split : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}, std::size_t{60},
+                                  std::size_t{119}, std::size_t{120}}) {
+    RunningMoments acc;
+    for (std::size_t i = 0; i < split; ++i) acc.add(sample[i]);
+    const SampleSummary prefix = acc.summary();
+    const SampleSummary batch_prefix = summarize(
+        std::span<const double>(sample.data(), split));
+    EXPECT_EQ(prefix.mean, batch_prefix.mean);
+    EXPECT_EQ(prefix.stddev, batch_prefix.stddev);
+    EXPECT_EQ(prefix.deciles[4], batch_prefix.deciles[4]);
+    for (std::size_t i = split; i < sample.size(); ++i) acc.add(sample[i]);
+    const SampleSummary full = acc.summary();
+    const SampleSummary batch_full = summarize(sample);
+    EXPECT_EQ(full.mean, batch_full.mean);
+    EXPECT_EQ(full.stddev, batch_full.stddev);
+    EXPECT_EQ(full.skewness, batch_full.skewness);
+    EXPECT_EQ(full.kurtosis, batch_full.kurtosis);
+    for (int d = 0; d < 9; ++d) EXPECT_EQ(full.deciles[d], batch_full.deciles[d]);
+  }
+}
+
+TEST(RunningMoments, MicrosecondScaleRegressionThroughStreaming) {
+  // The µs-scale degenerate-variance regression (see
+  // Summarize.MicrosecondScaleSamplesKeepHigherMoments) must hold on the
+  // streaming path too: identical guard, identical higher moments.
+  RunningMoments acc;
+  std::vector<double> us_gaps;
+  for (int i = 0; i < 200; ++i) {
+    const double v = 2e-6 + (i % 10 == 0 ? 1e-6 * (i % 100) : 0.0);
+    us_gaps.push_back(v);
+    acc.add(v);
+  }
+  const SampleSummary streamed = acc.summary();
+  const SampleSummary batch = summarize(us_gaps);
+  EXPECT_GT(streamed.stddev, 0.0);
+  EXPECT_EQ(streamed.skewness, batch.skewness);
+  EXPECT_EQ(streamed.kurtosis, batch.kurtosis);
+  EXPECT_NE(streamed.skewness, 0.0);
+  EXPECT_NE(streamed.kurtosis, 0.0);
+  // And a constant µs-scale stream must stay degenerate.
+  RunningMoments flat;
+  for (int i = 0; i < 77; ++i) flat.add(3.7e-6);
+  EXPECT_EQ(flat.summary().skewness, 0.0);
+  EXPECT_EQ(flat.summary().kurtosis, 0.0);
+}
+
+TEST(RunningMoments, ResetRestoresEmptyState) {
+  RunningMoments acc;
+  for (int i = 0; i < 10; ++i) acc.add(static_cast<double>(i));
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+  const SampleSummary s = acc.summary();
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  acc.add(42.0);
+  EXPECT_EQ(acc.summary().mean, 42.0);
+}
+
+TEST(RunningMoments, P2ModeConvergesToBatchSummary) {
+  // The bounded-state estimator is not bit-exact; it must land close on
+  // a long well-behaved stream.
+  RunningMoments acc(RunningMoments::Mode::kP2);
+  Prng prng("p2-conv");
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = prng.normal(10.0, 3.0);
+    sample.push_back(v);
+    acc.add(v);
+  }
+  const SampleSummary batch = summarize(sample);
+  const SampleSummary est = acc.summary();
+  EXPECT_EQ(est.min, batch.min);
+  EXPECT_EQ(est.max, batch.max);
+  EXPECT_NEAR(est.mean, batch.mean, 1e-9);
+  EXPECT_NEAR(est.stddev, batch.stddev, 1e-9);
+  EXPECT_NEAR(est.skewness, batch.skewness, 1e-6);
+  EXPECT_NEAR(est.kurtosis, batch.kurtosis, 1e-6);
+  for (int d = 0; d < 9; ++d) {
+    EXPECT_NEAR(est.deciles[d], batch.deciles[d], 0.15) << "decile " << d;
+  }
+}
+
 TEST(TwoProportionZ, EqualProportionsIsZero) {
   EXPECT_NEAR(two_proportion_z(50, 100, 500, 1000), 0.0, 1e-12);
 }
