@@ -1,0 +1,215 @@
+// Fleet-scaling bench: the distributed campaign protocol measured
+// end-to-end. A single-process reference run fixes the expected tables;
+// then worker fleets of increasing size race the same synthetic-catalog
+// campaign over one shared cache directory (threads stand in for
+// processes — the claim protocol lives entirely in the filesystem), a
+// reduce pass merges the partials, and the bench records devices/sec
+// per worker count plus the claim-contention and stale-reap counters.
+// The final fleet starts against pre-seeded stale claims (a simulated
+// crashed worker) so the lease-reap path is exercised and counted.
+//
+// scripts/check_ingest_baseline.py --fleet gates the same-run
+// invariants (conservation of claim attempts, byte-identical reduce at
+// every worker count, 100% reduce hit rate, the seeded reap observed);
+// --append-fleet records the machine-relative scaling entry in
+// BENCH_ingest.json.
+//
+// Usage: fleet_scaling [cache_root]   (default: fleet_bench.artifacts;
+// removed first so every fleet starts cold)
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "iotx/core/study_cache.hpp"
+#include "iotx/dist/claim.hpp"
+#include "iotx/report/report.hpp"
+#include "iotx/testbed/catalog_gen.hpp"
+
+namespace {
+
+using namespace iotx;
+using Clock = std::chrono::steady_clock;
+namespace fs = std::filesystem;
+
+constexpr std::size_t kFleetDevices = 32;
+constexpr std::uint64_t kCatalogSeed = 7;
+constexpr std::uint64_t kLeaseMs = 2'000;
+constexpr std::size_t kSeededStaleClaims = 4;
+
+core::StudyParams campaign_params(const std::string& cache_dir) {
+  core::StudyParams params;
+  params.plan = testbed::SchedulePlan{/*automated_reps=*/2, /*manual_reps=*/1,
+                                      /*power_reps=*/1, /*idle_hours=*/0.05};
+  params.inference.validation.forest.n_trees = 4;
+  params.inference.validation.repetitions = 1;
+  params.run_uncontrolled = false;
+  params.run_vpn = false;
+  params.jobs = 1;
+  params.cache_dir = cache_dir;
+  params.claim_lease_ms = kLeaseMs;
+  testbed::CatalogGenParams gen;
+  gen.count = kFleetDevices;
+  gen.seed = kCatalogSeed;
+  params.catalog = std::make_shared<const std::vector<testbed::DeviceSpec>>(
+      testbed::generate_catalog(gen));
+  params.catalog_id = testbed::catalog_cache_id(gen);
+  return params;
+}
+
+/// (config, device) pairs the campaign enumerates — the work unit the
+/// fleet partitions, and the denominator of devices_per_sec.
+std::size_t campaign_pairs(const core::StudyParams& params) {
+  std::size_t us = 0, uk = 0;
+  for (const testbed::DeviceSpec& d : *params.catalog) {
+    if (d.in_us()) ++us;
+    if (d.in_uk()) ++uk;
+  }
+  return us + uk;
+}
+
+std::string table_fingerprint(const core::Study& study) {
+  return report::table2_json(study) + report::table5_json(study) +
+         report::table7_json(study) + report::table9_json(study) +
+         report::table11_json(study) + report::pii_json(study);
+}
+
+struct FleetRun {
+  int workers = 0;
+  double seconds = 0.0;
+  double devices_per_sec = 0.0;
+  dist::ClaimStats claims;  ///< summed over the fleet's workers
+  cache::ArtifactStoreStats reduce_stats;
+  bool outputs_identical = false;
+  std::size_t seeded_stale_claims = 0;
+};
+
+FleetRun run_fleet(const std::string& cache_dir, int workers,
+                   std::size_t pairs, const std::string& expected,
+                   std::size_t seed_stale_claims) {
+  FleetRun r;
+  r.workers = workers;
+  r.seeded_stale_claims = seed_stale_claims;
+  std::error_code ec;
+  fs::remove_all(cache_dir, ec);
+
+  if (seed_stale_claims > 0) {
+    // A worker that died before this fleet arrived: claims old enough
+    // that every lease must treat them as abandoned.
+    const core::StudyParams params = campaign_params(cache_dir);
+    dist::ClaimStore dead(cache_dir, dist::ClaimConfig{"crashed", kLeaseMs});
+    const testbed::NetworkConfig config{testbed::LabSite::kUs, false};
+    std::size_t seeded = 0;
+    for (const testbed::DeviceSpec& device : *params.catalog) {
+      if (seeded >= seed_stale_claims) break;
+      if (!device.in_us()) continue;
+      const std::string key = core::ingest_stage_key(params, device, config);
+      if (!dead.try_claim(key)) continue;
+      fs::last_write_time(dist::ClaimStore::claim_path(cache_dir, key),
+                          fs::file_time_type::clock::now() -
+                              std::chrono::milliseconds(10 * kLeaseMs));
+      ++seeded;
+    }
+  }
+
+  std::vector<dist::ClaimStats> per_worker(
+      static_cast<std::size_t>(workers));
+  const auto t0 = Clock::now();
+  std::vector<std::thread> fleet;
+  for (int w = 0; w < workers; ++w) {
+    fleet.emplace_back([&cache_dir, &per_worker, w] {
+      core::StudyParams params = campaign_params(cache_dir);
+      params.worker = true;
+      core::Study study(params);
+      study.run();
+      per_worker[static_cast<std::size_t>(w)] = study.claim_stats();
+    });
+  }
+  for (std::thread& t : fleet) t.join();
+  r.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.devices_per_sec =
+      r.seconds > 0.0 ? static_cast<double>(pairs) / r.seconds : 0.0;
+  for (const dist::ClaimStats& s : per_worker) {
+    r.claims.attempts += s.attempts;
+    r.claims.acquired += s.acquired;
+    r.claims.contended += s.contended;
+    r.claims.reaped += s.reaped;
+    r.claims.released += s.released;
+    r.claims.heartbeats += s.heartbeats;
+  }
+
+  core::Study reduced(campaign_params(cache_dir));
+  reduced.run();
+  r.reduce_stats = reduced.cache_stats();
+  r.outputs_identical = table_fingerprint(reduced) == expected;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string root =
+      argc > 1 ? argv[1] : std::string("fleet_bench.artifacts");
+  std::error_code ec;
+  fs::remove_all(root, ec);
+
+  const core::StudyParams ref_params = campaign_params(root + "/ref");
+  const std::size_t pairs = campaign_pairs(ref_params);
+  std::fprintf(stderr,
+               "[iotx-bench] reference run (%zu devices, %zu pairs)...\n",
+               ref_params.catalog->size(), pairs);
+  core::Study reference(ref_params);
+  const auto t0 = Clock::now();
+  reference.run();
+  const double ref_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const std::string expected = table_fingerprint(reference);
+
+  std::vector<FleetRun> runs;
+  for (const int workers : {1, 2, 4}) {
+    // The largest fleet also inherits a crashed worker's stale claims.
+    const std::size_t seed_stale = workers == 4 ? kSeededStaleClaims : 0;
+    std::fprintf(stderr, "[iotx-bench] fleet of %d worker(s)%s...\n",
+                 workers, seed_stale > 0 ? " + seeded stale claims" : "");
+    runs.push_back(run_fleet(root + "/w" + std::to_string(workers), workers,
+                             pairs, expected, seed_stale));
+  }
+
+  bench::JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", bench::kBenchSchemaVersion);
+  w.field("bench", "fleet_scaling");
+  w.field("devices", static_cast<std::uint64_t>(ref_params.catalog->size()));
+  w.field("pairs", static_cast<std::uint64_t>(pairs));
+  w.field("catalog_id", ref_params.catalog_id);
+  w.field("reference_seconds", ref_seconds, 6);
+  w.key("runs").begin_array();
+  bool all_identical = true;
+  for (const FleetRun& r : runs) {
+    all_identical = all_identical && r.outputs_identical;
+    w.begin_object();
+    w.field("workers", r.workers);
+    w.field("seconds", r.seconds, 6);
+    w.field("devices_per_sec", r.devices_per_sec, 2);
+    w.field("claim_attempts", r.claims.attempts);
+    w.field("claims_acquired", r.claims.acquired);
+    w.field("claims_contended", r.claims.contended);
+    w.field("claims_reaped", r.claims.reaped);
+    w.field("claims_released", r.claims.released);
+    w.field("seeded_stale_claims",
+            static_cast<std::uint64_t>(r.seeded_stale_claims));
+    w.field("reduce_hits", r.reduce_stats.hits);
+    w.field("reduce_misses", r.reduce_stats.misses);
+    w.field("reduce_hit_rate", r.reduce_stats.hit_rate(), 4);
+    w.field("outputs_identical", r.outputs_identical);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::printf("%s\n", w.document().c_str());
+  return all_identical ? 0 : 1;
+}

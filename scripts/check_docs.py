@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Keep the documentation set honest, without needing a build.
+
+Two checks, run by the docs-check CI job:
+
+  1. CLI coverage — every verb and every flag in the `iotx` usage text
+     (parsed straight out of the usage() string literal in
+     src/tools/iotx_cli.cpp, so no compiled binary is required) must
+     appear in README.md's CLI reference. A new flag that ships without
+     README coverage fails CI.
+
+  2. Link integrity — every relative markdown link in every tracked
+     .md file must resolve to a file or directory in the repository
+     (anchors are stripped; http/https/mailto links are skipped — CI
+     must not depend on the network).
+
+Usage: check_docs.py [repo_root]     (default: the script's parent repo)
+"""
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "node_modules", "__pycache__"}
+
+# Flags that appear in usage() but are positional-example noise rather
+# than real options would go here; currently every --token is real.
+FLAG_RE = re.compile(r"--[a-z][a-z0-9-]*")
+VERB_RE = re.compile(r"^\s*iotx ([a-z][a-z0-9-]+)")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def extract_usage(cli_path):
+    """The concatenated string literals of the usage() function body."""
+    with open(cli_path) as f:
+        src = f.read()
+    match = re.search(r"int usage\(\)\s*\{(.*?)\n\}", src, re.DOTALL)
+    if not match:
+        raise SystemExit(f"cannot find usage() in {cli_path}")
+    body = match.group(1)
+    literals = re.findall(r'"((?:[^"\\]|\\.)*)"', body)
+    text = "".join(literals)
+    return text.replace("\\n", "\n").replace('\\"', '"')
+
+
+def cli_surface(usage_text):
+    verbs, flags = set(), set()
+    for line in usage_text.splitlines():
+        m = VERB_RE.match(line)
+        if m:
+            verbs.add(m.group(1))
+        flags.update(FLAG_RE.findall(line))
+    return verbs, flags
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_links(root, failures):
+    checked = 0
+    for path in sorted(markdown_files(root)):
+        with open(path) as f:
+            text = f.read()
+        # Fenced code blocks show example links ("[text](url)") that are
+        # not navigation; skip them.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue  # pure in-page anchor
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            checked += 1
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, root)
+                failures.append(f"{rel}: broken link -> {target}")
+    return checked
+
+
+def check_cli_coverage(root, failures):
+    cli_path = os.path.join(root, "src", "tools", "iotx_cli.cpp")
+    readme_path = os.path.join(root, "README.md")
+    usage_text = extract_usage(cli_path)
+    verbs, flags = cli_surface(usage_text)
+    with open(readme_path) as f:
+        readme = f.read()
+    for verb in sorted(verbs):
+        if not re.search(rf"\biotx {re.escape(verb)}\b", readme) and \
+                not re.search(rf"`{re.escape(verb)}`", readme):
+            failures.append(f"README.md: CLI verb `iotx {verb}` from the "
+                            "usage text is undocumented")
+    for flag in sorted(flags):
+        if f"`{flag}" not in readme and f"{flag}`" not in readme and \
+                flag not in readme:
+            failures.append(f"README.md: CLI flag `{flag}` from the usage "
+                            "text is undocumented")
+    return verbs, flags
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    failures = []
+    verbs, flags = check_cli_coverage(root, failures)
+    links = check_links(root, failures)
+    print(f"checked {len(verbs)} CLI verbs, {len(flags)} flags against "
+          f"README.md; {links} relative markdown links")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

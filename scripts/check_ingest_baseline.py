@@ -43,6 +43,21 @@ Three modes:
       shape, flat_speedup, mismatch counts). Run the --inference gate
       first; append records history, it does not validate.
 
+  check_ingest_baseline.py --fleet <fleet_scaling.json>
+      Gate the distributed-campaign bench on same-run invariants only
+      (worker counts give no wall-clock speedup on a single-core
+      runner, so speed is reported, never gated): every fleet's reduce
+      must be byte-identical to the single-process reference with a
+      100% cache hit rate, claim accounting must conserve
+      (acquired + contended == attempts, released == acquired — an
+      unreleased successful run would leak a claim), and the run that
+      seeds stale claims must observe at least that many reaps.
+
+  check_ingest_baseline.py --append-fleet <BENCH_ingest.json> <fleet_scaling.json> [label]
+      Append the fleet run to the trajectory file's `fleet_entries`
+      list (counting fields plus the per-run claim counters). Run the
+      --fleet gate first; append records history, it does not validate.
+
 Documents must agree on `schema_version` — a mismatch means the bench
 shape changed without refreshing the committed references, so the
 comparison is rejected outright rather than risked. Absolute packets/sec
@@ -317,6 +332,101 @@ def check_inference(current, failures):
             f"fast as the pointer forest ({pointer_ns:.0f} ns/predict)")
 
 
+def check_fleet(current, failures):
+    """Same-run invariants of the fleet bench; no baseline, no tolerance.
+
+    The distributed protocol's whole contract is "any worker count,
+    including crashed workers, reduces to the single-process bytes" —
+    which is exact, so it gates hard on every run. Claim accounting is
+    pure counting; devices/sec is machine-dependent and only reported.
+    """
+    runs = current.get("runs", [])
+    if not runs:
+        failures.append("fleet bench produced no runs")
+        return
+    pairs = int(current["pairs"])
+    print(f"fleet campaign: {current['devices']} devices, {pairs} "
+          f"(config, device) pairs, catalog {current.get('catalog_id')!r}")
+    for run in runs:
+        workers = int(run["workers"])
+        attempts = int(run["claim_attempts"])
+        acquired = int(run["claims_acquired"])
+        contended = int(run["claims_contended"])
+        reaped = int(run["claims_reaped"])
+        released = int(run["claims_released"])
+        seeded = int(run["seeded_stale_claims"])
+        print(f"  {workers} worker(s): {run['devices_per_sec']} "
+              f"devices/sec, {acquired} acquired + {contended} contended "
+              f"of {attempts} attempts, {reaped} reaped, "
+              f"reduce hit rate {run['reduce_hit_rate']}, "
+              f"identical {run['outputs_identical']}")
+        tag = f"{workers}-worker run"
+        if not bool(run["outputs_identical"]):
+            failures.append(f"{tag}: reduced tables differ from the "
+                            "single-process reference")
+        if int(run["reduce_misses"]) != 0:
+            failures.append(
+                f"{tag}: reduce recomputed {run['reduce_misses']} stages "
+                "(the fleet left work uncomputed or keys diverged)")
+        if acquired + contended != attempts:
+            failures.append(
+                f"{tag}: claim accounting does not conserve "
+                f"({acquired} acquired + {contended} contended != "
+                f"{attempts} attempts)")
+        if released != acquired:
+            failures.append(
+                f"{tag}: {acquired} claims acquired but {released} "
+                "released (a successful run leaked its claim)")
+        if attempts < pairs * workers:
+            failures.append(
+                f"{tag}: only {attempts} claim attempts for {pairs} pairs "
+                f"x {workers} workers (a worker skipped part of the "
+                "campaign)")
+        if reaped < seeded:
+            failures.append(
+                f"{tag}: seeded {seeded} stale claims but reaped only "
+                f"{reaped} (the lease-recovery path did not run)")
+        if float(run["devices_per_sec"]) <= 0.0:
+            failures.append(f"{tag}: nonpositive devices/sec")
+    if not any(int(r["claims_reaped"]) > 0 for r in runs):
+        failures.append("no run exercised the stale-claim reap path")
+    if not any(int(r["claims_contended"]) > 0 for r in runs):
+        failures.append("no run observed claim contention (fleets >1 "
+                        "worker must race)")
+
+
+def append_fleet_entry(trajectory_path, current, label):
+    try:
+        trajectory = load(trajectory_path)
+    except FileNotFoundError:
+        trajectory = {"bench": "ingest_throughput", "entries": []}
+    entry = {"schema_version": SUPPORTED_SCHEMA}
+    if label:
+        entry["label"] = label
+    # Counting fields and per-run claim counters only: absolute seconds
+    # and devices/sec stay out, same rule as every other entry list.
+    entry["devices"] = current["devices"]
+    entry["pairs"] = current["pairs"]
+    entry["catalog_id"] = current.get("catalog_id")
+    entry["runs"] = [
+        {
+            "workers": run["workers"],
+            "claim_attempts": run["claim_attempts"],
+            "claims_acquired": run["claims_acquired"],
+            "claims_contended": run["claims_contended"],
+            "claims_reaped": run["claims_reaped"],
+            "outputs_identical": run["outputs_identical"],
+        }
+        for run in current.get("runs", [])
+    ]
+    entries = trajectory.setdefault("fleet_entries", [])
+    entries.append(entry)
+    with open(trajectory_path, "w") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+    print(f"appended fleet entry {len(entries)} to {trajectory_path}")
+
+
 def append_entry(trajectory_path, current, label):
     try:
         trajectory = load(trajectory_path)
@@ -369,11 +479,12 @@ def main() -> int:
     argv = sys.argv[1:]
     mode = "pairwise"
     if argv and argv[0] in ("--trajectory", "--append", "--serve",
-                            "--inference", "--append-inference"):
+                            "--inference", "--append-inference",
+                            "--fleet", "--append-fleet"):
         mode = argv[0][2:]
         argv = argv[1:]
 
-    if mode in ("serve", "inference"):
+    if mode in ("serve", "inference", "fleet"):
         if len(argv) < 1:
             print(__doc__.strip(), file=sys.stderr)
             return 2
@@ -382,8 +493,10 @@ def main() -> int:
         if check_schema(current, argv[0], failures):
             if mode == "serve":
                 check_serve(current, failures)
-            else:
+            elif mode == "inference":
                 check_inference(current, failures)
+            else:
+                check_fleet(current, failures)
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:
@@ -406,6 +519,11 @@ def main() -> int:
     if mode == "append-inference":
         label = argv[2] if len(argv) > 2 else ""
         append_inference_entry(reference_path, current, label)
+        return 0
+
+    if mode == "append-fleet":
+        label = argv[2] if len(argv) > 2 else ""
+        append_fleet_entry(reference_path, current, label)
         return 0
 
     if mode == "append":

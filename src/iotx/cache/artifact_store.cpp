@@ -1,5 +1,6 @@
 #include "iotx/cache/artifact_store.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -159,6 +160,8 @@ ArtifactStoreStats ArtifactStore::stats() const {
   s.corrupt = corrupt_.load(std::memory_order_relaxed);
   s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
   s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.orphan_claims_removed =
+      orphan_claims_removed_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -180,6 +183,42 @@ std::size_t ArtifactStore::remove_stale_temp_files() {
   return removed;
 }
 
+std::size_t ArtifactStore::remove_orphaned_claims(std::uint64_t lease_ms) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::size_t removed = 0;
+  fs::recursive_directory_iterator it(root_, ec);
+  if (ec) return 0;
+  const auto now = fs::file_time_type::clock::now();
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    const std::size_t claim_pos = name.find(".claim");
+    if (claim_pos == std::string::npos) continue;
+    bool orphaned = false;
+    if (claim_pos + 6 < name.size()) {
+      // ".claim.stage*" staging debris never survives a live try_claim;
+      // anything left on disk belongs to a killed worker.
+      orphaned = true;
+    } else {
+      // "<key>.claim": orphaned when its stage already finished (the
+      // artifact exists — the owner died between store and release) or
+      // when the owner stopped heartbeating for a whole lease.
+      const fs::path artifact =
+          entry.path().parent_path() / (name.substr(0, claim_pos) + ".art");
+      if (fs::exists(artifact, ec)) {
+        orphaned = true;
+      } else {
+        const fs::file_time_type mtime = fs::last_write_time(entry.path(), ec);
+        orphaned = !ec && (now - mtime) > std::chrono::milliseconds(lease_ms);
+      }
+    }
+    if (orphaned && fs::remove(entry.path(), ec) && !ec) ++removed;
+  }
+  orphan_claims_removed_.fetch_add(removed, std::memory_order_relaxed);
+  return removed;
+}
+
 void ArtifactStore::publish_metrics() const {
   if (!obs::metrics_enabled()) return;
   auto& registry = obs::Registry::global();
@@ -190,6 +229,8 @@ void ArtifactStore::publish_metrics() const {
   registry.add(registry.counter("cache/corrupt_artifacts"), s.corrupt);
   registry.add(registry.counter("cache/bytes_read"), s.bytes_read);
   registry.add(registry.counter("cache/bytes_written"), s.bytes_written);
+  registry.add(registry.counter("cache/orphan_claims_removed"),
+               s.orphan_claims_removed);
 }
 
 }  // namespace iotx::cache

@@ -16,7 +16,7 @@ namespace iotx::cache {
 // Code-version salt folded into every stage key. Bump whenever the
 // serialized artifact layout or the semantics of a cached stage
 // change, so stale artifacts become misses instead of poisoning runs.
-inline constexpr std::string_view kCodeVersionSalt = "iotx-cache-v1";
+inline constexpr std::string_view kCodeVersionSalt = "iotx-cache-v2";
 
 // Deterministic cache-key builder: a SHA-256 over labeled,
 // length-prefixed input fields. Labels keep adjacent fields from
@@ -54,6 +54,7 @@ struct ArtifactStoreStats {
   std::uint64_t corrupt = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  std::uint64_t orphan_claims_removed = 0;
 
   std::uint64_t lookups() const { return hits + misses; }
   double hit_rate() const {
@@ -104,6 +105,17 @@ class ArtifactStore {
   // store (never corrupt one).
   std::size_t remove_stale_temp_files();
 
+  // Removes orphaned "<key>.claim" files — debris of the dist
+  // work-claiming protocol (dist::ClaimStore) when a worker fleet
+  // crashes. A claim is an orphan when its artifact already exists (the
+  // stage finished but the owner died before releasing) or when its
+  // mtime is older than `lease_ms` (the owner stopped heartbeating).
+  // Also sweeps ".claim.stage*" staging debris. Counted in stats() and
+  // published as `cache/orphan_claims_removed`, so a wedged store is
+  // visible in /metrics rather than silently slowing a fleet. Returns
+  // the number of files removed.
+  std::size_t remove_orphaned_claims(std::uint64_t lease_ms = 60'000);
+
  private:
   std::string object_path(const std::string& key_hex) const;
 
@@ -114,6 +126,7 @@ class ArtifactStore {
   std::atomic<std::uint64_t> corrupt_{0};
   std::atomic<std::uint64_t> bytes_read_{0};
   std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> orphan_claims_removed_{0};
 };
 
 }  // namespace iotx::cache

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "iotx/faults/impairment.hpp"
+#include "iotx/testbed/catalog_gen.hpp"
 
 namespace iotx::core {
 
@@ -83,6 +84,30 @@ StudyOptions& StudyOptions::vpn(bool enabled) {
 
 StudyOptions& StudyOptions::out_dir(std::string dir) {
   out_ = std::move(dir);
+  return *this;
+}
+
+StudyOptions& StudyOptions::worker(bool enabled) {
+  params_.worker = enabled;
+  return *this;
+}
+
+StudyOptions& StudyOptions::claim_lease_ms(std::uint64_t lease_ms) {
+  params_.claim_lease_ms = lease_ms;
+  return *this;
+}
+
+StudyOptions& StudyOptions::synthetic_devices(std::size_t count,
+                                              std::uint64_t seed) {
+  testbed::CatalogGenParams gen;
+  gen.count = count;
+  gen.seed = seed;
+  params_.catalog = std::make_shared<const std::vector<testbed::DeviceSpec>>(
+      testbed::generate_catalog(gen, params_.jobs));
+  params_.catalog_id = testbed::catalog_cache_id(gen);
+  // The uncontrolled user study simulates the builtin deployment's real
+  // households; it has no meaning for a synthetic fleet.
+  params_.run_uncontrolled = false;
   return *this;
 }
 

@@ -41,6 +41,17 @@ class StudyOptions {
   StudyOptions& devices(std::vector<std::string> ids);
   StudyOptions& vpn(bool enabled);
   StudyOptions& out_dir(std::string dir);
+  /// Worker mode: claim (config, device) runs through the shared cache
+  /// before computing them (requires a cache directory; validated by the
+  /// CLI, not here).
+  StudyOptions& worker(bool enabled);
+  StudyOptions& claim_lease_ms(std::uint64_t lease_ms);
+  /// Replaces the builtin catalog with `count` synthetic devices from
+  /// testbed::generate_catalog (seeded, bit-reproducible) and disables
+  /// the uncontrolled user-study stage, which only models the builtin
+  /// deployment. Sets params().catalog_id so cache keys cannot collide
+  /// across catalogs.
+  StudyOptions& synthetic_devices(std::size_t count, std::uint64_t seed);
 
   /// The assembled study parameters (cache_dir included).
   const StudyParams& params() const noexcept { return params_; }

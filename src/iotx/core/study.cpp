@@ -1,8 +1,12 @@
 #include "iotx/core/study.hpp"
 #include <algorithm>
 
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "iotx/cache/binio.hpp"
@@ -51,6 +55,12 @@ Study::Study(StudyParams params)
       store_(params_.cache_dir.empty()
                  ? nullptr
                  : std::make_unique<cache::ArtifactStore>(params_.cache_dir)),
+      claims_(params_.worker && !params_.cache_dir.empty()
+                  ? std::make_unique<dist::ClaimStore>(
+                        params_.cache_dir,
+                        dist::ClaimConfig{/*owner=*/"",
+                                          /*lease_ms=*/params_.claim_lease_ms})
+                  : nullptr),
       runner_(params_.plan),
       orgs_(testbed::EndpointRegistry::builtin().make_org_database()),
       geo_(testbed::EndpointRegistry::builtin().make_geo_database()) {}
@@ -263,7 +273,7 @@ void Study::run_experiment_schedule(const testbed::DeviceSpec& device,
   obs::Span span("study/experiments");
   for (const testbed::ExperimentSpec& spec :
        runner_.schedule(device, config)) {
-    testbed::LabeledCapture capture = runner_.run(spec);
+    testbed::LabeledCapture capture = runner_.run(spec, device);
     ++scratch.experiments;
     if (params_.impairment.enabled()) {
       // Seeded by the experiment key alone, never by execution order, so
@@ -423,7 +433,7 @@ void Study::run() {
   for (const testbed::NetworkConfig& config : testbed::all_network_configs()) {
     if (config.vpn && !params_.run_vpn) continue;
     std::vector<DeviceRunResult>& bucket = results_[config.key()];
-    for (const testbed::DeviceSpec& device : testbed::device_catalog()) {
+    for (const testbed::DeviceSpec& device : catalog()) {
       const bool present = config.lab == testbed::LabSite::kUs
                                ? device.in_us()
                                : device.in_uk();
@@ -438,6 +448,26 @@ void Study::run() {
       pending.push_back(PendingRun{&bucket, bucket.size(), &device, config});
       bucket.emplace_back();
     }
+  }
+
+  // Worker mode: keep held claims fresh while the pool grinds. A worker
+  // that dies (kill -9, OOM) simply stops heartbeating and its claims age
+  // out after the lease; no unwind code has to run for recovery to work.
+  std::thread heartbeat;
+  std::mutex hb_mutex;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  if (claims_ != nullptr) {
+    heartbeat = std::thread([&] {
+      const auto interval = std::chrono::milliseconds(
+          std::max<std::uint64_t>(10, params_.claim_lease_ms / 4));
+      std::unique_lock<std::mutex> lock(hb_mutex);
+      while (!hb_cv.wait_for(lock, interval, [&] { return hb_stop; })) {
+        lock.unlock();
+        claims_->heartbeat_all();
+        lock.lock();
+      }
+    });
   }
 
   util::TaskPool pool(params_.jobs);
@@ -457,11 +487,32 @@ void Study::run() {
       (*p.bucket)[p.slot] = std::move(skipped);
       return;
     }
+    // Worker partitioning: claim the run's ingest stage key before doing
+    // any work. Losing the claim means a peer worker owns (or already
+    // computed) this run — mark it skipped and move on; the reducer pass
+    // recomputes nothing because the artifacts are content-addressed.
+    std::string claim_key;
+    if (claims_ != nullptr) {
+      claim_key = ingest_stage_key(params_, *p.device, p.config);
+      if (!claims_->try_claim(claim_key)) {
+        DeviceRunResult skipped;
+        skipped.device = p.device;
+        skipped.config = p.config;
+        skipped.status = RunStatus::kSkipped;
+        skipped.error = "claimed by another worker";
+        (*p.bucket)[p.slot] = std::move(skipped);
+        return;
+      }
+    }
     // Pool-boundary fault isolation: one (config, device) run that still
     // throws after all the graceful-degradation layers is quarantined —
     // slot recorded with the exception text — and the campaign continues.
+    // A quarantined run's claim is deliberately NOT released: the abandoned
+    // claim ages out exactly like a killed worker's would, so there is one
+    // recovery path (lease expiry) instead of two.
     try {
       (*p.bucket)[p.slot] = run_device(*p.device, p.config, &pool);
+      if (claims_ != nullptr) claims_->release(claim_key);
     } catch (const std::exception& e) {
       DeviceRunResult failed;
       failed.device = p.device;
@@ -479,6 +530,15 @@ void Study::run() {
     }
   });
 
+  if (claims_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(hb_mutex);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    heartbeat.join();
+  }
+
   const bool cancelled = params_.cancel != nullptr &&
                          params_.cancel->load(std::memory_order_relaxed);
   if (cancelled) interrupted_.store(true, std::memory_order_relaxed);
@@ -495,6 +555,7 @@ void Study::run() {
                  net::decode_packet_calls() - decode_before);
   }
   if (store_ != nullptr) store_->publish_metrics();
+  if (claims_ != nullptr) claims_->publish_metrics();
 }
 
 void Study::run_uncontrolled() {

@@ -24,6 +24,7 @@
 #include "iotx/analysis/pii.hpp"
 #include "iotx/analysis/unexpected.hpp"
 #include "iotx/cache/artifact_store.hpp"
+#include "iotx/dist/claim.hpp"
 #include "iotx/faults/impairment.hpp"
 #include "iotx/flow/ingest.hpp"
 #include "iotx/testbed/experiment.hpp"
@@ -75,6 +76,28 @@ struct StudyParams {
   /// corrupt/truncated artifact falls back to recompute and is counted
   /// in the run's CaptureHealth (see DESIGN.md §"Artifact cache").
   std::string cache_dir;
+  /// Distributed worker mode (requires cache_dir): before computing a
+  /// (config, device) pair, the run claims its ingest stage key through
+  /// dist::ClaimStore over the shared cache directory. A pair whose
+  /// claim is held by another live worker is marked RunStatus::kSkipped
+  /// (error "claimed by another worker") — N workers over one cache dir
+  /// partition the stage graph with no coordinator, and a follow-up
+  /// non-worker run ("iotx reduce") merges the partials byte-
+  /// identically. See DESIGN.md §"Distributed campaigns".
+  bool worker = false;
+  /// Claim lease for worker mode: a claim not heartbeated for this long
+  /// is considered abandoned (worker killed mid-stage) and reaped.
+  std::uint64_t claim_lease_ms = 60'000;
+  /// Catalog override for fleet-scale campaigns: when set, run()
+  /// enumerates these devices instead of testbed::device_catalog().
+  /// Shared ownership keeps DeviceRunResult::device pointers valid for
+  /// the Study's lifetime. Pair with catalog_id so cache keys never
+  /// alias across catalogs.
+  std::shared_ptr<const std::vector<testbed::DeviceSpec>> catalog;
+  /// Cache identity of the catalog, folded into every stage key:
+  /// "builtin" for the paper catalog, testbed::catalog_cache_id() for a
+  /// generated fleet.
+  std::string catalog_id = "builtin";
 
   /// Paper-scale settings (30 automated reps, 10 CV repetitions, 100
   /// trees, 28 h idle, ~6-month user study). Minutes of CPU.
@@ -185,6 +208,19 @@ class Study {
     return store_ == nullptr ? cache::ArtifactStoreStats{} : store_->stats();
   }
 
+  /// Claim-protocol counters for this study (all zero unless
+  /// params().worker): attempts/acquired/contended/reaped/released.
+  dist::ClaimStats claim_stats() const {
+    return claims_ == nullptr ? dist::ClaimStats{} : claims_->stats();
+  }
+
+  /// The device catalog this study enumerates: the override from
+  /// params().catalog, or the builtin 81-device paper catalog.
+  const std::vector<testbed::DeviceSpec>& catalog() const {
+    return params_.catalog != nullptr ? *params_.catalog
+                                      : testbed::device_catalog();
+  }
+
   /// True once run() observed the params().cancel flag: some runs (or
   /// the uncontrolled phase) were skipped and the report is partial.
   bool interrupted() const noexcept {
@@ -248,6 +284,8 @@ class Study {
   StudyParams params_;
   /// Non-null when params_.cache_dir is set.
   std::unique_ptr<cache::ArtifactStore> store_;
+  /// Non-null in worker mode (params_.worker with a cache_dir).
+  std::unique_ptr<dist::ClaimStore> claims_;
   testbed::ExperimentRunner runner_;
   geo::OrgDatabase orgs_;
   geo::GeoDatabase geo_;

@@ -72,6 +72,9 @@ namespace {
 void common_key_fields(cache::StageKey& key, const StudyParams& params,
                        const testbed::DeviceSpec& device,
                        const testbed::NetworkConfig& config) {
+  // Which catalog the device came from: a synthetic fleet device and a
+  // builtin device must never share a key even if their specs collide.
+  key.field("catalog", params.catalog_id);
   key.field("device_id", device.id)
       .field("device_name", device.name)
       .field("manufacturer", device.manufacturer);

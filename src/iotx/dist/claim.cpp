@@ -1,0 +1,150 @@
+#include "iotx/dist/claim.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "iotx/obs/registry.hpp"
+
+namespace iotx::dist {
+
+namespace fs = std::filesystem;
+
+std::string ClaimStore::claim_path(const std::string& root,
+                                   const std::string& key_hex) {
+  return root + "/" + key_hex.substr(0, 2) + "/" + key_hex + ".claim";
+}
+
+std::string ClaimStore::default_owner() {
+  char host[256] = {0};
+  if (gethostname(host, sizeof(host) - 1) != 0) host[0] = '\0';
+  return std::string(host[0] == '\0' ? "unknown-host" : host) + "/" +
+         std::to_string(static_cast<long>(getpid()));
+}
+
+ClaimStore::ClaimStore(std::string root, ClaimConfig config)
+    : root_(std::move(root)), config_(std::move(config)) {
+  if (config_.owner.empty()) config_.owner = default_owner();
+}
+
+namespace {
+
+bool claim_is_stale(const fs::path& path, std::uint64_t lease_ms) {
+  std::error_code ec;
+  const fs::file_time_type mtime = fs::last_write_time(path, ec);
+  if (ec) return false;  // vanished or unreadable: treat as live, retry later
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  return age > std::chrono::milliseconds(lease_ms);
+}
+
+}  // namespace
+
+bool ClaimStore::try_claim(const std::string& key_hex) {
+  attempts_.fetch_add(1, std::memory_order_relaxed);
+  const fs::path claim = claim_path(root_, key_hex);
+  std::error_code ec;
+  fs::create_directories(claim.parent_path(), ec);
+
+  // Unique staging file carrying the owner tag. The link step below is
+  // the atomic no-clobber primitive: link(2) fails with EEXIST when the
+  // claim already exists, unlike rename(2), which would silently steal a
+  // live claim from its owner.
+  static std::atomic<std::uint64_t> serial{0};
+  const fs::path staged =
+      claim.string() + ".stage" + std::to_string(static_cast<long>(getpid())) +
+      "." + std::to_string(serial.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(staged, std::ios::binary | std::ios::trunc);
+    out << "owner " << config_.owner << "\nlease_ms " << config_.lease_ms
+        << "\n";
+    if (!out.good()) {
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      return false;  // unwritable store: behave as if contended
+    }
+  }
+
+  // Two attempts: the second one runs only after reaping a stale claim,
+  // and may still lose the race to another reaping worker — which is
+  // fine, exactly one of them wins the link.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    fs::create_hard_link(staged, claim, ec);
+    if (!ec) {
+      fs::remove(staged, ec);
+      acquired_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mutex_);
+      held_.insert(key_hex);
+      return true;
+    }
+    if (attempt == 0 && claim_is_stale(claim, config_.lease_ms)) {
+      // The owner stopped heartbeating (killed mid-stage, wedged, or it
+      // threw and abandoned the claim on purpose): reap and re-claim.
+      // Recomputing a stage someone half-finished is safe — the store is
+      // content-addressed and the half-finished temp never became an
+      // artifact.
+      if (fs::remove(claim, ec) && !ec) {
+        reaped_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    break;
+  }
+  fs::remove(staged, ec);
+  contended_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ClaimStore::release(const std::string& key_hex) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (held_.erase(key_hex) == 0) return;
+  }
+  std::error_code ec;
+  fs::remove(claim_path(root_, key_hex), ec);
+  released_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClaimStore::heartbeat_all() {
+  std::set<std::string> held;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    held = held_;
+  }
+  const fs::file_time_type now = fs::file_time_type::clock::now();
+  for (const std::string& key : held) {
+    std::error_code ec;
+    fs::last_write_time(claim_path(root_, key), now, ec);
+    if (!ec) heartbeats_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t ClaimStore::held() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return held_.size();
+}
+
+ClaimStats ClaimStore::stats() const {
+  ClaimStats s;
+  s.attempts = attempts_.load(std::memory_order_relaxed);
+  s.acquired = acquired_.load(std::memory_order_relaxed);
+  s.contended = contended_.load(std::memory_order_relaxed);
+  s.reaped = reaped_.load(std::memory_order_relaxed);
+  s.released = released_.load(std::memory_order_relaxed);
+  s.heartbeats = heartbeats_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ClaimStore::publish_metrics() const {
+  if (!obs::metrics_enabled()) return;
+  auto& registry = obs::Registry::global();
+  const ClaimStats s = stats();
+  registry.add(registry.counter("dist/claims_attempted"), s.attempts);
+  registry.add(registry.counter("dist/claims_acquired"), s.acquired);
+  registry.add(registry.counter("dist/claims_contended"), s.contended);
+  registry.add(registry.counter("dist/claims_reaped"), s.reaped);
+  registry.add(registry.counter("dist/claims_released"), s.released);
+  registry.add(registry.counter("dist/heartbeats"), s.heartbeats);
+}
+
+}  // namespace iotx::dist

@@ -1,0 +1,108 @@
+// iotx::dist — coordinator-free work claiming over a shared artifact
+// store (DESIGN.md §"Distributed campaigns").
+//
+// N worker processes point at one cache directory and partition the
+// (config, device) stage graph among themselves with per-stage claim
+// files: `<root>/<key[0:2]>/<key>.claim`, created next to the artifact
+// the stage would produce. A claim is advisory — it prevents duplicate
+// *work*, not duplicate *results* — because every artifact is a pure
+// function of its content-addressed key: if two workers ever do compute
+// the same stage (a reaped lease, a crashed-then-restarted worker), both
+// write byte-identical artifacts and the store's atomic temp+rename
+// keeps the last one whole. Correctness therefore never depends on the
+// claim protocol; only efficiency does.
+//
+// Liveness comes from leases, not from graceful shutdown: a worker
+// heartbeats its held claims by bumping their mtimes, and a claim whose
+// mtime is older than the lease is considered abandoned (its owner was
+// killed or wedged) and may be reaped by any other worker. A worker
+// deliberately does NOT release a claim when the stage throws — the
+// abandoned claim ages out exactly like a kill -9 would leave it, so the
+// two failure modes share one recovery path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace iotx::dist {
+
+struct ClaimConfig {
+  /// Diagnostic owner tag written into the claim file; defaults to
+  /// "<host>/<pid>" when empty. Never parsed by the protocol — staleness
+  /// is judged by mtime alone, so clock-skewed hosts disagree only about
+  /// *when* to reap, never about *what* an artifact contains.
+  std::string owner;
+  /// A claim untouched for this long is abandoned and may be reaped.
+  /// Must comfortably exceed the heartbeat interval (lease / 4).
+  std::uint64_t lease_ms = 60'000;
+};
+
+struct ClaimStats {
+  std::uint64_t attempts = 0;   ///< try_claim calls
+  std::uint64_t acquired = 0;   ///< claims won (attempts == acquired + contended)
+  std::uint64_t contended = 0;  ///< lost to a live claim held elsewhere
+  std::uint64_t reaped = 0;     ///< stale claims removed before re-claiming
+  std::uint64_t released = 0;   ///< claims released after a completed stage
+  std::uint64_t heartbeats = 0; ///< mtime bumps across all held claims
+};
+
+/// The claim protocol for one worker process over one shared store root.
+/// Thread-safe: a worker's pool threads may claim/release concurrently.
+class ClaimStore {
+ public:
+  explicit ClaimStore(std::string root, ClaimConfig config = {});
+
+  /// Attempts to claim the stage named by the 64-hex-digit key. True
+  /// when this ClaimStore now holds the claim (tracked for heartbeat and
+  /// release); false when a live claim is held elsewhere. A stale claim
+  /// (mtime beyond the lease) is reaped and re-claimed in the same call.
+  bool try_claim(const std::string& key_hex);
+
+  /// Releases a held claim after its stage completed (the artifact is in
+  /// the store, so nobody needs to recompute it; a later claim of the
+  /// same key would just load the hit). No-op for claims not held here.
+  void release(const std::string& key_hex);
+
+  /// Bumps the mtime of every claim this store currently holds. Call
+  /// periodically (lease / 4) from a heartbeat thread so long-running
+  /// stages are not reaped out from under a live worker.
+  void heartbeat_all();
+
+  /// Number of claims currently held by this store.
+  std::size_t held() const;
+
+  ClaimStats stats() const;
+
+  /// Mirrors the counters into the global obs registry as `dist/*`
+  /// metrics (no-op when metrics are disabled).
+  void publish_metrics() const;
+
+  const std::string& root() const noexcept { return root_; }
+  const ClaimConfig& config() const noexcept { return config_; }
+
+  /// `<root>/<key[0:2]>/<key>.claim` — beside the artifact it guards.
+  static std::string claim_path(const std::string& root,
+                                const std::string& key_hex);
+
+  /// "<host>/<pid>" — the default diagnostic owner tag.
+  static std::string default_owner();
+
+ private:
+  std::string root_;
+  ClaimConfig config_;
+
+  mutable std::mutex mutex_;
+  std::set<std::string> held_;  ///< keys claimed and not yet released
+
+  std::atomic<std::uint64_t> attempts_{0};
+  std::atomic<std::uint64_t> acquired_{0};
+  std::atomic<std::uint64_t> contended_{0};
+  std::atomic<std::uint64_t> reaped_{0};
+  std::atomic<std::uint64_t> released_{0};
+  std::atomic<std::uint64_t> heartbeats_{0};
+};
+
+}  // namespace iotx::dist

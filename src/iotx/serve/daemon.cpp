@@ -74,6 +74,12 @@ Daemon::Daemon(ServeConfig config)
                  config_.thresholds) {
   if (!config_.checkpoint_dir.empty()) {
     store_ = std::make_unique<cache::ArtifactStore>(config_.checkpoint_dir);
+    // Startup hygiene: a previous daemon killed mid-checkpoint leaves
+    // half-written temp files; a checkpoint dir shared with a worker
+    // fleet can hold abandoned claims. Both counters land in /metrics
+    // via the store's publish path.
+    store_->remove_stale_temp_files();
+    store_->remove_orphaned_claims();
   }
 }
 

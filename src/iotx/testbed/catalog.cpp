@@ -1181,7 +1181,16 @@ net::Ipv4Address device_ip(const DeviceSpec& device, bool us_lab) {
                               static_cast<std::uint8_t>(i + 10));
     }
   }
-  return net::Ipv4Address(10, 42, 200, 200);
+  // Devices outside the builtin catalog (synthetic fleets from
+  // catalog_gen) get an id-hashed address in a disjoint 10.43/16 range.
+  // Collisions across a 100k fleet are harmless — every device's
+  // captures are synthesized and analyzed in isolation — but the
+  // address must be a pure function of (id, lab) so fleet captures are
+  // bit-reproducible.
+  const std::uint64_t h =
+      util::fnv1a64(device.id + (us_lab ? "/ip/us" : "/ip/uk"));
+  return net::Ipv4Address(10, 43, static_cast<std::uint8_t>(h >> 8),
+                          static_cast<std::uint8_t>(h));
 }
 
 }  // namespace iotx::testbed

@@ -60,7 +60,9 @@ std::string_view activity_group(std::string_view activity) noexcept;
 /// Deterministic MAC address for a device unit in a lab.
 net::MacAddress device_mac(const DeviceSpec& device, bool us_lab);
 
-/// Deterministic private IP for a device unit in a lab (10.42.x.y).
+/// Deterministic private IP for a device unit in a lab: 10.42.x.y for
+/// the builtin catalog, an id-hashed 10.43.x.y for synthetic fleet
+/// devices (catalog_gen.hpp).
 net::Ipv4Address device_ip(const DeviceSpec& device, bool us_lab);
 
 }  // namespace iotx::testbed

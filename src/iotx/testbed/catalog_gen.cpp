@@ -1,0 +1,186 @@
+#include "iotx/testbed/catalog_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "iotx/util/prng.hpp"
+#include "iotx/util/task_pool.hpp"
+
+namespace iotx::testbed {
+
+namespace {
+
+std::string_view category_slug(Category c) noexcept {
+  switch (c) {
+    case Category::kCamera: return "camera";
+    case Category::kSmartHub: return "hub";
+    case Category::kHomeAutomation: return "automation";
+    case Category::kTv: return "tv";
+    case Category::kAudio: return "audio";
+    case Category::kAppliance: return "appliance";
+  }
+  return "device";
+}
+
+double clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+/// Multiplicative jitter in [lo, hi] — the workhorse perturbation: it
+/// moves a parameter around its template value without ever changing
+/// its sign or collapsing it to zero.
+double scale(util::Prng& prng, double value, double lo, double hi) {
+  return value * prng.uniform_real(lo, hi);
+}
+
+/// Jitters one activity signature. The perturbations are wide enough
+/// that two synthetic siblings of one template are distinguishable in
+/// feature space, and narrow enough that the category's shape — what
+/// Tables 3/6/9 aggregate — survives (test_catalog.cpp holds every
+/// generated signature to a [0.5x, 2x] envelope of its template).
+void jitter_signature(util::Prng& prng, ActivitySignature& s) {
+  s.packets_up = std::max(
+      2, static_cast<int>(std::lround(scale(prng, s.packets_up, 0.75, 1.3))));
+  s.packets_down = std::max(
+      2, static_cast<int>(std::lround(scale(prng, s.packets_down, 0.75, 1.3))));
+  s.size_up_mu = clamp(s.size_up_mu + prng.normal(0.0, 0.12), 3.5, 9.0);
+  s.size_down_mu = clamp(s.size_down_mu + prng.normal(0.0, 0.12), 3.5, 9.0);
+  s.size_up_sigma = clamp(scale(prng, s.size_up_sigma, 0.9, 1.15), 0.1, 1.5);
+  s.size_down_sigma =
+      clamp(scale(prng, s.size_down_sigma, 0.9, 1.15), 0.1, 1.5);
+  s.gap_mean = clamp(scale(prng, s.gap_mean, 0.8, 1.3), 0.002, 1.0);
+  s.duration = clamp(scale(prng, s.duration, 0.9, 1.2), 1.0, 120.0);
+  s.noise = clamp(scale(prng, s.noise, 0.85, 1.2), 0.02, 0.9);
+}
+
+void jitter_profile(util::Prng& prng, BehaviorProfile& b) {
+  for (EndpointUse& e : b.endpoints) {
+    e.weight = clamp(scale(prng, e.weight, 0.7, 1.4), 0.05, 10.0);
+  }
+  b.plaintext_fraction =
+      clamp(scale(prng, b.plaintext_fraction, 0.5, 1.5), 0.0, 0.6);
+  if (b.plaintext_fraction_uk >= 0.0) {
+    b.plaintext_fraction_uk =
+        clamp(scale(prng, b.plaintext_fraction_uk, 0.5, 1.5), 0.0, 0.6);
+  }
+  if (b.plaintext_fraction_vpn >= 0.0) {
+    b.plaintext_fraction_vpn =
+        clamp(scale(prng, b.plaintext_fraction_vpn, 0.5, 1.5), 0.0, 0.6);
+  }
+  b.distinctiveness = clamp(scale(prng, b.distinctiveness, 0.85, 1.15), 0.1, 1.5);
+  b.heartbeat_period = clamp(scale(prng, b.heartbeat_period, 0.75, 1.4), 5.0, 600.0);
+  b.reconnect_per_hour =
+      clamp(scale(prng, b.reconnect_per_hour, 0.5, 1.8), 0.0, 20.0);
+  if (b.reconnect_per_hour_uk >= 0.0) {
+    b.reconnect_per_hour_uk =
+        clamp(scale(prng, b.reconnect_per_hour_uk, 0.5, 1.8), 0.0, 20.0);
+  }
+  if (b.reconnect_per_hour_vpn >= 0.0) {
+    b.reconnect_per_hour_vpn =
+        clamp(scale(prng, b.reconnect_per_hour_vpn, 0.5, 1.8), 0.0, 20.0);
+  }
+  for (SpuriousActivity& sp : b.spurious) {
+    sp.per_hour_us = clamp(scale(prng, sp.per_hour_us, 0.5, 1.6), 0.0, 200.0);
+    sp.per_hour_uk = clamp(scale(prng, sp.per_hour_uk, 0.5, 1.6), 0.0, 200.0);
+    sp.per_hour_vpn_us =
+        clamp(scale(prng, sp.per_hour_vpn_us, 0.5, 1.6), 0.0, 200.0);
+    sp.per_hour_vpn_uk =
+        clamp(scale(prng, sp.per_hour_vpn_uk, 0.5, 1.6), 0.0, 200.0);
+  }
+  for (ActivitySignature& s : b.activities) {
+    jitter_signature(prng, s);
+    for (EndpointUse& e : s.extra_endpoints) {
+      e.weight = clamp(scale(prng, e.weight, 0.7, 1.4), 0.05, 10.0);
+    }
+  }
+}
+
+std::string zero_pad(std::size_t value, int width) {
+  std::string s = std::to_string(value);
+  while (static_cast<int>(s.size()) < width) s.insert(s.begin(), '0');
+  return s;
+}
+
+}  // namespace
+
+DeviceSpec generate_device(std::uint64_t seed, std::size_t index) {
+  const std::vector<DeviceSpec>& seeds = device_catalog();
+
+  // The category/template/presence draws and the profile jitter share a
+  // single stream keyed "catalog/<device_id>" — the id is a pure
+  // function of (seed, index), so device i can be generated alone, in
+  // any order, on any thread, and always comes out bit-identical.
+  const std::string pick_key = "catalog/syn_" + std::to_string(seed) + "_" +
+                               zero_pad(index, 6);
+  util::Prng prng(pick_key);
+
+  // Category frequencies follow the seed catalog's, so fleet-level
+  // aggregates (Table 3/6 category rows) keep the paper's proportions.
+  std::vector<double> weights(static_cast<std::size_t>(kCategoryCount), 0.0);
+  for (const DeviceSpec& d : seeds) {
+    weights[static_cast<std::size_t>(d.category)] += 1.0;
+  }
+  const Category category = static_cast<Category>(prng.weighted(weights));
+
+  std::vector<const DeviceSpec*> candidates;
+  for (const DeviceSpec& d : seeds) {
+    if (d.category == category) candidates.push_back(&d);
+  }
+  const DeviceSpec& tmpl = *candidates[prng.uniform(candidates.size())];
+
+  DeviceSpec out;
+  out.id = "syn_" + std::to_string(seed) + "_" +
+           std::string(category_slug(category)) + "_" + zero_pad(index, 6);
+  out.name = tmpl.name + " (fleet " + std::to_string(index) + ")";
+  out.category = category;
+  // Presence mix from the seed catalog: ~26/81 both, the rest split
+  // between single-lab deployments.
+  {
+    double both = 0.0, us_only = 0.0, uk_only = 0.0;
+    for (const DeviceSpec& d : seeds) {
+      if (d.common()) {
+        both += 1.0;
+      } else if (d.in_us()) {
+        us_only += 1.0;
+      } else {
+        uk_only += 1.0;
+      }
+    }
+    const std::size_t presence = prng.weighted({both, us_only, uk_only});
+    out.presence = presence == 0 ? LabPresence::kBoth
+                   : presence == 1 ? LabPresence::kUsOnly
+                                   : LabPresence::kUkOnly;
+  }
+  // Manufacturer and first-party orgs come from the template verbatim:
+  // they key the party-attribution tables, and inventing organizations
+  // would detach the fleet from the org/geo databases.
+  out.manufacturer = tmpl.manufacturer;
+  out.first_party_orgs = tmpl.first_party_orgs;
+  out.behavior = tmpl.behavior;
+  jitter_profile(prng, out.behavior);
+  return out;
+}
+
+std::vector<DeviceSpec> generate_catalog(const CatalogGenParams& params,
+                                         std::size_t jobs) {
+  std::vector<DeviceSpec> fleet(params.count);
+  if (jobs == 1 || params.count < 2) {
+    for (std::size_t i = 0; i < params.count; ++i) {
+      fleet[i] = generate_device(params.seed, i);
+    }
+  } else {
+    // Index-keyed generation into pre-sized slots: the standard
+    // determinism recipe (DESIGN.md §"Concurrency model").
+    util::TaskPool pool(jobs);
+    pool.parallel_for_each(params.count, [&](std::size_t i) {
+      fleet[i] = generate_device(params.seed, i);
+    });
+  }
+  return fleet;
+}
+
+std::string catalog_cache_id(const CatalogGenParams& params) {
+  return "synthetic/v1/seed-" + std::to_string(params.seed);
+}
+
+}  // namespace iotx::testbed

@@ -1,0 +1,48 @@
+// CatalogGenerator: extrapolates the 81-device paper catalog to a
+// fleet-scale synthetic catalog (1k–100k devices) by sampling a seed
+// device of the same category and jittering its behavior profile —
+// destination mix, encryption posture, traffic-unit shape, idle
+// behavior. The point is workload realism at scale: every synthetic
+// device drives the same synthesizer, parsers, and analyses as a seed
+// device, because its endpoints are real EndpointRegistry domains and
+// its activity signatures are perturbed per-category signatures.
+//
+// Determinism contract (the same one the rest of the testbed obeys):
+// device i of seed s is a pure function of (s, i) — its generator is
+// seeded by the label "catalog/" + device_id and never by execution
+// order — so generation is bit-identical at any jobs count, and a
+// 1k-device catalog is a strict prefix of the 100k-device catalog for
+// the same seed. Artifact-cache keys therefore stay valid across fleet
+// sizes: growing the fleet only adds stages, it never re-keys old ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iotx/testbed/catalog.hpp"
+
+namespace iotx::testbed {
+
+struct CatalogGenParams {
+  std::size_t count = 1000;  ///< synthetic devices to generate
+  std::uint64_t seed = 1;    ///< fleet seed, folded into every device id
+};
+
+/// Generates `params.count` synthetic devices. `jobs` fans generation
+/// across a TaskPool (0 = hardware threads, 1 = serial); the result is
+/// bit-identical at any value.
+std::vector<DeviceSpec> generate_catalog(const CatalogGenParams& params,
+                                         std::size_t jobs = 1);
+
+/// Generates device index `i` of the fleet alone (the prefix property
+/// makes this meaningful: it equals generate_catalog(...)[i]).
+DeviceSpec generate_device(std::uint64_t seed, std::size_t index);
+
+/// Stable identity of a synthetic catalog for artifact-cache keying:
+/// "synthetic/v1/seed-<seed>". Deliberately excludes the count so a
+/// grown fleet shares every artifact with its prefix runs; "v1" is the
+/// generator's own version salt — bump it when generation changes.
+std::string catalog_cache_id(const CatalogGenParams& params);
+
+}  // namespace iotx::testbed

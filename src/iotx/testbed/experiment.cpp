@@ -80,6 +80,16 @@ LabeledCapture ExperimentRunner::run(const ExperimentSpec& spec) const {
   if (device == nullptr) {
     throw std::invalid_argument("unknown device: " + spec.device_id);
   }
+  return run(spec, *device);
+}
+
+LabeledCapture ExperimentRunner::run(const ExperimentSpec& spec,
+                                     const DeviceSpec& device_spec) const {
+  const DeviceSpec* device = &device_spec;
+  if (device->id != spec.device_id) {
+    throw std::invalid_argument("device spec mismatch: " + device->id +
+                                " vs " + spec.device_id);
+  }
   util::Prng prng("exp/" + spec.key());
 
   LabeledCapture capture;

@@ -65,8 +65,16 @@ class ExperimentRunner {
                                        const NetworkConfig& config) const;
 
   /// Synthesizes the capture for one experiment. Deterministic in the
-  /// spec (same spec -> identical packets).
+  /// spec (same spec -> identical packets). Resolves the device through
+  /// the builtin catalog; throws std::invalid_argument when the spec
+  /// names a device that is not in it.
   LabeledCapture run(const ExperimentSpec& spec) const;
+
+  /// Same synthesis with the device spec supplied by the caller — the
+  /// path for synthetic fleet devices (catalog_gen.hpp), which have no
+  /// find_device entry. `device.id` must equal `spec.device_id`.
+  LabeledCapture run(const ExperimentSpec& spec,
+                     const DeviceSpec& device) const;
 
   /// Convenience: schedule() then run() for every spec.
   std::vector<LabeledCapture> run_all(const DeviceSpec& device,

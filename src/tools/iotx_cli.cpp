@@ -12,8 +12,16 @@
 //                                         train + package a deployable
 //                                         DetectorModel artifact
 //   iotx study --out <dir> [--paper-scale] [--devices a,b,c] [--jobs N]
-//              [--impair <profile>]
-//                                         run the campaign, write JSON tables
+//              [--impair <profile>] [--worker] [--synthetic-devices N]
+//                                         run the campaign, write JSON tables;
+//                                         --worker claims runs through a
+//                                         shared --cache so a fleet of
+//                                         processes partitions the campaign
+//   iotx reduce --cache <dir> --out <dir> merge a worker fleet's cached
+//                                         partials into the full report
+//                                         (computes anything still missing)
+//   iotx gen-catalog <count> [--seed S]   preview the synthetic device
+//                                         catalog used by --synthetic-devices
 //   iotx impair <in.pcap> <out.pcap> <profile> [seed]
 //                                         degrade a capture through a named
 //                                         impairment profile
@@ -49,6 +57,7 @@
 #include "iotx/report/report.hpp"
 #include "iotx/serve/daemon.hpp"
 #include "iotx/serve/detector.hpp"
+#include "iotx/testbed/catalog_gen.hpp"
 #include "iotx/testbed/gateway.hpp"
 #include "iotx/util/strings.hpp"
 #include "iotx/util/table.hpp"
@@ -115,6 +124,26 @@ int usage() {
       "             [--cache <dir>]  (content-addressed artifact cache;\n"
       "                          a warm rerun loads per-stage hits\n"
       "                          instead of recomputing)\n"
+      "             [--worker]   (claim (config, device) runs through the\n"
+      "                          shared --cache dir so N independent\n"
+      "                          worker processes partition the campaign;\n"
+      "                          requires --cache)\n"
+      "             [--claim-lease-ms N]  (worker claim lease; a claim\n"
+      "                          not heartbeated for N ms counts as\n"
+      "                          abandoned and is reaped; default 60000)\n"
+      "             [--synthetic-devices N]  (replace the builtin catalog\n"
+      "                          with N generated fleet devices; seeded,\n"
+      "                          bit-reproducible)\n"
+      "             [--catalog-seed S]  (seed for --synthetic-devices;\n"
+      "                          default 1)\n"
+      "  iotx reduce --cache <dir> --out <dir> [study flags]\n"
+      "             (merge a worker fleet's cached partials into the full\n"
+      "             byte-identical report; recomputes runs no worker\n"
+      "             finished, so it terminates even after worker crashes;\n"
+      "             sweeps stale temp files and orphaned claims first)\n"
+      "  iotx gen-catalog <count> [--seed S] [--jobs N]\n"
+      "             (summarize the synthetic catalog: per-category and\n"
+      "             per-lab counts plus sample rows)\n"
       "  iotx impair <in.pcap> <out.pcap> <profile> [seed]\n"
       "  iotx serve [--port N] [--host H] [--max-sessions N]\n"
       "             [--checkpoint-dir <dir>] [--idle-timeout-ms N]\n"
@@ -483,8 +512,15 @@ int cmd_impair(int argc, char** argv) {
   return 0;
 }
 
-int cmd_study(int argc, char** argv) {
+// `iotx study` and `iotx reduce` share one driver: a reduce is a
+// non-worker cached campaign run — every artifact a worker already
+// computed is a cache hit, anything missing (workers killed mid-stage)
+// is recomputed — followed by the ordinary report writer, so the merged
+// output is byte-identical to a single-process run by construction.
+int cmd_campaign(int argc, char** argv, bool reduce) {
   core::StudyOptions opts;
+  std::size_t synthetic_devices = 0;
+  std::uint64_t catalog_seed = 1;
   for (int i = 2; i < argc; ++i) {
     switch (opts.parse_shared_flag(argc, argv, i)) {
       case core::StudyOptions::ParseResult::kConsumed:
@@ -503,12 +539,56 @@ int cmd_study(int argc, char** argv) {
       opts.devices(util::split(argv[++i], ','));
     } else if (std::strcmp(argv[i], "--no-vpn") == 0) {
       opts.vpn(false);
+    } else if (std::strcmp(argv[i], "--worker") == 0 && !reduce) {
+      opts.worker(true);
+    } else if (std::strcmp(argv[i], "--claim-lease-ms") == 0 && i + 1 < argc) {
+      const long lease = std::atol(argv[++i]);
+      if (lease < 1) {
+        std::printf("--claim-lease-ms requires a positive integer\n");
+        return 2;
+      }
+      opts.claim_lease_ms(static_cast<std::uint64_t>(lease));
+    } else if (std::strcmp(argv[i], "--synthetic-devices") == 0 &&
+               i + 1 < argc) {
+      const long count = std::atol(argv[++i]);
+      if (count < 1) {
+        std::printf("--synthetic-devices requires a positive integer\n");
+        return 2;
+      }
+      synthetic_devices = static_cast<std::size_t>(count);
+    } else if (std::strcmp(argv[i], "--catalog-seed") == 0 && i + 1 < argc) {
+      catalog_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else {
       return usage();
     }
   }
   const std::string& out_dir = opts.out();
   if (out_dir.empty()) return usage();
+  if (synthetic_devices > 0) {
+    // Applied after the flag loop so --jobs / --catalog-seed order on the
+    // command line does not matter.
+    opts.synthetic_devices(synthetic_devices, catalog_seed);
+  }
+  if ((reduce || opts.params().worker) && opts.cache_dir().empty()) {
+    std::printf("%s requires --cache <dir> (the shared artifact store the "
+                "worker fleet partitions)\n",
+                reduce ? "iotx reduce" : "--worker");
+    return 2;
+  }
+  if (reduce) {
+    // Recover from any worker killed mid-write before trusting the cache:
+    // half-written "<key>.art.tmpN" files and claims whose owner stopped
+    // heartbeating are both debris, not state.
+    cache::ArtifactStore sweeper(opts.cache_dir());
+    const std::size_t temps = sweeper.remove_stale_temp_files();
+    const std::size_t claims =
+        sweeper.remove_orphaned_claims(opts.params().claim_lease_ms);
+    if (temps > 0 || claims > 0) {
+      std::printf("swept %zu stale temp file(s), %zu orphaned claim(s) "
+                  "from %s\n",
+                  temps, claims, opts.cache_dir().c_str());
+    }
+  }
   core::StudyParams params = opts.params();
   // Ctrl-C / SIGTERM: in-flight (config, device) runs finish, the rest
   // are skipped, and the partial report below still gets written —
@@ -560,6 +640,17 @@ int cmd_study(int argc, char** argv) {
         static_cast<unsigned long long>(stats.stores),
         static_cast<unsigned long long>(stats.corrupt));
   }
+  if (params.worker) {
+    const dist::ClaimStats cs = study.claim_stats();
+    std::printf(
+        "worker claims: %llu acquired / %llu attempted, %llu contended, "
+        "%llu stale reaped, %llu released\n",
+        static_cast<unsigned long long>(cs.acquired),
+        static_cast<unsigned long long>(cs.attempts),
+        static_cast<unsigned long long>(cs.contended),
+        static_cast<unsigned long long>(cs.reaped),
+        static_cast<unsigned long long>(cs.released));
+  }
   if (!report::write_report_directory(study, out_dir)) {
     std::printf("cannot write report to %s\n", out_dir.c_str());
     return 1;
@@ -606,6 +697,72 @@ int cmd_study(int argc, char** argv) {
     std::printf("wrote %zu trace events to %s (open in ui.perfetto.dev)\n",
                 trace.event_count(), trace_file.c_str());
   }
+  return 0;
+}
+
+int cmd_gen_catalog(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const long count = std::atol(argv[2]);
+  if (count < 1) {
+    std::printf("gen-catalog requires a positive device count\n");
+    return 2;
+  }
+  testbed::CatalogGenParams gen;
+  gen.count = static_cast<std::size_t>(count);
+  std::size_t jobs = 0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      gen.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::max(1, std::atoi(argv[++i])));
+    } else {
+      return usage();
+    }
+  }
+  const std::vector<testbed::DeviceSpec> catalog =
+      testbed::generate_catalog(gen, jobs);
+
+  std::size_t per_category[testbed::kCategoryCount] = {};
+  std::size_t us = 0, uk = 0, both = 0;
+  std::size_t activities = 0;
+  for (const testbed::DeviceSpec& d : catalog) {
+    ++per_category[static_cast<int>(d.category)];
+    if (d.common()) {
+      ++both;
+    } else if (d.in_us()) {
+      ++us;
+    } else {
+      ++uk;
+    }
+    activities += d.behavior.activities.size();
+  }
+  std::printf("%zu synthetic devices (seed %llu, id %s)\n", catalog.size(),
+              static_cast<unsigned long long>(gen.seed),
+              testbed::catalog_cache_id(gen).c_str());
+  util::TextTable cats({"category", "devices"});
+  for (int c = 0; c < testbed::kCategoryCount; ++c) {
+    cats.add_row({std::string(testbed::category_name(
+                      static_cast<testbed::Category>(c))),
+                  std::to_string(per_category[c])});
+  }
+  std::fputs(cats.render().c_str(), stdout);
+  std::printf("labs: %zu US+UK, %zu US-only, %zu UK-only; "
+              "%.1f activities/device\n",
+              both, us, uk,
+              catalog.empty()
+                  ? 0.0
+                  : static_cast<double>(activities) /
+                        static_cast<double>(catalog.size()));
+  const std::size_t samples = std::min<std::size_t>(catalog.size(), 5);
+  util::TextTable rows({"id", "name", "category", "labs", "ip(us)"});
+  for (std::size_t i = 0; i < samples; ++i) {
+    const testbed::DeviceSpec& d = catalog[i];
+    rows.add_row({d.id, d.name,
+                  std::string(testbed::category_name(d.category)),
+                  d.common() ? "US+UK" : (d.in_us() ? "US" : "UK"),
+                  testbed::device_ip(d, true).to_string()});
+  }
+  std::fputs(rows.render().c_str(), stdout);
   return 0;
 }
 
@@ -731,7 +888,9 @@ int main(int argc, char** argv) {
   if (command == "classify") return cmd_classify(argc, argv);
   if (command == "train-detector") return cmd_train_detector(argc, argv);
   if (command == "impair") return cmd_impair(argc, argv);
-  if (command == "study") return cmd_study(argc, argv);
+  if (command == "study") return cmd_campaign(argc, argv, /*reduce=*/false);
+  if (command == "reduce") return cmd_campaign(argc, argv, /*reduce=*/true);
+  if (command == "gen-catalog") return cmd_gen_catalog(argc, argv);
   if (command == "serve") return cmd_serve(argc, argv);
   if (command == "export-dataset") return cmd_export_dataset(argc, argv);
   return usage();

@@ -1,0 +1,198 @@
+// testbed::CatalogGenerator — the seeded synthetic device catalog that
+// lets fleet-scale campaigns extrapolate the 81 paper devices to
+// thousands. The contract: device i is a pure function of (seed, i), so
+// the catalog is bit-reproducible at any jobs count and any total count
+// (prefix property), and every generated profile stays inside the
+// envelope the synthesizer and analyses were built for.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "iotx/testbed/catalog.hpp"
+#include "iotx/testbed/catalog_gen.hpp"
+#include "iotx/testbed/endpoints.hpp"
+#include "iotx/testbed/experiment.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx;
+using testbed::CatalogGenParams;
+using testbed::DeviceSpec;
+
+bool same_spec(const DeviceSpec& a, const DeviceSpec& b) {
+  if (a.id != b.id || a.name != b.name || a.category != b.category ||
+      a.presence != b.presence || a.manufacturer != b.manufacturer ||
+      a.first_party_orgs != b.first_party_orgs) {
+    return false;
+  }
+  const testbed::BehaviorProfile& x = a.behavior;
+  const testbed::BehaviorProfile& y = b.behavior;
+  if (x.endpoints.size() != y.endpoints.size() ||
+      x.activities.size() != y.activities.size() ||
+      x.plaintext_fraction != y.plaintext_fraction ||
+      x.distinctiveness != y.distinctiveness ||
+      x.heartbeat_period != y.heartbeat_period ||
+      x.reconnect_per_hour != y.reconnect_per_hour) {
+    return false;
+  }
+  for (std::size_t i = 0; i < x.endpoints.size(); ++i) {
+    if (x.endpoints[i].domain != y.endpoints[i].domain ||
+        x.endpoints[i].weight != y.endpoints[i].weight) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < x.activities.size(); ++i) {
+    const testbed::ActivitySignature& s = x.activities[i];
+    const testbed::ActivitySignature& t = y.activities[i];
+    if (s.name != t.name || s.packets_up != t.packets_up ||
+        s.size_up_mu != t.size_up_mu || s.gap_mean != t.gap_mean ||
+        s.noise != t.noise) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(CatalogGen, IdenticalAtAnyJobsCount) {
+  CatalogGenParams params;
+  params.count = 64;
+  params.seed = 7;
+  const auto serial = testbed::generate_catalog(params, /*jobs=*/1);
+  const auto parallel = testbed::generate_catalog(params, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(same_spec(serial[i], parallel[i])) << "index " << i;
+  }
+}
+
+TEST(CatalogGen, CountIsAPrefixNotAReshuffle) {
+  CatalogGenParams small{/*count=*/32, /*seed=*/5};
+  CatalogGenParams large{/*count=*/96, /*seed=*/5};
+  const auto a = testbed::generate_catalog(small);
+  const auto b = testbed::generate_catalog(large);
+  ASSERT_EQ(a.size(), 32u);
+  ASSERT_EQ(b.size(), 96u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(same_spec(a[i], b[i])) << "index " << i;
+  }
+  // The cache id deliberately excludes the count: a 96-device campaign
+  // shares its first 32 devices' artifacts with a 32-device one.
+  EXPECT_EQ(testbed::catalog_cache_id(small),
+            testbed::catalog_cache_id(large));
+  EXPECT_NE(testbed::catalog_cache_id(small),
+            testbed::catalog_cache_id(CatalogGenParams{32, 6}));
+}
+
+TEST(CatalogGen, IdsAreUniqueAndSeedsDiverge) {
+  const auto a = testbed::generate_catalog(CatalogGenParams{128, 1});
+  std::set<std::string> ids;
+  for (const DeviceSpec& d : a) ids.insert(d.id);
+  EXPECT_EQ(ids.size(), a.size());
+
+  const auto b = testbed::generate_catalog(CatalogGenParams{128, 2});
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!same_spec(a[i], b[i])) ++differing;
+  }
+  EXPECT_GT(differing, 100u) << "different seeds must give different fleets";
+}
+
+TEST(CatalogGen, ProfilesStayInsideTheSynthesizerEnvelope) {
+  const auto catalog = testbed::generate_catalog(CatalogGenParams{256, 3});
+  const testbed::EndpointRegistry& registry =
+      testbed::EndpointRegistry::builtin();
+  for (const DeviceSpec& d : catalog) {
+    ASSERT_FALSE(d.behavior.endpoints.empty()) << d.id;
+    for (const testbed::EndpointUse& e : d.behavior.endpoints) {
+      EXPECT_NE(registry.find(e.domain), nullptr)
+          << d.id << " references unknown endpoint " << e.domain;
+      EXPECT_GT(e.weight, 0.0) << d.id;
+    }
+    // Every device must keep a "power" signature: the power experiments
+    // and the idle-reconnect replay both depend on it.
+    const auto has_power =
+        std::any_of(d.behavior.activities.begin(),
+                    d.behavior.activities.end(),
+                    [](const testbed::ActivitySignature& s) {
+                      return s.name == "power";
+                    });
+    EXPECT_TRUE(has_power) << d.id;
+    for (const testbed::ActivitySignature& s : d.behavior.activities) {
+      EXPECT_GE(s.packets_up, 1) << d.id << "/" << s.name;
+      EXPECT_GE(s.size_up_mu, 3.0) << d.id << "/" << s.name;
+      EXPECT_LE(s.size_up_mu, 9.5) << d.id << "/" << s.name;
+      EXPECT_GT(s.gap_mean, 0.0) << d.id << "/" << s.name;
+      EXPECT_GE(s.noise, 0.0) << d.id << "/" << s.name;
+      EXPECT_LE(s.noise, 1.0) << d.id << "/" << s.name;
+    }
+    // Spurious idle activities must name real activities, or Table 11
+    // would count detections for labels no model was trained on.
+    for (const testbed::SpuriousActivity& sp : d.behavior.spurious) {
+      const auto names = d.activity_names();
+      EXPECT_NE(std::find(names.begin(), names.end(), sp.activity),
+                names.end())
+          << d.id << " spurious names unknown activity " << sp.activity;
+    }
+    EXPECT_GE(d.behavior.plaintext_fraction, 0.0) << d.id;
+    EXPECT_LE(d.behavior.plaintext_fraction, 0.6) << d.id;
+    EXPECT_GE(d.behavior.heartbeat_period, 5.0) << d.id;
+  }
+}
+
+TEST(CatalogGen, CategoryMixTracksTheSeedCatalog) {
+  const auto catalog = testbed::generate_catalog(CatalogGenParams{600, 9});
+  std::size_t per_category[testbed::kCategoryCount] = {};
+  for (const DeviceSpec& d : catalog) {
+    ++per_category[static_cast<int>(d.category)];
+  }
+  // The builtin catalog has devices in every category; a faithful
+  // extrapolation at this size must too (binomial tails make a zero
+  // count astronomically unlikely unless the weighting is broken).
+  for (int c = 0; c < testbed::kCategoryCount; ++c) {
+    EXPECT_GT(per_category[c], 0u)
+        << testbed::category_name(static_cast<testbed::Category>(c));
+  }
+}
+
+TEST(CatalogGen, SyntheticDeviceSynthesisIsBitReproducible) {
+  const auto catalog = testbed::generate_catalog(CatalogGenParams{8, 21});
+  const DeviceSpec& device = catalog[5];
+  const testbed::NetworkConfig config{testbed::LabSite::kUs, false};
+  const testbed::ExperimentRunner runner(
+      testbed::SchedulePlan{/*automated=*/1, /*manual=*/1, /*power=*/1,
+                            /*idle_hours=*/0.02});
+
+  const auto specs = runner.schedule(device, config);
+  ASSERT_FALSE(specs.empty());
+  for (const testbed::ExperimentSpec& spec : specs) {
+    const testbed::LabeledCapture once = runner.run(spec, device);
+    const testbed::LabeledCapture again = runner.run(spec, device);
+    ASSERT_EQ(once.packets.size(), again.packets.size()) << spec.key();
+    for (std::size_t i = 0; i < once.packets.size(); ++i) {
+      EXPECT_EQ(once.packets[i].timestamp, again.packets[i].timestamp);
+      EXPECT_EQ(once.packets[i].frame, again.packets[i].frame);
+    }
+  }
+}
+
+TEST(CatalogGen, SyntheticDevicesGetHashedAddressesOutsideTheLabRange) {
+  const auto catalog = testbed::generate_catalog(CatalogGenParams{16, 4});
+  std::set<std::string> ips;
+  for (const DeviceSpec& d : catalog) {
+    const net::Ipv4Address us = testbed::device_ip(d, /*us_lab=*/true);
+    const net::Ipv4Address uk = testbed::device_ip(d, /*us_lab=*/false);
+    // Stable across calls, distinct per lab, and in the 10.43/16 block
+    // reserved for devices without a builtin catalog index.
+    EXPECT_EQ(us.to_string(), testbed::device_ip(d, true).to_string());
+    EXPECT_NE(us.to_string(), uk.to_string()) << d.id;
+    EXPECT_EQ(us.to_string().rfind("10.43.", 0), 0u) << us.to_string();
+    ips.insert(us.to_string());
+  }
+  EXPECT_EQ(ips.size(), catalog.size()) << "address collision in the fleet";
+}
+
+}  // namespace

@@ -1,0 +1,296 @@
+// iotx::dist — the coordinator-free work-claiming protocol layered on
+// the artifact store, and the worker/reduce drivers built on it. The
+// golden property under test: any number of workers over one shared
+// cache directory — including workers that die mid-stage — reduce to
+// tables byte-identical to a single-process run.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "iotx/cache/artifact_store.hpp"
+#include "iotx/core/study.hpp"
+#include "iotx/core/study_cache.hpp"
+#include "iotx/dist/claim.hpp"
+#include "iotx/report/report.hpp"
+#include "iotx/testbed/catalog_gen.hpp"
+
+namespace {
+
+using namespace iotx;
+namespace fs = std::filesystem;
+
+std::string temp_dir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+void backdate(const fs::path& path, std::chrono::milliseconds age) {
+  fs::last_write_time(path, fs::file_time_type::clock::now() - age);
+}
+
+// --- claim protocol units ---------------------------------------------
+
+TEST(ClaimStore, AcquireCreatesClaimFileWithOwner) {
+  const std::string root = temp_dir("iotx_dist_acquire");
+  dist::ClaimStore store(root, dist::ClaimConfig{"worker-a", 60'000});
+
+  ASSERT_TRUE(store.try_claim("ab12cd"));
+  const fs::path path = dist::ClaimStore::claim_path(root, "ab12cd");
+  ASSERT_TRUE(fs::exists(path));
+
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("worker-a"), std::string::npos);
+
+  const dist::ClaimStats stats = store.stats();
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.acquired, 1u);
+  EXPECT_EQ(stats.contended, 0u);
+  EXPECT_EQ(store.held(), 1u);
+  fs::remove_all(root);
+}
+
+TEST(ClaimStore, SecondClaimantContendsUntilRelease) {
+  const std::string root = temp_dir("iotx_dist_contend");
+  dist::ClaimStore a(root, dist::ClaimConfig{"worker-a", 60'000});
+  dist::ClaimStore b(root, dist::ClaimConfig{"worker-b", 60'000});
+
+  ASSERT_TRUE(a.try_claim("ab12cd"));
+  EXPECT_FALSE(b.try_claim("ab12cd"));
+  EXPECT_EQ(b.stats().contended, 1u);
+
+  a.release("ab12cd");
+  EXPECT_FALSE(fs::exists(dist::ClaimStore::claim_path(root, "ab12cd")));
+  EXPECT_EQ(a.stats().released, 1u);
+  EXPECT_EQ(a.held(), 0u);
+
+  // Idempotent re-claim: after release the key is free again; a worker
+  // that wins it finds the finished artifact in the cache and does no
+  // duplicate work — correctness never depended on the claim.
+  EXPECT_TRUE(b.try_claim("ab12cd"));
+  fs::remove_all(root);
+}
+
+TEST(ClaimStore, StaleClaimIsReapedAfterLease) {
+  const std::string root = temp_dir("iotx_dist_reap");
+  dist::ClaimStore dead(root, dist::ClaimConfig{"worker-dead", 50});
+  ASSERT_TRUE(dead.try_claim("ab12cd"));
+  // Simulate kill -9: the claim file stays, the heartbeats stop.
+  backdate(dist::ClaimStore::claim_path(root, "ab12cd"),
+           std::chrono::milliseconds(5'000));
+
+  dist::ClaimStore live(root, dist::ClaimConfig{"worker-live", 50});
+  EXPECT_TRUE(live.try_claim("ab12cd"));
+  EXPECT_EQ(live.stats().reaped, 1u);
+  EXPECT_EQ(live.stats().acquired, 1u);
+  fs::remove_all(root);
+}
+
+TEST(ClaimStore, HeartbeatKeepsClaimAliveAcrossLease) {
+  const std::string root = temp_dir("iotx_dist_heartbeat");
+  dist::ClaimStore holder(root, dist::ClaimConfig{"worker-a", 60'000});
+  ASSERT_TRUE(holder.try_claim("ab12cd"));
+  backdate(dist::ClaimStore::claim_path(root, "ab12cd"),
+           std::chrono::milliseconds(5'000));
+  holder.heartbeat_all();
+  EXPECT_GE(holder.stats().heartbeats, 1u);
+
+  // The bumped mtime makes the claim fresh again: a rival with a lease
+  // shorter than the simulated age must now respect it.
+  dist::ClaimStore rival(root, dist::ClaimConfig{"worker-b", 1'000});
+  EXPECT_FALSE(rival.try_claim("ab12cd"));
+  EXPECT_EQ(rival.stats().reaped, 0u);
+  fs::remove_all(root);
+}
+
+// --- orphaned-claim sweep (ArtifactStore) -----------------------------
+
+TEST(ClaimStore, OrphanSweepRemovesDebrisAndKeepsLiveClaims) {
+  const std::string root = temp_dir("iotx_dist_orphans");
+  cache::ArtifactStore store(root);
+
+  dist::ClaimStore claims(root, dist::ClaimConfig{"worker-a", 60'000});
+  ASSERT_TRUE(claims.try_claim("aa00"));  // live, no artifact: keep
+  ASSERT_TRUE(claims.try_claim("bb11"));  // artifact finished beside it
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  store.store("bb11", payload);
+  ASSERT_TRUE(claims.try_claim("cc22"));  // abandoned: older than lease
+  backdate(dist::ClaimStore::claim_path(root, "cc22"),
+           std::chrono::milliseconds(120'000));
+  // Staging debris from a worker killed between write and link.
+  const fs::path debris =
+      fs::path(root) / "dd" / "dd33.claim.stage999.7";
+  fs::create_directories(debris.parent_path());
+  std::ofstream(debris) << "owner nobody\n";
+
+  const std::size_t removed = store.remove_orphaned_claims(60'000);
+  EXPECT_EQ(removed, 3u);
+  EXPECT_TRUE(fs::exists(dist::ClaimStore::claim_path(root, "aa00")));
+  EXPECT_FALSE(fs::exists(dist::ClaimStore::claim_path(root, "bb11")));
+  EXPECT_FALSE(fs::exists(dist::ClaimStore::claim_path(root, "cc22")));
+  EXPECT_FALSE(fs::exists(debris));
+  EXPECT_EQ(store.stats().orphan_claims_removed, 3u);
+  fs::remove_all(root);
+}
+
+// --- worker-mode Study ------------------------------------------------
+
+core::StudyParams fleet_params(const std::string& cache_dir,
+                               std::uint64_t catalog_seed) {
+  core::StudyParams params;
+  params.plan = testbed::SchedulePlan{/*automated_reps=*/2, /*manual_reps=*/1,
+                                      /*power_reps=*/1, /*idle_hours=*/0.05};
+  params.inference.validation.forest.n_trees = 4;
+  params.inference.validation.repetitions = 1;
+  params.run_uncontrolled = false;
+  params.run_vpn = false;
+  params.jobs = 1;
+  params.cache_dir = cache_dir;
+  testbed::CatalogGenParams gen;
+  gen.count = 4;
+  gen.seed = catalog_seed;
+  params.catalog = std::make_shared<const std::vector<testbed::DeviceSpec>>(
+      testbed::generate_catalog(gen));
+  params.catalog_id = testbed::catalog_cache_id(gen);
+  return params;
+}
+
+std::string table_fingerprint(const core::Study& study) {
+  return report::table2_json(study) + report::table5_json(study) +
+         report::table7_json(study) + report::table9_json(study) +
+         report::table11_json(study) + report::pii_json(study);
+}
+
+std::size_t count_status(const core::Study& study, core::RunStatus status) {
+  std::size_t n = 0;
+  for (const std::string& key : study.config_keys()) {
+    for (const auto& r : study.results(key)) {
+      if (r.status == status) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(DistStudy, WorkerSkipsRunsClaimedByAnotherWorker) {
+  const std::string root = temp_dir("iotx_dist_skip");
+  core::StudyParams params = fleet_params(root, 11);
+  params.worker = true;
+
+  // A rival worker holds the claim for the first (config, device) pair.
+  const testbed::DeviceSpec& first = (*params.catalog)[0];
+  const std::string key = core::ingest_stage_key(
+      params, first, testbed::NetworkConfig{testbed::LabSite::kUs, false});
+  dist::ClaimStore rival(root, dist::ClaimConfig{"rival", 600'000});
+  ASSERT_TRUE(rival.try_claim(key));
+
+  core::Study study(params);
+  study.run();
+  EXPECT_FALSE(study.interrupted());  // contention is not cancellation
+  EXPECT_GE(count_status(study, core::RunStatus::kSkipped), 1u);
+  EXPECT_GE(study.claim_stats().contended, 1u);
+  bool found = false;
+  for (const auto& r : study.results("us")) {
+    if (r.device->id != first.id) continue;
+    found = true;
+    EXPECT_EQ(r.status, core::RunStatus::kSkipped);
+    EXPECT_EQ(r.error, "claimed by another worker");
+  }
+  EXPECT_TRUE(found);
+  // The worker released everything it finished; only the rival's claim
+  // file remains.
+  EXPECT_TRUE(fs::exists(dist::ClaimStore::claim_path(root, key)));
+  EXPECT_EQ(study.claim_stats().released, study.claim_stats().acquired);
+  fs::remove_all(root);
+}
+
+TEST(DistStudy, FourWorkersReduceByteIdenticalToSingleProcess) {
+  const std::string ref_root = temp_dir("iotx_dist_golden_ref");
+  const std::string fleet_root = temp_dir("iotx_dist_golden_fleet");
+
+  core::Study reference(fleet_params(ref_root, 11));
+  reference.run();
+  const std::string expected = table_fingerprint(reference);
+
+  // Four workers race over one shared cache directory. Threads stand in
+  // for processes: the claim protocol lives entirely in the filesystem,
+  // so in-process workers exercise exactly the cross-process code path.
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&fleet_root] {
+      core::StudyParams params = fleet_params(fleet_root, 11);
+      params.worker = true;
+      core::Study study(params);
+      study.run();
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  core::Study reduced(fleet_params(fleet_root, 11));
+  reduced.run();
+  EXPECT_EQ(table_fingerprint(reduced), expected);
+  EXPECT_EQ(reduced.cache_stats().misses, 0u)
+      << "the fleet left work uncomputed";
+  EXPECT_EQ(reduced.experiments_run(), reference.experiments_run());
+  fs::remove_all(ref_root);
+  fs::remove_all(fleet_root);
+}
+
+TEST(DistStudy, WorkerKilledMidStageRecoversThroughLeaseReap) {
+  const std::string ref_root = temp_dir("iotx_dist_kill_ref");
+  const std::string fleet_root = temp_dir("iotx_dist_kill_fleet");
+
+  core::Study reference(fleet_params(ref_root, 13));
+  reference.run();
+  const std::string expected = table_fingerprint(reference);
+
+  // Worker 1 "dies" inside its first run: the chaos hook throws, the
+  // run is quarantined, and — deliberately — the claim is NOT released,
+  // exactly the debris a kill -9 leaves behind.
+  core::StudyParams crashing = fleet_params(fleet_root, 13);
+  crashing.worker = true;
+  const std::string victim = (*crashing.catalog)[0].id;
+  crashing.chaos_hook = [&victim](const testbed::DeviceSpec& device,
+                                  const testbed::NetworkConfig& config) {
+    if (device.id == victim && config.lab == testbed::LabSite::kUs) {
+      throw std::runtime_error("worker crashed");
+    }
+  };
+  core::Study crashed(crashing);
+  crashed.run();
+  EXPECT_GE(count_status(crashed, core::RunStatus::kQuarantined), 1u);
+  EXPECT_GT(crashed.claim_stats().acquired, crashed.claim_stats().released);
+
+  const std::string abandoned_key = core::ingest_stage_key(
+      crashing, (*crashing.catalog)[0],
+      testbed::NetworkConfig{testbed::LabSite::kUs, false});
+  const fs::path abandoned =
+      dist::ClaimStore::claim_path(fleet_root, abandoned_key);
+  ASSERT_TRUE(fs::exists(abandoned));
+  backdate(abandoned, std::chrono::milliseconds(120'000));
+
+  // Worker 2 arrives after the lease expired: it reaps the abandoned
+  // claim and computes the missing runs.
+  core::StudyParams rescue = fleet_params(fleet_root, 13);
+  rescue.worker = true;
+  rescue.claim_lease_ms = 1'000;
+  core::Study rescuer(rescue);
+  rescuer.run();
+  EXPECT_GE(rescuer.claim_stats().reaped, 1u);
+
+  core::Study reduced(fleet_params(fleet_root, 13));
+  reduced.run();
+  EXPECT_EQ(table_fingerprint(reduced), expected);
+  EXPECT_EQ(reduced.cache_stats().misses, 0u);
+  fs::remove_all(ref_root);
+  fs::remove_all(fleet_root);
+}
+
+}  // namespace
