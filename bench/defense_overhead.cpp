@@ -1,0 +1,102 @@
+// Traffic-shaping defense overhead bench: the `iotx defend-eval` sweep
+// (every builtin shaping defense against the §6.3 activity-inference
+// attack) run twice — serial and with a 4-worker pool — with a
+// bit-identity cross-check, emitted as JSON.
+//
+// Absolute seconds are machine-dependent and reported only;
+// scripts/check_ingest_baseline.py --defense gates the same-run
+// invariants: rows bit-identical at any job count, byte conservation
+// (defended == baseline + padding; timing defenses add zero bytes),
+// F1 in [0, 1], and the padding cost/benefit ordering (a coarser pad
+// bucket never raises mean F1 while pad-1500 always costs more than
+// pad-128).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "common.hpp"
+#include "iotx/core/defense.hpp"
+
+namespace {
+
+using namespace iotx;
+using Clock = std::chrono::steady_clock;
+
+bool rows_identical(const core::DefenseEvalResult& a,
+                    const core::DefenseEvalResult& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    const core::DefenseRow& x = a.rows[i];
+    const core::DefenseRow& y = b.rows[i];
+    if (x.defense != y.defense || x.device_id != y.device_id ||
+        x.baseline_f1 != y.baseline_f1 || x.defended_f1 != y.defended_f1 ||
+        x.baseline_bytes != y.baseline_bytes ||
+        x.defended_bytes != y.defended_bytes ||
+        x.padding_bytes != y.padding_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  core::DefenseEvalParams params;  // defaults: all builtin defenses
+
+  std::fprintf(stderr, "[iotx-bench] defense sweep, serial...\n");
+  params.jobs = 1;
+  const auto s0 = Clock::now();
+  const core::DefenseEvalResult serial = core::run_defense_eval(params);
+  const double serial_seconds =
+      std::chrono::duration<double>(Clock::now() - s0).count();
+
+  std::fprintf(stderr, "[iotx-bench] defense sweep, 4 workers...\n");
+  params.jobs = 4;
+  const auto p0 = Clock::now();
+  const core::DefenseEvalResult pooled = core::run_defense_eval(params);
+  const double pooled_seconds =
+      std::chrono::duration<double>(Clock::now() - p0).count();
+
+  bench::JsonWriter w;
+  w.begin_object();
+  w.field("schema_version", bench::kBenchSchemaVersion);
+  w.field("bench", "defense_overhead");
+  w.field("devices", static_cast<std::uint64_t>(pooled.devices));
+  w.field("defense_count",
+          static_cast<std::uint64_t>(pooled.aggregates.size()));
+  w.field("rows_identical_across_jobs", rows_identical(serial, pooled));
+  w.field("serial_seconds", serial_seconds, 3);
+  w.field("pooled_seconds", pooled_seconds, 3);
+
+  w.key("defenses").begin_array();
+  for (const core::DefenseAggregate& agg : pooled.aggregates) {
+    w.begin_object();
+    w.field("defense", agg.defense);
+    w.field("devices", static_cast<std::uint64_t>(agg.devices));
+    w.field("mean_baseline_f1", agg.mean_baseline_f1, 4);
+    w.field("mean_defended_f1", agg.mean_defended_f1, 4);
+    w.field("mean_f1_delta", agg.mean_f1_delta, 4);
+    w.field("mean_overhead_pct", agg.mean_overhead_pct, 2);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("rows").begin_array();
+  for (const core::DefenseRow& row : pooled.rows) {
+    w.begin_object();
+    w.field("defense", row.defense);
+    w.field("device", row.device_id);
+    w.field("baseline_f1", row.baseline_f1, 4);
+    w.field("defended_f1", row.defended_f1, 4);
+    w.field("baseline_bytes", row.baseline_bytes);
+    w.field("defended_bytes", row.defended_bytes);
+    w.field("padding_bytes", row.padding_bytes);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  std::printf("%s\n", w.document().c_str());
+  return 0;
+}

@@ -43,6 +43,23 @@ Three modes:
       shape, flat_speedup, mismatch counts). Run the --inference gate
       first; append records history, it does not validate.
 
+  check_ingest_baseline.py --defense <defense_overhead.json>
+      Gate the traffic-shaping defense bench on same-run invariants
+      only: the sweep must be bit-identical serial vs pooled, bytes
+      must conserve per row (defended == baseline + padding; the
+      timing-only defenses add zero bytes), every F1 must be a
+      probability, and the padding cost/benefit ordering must hold
+      (a coarser pad bucket never raises mean F1, pad-1500 costs
+      strictly more than pad-128). Absolute seconds are reported,
+      never gated.
+
+  check_ingest_baseline.py --append-defense <BENCH_ingest.json> <defense_overhead.json> [label]
+      Append the defense run to the trajectory file's
+      `defense_entries` list (per-defense mean F1 delta and overhead
+      percentage — deterministic, seed-keyed quantities — plus the
+      bit-identity flag). Run the --defense gate first; append records
+      history, it does not validate.
+
   check_ingest_baseline.py --fleet <fleet_scaling.json>
       Gate the distributed-campaign bench on same-run invariants only
       (worker counts give no wall-clock speedup on a single-core
@@ -395,6 +412,105 @@ def check_fleet(current, failures):
                         "worker must race)")
 
 
+def check_defense(current, failures):
+    """Same-run invariants of the defense bench; no baseline.
+
+    Every gate is exact: the sweep is seeded per experiment key, so the
+    serial and pooled runs must agree to the bit; byte accounting is
+    pure counting; and the padding ordering follows from the defense
+    semantics (a coarser bucket erases strictly more of the frame-size
+    channel while padding every frame at least as far).
+    """
+    devices = int(current["devices"])
+    rows = current.get("rows", [])
+    aggregates = current.get("defenses", [])
+    print(f"defense sweep: {devices} devices x {len(aggregates)} defenses, "
+          f"serial {current['serial_seconds']}s, "
+          f"pooled {current['pooled_seconds']}s")
+    if devices == 0 or not rows:
+        failures.append("defense sweep covered no devices")
+        return
+    if len(rows) != devices * len(aggregates):
+        failures.append(
+            f"expected {devices} devices x {len(aggregates)} defenses == "
+            f"{devices * len(aggregates)} rows, got {len(rows)}")
+
+    if not bool(current["rows_identical_across_jobs"]):
+        failures.append("defense sweep is not bit-identical serial vs "
+                        "pooled (per-capture seeding broke)")
+
+    for row in rows:
+        tag = f"{row['defense']}/{row['device']}"
+        for field in ("baseline_f1", "defended_f1"):
+            f1 = float(row[field])
+            if not (0.0 <= f1 <= 1.0):
+                failures.append(f"{tag}: {field} {f1} is not a probability")
+        baseline = int(row["baseline_bytes"])
+        defended = int(row["defended_bytes"])
+        padding = int(row["padding_bytes"])
+        if baseline == 0:
+            failures.append(f"{tag}: baseline capture has no bytes")
+        if defended != baseline + padding:
+            failures.append(
+                f"{tag}: bytes do not conserve ({defended} defended != "
+                f"{baseline} baseline + {padding} padding)")
+        if not row["defense"].startswith("pad-") and padding != 0:
+            failures.append(
+                f"{tag}: timing-only defense reported {padding} padding "
+                "bytes")
+
+    by_name = {agg["defense"]: agg for agg in aggregates}
+    pads = [by_name[n] for n in ("pad-128", "pad-512", "pad-1500")
+            if n in by_name]
+    for prev, cur in zip(pads, pads[1:]):
+        if float(cur["mean_defended_f1"]) > float(prev["mean_defended_f1"]):
+            failures.append(
+                f"coarser padding raised mean F1: {cur['defense']} "
+                f"{cur['mean_defended_f1']} > {prev['defense']} "
+                f"{prev['mean_defended_f1']}")
+    if len(pads) >= 2:
+        first, last = pads[0], pads[-1]
+        if not (0.0 < float(first["mean_overhead_pct"])
+                < float(last["mean_overhead_pct"])):
+            failures.append(
+                f"padding overhead ordering broken: {first['defense']} "
+                f"{first['mean_overhead_pct']}% vs {last['defense']} "
+                f"{last['mean_overhead_pct']}%")
+    for agg in aggregates:
+        print(f"  {agg['defense']}: mean F1 {agg['mean_baseline_f1']} -> "
+              f"{agg['mean_defended_f1']} (delta {agg['mean_f1_delta']}), "
+              f"overhead {agg['mean_overhead_pct']}%")
+
+
+def append_defense_entry(trajectory_path, current, label):
+    try:
+        trajectory = load(trajectory_path)
+    except FileNotFoundError:
+        trajectory = {"bench": "ingest_throughput", "entries": []}
+    entry = {"schema_version": SUPPORTED_SCHEMA}
+    if label:
+        entry["label"] = label
+    # The sweep is seeded, so the F1/overhead numbers are deterministic
+    # (machine-independent); absolute seconds stay out as everywhere.
+    entry["devices"] = current["devices"]
+    entry["rows_identical_across_jobs"] = \
+        current["rows_identical_across_jobs"]
+    entry["defenses"] = [
+        {
+            "defense": agg["defense"],
+            "mean_f1_delta": agg["mean_f1_delta"],
+            "mean_overhead_pct": agg["mean_overhead_pct"],
+        }
+        for agg in current.get("defenses", [])
+    ]
+    entries = trajectory.setdefault("defense_entries", [])
+    entries.append(entry)
+    with open(trajectory_path, "w") as f:
+        json.dump(trajectory, f, indent=2)
+        f.write("\n")
+    print(f"appended defense entry {len(entries)} to {trajectory_path}")
+
+
 def append_fleet_entry(trajectory_path, current, label):
     try:
         trajectory = load(trajectory_path)
@@ -480,11 +596,12 @@ def main() -> int:
     mode = "pairwise"
     if argv and argv[0] in ("--trajectory", "--append", "--serve",
                             "--inference", "--append-inference",
-                            "--fleet", "--append-fleet"):
+                            "--fleet", "--append-fleet",
+                            "--defense", "--append-defense"):
         mode = argv[0][2:]
         argv = argv[1:]
 
-    if mode in ("serve", "inference", "fleet"):
+    if mode in ("serve", "inference", "fleet", "defense"):
         if len(argv) < 1:
             print(__doc__.strip(), file=sys.stderr)
             return 2
@@ -495,6 +612,8 @@ def main() -> int:
                 check_serve(current, failures)
             elif mode == "inference":
                 check_inference(current, failures)
+            elif mode == "defense":
+                check_defense(current, failures)
             else:
                 check_fleet(current, failures)
         for failure in failures:
@@ -524,6 +643,11 @@ def main() -> int:
     if mode == "append-fleet":
         label = argv[2] if len(argv) > 2 else ""
         append_fleet_entry(reference_path, current, label)
+        return 0
+
+    if mode == "append-defense":
+        label = argv[2] if len(argv) > 2 else ""
+        append_defense_entry(reference_path, current, label)
         return 0
 
     if mode == "append":

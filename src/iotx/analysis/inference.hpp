@@ -70,6 +70,11 @@ struct InferenceParams {
 struct LabeledMeta {
   std::string activity;                ///< ground-truth label; may be empty
   std::vector<flow::PacketMeta> meta;  ///< timestamp-sorted device traffic
+  /// Lifecycle phase the capture was taken in ("normal" for every paper
+  /// experiment; "setup" / "ota_update" / "deprovision" for lifecycle
+  /// captures). Feature extraction ignores it; the lifecycle report
+  /// slices by it.
+  std::string phase = "normal";
 };
 
 /// Builds the labeled dataset from pre-extracted meta. Examples with an

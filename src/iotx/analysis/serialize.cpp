@@ -23,6 +23,10 @@ void write_health(cache::BinWriter& w, const faults::CaptureHealth& h) {
   w.u64(h.impaired_dns_responses_dropped);
   w.u64(h.impaired_capture_cutoffs);
   w.u64(h.cache_corrupt_artifacts);
+  w.u64(h.shaped_padded_frames);
+  w.u64(h.shaped_padding_bytes);
+  w.u64(h.shaped_delayed_packets);
+  w.u64(h.shaped_batched_packets);
 }
 
 faults::CaptureHealth read_health(cache::BinReader& r) {
@@ -45,6 +49,10 @@ faults::CaptureHealth read_health(cache::BinReader& r) {
   h.impaired_dns_responses_dropped = r.u64();
   h.impaired_capture_cutoffs = r.u64();
   h.cache_corrupt_artifacts = r.u64();
+  h.shaped_padded_frames = r.u64();
+  h.shaped_padding_bytes = r.u64();
+  h.shaped_delayed_packets = r.u64();
+  h.shaped_batched_packets = r.u64();
   return h;
 }
 
@@ -191,6 +199,7 @@ void write_labeled_meta(cache::BinWriter& w,
   for (const LabeledMeta& example : examples) {
     w.str(example.activity);
     flow::write_meta(w, example.meta);
+    w.str(example.phase);
   }
 }
 
@@ -202,6 +211,7 @@ std::vector<LabeledMeta> read_labeled_meta(cache::BinReader& r) {
     LabeledMeta example;
     example.activity = r.str();
     example.meta = flow::read_meta(r);
+    example.phase = r.str();
     examples.push_back(std::move(example));
   }
   return examples;

@@ -16,7 +16,7 @@ namespace iotx::cache {
 // Code-version salt folded into every stage key. Bump whenever the
 // serialized artifact layout or the semantics of a cached stage
 // change, so stale artifacts become misses instead of poisoning runs.
-inline constexpr std::string_view kCodeVersionSalt = "iotx-cache-v2";
+inline constexpr std::string_view kCodeVersionSalt = "iotx-cache-v3";
 
 // Deterministic cache-key builder: a SHA-256 over labeled,
 // length-prefixed input fields. Labels keep adjacent fields from

@@ -1,0 +1,140 @@
+#include "iotx/core/defense.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "iotx/obs/trace.hpp"
+#include "iotx/testbed/catalog.hpp"
+#include "iotx/util/task_pool.hpp"
+
+namespace iotx::core {
+
+namespace {
+
+std::uint64_t capture_bytes(
+    const std::vector<testbed::LabeledCapture>& captures) {
+  std::uint64_t total = 0;
+  for (const testbed::LabeledCapture& capture : captures) {
+    for (const net::Packet& packet : capture.packets) {
+      total += packet.frame.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+DefenseEvalResult run_defense_eval(const DefenseEvalParams& params) {
+  obs::Span span("defense/eval");
+
+  // Resolve the defense set up front so an unknown name fails before any
+  // synthesis work.
+  std::vector<std::shared_ptr<const faults::CaptureTransform>> defenses;
+  if (params.defenses.empty()) {
+    for (const faults::ShapingProfile& profile :
+         faults::builtin_shaping_profiles()) {
+      defenses.push_back(
+          std::make_shared<const faults::ShapingTransform>(profile));
+    }
+  } else {
+    for (const std::string& name : params.defenses) {
+      std::shared_ptr<const faults::CaptureTransform> transform =
+          faults::find_transform(name);
+      if (transform == nullptr) {
+        throw std::invalid_argument("unknown defense transform: " + name +
+                                    " (available: " +
+                                    faults::transform_names() + ")");
+      }
+      defenses.push_back(std::move(transform));
+    }
+  }
+
+  std::vector<const testbed::DeviceSpec*> devices;
+  for (const testbed::DeviceSpec& device : testbed::device_catalog()) {
+    if (!params.device_filter.empty()) {
+      bool wanted = false;
+      for (const std::string& id : params.device_filter) {
+        if (device.id == id) {
+          wanted = true;
+          break;
+        }
+      }
+      if (!wanted) continue;
+    }
+    devices.push_back(&device);
+    if (params.max_devices != 0 && devices.size() >= params.max_devices) break;
+  }
+
+  testbed::ExperimentRunner runner(params.plan);
+
+  DefenseEvalResult result;
+  result.devices = devices.size();
+  // Slot-indexed so the fan-out below cannot reorder rows.
+  std::vector<std::vector<DefenseRow>> slots(devices.size());
+
+  util::TaskPool pool(params.jobs);
+  pool.parallel_for_each(devices.size(), [&](std::size_t i) {
+    const testbed::DeviceSpec& device = *devices[i];
+    const std::vector<testbed::LabeledCapture> captures =
+        runner.run_all(device, params.config);
+    const std::uint64_t baseline_bytes = capture_bytes(captures);
+    const analysis::ActivityModel baseline = analysis::train_activity_model(
+        device, params.config, captures, params.inference);
+    const double baseline_f1 = baseline.device_f1();
+
+    std::vector<DefenseRow>& rows = slots[i];
+    rows.reserve(defenses.size());
+    for (const std::shared_ptr<const faults::CaptureTransform>& defense :
+         defenses) {
+      faults::TransformChain chain;
+      chain.push_back(defense);
+      std::vector<testbed::LabeledCapture> defended = captures;
+      faults::TransformSummary summary;
+      for (testbed::LabeledCapture& capture : defended) {
+        summary.merge(chain.apply(capture.packets, capture.spec.key()));
+      }
+      const analysis::ActivityModel model = analysis::train_activity_model(
+          device, params.config, defended, params.inference);
+      DefenseRow row;
+      row.defense = std::string(defense->name());
+      row.device_id = device.id;
+      row.baseline_f1 = baseline_f1;
+      row.defended_f1 = model.device_f1();
+      row.baseline_bytes = baseline_bytes;
+      row.defended_bytes = capture_bytes(defended);
+      row.padding_bytes = summary.shaped_padding_bytes;
+      rows.push_back(std::move(row));
+    }
+  });
+
+  for (std::vector<DefenseRow>& rows : slots) {
+    for (DefenseRow& row : rows) result.rows.push_back(std::move(row));
+  }
+
+  for (std::size_t j = 0; j < defenses.size(); ++j) {
+    DefenseAggregate agg;
+    agg.defense = std::string(defenses[j]->name());
+    for (const std::vector<DefenseRow>& rows : slots) {
+      if (j >= rows.size()) continue;
+      const DefenseRow& row = rows[j];
+      ++agg.devices;
+      agg.mean_baseline_f1 += row.baseline_f1;
+      agg.mean_defended_f1 += row.defended_f1;
+      agg.mean_f1_delta += row.f1_delta();
+      agg.mean_overhead_pct += row.overhead_pct();
+    }
+    if (agg.devices > 0) {
+      const double n = static_cast<double>(agg.devices);
+      agg.mean_baseline_f1 /= n;
+      agg.mean_defended_f1 /= n;
+      agg.mean_f1_delta /= n;
+      agg.mean_overhead_pct /= n;
+    }
+    result.aggregates.push_back(std::move(agg));
+  }
+
+  return result;
+}
+
+}  // namespace iotx::core

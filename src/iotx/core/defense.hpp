@@ -1,0 +1,93 @@
+// Traffic-shaping defense evaluation (`iotx defend-eval`): how much does
+// each shaping defense (pad-to-bucket, constant-rate release,
+// batch-and-delay) degrade the §6.3 activity-inference attack, and at
+// what byte overhead?
+//
+// For every selected device the evaluator synthesizes the controlled
+// labeled captures once, trains the baseline activity classifier, then
+// re-applies each defense transform at the capture head (seeded per
+// experiment key — bit-reproducible at any jobs count) and retrains.
+// The report pairs the F1 degradation with the padding-byte overhead,
+// the defender's cost/benefit curve.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iotx/analysis/inference.hpp"
+#include "iotx/faults/transform.hpp"
+#include "iotx/testbed/experiment.hpp"
+
+namespace iotx::core {
+
+struct DefenseEvalParams {
+  /// Capture schedule per device; scaled below Study defaults — the
+  /// sweep retrains one model per (device, defense).
+  testbed::SchedulePlan plan{/*automated_reps=*/6, /*manual_reps=*/2,
+                             /*power_reps=*/2, /*idle_hours=*/0.25};
+  analysis::InferenceParams inference{
+      ml::ValidationParams{ml::ForestParams{/*n_trees=*/20, ml::TreeParams{}},
+                           /*train_fraction=*/0.7, /*repetitions=*/3}};
+  /// Network config the captures are synthesized under (default: US lab,
+  /// direct egress — the defense effect is config-independent here).
+  testbed::NetworkConfig config;
+  /// Defense transform names (registry lookup). Empty = every builtin
+  /// shaping profile. Unknown names throw std::invalid_argument.
+  std::vector<std::string> defenses;
+  /// When non-empty, restricts the sweep to these device ids.
+  std::vector<std::string> device_filter;
+  /// Cap on swept devices after filtering (0 = no cap). The default
+  /// keeps `iotx defend-eval` in CI-friendly seconds.
+  std::size_t max_devices = 6;
+  /// Worker threads (0 = hardware concurrency, 1 = serial). Results are
+  /// bit-identical at any value.
+  std::size_t jobs = 0;
+};
+
+/// One (device, defense) measurement.
+struct DefenseRow {
+  std::string defense;
+  std::string device_id;
+  double baseline_f1 = 0.0;  ///< device F1 with no defense
+  double defended_f1 = 0.0;  ///< device F1 after the defense transform
+  std::uint64_t baseline_bytes = 0;  ///< capture bytes, undefended
+  std::uint64_t defended_bytes = 0;  ///< capture bytes after shaping
+  std::uint64_t padding_bytes = 0;   ///< pure padding added by the defense
+
+  /// Positive when the defense reduced inference accuracy.
+  double f1_delta() const noexcept { return baseline_f1 - defended_f1; }
+  /// Byte overhead relative to the undefended capture, in percent.
+  double overhead_pct() const noexcept {
+    return baseline_bytes == 0
+               ? 0.0
+               : 100.0 *
+                     (static_cast<double>(defended_bytes) -
+                      static_cast<double>(baseline_bytes)) /
+                     static_cast<double>(baseline_bytes);
+  }
+};
+
+/// Per-defense means across the swept devices.
+struct DefenseAggregate {
+  std::string defense;
+  std::size_t devices = 0;
+  double mean_baseline_f1 = 0.0;
+  double mean_defended_f1 = 0.0;
+  double mean_f1_delta = 0.0;
+  double mean_overhead_pct = 0.0;
+};
+
+struct DefenseEvalResult {
+  /// Device-major, defense order as requested.
+  std::vector<DefenseRow> rows;
+  std::vector<DefenseAggregate> aggregates;
+  std::size_t devices = 0;
+};
+
+/// Runs the sweep. Throws std::invalid_argument on an unknown defense
+/// name. Deterministic at any `jobs` (slot-indexed results, per-capture
+/// seeds).
+DefenseEvalResult run_defense_eval(const DefenseEvalParams& params);
+
+}  // namespace iotx::core

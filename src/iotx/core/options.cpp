@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "iotx/faults/impairment.hpp"
+#include "iotx/faults/transform.hpp"
 #include "iotx/testbed/catalog_gen.hpp"
 
 namespace iotx::core {
@@ -38,6 +39,38 @@ StudyOptions::ParseResult StudyOptions::parse_shared_flag(int argc,
       return ParseResult::kError;
     }
     params_.impairment = *profile;
+    return ParseResult::kConsumed;
+  }
+  if (std::strcmp(flag, "--transform") == 0) {
+    if (i + 1 >= argc) {
+      error_ = "--transform requires a comma-separated transform list; "
+               "available: " +
+               faults::transform_names();
+      return ParseResult::kError;
+    }
+    if (!faults::parse_transform_chain(argv[++i], params_.transforms,
+                                       error_)) {
+      return ParseResult::kError;
+    }
+    return ParseResult::kConsumed;
+  }
+  if (std::strcmp(flag, "--shape") == 0) {
+    // Thin alias: --shape <profile> appends one shaping transform, the
+    // same way --impair sets one impairment.
+    if (i + 1 >= argc) {
+      error_ = "--shape requires a shaping profile name; available: " +
+               faults::shaping_profile_names();
+      return ParseResult::kError;
+    }
+    const faults::ShapingProfile* profile =
+        faults::find_shaping_profile(argv[++i]);
+    if (profile == nullptr) {
+      error_ = "unknown shaping profile '" + std::string(argv[i]) +
+               "'; available: " + faults::shaping_profile_names();
+      return ParseResult::kError;
+    }
+    params_.transforms.push_back(
+        std::make_shared<const faults::ShapingTransform>(*profile));
     return ParseResult::kConsumed;
   }
   if (std::strcmp(flag, "--trace") == 0) {
@@ -89,6 +122,11 @@ StudyOptions& StudyOptions::out_dir(std::string dir) {
 
 StudyOptions& StudyOptions::worker(bool enabled) {
   params_.worker = enabled;
+  return *this;
+}
+
+StudyOptions& StudyOptions::lifecycle_reps(int reps) {
+  params_.plan.lifecycle_reps = reps;
   return *this;
 }
 

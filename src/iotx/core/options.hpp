@@ -1,9 +1,10 @@
 // StudyOptions: one builder for everything the CLI used to assemble by
 // mutating StudyParams ad hoc inside each subcommand. The shared flags
-// (--jobs / --impair / --trace / --metrics / --cache) are parsed in one
-// place — parse_shared_flag() — so `study` and `classify` accept the
-// same spellings with the same validation, and a new shared flag is
-// added once instead of per subcommand.
+// (--jobs / --impair / --transform / --shape / --trace / --metrics /
+// --cache) are parsed in one place — parse_shared_flag() — so `study`,
+// `classify`, `serve` and `defend-eval` accept the same spellings with
+// the same validation, and a new shared flag is added once instead of
+// per subcommand.
 #pragma once
 
 #include <memory>
@@ -45,6 +46,10 @@ class StudyOptions {
   /// before computing them (requires a cache directory; validated by the
   /// CLI, not here).
   StudyOptions& worker(bool enabled);
+  /// Schedules `reps` repetitions of each lifecycle phase (setup /
+  /// ota_update / deprovision) per (config, device) run; 0 — the
+  /// default — reproduces the paper campaign byte-identically.
+  StudyOptions& lifecycle_reps(int reps);
   StudyOptions& claim_lease_ms(std::uint64_t lease_ms);
   /// Replaces the builtin catalog with `count` synthetic devices from
   /// testbed::generate_catalog (seeded, bit-reproducible) and disables

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <tuple>
 #include <thread>
 #include <utility>
 
@@ -42,6 +43,7 @@ std::string experiment_group(const testbed::ExperimentSpec& spec) {
     case testbed::ExperimentType::kPower: return "Power";
     case testbed::ExperimentType::kIdle: return "Idle";
     case testbed::ExperimentType::kUncontrolled: return "Uncontrolled";
+    case testbed::ExperimentType::kLifecycle: return "Lifecycle";
     case testbed::ExperimentType::kInteraction: break;
   }
   const std::string_view group = testbed::activity_group(spec.activity);
@@ -63,7 +65,16 @@ Study::Study(StudyParams params)
                   : nullptr),
       runner_(params_.plan),
       orgs_(testbed::EndpointRegistry::builtin().make_org_database()),
-      geo_(testbed::EndpointRegistry::builtin().make_geo_database()) {}
+      geo_(testbed::EndpointRegistry::builtin().make_geo_database()) {
+  // The legacy --impair knob joins the chain first (seed label "impair",
+  // so a lone impairment reproduces the pre-chain Prng stream exactly),
+  // followed by the explicitly configured transforms, in order.
+  if (params_.impairment.enabled()) {
+    transforms_.push_back(std::make_shared<const faults::ImpairmentTransform>(
+        params_.impairment));
+  }
+  for (const auto& t : params_.transforms.items()) transforms_.push_back(t);
+}
 
 analysis::AttributionContext Study::attribution_context(
     const testbed::NetworkConfig& config) const {
@@ -120,6 +131,11 @@ struct Study::RunScratch {
   analysis::DestinationAccumulator merged;
   /// PII findings deduplicated across experiments by (kind, destination).
   std::set<std::pair<std::string, std::uint32_t>> seen_pii;
+  /// Same dedup scoped per lifecycle phase (phase, kind, destination) —
+  /// a leak repeating in setup AND normal traffic is a finding in both
+  /// phase slices.
+  std::set<std::tuple<std::string, std::string, std::uint32_t>>
+      seen_phase_pii;
   std::vector<analysis::LabeledMeta> training;
   std::vector<flow::PacketMeta> idle_meta;
 
@@ -185,6 +201,9 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
         result.enc_by_group = std::move(artifact.enc_by_group);
         result.enc_total = artifact.enc_total;
         result.pii_findings = std::move(artifact.pii_findings);
+        result.parties_by_phase = std::move(artifact.parties_by_phase);
+        result.enc_by_phase = std::move(artifact.enc_by_phase);
+        result.pii_by_phase = std::move(artifact.pii_by_phase);
         scratch.training = std::move(artifact.training);
         scratch.idle_meta = std::move(artifact.idle_meta);
         scratch.experiments = artifact.experiments;
@@ -214,6 +233,9 @@ DeviceRunResult Study::run_device(const testbed::DeviceSpec& device,
       artifact.enc_by_group = result.enc_by_group;
       artifact.enc_total = result.enc_total;
       artifact.pii_findings = result.pii_findings;
+      artifact.parties_by_phase = result.parties_by_phase;
+      artifact.enc_by_phase = result.enc_by_phase;
+      artifact.pii_by_phase = result.pii_by_phase;
       artifact.training = scratch.training;
       artifact.idle_meta = scratch.idle_meta;
       artifact.experiments = scratch.experiments;
@@ -275,23 +297,23 @@ void Study::run_experiment_schedule(const testbed::DeviceSpec& device,
        runner_.schedule(device, config)) {
     testbed::LabeledCapture capture = runner_.run(spec, device);
     ++scratch.experiments;
-    if (params_.impairment.enabled()) {
-      // Seeded by the experiment key alone, never by execution order, so
-      // an impaired campaign stays bit-identical at any --jobs count.
-      // Impairment runs at the stream head: the pipeline ingests what a
-      // degraded gateway would actually have captured.
+    if (transforms_.enabled()) {
+      // Every chain element is seeded by the experiment key alone, never
+      // by execution order, so a transformed campaign stays bit-identical
+      // at any --jobs count. Transforms run at the stream head: the
+      // pipeline ingests what a degraded (or defended) gateway would
+      // actually have captured.
       obs::Span impair_span("study/impair");
-      util::Prng prng("impair/" + spec.key());
-      faults::apply_impairment(capture.packets, params_.impairment, prng)
-          .add_to(result.health);
+      transforms_.apply(capture.packets, spec.key()).add_to(result.health);
     }
     std::vector<flow::PacketMeta> meta =
         ingest_labeled_capture(capture, scratch, result);
     if (spec.type == testbed::ExperimentType::kIdle) {
       scratch.idle_meta = std::move(meta);
     } else {
-      scratch.training.push_back(
-          analysis::LabeledMeta{capture.spec.activity, std::move(meta)});
+      scratch.training.push_back(analysis::LabeledMeta{
+          capture.spec.activity, std::move(meta),
+          std::string(testbed::lifecycle_phase_name(spec.phase))});
     }
     // `capture` — and with it the raw packet buffers — dies here; only
     // the per-packet meta survives until model training.
@@ -342,27 +364,50 @@ std::vector<flow::PacketMeta> Study::ingest_labeled_capture(
   const std::vector<analysis::DestinationRecord> records =
       analysis::attribute_destinations(flows, dns, scratch.ctx,
                                        result.device->first_party_orgs);
-  const std::string group = experiment_group(capture.spec);
-  analysis::PartyCounts& group_counts = result.parties_by_group[group];
-  group_counts.merge(analysis::count_non_first_parties(records));
-  if (capture.spec.type != testbed::ExperimentType::kIdle) {
-    result.parties_by_group["Control"].merge(
-        analysis::count_non_first_parties(records));
-  }
-  scratch.merged.add_all(records);
-
   const analysis::EncryptionBytes enc = analysis::account_flows(flows);
-  result.enc_by_group[group] += enc;
-  if (capture.spec.type != testbed::ExperimentType::kIdle) {
-    // "Control" aggregates all controlled experiments (Table 8's first
-    // row), exactly like the party counts above.
-    result.enc_by_group["Control"] += enc;
-  }
-  result.enc_total += enc;
+  const bool lifecycle =
+      capture.spec.type == testbed::ExperimentType::kLifecycle;
 
-  for (analysis::PiiFinding& f : scratch.scanner.scan(flows)) {
-    if (scratch.seen_pii.emplace(f.kind, f.destination.value()).second) {
-      result.pii_findings.push_back(std::move(f));
+  // Lifecycle slices accumulate for every capture (default runs only see
+  // the "normal" slice); the paper-table accumulators below are skipped
+  // for lifecycle captures, so Tables 2-11 never move when lifecycle
+  // experiments are scheduled.
+  const std::string phase(
+      testbed::lifecycle_phase_name(capture.spec.phase));
+  result.parties_by_phase[phase].merge(
+      analysis::count_non_first_parties(records));
+  result.enc_by_phase[phase] += enc;
+  std::vector<analysis::PiiFinding> found = scratch.scanner.scan(flows);
+  for (const analysis::PiiFinding& f : found) {
+    if (scratch.seen_phase_pii
+            .emplace(phase, f.kind, f.destination.value())
+            .second) {
+      result.pii_by_phase[phase].push_back(f);
+    }
+  }
+
+  if (!lifecycle) {
+    const std::string group = experiment_group(capture.spec);
+    analysis::PartyCounts& group_counts = result.parties_by_group[group];
+    group_counts.merge(analysis::count_non_first_parties(records));
+    if (capture.spec.type != testbed::ExperimentType::kIdle) {
+      result.parties_by_group["Control"].merge(
+          analysis::count_non_first_parties(records));
+    }
+    scratch.merged.add_all(records);
+
+    result.enc_by_group[group] += enc;
+    if (capture.spec.type != testbed::ExperimentType::kIdle) {
+      // "Control" aggregates all controlled experiments (Table 8's first
+      // row), exactly like the party counts above.
+      result.enc_by_group["Control"] += enc;
+    }
+    result.enc_total += enc;
+
+    for (analysis::PiiFinding& f : found) {
+      if (scratch.seen_pii.emplace(f.kind, f.destination.value()).second) {
+        result.pii_findings.push_back(std::move(f));
+      }
     }
   }
   return collector.take();

@@ -26,6 +26,7 @@
 #include "iotx/cache/artifact_store.hpp"
 #include "iotx/dist/claim.hpp"
 #include "iotx/faults/impairment.hpp"
+#include "iotx/faults/transform.hpp"
 #include "iotx/flow/ingest.hpp"
 #include "iotx/testbed/experiment.hpp"
 #include "iotx/testbed/user_study.hpp"
@@ -56,6 +57,14 @@ struct StudyParams {
   /// count). Default-constructed = disabled: captures are byte-identical
   /// to a build without fault injection.
   faults::ImpairmentProfile impairment;
+  /// Ordered capture-transform chain applied at the capture head after
+  /// `impairment` (which stays a separate knob for the legacy --impair
+  /// surface; internally both run through the same chain machinery).
+  /// Empty = no-op: the chain never materializes or reorders anything,
+  /// so default campaigns stay byte-identical. Each element is seeded
+  /// per experiment key ("<seed_label>/<spec key>") — bit-reproducible
+  /// at any jobs count, and folded into every cache stage key.
+  faults::TransformChain transforms;
   /// Chaos/testing hook invoked at the start of every (config, device)
   /// run; a throw here exercises the quarantine path the same way a
   /// genuinely corrupt capture would. Null by default.
@@ -136,6 +145,15 @@ struct DeviceRunResult {
   analysis::EncryptionBytes enc_total;
   /// Plaintext PII exposures found across all captures.
   std::vector<analysis::PiiFinding> pii_findings;
+  /// Lifecycle slices: the same destination/encryption/PII accounting
+  /// keyed by lifecycle phase ("normal" plus — when the plan schedules
+  /// lifecycle experiments — "setup", "ota_update", "deprovision").
+  /// Lifecycle captures accumulate ONLY here, never into the paper
+  /// tables above, so enabling lifecycle measurement cannot perturb
+  /// Tables 2-11.
+  std::map<std::string, analysis::PartyCounts> parties_by_phase;
+  std::map<std::string, analysis::EncryptionBytes> enc_by_phase;
+  std::map<std::string, std::vector<analysis::PiiFinding>> pii_by_phase;
   /// The trained activity model and its validation scores.
   analysis::ActivityModel model;
   /// Idle-period detections (using only >0.9-F1 classes).
@@ -221,6 +239,13 @@ class Study {
                                       : testbed::device_catalog();
   }
 
+  /// The effective capture-transform chain this study applies at every
+  /// capture head: params().impairment (wrapped, when enabled) followed
+  /// by params().transforms. Empty on a clean run.
+  const faults::TransformChain& transform_chain() const noexcept {
+    return transforms_;
+  }
+
   /// True once run() observed the params().cancel flag: some runs (or
   /// the uncontrolled phase) were skipped and the report is partial.
   bool interrupted() const noexcept {
@@ -282,6 +307,10 @@ class Study {
   void note_peak(std::uint64_t bytes);
 
   StudyParams params_;
+  /// The effective capture-transform chain: params_.impairment (wrapped,
+  /// when enabled) followed by params_.transforms. Built once in the
+  /// constructor; empty on a clean run.
+  faults::TransformChain transforms_;
   /// Non-null when params_.cache_dir is set.
   std::unique_ptr<cache::ArtifactStore> store_;
   /// Non-null in worker mode (params_.worker with a cache_dir).

@@ -16,6 +16,13 @@ std::vector<std::uint8_t> IngestArtifact::encode() const {
   analysis::write_enc_by_group(w, enc_by_group);
   analysis::write_encryption(w, enc_total);
   analysis::write_pii_findings(w, pii_findings);
+  analysis::write_parties_by_group(w, parties_by_phase);
+  analysis::write_enc_by_group(w, enc_by_phase);
+  w.u64(pii_by_phase.size());
+  for (const auto& [phase, findings] : pii_by_phase) {
+    w.str(phase);
+    analysis::write_pii_findings(w, findings);
+  }
   analysis::write_labeled_meta(w, training);
   flow::write_meta(w, idle_meta);
   w.u64(experiments);
@@ -35,6 +42,14 @@ IngestArtifact IngestArtifact::decode(std::span<const std::uint8_t> payload) {
   artifact.enc_by_group = analysis::read_enc_by_group(r);
   artifact.enc_total = analysis::read_encryption(r);
   artifact.pii_findings = analysis::read_pii_findings(r);
+  artifact.parties_by_phase = analysis::read_parties_by_group(r);
+  artifact.enc_by_phase = analysis::read_enc_by_group(r);
+  std::size_t n_phases = r.length(1);
+  for (std::size_t i = 0; i < n_phases; ++i) {
+    std::string phase = r.str();
+    artifact.pii_by_phase.emplace(std::move(phase),
+                                  analysis::read_pii_findings(r));
+  }
   artifact.training = analysis::read_labeled_meta(r);
   artifact.idle_meta = flow::read_meta(r);
   artifact.experiments = r.u64();
@@ -88,7 +103,8 @@ void common_key_fields(cache::StageKey& key, const StudyParams& params,
   key.field("automated_reps", std::int64_t{params.plan.automated_reps})
       .field("manual_reps", std::int64_t{params.plan.manual_reps})
       .field("power_reps", std::int64_t{params.plan.power_reps})
-      .field("idle_hours", params.plan.idle_hours);
+      .field("idle_hours", params.plan.idle_hours)
+      .field("lifecycle_reps", std::int64_t{params.plan.lifecycle_reps});
   const faults::ImpairmentProfile& imp = params.impairment;
   key.field("impair_name", imp.name)
       .field("impair_enabled", imp.enabled())
@@ -103,6 +119,10 @@ void common_key_fields(cache::StageKey& key, const StudyParams& params,
       .field("impair_dns_drop", imp.dns_drop)
       .field("impair_cutoff", imp.cutoff)
       .field("impair_cutoff_min_fraction", imp.cutoff_min_fraction);
+  // Canonical spec of the extra capture-transform chain (beyond the
+  // impairment knobs above): element order, names, and every shaping
+  // parameter. An empty chain canonicalizes to the empty string.
+  key.field("transform_chain", params.transforms.spec());
   // The Prng fork roots: every per-experiment generator is derived from
   // one of these labels plus the experiment key, so renaming a stream
   // re-randomizes the synthetic captures and must re-key the stage.

@@ -30,7 +30,7 @@
 namespace iotx::core {
 
 struct IngestArtifact {
-  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kVersion = 2;
 
   faults::CaptureHealth health;
   std::vector<analysis::DestinationRecord> destinations;
@@ -38,6 +38,10 @@ struct IngestArtifact {
   std::map<std::string, analysis::EncryptionBytes> enc_by_group;
   analysis::EncryptionBytes enc_total;
   std::vector<analysis::PiiFinding> pii_findings;
+  /// Lifecycle-phase slices (DeviceRunResult::*_by_phase).
+  std::map<std::string, analysis::PartyCounts> parties_by_phase;
+  std::map<std::string, analysis::EncryptionBytes> enc_by_phase;
+  std::map<std::string, std::vector<analysis::PiiFinding>> pii_by_phase;
   std::vector<analysis::LabeledMeta> training;
   std::vector<flow::PacketMeta> idle_meta;
   std::uint64_t experiments = 0;

@@ -57,7 +57,11 @@ namespace iotx::faults {
   X(serve_sampled_out_packets)          \
   X(serve_sessions_shed)                \
   X(serve_sessions_quarantined)         \
-  X(serve_sessions_drained)
+  X(serve_sessions_drained)             \
+  X(shaped_padded_frames)               \
+  X(shaped_padding_bytes)               \
+  X(shaped_delayed_packets)             \
+  X(shaped_batched_packets)
 
 /// Number of counters in the taxonomy (i.e. rows in the X-macro list).
 inline constexpr std::size_t kCaptureHealthCounterCount =
@@ -144,6 +148,16 @@ struct CaptureHealth {
   /// In-flight sessions cut by a drain (SIGTERM) before completion.
   std::uint64_t serve_sessions_drained = 0;
 
+  // --- shaping defenses (ground truth from faults::apply_shaping) ------
+  /// Frames padded up to their size bucket by a padding defense.
+  std::uint64_t shaped_padded_frames = 0;
+  /// Cover bytes appended by padding (the defense's byte overhead).
+  std::uint64_t shaped_padding_bytes = 0;
+  /// Packets whose release was delayed onto a constant-rate clock.
+  std::uint64_t shaped_delayed_packets = 0;
+  /// Packets held and flushed at a batch-window boundary.
+  std::uint64_t shaped_batched_packets = 0;
+
   /// Sum of the ingest-side anomaly counters — the ones observed while
   /// parsing, not the injection ground truth or deliberate ladder
   /// degradations. Nonzero => degraded run.
@@ -165,7 +179,9 @@ struct CaptureHealth {
            impaired_truncated_frames + impaired_corrupted_frames +
            impaired_dns_responses_dropped + impaired_capture_cutoffs +
            serve_truncated_frames + serve_sampled_out_packets +
-           serve_sessions_shed + serve_sessions_drained;
+           serve_sessions_shed + serve_sessions_drained +
+           shaped_padded_frames + shaped_delayed_packets +
+           shaped_batched_packets;
   }
 
   CaptureHealth& merge(const CaptureHealth& o) noexcept {

@@ -1,0 +1,323 @@
+#include "iotx/faults/transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace iotx::faults {
+
+namespace {
+
+// Canonical double formatting for spec strings: %.17g round-trips every
+// IEEE-754 double, so two profiles differing in any knob bit produce
+// different specs (and therefore different cache keys).
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string num(std::size_t v) { return std::to_string(v); }
+
+const char* mode_name(ShapingProfile::Mode mode) {
+  switch (mode) {
+    case ShapingProfile::Mode::kPadBucket: return "pad";
+    case ShapingProfile::Mode::kConstantRate: return "rate";
+    case ShapingProfile::Mode::kBatchDelay: return "batch";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool ShapingProfile::enabled() const noexcept {
+  switch (mode) {
+    case Mode::kPadBucket: return bucket_bytes > 0;
+    case Mode::kConstantRate:
+    case Mode::kBatchDelay: return interval > 0.0;
+  }
+  return false;
+}
+
+void TransformSummary::add_to(CaptureHealth& health) const noexcept {
+  impair.add_to(health);
+  health.shaped_padded_frames += shaped_padded_frames;
+  health.shaped_padding_bytes += shaped_padding_bytes;
+  health.shaped_delayed_packets += shaped_delayed_packets;
+  health.shaped_batched_packets += shaped_batched_packets;
+}
+
+TransformSummary& TransformSummary::merge(const TransformSummary& o) noexcept {
+  impair.merge(o.impair);
+  shaped_padded_frames += o.shaped_padded_frames;
+  shaped_padding_bytes += o.shaped_padding_bytes;
+  shaped_delayed_packets += o.shaped_delayed_packets;
+  shaped_batched_packets += o.shaped_batched_packets;
+  return *this;
+}
+
+TransformSummary apply_shaping(std::vector<net::Packet>& packets,
+                               const ShapingProfile& profile) {
+  TransformSummary summary;
+  summary.impair.packets_in = packets.size();
+  summary.impair.packets_out = packets.size();
+  if (!profile.enabled() || packets.empty()) return summary;
+
+  switch (profile.mode) {
+    case ShapingProfile::Mode::kPadBucket: {
+      // Pad every frame to the next bucket multiple with zero bytes.
+      // decode_frame() clamps the L3 payload to ip.total_length, so the
+      // padding is invisible to protocol parsing but raises frame_size —
+      // exactly the size-channel the defense is meant to blunt.
+      const std::size_t bucket = profile.bucket_bytes;
+      for (net::Packet& p : packets) {
+        const std::size_t size = p.frame.size();
+        const std::size_t target = ((size + bucket - 1) / bucket) * bucket;
+        if (target > size) {
+          p.frame.resize(target, 0);
+          ++summary.shaped_padded_frames;
+          summary.shaped_padding_bytes += target - size;
+        }
+      }
+      break;
+    }
+    case ShapingProfile::Mode::kConstantRate: {
+      // Quantize release times onto a fixed clock anchored at the first
+      // packet: t -> t0 + ceil((t - t0) / dt) * dt. Monotone in t, so a
+      // sorted capture stays sorted and per-flow order is preserved.
+      const double t0 = packets.front().timestamp;
+      const double dt = profile.interval;
+      for (net::Packet& p : packets) {
+        const double ticks = std::ceil((p.timestamp - t0) / dt);
+        const double release = t0 + ticks * dt;
+        if (release != p.timestamp) {
+          p.timestamp = release;
+          ++summary.shaped_delayed_packets;
+        }
+      }
+      break;
+    }
+    case ShapingProfile::Mode::kBatchDelay: {
+      // Hold packets and flush each batch at its window's end, so an
+      // observer sees bursts on a fixed cadence instead of the device's
+      // own timing. Relative order within a batch is preserved by the
+      // stable sort below.
+      const double t0 = packets.front().timestamp;
+      const double dt = profile.interval;
+      for (net::Packet& p : packets) {
+        const double window = std::floor((p.timestamp - t0) / dt);
+        const double release = t0 + (window + 1.0) * dt;
+        if (release != p.timestamp) ++summary.shaped_batched_packets;
+        p.timestamp = release;
+      }
+      break;
+    }
+  }
+  std::stable_sort(packets.begin(), packets.end(),
+                   [](const net::Packet& a, const net::Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return summary;
+}
+
+std::string ImpairmentTransform::spec() const {
+  const ImpairmentProfile& p = profile_;
+  std::string s = "impair{name=";
+  s += p.name;
+  s += ",loss=" + num(p.loss);
+  s += ",duplicate=" + num(p.duplicate);
+  s += ",reorder=" + num(p.reorder);
+  s += ",reorder_jitter=" + num(p.reorder_jitter);
+  s += ",truncate=" + num(p.truncate);
+  s += ",truncate_snaplen=" + num(p.truncate_snaplen);
+  s += ",corrupt=" + num(p.corrupt);
+  s += ",corrupt_bytes=" + num(p.corrupt_bytes);
+  s += ",dns_drop=" + num(p.dns_drop);
+  s += ",cutoff=" + num(p.cutoff);
+  s += ",cutoff_min_fraction=" + num(p.cutoff_min_fraction);
+  s += "}";
+  return s;
+}
+
+TransformSummary ImpairmentTransform::apply(std::vector<net::Packet>& packets,
+                                            util::Prng& prng) const {
+  TransformSummary summary;
+  summary.impair = apply_impairment(packets, profile_, prng);
+  return summary;
+}
+
+std::string ShapingTransform::spec() const {
+  std::string s = "shape{name=";
+  s += profile_.name;
+  s += ",mode=";
+  s += mode_name(profile_.mode);
+  s += ",bucket=" + num(profile_.bucket_bytes);
+  s += ",interval=" + num(profile_.interval);
+  s += "}";
+  return s;
+}
+
+TransformSummary ShapingTransform::apply(std::vector<net::Packet>& packets,
+                                         util::Prng& prng) const {
+  (void)prng;  // shaping is a fixed policy; no randomness consumed
+  return apply_shaping(packets, profile_);
+}
+
+void TransformChain::push_back(
+    std::shared_ptr<const CaptureTransform> transform) {
+  if (transform != nullptr) items_.push_back(std::move(transform));
+}
+
+bool TransformChain::enabled() const noexcept {
+  for (const auto& t : items_) {
+    if (t->enabled()) return true;
+  }
+  return false;
+}
+
+std::string TransformChain::spec() const {
+  std::string s;
+  for (const auto& t : items_) {
+    if (!s.empty()) s += ';';
+    s += t->spec();
+  }
+  return s;
+}
+
+TransformSummary TransformChain::apply(std::vector<net::Packet>& packets,
+                                       std::string_view base_key) const {
+  TransformSummary summary;
+  for (const auto& t : items_) {
+    // Disabled elements are skipped without forking a Prng, matching the
+    // legacy no-profile fast path (clean runs never touch randomness).
+    if (!t->enabled()) continue;
+    util::Prng prng(std::string(t->seed_label()) + "/" +
+                    std::string(base_key));
+    summary.merge(t->apply(packets, prng));
+  }
+  return summary;
+}
+
+std::span<const net::PacketView> TransformChain::apply_views(
+    std::span<const net::PacketView> views, std::string_view base_key,
+    std::vector<net::Packet>& owned, std::vector<net::PacketView>& owned_views,
+    CaptureHealth& health) const {
+  if (!enabled()) return views;  // zero-copy fast path: nothing touched
+  owned.clear();
+  owned.reserve(views.size());
+  for (const net::PacketView& v : views) {
+    owned.push_back(net::Packet{
+        v.timestamp,
+        std::vector<std::uint8_t>(v.frame.begin(), v.frame.end())});
+  }
+  apply(owned, base_key).add_to(health);
+  owned_views.clear();
+  owned_views.reserve(owned.size());
+  for (const net::Packet& p : owned) owned_views.push_back(net::view_of(p));
+  return owned_views;
+}
+
+const std::vector<ShapingProfile>& builtin_shaping_profiles() {
+  static const std::vector<ShapingProfile>* profiles = [] {
+    auto* v = new std::vector<ShapingProfile>;
+    ShapingProfile pad128;
+    pad128.name = "pad-128";
+    pad128.mode = ShapingProfile::Mode::kPadBucket;
+    pad128.bucket_bytes = 128;
+    v->push_back(pad128);
+    ShapingProfile pad512;
+    pad512.name = "pad-512";
+    pad512.mode = ShapingProfile::Mode::kPadBucket;
+    pad512.bucket_bytes = 512;
+    v->push_back(pad512);
+    ShapingProfile pad1500;
+    pad1500.name = "pad-1500";
+    pad1500.mode = ShapingProfile::Mode::kPadBucket;
+    pad1500.bucket_bytes = 1500;
+    v->push_back(pad1500);
+    ShapingProfile rate;
+    rate.name = "rate-100ms";
+    rate.mode = ShapingProfile::Mode::kConstantRate;
+    rate.interval = 0.1;
+    v->push_back(rate);
+    ShapingProfile batch;
+    batch.name = "batch-1s";
+    batch.mode = ShapingProfile::Mode::kBatchDelay;
+    batch.interval = 1.0;
+    v->push_back(batch);
+    return v;
+  }();
+  return *profiles;
+}
+
+const std::vector<std::shared_ptr<const CaptureTransform>>&
+builtin_transforms() {
+  static const std::vector<std::shared_ptr<const CaptureTransform>>*
+      transforms = [] {
+        auto* v = new std::vector<std::shared_ptr<const CaptureTransform>>;
+        for (const ImpairmentProfile& p : builtin_profiles()) {
+          v->push_back(std::make_shared<const ImpairmentTransform>(p));
+        }
+        for (const ShapingProfile& p : builtin_shaping_profiles()) {
+          v->push_back(std::make_shared<const ShapingTransform>(p));
+        }
+        return v;
+      }();
+  return *transforms;
+}
+
+std::shared_ptr<const CaptureTransform> find_transform(std::string_view name) {
+  for (const auto& t : builtin_transforms()) {
+    if (t->name() == name) return t;
+  }
+  return nullptr;
+}
+
+const ShapingProfile* find_shaping_profile(std::string_view name) {
+  for (const ShapingProfile& p : builtin_shaping_profiles()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::string transform_names() {
+  std::string names;
+  for (const auto& t : builtin_transforms()) {
+    if (!names.empty()) names += ", ";
+    names += t->name();
+  }
+  return names;
+}
+
+std::string shaping_profile_names() {
+  std::string names;
+  for (const ShapingProfile& p : builtin_shaping_profiles()) {
+    if (!names.empty()) names += ", ";
+    names += p.name;
+  }
+  return names;
+}
+
+bool parse_transform_chain(std::string_view csv, TransformChain& chain,
+                           std::string& error) {
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t end = csv.find(',', start);
+    if (end == std::string_view::npos) end = csv.size();
+    const std::string_view name = csv.substr(start, end - start);
+    if (!name.empty()) {
+      std::shared_ptr<const CaptureTransform> t = find_transform(name);
+      if (t == nullptr) {
+        error = "unknown transform '" + std::string(name) +
+                "'; available: " + transform_names();
+        return false;
+      }
+      chain.push_back(std::move(t));
+    }
+    if (end == csv.size()) break;
+    start = end + 1;
+  }
+  return true;
+}
+
+}  // namespace iotx::faults

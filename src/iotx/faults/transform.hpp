@@ -1,0 +1,217 @@
+// Composable capture transforms: the one API behind --impair/--shape.
+//
+// A CaptureTransform is a named, seeded mutation of a captured packet
+// vector applied at the capture head — network impairment (loss,
+// duplication, reordering) and traffic-shaping defenses (padding to a
+// bucket, constant-rate release, batch-and-delay) are both
+// implementations. Transforms compose into an ordered TransformChain;
+// each chain element consumes randomness only from its own Prng forked
+// as "<seed_label>/<capture key>", so a chained campaign is
+// bit-reproducible at any --jobs count and a single-impairment chain is
+// bit-for-bit identical to the legacy apply_impairment() path.
+//
+// The chain also has a zero-copy entry point (apply_views): an
+// empty/disabled chain returns the caller's views untouched — no
+// allocation, no materialization — so clean runs stay byte-identical to
+// pre-transform builds; an enabled chain materializes owned packets
+// exactly once.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iotx/faults/impairment.hpp"
+#include "iotx/net/packet.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace iotx::faults {
+
+/// Knobs of one traffic-shaping defense. A default-constructed profile
+/// is a no-op. Shaping is deterministic (no randomness consumed): the
+/// defenses the paper's threat model allows a gateway to deploy are
+/// fixed policies, not stochastic ones.
+struct ShapingProfile {
+  enum class Mode {
+    kPadBucket,      ///< pad every frame up to the next bucket multiple
+    kConstantRate,   ///< quantize timestamps onto a fixed release clock
+    kBatchDelay,     ///< hold packets and release them at window ends
+  };
+
+  std::string name = "none";
+  Mode mode = Mode::kPadBucket;
+  std::size_t bucket_bytes = 0;  ///< kPadBucket: bucket size (0 = off)
+  double interval = 0.0;  ///< kConstantRate/kBatchDelay: seconds (0 = off)
+
+  /// True when the profile actually does something.
+  bool enabled() const noexcept;
+};
+
+/// What one transform (or chain) application did. Impairment counters
+/// ride the existing ImpairmentSummary; the shaping counters are the
+/// defense-overhead ground truth (padding bytes is the headline overhead
+/// number defend-eval reports).
+struct TransformSummary {
+  ImpairmentSummary impair;
+  std::uint64_t shaped_padded_frames = 0;
+  std::uint64_t shaped_padding_bytes = 0;
+  std::uint64_t shaped_delayed_packets = 0;
+  std::uint64_t shaped_batched_packets = 0;
+
+  void add_to(CaptureHealth& health) const noexcept;
+  TransformSummary& merge(const TransformSummary& o) noexcept;
+};
+
+/// Shapes `packets` in place per `profile`. Deterministic: consumes no
+/// randomness, preserves per-flow packet order, and returns the packets
+/// timestamp-sorted. A disabled profile returns immediately.
+TransformSummary apply_shaping(std::vector<net::Packet>& packets,
+                               const ShapingProfile& profile);
+
+/// A named, seeded capture mutation. Implementations must be
+/// deterministic functions of (packets, profile knobs, prng stream) —
+/// never of wall clock, thread schedule, or call order.
+class CaptureTransform {
+ public:
+  virtual ~CaptureTransform() = default;
+
+  /// Registry name (unique across impairment and shaping builtins).
+  virtual std::string_view name() const noexcept = 0;
+
+  /// False for a no-op configuration; the chain skips disabled
+  /// transforms without forking a Prng for them.
+  virtual bool enabled() const noexcept = 0;
+
+  /// Prng fork label: the chain seeds this transform's stream as
+  /// "<seed_label>/<capture key>". Impairment uses "impair" so a
+  /// one-element chain reproduces the legacy seed exactly.
+  virtual std::string_view seed_label() const noexcept = 0;
+
+  /// Canonical spec string covering every knob — folded into
+  /// cache::StageKey so runs with different transform parameters can
+  /// never alias a cached artifact (faults cannot depend on cache, so
+  /// the contract is a string, not a StageKey&).
+  virtual std::string spec() const = 0;
+
+  virtual TransformSummary apply(std::vector<net::Packet>& packets,
+                                 util::Prng& prng) const = 0;
+};
+
+/// apply_impairment() re-homed behind the transform interface. Delegates
+/// to the free function, so registry-driven impairment is bit-for-bit
+/// the legacy path.
+class ImpairmentTransform final : public CaptureTransform {
+ public:
+  explicit ImpairmentTransform(ImpairmentProfile profile)
+      : profile_(std::move(profile)) {}
+
+  std::string_view name() const noexcept override { return profile_.name; }
+  bool enabled() const noexcept override { return profile_.enabled(); }
+  std::string_view seed_label() const noexcept override { return "impair"; }
+  std::string spec() const override;
+  TransformSummary apply(std::vector<net::Packet>& packets,
+                         util::Prng& prng) const override;
+
+  const ImpairmentProfile& profile() const noexcept { return profile_; }
+
+ private:
+  ImpairmentProfile profile_;
+};
+
+/// Traffic-shaping defense behind the transform interface.
+class ShapingTransform final : public CaptureTransform {
+ public:
+  explicit ShapingTransform(ShapingProfile profile)
+      : profile_(std::move(profile)) {}
+
+  std::string_view name() const noexcept override { return profile_.name; }
+  bool enabled() const noexcept override { return profile_.enabled(); }
+  std::string_view seed_label() const noexcept override { return "shape"; }
+  std::string spec() const override;
+  TransformSummary apply(std::vector<net::Packet>& packets,
+                         util::Prng& prng) const override;
+
+  const ShapingProfile& profile() const noexcept { return profile_; }
+
+ private:
+  ShapingProfile profile_;
+};
+
+/// An ordered chain of transforms applied left to right at the capture
+/// head. Value type (shared_ptr elements), cheap to copy into
+/// StudyParams/ServeConfig.
+class TransformChain {
+ public:
+  TransformChain() = default;
+
+  void push_back(std::shared_ptr<const CaptureTransform> transform);
+
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t size() const noexcept { return items_.size(); }
+  const std::vector<std::shared_ptr<const CaptureTransform>>& items()
+      const noexcept {
+    return items_;
+  }
+
+  /// True when any element would actually mutate the capture.
+  bool enabled() const noexcept;
+
+  /// Canonical chain spec: the ';'-joined element specs (enabled or
+  /// not — order and configuration both matter). Empty string for an
+  /// empty chain, so pre-chain cache keys are reproduced by default.
+  std::string spec() const;
+
+  /// Applies every enabled element in order. `base_key` is the stable
+  /// per-capture seed key (e.g. ExperimentSpec::key()); each element's
+  /// Prng forks as "<seed_label>/<base_key>" so a one-impairment chain
+  /// matches the legacy "impair/" stream bit-for-bit.
+  TransformSummary apply(std::vector<net::Packet>& packets,
+                         std::string_view base_key) const;
+
+  /// Zero-copy entry point. A disabled/empty chain returns `views`
+  /// unchanged and leaves `owned`/`owned_views` untouched (no
+  /// allocation). Otherwise the views are materialized into `owned`
+  /// once, transformed, and the returned span aliases `owned_views`
+  /// (both must outlive the returned span). The summary is folded into
+  /// `health` either way (no-op when disabled).
+  std::span<const net::PacketView> apply_views(
+      std::span<const net::PacketView> views, std::string_view base_key,
+      std::vector<net::Packet>& owned,
+      std::vector<net::PacketView>& owned_views,
+      CaptureHealth& health) const;
+
+ private:
+  std::vector<std::shared_ptr<const CaptureTransform>> items_;
+};
+
+/// The built-in named transforms: every impairment profile from
+/// builtin_profiles() ("none", "mild-loss", "lossy-wifi", "flaky-vpn",
+/// "truncating-tap") plus the shaping defenses ("pad-128", "pad-512",
+/// "pad-1500", "rate-100ms", "batch-1s").
+const std::vector<std::shared_ptr<const CaptureTransform>>&
+builtin_transforms();
+
+/// The built-in shaping defenses only (defend-eval sweeps these).
+const std::vector<ShapingProfile>& builtin_shaping_profiles();
+
+/// Looks up a built-in transform by name; nullptr when unknown.
+std::shared_ptr<const CaptureTransform> find_transform(std::string_view name);
+
+/// Looks up a built-in shaping profile by name; nullptr when unknown.
+const ShapingProfile* find_shaping_profile(std::string_view name);
+
+/// Comma-separated built-in transform names (for CLI help).
+std::string transform_names();
+
+/// Comma-separated built-in shaping profile names (for CLI help).
+std::string shaping_profile_names();
+
+/// Parses a comma-separated transform list ("lossy-wifi,pad-512") into
+/// an ordered chain. Returns false and sets `error` on an unknown name.
+bool parse_transform_chain(std::string_view csv, TransformChain& chain,
+                           std::string& error);
+
+}  // namespace iotx::faults

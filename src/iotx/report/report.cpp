@@ -1,7 +1,10 @@
 #include "iotx/report/report.hpp"
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
+#include <tuple>
 
 #include "iotx/faults/health.hpp"
 #include "iotx/obs/trace.hpp"
@@ -284,6 +287,152 @@ std::string pii_json(const core::Study& study) {
   return w.document();
 }
 
+std::string lifecycle_json(const core::Study& study) {
+  // Aggregate the per-run phase slices campaign-wide. Default campaigns
+  // only carry the "normal" slice; lifecycle_reps > 0 adds the setup /
+  // ota_update / deprovision phases.
+  std::map<std::string, analysis::PartyCounts> parties;
+  std::map<std::string, analysis::EncryptionBytes> enc;
+  std::map<std::string,
+           std::map<std::tuple<std::string, std::string, std::string>,
+                    std::uint64_t>>
+      pii;
+  std::map<std::string, std::set<std::string>> pii_devices;
+  for (const std::string& key : study.config_keys()) {
+    for (const core::DeviceRunResult& r : study.results(key)) {
+      for (const auto& [phase, counts] : r.parties_by_phase) {
+        parties[phase].merge(counts);
+      }
+      for (const auto& [phase, bytes] : r.enc_by_phase) {
+        enc[phase] += bytes;
+      }
+      for (const auto& [phase, findings] : r.pii_by_phase) {
+        for (const analysis::PiiFinding& f : findings) {
+          ++pii[phase][{f.kind, f.encoding, f.domain}];
+          pii_devices[phase].insert(r.device->id);
+        }
+      }
+    }
+  }
+
+  // Canonical phase order (absent phases skipped): the device's life,
+  // not the map's alphabet.
+  std::vector<std::string> phases;
+  for (const char* name : {"setup", "normal", "ota_update", "deprovision"}) {
+    if (parties.count(name) || enc.count(name) || pii.count(name)) {
+      phases.emplace_back(name);
+    }
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  doc_header(w);
+  w.field("section", "lifecycle");
+  w.field("title", "per-lifecycle-phase destinations, encryption, PII");
+  w.key("phases").begin_array();
+  for (const std::string& phase : phases) {
+    const analysis::PartyCounts& counts = parties[phase];
+    const analysis::EncryptionBytes& bytes = enc[phase];
+    w.begin_object();
+    w.field("phase", phase);
+    w.key("destinations").begin_object();
+    w.field("support_parties", static_cast<std::uint64_t>(counts.support.size()));
+    w.field("third_parties", static_cast<std::uint64_t>(counts.third.size()));
+    w.key("support").begin_array();
+    for (const std::string& org : counts.support) w.value(org);
+    w.end_array();
+    w.key("third").begin_array();
+    for (const std::string& org : counts.third) w.value(org);
+    w.end_array();
+    w.end_object();
+    w.key("encryption").begin_object();
+    w.field("encrypted_bytes", bytes.encrypted);
+    w.field("unencrypted_bytes", bytes.unencrypted);
+    w.field("unknown_bytes", bytes.unknown);
+    w.field("media_bytes", bytes.media);
+    w.end_object();
+    w.field("pii_exposing_devices",
+            static_cast<std::uint64_t>(pii_devices[phase].size()));
+    w.key("pii").begin_array();
+    for (const auto& [finding, count] : pii[phase]) {
+      const auto& [kind, encoding, domain] = finding;
+      w.begin_object();
+      w.field("kind", kind);
+      w.field("encoding", encoding);
+      w.field("destination", domain);
+      w.field("findings", count);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+std::string defense_report_json(const core::DefenseEvalResult& result) {
+  JsonWriter w;
+  w.begin_object();
+  doc_header(w);
+  w.field("section", "defense");
+  w.field("title", "traffic-shaping defense evaluation");
+  w.field("devices", static_cast<std::uint64_t>(result.devices));
+  w.key("defenses").begin_array();
+  for (const core::DefenseAggregate& agg : result.aggregates) {
+    w.begin_object();
+    w.field("defense", agg.defense);
+    w.field("devices", static_cast<std::uint64_t>(agg.devices));
+    w.field("mean_baseline_f1", agg.mean_baseline_f1);
+    w.field("mean_defended_f1", agg.mean_defended_f1);
+    w.field("mean_f1_delta", agg.mean_f1_delta);
+    w.field("mean_overhead_pct", agg.mean_overhead_pct);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("rows").begin_array();
+  for (const core::DefenseRow& row : result.rows) {
+    w.begin_object();
+    w.field("defense", row.defense);
+    w.field("device", row.device_id);
+    w.field("baseline_f1", row.baseline_f1);
+    w.field("defended_f1", row.defended_f1);
+    w.field("f1_delta", row.f1_delta());
+    w.field("baseline_bytes", row.baseline_bytes);
+    w.field("defended_bytes", row.defended_bytes);
+    w.field("padding_bytes", row.padding_bytes);
+    w.field("overhead_pct", row.overhead_pct());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.document();
+}
+
+namespace {
+
+std::string fixed2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string defense_report_text(const core::DefenseEvalResult& result) {
+  std::string out = "Defense evaluation — " +
+                    std::to_string(result.devices) + " devices\n\n";
+  util::TextTable table({"defense", "devices", "baseline F1", "defended F1",
+                         "F1 delta", "overhead %"});
+  for (const core::DefenseAggregate& agg : result.aggregates) {
+    table.add_row({agg.defense, std::to_string(agg.devices),
+                   fixed2(agg.mean_baseline_f1), fixed2(agg.mean_defended_f1),
+                   fixed2(agg.mean_f1_delta), fixed2(agg.mean_overhead_pct)});
+  }
+  out += table.render();
+  return out;
+}
+
 namespace {
 
 /// Bytes the run actually classified (media included) — the observable
@@ -468,6 +617,7 @@ bool write_report_directory(const core::Study& study, const std::string& dir) {
          emit("table10.json", table10_json) &&
          emit("table11.json", table11_json) &&
          emit("pii.json", pii_json) &&
+         emit("lifecycle.json", lifecycle_json) &&
          emit("robustness.json", robustness_json) &&
          emit("robustness.txt", robustness_text) &&
          emit("report.json", full_report_json);

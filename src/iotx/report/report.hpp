@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "iotx/core/defense.hpp"
 #include "iotx/core/study.hpp"
 #include "iotx/core/tables.hpp"
 
@@ -34,6 +35,19 @@ std::string table10_json(const core::Study& study);
 std::string table11_json(const core::Study& study);
 std::string pii_json(const core::Study& study);
 
+/// Lifecycle section: destination / encryption / PII exposure sliced by
+/// lifecycle phase (setup, normal, ota_update, deprovision), aggregated
+/// across every (config, device) run. Phases appear only when the plan
+/// scheduled them (lifecycle_reps > 0 adds the three non-normal phases).
+std::string lifecycle_json(const core::Study& study);
+
+/// Defense-evaluation report (`iotx defend-eval`): per-(device, defense)
+/// F1 degradation vs byte overhead, plus per-defense means.
+std::string defense_report_json(const core::DefenseEvalResult& result);
+
+/// The same defense data rendered as a text table.
+std::string defense_report_text(const core::DefenseEvalResult& result);
+
 /// Robustness section: per-(config, device) run status and typed health
 /// counters, the quarantine list with exception texts, and per-config
 /// loss-adjusted byte totals (observed + known-lost bytes).
@@ -46,8 +60,9 @@ std::string robustness_text(const core::Study& study);
 std::string full_report_json(const core::Study& study);
 
 /// Writes `<dir>/tableN.json`, `<dir>/figure2.json`, `<dir>/pii.json`,
-/// `<dir>/robustness.json`, `<dir>/robustness.txt` and `<dir>/report.json`.
-/// Creates the directory. Returns false on I/O error.
+/// `<dir>/lifecycle.json`, `<dir>/robustness.json`, `<dir>/robustness.txt`
+/// and `<dir>/report.json`. Creates the directory. Returns false on I/O
+/// error.
 bool write_report_directory(const core::Study& study, const std::string& dir);
 
 }  // namespace iotx::report

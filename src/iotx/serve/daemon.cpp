@@ -760,6 +760,7 @@ std::string Daemon::config_json() const {
           static_cast<std::uint64_t>(config_.session.truncate_snaplen));
   w.field("sample_keep_1_in",
           static_cast<std::uint64_t>(config_.session.sample_keep_1_in));
+  w.field("session_transforms", config_.session.transforms.spec());
   w.field("idle_timeout_ms",
           static_cast<std::int64_t>(config_.idle_timeout_ms));
   w.field("drain_grace_ms",

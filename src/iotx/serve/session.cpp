@@ -28,21 +28,45 @@ void IngestSession::on_view(const net::PacketView& view) {
     ++serve_health_.serve_sampled_out_packets;
     return;
   }
+  net::PacketView admitted = view;
   if (mode_ == AdmissionMode::kTruncate &&
       view.frame.size() > limits_.truncate_snaplen) {
-    net::PacketView clipped;
-    clipped.timestamp = view.timestamp;
-    clipped.frame = view.frame.first(limits_.truncate_snaplen);
+    admitted.frame = view.frame.first(limits_.truncate_snaplen);
     ++serve_health_.serve_truncated_frames;
-    pipeline_.ingest(clipped);
-  } else {
-    pipeline_.ingest(view);
   }
+  if (limits_.transforms.enabled()) {
+    // Shaped session: buffer the admitted packet; the chain runs once
+    // over the whole upload at finish() (shaping defenses reorder and
+    // re-time packets, so they cannot be applied frame-at-a-time).
+    buffered_.push_back(net::Packet{
+        admitted.timestamp,
+        std::vector<std::uint8_t>(admitted.frame.begin(),
+                                  admitted.frame.end())});
+    return;
+  }
+  pipeline_.ingest(admitted);
   if (table_.size() > limits_.flow_budget) {
     ++serve_health_.serve_budget_exhaustions;
     pipeline_.finish();
     state_ = State::kBudgetStop;
   }
+}
+
+void IngestSession::flush_shaped() {
+  if (!limits_.transforms.enabled()) return;
+  // Fixed seed: the same upload bytes always shape identically, whatever
+  // session or worker carried them.
+  faults::TransformSummary summary =
+      limits_.transforms.apply(buffered_, "serve");
+  summary.add_to(serve_health_);
+  for (const net::Packet& packet : buffered_) {
+    pipeline_.ingest(net::view_of(packet));
+    if (table_.size() > limits_.flow_budget) {
+      ++serve_health_.serve_budget_exhaustions;
+      break;
+    }
+  }
+  buffered_.clear();
 }
 
 bool IngestSession::feed(std::span<const std::uint8_t> bytes) {
@@ -55,6 +79,7 @@ bool IngestSession::feed(std::span<const std::uint8_t> bytes) {
     decoder_.feed(bytes.first(static_cast<std::size_t>(room)));
     if (state_ == State::kStreaming) {
       ++serve_health_.serve_budget_exhaustions;
+      flush_shaped();
       pipeline_.finish();
       state_ = State::kBudgetStop;
     }
@@ -73,6 +98,7 @@ bool IngestSession::feed(std::span<const std::uint8_t> bytes) {
 void IngestSession::finish() {
   if (state_ != State::kStreaming) return;
   if (decoder_.header_ok() && decoder_.at_record_boundary()) {
+    flush_shaped();
     pipeline_.finish();
     state_ = State::kComplete;
     return;

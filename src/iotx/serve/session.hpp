@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "iotx/faults/transform.hpp"
 #include "iotx/flow/dns_cache.hpp"
 #include "iotx/flow/flow_table.hpp"
 #include "iotx/flow/ingest.hpp"
@@ -34,6 +35,14 @@ struct SessionLimits {
   std::uint32_t max_frame_bytes = 1u << 20;  ///< pcap record incl_len cap
   std::uint32_t truncate_snaplen = 256;      ///< kTruncate clip length
   std::uint32_t sample_keep_1_in = 4;        ///< kSample keep rate
+  /// Capture-transform chain applied to each upload before analysis
+  /// (the live-ingest face of `--transform`/`--shape`). Empty — the
+  /// default — keeps the zero-copy streaming path: views go straight
+  /// into the pipeline with no buffering. An enabled chain buffers the
+  /// session's admitted packets and transforms them at finish() under a
+  /// fixed seed, so the same upload bytes always yield the same shaped
+  /// stream.
+  faults::TransformChain transforms;
 };
 
 class IngestSession {
@@ -102,6 +111,10 @@ class IngestSession {
 
  private:
   void on_view(const net::PacketView& view);
+  /// Applies the transform chain to the buffered packets and ingests
+  /// them; no-op when the chain is disabled. Called once, right before
+  /// the pipeline finishes.
+  void flush_shaped();
 
   AdmissionMode mode_;
   SessionLimits limits_;
@@ -113,6 +126,9 @@ class IngestSession {
   flow::IngestPipeline pipeline_;
   PcapStreamDecoder decoder_;
   faults::CaptureHealth serve_health_;  ///< serve-layer counters only
+  /// Admitted packets awaiting the transform chain; only populated when
+  /// limits_.transforms is enabled.
+  std::vector<net::Packet> buffered_;
   std::uint64_t bytes_fed_ = 0;
   std::uint64_t packet_index_ = 0;
 };

@@ -12,6 +12,16 @@ std::string_view interaction_method_name(InteractionMethod m) noexcept {
   return "?";
 }
 
+std::string_view lifecycle_phase_name(LifecyclePhase p) noexcept {
+  switch (p) {
+    case LifecyclePhase::kNormal: return "normal";
+    case LifecyclePhase::kSetup: return "setup";
+    case LifecyclePhase::kOta: return "ota_update";
+    case LifecyclePhase::kDeprovision: return "deprovision";
+  }
+  return "?";
+}
+
 std::vector<InteractionScript> scripts_for(const DeviceSpec& device) {
   std::vector<InteractionScript> scripts;
   for (const std::string& activity : device.activity_names()) {
@@ -37,6 +47,22 @@ std::vector<InteractionScript> scripts_for(const DeviceSpec& device) {
       s.method = InteractionMethod::kLocalPhysical;
       s.automated = false;  // manual (heating elements, movement, ...)
     }
+    scripts.push_back(std::move(s));
+  }
+  return scripts;
+}
+
+std::vector<InteractionScript> lifecycle_scripts_for(const DeviceSpec& device) {
+  (void)device;  // every catalog device supports the same three phases
+  std::vector<InteractionScript> scripts;
+  for (const LifecyclePhase phase :
+       {LifecyclePhase::kSetup, LifecyclePhase::kOta,
+        LifecyclePhase::kDeprovision}) {
+    InteractionScript s;
+    s.activity = std::string(lifecycle_phase_name(phase));
+    s.method = InteractionMethod::kWanApp;  // driven via the companion app
+    s.automated = true;
+    s.phase = phase;
     scripts.push_back(std::move(s));
   }
   return scripts;

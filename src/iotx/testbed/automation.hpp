@@ -21,12 +21,28 @@ enum class InteractionMethod {
 
 std::string_view interaction_method_name(InteractionMethod m) noexcept;
 
+/// Where in the device's lifetime a capture was taken. The paper's
+/// controlled experiments all observe kNormal; the lifecycle extension
+/// (arXiv 2505.09929 measures these phases separately) adds the other
+/// three, each with its own traffic shape and exposure profile.
+enum class LifecyclePhase {
+  kNormal,       ///< steady-state activity (the paper's snapshot)
+  kSetup,        ///< first-boot provisioning / cloud binding
+  kOta,          ///< firmware (OTA) update download + apply
+  kDeprovision,  ///< unbind / factory-reset telemetry flush
+};
+
+std::string_view lifecycle_phase_name(LifecyclePhase p) noexcept;
+
 /// A scripted interaction for one device activity.
 struct InteractionScript {
   std::string activity;
   InteractionMethod method = InteractionMethod::kLocalPhysical;
   bool automated = false;   ///< Monkey/voice-synth automated
   std::string voice_text;   ///< synthesized utterance when voice-driven
+  /// Lifecycle phase the script exercises; kNormal for every ordinary
+  /// interaction, set by lifecycle_scripts_for() for the phase scripts.
+  LifecyclePhase phase = LifecyclePhase::kNormal;
 };
 
 /// Derives the scripts for a device from its activity names:
@@ -35,5 +51,10 @@ struct InteractionScript {
 /// synthesized utterance), "local_voice" -> local speech (automated via
 /// the loudspeaker), everything else local physical (manual).
 std::vector<InteractionScript> scripts_for(const DeviceSpec& device);
+
+/// The lifecycle scripts every device supports: one per non-normal
+/// phase ("setup", "ota_update", "deprovision"), all automated (the
+/// testbed drives them through the companion app / power control).
+std::vector<InteractionScript> lifecycle_scripts_for(const DeviceSpec& device);
 
 }  // namespace iotx::testbed

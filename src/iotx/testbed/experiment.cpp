@@ -10,6 +10,7 @@ std::string_view experiment_type_name(ExperimentType t) noexcept {
     case ExperimentType::kInteraction: return "interaction";
     case ExperimentType::kIdle: return "idle";
     case ExperimentType::kUncontrolled: return "uncontrolled";
+    case ExperimentType::kLifecycle: return "lifecycle";
   }
   return "?";
 }
@@ -26,6 +27,12 @@ std::string ExperimentSpec::key() const {
   }
   k += "/rep";
   k += std::to_string(repetition);
+  // Appended only off the normal phase, so every pre-lifecycle key (and
+  // with it every Prng seed and golden fixture) is reproduced verbatim.
+  if (phase != LifecyclePhase::kNormal) {
+    k += '/';
+    k += lifecycle_phase_name(phase);
+  }
   return k;
 }
 
@@ -71,6 +78,27 @@ std::vector<ExperimentSpec> ExperimentRunner::schedule(
     s.start_time = t + 3600.0;
     s.idle_hours = plan_.idle_hours;
     specs.push_back(std::move(s));
+  }
+
+  // Lifecycle phases ride after the idle window (opt-in via
+  // lifecycle_reps), so enabling them never shifts the start times — and
+  // therefore the synthesized bytes — of the paper's experiments above.
+  if (plan_.lifecycle_reps > 0) {
+    double lt = t + 3600.0 + plan_.idle_hours * 3600.0 + 600.0;
+    for (const InteractionScript& script : lifecycle_scripts_for(device)) {
+      for (int rep = 0; rep < plan_.lifecycle_reps; ++rep) {
+        ExperimentSpec s;
+        s.device_id = device.id;
+        s.config = config;
+        s.type = ExperimentType::kLifecycle;
+        s.activity = script.activity;
+        s.repetition = rep;
+        s.start_time = lt;
+        s.phase = script.phase;
+        specs.push_back(std::move(s));
+        lt += 120.0;
+      }
+    }
   }
   return specs;
 }
@@ -124,6 +152,11 @@ LabeledCapture ExperimentRunner::run(const ExperimentSpec& spec,
       break;
     case ExperimentType::kUncontrolled:
       // Uncontrolled captures come from the UserStudySimulator.
+      break;
+    case ExperimentType::kLifecycle:
+      capture.packets = synth_.lifecycle_event(*device, spec.config,
+                                               spec.phase, spec.start_time,
+                                               prng);
       break;
   }
   std::stable_sort(capture.packets.begin(), capture.packets.end(),

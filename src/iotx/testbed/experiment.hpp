@@ -11,7 +11,13 @@
 
 namespace iotx::testbed {
 
-enum class ExperimentType { kPower, kInteraction, kIdle, kUncontrolled };
+enum class ExperimentType {
+  kPower,
+  kInteraction,
+  kIdle,
+  kUncontrolled,
+  kLifecycle,  ///< setup / OTA / deprovision phase capture
+};
 
 std::string_view experiment_type_name(ExperimentType t) noexcept;
 
@@ -24,6 +30,9 @@ struct ExperimentSpec {
   int repetition = 0;
   double start_time = 0.0;
   double idle_hours = 0.0;  ///< idle experiments only
+  /// Lifecycle phase of the capture; kNormal for every paper experiment,
+  /// so the phase label never perturbs pre-lifecycle keys or seeds.
+  LifecyclePhase phase = LifecyclePhase::kNormal;
 
   /// Stable key for seeding and file naming.
   std::string key() const;
@@ -43,6 +52,11 @@ struct SchedulePlan {
   int manual_reps = 3;
   int power_reps = 3;
   double idle_hours = 2.0;
+  /// Repetitions of each lifecycle phase script (setup, OTA update,
+  /// deprovision). 0 — the default — schedules none, so the paper's
+  /// campaign is reproduced byte-identically unless lifecycle
+  /// measurement is asked for.
+  int lifecycle_reps = 0;
 
   static SchedulePlan paper_scale() {
     return SchedulePlan{30, 3, 3, 28.0};

@@ -904,4 +904,142 @@ std::vector<net::Packet> TrafficSynthesizer::idle_period(
   return out;
 }
 
+std::vector<net::Packet> TrafficSynthesizer::lifecycle_event(
+    const DeviceSpec& device, const NetworkConfig& config,
+    LifecyclePhase phase, double start_ts, util::Prng& prng) const {
+  std::vector<net::Packet> out;
+  const Ctx ctx = make_ctx(device, config);
+  double t = start_ts;
+
+  switch (phase) {
+    case LifecyclePhase::kNormal:
+      break;  // steady-state traffic has its own synthesis paths
+
+    case LifecyclePhase::kSetup: {
+      // First boot: LAN chatter, then a plaintext provisioning POST that
+      // registers the unit — MAC, UUID, owner identity — with the vendor
+      // cloud. The binding phase is where the lifecycle studies see
+      // exposure peak: the credentials travel before TLS trust is even
+      // established.
+      emit_boot_chatter(out, ctx, t, prng);
+      Session s = open_session(out, ctx, *registry_,
+                               plain_endpoint_use(device), t, prng);
+      proto::HttpRequest req;
+      req.method = "POST";
+      req.target = "/api/v1/provision";
+      req.set_header("Host", s.endpoint->domain);
+      req.set_header("User-Agent", device.id + "/setup");
+      req.body = "step=bind&mac=" + ctx.pii.mac + "&uuid=" + ctx.pii.uuid +
+                 "&owner=" + util::url_encode(ctx.pii.owner_name) +
+                 "&email=" + ctx.pii.email +
+                 "&city=" + util::url_encode(ctx.pii.geo_city);
+      emit_tcp_data(out, s, /*up=*/true, net::as_bytes(req.encode()), t);
+      t += s.rtt;
+      proto::HttpResponse res;
+      res.set_header("Content-Type", "application/json");
+      res.body = "{\"result\":\"bound\",\"unit\":\"" + ctx.pii.uuid + "\"}";
+      emit_tcp_data(out, s, /*up=*/false, net::as_bytes(res.encode()), t);
+      t += 0.1;
+      // Cloud binding proper: contact every applicable endpoint over its
+      // usual transport and exchange a registration burst.
+      for (const EndpointUse& u : applicable_endpoints(device, config, "")) {
+        Session cloud = open_session(out, ctx, *registry_, u, t, prng);
+        for (int i = 0; i < 3; ++i) {
+          emit_app_packet(out, ctx, cloud, true, 200 + prng.uniform(200), t,
+                          prng, false);
+          t += 0.02;
+          emit_app_packet(out, ctx, cloud, false, 150 + prng.uniform(150), t,
+                          prng, false);
+          t += 0.02;
+        }
+        t += prng.exponential(0.05);
+      }
+      break;
+    }
+
+    case LifecyclePhase::kOta: {
+      // Manifest check over the device's primary (usually TLS) endpoint,
+      // then the full firmware image over plain HTTP — the paper's §6.2
+      // observes exactly such large unencrypted firmware transfers; here
+      // the update phase makes them a certainty, not a 12% boot chance.
+      const std::vector<EndpointUse> uses =
+          applicable_endpoints(device, config, "");
+      if (!uses.empty()) {
+        Session manifest = open_session(out, ctx, *registry_, uses.front(),
+                                        t, prng);
+        emit_app_packet(out, ctx, manifest, true, 180 + prng.uniform(60), t,
+                        prng, false);
+        t += manifest.rtt;
+        emit_app_packet(out, ctx, manifest, false, 400 + prng.uniform(200),
+                        t, prng, false);
+        t += 0.2;
+
+        EndpointUse fw = uses.front();
+        fw.transport = Transport::kHttp;
+        Session dl = open_session(out, ctx, *registry_, fw, t, prng);
+        proto::HttpRequest req;
+        req.method = "GET";
+        req.target = "/firmware/update-" + device.id + ".bin";
+        req.set_header("Host", dl.endpoint->domain);
+        emit_tcp_data(out, dl, /*up=*/true, net::as_bytes(req.encode()), t);
+        t += dl.rtt;
+        bool first = true;
+        const int chunks = 24 + static_cast<int>(prng.uniform(16));
+        for (int i = 0; i < chunks; ++i) {
+          const std::vector<std::uint8_t> chunk =
+              gzip_payload(prng, 1380, first);
+          first = false;
+          emit_tcp_data(out, dl, /*up=*/false, chunk, t);
+          t += 0.002;
+        }
+        // Install report back over the manifest session.
+        t += 2.0;
+        emit_app_packet(out, ctx, manifest, true, 120 + prng.uniform(40), t,
+                        prng, false);
+      }
+      break;
+    }
+
+    case LifecyclePhase::kDeprovision: {
+      // Unbind: a plaintext POST naming the unit one last time, then a
+      // final telemetry flush to the cloud endpoints before the device
+      // forgets its owner.
+      Session s = open_session(out, ctx, *registry_,
+                               plain_endpoint_use(device), t, prng);
+      proto::HttpRequest req;
+      req.method = "POST";
+      req.target = "/api/v1/unbind";
+      req.set_header("Host", s.endpoint->domain);
+      req.set_header("User-Agent", device.id + "/reset");
+      req.body = "step=unbind&uuid=" + ctx.pii.uuid + "&mac=" + ctx.pii.mac;
+      emit_tcp_data(out, s, /*up=*/true, net::as_bytes(req.encode()), t);
+      t += s.rtt;
+      proto::HttpResponse res;
+      res.set_header("Content-Type", "application/json");
+      res.body = "{\"result\":\"unbound\"}";
+      emit_tcp_data(out, s, /*up=*/false, net::as_bytes(res.encode()), t);
+      t += 0.05;
+      for (const EndpointUse& u : applicable_endpoints(device, config, "")) {
+        Session cloud = open_session(out, ctx, *registry_, u, t, prng);
+        // Upstream-heavy: buffered telemetry drains out, little comes back.
+        for (int i = 0; i < 4; ++i) {
+          emit_app_packet(out, ctx, cloud, true, 300 + prng.uniform(400), t,
+                          prng, false);
+          t += 0.01;
+        }
+        emit_app_packet(out, ctx, cloud, false, 80 + prng.uniform(40), t,
+                        prng, false);
+        t += prng.exponential(0.05);
+      }
+      break;
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const net::Packet& a, const net::Packet& b2) {
+                     return a.timestamp < b2.timestamp;
+                   });
+  return out;
+}
+
 }  // namespace iotx::testbed

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "iotx/net/packet.hpp"
+#include "iotx/testbed/automation.hpp"
 #include "iotx/testbed/catalog.hpp"
 #include "iotx/testbed/endpoints.hpp"
 #include "iotx/testbed/lab.hpp"
@@ -49,6 +50,17 @@ class TrafficSynthesizer {
   std::vector<net::Packet> idle_period(const DeviceSpec& device,
                                        const NetworkConfig& config, double t0,
                                        double hours, util::Prng& prng) const;
+
+  /// One lifecycle-phase capture. kSetup: boot chatter plus a plaintext
+  /// provisioning exchange that carries the unit's PII to the vendor
+  /// cloud; kOta: a firmware manifest check and the full gzip'd image
+  /// download; kDeprovision: an unbind POST and a final telemetry flush.
+  /// kNormal synthesizes nothing (normal activity has its own paths).
+  std::vector<net::Packet> lifecycle_event(const DeviceSpec& device,
+                                           const NetworkConfig& config,
+                                           LifecyclePhase phase,
+                                           double start_ts,
+                                           util::Prng& prng) const;
 
   /// The signature for a named activity; nullptr when the device lacks it.
   static const ActivitySignature* find_activity(const DeviceSpec& device,

@@ -25,6 +25,9 @@
 //   iotx impair <in.pcap> <out.pcap> <profile> [seed]
 //                                         degrade a capture through a named
 //                                         impairment profile
+//   iotx defend-eval [--out <report.json>] ...
+//                                         evaluate traffic-shaping defenses:
+//                                         F1 degradation vs byte overhead
 //   iotx serve [--port N] ...             always-on ingest daemon: accepts
 //                                         streamed pcap uploads per tenant,
 //                                         degrades under load, drains and
@@ -42,6 +45,8 @@
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -50,7 +55,9 @@
 #include "iotx/cache/binio.hpp"
 #include "iotx/core/options.hpp"
 #include "iotx/core/study.hpp"
+#include "iotx/core/defense.hpp"
 #include "iotx/faults/impairment.hpp"
+#include "iotx/faults/transform.hpp"
 #include "iotx/obs/profile.hpp"
 #include "iotx/obs/registry.hpp"
 #include "iotx/obs/trace.hpp"
@@ -104,10 +111,14 @@ int usage() {
       "  iotx endpoints\n"
       "  iotx simulate <device_id> <activity> <out.pcap> [us|uk] [--vpn]\n"
       "  iotx classify <capture.pcap> [--detect <model.art>] [--metrics]\n"
-      "                [--trace <out.json>]\n"
+      "                [--trace <out.json>] [--transform a,b,...]\n"
+      "                [--impair <profile>] [--shape <profile>]\n"
       "                (--detect runs the model's activity detector over\n"
       "                the capture — same output a live `iotx serve`\n"
-      "                tenant with that model reports)\n"
+      "                tenant with that model reports; the transform\n"
+      "                chain, when given, mutates the capture before\n"
+      "                analysis — an empty chain keeps the zero-copy\n"
+      "                path byte-identical)\n"
       "  iotx train-detector <device_id> <out.art> [us|uk] [--vpn]\n"
       "                (train the per-device activity model on synthesized\n"
       "                labeled captures and write the deployable artifact;\n"
@@ -117,6 +128,17 @@ int usage() {
       "                          threads; results identical at any N)\n"
       "             [--impair <profile>]  (inject network impairment;\n"
       "                          see `iotx impair` for the profile names)\n"
+      "             [--transform a,b,...]  (ordered capture-transform\n"
+      "                          chain applied at the capture head;\n"
+      "                          --impair and --shape are one-element\n"
+      "                          aliases onto the same machinery)\n"
+      "             [--shape <profile>]  (append one traffic-shaping\n"
+      "                          defense; names listed below)\n"
+      "             [--lifecycle-reps N]  (also capture N reps of the\n"
+      "                          setup / ota_update / deprovision\n"
+      "                          lifecycle phases per device and write\n"
+      "                          the per-phase tables to lifecycle.json;\n"
+      "                          Tables 2-11 are unaffected)\n"
       "             [--metrics]  (per-stage profile.json/profile.txt in\n"
       "                          the report directory)\n"
       "             [--trace]    (Chrome trace.json in the report\n"
@@ -145,15 +167,29 @@ int usage() {
       "             (summarize the synthetic catalog: per-category and\n"
       "             per-lab counts plus sample rows)\n"
       "  iotx impair <in.pcap> <out.pcap> <profile> [seed]\n"
+      "  iotx defend-eval [--out <report.json>] [--devices a,b,c]\n"
+      "             [--max-devices N] [--transform a,b,...]\n"
+      "             [--shape <profile>] [--jobs N]\n"
+      "             (re-run the §6.3 activity-inference attack under\n"
+      "             each traffic-shaping defense — default: every\n"
+      "             builtin shaping profile — and report the F1\n"
+      "             degradation against the padding-byte overhead)\n"
       "  iotx serve [--port N] [--host H] [--max-sessions N]\n"
       "             [--checkpoint-dir <dir>] [--idle-timeout-ms N]\n"
       "             [--drain-grace-ms N] [--memory-budget-mb N] [--metrics]\n"
+      "             [--transform a,b,...] [--shape <profile>]\n"
       "             (always-on ingest daemon; POST pcap streams to\n"
       "             /ingest/<tenant>, read /health /metrics /config\n"
-      "             /report/<tenant>; SIGTERM drains and checkpoints)\n"
+      "             /report/<tenant>; SIGTERM drains and checkpoints;\n"
+      "             a transform chain shapes every upload before\n"
+      "             analysis)\n"
       "  iotx export-dataset <dir>");
   std::printf("impairment profiles: %s\n",
               iotx::faults::profile_names().c_str());
+  std::printf("capture transforms:  %s\n",
+              iotx::faults::transform_names().c_str());
+  std::printf("shaping profiles:    %s\n",
+              iotx::faults::shaping_profile_names().c_str());
   return 2;
 }
 
@@ -306,9 +342,27 @@ int cmd_classify(int argc, char** argv) {
     device_meta.emplace(model->device_mac());
     pipeline.add_sink(*device_meta);
   }
+  // The capture-transform chain (--impair/--shape/--transform). An
+  // empty chain takes the allocation-free path: apply_views returns the
+  // mmap-backed views untouched, so a plain classify stays zero-copy and
+  // byte-identical to pre-transform builds.
+  faults::TransformChain chain;
+  if (opts.params().impairment.enabled()) {
+    chain.push_back(std::make_shared<const faults::ImpairmentTransform>(
+        opts.params().impairment));
+  }
+  for (const auto& transform : opts.params().transforms.items()) {
+    chain.push_back(transform);
+  }
+  std::vector<net::Packet> owned;
+  std::vector<net::PacketView> owned_views;
+  // Seeded by the capture path: the same file through the same chain
+  // classifies identically run over run.
+  const std::span<const net::PacketView> views =
+      chain.apply_views(capture->views, argv[2], owned, owned_views, health);
   {
     obs::Span span("classify/ingest");
-    pipeline.ingest_views(capture->views);
+    pipeline.ingest_views(views);
     pipeline.finish();
     span.add_bytes_in(pipeline.bytes_seen());
   }
@@ -316,8 +370,7 @@ int cmd_classify(int argc, char** argv) {
   health.merge(dns.health());
   health.merge(ftable.health());
   const auto flows = ftable.flows();
-  std::printf("%zu packets, %zu flows\n\n", capture->views.size(),
-              flows.size());
+  std::printf("%zu packets, %zu flows\n\n", views.size(), flows.size());
 
   util::TextTable table({"flow", "proto", "class", "entropy", "pkts",
                          "payload"});
@@ -521,6 +574,7 @@ int cmd_campaign(int argc, char** argv, bool reduce) {
   core::StudyOptions opts;
   std::size_t synthetic_devices = 0;
   std::uint64_t catalog_seed = 1;
+  int lifecycle_reps = 0;
   for (int i = 2; i < argc; ++i) {
     switch (opts.parse_shared_flag(argc, argv, i)) {
       case core::StudyOptions::ParseResult::kConsumed:
@@ -558,6 +612,12 @@ int cmd_campaign(int argc, char** argv, bool reduce) {
       synthetic_devices = static_cast<std::size_t>(count);
     } else if (std::strcmp(argv[i], "--catalog-seed") == 0 && i + 1 < argc) {
       catalog_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--lifecycle-reps") == 0 && i + 1 < argc) {
+      lifecycle_reps = std::atoi(argv[++i]);
+      if (lifecycle_reps < 1) {
+        std::printf("--lifecycle-reps requires a positive integer\n");
+        return 2;
+      }
     } else {
       return usage();
     }
@@ -569,6 +629,8 @@ int cmd_campaign(int argc, char** argv, bool reduce) {
     // command line does not matter.
     opts.synthetic_devices(synthetic_devices, catalog_seed);
   }
+  // After the loop for the same reason: --paper-scale replaces the plan.
+  if (lifecycle_reps > 0) opts.lifecycle_reps(lifecycle_reps);
   if ((reduce || opts.params().worker) && opts.cache_dir().empty()) {
     std::printf("%s requires --cache <dir> (the shared artifact store the "
                 "worker fleet partitions)\n",
@@ -627,6 +689,21 @@ int cmd_campaign(int argc, char** argv, bool reduce) {
     std::printf("impairment '%s': %zu degraded, %zu quarantined runs\n",
                 params.impairment.name.c_str(), study.degraded().size(),
                 study.quarantined().size());
+  }
+  if (!params.transforms.empty()) {
+    std::string names;
+    for (const auto& t : params.transforms.items()) {
+      if (!names.empty()) names += ",";
+      names += t->name();
+    }
+    std::uint64_t padding = 0;
+    for (const std::string& key : study.config_keys()) {
+      for (const auto& r : study.results(key)) {
+        padding += r.health.shaped_padding_bytes;
+      }
+    }
+    std::printf("capture transforms [%s]: %llu padding bytes added\n",
+                names.c_str(), static_cast<unsigned long long>(padding));
   }
   if (!params.cache_dir.empty()) {
     const cache::ArtifactStoreStats stats = study.cache_stats();
@@ -798,6 +875,25 @@ int cmd_serve(int argc, char** argv) {
       if (!need_value("--memory-budget-mb")) return 2;
       config.memory_budget_bytes =
           static_cast<std::uint64_t>(std::max(1, std::atoi(argv[++i]))) << 20;
+    } else if (std::strcmp(argv[i], "--transform") == 0) {
+      if (!need_value("--transform")) return 2;
+      std::string error;
+      if (!faults::parse_transform_chain(argv[++i],
+                                         config.session.transforms, error)) {
+        std::printf("%s\n", error.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--shape") == 0) {
+      if (!need_value("--shape")) return 2;
+      const faults::ShapingProfile* profile =
+          faults::find_shaping_profile(argv[++i]);
+      if (profile == nullptr) {
+        std::printf("unknown shaping profile '%s'; available: %s\n", argv[i],
+                    faults::shaping_profile_names().c_str());
+        return 2;
+      }
+      config.session.transforms.push_back(
+          std::make_shared<const faults::ShapingTransform>(*profile));
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
     } else {
@@ -848,6 +944,71 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+int cmd_defend_eval(int argc, char** argv) {
+  core::StudyOptions opts;
+  core::DefenseEvalParams params;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    switch (opts.parse_shared_flag(argc, argv, i)) {
+      case core::StudyOptions::ParseResult::kConsumed:
+        continue;
+      case core::StudyOptions::ParseResult::kError:
+        std::printf("%s\n", opts.error().c_str());
+        return 2;
+      case core::StudyOptions::ParseResult::kNotMine:
+        break;
+    }
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+      params.device_filter = util::split(argv[++i], ',');
+    } else if (std::strcmp(argv[i], "--max-devices") == 0 && i + 1 < argc) {
+      const long count = std::atol(argv[++i]);
+      if (count < 0) {
+        std::printf("--max-devices requires a non-negative integer\n");
+        return 2;
+      }
+      params.max_devices = static_cast<std::size_t>(count);
+    } else {
+      return usage();
+    }
+  }
+  params.jobs = opts.params().jobs;
+  // The shared --transform/--shape surface selects the defense set; the
+  // default (empty) sweeps every builtin shaping profile.
+  for (const auto& transform : opts.params().transforms.items()) {
+    params.defenses.push_back(std::string(transform->name()));
+  }
+
+  std::printf("evaluating %s over %s device(s)...\n",
+              params.defenses.empty()
+                  ? ("all shaping defenses (" +
+                     faults::shaping_profile_names() + ")")
+                        .c_str()
+                  : util::join(params.defenses, ",").c_str(),
+              params.max_devices == 0
+                  ? "all"
+                  : std::to_string(params.max_devices).c_str());
+  core::DefenseEvalResult result;
+  try {
+    result = core::run_defense_eval(params);
+  } catch (const std::invalid_argument& e) {
+    std::printf("%s\n", e.what());
+    return 2;
+  }
+  std::fputs(report::defense_report_text(result).c_str(), stdout);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    out << report::defense_report_json(result) << '\n';
+    if (!out.good()) {
+      std::printf("cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote defense report to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_export_dataset(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string root = argv[2];
@@ -888,6 +1049,7 @@ int main(int argc, char** argv) {
   if (command == "classify") return cmd_classify(argc, argv);
   if (command == "train-detector") return cmd_train_detector(argc, argv);
   if (command == "impair") return cmd_impair(argc, argv);
+  if (command == "defend-eval") return cmd_defend_eval(argc, argv);
   if (command == "study") return cmd_campaign(argc, argv, /*reduce=*/false);
   if (command == "reduce") return cmd_campaign(argc, argv, /*reduce=*/true);
   if (command == "gen-catalog") return cmd_gen_catalog(argc, argv);

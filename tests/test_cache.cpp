@@ -17,6 +17,7 @@
 #include "iotx/core/study.hpp"
 #include "iotx/core/study_cache.hpp"
 #include "iotx/faults/impairment.hpp"
+#include "iotx/faults/transform.hpp"
 #include "iotx/ml/random_forest.hpp"
 #include "iotx/report/report.hpp"
 #include "iotx/testbed/catalog.hpp"
@@ -173,6 +174,38 @@ TEST(StageKey, StudyStageKeysTrackTheirInputs) {
   more_trees.inference.validation.forest.n_trees += 1;
   EXPECT_NE(model_a,
             core::model_stage_key(more_trees, device, us, "digest-a"));
+}
+
+// A run with a transform chain (or a lifecycle schedule) must never
+// alias an artifact cached by a clean run — the chain spec and the
+// lifecycle rep count are both key inputs.
+TEST(StageKey, TransformChainAndLifecycleMoveTheKey) {
+  const testbed::DeviceSpec& device = *testbed::find_device("tplink_plug");
+  const testbed::NetworkConfig us{testbed::LabSite::kUs, false};
+  core::StudyParams params;
+  const std::string base = core::ingest_stage_key(params, device, us);
+
+  core::StudyParams shaped = params;
+  shaped.transforms.push_back(faults::find_transform("pad-512"));
+  const std::string shaped_key = core::ingest_stage_key(shaped, device, us);
+  EXPECT_NE(base, shaped_key);
+
+  // A different profile, and a different chain order, each move the key.
+  core::StudyParams reshaped = params;
+  reshaped.transforms.push_back(faults::find_transform("pad-128"));
+  EXPECT_NE(shaped_key, core::ingest_stage_key(reshaped, device, us));
+  core::StudyParams chained = params;
+  chained.transforms.push_back(faults::find_transform("lossy-wifi"));
+  chained.transforms.push_back(faults::find_transform("pad-512"));
+  core::StudyParams reordered = params;
+  reordered.transforms.push_back(faults::find_transform("pad-512"));
+  reordered.transforms.push_back(faults::find_transform("lossy-wifi"));
+  EXPECT_NE(core::ingest_stage_key(chained, device, us),
+            core::ingest_stage_key(reordered, device, us));
+
+  core::StudyParams lifecycle = params;
+  lifecycle.plan.lifecycle_reps = 1;
+  EXPECT_NE(base, core::ingest_stage_key(lifecycle, device, us));
 }
 
 TEST(ArtifactStore, StoreLoadRoundTrip) {
@@ -338,6 +371,55 @@ TEST(StudyCache, WarmRunIsByteIdenticalAtAnyJobCount) {
     EXPECT_EQ(stats.misses, 0u) << "jobs=" << jobs;
     EXPECT_EQ(stats.hit_rate(), 1.0) << "jobs=" << jobs;
   }
+  fs::remove_all(root);
+}
+
+// Lifecycle phases ride the same cached artifacts: a warm rerun with
+// lifecycle_reps > 0 reproduces the paper tables AND the per-phase
+// lifecycle table byte-for-byte at any job count, entirely from cache.
+TEST(StudyCache, LifecycleWarmRunIsByteIdenticalAtAnyJobCount) {
+  const std::string root = temp_dir("iotx_cache_lifecycle_test");
+  const auto params = [&root](std::size_t jobs) {
+    core::StudyParams p = cached_study_params(root, jobs);
+    p.plan.lifecycle_reps = 1;
+    return p;
+  };
+
+  core::Study cold(params(1));
+  cold.run();
+  const std::string cold_tables =
+      table_fingerprint(cold) + report::lifecycle_json(cold);
+  // The lifecycle table actually carries the extra phases.
+  EXPECT_NE(report::lifecycle_json(cold).find("\"setup\""),
+            std::string::npos);
+  EXPECT_NE(report::lifecycle_json(cold).find("\"ota_update\""),
+            std::string::npos);
+  EXPECT_EQ(cold.cache_stats().hits, 0u);
+
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    core::Study warm(params(jobs));
+    warm.run();
+    EXPECT_EQ(table_fingerprint(warm) + report::lifecycle_json(warm),
+              cold_tables)
+        << "jobs=" << jobs;
+    EXPECT_EQ(warm.cache_stats().misses, 0u) << "jobs=" << jobs;
+  }
+
+  // Tables 2-11 are lifecycle-free by construction: the same study
+  // without lifecycle reps reproduces them byte-identically (lifecycle
+  // captures only feed the per-phase slices, never the paper tables).
+  // robustness_json is excluded: the lifecycle run truthfully ingests
+  // more packets, which its health counters must reflect.
+  const std::string plain_root = temp_dir("iotx_cache_plain_test");
+  core::Study plain(cached_study_params(plain_root, 1));
+  plain.run();
+  const auto paper_tables = [](const core::Study& s) {
+    return report::table2_json(s) + report::table5_json(s) +
+           report::table7_json(s) + report::table9_json(s) +
+           report::table11_json(s) + report::pii_json(s);
+  };
+  EXPECT_EQ(paper_tables(plain), paper_tables(cold));
+  fs::remove_all(plain_root);
   fs::remove_all(root);
 }
 

@@ -1,0 +1,323 @@
+// Tests for the composable capture-transform API behind --impair and
+// --shape: registry lookup, chain parsing, bit-for-bit equivalence of
+// registry-driven impairment with the legacy apply_impairment() path,
+// the allocation-free empty-chain view fast path, deterministic traffic
+// shaping, and the defend-eval sweep (bit-identical at any job count,
+// stronger padding never increases inference F1).
+#include "iotx/faults/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "iotx/core/defense.hpp"
+#include "iotx/net/packet.hpp"
+#include "iotx/util/prng.hpp"
+
+namespace {
+
+using namespace iotx::faults;
+using iotx::net::FrameEndpoints;
+using iotx::net::Ipv4Address;
+using iotx::net::MacAddress;
+using iotx::net::Packet;
+using iotx::net::PacketView;
+using iotx::util::Prng;
+
+FrameEndpoints device_endpoints() {
+  FrameEndpoints ep;
+  ep.src_mac = MacAddress({0x02, 0x55, 0, 0, 0, 0x10});
+  ep.dst_mac = *MacAddress::parse("02:55:00:00:00:01");
+  ep.src_ip = Ipv4Address(10, 42, 0, 0x10);
+  ep.dst_ip = Ipv4Address(52, 1, 2, 3);
+  ep.src_port = 40000;
+  ep.dst_port = 443;
+  return ep;
+}
+
+/// 40 TCP data packets of varying size at 0.13 s spacing.
+std::vector<Packet> sample_capture() {
+  std::vector<Packet> packets;
+  const FrameEndpoints ep = device_endpoints();
+  for (int i = 0; i < 40; ++i) {
+    packets.push_back(iotx::net::make_tcp_packet(
+        100.0 + i * 0.13, ep,
+        std::vector<std::uint8_t>(50 + (i * 37) % 900,
+                                  static_cast<std::uint8_t>(i))));
+  }
+  return packets;
+}
+
+bool same_packets(const std::vector<Packet>& a, const std::vector<Packet>& b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(),
+                    [](const Packet& x, const Packet& y) {
+                      return x.timestamp == y.timestamp && x.frame == y.frame;
+                    });
+}
+
+TEST(TransformRegistry, BuiltinsCoverImpairmentAndShaping) {
+  const auto& all = builtin_transforms();
+  ASSERT_FALSE(all.empty());
+  // Every impairment profile and every shaping defense is registered,
+  // and names are unique across the two families.
+  for (const ImpairmentProfile& p : builtin_profiles()) {
+    EXPECT_NE(find_transform(p.name), nullptr) << p.name;
+  }
+  for (const ShapingProfile& p : builtin_shaping_profiles()) {
+    EXPECT_NE(find_transform(p.name), nullptr) << p.name;
+    EXPECT_NE(find_shaping_profile(p.name), nullptr) << p.name;
+  }
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_NE(all[i]->name(), all[j]->name());
+    }
+  }
+  EXPECT_EQ(find_transform("no-such-transform"), nullptr);
+  EXPECT_EQ(find_shaping_profile("lossy-wifi"), nullptr);  // not a defense
+  const std::string names = transform_names();
+  EXPECT_NE(names.find("lossy-wifi"), std::string::npos);
+  EXPECT_NE(names.find("pad-512"), std::string::npos);
+  EXPECT_EQ(shaping_profile_names().find("lossy-wifi"), std::string::npos);
+}
+
+TEST(TransformRegistry, ParseChainPreservesOrderAndRejectsUnknown) {
+  TransformChain chain;
+  std::string error;
+  ASSERT_TRUE(parse_transform_chain("lossy-wifi,pad-512", chain, error));
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain.items()[0]->name(), "lossy-wifi");
+  EXPECT_EQ(chain.items()[1]->name(), "pad-512");
+  EXPECT_TRUE(chain.enabled());
+  // Chain spec is the ';'-joined element specs, in order.
+  EXPECT_EQ(chain.spec(),
+            chain.items()[0]->spec() + ";" + chain.items()[1]->spec());
+
+  TransformChain bad;
+  EXPECT_FALSE(parse_transform_chain("pad-512,bogus", bad, error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+
+  TransformChain empty;
+  ASSERT_TRUE(parse_transform_chain("", empty, error));
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.enabled());
+  EXPECT_EQ(empty.spec(), "");
+}
+
+TEST(TransformChain, RegistryImpairmentMatchesLegacyBitForBit) {
+  const std::string key = "us/echo_dot/power/rep3";
+
+  std::vector<Packet> legacy = sample_capture();
+  Prng prng("impair/" + key);
+  const ImpairmentSummary legacy_summary =
+      apply_impairment(legacy, *find_profile("lossy-wifi"), prng);
+
+  std::vector<Packet> chained = sample_capture();
+  TransformChain chain;
+  chain.push_back(find_transform("lossy-wifi"));
+  const TransformSummary s = chain.apply(chained, key);
+
+  // The registry path must reproduce the legacy seed stream exactly:
+  // same drops, same reorders, same bytes.
+  EXPECT_EQ(s.impair.packets_out, legacy_summary.packets_out);
+  EXPECT_EQ(s.impair.dropped_packets, legacy_summary.dropped_packets);
+  EXPECT_EQ(s.impair.dropped_bytes, legacy_summary.dropped_bytes);
+  EXPECT_TRUE(same_packets(chained, legacy));
+  EXPECT_GT(legacy_summary.dropped_packets, 0u);  // the profile did act
+}
+
+TEST(TransformChain, EmptyOrDisabledChainIsAllocationFreeIdentity) {
+  const std::vector<Packet> packets = sample_capture();
+  std::vector<PacketView> views;
+  for (const Packet& p : packets) views.push_back(iotx::net::view_of(p));
+
+  // A chain whose only element is disabled behaves like the empty chain:
+  // both take the zero-copy fast path.
+  TransformChain disabled;
+  disabled.push_back(
+      std::make_shared<const ImpairmentTransform>(ImpairmentProfile{}));
+  EXPECT_FALSE(disabled.enabled());
+
+  for (const TransformChain& chain : {TransformChain{}, disabled}) {
+    std::vector<Packet> owned;
+    std::vector<PacketView> owned_views;
+    CaptureHealth health;
+    const std::span<const PacketView> out =
+        chain.apply_views(views, "any-key", owned, owned_views, health);
+    // Identity: the returned span aliases the caller's views; nothing
+    // was materialized and no health counter moved.
+    EXPECT_EQ(out.data(), views.data());
+    EXPECT_EQ(out.size(), views.size());
+    EXPECT_TRUE(owned.empty());
+    EXPECT_TRUE(owned_views.empty());
+    EXPECT_TRUE(nonzero_counters(health).empty());
+  }
+}
+
+TEST(TransformChain, EnabledChainMaterializesAndFoldsHealth) {
+  const std::vector<Packet> packets = sample_capture();
+  std::vector<PacketView> views;
+  for (const Packet& p : packets) views.push_back(iotx::net::view_of(p));
+
+  TransformChain chain;
+  chain.push_back(find_transform("pad-512"));
+  std::vector<Packet> owned;
+  std::vector<PacketView> owned_views;
+  CaptureHealth health;
+  const std::span<const PacketView> out =
+      chain.apply_views(views, "key", owned, owned_views, health);
+
+  ASSERT_EQ(out.size(), views.size());  // padding never drops packets
+  EXPECT_EQ(out.data(), owned_views.data());
+  for (const PacketView& v : out) {
+    EXPECT_EQ(v.frame.size() % 512, 0u);
+  }
+  EXPECT_GT(health.shaped_padded_frames, 0u);
+  EXPECT_GT(health.shaped_padding_bytes, 0u);
+  // Shaping is an injected mutation, not an ingest error.
+  EXPECT_EQ(health.observed_anomalies(), 0u);
+  EXPECT_GT(health.total_anomalies(), 0u);
+}
+
+TEST(Shaping, PadBucketPadsToMultipleAndCountsOverhead) {
+  std::vector<Packet> packets = sample_capture();
+  std::uint64_t bytes_in = 0;
+  for (const Packet& p : packets) bytes_in += p.frame.size();
+
+  const TransformSummary s =
+      apply_shaping(packets, *std::find_if(
+          builtin_shaping_profiles().begin(),
+          builtin_shaping_profiles().end(),
+          [](const ShapingProfile& p) { return p.name == "pad-128"; }));
+
+  std::uint64_t bytes_out = 0;
+  for (const Packet& p : packets) {
+    EXPECT_EQ(p.frame.size() % 128, 0u);
+    bytes_out += p.frame.size();
+  }
+  EXPECT_EQ(s.shaped_padding_bytes, bytes_out - bytes_in);
+  EXPECT_GT(s.shaped_padded_frames, 0u);
+  EXPECT_EQ(s.impair.packets_in, s.impair.packets_out);
+}
+
+TEST(Shaping, ConstantRateQuantizesOntoFixedClock) {
+  std::vector<Packet> packets = sample_capture();
+  const double t0 = packets.front().timestamp;
+  ShapingProfile rate;
+  rate.mode = ShapingProfile::Mode::kConstantRate;
+  rate.interval = 0.1;
+  const TransformSummary s = apply_shaping(packets, rate);
+  EXPECT_GT(s.shaped_delayed_packets, 0u);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const double ticks = (packets[i].timestamp - t0) / rate.interval;
+    EXPECT_NEAR(ticks, std::round(ticks), 1e-9) << i;
+    if (i > 0) {
+      EXPECT_LE(packets[i - 1].timestamp, packets[i].timestamp);
+    }
+  }
+}
+
+TEST(Shaping, BatchDelayReleasesAtWindowEnds) {
+  std::vector<Packet> packets = sample_capture();
+  const double t0 = packets.front().timestamp;
+  ShapingProfile batch;
+  batch.mode = ShapingProfile::Mode::kBatchDelay;
+  batch.interval = 1.0;
+  const TransformSummary s = apply_shaping(packets, batch);
+  EXPECT_GT(s.shaped_batched_packets, 0u);
+  for (const Packet& p : packets) {
+    const double windows = (p.timestamp - t0) / batch.interval;
+    EXPECT_NEAR(windows, std::round(windows), 1e-9);
+    EXPECT_GE(p.timestamp, t0 + batch.interval);  // held to window end
+  }
+}
+
+TEST(Shaping, ConsumesNoRandomnessAndIsDeterministic) {
+  std::vector<Packet> a = sample_capture();
+  std::vector<Packet> b = sample_capture();
+  const ShapingTransform pad(*find_shaping_profile("pad-512"));
+  Prng prng_a("shape/key");
+  Prng prng_b("shape/other-key");  // different stream, same result
+  Prng untouched("shape/key");
+  pad.apply(a, prng_a);
+  pad.apply(b, prng_b);
+  EXPECT_TRUE(same_packets(a, b));
+  // Fixed gateway policies consume no randomness: the Prng never moved,
+  // so shaping cannot perturb any downstream seeded computation.
+  EXPECT_EQ(prng_a(), untouched());
+}
+
+iotx::core::DefenseEvalParams quick_eval_params() {
+  iotx::core::DefenseEvalParams params;
+  params.plan = iotx::testbed::SchedulePlan{/*automated_reps=*/4,
+                                            /*manual_reps=*/1,
+                                            /*power_reps=*/1,
+                                            /*idle_hours=*/0.1};
+  params.inference.validation.forest.n_trees = 8;
+  params.inference.validation.repetitions = 2;
+  params.max_devices = 2;
+  return params;
+}
+
+TEST(DefenseEval, BitIdenticalAtAnyJobCount) {
+  iotx::core::DefenseEvalParams params = quick_eval_params();
+  params.defenses = {"pad-512", "rate-100ms"};
+
+  params.jobs = 1;
+  const iotx::core::DefenseEvalResult serial =
+      iotx::core::run_defense_eval(params);
+  params.jobs = 4;
+  const iotx::core::DefenseEvalResult parallel =
+      iotx::core::run_defense_eval(params);
+
+  ASSERT_EQ(serial.rows.size(), parallel.rows.size());
+  ASSERT_GT(serial.rows.size(), 0u);
+  for (std::size_t i = 0; i < serial.rows.size(); ++i) {
+    const auto& a = serial.rows[i];
+    const auto& b = parallel.rows[i];
+    EXPECT_EQ(a.defense, b.defense) << i;
+    EXPECT_EQ(a.device_id, b.device_id) << i;
+    // Exact float equality is the contract: slot-indexed fan-out plus
+    // per-capture seed keys, never thread schedule.
+    EXPECT_EQ(a.baseline_f1, b.baseline_f1) << i;
+    EXPECT_EQ(a.defended_f1, b.defended_f1) << i;
+    EXPECT_EQ(a.baseline_bytes, b.baseline_bytes) << i;
+    EXPECT_EQ(a.defended_bytes, b.defended_bytes) << i;
+    EXPECT_EQ(a.padding_bytes, b.padding_bytes) << i;
+  }
+}
+
+// Property: a coarser padding bucket hides at least as much of the
+// frame-size channel, so mean inference F1 must not increase as the
+// bucket grows — while the byte overhead does.
+TEST(DefenseEval, StrongerPaddingNeverIncreasesF1) {
+  iotx::core::DefenseEvalParams params = quick_eval_params();
+  params.defenses = {"pad-128", "pad-512", "pad-1500"};
+  params.jobs = 0;
+  const iotx::core::DefenseEvalResult result =
+      iotx::core::run_defense_eval(params);
+
+  ASSERT_EQ(result.aggregates.size(), 3u);
+  for (std::size_t i = 1; i < result.aggregates.size(); ++i) {
+    EXPECT_LE(result.aggregates[i].mean_defended_f1,
+              result.aggregates[i - 1].mean_defended_f1)
+        << result.aggregates[i].defense;
+  }
+  // pad-1500 rounds every frame to a full MTU: strictly more overhead
+  // than pad-128, and both cost something.
+  EXPECT_GT(result.aggregates[0].mean_overhead_pct, 0.0);
+  EXPECT_GT(result.aggregates[2].mean_overhead_pct,
+            result.aggregates[0].mean_overhead_pct);
+}
+
+TEST(DefenseEval, UnknownDefenseThrows) {
+  iotx::core::DefenseEvalParams params = quick_eval_params();
+  params.defenses = {"pad-9000"};
+  EXPECT_THROW(iotx::core::run_defense_eval(params), std::invalid_argument);
+}
+
+}  // namespace
